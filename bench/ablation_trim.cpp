@@ -1,0 +1,50 @@
+// Ablation (DESIGN.md §4): the two-sided 10% VP-score trim in AS
+// Hegemony. The trim exists to suppress VP-proximity bias (§1.2); this
+// harness sweeps the trim share and reports how the AU/US international
+// rankings move relative to the paper's default.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_world.hpp"
+#include "core/ndcg.hpp"
+#include "core/views.hpp"
+#include "rank/hegemony.hpp"
+
+using namespace georank;
+
+int main() {
+  bench::print_banner("Ablation: hegemony trim share",
+                      "Effect of the 10% two-sided per-VP score trim");
+
+  auto ctx = bench::make_context();
+  const auto& paths = ctx->pipeline->sanitized().paths;
+
+  for (const char* cc : {"AU", "US"}) {
+    core::CountryView view =
+        core::ViewBuilder::international(paths, geo::CountryCode::of(cc));
+
+    rank::Hegemony reference{rank::HegemonyOptions{0.10, false}};
+    rank::Ranking ref_ranking = reference.compute(view.paths).ranking();
+
+    std::printf("-- %s international hegemony --\n", cc);
+    util::Table table{{"trim", "top-1", "top-2", "top-3", "NDCG vs 10%"}};
+    table.set_align(4, util::Align::kRight);
+    for (double trim : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+      rank::Hegemony hegemony{rank::HegemonyOptions{trim, false}};
+      rank::Ranking ranking = hegemony.compute(view.paths).ranking();
+      auto top = ranking.top(3);
+      auto name = [&](std::size_t i) {
+        return i < top.size() ? bench::as_label(ctx->world, top[i].asn) : "";
+      };
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%.3f", core::ndcg(ranking, ref_ranking));
+      table.add_row({util::percent(trim), name(0), name(1), name(2), buf});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("expectation: small trims barely move the top ranks (the trim\n"
+              "mostly removes VP-local ASes deep in the tail); very large\n"
+              "trims start to erode genuinely dominant ASes.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "common/bench_world.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace georank::bench {
+
+std::unique_ptr<Context> make_context(ContextOptions options) {
+  auto ctx = std::make_unique<Context>();
+  ctx->spec = gen::default_world_spec(options.epoch);
+  ctx->world = gen::InternetGenerator{ctx->spec}.generate();
+  bgp::RibCollection ribs =
+      gen::RibGenerator{ctx->world, ctx->spec.noise, options.rib_seed}.generate(
+          options.rib_days);
+
+  core::PipelineConfig config;
+  config.sanitizer.clique = ctx->world.clique;
+  config.sanitizer.route_server_asns = ctx->world.route_servers;
+  ctx->pipeline = std::make_unique<core::Pipeline>(
+      ctx->world.geo_db, ctx->world.vps, ctx->world.asn_registry,
+      ctx->world.graph, config);
+  ctx->pipeline->load(ribs);
+  if (options.keep_ribs) ctx->ribs = std::move(ribs);
+  return ctx;
+}
+
+std::string as_label(const gen::World& world, bgp::Asn asn) {
+  return std::to_string(asn) + " " + world.name_of(asn);
+}
+
+std::string as_country(const gen::World& world, bgp::Asn asn) {
+  auto it = world.as_registry.find(asn);
+  return it == world.as_registry.end() ? "??" : it->second.to_string();
+}
+
+std::string rank_cell(const rank::Ranking& ranking, bgp::Asn asn) {
+  auto rank = ranking.rank_of(asn);
+  if (!rank) return "-";
+  return std::to_string(*rank) + " " + util::percent(ranking.score_of(asn));
+}
+
+std::string rank_only(const rank::Ranking& ranking, bgp::Asn asn) {
+  auto rank = ranking.rank_of(asn);
+  return rank ? std::to_string(*rank) : "-";
+}
+
+void print_banner(std::string_view artifact, std::string_view summary) {
+  std::printf("================================================================\n");
+  std::printf("Reproducing %.*s\n", static_cast<int>(artifact.size()), artifact.data());
+  std::printf("%.*s\n", static_cast<int>(summary.size()), summary.data());
+  std::printf("(synthetic world; see DESIGN.md for the substitution rationale)\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace georank::bench

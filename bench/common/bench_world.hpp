@@ -1,0 +1,52 @@
+// Shared scaffolding for the reproduction harnesses in bench/:
+// builds the default world, synthesizes RIBs, runs the pipeline, and
+// provides the formatting helpers the table printers share.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/pipeline.hpp"
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace georank::bench {
+
+struct Context {
+  gen::WorldSpec spec;
+  gen::World world;
+  bgp::RibCollection ribs;  // empty unless keep_ribs was requested
+  std::unique_ptr<core::Pipeline> pipeline;
+};
+
+struct ContextOptions {
+  gen::Epoch epoch = gen::Epoch::kApril2021;
+  int rib_days = 5;
+  std::uint64_t rib_seed = 7;
+  /// RIBs are large; they are dropped after the pipeline ingests them
+  /// unless a harness needs the raw entries (Table 1 accounting).
+  bool keep_ribs = false;
+};
+
+[[nodiscard]] std::unique_ptr<Context> make_context(ContextOptions options = {});
+
+/// "1221 Telstra" (falls back to "AS<asn>").
+[[nodiscard]] std::string as_label(const gen::World& world, bgp::Asn asn);
+
+/// Registration country of an AS, "??" if unknown.
+[[nodiscard]] std::string as_country(const gen::World& world, bgp::Asn asn);
+
+/// "<rank> <score%>" cell, e.g. "1 44%"; "-" when the AS is unranked.
+[[nodiscard]] std::string rank_cell(const rank::Ranking& ranking, bgp::Asn asn);
+
+/// Bare rank ("12") or "-" when unranked.
+[[nodiscard]] std::string rank_only(const rank::Ranking& ranking, bgp::Asn asn);
+
+/// Uniform harness banner: what is being reproduced and from where.
+void print_banner(std::string_view artifact, std::string_view summary);
+
+}  // namespace georank::bench

@@ -1,0 +1,49 @@
+#include "common/case_study.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+namespace georank::bench {
+
+void print_case_study(const Context& ctx, geo::CountryCode country,
+                      std::span<const PaperCell> paper_rows) {
+  core::CountryMetrics m = ctx.pipeline->country(country);
+  rank::Ranking ccg = ctx.pipeline->global_cone_by_as_count();
+
+  std::printf("%s: national VPs=%zu, international VPs=%zu\n",
+              country.to_string().c_str(), m.national_vps, m.international_vps);
+
+  util::Table table{{"AS", "name", "cc", "CCI", "AHI", "CCN", "AHN", "CCG#"}};
+  for (std::size_t c = 3; c <= 7; ++c) table.set_align(c, util::Align::kRight);
+  for (const PaperCell& row : paper_rows) {
+    table.add_row({std::to_string(row.asn), ctx.world.name_of(row.asn),
+                   as_country(ctx.world, row.asn), rank_cell(m.cci, row.asn),
+                   rank_cell(m.ahi, row.asn), rank_cell(m.ccn, row.asn),
+                   rank_cell(m.ahn, row.asn), rank_only(ccg, row.asn)});
+  }
+  table.add_rule();
+  for (const PaperCell& row : paper_rows) {
+    table.add_row({std::to_string(row.asn), "(paper)", "",
+                   std::string(row.cci), std::string(row.ahi),
+                   std::string(row.ccn), std::string(row.ahn), ""});
+  }
+  table.print(std::cout);
+
+  // The metric-by-metric top-3, so surprises outside the actor list show.
+  auto print_top = [&](const char* name, const rank::Ranking& ranking) {
+    std::printf("%s top-3:", name);
+    for (const auto& e : ranking.top(3)) {
+      std::printf("  %s (%.0f%%)", as_label(ctx.world, e.asn).c_str(),
+                  e.score * 100.0);
+    }
+    std::printf("\n");
+  };
+  std::printf("\n");
+  print_top("CCI", m.cci);
+  print_top("AHI", m.ahi);
+  print_top("CCN", m.ccn);
+  print_top("AHN", m.ahn);
+  std::printf("\n");
+}
+
+}  // namespace georank::bench

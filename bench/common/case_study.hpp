@@ -1,0 +1,23 @@
+// Shared printer for the §5 case-study tables (Tables 5-8): for a set of
+// notable ASes in one country, show each metric's rank and score plus the
+// AS's global customer-cone rank (the paper's CCG subscript).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/bench_world.hpp"
+
+namespace georank::bench {
+
+struct PaperCell {
+  bgp::Asn asn;
+  /// The paper's "rank score%" strings for CCI/AHI/CCN/AHN, for
+  /// side-by-side comparison, e.g. {"7 44%", "1 40%", "2 41%", "1 23%"}.
+  std::string_view cci, ahi, ccn, ahn;
+};
+
+void print_case_study(const Context& ctx, geo::CountryCode country,
+                      std::span<const PaperCell> paper_rows);
+
+}  // namespace georank::bench

@@ -1,0 +1,46 @@
+// Extension (paper §7 future work): OUTBOUND views — which ASes a
+// country's own networks traverse to reach foreign address space. The
+// paper only builds inbound ("international") and internal ("national")
+// views and sketches this third direction; we compute it and contrast
+// the egress ranking with the inbound one.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_world.hpp"
+
+using namespace georank;
+
+int main() {
+  bench::print_banner("Extension: outbound views",
+                      "CCO/AHO — how each case-study country reaches the world");
+
+  auto ctx = bench::make_context();
+
+  for (const char* cc : {"AU", "JP", "RU", "US", "TW"}) {
+    geo::CountryCode country = geo::CountryCode::of(cc);
+    core::OutboundMetrics out = ctx->pipeline->outbound(country);
+    core::CountryMetrics in = ctx->pipeline->country(country);
+
+    std::printf("=== %s: %zu in-country VPs, %s foreign addresses observed ===\n",
+                cc, out.vps,
+                util::human_count(static_cast<double>(out.foreign_addresses)).c_str());
+    util::Table table{{"#", "AHO (egress)", "score", "AHI (ingress)", "score"}};
+    table.set_align(2, util::Align::kRight);
+    table.set_align(4, util::Align::kRight);
+    auto egress = out.aho.top(5);
+    auto ingress = in.ahi.top(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      std::string e = i < egress.size() ? bench::as_label(ctx->world, egress[i].asn) : "";
+      std::string es = i < egress.size() ? util::percent(egress[i].score) : "";
+      std::string g = i < ingress.size() ? bench::as_label(ctx->world, ingress[i].asn) : "";
+      std::string gs = i < ingress.size() ? util::percent(ingress[i].score) : "";
+      table.add_row({std::to_string(i + 1), e, es, g, gs});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("expectation: egress rankings are dominated by the country's own\n"
+              "international gateways (asymmetry with ingress shows who controls\n"
+              "the country's OUTBOUND reachability — the §7 question).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension: three-epoch timelines (2018 -> 2021 -> 2023) for the two
+// countries the paper studies over time. The Taiwan trajectory should
+// show China Telecom sliding out of the CCI ranking; the Russia one
+// should show near-total rank stability despite the 2022 sanctions.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_world.hpp"
+#include "core/timeline.hpp"
+
+using namespace georank;
+
+namespace {
+
+void print_timeline(const core::Timeline& timeline, const gen::World& world,
+                    core::TimelineMetric metric, const char* title) {
+  std::printf("-- %s --\n", title);
+  util::Table table{{"AS", "name"}};
+  std::vector<std::string> headers{"AS", "name"};
+  for (const auto& p : timeline.points()) headers.push_back(p.label);
+  util::Table t{headers};
+  for (std::size_t c = 2; c < headers.size(); ++c) t.set_align(c, util::Align::kRight);
+  for (const core::AsTrajectory& tr : timeline.trajectories(metric, 8)) {
+    std::vector<std::string> row{std::to_string(tr.asn), world.name_of(tr.asn)};
+    for (std::size_t i = 0; i < tr.ranks.size(); ++i) {
+      if (tr.ranks[i]) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "#%zu %.0f%%", *tr.ranks[i],
+                      tr.scores[i] * 100.0);
+        row.push_back(buf);
+      } else {
+        row.push_back("-");
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  auto dropped = timeline.dropped_out(metric, 8);
+  if (!dropped.empty()) {
+    std::printf("dropped out of the top-8 between %s and %s:",
+                timeline.points().front().label.c_str(),
+                timeline.points().back().label.c_str());
+    for (bgp::Asn asn : dropped) {
+      std::printf("  %s", bench::as_label(world, asn).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Extension: epoch timelines",
+                      "Rank trajectories across 2018 / 2021 / 2023 worlds");
+
+  // One context per epoch; the world object of the LAST context provides
+  // names (ASNs are stable across epochs by construction).
+  std::vector<std::unique_ptr<bench::Context>> contexts;
+  for (gen::Epoch epoch : {gen::Epoch::kMarch2018, gen::Epoch::kApril2021,
+                           gen::Epoch::kMarch2023}) {
+    bench::ContextOptions options;
+    options.epoch = epoch;
+    contexts.push_back(bench::make_context(options));
+  }
+  auto timeline_for = [&](const char* cc) {
+    std::vector<core::TimelinePoint> points;
+    gen::Epoch epochs[] = {gen::Epoch::kMarch2018, gen::Epoch::kApril2021,
+                           gen::Epoch::kMarch2023};
+    for (std::size_t i = 0; i < contexts.size(); ++i) {
+      points.push_back({gen::epoch_label(epochs[i]),
+                        contexts[i]->pipeline->country(geo::CountryCode::of(cc))});
+    }
+    return core::Timeline{std::move(points)};
+  };
+
+  const gen::World& world = contexts.back()->world;
+  print_timeline(timeline_for("TW"), world, core::TimelineMetric::kCci,
+                 "Taiwan CCI (China Telecom should decline and vanish)");
+  print_timeline(timeline_for("RU"), world, core::TimelineMetric::kAhi,
+                 "Russia AHI (stable through the sanctions)");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Extension (paper §2/§7): VP-proximity bias diagnostics. The paper
+// hypothesizes that single-VP views favor ASes close to the VP and that
+// hegemony's 10% trim suppresses the effect; this harness measures both
+// claims on the evaluation world, plus the per-VP leave-one-out
+// influence that attributes §4's instability to individual VPs.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_world.hpp"
+#include "core/vp_bias.hpp"
+
+using namespace georank;
+
+int main() {
+  bench::print_banner("Extension: VP-proximity bias",
+                      "Score-vs-distance correlation and per-VP influence");
+
+  auto ctx = bench::make_context();
+  const auto& paths = ctx->pipeline->sanitized().paths;
+  core::VpBiasAnalyzer analyzer{ctx->pipeline->rankings()};
+
+  std::printf("-- proximity bias (negative = metric rewards VP-closeness) --\n");
+  util::Table bias_table{{"country", "view", "AH corr", "CC corr",
+                          "mean dist (AH top-10)"}};
+  bias_table.set_align(2, util::Align::kRight);
+  bias_table.set_align(3, util::Align::kRight);
+  bias_table.set_align(4, util::Align::kRight);
+  for (const char* cc : {"NL", "US", "AU", "RU"}) {
+    geo::CountryCode country = geo::CountryCode::of(cc);
+    for (auto [label, view] :
+         {std::pair{"national", core::ViewBuilder::national(paths, country)},
+          std::pair{"international",
+                    core::ViewBuilder::international(paths, country)}}) {
+      core::ProximityBias ah =
+          analyzer.proximity_bias(view, core::MetricKind::kHegemony);
+      core::ProximityBias cone =
+          analyzer.proximity_bias(view, core::MetricKind::kCustomerCone);
+      char ah_buf[16], cc_buf[16], d_buf[16];
+      std::snprintf(ah_buf, sizeof ah_buf, "%+.2f", ah.score_distance_correlation);
+      std::snprintf(cc_buf, sizeof cc_buf, "%+.2f",
+                    cone.score_distance_correlation);
+      std::snprintf(d_buf, sizeof d_buf, "%.1f", ah.mean_distance);
+      bias_table.add_row({cc, label, ah_buf, cc_buf, d_buf});
+    }
+  }
+  bias_table.print(std::cout);
+
+  std::printf("\n-- most influential VPs (lowest leave-one-out NDCG) --\n");
+  util::Table vp_table{{"country", "view", "VP AS", "paths", "leave-out NDCG"}};
+  vp_table.set_align(3, util::Align::kRight);
+  vp_table.set_align(4, util::Align::kRight);
+  for (const char* cc : {"NL", "AU"}) {
+    geo::CountryCode country = geo::CountryCode::of(cc);
+    core::CountryView view = core::ViewBuilder::national(paths, country);
+    auto influence = analyzer.vp_influence(view, core::MetricKind::kHegemony);
+    for (std::size_t i = 0; i < influence.size() && i < 3; ++i) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%.3f", influence[i].leave_out_ndcg);
+      vp_table.add_row({cc, "national",
+                        bench::as_label(ctx->world, influence[i].vp.asn),
+                        std::to_string(influence[i].paths), buf});
+    }
+  }
+  vp_table.print(std::cout);
+
+  std::printf("\nexpectation: correlations are mildly negative in national views\n"
+              "(few VPs, close topology) and near zero internationally, where the\n"
+              "trim has hundreds of VPs to work with; no single VP should push\n"
+              "leave-one-out NDCG far below 1 in a country with many VPs.\n");
+  return 0;
+}

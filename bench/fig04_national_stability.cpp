@@ -1,0 +1,72 @@
+// Figure 4: stability of the NATIONAL rankings (AHN top, CCN bottom)
+// under VP downsampling, for the five countries with the most in-country
+// VPs. The paper found NDCG >= 0.9 needs ~25 (AHN) / ~19 (CCN) VPs and
+// NDCG >= 0.8 needs ~9 / ~6; AHN was more stable than CCN at small
+// samples in some countries, and more VPs always helped.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_world.hpp"
+#include "core/stability.hpp"
+
+using namespace georank;
+
+int main() {
+  bench::print_banner("Figure 4",
+                      "NDCG of national rankings (AHN/CCN) vs #in-country VPs");
+
+  auto ctx = bench::make_context();
+  const auto& paths = ctx->pipeline->sanitized().paths;
+  core::StabilityAnalyzer analyzer{ctx->pipeline->rankings()};
+
+  const char* countries[] = {"NL", "GB", "US", "DE", "BR"};
+  struct MetricDef {
+    const char* name;
+    core::MetricKind kind;
+  } metrics[] = {{"AHN", core::MetricKind::kHegemony},
+                 {"CCN", core::MetricKind::kCustomerCone}};
+
+  for (const MetricDef& metric : metrics) {
+    std::printf("--- %s ---\n", metric.name);
+    util::Table table{{"country", "VPs", "k=2", "k=4", "k=6", "k=9", "k=12",
+                       "k=16", "k=25", "min k: NDCG>=.8", ">=.9"}};
+    std::size_t worst80 = 0, worst90 = 0;
+    for (const char* cc : countries) {
+      core::CountryView view =
+          core::ViewBuilder::national(paths, geo::CountryCode::of(cc));
+      core::StabilityOptions options;
+      options.sample_sizes = {2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 16, 20, 25, 30};
+      options.trials_per_size = 10;
+      options.seed = 20210401;
+      auto curve = analyzer.analyze(view, metric.kind, options);
+
+      auto at = [&](std::size_t k) -> std::string {
+        for (const auto& p : curve) {
+          if (p.vp_count == k) {
+            char buf[16];
+            std::snprintf(buf, sizeof buf, "%.2f", p.mean_ndcg);
+            return buf;
+          }
+        }
+        return "-";
+      };
+      std::size_t k80 = core::StabilityAnalyzer::min_vps_for(curve, 0.8);
+      std::size_t k90 = core::StabilityAnalyzer::min_vps_for(curve, 0.9);
+      worst80 = std::max(worst80, k80);
+      worst90 = std::max(worst90, k90);
+      table.add_row({cc, std::to_string(view.vp_count()), at(2), at(4), at(6),
+                     at(9), at(12), at(16), at(25),
+                     k80 ? std::to_string(k80) : ">max",
+                     k90 ? std::to_string(k90) : ">max"});
+    }
+    table.print(std::cout);
+    std::printf("%s: across the five countries, NDCG>=0.8 needs <=%zu VPs, "
+                "NDCG>=0.9 needs <=%zu VPs\n",
+                metric.name, worst80, worst90);
+    std::printf("paper: %s\n\n",
+                metric.kind == core::MetricKind::kHegemony
+                    ? "AHN needed ~9 VPs for 0.8 and ~25 for 0.9"
+                    : "CCN needed ~6 VPs for 0.8 and ~19 for 0.9");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 7: Russian carriers' hegemony over former Soviet-bloc countries
+// (April 2021). The paper found Russian ASes with significant AHI (>20%)
+// in Turkmenistan, Russia itself, Tajikistan, Kazakhstan and Kyrgyzstan,
+// but NOT in the western former republics (e.g. Ukraine).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_world.hpp"
+#include "core/views.hpp"
+
+using namespace georank;
+
+int main() {
+  bench::print_banner("Figure 7",
+                      "Russian-AS hegemony (max AHI of a RU AS) per country");
+
+  auto ctx = bench::make_context();
+  const auto& paths = ctx->pipeline->sanitized().paths;
+  const auto& rankings = ctx->pipeline->rankings();
+  geo::CountryCode ru = geo::CountryCode::of("RU");
+
+  struct Row {
+    std::string country;
+    double max_ru_ahi = 0.0;
+    bgp::Asn top_ru_as = 0;
+  };
+  std::vector<Row> rows;
+  for (const auto& c : ctx->spec.countries) {
+    core::CountryView view = core::ViewBuilder::international(paths, c.code);
+    rank::Ranking ahi = rankings.hegemony_ranking(view);
+    Row row;
+    row.country = c.code.to_string();
+    for (const auto& e : ahi.entries()) {
+      auto reg = ctx->world.as_registry.find(e.asn);
+      if (reg == ctx->world.as_registry.end() || reg->second != ru) continue;
+      if (e.score > row.max_ru_ahi) {
+        row.max_ru_ahi = e.score;
+        row.top_ru_as = e.asn;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.max_ru_ahi > b.max_ru_ahi; });
+
+  util::Table table{{"country", "max RU-AS AHI", "top RU AS", ">20%?"}};
+  table.set_align(1, util::Align::kRight);
+  for (const Row& row : rows) {
+    if (row.max_ru_ahi < 0.01 && row.country != "UA") continue;
+    table.add_row({row.country, util::percent(row.max_ru_ahi, 1),
+                   row.top_ru_as ? bench::as_label(ctx->world, row.top_ru_as) : "-",
+                   row.max_ru_ahi > 0.2 ? "yes" : ""});
+  }
+  table.print(std::cout);
+
+  std::printf("\npaper: significant (>20%%) Russian AHI in TM, RU, TJ, KZ, KG "
+              "only; the western/central\nformer republics (incl. UA) do not "
+              "depend on Russian carriers.\n");
+  return 0;
+}

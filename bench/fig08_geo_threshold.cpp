@@ -1,0 +1,73 @@
+// Figure 8 (Appendix B): sensitivity of prefix geolocation to the
+// majority threshold. For thresholds from 0% to 100% we geolocate the
+// stable announced prefixes and report how many countries keep >99%,
+// 99-95%, <95% of their prefixes. The paper found the 50% default loses
+// more than 1% of prefixes for only three countries.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <unordered_map>
+
+#include "common/bench_world.hpp"
+#include "geo/prefix_geolocator.hpp"
+
+using namespace georank;
+
+int main() {
+  bench::print_banner("Figure 8",
+                      "Countries by share of prefixes passing the geolocation "
+                      "threshold, as the threshold sweeps");
+
+  auto ctx = bench::make_context();
+
+  // The announced (stable, uncovered) prefix set with "intended" country:
+  // the country of each accepted prefix at threshold 0 (plurality only).
+  std::vector<bgp::Prefix> announced;
+  {
+    std::unordered_map<bgp::Prefix, bool, bgp::PrefixHash> seen;
+    for (const auto& sp : ctx->pipeline->sanitized().paths) {
+      if (!seen.emplace(sp.prefix, true).second) continue;
+      announced.push_back(sp.prefix);
+    }
+    // Include the no-consensus rejects so the sweep has the full universe.
+    for (const auto& rej : ctx->pipeline->sanitized().prefix_geo.no_consensus) {
+      announced.push_back(rej.prefix);
+    }
+  }
+
+  geo::PrefixGeolocator plurality{ctx->world.geo_db, 0.0};
+  geo::PrefixGeoResult base = plurality.run(announced);
+  std::unordered_map<bgp::Prefix, geo::CountryCode, bgp::PrefixHash> intended;
+  std::map<std::string, std::size_t> per_country_total;
+  for (const auto& a : base.accepted) {
+    intended[a.prefix] = a.country;
+    per_country_total[a.country.to_string()] += 1;
+  }
+
+  util::Table table{{"threshold", ">99% kept", "99-95%", "<95%", "prefixes kept"}};
+  for (std::size_t c = 1; c <= 4; ++c) table.set_align(c, util::Align::kRight);
+  for (double threshold : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    geo::PrefixGeolocator loc{ctx->world.geo_db, threshold};
+    geo::PrefixGeoResult result = loc.run(announced);
+    std::map<std::string, std::size_t> kept;
+    for (const auto& a : result.accepted) kept[a.country.to_string()] += 1;
+    int hi = 0, mid = 0, lo = 0;
+    for (const auto& [cc, total] : per_country_total) {
+      double share = total ? static_cast<double>(kept[cc]) /
+                                 static_cast<double>(total)
+                           : 0.0;
+      if (share > 0.99) ++hi;
+      else if (share >= 0.95) ++mid;
+      else ++lo;
+    }
+    table.add_row({util::percent(threshold), std::to_string(hi),
+                   std::to_string(mid), std::to_string(lo),
+                   std::to_string(result.accepted.size())});
+  }
+  table.print(std::cout);
+
+  std::printf("\npaper: at the 50%% threshold only Guernsey, Martinique and "
+              "Namibia lose more than 1%%\nof their majority prefixes; "
+              "high thresholds shed mixed prefixes rapidly.\n");
+  return 0;
+}

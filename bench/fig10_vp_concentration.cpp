@@ -1,0 +1,67 @@
+// Figure 10 (Appendix C): VP concentration within ASes, by country. The
+// paper: 81% of VPs are the only VP in their AS; 96% are in ASes with at
+// most two; 15 of 17 countries have >93% of their VPs sharing an AS with
+// at most one other; AU and US were the most concentrated.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common/bench_world.hpp"
+
+using namespace georank;
+
+int main() {
+  bench::print_banner("Figure 10", "VPs per AS, overall and by country");
+
+  auto ctx = bench::make_context();
+
+  std::map<std::string, std::map<bgp::Asn, int>> per_country;  // cc -> as -> VPs
+  std::map<bgp::Asn, int> global;
+  for (const auto& [vp, cc] : ctx->world.vps.located_vps()) {
+    per_country[cc.to_string()][vp.asn] += 1;
+    global[vp.asn] += 1;
+  }
+
+  // Overall distribution: % of VPs in ASes hosting 1 / 2 / 3+ VPs.
+  std::size_t vps1 = 0, vps2 = 0, vps3 = 0, total = 0;
+  for (const auto& [asn, n] : global) {
+    total += static_cast<std::size_t>(n);
+    if (n == 1) vps1 += 1;
+    else if (n == 2) vps2 += 2;
+    else vps3 += static_cast<std::size_t>(n);
+  }
+  std::printf("VPs alone in their AS: %s (paper: 81%%)\n",
+              util::percent(static_cast<double>(vps1) / total).c_str());
+  std::printf("VPs in ASes with <=2 VPs: %s (paper: 96%%)\n\n",
+              util::percent(static_cast<double>(vps1 + vps2) / total).c_str());
+
+  util::Table table{{"country", "VPs", "ASes", "%VPs sharing AS w/ <=1 other",
+                     "max VPs in one AS"}};
+  for (std::size_t c = 1; c <= 4; ++c) table.set_align(c, util::Align::kRight);
+  std::vector<std::pair<std::string, std::map<bgp::Asn, int>>> sorted(
+      per_country.begin(), per_country.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    auto count = [](const std::map<bgp::Asn, int>& m) {
+      std::size_t n = 0;
+      for (const auto& [asn, k] : m) n += static_cast<std::size_t>(k);
+      return n;
+    };
+    return count(a.second) > count(b.second);
+  });
+  for (const auto& [cc, ases] : sorted) {
+    std::size_t country_vps = 0, low_share = 0;
+    int max_in_one = 0;
+    for (const auto& [asn, n] : ases) {
+      country_vps += static_cast<std::size_t>(n);
+      if (n <= 2) low_share += static_cast<std::size_t>(n);
+      max_in_one = std::max(max_in_one, n);
+    }
+    if (country_vps < 4) continue;
+    table.add_row({cc, std::to_string(country_vps), std::to_string(ases.size()),
+                   util::percent(static_cast<double>(low_share) / country_vps),
+                   std::to_string(max_in_one)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks for the hot paths of the pipeline:
+// route propagation, prefix-trie operations, sanitization, and the two
+// core metrics. These guard the throughput that makes full-world
+// reproduction (5M RIB entries) practical.
+#include <benchmark/benchmark.h>
+
+#include "core/country_rankings.hpp"
+#include "core/views.hpp"
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+#include "rank/customer_cone.hpp"
+#include "rank/hegemony.hpp"
+#include "sanitize/path_sanitizer.hpp"
+#include "topo/route_propagation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace georank;
+
+const gen::World& mini_world() {
+  static gen::World world = gen::InternetGenerator{gen::mini_world_spec(5)}.generate();
+  return world;
+}
+
+const bgp::RibCollection& mini_ribs() {
+  static bgp::RibCollection ribs = [] {
+    gen::NoiseSpec noise;
+    return gen::RibGenerator{mini_world(), noise, 7}.generate(5);
+  }();
+  return ribs;
+}
+
+const sanitize::SanitizeResult& mini_sanitized() {
+  static sanitize::SanitizeResult result = [] {
+    const gen::World& w = mini_world();
+    sanitize::SanitizerOptions options;
+    options.clique = w.clique;
+    options.route_server_asns = w.route_servers;
+    sanitize::PathSanitizer sanitizer{w.geo_db, w.vps, w.asn_registry, options};
+    return sanitizer.run(mini_ribs());
+  }();
+  return result;
+}
+
+void BM_RoutePropagation(benchmark::State& state) {
+  const gen::World& w = mini_world();
+  topo::RoutePropagator propagator{w.graph};
+  std::uint64_t salt = 1;
+  for (auto _ : state) {
+    auto table = propagator.compute(gen::asn::kTelstra, salt++);
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.graph.size()));
+}
+BENCHMARK(BM_RoutePropagation);
+
+void BM_PrefixTrieInsertMatch(benchmark::State& state) {
+  util::Pcg32 rng{3};
+  std::vector<bgp::Prefix> prefixes;
+  for (int i = 0; i < 4096; ++i) {
+    prefixes.emplace_back(0x10000000 + rng.below(1 << 24) * 256,
+                          static_cast<std::uint8_t>(16 + rng.below(9)));
+  }
+  for (auto _ : state) {
+    bgp::PrefixTrie trie;
+    for (const auto& p : prefixes) trie.insert(p);
+    std::uint64_t hits = 0;
+    for (const auto& p : prefixes) {
+      hits += trie.most_specific_match(p.address()).has_value();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_PrefixTrieInsertMatch);
+
+void BM_Sanitizer(benchmark::State& state) {
+  const gen::World& w = mini_world();
+  sanitize::SanitizerOptions options;
+  options.clique = w.clique;
+  options.route_server_asns = w.route_servers;
+  sanitize::PathSanitizer sanitizer{w.geo_db, w.vps, w.asn_registry, options};
+  for (auto _ : state) {
+    auto result = sanitizer.run(mini_ribs());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(mini_ribs().total_entries()));
+}
+BENCHMARK(BM_Sanitizer);
+
+void BM_CustomerCone(benchmark::State& state) {
+  const auto& sanitized = mini_sanitized();
+  rank::CustomerCone cone{mini_world().graph};
+  for (auto _ : state) {
+    auto result = cone.compute(sanitized.paths);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sanitized.paths.size()));
+}
+BENCHMARK(BM_CustomerCone);
+
+void BM_Hegemony(benchmark::State& state) {
+  const auto& sanitized = mini_sanitized();
+  rank::Hegemony hegemony;
+  for (auto _ : state) {
+    auto result = hegemony.compute(sanitized.paths);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sanitized.paths.size()));
+}
+BENCHMARK(BM_Hegemony);
+
+void BM_CountryMetrics(benchmark::State& state) {
+  const auto& sanitized = mini_sanitized();
+  core::CountryRankings rankings{mini_world().graph};
+  geo::CountryCode au = geo::CountryCode::of("AU");
+  for (auto _ : state) {
+    auto metrics = rankings.compute(sanitized.paths, au);
+    benchmark::DoNotOptimize(metrics);
+  }
+}
+BENCHMARK(BM_CountryMetrics);
+
+}  // namespace
+
+BENCHMARK_MAIN();

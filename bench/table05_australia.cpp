@@ -1,0 +1,24 @@
+// Table 5: Australia. The paper's flagship case study (§5.1):
+//   - Telstra's domestic AS 1221 tops both hegemony views;
+//   - Telstra's international AS 4637 is #2 by AHI but ~0 by AHN;
+//   - Vocus (4826) holds a huge customer cone (~80% CCN/CCI #1-2) with a
+//     small hegemony footprint;
+//   - Arelion (1299) tops CCI transitively through Vocus.
+#include "common/case_study.hpp"
+
+using namespace georank;
+using namespace gen::asn;
+
+int main() {
+  bench::print_banner("Table 5", "Top ASes per metric in Australia (AU)");
+  auto ctx = bench::make_context();
+  const bench::PaperCell rows[] = {
+      {kTelstra, "7 44%", "1 40%", "2 41%", "1 23%"},
+      {kVocus, "2 81%", "8 6%", "1 80%", "2 16%"},
+      {kArelion, "1 83%", "10 5%", "12 5%", "101 0%"},
+      {kTelstraIntl, "6 49%", "2 39%", "55 0%", "140 0%"},
+      {kOptus, "12 28%", "12 3%", "3 26%", "5 10%"},
+  };
+  bench::print_case_study(*ctx, geo::CountryCode::of("AU"), rows);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Table 6: Japan (§5.2). NTT's split: NTT America (2914) tops both
+// international metrics while NTT OCN (4713) ranks top-3 nationally;
+// KDDI leads the national views; GTT (3257) is #2 by CCI purely through
+// transit into Japan.
+#include "common/case_study.hpp"
+
+using namespace georank;
+using namespace gen::asn;
+
+int main() {
+  bench::print_banner("Table 6", "Top ASes per metric in Japan (JP)");
+  auto ctx = bench::make_context();
+  const bench::PaperCell rows[] = {
+      {kKddi, "4 50%", "2 21%", "1 28%", "1 29%"},
+      {kNttAmerica, "1 87%", "1 25%", "8 5%", "20 1%"},
+      {kSoftbank, "6 30%", "3 13%", "2 27%", "3 27%"},
+      {kNttOcn, "11 22%", "5 9%", "3 22%", "2 28%"},
+      {kGtt, "2 56%", "23 1%", "123 0%", "236 0%"},
+  };
+  bench::print_case_study(*ctx, geo::CountryCode::of("JP"), rows);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Table 7: Russia (§5.3). Rostelecom (12389) tops both hegemony views;
+// Lumen (3356) and Arelion (1299) dominate CCI (foreign transit); the
+// Vodafone (1273) CCN slot comes transitively through TransTelekom.
+#include "common/case_study.hpp"
+
+using namespace georank;
+using namespace gen::asn;
+
+int main() {
+  bench::print_banner("Table 7", "Top ASes per metric in Russia (RU)");
+  auto ctx = bench::make_context();
+  const bench::PaperCell rows[] = {
+      {kRostelecom, "7 60%", "1 32%", "3 48%", "1 20%"},
+      {kVodafone, "5 68%", "53 0%", "1 58%", "10 2%"},
+      {kLumen, "1 97%", "7 6%", "30 2%", "21 1%"},
+      {kArelion, "2 86%", "3 11%", "4 32%", "85 0%"},
+      {kErTelecom, "20 17%", "2 11%", "17 13%", "4 5%"},
+      {kTransTelekom, "6 62%", "5 7%", "2 51%", "7 3%"},
+      {kMtsRu, "19 17%", "8 6%", "14 15%", "2 7%"},
+  };
+  bench::print_case_study(*ctx, geo::CountryCode::of("RU"), rows);
+  return 0;
+}

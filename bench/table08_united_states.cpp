@@ -1,0 +1,22 @@
+// Table 8: United States (§5.4). Lumen (3356) dominates every ranking
+// except AHI, where Hurricane's (6939) liberal peering puts it on more
+// observed paths; scores are lower overall than other countries (a less
+// concentrated market).
+#include "common/case_study.hpp"
+
+using namespace georank;
+using namespace gen::asn;
+
+int main() {
+  bench::print_banner("Table 8", "Top ASes per metric in the United States (US)");
+  auto ctx = bench::make_context();
+  const bench::PaperCell rows[] = {
+      {kLumen, "1 64%", "2 15%", "1 46%", "1 11%"},
+      {kHurricane, "9 19%", "1 18%", "11 17%", "3 7%"},
+      {kArelion, "3 35%", "7 4%", "2 34%", "12 2%"},
+      {kAtt, "7 22%", "4 12%", "6 22%", "2 8%"},
+      {kGtt, "2 39%", "17 2%", "7 22%", "22 1%"},
+  };
+  bench::print_case_study(*ctx, geo::CountryCode::of("US"), rows);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table 11: Taiwan, April 2021 vs March 2023 (§6.2). The paper's
+// findings to reproduce:
+//   - Taiwanese ASes dominate the AHI top-10 (7 of 10 in 2021);
+//   - China Telecom (4134) ranked #7 by CCI in 2021 and dropped OUT of
+//     the top-10 by 2023;
+//   - US and Taiwanese carriers fill the cone ranking.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_world.hpp"
+
+using namespace georank;
+using namespace gen::asn;
+
+namespace {
+
+void print_top10(const bench::Context& ctx, const char* title,
+                 const rank::Ranking& r) {
+  geo::CountryCode tw = geo::CountryCode::of("TW");
+  std::printf("-- %s --\n", title);
+  util::Table table{{"#", "AS", "name", "cc", "score"}};
+  table.set_align(4, util::Align::kRight);
+  std::size_t pos = 0, taiwanese = 0;
+  for (const auto& e : r.top(10)) {
+    ++pos;
+    auto it = ctx.world.as_registry.find(e.asn);
+    bool is_tw = it != ctx.world.as_registry.end() && it->second == tw;
+    if (is_tw) ++taiwanese;
+    table.add_row({std::to_string(pos), std::to_string(e.asn),
+                   ctx.world.name_of(e.asn), bench::as_country(ctx.world, e.asn),
+                   util::percent(e.score)});
+  }
+  table.print(std::cout);
+  std::printf("Taiwanese ASes in top-10: %zu\n\n", taiwanese);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Table 11", "Taiwan's top-10, April 2021 vs March 2023");
+
+  bench::ContextOptions opt2021, opt2023;
+  opt2021.epoch = gen::Epoch::kApril2021;
+  opt2023.epoch = gen::Epoch::kMarch2023;
+  auto ctx2021 = bench::make_context(opt2021);
+  auto ctx2023 = bench::make_context(opt2023);
+
+  geo::CountryCode tw = geo::CountryCode::of("TW");
+  core::CountryMetrics m2021 = ctx2021->pipeline->country(tw);
+  core::CountryMetrics m2023 = ctx2023->pipeline->country(tw);
+
+  print_top10(*ctx2021, "CCI 20210401", m2021.cci);
+  print_top10(*ctx2023, "CCI 20230301", m2023.cci);
+  print_top10(*ctx2021, "AHI 20210401", m2021.ahi);
+  print_top10(*ctx2023, "AHI 20230301", m2023.ahi);
+
+  auto ct_rank = [](const rank::Ranking& r) {
+    auto rank = r.rank_of(kChinaTelecom);
+    return rank ? std::to_string(*rank) : std::string("unranked");
+  };
+  std::printf("China Telecom (4134) CCI rank: 2021 -> %s, 2023 -> %s\n",
+              ct_rank(m2021.cci).c_str(), ct_rank(m2023.cci).c_str());
+  std::printf("paper: CCI #7 in 2021, out of the top-10 (#77) by 2023.\n");
+  return 0;
+}

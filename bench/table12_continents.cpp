@@ -1,0 +1,109 @@
+// Table 12: which countries' carriers provide international connectivity
+// around the world. For every country we compute AHI and collect foreign
+// ASes with AHI > 0.1; grouping those by the AS's registration country
+// yields the paper's matrix. Headline findings to reproduce:
+//   - the US serves the most countries on every continent (76% overall);
+//   - Sweden (Arelion) is second;
+//   - regional powers dominate their regions (AU in Oceania, ZA/MU in
+//     Africa, FR/GB/IT in their former spheres).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common/bench_world.hpp"
+#include "core/views.hpp"
+
+using namespace georank;
+
+int main() {
+  bench::print_banner("Table 12",
+                      "Countries whose ASes have AHI > 0.1 abroad, by continent");
+
+  auto ctx = bench::make_context();
+  const auto& paths = ctx->pipeline->sanitized().paths;
+  const auto& rankings = ctx->pipeline->rankings();
+
+  // continent -> number of countries in it.
+  std::map<std::string, int> continent_sizes;
+  for (const auto& c : ctx->spec.countries) continent_sizes[c.continent] += 1;
+
+  struct Serving {
+    std::map<std::string, int> per_continent;  // continent -> countries served
+    int total = 0;
+    std::map<bgp::Asn, int> per_as;  // which AS serves how many countries
+  };
+  std::map<std::string, Serving> by_provider_country;
+
+  for (const auto& c : ctx->spec.countries) {
+    core::CountryView view = core::ViewBuilder::international(paths, c.code);
+    rank::Ranking ahi = rankings.hegemony_ranking(view);
+    std::map<std::string, bool> provider_seen;  // provider country -> served?
+    std::map<std::string, bgp::Asn> provider_as;
+    for (const auto& e : ahi.entries()) {
+      if (e.score <= 0.1) break;  // sorted descending
+      auto reg = ctx->world.as_registry.find(e.asn);
+      if (reg == ctx->world.as_registry.end()) continue;
+      if (reg->second == c.code) continue;  // foreign carriers only
+      std::string provider = reg->second.to_string();
+      if (!provider_seen[provider]) {
+        provider_seen[provider] = true;
+        provider_as[provider] = e.asn;
+      }
+      by_provider_country[provider].per_as[e.asn] += 0;  // ensure key
+    }
+    for (const auto& [provider, seen] : provider_seen) {
+      if (!seen) continue;
+      Serving& s = by_provider_country[provider];
+      s.per_continent[c.continent] += 1;
+      s.total += 1;
+    }
+    // Count per-AS serving for the "top in country" column.
+    for (const auto& e : ahi.entries()) {
+      if (e.score <= 0.1) break;
+      auto reg = ctx->world.as_registry.find(e.asn);
+      if (reg == ctx->world.as_registry.end() || reg->second == c.code) continue;
+      by_provider_country[reg->second.to_string()].per_as[e.asn] += 1;
+    }
+  }
+
+  std::vector<std::pair<std::string, Serving>> sorted(
+      by_provider_country.begin(), by_provider_country.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.total > b.second.total;
+  });
+
+  int total_countries = static_cast<int>(ctx->spec.countries.size());
+  util::Table table{{"provider", "No.Am", "So.Am", "Eu", "Af", "As", "Oc",
+                     "total", "share", "top AS in most countries"}};
+  for (std::size_t c = 1; c <= 8; ++c) table.set_align(c, util::Align::kRight);
+  for (const auto& [provider, s] : sorted) {
+    if (s.total < 2) continue;
+    auto cell = [&](const char* cont) {
+      auto it = s.per_continent.find(cont);
+      return it == s.per_continent.end() ? std::string("")
+                                         : std::to_string(it->second);
+    };
+    bgp::Asn top_as = 0;
+    int top_count = 0;
+    for (const auto& [asn, n] : s.per_as) {
+      if (n > top_count) {
+        top_as = asn;
+        top_count = n;
+      }
+    }
+    table.add_row({provider, cell("No.Am"), cell("So.Am"), cell("Eu"),
+                   cell("Af"), cell("As"), cell("Oc"), std::to_string(s.total),
+                   util::percent(static_cast<double>(s.total) / total_countries),
+                   top_as ? bench::as_label(ctx->world, top_as) + " (" +
+                                std::to_string(top_count) + ")"
+                          : ""});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\npaper (255 countries): US served 196 (76%%), SE 56 (21%%), NL 26, "
+      "FR 25, GB 23, IT 18,\n  AU 15 (48%% of Oceania), ZA 15, ES 15, MU 14; "
+      "top US AS: Hurricane 6939.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// De-peering / sanctions study: apply a "provider X stops serving
+// country Y" edit to the world and diff the country's rankings before
+// and after — the §6.1 methodology (Lumen/Cogent leaving Russia) as a
+// reusable tool.
+//
+// Usage:  ./build/examples/example_depeering_study [CC] [provider-asn]
+//         (defaults: RU 3356)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace georank;
+
+namespace {
+
+core::CountryMetrics run_pipeline(const gen::World& world,
+                                  const gen::NoiseSpec& noise,
+                                  geo::CountryCode country) {
+  bgp::RibCollection ribs = gen::RibGenerator{world, noise}.generate(5);
+  core::PipelineConfig config;
+  config.sanitizer.clique = world.clique;
+  config.sanitizer.route_server_asns = world.route_servers;
+  core::Pipeline pipeline{world.geo_db, world.vps, world.asn_registry,
+                          world.graph, config};
+  pipeline.load(ribs);
+  return pipeline.country(country);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto country_arg = geo::CountryCode::parse(argc > 1 ? argv[1] : "RU");
+  bgp::Asn provider = argc > 2 ? static_cast<bgp::Asn>(std::atoll(argv[2]))
+                               : gen::asn::kLumen;
+  if (!country_arg) {
+    std::fprintf(stderr, "usage: %s <country code> [provider asn]\n", argv[0]);
+    return 1;
+  }
+  geo::CountryCode country = *country_arg;
+
+  std::printf("building the evaluation world...\n");
+  gen::WorldSpec spec = gen::default_world_spec();
+  gen::World world = gen::InternetGenerator{spec}.generate();
+  if (!world.graph.contains(provider)) {
+    std::fprintf(stderr, "AS %u does not exist in this world\n", provider);
+    return 1;
+  }
+
+  core::CountryMetrics before = run_pipeline(world, spec.noise, country);
+
+  // The sanction: sever every link between the provider and ASes homed in
+  // the target country. (Links to the provider's customers ABROAD stay —
+  // exactly the distinction §6.1 makes about Lumen and Cogent.)
+  std::size_t cut = 0;
+  for (const auto& [asn, info] : world.as_info) {
+    if (info.home != country) continue;
+    if (world.graph.remove_edge(provider, asn)) ++cut;
+  }
+  std::printf("severed %zu link(s) between AS%u (%s) and %s networks\n\n", cut,
+              provider, world.name_of(provider).c_str(),
+              country.to_string().c_str());
+
+  core::CountryMetrics after = run_pipeline(world, spec.noise, country);
+
+  auto diff = [&](const char* label, const rank::Ranking& a,
+                  const rank::Ranking& b) {
+    std::printf("-- %s --\n", label);
+    util::Table table{{"#", "before", "score", "after", "score"}};
+    table.set_align(2, util::Align::kRight);
+    table.set_align(4, util::Align::kRight);
+    auto ta = a.top(8);
+    auto tb = b.top(8);
+    for (std::size_t i = 0; i < 8 && (i < ta.size() || i < tb.size()); ++i) {
+      auto cell = [&](const std::vector<rank::ScoredAs>& v,
+                      std::size_t j) -> std::pair<std::string, std::string> {
+        if (j >= v.size()) return {"", ""};
+        return {std::to_string(v[j].asn) + " " + world.name_of(v[j].asn),
+                util::percent(v[j].score)};
+      };
+      auto [la, sa] = cell(ta, i);
+      auto [lb, sb] = cell(tb, i);
+      table.add_row({std::to_string(i + 1), la, sa, lb, sb});
+    }
+    table.print(std::cout);
+    std::printf("provider AS%u: rank %s -> %s\n\n", provider,
+                a.rank_of(provider) ? std::to_string(*a.rank_of(provider)).c_str()
+                                    : "-",
+                b.rank_of(provider) ? std::to_string(*b.rank_of(provider)).c_str()
+                                    : "-");
+  };
+  diff("CCI", before.cci, after.cci);
+  diff("AHI", before.ahi, after.ahi);
+  diff("AHN", before.ahn, after.ahn);
+  return 0;
+}

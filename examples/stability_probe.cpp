@@ -1,0 +1,90 @@
+// Stability probe: "how many vantage points does country X need before
+// its national rankings become trustworthy?" — §4's methodology packaged
+// as a tool. The paper uses this to argue for targeted VP deployment.
+//
+// Usage:  ./build/examples/example_stability_probe [CC] [threshold]
+//         (defaults: NL 0.9)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "core/stability.hpp"
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace georank;
+
+int main(int argc, char** argv) {
+  auto country_arg = geo::CountryCode::parse(argc > 1 ? argv[1] : "NL");
+  double threshold = argc > 2 ? std::atof(argv[2]) : 0.9;
+  if (!country_arg || threshold <= 0.0 || threshold > 1.0) {
+    std::fprintf(stderr, "usage: %s <country code> [ndcg threshold in (0,1]]\n",
+                 argv[0]);
+    return 1;
+  }
+  geo::CountryCode country = *country_arg;
+
+  std::printf("building the evaluation world...\n");
+  gen::WorldSpec spec = gen::default_world_spec();
+  gen::World world = gen::InternetGenerator{spec}.generate();
+  bgp::RibCollection ribs = gen::RibGenerator{world, spec.noise}.generate(5);
+
+  core::PipelineConfig config;
+  config.sanitizer.clique = world.clique;
+  config.sanitizer.route_server_asns = world.route_servers;
+  core::Pipeline pipeline{world.geo_db, world.vps, world.asn_registry,
+                          world.graph, config};
+  pipeline.load(ribs);
+
+  const auto& paths = pipeline.sanitized().paths;
+  core::StabilityAnalyzer analyzer{pipeline.rankings()};
+
+  struct ViewDef {
+    const char* label;
+    core::CountryView view;
+  } views[] = {
+      {"national", core::ViewBuilder::national(paths, country)},
+      {"international", core::ViewBuilder::international(paths, country)},
+  };
+  struct MetricDef {
+    const char* label;
+    core::MetricKind kind;
+  } metrics[] = {{"hegemony", core::MetricKind::kHegemony},
+                 {"customer cone", core::MetricKind::kCustomerCone}};
+
+  for (const auto& [view_label, view] : views) {
+    std::size_t n = view.vp_count();
+    std::printf("\n=== %s view of %s: %zu VPs, %zu paths ===\n", view_label,
+                country.to_string().c_str(), n, view.paths.size());
+    if (n < 2) {
+      std::printf("not enough VPs for a sampling analysis -- the paper's\n"
+                  "situation for most countries' national views (§4.2.1).\n");
+      continue;
+    }
+    for (const auto& [metric_label, kind] : metrics) {
+      core::StabilityOptions options;
+      options.trials_per_size = 12;
+      auto curve = analyzer.analyze(view, kind, options);
+      std::size_t need = core::StabilityAnalyzer::min_vps_for(curve, threshold);
+
+      std::printf("\n%s: ", metric_label);
+      if (need) {
+        std::printf("NDCG >= %.2f from %zu VPs (of %zu available)\n", threshold,
+                    need, n);
+      } else {
+        std::printf("NDCG >= %.2f NOT reached with the available VPs\n",
+                    threshold);
+      }
+      std::printf("  k:    ");
+      for (const auto& p : curve) std::printf("%5zu", p.vp_count);
+      std::printf("\n  ndcg: ");
+      for (const auto& p : curve) std::printf("%5.2f", p.mean_ndcg);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

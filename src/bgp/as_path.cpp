@@ -1,0 +1,64 @@
+#include "bgp/as_path.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace georank::bgp {
+
+bool AsPath::contains(Asn asn) const noexcept {
+  return std::find(hops_.begin(), hops_.end(), asn) != hops_.end();
+}
+
+AsPath AsPath::without_adjacent_duplicates() const {
+  std::vector<Asn> out;
+  out.reserve(hops_.size());
+  for (Asn a : hops_) {
+    if (out.empty() || out.back() != a) out.push_back(a);
+  }
+  return AsPath{std::move(out)};
+}
+
+bool AsPath::has_nonadjacent_duplicate() const {
+  // Check on the prepend-collapsed path so "A A B" is not a loop but
+  // "A B A" is.
+  AsPath collapsed = without_adjacent_duplicates();
+  std::unordered_set<Asn> seen;
+  for (Asn a : collapsed.hops_) {
+    if (!seen.insert(a).second) return true;
+  }
+  return false;
+}
+
+AsPath AsPath::without_ases(std::span<const Asn> remove) const {
+  std::vector<Asn> out;
+  out.reserve(hops_.size());
+  for (Asn a : hops_) {
+    if (std::find(remove.begin(), remove.end(), a) == remove.end()) {
+      out.push_back(a);
+    }
+  }
+  return AsPath{std::move(out)};
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i) out += ' ';
+    out += std::to_string(hops_[i]);
+  }
+  return out;
+}
+
+std::optional<AsPath> AsPath::parse(std::string_view text) {
+  std::vector<Asn> hops;
+  for (std::string_view tok : util::split_ws(text)) {
+    auto asn = util::parse_int<Asn>(tok);
+    if (!asn) return std::nullopt;
+    hops.push_back(*asn);
+  }
+  return AsPath{std::move(hops)};
+}
+
+}  // namespace georank::bgp

@@ -1,0 +1,62 @@
+// AS numbers and AS paths as observed in BGP announcements.
+//
+// Convention (matches the paper's figures): hops[0] is the AS hosting the
+// vantage point (nearest the collector) and hops.back() is the origin AS
+// that announced the prefix.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace georank::bgp {
+
+using Asn = std::uint32_t;
+inline constexpr Asn kInvalidAsn = 0;
+
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<Asn> hops) : hops_(std::move(hops)) {}
+  AsPath(std::initializer_list<Asn> hops) : hops_(hops) {}
+
+  [[nodiscard]] std::span<const Asn> hops() const noexcept { return hops_; }
+  [[nodiscard]] bool empty() const noexcept { return hops_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return hops_.size(); }
+  [[nodiscard]] Asn operator[](std::size_t i) const noexcept { return hops_[i]; }
+
+  /// AS adjacent to the vantage point (first hop).
+  [[nodiscard]] Asn vp_as() const noexcept { return hops_.front(); }
+  /// AS that originated the prefix (last hop).
+  [[nodiscard]] Asn origin() const noexcept { return hops_.back(); }
+
+  [[nodiscard]] bool contains(Asn asn) const noexcept;
+
+  /// Prepend-collapse: "A A B B C" -> "A B C". Paths routinely carry
+  /// AS-prepending for traffic engineering; all metrics ignore it.
+  [[nodiscard]] AsPath without_adjacent_duplicates() const;
+
+  /// True if any AS appears at two NON-adjacent positions ("A C A").
+  /// Such paths are loops (Table 1, "loop") and are rejected.
+  [[nodiscard]] bool has_nonadjacent_duplicate() const;
+
+  /// Remove all occurrences of the given ASes (IXP route servers, §3.1).
+  [[nodiscard]] AsPath without_ases(std::span<const Asn> remove) const;
+
+  void push_back(Asn asn) { hops_.push_back(asn); }
+
+  /// "701 3356 1299" (space-separated, VP side first).
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static std::optional<AsPath> parse(std::string_view text);
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<Asn> hops_;
+};
+
+}  // namespace georank::bgp

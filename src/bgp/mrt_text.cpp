@@ -1,0 +1,92 @@
+#include "bgp/mrt_text.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace georank::bgp {
+
+namespace {
+constexpr std::uint64_t kSecondsPerDay = 86400;
+}
+
+void MrtTextWriter::write_entry(const RouteEntry& entry, int day) {
+  std::uint64_t ts = base_time_ + static_cast<std::uint64_t>(day) * kSecondsPerDay;
+  (*os_) << "TABLE_DUMP2|" << ts << "|B|" << format_ipv4(entry.vp.ip) << '|'
+         << entry.vp.asn << '|' << entry.prefix.to_string() << '|'
+         << entry.path.to_string() << "|IGP\n";
+}
+
+void MrtTextWriter::write_snapshot(const RibSnapshot& snapshot) {
+  for (const RouteEntry& e : snapshot.entries) write_entry(e, snapshot.day);
+}
+
+void MrtTextWriter::write_collection(const RibCollection& collection) {
+  for (const RibSnapshot& s : collection.days) write_snapshot(s);
+}
+
+bool MrtTextReader::parse_line(std::string_view line, RouteEntry& out, int& day_out) {
+  ++stats_.lines;
+  std::string_view trimmed = util::trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') {
+    ++stats_.skipped_comments;
+    return false;
+  }
+  auto fields = util::split(trimmed, '|');
+  if (fields.size() != 8 || fields[0] != "TABLE_DUMP2" || fields[2] != "B") {
+    ++stats_.malformed;
+    return false;
+  }
+  auto ts = util::parse_int<std::uint64_t>(fields[1]);
+  auto ip = parse_ipv4(fields[3]);
+  auto asn = util::parse_int<Asn>(fields[4]);
+  auto prefix = Prefix::parse(fields[5]);
+  auto path = AsPath::parse(fields[6]);
+  if (!ts || !ip || !asn || !prefix || !path || path->empty() || *asn == kInvalidAsn) {
+    ++stats_.malformed;
+    return false;
+  }
+  out.vp = VpId{*ip, *asn};
+  out.prefix = *prefix;
+  out.path = std::move(*path);
+  day_out = static_cast<int>((*ts - base_time_) / kSecondsPerDay);
+  ++stats_.parsed;
+  return true;
+}
+
+RibCollection MrtTextReader::read_collection(std::istream& is) {
+  std::map<int, RibSnapshot> by_day;
+  std::string line;
+  RouteEntry entry;
+  int day = 0;
+  while (std::getline(is, line)) {
+    if (!parse_line(line, entry, day)) continue;
+    RibSnapshot& snap = by_day[day];
+    snap.day = day;
+    snap.entries.push_back(entry);
+  }
+  RibCollection out;
+  out.days.reserve(by_day.size());
+  for (auto& [d, snap] : by_day) out.days.push_back(std::move(snap));
+  return out;
+}
+
+std::string to_mrt_text(const RibCollection& collection) {
+  std::ostringstream os;
+  MrtTextWriter writer{os};
+  writer.write_collection(collection);
+  return os.str();
+}
+
+RibCollection from_mrt_text(std::string_view text, MrtParseStats* stats) {
+  std::istringstream is{std::string(text)};
+  MrtTextReader reader;
+  RibCollection out = reader.read_collection(is);
+  if (stats) *stats = reader.stats();
+  return out;
+}
+
+}  // namespace georank::bgp

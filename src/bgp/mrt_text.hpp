@@ -1,0 +1,65 @@
+// Text serialization of RIB snapshots in the one-line-per-entry format
+// produced by `bgpdump -m` on MRT TABLE_DUMP2 files:
+//
+//   TABLE_DUMP2|<unixtime>|B|<peer-ip>|<peer-asn>|<prefix>|<as-path>|IGP
+//
+// The real pipeline ingests libbgpdump output; ours round-trips through the
+// same shape so the parsing/plumbing layer is exercised identically.
+// The reader is tolerant: malformed lines are counted, not fatal.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "bgp/route.hpp"
+
+namespace georank::bgp {
+
+struct MrtParseStats {
+  std::size_t lines = 0;
+  std::size_t parsed = 0;
+  std::size_t malformed = 0;
+  std::size_t skipped_comments = 0;
+};
+
+class MrtTextWriter {
+ public:
+  /// `base_time` stamps entries; each day d uses base_time + d*86400.
+  explicit MrtTextWriter(std::ostream& os, std::uint64_t base_time = 1617235200)
+      : os_(&os), base_time_(base_time) {}
+
+  void write_entry(const RouteEntry& entry, int day);
+  void write_snapshot(const RibSnapshot& snapshot);
+  void write_collection(const RibCollection& collection);
+
+ private:
+  std::ostream* os_;
+  std::uint64_t base_time_;
+};
+
+class MrtTextReader {
+ public:
+  /// Parses one bgpdump-style line into `out`; returns false (and leaves
+  /// `out` untouched) for comments/blank/malformed lines. `day_out`
+  /// receives the day index recovered from the timestamp.
+  [[nodiscard]] bool parse_line(std::string_view line, RouteEntry& out, int& day_out);
+
+  /// Reads a whole stream into a RibCollection, grouping by day.
+  [[nodiscard]] RibCollection read_collection(std::istream& is);
+
+  [[nodiscard]] const MrtParseStats& stats() const noexcept { return stats_; }
+
+  explicit MrtTextReader(std::uint64_t base_time = 1617235200) : base_time_(base_time) {}
+
+ private:
+  MrtParseStats stats_;
+  std::uint64_t base_time_;
+};
+
+/// Round-trip helpers used by tests and the pipeline.
+[[nodiscard]] std::string to_mrt_text(const RibCollection& collection);
+[[nodiscard]] RibCollection from_mrt_text(std::string_view text, MrtParseStats* stats = nullptr);
+
+}  // namespace georank::bgp

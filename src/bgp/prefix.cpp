@@ -1,0 +1,52 @@
+#include "bgp/prefix.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace georank::bgp {
+
+std::string format_ipv4(std::uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+std::optional<std::uint32_t> parse_ipv4(std::string_view text) noexcept {
+  std::uint32_t ip = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    auto [ptr, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255 || ptr == p) return std::nullopt;
+    ip = (ip << 8) | value;
+    p = ptr;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return ip;
+}
+
+std::string Prefix::to_string() const {
+  return format_ipv4(addr_) + "/" + std::to_string(len_);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto ip = parse_ipv4(text.substr(0, slash));
+  if (!ip) return std::nullopt;
+  unsigned len = 0;
+  std::string_view len_text = text.substr(slash + 1);
+  const char* first = len_text.data();
+  const char* last = len_text.data() + len_text.size();
+  auto [ptr, ec] = std::from_chars(first, last, len);
+  if (ec != std::errc{} || ptr != last || len > 32) return std::nullopt;
+  return Prefix{*ip, static_cast<std::uint8_t>(len)};
+}
+
+}  // namespace georank::bgp

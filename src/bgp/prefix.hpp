@@ -1,0 +1,97 @@
+// IPv4 CIDR prefix value type.
+//
+// The paper's address-space accounting is IPv4-centric; we follow it.
+// A Prefix is always canonical: host bits below the mask are zero.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace georank::bgp {
+
+class Prefix {
+ public:
+  /// 0.0.0.0/0
+  constexpr Prefix() noexcept = default;
+
+  /// Canonicalizes: bits below `length` are cleared.
+  constexpr Prefix(std::uint32_t address, std::uint8_t length) noexcept
+      : addr_(length == 0 ? 0 : (address & mask_for(length))), len_(length > 32 ? 32 : length) {}
+
+  [[nodiscard]] constexpr std::uint32_t address() const noexcept { return addr_; }
+  [[nodiscard]] constexpr std::uint8_t length() const noexcept { return len_; }
+
+  /// Number of addresses covered: 2^(32-len).
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - len_);
+  }
+
+  /// First address (== address()) and last address in the block.
+  [[nodiscard]] constexpr std::uint32_t first() const noexcept { return addr_; }
+  [[nodiscard]] constexpr std::uint32_t last() const noexcept {
+    return addr_ | ~mask_for(len_);
+  }
+
+  /// True if `this` covers `other` (equal or less specific).
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const noexcept {
+    return len_ <= other.len_ && (other.addr_ & mask_for(len_)) == addr_;
+  }
+
+  [[nodiscard]] constexpr bool contains(std::uint32_t ip) const noexcept {
+    return (ip & mask_for(len_)) == addr_;
+  }
+
+  [[nodiscard]] constexpr bool overlaps(const Prefix& other) const noexcept {
+    return contains(other) || other.contains(*this);
+  }
+
+  /// Parent prefix (one bit shorter). Undefined for /0; callers must check.
+  [[nodiscard]] constexpr Prefix parent() const noexcept {
+    return Prefix{addr_, static_cast<std::uint8_t>(len_ - 1)};
+  }
+
+  /// The two children of this prefix (len+1). Requires len < 32.
+  [[nodiscard]] constexpr Prefix left_child() const noexcept {
+    return Prefix{addr_, static_cast<std::uint8_t>(len_ + 1)};
+  }
+  [[nodiscard]] constexpr Prefix right_child() const noexcept {
+    return Prefix{addr_ | (std::uint32_t{1} << (31 - len_)),
+                  static_cast<std::uint8_t>(len_ + 1)};
+  }
+
+  /// "a.b.c.d/len"
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses "a.b.c.d/len"; nullopt on malformed or non-canonical-hostbits
+  /// inputs are accepted and canonicalized (routers do announce them).
+  [[nodiscard]] static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept = default;
+
+  static constexpr std::uint32_t mask_for(std::uint8_t length) noexcept {
+    return length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  }
+
+ private:
+  std::uint32_t addr_ = 0;
+  std::uint8_t len_ = 0;
+};
+
+/// "a.b.c.d" for a bare address.
+[[nodiscard]] std::string format_ipv4(std::uint32_t ip);
+[[nodiscard]] std::optional<std::uint32_t> parse_ipv4(std::string_view text) noexcept;
+
+struct PrefixHash {
+  [[nodiscard]] std::size_t operator()(const Prefix& p) const noexcept {
+    std::uint64_t x = (static_cast<std::uint64_t>(p.address()) << 8) | p.length();
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace georank::bgp

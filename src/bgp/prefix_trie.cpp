@@ -1,0 +1,201 @@
+#include "bgp/prefix_trie.hpp"
+
+#include <algorithm>
+
+namespace georank::bgp {
+
+struct PrefixTrie::Node {
+  std::unique_ptr<Node> child[2];
+  bool terminal = false;  // a prefix ends exactly here
+};
+
+PrefixTrie::PrefixTrie() : root_(std::make_unique<Node>()) {}
+PrefixTrie::~PrefixTrie() = default;
+PrefixTrie::PrefixTrie(PrefixTrie&&) noexcept = default;
+PrefixTrie& PrefixTrie::operator=(PrefixTrie&&) noexcept = default;
+
+namespace {
+
+/// Bit of `addr` selecting the child at `depth` (depth 0 = top bit).
+inline int bit_at(std::uint32_t addr, int depth) noexcept {
+  return (addr >> (31 - depth)) & 1u;
+}
+
+}  // namespace
+
+bool PrefixTrie::insert(const Prefix& prefix) {
+  Node* node = root_.get();
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    int b = bit_at(prefix.address(), depth);
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  if (node->terminal) return false;
+  node->terminal = true;
+  ++count_;
+  return true;
+}
+
+bool PrefixTrie::contains(const Prefix& prefix) const {
+  const Node* node = root_.get();
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    node = node->child[bit_at(prefix.address(), depth)].get();
+    if (!node) return false;
+  }
+  return node->terminal;
+}
+
+std::optional<Prefix> PrefixTrie::most_specific_match(std::uint32_t ip) const {
+  const Node* node = root_.get();
+  std::optional<Prefix> best;
+  if (node->terminal) best = Prefix{0, 0};
+  for (int depth = 0; depth < 32; ++depth) {
+    node = node->child[bit_at(ip, depth)].get();
+    if (!node) break;
+    if (node->terminal) best = Prefix{ip, static_cast<std::uint8_t>(depth + 1)};
+  }
+  return best;
+}
+
+namespace {
+
+/// Addresses under `node` (at depth `depth`) covered by terminals in or
+/// below it, counting each address once.
+std::uint64_t covered_below(const PrefixTrie::Node* node, int depth) {
+  if (!node) return 0;
+  if (node->terminal) return std::uint64_t{1} << (32 - depth);
+  return covered_below(node->child[0].get(), depth + 1) +
+         covered_below(node->child[1].get(), depth + 1);
+}
+
+}  // namespace
+
+std::uint64_t PrefixTrie::covered_by_more_specifics(const Prefix& prefix) const {
+  const Node* node = root_.get();
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    node = node->child[bit_at(prefix.address(), depth)].get();
+    if (!node) return 0;
+  }
+  // `node` is the node of `prefix` itself; strictly more specifics live in
+  // its children.
+  return covered_below(node->child[0].get(), prefix.length() + 1) +
+         covered_below(node->child[1].get(), prefix.length() + 1);
+}
+
+namespace {
+
+void collect_uncovered(const PrefixTrie::Node* node, const Prefix& here,
+                       std::vector<Prefix>& out) {
+  if (!node) {
+    out.push_back(here);
+    return;
+  }
+  if (node->terminal) return;  // a more specific prefix owns this subtree root
+  if (!node->child[0] && !node->child[1]) {
+    out.push_back(here);
+    return;
+  }
+  if (here.length() == 32) {
+    // Cannot descend further; nothing below a /32.
+    out.push_back(here);
+    return;
+  }
+  collect_uncovered(node->child[0].get(), here.left_child(), out);
+  collect_uncovered(node->child[1].get(), here.right_child(), out);
+}
+
+void collect_all(const PrefixTrie::Node* node, const Prefix& here,
+                 std::vector<Prefix>& out) {
+  if (!node) return;
+  if (node->terminal) out.push_back(here);
+  if (here.length() == 32) return;
+  collect_all(node->child[0].get(), here.left_child(), out);
+  collect_all(node->child[1].get(), here.right_child(), out);
+}
+
+}  // namespace
+
+std::vector<Prefix> PrefixTrie::uncovered_blocks(const Prefix& prefix) const {
+  const Node* node = root_.get();
+  for (int depth = 0; depth < prefix.length(); ++depth) {
+    node = node->child[bit_at(prefix.address(), depth)].get();
+    if (!node) return {prefix};  // nothing more specific at all
+  }
+  if (prefix.length() == 32) return {prefix};  // nothing can be more specific
+  std::vector<Prefix> out;
+  // Walk children of the prefix's node; terminals stop descent.
+  if (!node->child[0] && !node->child[1]) return {prefix};
+  collect_uncovered(node->child[0].get(), prefix.left_child(), out);
+  collect_uncovered(node->child[1].get(), prefix.right_child(), out);
+  return out;
+}
+
+std::vector<Prefix> PrefixTrie::all() const {
+  std::vector<Prefix> out;
+  out.reserve(count_);
+  const Node* node = root_.get();
+  if (node->terminal) out.push_back(Prefix{0, 0});
+  collect_all(node->child[0].get(), Prefix{0, 0}.left_child(), out);
+  collect_all(node->child[1].get(), Prefix{0, 0}.right_child(), out);
+  return out;
+}
+
+std::vector<Prefix> aggregate_prefixes(std::vector<Prefix> prefixes) {
+  if (prefixes.empty()) return {};
+  // Sort by (address, length): a covering prefix precedes its specifics.
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
+
+  // Drop prefixes contained in an earlier one.
+  std::vector<Prefix> distinct;
+  for (const Prefix& p : prefixes) {
+    if (distinct.empty() || !distinct.back().contains(p)) distinct.push_back(p);
+  }
+
+  // Merge sibling pairs upward until a fixed point. Each pass is linear;
+  // at most 32 passes (one per possible merge level).
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    std::vector<Prefix> next;
+    next.reserve(distinct.size());
+    for (std::size_t i = 0; i < distinct.size(); ++i) {
+      if (i + 1 < distinct.size() && distinct[i].length() > 0 &&
+          distinct[i].length() == distinct[i + 1].length() &&
+          distinct[i].parent() == distinct[i + 1].parent() &&
+          distinct[i] != distinct[i + 1]) {
+        next.push_back(distinct[i].parent());
+        ++i;
+        merged = true;
+      } else {
+        next.push_back(distinct[i]);
+      }
+    }
+    distinct = std::move(next);
+  }
+  return distinct;
+}
+
+std::uint64_t union_address_count(std::vector<Prefix> prefixes) {
+  if (prefixes.empty()) return 0;
+  std::sort(prefixes.begin(), prefixes.end(),
+            [](const Prefix& a, const Prefix& b) { return a.first() < b.first(); });
+  std::uint64_t total = 0;
+  std::uint64_t cur_first = prefixes[0].first();
+  std::uint64_t cur_last = prefixes[0].last();
+  for (std::size_t i = 1; i < prefixes.size(); ++i) {
+    std::uint64_t f = prefixes[i].first();
+    std::uint64_t l = prefixes[i].last();
+    if (f <= cur_last + 1) {
+      cur_last = std::max(cur_last, l);
+    } else {
+      total += cur_last - cur_first + 1;
+      cur_first = f;
+      cur_last = l;
+    }
+  }
+  total += cur_last - cur_first + 1;
+  return total;
+}
+
+}  // namespace georank::bgp

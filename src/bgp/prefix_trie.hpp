@@ -1,0 +1,82 @@
+// Binary radix trie over IPv4 prefixes.
+//
+// Supports the pipeline's three structural queries (§3.1-§3.2.1):
+//   * is a prefix ENTIRELY covered by more-specific announced prefixes?
+//     (such prefixes are filtered before geolocation);
+//   * longest-prefix match for an address;
+//   * per-prefix "effective" address count: addresses for which the prefix
+//     is the most specific announced one. Metrics weight paths by this
+//     count so overlapping announcements never double-count addresses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bgp/prefix.hpp"
+
+namespace georank::bgp {
+
+class PrefixTrie {
+ public:
+  PrefixTrie();
+  ~PrefixTrie();
+  PrefixTrie(PrefixTrie&&) noexcept;
+  PrefixTrie& operator=(PrefixTrie&&) noexcept;
+  PrefixTrie(const PrefixTrie&) = delete;
+  PrefixTrie& operator=(const PrefixTrie&) = delete;
+
+  /// Returns true if the prefix was newly inserted.
+  bool insert(const Prefix& prefix);
+
+  [[nodiscard]] bool contains(const Prefix& prefix) const;
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Longest inserted prefix containing `ip`, if any.
+  [[nodiscard]] std::optional<Prefix> most_specific_match(std::uint32_t ip) const;
+
+  /// Number of addresses inside `prefix` covered by inserted prefixes that
+  /// are STRICTLY more specific than `prefix`.
+  [[nodiscard]] std::uint64_t covered_by_more_specifics(const Prefix& prefix) const;
+
+  /// True iff every address of `prefix` lies inside a strictly more
+  /// specific inserted prefix (§3.2.1 filter; 1.2% of the paper's data).
+  [[nodiscard]] bool fully_covered_by_more_specifics(const Prefix& prefix) const {
+    return covered_by_more_specifics(prefix) == prefix.size();
+  }
+
+  /// prefix.size() minus covered_by_more_specifics(prefix): the address
+  /// weight an announcement of `prefix` contributes once more specifics
+  /// are taken out.
+  [[nodiscard]] std::uint64_t effective_size(const Prefix& prefix) const {
+    return prefix.size() - covered_by_more_specifics(prefix);
+  }
+
+  /// Maximal sub-prefixes of `prefix` on which `prefix` itself is the most
+  /// specific inserted prefix (the "non-overlapping blocks" of §3.2.1).
+  [[nodiscard]] std::vector<Prefix> uncovered_blocks(const Prefix& prefix) const;
+
+  /// All inserted prefixes, in trie (address) order.
+  [[nodiscard]] std::vector<Prefix> all() const;
+
+  struct Node;  // exposed for the implementation's free helpers only
+
+ private:
+  std::unique_ptr<Node> root_;
+  std::size_t count_ = 0;
+};
+
+/// Total number of distinct addresses in a union of prefixes.
+/// Interval-merge implementation, independent of the trie (used to
+/// cross-check it in tests and for quick one-shot unions).
+[[nodiscard]] std::uint64_t union_address_count(std::vector<Prefix> prefixes);
+
+/// Minimal set of prefixes covering exactly the union of the input:
+/// contained prefixes are dropped and adjacent siblings merged upward
+/// ("10.0.0.0/17 + 10.0.128.0/17 -> 10.0.0.0/16"), recursively. Output
+/// is sorted by address, then length.
+[[nodiscard]] std::vector<Prefix> aggregate_prefixes(std::vector<Prefix> prefixes);
+
+}  // namespace georank::bgp

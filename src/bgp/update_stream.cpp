@@ -1,0 +1,214 @@
+#include "bgp/update_stream.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace georank::bgp {
+
+void UpdateTextWriter::write(const UpdateMessage& update) {
+  (*os_) << "BGP4MP|" << update.timestamp << '|'
+         << (update.kind == UpdateMessage::Kind::kAnnounce ? 'A' : 'W') << '|'
+         << format_ipv4(update.vp.ip) << '|' << update.vp.asn << '|'
+         << update.prefix.to_string();
+  if (update.kind == UpdateMessage::Kind::kAnnounce) {
+    (*os_) << '|' << update.path.to_string() << "|IGP";
+  }
+  (*os_) << '\n';
+}
+
+void UpdateTextWriter::write_all(const std::vector<UpdateMessage>& updates) {
+  for (const UpdateMessage& u : updates) write(u);
+}
+
+bool UpdateTextReader::parse_line(std::string_view line, UpdateMessage& out) {
+  ++stats_.lines;
+  std::string_view trimmed = util::trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') {
+    ++stats_.skipped_comments;
+    return false;
+  }
+  auto fields = util::split(trimmed, '|');
+  if (fields.size() < 6 || fields[0] != "BGP4MP") {
+    ++stats_.malformed;
+    return false;
+  }
+  auto ts = util::parse_int<std::uint64_t>(fields[1]);
+  auto ip = parse_ipv4(fields[3]);
+  auto asn = util::parse_int<Asn>(fields[4]);
+  auto prefix = Prefix::parse(fields[5]);
+  if (!ts || !ip || !asn || !prefix || *asn == kInvalidAsn) {
+    ++stats_.malformed;
+    return false;
+  }
+  if (fields[2] == "A") {
+    if (fields.size() != 8) {
+      ++stats_.malformed;
+      return false;
+    }
+    auto path = AsPath::parse(fields[6]);
+    if (!path || path->empty()) {
+      ++stats_.malformed;
+      return false;
+    }
+    out = UpdateMessage{UpdateMessage::Kind::kAnnounce, *ts, VpId{*ip, *asn},
+                        *prefix, std::move(*path)};
+  } else if (fields[2] == "W") {
+    if (fields.size() != 6) {
+      ++stats_.malformed;
+      return false;
+    }
+    out = UpdateMessage{UpdateMessage::Kind::kWithdraw, *ts, VpId{*ip, *asn},
+                        *prefix, AsPath{}};
+  } else {
+    ++stats_.malformed;
+    return false;
+  }
+  ++stats_.parsed;
+  return true;
+}
+
+std::vector<UpdateMessage> UpdateTextReader::read_all(std::istream& is) {
+  std::vector<UpdateMessage> out;
+  std::string line;
+  UpdateMessage update;
+  while (std::getline(is, line)) {
+    if (parse_line(line, update)) out.push_back(update);
+  }
+  return out;
+}
+
+std::string to_update_text(const std::vector<UpdateMessage>& updates) {
+  std::ostringstream os;
+  UpdateTextWriter writer{os};
+  writer.write_all(updates);
+  return os.str();
+}
+
+std::vector<UpdateMessage> from_update_text(std::string_view text,
+                                            MrtParseStats* stats) {
+  std::istringstream is{std::string(text)};
+  UpdateTextReader reader;
+  std::vector<UpdateMessage> out = reader.read_all(is);
+  if (stats) *stats = reader.stats();
+  return out;
+}
+
+void RibState::apply(const UpdateMessage& update) {
+  Key key{update.vp, update.prefix};
+  if (update.kind == UpdateMessage::Kind::kAnnounce) {
+    routes_[key] = update.path;
+  } else if (routes_.erase(key) == 0) {
+    ++spurious_withdrawals_;
+  }
+}
+
+void RibState::apply_all(const std::vector<UpdateMessage>& updates) {
+  for (const UpdateMessage& u : updates) apply(u);
+}
+
+RibSnapshot RibState::snapshot(int day) const {
+  RibSnapshot snap;
+  snap.day = day;
+  snap.entries.reserve(routes_.size());
+  for (const auto& [key, path] : routes_) {
+    snap.entries.push_back(RouteEntry{key.vp, key.prefix, path});
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const RouteEntry& a, const RouteEntry& b) {
+              if (a.vp != b.vp) return a.vp < b.vp;
+              return a.prefix < b.prefix;
+            });
+  return snap;
+}
+
+std::vector<UpdateMessage> diff_snapshots(const RibSnapshot& from,
+                                          const RibSnapshot& to,
+                                          std::uint64_t timestamp) {
+  struct Key {
+    VpId vp;
+    Prefix prefix;
+    bool operator<(const Key& other) const {
+      if (vp != other.vp) return vp < other.vp;
+      return prefix < other.prefix;
+    }
+    bool operator==(const Key&) const = default;
+  };
+  std::vector<std::pair<Key, const AsPath*>> old_routes, new_routes;
+  for (const RouteEntry& e : from.entries) {
+    old_routes.push_back({Key{e.vp, e.prefix}, &e.path});
+  }
+  for (const RouteEntry& e : to.entries) {
+    new_routes.push_back({Key{e.vp, e.prefix}, &e.path});
+  }
+  auto by_key = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(old_routes.begin(), old_routes.end(), by_key);
+  std::sort(new_routes.begin(), new_routes.end(), by_key);
+
+  std::vector<UpdateMessage> out;
+  std::size_t i = 0, j = 0;
+  while (i < old_routes.size() || j < new_routes.size()) {
+    bool take_old = j >= new_routes.size() ||
+                    (i < old_routes.size() && old_routes[i].first < new_routes[j].first);
+    bool take_new = i >= old_routes.size() ||
+                    (j < new_routes.size() && new_routes[j].first < old_routes[i].first);
+    if (take_old) {
+      const Key& k = old_routes[i].first;
+      out.push_back(UpdateMessage{UpdateMessage::Kind::kWithdraw, timestamp,
+                                  k.vp, k.prefix, AsPath{}});
+      ++i;
+    } else if (take_new) {
+      const Key& k = new_routes[j].first;
+      out.push_back(UpdateMessage{UpdateMessage::Kind::kAnnounce, timestamp,
+                                  k.vp, k.prefix, *new_routes[j].second});
+      ++j;
+    } else {
+      // Same key in both: announce only when the path changed.
+      if (!(*old_routes[i].second == *new_routes[j].second)) {
+        const Key& k = new_routes[j].first;
+        out.push_back(UpdateMessage{UpdateMessage::Kind::kAnnounce, timestamp,
+                                    k.vp, k.prefix, *new_routes[j].second});
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+RibCollection replay_to_collection(const std::vector<UpdateMessage>& updates,
+                                   std::uint64_t base_time) {
+  RibCollection out;
+  RibState state;
+  int current_day = -1;
+  for (const UpdateMessage& u : updates) {
+    int day = u.timestamp >= base_time
+                  ? static_cast<int>((u.timestamp - base_time) / 86400)
+                  : 0;
+    if (current_day >= 0 && day != current_day) {
+      out.days.push_back(state.snapshot(current_day));
+    }
+    current_day = day;
+    state.apply(u);
+  }
+  if (current_day >= 0) out.days.push_back(state.snapshot(current_day));
+  return out;
+}
+
+std::vector<UpdateMessage> collection_to_updates(const RibCollection& collection,
+                                                 std::uint64_t base_time) {
+  std::vector<UpdateMessage> out;
+  RibSnapshot previous;  // empty: day 0 becomes pure announcements
+  for (const RibSnapshot& snap : collection.days) {
+    std::uint64_t ts = base_time + static_cast<std::uint64_t>(snap.day) * 86400;
+    auto updates = diff_snapshots(previous, snap, ts);
+    out.insert(out.end(), updates.begin(), updates.end());
+    previous = snap;
+  }
+  return out;
+}
+
+}  // namespace georank::bgp

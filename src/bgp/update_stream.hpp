@@ -1,0 +1,115 @@
+// BGP UPDATE streams: the incremental counterpart of RIB snapshots.
+//
+// RouteViews/RIS publish both table dumps and update archives; IHR's
+// hegemony pipeline consumes the latter. This module provides:
+//
+//   * UpdateMessage (announce/withdraw) with the bgpdump -m text format:
+//       BGP4MP|<ts>|A|<peer-ip>|<peer-asn>|<prefix>|<as-path>|IGP
+//       BGP4MP|<ts>|W|<peer-ip>|<peer-asn>|<prefix>
+//   * RibState: a live per-(VP, prefix) best-path table that applies
+//     updates and snapshots into the RibSnapshot the sanitizer consumes;
+//   * diffing: turn consecutive snapshots into the minimal update stream
+//     that replays the transition (used to synthesize update archives
+//     from generated worlds, and tested as an exact inverse of replay).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/mrt_text.hpp"
+#include "bgp/route.hpp"
+
+namespace georank::bgp {
+
+struct UpdateMessage {
+  enum class Kind : std::uint8_t { kAnnounce, kWithdraw };
+
+  Kind kind = Kind::kAnnounce;
+  std::uint64_t timestamp = 0;
+  VpId vp;
+  Prefix prefix;
+  AsPath path;  // empty for withdrawals
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+class UpdateTextWriter {
+ public:
+  explicit UpdateTextWriter(std::ostream& os) : os_(&os) {}
+  void write(const UpdateMessage& update);
+  void write_all(const std::vector<UpdateMessage>& updates);
+
+ private:
+  std::ostream* os_;
+};
+
+class UpdateTextReader {
+ public:
+  /// False for comments/blank/malformed lines (counted in stats()).
+  [[nodiscard]] bool parse_line(std::string_view line, UpdateMessage& out);
+  [[nodiscard]] std::vector<UpdateMessage> read_all(std::istream& is);
+  [[nodiscard]] const MrtParseStats& stats() const noexcept { return stats_; }
+
+ private:
+  MrtParseStats stats_;
+};
+
+[[nodiscard]] std::string to_update_text(const std::vector<UpdateMessage>& updates);
+[[nodiscard]] std::vector<UpdateMessage> from_update_text(
+    std::string_view text, MrtParseStats* stats = nullptr);
+
+/// Live best-path table; the thing a collector maintains per peer.
+class RibState {
+ public:
+  /// Announce replaces, withdraw erases; withdrawals of unknown routes
+  /// are counted but harmless (they happen constantly in real feeds).
+  void apply(const UpdateMessage& update);
+  void apply_all(const std::vector<UpdateMessage>& updates);
+
+  [[nodiscard]] std::size_t route_count() const noexcept { return routes_.size(); }
+  [[nodiscard]] std::size_t spurious_withdrawals() const noexcept {
+    return spurious_withdrawals_;
+  }
+
+  /// Current table as a snapshot (entries in deterministic order).
+  [[nodiscard]] RibSnapshot snapshot(int day) const;
+
+ private:
+  struct Key {
+    VpId vp;
+    Prefix prefix;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h = VpIdHash{}(k.vp);
+      return h ^ (PrefixHash{}(k.prefix) + 0x9e3779b9u + (h << 6) + (h >> 2));
+    }
+  };
+  std::unordered_map<Key, AsPath, KeyHash> routes_;
+  std::size_t spurious_withdrawals_ = 0;
+};
+
+/// Minimal updates replaying `from` -> `to`: announces for new or changed
+/// routes, withdrawals for vanished ones. Deterministic order.
+[[nodiscard]] std::vector<UpdateMessage> diff_snapshots(const RibSnapshot& from,
+                                                        const RibSnapshot& to,
+                                                        std::uint64_t timestamp);
+
+/// A whole collection as one update archive: day 0 dumped as announces,
+/// later days as diffs. Replaying through RibState reproduces every
+/// snapshot exactly (tested property).
+[[nodiscard]] std::vector<UpdateMessage> collection_to_updates(
+    const RibCollection& collection, std::uint64_t base_time = 1617235200);
+
+/// The inverse: replay an update archive into daily snapshots. Updates
+/// must be timestamp-ordered; the day index is (ts - base_time) / 86400
+/// and a snapshot is taken after the last update of each day seen.
+[[nodiscard]] RibCollection replay_to_collection(
+    const std::vector<UpdateMessage>& updates,
+    std::uint64_t base_time = 1617235200);
+
+}  // namespace georank::bgp

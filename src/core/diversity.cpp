@@ -1,0 +1,54 @@
+#include "core/diversity.hpp"
+
+#include <algorithm>
+
+namespace georank::core {
+
+DiversityReport analyze_diversity(const rank::Ranking& ranking,
+                                  const rank::AsRegistry& registry,
+                                  geo::CountryCode country, std::size_t top_k) {
+  DiversityReport report;
+  auto top = ranking.top(top_k);
+  double mass = 0.0;
+  for (const rank::ScoredAs& e : top) mass += e.score;
+  if (top.empty() || mass <= 0.0) return report;
+
+  double foreign_mass = 0.0;
+  for (const rank::ScoredAs& e : top) {
+    double share = e.score / mass;
+    report.hhi += share * share;
+    auto reg = registry.find(e.asn);
+    if (reg == registry.end()) {
+      ++report.unknown_ases;
+    } else if (reg->second == country) {
+      ++report.domestic_ases;
+    } else {
+      ++report.foreign_ases;
+      foreign_mass += e.score;
+    }
+  }
+  report.foreign_share = foreign_mass / mass;
+
+  // Entries are sorted descending, so the half-mass count is a prefix.
+  double acc = 0.0;
+  for (const rank::ScoredAs& e : top) {
+    acc += e.score;
+    ++report.half_mass_count;
+    if (acc >= 0.5 * mass) break;
+  }
+  return report;
+}
+
+SovereigntySummary summarize_sovereignty(const CountryMetrics& metrics,
+                                         const rank::AsRegistry& registry,
+                                         std::size_t top_k) {
+  SovereigntySummary summary;
+  summary.country = metrics.country;
+  summary.cci = analyze_diversity(metrics.cci, registry, metrics.country, top_k);
+  summary.ahi = analyze_diversity(metrics.ahi, registry, metrics.country, top_k);
+  summary.ccn = analyze_diversity(metrics.ccn, registry, metrics.country, top_k);
+  summary.ahn = analyze_diversity(metrics.ahn, registry, metrics.country, top_k);
+  return summary;
+}
+
+}  // namespace georank::core

@@ -1,0 +1,62 @@
+// Concentration and interdependence summaries over country rankings —
+// the questions the paper's introduction motivates ("How diverse are a
+// country's dominant ASes? Are they domestic, foreign, or broadly
+// multinational?") computed from the four metrics plus AS registration
+// data.
+#pragma once
+
+#include <cstddef>
+
+#include "core/country_rankings.hpp"
+#include "rank/ahc.hpp"
+#include "rank/ranking.hpp"
+
+namespace georank::core {
+
+struct DiversityReport {
+  /// Herfindahl-Hirschman index over the top-k score mass, in [1/k, 1]:
+  /// 1 = one AS holds everything.
+  double hhi = 0.0;
+  /// Share of the top-k score mass held by ASes NOT registered in the
+  /// country (the "foreign dependence" index).
+  double foreign_share = 0.0;
+  /// Number of distinct ASes needed to cover half the top-k score mass.
+  std::size_t half_mass_count = 0;
+  /// Top-k membership counts.
+  std::size_t domestic_ases = 0;
+  std::size_t foreign_ases = 0;
+  std::size_t unknown_ases = 0;
+
+  [[nodiscard]] std::size_t considered() const noexcept {
+    return domestic_ases + foreign_ases + unknown_ases;
+  }
+};
+
+/// Analyzes one ranking's top-k against the registration data.
+[[nodiscard]] DiversityReport analyze_diversity(const rank::Ranking& ranking,
+                                                const rank::AsRegistry& registry,
+                                                geo::CountryCode country,
+                                                std::size_t top_k = 10);
+
+/// Cross-metric summary: a country is "self-reliant" in the paper's
+/// Taiwan sense when its hegemony views are dominated by domestic ASes.
+struct SovereigntySummary {
+  geo::CountryCode country;
+  DiversityReport cci, ahi, ccn, ahn;
+
+  /// Mean foreign share across the two international metrics — how much
+  /// of the country's inbound importance sits abroad.
+  [[nodiscard]] double international_foreign_share() const noexcept {
+    return 0.5 * (cci.foreign_share + ahi.foreign_share);
+  }
+  /// Mean foreign share across the two national metrics.
+  [[nodiscard]] double national_foreign_share() const noexcept {
+    return 0.5 * (ccn.foreign_share + ahn.foreign_share);
+  }
+};
+
+[[nodiscard]] SovereigntySummary summarize_sovereignty(
+    const CountryMetrics& metrics, const rank::AsRegistry& registry,
+    std::size_t top_k = 10);
+
+}  // namespace georank::core

@@ -1,0 +1,24 @@
+#include "core/ndcg.hpp"
+
+#include <cmath>
+
+namespace georank::core {
+
+double dcg(const rank::Ranking& sample, const rank::Ranking& full, std::size_t k) {
+  const auto& entries = sample.entries();
+  std::size_t n = entries.size() < k ? entries.size() : k;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double rel = full.score_of(entries[i].asn);
+    sum += rel / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return sum;
+}
+
+double ndcg(const rank::Ranking& sample, const rank::Ranking& full, std::size_t k) {
+  double fdcg = dcg(full, full, k);
+  if (fdcg <= 0.0) return 1.0;
+  return dcg(sample, full, k) / fdcg;
+}
+
+}  // namespace georank::core

@@ -1,0 +1,30 @@
+// Normalized Discounted Cumulative Gain over top-ranked ASes (§4.1).
+//
+//   DCG_p  = sum_{p=1..k} rel_p / log2(p+1)
+//   NDCG_p = DCG_p / FDCG_p
+//
+// The relevance of the AS at position p of a SAMPLE ranking is that AS's
+// score in the FULL (all-VP) ranking; FDCG is the DCG of the full ranking
+// against itself. NDCG == 1 means the sample reproduces the full top-k
+// ordering; the paper uses k = 10.
+#pragma once
+
+#include <cstddef>
+
+#include "rank/ranking.hpp"
+
+namespace georank::core {
+
+inline constexpr std::size_t kDefaultTopK = 10;
+
+/// DCG of `sample`'s top-k using relevance values from `full`.
+[[nodiscard]] double dcg(const rank::Ranking& sample, const rank::Ranking& full,
+                         std::size_t k = kDefaultTopK);
+
+/// NDCG of `sample` against `full`; 1.0 when `full` is empty (nothing to
+/// misrank). Result is clamped to [0, 1]... it cannot exceed 1 because the
+/// full ranking's own ordering maximizes DCG over its score assignment.
+[[nodiscard]] double ndcg(const rank::Ranking& sample, const rank::Ranking& full,
+                          std::size_t k = kDefaultTopK);
+
+}  // namespace georank::core

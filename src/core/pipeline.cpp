@@ -1,0 +1,67 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace georank::core {
+
+Pipeline::Pipeline(const geo::GeoDatabase& geo_db, const geo::VpGeolocator& vps,
+                   const sanitize::AsnRegistry& registry,
+                   const topo::AsGraph& relationships, PipelineConfig config)
+    : geo_db_(&geo_db),
+      vps_(&vps),
+      registry_(&registry),
+      relationships_(&relationships),
+      config_(std::move(config)),
+      rankings_(relationships, config_.hegemony) {}
+
+void Pipeline::load(const bgp::RibCollection& ribs) {
+  sanitize::PathSanitizer sanitizer{*geo_db_, *vps_, *registry_, config_.sanitizer};
+  sanitized_ = sanitizer.run(ribs);
+}
+
+void Pipeline::load_text(std::string_view mrt_text) {
+  bgp::RibCollection ribs = bgp::from_mrt_text(mrt_text, &parse_stats_);
+  load(ribs);
+}
+
+const sanitize::SanitizeResult& Pipeline::sanitized() const {
+  if (!sanitized_) throw std::logic_error{"Pipeline: no data loaded"};
+  return *sanitized_;
+}
+
+CountryMetrics Pipeline::country(geo::CountryCode country) const {
+  return rankings_.compute(sanitized().paths, country);
+}
+
+OutboundMetrics Pipeline::outbound(geo::CountryCode country) const {
+  return rankings_.compute_outbound(sanitized().paths, country);
+}
+
+rank::Ranking Pipeline::global_cone_by_as_count() const {
+  rank::CustomerCone cone{*relationships_};
+  return cone.compute(sanitized().paths).by_as_count();
+}
+
+rank::Ranking Pipeline::global_cone_by_addresses() const {
+  rank::CustomerCone cone{*relationships_};
+  return cone.compute(sanitized().paths).by_addresses();
+}
+
+rank::Ranking Pipeline::global_hegemony() const {
+  rank::Hegemony hegemony{config_.hegemony};
+  return hegemony.compute(sanitized().paths).ranking();
+}
+
+rank::Ranking Pipeline::ahc(const rank::AsRegistry& registry,
+                            geo::CountryCode country) const {
+  rank::AhcRanking ahc{registry, config_.hegemony};
+  return ahc.compute(sanitized().paths, country);
+}
+
+rank::Ranking Pipeline::cti(geo::CountryCode country) const {
+  CountryView view = ViewBuilder::international(sanitized().paths, country);
+  rank::CtiRanking cti{*relationships_};
+  return cti.compute(view.paths);
+}
+
+}  // namespace georank::core

@@ -1,0 +1,75 @@
+// End-to-end pipeline (Figure 6): RIB text -> parse -> sanitize ->
+// geolocate -> views -> rankings. This is the library's front door: it
+// owns the wiring so applications configure data sources once and query
+// country metrics from the same sanitized path set.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "bgp/mrt_text.hpp"
+#include "core/country_rankings.hpp"
+#include "rank/ahc.hpp"
+#include "rank/cti.hpp"
+#include "sanitize/path_sanitizer.hpp"
+
+namespace georank::core {
+
+struct PipelineConfig {
+  sanitize::SanitizerOptions sanitizer;
+  rank::HegemonyOptions hegemony;
+};
+
+class Pipeline {
+ public:
+  /// All referenced objects must outlive the pipeline.
+  Pipeline(const geo::GeoDatabase& geo_db, const geo::VpGeolocator& vps,
+           const sanitize::AsnRegistry& registry,
+           const topo::AsGraph& relationships, PipelineConfig config = {});
+
+  /// Ingest RIBs; either form runs the sanitizer immediately.
+  void load(const bgp::RibCollection& ribs);
+  /// bgpdump-style text (see bgp/mrt_text.hpp); parse stats retained.
+  void load_text(std::string_view mrt_text);
+
+  [[nodiscard]] bool loaded() const noexcept { return sanitized_.has_value(); }
+  [[nodiscard]] const sanitize::SanitizeResult& sanitized() const;
+  [[nodiscard]] const bgp::MrtParseStats& parse_stats() const noexcept {
+    return parse_stats_;
+  }
+
+  /// The four country metrics (CCI/CCN/AHI/AHN).
+  [[nodiscard]] CountryMetrics country(geo::CountryCode country) const;
+
+  /// The outbound extension (CCO/AHO): who the country crosses to reach
+  /// the rest of the world.
+  [[nodiscard]] OutboundMetrics outbound(geo::CountryCode country) const;
+
+  /// Global baselines for comparison tables.
+  [[nodiscard]] rank::Ranking global_cone_by_as_count() const;    // CCG
+  [[nodiscard]] rank::Ranking global_cone_by_addresses() const;
+  [[nodiscard]] rank::Ranking global_hegemony() const;            // AHG
+  /// IHR-style country hegemony (needs AS registration data).    // AHC
+  [[nodiscard]] rank::Ranking ahc(const rank::AsRegistry& registry,
+                                  geo::CountryCode country) const;
+  /// Country-level transit influence baseline.                   // CTI
+  [[nodiscard]] rank::Ranking cti(geo::CountryCode country) const;
+
+  [[nodiscard]] const CountryRankings& rankings() const noexcept { return rankings_; }
+  [[nodiscard]] const topo::AsGraph& relationships() const noexcept {
+    return *relationships_;
+  }
+
+ private:
+  const geo::GeoDatabase* geo_db_;
+  const geo::VpGeolocator* vps_;
+  const sanitize::AsnRegistry* registry_;
+  const topo::AsGraph* relationships_;
+  PipelineConfig config_;
+  CountryRankings rankings_;
+  std::optional<sanitize::SanitizeResult> sanitized_;
+  bgp::MrtParseStats parse_stats_;
+};
+
+}  // namespace georank::core

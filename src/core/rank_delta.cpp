@@ -1,0 +1,90 @@
+#include "core/rank_delta.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/stats.hpp"
+
+namespace georank::core {
+
+RankDelta compare_rankings(const rank::Ranking& before, const rank::Ranking& after,
+                           std::size_t top_k) {
+  std::vector<bgp::Asn> members;
+  auto collect = [&](const rank::Ranking& r) {
+    for (const auto& e : r.top(top_k)) {
+      if (std::find(members.begin(), members.end(), e.asn) == members.end()) {
+        members.push_back(e.asn);
+      }
+    }
+  };
+  collect(before);
+  collect(after);
+
+  RankDelta delta;
+  delta.shifts.reserve(members.size());
+  for (bgp::Asn asn : members) {
+    RankShift shift;
+    shift.asn = asn;
+    // A rank beyond top_k counts as "absent from the compared window".
+    auto windowed = [&](const rank::Ranking& r) -> std::optional<std::size_t> {
+      auto rank = r.rank_of(asn);
+      if (!rank || *rank > top_k) return std::nullopt;
+      return rank;
+    };
+    shift.before_rank = windowed(before);
+    shift.after_rank = windowed(after);
+    shift.before_score = before.score_of(asn);
+    shift.after_score = after.score_of(asn);
+    delta.shifts.push_back(shift);
+  }
+  std::sort(delta.shifts.begin(), delta.shifts.end(),
+            [](const RankShift& a, const RankShift& b) {
+              auto key = [](const RankShift& s) {
+                return std::pair{s.after_rank.value_or(9999),
+                                 s.before_rank.value_or(9999)};
+              };
+              return key(a) < key(b);
+            });
+  return delta;
+}
+
+std::vector<bgp::Asn> RankDelta::entries() const {
+  std::vector<bgp::Asn> out;
+  for (const RankShift& s : shifts) {
+    if (s.entered()) out.push_back(s.asn);
+  }
+  return out;
+}
+
+std::vector<bgp::Asn> RankDelta::exits() const {
+  std::vector<bgp::Asn> out;
+  for (const RankShift& s : shifts) {
+    if (s.left()) out.push_back(s.asn);
+  }
+  return out;
+}
+
+long RankDelta::max_movement() const noexcept {
+  long best = 0;
+  for (const RankShift& s : shifts) {
+    if (s.before_rank && s.after_rank) {
+      best = std::max(best, std::abs(s.rank_change()));
+    }
+  }
+  return best;
+}
+
+double RankDelta::agreement() const {
+  if (shifts.size() < 2) return shifts.empty() ? 0.0 : 1.0;
+  std::vector<double> a, b;
+  a.reserve(shifts.size());
+  b.reserve(shifts.size());
+  // Higher value = better rank; absent = 0 (worst).
+  for (const RankShift& s : shifts) {
+    a.push_back(s.before_rank ? 1000.0 - static_cast<double>(*s.before_rank) : 0.0);
+    b.push_back(s.after_rank ? 1000.0 - static_cast<double>(*s.after_rank) : 0.0);
+  }
+  return util::spearman(a, b);
+}
+
+}  // namespace georank::core

@@ -1,0 +1,55 @@
+// Structured comparison of two rankings — the machinery behind the
+// temporal analyses (Tables 10 & 11: April 2021 vs March 2023) and the
+// sanction what-ifs (§6.1).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rank/ranking.hpp"
+
+namespace georank::core {
+
+struct RankShift {
+  bgp::Asn asn = 0;
+  /// 1-based ranks; nullopt = absent from that ranking.
+  std::optional<std::size_t> before_rank, after_rank;
+  double before_score = 0.0, after_score = 0.0;
+
+  /// before_rank - after_rank: positive = climbed. 0 when either side is
+  /// missing (use entered()/left() for those).
+  [[nodiscard]] long rank_change() const noexcept {
+    if (!before_rank || !after_rank) return 0;
+    return static_cast<long>(*before_rank) - static_cast<long>(*after_rank);
+  }
+  [[nodiscard]] double score_change() const noexcept {
+    return after_score - before_score;
+  }
+  [[nodiscard]] bool entered() const noexcept {
+    return !before_rank && after_rank.has_value();
+  }
+  [[nodiscard]] bool left() const noexcept {
+    return before_rank.has_value() && !after_rank;
+  }
+};
+
+struct RankDelta {
+  std::vector<RankShift> shifts;  // ordered by after-rank, then before-rank
+
+  /// ASes that entered / left the compared top-k.
+  [[nodiscard]] std::vector<bgp::Asn> entries() const;
+  [[nodiscard]] std::vector<bgp::Asn> exits() const;
+  /// Largest |rank_change| among ASes present in both.
+  [[nodiscard]] long max_movement() const noexcept;
+  /// Spearman correlation of the two orderings over the union (absent
+  /// entries ranked after everything present).
+  [[nodiscard]] double agreement() const;
+};
+
+/// Compares the top-k of two rankings (the union of both top-k sets).
+[[nodiscard]] RankDelta compare_rankings(const rank::Ranking& before,
+                                         const rank::Ranking& after,
+                                         std::size_t top_k = 10);
+
+}  // namespace georank::core

@@ -1,0 +1,53 @@
+// Country report assembly: one structured object holding everything the
+// library can say about a country (the four paper metrics, the AHC/CTI
+// baselines, outbound extension, sovereignty indices), plus a text
+// renderer. The CLI `rank` subcommand and the country_report example are
+// thin wrappers over this.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/country_rankings.hpp"
+#include "core/diversity.hpp"
+#include "core/pipeline.hpp"
+
+namespace georank::core {
+
+struct CountryReport {
+  geo::CountryCode country;
+  CountryMetrics metrics;
+  OutboundMetrics outbound;
+  rank::Ranking ahc;
+  rank::Ranking cti;
+  SovereigntySummary sovereignty;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return metrics.cci.empty() && metrics.ccn.empty();
+  }
+};
+
+struct ReportOptions {
+  std::size_t top_k = 10;
+  /// Rows shown in the rendered table: union of each ranking's top-N.
+  std::size_t rows_per_metric = 5;
+  bool include_outbound = true;
+  bool include_baselines = true;
+};
+
+/// Assembles the full report from a loaded pipeline.
+[[nodiscard]] CountryReport build_country_report(const Pipeline& pipeline,
+                                                 const rank::AsRegistry& registry,
+                                                 geo::CountryCode country,
+                                                 const ReportOptions& options = {});
+
+/// ASN -> display name for rendering; return empty to fall back to "AS<n>".
+using ReportNameResolver = std::function<std::string(bgp::Asn)>;
+
+/// Human-readable multi-table rendering.
+[[nodiscard]] std::string render_country_report(
+    const CountryReport& report, const ReportNameResolver& names = {},
+    const ReportOptions& options = {});
+
+}  // namespace georank::core

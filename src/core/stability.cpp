@@ -1,0 +1,78 @@
+#include "core/stability.hpp"
+
+#include <algorithm>
+
+#include "core/ndcg.hpp"
+#include "util/stats.hpp"
+
+namespace georank::core {
+
+std::vector<std::size_t> default_sample_grid(std::size_t vp_count) {
+  std::vector<std::size_t> grid;
+  for (std::size_t k = 1; k <= vp_count && k <= 16; ++k) grid.push_back(k);
+  std::size_t k = 20;
+  while (k < vp_count) {
+    grid.push_back(k);
+    k = k * 5 / 4 + 1;
+  }
+  if (vp_count > 16) grid.push_back(vp_count);
+  return grid;
+}
+
+std::vector<StabilityPoint> StabilityAnalyzer::analyze(
+    const CountryView& view, MetricKind metric,
+    const StabilityOptions& options) const {
+  auto rank_view = [&](const CountryView& v) {
+    return metric == MetricKind::kCustomerCone ? rankings_->cone_ranking(v)
+                                               : rankings_->hegemony_ranking(v);
+  };
+
+  std::vector<bgp::VpId> vps = view.vps();
+  rank::Ranking full = rank_view(view);
+
+  std::vector<std::size_t> grid =
+      options.sample_sizes.empty() ? default_sample_grid(vps.size())
+                                   : options.sample_sizes;
+
+  util::Pcg32 rng{options.seed};
+  std::vector<StabilityPoint> curve;
+  for (std::size_t k : grid) {
+    if (k == 0 || k > vps.size()) continue;
+    StabilityPoint point;
+    point.vp_count = k;
+    point.min_ndcg = 1.0;
+    // Sampling the full set is deterministic; one trial suffices.
+    std::size_t trials = (k == vps.size()) ? 1 : options.trials_per_size;
+    std::vector<double> scores;
+    scores.reserve(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+      std::vector<std::size_t> idx = util::sample_indices(vps.size(), k, rng);
+      std::vector<bgp::VpId> chosen;
+      chosen.reserve(k);
+      for (std::size_t i : idx) chosen.push_back(vps[i]);
+      CountryView sub = view.restricted_to(chosen);
+      double score = ndcg(rank_view(sub), full, options.top_k);
+      scores.push_back(score);
+      point.min_ndcg = std::min(point.min_ndcg, score);
+      point.max_ndcg = std::max(point.max_ndcg, score);
+    }
+    point.trials = trials;
+    point.mean_ndcg = util::mean(scores);
+    point.stdev_ndcg = util::stdev(scores);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::size_t StabilityAnalyzer::min_vps_for(const std::vector<StabilityPoint>& curve,
+                                           double threshold) {
+  std::size_t best = 0;
+  for (const StabilityPoint& p : curve) {
+    if (p.mean_ndcg >= threshold && (best == 0 || p.vp_count < best)) {
+      best = p.vp_count;
+    }
+  }
+  return best;
+}
+
+}  // namespace georank::core

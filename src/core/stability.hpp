@@ -1,0 +1,62 @@
+// Ranking stability under VP downsampling (§4.2, Figures 4 & 5).
+//
+// For a country view with N vantage points: sample k of them, rebuild the
+// metric from only the sampled VPs' paths, and compare the sampled
+// ranking to the full-view ranking with NDCG@10. Repeating over many
+// random samples per k traces the paper's stability curves and yields
+// the "minimum VPs for NDCG >= threshold" deployment guidance.
+#pragma once
+
+#include <vector>
+
+#include "core/country_rankings.hpp"
+#include "core/ndcg.hpp"
+#include "core/views.hpp"
+#include "util/rng.hpp"
+
+namespace georank::core {
+
+enum class MetricKind { kCustomerCone, kHegemony };
+
+struct StabilityPoint {
+  std::size_t vp_count = 0;
+  double mean_ndcg = 0.0;
+  double min_ndcg = 0.0;
+  double max_ndcg = 0.0;
+  /// Sample standard deviation across trials (0 for a single trial).
+  double stdev_ndcg = 0.0;
+  std::size_t trials = 0;
+};
+
+struct StabilityOptions {
+  /// VP sample sizes to probe; empty -> {1,2,3,...} up to the view's VPs
+  /// with a coarser grid past 16.
+  std::vector<std::size_t> sample_sizes;
+  std::size_t trials_per_size = 8;
+  std::size_t top_k = kDefaultTopK;
+  std::uint64_t seed = 42;
+};
+
+class StabilityAnalyzer {
+ public:
+  explicit StabilityAnalyzer(const CountryRankings& rankings)
+      : rankings_(&rankings) {}
+
+  [[nodiscard]] std::vector<StabilityPoint> analyze(
+      const CountryView& view, MetricKind metric,
+      const StabilityOptions& options = {}) const;
+
+  /// Smallest probed VP count whose MEAN NDCG reaches `threshold`;
+  /// 0 when no probed size reaches it.
+  [[nodiscard]] static std::size_t min_vps_for(
+      const std::vector<StabilityPoint>& curve, double threshold);
+
+ private:
+  const CountryRankings* rankings_;
+};
+
+/// Default probe grid for a view with `vp_count` VPs: every size up to 16,
+/// then multiplicative steps.
+[[nodiscard]] std::vector<std::size_t> default_sample_grid(std::size_t vp_count);
+
+}  // namespace georank::core

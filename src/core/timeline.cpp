@@ -1,0 +1,104 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace georank::core {
+
+const rank::Ranking& select_metric(const CountryMetrics& metrics,
+                                   TimelineMetric metric) {
+  switch (metric) {
+    case TimelineMetric::kCci: return metrics.cci;
+    case TimelineMetric::kAhi: return metrics.ahi;
+    case TimelineMetric::kCcn: return metrics.ccn;
+    case TimelineMetric::kAhn: return metrics.ahn;
+  }
+  return metrics.cci;
+}
+
+std::optional<std::size_t> AsTrajectory::best_rank() const {
+  std::optional<std::size_t> best;
+  for (const auto& r : ranks) {
+    if (r && (!best || *r < *best)) best = r;
+  }
+  return best;
+}
+
+double AsTrajectory::score_trend() const {
+  if (scores.empty()) return 0.0;
+  return scores.back() - scores.front();
+}
+
+Timeline::Timeline(std::vector<TimelinePoint> points) : points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument{"timeline needs >=1 point"};
+  for (const TimelinePoint& p : points_) {
+    if (p.metrics.country != points_.front().metrics.country) {
+      throw std::invalid_argument{"timeline mixes countries"};
+    }
+  }
+}
+
+std::vector<AsTrajectory> Timeline::trajectories(TimelineMetric metric,
+                                                 std::size_t top_k) const {
+  // Membership: union of top-k across snapshots, first-seen order.
+  std::vector<bgp::Asn> members;
+  std::unordered_set<bgp::Asn> seen;
+  for (const TimelinePoint& p : points_) {
+    for (const auto& e : select_metric(p.metrics, metric).top(top_k)) {
+      if (seen.insert(e.asn).second) members.push_back(e.asn);
+    }
+  }
+
+  std::vector<AsTrajectory> out;
+  out.reserve(members.size());
+  for (bgp::Asn asn : members) {
+    AsTrajectory trajectory;
+    trajectory.asn = asn;
+    for (const TimelinePoint& p : points_) {
+      const rank::Ranking& ranking = select_metric(p.metrics, metric);
+      auto rank = ranking.rank_of(asn);
+      double score = ranking.score_of(asn);
+      if (rank && score > 0.0) {
+        trajectory.ranks.push_back(rank);
+      } else {
+        trajectory.ranks.push_back(std::nullopt);
+      }
+      trajectory.scores.push_back(score);
+    }
+    out.push_back(std::move(trajectory));
+  }
+  std::sort(out.begin(), out.end(), [](const AsTrajectory& a, const AsTrajectory& b) {
+    auto ka = a.best_rank().value_or(9999);
+    auto kb = b.best_rank().value_or(9999);
+    if (ka != kb) return ka < kb;
+    return a.asn < b.asn;
+  });
+  return out;
+}
+
+std::vector<RankDelta> Timeline::deltas(TimelineMetric metric,
+                                        std::size_t top_k) const {
+  std::vector<RankDelta> out;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    out.push_back(compare_rankings(select_metric(points_[i - 1].metrics, metric),
+                                   select_metric(points_[i].metrics, metric),
+                                   top_k));
+  }
+  return out;
+}
+
+std::vector<bgp::Asn> Timeline::dropped_out(TimelineMetric metric,
+                                            std::size_t top_k) const {
+  std::vector<bgp::Asn> out;
+  if (points_.size() < 2) return out;
+  const rank::Ranking& first = select_metric(points_.front().metrics, metric);
+  const rank::Ranking& last = select_metric(points_.back().metrics, metric);
+  for (const auto& e : first.top(top_k)) {
+    auto rank = last.rank_of(e.asn);
+    if (!rank || *rank > top_k) out.push_back(e.asn);
+  }
+  return out;
+}
+
+}  // namespace georank::core

@@ -1,0 +1,68 @@
+// Temporal trajectories of country rankings across labeled snapshots —
+// the machinery behind the paper's §6 analyses (April 2021 vs March 2023)
+// generalized to arbitrarily many epochs, e.g. tracking China Telecom's
+// decline in Taiwan or a sanction's effect across years.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/country_rankings.hpp"
+#include "core/rank_delta.hpp"
+
+namespace georank::core {
+
+/// One labeled snapshot of a country's metrics.
+struct TimelinePoint {
+  std::string label;  // e.g. "20210401"
+  CountryMetrics metrics;
+};
+
+enum class TimelineMetric { kCci, kAhi, kCcn, kAhn };
+
+[[nodiscard]] const rank::Ranking& select_metric(const CountryMetrics& metrics,
+                                                 TimelineMetric metric);
+
+/// One AS's trajectory through a metric across the snapshots.
+struct AsTrajectory {
+  bgp::Asn asn = 0;
+  /// Per snapshot: rank (nullopt when unranked/zero-score) and score.
+  std::vector<std::optional<std::size_t>> ranks;
+  std::vector<double> scores;
+
+  /// Best (lowest) rank ever held; nullopt if never ranked.
+  [[nodiscard]] std::optional<std::size_t> best_rank() const;
+  /// score.back() - score.front().
+  [[nodiscard]] double score_trend() const;
+};
+
+class Timeline {
+ public:
+  /// Points must share the same country and be in chronological order.
+  explicit Timeline(std::vector<TimelinePoint> points);
+
+  [[nodiscard]] const std::vector<TimelinePoint>& points() const noexcept {
+    return points_;
+  }
+
+  /// Trajectories of every AS that enters the top-k of `metric` in ANY
+  /// snapshot, ordered by best rank then ASN.
+  [[nodiscard]] std::vector<AsTrajectory> trajectories(TimelineMetric metric,
+                                                       std::size_t top_k = 10) const;
+
+  /// Pairwise deltas between consecutive snapshots.
+  [[nodiscard]] std::vector<RankDelta> deltas(TimelineMetric metric,
+                                              std::size_t top_k = 10) const;
+
+  /// ASes that were in the top-k at the first snapshot and out by the
+  /// last (the China-Telecom-in-Taiwan query).
+  [[nodiscard]] std::vector<bgp::Asn> dropped_out(TimelineMetric metric,
+                                                  std::size_t top_k = 10) const;
+
+ private:
+  std::vector<TimelinePoint> points_;
+};
+
+}  // namespace georank::core

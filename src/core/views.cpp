@@ -1,0 +1,94 @@
+#include "core/views.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "bgp/prefix_trie.hpp"
+
+namespace georank::core {
+
+std::vector<bgp::VpId> CountryView::vps() const {
+  std::unordered_set<bgp::VpId, bgp::VpIdHash> seen;
+  std::vector<bgp::VpId> out;
+  for (const sanitize::SanitizedPath& sp : paths) {
+    if (seen.insert(sp.vp).second) out.push_back(sp.vp);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t CountryView::address_weight() const {
+  std::unordered_set<bgp::Prefix, bgp::PrefixHash> seen;
+  std::uint64_t total = 0;
+  for (const sanitize::SanitizedPath& sp : paths) {
+    if (seen.insert(sp.prefix).second) total += sp.weight;
+  }
+  return total;
+}
+
+CountryView CountryView::restricted_to(std::span<const bgp::VpId> keep) const {
+  std::unordered_set<bgp::VpId, bgp::VpIdHash> keep_set(keep.begin(), keep.end());
+  CountryView out;
+  out.country = country;
+  out.kind = kind;
+  for (const sanitize::SanitizedPath& sp : paths) {
+    if (keep_set.contains(sp.vp)) out.paths.push_back(sp);
+  }
+  return out;
+}
+
+CountryView ViewBuilder::national(std::span<const sanitize::SanitizedPath> all,
+                                  geo::CountryCode country) {
+  CountryView view;
+  view.country = country;
+  view.kind = ViewKind::kNational;
+  for (const sanitize::SanitizedPath& sp : all) {
+    if (sp.prefix_country == country && sp.vp_country == country) {
+      view.paths.push_back(sp);
+    }
+  }
+  return view;
+}
+
+CountryView ViewBuilder::international(std::span<const sanitize::SanitizedPath> all,
+                                       geo::CountryCode country) {
+  CountryView view;
+  view.country = country;
+  view.kind = ViewKind::kInternational;
+  for (const sanitize::SanitizedPath& sp : all) {
+    if (sp.prefix_country == country && sp.vp_country.valid() &&
+        sp.vp_country != country) {
+      view.paths.push_back(sp);
+    }
+  }
+  return view;
+}
+
+CountryView ViewBuilder::outbound(std::span<const sanitize::SanitizedPath> all,
+                                  geo::CountryCode country) {
+  CountryView view;
+  view.country = country;
+  view.kind = ViewKind::kOutbound;
+  for (const sanitize::SanitizedPath& sp : all) {
+    if (sp.vp_country == country && sp.prefix_country.valid() &&
+        sp.prefix_country != country) {
+      view.paths.push_back(sp);
+    }
+  }
+  return view;
+}
+
+std::vector<geo::CountryCode> ViewBuilder::countries(
+    std::span<const sanitize::SanitizedPath> all) {
+  std::unordered_set<geo::CountryCode, geo::CountryCodeHash> seen;
+  std::vector<geo::CountryCode> out;
+  for (const sanitize::SanitizedPath& sp : all) {
+    if (sp.prefix_country.valid() && seen.insert(sp.prefix_country).second) {
+      out.push_back(sp.prefix_country);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace georank::core

@@ -1,0 +1,59 @@
+// National and international per-country views (§3.2, Figure 3, Table 2).
+//
+//   national view:      paths from IN-country VPs to IN-country prefixes —
+//                       how the country reaches itself;
+//   international view: paths from OUT-of-country VPs to IN-country
+//                       prefixes — how the rest of the world reaches it.
+//
+// Views are materialized as path subsets of the sanitized set; every
+// country metric is "the corresponding global metric computed on a view".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "geo/country.hpp"
+#include "sanitize/path_sanitizer.hpp"
+
+namespace georank::core {
+
+enum class ViewKind { kNational, kInternational, kOutbound };
+
+struct CountryView {
+  geo::CountryCode country;
+  ViewKind kind = ViewKind::kNational;
+  std::vector<sanitize::SanitizedPath> paths;
+
+  /// Distinct VPs contributing to the view.
+  [[nodiscard]] std::vector<bgp::VpId> vps() const;
+  [[nodiscard]] std::size_t vp_count() const { return vps().size(); }
+
+  /// Total effective address weight of the view's distinct prefixes.
+  [[nodiscard]] std::uint64_t address_weight() const;
+
+  /// Subset of this view restricted to the given VPs (downsampling).
+  [[nodiscard]] CountryView restricted_to(std::span<const bgp::VpId> keep) const;
+};
+
+class ViewBuilder {
+ public:
+  [[nodiscard]] static CountryView national(
+      std::span<const sanitize::SanitizedPath> all, geo::CountryCode country);
+
+  [[nodiscard]] static CountryView international(
+      std::span<const sanitize::SanitizedPath> all, geo::CountryCode country);
+
+  /// OUTBOUND view (§7's proposed future direction, implemented here):
+  /// paths from IN-country VPs to OUT-of-country prefixes — which ASes
+  /// the country relies on to reach the rest of the world. Subject to
+  /// the same caveat as national views: it needs in-country VPs.
+  [[nodiscard]] static CountryView outbound(
+      std::span<const sanitize::SanitizedPath> all, geo::CountryCode country);
+
+  /// All countries with at least one geolocated prefix in the path set.
+  [[nodiscard]] static std::vector<geo::CountryCode> countries(
+      std::span<const sanitize::SanitizedPath> all);
+};
+
+}  // namespace georank::core

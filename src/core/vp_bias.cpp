@@ -1,0 +1,88 @@
+#include "core/vp_bias.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/ndcg.hpp"
+#include "util/stats.hpp"
+
+namespace georank::core {
+
+ProximityBias VpBiasAnalyzer::proximity_bias(const CountryView& view,
+                                             MetricKind metric,
+                                             std::size_t top_k) const {
+  rank::Ranking ranking = metric == MetricKind::kCustomerCone
+                              ? rankings_->cone_ranking(view)
+                              : rankings_->hegemony_ranking(view);
+
+  // Mean hop position of each AS across the view's paths (position 0 =
+  // at the VP itself).
+  struct Acc {
+    double sum = 0.0;
+    std::size_t count = 0;
+  };
+  std::unordered_map<bgp::Asn, Acc> distance;
+  for (const sanitize::SanitizedPath& sp : view.paths) {
+    auto hops = sp.path.hops();
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      Acc& acc = distance[hops[i]];
+      acc.sum += static_cast<double>(i);
+      acc.count += 1;
+    }
+  }
+
+  ProximityBias bias;
+  std::vector<double> scores, distances;
+  for (const rank::ScoredAs& e : ranking.top(top_k)) {
+    auto it = distance.find(e.asn);
+    if (it == distance.end() || it->second.count == 0) continue;
+    scores.push_back(e.score);
+    distances.push_back(it->second.sum / static_cast<double>(it->second.count));
+  }
+  bias.ases_considered = scores.size();
+  if (scores.size() >= 2) {
+    bias.score_distance_correlation = util::spearman(scores, distances);
+    bias.mean_distance = util::mean(distances);
+  } else if (scores.size() == 1) {
+    bias.mean_distance = distances[0];
+  }
+  return bias;
+}
+
+std::vector<VpInfluence> VpBiasAnalyzer::vp_influence(const CountryView& view,
+                                                      MetricKind metric,
+                                                      std::size_t top_k) const {
+  auto rank_view = [&](const CountryView& v) {
+    return metric == MetricKind::kCustomerCone ? rankings_->cone_ranking(v)
+                                               : rankings_->hegemony_ranking(v);
+  };
+  rank::Ranking full = rank_view(view);
+  std::vector<bgp::VpId> vps = view.vps();
+
+  std::vector<VpInfluence> out;
+  out.reserve(vps.size());
+  for (const bgp::VpId& vp : vps) {
+    CountryView leave_out;
+    leave_out.country = view.country;
+    leave_out.kind = view.kind;
+    std::size_t own_paths = 0;
+    for (const sanitize::SanitizedPath& sp : view.paths) {
+      if (sp.vp == vp) {
+        ++own_paths;
+      } else {
+        leave_out.paths.push_back(sp);
+      }
+    }
+    VpInfluence influence;
+    influence.vp = vp;
+    influence.paths = own_paths;
+    influence.leave_out_ndcg = ndcg(rank_view(leave_out), full, top_k);
+    out.push_back(influence);
+  }
+  std::sort(out.begin(), out.end(), [](const VpInfluence& a, const VpInfluence& b) {
+    return a.leave_out_ndcg < b.leave_out_ndcg;
+  });
+  return out;
+}
+
+}  // namespace georank::core

@@ -1,0 +1,63 @@
+// Vantage-point bias diagnostics (paper §2 / §7: "any single BGP peer
+// will have a set of AS paths that favor ASes topologically close to the
+// peer"; expanded collection "would facilitate exploration of how
+// VP-proximity bias affects the two metrics").
+//
+// Two diagnostics over one country view:
+//
+//   * proximity bias: correlation between an AS's score and its mean
+//     path-hop distance from the view's VPs — strongly negative means
+//     the metric rewards being near the VPs rather than being important;
+//   * VP influence: for each VP, the NDCG between the ranking WITHOUT
+//     that VP and the full ranking — low values flag over-influential
+//     VPs whose removal reshuffles the top ranks (the instability §4
+//     measures in aggregate, attributed to individual VPs).
+#pragma once
+
+#include <vector>
+
+#include "core/country_rankings.hpp"
+#include "core/stability.hpp"
+#include "core/views.hpp"
+
+namespace georank::core {
+
+struct ProximityBias {
+  /// Spearman correlation between top-k scores and mean VP distance.
+  /// Near -1: score is mostly proximity. Near 0: independent.
+  double score_distance_correlation = 0.0;
+  /// Mean over the top-k of (mean hops from the view's VPs to the AS).
+  double mean_distance = 0.0;
+  std::size_t ases_considered = 0;
+};
+
+struct VpInfluence {
+  bgp::VpId vp;
+  /// NDCG of the leave-this-VP-out ranking vs the full ranking.
+  double leave_out_ndcg = 1.0;
+  std::size_t paths = 0;
+};
+
+class VpBiasAnalyzer {
+ public:
+  explicit VpBiasAnalyzer(const CountryRankings& rankings)
+      : rankings_(&rankings) {}
+
+  /// Proximity bias of one metric on one view. Distances are hop counts
+  /// along the view's own observed paths (position of the AS in each
+  /// path containing it).
+  [[nodiscard]] ProximityBias proximity_bias(const CountryView& view,
+                                             MetricKind metric,
+                                             std::size_t top_k = 10) const;
+
+  /// Influence of every VP in the view, sorted ascending by NDCG
+  /// (most influential first).
+  [[nodiscard]] std::vector<VpInfluence> vp_influence(const CountryView& view,
+                                                      MetricKind metric,
+                                                      std::size_t top_k = 10) const;
+
+ private:
+  const CountryRankings* rankings_;
+};
+
+}  // namespace georank::core

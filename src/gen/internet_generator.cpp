@@ -1,0 +1,728 @@
+#include "gen/internet_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace georank::gen {
+
+namespace {
+
+using bgp::Asn;
+using bgp::Prefix;
+using geo::CountryCode;
+
+constexpr std::uint32_t kAddressBase = 0x10000000;  // 16.0.0.0
+constexpr Asn kAutoAsnBase = 100000;
+constexpr Asn kBogusAsnFirst = 4200000000u;
+constexpr Asn kBogusAsnLast = 4200000099u;
+
+/// Weighted pick without replacement support.
+struct WeightedPool {
+  std::vector<std::pair<Asn, double>> items;
+
+  void add(Asn asn, double weight) {
+    if (weight > 0.0) items.emplace_back(asn, weight);
+  }
+
+  [[nodiscard]] Asn pick(util::Pcg32& rng) const {
+    double total = 0.0;
+    for (const auto& [asn, w] : items) total += w;
+    if (total <= 0.0 || items.empty()) return 0;
+    double x = rng.uniform() * total;
+    for (const auto& [asn, w] : items) {
+      x -= w;
+      if (x <= 0.0) return asn;
+    }
+    return items.back().first;
+  }
+};
+
+std::uint32_t round_up_pow2(std::uint64_t v) {
+  std::uint64_t p = 256;
+  while (p < v) p <<= 1;
+  return static_cast<std::uint32_t>(p);
+}
+
+std::uint8_t length_for_size(std::uint64_t size) {
+  // size is a power of two in [2^0, 2^32].
+  int bits = 0;
+  while ((std::uint64_t{1} << bits) < size) ++bits;
+  return static_cast<std::uint8_t>(32 - bits);
+}
+
+struct Carve {
+  std::uint32_t first, last;
+  CountryCode country;
+};
+
+/// Per-country address region with a bump allocator that respects
+/// power-of-two alignment.
+struct Region {
+  std::uint32_t base = 0;
+  std::uint32_t size = 0;
+  std::uint32_t cursor = 0;  // offset of next free address
+
+  [[nodiscard]] std::optional<Prefix> allocate(std::uint32_t block,
+                                               CountryCode /*country*/) {
+    std::uint32_t aligned = (cursor + block - 1) & ~(block - 1);
+    if (static_cast<std::uint64_t>(aligned) + block > size) return std::nullopt;
+    cursor = aligned + block;
+    return Prefix{base + aligned, length_for_size(block)};
+  }
+};
+
+class Builder {
+ public:
+  Builder(const WorldSpec& spec) : spec_(spec), rng_(spec.seed) {}
+
+  World build() {
+    reserve_asns();
+    build_global_transit();
+    build_countries();
+    build_cross_cutting_peering();
+    build_address_plan();
+    build_geo_db();
+    build_vps();
+    finalize();
+    return std::move(world_);
+  }
+
+ private:
+  // ---------------------------------------------------------------- ASNs
+  void reserve_asns() {
+    for (const auto& m : spec_.multinationals) used_asns_.insert(m.asn);
+    for (const auto& h : spec_.hypergiants) used_asns_.insert(h.asn);
+    for (const auto& c : spec_.countries) {
+      for (const auto& inc : c.incumbents) {
+        used_asns_.insert(inc.domestic_asn);
+        if (inc.international_asn) used_asns_.insert(*inc.international_asn);
+      }
+      for (const auto& ch : c.challengers) used_asns_.insert(ch.asn);
+      if (c.route_server_asn) used_asns_.insert(c.route_server_asn);
+    }
+  }
+
+  Asn auto_asn() {
+    while (used_asns_.contains(next_asn_)) ++next_asn_;
+    used_asns_.insert(next_asn_);
+    return next_asn_++;
+  }
+
+  void register_as(Asn asn, std::string name, CountryCode registered,
+                   CountryCode home, AsRole role) {
+    if (asn == 0) throw std::invalid_argument{"spec uses ASN 0"};
+    world_.graph.add_as(asn);
+    world_.as_info[asn] = AsInfo{std::move(name), registered, home, role};
+    if (registered.valid()) world_.as_registry[asn] = registered;
+  }
+
+  // ------------------------------------------------------ edge utilities
+  void p2c(Asn provider, Asn customer, double export_fraction = 1.0) {
+    if (provider == customer) return;
+    if (!world_.graph.relationship(provider, customer)) {
+      world_.graph.add_p2c(provider, customer, export_fraction);
+    }
+  }
+  void p2p(Asn a, Asn b) {
+    if (a == b) return;
+    if (!world_.graph.relationship(a, b)) world_.graph.add_p2p(a, b);
+  }
+
+  // ------------------------------------------------------ global transit
+  void build_global_transit() {
+    for (const auto& m : spec_.multinationals) {
+      AsRole role = m.tier == 1 ? AsRole::kTier1 : AsRole::kTier2;
+      register_as(m.asn, m.name, m.registered, m.registered, role);
+      if (m.tier == 1) {
+        world_.clique.push_back(m.asn);
+        tier1_.push_back(m.asn);
+      } else {
+        tier2_.push_back(m.asn);
+      }
+    }
+    // Tier-1 clique: full peering mesh.
+    for (std::size_t i = 0; i < tier1_.size(); ++i) {
+      for (std::size_t j = i + 1; j < tier1_.size(); ++j) {
+        p2p(tier1_[i], tier1_[j]);
+      }
+    }
+    // Tier 2: buy from 2-3 tier-1s, peer among themselves.
+    for (Asn t2 : tier2_) {
+      std::size_t n = 2 + rng_.below(2);
+      auto idx = util::sample_indices(tier1_.size(), n, rng_);
+      for (std::size_t i : idx) p2c(tier1_[i], t2);
+    }
+    for (std::size_t i = 0; i < tier2_.size(); ++i) {
+      for (std::size_t j = i + 1; j < tier2_.size(); ++j) {
+        if (rng_.chance(0.35)) p2p(tier2_[i], tier2_[j]);
+      }
+    }
+    // Hypergiants: a little transit, much peering (rest happens per
+    // country and in the cross-cutting pass).
+    for (const auto& h : spec_.hypergiants) {
+      register_as(h.asn, h.name, h.registered, h.registered, AsRole::kHypergiant);
+      auto idx = util::sample_indices(tier1_.size(), 1 + rng_.below(2), rng_);
+      for (std::size_t i : idx) p2c(tier1_[i], h.asn);
+      for (Asn t1 : tier1_) {
+        if (!world_.graph.relationship(t1, h.asn) && rng_.chance(0.4)) {
+          p2p(t1, h.asn);
+        }
+      }
+    }
+  }
+
+  // ---------------------------------------------------------- countries
+  struct CountryAses {
+    std::vector<Asn> incumbents_domestic;
+    std::vector<Asn> incumbents_international;
+    std::vector<Asn> challengers;
+    std::vector<Asn> regionals;
+    std::vector<Asn> stubs;
+
+    [[nodiscard]] std::vector<Asn> all() const {
+      std::vector<Asn> out;
+      auto append = [&](const std::vector<Asn>& v) {
+        out.insert(out.end(), v.begin(), v.end());
+      };
+      append(incumbents_domestic);
+      append(incumbents_international);
+      append(challengers);
+      append(regionals);
+      append(stubs);
+      return out;
+    }
+  };
+
+  void build_countries() {
+    for (const auto& c : spec_.countries) {
+      world_.continents[c.code] = c.continent;
+      CountryAses& ases = country_ases_[c.code];
+
+      // Incumbents.
+      for (const auto& inc : c.incumbents) {
+        register_as(inc.domestic_asn, inc.name, c.code, c.code,
+                    AsRole::kIncumbentDomestic);
+        ases.incumbents_domestic.push_back(inc.domestic_asn);
+        if (inc.international_asn) {
+          register_as(*inc.international_asn,
+                      inc.international_name.empty() ? inc.name + " Intl"
+                                                     : inc.international_name,
+                      c.code, c.code, AsRole::kIncumbentInternational);
+          ases.incumbents_international.push_back(*inc.international_asn);
+          // Domestic AS reaches the world through the international AS.
+          p2c(*inc.international_asn, inc.domestic_asn);
+          // International AS buys from the spec'd carriers, or two tier-1s.
+          if (!inc.international_upstreams.empty()) {
+            for (Asn up : inc.international_upstreams) {
+              p2c(up, *inc.international_asn);
+            }
+          } else {
+            auto idx = util::sample_indices(tier1_.size(), 2, rng_);
+            for (std::size_t i : idx) p2c(tier1_[i], *inc.international_asn);
+          }
+          // ... and peers with a share of the tier-2 layer.
+          for (Asn t2 : tier2_) {
+            if (rng_.chance(0.3)) p2p(t2, *inc.international_asn);
+          }
+        } else if (!inc.upstreams.empty()) {
+          // The NTT OCN pattern: explicit transit providers.
+          for (Asn up : inc.upstreams) p2c(up, inc.domestic_asn);
+        } else {
+          // No split, no explicit upstreams: buy from the local presences.
+          WeightedPool pool;
+          for (const PresenceSpec& m : c.multinational_presence) {
+            pool.add(m.asn, m.weight);
+          }
+          if (pool.items.empty()) {
+            for (Asn t1 : tier1_) pool.add(t1, 1.0);
+          }
+          std::size_t n = 1 + rng_.below(2);
+          for (std::size_t k = 0; k < n; ++k) {
+            Asn provider = pool.pick(rng_);
+            if (provider) p2c(provider, inc.domestic_asn);
+          }
+        }
+      }
+
+      // Challengers.
+      for (const auto& ch : c.challengers) {
+        register_as(ch.asn, ch.name, c.code, c.code, AsRole::kChallenger);
+        ases.challengers.push_back(ch.asn);
+        if (!ch.upstreams.empty()) {
+          for (Asn up : ch.upstreams) p2c(up, ch.asn);
+        } else {
+          auto idx = util::sample_indices(tier1_.size(), 2, rng_);
+          for (std::size_t i : idx) p2c(tier1_[i], ch.asn);
+        }
+        // Domestic peering with incumbents at the IXP.
+        for (Asn dom : ases.incumbents_domestic) {
+          if (rng_.chance(0.5)) p2p(dom, ch.asn);
+        }
+      }
+
+      // Regional ISPs.
+      for (int r = 0; r < c.regional_isp_count; ++r) {
+        Asn asn = auto_asn();
+        register_as(asn, c.code.to_string() + "-regional-" + std::to_string(r + 1),
+                    c.code, c.code, AsRole::kRegional);
+        ases.regionals.push_back(asn);
+        attach_to_market(asn, c, ases, /*is_stub=*/false);
+      }
+
+      // Stubs.
+      for (int s = 0; s < c.stub_count; ++s) {
+        Asn asn = auto_asn();
+        register_as(asn, c.code.to_string() + "-stub-" + std::to_string(s + 1),
+                    c.code, c.code, AsRole::kStub);
+        ases.stubs.push_back(asn);
+        attach_to_market(asn, c, ases, /*is_stub=*/true);
+      }
+
+      // Challenger wholesale customers: named in-country carriers that
+      // also buy from the challenger (multihoming, possibly partial).
+      for (const auto& ch : c.challengers) {
+        for (const auto& wholesale : ch.also_transits) {
+          p2c(ch.asn, wholesale.customer, wholesale.announce_fraction);
+        }
+      }
+      // Country-wide extra (partial) transit edges.
+      for (const PartialTransitSpec& pt : c.partial_transit) {
+        p2c(pt.provider, pt.customer, pt.announce_fraction);
+      }
+
+      // In-country IXP peering. Domestic traffic largely stays domestic:
+      // the major carriers interconnect densely at the national IXs, so
+      // national paths rarely detour through international transit.
+      auto mesh = [&](const std::vector<Asn>& xs, const std::vector<Asn>& ys,
+                      double prob, bool same) {
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          for (std::size_t j = same ? i + 1 : 0; j < ys.size(); ++j) {
+            if (rng_.chance(prob)) p2p(xs[i], ys[j]);
+          }
+        }
+      };
+      std::vector<Asn> majors = ases.incumbents_domestic;
+      majors.insert(majors.end(), ases.challengers.begin(), ases.challengers.end());
+      mesh(majors, majors, c.major_peering, true);
+      mesh(majors, ases.regionals, c.peering_density * 2.0, false);
+      mesh(ases.regionals, ases.regionals, c.peering_density, true);
+      for (Asn stub : ases.stubs) {
+        for (Asn reg : ases.regionals) {
+          if (rng_.chance(c.peering_density / 4.0)) p2p(stub, reg);
+        }
+      }
+
+      // IXP route server: exists as an AS for path injection; it has a
+      // token peering so it is part of the graph, but it never provides
+      // transit and originates nothing.
+      if (c.route_server_asn) {
+        register_as(c.route_server_asn, c.code.to_string() + "-ixp-rs", c.code,
+                    c.code, AsRole::kRouteServer);
+        world_.route_servers.push_back(c.route_server_asn);
+        if (!ases.regionals.empty()) p2p(c.route_server_asn, ases.regionals[0]);
+      }
+    }
+  }
+
+  /// Wire a regional or stub AS to its country's transit market.
+  void attach_to_market(Asn asn, const CountrySpec& c, const CountryAses& ases,
+                        bool is_stub) {
+    WeightedPool pool;
+    for (std::size_t i = 0; i < c.incumbents.size(); ++i) {
+      pool.add(ases.incumbents_domestic[i], c.incumbents[i].market_share);
+    }
+    for (std::size_t i = 0; i < c.challengers.size(); ++i) {
+      pool.add(ases.challengers[i], c.challengers[i].transit_share);
+    }
+    if (is_stub) {
+      for (Asn reg : ases.regionals) {
+        pool.add(reg, 0.4 / std::max<std::size_t>(1, ases.regionals.size()));
+      }
+    }
+    // Regionals lean on foreign carriers more readily than stubs do.
+    for (const PresenceSpec& m : c.multinational_presence) {
+      pool.add(m.asn, m.weight * (is_stub ? 0.6 : 1.2));
+    }
+
+    std::size_t providers = 1 + (rng_.chance(0.45) ? 1 : 0);
+    std::unordered_set<Asn> chosen;
+    for (std::size_t k = 0; k < providers && !pool.items.empty(); ++k) {
+      Asn provider = pool.pick(rng_);
+      if (provider && provider != asn && chosen.insert(provider).second) {
+        p2c(provider, asn);
+      }
+    }
+    if (chosen.empty()) {
+      // Guarantee connectivity: fall back to the first tier-1.
+      if (!tier1_.empty()) p2c(tier1_[0], asn);
+    }
+  }
+
+  // --------------------------------------------- cross-cutting peering
+  void build_cross_cutting_peering() {
+    // Liberal peers (the Hurricane pattern): settlement-free peering with
+    // edge networks everywhere boosts hegemony without cone growth.
+    for (const auto& m : spec_.multinationals) {
+      if (!m.liberal_peering) continue;
+      for (const auto& c : spec_.countries) {
+        const CountryAses& ases = country_ases_[c.code];
+        for (Asn a : ases.incumbents_domestic) {
+          if (rng_.chance(0.85)) p2p(m.asn, a);
+        }
+        for (Asn a : ases.challengers) {
+          if (rng_.chance(0.85)) p2p(m.asn, a);
+        }
+        for (Asn a : ases.regionals) {
+          if (rng_.chance(0.6)) p2p(m.asn, a);
+        }
+        for (Asn a : ases.stubs) {
+          if (rng_.chance(0.15)) p2p(m.asn, a);
+        }
+      }
+    }
+
+    // Hypergiant on-ramps inside their origin countries.
+    for (const auto& h : spec_.hypergiants) {
+      for (const HypergiantSpec::Origin& origin : h.origins) {
+        CountryCode cc = origin.country;
+        auto it = country_ases_.find(cc);
+        if (it == country_ases_.end()) continue;
+        const CountryAses& ases = it->second;
+        for (Asn a : ases.incumbents_domestic) {
+          if (rng_.chance(0.8)) p2p(h.asn, a);
+        }
+        for (Asn a : ases.challengers) {
+          if (rng_.chance(0.6)) p2p(h.asn, a);
+        }
+        for (Asn a : ases.regionals) {
+          if (rng_.chance(0.3)) p2p(h.asn, a);
+        }
+      }
+    }
+
+    // Incumbent international ASes peer with each other, preferring the
+    // same continent.
+    std::vector<std::pair<Asn, std::string>> intl;
+    for (const auto& c : spec_.countries) {
+      for (Asn a : country_ases_[c.code].incumbents_international) {
+        intl.emplace_back(a, c.continent);
+      }
+    }
+    for (std::size_t i = 0; i < intl.size(); ++i) {
+      for (std::size_t j = i + 1; j < intl.size(); ++j) {
+        double prob = intl[i].second == intl[j].second ? 0.5 : 0.15;
+        if (rng_.chance(prob)) p2p(intl[i].first, intl[j].first);
+      }
+    }
+  }
+
+  // --------------------------------------------------------- addresses
+  void build_address_plan() {
+    std::uint32_t global_cursor = kAddressBase;
+    for (const auto& c : spec_.countries) {
+      std::uint32_t region_size = round_up_pow2(c.address_budget * 2);
+      std::uint32_t base = (global_cursor + region_size - 1) & ~(region_size - 1);
+      regions_[c.code] = Region{base, region_size, 0};
+      global_cursor = base + region_size;
+
+      assign_country_addresses(c);
+    }
+    // Multinationals and international ASes originate a little
+    // infrastructure space in their registration countries.
+    for (const auto& m : spec_.multinationals) {
+      originate_infrastructure(m.asn, m.registered, 1 << 12);
+    }
+    for (const auto& c : spec_.countries) {
+      for (Asn a : country_ases_[c.code].incumbents_international) {
+        originate_infrastructure(a, c.code, 1 << 10);
+      }
+    }
+  }
+
+  void originate_infrastructure(Asn asn, CountryCode cc, std::uint32_t block) {
+    auto it = regions_.find(cc);
+    if (it == regions_.end()) return;  // registered outside the modeled world
+    if (auto p = it->second.allocate(block, cc)) {
+      world_.originations.push_back(Origination{*p, asn});
+    }
+  }
+
+  void assign_country_addresses(const CountrySpec& c) {
+    CountryAses& ases = country_ases_[c.code];
+    Region& region = regions_[c.code];
+
+    // Fixed shares first.
+    double used_share = 0.0;
+    std::vector<std::pair<Asn, double>> shares;
+    for (std::size_t i = 0; i < c.incumbents.size(); ++i) {
+      shares.emplace_back(ases.incumbents_domestic[i], c.incumbents[i].address_share);
+      used_share += c.incumbents[i].address_share;
+    }
+    for (std::size_t i = 0; i < c.challengers.size(); ++i) {
+      shares.emplace_back(ases.challengers[i], c.challengers[i].address_share);
+      used_share += c.challengers[i].address_share;
+    }
+    for (const auto& h : spec_.hypergiants) {
+      for (const HypergiantSpec::Origin& origin : h.origins) {
+        if (origin.country == c.code) {
+          shares.emplace_back(h.asn, origin.share);
+          used_share += origin.share;
+        }
+      }
+    }
+    // Remainder split over regionals (weight 3) and stubs (log-uniform).
+    double leftover = std::max(0.05, 1.0 - used_share);
+    std::vector<std::pair<Asn, double>> weights;
+    double total_w = 0.0;
+    for (Asn a : ases.regionals) {
+      weights.emplace_back(a, 3.0);
+      total_w += 3.0;
+    }
+    for (Asn a : ases.stubs) {
+      double w = 0.5 + rng_.uniform() * 3.5;
+      weights.emplace_back(a, w);
+      total_w += w;
+    }
+    for (const auto& [asn, w] : weights) {
+      shares.emplace_back(asn, leftover * w / std::max(1.0, total_w));
+    }
+
+    for (const auto& [asn, share] : shares) {
+      auto budget =
+          static_cast<std::uint64_t>(share * static_cast<double>(c.address_budget));
+      allocate_prefixes(asn, c, region, budget);
+    }
+  }
+
+  void allocate_prefixes(Asn asn, const CountrySpec& c, Region& region,
+                         std::uint64_t budget) {
+    budget = std::max<std::uint64_t>(budget, 256);
+    // Greedy power-of-two decomposition, at most 3 prefixes, >= /24 each.
+    std::vector<std::uint32_t> blocks;
+    std::uint64_t remaining = budget;
+    while (remaining >= 256 && blocks.size() < 3) {
+      std::uint64_t block = 256;
+      while (block * 2 <= remaining && block < (std::uint64_t{1} << 24)) block <<= 1;
+      blocks.push_back(static_cast<std::uint32_t>(block));
+      remaining -= block;
+    }
+    bool first = true;
+    for (std::uint32_t block : blocks) {
+      auto p = region.allocate(block, c.code);
+      if (!p) break;  // region exhausted: the AS keeps what it has
+      world_.originations.push_back(Origination{*p, asn});
+      if (first) {
+        first = false;
+        maybe_inject_overlaps(asn, *p, c);
+      }
+    }
+  }
+
+  void maybe_inject_overlaps(Asn asn, const Prefix& p, const CountrySpec& c) {
+    if (p.length() > 29) return;
+    double roll = rng_.uniform();
+    if (roll < spec_.noise.covered_prefix_rate) {
+      // Announce both halves too: the covering prefix becomes fully
+      // covered and must be filtered (§3.2.1, Figure 9).
+      world_.originations.push_back(Origination{p.left_child(), asn});
+      world_.originations.push_back(Origination{p.right_child(), asn});
+    } else if (roll < 2 * spec_.noise.covered_prefix_rate) {
+      // Partial cover: a more specific half announced by the same AS; the
+      // covering prefix survives with half its effective weight.
+      world_.originations.push_back(Origination{p.left_child(), asn});
+    }
+    if (rng_.chance(spec_.noise.mixed_prefix_rate)) {
+      // An extra prefix whose addresses straddle countries below the
+      // consensus threshold ("prefix no location").
+      Region& region = regions_[c.code];
+      if (auto mixed = region.allocate(1024, c.code)) {
+        world_.originations.push_back(Origination{*mixed, asn});
+        mixed_prefixes_.push_back(*mixed);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- geo DB
+  CountryCode random_other_country(CountryCode except) {
+    if (spec_.countries.size() < 2) return except;
+    for (int tries = 0; tries < 16; ++tries) {
+      const auto& c = spec_.countries[rng_.below(
+          static_cast<std::uint32_t>(spec_.countries.size()))];
+      if (c.code != except) return c.code;
+    }
+    return except;
+  }
+
+  void build_geo_db() {
+    std::vector<Carve> carves;
+    // Mixed prefixes: 3/8 home, 3/8 other country A, 2/8 other country B.
+    for (const Prefix& p : mixed_prefixes_) {
+      CountryCode home = country_of_address(p.address());
+      CountryCode a = random_other_country(home);
+      CountryCode b = random_other_country(home);
+      std::uint32_t eighth = static_cast<std::uint32_t>(p.size() / 8);
+      carves.push_back(Carve{p.first() + 3 * eighth, p.first() + 6 * eighth - 1, a});
+      carves.push_back(Carve{p.first() + 6 * eighth, p.last(), b});
+    }
+    // Random commercial-database noise: /24 blocks labeled elsewhere.
+    for (const auto& c : spec_.countries) {
+      const Region& region = regions_.at(c.code);
+      if (region.cursor == 0) continue;
+      auto blocks = static_cast<std::size_t>(
+          spec_.noise.geo_noise * static_cast<double>(region.cursor) / 256.0);
+      for (std::size_t i = 0; i < blocks; ++i) {
+        std::uint32_t offset = rng_.below(region.cursor / 256) * 256;
+        Carve carve{region.base + offset, region.base + offset + 255,
+                    random_other_country(c.code)};
+        bool overlaps = std::any_of(carves.begin(), carves.end(), [&](const Carve& x) {
+          return carve.first <= x.last && x.first <= carve.last;
+        });
+        if (!overlaps) carves.push_back(carve);
+      }
+    }
+    std::sort(carves.begin(), carves.end(),
+              [](const Carve& a, const Carve& b) { return a.first < b.first; });
+
+    // Emit per-country base ranges minus carves, then the carves.
+    for (const auto& c : spec_.countries) {
+      const Region& region = regions_.at(c.code);
+      std::uint64_t cursor = region.base;
+      std::uint64_t region_end = static_cast<std::uint64_t>(region.base) + region.size - 1;
+      for (const Carve& carve : carves) {
+        if (carve.first < region.base || carve.first > region_end) continue;
+        if (carve.first > cursor) {
+          world_.geo_db.add_range(static_cast<std::uint32_t>(cursor), carve.first - 1,
+                                  c.code);
+        }
+        cursor = static_cast<std::uint64_t>(carve.last) + 1;
+      }
+      if (cursor <= region_end) {
+        world_.geo_db.add_range(static_cast<std::uint32_t>(cursor),
+                                static_cast<std::uint32_t>(region_end), c.code);
+      }
+    }
+    for (const Carve& carve : carves) {
+      world_.geo_db.add_range(carve.first, carve.last, carve.country);
+    }
+    world_.geo_db.finalize();
+  }
+
+  [[nodiscard]] CountryCode country_of_address(std::uint32_t ip) const {
+    for (const auto& [cc, region] : regions_) {
+      if (ip >= region.base &&
+          static_cast<std::uint64_t>(ip) <
+              static_cast<std::uint64_t>(region.base) + region.size) {
+        return cc;
+      }
+    }
+    return geo::kNoCountry;
+  }
+
+  // ----------------------------------------------------------------- VPs
+  void build_vps() {
+    world_.vps.add_collector(
+        geo::Collector{"multihop-global", CountryCode::of("US"), true});
+    for (const auto& c : spec_.countries) {
+      world_.vps.add_collector(
+          geo::Collector{"collector-" + c.code.to_string(), c.code, false});
+    }
+
+    // First prefix of each AS, for VP addresses.
+    std::unordered_map<Asn, Prefix> first_prefix;
+    for (const Origination& o : world_.originations) {
+      first_prefix.try_emplace(o.origin, o.prefix);
+    }
+
+    for (const auto& c : spec_.countries) {
+      const CountryAses& ases = country_ases_[c.code];
+      // Stub/regional VP hosts must be DOMESTICALLY homed (all providers
+      // in-country): real route-collector peers are domestic ISPs, and a
+      // VP wired straight into a foreign multinational would leak that
+      // carrier into the country's national view.
+      auto domestically_homed = [&](Asn a) {
+        for (Asn provider : world_.graph.providers_of(a)) {
+          const AsInfo* info = world_.info(provider);
+          if (!info || info->home != c.code) return false;
+        }
+        return true;
+      };
+      std::vector<Asn> candidates;
+      for (Asn a : ases.stubs) {
+        if (domestically_homed(a)) candidates.push_back(a);
+      }
+      for (Asn a : ases.regionals) {
+        if (domestically_homed(a)) candidates.push_back(a);
+      }
+      for (Asn a : ases.challengers) candidates.push_back(a);
+      for (Asn a : ases.incumbents_domestic) candidates.push_back(a);
+      if (candidates.size() < 3) {
+        // Tiny markets: relax to every in-country stub/regional.
+        candidates.clear();
+        for (Asn a : ases.stubs) candidates.push_back(a);
+        for (Asn a : ases.regionals) candidates.push_back(a);
+        for (Asn a : ases.challengers) candidates.push_back(a);
+        for (Asn a : ases.incumbents_domestic) candidates.push_back(a);
+      }
+      std::erase_if(candidates,
+                    [&](Asn a) { return !first_prefix.contains(a); });
+      if (candidates.empty()) continue;
+      util::shuffle(std::span<Asn>(candidates), rng_);
+
+      std::unordered_map<Asn, std::uint32_t> vp_index_in_as;
+      std::vector<Asn> used;
+      auto place_vp = [&](int i, const std::string& collector) {
+        // Mostly one VP per AS, with a concentration tail: ~15% of VPs
+        // share an AS with an earlier one (Figure 10: 81% of the paper's
+        // VPs were alone in their AS; AU and US were more concentrated).
+        Asn asn;
+        if (!used.empty() && rng_.chance(0.15)) {
+          asn = used[rng_.below(static_cast<std::uint32_t>(used.size()))];
+        } else {
+          asn = candidates[static_cast<std::size_t>(i) % candidates.size()];
+        }
+        used.push_back(asn);
+        std::uint32_t idx = ++vp_index_in_as[asn];
+        bgp::VpId vp{first_prefix.at(asn).address() + idx, asn};
+        world_.vps.register_vp(vp, collector);
+      };
+      for (int i = 0; i < c.vp_count; ++i) {
+        place_vp(i, "collector-" + c.code.to_string());
+      }
+      for (int i = 0; i < c.multihop_vp_count; ++i) {
+        place_vp(c.vp_count + i, "multihop-global");
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ finalize
+  void finalize() {
+    world_.asn_registry.allocate_range(1, 1000000);
+    world_.asn_registry.finalize();
+    world_.bogus_asn_first = kBogusAsnFirst;
+    world_.bogus_asn_last = kBogusAsnLast;
+    std::sort(world_.clique.begin(), world_.clique.end());
+  }
+
+  const WorldSpec& spec_;
+  util::Pcg32 rng_;
+  World world_;
+  std::unordered_set<Asn> used_asns_;
+  Asn next_asn_ = kAutoAsnBase;
+  std::vector<Asn> tier1_, tier2_;
+  std::unordered_map<CountryCode, CountryAses, geo::CountryCodeHash> country_ases_;
+  std::unordered_map<CountryCode, Region, geo::CountryCodeHash> regions_;
+  std::vector<Prefix> mixed_prefixes_;
+};
+
+}  // namespace
+
+InternetGenerator::InternetGenerator(WorldSpec spec) : spec_(std::move(spec)) {}
+
+World InternetGenerator::generate() {
+  Builder builder{spec_};
+  return builder.build();
+}
+
+}  // namespace georank::gen

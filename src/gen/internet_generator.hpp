@@ -1,0 +1,36 @@
+// Materializes a WorldSpec into a World: topology, address plan,
+// geolocation database (with noise), collector inventory, allocations.
+//
+// Construction order matters and mirrors how the real structures arise:
+//   1. global transit: tier-1 clique, tier-2 buyers, hypergiants;
+//   2. per-country markets: incumbents (with split domestic/international
+//      ASes), challengers, regionals, stubs, IXP peering;
+//   3. cross-cutting peering: liberal peers (Hurricane pattern),
+//      hypergiant on-ramps, same-continent incumbent meshes;
+//   4. address plan: one contiguous region per country, carved into
+//      power-of-two prefixes per AS (plus deliberate overlaps and
+//      cross-country mixtures);
+//   5. geolocation DB from the address plan plus noise;
+//   6. vantage points and collectors (one per country + one multihop).
+//
+// Everything is driven by one seeded PCG32: the same spec always yields
+// the same world.
+#pragma once
+
+#include "gen/world.hpp"
+#include "gen/world_spec.hpp"
+#include "util/rng.hpp"
+
+namespace georank::gen {
+
+class InternetGenerator {
+ public:
+  explicit InternetGenerator(WorldSpec spec);
+
+  [[nodiscard]] World generate();
+
+ private:
+  WorldSpec spec_;
+};
+
+}  // namespace georank::gen

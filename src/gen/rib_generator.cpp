@@ -1,0 +1,141 @@
+#include "gen/rib_generator.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "topo/route_propagation.hpp"
+
+namespace georank::gen {
+
+namespace {
+
+std::uint64_t prefix_salt(const bgp::Prefix& p) noexcept {
+  std::uint64_t x = (static_cast<std::uint64_t>(p.address()) << 8) | p.length();
+  x *= 0x9e3779b97f4a7c15ull;
+  x ^= x >> 32;
+  return x | 1;  // never zero: zero selects the plain lowest-ASN tiebreak
+}
+
+}  // namespace
+
+RibGenerator::RibGenerator(const World& world, NoiseSpec noise, std::uint64_t seed)
+    : world_(&world), noise_(noise), seed_(seed) {}
+
+bgp::RibCollection RibGenerator::generate(int days) const {
+  util::Pcg32 rng{seed_};
+  const topo::AsGraph& graph = world_->graph;
+  topo::RoutePropagator propagator{graph};
+
+  std::vector<bgp::VpId> vps = world_->vps.all_vps();
+  // VP AS node ids resolved once.
+  std::vector<topo::NodeId> vp_nodes(vps.size());
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    vp_nodes[i] = graph.id_of(vps[i].asn);
+  }
+
+  // Flap schedule: flapping prefixes miss 1..2 random days. Instability
+  // is an EDGE phenomenon: small customer prefixes flap at the configured
+  // rate, while an incumbent's core aggregates (< /18) almost never
+  // vanish from a day's table.
+  std::unordered_map<bgp::Prefix, std::uint32_t, bgp::PrefixHash> missing_days;
+  for (const Origination& o : world_->originations) {
+    double rate = noise_.prefix_flap_rate * (o.prefix.length() >= 18 ? 1.0 : 0.05);
+    if (rng.chance(rate)) {
+      std::uint32_t mask = 0;
+      int gone = 1 + static_cast<int>(rng.below(2));
+      for (int g = 0; g < gone; ++g) {
+        mask |= 1u << rng.below(static_cast<std::uint32_t>(days));
+      }
+      missing_days[o.prefix] = mask;
+    }
+  }
+
+  // Country of each AS (for route-server injection at in-country links).
+  auto home_of = [&](bgp::Asn asn) {
+    const AsInfo* info = world_->info(asn);
+    return info ? info->home : geo::kNoCountry;
+  };
+  std::unordered_map<geo::CountryCode, bgp::Asn, geo::CountryCodeHash> rs_of_country;
+  for (bgp::Asn rs : world_->route_servers) {
+    rs_of_country[home_of(rs)] = rs;
+  }
+
+  auto in_clique = [&](bgp::Asn a) {
+    return std::binary_search(world_->clique.begin(), world_->clique.end(), a);
+  };
+
+  bgp::RibCollection out;
+  out.days.resize(static_cast<std::size_t>(days));
+  for (int d = 0; d < days; ++d) out.days[static_cast<std::size_t>(d)].day = d;
+
+  for (const Origination& o : world_->originations) {
+    topo::RoutingTable table = propagator.compute(o.origin, prefix_salt(o.prefix));
+    std::uint32_t missing = 0;
+    if (auto it = missing_days.find(o.prefix); it != missing_days.end()) {
+      missing = it->second;
+    }
+
+    for (std::size_t v = 0; v < vps.size(); ++v) {
+      bgp::AsPath path = table.path_from(vp_nodes[v]);
+      if (path.empty()) continue;
+
+      // ---- Noise: at most one structural artifact per (VP, prefix),
+      // persisted across days (real poisonings/loops are persistent). ----
+      std::vector<bgp::Asn> hops(path.hops().begin(), path.hops().end());
+      double roll = rng.uniform();
+      if (roll < noise_.loop_rate && hops.size() >= 3) {
+        // "A C A": repeat an earlier hop after a later one.
+        hops.insert(hops.end() - 1, hops[0]);
+      } else if (roll < noise_.loop_rate + noise_.poison_rate) {
+        // Insert a foreign AS between two adjacent clique hops if any.
+        for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+          if (in_clique(hops[i]) && in_clique(hops[i + 1])) {
+            bgp::Asn foreign = world_->bogus_asn_first
+                                   ? 64512 + rng.below(100)  // private-use ASN
+                                   : 64512;
+            hops.insert(hops.begin() + static_cast<std::ptrdiff_t>(i) + 1, foreign);
+            break;
+          }
+        }
+      } else if (roll < noise_.loop_rate + noise_.poison_rate +
+                            noise_.unallocated_rate) {
+        bgp::Asn bogus =
+            world_->bogus_asn_first +
+            rng.below(world_->bogus_asn_last - world_->bogus_asn_first + 1);
+        std::size_t pos = 1 + rng.below(static_cast<std::uint32_t>(hops.size()));
+        hops.insert(hops.begin() + static_cast<std::ptrdiff_t>(
+                                       std::min(pos, hops.size())),
+                    bogus);
+      } else if (rng.chance(noise_.prepend_rate)) {
+        // Benign traffic-engineering prepending at the origin.
+        hops.push_back(hops.back());
+      }
+
+      // Route-server retention: if two adjacent hops are in-country peers
+      // of a country with an IXP route server, the RS sometimes shows up.
+      if (!rs_of_country.empty() && rng.chance(noise_.route_server_rate)) {
+        for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+          geo::CountryCode ca = home_of(hops[i]);
+          if (!ca.valid() || ca != home_of(hops[i + 1])) continue;
+          auto rs = rs_of_country.find(ca);
+          if (rs == rs_of_country.end()) continue;
+          auto rel = world_->graph.relationship(hops[i], hops[i + 1]);
+          if (rel && *rel == topo::Rel::kPeer) {
+            hops.insert(hops.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                        rs->second);
+            break;
+          }
+        }
+      }
+
+      bgp::RouteEntry entry{vps[v], o.prefix, bgp::AsPath{std::move(hops)}};
+      for (int d = 0; d < days; ++d) {
+        if (missing & (1u << d)) continue;
+        out.days[static_cast<std::size_t>(d)].entries.push_back(entry);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace georank::gen

@@ -1,0 +1,37 @@
+// Synthesizes multi-day RIB snapshots from a World: the stand-in for
+// downloading RouteViews / RIPE RIS table dumps (DESIGN.md §1).
+//
+// For every origination the valley-free propagator computes each AS's
+// best path (per-prefix tiebreak salt reproduces the mild path diversity
+// real tables show); each registered VP contributes its AS's path. Noise
+// is then layered on, one category per (VP, prefix) so it persists across
+// days like real artifacts do:
+//   flapping   prefix missing from some snapshot days ("unstable")
+//   prepending benign adjacent AS duplication
+//   loops      non-adjacent duplicate hops
+//   poisoning  a foreign AS inserted between two clique hops
+//   bogus ASN  an unallocated ASN inserted mid-path
+//   route servers retained in paths at IXP peer links
+#pragma once
+
+#include "bgp/route.hpp"
+#include "gen/world.hpp"
+#include "gen/world_spec.hpp"
+#include "util/rng.hpp"
+
+namespace georank::gen {
+
+class RibGenerator {
+ public:
+  RibGenerator(const World& world, NoiseSpec noise, std::uint64_t seed = 7);
+
+  /// `days` snapshots (paper: 5). Deterministic for a given seed.
+  [[nodiscard]] bgp::RibCollection generate(int days = 5) const;
+
+ private:
+  const World* world_;
+  NoiseSpec noise_;
+  std::uint64_t seed_;
+};
+
+}  // namespace georank::gen

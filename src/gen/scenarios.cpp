@@ -1,0 +1,961 @@
+#include "gen/scenarios.hpp"
+
+namespace georank::gen {
+
+namespace {
+
+using namespace asn;
+
+CountryCode cc(const char* code) { return CountryCode::of(code); }
+
+std::vector<MultinationalSpec> global_carriers() {
+  // Tier 1: the transit-free clique.
+  std::vector<MultinationalSpec> out = {
+      {kLumen, "Lumen", cc("US"), 1, false},
+      {kArelion, "Arelion", cc("SE"), 1, false},
+      {kCogent, "Cogent", cc("US"), 1, false},
+      {kNttAmerica, "NTT America", cc("US"), 1, false},
+      {kGtt, "GTT", cc("US"), 1, false},
+      {kZayo, "Zayo", cc("US"), 1, false},
+      {kVodafone, "Vodafone", cc("GB"), 1, false},
+      {kTelecomItalia, "Telecom Italia", cc("IT"), 1, false},
+      {kAtt, "AT&T", cc("US"), 1, false},
+      {kVerizon, "Verizon", cc("US"), 1, false},
+      {kSprint, "Sprint", cc("US"), 1, false},
+      {kTata, "TATA", cc("US"), 1, false},
+      {kPccw, "PCCW", cc("US"), 1, false},
+      {kOrange, "Orange", cc("FR"), 1, false},
+      {kTelefonica, "Telefonica", cc("ES"), 1, false},
+      // Tier 2.
+      {kHurricane, "Hurricane", cc("US"), 2, /*liberal_peering=*/true},
+      {kRetn, "RETN", cc("GB"), 2, false},
+      {kLiquid, "Liquid", cc("GB"), 2, false},
+      {kMtnSa, "MTN SA", cc("ZA"), 2, false},
+      {kWiocc, "West Indian Ocean Cable", cc("MU"), 2, false},
+      {kSingtel, "Singapore Telecom", cc("SG"), 2, false},
+  };
+  return out;
+}
+
+std::vector<HypergiantSpec> hypergiants() {
+  auto origins = [](std::initializer_list<const char*> codes, double share) {
+    std::vector<HypergiantSpec::Origin> out;
+    for (const char* code : codes) out.push_back({cc(code), share});
+    return out;
+  };
+  auto amazon = origins({"US", "AU", "JP", "DE", "GB", "BR", "SG", "IN"}, 0.04);
+  // Akamai: marginal share in big markets, a double-digit slice of small
+  // ones — which is what puts the Netherlands (its registration) on the
+  // paper's Table 12 serving 26 countries.
+  auto akamai = origins({"NL", "US", "GB", "DE", "FR", "JP"}, 0.03);
+  auto akamai_small =
+      origins({"CH", "AT", "SE", "NZ", "CL", "CO", "KR", "MA"}, 0.12);
+  akamai.insert(akamai.end(), akamai_small.begin(), akamai_small.end());
+  auto google = origins({"US", "GB", "DE", "BR", "SG", "AU"}, 0.03);
+  return {
+      {kAmazon, "Amazon", cc("US"), std::move(amazon)},
+      {kAkamai, "Akamai", cc("NL"), std::move(akamai)},
+      {kGoogle, "Google", cc("US"), std::move(google)},
+  };
+}
+
+// ---------------------------------------------------------------- Europe
+
+CountrySpec netherlands() {
+  CountrySpec c;
+  c.code = cc("NL");
+  c.continent = "Eu";
+  c.stub_count = 30;
+  c.regional_isp_count = 6;
+  c.address_budget = 1 << 20;
+  c.vp_count = 35;
+  c.multihop_vp_count = 6;
+  c.incumbents = {{1136, "KPN", {}, "", 0.30, 0.25, {kArelion, kLumen}}};
+  c.multinational_presence = {{kArelion, 0.20}, {kHurricane, 0.15},
+                              {kVodafone, 0.15}, {kLumen, 0.15},
+                              {kRetn, 0.10}};
+  c.peering_density = 0.3;  // dense Dutch IXP scene
+  c.route_server_asn = kAmsIxRs;
+  return c;
+}
+
+CountrySpec united_kingdom() {
+  CountrySpec c;
+  c.code = cc("GB");
+  c.continent = "Eu";
+  c.stub_count = 45;
+  c.regional_isp_count = 6;
+  c.address_budget = 1 << 22;
+  c.vp_count = 26;
+  c.multihop_vp_count = 4;
+  c.incumbents = {{2856, "BT", {}, "", 0.35, 0.30, {kVodafone, kArelion}}};
+  c.multinational_presence = {{kVodafone, 0.20}, {kHurricane, 0.15},
+                              {kLumen, 0.15}, {kArelion, 0.12},
+                              {kRetn, 0.08}};
+  c.peering_density = 0.25;
+  c.route_server_asn = kLinxRs;
+  return c;
+}
+
+CountrySpec germany() {
+  CountrySpec c;
+  c.code = cc("DE");
+  c.continent = "Eu";
+  c.stub_count = 45;
+  c.regional_isp_count = 6;
+  c.address_budget = 1 << 22;
+  c.vp_count = 18;
+  c.multihop_vp_count = 3;
+  c.incumbents = {{3320, "Deutsche Telekom", {}, "", 0.40, 0.35,
+                   {kLumen, kVerizon}}};
+  c.multinational_presence = {{kArelion, 0.10}, {kHurricane, 0.15},
+                              {kCogent, 0.12}, {kLumen, 0.12},
+                              {kVerizon, 0.08}};
+  c.peering_density = 0.25;
+  c.route_server_asn = kDeCixRs;
+  return c;
+}
+
+CountrySpec france() {
+  CountrySpec c;
+  c.code = cc("FR");
+  c.continent = "Eu";
+  c.stub_count = 30;
+  c.regional_isp_count = 5;
+  c.address_budget = 1 << 21;
+  c.vp_count = 9;
+  c.multihop_vp_count = 2;
+  // The classic split: Orange domestic rides Orange International (5511),
+  // which is a clique member.
+  c.incumbents = {{3215, "Orange France", {}, "", 0.45, 0.40, {kOrange}}};
+  c.multinational_presence = {{kOrange, 0.25}, {kArelion, 0.15},
+                              {kHurricane, 0.12}, {kLumen, 0.10}};
+  return c;
+}
+
+CountrySpec italy() {
+  CountrySpec c;
+  c.code = cc("IT");
+  c.continent = "Eu";
+  c.stub_count = 28;
+  c.regional_isp_count = 5;
+  c.address_budget = 1 << 21;
+  c.vp_count = 9;
+  c.multihop_vp_count = 2;
+  c.incumbents = {{3269, "TIM", {}, "", 0.45, 0.40, {kTelecomItalia}}};
+  c.multinational_presence = {{kTelecomItalia, 0.25}, {kArelion, 0.15},
+                              {kHurricane, 0.10}};
+  return c;
+}
+
+CountrySpec spain() {
+  CountrySpec c;
+  c.code = cc("ES");
+  c.continent = "Eu";
+  c.stub_count = 25;
+  c.regional_isp_count = 4;
+  c.address_budget = 1 << 20;
+  c.vp_count = 4;
+  c.multihop_vp_count = 1;
+  c.incumbents = {{3352, "Telefonica de Espana", {}, "", 0.50, 0.40,
+                   {kTelefonica}}};
+  c.multinational_presence = {{kTelefonica, 0.25}, {kArelion, 0.12},
+                              {kHurricane, 0.10}};
+  return c;
+}
+
+CountrySpec sweden() {
+  CountrySpec c;
+  c.code = cc("SE");
+  c.continent = "Eu";
+  c.stub_count = 18;
+  c.regional_isp_count = 4;
+  c.address_budget = 1 << 20;
+  c.vp_count = 6;
+  c.multihop_vp_count = 1;
+  c.incumbents = {{3301, "Telia Sweden", {}, "", 0.45, 0.35, {kArelion}}};
+  c.multinational_presence = {{kArelion, 0.30}, {kHurricane, 0.12}};
+  return c;
+}
+
+CountrySpec switzerland() {
+  CountrySpec c;
+  c.code = cc("CH");
+  c.continent = "Eu";
+  c.stub_count = 16;
+  c.regional_isp_count = 4;
+  c.address_budget = 1 << 19;
+  c.vp_count = 11;
+  c.multihop_vp_count = 2;
+  c.incumbents = {{3303, "Swisscom", {}, "", 0.40, 0.35, {kLumen, kZayo}}};
+  c.multinational_presence = {{kArelion, 0.15}, {kHurricane, 0.15},
+                              {kLumen, 0.12}};
+  c.peering_density = 0.3;
+  return c;
+}
+
+CountrySpec austria() {
+  CountrySpec c;
+  c.code = cc("AT");
+  c.continent = "Eu";
+  c.stub_count = 14;
+  c.regional_isp_count = 3;
+  c.address_budget = 1 << 19;
+  c.vp_count = 10;
+  c.multihop_vp_count = 2;
+  c.incumbents = {{8447, "A1 Telekom", {}, "", 0.45, 0.35,
+                   {kTelecomItalia, kVerizon}}};
+  c.multinational_presence = {{kArelion, 0.15}, {kHurricane, 0.12}};
+  c.peering_density = 0.3;
+  return c;
+}
+
+CountrySpec ukraine() {
+  CountrySpec c;
+  c.code = cc("UA");
+  c.continent = "Eu";
+  c.stub_count = 25;
+  c.regional_isp_count = 5;
+  c.address_budget = 1 << 20;
+  c.vp_count = 4;
+  c.multihop_vp_count = 1;
+  // Western/central former republics do NOT depend on Russian carriers
+  // (Figure 7): UA buys from European multinationals.
+  c.incumbents = {{6849, "Ukrtelecom", {}, "", 0.30, 0.25, {kRetn, kArelion}}};
+  c.multinational_presence = {{kRetn, 0.25}, {kArelion, 0.12},
+                              {kTelecomItalia, 0.12}, {kHurricane, 0.10},
+                              {kCogent, 0.08}};
+  return c;
+}
+
+// --------------------------------------------------------------- America
+
+CountrySpec united_states() {
+  CountrySpec c;
+  c.code = cc("US");
+  c.continent = "No.Am";
+  c.stub_count = 60;
+  c.regional_isp_count = 10;
+  c.address_budget = 1 << 24;
+  c.vp_count = 25;
+  c.multihop_vp_count = 4;
+  // No incumbent: the US market is the multinationals' home market, with
+  // Lumen the heaviest presence and Hurricane selling widely (§5.4).
+  c.multinational_presence = {{kLumen, 0.28},  {kAtt, 0.18},
+                              {kVerizon, 0.12}, {kCogent, 0.12},
+                              {kGtt, 0.10},     {kZayo, 0.10},
+                              {kArelion, 0.10}, {kHurricane, 0.14},
+                              {kSprint, 0.06}};
+  c.peering_density = 0.2;
+  return c;
+}
+
+CountrySpec canada() {
+  CountrySpec c;
+  c.code = cc("CA");
+  c.continent = "No.Am";
+  c.stub_count = 25;
+  c.regional_isp_count = 4;
+  c.address_budget = 1 << 21;
+  c.vp_count = 6;
+  c.multihop_vp_count = 1;
+  c.incumbents = {{577, "Bell Canada", {}, "", 0.35, 0.30, {kLumen, kVerizon}}};
+  c.multinational_presence = {{kLumen, 0.20}, {kHurricane, 0.15},
+                              {kCogent, 0.12}, {kZayo, 0.10}};
+  return c;
+}
+
+CountrySpec mexico() {
+  CountrySpec c;
+  c.code = cc("MX");
+  c.continent = "No.Am";
+  c.stub_count = 25;
+  c.regional_isp_count = 4;
+  c.address_budget = 1 << 21;
+  c.vp_count = 3;
+  c.multihop_vp_count = 1;
+  c.incumbents = {{8151, "Telmex", {}, "", 0.50, 0.40, {kLumen, kTelefonica}}};
+  c.multinational_presence = {{kLumen, 0.18}, {kTelefonica, 0.15},
+                              {kHurricane, 0.10}};
+  return c;
+}
+
+CountrySpec brazil() {
+  CountrySpec c;
+  c.code = cc("BR");
+  c.continent = "So.Am";
+  c.stub_count = 35;
+  c.regional_isp_count = 8;
+  c.address_budget = 1 << 22;
+  c.vp_count = 12;
+  c.multihop_vp_count = 2;
+  c.incumbents = {{4230, "Claro Embratel", {}, "", 0.30, 0.25,
+                   {kLumen, kArelion}}};
+  c.multinational_presence = {{kLumen, 0.20}, {kHurricane, 0.20},
+                              {kTelefonica, 0.15}, {kCogent, 0.10}};
+  c.peering_density = 0.3;  // IX.br effect
+  return c;
+}
+
+CountrySpec argentina() {
+  CountrySpec c;
+  c.code = cc("AR");
+  c.continent = "So.Am";
+  c.stub_count = 20;
+  c.regional_isp_count = 4;
+  c.address_budget = 1 << 20;
+  c.vp_count = 3;
+  c.multihop_vp_count = 1;
+  c.incumbents = {{7303, "Telecom Argentina", {}, "", 0.40, 0.30,
+                   {kTelefonica, kLumen}}};
+  c.multinational_presence = {{kTelefonica, 0.25}, {kLumen, 0.15},
+                              {kHurricane, 0.08}};
+  return c;
+}
+
+CountrySpec chile() {
+  CountrySpec c;
+  c.code = cc("CL");
+  c.continent = "So.Am";
+  c.stub_count = 15;
+  c.regional_isp_count = 3;
+  c.address_budget = 1 << 19;
+  c.vp_count = 3;
+  c.multihop_vp_count = 1;
+  c.incumbents = {{27651, "Entel Chile", {}, "", 0.40, 0.30,
+                   {kTelefonica, kLumen}}};
+  c.multinational_presence = {{kTelefonica, 0.22}, {kLumen, 0.15}};
+  return c;
+}
+
+CountrySpec colombia() {
+  CountrySpec c;
+  c.code = cc("CO");
+  c.continent = "So.Am";
+  c.stub_count = 18;
+  c.regional_isp_count = 3;
+  c.address_budget = 1 << 19;
+  c.vp_count = 3;
+  c.multihop_vp_count = 1;
+  c.incumbents = {{10620, "Claro Colombia", {}, "", 0.40, 0.30,
+                   {kTelefonica, kLumen}}};
+  c.multinational_presence = {{kTelefonica, 0.22}, {kLumen, 0.15}};
+  return c;
+}
+
+// ------------------------------------------------------------------ Asia
+
+CountrySpec japan() {
+  CountrySpec c;
+  c.code = cc("JP");
+  c.continent = "As";
+  c.stub_count = 25;
+  c.regional_isp_count = 5;
+  c.address_budget = 1 << 22;
+  c.vp_count = 7;
+  c.multihop_vp_count = 1;
+  // NTT split: OCN (4713) rides NTT America (2914, clique). KDDI and
+  // Softbank multihome through distinct multinationals (§5.2); GTT's big
+  // CCI slot comes from PARTIAL transit over the Japanese majors.
+  c.incumbents = {
+      {kNttOcn, "NTT OCN", {}, "", 0.25, 0.15, {kNttAmerica}},
+      {kKddi, "KDDI", {}, "", 0.36, 0.27, {kNttAmerica}},
+      {kSoftbank, "Softbank", {}, "", 0.23, 0.23, {kLumen, kNttAmerica}},
+  };
+  c.partial_transit = {{kGtt, kKddi, 0.25},
+                       {kGtt, kSoftbank, 0.25},
+                       {kGtt, kNttOcn, 0.20}};
+  c.multinational_presence = {{kNttAmerica, 0.25}, {kGtt, 0.10},
+                              {kHurricane, 0.08}, {kCogent, 0.06}};
+  return c;
+}
+
+CountrySpec south_korea() {
+  CountrySpec c;
+  c.code = cc("KR");
+  c.continent = "As";
+  c.stub_count = 25;
+  c.regional_isp_count = 4;
+  c.address_budget = 1 << 21;
+  c.vp_count = 4;
+  c.multihop_vp_count = 1;
+  c.incumbents = {{4766, "Korea Telecom", {}, "", 0.45, 0.35,
+                   {kNttAmerica, kLumen}}};
+  c.multinational_presence = {{kNttAmerica, 0.15}, {kLumen, 0.12},
+                              {kPccw, 0.10}};
+  return c;
+}
+
+CountrySpec india() {
+  CountrySpec c;
+  c.code = cc("IN");
+  c.continent = "As";
+  c.stub_count = 40;
+  c.regional_isp_count = 6;
+  c.address_budget = 1 << 22;
+  c.vp_count = 4;
+  c.multihop_vp_count = 1;
+  c.incumbents = {{9498, "Bharti Airtel", {}, "", 0.35, 0.30, {kTata}},
+                  {9829, "BSNL", {}, "", 0.30, 0.25, {kTata, kSprint}}};
+  c.multinational_presence = {{kTata, 0.25}, {kArelion, 0.10},
+                              {kHurricane, 0.08}};
+  return c;
+}
+
+CountrySpec singapore() {
+  CountrySpec c;
+  c.code = cc("SG");
+  c.continent = "As";
+  c.stub_count = 20;
+  c.regional_isp_count = 4;
+  c.address_budget = 1 << 19;
+  c.vp_count = 10;
+  c.multihop_vp_count = 2;
+  c.incumbents = {{3758, "SingNet", {}, "", 0.35, 0.30, {kSingtel}},
+                  {4657, "StarHub", {}, "", 0.25, 0.20, {kSingtel, kTata}}};
+  c.multinational_presence = {{kSingtel, 0.25}, {kHurricane, 0.12},
+                              {kTata, 0.10}, {kPccw, 0.08}};
+  c.peering_density = 0.3;
+  return c;
+}
+
+CountrySpec china(Epoch /*epoch*/) {
+  CountrySpec c;
+  c.code = cc("CN");
+  c.continent = "As";
+  c.stub_count = 50;
+  c.regional_isp_count = 6;
+  c.address_budget = 1 << 23;
+  c.vp_count = 2;
+  c.multihop_vp_count = 1;
+  c.incumbents = {
+      {kChinaTelecom, "China Telecom", {}, "", 0.50, 0.40, {kLumen, kArelion}},
+      {kChinaUnicom, "China Unicom", {}, "", 0.30, 0.30, {kArelion, kPccw}}};
+  c.multinational_presence = {{kPccw, 0.12}, {kNttAmerica, 0.10}};
+  return c;
+}
+
+CountrySpec taiwan(Epoch epoch) {
+  CountrySpec c;
+  c.code = cc("TW");
+  c.continent = "As";
+  c.stub_count = 30;
+  c.regional_isp_count = 5;
+  c.address_budget = 1 << 20;
+  c.vp_count = 7;
+  c.multihop_vp_count = 1;
+  c.incumbents = {
+      {kChunghwa, "Chunghwa", kChunghwaIntl, "Chunghwa Intl", 0.40, 0.40, {},
+       {kLumen, kArelion}},
+      {kDataComm, "Data Communication", {}, "", 0.18, 0.12,
+       {kChunghwaIntl, kCogent}},
+      {kDigitalUnited, "Digital United", {}, "", 0.12, 0.10, {kPccw, kCogent}},
+      {kFarEasTone, "Far EasTone", {}, "", 0.10, 0.08, {kTelstraIntl, kSprint}},
+      {kEducationTw, "Education Broadband", {}, "", 0.05, 0.06, {kChunghwaIntl}},
+      {kTaiwanFixed, "Taiwan Fixed", {}, "", 0.08, 0.06, {kTelstraIntl, kLumen}},
+      {kMinistryEduTw, "Ministry of Education", {}, "", 0.02, 0.03,
+       {kEducationTw}},
+  };
+  // Until 2023, China Telecom held (partial) transit relationships with
+  // several Taiwanese majors — the reason its 2021 CCI reached #7 with a
+  // 64% cone (§6.2) before vanishing from the top ranks.
+  if (epoch != Epoch::kMarch2023) {
+    c.partial_transit = {{kChinaTelecom, kDataComm, 0.20},
+                         {kChinaTelecom, kDigitalUnited, 0.25},
+                         {kChinaTelecom, kTaiwanFixed, 0.25},
+                         {kChinaTelecom, kFarEasTone, 0.20}};
+  }
+  if (epoch == Epoch::kMarch2018) {
+    // 2018: China Telecom's Taiwanese transit business at its peak.
+    c.multinational_presence = {{kChinaTelecom, 0.22}, {kCogent, 0.10},
+                                {kPccw, 0.10},        {kSprint, 0.08},
+                                {kHurricane, 0.05}};
+  } else if (epoch == Epoch::kApril2021) {
+    // 2021: China Telecom still sold transit into Taiwan (CCI #7, §6.2).
+    c.multinational_presence = {{kChinaTelecom, 0.15}, {kCogent, 0.12},
+                                {kPccw, 0.10},        {kSprint, 0.08},
+                                {kHurricane, 0.06}};
+  } else {
+    // 2023: China Telecom dropped out of the Taiwanese transit market.
+    c.multinational_presence = {{kCogent, 0.15}, {kPccw, 0.10},
+                                {kSprint, 0.06}, {kHurricane, 0.08},
+                                {kVerizon, 0.06}};
+  }
+  return c;
+}
+
+CountrySpec kazakhstan() {
+  CountrySpec c;
+  c.code = cc("KZ");
+  c.continent = "As";
+  c.stub_count = 12;
+  c.regional_isp_count = 3;
+  c.address_budget = 1 << 19;
+  c.vp_count = 2;
+  c.multihop_vp_count = 1;
+  // Former-Soviet dependency on Russian carriers (Figure 7).
+  c.incumbents = {{9198, "Kazakhtelecom", {}, "", 0.50, 0.40,
+                   {kTransTelekom, kRostelecom}}};
+  c.multinational_presence = {{kTransTelekom, 0.25}, {kRostelecom, 0.20},
+                              {kArelion, 0.08}};
+  return c;
+}
+
+CountrySpec kyrgyzstan() {
+  CountrySpec c;
+  c.code = cc("KG");
+  c.continent = "As";
+  c.stub_count = 8;
+  c.regional_isp_count = 2;
+  c.address_budget = 1 << 18;
+  c.vp_count = 1;
+  c.multihop_vp_count = 0;
+  c.incumbents = {{8511, "Kyrgyztelecom", {}, "", 0.50, 0.40,
+                   {kRostelecom, kTransTelekom}}};
+  c.multinational_presence = {{kRostelecom, 0.30}, {kTransTelekom, 0.20}};
+  return c;
+}
+
+CountrySpec tajikistan() {
+  CountrySpec c;
+  c.code = cc("TJ");
+  c.continent = "As";
+  c.stub_count = 6;
+  c.regional_isp_count = 2;
+  c.address_budget = 1 << 18;
+  c.vp_count = 1;
+  c.multihop_vp_count = 0;
+  c.incumbents = {{43197, "Tojiktelecom", {}, "", 0.50, 0.40,
+                   {kRostelecom, kTransTelekom}}};
+  c.multinational_presence = {{kRostelecom, 0.30}, {kTransTelekom, 0.25}};
+  return c;
+}
+
+CountrySpec turkmenistan() {
+  CountrySpec c;
+  c.code = cc("TM");
+  c.continent = "As";
+  c.stub_count = 4;
+  c.regional_isp_count = 1;
+  c.address_budget = 1 << 17;
+  c.vp_count = 1;
+  c.multihop_vp_count = 0;
+  c.incumbents = {{20661, "Turkmentelecom", {}, "", 0.60, 0.50,
+                   {kRostelecom, kTransTelekom}}};
+  c.multinational_presence = {{kRostelecom, 0.35}, {kTransTelekom, 0.25}};
+  return c;
+}
+
+// ---------------------------------------------------------------- Russia
+
+CountrySpec russia(Epoch epoch) {
+  CountrySpec c;
+  c.code = cc("RU");
+  c.continent = "Eu";
+  c.stub_count = 50;
+  c.regional_isp_count = 8;
+  c.address_budget = 1 << 21;
+  c.vp_count = 7;
+  c.multihop_vp_count = 1;
+  // Major Russian carriers buy full transit from EUROPEAN multinationals;
+  // Lumen (and GTT) hold thin PARTIAL relationships with them — so
+  // Lumen's cone covers nearly all of Russia (97% CCI, Table 10) while
+  // the actual-path metrics (AHI/AHN/CCN) stay Russian/European-led
+  // (§5.3).
+  c.incumbents = {
+      // Rostelecom multihomes widely (no single foreign upstream
+      // dominates its inbound paths) and wholesales to smaller majors.
+      {kRostelecom, "Rostelecom", {}, "", 0.40, 0.32,
+       {kTelecomItalia, kOrange, kPccw, kTata}},
+      {kMtsRu, "MTS PJSC", {}, "", 0.18, 0.16, {kVodafone, kRetn}},
+      {kErTelecom, "ER-Telecom", {}, "", 0.13, 0.11, {kRetn, kTelecomItalia}},
+      {kVimpelcom, "Vimpelcom", {}, "", 0.10, 0.09, {kTelecomItalia, kOrange}},
+      {kMegafon, "MegaFon", {}, "", 0.09, 0.08, {kRetn, kTelecomItalia}},
+  };
+  c.challengers = {
+      // TransTelekom: the Vocus-style transit challenger, riding Vodafone
+      // (whence Vodafone's top CCN slot in Table 7). It wholesales
+      // PARTIALLY to other Russian majors: big cone, few actual paths.
+      {kTransTelekom, "TransTelekom", 0.06, 0.05, {kVodafone, kRetn},
+       /*also_transits=*/{{kVimpelcom, 0.6}, {kMegafon, 0.6}, {kMtsRu, 0.55},
+                          {kErTelecom, 0.5}}},
+  };
+  c.partial_transit = {
+      // Lumen's thin relationships with every Russian major: CCI ~97%
+      // with single-digit AHI (Table 7 / Table 10). These persist into
+      // 2023 — Lumen stopped selling IN Russia but still connects the
+      // Russian carriers abroad (§6.1).
+      {kLumen, kRostelecom, 0.12}, {kLumen, kMtsRu, 0.12},
+      {kLumen, kTransTelekom, 0.12}, {kLumen, kErTelecom, 0.12},
+      {kLumen, kVimpelcom, 0.12}, {kLumen, kMegafon, 0.12},
+      // Rostelecom's wholesale arm.
+      {kRostelecom, kErTelecom, 0.30}, {kRostelecom, kMegafon, 0.30},
+      {kRostelecom, kVimpelcom, 0.20},
+  };
+  if (epoch != Epoch::kMarch2023) {
+    // GTT's Russian relationships ended by 2023 (it drops out of the CCI
+    // top-10 in Table 10); Orange picked up some of the slack.
+    c.partial_transit.push_back({kGtt, kRostelecom, 0.10});
+    c.partial_transit.push_back({kGtt, kVimpelcom, 0.10});
+  } else {
+    c.partial_transit.push_back({kOrange, kRostelecom, 0.10});
+    c.partial_transit.push_back({kOrange, kMegafon, 0.10});
+  }
+  // Sparse domestic major peering: Russian domestic paths leak onto
+  // foreign transit, so foreign carriers appear even in the CCN (§5.3).
+  c.major_peering = 0.15;
+  if (epoch != Epoch::kMarch2023) {
+    c.multinational_presence = {{kRetn, 0.15}, {kArelion, 0.12},
+                                {kLumen, 0.10}, {kCogent, 0.08},
+                                {kGtt, 0.08},   {kTelecomItalia, 0.06}};
+  } else {
+    // March 2023: Lumen and Cogent stopped selling inside Russia, but the
+    // structural dependence on foreign transit remains (§6.1, Table 10).
+    c.multinational_presence = {{kRetn, 0.18}, {kArelion, 0.15},
+                                {kCogent, 0.10},  // still connects abroad
+                                {kTelecomItalia, 0.08}, {kOrange, 0.06}};
+  }
+  c.peering_density = 0.2;
+  c.route_server_asn = kMskIxRs;
+  return c;
+}
+
+// ------------------------------------------------------------- Australia
+
+CountrySpec australia(Epoch epoch) {
+  CountrySpec c;
+  c.code = cc("AU");
+  c.continent = "Oc";
+  c.stub_count = 35;
+  c.regional_isp_count = 6;
+  c.address_budget = 1 << 20;
+  c.vp_count = 8;
+  c.multihop_vp_count = 2;
+  c.incumbents = {
+      // The paper's flagship example: Telstra's split ASes (§5.1).
+      {kTelstra, "Telstra", kTelstraIntl, "Telstra Intl", 0.25, 0.28, {},
+       {kGtt}},
+      {kTpg, "TPG", {}, "", 0.20, 0.22, {kArelion, kZayo}},
+      {kOptus, "SingTel Optus", kOptusIntl, "SingTel Optus Intl", 0.15, 0.13,
+       {}, {kSingtel}},
+  };
+  if (epoch == Epoch::kMarch2018) {
+    // 2018: pre-consolidation Vocus — smaller wholesale footprint.
+    c.challengers = {
+        {kVocus, "Vocus", 0.45, 0.04, {kArelion, kZayo},
+         /*also_transits=*/{{kTpg, 0.25}}},
+    };
+  } else {
+    c.challengers = {
+        // Vocus: a huge transit cone (the paper's ~80% of AU space) with
+        // little address space of its own. TPG and Optus are PARTIAL
+        // customers: their full space joins Vocus's cone while most of
+        // their actual paths bypass it — cone >> hegemony (§1.1, §5.1).
+        {kVocus, "Vocus", 0.60, 0.04, {kArelion, kZayo, kLumen},
+         /*also_transits=*/{{kTpg, 0.35}, {kOptus, 0.35}}},
+    };
+  }
+  c.multinational_presence = {{kSingtel, 0.10}, {kHurricane, 0.08},
+                              {kArelion, 0.06}};
+  c.peering_density = 0.25;
+  c.route_server_asn = kIxAustraliaRs;
+  return c;
+}
+
+CountrySpec new_zealand() {
+  CountrySpec c;
+  c.code = cc("NZ");
+  c.continent = "Oc";
+  c.stub_count = 15;
+  c.regional_isp_count = 3;
+  c.address_budget = 1 << 19;
+  c.vp_count = 4;
+  c.multihop_vp_count = 1;
+  c.incumbents = {{4771, "Spark NZ", {}, "", 0.40, 0.30,
+                   {kTelstraIntl, kSingtel}}};
+  c.multinational_presence = {{kTelstraIntl, 0.25}, {kSingtel, 0.15},
+                              {kHurricane, 0.12}, {kVerizon, 0.08}};
+  return c;
+}
+
+CountrySpec fiji() {
+  CountrySpec c;
+  c.code = cc("FJ");
+  c.continent = "Oc";
+  c.stub_count = 4;
+  c.regional_isp_count = 1;
+  c.address_budget = 1 << 17;
+  c.vp_count = 1;
+  c.multihop_vp_count = 0;
+  c.incumbents = {{45355, "Telecom Fiji", {}, "", 0.50, 0.40,
+                   {kTelstraIntl, kSingtel}}};
+  c.multinational_presence = {{kTelstraIntl, 0.30}, {kSingtel, 0.20}};
+  return c;
+}
+
+CountrySpec papua_new_guinea() {
+  CountrySpec c;
+  c.code = cc("PG");
+  c.continent = "Oc";
+  c.stub_count = 4;
+  c.regional_isp_count = 1;
+  c.address_budget = 1 << 17;
+  c.vp_count = 1;
+  c.multihop_vp_count = 0;
+  c.incumbents = {{139898, "Telikom PNG", {}, "", 0.50, 0.40,
+                   {kTelstraIntl, kSingtel}}};
+  c.multinational_presence = {{kTelstraIntl, 0.30}};
+  return c;
+}
+
+// ---------------------------------------------------------------- Africa
+
+CountrySpec south_africa() {
+  CountrySpec c;
+  c.code = cc("ZA");
+  c.continent = "Af";
+  c.stub_count = 14;
+  c.regional_isp_count = 4;
+  c.address_budget = 1 << 20;
+  c.vp_count = 11;
+  c.multihop_vp_count = 2;
+  c.incumbents = {{5713, "Telkom SA", {}, "", 0.40, 0.30, {kLumen, kArelion}}};
+  c.multinational_presence = {{kMtnSa, 0.25}, {kLiquid, 0.15},
+                              {kHurricane, 0.12}, {kWiocc, 0.08}};
+  c.peering_density = 0.3;
+  return c;
+}
+
+CountrySpec kenya() {
+  CountrySpec c;
+  c.code = cc("KE");
+  c.continent = "Af";
+  c.stub_count = 12;
+  c.regional_isp_count = 3;
+  c.address_budget = 1 << 18;
+  c.vp_count = 3;
+  c.multihop_vp_count = 1;
+  c.incumbents = {{33771, "Safaricom", {}, "", 0.35, 0.30, {kLiquid, kWiocc}}};
+  c.multinational_presence = {{kLiquid, 0.30}, {kMtnSa, 0.22},
+                              {kWiocc, 0.25}, {kHurricane, 0.06}};
+  return c;
+}
+
+CountrySpec uganda() {
+  CountrySpec c;
+  c.code = cc("UG");
+  c.continent = "Af";
+  c.stub_count = 8;
+  c.regional_isp_count = 2;
+  c.address_budget = 1 << 17;
+  c.vp_count = 1;
+  c.multihop_vp_count = 0;
+  c.incumbents = {{21491, "Uganda Telecom", {}, "", 0.40, 0.30,
+                   {kLiquid, kMtnSa}}};
+  c.multinational_presence = {{kLiquid, 0.30}, {kMtnSa, 0.30}, {kWiocc, 0.22}};
+  return c;
+}
+
+CountrySpec morocco() {
+  CountrySpec c;
+  c.code = cc("MA");
+  c.continent = "Af";
+  c.stub_count = 10;
+  c.regional_isp_count = 2;
+  c.address_budget = 1 << 18;
+  c.vp_count = 1;
+  c.multihop_vp_count = 0;
+  c.incumbents = {{6713, "Maroc Telecom", {}, "", 0.55, 0.45,
+                   {kOrange, kTelefonica}}};
+  c.multinational_presence = {{kOrange, 0.30}, {kTelefonica, 0.12}};
+  return c;
+}
+
+CountrySpec ivory_coast() {
+  CountrySpec c;
+  c.code = cc("CI");
+  c.continent = "Af";
+  c.stub_count = 8;
+  c.regional_isp_count = 2;
+  c.address_budget = 1 << 17;
+  c.vp_count = 1;
+  c.multihop_vp_count = 0;
+  c.incumbents = {{29571, "Orange Cote d'Ivoire", {}, "", 0.55, 0.45,
+                   {kOrange}}};
+  c.multinational_presence = {{kOrange, 0.35}, {kLiquid, 0.10}};
+  return c;
+}
+
+CountrySpec tunisia() {
+  CountrySpec c;
+  c.code = cc("TN");
+  c.continent = "Af";
+  c.stub_count = 8;
+  c.regional_isp_count = 2;
+  c.address_budget = 1 << 17;
+  c.vp_count = 1;
+  c.multihop_vp_count = 0;
+  c.incumbents = {{2609, "Tunisie Telecom", {}, "", 0.55, 0.45,
+                   {kTelecomItalia, kOrange}}};
+  c.multinational_presence = {{kTelecomItalia, 0.30}, {kOrange, 0.15}};
+  return c;
+}
+
+CountrySpec egypt() {
+  CountrySpec c;
+  c.code = cc("EG");
+  c.continent = "Af";
+  c.stub_count = 15;
+  c.regional_isp_count = 3;
+  c.address_budget = 1 << 19;
+  c.vp_count = 2;
+  c.multihop_vp_count = 1;
+  c.incumbents = {{8452, "Telecom Egypt", {}, "", 0.50, 0.40,
+                   {kTelecomItalia, kVodafone}}};
+  c.multinational_presence = {{kVodafone, 0.20}, {kTelecomItalia, 0.15},
+                              {kHurricane, 0.06}};
+  return c;
+}
+
+CountrySpec mauritius() {
+  CountrySpec c;
+  c.code = cc("MU");
+  c.continent = "Af";
+  c.stub_count = 5;
+  c.regional_isp_count = 1;
+  c.address_budget = 1 << 17;
+  c.vp_count = 1;
+  c.multihop_vp_count = 0;
+  c.incumbents = {{23889, "Mauritius Telecom", {}, "", 0.50, 0.40,
+                   {kWiocc, kOrange}}};
+  c.multinational_presence = {{kWiocc, 0.35}, {kLiquid, 0.10}};
+  return c;
+}
+
+}  // namespace
+
+const char* epoch_label(Epoch epoch) {
+  switch (epoch) {
+    case Epoch::kMarch2018: return "20180301";
+    case Epoch::kApril2021: return "20210401";
+    case Epoch::kMarch2023: return "20230301";
+  }
+  return "?";
+}
+
+WorldSpec default_world_spec(Epoch epoch, std::uint64_t seed) {
+  WorldSpec spec;
+  spec.seed = seed;
+  spec.multinationals = global_carriers();
+  spec.hypergiants = hypergiants();
+  spec.countries = {
+      // Order fixes ASN auto-allocation; keep stable across epochs.
+      australia(epoch),
+      japan(),
+      russia(epoch),
+      united_states(),
+      taiwan(epoch),
+      china(epoch),
+      netherlands(),
+      united_kingdom(),
+      germany(),
+      france(),
+      italy(),
+      spain(),
+      sweden(),
+      switzerland(),
+      austria(),
+      ukraine(),
+      canada(),
+      mexico(),
+      brazil(),
+      argentina(),
+      chile(),
+      colombia(),
+      south_korea(),
+      india(),
+      singapore(),
+      kazakhstan(),
+      kyrgyzstan(),
+      tajikistan(),
+      turkmenistan(),
+      new_zealand(),
+      fiji(),
+      papua_new_guinea(),
+      south_africa(),
+      kenya(),
+      uganda(),
+      morocco(),
+      ivory_coast(),
+      tunisia(),
+      egypt(),
+      mauritius(),
+  };
+  return spec;
+}
+
+WorldSpec mini_world_spec(std::uint64_t seed) {
+  using namespace asn;
+  WorldSpec spec;
+  spec.seed = seed;
+  spec.multinationals = {
+      {kLumen, "Lumen", cc("US"), 1, false},
+      {kArelion, "Arelion", cc("SE"), 1, false},
+      {kCogent, "Cogent", cc("US"), 1, false},
+      {kHurricane, "Hurricane", cc("US"), 2, true},
+  };
+  spec.hypergiants = {
+      {kAmazon, "Amazon", cc("US"), {{cc("US"), 0.05}, {cc("AU"), 0.05}}},
+  };
+
+  CountrySpec au;
+  au.code = cc("AU");
+  au.continent = "Oc";
+  au.stub_count = 10;
+  au.regional_isp_count = 2;
+  au.address_budget = 1 << 18;
+  au.vp_count = 4;
+  au.multihop_vp_count = 1;
+  au.incumbents = {{kTelstra, "Telstra", kTelstraIntl, "Telstra Intl", 0.4,
+                    0.35, {}}};
+  au.challengers = {{kVocus, "Vocus", 0.45, 0.05, {kArelion, kLumen}}};
+  au.route_server_asn = kIxAustraliaRs;
+
+  CountrySpec us;
+  us.code = cc("US");
+  us.continent = "No.Am";
+  us.stub_count = 12;
+  us.regional_isp_count = 3;
+  us.address_budget = 1 << 20;
+  us.vp_count = 6;
+  us.multihop_vp_count = 1;
+  us.multinational_presence = {{kLumen, 0.4}, {kCogent, 0.2}, {kHurricane, 0.15}};
+
+  CountrySpec jp;
+  jp.code = cc("JP");
+  jp.continent = "As";
+  jp.stub_count = 8;
+  jp.regional_isp_count = 2;
+  jp.address_budget = 1 << 19;
+  jp.vp_count = 3;
+  jp.multihop_vp_count = 1;
+  jp.incumbents = {{kNttOcn, "NTT OCN", {}, "", 0.5, 0.3, {kLumen}},
+                   {kKddi, "KDDI", {}, "", 0.3, 0.25, {kArelion}}};
+
+  CountrySpec de;
+  de.code = cc("DE");
+  de.continent = "Eu";
+  de.stub_count = 8;
+  de.regional_isp_count = 2;
+  de.address_budget = 1 << 19;
+  de.vp_count = 4;
+  de.multihop_vp_count = 1;
+  de.incumbents = {{3320, "Deutsche Telekom", {}, "", 0.5, 0.35,
+                    {kArelion, kLumen}}};
+  de.route_server_asn = kDeCixRs;
+
+  spec.countries = {au, us, jp, de};
+  return spec;
+}
+
+}  // namespace georank::gen

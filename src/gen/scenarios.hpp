@@ -1,0 +1,70 @@
+// Prebuilt world specifications for the paper's experiments.
+//
+// `default_world_spec` is the workhorse: ~35 countries whose market
+// structures encode public knowledge about each case-study country
+// (incumbent split domestic/international ASes, challenger transit
+// markets, multinational footprints, former-Soviet dependencies, ...).
+// Absolute sizes are scaled down from the real Internet (documented in
+// DESIGN.md); the structure — who serves whom — is what the metrics must
+// recover.
+//
+// Three epochs reproduce the temporal studies:
+//   kMarch2018   the earlier snapshot the paper's history references
+//                (pre-TPG/Vocus consolidation, China Telecom strong in
+//                Taiwan, a smaller Rostelecom);
+//   kApril2021   baseline (the paper's main data set);
+//   kMarch2023   after the Russia sanctions edits (Lumen/Cogent retreat)
+//                and Taiwan's de-peering from China Telecom.
+#pragma once
+
+#include "gen/world_spec.hpp"
+
+namespace georank::gen {
+
+enum class Epoch { kMarch2018, kApril2021, kMarch2023 };
+
+/// Display label, e.g. "20210401".
+[[nodiscard]] const char* epoch_label(Epoch epoch);
+
+/// The full evaluation world (Tables 3-14, Figures 4-10).
+[[nodiscard]] WorldSpec default_world_spec(Epoch epoch = Epoch::kApril2021,
+                                           std::uint64_t seed = 20210401);
+
+/// A small, fast world for unit and integration tests: 4 countries,
+/// a 3-AS clique, a couple hundred paths.
+[[nodiscard]] WorldSpec mini_world_spec(std::uint64_t seed = 11);
+
+/// Well-known ASNs used across the scenarios, for readable assertions.
+namespace asn {
+// Tier-1 / multinationals.
+inline constexpr bgp::Asn kLumen = 3356, kArelion = 1299, kCogent = 174,
+                          kNttAmerica = 2914, kGtt = 3257, kZayo = 6461,
+                          kVodafone = 1273, kTelecomItalia = 6762, kAtt = 7018,
+                          kVerizon = 701, kSprint = 1239, kTata = 6453,
+                          kPccw = 3491, kOrange = 5511, kTelefonica = 12956;
+// Tier-2 / regional powers.
+inline constexpr bgp::Asn kHurricane = 6939, kRetn = 9002, kLiquid = 30844,
+                          kMtnSa = 16637, kWiocc = 37662, kSingtel = 7473;
+// Hypergiants.
+inline constexpr bgp::Asn kAmazon = 16509, kAkamai = 20940, kGoogle = 15169;
+// Australia.
+inline constexpr bgp::Asn kTelstra = 1221, kTelstraIntl = 4637, kVocus = 4826,
+                          kTpg = 7545, kOptus = 7474, kOptusIntl = 4804;
+// Japan.
+inline constexpr bgp::Asn kNttOcn = 4713, kKddi = 2516, kSoftbank = 17676;
+// Russia.
+inline constexpr bgp::Asn kRostelecom = 12389, kTransTelekom = 20485,
+                          kMtsRu = 8359, kErTelecom = 9049, kVimpelcom = 3216,
+                          kMegafon = 31133;
+// Taiwan & China.
+inline constexpr bgp::Asn kChunghwa = 3462, kChunghwaIntl = 9505,
+                          kDataComm = 9680, kDigitalUnited = 4780,
+                          kFarEasTone = 9674, kEducationTw = 1659,
+                          kTaiwanFixed = 9924, kMinistryEduTw = 17717,
+                          kChinaTelecom = 4134, kChinaUnicom = 4837;
+// Route servers.
+inline constexpr bgp::Asn kIxAustraliaRs = 24115, kMskIxRs = 8631,
+                          kDeCixRs = 6695, kAmsIxRs = 6777, kLinxRs = 8714;
+}  // namespace asn
+
+}  // namespace georank::gen

@@ -1,0 +1,80 @@
+// A fully materialized synthetic Internet: everything the pipeline's
+// real-world counterpart downloads (topology as routed, collector
+// metadata, geolocation DB, IANA allocations) plus the ground truth the
+// real world never reveals (true relationships, true AS countries).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/prefix.hpp"
+#include "bgp/route.hpp"
+#include "geo/geo_db.hpp"
+#include "geo/vp_geolocator.hpp"
+#include "rank/ahc.hpp"
+#include "sanitize/asn_registry.hpp"
+#include "topo/as_graph.hpp"
+
+namespace georank::gen {
+
+enum class AsRole : std::uint8_t {
+  kTier1,
+  kTier2,
+  kIncumbentDomestic,
+  kIncumbentInternational,
+  kChallenger,
+  kRegional,
+  kStub,
+  kHypergiant,
+  kRouteServer,
+};
+
+struct AsInfo {
+  std::string name;
+  geo::CountryCode registered;  // WHOIS registration country
+  geo::CountryCode home;        // where it actually operates (stubs etc.)
+  AsRole role = AsRole::kStub;
+};
+
+struct Origination {
+  bgp::Prefix prefix;
+  bgp::Asn origin;
+};
+
+struct World {
+  topo::AsGraph graph;  // ground-truth relationships
+  std::unordered_map<bgp::Asn, AsInfo> as_info;
+  std::vector<Origination> originations;
+  geo::GeoDatabase geo_db;
+  geo::VpGeolocator vps;
+  sanitize::AsnRegistry asn_registry;
+  rank::AsRegistry as_registry;  // asn -> registration country (for AHC)
+  std::vector<bgp::Asn> route_servers;
+  std::vector<bgp::Asn> clique;  // ground-truth tier 1 set
+  /// Inclusive ASN range the generator never allocates; the noise
+  /// injector draws "unallocated ASN" hops from here.
+  bgp::Asn bogus_asn_first = 0, bogus_asn_last = 0;
+  /// Country -> continent label (Table 12).
+  std::unordered_map<geo::CountryCode, std::string, geo::CountryCodeHash> continents;
+
+  [[nodiscard]] const AsInfo* info(bgp::Asn asn) const {
+    auto it = as_info.find(asn);
+    return it == as_info.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::string name_of(bgp::Asn asn) const {
+    const AsInfo* i = info(asn);
+    return i && !i->name.empty() ? i->name : ("AS" + std::to_string(asn));
+  }
+  /// ASNs whose info matches a predicate.
+  template <typename Pred>
+  [[nodiscard]] std::vector<bgp::Asn> ases_where(Pred&& pred) const {
+    std::vector<bgp::Asn> out;
+    for (const auto& [asn, info] : as_info) {
+      if (pred(asn, info)) out.push_back(asn);
+    }
+    return out;
+  }
+};
+
+}  // namespace georank::gen

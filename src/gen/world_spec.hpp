@@ -1,0 +1,176 @@
+// Declarative specification of a synthetic Internet (DESIGN.md §1).
+//
+// A WorldSpec describes the STRUCTURE the paper's case studies rely on —
+// tier-1 clique, national incumbents with split domestic/international
+// ASes, challenger and regional ISPs, stubs, hypergiants, IXP route
+// servers, VP placement — and the generator turns it into a concrete
+// topology, address plan, geolocation database and collector inventory.
+// Rankings are NOT encoded anywhere; the metrics must discover them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "geo/country.hpp"
+
+namespace georank::gen {
+
+using bgp::Asn;
+using geo::CountryCode;
+
+/// A national carrier. When `international_asn` is set the carrier runs
+/// the classic split: a domestic access/transit AS plus an international
+/// transit AS (Telstra 1221/4637, NTT 4713/2914 pattern, §5.5).
+struct IncumbentSpec {
+  Asn domestic_asn = 0;
+  std::string name;
+  std::optional<Asn> international_asn;
+  std::string international_name;
+  /// Share of the country's stub ASes that buy from this carrier.
+  double market_share = 0.5;
+  /// Share of the country's address space originated by the domestic AS
+  /// itself (access network scale).
+  double address_share = 0.2;
+  /// Transit providers of the domestic AS when it has NO international
+  /// sibling (e.g. NTT OCN buying from NTT America). Ignored otherwise.
+  std::vector<Asn> upstreams;
+  /// Transit providers of the INTERNATIONAL sibling; empty -> two
+  /// generator-chosen tier-1s.
+  std::vector<Asn> international_upstreams;
+};
+
+/// A domestic transit challenger (the Vocus pattern): sells transit to
+/// many in-country networks but holds little address space of its own.
+struct ChallengerSpec {
+  Asn asn = 0;
+  std::string name;
+  /// Share of regionals/stubs buying transit from the challenger.
+  double transit_share = 0.3;
+  double address_share = 0.05;
+  /// Multinationals (by ASN) this challenger buys international transit
+  /// from; they inherit its cone transitively (the Arelion/Vocus effect).
+  std::vector<Asn> upstreams;
+  /// In-country ASes (incumbents, other carriers) that ALSO buy transit
+  /// from this challenger, on top of their own providers — how a
+  /// wholesale challenger accumulates a cone far larger than its own
+  /// address space (Vocus at ~80% of AU, §5.1). `announce_fraction` < 1
+  /// makes the relationship "complex" (partial transit): the customer's
+  /// whole address space joins the challenger's CONE while only a
+  /// fraction of actual paths cross it — the cone-inflation effect the
+  /// paper calls out in §1.1.
+  struct Wholesale {
+    Asn customer = 0;
+    double announce_fraction = 1.0;
+  };
+  std::vector<Wholesale> also_transits;
+};
+
+/// Country-wide extra transit edge (provider may be any AS in the world),
+/// with the same partial-announcement semantics as Wholesale. Models
+/// e.g. Lumen's thin but cone-inflating relationships with the major
+/// Russian carriers (CCI 97% vs AHI 6%, Table 7).
+struct PartialTransitSpec {
+  Asn provider = 0;
+  Asn customer = 0;
+  double announce_fraction = 0.15;
+};
+
+/// A foreign carrier selling transit inside a country. The weight is
+/// commensurable with IncumbentSpec::market_share / ChallengerSpec::
+/// transit_share: it is the carrier's share of the local transit market.
+struct PresenceSpec {
+  Asn asn = 0;
+  double weight = 0.1;
+};
+
+struct CountrySpec {
+  CountryCode code;
+  std::string continent;  // "No.Am" "So.Am" "Eu" "Af" "As" "Oc"
+  int stub_count = 20;
+  int regional_isp_count = 3;
+  /// Total IPv4 addresses geolocated to the country.
+  std::uint64_t address_budget = 1 << 22;
+  int vp_count = 4;           // in-country, locatable VPs
+  int multihop_vp_count = 1;  // VPs excluded by the multihop rule
+  std::vector<IncumbentSpec> incumbents;
+  std::vector<ChallengerSpec> challengers;
+  /// Foreign carriers with a sales presence: regionals/stubs may buy
+  /// transit from them directly.
+  std::vector<PresenceSpec> multinational_presence;
+  /// Probability of p2p between two in-country regionals/stubs at the IXP.
+  double peering_density = 0.15;
+  /// Probability of p2p between the country's MAJOR carriers (incumbents
+  /// and challengers). Dense (default) keeps domestic traffic domestic;
+  /// sparse markets (e.g. Russia) leak domestic paths to foreign transit,
+  /// which is why foreign carriers show up in their CCN (§5.3).
+  double major_peering = 0.85;
+  /// IXP route-server ASN (0 = none). Appears in paths via injection and
+  /// must be stripped by the sanitizer.
+  Asn route_server_asn = 0;
+  /// Extra (usually partial) transit edges wired after the country's
+  /// carriers exist.
+  std::vector<PartialTransitSpec> partial_transit;
+};
+
+/// Global transit provider. Tier 1 ASes form the clique; tier 2 ASes buy
+/// from tier 1 and peer among themselves.
+struct MultinationalSpec {
+  Asn asn = 0;
+  std::string name;
+  CountryCode registered;
+  int tier = 1;
+  /// Hurricane-style settlement-free peering with edge networks
+  /// everywhere: boosts hegemony without growing the customer cone.
+  bool liberal_peering = false;
+};
+
+/// Content hypergiant (the Amazon pattern, §5.1.2): registered in one
+/// country, originates prefixes inside many others. Shares differ per
+/// market — a CDN can hold a double-digit slice of a small country's
+/// observed space while staying marginal in large ones.
+struct HypergiantSpec {
+  struct Origin {
+    CountryCode country;
+    /// Share of that country's address budget the hypergiant originates.
+    double share = 0.03;
+  };
+
+  Asn asn = 0;
+  std::string name;
+  CountryCode registered;
+  std::vector<Origin> origins;
+};
+
+/// Data imperfection knobs; defaults roughly reproduce Table 1's mix.
+struct NoiseSpec {
+  double prefix_flap_rate = 0.10;     // prefixes missing >= 1 of 5 days
+  double loop_rate = 0.0008;          // per-entry non-adjacent duplicate
+  double poison_rate = 0.00005;       // per-entry clique sandwich
+  double unallocated_rate = 0.0009;   // per-entry bogus ASN insertion
+  double prepend_rate = 0.02;         // benign adjacent duplication
+  double route_server_rate = 0.25;    // RS hop retained at IXP crossings
+  /// Fraction of a country's address region whose blocks geolocate to a
+  /// different country (commercial-database noise).
+  double geo_noise = 0.008;
+  /// Fraction of prefixes deliberately split across countries below the
+  /// consensus threshold ("prefix no location").
+  double mixed_prefix_rate = 0.015;
+  /// Fraction of multi-prefix ASes that also announce both halves of one
+  /// prefix (making the covering prefix fully covered -> filtered).
+  double covered_prefix_rate = 0.035;
+};
+
+struct WorldSpec {
+  std::uint64_t seed = 1;
+  std::vector<MultinationalSpec> multinationals;
+  std::vector<HypergiantSpec> hypergiants;
+  std::vector<CountrySpec> countries;
+  NoiseSpec noise;
+  /// Days of RIB snapshots to synthesize (the paper uses 5).
+  int rib_days = 5;
+};
+
+}  // namespace georank::gen

@@ -1,0 +1,63 @@
+// ISO-3166-style two-letter country codes as a compact value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace georank::geo {
+
+class CountryCode {
+ public:
+  /// The "no country" sentinel (unlocatable prefixes/VPs).
+  constexpr CountryCode() noexcept = default;
+
+  /// From exactly two ASCII letters, case-insensitive ("jp" == "JP").
+  [[nodiscard]] static constexpr std::optional<CountryCode> parse(
+      std::string_view text) noexcept {
+    if (text.size() != 2) return std::nullopt;
+    char a = upper(text[0]), b = upper(text[1]);
+    if (a < 'A' || a > 'Z' || b < 'A' || b > 'Z') return std::nullopt;
+    CountryCode cc;
+    cc.value_ = static_cast<std::uint16_t>((a << 8) | b);
+    return cc;
+  }
+
+  /// Compile-time literal helper: CountryCode::of("JP").
+  [[nodiscard]] static constexpr CountryCode of(std::string_view text) {
+    auto cc = parse(text);
+    if (!cc) throw std::invalid_argument{"bad country code"};
+    return *cc;
+  }
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != 0; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (!valid()) return "??";
+    return {static_cast<char>(value_ >> 8), static_cast<char>(value_ & 0xff)};
+  }
+
+  [[nodiscard]] constexpr std::uint16_t raw() const noexcept { return value_; }
+
+  friend constexpr auto operator<=>(CountryCode, CountryCode) noexcept = default;
+
+ private:
+  static constexpr char upper(char c) noexcept {
+    return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+  }
+  std::uint16_t value_ = 0;
+};
+
+inline constexpr CountryCode kNoCountry{};
+
+struct CountryCodeHash {
+  [[nodiscard]] std::size_t operator()(CountryCode cc) const noexcept {
+    return std::hash<std::uint16_t>{}(cc.raw());
+  }
+};
+
+}  // namespace georank::geo

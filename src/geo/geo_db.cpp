@@ -1,0 +1,85 @@
+#include "geo/geo_db.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace georank::geo {
+
+void GeoDatabase::add_range(std::uint32_t first, std::uint32_t last,
+                            CountryCode country) {
+  if (first > last) throw std::invalid_argument{"geo range first > last"};
+  if (!country.valid()) throw std::invalid_argument{"geo range needs a country"};
+  ranges_.push_back(GeoRange{first, last, country});
+  finalized_ = false;
+}
+
+void GeoDatabase::finalize() {
+  std::sort(ranges_.begin(), ranges_.end(),
+            [](const GeoRange& a, const GeoRange& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < ranges_.size(); ++i) {
+    if (ranges_[i].first <= ranges_[i - 1].last) {
+      throw std::invalid_argument{"overlapping geo ranges"};
+    }
+  }
+  // Merge adjacent same-country ranges to keep queries fast.
+  std::vector<GeoRange> merged;
+  merged.reserve(ranges_.size());
+  for (const GeoRange& r : ranges_) {
+    if (!merged.empty() && merged.back().country == r.country &&
+        merged.back().last + 1 == r.first && merged.back().last != 0xffffffffu) {
+      merged.back().last = r.last;
+    } else {
+      merged.push_back(r);
+    }
+  }
+  ranges_ = std::move(merged);
+  finalized_ = true;
+}
+
+CountryCode GeoDatabase::country_of(std::uint32_t ip) const {
+  if (!finalized_) throw std::logic_error{"GeoDatabase::finalize() not called"};
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), ip,
+      [](std::uint32_t v, const GeoRange& r) { return v < r.first; });
+  if (it == ranges_.begin()) return kNoCountry;
+  --it;
+  return ip <= it->last ? it->country : kNoCountry;
+}
+
+std::vector<CountrySlice> GeoDatabase::count_by_country(std::uint32_t first,
+                                                        std::uint32_t last) const {
+  if (!finalized_) throw std::logic_error{"GeoDatabase::finalize() not called"};
+  if (first > last) throw std::invalid_argument{"query first > last"};
+  std::vector<CountrySlice> out;
+  auto bump = [&](CountryCode cc, std::uint64_t n) {
+    if (n == 0) return;
+    for (CountrySlice& s : out) {
+      if (s.country == cc) {
+        s.addresses += n;
+        return;
+      }
+    }
+    out.push_back(CountrySlice{cc, n});
+  };
+
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), first,
+      [](std::uint32_t v, const GeoRange& r) { return v < r.first; });
+  if (it != ranges_.begin()) --it;
+
+  std::uint64_t cursor = first;
+  for (; it != ranges_.end() && it->first <= last; ++it) {
+    if (it->last < cursor) continue;
+    std::uint64_t seg_first = std::max<std::uint64_t>(cursor, it->first);
+    std::uint64_t seg_last = std::min<std::uint64_t>(last, it->last);
+    if (seg_first > seg_last) continue;
+    bump(kNoCountry, seg_first - cursor);  // gap before this range
+    bump(it->country, seg_last - seg_first + 1);
+    cursor = seg_last + 1;
+    if (cursor > last) break;
+  }
+  if (cursor <= last) bump(kNoCountry, static_cast<std::uint64_t>(last) - cursor + 1);
+  return out;
+}
+
+}  // namespace georank::geo

@@ -1,0 +1,55 @@
+// Address-to-country database (the NetAcuity stand-in, DESIGN.md §1).
+//
+// Holds sorted, non-overlapping [first,last] address ranges each mapped to
+// one country. Country-granularity end-host geolocation is the one thing
+// the paper trusts commercial databases for; the generator fills this
+// database, optionally with noise (sub-ranges geolocated elsewhere) so the
+// majority-threshold machinery (§3.2.1 / Appendix B) has real work to do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/country.hpp"
+
+namespace georank::geo {
+
+struct GeoRange {
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+  CountryCode country;
+};
+
+struct CountrySlice {
+  CountryCode country;
+  std::uint64_t addresses = 0;
+};
+
+class GeoDatabase {
+ public:
+  /// Ranges may be added in any order; finalize() sorts and validates.
+  void add_range(std::uint32_t first, std::uint32_t last, CountryCode country);
+
+  /// Sorts ranges and rejects overlaps (throws std::invalid_argument).
+  /// Must be called before queries.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+  [[nodiscard]] std::size_t range_count() const noexcept { return ranges_.size(); }
+
+  /// Country of a single address; kNoCountry if unmapped.
+  [[nodiscard]] CountryCode country_of(std::uint32_t ip) const;
+
+  /// Per-country address counts inside [first,last]. Unmapped addresses
+  /// are reported under kNoCountry. Result is ordered by first occurrence.
+  [[nodiscard]] std::vector<CountrySlice> count_by_country(std::uint32_t first,
+                                                           std::uint32_t last) const;
+
+  [[nodiscard]] const std::vector<GeoRange>& ranges() const noexcept { return ranges_; }
+
+ private:
+  std::vector<GeoRange> ranges_;
+  bool finalized_ = false;
+};
+
+}  // namespace georank::geo

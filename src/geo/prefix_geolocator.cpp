@@ -1,0 +1,153 @@
+#include "geo/prefix_geolocator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace georank::geo {
+
+PrefixGeolocator::PrefixGeolocator(const GeoDatabase& db, double threshold)
+    : PrefixGeolocator(db, PrefixGeoOptions{threshold, false}) {}
+
+PrefixGeolocator::PrefixGeolocator(const GeoDatabase& db, PrefixGeoOptions options)
+    : db_(&db), options_(options) {
+  if (options.threshold < 0.0 || options.threshold > 1.0) {
+    throw std::invalid_argument{"geolocation threshold must be in [0,1]"};
+  }
+}
+
+namespace {
+
+/// Consensus country of a single block: the plurality country when it
+/// holds at least `threshold` of the block and is unique; kNoCountry
+/// otherwise.
+geo::CountryCode block_consensus(const GeoDatabase& db, std::uint32_t first,
+                                 std::uint32_t last, double threshold) {
+  CountryCode best = kNoCountry;
+  std::uint64_t best_count = 0;
+  bool unique = true;
+  std::uint64_t total = static_cast<std::uint64_t>(last) - first + 1;
+  for (const CountrySlice& s : db.count_by_country(first, last)) {
+    if (!s.country.valid()) continue;
+    if (s.addresses > best_count) {
+      best = s.country;
+      best_count = s.addresses;
+      unique = true;
+    } else if (s.addresses == best_count && s.country != best) {
+      unique = false;
+    }
+  }
+  double share = total ? static_cast<double>(best_count) / static_cast<double>(total)
+                       : 0.0;
+  if (best.valid() && unique && share >= threshold && share > 0.0) return best;
+  return kNoCountry;
+}
+
+}  // namespace
+
+PrefixGeoResult PrefixGeolocator::run(std::span<const bgp::Prefix> announced) const {
+  bgp::PrefixTrie trie;
+  for (const bgp::Prefix& p : announced) trie.insert(p);
+
+  PrefixGeoResult out;
+  // Deduplicate via the trie's canonical listing so repeated announcements
+  // of the same prefix are assessed once.
+  for (const bgp::Prefix& p : trie.all()) {
+    std::vector<bgp::Prefix> blocks = trie.uncovered_blocks(p);
+    if (blocks.empty()) {
+      out.covered.push_back(p);
+      continue;
+    }
+    // Tally addresses per country across the prefix's own blocks.
+    std::vector<CountrySlice> tally;
+    auto bump = [&](CountryCode cc, std::uint64_t n) {
+      for (CountrySlice& s : tally) {
+        if (s.country == cc) {
+          s.addresses += n;
+          return;
+        }
+      }
+      tally.push_back(CountrySlice{cc, n});
+    };
+    std::uint64_t total = 0;
+    for (const bgp::Prefix& block : blocks) {
+      total += block.size();
+      for (const CountrySlice& s : db_->count_by_country(block.first(), block.last())) {
+        bump(s.country, s.addresses);
+      }
+    }
+    // Plurality over real countries only; unmapped addresses still count
+    // toward the denominator (they dilute consensus, as in the paper).
+    CountryCode best = kNoCountry;
+    std::uint64_t best_count = 0;
+    for (const CountrySlice& s : tally) {
+      if (!s.country.valid()) continue;
+      if (s.addresses > best_count ||
+          (s.addresses == best_count && s.country < best)) {
+        best = s.country;
+        best_count = s.addresses;
+      }
+    }
+    double share = total ? static_cast<double>(best_count) / static_cast<double>(total) : 0.0;
+    // "no or multiple countries" (Table 1): a tie for the top spot means the
+    // prefix geolocates to multiple countries and is rejected.
+    bool unique_plurality = true;
+    for (const CountrySlice& s : tally) {
+      if (s.country.valid() && s.country != best && s.addresses == best_count) {
+        unique_plurality = false;
+      }
+    }
+    if (best.valid() && unique_plurality && share >= options_.threshold &&
+        share > 0.0) {
+      out.index.emplace(p, out.accepted.size());
+      out.accepted.push_back(PrefixAssignment{p, best, total});
+    } else {
+      out.no_consensus.push_back(PrefixRejection{p, best, total, share});
+      if (options_.split_failed_into_slash24) {
+        // Appendix B's alternative: retry at /24 granularity over the
+        // prefix's own (uncovered) blocks.
+        for (const bgp::Prefix& block : blocks) {
+          std::uint32_t step = block.length() >= 24 ? 0 : 256;
+          if (step == 0) {
+            CountryCode cc = block_consensus(*db_, block.first(), block.last(),
+                                             options_.threshold);
+            if (cc.valid()) {
+              out.recovered.push_back(PrefixAssignment{block, cc, block.size()});
+            }
+            continue;
+          }
+          for (std::uint64_t first = block.first(); first <= block.last();
+               first += step) {
+            auto f = static_cast<std::uint32_t>(first);
+            CountryCode cc = block_consensus(*db_, f, f + 255, options_.threshold);
+            if (cc.valid()) {
+              out.recovered.push_back(
+                  PrefixAssignment{bgp::Prefix{f, 24}, cc, 256});
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CountryCode PrefixGeoResult::country_of(const bgp::Prefix& prefix) const {
+  auto it = index.find(prefix);
+  return it == index.end() ? kNoCountry : accepted[it->second].country;
+}
+
+std::uint64_t PrefixGeoResult::weight_of(const bgp::Prefix& prefix) const {
+  auto it = index.find(prefix);
+  return it == index.end() ? 0 : accepted[it->second].effective_addresses;
+}
+
+std::unordered_map<CountryCode, std::uint64_t, CountryCodeHash>
+PrefixGeoResult::addresses_by_country() const {
+  std::unordered_map<CountryCode, std::uint64_t, CountryCodeHash> out;
+  for (const PrefixAssignment& a : accepted) {
+    out[a.country] += a.effective_addresses;
+  }
+  return out;
+}
+
+}  // namespace georank::geo

@@ -1,0 +1,94 @@
+// Prefix-to-country assignment (§3.2.1 and Appendix B).
+//
+// Steps, exactly as the paper describes:
+//   1. split announced prefixes into non-overlapping blocks owned by their
+//      most specific announced prefix;
+//   2. drop prefixes ENTIRELY covered by more specifics (1.2% in the
+//      paper's April 2021 data);
+//   3. geolocate the addresses of each prefix's own blocks; assign the
+//      prefix to the plurality country if that country holds at least
+//      `threshold` (default 50%) of the blocks' addresses; otherwise the
+//      prefix fails geolocation (0.2% of prefixes / 1.5% of addresses in
+//      the paper).
+//
+// Every filter decision is recorded so the harnesses can regenerate
+// Tables 13 & 14 and Figures 8 & 9.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/prefix.hpp"
+#include "bgp/prefix_trie.hpp"
+#include "geo/country.hpp"
+#include "geo/geo_db.hpp"
+
+namespace georank::geo {
+
+struct PrefixAssignment {
+  bgp::Prefix prefix;
+  CountryCode country;
+  /// Addresses for which this prefix is most specific (metric weight).
+  std::uint64_t effective_addresses = 0;
+};
+
+struct PrefixRejection {
+  bgp::Prefix prefix;
+  /// Country with the largest share (what the prefix "would" have been).
+  CountryCode plurality;
+  std::uint64_t effective_addresses = 0;
+  /// Share of the plurality country in [0,1].
+  double top_share = 0.0;
+};
+
+struct PrefixGeoResult {
+  std::vector<PrefixAssignment> accepted;
+  std::vector<bgp::Prefix> covered;          // filtered: covered by more specifics
+  std::vector<PrefixRejection> no_consensus;  // filtered: below threshold
+  /// /24 fragments recovered from no-consensus prefixes when
+  /// PrefixGeoOptions::split_failed_into_slash24 is on. The parent prefix
+  /// still appears in `no_consensus`; lookups by the parent still fail
+  /// (announcements are keyed by the ANNOUNCED prefix), so these are for
+  /// address accounting and analysis, not path filtering.
+  std::vector<PrefixAssignment> recovered;
+
+  /// Accepted country of a prefix; kNoCountry if filtered/unknown.
+  [[nodiscard]] CountryCode country_of(const bgp::Prefix& prefix) const;
+  /// Effective (most-specific) address weight; 0 if filtered/unknown.
+  [[nodiscard]] std::uint64_t weight_of(const bgp::Prefix& prefix) const;
+
+  /// Total accepted effective addresses per country.
+  [[nodiscard]] std::unordered_map<CountryCode, std::uint64_t, CountryCodeHash>
+  addresses_by_country() const;
+
+  std::unordered_map<bgp::Prefix, std::size_t, bgp::PrefixHash> index;  // into accepted
+};
+
+struct PrefixGeoOptions {
+  /// The Appendix-B majority threshold, in [0,1].
+  double threshold = 0.5;
+  /// Appendix B's future-work alternative, implemented: when a prefix
+  /// fails consensus, split it into /24s and geolocate each separately —
+  /// recovering most of the mixed prefix's addresses at finer grain.
+  /// The recovered /24s are reported in PrefixGeoResult::recovered.
+  bool split_failed_into_slash24 = false;
+};
+
+class PrefixGeolocator {
+ public:
+  explicit PrefixGeolocator(const GeoDatabase& db, double threshold = 0.5);
+  PrefixGeolocator(const GeoDatabase& db, PrefixGeoOptions options);
+
+  [[nodiscard]] PrefixGeoResult run(std::span<const bgp::Prefix> announced) const;
+
+  [[nodiscard]] double threshold() const noexcept { return options_.threshold; }
+  [[nodiscard]] const PrefixGeoOptions& options() const noexcept { return options_; }
+
+ private:
+  const GeoDatabase* db_;
+  PrefixGeoOptions options_;
+};
+
+}  // namespace georank::geo

@@ -1,0 +1,75 @@
+#include "geo/vp_geolocator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace georank::geo {
+
+std::size_t VpGeolocator::add_collector(Collector collector) {
+  if (collector.name.empty()) throw std::invalid_argument{"collector needs a name"};
+  auto [it, inserted] = by_name_.try_emplace(collector.name, collectors_.size());
+  if (!inserted) throw std::invalid_argument{"duplicate collector " + collector.name};
+  collectors_.push_back(std::move(collector));
+  return collectors_.size() - 1;
+}
+
+void VpGeolocator::register_vp(const bgp::VpId& vp, std::string_view collector_name) {
+  auto it = by_name_.find(std::string(collector_name));
+  if (it == by_name_.end()) {
+    throw std::invalid_argument{"unknown collector " + std::string(collector_name)};
+  }
+  vp_to_collector_[vp] = it->second;
+}
+
+std::optional<CountryCode> VpGeolocator::locate(const bgp::VpId& vp) const {
+  auto it = vp_to_collector_.find(vp);
+  if (it == vp_to_collector_.end()) {
+    ++stats_.unknown;
+    return std::nullopt;
+  }
+  const Collector& c = collectors_[it->second];
+  if (c.multihop) {
+    ++stats_.multihop_excluded;
+    return std::nullopt;
+  }
+  ++stats_.geolocated;
+  return c.country;
+}
+
+std::optional<CountryCode> VpGeolocator::peek(const bgp::VpId& vp) const {
+  auto it = vp_to_collector_.find(vp);
+  if (it == vp_to_collector_.end()) return std::nullopt;
+  const Collector& c = collectors_[it->second];
+  if (c.multihop) return std::nullopt;
+  return c.country;
+}
+
+std::vector<std::pair<bgp::VpId, std::string>> VpGeolocator::registrations() const {
+  std::vector<std::pair<bgp::VpId, std::string>> out;
+  out.reserve(vp_to_collector_.size());
+  for (const auto& [vp, idx] : vp_to_collector_) {
+    out.emplace_back(vp, collectors_[idx].name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<bgp::VpId> VpGeolocator::all_vps() const {
+  std::vector<bgp::VpId> out;
+  out.reserve(vp_to_collector_.size());
+  for (const auto& [vp, idx] : vp_to_collector_) out.push_back(vp);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<bgp::VpId, CountryCode>> VpGeolocator::located_vps() const {
+  std::vector<std::pair<bgp::VpId, CountryCode>> out;
+  out.reserve(vp_to_collector_.size());
+  for (const auto& [vp, idx] : vp_to_collector_) {
+    const Collector& c = collectors_[idx];
+    if (!c.multihop) out.emplace_back(vp, c.country);
+  }
+  return out;
+}
+
+}  // namespace georank::geo

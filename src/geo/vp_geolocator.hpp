@@ -1,0 +1,73 @@
+// Vantage-point geolocation via collector metadata (§3.2.2).
+//
+// We cannot geolocate a VP's own address reliably (infrastructure
+// geolocation is a long-standing open problem), so — exactly like the
+// paper — a VP inherits its collector's location, and VPs peering with
+// MULTI-HOP collectors (which accept remote peers) are not geolocated at
+// all; all their paths are excluded ("VP no location", 20.98% of the
+// paper's paths).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "geo/country.hpp"
+
+namespace georank::geo {
+
+struct Collector {
+  std::string name;       // e.g. "route-views.sydney" / "rrc00"
+  CountryCode country;    // IXP location
+  bool multihop = false;  // accepts remote peers -> VP location unknown
+};
+
+struct VpGeoStats {
+  std::size_t geolocated = 0;
+  std::size_t multihop_excluded = 0;
+  std::size_t unknown = 0;
+};
+
+class VpGeolocator {
+ public:
+  /// Registers a collector; returns its index. Names must be unique.
+  std::size_t add_collector(Collector collector);
+
+  /// Binds a VP to the collector it peers with.
+  void register_vp(const bgp::VpId& vp, std::string_view collector_name);
+
+  /// Country of a VP: nullopt when the VP is unknown or its collector is
+  /// multi-hop. Updates the running stats.
+  [[nodiscard]] std::optional<CountryCode> locate(const bgp::VpId& vp) const;
+
+  /// Same, without stats bookkeeping (for pure queries in reports).
+  [[nodiscard]] std::optional<CountryCode> peek(const bgp::VpId& vp) const;
+
+  /// All registered VPs with a usable location.
+  [[nodiscard]] std::vector<std::pair<bgp::VpId, CountryCode>> located_vps() const;
+
+  /// Every registered VP, multihop or not (the RIB generator needs the
+  /// full peer list; the sanitizer later rejects multihop paths).
+  [[nodiscard]] std::vector<bgp::VpId> all_vps() const;
+
+  [[nodiscard]] const VpGeoStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t collector_count() const noexcept { return collectors_.size(); }
+  [[nodiscard]] std::size_t vp_count() const noexcept { return vp_to_collector_.size(); }
+
+  /// Registered collectors, in registration order (for serialization).
+  [[nodiscard]] const std::vector<Collector>& collectors() const noexcept {
+    return collectors_;
+  }
+  /// (VP, collector name) registrations, sorted by VP (for serialization).
+  [[nodiscard]] std::vector<std::pair<bgp::VpId, std::string>> registrations() const;
+
+ private:
+  std::vector<Collector> collectors_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+  std::unordered_map<bgp::VpId, std::size_t, bgp::VpIdHash> vp_to_collector_;
+  mutable VpGeoStats stats_;
+};
+
+}  // namespace georank::geo

@@ -1,0 +1,71 @@
+#include "infer/clique.hpp"
+
+#include <algorithm>
+
+namespace georank::infer {
+
+namespace {
+
+/// Exact max-clique by branch and bound over <= ~20 vertices.
+/// `adj` is a bitmask adjacency matrix.
+void max_clique(const std::vector<std::uint64_t>& adj, std::uint64_t candidates,
+                std::uint64_t current, std::uint64_t& best) {
+  if (candidates == 0) {
+    if (__builtin_popcountll(current) > __builtin_popcountll(best)) best = current;
+    return;
+  }
+  if (__builtin_popcountll(current) + __builtin_popcountll(candidates) <=
+      __builtin_popcountll(best)) {
+    return;  // bound
+  }
+  int v = __builtin_ctzll(candidates);
+  std::uint64_t bit = std::uint64_t{1} << v;
+  // Branch 1: include v.
+  max_clique(adj, candidates & adj[static_cast<std::size_t>(v)] & ~bit, current | bit,
+             best);
+  // Branch 2: exclude v.
+  max_clique(adj, candidates & ~bit, current, best);
+}
+
+}  // namespace
+
+std::vector<Asn> infer_clique(const TransitDegree& degrees,
+                              const ObservedAdjacency& adjacency,
+                              const CliqueOptions& options) {
+  std::vector<Asn> ranked = degrees.ranked();
+  std::size_t n = std::min(options.candidate_count, ranked.size());
+  n = std::min<std::size_t>(n, 63);
+  if (n == 0) return {};
+
+  std::vector<std::uint64_t> adj(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && adjacency.adjacent(ranked[i], ranked[j])) {
+        adj[i] |= std::uint64_t{1} << j;
+      }
+    }
+  }
+  std::uint64_t best = 0;
+  std::uint64_t all = n == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+  max_clique(adj, all, 0, best);
+
+  std::vector<Asn> clique;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (best & (std::uint64_t{1} << i)) clique.push_back(ranked[i]);
+  }
+
+  // Greedy extension over the next window of candidates.
+  std::size_t window = std::min(options.extension_window, ranked.size());
+  for (std::size_t i = n; i < window; ++i) {
+    Asn cand = ranked[i];
+    bool ok = std::all_of(clique.begin(), clique.end(), [&](Asn member) {
+      return adjacency.adjacent(cand, member);
+    });
+    if (ok) clique.push_back(cand);
+  }
+
+  std::sort(clique.begin(), clique.end());
+  return clique;
+}
+
+}  // namespace georank::infer

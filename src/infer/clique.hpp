@@ -1,0 +1,32 @@
+// Top-tier clique inference (Luckie et al. 2013, simplified).
+//
+// The sanitizer's path-poisoning filter (Table 1) needs the set of
+// "top-tier" ASes: the paper infers poisoning when two clique ASes are
+// separated by a non-clique AS. We recover the clique from the data the
+// same way ASRank does in spirit: candidates are the ASes with the largest
+// transit degree; the clique is the largest fully-interconnected subset of
+// the candidates (exact max-clique over a small candidate set), greedily
+// extended with any further candidate adjacent to every member.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "infer/transit_degree.hpp"
+
+namespace georank::infer {
+
+struct CliqueOptions {
+  /// How many top-transit-degree ASes enter the exact max-clique search.
+  std::size_t candidate_count = 20;
+  /// Candidates beyond the search window may still join greedily.
+  std::size_t extension_window = 40;
+};
+
+/// Returns the inferred clique, sorted by ascending ASN.
+[[nodiscard]] std::vector<Asn> infer_clique(const TransitDegree& degrees,
+                                            const ObservedAdjacency& adjacency,
+                                            const CliqueOptions& options = {});
+
+}  // namespace georank::infer

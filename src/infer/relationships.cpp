@@ -1,0 +1,193 @@
+#include "infer/relationships.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "infer/clique.hpp"
+
+namespace georank::infer {
+
+namespace {
+
+/// Canonical undirected link key: lower ASN first.
+using LinkKey = std::uint64_t;
+
+LinkKey link_key(Asn a, Asn b) noexcept {
+  Asn lo = std::min(a, b), hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+struct Votes {
+  // Votes that the LOWER-numbered AS is the customer (lo->hi is c2p).
+  std::size_t lo_is_customer = 0;
+  // Votes that the HIGHER-numbered AS is the customer.
+  std::size_t hi_is_customer = 0;
+};
+
+}  // namespace
+
+void RelationshipInference::add_path(const AsPath& path) {
+  AsPath collapsed = path.without_adjacent_duplicates();
+  if (collapsed.size() < 2 || collapsed.has_nonadjacent_duplicate()) return;
+  degrees_.add_path(collapsed);
+  adjacency_.add_path(collapsed);
+  paths_.push_back(std::move(collapsed));
+}
+
+InferenceResult RelationshipInference::infer() const {
+  std::vector<Asn> clique = infer_clique(degrees_, adjacency_);
+  std::unordered_set<Asn> clique_set(clique.begin(), clique.end());
+
+  // ---- Valley-free constraint propagation. Once a path crosses a peer
+  // or provider->customer link it can only descend, so every link after a
+  // CONFIDENT turn is provider->customer in path order. Clique peer links
+  // seed the turns; newly constrained links create further turns in other
+  // paths until fixed point. ----
+  // State bits per undirected link: 1 = constrained lo->hi (lo is the
+  // provider), 2 = constrained hi->lo.
+  std::unordered_map<LinkKey, std::uint8_t> constrained;
+  auto is_turner = [&](Asn a, Asn b) {
+    if (clique_set.contains(a) && clique_set.contains(b)) return true;
+    auto it = constrained.find(link_key(a, b));
+    if (it == constrained.end()) return false;
+    // Turns the walk only when constrained as a descent in THIS direction.
+    std::uint8_t descent_bit = (a == std::min(a, b)) ? 1 : 2;
+    return (it->second & descent_bit) != 0;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const AsPath& path : paths_) {
+      bool turned = false;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        Asn a = path[i], b = path[i + 1];
+        if (turned) {
+          std::uint8_t bit = (a == std::min(a, b)) ? 1 : 2;
+          std::uint8_t& state = constrained[link_key(a, b)];
+          if (!(state & bit)) {
+            state |= bit;
+            changed = true;
+          }
+        } else if (is_turner(a, b)) {
+          turned = true;
+        }
+      }
+    }
+  }
+
+  std::unordered_map<LinkKey, Votes> votes;
+  for (const AsPath& path : paths_) {
+    // Apex: the hop with the largest transit degree. Valley-free paths
+    // peak near the middle, so degree ties break toward the center.
+    std::size_t apex = 0;
+    std::size_t best = degrees_.degree(path[0]);
+    double middle = 0.5 * static_cast<double>(path.size() - 1);
+    auto center_dist = [&](std::size_t i) {
+      return std::abs(static_cast<double>(i) - middle);
+    };
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      std::size_t d = degrees_.degree(path[i]);
+      if (d > best || (d == best && center_dist(i) < center_dist(apex))) {
+        best = d;
+        apex = i;
+      }
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      Asn a = path[i], b = path[i + 1];
+      Votes& v = votes[link_key(a, b)];
+      // i < apex: walking toward the apex, a is the customer of b.
+      // i >= apex: descending from the apex, b is the customer of a.
+      Asn customer = (i < apex) ? a : b;
+      if (customer == std::min(a, b)) {
+        ++v.lo_is_customer;
+      } else {
+        ++v.hi_is_customer;
+      }
+    }
+  }
+
+  InferenceResult result;
+  result.clique = clique;
+  for (const auto& [key, v] : votes) {
+    Asn lo = static_cast<Asn>(key >> 32);
+    Asn hi = static_cast<Asn>(key & 0xffffffffu);
+    ++result.link_count;
+
+    if (clique_set.contains(lo) && clique_set.contains(hi)) {
+      result.graph.add_p2p(lo, hi);
+      continue;
+    }
+
+    // Valley-free constraints are the strongest evidence after the clique.
+    if (auto it = constrained.find(key); it != constrained.end()) {
+      if (it->second == 1) {
+        result.graph.add_p2c(lo, hi);
+        continue;
+      }
+      if (it->second == 2) {
+        result.graph.add_p2c(hi, lo);
+        continue;
+      }
+      // Constrained both ways (noise): treat as peer, the only label
+      // consistent with bidirectional appearance at the turn.
+      result.graph.add_p2p(lo, hi);
+      continue;
+    }
+
+    std::size_t total = v.lo_is_customer + v.hi_is_customer;
+    double lo_share = static_cast<double>(v.lo_is_customer) / static_cast<double>(total);
+    double hi_share = 1.0 - lo_share;
+    std::size_t deg_lo = degrees_.degree(lo), deg_hi = degrees_.degree(hi);
+    double degree_ratio = (static_cast<double>(std::min(deg_lo, deg_hi)) + 1.0) /
+                          (static_cast<double>(std::max(deg_lo, deg_hi)) + 1.0);
+    // A provider transits by definition (degree >= 2); two transit-free
+    // ASes can only be IXP peers.
+    bool tiny_symmetric = std::max(deg_lo, deg_hi) <= 1;
+    bool comparable_majors = degree_ratio >= options_.peer_degree_ratio &&
+                             std::min(deg_lo, deg_hi) >= options_.min_peer_degree;
+    bool conflict = lo_share >= options_.peer_conflict_share &&
+                    hi_share >= options_.peer_conflict_share;
+    bool visible_but_never_descends = total >= options_.min_peer_observations;
+    if (conflict || tiny_symmetric || comparable_majors ||
+        visible_but_never_descends) {
+      result.graph.add_p2p(lo, hi);
+    } else if (v.lo_is_customer > v.hi_is_customer) {
+      result.graph.add_p2c(hi, lo);
+    } else {
+      result.graph.add_p2c(lo, hi);
+    }
+  }
+  return result;
+}
+
+ValidationScore validate_against(const topo::AsGraph& truth,
+                                 const topo::AsGraph& inferred) {
+  ValidationScore score;
+  for (Asn a : inferred.ases()) {
+    if (!truth.contains(a)) continue;
+    for (const topo::Neighbor& n : inferred.neighbors(inferred.id_of(a))) {
+      Asn b = inferred.asn_of(n.id);
+      if (a > b) continue;  // visit each undirected link once
+      auto true_rel = truth.relationship(a, b);
+      if (!true_rel) continue;
+      ++score.shared_links;
+      bool true_is_p2p = *true_rel == topo::Rel::kPeer;
+      bool inf_is_p2p = n.rel == topo::Rel::kPeer;
+      if (true_is_p2p) ++score.total_p2p;
+      else ++score.total_p2c;
+      if (true_is_p2p && inf_is_p2p) {
+        ++score.correct;
+        ++score.correct_p2p;
+      } else if (!true_is_p2p && !inf_is_p2p && *true_rel == n.rel) {
+        // Same orientation: a's view of b matches.
+        ++score.correct;
+        ++score.correct_p2c;
+      }
+    }
+  }
+  return score;
+}
+
+}  // namespace georank::infer

@@ -1,0 +1,50 @@
+#include "infer/transit_degree.hpp"
+
+#include <algorithm>
+
+namespace georank::infer {
+
+void TransitDegree::add_path(const AsPath& path) {
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    auto& set = neighbors_[path[i]];
+    set.insert(path[i - 1]);
+    set.insert(path[i + 1]);
+  }
+  // Endpoints still exist as ASes with (possibly) zero transit degree.
+  if (!path.empty()) {
+    neighbors_.try_emplace(path[0]);
+    neighbors_.try_emplace(path[path.size() - 1]);
+  }
+}
+
+std::size_t TransitDegree::degree(Asn asn) const {
+  auto it = neighbors_.find(asn);
+  return it == neighbors_.end() ? 0 : it->second.size();
+}
+
+std::vector<Asn> TransitDegree::ranked() const {
+  std::vector<Asn> out;
+  out.reserve(neighbors_.size());
+  for (const auto& [asn, _] : neighbors_) out.push_back(asn);
+  std::sort(out.begin(), out.end(), [&](Asn a, Asn b) {
+    std::size_t da = degree(a), db = degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  return out;
+}
+
+void ObservedAdjacency::add_path(const AsPath& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (path[i] == path[i + 1]) continue;
+    adj_[path[i]].insert(path[i + 1]);
+    adj_[path[i + 1]].insert(path[i]);
+  }
+}
+
+bool ObservedAdjacency::adjacent(Asn a, Asn b) const {
+  auto it = adj_.find(a);
+  return it != adj_.end() && it->second.contains(b);
+}
+
+}  // namespace georank::infer

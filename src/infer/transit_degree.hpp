@@ -1,0 +1,46 @@
+// Transit degree: the number of distinct neighbors an AS is observed
+// TRANSITING between, i.e. neighbors adjacent to the AS in paths where the
+// AS is not an endpoint (Luckie et al. 2013). The clique and relationship
+// inference stages both rank ASes by this.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+
+namespace georank::infer {
+
+using bgp::Asn;
+using bgp::AsPath;
+
+class TransitDegree {
+ public:
+  /// Accumulate one (already sanitized, loop-free) path.
+  void add_path(const AsPath& path);
+
+  [[nodiscard]] std::size_t degree(Asn asn) const;
+
+  /// ASNs sorted by descending transit degree (ties: ascending ASN).
+  [[nodiscard]] std::vector<Asn> ranked() const;
+
+  [[nodiscard]] std::size_t as_count() const noexcept { return neighbors_.size(); }
+
+ private:
+  std::unordered_map<Asn, std::unordered_set<Asn>> neighbors_;
+};
+
+/// Plain adjacency observed in paths (any position), used by the clique
+/// search: clique members must all be seen interconnected.
+class ObservedAdjacency {
+ public:
+  void add_path(const AsPath& path);
+  [[nodiscard]] bool adjacent(Asn a, Asn b) const;
+
+ private:
+  std::unordered_map<Asn, std::unordered_set<Asn>> adj_;
+};
+
+}  // namespace georank::infer

@@ -1,0 +1,63 @@
+#include "io/as_info_csv.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace georank::io {
+
+void write_as_info_csv(std::ostream& os, const AsInfoMap& info) {
+  os << "# asn,registered,name\n";
+  std::vector<bgp::Asn> order;
+  order.reserve(info.size());
+  for (const auto& [asn, rec] : info) order.push_back(asn);
+  std::sort(order.begin(), order.end());
+  for (bgp::Asn asn : order) {
+    const AsInfoRecord& rec = info.at(asn);
+    os << asn << ',' << rec.registered.to_string() << ',' << rec.name << '\n';
+  }
+}
+
+AsInfoMap read_as_info_csv(std::istream& is, CsvParseStats* stats) {
+  CsvParseStats local;
+  AsInfoMap out;
+  std::string line;
+  while (std::getline(is, line)) {
+    ++local.lines;
+    std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      ++local.comments;
+      continue;
+    }
+    auto fields = util::split(trimmed, ',');
+    if (fields.size() < 2) {
+      ++local.malformed;
+      continue;
+    }
+    auto asn = util::parse_int<bgp::Asn>(fields[0]);
+    auto country = geo::CountryCode::parse(fields[1]);
+    if (!asn || *asn == 0 || !country) {
+      ++local.malformed;
+      continue;
+    }
+    AsInfoRecord rec;
+    rec.registered = *country;
+    if (fields.size() >= 3) rec.name = std::string(fields[2]);
+    out[*asn] = std::move(rec);
+    ++local.parsed;
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+rank::AsRegistry to_registry(const AsInfoMap& info) {
+  rank::AsRegistry out;
+  out.reserve(info.size());
+  for (const auto& [asn, rec] : info) out.emplace(asn, rec.registered);
+  return out;
+}
+
+}  // namespace georank::io

@@ -1,0 +1,28 @@
+// CSV for AS metadata: registration country (the AHC input) and display
+// names. Format: asn,registered,name — name may contain commas-free text.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "io/geo_csv.hpp"
+#include "rank/ahc.hpp"
+
+namespace georank::io {
+
+struct AsInfoRecord {
+  geo::CountryCode registered;
+  std::string name;
+};
+
+using AsInfoMap = std::unordered_map<bgp::Asn, AsInfoRecord>;
+
+void write_as_info_csv(std::ostream& os, const AsInfoMap& info);
+[[nodiscard]] AsInfoMap read_as_info_csv(std::istream& is,
+                                         CsvParseStats* stats = nullptr);
+
+/// Projection to the registry type AHC consumes.
+[[nodiscard]] rank::AsRegistry to_registry(const AsInfoMap& info);
+
+}  // namespace georank::io

@@ -1,0 +1,95 @@
+#include "io/as_rel.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace georank::io {
+
+void write_as_rel(std::ostream& os, const topo::AsGraph& graph) {
+  os << "# georank as-rel: <provider|peer>|<customer|peer>|<-1 p2c, 0 p2p>"
+        "[|export-fraction]\n";
+  for (bgp::Asn a : graph.ases()) {
+    topo::NodeId ia = graph.id_of(a);
+    for (const topo::Neighbor& n : graph.neighbors(ia)) {
+      bgp::Asn b = graph.asn_of(n.id);
+      if (n.rel == topo::Rel::kPeer) {
+        if (a < b) os << a << '|' << b << "|0\n";
+      } else if (n.rel == topo::Rel::kCustomer) {
+        // a is the provider of b.
+        os << a << '|' << b << "|-1";
+        if (n.export_up < 1.0f) {
+          char buf[16];
+          std::snprintf(buf, sizeof buf, "|%.4f", static_cast<double>(n.export_up));
+          os << buf;
+        }
+        os << '\n';
+      }
+    }
+  }
+}
+
+std::string to_as_rel(const topo::AsGraph& graph) {
+  std::ostringstream os;
+  write_as_rel(os, graph);
+  return os.str();
+}
+
+topo::AsGraph read_as_rel(std::istream& is, AsRelParseStats* stats) {
+  AsRelParseStats local;
+  topo::AsGraph graph;
+  std::string line;
+  while (std::getline(is, line)) {
+    ++local.lines;
+    std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      ++local.comments;
+      continue;
+    }
+    auto fields = util::split(trimmed, '|');
+    if (fields.size() < 3 || fields.size() > 4) {
+      ++local.malformed;
+      continue;
+    }
+    auto a = util::parse_int<bgp::Asn>(fields[0]);
+    auto b = util::parse_int<bgp::Asn>(fields[1]);
+    auto rel = util::parse_int<int>(fields[2]);
+    if (!a || !b || !rel || *a == 0 || *b == 0 || *a == *b ||
+        (*rel != -1 && *rel != 0)) {
+      ++local.malformed;
+      continue;
+    }
+    double fraction = 1.0;
+    if (fields.size() == 4) {
+      try {
+        fraction = std::stod(std::string(fields[3]));
+      } catch (...) {
+        ++local.malformed;
+        continue;
+      }
+      if (fraction <= 0.0 || fraction > 1.0) {
+        ++local.malformed;
+        continue;
+      }
+    }
+    if (graph.relationship(*a, *b)) continue;  // duplicate: keep first
+    if (*rel == 0) {
+      graph.add_p2p(*a, *b);
+    } else {
+      graph.add_p2c(*a, *b, fraction);
+    }
+    ++local.links;
+  }
+  if (stats) *stats = local;
+  return graph;
+}
+
+topo::AsGraph from_as_rel(std::string_view text, AsRelParseStats* stats) {
+  std::istringstream is{std::string(text)};
+  return read_as_rel(is, stats);
+}
+
+}  // namespace georank::io

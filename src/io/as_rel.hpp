@@ -1,0 +1,41 @@
+// CAIDA as-rel serialization of AS relationship graphs.
+//
+// Standard format, one link per line:
+//
+//   # comments
+//   <provider-asn>|<customer-asn>|-1        (p2c)
+//   <asn>|<asn>|0                           (p2p)
+//
+// We add an OPTIONAL fourth field for partial-transit edges (fraction of
+// the customer's prefixes announced through the link), absent for
+// ordinary full-transit links so the files stay consumable by standard
+// CAIDA tooling:
+//
+//   3356|12389|-1|0.12
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/as_graph.hpp"
+
+namespace georank::io {
+
+struct AsRelParseStats {
+  std::size_t lines = 0;
+  std::size_t links = 0;
+  std::size_t comments = 0;
+  std::size_t malformed = 0;
+};
+
+void write_as_rel(std::ostream& os, const topo::AsGraph& graph);
+[[nodiscard]] std::string to_as_rel(const topo::AsGraph& graph);
+
+/// Malformed lines are counted, not fatal; duplicate links keep the
+/// first occurrence.
+[[nodiscard]] topo::AsGraph read_as_rel(std::istream& is,
+                                        AsRelParseStats* stats = nullptr);
+[[nodiscard]] topo::AsGraph from_as_rel(std::string_view text,
+                                        AsRelParseStats* stats = nullptr);
+
+}  // namespace georank::io

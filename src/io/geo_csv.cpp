@@ -1,0 +1,127 @@
+#include "io/geo_csv.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "bgp/prefix.hpp"
+#include "util/strings.hpp"
+
+namespace georank::io {
+
+namespace {
+
+/// Shared tolerant line loop: calls `handle(fields)` -> bool parsed.
+template <typename Handler>
+void read_lines(std::istream& is, CsvParseStats* stats, Handler&& handle) {
+  CsvParseStats local;
+  std::string line;
+  while (std::getline(is, line)) {
+    ++local.lines;
+    std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      ++local.comments;
+      continue;
+    }
+    if (handle(util::split(trimmed, ','))) {
+      ++local.parsed;
+    } else {
+      ++local.malformed;
+    }
+  }
+  if (stats) *stats = local;
+}
+
+}  // namespace
+
+void write_geo_csv(std::ostream& os, const geo::GeoDatabase& db) {
+  os << "# first_ip,last_ip,country\n";
+  for (const geo::GeoRange& r : db.ranges()) {
+    os << bgp::format_ipv4(r.first) << ',' << bgp::format_ipv4(r.last) << ','
+       << r.country.to_string() << '\n';
+  }
+}
+
+std::string to_geo_csv(const geo::GeoDatabase& db) {
+  std::ostringstream os;
+  write_geo_csv(os, db);
+  return os.str();
+}
+
+geo::GeoDatabase read_geo_csv(std::istream& is, CsvParseStats* stats) {
+  geo::GeoDatabase db;
+  read_lines(is, stats, [&](const auto& fields) {
+    if (fields.size() != 3) return false;
+    auto first = bgp::parse_ipv4(fields[0]);
+    auto last = bgp::parse_ipv4(fields[1]);
+    auto country = geo::CountryCode::parse(fields[2]);
+    if (!first || !last || !country || *first > *last) return false;
+    db.add_range(*first, *last, *country);
+    return true;
+  });
+  db.finalize();
+  return db;
+}
+
+geo::GeoDatabase from_geo_csv(std::string_view text, CsvParseStats* stats) {
+  std::istringstream is{std::string(text)};
+  return read_geo_csv(is, stats);
+}
+
+void write_collectors_csv(std::ostream& os, const geo::VpGeolocator& vps) {
+  os << "# name,country,multihop\n";
+  for (const geo::Collector& c : vps.collectors()) {
+    os << c.name << ',' << c.country.to_string() << ',' << (c.multihop ? 1 : 0)
+       << '\n';
+  }
+}
+
+void write_vps_csv(std::ostream& os, const geo::VpGeolocator& vps) {
+  os << "# peer_ip,peer_asn,collector\n";
+  for (const auto& [vp, collector] : vps.registrations()) {
+    os << bgp::format_ipv4(vp.ip) << ',' << vp.asn << ',' << collector << '\n';
+  }
+}
+
+geo::VpGeolocator read_vp_geolocator(std::istream& collectors, std::istream& vps,
+                                     CsvParseStats* stats) {
+  geo::VpGeolocator out;
+  CsvParseStats collector_stats, vp_stats;
+  read_lines(collectors, &collector_stats, [&](const auto& fields) {
+    if (fields.size() != 3) return false;
+    auto country = geo::CountryCode::parse(fields[1]);
+    auto multihop = util::parse_int<int>(fields[2]);
+    if (fields[0].empty() || !country || !multihop ||
+        (*multihop != 0 && *multihop != 1)) {
+      return false;
+    }
+    try {
+      out.add_collector(
+          geo::Collector{std::string(fields[0]), *country, *multihop == 1});
+    } catch (const std::invalid_argument&) {
+      return false;  // duplicate collector name
+    }
+    return true;
+  });
+  read_lines(vps, &vp_stats, [&](const auto& fields) {
+    if (fields.size() != 3) return false;
+    auto ip = bgp::parse_ipv4(fields[0]);
+    auto asn = util::parse_int<bgp::Asn>(fields[1]);
+    if (!ip || !asn || *asn == 0) return false;
+    try {
+      out.register_vp(bgp::VpId{*ip, *asn}, fields[2]);
+    } catch (const std::invalid_argument&) {
+      return false;  // unknown collector
+    }
+    return true;
+  });
+  if (stats) {
+    stats->lines = collector_stats.lines + vp_stats.lines;
+    stats->parsed = collector_stats.parsed + vp_stats.parsed;
+    stats->comments = collector_stats.comments + vp_stats.comments;
+    stats->malformed = collector_stats.malformed + vp_stats.malformed;
+  }
+  return out;
+}
+
+}  // namespace georank::io

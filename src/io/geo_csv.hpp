@@ -1,0 +1,43 @@
+// CSV serialization for the geolocation inputs the pipeline consumes:
+//
+//   geo database:   first_ip,last_ip,country          (one range per line)
+//   collectors:     name,country,multihop             (multihop: 0/1)
+//   vantage points: peer_ip,peer_asn,collector_name
+//
+// All readers are tolerant: malformed lines are counted, not fatal, and
+// '#' lines are comments — matching how the collector projects publish
+// their metadata.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "geo/geo_db.hpp"
+#include "geo/vp_geolocator.hpp"
+
+namespace georank::io {
+
+struct CsvParseStats {
+  std::size_t lines = 0;
+  std::size_t parsed = 0;
+  std::size_t comments = 0;
+  std::size_t malformed = 0;
+};
+
+// ---- Geo database ----
+void write_geo_csv(std::ostream& os, const geo::GeoDatabase& db);
+[[nodiscard]] std::string to_geo_csv(const geo::GeoDatabase& db);
+/// The returned database is already finalize()d.
+[[nodiscard]] geo::GeoDatabase read_geo_csv(std::istream& is,
+                                            CsvParseStats* stats = nullptr);
+[[nodiscard]] geo::GeoDatabase from_geo_csv(std::string_view text,
+                                            CsvParseStats* stats = nullptr);
+
+// ---- Collectors + VP registrations (one combined VpGeolocator) ----
+void write_collectors_csv(std::ostream& os, const geo::VpGeolocator& vps);
+void write_vps_csv(std::ostream& os, const geo::VpGeolocator& vps);
+[[nodiscard]] geo::VpGeolocator read_vp_geolocator(std::istream& collectors,
+                                                   std::istream& vps,
+                                                   CsvParseStats* stats = nullptr);
+
+}  // namespace georank::io

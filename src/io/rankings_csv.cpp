@@ -1,0 +1,108 @@
+#include "io/rankings_csv.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace georank::io {
+
+namespace {
+
+void write_entries(std::ostream& os, const rank::Ranking& ranking,
+                   const NameResolver& names) {
+  std::size_t pos = 0;
+  char buf[32];
+  for (const rank::ScoredAs& e : ranking.entries()) {
+    std::snprintf(buf, sizeof buf, "%.9g", e.score);
+    os << ++pos << ',' << e.asn << ',' << buf;
+    if (names) os << ',' << names(e.asn);
+    os << '\n';
+  }
+}
+
+}  // namespace
+
+void write_ranking_csv(std::ostream& os, const rank::Ranking& ranking,
+                       const NameResolver& names) {
+  os << (names ? "# rank,asn,score,name\n" : "# rank,asn,score\n");
+  write_entries(os, ranking, names);
+}
+
+std::string to_ranking_csv(const rank::Ranking& ranking, const NameResolver& names) {
+  std::ostringstream os;
+  write_ranking_csv(os, ranking, names);
+  return os.str();
+}
+
+rank::Ranking read_ranking_csv(std::istream& is) {
+  std::vector<rank::ScoredAs> scores;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto fields = util::split(trimmed, ',');
+    if (fields.size() < 3) continue;
+    auto asn = util::parse_int<bgp::Asn>(fields[1]);
+    if (!asn || *asn == 0) continue;
+    double score = 0.0;
+    try {
+      score = std::stod(std::string(fields[2]));
+    } catch (...) {
+      continue;
+    }
+    scores.push_back(rank::ScoredAs{*asn, score});
+  }
+  return rank::Ranking::from_scores(std::move(scores));
+}
+
+rank::Ranking from_ranking_csv(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  return read_ranking_csv(is);
+}
+
+rank::Ranking read_metric_from_country_csv(std::istream& is,
+                                           std::string_view metric) {
+  std::vector<rank::ScoredAs> scores;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto fields = util::split(trimmed, ',');
+    if (fields.size() < 5 || fields[1] != metric) continue;
+    auto asn = util::parse_int<bgp::Asn>(fields[3]);
+    if (!asn || *asn == 0) continue;
+    double score = 0.0;
+    try {
+      score = std::stod(std::string(fields[4]));
+    } catch (...) {
+      continue;
+    }
+    scores.push_back(rank::ScoredAs{*asn, score});
+  }
+  return rank::Ranking::from_scores(std::move(scores));
+}
+
+void write_country_metrics_csv(std::ostream& os, const core::CountryMetrics& m,
+                               const NameResolver& names) {
+  os << "# country,metric,rank,asn,score" << (names ? ",name" : "") << '\n';
+  auto dump = [&](const char* metric, const rank::Ranking& ranking) {
+    std::size_t pos = 0;
+    char buf[32];
+    for (const rank::ScoredAs& e : ranking.entries()) {
+      std::snprintf(buf, sizeof buf, "%.9g", e.score);
+      os << m.country.to_string() << ',' << metric << ',' << ++pos << ','
+         << e.asn << ',' << buf;
+      if (names) os << ',' << names(e.asn);
+      os << '\n';
+    }
+  };
+  dump("CCI", m.cci);
+  dump("AHI", m.ahi);
+  dump("CCN", m.ccn);
+  dump("AHN", m.ahn);
+}
+
+}  // namespace georank::io

@@ -1,0 +1,39 @@
+// CSV export of rankings and country metrics — the "we will share our
+// inferences" artifact format (paper §1, contribution 5).
+//
+//   rankings:  rank,asn,score[,name]
+//   country metrics (long form): country,metric,rank,asn,score
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "core/country_rankings.hpp"
+#include "rank/ranking.hpp"
+
+namespace georank::io {
+
+/// Optional ASN -> display name resolver for the name column.
+using NameResolver = std::function<std::string(bgp::Asn)>;
+
+void write_ranking_csv(std::ostream& os, const rank::Ranking& ranking,
+                       const NameResolver& names = {});
+[[nodiscard]] std::string to_ranking_csv(const rank::Ranking& ranking,
+                                         const NameResolver& names = {});
+
+/// Reads "rank,asn,score[,...]" back into a Ranking (rank column is
+/// recomputed from scores; extra columns ignored). Malformed lines skipped.
+[[nodiscard]] rank::Ranking read_ranking_csv(std::istream& is);
+[[nodiscard]] rank::Ranking from_ranking_csv(std::string_view text);
+
+/// Long-form dump of all four metrics for one country.
+void write_country_metrics_csv(std::ostream& os, const core::CountryMetrics& m,
+                               const NameResolver& names = {});
+
+/// Reads ONE metric's ranking back out of a long-form country-metrics
+/// CSV ("country,metric,rank,asn,score[,name]").
+[[nodiscard]] rank::Ranking read_metric_from_country_csv(std::istream& is,
+                                                         std::string_view metric);
+
+}  // namespace georank::io

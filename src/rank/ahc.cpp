@@ -1,0 +1,48 @@
+#include "rank/ahc.hpp"
+
+#include <vector>
+
+namespace georank::rank {
+
+Ranking AhcRanking::compute(std::span<const sanitize::SanitizedPath> all_paths,
+                            geo::CountryCode country) const {
+  // Origin ASes registered in the target country.
+  std::unordered_map<Asn, std::vector<sanitize::SanitizedPath>> by_origin;
+  for (const sanitize::SanitizedPath& sp : all_paths) {
+    if (sp.path.empty()) continue;
+    Asn origin = sp.path.origin();
+    auto it = registry_->find(origin);
+    if (it == registry_->end() || it->second != country) continue;
+    by_origin[origin].push_back(sp);
+  }
+  if (by_origin.empty()) return {};
+
+  // Per-origin hegemony, combined under the configured weighting.
+  Hegemony hegemony{options_};
+  std::unordered_map<Asn, double> sums;
+  double weight_total = 0.0;
+  for (const auto& [origin, paths] : by_origin) {
+    double weight = 1.0;
+    if (weighting_ == AhcWeighting::kByAddresses) {
+      std::unordered_map<bgp::Prefix, bool, bgp::PrefixHash> seen;
+      std::uint64_t addresses = 0;
+      for (const sanitize::SanitizedPath& sp : paths) {
+        if (seen.emplace(sp.prefix, true).second) addresses += sp.weight;
+      }
+      weight = static_cast<double>(addresses);
+    }
+    if (weight <= 0.0) continue;
+    weight_total += weight;
+    HegemonyResult h = hegemony.compute(paths);
+    for (const auto& [asn, score] : h.scores) sums[asn] += weight * score;
+  }
+  if (weight_total <= 0.0) return {};
+  std::vector<ScoredAs> scored;
+  scored.reserve(sums.size());
+  for (const auto& [asn, sum] : sums) {
+    scored.push_back(ScoredAs{asn, sum / weight_total});
+  }
+  return Ranking::from_scores(std::move(scored));
+}
+
+}  // namespace georank::rank

@@ -1,0 +1,47 @@
+// AHC: IHR's country-level hegemony baseline (§1.2.1).
+//
+// IHR computes hegemony PER ORIGIN AS (paths to that origin's prefixes,
+// all VPs), then averages the per-origin scores of each transit AS over
+// all origin ASes REGISTERED in a country — one vote per AS, regardless
+// of the AS's size or where it actually originates its prefixes. The
+// paper contrasts this with its own metrics, which select paths by prefix
+// geolocation instead (the Amazon-in-Australia example, §5.1.2).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+
+#include "geo/country.hpp"
+#include "rank/hegemony.hpp"
+#include "rank/ranking.hpp"
+#include "sanitize/path_sanitizer.hpp"
+
+namespace georank::rank {
+
+/// AS -> registration country (WHOIS-style), the generator's registry.
+using AsRegistry = std::unordered_map<Asn, geo::CountryCode>;
+
+/// IHR publishes two weightings for the per-origin average (§1.2.1):
+/// one vote per AS (the paper's choice — it studies infrastructure, not
+/// population) or weighting by each AS's address footprint (IHR's proxy
+/// for APNIC user counts).
+enum class AhcWeighting { kEqualPerAs, kByAddresses };
+
+class AhcRanking {
+ public:
+  explicit AhcRanking(const AsRegistry& registry, HegemonyOptions options = {},
+                      AhcWeighting weighting = AhcWeighting::kEqualPerAs)
+      : registry_(&registry), options_(options), weighting_(weighting) {}
+
+  /// Country-level ranking from GLOBAL paths (IHR uses every VP and every
+  /// path toward the origin ASes registered in `country`).
+  [[nodiscard]] Ranking compute(std::span<const sanitize::SanitizedPath> all_paths,
+                                geo::CountryCode country) const;
+
+ private:
+  const AsRegistry* registry_;
+  HegemonyOptions options_;
+  AhcWeighting weighting_;
+};
+
+}  // namespace georank::rank

@@ -1,0 +1,57 @@
+#include "rank/cti.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "rank/customer_cone.hpp"
+#include "rank/hegemony.hpp"
+
+namespace georank::rank {
+
+Ranking CtiRanking::compute(std::span<const sanitize::SanitizedPath> paths) const {
+  CustomerCone cone_helper{*relationships_};
+
+  struct VpAccumulator {
+    double total = 0.0;
+    std::unordered_map<Asn, double> per_as;
+  };
+  std::unordered_map<bgp::VpId, VpAccumulator, bgp::VpIdHash> vps;
+
+  for (const sanitize::SanitizedPath& sp : paths) {
+    if (sp.path.empty()) continue;
+    VpAccumulator& acc = vps[sp.vp];
+    auto w = static_cast<double>(sp.weight);
+    acc.total += w;
+    // Transit-only portion: the maximal p2c suffix, excluding the origin.
+    std::size_t start = cone_helper.cone_suffix_start(sp.path);
+    std::size_t origin_idx = sp.path.size() - 1;
+    for (std::size_t i = start; i < origin_idx; ++i) {
+      auto k = static_cast<double>(origin_idx - i);  // hops from origin, >= 1
+      acc.per_as[sp.path[i]] += w / k;
+    }
+  }
+
+  std::size_t vp_count = vps.size();
+  if (vp_count == 0) return {};
+
+  std::unordered_map<Asn, std::vector<double>> per_as_scores;
+  for (const auto& [vp, acc] : vps) {
+    if (acc.total <= 0.0) continue;
+    for (const auto& [asn, mass] : acc.per_as) {
+      per_as_scores[asn].push_back(mass / acc.total);
+    }
+  }
+
+  // Same trim rule as Hegemony, shared semantics.
+  Hegemony trimmer{HegemonyOptions{options_.trim, false}};
+  std::vector<ScoredAs> scored;
+  scored.reserve(per_as_scores.size());
+  for (auto& [asn, scores] : per_as_scores) {
+    scored.push_back(ScoredAs{asn, trimmer.trimmed_average(std::move(scores), vp_count)});
+  }
+  return Ranking::from_scores(std::move(scored));
+}
+
+}  // namespace georank::rank

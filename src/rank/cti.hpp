@@ -1,0 +1,39 @@
+// CTI: Country-level Transit Influence baseline (Gamero-Garrido et al.;
+// §1.3 of the paper).
+//
+// Like AHI, CTI scores ASes on paths from out-of-country VPs toward a
+// country's prefixes, but (1) it considers ONLY the transit
+// (provider->customer) portion of each path, and (2) it discounts an AS
+// by its distance from the origin: the origin itself scores 0, the AS
+// adjacent to the origin scores 1/1, the next 1/2, ..., 1/k. Per-VP
+// scores are trimmed (top+bottom 10%) and averaged, as in AH. The paper
+// notes the combined effect places CTI scores between CC and AH.
+#pragma once
+
+#include <span>
+
+#include "rank/ranking.hpp"
+#include "sanitize/path_sanitizer.hpp"
+#include "topo/as_graph.hpp"
+
+namespace georank::rank {
+
+struct CtiOptions {
+  double trim = 0.10;
+};
+
+class CtiRanking {
+ public:
+  CtiRanking(const topo::AsGraph& relationships, CtiOptions options = {})
+      : relationships_(&relationships), options_(options) {}
+
+  /// `paths` should be a country's INTERNATIONAL view (out-of-country VPs
+  /// to in-country prefixes); the caller selects them.
+  [[nodiscard]] Ranking compute(std::span<const sanitize::SanitizedPath> paths) const;
+
+ private:
+  const topo::AsGraph* relationships_;
+  CtiOptions options_;
+};
+
+}  // namespace georank::rank

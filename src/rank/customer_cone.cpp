@@ -1,0 +1,94 @@
+#include "rank/customer_cone.hpp"
+
+namespace georank::rank {
+
+std::size_t CustomerCone::cone_suffix_start(const bgp::AsPath& path) const {
+  // Walk the links VP->origin; the suffix begins after the LAST link that
+  // is not provider->customer (unknown links count as not-p2c).
+  std::size_t start = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    auto rel = relationships_->relationship(path[i], path[i + 1]);
+    if (!rel || *rel != topo::Rel::kCustomer) start = i + 1;
+  }
+  return start;
+}
+
+ConeResult CustomerCone::compute(
+    std::span<const sanitize::SanitizedPath> paths) const {
+  ConeResult result;
+
+  for (const sanitize::SanitizedPath& sp : paths) {
+    auto [it, inserted] = result.prefix_weight.try_emplace(sp.prefix, sp.weight);
+    if (inserted) result.total_weight += sp.weight;
+
+    const bgp::AsPath& path = sp.path;
+    if (path.empty()) continue;
+    result.originated[path[path.size() - 1]].insert(sp.prefix);
+
+    std::size_t start = cone_suffix_start(path);
+    for (std::size_t i = start; i < path.size(); ++i) {
+      Asn holder = path[i];
+      auto& cone = result.as_cone[holder];
+      for (std::size_t j = i; j < path.size(); ++j) cone.insert(path[j]);
+    }
+    // Every AS seen on any path exists in the result, cone >= {self}.
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      result.as_cone[path[i]].insert(path[i]);
+    }
+  }
+  return result;
+}
+
+std::unordered_set<bgp::Prefix, bgp::PrefixHash> ConeResult::prefix_cone_of(
+    Asn asn) const {
+  std::unordered_set<bgp::Prefix, bgp::PrefixHash> out;
+  auto it = as_cone.find(asn);
+  if (it == as_cone.end()) return out;
+  for (Asn member : it->second) {
+    auto origin = originated.find(member);
+    if (origin == originated.end()) continue;
+    out.insert(origin->second.begin(), origin->second.end());
+  }
+  return out;
+}
+
+std::uint64_t ConeResult::cone_addresses(Asn asn) const {
+  auto it = as_cone.find(asn);
+  if (it == as_cone.end()) return 0;
+  std::uint64_t total = 0;
+  // MOAS prefixes (several origins announcing the same prefix) must not
+  // double count; track them only when a second cone member could repeat
+  // one, which is rare enough to pay for lazily.
+  std::unordered_set<bgp::Prefix, bgp::PrefixHash> seen;
+  for (Asn member : it->second) {
+    auto origin = originated.find(member);
+    if (origin == originated.end()) continue;
+    for (const bgp::Prefix& p : origin->second) {
+      if (!seen.insert(p).second) continue;
+      auto w = prefix_weight.find(p);
+      if (w != prefix_weight.end()) total += w->second;
+    }
+  }
+  return total;
+}
+
+Ranking ConeResult::by_addresses() const {
+  std::vector<ScoredAs> scores;
+  scores.reserve(as_cone.size());
+  double denom = total_weight ? static_cast<double>(total_weight) : 1.0;
+  for (const auto& [asn, _] : as_cone) {
+    scores.push_back(ScoredAs{asn, static_cast<double>(cone_addresses(asn)) / denom});
+  }
+  return Ranking::from_scores(std::move(scores));
+}
+
+Ranking ConeResult::by_as_count() const {
+  std::vector<ScoredAs> scores;
+  scores.reserve(as_cone.size());
+  for (const auto& [asn, cone] : as_cone) {
+    scores.push_back(ScoredAs{asn, static_cast<double>(cone.size())});
+  }
+  return Ranking::from_scores(std::move(scores));
+}
+
+}  // namespace georank::rank

@@ -1,0 +1,73 @@
+// Customer cone computation (Luckie et al. 2013; §1.1 and Figure 1).
+//
+// For each sanitized path (VP first, origin last) we label the links with
+// the relationship graph and keep the maximal ALL provider->customer
+// suffix. Every AS on that suffix collects the ASes (and the origin's
+// prefix) downstream of it into its customer cone. Crucially the cone is
+// NOT closed recursively over p2c links: B enters A's cone only if some
+// observed path shows B downstream of A (avoids inflating cones through
+// complex/partial-transit relationships).
+//
+// Each AS is a member of its own cone, so its own originated prefixes
+// count toward its prefix cone (an access network with no customers still
+// "serves" its own address space).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bgp/prefix.hpp"
+#include "rank/ranking.hpp"
+#include "sanitize/path_sanitizer.hpp"
+#include "topo/as_graph.hpp"
+
+namespace georank::rank {
+
+struct ConeResult {
+  /// AS-level cones: asn -> ASes observed downstream (incl. self).
+  std::unordered_map<Asn, std::unordered_set<Asn>> as_cone;
+  /// Observed originations: origin asn -> its announced prefixes.
+  std::unordered_map<Asn, std::unordered_set<bgp::Prefix, bgp::PrefixHash>> originated;
+  /// Effective address weight of every prefix in the input path set.
+  std::unordered_map<bgp::Prefix, std::uint64_t, bgp::PrefixHash> prefix_weight;
+  /// Sum of all prefix weights (the CC denominator).
+  std::uint64_t total_weight = 0;
+
+  [[nodiscard]] std::size_t cone_size(Asn asn) const {
+    auto it = as_cone.find(asn);
+    return it == as_cone.end() ? 0 : it->second.size();
+  }
+
+  /// The prefix-level cone (§1.1): EVERY prefix announced into BGP by an
+  /// AS in the cone — membership is at AS granularity, which is exactly
+  /// how partial-transit ("complex") customers inflate provider cones
+  /// beyond their observed path share.
+  [[nodiscard]] std::unordered_set<bgp::Prefix, bgp::PrefixHash> prefix_cone_of(
+      Asn asn) const;
+  [[nodiscard]] std::uint64_t cone_addresses(Asn asn) const;
+
+  /// Ranking by address share of the prefix cone (the paper's CC% values).
+  [[nodiscard]] Ranking by_addresses() const;
+  /// Ranking by AS-cone size (CAIDA ASRank order; the CCG subscripts).
+  [[nodiscard]] Ranking by_as_count() const;
+};
+
+class CustomerCone {
+ public:
+  /// `relationships` may be ground truth or an inferred graph.
+  explicit CustomerCone(const topo::AsGraph& relationships)
+      : relationships_(&relationships) {}
+
+  [[nodiscard]] ConeResult compute(
+      std::span<const sanitize::SanitizedPath> paths) const;
+
+  /// Index into `path` of the first hop of the maximal all-p2c suffix
+  /// (path.size()-1 when only the origin qualifies). Exposed for tests.
+  [[nodiscard]] std::size_t cone_suffix_start(const bgp::AsPath& path) const;
+
+ private:
+  const topo::AsGraph* relationships_;
+};
+
+}  // namespace georank::rank

@@ -1,0 +1,84 @@
+#include "rank/hegemony.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bgp/route.hpp"
+
+namespace georank::rank {
+
+double Hegemony::trimmed_average(std::vector<double> scores,
+                                 std::size_t vp_count) const {
+  if (vp_count == 0) return 0.0;
+  // VPs that never saw the AS contribute zeros.
+  scores.resize(vp_count, 0.0);
+  std::sort(scores.begin(), scores.end());
+  std::size_t cut = 0;
+  if (vp_count >= 3) {
+    cut = std::max<std::size_t>(
+        1, static_cast<std::size_t>(options_.trim * static_cast<double>(vp_count)));
+  }
+  if (2 * cut >= vp_count) cut = (vp_count - 1) / 2;
+  double sum = 0.0;
+  for (std::size_t i = cut; i < vp_count - cut; ++i) sum += scores[i];
+  return sum / static_cast<double>(vp_count - 2 * cut);
+}
+
+HegemonyResult Hegemony::compute(
+    std::span<const sanitize::SanitizedPath> paths) const {
+  // Group path mass per VP.
+  struct VpAccumulator {
+    double total = 0.0;
+    std::unordered_map<Asn, double> per_as;
+  };
+  std::unordered_map<bgp::VpId, VpAccumulator, bgp::VpIdHash> vps;
+
+  for (const sanitize::SanitizedPath& sp : paths) {
+    VpAccumulator& acc = vps[sp.vp];
+    double w = options_.weight_by_addresses ? static_cast<double>(sp.weight) : 1.0;
+    acc.total += w;
+    auto hops = sp.path.hops();
+    std::size_t begin = options_.exclude_vp_as && hops.size() > 1 ? 1 : 0;
+    // A path may repeat an AS only adjacently post-sanitization; hops are
+    // already collapsed, so each hop is distinct.
+    for (std::size_t i = begin; i < hops.size(); ++i) {
+      acc.per_as[hops[i]] += w;
+    }
+  }
+
+  HegemonyResult result;
+  result.vp_count = vps.size();
+  if (vps.empty()) return result;
+
+  // Collect per-AS score vectors across VPs.
+  std::unordered_map<Asn, std::vector<double>> per_as_scores;
+  for (const auto& [vp, acc] : vps) {
+    if (acc.total <= 0.0) continue;
+    for (const auto& [asn, mass] : acc.per_as) {
+      per_as_scores[asn].push_back(mass / acc.total);
+    }
+  }
+  for (auto& [asn, scores] : per_as_scores) {
+    result.scores[asn] = trimmed_average(std::move(scores), result.vp_count);
+  }
+  return result;
+}
+
+HegemonyResult per_origin_hegemony(std::span<const sanitize::SanitizedPath> paths,
+                                   Asn origin, HegemonyOptions options) {
+  std::vector<sanitize::SanitizedPath> subset;
+  for (const sanitize::SanitizedPath& sp : paths) {
+    if (!sp.path.empty() && sp.path.origin() == origin) subset.push_back(sp);
+  }
+  Hegemony hegemony{options};
+  return hegemony.compute(subset);
+}
+
+Ranking HegemonyResult::ranking() const {
+  std::vector<ScoredAs> scored;
+  scored.reserve(scores.size());
+  for (const auto& [asn, score] : scores) scored.push_back(ScoredAs{asn, score});
+  return Ranking::from_scores(std::move(scored));
+}
+
+}  // namespace georank::rank

@@ -1,0 +1,77 @@
+// AS Hegemony (Fontugne et al. 2017; §1.2 and Figure 2).
+//
+// For each vantage point v and each AS A:
+//
+//   score_v(A) = sum of w(p) over v's paths p containing A
+//              / sum of w(p) over all of v's paths
+//
+// where w(p) is the effective address count of the path's prefix. The
+// hegemony of A is the mean of {score_v(A)} over VPs after discarding the
+// top and bottom trim share of per-VP scores. VPs that do not see A score
+// 0 for it — absence is information, not missing data.
+//
+// Trim rule: the paper's Figure 2 removes one score from each end of a
+// 3-VP sample, so we trim max(1, floor(trim*n)) per side whenever n >= 3
+// (and nothing below that).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rank/ranking.hpp"
+#include "sanitize/path_sanitizer.hpp"
+
+namespace georank::rank {
+
+struct HegemonyOptions {
+  /// Per-side trim share of VP scores (paper: 0.10).
+  double trim = 0.10;
+  /// Exclude the VP's own (first-hop) AS from scoring. The bias-trimming
+  /// exists exactly because near-VP ASes over-score; the paper keeps them
+  /// and lets the trim handle it, so the default is false.
+  bool exclude_vp_as = false;
+  /// Weight each path by its prefix's effective address count (the
+  /// paper's choice, Figure 2). false = plain path-fraction betweenness
+  /// (Fontugne et al.'s original unweighted formulation).
+  bool weight_by_addresses = true;
+};
+
+struct HegemonyResult {
+  /// Final hegemony score per AS.
+  std::unordered_map<Asn, double> scores;
+  /// Number of VPs that contributed (the trim denominator).
+  std::size_t vp_count = 0;
+
+  [[nodiscard]] Ranking ranking() const;
+  [[nodiscard]] double score_of(Asn asn) const {
+    auto it = scores.find(asn);
+    return it == scores.end() ? 0.0 : it->second;
+  }
+};
+
+/// IHR-style per-origin ("local graph") hegemony: hegemony computed over
+/// only the paths whose ORIGIN is the given AS — which transit networks
+/// does this one AS depend on? This is the building block IHR aggregates
+/// into its country ranking (AHC, §1.2.1) and publishes per AS.
+[[nodiscard]] HegemonyResult per_origin_hegemony(
+    std::span<const sanitize::SanitizedPath> paths, Asn origin,
+    HegemonyOptions options = {});
+
+class Hegemony {
+ public:
+  explicit Hegemony(HegemonyOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] HegemonyResult compute(
+      std::span<const sanitize::SanitizedPath> paths) const;
+
+  /// The trim-then-average step on a raw per-VP score vector, padded with
+  /// zeros up to `vp_count`. Exposed for tests (Figure 2 worked example).
+  [[nodiscard]] double trimmed_average(std::vector<double> scores,
+                                       std::size_t vp_count) const;
+
+ private:
+  HegemonyOptions options_;
+};
+
+}  // namespace georank::rank

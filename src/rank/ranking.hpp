@@ -1,0 +1,80 @@
+// A scored AS ranking: the common output type of every metric.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+
+namespace georank::rank {
+
+using bgp::Asn;
+
+struct ScoredAs {
+  Asn asn = 0;
+  double score = 0.0;
+};
+
+class Ranking {
+ public:
+  Ranking() = default;
+
+  /// Builds from unordered scores; sorts descending (ties: ascending ASN).
+  static Ranking from_scores(std::vector<ScoredAs> scores);
+
+  [[nodiscard]] const std::vector<ScoredAs>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// 1-based rank of an AS; nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> rank_of(Asn asn) const;
+
+  /// Score of an AS; 0 if absent.
+  [[nodiscard]] double score_of(Asn asn) const;
+
+  /// The top-n entries (fewer if the ranking is shorter).
+  [[nodiscard]] std::vector<ScoredAs> top(std::size_t n) const;
+
+ private:
+  std::vector<ScoredAs> entries_;
+  std::unordered_map<Asn, std::size_t> index_;  // asn -> position
+};
+
+inline Ranking Ranking::from_scores(std::vector<ScoredAs> scores) {
+  std::sort(scores.begin(), scores.end(), [](const ScoredAs& a, const ScoredAs& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.asn < b.asn;
+  });
+  Ranking r;
+  r.entries_ = std::move(scores);
+  r.index_.reserve(r.entries_.size());
+  for (std::size_t i = 0; i < r.entries_.size(); ++i) {
+    r.index_.emplace(r.entries_[i].asn, i);
+  }
+  return r;
+}
+
+inline std::optional<std::size_t> Ranking::rank_of(Asn asn) const {
+  auto it = index_.find(asn);
+  if (it == index_.end()) return std::nullopt;
+  return it->second + 1;
+}
+
+inline double Ranking::score_of(Asn asn) const {
+  auto it = index_.find(asn);
+  return it == index_.end() ? 0.0 : entries_[it->second].score;
+}
+
+inline std::vector<ScoredAs> Ranking::top(std::size_t n) const {
+  std::vector<ScoredAs> out(entries_.begin(),
+                            entries_.begin() + static_cast<std::ptrdiff_t>(
+                                                   std::min(n, entries_.size())));
+  return out;
+}
+
+}  // namespace georank::rank

@@ -1,0 +1,54 @@
+#include "sanitize/asn_registry.hpp"
+
+#include <stdexcept>
+
+namespace georank::sanitize {
+
+void AsnRegistry::allocate_range(bgp::Asn first, bgp::Asn last) {
+  if (first > last) throw std::invalid_argument{"ASN range first > last"};
+  if (first == 0) first = 1;  // AS0 is never a valid hop
+  ranges_.push_back(Range{first, last});
+  finalized_ = false;
+}
+
+void AsnRegistry::finalize() {
+  std::sort(ranges_.begin(), ranges_.end(),
+            [](const Range& a, const Range& b) { return a.first < b.first; });
+  std::vector<Range> merged;
+  for (const Range& r : ranges_) {
+    if (!merged.empty() && r.first <= merged.back().last + 1 &&
+        merged.back().last != 0xffffffffu) {
+      merged.back().last = std::max(merged.back().last, r.last);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  ranges_ = std::move(merged);
+  finalized_ = true;
+}
+
+bool AsnRegistry::allocated(bgp::Asn asn) const noexcept {
+  if (asn == 0) return false;
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), asn,
+      [](bgp::Asn v, const Range& r) { return v < r.first; });
+  if (it == ranges_.begin()) return false;
+  --it;
+  return asn <= it->last;
+}
+
+bool AsnRegistry::all_allocated(const bgp::AsPath& path) const noexcept {
+  for (bgp::Asn hop : path.hops()) {
+    if (!allocated(hop)) return false;
+  }
+  return true;
+}
+
+AsnRegistry AsnRegistry::permissive() {
+  AsnRegistry r;
+  r.allocate_range(1, 0xffffffffu);
+  r.finalize();
+  return r;
+}
+
+}  // namespace georank::sanitize

@@ -1,0 +1,38 @@
+// Stand-in for the IANA AS-number allocation list (§3.1: "include ASes
+// that IANA reports as unassigned" -> rejected).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+
+namespace georank::sanitize {
+
+class AsnRegistry {
+ public:
+  /// Marks [first,last] (inclusive) as allocated.
+  void allocate_range(bgp::Asn first, bgp::Asn last);
+  void allocate(bgp::Asn asn) { allocate_range(asn, asn); }
+
+  /// Sorts + merges ranges; call after all allocations.
+  void finalize();
+
+  [[nodiscard]] bool allocated(bgp::Asn asn) const noexcept;
+
+  /// True iff every hop of the path is allocated.
+  [[nodiscard]] bool all_allocated(const bgp::AsPath& path) const noexcept;
+
+  /// A registry that treats EVERY nonzero ASN as allocated.
+  [[nodiscard]] static AsnRegistry permissive();
+
+ private:
+  struct Range {
+    bgp::Asn first, last;
+  };
+  std::vector<Range> ranges_;
+  bool finalized_ = false;
+};
+
+}  // namespace georank::sanitize

@@ -1,0 +1,179 @@
+#include "sanitize/path_sanitizer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "infer/clique.hpp"
+#include "infer/transit_degree.hpp"
+
+namespace georank::sanitize {
+
+std::string_view to_string(FilterReason reason) noexcept {
+  switch (reason) {
+    case FilterReason::kAccepted: return "accepted";
+    case FilterReason::kUnstable: return "unstable";
+    case FilterReason::kUnallocated: return "unallocated";
+    case FilterReason::kLoop: return "loop";
+    case FilterReason::kPoisoned: return "poisoned";
+    case FilterReason::kVpNoLocation: return "VP no location";
+    case FilterReason::kCoveredPrefix: return "covered prefix";
+    case FilterReason::kPrefixNoLocation: return "prefix no location";
+  }
+  return "?";
+}
+
+bool is_poisoned(const bgp::AsPath& path, std::span<const bgp::Asn> clique) {
+  if (clique.empty()) return false;
+  auto in_clique = [&](bgp::Asn a) {
+    return std::find(clique.begin(), clique.end(), a) != clique.end();
+  };
+  // Poisoned: two clique ASes separated by at least one non-clique AS.
+  std::ptrdiff_t last_clique = -1;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (!in_clique(path[i])) continue;
+    if (last_clique >= 0 && static_cast<std::size_t>(last_clique) + 1 < i) {
+      return true;
+    }
+    last_clique = static_cast<std::ptrdiff_t>(i);
+  }
+  return false;
+}
+
+PathSanitizer::PathSanitizer(const geo::GeoDatabase& geo_db,
+                             const geo::VpGeolocator& vps,
+                             const AsnRegistry& registry, SanitizerOptions options)
+    : geo_db_(&geo_db), vps_(&vps), registry_(&registry), options_(std::move(options)) {}
+
+SanitizeResult PathSanitizer::run(const bgp::RibCollection& ribs) const {
+  SanitizeResult result;
+  SanitizeStats& stats = result.stats;
+
+  // ---- Stability: a prefix must appear in all snapshots (§3.1). ----
+  std::size_t need = options_.stability_days ? options_.stability_days : ribs.days.size();
+  std::unordered_map<bgp::Prefix, std::unordered_set<int>, bgp::PrefixHash> seen_days;
+  for (const bgp::RibSnapshot& snap : ribs.days) {
+    for (const bgp::RouteEntry& e : snap.entries) {
+      seen_days[e.prefix].insert(snap.day);
+    }
+  }
+  auto stable = [&](const bgp::Prefix& p) { return seen_days.at(p).size() >= need; };
+
+  // ---- Clique (for the poisoning filter): explicit or inferred from the
+  // stable, loop-free paths. ----
+  std::vector<bgp::Asn> clique = options_.clique;
+  if (clique.empty()) {
+    infer::TransitDegree degrees;
+    infer::ObservedAdjacency adjacency;
+    for (const bgp::RibSnapshot& snap : ribs.days) {
+      for (const bgp::RouteEntry& e : snap.entries) {
+        if (!stable(e.prefix)) continue;
+        bgp::AsPath collapsed = e.path.without_adjacent_duplicates();
+        if (collapsed.has_nonadjacent_duplicate()) continue;
+        degrees.add_path(collapsed);
+        adjacency.add_path(collapsed);
+      }
+    }
+    clique = infer::infer_clique(degrees, adjacency);
+  }
+  result.clique = clique;
+
+  // ---- Prefix geolocation over the stable announced set. ----
+  std::vector<bgp::Prefix> announced;
+  announced.reserve(seen_days.size());
+  for (const auto& [p, days] : seen_days) {
+    if (days.size() >= need) announced.push_back(p);
+  }
+  geo::PrefixGeolocator geolocator{*geo_db_, options_.geo_threshold};
+  result.prefix_geo = geolocator.run(announced);
+
+  std::unordered_set<bgp::Prefix, bgp::PrefixHash> covered_set(
+      result.prefix_geo.covered.begin(), result.prefix_geo.covered.end());
+
+  // ---- Per-entry filtering, in the paper's precedence order. ----
+  struct DedupKey {
+    bgp::VpId vp;
+    bgp::Prefix prefix;
+    std::string path;
+    bool operator==(const DedupKey&) const = default;
+  };
+  struct DedupHash {
+    std::size_t operator()(const DedupKey& k) const noexcept {
+      std::size_t h = bgp::VpIdHash{}(k.vp);
+      h ^= bgp::PrefixHash{}(k.prefix) + 0x9e3779b9u + (h << 6) + (h >> 2);
+      h ^= std::hash<std::string>{}(k.path) + 0x9e3779b9u + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+  std::unordered_set<DedupKey, DedupHash> dedup;
+
+  std::array<std::size_t, 8> sample_counts{};
+  auto sample = [&](FilterReason reason, const bgp::RouteEntry& e, int day) {
+    auto idx = static_cast<std::size_t>(reason);
+    if (sample_counts[idx] >= options_.samples_per_category) return;
+    ++sample_counts[idx];
+    result.samples.push_back(RejectedSample{reason, e, day});
+  };
+
+  for (const bgp::RibSnapshot& snap : ribs.days) {
+    for (const bgp::RouteEntry& e : snap.entries) {
+      ++stats.total;
+      if (!stable(e.prefix)) {
+        ++stats.unstable;
+        sample(FilterReason::kUnstable, e, snap.day);
+        continue;
+      }
+      if (!registry_->all_allocated(e.path)) {
+        ++stats.unallocated;
+        sample(FilterReason::kUnallocated, e, snap.day);
+        continue;
+      }
+      if (e.path.has_nonadjacent_duplicate()) {
+        ++stats.loop;
+        sample(FilterReason::kLoop, e, snap.day);
+        continue;
+      }
+      if (is_poisoned(e.path, clique)) {
+        ++stats.poisoned;
+        sample(FilterReason::kPoisoned, e, snap.day);
+        continue;
+      }
+      auto vp_country = vps_->locate(e.vp);
+      if (!vp_country) {
+        ++stats.vp_no_location;
+        sample(FilterReason::kVpNoLocation, e, snap.day);
+        continue;
+      }
+      if (covered_set.contains(e.prefix)) {
+        ++stats.covered_prefix;
+        sample(FilterReason::kCoveredPrefix, e, snap.day);
+        continue;
+      }
+      geo::CountryCode prefix_country = result.prefix_geo.country_of(e.prefix);
+      if (!prefix_country.valid()) {
+        ++stats.prefix_no_location;
+        sample(FilterReason::kPrefixNoLocation, e, snap.day);
+        continue;
+      }
+      ++stats.accepted;
+
+      // ---- Cleaning: strip route servers, collapse prepending. ----
+      bgp::AsPath cleaned =
+          e.path.without_ases(options_.route_server_asns).without_adjacent_duplicates();
+      if (cleaned.empty()) continue;
+
+      DedupKey key{e.vp, e.prefix, cleaned.to_string()};
+      if (!dedup.insert(std::move(key)).second) {
+        ++stats.duplicates_merged;
+        continue;
+      }
+      result.paths.push_back(SanitizedPath{
+          e.vp, *vp_country, e.prefix, prefix_country,
+          result.prefix_geo.weight_of(e.prefix), std::move(cleaned)});
+    }
+  }
+  return result;
+}
+
+}  // namespace georank::sanitize

@@ -1,0 +1,127 @@
+// Path sanitization pipeline (§3.1, Table 1).
+//
+// Input: five RIB snapshots (first five days of the month), collector
+// metadata and a geolocation database. Output: the accepted, cleaned,
+// geolocated path set that feeds every metric, plus per-category
+// accounting that regenerates Table 1.
+//
+// Filter precedence per RIB entry (first match wins), mirroring the paper:
+//   unstable     prefix not present in all five snapshots
+//   unallocated  a hop is not an IANA-allocated ASN
+//   loop         non-adjacent duplicate AS ("A C A")
+//   poisoned     a non-clique AS sandwiched between two clique ASes
+//   vp-no-loc    VP peers with a multi-hop collector (or is unknown)
+//   covered      prefix entirely covered by more-specific prefixes
+//   pfx-no-loc   prefix geolocates to no or multiple countries
+//
+// Accepted paths are cleaned (IXP route-server ASes removed, adjacent
+// duplicates collapsed) and deduplicated to distinct (VP, prefix, path).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "bgp/route.hpp"
+#include "geo/country.hpp"
+#include "geo/prefix_geolocator.hpp"
+#include "geo/vp_geolocator.hpp"
+#include "sanitize/asn_registry.hpp"
+
+namespace georank::sanitize {
+
+enum class FilterReason : std::uint8_t {
+  kAccepted,
+  kUnstable,
+  kUnallocated,
+  kLoop,
+  kPoisoned,
+  kVpNoLocation,
+  kCoveredPrefix,
+  kPrefixNoLocation,
+};
+
+[[nodiscard]] std::string_view to_string(FilterReason reason) noexcept;
+
+struct SanitizeStats {
+  std::size_t total = 0;
+  std::size_t accepted = 0;
+  std::size_t unstable = 0;
+  std::size_t unallocated = 0;
+  std::size_t loop = 0;
+  std::size_t poisoned = 0;
+  std::size_t vp_no_location = 0;
+  std::size_t covered_prefix = 0;
+  std::size_t prefix_no_location = 0;
+  std::size_t duplicates_merged = 0;  // accepted entries collapsed by dedup
+
+  [[nodiscard]] std::size_t rejected() const noexcept {
+    return unstable + unallocated + loop + poisoned + vp_no_location +
+           covered_prefix + prefix_no_location;
+  }
+};
+
+/// An audit sample: one rejected RIB entry and why.
+struct RejectedSample {
+  FilterReason reason = FilterReason::kAccepted;
+  bgp::RouteEntry entry;
+  int day = 0;
+};
+
+/// One accepted, cleaned, geolocated path: the unit every metric consumes.
+struct SanitizedPath {
+  bgp::VpId vp;
+  geo::CountryCode vp_country;
+  bgp::Prefix prefix;
+  geo::CountryCode prefix_country;
+  /// Most-specific ("effective") address count of the prefix.
+  std::uint64_t weight = 0;
+  bgp::AsPath path;
+};
+
+struct SanitizeResult {
+  std::vector<SanitizedPath> paths;
+  SanitizeStats stats;
+  geo::PrefixGeoResult prefix_geo;  // retained for the geo-filter harnesses
+  std::vector<bgp::Asn> clique;     // clique used for the poisoning filter
+  /// Audit samples (at most SanitizerOptions::samples_per_category per
+  /// rejection reason, in encounter order).
+  std::vector<RejectedSample> samples;
+};
+
+struct SanitizerOptions {
+  /// Explicit top-tier clique; empty -> inferred from the stable paths.
+  std::vector<bgp::Asn> clique;
+  /// IXP route-server ASNs to strip from accepted paths.
+  std::vector<bgp::Asn> route_server_asns;
+  /// Prefix-geolocation majority threshold (Appendix B).
+  double geo_threshold = 0.5;
+  /// Number of snapshots a prefix must appear in to be "stable".
+  /// 0 -> all snapshots present in the collection (the paper's rule).
+  std::size_t stability_days = 0;
+  /// Keep up to this many example rejected entries PER CATEGORY in
+  /// SanitizeResult::samples, for debugging/auditing filter decisions.
+  std::size_t samples_per_category = 0;
+};
+
+class PathSanitizer {
+ public:
+  PathSanitizer(const geo::GeoDatabase& geo_db, const geo::VpGeolocator& vps,
+                const AsnRegistry& registry, SanitizerOptions options = {});
+
+  [[nodiscard]] SanitizeResult run(const bgp::RibCollection& ribs) const;
+
+ private:
+  const geo::GeoDatabase* geo_db_;
+  const geo::VpGeolocator* vps_;
+  const AsnRegistry* registry_;
+  SanitizerOptions options_;
+};
+
+/// True iff a non-clique AS sits between two clique ASes (§3.1's poisoning
+/// heuristic from Luckie et al.). Exposed for tests.
+[[nodiscard]] bool is_poisoned(const bgp::AsPath& path, std::span<const bgp::Asn> clique);
+
+}  // namespace georank::sanitize

@@ -1,0 +1,105 @@
+// AS-level topology with business relationships.
+//
+// Two relationship kinds, following Gao / Luckie et al.:
+//   provider -> customer (p2c): the customer pays the provider for transit;
+//   peer <-> peer        (p2p): settlement-free exchange of customer routes.
+//
+// The graph is the ground truth the generator produces; the inference
+// module recovers relationships from paths, and tests compare the two.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+
+namespace georank::topo {
+
+using bgp::Asn;
+
+/// Dense node index into the graph's arrays.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+/// Relationship of a neighbor FROM THE PERSPECTIVE of the owning node.
+enum class Rel : std::uint8_t {
+  kCustomer,  // neighbor is my customer (I provide transit to it)
+  kProvider,  // neighbor is my provider (I buy transit from it)
+  kPeer,      // settlement-free peer
+};
+
+[[nodiscard]] constexpr Rel inverse(Rel rel) noexcept {
+  switch (rel) {
+    case Rel::kCustomer: return Rel::kProvider;
+    case Rel::kProvider: return Rel::kCustomer;
+    case Rel::kPeer: return Rel::kPeer;
+  }
+  return Rel::kPeer;
+}
+
+struct Neighbor {
+  NodeId id = kNoNode;
+  Rel rel = Rel::kPeer;
+  /// For p2c edges: fraction of its prefixes the CUSTOMER announces
+  /// upward through this link. < 1 models "complex" partial-transit
+  /// relationships (Giotsas et al. 2014), which the paper highlights as
+  /// the reason customer cones inflate relative to observed paths (§1.1).
+  float export_up = 1.0f;
+};
+
+class AsGraph {
+ public:
+  /// Registers an AS if new; returns its node id either way.
+  NodeId add_as(Asn asn);
+
+  /// Adds provider->customer. Throws std::invalid_argument on self-edges
+  /// or if any relationship already exists between the pair.
+  /// `export_fraction` in (0,1] is the share of the customer's prefixes
+  /// announced through this link (1 = ordinary full transit).
+  void add_p2c(Asn provider, Asn customer, double export_fraction = 1.0);
+  /// Adds peer<->peer with the same validity rules.
+  void add_p2p(Asn a, Asn b);
+
+  /// Export fraction of the p2c edge between the pair (1.0 for peers or
+  /// absent edges).
+  [[nodiscard]] double export_fraction(Asn a, Asn b) const;
+
+  /// Removes any relationship between the pair; returns true if one existed.
+  bool remove_edge(Asn a, Asn b);
+
+  [[nodiscard]] bool contains(Asn asn) const noexcept {
+    return index_.contains(asn);
+  }
+  [[nodiscard]] NodeId id_of(Asn asn) const;
+  [[nodiscard]] Asn asn_of(NodeId id) const { return asns_.at(id); }
+  [[nodiscard]] std::size_t size() const noexcept { return asns_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  [[nodiscard]] std::span<const Neighbor> neighbors(NodeId id) const {
+    return adj_.at(id);
+  }
+
+  /// Relationship between two ASes, if adjacent: perspective of `a`.
+  [[nodiscard]] std::optional<Rel> relationship(Asn a, Asn b) const;
+
+  [[nodiscard]] std::vector<Asn> customers_of(Asn asn) const;
+  [[nodiscard]] std::vector<Asn> providers_of(Asn asn) const;
+  [[nodiscard]] std::vector<Asn> peers_of(Asn asn) const;
+
+  /// All registered ASNs in insertion order.
+  [[nodiscard]] std::span<const Asn> ases() const noexcept { return asns_; }
+
+ private:
+  void add_edge(Asn a, Asn b, Rel rel_of_a, double export_fraction);
+
+  std::unordered_map<Asn, NodeId> index_;
+  std::vector<Asn> asns_;
+  std::vector<std::vector<Neighbor>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace georank::topo

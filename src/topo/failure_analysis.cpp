@@ -1,0 +1,83 @@
+#include "topo/failure_analysis.hpp"
+
+#include <algorithm>
+
+namespace georank::topo {
+
+namespace {
+
+std::uint64_t prefix_salt(const bgp::Prefix& p) noexcept {
+  std::uint64_t x = (static_cast<std::uint64_t>(p.address()) << 8) | p.length();
+  x *= 0x9e3779b97f4a7c15ull;
+  x ^= x >> 32;
+  return x | 1;
+}
+
+}  // namespace
+
+FailureAnalyzer::FailureAnalyzer(const AsGraph& graph,
+                                 std::vector<PrefixOrigin> targets,
+                                 std::vector<Asn> observers)
+    : graph_(&graph), targets_(std::move(targets)) {
+  for (PrefixOrigin& t : targets_) {
+    if (t.weight == 0) t.weight = t.prefix.size();
+  }
+  observer_ids_.reserve(observers.size());
+  for (Asn asn : observers) observer_ids_.push_back(graph.id_of(asn));
+}
+
+FailureImpact FailureAnalyzer::assess(Asn failed) const {
+  FailureImpact impact;
+  impact.failed = failed;
+  NodeId failed_id = graph_->contains(failed) ? graph_->id_of(failed) : kNoNode;
+
+  RoutePropagator propagator{*graph_};
+  for (const PrefixOrigin& target : targets_) {
+    if (!graph_->contains(target.origin)) continue;
+    std::uint64_t salt = prefix_salt(target.prefix);
+    RoutingTable before = propagator.compute(target.origin, salt);
+    RoutingTable after = propagator.compute(target.origin, salt, failed_id);
+
+    // Only targets some observer could reach BEFORE the failure are
+    // assessed — permanently dark space says nothing about the failure.
+    bool was_reachable = false;
+    bool any_reachable = false;
+    bool any_rerouted = false;
+    for (NodeId observer : observer_ids_) {
+      if (observer == failed_id) continue;  // the failed AS observes nothing
+      if (!before.reachable(observer)) continue;
+      was_reachable = true;
+      if (after.reachable(observer)) {
+        any_reachable = true;
+        if (before.path_from(observer) != after.path_from(observer)) {
+          any_rerouted = true;
+        }
+      } else {
+        any_rerouted = true;  // lost entirely at this observer
+      }
+    }
+    if (!was_reachable) continue;
+    impact.total += target.weight;
+    if (!any_reachable) {
+      impact.unreachable += target.weight;
+    } else if (any_rerouted) {
+      impact.rerouted += target.weight;
+    }
+  }
+  return impact;
+}
+
+std::vector<FailureImpact> FailureAnalyzer::rank_candidates(
+    std::span<const Asn> candidates) const {
+  std::vector<FailureImpact> out;
+  out.reserve(candidates.size());
+  for (Asn asn : candidates) out.push_back(assess(asn));
+  std::sort(out.begin(), out.end(), [](const FailureImpact& a, const FailureImpact& b) {
+    if (a.unreachable != b.unreachable) return a.unreachable > b.unreachable;
+    if (a.rerouted != b.rerouted) return a.rerouted > b.rerouted;
+    return a.failed < b.failed;
+  });
+  return out;
+}
+
+}  // namespace georank::topo

@@ -1,0 +1,76 @@
+// What-if resilience analysis over the ground-truth topology.
+//
+// The paper (§7) notes that public BGP data "cannot reliably support
+// resilience assessments" because backup paths only appear after primary
+// paths fail. Our substrate is a routing SIMULATOR, so the counterfactual
+// is computable: withdraw one AS entirely and re-propagate. For a set of
+// (prefix, origin) pairs this yields, per candidate AS:
+//
+//   * how many addresses become UNREACHABLE from a set of observer ASes
+//     (hard dependence — no backup path exists at all), and
+//   * how many addresses have to SHIFT to a different first-hop path
+//     (soft dependence — reachable, but rerouted).
+//
+// Ranking ASes by hard dependence is the "which AS is a single point of
+// failure for country X" question the country metrics approximate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bgp/prefix.hpp"
+#include "topo/as_graph.hpp"
+#include "topo/route_propagation.hpp"
+
+namespace georank::topo {
+
+struct PrefixOrigin {
+  bgp::Prefix prefix;
+  Asn origin = 0;
+  /// Address weight (effective size); defaults to the prefix size.
+  std::uint64_t weight = 0;
+};
+
+struct FailureImpact {
+  Asn failed = 0;
+  /// Addresses (weight) no observer can reach any more.
+  std::uint64_t unreachable = 0;
+  /// Addresses still reachable but over a different path for at least
+  /// one observer.
+  std::uint64_t rerouted = 0;
+  /// Total assessed weight (denominator for shares).
+  std::uint64_t total = 0;
+
+  [[nodiscard]] double unreachable_share() const noexcept {
+    return total ? static_cast<double>(unreachable) / static_cast<double>(total)
+                 : 0.0;
+  }
+  [[nodiscard]] double rerouted_share() const noexcept {
+    return total ? static_cast<double>(rerouted) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+class FailureAnalyzer {
+ public:
+  /// `targets`: the address space under assessment (e.g. one country's
+  /// originations). `observers`: ASes whose reachability matters (e.g.
+  /// the tier-1 clique, or the VP ASes).
+  FailureAnalyzer(const AsGraph& graph, std::vector<PrefixOrigin> targets,
+                  std::vector<Asn> observers);
+
+  /// Impact of withdrawing a single AS.
+  [[nodiscard]] FailureImpact assess(Asn failed) const;
+
+  /// Impacts of every candidate, sorted by descending unreachable share
+  /// (ties: rerouted share).
+  [[nodiscard]] std::vector<FailureImpact> rank_candidates(
+      std::span<const Asn> candidates) const;
+
+ private:
+  const AsGraph* graph_;
+  std::vector<PrefixOrigin> targets_;
+  std::vector<NodeId> observer_ids_;
+};
+
+}  // namespace georank::topo

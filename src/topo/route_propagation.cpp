@@ -1,0 +1,215 @@
+#include "topo/route_propagation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace georank::topo {
+
+namespace {
+
+/// Deterministic tiebreak score for an offer from `offerer`.
+/// Lower wins. With salt 0 this is just the ASN (lowest-ASN tiebreak);
+/// per-prefix salts shuffle equal-cost choices.
+std::uint64_t tiebreak(std::uint64_t salt, Asn offerer) noexcept {
+  if (salt == 0) return offerer;
+  // SplitMix64 finalizer: full avalanche so small salt changes flip the
+  // comparison between any two offerers about half the time.
+  std::uint64_t z = salt + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(offerer) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct Offer {
+  NodeId via = kNoNode;
+  std::uint64_t score = std::numeric_limits<std::uint64_t>::max();
+};
+
+/// Deterministic per-(prefix, edge) uniform roll in [0,1) for partial
+/// transit: a customer announces a given prefix through a fractional
+/// edge iff the roll is below the edge's export fraction. The salt is
+/// prefix-derived, so the same prefix is consistently announced (or not)
+/// throughout one propagation.
+double edge_roll(std::uint64_t salt, Asn a, Asn b) noexcept {
+  Asn lo = std::min(a, b), hi = std::max(a, b);
+  std::uint64_t z = (salt + 1) * 0x9e3779b97f4a7c15ull;
+  z += 0xbf58476d1ce4e5b9ull * (static_cast<std::uint64_t>(lo) + 1);
+  z += 0x94d049bb133111ebull * (static_cast<std::uint64_t>(hi) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+RoutingTable RoutePropagator::compute(Asn origin, std::uint64_t salt,
+                                      NodeId failed) const {
+  const AsGraph& g = *graph_;
+  const auto n = static_cast<NodeId>(g.size());
+  std::vector<RouteInfo> info(n);
+
+  NodeId origin_id = g.id_of(origin);
+  if (failed == origin_id) {
+    // A failed origin announces nothing at all.
+    return RoutingTable{g, origin, std::move(info)};
+  }
+  info[origin_id] = RouteInfo{RouteKind::kOrigin, 0, kNoNode};
+
+  // ---- Phase 1: customer routes climb provider links (origin upward). ----
+  // Bucket queue by EFFECTIVE length: partial-transit edges carry a
+  // prepending penalty (kBackupPenalty), so backup announcements lose
+  // every equal-class comparison against a fully-announced alternative —
+  // exactly how operators keep traffic off thin backup links. All offers
+  // for a node at the same effective length compete on the tiebreak.
+  constexpr std::uint16_t kBackupPenalty = 3;
+  std::vector<Offer> offers(n);
+  std::vector<NodeId> touched;
+  std::vector<std::vector<NodeId>> up_buckets{{origin_id}};
+  for (std::uint16_t len = 0; len < up_buckets.size(); ++len) {
+    touched.clear();
+    for (NodeId u : up_buckets[len]) {
+      if (info[u].kind == RouteKind::kNone || info[u].length != len) continue;
+      for (const Neighbor& nb : g.neighbors(u)) {
+        if (nb.rel != Rel::kProvider) continue;  // only climb to providers
+        // Partial transit: the customer may not announce this prefix
+        // through this edge at all.
+        if (nb.export_up < 1.0f &&
+            edge_roll(salt, g.asn_of(u), g.asn_of(nb.id)) >=
+                static_cast<double>(nb.export_up)) {
+          continue;
+        }
+        NodeId p = nb.id;
+        if (p == failed) continue;
+        if (info[p].kind != RouteKind::kNone) continue;
+        std::uint64_t score = tiebreak(salt, g.asn_of(u));
+        if (offers[p].via == kNoNode) touched.push_back(p);
+        if (score < offers[p].score) offers[p] = Offer{u, score};
+      }
+    }
+    for (NodeId p : touched) {
+      NodeId via = offers[p].via;
+      bool backup = false;
+      for (const Neighbor& nb : g.neighbors(via)) {
+        if (nb.id == p && nb.rel == Rel::kProvider) {
+          backup = nb.export_up < 1.0f;
+          break;
+        }
+      }
+      auto plen =
+          static_cast<std::uint16_t>(len + 1 + (backup ? kBackupPenalty : 0));
+      info[p] = RouteInfo{RouteKind::kCustomer, plen, via};
+      offers[p] = Offer{};
+      if (up_buckets.size() <= plen) up_buckets.resize(plen + 1);
+      up_buckets[plen].push_back(p);
+    }
+  }
+
+  // ---- Phase 2: one peer hop from every AS holding a customer/origin
+  // route. Peer routes are not re-exported, so this is a single sweep; a
+  // node prefers the shortest exporter, then the tiebreak score. ----
+  struct PeerOffer {
+    NodeId via = kNoNode;
+    std::uint16_t length = 0;
+    std::uint64_t score = std::numeric_limits<std::uint64_t>::max();
+  };
+  std::vector<PeerOffer> peer_offers(n);
+  std::vector<NodeId> peer_touched;
+  for (NodeId u = 0; u < n; ++u) {
+    if (info[u].kind != RouteKind::kOrigin && info[u].kind != RouteKind::kCustomer) {
+      continue;
+    }
+    for (const Neighbor& nb : g.neighbors(u)) {
+      if (nb.rel != Rel::kPeer) continue;
+      NodeId q = nb.id;
+      if (q == failed) continue;
+      if (info[q].kind != RouteKind::kNone) continue;  // has a better class
+      auto len = static_cast<std::uint16_t>(info[u].length + 1);
+      std::uint64_t score = tiebreak(salt, g.asn_of(u));
+      PeerOffer& cur = peer_offers[q];
+      if (cur.via == kNoNode) peer_touched.push_back(q);
+      if (cur.via == kNoNode || len < cur.length ||
+          (len == cur.length && score < cur.score)) {
+        cur = PeerOffer{u, len, score};
+      }
+    }
+  }
+  for (NodeId q : peer_touched) {
+    info[q] = RouteInfo{RouteKind::kPeer, peer_offers[q].length, peer_offers[q].via};
+  }
+
+  // ---- Phase 3: provider routes descend customer links from every routed
+  // AS. Starting lengths differ, so process in increasing length order
+  // with a bucket queue. ----
+  std::vector<std::vector<NodeId>> buckets;
+  auto bucket_push = [&](NodeId id, std::uint16_t len) {
+    if (buckets.size() <= len) buckets.resize(len + 1);
+    buckets[len].push_back(id);
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    if (info[u].kind != RouteKind::kNone) bucket_push(u, info[u].length);
+  }
+  for (std::uint16_t len = 0; len < buckets.size(); ++len) {
+    touched.clear();
+    for (NodeId u : buckets[len]) {
+      if (info[u].length != len) continue;  // stale entry
+      for (const Neighbor& nb : g.neighbors(u)) {
+        if (nb.rel != Rel::kCustomer) continue;  // descend to customers
+        NodeId c = nb.id;
+        if (c == failed) continue;
+        if (info[c].kind != RouteKind::kNone) continue;
+        std::uint64_t score = tiebreak(salt, g.asn_of(u));
+        if (offers[c].via == kNoNode) touched.push_back(c);
+        if (score < offers[c].score) offers[c] = Offer{u, score};
+      }
+    }
+    for (NodeId c : touched) {
+      auto clen = static_cast<std::uint16_t>(len + 1);
+      info[c] = RouteInfo{RouteKind::kProvider, clen, offers[c].via};
+      offers[c] = Offer{};
+      bucket_push(c, clen);
+    }
+  }
+
+  return RoutingTable{g, origin, std::move(info)};
+}
+
+bgp::AsPath RoutingTable::path_from(NodeId from) const {
+  if (info_.at(from).kind == RouteKind::kNone) return {};
+  std::vector<Asn> hops;
+  NodeId cur = from;
+  hops.push_back(graph_->asn_of(cur));
+  while (info_[cur].kind != RouteKind::kOrigin) {
+    cur = info_[cur].next_hop;
+    hops.push_back(graph_->asn_of(cur));
+  }
+  return bgp::AsPath{std::move(hops)};
+}
+
+bool is_valley_free(const AsGraph& graph, const bgp::AsPath& path) {
+  if (path.size() < 2) return true;
+  // Walking VP -> origin the pattern must be: ascend (neighbor is my
+  // provider)*, at most one peer link, then descend (neighbor is my
+  // customer)*.
+  enum class Stage { kUp, kDown } stage = Stage::kUp;
+  bool used_peer = false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    auto rel = graph.relationship(path[i], path[i + 1]);
+    if (!rel) return false;
+    switch (*rel) {
+      case Rel::kProvider:  // ascending
+        if (stage == Stage::kDown || used_peer) return false;
+        break;
+      case Rel::kPeer:
+        if (stage == Stage::kDown || used_peer) return false;
+        used_peer = true;
+        break;
+      case Rel::kCustomer:  // descending
+        stage = Stage::kDown;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace georank::topo

@@ -1,0 +1,90 @@
+// Valley-free BGP route propagation over an AsGraph.
+//
+// This substitutes for the real Internet's routing system when generating
+// synthetic RIBs (DESIGN.md §1). For one origin AS it computes every other
+// AS's best path under the standard Gao-Rexford model:
+//
+//   export rules:  own + customer-learned routes go to everyone;
+//                  peer- and provider-learned routes go only to customers.
+//   preference:    customer-learned > peer-learned > provider-learned,
+//                  then shortest AS path, then a deterministic tiebreak.
+//
+// Implementation is the classic three-phase BFS: customer routes climb
+// provider links from the origin, peer routes hop once across p2p links,
+// provider routes descend customer links. Each phase is a breadth-first
+// sweep so path lengths are minimal within a learning class.
+//
+// The tiebreak hashes (salt, candidate ASN); varying the salt per prefix
+// reproduces the mild path diversity real RIBs show for same-origin
+// prefixes without breaking determinism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "topo/as_graph.hpp"
+
+namespace georank::topo {
+
+enum class RouteKind : std::uint8_t {
+  kNone,      // origin unreachable from this AS
+  kOrigin,    // this AS is the origin
+  kCustomer,  // best route learned from a customer
+  kPeer,      // best route learned from a peer
+  kProvider,  // best route learned from a provider
+};
+
+struct RouteInfo {
+  RouteKind kind = RouteKind::kNone;
+  std::uint16_t length = 0;   // AS hops to origin
+  NodeId next_hop = kNoNode;  // toward origin
+};
+
+/// All ASes' best routes toward one origin.
+class RoutingTable {
+ public:
+  RoutingTable(const AsGraph& graph, Asn origin, std::vector<RouteInfo> info)
+      : graph_(&graph), origin_(origin), info_(std::move(info)) {}
+
+  [[nodiscard]] Asn origin() const noexcept { return origin_; }
+  [[nodiscard]] const RouteInfo& at(NodeId id) const { return info_.at(id); }
+  [[nodiscard]] bool reachable(NodeId id) const {
+    return info_.at(id).kind != RouteKind::kNone;
+  }
+
+  /// Full AS path from `from` to the origin (inclusive of both ends,
+  /// `from` first — i.e. VP-side first, matching AsPath convention).
+  /// Empty path if unreachable.
+  [[nodiscard]] bgp::AsPath path_from(NodeId from) const;
+
+ private:
+  const AsGraph* graph_;
+  Asn origin_;
+  std::vector<RouteInfo> info_;
+};
+
+class RoutePropagator {
+ public:
+  explicit RoutePropagator(const AsGraph& graph) : graph_(&graph) {}
+
+  /// Best routes of every AS toward `origin`. `salt` perturbs equal-cost
+  /// tiebreaks only. `failed` (if not kNoNode) is treated as withdrawn:
+  /// it neither originates, learns, nor propagates routes — the
+  /// what-if primitive behind the resilience analysis (DESIGN.md §2,
+  /// topo/failure_analysis.hpp).
+  [[nodiscard]] RoutingTable compute(Asn origin, std::uint64_t salt = 0,
+                                     NodeId failed = kNoNode) const;
+
+ private:
+  const AsGraph* graph_;
+};
+
+/// True iff the path respects the valley-free property under the graph's
+/// ground-truth relationships: zero or more customer->provider hops, at
+/// most one peer hop, then zero or more provider->customer hops
+/// (read from VP side to origin side the path DESCENDS after the apex).
+/// Paths with unknown links return false.
+[[nodiscard]] bool is_valley_free(const AsGraph& graph, const bgp::AsPath& path);
+
+}  // namespace georank::topo

@@ -1,0 +1,94 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace georank::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) noexcept {
+  std::uint64_t sm = seed;
+  state_ = splitmix64(sm);
+  inc_ = (splitmix64(sm) + stream * 2u) | 1u;
+  (void)next();  // advance past the correlated first output
+}
+
+std::uint32_t Pcg32::next() noexcept {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ull + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+  auto rot = static_cast<std::uint32_t>(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint32_t Pcg32::below(std::uint32_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+  auto lo = static_cast<std::uint32_t>(m);
+  if (lo < bound) {
+    std::uint32_t threshold = (0u - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<std::uint64_t>(next()) * bound;
+      lo = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
+std::int64_t Pcg32::range(std::int64_t lo, std::int64_t hi) noexcept {
+  auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0 || span > 0xffffffffull) {
+    // 64-bit span: combine two draws.
+    std::uint64_t v = (static_cast<std::uint64_t>(next()) << 32) | next();
+    return lo + static_cast<std::int64_t>(span == 0 ? v : v % span);
+  }
+  return lo + below(static_cast<std::uint32_t>(span));
+}
+
+double Pcg32::uniform() noexcept {
+  return static_cast<double>(next() >> 8) * 0x1.0p-24;
+}
+
+bool Pcg32::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::uint64_t Pcg32::log_uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+  if (lo == 0) lo = 1;
+  if (hi <= lo) return lo;
+  double u = uniform();
+  double v = static_cast<double>(lo) *
+             std::pow(static_cast<double>(hi) / static_cast<double>(lo), u);
+  auto out = static_cast<std::uint64_t>(v);
+  return std::clamp(out, lo, hi);
+}
+
+Pcg32 Pcg32::fork() noexcept {
+  std::uint64_t seed = (static_cast<std::uint64_t>(next()) << 32) | next();
+  std::uint64_t stream = (static_cast<std::uint64_t>(next()) << 32) | next();
+  return Pcg32{seed, stream};
+}
+
+std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k, Pcg32& rng) {
+  if (k > n) k = n;
+  // Partial Fisher-Yates over an index vector; O(n) setup, fine at our scale.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + rng.below(static_cast<std::uint32_t>(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace georank::util

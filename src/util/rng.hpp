@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for reproducible worlds.
+//
+// We deliberately avoid <random> distributions: their outputs are
+// implementation-defined, and every experiment in this repository must
+// reproduce bit-identically across standard libraries. PCG32 supplies the
+// raw stream and the helpers below define the distributions ourselves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace georank::util {
+
+/// Splits a 64-bit seed into well-mixed streams (Steele et al., SplitMix64).
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// PCG32 (O'Neill): small, fast, statistically solid 32-bit generator.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
+
+  [[nodiscard]] std::uint32_t next() noexcept;
+  std::uint32_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint32_t min() { return 0; }
+  static constexpr std::uint32_t max() { return 0xffffffffu; }
+
+  /// Uniform integer in [0, bound), bias-free (Lemire rejection).
+  [[nodiscard]] std::uint32_t below(std::uint32_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Geometric-ish heavy-tailed size in [lo, hi]: lo * (hi/lo)^u.
+  /// Used for address-space sizes, which are log-uniform in practice.
+  [[nodiscard]] std::uint64_t log_uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Derive an independent generator for a named sub-purpose.
+  [[nodiscard]] Pcg32 fork() noexcept;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Fisher-Yates shuffle with our deterministic generator.
+template <typename T>
+void shuffle(std::span<T> items, Pcg32& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    std::size_t j = rng.below(static_cast<std::uint32_t>(i));
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+/// k distinct indices drawn uniformly from [0, n), in random order.
+[[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k,
+                                                      Pcg32& rng);
+
+}  // namespace georank::util

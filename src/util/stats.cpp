@@ -1,0 +1,105 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace georank::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = std::accumulate(xs.begin(), xs.end(), 0.0);
+  return sum / static_cast<double>(xs.size());
+}
+
+double stdev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  std::size_t n = v.size();
+  if (n % 2 == 1) return v[n / 2];
+  return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(v.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double trimmed_mean(std::span<const double> xs, double frac) {
+  if (xs.empty()) return 0.0;
+  frac = std::clamp(frac, 0.0, 0.5);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  auto cut = static_cast<std::size_t>(frac * static_cast<double>(v.size()));
+  if (2 * cut >= v.size()) {
+    return mean(std::span<const double>(v.data(), v.size()));
+  }
+  double sum = std::accumulate(v.begin() + static_cast<std::ptrdiff_t>(cut),
+                               v.end() - static_cast<std::ptrdiff_t>(cut), 0.0);
+  return sum / static_cast<double>(v.size() - 2 * cut);
+}
+
+double gini(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  double total = std::accumulate(v.begin(), v.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * v[i];
+  }
+  double n = static_cast<double>(v.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+std::vector<double> descending_ranks(std::span<const double> xs) {
+  std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] > xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    double avg = 0.5 * static_cast<double>(i + j) + 1.0;  // 1-based average rank
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  auto ra = descending_ranks(a);
+  auto rb = descending_ranks(b);
+  double ma = mean(ra), mb = mean(rb);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    num += (ra[i] - ma) * (rb[i] - mb);
+    da += (ra[i] - ma) * (ra[i] - ma);
+    db += (rb[i] - mb) * (rb[i] - mb);
+  }
+  if (da == 0.0 || db == 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace georank::util

@@ -1,0 +1,37 @@
+// Small statistics helpers shared by the ranking metrics and the
+// stability analyses. All functions treat empty inputs as 0.0 unless noted.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace georank::util {
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double stdev(std::span<const double> xs) noexcept;
+
+/// Median; averages the middle pair for even sizes. Copies + sorts.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolation percentile, q in [0,1]. Copies + sorts.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Mean after removing floor(frac*n) items from EACH end of the sorted
+/// sample. This is the AS-Hegemony "remove the highest and lowest 10% of
+/// per-VP scores" operation (Fontugne et al. 2017) when frac = 0.10.
+/// If trimming would remove everything, falls back to the plain mean.
+[[nodiscard]] double trimmed_mean(std::span<const double> xs, double frac);
+
+/// Gini coefficient of a non-negative sample; 0 for empty input.
+/// Used to describe market concentration in country reports.
+[[nodiscard]] double gini(std::span<const double> xs);
+
+/// Spearman rank correlation between two equal-length value vectors.
+/// Ties get average ranks. Returns 0 for n < 2.
+[[nodiscard]] double spearman(std::span<const double> a, std::span<const double> b);
+
+/// Ranks (1-based, ties averaged) of a value vector, highest value = rank 1.
+[[nodiscard]] std::vector<double> descending_ranks(std::span<const double> xs);
+
+}  // namespace georank::util

@@ -1,0 +1,41 @@
+// String helpers used throughout the parsing / reporting layers.
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace georank::util {
+
+/// Split on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Split on runs of ASCII whitespace; drops empty fields.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Strict decimal parse of the WHOLE string; nullopt on any junk.
+template <typename Int>
+[[nodiscard]] std::optional<Int> parse_int(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  Int value{};
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+/// Human-readable count: 1234567 -> "1.2 m", 10543 -> "10.5 k".
+[[nodiscard]] std::string human_count(double value);
+
+/// "%5.1f%%"-style percent formatting used in the report tables.
+[[nodiscard]] std::string percent(double fraction, int decimals = 0);
+
+}  // namespace georank::util

@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace georank::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kLeft) {}
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column < aligns_.size()) aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_rule() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    std::string out;
+    std::size_t fill = widths[c] > s.size() ? widths[c] - s.size() : 0;
+    if (aligns_[c] == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (aligns_[c] == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ' << pad(headers_[c], c) << " |";
+  }
+  os << '\n';
+  rule();
+  for (const Row& row : rows_) {
+    if (row.rule) {
+      rule();
+      continue;
+    }
+    os << '|';
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      os << ' ' << pad(row.cells[c], c) << " |";
+    }
+    os << '\n';
+  }
+  rule();
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+}  // namespace georank::util

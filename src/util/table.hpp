@@ -1,0 +1,38 @@
+// ASCII table renderer used by the bench harnesses to print the paper's
+// tables. Column widths are computed from content; alignment is per column.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace georank::util {
+
+enum class Align { kLeft, kRight };
+
+class Table {
+ public:
+  /// Column headers fix the column count; extra row cells are dropped,
+  /// missing cells render empty.
+  explicit Table(std::vector<std::string> headers);
+
+  void set_align(std::size_t column, Align align);
+  void add_row(std::vector<std::string> cells);
+  /// Horizontal rule between row groups.
+  void add_rule();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace georank::util

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "bgp/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace georank::bgp {
+namespace {
+
+Prefix pfx(const char* text) { return *Prefix::parse(text); }
+
+TEST(Aggregate, EmptyAndSingle) {
+  EXPECT_TRUE(aggregate_prefixes({}).empty());
+  auto one = aggregate_prefixes({pfx("10.0.0.0/24")});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], pfx("10.0.0.0/24"));
+}
+
+TEST(Aggregate, DropsContained) {
+  auto out = aggregate_prefixes({pfx("10.0.0.0/16"), pfx("10.0.1.0/24")});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], pfx("10.0.0.0/16"));
+}
+
+TEST(Aggregate, MergesSiblings) {
+  auto out = aggregate_prefixes({pfx("10.0.0.0/17"), pfx("10.0.128.0/17")});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], pfx("10.0.0.0/16"));
+}
+
+TEST(Aggregate, MergesRecursively) {
+  auto out = aggregate_prefixes({pfx("10.0.0.0/18"), pfx("10.0.64.0/18"),
+                                 pfx("10.0.128.0/17")});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], pfx("10.0.0.0/16"));
+}
+
+TEST(Aggregate, NonSiblingsNotMerged) {
+  // Adjacent but crossing a parent boundary: /17s with different parents.
+  auto out = aggregate_prefixes({pfx("10.0.128.0/17"), pfx("10.1.0.0/17")});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Aggregate, DeduplicatesInput) {
+  auto out = aggregate_prefixes(
+      {pfx("10.0.0.0/24"), pfx("10.0.0.0/24"), pfx("10.0.0.0/24")});
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Aggregate, MixedExample) {
+  auto out = aggregate_prefixes({
+      pfx("10.0.0.0/17"), pfx("10.0.128.0/17"),  // -> 10.0.0.0/16
+      pfx("10.0.5.0/24"),                        // contained
+      pfx("192.168.0.0/24"),                     // isolated
+  });
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], pfx("10.0.0.0/16"));
+  EXPECT_EQ(out[1], pfx("192.168.0.0/24"));
+}
+
+class AggregatePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregatePropertyTest, PreservesAddressUnionAndIsMinimal) {
+  util::Pcg32 rng{GetParam()};
+  std::vector<Prefix> input;
+  const std::uint32_t base = 0x0A000000;
+  // Blocks of /18../32 placed anywhere inside 10.0.0.0/14 (2^18 addrs).
+  constexpr std::uint32_t kRegion = 1u << 18;
+  for (int i = 0; i < 40; ++i) {
+    auto len = static_cast<std::uint8_t>(18 + rng.below(15));
+    std::uint32_t block = std::uint32_t{1} << (32 - len);
+    std::uint32_t offset = rng.below(kRegion / block);
+    input.emplace_back(base + offset * block, len);
+  }
+  auto out = aggregate_prefixes(input);
+
+  // 1. Same address union.
+  EXPECT_EQ(union_address_count(input), union_address_count(out));
+  // 2. Output is disjoint (no overlap at all).
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    for (std::size_t j = i + 1; j < out.size(); ++j) {
+      EXPECT_FALSE(out[i].overlaps(out[j]))
+          << out[i].to_string() << " vs " << out[j].to_string();
+    }
+  }
+  // 3. No further sibling merge possible (minimality).
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    if (out[i].length() == out[i + 1].length() && out[i].length() > 0) {
+      EXPECT_FALSE(out[i].parent() == out[i + 1].parent() &&
+                   out[i] != out[i + 1])
+          << "mergeable siblings left: " << out[i].to_string();
+    }
+  }
+  // 4. Idempotent.
+  auto again = aggregate_prefixes(out);
+  EXPECT_EQ(again, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace georank::bgp

@@ -1,0 +1,80 @@
+#include "bgp/as_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::bgp {
+namespace {
+
+TEST(AsPath, EndpointsFollowConvention) {
+  AsPath p{701, 3356, 1299, 64512};
+  EXPECT_EQ(p.vp_as(), 701u);
+  EXPECT_EQ(p.origin(), 64512u);
+  EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(AsPath, Contains) {
+  AsPath p{701, 3356, 1299};
+  EXPECT_TRUE(p.contains(3356));
+  EXPECT_FALSE(p.contains(174));
+}
+
+TEST(AsPath, CollapsesPrepending) {
+  AsPath p{701, 701, 3356, 3356, 3356, 1299};
+  EXPECT_EQ(p.without_adjacent_duplicates(), (AsPath{701, 3356, 1299}));
+}
+
+TEST(AsPath, CollapseIdempotentOnCleanPath) {
+  AsPath p{701, 3356, 1299};
+  EXPECT_EQ(p.without_adjacent_duplicates(), p);
+}
+
+TEST(AsPath, DetectsNonAdjacentDuplicate) {
+  EXPECT_TRUE((AsPath{701, 3356, 701}).has_nonadjacent_duplicate());
+  EXPECT_FALSE((AsPath{701, 701, 3356}).has_nonadjacent_duplicate());
+  EXPECT_FALSE((AsPath{701, 3356, 1299}).has_nonadjacent_duplicate());
+  // Prepending in the middle is not a loop.
+  EXPECT_FALSE((AsPath{701, 3356, 3356, 1299}).has_nonadjacent_duplicate());
+  // ... but "A B B A" is.
+  EXPECT_TRUE((AsPath{701, 3356, 3356, 701}).has_nonadjacent_duplicate());
+}
+
+TEST(AsPath, RemovesRouteServers) {
+  AsPath p{701, 6777, 3356, 1299};
+  std::vector<Asn> rs{6777};
+  EXPECT_EQ(p.without_ases(rs), (AsPath{701, 3356, 1299}));
+}
+
+TEST(AsPath, RemoveAbsentAsIsNoop) {
+  AsPath p{701, 3356};
+  std::vector<Asn> rs{9999};
+  EXPECT_EQ(p.without_ases(rs), p);
+}
+
+TEST(AsPath, ToStringAndParse) {
+  AsPath p{701, 3356, 1299};
+  EXPECT_EQ(p.to_string(), "701 3356 1299");
+  auto parsed = AsPath::parse("701 3356 1299");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, p);
+}
+
+TEST(AsPath, ParseRejectsJunk) {
+  EXPECT_FALSE(AsPath::parse("701 abc 1299").has_value());
+  EXPECT_FALSE(AsPath::parse("701 -3 1299").has_value());
+}
+
+TEST(AsPath, ParseEmptyIsEmptyPath) {
+  auto p = AsPath::parse("");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->empty());
+}
+
+TEST(AsPath, PushBack) {
+  AsPath p;
+  p.push_back(1);
+  p.push_back(2);
+  EXPECT_EQ(p, (AsPath{1, 2}));
+}
+
+}  // namespace
+}  // namespace georank::bgp

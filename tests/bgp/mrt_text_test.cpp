@@ -1,0 +1,101 @@
+#include "bgp/mrt_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace georank::bgp {
+namespace {
+
+RouteEntry sample_entry() {
+  return RouteEntry{VpId{0xC0A80101, 701},
+                    *Prefix::parse("10.0.0.0/16"),
+                    AsPath{701, 3356, 1299}};
+}
+
+TEST(MrtText, WriterFormat) {
+  std::ostringstream os;
+  MrtTextWriter writer{os, 1000};
+  writer.write_entry(sample_entry(), 2);
+  EXPECT_EQ(os.str(),
+            "TABLE_DUMP2|173800|B|192.168.1.1|701|10.0.0.0/16|701 3356 1299|IGP\n");
+}
+
+TEST(MrtText, LineRoundTrip) {
+  std::ostringstream os;
+  MrtTextWriter writer{os};
+  writer.write_entry(sample_entry(), 3);
+
+  MrtTextReader reader;
+  RouteEntry entry;
+  int day = -1;
+  ASSERT_TRUE(reader.parse_line(os.str(), entry, day));
+  EXPECT_EQ(entry, sample_entry());
+  EXPECT_EQ(day, 3);
+}
+
+TEST(MrtText, CollectionRoundTrip) {
+  RibCollection in;
+  in.days.resize(2);
+  in.days[0].day = 0;
+  in.days[1].day = 1;
+  for (int i = 0; i < 5; ++i) {
+    RouteEntry e = sample_entry();
+    e.prefix = Prefix{static_cast<std::uint32_t>(0x0A000000 + i * 0x10000), 16};
+    in.days[0].entries.push_back(e);
+    in.days[1].entries.push_back(e);
+  }
+  std::string text = to_mrt_text(in);
+  MrtParseStats stats;
+  RibCollection out = from_mrt_text(text, &stats);
+  ASSERT_EQ(out.days.size(), 2u);
+  EXPECT_EQ(out.days[0].entries, in.days[0].entries);
+  EXPECT_EQ(out.days[1].entries, in.days[1].entries);
+  EXPECT_EQ(stats.parsed, 10u);
+  EXPECT_EQ(stats.malformed, 0u);
+}
+
+TEST(MrtText, SkipsCommentsAndBlanks) {
+  std::string text =
+      "# a comment\n"
+      "\n"
+      "TABLE_DUMP2|1617235200|B|1.2.3.4|701|10.0.0.0/16|701 1299|IGP\n";
+  MrtParseStats stats;
+  RibCollection out = from_mrt_text(text, &stats);
+  EXPECT_EQ(out.total_entries(), 1u);
+  EXPECT_EQ(stats.skipped_comments, 2u);
+  EXPECT_EQ(stats.malformed, 0u);
+}
+
+TEST(MrtText, CountsMalformedLines) {
+  std::string text =
+      "TABLE_DUMP2|x|B|1.2.3.4|701|10.0.0.0/16|701|IGP\n"   // bad timestamp
+      "TABLE_DUMP2|1|B|999.2.3.4|701|10.0.0.0/16|701|IGP\n"  // bad ip
+      "TABLE_DUMP2|1|B|1.2.3.4|zzz|10.0.0.0/16|701|IGP\n"    // bad asn
+      "TABLE_DUMP2|1|B|1.2.3.4|701|10.0.0.0/99|701|IGP\n"    // bad prefix
+      "TABLE_DUMP2|1|B|1.2.3.4|701|10.0.0.0/16|70x|IGP\n"    // bad path
+      "TABLE_DUMP2|1|B|1.2.3.4|701|10.0.0.0/16||IGP\n"       // empty path
+      "TABLE_DUMP2|1|B|1.2.3.4|0|10.0.0.0/16|701|IGP\n"      // AS0 VP
+      "BGP4MP|1|A|1.2.3.4|701|10.0.0.0/16|701|IGP\n"         // wrong type
+      "TABLE_DUMP2|1|B|1.2.3.4|701|10.0.0.0/16|701\n";       // missing field
+  MrtParseStats stats;
+  RibCollection out = from_mrt_text(text, &stats);
+  EXPECT_EQ(out.total_entries(), 0u);
+  EXPECT_EQ(stats.malformed, 9u);
+}
+
+TEST(MrtText, GroupsByDay) {
+  std::string text =
+      "TABLE_DUMP2|1617235200|B|1.2.3.4|701|10.0.0.0/16|701|IGP\n"
+      "TABLE_DUMP2|1617321600|B|1.2.3.4|701|10.0.0.0/16|701|IGP\n"
+      "TABLE_DUMP2|1617235200|B|1.2.3.5|702|10.1.0.0/16|702|IGP\n";
+  RibCollection out = from_mrt_text(text);
+  ASSERT_EQ(out.days.size(), 2u);
+  EXPECT_EQ(out.days[0].day, 0);
+  EXPECT_EQ(out.days[0].entries.size(), 2u);
+  EXPECT_EQ(out.days[1].day, 1);
+  EXPECT_EQ(out.days[1].entries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace georank::bgp

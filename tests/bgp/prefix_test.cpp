@@ -1,0 +1,121 @@
+#include "bgp/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::bgp {
+namespace {
+
+TEST(Prefix, DefaultIsDefaultRoute) {
+  Prefix p;
+  EXPECT_EQ(p.address(), 0u);
+  EXPECT_EQ(p.length(), 0);
+  EXPECT_EQ(p.size(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  Prefix p{0x0a0a0aFF, 24};
+  EXPECT_EQ(p.address(), 0x0a0a0a00u);
+  EXPECT_EQ(p.to_string(), "10.10.10.0/24");
+}
+
+TEST(Prefix, SizeFirstLast) {
+  Prefix p{0xC0A80000, 16};  // 192.168.0.0/16
+  EXPECT_EQ(p.size(), 65536u);
+  EXPECT_EQ(p.first(), 0xC0A80000u);
+  EXPECT_EQ(p.last(), 0xC0A8FFFFu);
+}
+
+TEST(Prefix, SlashThirtyTwo) {
+  Prefix p{0x01020304, 32};
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.first(), p.last());
+}
+
+TEST(Prefix, ContainsPrefix) {
+  Prefix slash16{0x0A000000, 16};
+  Prefix slash24{0x0A000100, 24};
+  EXPECT_TRUE(slash16.contains(slash24));
+  EXPECT_FALSE(slash24.contains(slash16));
+  EXPECT_TRUE(slash16.contains(slash16));
+  Prefix other{0x0B000000, 16};
+  EXPECT_FALSE(slash16.contains(other));
+}
+
+TEST(Prefix, ContainsAddress) {
+  Prefix p{0x0A000000, 8};
+  EXPECT_TRUE(p.contains(0x0A123456u));
+  EXPECT_FALSE(p.contains(0x0B000000u));
+}
+
+TEST(Prefix, Overlaps) {
+  Prefix a{0x0A000000, 16};
+  Prefix b{0x0A000000, 20};
+  Prefix c{0x0A010000, 16};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Prefix, Children) {
+  Prefix p{0x0A000000, 16};
+  EXPECT_EQ(p.left_child().to_string(), "10.0.0.0/17");
+  EXPECT_EQ(p.right_child().to_string(), "10.0.128.0/17");
+  EXPECT_TRUE(p.contains(p.left_child()));
+  EXPECT_TRUE(p.contains(p.right_child()));
+  EXPECT_EQ(p.left_child().parent(), p);
+  EXPECT_EQ(p.right_child().parent(), p);
+}
+
+TEST(Prefix, ParseRoundTrip) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24",
+                           "255.255.255.255/32"}) {
+    auto p = Prefix::parse(text);
+    ASSERT_TRUE(p.has_value()) << text;
+    EXPECT_EQ(p->to_string(), text);
+  }
+}
+
+TEST(Prefix, ParseCanonicalizesNoisyHostBits) {
+  auto p = Prefix::parse("10.1.2.3/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.1.0.0/16");
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  for (const char* text : {"", "10.0.0.0", "10.0.0.0/33", "10.0.0/8",
+                           "300.0.0.0/8", "10.0.0.0/x", "10.0.0.0/8x",
+                           "a.b.c.d/8", "10.0.0.0/"}) {
+    EXPECT_FALSE(Prefix::parse(text).has_value()) << text;
+  }
+}
+
+TEST(Prefix, Ordering) {
+  Prefix a{0x0A000000, 16};
+  Prefix b{0x0A000000, 20};
+  Prefix c{0x0B000000, 16};
+  EXPECT_LT(a, b);  // same address, shorter first
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a, (Prefix{0x0A00FFFF, 16}));  // canonicalized equal
+}
+
+TEST(FormatIpv4, Basics) {
+  EXPECT_EQ(format_ipv4(0), "0.0.0.0");
+  EXPECT_EQ(format_ipv4(0xFFFFFFFFu), "255.255.255.255");
+  EXPECT_EQ(format_ipv4(0xC0A80101u), "192.168.1.1");
+}
+
+TEST(ParseIpv4, Basics) {
+  EXPECT_EQ(parse_ipv4("192.168.1.1"), 0xC0A80101u);
+  EXPECT_FALSE(parse_ipv4("192.168.1").has_value());
+  EXPECT_FALSE(parse_ipv4("192.168.1.256").has_value());
+  EXPECT_FALSE(parse_ipv4("192.168.1.1.1").has_value());
+  EXPECT_FALSE(parse_ipv4("").has_value());
+}
+
+TEST(PrefixHash, DistinguishesLengths) {
+  PrefixHash h;
+  EXPECT_NE(h(Prefix{0x0A000000, 16}), h(Prefix{0x0A000000, 17}));
+}
+
+}  // namespace
+}  // namespace georank::bgp

@@ -1,0 +1,178 @@
+#include "bgp/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace georank::bgp {
+namespace {
+
+Prefix pfx(const char* text) { return *Prefix::parse(text); }
+
+TEST(PrefixTrie, InsertAndContains) {
+  PrefixTrie trie;
+  EXPECT_TRUE(trie.insert(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(trie.insert(pfx("10.0.0.0/8")));  // duplicate
+  EXPECT_TRUE(trie.insert(pfx("10.0.0.0/16")));
+  EXPECT_TRUE(trie.contains(pfx("10.0.0.0/8")));
+  EXPECT_TRUE(trie.contains(pfx("10.0.0.0/16")));
+  EXPECT_FALSE(trie.contains(pfx("10.0.0.0/12")));
+  EXPECT_EQ(trie.size(), 2u);
+}
+
+TEST(PrefixTrie, MostSpecificMatch) {
+  PrefixTrie trie;
+  trie.insert(pfx("10.0.0.0/8"));
+  trie.insert(pfx("10.1.0.0/16"));
+  trie.insert(pfx("10.1.2.0/24"));
+  EXPECT_EQ(trie.most_specific_match(0x0A010203), pfx("10.1.2.0/24"));
+  EXPECT_EQ(trie.most_specific_match(0x0A010300), pfx("10.1.0.0/16"));
+  EXPECT_EQ(trie.most_specific_match(0x0A020000), pfx("10.0.0.0/8"));
+  EXPECT_FALSE(trie.most_specific_match(0x0B000000).has_value());
+}
+
+TEST(PrefixTrie, CoveredByMoreSpecifics) {
+  PrefixTrie trie;
+  trie.insert(pfx("10.0.0.0/16"));
+  trie.insert(pfx("10.0.0.0/17"));
+  EXPECT_EQ(trie.covered_by_more_specifics(pfx("10.0.0.0/16")), 32768u);
+  EXPECT_FALSE(trie.fully_covered_by_more_specifics(pfx("10.0.0.0/16")));
+  trie.insert(pfx("10.0.128.0/17"));
+  EXPECT_TRUE(trie.fully_covered_by_more_specifics(pfx("10.0.0.0/16")));
+  EXPECT_EQ(trie.effective_size(pfx("10.0.0.0/16")), 0u);
+}
+
+TEST(PrefixTrie, EffectiveSizeDiscountsOverlap) {
+  PrefixTrie trie;
+  trie.insert(pfx("10.0.0.0/16"));
+  trie.insert(pfx("10.0.1.0/24"));
+  EXPECT_EQ(trie.effective_size(pfx("10.0.0.0/16")), 65536u - 256u);
+  EXPECT_EQ(trie.effective_size(pfx("10.0.1.0/24")), 256u);
+}
+
+TEST(PrefixTrie, NestedSpecificsCountOnce) {
+  PrefixTrie trie;
+  trie.insert(pfx("10.0.0.0/16"));
+  trie.insert(pfx("10.0.0.0/24"));
+  trie.insert(pfx("10.0.0.0/25"));  // inside the /24: must not double count
+  EXPECT_EQ(trie.covered_by_more_specifics(pfx("10.0.0.0/16")), 256u);
+}
+
+TEST(PrefixTrie, UncoveredBlocks) {
+  PrefixTrie trie;
+  trie.insert(pfx("10.0.0.0/16"));
+  trie.insert(pfx("10.0.0.0/18"));
+  auto blocks = trie.uncovered_blocks(pfx("10.0.0.0/16"));
+  // The /16 minus its first /18 = one /17 + one /18.
+  std::uint64_t total = 0;
+  for (const Prefix& b : blocks) {
+    total += b.size();
+    EXPECT_TRUE(pfx("10.0.0.0/16").contains(b));
+    EXPECT_FALSE(pfx("10.0.0.0/18").overlaps(b));
+  }
+  EXPECT_EQ(total, 65536u - 16384u);
+}
+
+TEST(PrefixTrie, UncoveredBlocksNoSpecifics) {
+  PrefixTrie trie;
+  trie.insert(pfx("10.0.0.0/16"));
+  auto blocks = trie.uncovered_blocks(pfx("10.0.0.0/16"));
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], pfx("10.0.0.0/16"));
+}
+
+TEST(PrefixTrie, UncoveredBlocksSlash32) {
+  PrefixTrie trie;
+  trie.insert(pfx("10.0.0.1/32"));
+  auto blocks = trie.uncovered_blocks(pfx("10.0.0.1/32"));
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], pfx("10.0.0.1/32"));
+}
+
+TEST(PrefixTrie, AllListsInsertionsInAddressOrder) {
+  PrefixTrie trie;
+  trie.insert(pfx("192.168.0.0/16"));
+  trie.insert(pfx("10.0.0.0/8"));
+  trie.insert(pfx("10.0.0.0/16"));
+  auto all = trie.all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], pfx("10.0.0.0/8"));
+  EXPECT_EQ(all[1], pfx("10.0.0.0/16"));
+  EXPECT_EQ(all[2], pfx("192.168.0.0/16"));
+}
+
+TEST(UnionAddressCount, MergesOverlaps) {
+  EXPECT_EQ(union_address_count({}), 0u);
+  EXPECT_EQ(union_address_count({pfx("10.0.0.0/24")}), 256u);
+  EXPECT_EQ(union_address_count({pfx("10.0.0.0/24"), pfx("10.0.0.0/25")}), 256u);
+  EXPECT_EQ(union_address_count({pfx("10.0.0.0/24"), pfx("10.0.1.0/24")}), 512u);
+  // Adjacent but distinct blocks merge without double counting.
+  EXPECT_EQ(union_address_count({pfx("10.0.0.0/25"), pfx("10.0.0.128/25")}), 256u);
+}
+
+// ---- Property tests: trie vs brute-force bitmap over a small universe ----
+
+class TriePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriePropertyTest, MatchesBruteForceOnRandomSets) {
+  util::Pcg32 rng{GetParam()};
+  // Universe: 10.0.0.0/20 (4096 addresses) so brute force is cheap.
+  const std::uint32_t base = 0x0A000000;
+  const std::uint32_t universe = 4096;
+
+  PrefixTrie trie;
+  std::vector<Prefix> inserted;
+  for (int i = 0; i < 24; ++i) {
+    std::uint8_t len = static_cast<std::uint8_t>(20 + rng.below(13));  // /20../32
+    std::uint32_t block = std::uint32_t{1} << (32 - len);
+    std::uint32_t offset = rng.below(universe / block) * block;
+    Prefix p{base + offset, len};
+    trie.insert(p);
+    inserted.push_back(p);
+  }
+
+  // Brute-force most-specific-match per address.
+  for (int probe = 0; probe < 200; ++probe) {
+    std::uint32_t ip = base + rng.below(universe);
+    std::optional<Prefix> expect;
+    for (const Prefix& p : inserted) {
+      if (p.contains(ip) && (!expect || p.length() > expect->length())) expect = p;
+    }
+    auto got = trie.most_specific_match(ip);
+    if (expect.has_value()) {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->length(), expect->length());
+      EXPECT_TRUE(got->contains(ip));
+    } else {
+      EXPECT_FALSE(got.has_value());
+    }
+  }
+
+  // Brute-force covered-by-more-specifics per inserted prefix.
+  for (const Prefix& p : inserted) {
+    std::uint64_t expect = 0;
+    for (std::uint32_t ip = p.first(); ip <= p.last(); ++ip) {
+      for (const Prefix& q : inserted) {
+        if (q.length() > p.length() && q.contains(ip)) {
+          ++expect;
+          break;
+        }
+      }
+      if (ip == p.last()) break;  // avoid overflow at 2^32-1 (not hit here)
+    }
+    EXPECT_EQ(trie.covered_by_more_specifics(p), expect) << p.to_string();
+    // Uncovered blocks partition the uncovered space.
+    std::uint64_t uncovered_total = 0;
+    for (const Prefix& b : trie.uncovered_blocks(p)) uncovered_total += b.size();
+    EXPECT_EQ(uncovered_total, p.size() - expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace georank::bgp

@@ -1,0 +1,191 @@
+#include "bgp/update_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+
+namespace georank::bgp {
+namespace {
+
+Prefix pfx(const char* text) { return *Prefix::parse(text); }
+
+UpdateMessage announce(std::uint64_t ts, std::uint32_t vp_ip, const char* prefix,
+                       AsPath path) {
+  return {UpdateMessage::Kind::kAnnounce, ts, VpId{vp_ip, path[0]}, pfx(prefix),
+          std::move(path)};
+}
+
+UpdateMessage withdraw(std::uint64_t ts, std::uint32_t vp_ip, Asn vp_asn,
+                       const char* prefix) {
+  return {UpdateMessage::Kind::kWithdraw, ts, VpId{vp_ip, vp_asn}, pfx(prefix),
+          AsPath{}};
+}
+
+TEST(UpdateText, AnnounceRoundTrip) {
+  UpdateMessage u = announce(1000, 0x01020304, "10.0.0.0/16", AsPath{701, 1299});
+  std::string text = to_update_text({u});
+  EXPECT_EQ(text, "BGP4MP|1000|A|1.2.3.4|701|10.0.0.0/16|701 1299|IGP\n");
+  auto parsed = from_update_text(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], u);
+}
+
+TEST(UpdateText, WithdrawRoundTrip) {
+  UpdateMessage u = withdraw(2000, 0x01020304, 701, "10.0.0.0/16");
+  std::string text = to_update_text({u});
+  EXPECT_EQ(text, "BGP4MP|2000|W|1.2.3.4|701|10.0.0.0/16\n");
+  auto parsed = from_update_text(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], u);
+}
+
+TEST(UpdateText, MalformedLinesCounted) {
+  std::string text =
+      "BGP4MP|x|A|1.2.3.4|701|10.0.0.0/16|701|IGP\n"  // bad ts
+      "BGP4MP|1|Z|1.2.3.4|701|10.0.0.0/16\n"          // bad kind
+      "BGP4MP|1|A|1.2.3.4|701|10.0.0.0/16\n"          // announce w/o path
+      "BGP4MP|1|W|1.2.3.4|701|10.0.0.0/16|701|IGP\n"  // withdraw w/ path
+      "TABLE_DUMP2|1|B|1.2.3.4|701|10.0.0.0/16|701|IGP\n"
+      "# comment\n"
+      "BGP4MP|1|W|1.2.3.4|701|10.0.0.0/16\n";
+  MrtParseStats stats;
+  auto parsed = from_update_text(text, &stats);
+  EXPECT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(stats.malformed, 5u);
+  EXPECT_EQ(stats.skipped_comments, 1u);
+}
+
+TEST(RibState, AnnounceWithdrawLifecycle) {
+  RibState state;
+  state.apply(announce(1, 1, "10.0.0.0/16", AsPath{701, 1299}));
+  EXPECT_EQ(state.route_count(), 1u);
+  // Re-announce replaces.
+  state.apply(announce(2, 1, "10.0.0.0/16", AsPath{701, 3356, 1299}));
+  EXPECT_EQ(state.route_count(), 1u);
+  RibSnapshot snap = state.snapshot(0);
+  ASSERT_EQ(snap.entries.size(), 1u);
+  EXPECT_EQ(snap.entries[0].path, (AsPath{701, 3356, 1299}));
+  // Withdraw clears.
+  state.apply(withdraw(3, 1, 701, "10.0.0.0/16"));
+  EXPECT_EQ(state.route_count(), 0u);
+  // Spurious withdrawal is tolerated and counted.
+  state.apply(withdraw(4, 1, 701, "10.0.0.0/16"));
+  EXPECT_EQ(state.spurious_withdrawals(), 1u);
+}
+
+TEST(RibState, RoutesKeyedPerVp) {
+  RibState state;
+  state.apply(announce(1, 1, "10.0.0.0/16", AsPath{701, 1299}));
+  state.apply(announce(1, 2, "10.0.0.0/16", AsPath{702, 1299}));
+  EXPECT_EQ(state.route_count(), 2u);
+  state.apply(withdraw(2, 1, 701, "10.0.0.0/16"));
+  EXPECT_EQ(state.route_count(), 1u);
+}
+
+TEST(DiffSnapshots, EmitsMinimalUpdates) {
+  RibSnapshot from;
+  from.entries.push_back({VpId{1, 701}, pfx("10.0.0.0/16"), AsPath{701, 1299}});
+  from.entries.push_back({VpId{1, 701}, pfx("10.1.0.0/16"), AsPath{701, 174}});
+  from.entries.push_back({VpId{1, 701}, pfx("10.2.0.0/16"), AsPath{701, 3356}});
+
+  RibSnapshot to;
+  to.entries.push_back({VpId{1, 701}, pfx("10.0.0.0/16"), AsPath{701, 1299}});  // same
+  to.entries.push_back({VpId{1, 701}, pfx("10.1.0.0/16"), AsPath{701, 6939}});  // changed
+  to.entries.push_back({VpId{1, 701}, pfx("10.3.0.0/16"), AsPath{701, 2914}});  // new
+
+  auto updates = diff_snapshots(from, to, 99);
+  // 1 changed announce + 1 new announce + 1 withdraw; the unchanged route
+  // emits nothing.
+  ASSERT_EQ(updates.size(), 3u);
+  std::size_t announces = 0, withdraws = 0;
+  for (const auto& u : updates) {
+    EXPECT_EQ(u.timestamp, 99u);
+    if (u.kind == UpdateMessage::Kind::kAnnounce) ++announces;
+    else ++withdraws;
+  }
+  EXPECT_EQ(announces, 2u);
+  EXPECT_EQ(withdraws, 1u);
+}
+
+TEST(DiffSnapshots, ReplayReproducesTarget) {
+  RibSnapshot from;
+  from.entries.push_back({VpId{1, 701}, pfx("10.0.0.0/16"), AsPath{701, 1299}});
+  RibSnapshot to;
+  to.entries.push_back({VpId{1, 701}, pfx("10.1.0.0/16"), AsPath{701, 174}});
+  to.entries.push_back({VpId{2, 702}, pfx("10.0.0.0/16"), AsPath{702, 1299}});
+
+  RibState state;
+  for (const RouteEntry& e : from.entries) {
+    state.apply({UpdateMessage::Kind::kAnnounce, 0, e.vp, e.prefix, e.path});
+  }
+  state.apply_all(diff_snapshots(from, to, 1));
+  RibSnapshot replayed = state.snapshot(to.day);
+  EXPECT_EQ(replayed.entries, to.entries);
+}
+
+TEST(ReplayToCollection, InverseOfCollectionToUpdates) {
+  gen::World world = gen::InternetGenerator{gen::mini_world_spec(12)}.generate();
+  gen::NoiseSpec noise;
+  RibCollection original = gen::RibGenerator{world, noise, 5}.generate(3);
+
+  RibCollection replayed =
+      replay_to_collection(collection_to_updates(original));
+  ASSERT_EQ(replayed.days.size(), original.days.size());
+  for (std::size_t d = 0; d < original.days.size(); ++d) {
+    RibSnapshot sorted = original.days[d];
+    std::sort(sorted.entries.begin(), sorted.entries.end(),
+              [](const RouteEntry& a, const RouteEntry& b) {
+                if (a.vp != b.vp) return a.vp < b.vp;
+                return a.prefix < b.prefix;
+              });
+    EXPECT_EQ(replayed.days[d].day, sorted.day);
+    EXPECT_EQ(replayed.days[d].entries, sorted.entries) << "day " << d;
+  }
+}
+
+TEST(ReplayToCollection, EmptyArchive) {
+  EXPECT_TRUE(replay_to_collection({}).days.empty());
+}
+
+// Property: converting a generated multi-day collection to an update
+// archive and replaying it reproduces every day exactly.
+TEST(UpdateStream, CollectionReplayRoundTrip) {
+  gen::World world = gen::InternetGenerator{gen::mini_world_spec(9)}.generate();
+  gen::NoiseSpec noise;  // default noise incl. flapping
+  RibCollection collection = gen::RibGenerator{world, noise, 3}.generate(4);
+
+  std::vector<UpdateMessage> archive = collection_to_updates(collection);
+  // Serialize + parse the whole archive too: full-fidelity text cycle.
+  MrtParseStats stats;
+  std::vector<UpdateMessage> parsed = from_update_text(to_update_text(archive), &stats);
+  ASSERT_EQ(stats.malformed, 0u);
+  ASSERT_EQ(parsed.size(), archive.size());
+
+  RibState state;
+  std::size_t cursor = 0;
+  for (const RibSnapshot& expected : collection.days) {
+    std::uint64_t day_ts =
+        1617235200 + static_cast<std::uint64_t>(expected.day) * 86400;
+    while (cursor < parsed.size() && parsed[cursor].timestamp <= day_ts) {
+      state.apply(parsed[cursor]);
+      ++cursor;
+    }
+    RibSnapshot replayed = state.snapshot(expected.day);
+    // Compare as sorted sets (generator order differs from state order).
+    RibSnapshot sorted_expected = expected;
+    std::sort(sorted_expected.entries.begin(), sorted_expected.entries.end(),
+              [](const RouteEntry& a, const RouteEntry& b) {
+                if (a.vp != b.vp) return a.vp < b.vp;
+                return a.prefix < b.prefix;
+              });
+    ASSERT_EQ(replayed.entries.size(), sorted_expected.entries.size())
+        << "day " << expected.day;
+    EXPECT_EQ(replayed.entries, sorted_expected.entries) << "day " << expected.day;
+  }
+  EXPECT_EQ(state.spurious_withdrawals(), 0u);
+}
+
+}  // namespace
+}  // namespace georank::bgp

@@ -1,0 +1,121 @@
+#include "core/country_rankings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::core {
+namespace {
+
+using bgp::AsPath;
+using bgp::Prefix;
+using geo::CountryCode;
+using sanitize::SanitizedPath;
+
+CountryCode AU = CountryCode::of("AU");
+CountryCode US = CountryCode::of("US");
+
+SanitizedPath mk(std::uint32_t vp_ip, CountryCode vp_cc, AsPath path,
+                 std::uint32_t pfx_index, CountryCode pfx_cc,
+                 std::uint64_t weight = 256) {
+  SanitizedPath sp;
+  sp.vp = bgp::VpId{vp_ip, path[0]};
+  sp.vp_country = vp_cc;
+  sp.prefix = Prefix{0x0A000000 + pfx_index * 256, 24};
+  sp.prefix_country = pfx_cc;
+  sp.weight = weight;
+  sp.path = std::move(path);
+  return sp;
+}
+
+// A miniature two-country world exercising the national/international
+// split: AS 4637 (international incumbent AS) carries inbound paths,
+// AS 1221 (domestic AS) carries domestic ones.
+struct TwoCountryFixture {
+  topo::AsGraph graph;
+  std::vector<SanitizedPath> paths;
+
+  TwoCountryFixture() {
+    graph.add_p2c(4637, 1221);   // intl provides domestic
+    graph.add_p2c(3356, 4637);   // tier1 provides intl
+    graph.add_p2c(1221, 9001);   // domestic stub 1
+    graph.add_p2c(1221, 9002);   // domestic stub 2
+    graph.add_p2c(3356, 8001);   // US stub
+
+    // AU national paths (AU VPs 1 and 2, both in stub ASes).
+    paths.push_back(mk(1, AU, AsPath{9001, 1221, 9002}, 2, AU));
+    paths.push_back(mk(2, AU, AsPath{9002, 1221, 9001}, 1, AU));
+    paths.push_back(mk(1, AU, AsPath{9001, 1221}, 3, AU));  // 1221's prefix
+    // International paths toward AU (US VP 10).
+    paths.push_back(mk(10, US, AsPath{8001, 3356, 4637, 1221, 9001}, 1, AU));
+    paths.push_back(mk(10, US, AsPath{8001, 3356, 4637, 1221, 9002}, 2, AU));
+    paths.push_back(mk(10, US, AsPath{8001, 3356, 4637, 1221}, 3, AU));
+    // A US-destined path (ignored by AU metrics).
+    paths.push_back(mk(1, AU, AsPath{9001, 1221, 4637, 3356, 8001}, 9, US));
+  }
+};
+
+TEST(CountryRankings, ViewCountsReported) {
+  TwoCountryFixture f;
+  CountryRankings rankings{f.graph};
+  CountryMetrics m = rankings.compute(f.paths, AU);
+  EXPECT_EQ(m.country, AU);
+  EXPECT_EQ(m.national_vps, 2u);
+  EXPECT_EQ(m.international_vps, 1u);
+  EXPECT_EQ(m.national_addresses, 3u * 256u);
+  EXPECT_EQ(m.international_addresses, 3u * 256u);
+}
+
+TEST(CountryRankings, DomesticAsTopsNationalMetrics) {
+  TwoCountryFixture f;
+  CountryRankings rankings{f.graph};
+  CountryMetrics m = rankings.compute(f.paths, AU);
+  // 1221 transits every national path and covers all three prefixes.
+  EXPECT_EQ(m.ccn.entries()[0].asn, 1221u);
+  EXPECT_EQ(m.ahn.entries()[0].asn, 1221u);
+  // The international AS never appears nationally.
+  EXPECT_FALSE(m.ahn.rank_of(4637).has_value());
+  EXPECT_DOUBLE_EQ(m.ccn.score_of(1221), 1.0);
+}
+
+TEST(CountryRankings, InternationalAsVisibleOnlyInternationally) {
+  TwoCountryFixture f;
+  CountryRankings rankings{f.graph};
+  CountryMetrics m = rankings.compute(f.paths, AU);
+  // 4637 is on every inbound path: top-tier AHI presence.
+  EXPECT_DOUBLE_EQ(m.ahi.score_of(4637), 1.0);
+  EXPECT_DOUBLE_EQ(m.ahi.score_of(1221), 1.0);
+  // Cone-wise 4637's cone covers all AU space internationally.
+  EXPECT_DOUBLE_EQ(m.cci.score_of(4637), 1.0);
+  // The US stub's AS contributes hegemony mass as the VP AS but holds no
+  // AU cone.
+  EXPECT_DOUBLE_EQ(m.cci.score_of(8001), 0.0);
+}
+
+TEST(CountryRankings, CountryWithNoPathsYieldsEmptyRankings) {
+  TwoCountryFixture f;
+  CountryRankings rankings{f.graph};
+  CountryMetrics m = rankings.compute(f.paths, CountryCode::of("JP"));
+  EXPECT_TRUE(m.cci.empty());
+  EXPECT_TRUE(m.ccn.empty());
+  EXPECT_TRUE(m.ahi.empty());
+  EXPECT_TRUE(m.ahn.empty());
+}
+
+TEST(CountryRankings, ConeVsHegemonyDivergeOnPeering) {
+  // AS 6939 peers toward the destination: strong AHI, weak CCI.
+  topo::AsGraph g;
+  g.add_p2c(6939, 7001);  // one small customer keeps 6939 in the data
+  g.add_p2p(6939, 1221);
+  g.add_p2c(1221, 9001);
+  std::vector<SanitizedPath> paths{
+      mk(10, US, AsPath{7001, 6939, 1221, 9001}, 1, AU),
+      mk(11, US, AsPath{7001, 6939, 1221, 9001}, 1, AU),
+  };
+  CountryRankings rankings{g};
+  CountryMetrics m = rankings.compute(paths, AU);
+  EXPECT_DOUBLE_EQ(m.ahi.score_of(6939), 1.0);
+  EXPECT_DOUBLE_EQ(m.cci.score_of(6939), 0.0);  // peer link blocks the cone
+  EXPECT_DOUBLE_EQ(m.cci.score_of(1221), 1.0);
+}
+
+}  // namespace
+}  // namespace georank::core

@@ -1,0 +1,79 @@
+#include "core/diversity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::core {
+namespace {
+
+using geo::CountryCode;
+using rank::Ranking;
+
+CountryCode AU = CountryCode::of("AU");
+CountryCode US = CountryCode::of("US");
+
+rank::AsRegistry registry() {
+  return {{1221, AU}, {4826, AU}, {3356, US}, {1299, CountryCode::of("SE")}};
+}
+
+TEST(Diversity, SingleAsIsMaximallyConcentrated) {
+  Ranking r = Ranking::from_scores({{1221, 0.8}});
+  DiversityReport report = analyze_diversity(r, registry(), AU);
+  EXPECT_DOUBLE_EQ(report.hhi, 1.0);
+  EXPECT_DOUBLE_EQ(report.foreign_share, 0.0);
+  EXPECT_EQ(report.half_mass_count, 1u);
+  EXPECT_EQ(report.domestic_ases, 1u);
+}
+
+TEST(Diversity, EvenSplitMinimizesHhi) {
+  Ranking r = Ranking::from_scores(
+      {{1221, 0.25}, {4826, 0.25}, {3356, 0.25}, {1299, 0.25}});
+  DiversityReport report = analyze_diversity(r, registry(), AU);
+  EXPECT_DOUBLE_EQ(report.hhi, 0.25);  // 4 * (1/4)^2
+  EXPECT_DOUBLE_EQ(report.foreign_share, 0.5);
+  EXPECT_EQ(report.half_mass_count, 2u);
+  EXPECT_EQ(report.domestic_ases, 2u);
+  EXPECT_EQ(report.foreign_ases, 2u);
+}
+
+TEST(Diversity, UnknownRegistrationCounted) {
+  Ranking r = Ranking::from_scores({{1221, 0.5}, {999999, 0.5}});
+  DiversityReport report = analyze_diversity(r, registry(), AU);
+  EXPECT_EQ(report.unknown_ases, 1u);
+  // Unknown ASes do not count toward foreign share.
+  EXPECT_DOUBLE_EQ(report.foreign_share, 0.0);
+  EXPECT_EQ(report.considered(), 2u);
+}
+
+TEST(Diversity, TopKWindow) {
+  Ranking r = Ranking::from_scores({{1221, 0.9}, {3356, 0.5}, {1299, 0.4}});
+  DiversityReport top1 = analyze_diversity(r, registry(), AU, 1);
+  EXPECT_EQ(top1.considered(), 1u);
+  EXPECT_DOUBLE_EQ(top1.foreign_share, 0.0);
+  DiversityReport top3 = analyze_diversity(r, registry(), AU, 3);
+  EXPECT_EQ(top3.considered(), 3u);
+  EXPECT_NEAR(top3.foreign_share, 0.9 / 1.8, 1e-9);
+}
+
+TEST(Diversity, EmptyRanking) {
+  Ranking r;
+  DiversityReport report = analyze_diversity(r, registry(), AU);
+  EXPECT_EQ(report.considered(), 0u);
+  EXPECT_DOUBLE_EQ(report.hhi, 0.0);
+}
+
+TEST(Sovereignty, SummaryAggregatesAllFourMetrics) {
+  CountryMetrics m;
+  m.country = AU;
+  m.cci = Ranking::from_scores({{3356, 0.9}, {1221, 0.1}});  // foreign-heavy
+  m.ahi = Ranking::from_scores({{1299, 0.6}, {1221, 0.4}});
+  m.ccn = Ranking::from_scores({{1221, 0.8}, {4826, 0.2}});  // domestic
+  m.ahn = Ranking::from_scores({{1221, 0.7}, {4826, 0.3}});
+  SovereigntySummary s = summarize_sovereignty(m, registry());
+  EXPECT_EQ(s.country, AU);
+  EXPECT_DOUBLE_EQ(s.national_foreign_share(), 0.0);
+  EXPECT_NEAR(s.international_foreign_share(), 0.5 * (0.9 + 0.6), 1e-9);
+  EXPECT_GT(s.international_foreign_share(), s.national_foreign_share());
+}
+
+}  // namespace
+}  // namespace georank::core

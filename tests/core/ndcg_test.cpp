@@ -1,0 +1,80 @@
+#include "core/ndcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace georank::core {
+namespace {
+
+using rank::Ranking;
+
+TEST(Ndcg, IdenticalRankingScoresOne) {
+  Ranking full = Ranking::from_scores({{1, 0.9}, {2, 0.5}, {3, 0.1}});
+  EXPECT_DOUBLE_EQ(ndcg(full, full), 1.0);
+}
+
+TEST(Ndcg, EmptyFullRankingIsOne) {
+  Ranking full;
+  Ranking sample = Ranking::from_scores({{1, 0.5}});
+  EXPECT_DOUBLE_EQ(ndcg(sample, full), 1.0);
+}
+
+TEST(Ndcg, EmptySampleScoresZero) {
+  Ranking full = Ranking::from_scores({{1, 0.9}});
+  Ranking sample;
+  EXPECT_DOUBLE_EQ(ndcg(sample, full), 0.0);
+}
+
+TEST(Ndcg, SwapOfTopTwoReducesScore) {
+  Ranking full = Ranking::from_scores({{1, 0.9}, {2, 0.5}, {3, 0.1}});
+  Ranking swapped = Ranking::from_scores({{2, 0.9}, {1, 0.5}, {3, 0.1}});
+  double score = ndcg(swapped, full);
+  EXPECT_LT(score, 1.0);
+  EXPECT_GT(score, 0.8);  // mild perturbation, mild penalty
+}
+
+TEST(Ndcg, MissingTopAsHurtsMore) {
+  Ranking full = Ranking::from_scores({{1, 0.9}, {2, 0.5}, {3, 0.1}});
+  Ranking missing_top = Ranking::from_scores({{2, 0.5}, {3, 0.1}});
+  Ranking missing_last = Ranking::from_scores({{1, 0.9}, {2, 0.5}});
+  EXPECT_LT(ndcg(missing_top, full), ndcg(missing_last, full));
+}
+
+TEST(Ndcg, UsesFullRankingRelevances) {
+  // The sample invents a huge score for AS 3, but relevance comes from
+  // the full ranking, so it cannot inflate NDCG.
+  Ranking full = Ranking::from_scores({{1, 0.9}, {2, 0.5}, {3, 0.0}});
+  Ranking sample = Ranking::from_scores({{3, 99.0}, {1, 0.1}, {2, 0.05}});
+  double expected_dcg = 0.0 / std::log2(2) + 0.9 / std::log2(3) + 0.5 / std::log2(4);
+  EXPECT_NEAR(dcg(sample, full), expected_dcg, 1e-12);
+}
+
+TEST(Ndcg, DcgFormulaMatchesPaper) {
+  // DCG_p = sum rel_p / log2(p+1), p starting at 1.
+  Ranking full = Ranking::from_scores({{1, 4.0}, {2, 2.0}, {3, 1.0}});
+  double expected = 4.0 / std::log2(2.0) + 2.0 / std::log2(3.0) + 1.0 / std::log2(4.0);
+  EXPECT_NEAR(dcg(full, full, 10), expected, 1e-12);
+}
+
+TEST(Ndcg, TopKLimitsEvaluation) {
+  Ranking full = Ranking::from_scores({{1, 1.0}, {2, 0.9}, {3, 0.8}});
+  // With k=1 only the first position matters.
+  Ranking sample = Ranking::from_scores({{1, 1.0}, {3, 0.9}, {2, 0.8}});
+  EXPECT_DOUBLE_EQ(ndcg(sample, full, 1), 1.0);
+  EXPECT_LT(ndcg(sample, full, 3), 1.0);
+}
+
+TEST(Ndcg, NeverExceedsOneOnPerturbedSamples) {
+  Ranking full = Ranking::from_scores(
+      {{1, 0.9}, {2, 0.7}, {3, 0.5}, {4, 0.3}, {5, 0.1}});
+  // Any reordering of the same ASes cannot beat the full ordering.
+  Ranking reordered = Ranking::from_scores(
+      {{5, 5.0}, {4, 4.0}, {3, 3.0}, {2, 2.0}, {1, 1.0}});
+  double score = ndcg(reordered, full);
+  EXPECT_LE(score, 1.0);
+  EXPECT_GE(score, 0.0);
+}
+
+}  // namespace
+}  // namespace georank::core

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/country_rankings.hpp"
+#include "core/views.hpp"
+
+namespace georank::core {
+namespace {
+
+using bgp::AsPath;
+using bgp::Prefix;
+using geo::CountryCode;
+using sanitize::SanitizedPath;
+
+CountryCode AU = CountryCode::of("AU");
+CountryCode US = CountryCode::of("US");
+
+SanitizedPath mk(std::uint32_t vp_ip, CountryCode vp_cc, AsPath path,
+                 std::uint32_t pfx_index, CountryCode pfx_cc) {
+  SanitizedPath sp;
+  sp.vp = bgp::VpId{vp_ip, path[0]};
+  sp.vp_country = vp_cc;
+  sp.prefix = Prefix{0x0A000000 + pfx_index * 256, 24};
+  sp.prefix_country = pfx_cc;
+  sp.weight = 256;
+  sp.path = std::move(path);
+  return sp;
+}
+
+std::vector<SanitizedPath> sample() {
+  return {
+      mk(1, AU, AsPath{9001, 1221, 9002}, 1, AU),          // national
+      mk(1, AU, AsPath{9001, 1221, 4637, 3356, 8001}, 2, US),  // outbound
+      mk(2, US, AsPath{8001, 3356, 4637, 1221, 9001}, 1, AU),  // inbound
+      mk(2, US, AsPath{8001, 3356, 8002}, 3, US),          // foreign-local
+  };
+}
+
+TEST(OutboundView, SelectsInVpForeignPrefix) {
+  auto paths = sample();
+  CountryView v = ViewBuilder::outbound(paths, AU);
+  ASSERT_EQ(v.paths.size(), 1u);
+  EXPECT_EQ(v.kind, ViewKind::kOutbound);
+  EXPECT_EQ(v.paths[0].prefix_country, US);
+  EXPECT_EQ(v.paths[0].vp_country, AU);
+}
+
+TEST(OutboundView, DisjointFromNationalAndInternational) {
+  auto paths = sample();
+  CountryView nat = ViewBuilder::national(paths, AU);
+  CountryView intl = ViewBuilder::international(paths, AU);
+  CountryView out = ViewBuilder::outbound(paths, AU);
+  // The three views partition an AU VP's and AU prefix's paths with no
+  // overlap: check pairwise disjointness on (vp, prefix).
+  auto key = [](const SanitizedPath& sp) {
+    return std::tuple{sp.vp.ip, sp.prefix.address()};
+  };
+  for (const auto& a : nat.paths) {
+    for (const auto& b : out.paths) EXPECT_NE(key(a), key(b));
+    for (const auto& b : intl.paths) EXPECT_NE(key(a), key(b));
+  }
+  for (const auto& a : intl.paths) {
+    for (const auto& b : out.paths) EXPECT_NE(key(a), key(b));
+  }
+}
+
+TEST(OutboundMetrics, RanksEgressCarriers) {
+  topo::AsGraph g;
+  g.add_p2c(4637, 1221);
+  g.add_p2c(3356, 4637);
+  g.add_p2c(1221, 9001);
+  g.add_p2c(3356, 8001);
+  g.add_p2c(3356, 8002);
+  CountryRankings rankings{g};
+  auto paths = sample();
+  OutboundMetrics m = rankings.compute_outbound(paths, AU);
+  EXPECT_EQ(m.country, AU);
+  EXPECT_EQ(m.vps, 1u);
+  EXPECT_EQ(m.foreign_addresses, 256u);
+  // Every outbound path crosses 4637 and 3356.
+  EXPECT_DOUBLE_EQ(m.aho.score_of(4637), 1.0);
+  EXPECT_DOUBLE_EQ(m.aho.score_of(3356), 1.0);
+  // The cone ranking credits the foreign space to the p2c suffix holder.
+  EXPECT_DOUBLE_EQ(m.cco.score_of(3356), 1.0);
+}
+
+TEST(OutboundMetrics, EmptyWhenNoInCountryVps) {
+  topo::AsGraph g;
+  g.add_as(1);
+  CountryRankings rankings{g};
+  std::vector<SanitizedPath> paths{mk(2, US, AsPath{8001, 3356, 8002}, 3, US)};
+  OutboundMetrics m = rankings.compute_outbound(paths, AU);
+  EXPECT_TRUE(m.aho.empty());
+  EXPECT_EQ(m.vps, 0u);
+}
+
+}  // namespace
+}  // namespace georank::core

@@ -1,0 +1,108 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+
+namespace georank::core {
+namespace {
+
+using geo::CountryCode;
+
+struct PipelineFixture {
+  gen::World world;
+  bgp::RibCollection ribs;
+
+  PipelineFixture()
+      : world(gen::InternetGenerator{gen::mini_world_spec(21)}.generate()) {
+    gen::NoiseSpec noise;  // defaults: mild, realistic
+    ribs = gen::RibGenerator{world, noise, 5}.generate(5);
+  }
+
+  PipelineConfig config() const {
+    PipelineConfig cfg;
+    cfg.sanitizer.clique = world.clique;
+    cfg.sanitizer.route_server_asns = world.route_servers;
+    return cfg;
+  }
+};
+
+TEST(Pipeline, ThrowsBeforeLoad) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  EXPECT_FALSE(pipeline.loaded());
+  EXPECT_THROW((void)pipeline.sanitized(), std::logic_error);
+  EXPECT_THROW((void)pipeline.country(CountryCode::of("AU")), std::logic_error);
+}
+
+TEST(Pipeline, LoadStructRuns) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.load(f.ribs);
+  ASSERT_TRUE(pipeline.loaded());
+  EXPECT_GT(pipeline.sanitized().paths.size(), 100u);
+  EXPECT_GT(pipeline.sanitized().stats.accepted, 0u);
+}
+
+TEST(Pipeline, TextRoundTripMatchesStructLoad) {
+  PipelineFixture f;
+  Pipeline direct{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                  f.world.graph, f.config()};
+  direct.load(f.ribs);
+
+  Pipeline via_text{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  via_text.load_text(bgp::to_mrt_text(f.ribs));
+  EXPECT_EQ(via_text.parse_stats().malformed, 0u);
+  EXPECT_EQ(via_text.parse_stats().parsed, f.ribs.total_entries());
+
+  EXPECT_EQ(direct.sanitized().paths.size(), via_text.sanitized().paths.size());
+  EXPECT_EQ(direct.sanitized().stats.accepted,
+            via_text.sanitized().stats.accepted);
+}
+
+TEST(Pipeline, CountryMetricsComputed) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.load(f.ribs);
+  CountryMetrics au = pipeline.country(CountryCode::of("AU"));
+  EXPECT_FALSE(au.cci.empty());
+  EXPECT_FALSE(au.ccn.empty());
+  EXPECT_FALSE(au.ahi.empty());
+  EXPECT_FALSE(au.ahn.empty());
+  EXPECT_GT(au.national_vps, 0u);
+  EXPECT_GT(au.international_vps, au.national_vps);
+}
+
+TEST(Pipeline, GlobalBaselinesComputed) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.load(f.ribs);
+  EXPECT_FALSE(pipeline.global_cone_by_as_count().empty());
+  EXPECT_FALSE(pipeline.global_cone_by_addresses().empty());
+  EXPECT_FALSE(pipeline.global_hegemony().empty());
+  EXPECT_FALSE(pipeline.ahc(f.world.as_registry, CountryCode::of("AU")).empty());
+  EXPECT_FALSE(pipeline.cti(CountryCode::of("AU")).empty());
+}
+
+TEST(Pipeline, GlobalConeTopIsTier1) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.load(f.ribs);
+  rank::Ranking ccg = pipeline.global_cone_by_as_count();
+  // The largest cone in the mini world belongs to one of the tier-1s.
+  bgp::Asn top = ccg.entries()[0].asn;
+  EXPECT_TRUE(std::find(f.world.clique.begin(), f.world.clique.end(), top) !=
+              f.world.clique.end())
+      << "top AS " << top;
+}
+
+}  // namespace
+}  // namespace georank::core

@@ -1,0 +1,85 @@
+#include "core/rank_delta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::core {
+namespace {
+
+using rank::Ranking;
+
+TEST(RankDelta, IdenticalRankings) {
+  Ranking r = Ranking::from_scores({{1, 0.9}, {2, 0.5}, {3, 0.1}});
+  RankDelta delta = compare_rankings(r, r);
+  EXPECT_EQ(delta.shifts.size(), 3u);
+  EXPECT_TRUE(delta.entries().empty());
+  EXPECT_TRUE(delta.exits().empty());
+  EXPECT_EQ(delta.max_movement(), 0);
+  EXPECT_NEAR(delta.agreement(), 1.0, 1e-9);
+  for (const RankShift& s : delta.shifts) {
+    EXPECT_EQ(s.rank_change(), 0);
+    EXPECT_DOUBLE_EQ(s.score_change(), 0.0);
+  }
+}
+
+TEST(RankDelta, DetectsSwap) {
+  Ranking before = Ranking::from_scores({{1, 0.9}, {2, 0.5}});
+  Ranking after = Ranking::from_scores({{2, 0.9}, {1, 0.5}});
+  RankDelta delta = compare_rankings(before, after);
+  ASSERT_EQ(delta.shifts.size(), 2u);
+  // Ordered by after-rank: AS 2 first.
+  EXPECT_EQ(delta.shifts[0].asn, 2u);
+  EXPECT_EQ(delta.shifts[0].rank_change(), 1);   // climbed 2 -> 1
+  EXPECT_EQ(delta.shifts[1].rank_change(), -1);  // fell 1 -> 2
+  EXPECT_EQ(delta.max_movement(), 1);
+  EXPECT_DOUBLE_EQ(delta.shifts[0].score_change(), 0.4);
+}
+
+TEST(RankDelta, EntriesAndExits) {
+  Ranking before = Ranking::from_scores({{1, 0.9}, {2, 0.5}});
+  Ranking after = Ranking::from_scores({{1, 0.9}, {3, 0.5}});
+  RankDelta delta = compare_rankings(before, after);
+  EXPECT_EQ(delta.entries(), (std::vector<bgp::Asn>{3}));
+  EXPECT_EQ(delta.exits(), (std::vector<bgp::Asn>{2}));
+  for (const RankShift& s : delta.shifts) {
+    if (s.asn == 3) {
+      EXPECT_TRUE(s.entered());
+      EXPECT_FALSE(s.left());
+      EXPECT_EQ(s.rank_change(), 0);  // not comparable
+    }
+    if (s.asn == 2) {
+      EXPECT_TRUE(s.left());
+    }
+  }
+}
+
+TEST(RankDelta, TopKWindowing) {
+  // AS 3 is rank 3 in both, but with top_k = 2 it is outside the window.
+  Ranking before = Ranking::from_scores({{1, 0.9}, {2, 0.5}, {3, 0.1}});
+  Ranking after = Ranking::from_scores({{3, 0.9}, {1, 0.5}, {2, 0.1}});
+  RankDelta delta = compare_rankings(before, after, 2);
+  // Union of top-2s: {1,2} before, {3,1} after -> {1,2,3}.
+  EXPECT_EQ(delta.shifts.size(), 3u);
+  EXPECT_EQ(delta.entries(), (std::vector<bgp::Asn>{3}));
+  EXPECT_EQ(delta.exits(), (std::vector<bgp::Asn>{2}));
+}
+
+TEST(RankDelta, AgreementDropsWithShuffling) {
+  Ranking before =
+      Ranking::from_scores({{1, 5}, {2, 4}, {3, 3}, {4, 2}, {5, 1}});
+  Ranking reversed =
+      Ranking::from_scores({{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}});
+  RankDelta same = compare_rankings(before, before);
+  RankDelta flipped = compare_rankings(before, reversed);
+  EXPECT_GT(same.agreement(), flipped.agreement());
+  EXPECT_NEAR(flipped.agreement(), -1.0, 1e-9);
+}
+
+TEST(RankDelta, EmptyRankings) {
+  Ranking empty;
+  RankDelta delta = compare_rankings(empty, empty);
+  EXPECT_TRUE(delta.shifts.empty());
+  EXPECT_DOUBLE_EQ(delta.agreement(), 0.0);
+}
+
+}  // namespace
+}  // namespace georank::core

@@ -1,0 +1,90 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+
+namespace georank::core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new gen::World(
+        gen::InternetGenerator{gen::mini_world_spec(31)}.generate());
+    gen::NoiseSpec noise;
+    bgp::RibCollection ribs = gen::RibGenerator{*world_, noise, 3}.generate(5);
+    PipelineConfig cfg;
+    cfg.sanitizer.clique = world_->clique;
+    cfg.sanitizer.route_server_asns = world_->route_servers;
+    pipeline_ = new Pipeline(world_->geo_db, world_->vps, world_->asn_registry,
+                             world_->graph, cfg);
+    pipeline_->load(ribs);
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete world_;
+    pipeline_ = nullptr;
+    world_ = nullptr;
+  }
+  static gen::World* world_;
+  static Pipeline* pipeline_;
+};
+
+gen::World* ReportTest::world_ = nullptr;
+Pipeline* ReportTest::pipeline_ = nullptr;
+
+TEST_F(ReportTest, BuildsAllSections) {
+  CountryReport report = build_country_report(
+      *pipeline_, world_->as_registry, geo::CountryCode::of("AU"));
+  EXPECT_FALSE(report.empty());
+  EXPECT_FALSE(report.metrics.cci.empty());
+  EXPECT_FALSE(report.outbound.aho.empty());
+  EXPECT_FALSE(report.ahc.empty());
+  EXPECT_FALSE(report.cti.empty());
+  EXPECT_EQ(report.sovereignty.country, geo::CountryCode::of("AU"));
+}
+
+TEST_F(ReportTest, OptionsDisableSections) {
+  ReportOptions options;
+  options.include_outbound = false;
+  options.include_baselines = false;
+  CountryReport report = build_country_report(
+      *pipeline_, world_->as_registry, geo::CountryCode::of("AU"), options);
+  EXPECT_TRUE(report.ahc.empty());
+  EXPECT_TRUE(report.cti.empty());
+  EXPECT_TRUE(report.outbound.aho.empty());
+}
+
+TEST_F(ReportTest, RenderContainsKeyActors) {
+  CountryReport report = build_country_report(
+      *pipeline_, world_->as_registry, geo::CountryCode::of("AU"));
+  std::string text = render_country_report(
+      report, [&](bgp::Asn asn) { return world_->name_of(asn); });
+  EXPECT_NE(text.find("=== AU ==="), std::string::npos);
+  EXPECT_NE(text.find("Telstra"), std::string::npos);
+  EXPECT_NE(text.find("Vocus"), std::string::npos);
+  EXPECT_NE(text.find("sovereignty"), std::string::npos);
+  EXPECT_NE(text.find("AHO"), std::string::npos);
+}
+
+TEST_F(ReportTest, RenderWithoutResolverUsesAsnLabels) {
+  CountryReport report = build_country_report(
+      *pipeline_, world_->as_registry, geo::CountryCode::of("AU"));
+  std::string text = render_country_report(report);
+  EXPECT_NE(text.find("AS1221"), std::string::npos);
+}
+
+TEST_F(ReportTest, EmptyCountryReportsEmpty) {
+  CountryReport report = build_country_report(
+      *pipeline_, world_->as_registry, geo::CountryCode::of("ZZ"));
+  EXPECT_TRUE(report.empty());
+  // Rendering an empty report must not crash.
+  std::string text = render_country_report(report);
+  EXPECT_NE(text.find("=== ZZ ==="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace georank::core

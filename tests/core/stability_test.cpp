@@ -1,0 +1,178 @@
+#include "core/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace georank::core {
+namespace {
+
+using bgp::AsPath;
+using bgp::Prefix;
+using geo::CountryCode;
+using sanitize::SanitizedPath;
+
+CountryCode AU = CountryCode::of("AU");
+
+SanitizedPath mk(std::uint32_t vp_ip, AsPath path, std::uint32_t pfx_index) {
+  SanitizedPath sp;
+  sp.vp = bgp::VpId{vp_ip, path[0]};
+  sp.vp_country = AU;
+  sp.prefix = Prefix{0x0A000000 + pfx_index * 256, 24};
+  sp.prefix_country = AU;
+  sp.weight = 256;
+  sp.path = std::move(path);
+  return sp;
+}
+
+/// Every VP (all hosted in AS 100) sees the identical path set: any
+/// sample reproduces the full ranking exactly.
+CountryView homogeneous_view(std::size_t vp_count) {
+  CountryView view;
+  view.country = AU;
+  view.kind = ViewKind::kNational;
+  for (std::uint32_t vp = 1; vp <= vp_count; ++vp) {
+    view.paths.push_back(mk(vp, AsPath{100, 50, 200}, 1));
+    view.paths.push_back(mk(vp, AsPath{100, 50, 201}, 2));
+    view.paths.push_back(mk(vp, AsPath{100, 60, 202}, 3));
+  }
+  return view;
+}
+
+topo::AsGraph homogeneous_graph(std::size_t /*vp_count*/) {
+  topo::AsGraph g;
+  g.add_p2c(50, 200);
+  g.add_p2c(50, 201);
+  g.add_p2c(60, 202);
+  g.add_p2c(50, 100);
+  g.add_p2c(60, 100);
+  return g;
+}
+
+TEST(DefaultSampleGrid, DenseThenCoarse) {
+  auto grid = default_sample_grid(100);
+  ASSERT_FALSE(grid.empty());
+  EXPECT_EQ(grid.front(), 1u);
+  EXPECT_EQ(grid.back(), 100u);
+  // Dense through 16.
+  for (std::size_t k = 1; k <= 16; ++k) {
+    EXPECT_NE(std::find(grid.begin(), grid.end(), k), grid.end());
+  }
+  // Coarse after: strictly increasing.
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+TEST(DefaultSampleGrid, SmallViews) {
+  auto grid = default_sample_grid(3);
+  EXPECT_EQ(grid, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_TRUE(default_sample_grid(0).empty());
+}
+
+TEST(Stability, HomogeneousViewIsPerfectlyStable) {
+  auto graph = homogeneous_graph(8);
+  CountryRankings rankings{graph};
+  StabilityAnalyzer analyzer{rankings};
+  CountryView view = homogeneous_view(8);
+
+  for (MetricKind metric : {MetricKind::kHegemony, MetricKind::kCustomerCone}) {
+    auto curve = analyzer.analyze(view, metric);
+    ASSERT_FALSE(curve.empty());
+    for (const StabilityPoint& p : curve) {
+      EXPECT_NEAR(p.mean_ndcg, 1.0, 1e-9) << "k=" << p.vp_count;
+    }
+  }
+}
+
+TEST(Stability, FullSampleAlwaysScoresOne) {
+  auto graph = homogeneous_graph(5);
+  CountryRankings rankings{graph};
+  StabilityAnalyzer analyzer{rankings};
+  CountryView view = homogeneous_view(5);
+  StabilityOptions options;
+  options.sample_sizes = {5};
+  auto curve = analyzer.analyze(view, MetricKind::kHegemony, options);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_EQ(curve[0].trials, 1u);  // deterministic full sample
+  EXPECT_DOUBLE_EQ(curve[0].mean_ndcg, 1.0);
+}
+
+TEST(Stability, HeterogeneousViewImprovesWithMoreVps) {
+  // Each VP sees a single path through one of six transit ASes (two VPs
+  // per transit AS): small samples miss most ASes, the full set sees all.
+  topo::AsGraph g;
+  CountryView view;
+  view.country = AU;
+  view.kind = ViewKind::kNational;
+  constexpr std::uint32_t kVps = 12;
+  for (std::uint32_t vp = 1; vp <= kVps; ++vp) {
+    std::uint32_t mid = 50 + (vp % 6);
+    if (!g.contains(mid) || !g.relationship(mid, 300 + (vp % 6))) {
+      g.add_p2c(mid, 300 + (vp % 6));
+    }
+    g.add_p2c(mid, 100 + vp);
+    view.paths.push_back(
+        mk(vp, AsPath{100 + vp, mid, 300 + (vp % 6)}, vp % 6));
+  }
+  CountryRankings rankings{g};
+  StabilityAnalyzer analyzer{rankings};
+  StabilityOptions options;
+  options.sample_sizes = {1, kVps};
+  options.trials_per_size = 6;
+  auto curve = analyzer.analyze(view, MetricKind::kHegemony, options);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_LT(curve[0].mean_ndcg, curve[1].mean_ndcg);
+  EXPECT_DOUBLE_EQ(curve[1].mean_ndcg, 1.0);
+}
+
+TEST(Stability, SampleSizesBeyondVpCountSkipped) {
+  auto graph = homogeneous_graph(3);
+  CountryRankings rankings{graph};
+  StabilityAnalyzer analyzer{rankings};
+  CountryView view = homogeneous_view(3);
+  StabilityOptions options;
+  options.sample_sizes = {2, 3, 10, 0};
+  auto curve = analyzer.analyze(view, MetricKind::kCustomerCone, options);
+  EXPECT_EQ(curve.size(), 2u);  // 10 and 0 skipped
+}
+
+TEST(Stability, MinVpsForThreshold) {
+  std::vector<StabilityPoint> curve{
+      {2, 0.5, 0, 0, 4}, {4, 0.85, 0, 0, 4}, {6, 0.92, 0, 0, 4},
+      {8, 0.97, 0, 0, 4}};
+  EXPECT_EQ(StabilityAnalyzer::min_vps_for(curve, 0.9), 6u);
+  EXPECT_EQ(StabilityAnalyzer::min_vps_for(curve, 0.8), 4u);
+  EXPECT_EQ(StabilityAnalyzer::min_vps_for(curve, 0.99), 0u);  // unreachable
+}
+
+TEST(Stability, StdevZeroForDeterministicSamples) {
+  auto graph = homogeneous_graph(5);
+  CountryRankings rankings{graph};
+  StabilityAnalyzer analyzer{rankings};
+  CountryView view = homogeneous_view(5);
+  StabilityOptions options;
+  options.sample_sizes = {2, 5};
+  auto curve = analyzer.analyze(view, MetricKind::kHegemony, options);
+  ASSERT_EQ(curve.size(), 2u);
+  // Homogeneous view: every sample scores identically -> stdev 0.
+  EXPECT_DOUBLE_EQ(curve[0].stdev_ndcg, 0.0);
+  // Full sample: single trial -> stdev 0 by definition.
+  EXPECT_DOUBLE_EQ(curve[1].stdev_ndcg, 0.0);
+}
+
+TEST(Stability, DeterministicForFixedSeed) {
+  auto graph = homogeneous_graph(6);
+  CountryRankings rankings{graph};
+  StabilityAnalyzer analyzer{rankings};
+  CountryView view = homogeneous_view(6);
+  StabilityOptions options;
+  options.seed = 99;
+  auto a = analyzer.analyze(view, MetricKind::kHegemony, options);
+  auto b = analyzer.analyze(view, MetricKind::kHegemony, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mean_ndcg, b[i].mean_ndcg);
+  }
+}
+
+}  // namespace
+}  // namespace georank::core

@@ -1,0 +1,106 @@
+#include "core/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::core {
+namespace {
+
+using rank::Ranking;
+
+CountryMetrics metrics_with_cci(Ranking cci) {
+  CountryMetrics m;
+  m.country = geo::CountryCode::of("TW");
+  m.cci = std::move(cci);
+  return m;
+}
+
+Timeline three_epochs() {
+  // China-Telecom-style decline: AS 4134 rank 2 -> 7 -> gone.
+  std::vector<TimelinePoint> points;
+  points.push_back({"2018", metrics_with_cci(Ranking::from_scores(
+                                {{3462, 0.9}, {4134, 0.6}, {9680, 0.3}}))});
+  points.push_back({"2021", metrics_with_cci(Ranking::from_scores(
+                                {{3462, 0.9}, {9680, 0.5}, {4134, 0.2}}))});
+  points.push_back({"2023", metrics_with_cci(Ranking::from_scores(
+                                {{3462, 0.9}, {9680, 0.6}, {1659, 0.3}}))});
+  return Timeline{std::move(points)};
+}
+
+TEST(Timeline, RejectsEmptyOrMixedCountries) {
+  EXPECT_THROW(Timeline{std::vector<TimelinePoint>{}}, std::invalid_argument);
+  std::vector<TimelinePoint> mixed;
+  mixed.push_back({"a", metrics_with_cci({})});
+  CountryMetrics other;
+  other.country = geo::CountryCode::of("US");
+  mixed.push_back({"b", other});
+  EXPECT_THROW(Timeline{std::move(mixed)}, std::invalid_argument);
+}
+
+TEST(Timeline, TrajectoriesCoverUnionOfTopK) {
+  Timeline t = three_epochs();
+  auto trajectories = t.trajectories(TimelineMetric::kCci, 3);
+  // Union: 3462, 4134, 9680, 1659.
+  ASSERT_EQ(trajectories.size(), 4u);
+  // Ordered by best rank: 3462 (always #1) first.
+  EXPECT_EQ(trajectories[0].asn, 3462u);
+  EXPECT_EQ(trajectories[0].best_rank(), 1u);
+}
+
+TEST(Timeline, DeclineVisibleInTrajectory) {
+  Timeline t = three_epochs();
+  auto trajectories = t.trajectories(TimelineMetric::kCci, 3);
+  const AsTrajectory* ct = nullptr;
+  for (const auto& tr : trajectories) {
+    if (tr.asn == 4134) ct = &tr;
+  }
+  ASSERT_NE(ct, nullptr);
+  ASSERT_EQ(ct->ranks.size(), 3u);
+  EXPECT_EQ(ct->ranks[0], 2u);
+  EXPECT_EQ(ct->ranks[1], 3u);
+  EXPECT_FALSE(ct->ranks[2].has_value());  // gone by 2023
+  EXPECT_LT(ct->score_trend(), 0.0);
+}
+
+TEST(Timeline, DroppedOutFindsTheDecliner) {
+  Timeline t = three_epochs();
+  EXPECT_EQ(t.dropped_out(TimelineMetric::kCci, 3),
+            (std::vector<bgp::Asn>{4134}));
+  // With top_k = 1 nothing drops (3462 holds #1 throughout).
+  EXPECT_TRUE(t.dropped_out(TimelineMetric::kCci, 1).empty());
+}
+
+TEST(Timeline, DeltasAreConsecutivePairs) {
+  Timeline t = three_epochs();
+  auto deltas = t.deltas(TimelineMetric::kCci, 3);
+  ASSERT_EQ(deltas.size(), 2u);
+  // 2018->2021: no entry/exit within top-3 (same membership).
+  EXPECT_TRUE(deltas[0].entries().empty());
+  // 2021->2023: 1659 enters, 4134 leaves.
+  EXPECT_EQ(deltas[1].entries(), (std::vector<bgp::Asn>{1659}));
+  EXPECT_EQ(deltas[1].exits(), (std::vector<bgp::Asn>{4134}));
+}
+
+TEST(Timeline, SelectMetricPicksTheRightRanking) {
+  CountryMetrics m;
+  m.country = geo::CountryCode::of("AU");
+  m.cci = Ranking::from_scores({{1, 1.0}});
+  m.ahi = Ranking::from_scores({{2, 1.0}});
+  m.ccn = Ranking::from_scores({{3, 1.0}});
+  m.ahn = Ranking::from_scores({{4, 1.0}});
+  EXPECT_EQ(select_metric(m, TimelineMetric::kCci).entries()[0].asn, 1u);
+  EXPECT_EQ(select_metric(m, TimelineMetric::kAhi).entries()[0].asn, 2u);
+  EXPECT_EQ(select_metric(m, TimelineMetric::kCcn).entries()[0].asn, 3u);
+  EXPECT_EQ(select_metric(m, TimelineMetric::kAhn).entries()[0].asn, 4u);
+}
+
+TEST(Timeline, SinglePointTimeline) {
+  std::vector<TimelinePoint> points;
+  points.push_back({"only", metrics_with_cci(Ranking::from_scores({{1, 1.0}}))});
+  Timeline t{std::move(points)};
+  EXPECT_TRUE(t.deltas(TimelineMetric::kCci).empty());
+  EXPECT_TRUE(t.dropped_out(TimelineMetric::kCci).empty());
+  EXPECT_EQ(t.trajectories(TimelineMetric::kCci).size(), 1u);
+}
+
+}  // namespace
+}  // namespace georank::core

@@ -1,0 +1,115 @@
+#include "core/views.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::core {
+namespace {
+
+using bgp::AsPath;
+using bgp::Prefix;
+using geo::CountryCode;
+using sanitize::SanitizedPath;
+
+CountryCode AU = CountryCode::of("AU");
+CountryCode US = CountryCode::of("US");
+CountryCode JP = CountryCode::of("JP");
+
+SanitizedPath mk(std::uint32_t vp_ip, CountryCode vp_cc, std::uint32_t pfx_index,
+                 CountryCode pfx_cc, std::uint64_t weight = 256) {
+  SanitizedPath sp;
+  sp.vp = bgp::VpId{vp_ip, vp_ip};
+  sp.vp_country = vp_cc;
+  sp.prefix = Prefix{0x0A000000 + pfx_index * 256, 24};
+  sp.prefix_country = pfx_cc;
+  sp.weight = weight;
+  sp.path = AsPath{vp_ip, 100, 200};
+  return sp;
+}
+
+std::vector<SanitizedPath> sample_paths() {
+  return {
+      mk(1, AU, 1, AU),  // national AU
+      mk(1, AU, 2, US),  // AU vp toward US prefix: neither AU view
+      mk(2, US, 1, AU),  // international AU
+      mk(3, US, 2, US),  // national US
+      mk(4, JP, 1, AU),  // international AU
+      mk(4, JP, 2, US),  // international US
+  };
+}
+
+TEST(Views, NationalSelectsInCountryBothEnds) {
+  auto paths = sample_paths();
+  CountryView v = ViewBuilder::national(paths, AU);
+  ASSERT_EQ(v.paths.size(), 1u);
+  EXPECT_EQ(v.paths[0].vp.ip, 1u);
+  EXPECT_EQ(v.kind, ViewKind::kNational);
+  EXPECT_EQ(v.country, AU);
+}
+
+TEST(Views, InternationalSelectsForeignVps) {
+  auto paths = sample_paths();
+  CountryView v = ViewBuilder::international(paths, AU);
+  ASSERT_EQ(v.paths.size(), 2u);
+  for (const auto& sp : v.paths) {
+    EXPECT_EQ(sp.prefix_country, AU);
+    EXPECT_NE(sp.vp_country, AU);
+  }
+}
+
+TEST(Views, NationalAndInternationalPartitionCountryPaths) {
+  auto paths = sample_paths();
+  CountryView nat = ViewBuilder::national(paths, AU);
+  CountryView intl = ViewBuilder::international(paths, AU);
+  std::size_t toward_au = 0;
+  for (const auto& sp : paths) {
+    if (sp.prefix_country == AU && sp.vp_country.valid()) ++toward_au;
+  }
+  EXPECT_EQ(nat.paths.size() + intl.paths.size(), toward_au);
+}
+
+TEST(Views, VpsDeduplicated) {
+  std::vector<SanitizedPath> paths{
+      mk(1, AU, 1, AU), mk(1, AU, 3, AU), mk(5, AU, 1, AU)};
+  CountryView v = ViewBuilder::national(paths, AU);
+  EXPECT_EQ(v.vp_count(), 2u);
+  auto vps = v.vps();
+  ASSERT_EQ(vps.size(), 2u);
+  EXPECT_LT(vps[0], vps[1]);  // sorted
+}
+
+TEST(Views, AddressWeightCountsDistinctPrefixesOnce) {
+  std::vector<SanitizedPath> paths{
+      mk(1, AU, 1, AU, 100), mk(5, AU, 1, AU, 100), mk(1, AU, 3, AU, 50)};
+  CountryView v = ViewBuilder::national(paths, AU);
+  EXPECT_EQ(v.address_weight(), 150u);
+}
+
+TEST(Views, RestrictedToSubsetsVps) {
+  std::vector<SanitizedPath> paths{
+      mk(1, AU, 1, AU), mk(5, AU, 2, AU), mk(6, AU, 3, AU)};
+  CountryView v = ViewBuilder::national(paths, AU);
+  std::vector<bgp::VpId> keep{bgp::VpId{1, 1}, bgp::VpId{6, 6}};
+  CountryView sub = v.restricted_to(keep);
+  EXPECT_EQ(sub.paths.size(), 2u);
+  EXPECT_EQ(sub.vp_count(), 2u);
+  EXPECT_EQ(sub.country, AU);
+  EXPECT_EQ(sub.kind, v.kind);
+}
+
+TEST(Views, CountriesListsPrefixCountries) {
+  auto paths = sample_paths();
+  auto countries = ViewBuilder::countries(paths);
+  ASSERT_EQ(countries.size(), 2u);
+  EXPECT_EQ(countries[0], AU);
+  EXPECT_EQ(countries[1], US);
+}
+
+TEST(Views, EmptyInput) {
+  CountryView v = ViewBuilder::national({}, AU);
+  EXPECT_TRUE(v.paths.empty());
+  EXPECT_EQ(v.vp_count(), 0u);
+  EXPECT_EQ(v.address_weight(), 0u);
+}
+
+}  // namespace
+}  // namespace georank::core

@@ -1,0 +1,126 @@
+#include "core/vp_bias.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::core {
+namespace {
+
+using bgp::AsPath;
+using bgp::Prefix;
+using geo::CountryCode;
+using sanitize::SanitizedPath;
+
+CountryCode AU = CountryCode::of("AU");
+
+SanitizedPath mk(std::uint32_t vp_ip, AsPath path, std::uint32_t pfx_index) {
+  SanitizedPath sp;
+  sp.vp = bgp::VpId{vp_ip, path[0]};
+  sp.vp_country = AU;
+  sp.prefix = Prefix{0x0A000000 + pfx_index * 256, 24};
+  sp.prefix_country = AU;
+  sp.weight = 256;
+  sp.path = std::move(path);
+  return sp;
+}
+
+topo::AsGraph chain_graph() {
+  topo::AsGraph g;
+  g.add_p2c(50, 100);  // VP AS 100 under 50
+  g.add_p2c(50, 60);
+  g.add_p2c(60, 70);
+  g.add_p2c(70, 200);
+  g.add_p2c(70, 201);
+  return g;
+}
+
+/// One VP; every AS's hegemony equals its path presence, and distance
+/// grows along the chain 100 -> 50 -> 60 -> 70 -> origins.
+CountryView chain_view() {
+  CountryView view;
+  view.country = AU;
+  view.kind = ViewKind::kNational;
+  view.paths.push_back(mk(1, AsPath{100, 50, 60, 70, 200}, 1));
+  view.paths.push_back(mk(1, AsPath{100, 50, 60, 70, 201}, 2));
+  return view;
+}
+
+TEST(VpBias, ChainViewShowsNoProximityGradient) {
+  // Every chain AS is on EVERY path: scores tie at 1.0, so score cannot
+  // correlate with distance (Spearman needs score variance).
+  auto g = chain_graph();
+  CountryRankings rankings{g};
+  VpBiasAnalyzer analyzer{rankings};
+  ProximityBias bias =
+      analyzer.proximity_bias(chain_view(), MetricKind::kHegemony, 4);
+  EXPECT_EQ(bias.ases_considered, 4u);
+  EXPECT_DOUBLE_EQ(bias.score_distance_correlation, 0.0);
+  EXPECT_GT(bias.mean_distance, 0.0);
+}
+
+TEST(VpBias, SingleVpFanOutShowsNegativeCorrelation) {
+  // One VP whose AS and provider sit on EVERY path while each origin is
+  // on one of three: the textbook proximity gradient (the untrimmed,
+  // single-VP situation §1.2 says hegemony's trim exists to counter).
+  topo::AsGraph g;
+  g.add_p2c(50, 100);
+  g.add_p2c(50, 200);
+  g.add_p2c(50, 201);
+  g.add_p2c(50, 202);
+  CountryRankings rankings{g};
+  CountryView view;
+  view.country = AU;
+  view.kind = ViewKind::kNational;
+  view.paths.push_back(mk(1, AsPath{100, 50, 200}, 1));
+  view.paths.push_back(mk(1, AsPath{100, 50, 201}, 2));
+  view.paths.push_back(mk(1, AsPath{100, 50, 202}, 3));
+  VpBiasAnalyzer analyzer{rankings};
+  ProximityBias bias = analyzer.proximity_bias(view, MetricKind::kHegemony, 10);
+  EXPECT_EQ(bias.ases_considered, 5u);
+  // Closer => strictly higher score: strong negative correlation.
+  EXPECT_LT(bias.score_distance_correlation, -0.8);
+}
+
+TEST(VpBias, LeaveOneOutFindsInfluentialVp) {
+  topo::AsGraph g;
+  g.add_p2c(50, 100);
+  g.add_p2c(50, 200);
+  g.add_p2c(51, 101);
+  g.add_p2c(51, 201);
+  CountryRankings rankings{g};
+  CountryView view;
+  view.country = AU;
+  view.kind = ViewKind::kNational;
+  // VP 1 contributes a unique subtree (50/200); VPs 2 and 3 both see the
+  // 51/201 side, making each of them individually redundant.
+  view.paths.push_back(mk(1, AsPath{100, 50, 200}, 1));
+  view.paths.push_back(mk(2, AsPath{101, 51, 201}, 2));
+  view.paths.push_back(mk(3, AsPath{101, 51, 201}, 2));
+
+  VpBiasAnalyzer analyzer{rankings};
+  // Customer cone has no trim, so a VP with unique visibility shows up
+  // directly (hegemony's trim deliberately suppresses single-VP effects).
+  auto influence = analyzer.vp_influence(view, MetricKind::kCustomerCone);
+  ASSERT_EQ(influence.size(), 3u);
+  // Most influential (lowest leave-out NDCG) first: VP 1.
+  EXPECT_EQ(influence[0].vp.ip, 1u);
+  EXPECT_LT(influence[0].leave_out_ndcg, influence[1].leave_out_ndcg);
+  // The redundant VPs barely matter.
+  EXPECT_GT(influence[1].leave_out_ndcg, 0.9);
+  EXPECT_GT(influence[2].leave_out_ndcg, 0.9);
+  EXPECT_EQ(influence[0].paths, 1u);
+}
+
+TEST(VpBias, EmptyViewIsHarmless) {
+  topo::AsGraph g;
+  g.add_as(1);
+  CountryRankings rankings{g};
+  VpBiasAnalyzer analyzer{rankings};
+  CountryView view;
+  view.country = AU;
+  ProximityBias bias = analyzer.proximity_bias(view, MetricKind::kHegemony);
+  EXPECT_EQ(bias.ases_considered, 0u);
+  EXPECT_TRUE(analyzer.vp_influence(view, MetricKind::kHegemony).empty());
+}
+
+}  // namespace
+}  // namespace georank::core

@@ -1,0 +1,174 @@
+#include "gen/internet_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "gen/scenarios.hpp"
+#include "topo/route_propagation.hpp"
+
+namespace georank::gen {
+namespace {
+
+using namespace asn;
+
+World make_mini(std::uint64_t seed = 11) {
+  return InternetGenerator{mini_world_spec(seed)}.generate();
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  World a = make_mini(5);
+  World b = make_mini(5);
+  EXPECT_EQ(a.graph.size(), b.graph.size());
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  EXPECT_EQ(a.originations.size(), b.originations.size());
+  for (std::size_t i = 0; i < a.originations.size(); ++i) {
+    EXPECT_EQ(a.originations[i].prefix, b.originations[i].prefix);
+    EXPECT_EQ(a.originations[i].origin, b.originations[i].origin);
+  }
+}
+
+TEST(Generator, DifferentSeedsDifferentWorlds) {
+  World a = make_mini(5);
+  World b = make_mini(6);
+  // Same scaffolding ASes, but different random wiring.
+  EXPECT_NE(a.graph.edge_count(), b.graph.edge_count());
+}
+
+TEST(Generator, CliqueIsFullyMeshed) {
+  World w = make_mini();
+  ASSERT_GE(w.clique.size(), 3u);
+  for (std::size_t i = 0; i < w.clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < w.clique.size(); ++j) {
+      EXPECT_EQ(w.graph.relationship(w.clique[i], w.clique[j]),
+                topo::Rel::kPeer);
+    }
+  }
+}
+
+TEST(Generator, SpecAsesExistWithRoles) {
+  World w = make_mini();
+  ASSERT_TRUE(w.info(kTelstra));
+  EXPECT_EQ(w.info(kTelstra)->role, AsRole::kIncumbentDomestic);
+  EXPECT_EQ(w.info(kTelstraIntl)->role, AsRole::kIncumbentInternational);
+  EXPECT_EQ(w.info(kVocus)->role, AsRole::kChallenger);
+  EXPECT_EQ(w.info(kAmazon)->role, AsRole::kHypergiant);
+  EXPECT_EQ(w.info(kLumen)->role, AsRole::kTier1);
+  EXPECT_EQ(w.info(kHurricane)->role, AsRole::kTier2);
+  // The incumbent split: domestic buys from international.
+  EXPECT_EQ(w.graph.relationship(kTelstraIntl, kTelstra), topo::Rel::kCustomer);
+}
+
+TEST(Generator, RegistrationCountryFollowsSpec) {
+  World w = make_mini();
+  EXPECT_EQ(w.as_registry.at(kAmazon), geo::CountryCode::of("US"));
+  EXPECT_EQ(w.as_registry.at(kTelstra), geo::CountryCode::of("AU"));
+  EXPECT_EQ(w.as_registry.at(kArelion), geo::CountryCode::of("SE"));
+}
+
+TEST(Generator, EveryNonRouteServerAsOriginatesOrIsReachable) {
+  World w = make_mini();
+  // Every stub/regional/incumbent/challenger AS must originate a prefix.
+  std::unordered_set<bgp::Asn> origins;
+  for (const Origination& o : w.originations) origins.insert(o.origin);
+  for (const auto& [asn, info] : w.as_info) {
+    if (info.role == AsRole::kRouteServer) {
+      EXPECT_FALSE(origins.contains(asn)) << asn;
+      continue;
+    }
+    if (info.role == AsRole::kTier2) continue;  // may originate elsewhere
+    if (info.role == AsRole::kHypergiant || info.role == AsRole::kTier1) {
+      continue;  // spot-checked below
+    }
+    EXPECT_TRUE(origins.contains(asn)) << "AS " << asn << " (" << info.name
+                                       << ") has no prefix";
+  }
+  EXPECT_TRUE(origins.contains(kAmazon));
+}
+
+TEST(Generator, HypergiantOriginatesInMultipleCountries) {
+  World w = make_mini();
+  std::unordered_set<std::uint16_t> countries;
+  for (const Origination& o : w.originations) {
+    if (o.origin != kAmazon) continue;
+    geo::CountryCode cc = w.geo_db.country_of(o.prefix.address());
+    if (cc.valid()) countries.insert(cc.raw());
+  }
+  EXPECT_GE(countries.size(), 2u);  // US and AU per the mini spec
+}
+
+TEST(Generator, OriginationsAreDisjointPerAsAndCanonical) {
+  World w = make_mini();
+  for (const Origination& o : w.originations) {
+    // Canonical prefixes only.
+    EXPECT_EQ(o.prefix.address() & ~bgp::Prefix::mask_for(o.prefix.length()), 0u);
+    EXPECT_GE(o.prefix.length(), 8);
+    EXPECT_LE(o.prefix.length(), 32);
+  }
+}
+
+TEST(Generator, GeoDbCoversAllOriginatedSpace) {
+  World w = make_mini();
+  for (const Origination& o : w.originations) {
+    EXPECT_TRUE(w.geo_db.country_of(o.prefix.address()).valid())
+        << o.prefix.to_string();
+  }
+}
+
+TEST(Generator, VpsRegisteredWithCollectors) {
+  World w = make_mini();
+  // mini spec: AU 4 + US 6 + JP 3 + DE 4 located, plus 4 multihop.
+  EXPECT_EQ(w.vps.located_vps().size(), 17u);
+  EXPECT_EQ(w.vps.all_vps().size(), 21u);
+  // Every VP's AS is a real AS in the graph.
+  for (const bgp::VpId& vp : w.vps.all_vps()) {
+    EXPECT_TRUE(w.graph.contains(vp.asn));
+  }
+}
+
+TEST(Generator, VpCountriesMatchAsHomes) {
+  World w = make_mini();
+  for (const auto& [vp, cc] : w.vps.located_vps()) {
+    const AsInfo* info = w.info(vp.asn);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->home, cc) << "AS " << vp.asn;
+  }
+}
+
+TEST(Generator, RegistryAllocatesAllGraphAses) {
+  World w = make_mini();
+  for (bgp::Asn asn : w.graph.ases()) {
+    EXPECT_TRUE(w.asn_registry.allocated(asn)) << asn;
+  }
+  // The bogus range is never allocated.
+  EXPECT_FALSE(w.asn_registry.allocated(w.bogus_asn_first));
+  EXPECT_FALSE(w.asn_registry.allocated(w.bogus_asn_last));
+}
+
+TEST(Generator, AllAsesReachTier1) {
+  // Connectivity sanity: from every AS the origin Lumen is reachable.
+  World w = make_mini();
+  topo::RoutePropagator prop{w.graph};
+  topo::RoutingTable t = prop.compute(kLumen);
+  std::size_t unreachable = 0;
+  for (bgp::Asn asn : w.graph.ases()) {
+    if (!t.reachable(w.graph.id_of(asn))) ++unreachable;
+  }
+  // Route servers may be isolated from transit; nothing else may be.
+  EXPECT_LE(unreachable, w.route_servers.size());
+}
+
+TEST(Generator, ContinentsRecorded) {
+  World w = make_mini();
+  EXPECT_EQ(w.continents.at(geo::CountryCode::of("AU")), "Oc");
+  EXPECT_EQ(w.continents.at(geo::CountryCode::of("US")), "No.Am");
+}
+
+TEST(Generator, NameLookup) {
+  World w = make_mini();
+  EXPECT_EQ(w.name_of(kTelstra), "Telstra");
+  EXPECT_EQ(w.name_of(999999), "AS999999");
+}
+
+}  // namespace
+}  // namespace georank::gen

@@ -1,0 +1,163 @@
+#include "gen/rib_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gen/internet_generator.hpp"
+#include "gen/scenarios.hpp"
+#include "sanitize/path_sanitizer.hpp"
+#include "topo/route_propagation.hpp"
+
+namespace georank::gen {
+namespace {
+
+NoiseSpec no_noise() {
+  NoiseSpec n;
+  n.prefix_flap_rate = 0;
+  n.loop_rate = 0;
+  n.poison_rate = 0;
+  n.unallocated_rate = 0;
+  n.prepend_rate = 0;
+  n.route_server_rate = 0;
+  return n;
+}
+
+TEST(RibGenerator, Deterministic) {
+  World w = InternetGenerator{mini_world_spec(4)}.generate();
+  bgp::RibCollection a = RibGenerator{w, no_noise(), 9}.generate(2);
+  bgp::RibCollection b = RibGenerator{w, no_noise(), 9}.generate(2);
+  ASSERT_EQ(a.days.size(), b.days.size());
+  EXPECT_EQ(a.days[0].entries, b.days[0].entries);
+}
+
+TEST(RibGenerator, CleanWorldHasIdenticalDays) {
+  World w = InternetGenerator{mini_world_spec(4)}.generate();
+  bgp::RibCollection ribs = RibGenerator{w, no_noise(), 9}.generate(3);
+  ASSERT_EQ(ribs.days.size(), 3u);
+  EXPECT_EQ(ribs.days[0].entries, ribs.days[1].entries);
+  EXPECT_EQ(ribs.days[0].entries, ribs.days[2].entries);
+}
+
+TEST(RibGenerator, CleanPathsAreValleyFreeAndLoopFree) {
+  World w = InternetGenerator{mini_world_spec(4)}.generate();
+  bgp::RibCollection ribs = RibGenerator{w, no_noise(), 9}.generate(1);
+  ASSERT_FALSE(ribs.days[0].entries.empty());
+  for (const bgp::RouteEntry& e : ribs.days[0].entries) {
+    EXPECT_FALSE(e.path.has_nonadjacent_duplicate()) << e.path.to_string();
+    EXPECT_TRUE(topo::is_valley_free(w.graph, e.path)) << e.path.to_string();
+    EXPECT_EQ(e.path.vp_as(), e.vp.asn);
+  }
+}
+
+TEST(RibGenerator, EveryVpContributes) {
+  World w = InternetGenerator{mini_world_spec(4)}.generate();
+  bgp::RibCollection ribs = RibGenerator{w, no_noise(), 9}.generate(1);
+  std::unordered_set<bgp::VpId, bgp::VpIdHash> seen;
+  for (const bgp::RouteEntry& e : ribs.days[0].entries) seen.insert(e.vp);
+  EXPECT_EQ(seen.size(), w.vps.all_vps().size());
+}
+
+TEST(RibGenerator, FlappingCreatesUnstablePrefixes) {
+  World w = InternetGenerator{mini_world_spec(4)}.generate();
+  NoiseSpec noise = no_noise();
+  noise.prefix_flap_rate = 0.5;
+  bgp::RibCollection ribs = RibGenerator{w, noise, 9}.generate(5);
+  // Count prefixes missing from at least one day.
+  std::unordered_map<bgp::Prefix, std::unordered_set<int>, bgp::PrefixHash> days;
+  for (const auto& snap : ribs.days) {
+    for (const auto& e : snap.entries) days[e.prefix].insert(snap.day);
+  }
+  std::size_t unstable = 0;
+  for (const auto& [p, d] : days) {
+    if (d.size() < 5) ++unstable;
+  }
+  EXPECT_GT(unstable, days.size() / 4);
+  EXPECT_LT(unstable, days.size());
+}
+
+TEST(RibGenerator, LoopNoiseProducesLoops) {
+  World w = InternetGenerator{mini_world_spec(4)}.generate();
+  NoiseSpec noise = no_noise();
+  noise.loop_rate = 0.2;
+  bgp::RibCollection ribs = RibGenerator{w, noise, 9}.generate(1);
+  std::size_t loops = 0;
+  for (const bgp::RouteEntry& e : ribs.days[0].entries) {
+    if (e.path.has_nonadjacent_duplicate()) ++loops;
+  }
+  double rate = static_cast<double>(loops) /
+                static_cast<double>(ribs.days[0].entries.size());
+  EXPECT_NEAR(rate, 0.2, 0.08);
+}
+
+TEST(RibGenerator, PoisonNoiseCreatesCliqueSandwiches) {
+  World w = InternetGenerator{mini_world_spec(4)}.generate();
+  NoiseSpec noise = no_noise();
+  noise.poison_rate = 0.5;  // forced high so clique-adjacent paths qualify
+  bgp::RibCollection ribs = RibGenerator{w, noise, 9}.generate(1);
+  std::size_t poisoned = 0;
+  for (const bgp::RouteEntry& e : ribs.days[0].entries) {
+    if (sanitize::is_poisoned(e.path, w.clique)) ++poisoned;
+  }
+  // Injection requires two ADJACENT clique hops on the path, so only a
+  // subset qualifies; there must be some.
+  EXPECT_GT(poisoned, 0u);
+}
+
+TEST(RibGenerator, UnallocatedNoiseUsesBogusRange) {
+  World w = InternetGenerator{mini_world_spec(4)}.generate();
+  NoiseSpec noise = no_noise();
+  noise.unallocated_rate = 0.2;
+  bgp::RibCollection ribs = RibGenerator{w, noise, 9}.generate(1);
+  std::size_t bogus_paths = 0;
+  for (const bgp::RouteEntry& e : ribs.days[0].entries) {
+    for (bgp::Asn hop : e.path.hops()) {
+      if (hop >= w.bogus_asn_first && hop <= w.bogus_asn_last) {
+        ++bogus_paths;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(bogus_paths, 0u);
+}
+
+TEST(RibGenerator, PrependingCollapsesToOriginal) {
+  World w = InternetGenerator{mini_world_spec(4)}.generate();
+  NoiseSpec noise = no_noise();
+  noise.prepend_rate = 0.5;
+  bgp::RibCollection noisy = RibGenerator{w, noise, 9}.generate(1);
+  bgp::RibCollection clean = RibGenerator{w, no_noise(), 9}.generate(1);
+  ASSERT_EQ(noisy.days[0].entries.size(), clean.days[0].entries.size());
+  std::size_t prepended = 0;
+  for (std::size_t i = 0; i < noisy.days[0].entries.size(); ++i) {
+    const auto& n = noisy.days[0].entries[i];
+    const auto& c = clean.days[0].entries[i];
+    if (n.path.size() != c.path.size()) ++prepended;
+    EXPECT_EQ(n.path.without_adjacent_duplicates(), c.path);
+  }
+  EXPECT_GT(prepended, 0u);
+}
+
+TEST(RibGenerator, RouteServerInjection) {
+  World w = InternetGenerator{mini_world_spec(4)}.generate();
+  ASSERT_FALSE(w.route_servers.empty());
+  NoiseSpec noise = no_noise();
+  noise.route_server_rate = 1.0;
+  bgp::RibCollection ribs = RibGenerator{w, noise, 9}.generate(1);
+  std::size_t with_rs = 0;
+  for (const bgp::RouteEntry& e : ribs.days[0].entries) {
+    for (bgp::Asn rs : w.route_servers) {
+      if (e.path.contains(rs)) {
+        ++with_rs;
+        break;
+      }
+    }
+  }
+  // Route servers appear only where an in-country peer link exists, so
+  // just require "some".
+  EXPECT_GT(with_rs, 0u);
+}
+
+}  // namespace
+}  // namespace georank::gen

@@ -1,0 +1,146 @@
+#include "gen/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "gen/internet_generator.hpp"
+
+namespace georank::gen {
+namespace {
+
+using namespace asn;
+
+TEST(Scenarios, DefaultSpecHasAllCaseStudyCountries) {
+  WorldSpec spec = default_world_spec();
+  std::unordered_set<std::uint16_t> codes;
+  for (const CountrySpec& c : spec.countries) codes.insert(c.code.raw());
+  for (const char* cc : {"AU", "JP", "RU", "US", "TW", "NL", "GB", "DE", "BR",
+                         "KZ", "KG", "TJ", "TM", "UA", "MU", "ZA"}) {
+    EXPECT_TRUE(codes.contains(geo::CountryCode::of(cc).raw())) << cc;
+  }
+}
+
+TEST(Scenarios, UniqueAsnsAcrossSpec) {
+  WorldSpec spec = default_world_spec();
+  std::unordered_set<bgp::Asn> seen;
+  auto check = [&](bgp::Asn asn, const std::string& what) {
+    EXPECT_TRUE(seen.insert(asn).second) << "duplicate ASN " << asn << " in "
+                                         << what;
+  };
+  for (const auto& m : spec.multinationals) check(m.asn, m.name);
+  for (const auto& h : spec.hypergiants) check(h.asn, h.name);
+  for (const auto& c : spec.countries) {
+    for (const auto& inc : c.incumbents) {
+      check(inc.domestic_asn, inc.name);
+      if (inc.international_asn) check(*inc.international_asn, inc.name);
+    }
+    for (const auto& ch : c.challengers) check(ch.asn, ch.name);
+    if (c.route_server_asn) check(c.route_server_asn, "route server");
+  }
+}
+
+TEST(Scenarios, PresenceAndUpstreamAsnsResolve) {
+  WorldSpec spec = default_world_spec();
+  std::unordered_set<bgp::Asn> known;
+  for (const auto& m : spec.multinationals) known.insert(m.asn);
+  for (const auto& h : spec.hypergiants) known.insert(h.asn);
+  for (const auto& c : spec.countries) {
+    for (const auto& inc : c.incumbents) {
+      known.insert(inc.domestic_asn);
+      if (inc.international_asn) known.insert(*inc.international_asn);
+    }
+    for (const auto& ch : c.challengers) known.insert(ch.asn);
+  }
+  for (const auto& c : spec.countries) {
+    for (const auto& p : c.multinational_presence) {
+      EXPECT_TRUE(known.contains(p.asn))
+          << c.code.to_string() << " references unknown presence " << p.asn;
+    }
+    for (const auto& inc : c.incumbents) {
+      for (bgp::Asn up : inc.upstreams) {
+        EXPECT_TRUE(known.contains(up))
+            << inc.name << " references unknown upstream " << up;
+      }
+    }
+    for (const auto& ch : c.challengers) {
+      for (bgp::Asn up : ch.upstreams) {
+        EXPECT_TRUE(known.contains(up))
+            << ch.name << " references unknown upstream " << up;
+      }
+    }
+  }
+}
+
+TEST(Scenarios, EpochsDifferOnlyWhereDocumented) {
+  WorldSpec a = default_world_spec(Epoch::kApril2021);
+  WorldSpec b = default_world_spec(Epoch::kMarch2023);
+  ASSERT_EQ(a.countries.size(), b.countries.size());
+  for (std::size_t i = 0; i < a.countries.size(); ++i) {
+    const CountrySpec& ca = a.countries[i];
+    const CountrySpec& cb = b.countries[i];
+    EXPECT_EQ(ca.code, cb.code);
+    if (ca.code == geo::CountryCode::of("RU") ||
+        ca.code == geo::CountryCode::of("TW")) {
+      continue;  // the documented sanction / de-peering edits
+    }
+    EXPECT_EQ(ca.multinational_presence.size(), cb.multinational_presence.size())
+        << ca.code.to_string();
+  }
+}
+
+TEST(Scenarios, TaiwanDropsChinaTelecomIn2023) {
+  auto has_ct_presence = [](const WorldSpec& spec) {
+    for (const CountrySpec& c : spec.countries) {
+      if (c.code != geo::CountryCode::of("TW")) continue;
+      for (const auto& p : c.multinational_presence) {
+        if (p.asn == kChinaTelecom) return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_ct_presence(default_world_spec(Epoch::kApril2021)));
+  EXPECT_FALSE(has_ct_presence(default_world_spec(Epoch::kMarch2023)));
+}
+
+TEST(Scenarios, RussiaDropsLumenPresenceIn2023) {
+  auto presence_weight = [](const WorldSpec& spec, bgp::Asn asn) {
+    for (const CountrySpec& c : spec.countries) {
+      if (c.code != geo::CountryCode::of("RU")) continue;
+      for (const auto& p : c.multinational_presence) {
+        if (p.asn == asn) return p.weight;
+      }
+    }
+    return 0.0;
+  };
+  EXPECT_GT(presence_weight(default_world_spec(Epoch::kApril2021), kLumen), 0.0);
+  EXPECT_EQ(presence_weight(default_world_spec(Epoch::kMarch2023), kLumen), 0.0);
+}
+
+TEST(Scenarios, DefaultWorldGenerates) {
+  World w = InternetGenerator{default_world_spec()}.generate();
+  EXPECT_GT(w.graph.size(), 500u);
+  EXPECT_GT(w.originations.size(), 700u);
+  EXPECT_GT(w.vps.located_vps().size(), 200u);
+  EXPECT_GE(w.clique.size(), 10u);
+  // Table 3's top-five VP countries, in order.
+  auto vp_count = [&](const char* cc) {
+    std::size_t n = 0;
+    for (const auto& [vp, c] : w.vps.located_vps()) {
+      if (c == geo::CountryCode::of(cc)) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(vp_count("NL"), vp_count("GB"));
+  EXPECT_GT(vp_count("GB"), vp_count("DE"));
+  EXPECT_GT(vp_count("DE"), vp_count("BR"));
+}
+
+TEST(Scenarios, MiniWorldIsSmall) {
+  World w = InternetGenerator{mini_world_spec()}.generate();
+  EXPECT_LT(w.graph.size(), 80u);
+  EXPECT_GT(w.graph.size(), 40u);
+}
+
+}  // namespace
+}  // namespace georank::gen

@@ -1,0 +1,124 @@
+// World-generator invariants that must hold for EVERY seed, not just the
+// default one — the contract the benches and case studies rely on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <unordered_set>
+
+#include "core/views.hpp"
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+#include "sanitize/path_sanitizer.hpp"
+#include "topo/route_propagation.hpp"
+
+namespace georank::gen {
+namespace {
+
+class WorldPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorldPropertyTest, StructuralInvariants) {
+  WorldSpec spec = mini_world_spec(GetParam());
+  World w = InternetGenerator{spec}.generate();
+
+  // 1. Every spec'd AS exists and carries its role.
+  for (const CountrySpec& c : spec.countries) {
+    for (const IncumbentSpec& inc : c.incumbents) {
+      ASSERT_TRUE(w.graph.contains(inc.domestic_asn));
+      EXPECT_EQ(w.info(inc.domestic_asn)->home, c.code);
+    }
+    for (const ChallengerSpec& ch : c.challengers) {
+      ASSERT_TRUE(w.graph.contains(ch.asn));
+    }
+  }
+
+  // 2. VP counts match the spec exactly.
+  std::size_t located = 0, multihop_expected = 0, located_expected = 0;
+  for (const CountrySpec& c : spec.countries) {
+    located_expected += static_cast<std::size_t>(c.vp_count);
+    multihop_expected += static_cast<std::size_t>(c.multihop_vp_count);
+  }
+  located = w.vps.located_vps().size();
+  EXPECT_EQ(located, located_expected);
+  EXPECT_EQ(w.vps.all_vps().size(), located_expected + multihop_expected);
+
+  // 3. Every origination's address is geolocatable and inside a region
+  //    labeled with SOME country (noise may relabel sub-blocks).
+  for (const Origination& o : w.originations) {
+    EXPECT_TRUE(w.geo_db.country_of(o.prefix.address()).valid())
+        << o.prefix.to_string();
+  }
+
+  // 4. No AS 0, no duplicate originations of the same (prefix, origin).
+  std::set<std::tuple<std::uint32_t, std::uint8_t, bgp::Asn>> seen;
+  for (const Origination& o : w.originations) {
+    EXPECT_NE(o.origin, 0u);
+    EXPECT_TRUE(
+        seen.insert({o.prefix.address(), o.prefix.length(), o.origin}).second)
+        << o.prefix.to_string() << " AS" << o.origin;
+  }
+
+  // 5. The clique is a full mesh and every member is tier 1.
+  for (std::size_t i = 0; i < w.clique.size(); ++i) {
+    EXPECT_EQ(w.info(w.clique[i])->role, AsRole::kTier1);
+    for (std::size_t j = i + 1; j < w.clique.size(); ++j) {
+      EXPECT_EQ(w.graph.relationship(w.clique[i], w.clique[j]), topo::Rel::kPeer);
+    }
+  }
+
+  // 6. Every non-route-server AS can reach the first tier-1.
+  topo::RoutePropagator prop{w.graph};
+  topo::RoutingTable t = prop.compute(w.clique.front());
+  std::size_t unreachable = 0;
+  for (bgp::Asn asn : w.graph.ases()) {
+    if (!t.reachable(w.graph.id_of(asn))) ++unreachable;
+  }
+  EXPECT_LE(unreachable, w.route_servers.size());
+}
+
+TEST_P(WorldPropertyTest, RibAndSanitizerInvariants) {
+  WorldSpec spec = mini_world_spec(GetParam());
+  World w = InternetGenerator{spec}.generate();
+  bgp::RibCollection ribs = RibGenerator{w, spec.noise, GetParam() * 13 + 1}.generate(5);
+
+  ASSERT_EQ(ribs.days.size(), 5u);
+  EXPECT_GT(ribs.total_entries(), 1000u);
+
+  sanitize::SanitizerOptions options;
+  options.clique = w.clique;
+  options.route_server_asns = w.route_servers;
+  sanitize::PathSanitizer sanitizer{w.geo_db, w.vps, w.asn_registry, options};
+  sanitize::SanitizeResult result = sanitizer.run(ribs);
+
+  // Accounting closes.
+  EXPECT_EQ(result.stats.total, ribs.total_entries());
+  EXPECT_EQ(result.stats.total, result.stats.accepted + result.stats.rejected());
+  // Majority of entries survive for any seed.
+  EXPECT_GT(result.stats.accepted * 2, result.stats.total);
+
+  // Accepted paths are clean and fully geolocated.
+  for (const auto& sp : result.paths) {
+    EXPECT_FALSE(sp.path.has_nonadjacent_duplicate());
+    EXPECT_TRUE(sp.vp_country.valid());
+    EXPECT_TRUE(sp.prefix_country.valid());
+    EXPECT_GT(sp.weight, 0u);
+  }
+
+  // Views partition the accepted paths of every country.
+  for (const CountrySpec& c : spec.countries) {
+    core::CountryView nat = core::ViewBuilder::national(result.paths, c.code);
+    core::CountryView intl = core::ViewBuilder::international(result.paths, c.code);
+    std::size_t toward = 0;
+    for (const auto& sp : result.paths) {
+      if (sp.prefix_country == c.code) ++toward;
+    }
+    EXPECT_EQ(nat.paths.size() + intl.paths.size(), toward) << c.code.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+}  // namespace
+}  // namespace georank::gen

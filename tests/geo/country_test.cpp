@@ -1,0 +1,53 @@
+#include "geo/country.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::geo {
+namespace {
+
+TEST(CountryCode, ParseValid) {
+  auto jp = CountryCode::parse("JP");
+  ASSERT_TRUE(jp.has_value());
+  EXPECT_TRUE(jp->valid());
+  EXPECT_EQ(jp->to_string(), "JP");
+}
+
+TEST(CountryCode, ParseCaseInsensitive) {
+  EXPECT_EQ(CountryCode::parse("jp"), CountryCode::parse("JP"));
+  EXPECT_EQ(CountryCode::parse("Jp")->to_string(), "JP");
+}
+
+TEST(CountryCode, ParseInvalid) {
+  EXPECT_FALSE(CountryCode::parse("").has_value());
+  EXPECT_FALSE(CountryCode::parse("J").has_value());
+  EXPECT_FALSE(CountryCode::parse("JPN").has_value());
+  EXPECT_FALSE(CountryCode::parse("J1").has_value());
+  EXPECT_FALSE(CountryCode::parse("1P").has_value());
+}
+
+TEST(CountryCode, OfThrowsOnBadInput) {
+  EXPECT_THROW((void)CountryCode::of("bad"), std::invalid_argument);
+  EXPECT_NO_THROW((void)CountryCode::of("US"));
+}
+
+TEST(CountryCode, DefaultIsInvalid) {
+  CountryCode cc;
+  EXPECT_FALSE(cc.valid());
+  EXPECT_EQ(cc.to_string(), "??");
+  EXPECT_EQ(cc, kNoCountry);
+}
+
+TEST(CountryCode, Comparison) {
+  EXPECT_LT(CountryCode::of("AU"), CountryCode::of("JP"));
+  EXPECT_EQ(CountryCode::of("US"), CountryCode::of("us"));
+  EXPECT_NE(CountryCode::of("US"), CountryCode::of("UA"));
+}
+
+TEST(CountryCode, HashDistinguishes) {
+  CountryCodeHash h;
+  EXPECT_NE(h(CountryCode::of("US")), h(CountryCode::of("AU")));
+  EXPECT_EQ(h(CountryCode::of("US")), h(CountryCode::of("us")));
+}
+
+}  // namespace
+}  // namespace georank::geo

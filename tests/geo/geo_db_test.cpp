@@ -1,0 +1,133 @@
+#include "geo/geo_db.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::geo {
+namespace {
+
+CountryCode us = CountryCode::of("US");
+CountryCode jp = CountryCode::of("JP");
+CountryCode au = CountryCode::of("AU");
+
+TEST(GeoDatabase, CountryOfBasics) {
+  GeoDatabase db;
+  db.add_range(100, 199, us);
+  db.add_range(300, 399, jp);
+  db.finalize();
+  EXPECT_EQ(db.country_of(100), us);
+  EXPECT_EQ(db.country_of(150), us);
+  EXPECT_EQ(db.country_of(199), us);
+  EXPECT_EQ(db.country_of(200), kNoCountry);
+  EXPECT_EQ(db.country_of(300), jp);
+  EXPECT_EQ(db.country_of(99), kNoCountry);
+  EXPECT_EQ(db.country_of(0xFFFFFFFF), kNoCountry);
+}
+
+TEST(GeoDatabase, RequiresFinalize) {
+  GeoDatabase db;
+  db.add_range(0, 10, us);
+  EXPECT_THROW((void)db.country_of(5), std::logic_error);
+}
+
+TEST(GeoDatabase, RejectsOverlaps) {
+  GeoDatabase db;
+  db.add_range(0, 100, us);
+  db.add_range(100, 200, jp);
+  EXPECT_THROW(db.finalize(), std::invalid_argument);
+}
+
+TEST(GeoDatabase, RejectsBadRange) {
+  GeoDatabase db;
+  EXPECT_THROW(db.add_range(10, 5, us), std::invalid_argument);
+  EXPECT_THROW(db.add_range(0, 5, kNoCountry), std::invalid_argument);
+}
+
+TEST(GeoDatabase, MergesAdjacentSameCountry) {
+  GeoDatabase db;
+  db.add_range(0, 99, us);
+  db.add_range(100, 199, us);
+  db.add_range(200, 299, jp);
+  db.finalize();
+  EXPECT_EQ(db.range_count(), 2u);
+  EXPECT_EQ(db.country_of(50), us);
+  EXPECT_EQ(db.country_of(150), us);
+}
+
+TEST(GeoDatabase, CountByCountrySingleRange) {
+  GeoDatabase db;
+  db.add_range(100, 199, us);
+  db.finalize();
+  auto slices = db.count_by_country(100, 199);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].country, us);
+  EXPECT_EQ(slices[0].addresses, 100u);
+}
+
+TEST(GeoDatabase, CountByCountryWithGaps) {
+  GeoDatabase db;
+  db.add_range(100, 149, us);
+  db.add_range(160, 199, jp);
+  db.finalize();
+  auto slices = db.count_by_country(90, 209);
+  // 10 unmapped + 50 US + 10 unmapped + 40 JP + 10 unmapped.
+  std::uint64_t us_n = 0, jp_n = 0, none_n = 0;
+  for (const auto& s : slices) {
+    if (s.country == us) us_n = s.addresses;
+    else if (s.country == jp) jp_n = s.addresses;
+    else none_n += s.addresses;
+  }
+  EXPECT_EQ(us_n, 50u);
+  EXPECT_EQ(jp_n, 40u);
+  EXPECT_EQ(none_n, 30u);
+}
+
+TEST(GeoDatabase, CountByCountryPartialOverlap) {
+  GeoDatabase db;
+  db.add_range(0, 999, us);
+  db.add_range(1000, 1999, au);
+  db.finalize();
+  auto slices = db.count_by_country(500, 1499);
+  std::uint64_t total = 0;
+  for (const auto& s : slices) total += s.addresses;
+  EXPECT_EQ(total, 1000u);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].country, us);
+  EXPECT_EQ(slices[0].addresses, 500u);
+  EXPECT_EQ(slices[1].country, au);
+  EXPECT_EQ(slices[1].addresses, 500u);
+}
+
+TEST(GeoDatabase, CountByCountryFullyUnmapped) {
+  GeoDatabase db;
+  db.add_range(0, 9, us);
+  db.finalize();
+  auto slices = db.count_by_country(100, 199);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].country, kNoCountry);
+  EXPECT_EQ(slices[0].addresses, 100u);
+}
+
+TEST(GeoDatabase, CountByCountryRejectsBadQuery) {
+  GeoDatabase db;
+  db.finalize();
+  EXPECT_THROW(db.count_by_country(10, 5), std::invalid_argument);
+}
+
+TEST(GeoDatabase, SliceTotalsAlwaysMatchQuerySpan) {
+  GeoDatabase db;
+  db.add_range(10, 20, us);
+  db.add_range(30, 35, jp);
+  db.add_range(36, 80, au);
+  db.finalize();
+  for (std::uint32_t first : {0u, 10u, 15u, 25u, 36u}) {
+    for (std::uint32_t last : {15u, 29u, 50u, 100u}) {
+      if (first > last) continue;
+      std::uint64_t total = 0;
+      for (const auto& s : db.count_by_country(first, last)) total += s.addresses;
+      EXPECT_EQ(total, static_cast<std::uint64_t>(last) - first + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace georank::geo

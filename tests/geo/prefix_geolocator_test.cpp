@@ -1,0 +1,266 @@
+#include "geo/prefix_geolocator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::geo {
+namespace {
+
+using bgp::Prefix;
+
+CountryCode us = CountryCode::of("US");
+CountryCode jp = CountryCode::of("JP");
+CountryCode fr = CountryCode::of("FR");
+
+Prefix pfx(const char* text) { return *Prefix::parse(text); }
+
+GeoDatabase single_country_db() {
+  GeoDatabase db;
+  db.add_range(pfx("10.0.0.0/8").first(), pfx("10.0.0.0/8").last(), us);
+  db.finalize();
+  return db;
+}
+
+TEST(PrefixGeolocator, AssignsCleanPrefix) {
+  GeoDatabase db = single_country_db();
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{pfx("10.1.0.0/16")};
+  PrefixGeoResult result = loc.run(announced);
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0].country, us);
+  EXPECT_EQ(result.accepted[0].effective_addresses, 65536u);
+  EXPECT_EQ(result.country_of(pfx("10.1.0.0/16")), us);
+  EXPECT_EQ(result.weight_of(pfx("10.1.0.0/16")), 65536u);
+  EXPECT_TRUE(result.covered.empty());
+  EXPECT_TRUE(result.no_consensus.empty());
+}
+
+TEST(PrefixGeolocator, FiltersFullyCoveredPrefix) {
+  GeoDatabase db = single_country_db();
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{pfx("10.1.0.0/16"), pfx("10.1.0.0/17"),
+                                pfx("10.1.128.0/17")};
+  PrefixGeoResult result = loc.run(announced);
+  ASSERT_EQ(result.covered.size(), 1u);
+  EXPECT_EQ(result.covered[0], pfx("10.1.0.0/16"));
+  EXPECT_EQ(result.accepted.size(), 2u);
+  EXPECT_EQ(result.country_of(pfx("10.1.0.0/16")), kNoCountry);
+}
+
+TEST(PrefixGeolocator, PartialCoverReducesWeight) {
+  GeoDatabase db = single_country_db();
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{pfx("10.1.0.0/16"), pfx("10.1.0.0/17")};
+  PrefixGeoResult result = loc.run(announced);
+  EXPECT_EQ(result.weight_of(pfx("10.1.0.0/16")), 32768u);
+  EXPECT_EQ(result.weight_of(pfx("10.1.0.0/17")), 32768u);
+}
+
+GeoDatabase split_db(double us_share) {
+  // 10.1.0.0/16 split between US and JP at the given share.
+  GeoDatabase db;
+  Prefix p = pfx("10.1.0.0/16");
+  auto us_count = static_cast<std::uint32_t>(us_share * p.size());
+  if (us_count > 0) db.add_range(p.first(), p.first() + us_count - 1, us);
+  if (us_count < p.size()) db.add_range(p.first() + us_count, p.last(), jp);
+  db.finalize();
+  return db;
+}
+
+TEST(PrefixGeolocator, MajoritySplitPassesDefaultThreshold) {
+  GeoDatabase db = split_db(0.75);
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{pfx("10.1.0.0/16")};
+  PrefixGeoResult result = loc.run(announced);
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0].country, us);
+}
+
+TEST(PrefixGeolocator, EvenSplitRejectedAsMultipleCountries) {
+  GeoDatabase db = split_db(0.5);
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{pfx("10.1.0.0/16")};
+  PrefixGeoResult result = loc.run(announced);
+  // 50/50 tie: "geolocated to multiple countries" (Table 1).
+  EXPECT_TRUE(result.accepted.empty());
+  ASSERT_EQ(result.no_consensus.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.no_consensus[0].top_share, 0.5);
+}
+
+TEST(PrefixGeolocator, MinorityComplementStillPassesThreshold) {
+  // 45% US / 55% JP: JP holds a majority, so the prefix geolocates to JP.
+  GeoDatabase db = split_db(0.45);
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{pfx("10.1.0.0/16")};
+  PrefixGeoResult result = loc.run(announced);
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0].country, jp);
+}
+
+TEST(PrefixGeolocator, BelowThresholdRejected) {
+  // Three-way split 45/35/20: no country reaches the 50% threshold.
+  GeoDatabase db;
+  Prefix p = pfx("10.1.0.0/16");
+  std::uint32_t a = static_cast<std::uint32_t>(0.45 * p.size());
+  std::uint32_t b = static_cast<std::uint32_t>(0.35 * p.size());
+  db.add_range(p.first(), p.first() + a - 1, us);
+  db.add_range(p.first() + a, p.first() + a + b - 1, jp);
+  db.add_range(p.first() + a + b, p.last(), fr);
+  db.finalize();
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{p};
+  PrefixGeoResult result = loc.run(announced);
+  EXPECT_TRUE(result.accepted.empty());
+  ASSERT_EQ(result.no_consensus.size(), 1u);
+  EXPECT_EQ(result.no_consensus[0].plurality, us);  // 45% is the plurality
+  EXPECT_NEAR(result.no_consensus[0].top_share, 0.45, 0.01);
+}
+
+TEST(PrefixGeolocator, LowerThresholdAcceptsMore) {
+  // Appendix B: with a 30% threshold a 45/55 split is acceptable.
+  GeoDatabase db = split_db(0.45);
+  PrefixGeolocator loc{db, 0.3};
+  std::vector<Prefix> announced{pfx("10.1.0.0/16")};
+  PrefixGeoResult result = loc.run(announced);
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0].country, jp);
+}
+
+TEST(PrefixGeolocator, UnmappedAddressesDiluteConsensus) {
+  GeoDatabase db;
+  Prefix p = pfx("10.1.0.0/16");
+  // Only 40% of the prefix is mapped (to US); 60% is dark.
+  db.add_range(p.first(), p.first() + p.size() * 2 / 5 - 1, us);
+  db.finalize();
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{p};
+  PrefixGeoResult result = loc.run(announced);
+  EXPECT_TRUE(result.accepted.empty());
+  ASSERT_EQ(result.no_consensus.size(), 1u);
+  EXPECT_EQ(result.no_consensus[0].plurality, us);
+  EXPECT_NEAR(result.no_consensus[0].top_share, 0.4, 0.01);
+}
+
+TEST(PrefixGeolocator, EntirelyUnmappedPrefixRejected) {
+  GeoDatabase db = single_country_db();
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{pfx("192.168.0.0/16")};
+  PrefixGeoResult result = loc.run(announced);
+  EXPECT_TRUE(result.accepted.empty());
+  ASSERT_EQ(result.no_consensus.size(), 1u);
+  EXPECT_FALSE(result.no_consensus[0].plurality.valid());
+}
+
+TEST(PrefixGeolocator, ConsensusMeasuredOnUncoveredBlocksOnly) {
+  // The /16's own (uncovered) half is pure US; its JP half is announced
+  // as a more specific. The /16 must geolocate to US by its OWN blocks.
+  GeoDatabase db;
+  Prefix p = pfx("10.1.0.0/16");
+  db.add_range(p.first(), p.first() + 32767, us);
+  db.add_range(p.first() + 32768, p.last(), jp);
+  db.finalize();
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{p, pfx("10.1.128.0/17")};  // JP half covered
+  PrefixGeoResult result = loc.run(announced);
+  EXPECT_EQ(result.country_of(p), us);
+  EXPECT_EQ(result.country_of(pfx("10.1.128.0/17")), jp);
+}
+
+TEST(PrefixGeolocator, AddressesByCountryAggregates) {
+  GeoDatabase db;
+  db.add_range(pfx("10.0.0.0/8").first(), pfx("10.0.0.0/8").last(), us);
+  db.add_range(pfx("20.0.0.0/8").first(), pfx("20.0.0.0/8").last(), fr);
+  db.finalize();
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{pfx("10.1.0.0/16"), pfx("10.2.0.0/16"),
+                                pfx("20.1.0.0/16")};
+  PrefixGeoResult result = loc.run(announced);
+  auto by_country = result.addresses_by_country();
+  EXPECT_EQ(by_country[us], 2u * 65536u);
+  EXPECT_EQ(by_country[fr], 65536u);
+}
+
+TEST(PrefixGeolocator, Slash24SplitRecoversMixedPrefixAddresses) {
+  // A /23 split 50/50 between two countries fails consensus as a whole,
+  // but each /24 half geolocates cleanly (Appendix B's alternative).
+  GeoDatabase db;
+  Prefix p = pfx("10.1.0.0/23");
+  db.add_range(p.first(), p.first() + 255, us);
+  db.add_range(p.first() + 256, p.last(), jp);
+  db.finalize();
+
+  PrefixGeoOptions options;
+  options.split_failed_into_slash24 = true;
+  PrefixGeolocator loc{db, options};
+  std::vector<Prefix> announced{p};
+  PrefixGeoResult result = loc.run(announced);
+
+  EXPECT_TRUE(result.accepted.empty());
+  ASSERT_EQ(result.no_consensus.size(), 1u);
+  ASSERT_EQ(result.recovered.size(), 2u);
+  EXPECT_EQ(result.recovered[0].prefix, pfx("10.1.0.0/24"));
+  EXPECT_EQ(result.recovered[0].country, us);
+  EXPECT_EQ(result.recovered[1].prefix, pfx("10.1.1.0/24"));
+  EXPECT_EQ(result.recovered[1].country, jp);
+  EXPECT_EQ(result.recovered[0].effective_addresses, 256u);
+}
+
+TEST(PrefixGeolocator, Slash24SplitSkipsStillMixedBlocks) {
+  // Each /24 is itself a 50/50 mix: nothing is recoverable.
+  GeoDatabase db;
+  Prefix p = pfx("10.1.0.0/24");
+  db.add_range(p.first(), p.first() + 127, us);
+  db.add_range(p.first() + 128, p.last(), jp);
+  db.finalize();
+  PrefixGeoOptions options;
+  options.split_failed_into_slash24 = true;
+  PrefixGeolocator loc{db, options};
+  std::vector<Prefix> announced{p};
+  PrefixGeoResult result = loc.run(announced);
+  EXPECT_TRUE(result.recovered.empty());
+  EXPECT_EQ(result.no_consensus.size(), 1u);
+}
+
+TEST(PrefixGeolocator, SplitDisabledByDefault) {
+  GeoDatabase db;
+  Prefix p = pfx("10.1.0.0/23");
+  db.add_range(p.first(), p.first() + 255, us);
+  db.add_range(p.first() + 256, p.last(), jp);
+  db.finalize();
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{p};
+  PrefixGeoResult result = loc.run(announced);
+  EXPECT_TRUE(result.recovered.empty());
+}
+
+TEST(PrefixGeolocator, SplitHandlesLongerThanSlash24) {
+  // A /26 that fails consensus is assessed as one block (no /24 split
+  // possible below /24 granularity).
+  GeoDatabase db;
+  Prefix p = pfx("10.1.0.0/26");
+  db.add_range(p.first(), p.first() + 20, us);  // ~33% US, rest unmapped
+  db.finalize();
+  PrefixGeoOptions options;
+  options.split_failed_into_slash24 = true;
+  PrefixGeolocator loc{db, options};
+  std::vector<Prefix> announced{p};
+  PrefixGeoResult result = loc.run(announced);
+  EXPECT_EQ(result.no_consensus.size(), 1u);
+  EXPECT_TRUE(result.recovered.empty());  // block itself lacks consensus
+}
+
+TEST(PrefixGeolocator, RejectsBadThreshold) {
+  GeoDatabase db = single_country_db();
+  EXPECT_THROW(PrefixGeolocator(db, -0.1), std::invalid_argument);
+  EXPECT_THROW(PrefixGeolocator(db, 1.5), std::invalid_argument);
+}
+
+TEST(PrefixGeolocator, DuplicateAnnouncementsAssessedOnce) {
+  GeoDatabase db = single_country_db();
+  PrefixGeolocator loc{db};
+  std::vector<Prefix> announced{pfx("10.1.0.0/16"), pfx("10.1.0.0/16")};
+  PrefixGeoResult result = loc.run(announced);
+  EXPECT_EQ(result.accepted.size(), 1u);
+}
+
+}  // namespace
+}  // namespace georank::geo

@@ -1,0 +1,95 @@
+#include "geo/vp_geolocator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::geo {
+namespace {
+
+CountryCode us = CountryCode::of("US");
+CountryCode au = CountryCode::of("AU");
+
+bgp::VpId vp(std::uint32_t ip, bgp::Asn asn) { return bgp::VpId{ip, asn}; }
+
+TEST(VpGeolocator, LocatesViaCollector) {
+  VpGeolocator g;
+  g.add_collector({"route-views.sydney", au, false});
+  g.register_vp(vp(1, 1221), "route-views.sydney");
+  auto loc = g.locate(vp(1, 1221));
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(*loc, au);
+  EXPECT_EQ(g.stats().geolocated, 1u);
+}
+
+TEST(VpGeolocator, MultihopExcluded) {
+  VpGeolocator g;
+  g.add_collector({"route-views2", us, true});
+  g.register_vp(vp(1, 701), "route-views2");
+  EXPECT_FALSE(g.locate(vp(1, 701)).has_value());
+  EXPECT_EQ(g.stats().multihop_excluded, 1u);
+  EXPECT_EQ(g.stats().geolocated, 0u);
+}
+
+TEST(VpGeolocator, UnknownVp) {
+  VpGeolocator g;
+  g.add_collector({"c", us, false});
+  EXPECT_FALSE(g.locate(vp(9, 9)).has_value());
+  EXPECT_EQ(g.stats().unknown, 1u);
+}
+
+TEST(VpGeolocator, PeekDoesNotTouchStats) {
+  VpGeolocator g;
+  g.add_collector({"c", us, false});
+  g.register_vp(vp(1, 1), "c");
+  EXPECT_EQ(g.peek(vp(1, 1)), us);
+  EXPECT_FALSE(g.peek(vp(2, 2)).has_value());
+  EXPECT_EQ(g.stats().geolocated, 0u);
+  EXPECT_EQ(g.stats().unknown, 0u);
+}
+
+TEST(VpGeolocator, RejectsDuplicateCollector) {
+  VpGeolocator g;
+  g.add_collector({"c", us, false});
+  EXPECT_THROW(g.add_collector({"c", au, false}), std::invalid_argument);
+  EXPECT_THROW(g.add_collector({"", au, false}), std::invalid_argument);
+}
+
+TEST(VpGeolocator, RejectsUnknownCollectorRegistration) {
+  VpGeolocator g;
+  EXPECT_THROW(g.register_vp(vp(1, 1), "nope"), std::invalid_argument);
+}
+
+TEST(VpGeolocator, LocatedVpsSkipsMultihop) {
+  VpGeolocator g;
+  g.add_collector({"au", au, false});
+  g.add_collector({"mh", us, true});
+  g.register_vp(vp(1, 10), "au");
+  g.register_vp(vp(2, 20), "au");
+  g.register_vp(vp(3, 30), "mh");
+  auto located = g.located_vps();
+  EXPECT_EQ(located.size(), 2u);
+  for (const auto& [v, cc] : located) EXPECT_EQ(cc, au);
+}
+
+TEST(VpGeolocator, AllVpsIncludesMultihop) {
+  VpGeolocator g;
+  g.add_collector({"au", au, false});
+  g.add_collector({"mh", us, true});
+  g.register_vp(vp(1, 10), "au");
+  g.register_vp(vp(3, 30), "mh");
+  EXPECT_EQ(g.all_vps().size(), 2u);
+  EXPECT_EQ(g.vp_count(), 2u);
+  EXPECT_EQ(g.collector_count(), 2u);
+}
+
+TEST(VpGeolocator, ReRegistrationMovesVp) {
+  VpGeolocator g;
+  g.add_collector({"au", au, false});
+  g.add_collector({"us", us, false});
+  g.register_vp(vp(1, 10), "au");
+  g.register_vp(vp(1, 10), "us");
+  EXPECT_EQ(g.peek(vp(1, 10)), us);
+  EXPECT_EQ(g.vp_count(), 1u);
+}
+
+}  // namespace
+}  // namespace georank::geo

@@ -1,0 +1,79 @@
+#include "infer/clique.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::infer {
+namespace {
+
+/// Feed paths that make ASes 1..4 a high-transit-degree clique with
+/// stubs hanging off each.
+void feed_clique_world(TransitDegree& td, ObservedAdjacency& adj) {
+  std::vector<Asn> clique{1, 2, 3, 4};
+  int stub = 100;
+  for (Asn a : clique) {
+    for (Asn b : clique) {
+      if (a == b) continue;
+      // stub -> a -> b -> stub paths exercise every clique link and give
+      // the clique members large transit degree.
+      AsPath p{static_cast<Asn>(stub++), a, b, static_cast<Asn>(stub++)};
+      td.add_path(p);
+      adj.add_path(p);
+    }
+  }
+}
+
+TEST(CliqueInference, RecoversFullMesh) {
+  TransitDegree td;
+  ObservedAdjacency adj;
+  feed_clique_world(td, adj);
+  auto clique = infer_clique(td, adj);
+  EXPECT_EQ(clique, (std::vector<Asn>{1, 2, 3, 4}));
+}
+
+TEST(CliqueInference, ExcludesNonInterconnectedBigAs) {
+  TransitDegree td;
+  ObservedAdjacency adj;
+  feed_clique_world(td, adj);
+  // AS 50 has huge transit degree but never connects to 1..4.
+  for (int i = 0; i < 30; ++i) {
+    AsPath p{static_cast<Asn>(200 + i), 50, static_cast<Asn>(300 + i)};
+    td.add_path(p);
+    adj.add_path(p);
+  }
+  auto clique = infer_clique(td, adj);
+  EXPECT_EQ(clique, (std::vector<Asn>{1, 2, 3, 4}));
+}
+
+TEST(CliqueInference, EmptyInput) {
+  TransitDegree td;
+  ObservedAdjacency adj;
+  EXPECT_TRUE(infer_clique(td, adj).empty());
+}
+
+TEST(CliqueInference, SinglePathYieldsAPair) {
+  TransitDegree td;
+  ObservedAdjacency adj;
+  AsPath p{1, 2, 3};
+  td.add_path(p);
+  adj.add_path(p);
+  // The largest observed clique is an adjacent pair containing the only
+  // transit AS (2).
+  auto clique = infer_clique(td, adj);
+  EXPECT_EQ(clique.size(), 2u);
+  EXPECT_TRUE(std::find(clique.begin(), clique.end(), 2u) != clique.end());
+}
+
+TEST(CliqueInference, GreedyExtensionBeyondSearchWindow) {
+  TransitDegree td;
+  ObservedAdjacency adj;
+  feed_clique_world(td, adj);
+  CliqueOptions opts;
+  opts.candidate_count = 2;  // only ASes 1,2 in the exact search
+  opts.extension_window = 10;
+  auto clique = infer_clique(td, adj, opts);
+  // 3 and 4 connect to everything and must join greedily.
+  EXPECT_EQ(clique, (std::vector<Asn>{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace georank::infer

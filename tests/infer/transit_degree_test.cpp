@@ -1,0 +1,70 @@
+#include "infer/transit_degree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::infer {
+namespace {
+
+TEST(TransitDegree, MiddleHopsGainDegree) {
+  TransitDegree td;
+  td.add_path(AsPath{1, 2, 3});
+  EXPECT_EQ(td.degree(2), 2u);   // neighbors 1 and 3
+  EXPECT_EQ(td.degree(1), 0u);   // endpoint
+  EXPECT_EQ(td.degree(3), 0u);   // endpoint
+}
+
+TEST(TransitDegree, DistinctNeighborsOnly) {
+  TransitDegree td;
+  td.add_path(AsPath{1, 2, 3});
+  td.add_path(AsPath{1, 2, 3});  // repeat adds nothing
+  td.add_path(AsPath{4, 2, 3});  // new neighbor 4
+  EXPECT_EQ(td.degree(2), 3u);
+}
+
+TEST(TransitDegree, EndpointsStillRegistered) {
+  TransitDegree td;
+  td.add_path(AsPath{1, 2});
+  EXPECT_EQ(td.degree(1), 0u);
+  EXPECT_EQ(td.as_count(), 2u);
+}
+
+TEST(TransitDegree, RankedOrdersByDegreeThenAsn) {
+  TransitDegree td;
+  td.add_path(AsPath{1, 10, 2});
+  td.add_path(AsPath{3, 10, 4});
+  td.add_path(AsPath{1, 20, 2});
+  auto ranked = td.ranked();
+  ASSERT_GE(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], 10u);  // degree 4
+  EXPECT_EQ(ranked[1], 20u);  // degree 2
+}
+
+TEST(TransitDegree, RankedTieBreaksByAscendingAsn) {
+  TransitDegree td;
+  td.add_path(AsPath{1, 30, 2});
+  td.add_path(AsPath{1, 20, 2});
+  auto ranked = td.ranked();
+  // Both have degree 2 -> lower ASN first.
+  EXPECT_EQ(ranked[0], 20u);
+  EXPECT_EQ(ranked[1], 30u);
+}
+
+TEST(ObservedAdjacency, TracksLinks) {
+  ObservedAdjacency adj;
+  adj.add_path(AsPath{1, 2, 3});
+  EXPECT_TRUE(adj.adjacent(1, 2));
+  EXPECT_TRUE(adj.adjacent(2, 1));
+  EXPECT_TRUE(adj.adjacent(2, 3));
+  EXPECT_FALSE(adj.adjacent(1, 3));
+  EXPECT_FALSE(adj.adjacent(1, 99));
+}
+
+TEST(ObservedAdjacency, IgnoresSelfLinksFromPrepending) {
+  ObservedAdjacency adj;
+  adj.add_path(AsPath{1, 1, 2});
+  EXPECT_FALSE(adj.adjacent(1, 1));
+  EXPECT_TRUE(adj.adjacent(1, 2));
+}
+
+}  // namespace
+}  // namespace georank::infer

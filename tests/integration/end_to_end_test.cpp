@@ -1,0 +1,178 @@
+// End-to-end: generate a world, synthesize noisy multi-day RIBs, round-trip
+// them through the bgpdump-style text format, run the full pipeline, and
+// check that the country metrics recover the structure the scenario
+// encodes — the same shape of validation the paper performs in §5.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/stability.hpp"
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+
+namespace georank {
+namespace {
+
+using namespace gen::asn;
+using geo::CountryCode;
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new gen::World(
+        gen::InternetGenerator{gen::mini_world_spec(77)}.generate());
+    gen::NoiseSpec noise;  // default realistic noise
+    ribs_ = new bgp::RibCollection(
+        gen::RibGenerator{*world_, noise, 3}.generate(5));
+
+    core::PipelineConfig cfg;
+    cfg.sanitizer.clique = world_->clique;
+    cfg.sanitizer.route_server_asns = world_->route_servers;
+    pipeline_ = new core::Pipeline(world_->geo_db, world_->vps,
+                                   world_->asn_registry, world_->graph, cfg);
+    pipeline_->load_text(bgp::to_mrt_text(*ribs_));
+  }
+
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete ribs_;
+    delete world_;
+    pipeline_ = nullptr;
+    ribs_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static gen::World* world_;
+  static bgp::RibCollection* ribs_;
+  static core::Pipeline* pipeline_;
+};
+
+gen::World* EndToEndTest::world_ = nullptr;
+bgp::RibCollection* EndToEndTest::ribs_ = nullptr;
+core::Pipeline* EndToEndTest::pipeline_ = nullptr;
+
+TEST_F(EndToEndTest, ParseCleanly) {
+  EXPECT_EQ(pipeline_->parse_stats().malformed, 0u);
+  EXPECT_EQ(pipeline_->parse_stats().parsed, ribs_->total_entries());
+}
+
+TEST_F(EndToEndTest, SanitizerAccountingConsistent) {
+  const auto& stats = pipeline_->sanitized().stats;
+  EXPECT_EQ(stats.total, ribs_->total_entries());
+  EXPECT_EQ(stats.total, stats.accepted + stats.rejected());
+  // Default noise produces every rejection category.
+  EXPECT_GT(stats.unstable, 0u);
+  EXPECT_GT(stats.vp_no_location, 0u);
+  EXPECT_GT(stats.accepted, stats.rejected());  // most paths survive
+}
+
+TEST_F(EndToEndTest, SanitizedPathsAreClean) {
+  for (const auto& sp : pipeline_->sanitized().paths) {
+    EXPECT_FALSE(sp.path.has_nonadjacent_duplicate());
+    EXPECT_TRUE(sp.vp_country.valid());
+    EXPECT_TRUE(sp.prefix_country.valid());
+    EXPECT_GT(sp.weight, 0u);
+    for (bgp::Asn rs : world_->route_servers) {
+      EXPECT_FALSE(sp.path.contains(rs));
+    }
+    for (bgp::Asn hop : sp.path.hops()) {
+      EXPECT_TRUE(world_->asn_registry.allocated(hop));
+    }
+  }
+}
+
+TEST_F(EndToEndTest, AustraliaMetricsRecoverMarketStructure) {
+  core::CountryMetrics au = pipeline_->country(CountryCode::of("AU"));
+
+  // Telstra's domestic AS dominates the national hegemony view.
+  auto telstra_ahn = au.ahn.rank_of(kTelstra);
+  ASSERT_TRUE(telstra_ahn.has_value());
+  EXPECT_LE(*telstra_ahn, 3u);
+
+  // Vocus (the transit challenger) holds a large international cone.
+  EXPECT_GT(au.cci.score_of(kVocus), 0.25);
+
+  // Arelion inherits Vocus's cone transitively.
+  EXPECT_GE(au.cci.score_of(kArelion), au.cci.score_of(kVocus));
+
+  // Telstra's international AS matters internationally, not domestically.
+  EXPECT_GT(au.ahi.score_of(kTelstraIntl), au.ahn.score_of(kTelstraIntl));
+}
+
+TEST_F(EndToEndTest, AmazonVisibleToPrefixMetricsInvisibleToAhc) {
+  core::CountryMetrics au = pipeline_->country(CountryCode::of("AU"));
+  rank::Ranking ahc = pipeline_->ahc(world_->as_registry, CountryCode::of("AU"));
+
+  // Amazon originates AU-geolocated prefixes: the prefix-based metrics
+  // see it...
+  EXPECT_GT(au.ahi.score_of(kAmazon), 0.0);
+  // ...but IHR's AHC keys on AS registration (US), so it does not
+  // (§5.1.2, the Amazon-in-Australia effect).
+  EXPECT_DOUBLE_EQ(ahc.score_of(kAmazon), 0.0);
+}
+
+TEST_F(EndToEndTest, NationalAndInternationalViewsDiffer) {
+  core::CountryMetrics au = pipeline_->country(CountryCode::of("AU"));
+  ASSERT_FALSE(au.ahn.empty());
+  ASSERT_FALSE(au.ahi.empty());
+  // Tier-1s appear in the international top-10 far more than nationally.
+  std::size_t tier1_in_ahi = 0, tier1_in_ahn = 0;
+  for (const auto& e : au.ahi.top(10)) {
+    if (std::find(world_->clique.begin(), world_->clique.end(), e.asn) !=
+        world_->clique.end()) {
+      ++tier1_in_ahi;
+    }
+  }
+  for (const auto& e : au.ahn.top(10)) {
+    if (std::find(world_->clique.begin(), world_->clique.end(), e.asn) !=
+        world_->clique.end()) {
+      ++tier1_in_ahn;
+    }
+  }
+  EXPECT_GE(tier1_in_ahi, tier1_in_ahn);
+}
+
+TEST_F(EndToEndTest, CtiFallsBetweenConeAndHegemonyInSpirit) {
+  rank::Ranking cti = pipeline_->cti(CountryCode::of("AU"));
+  ASSERT_FALSE(cti.empty());
+  // CTI is transit-only: the liberal peer Hurricane must score lower on
+  // CTI than on AHI.
+  core::CountryMetrics au = pipeline_->country(CountryCode::of("AU"));
+  EXPECT_LE(cti.score_of(kHurricane), au.ahi.score_of(kHurricane) + 1e-12);
+}
+
+TEST_F(EndToEndTest, InternationalViewIsStableWithAllVps) {
+  core::CountryView intl = core::ViewBuilder::international(
+      pipeline_->sanitized().paths, CountryCode::of("AU"));
+  core::StabilityAnalyzer analyzer{pipeline_->rankings()};
+  core::StabilityOptions options;
+  std::size_t n = intl.vp_count();
+  ASSERT_GT(n, 4u);
+  options.sample_sizes = {n / 2, n};
+  options.trials_per_size = 4;
+  auto curve = analyzer.analyze(intl, core::MetricKind::kHegemony, options);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.back().mean_ndcg, 1.0);
+  EXPECT_GT(curve.front().mean_ndcg, 0.6);  // half the VPs: already close
+}
+
+TEST_F(EndToEndTest, GlobalRankingsDifferFromCountryRankings) {
+  rank::Ranking ccg = pipeline_->global_cone_by_as_count();
+  core::CountryMetrics au = pipeline_->country(CountryCode::of("AU"));
+  // Somewhere in AU's CCI top-5 there is an AS whose global rank differs
+  // from its country rank (the Table 9 argument).
+  bool differs = false;
+  std::size_t position = 0;
+  for (const auto& e : au.cci.top(5)) {
+    ++position;
+    auto global = ccg.rank_of(e.asn);
+    if (!global || *global != position) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace georank

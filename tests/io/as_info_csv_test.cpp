@@ -1,0 +1,64 @@
+#include "io/as_info_csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace georank::io {
+namespace {
+
+TEST(AsInfoCsv, RoundTrip) {
+  AsInfoMap original{
+      {1221, {geo::CountryCode::of("AU"), "Telstra"}},
+      {3356, {geo::CountryCode::of("US"), "Lumen"}},
+      {99999, {geo::CountryCode::of("JP"), ""}},
+  };
+  std::ostringstream os;
+  write_as_info_csv(os, original);
+
+  std::istringstream is{os.str()};
+  CsvParseStats stats;
+  AsInfoMap parsed = read_as_info_csv(is, &stats);
+  EXPECT_EQ(stats.malformed, 0u);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed.at(1221).name, "Telstra");
+  EXPECT_EQ(parsed.at(1221).registered, geo::CountryCode::of("AU"));
+  EXPECT_EQ(parsed.at(99999).registered, geo::CountryCode::of("JP"));
+}
+
+TEST(AsInfoCsv, SortedOutput) {
+  AsInfoMap info{{300, {geo::CountryCode::of("US"), "c"}},
+                 {100, {geo::CountryCode::of("US"), "a"}},
+                 {200, {geo::CountryCode::of("US"), "b"}}};
+  std::ostringstream os;
+  write_as_info_csv(os, info);
+  std::string text = os.str();
+  EXPECT_LT(text.find("100,"), text.find("200,"));
+  EXPECT_LT(text.find("200,"), text.find("300,"));
+}
+
+TEST(AsInfoCsv, ToleratesJunk) {
+  std::istringstream is{
+      "# header\n"
+      "1221,AU,Telstra\n"
+      "bad\n"
+      "0,US,zero-asn\n"
+      "9,XYZ,bad-country\n"
+      "10,US\n"};  // missing name: allowed
+  CsvParseStats stats;
+  AsInfoMap parsed = read_as_info_csv(is, &stats);
+  EXPECT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(stats.malformed, 3u);
+  EXPECT_TRUE(parsed.at(10).name.empty());
+}
+
+TEST(AsInfoCsv, ToRegistry) {
+  AsInfoMap info{{1221, {geo::CountryCode::of("AU"), "Telstra"}},
+                 {3356, {geo::CountryCode::of("US"), "Lumen"}}};
+  rank::AsRegistry registry = to_registry(info);
+  EXPECT_EQ(registry.at(1221), geo::CountryCode::of("AU"));
+  EXPECT_EQ(registry.at(3356), geo::CountryCode::of("US"));
+}
+
+}  // namespace
+}  // namespace georank::io

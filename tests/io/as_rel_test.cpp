@@ -1,0 +1,67 @@
+#include "io/as_rel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::io {
+namespace {
+
+topo::AsGraph sample_graph() {
+  topo::AsGraph g;
+  g.add_p2c(3356, 12389, 0.12);  // partial transit
+  g.add_p2c(1299, 4826);
+  g.add_p2p(3356, 1299);
+  g.add_p2p(1299, 174);
+  return g;
+}
+
+TEST(AsRel, WriteFormat) {
+  std::string text = to_as_rel(sample_graph());
+  EXPECT_NE(text.find("3356|12389|-1|0.1200"), std::string::npos);
+  EXPECT_NE(text.find("1299|4826|-1"), std::string::npos);
+  EXPECT_NE(text.find("1299|3356|0"), std::string::npos);  // lower ASN first
+  EXPECT_NE(text.find("174|1299|0"), std::string::npos);
+  EXPECT_EQ(text.find("4826|1299"), std::string::npos);  // no reverse dupes
+}
+
+TEST(AsRel, RoundTrip) {
+  topo::AsGraph original = sample_graph();
+  AsRelParseStats stats;
+  topo::AsGraph parsed = from_as_rel(to_as_rel(original), &stats);
+
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(parsed.edge_count(), original.edge_count());
+  EXPECT_EQ(parsed.relationship(3356, 12389), topo::Rel::kCustomer);
+  EXPECT_EQ(parsed.relationship(1299, 4826), topo::Rel::kCustomer);
+  EXPECT_EQ(parsed.relationship(3356, 1299), topo::Rel::kPeer);
+  EXPECT_NEAR(parsed.export_fraction(3356, 12389), 0.12, 1e-4);
+  EXPECT_DOUBLE_EQ(parsed.export_fraction(1299, 4826), 1.0);
+}
+
+TEST(AsRel, ToleratesJunk) {
+  std::string text =
+      "# comment\n"
+      "\n"
+      "1|2|-1\n"
+      "3|4|7\n"        // bad rel code
+      "x|4|0\n"        // bad asn
+      "5|5|0\n"        // self loop
+      "6|7|-1|1.5\n"   // bad fraction
+      "6|7|-1|abc\n"   // unparsable fraction
+      "8|9\n"          // too few fields
+      "1|2|0\n";       // duplicate pair: first wins
+  AsRelParseStats stats;
+  topo::AsGraph g = from_as_rel(text, &stats);
+  EXPECT_EQ(stats.links, 1u);
+  EXPECT_EQ(stats.malformed, 6u);
+  EXPECT_EQ(stats.comments, 2u);
+  EXPECT_EQ(g.relationship(1, 2), topo::Rel::kCustomer);  // kept p2c
+}
+
+TEST(AsRel, EmptyGraph) {
+  topo::AsGraph g;
+  topo::AsGraph parsed = from_as_rel(to_as_rel(g));
+  EXPECT_EQ(parsed.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace georank::io

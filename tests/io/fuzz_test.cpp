@@ -1,0 +1,164 @@
+// Mutation robustness for every text reader: randomly corrupted inputs
+// must never crash, never throw, and always account for each input line
+// as parsed, comment, or malformed. Real pipelines meet truncated and
+// corrupted dumps routinely; tolerant-but-accounted is the contract.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgp/mrt_text.hpp"
+#include "bgp/update_stream.hpp"
+#include "io/as_info_csv.hpp"
+#include "io/as_rel.hpp"
+#include "io/geo_csv.hpp"
+#include "io/rankings_csv.hpp"
+#include "util/rng.hpp"
+
+namespace georank {
+namespace {
+
+/// Mutates a corpus: character flips, truncations, duplications, line
+/// splices. Deterministic per seed.
+std::string mutate(std::string text, util::Pcg32& rng) {
+  const std::string alphabet = "0123456789abz|,.#-/ \t";
+  int mutations = 1 + static_cast<int>(rng.below(40));
+  for (int m = 0; m < mutations && !text.empty(); ++m) {
+    std::uint32_t pos = rng.below(static_cast<std::uint32_t>(text.size()));
+    switch (rng.below(4)) {
+      case 0:  // flip a character
+        text[pos] = alphabet[rng.below(static_cast<std::uint32_t>(alphabet.size()))];
+        break;
+      case 1:  // delete a character
+        text.erase(pos, 1);
+        break;
+      case 2:  // duplicate a chunk
+        text.insert(pos, text.substr(pos, rng.below(16)));
+        break;
+      case 3:  // chop the tail (truncated download)
+        if (rng.chance(0.2)) text.resize(pos);
+        break;
+    }
+  }
+  return text;
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  std::istringstream is{text};
+  std::string line;
+  while (std::getline(is, line)) ++lines;
+  return lines;
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, MrtTextReaderNeverCrashesAndAccounts) {
+  util::Pcg32 rng{GetParam()};
+  std::string corpus =
+      "TABLE_DUMP2|1617235200|B|1.2.3.4|701|10.0.0.0/16|701 3356 1299|IGP\n"
+      "TABLE_DUMP2|1617321600|B|4.3.2.1|702|10.1.0.0/16|702 174|IGP\n"
+      "# comment line\n"
+      "TABLE_DUMP2|1617235200|B|9.9.9.9|65000|192.168.0.0/24|65000|IGP\n";
+  for (int round = 0; round < 50; ++round) {
+    std::string text = mutate(corpus, rng);
+    bgp::MrtParseStats stats;
+    bgp::RibCollection out = bgp::from_mrt_text(text, &stats);
+    EXPECT_EQ(stats.lines, count_lines(text));
+    EXPECT_EQ(stats.parsed + stats.malformed + stats.skipped_comments, stats.lines);
+    EXPECT_EQ(out.total_entries(), stats.parsed);
+  }
+}
+
+TEST_P(FuzzTest, UpdateTextReaderNeverCrashesAndAccounts) {
+  util::Pcg32 rng{GetParam() + 100};
+  std::string corpus =
+      "BGP4MP|1000|A|1.2.3.4|701|10.0.0.0/16|701 1299|IGP\n"
+      "BGP4MP|1001|W|1.2.3.4|701|10.0.0.0/16\n"
+      "BGP4MP|1002|A|4.3.2.1|702|10.1.0.0/16|702 174 2914|IGP\n";
+  for (int round = 0; round < 50; ++round) {
+    std::string text = mutate(corpus, rng);
+    bgp::MrtParseStats stats;
+    auto out = bgp::from_update_text(text, &stats);
+    EXPECT_EQ(stats.parsed + stats.malformed + stats.skipped_comments, stats.lines);
+    EXPECT_EQ(out.size(), stats.parsed);
+    // Whatever parsed must replay without crashing.
+    bgp::RibState state;
+    state.apply_all(out);
+  }
+}
+
+TEST_P(FuzzTest, AsRelReaderNeverCrashesAndAccounts) {
+  util::Pcg32 rng{GetParam() + 200};
+  std::string corpus =
+      "# as-rel\n"
+      "3356|12389|-1|0.1200\n"
+      "1299|4826|-1\n"
+      "1299|174|0\n"
+      "3356|1299|0\n";
+  for (int round = 0; round < 50; ++round) {
+    std::string text = mutate(corpus, rng);
+    io::AsRelParseStats stats;
+    topo::AsGraph g = io::from_as_rel(text, &stats);
+    // Duplicate pairs are silently kept-first (not counted), so the three
+    // counters bound but need not cover the line count.
+    EXPECT_LE(stats.links + stats.malformed + stats.comments, stats.lines);
+    EXPECT_EQ(g.edge_count(), stats.links);
+  }
+}
+
+TEST_P(FuzzTest, GeoCsvReaderNeverCrashes) {
+  util::Pcg32 rng{GetParam() + 300};
+  std::string corpus =
+      "# geo\n"
+      "10.0.0.0,10.0.255.255,US\n"
+      "10.1.0.0,10.1.255.255,AU\n"
+      "10.2.0.0,10.2.255.255,JP\n";
+  for (int round = 0; round < 50; ++round) {
+    std::string text = mutate(corpus, rng);
+    io::CsvParseStats stats;
+    try {
+      geo::GeoDatabase db = io::from_geo_csv(text, &stats);
+      EXPECT_EQ(stats.parsed + stats.malformed + stats.comments, stats.lines);
+    } catch (const std::invalid_argument&) {
+      // Mutations can produce OVERLAPPING ranges, which finalize()
+      // correctly rejects: an explicit error, not a crash.
+    }
+  }
+}
+
+TEST_P(FuzzTest, RankingCsvReaderNeverCrashes) {
+  util::Pcg32 rng{GetParam() + 400};
+  std::string corpus =
+      "# rank,asn,score\n"
+      "1,1299,0.83\n"
+      "2,4826,0.81\n"
+      "3,1221,0.44\n";
+  for (int round = 0; round < 50; ++round) {
+    std::string text = mutate(corpus, rng);
+    rank::Ranking r = io::from_ranking_csv(text);
+    // Scores survive as finite doubles (stod may produce inf from huge
+    // mutated numbers, which from_scores tolerates; just don't crash).
+    EXPECT_LE(r.size(), count_lines(text));
+  }
+}
+
+TEST_P(FuzzTest, AsInfoCsvReaderNeverCrashes) {
+  util::Pcg32 rng{GetParam() + 500};
+  std::string corpus =
+      "1221,AU,Telstra\n"
+      "3356,US,Lumen\n"
+      "16509,US,Amazon\n";
+  for (int round = 0; round < 50; ++round) {
+    std::string text = mutate(corpus, rng);
+    std::istringstream is{text};
+    io::CsvParseStats stats;
+    io::AsInfoMap info = io::read_as_info_csv(is, &stats);
+    EXPECT_EQ(stats.parsed + stats.malformed + stats.comments, stats.lines);
+    EXPECT_LE(info.size(), stats.parsed);  // duplicates overwrite
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace georank

@@ -1,0 +1,91 @@
+#include "io/geo_csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace georank::io {
+namespace {
+
+geo::CountryCode us = geo::CountryCode::of("US");
+geo::CountryCode au = geo::CountryCode::of("AU");
+
+TEST(GeoCsv, RoundTrip) {
+  geo::GeoDatabase db;
+  db.add_range(0x0A000000, 0x0AFFFFFF, us);
+  db.add_range(0x14000000, 0x140000FF, au);
+  db.finalize();
+
+  CsvParseStats stats;
+  geo::GeoDatabase parsed = from_geo_csv(to_geo_csv(db), &stats);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_TRUE(parsed.finalized());
+  EXPECT_EQ(parsed.country_of(0x0A123456), us);
+  EXPECT_EQ(parsed.country_of(0x14000080), au);
+  EXPECT_EQ(parsed.country_of(0x15000000), geo::kNoCountry);
+}
+
+TEST(GeoCsv, ToleratesJunk) {
+  std::string text =
+      "# header\n"
+      "10.0.0.0,10.0.0.255,US\n"
+      "bad-line\n"
+      "10.1.0.0,10.1.0.255,USA\n"   // bad country
+      "10.2.0.255,10.2.0.0,US\n"    // inverted range
+      "10.3.0.0,10.3.0.255\n";      // missing field
+  CsvParseStats stats;
+  geo::GeoDatabase db = from_geo_csv(text, &stats);
+  EXPECT_EQ(stats.parsed, 1u);
+  EXPECT_EQ(stats.malformed, 4u);
+  EXPECT_EQ(db.country_of(0x0A000010), us);
+}
+
+TEST(VpCsv, RoundTrip) {
+  geo::VpGeolocator original;
+  original.add_collector({"collector-au", au, false});
+  original.add_collector({"multihop-global", us, true});
+  original.register_vp(bgp::VpId{0x01020304, 1221}, "collector-au");
+  original.register_vp(bgp::VpId{0x01020305, 701}, "multihop-global");
+
+  std::ostringstream collectors_os, vps_os;
+  write_collectors_csv(collectors_os, original);
+  write_vps_csv(vps_os, original);
+
+  std::istringstream collectors_is{collectors_os.str()};
+  std::istringstream vps_is{vps_os.str()};
+  CsvParseStats stats;
+  geo::VpGeolocator parsed = read_vp_geolocator(collectors_is, vps_is, &stats);
+
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(parsed.collector_count(), 2u);
+  EXPECT_EQ(parsed.vp_count(), 2u);
+  EXPECT_EQ(parsed.peek(bgp::VpId{0x01020304, 1221}), au);
+  EXPECT_FALSE(parsed.peek(bgp::VpId{0x01020305, 701}).has_value());  // multihop
+}
+
+TEST(VpCsv, UnknownCollectorCountsAsMalformed) {
+  std::istringstream collectors{"c1,AU,0\n"};
+  std::istringstream vps{
+      "1.2.3.4,100,c1\n"
+      "1.2.3.5,200,nope\n"};
+  CsvParseStats stats;
+  geo::VpGeolocator parsed = read_vp_geolocator(collectors, vps, &stats);
+  EXPECT_EQ(parsed.vp_count(), 1u);
+  EXPECT_EQ(stats.malformed, 1u);
+}
+
+TEST(VpCsv, DuplicateCollectorCountsAsMalformed) {
+  std::istringstream collectors{
+      "c1,AU,0\n"
+      "c1,US,1\n"};
+  std::istringstream vps{""};
+  CsvParseStats stats;
+  geo::VpGeolocator parsed = read_vp_geolocator(collectors, vps, &stats);
+  EXPECT_EQ(parsed.collector_count(), 1u);
+  EXPECT_EQ(stats.malformed, 1u);
+  EXPECT_EQ(parsed.collectors()[0].country, au);  // first wins
+}
+
+}  // namespace
+}  // namespace georank::io

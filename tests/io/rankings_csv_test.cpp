@@ -1,0 +1,79 @@
+#include "io/rankings_csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace georank::io {
+namespace {
+
+TEST(RankingCsv, RoundTrip) {
+  rank::Ranking original =
+      rank::Ranking::from_scores({{1221, 0.44}, {4826, 0.81}, {1299, 0.83}});
+  rank::Ranking parsed = from_ranking_csv(to_ranking_csv(original));
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed.entries()[0].asn, 1299u);
+  EXPECT_DOUBLE_EQ(parsed.score_of(4826), 0.81);
+  EXPECT_EQ(parsed.rank_of(1221), 3u);
+}
+
+TEST(RankingCsv, NameColumn) {
+  rank::Ranking r = rank::Ranking::from_scores({{1221, 0.5}});
+  std::string text = to_ranking_csv(
+      r, [](bgp::Asn asn) { return asn == 1221 ? "Telstra" : "?"; });
+  EXPECT_NE(text.find("1,1221,0.5,Telstra"), std::string::npos);
+  // Names don't break re-parsing.
+  rank::Ranking parsed = from_ranking_csv(text);
+  EXPECT_DOUBLE_EQ(parsed.score_of(1221), 0.5);
+}
+
+TEST(RankingCsv, SkipsJunkLines) {
+  std::string text =
+      "# rank,asn,score\n"
+      "1,1299,0.83\n"
+      "junk\n"
+      "2,zero,0.5\n"
+      "3,0,0.5\n"
+      "4,4826,not-a-number\n";
+  rank::Ranking parsed = from_ranking_csv(text);
+  EXPECT_EQ(parsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.score_of(1299), 0.83);
+}
+
+TEST(RankingCsv, ReadMetricFromCountryCsv) {
+  core::CountryMetrics m;
+  m.country = geo::CountryCode::of("AU");
+  m.cci = rank::Ranking::from_scores({{1299, 0.83}, {4826, 0.81}});
+  m.ahn = rank::Ranking::from_scores({{1221, 0.23}});
+  std::ostringstream os;
+  write_country_metrics_csv(os, m);
+
+  std::istringstream cci_is{os.str()};
+  rank::Ranking cci = read_metric_from_country_csv(cci_is, "CCI");
+  ASSERT_EQ(cci.size(), 2u);
+  EXPECT_DOUBLE_EQ(cci.score_of(1299), 0.83);
+  EXPECT_FALSE(cci.rank_of(1221).has_value());  // AHN row not included
+
+  std::istringstream ahn_is{os.str()};
+  rank::Ranking ahn = read_metric_from_country_csv(ahn_is, "AHN");
+  EXPECT_EQ(ahn.size(), 1u);
+
+  std::istringstream none_is{os.str()};
+  EXPECT_TRUE(read_metric_from_country_csv(none_is, "CTI").empty());
+}
+
+TEST(RankingCsv, CountryMetricsLongForm) {
+  core::CountryMetrics m;
+  m.country = geo::CountryCode::of("AU");
+  m.cci = rank::Ranking::from_scores({{1299, 0.83}});
+  m.ahn = rank::Ranking::from_scores({{1221, 0.23}});
+  std::ostringstream os;
+  write_country_metrics_csv(os, m);
+  std::string text = os.str();
+  EXPECT_NE(text.find("AU,CCI,1,1299,0.83"), std::string::npos);
+  EXPECT_NE(text.find("AU,AHN,1,1221,0.23"), std::string::npos);
+  EXPECT_EQ(text.find("AU,CCN"), std::string::npos);  // empty metric: no rows
+}
+
+}  // namespace
+}  // namespace georank::io

@@ -1,0 +1,94 @@
+#include "rank/ahc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::rank {
+namespace {
+
+using bgp::AsPath;
+using bgp::Prefix;
+using geo::CountryCode;
+using sanitize::SanitizedPath;
+
+SanitizedPath mk(std::uint32_t vp_ip, AsPath path, std::uint32_t pfx_index,
+                 const char* prefix_cc = "AU") {
+  SanitizedPath sp;
+  sp.vp = bgp::VpId{vp_ip, path[0]};
+  sp.prefix = Prefix{0x0A000000 + pfx_index * 256, 24};
+  sp.prefix_country = CountryCode::of(prefix_cc);
+  sp.weight = 256;
+  sp.path = std::move(path);
+  return sp;
+}
+
+TEST(Ahc, AveragesPerOriginHegemonyOverRegisteredAses) {
+  // Origins 201 and 202 are registered in AU; 300 is not.
+  AsRegistry registry{{201, CountryCode::of("AU")},
+                      {202, CountryCode::of("AU")},
+                      {300, CountryCode::of("US")}};
+  std::vector<SanitizedPath> paths{
+      // AS 50 transits ALL paths to 201 but none to 202.
+      mk(1, AsPath{1, 50, 201}, 1),
+      mk(2, AsPath{2, 50, 201}, 1),
+      mk(1, AsPath{1, 60, 202}, 2),
+      mk(2, AsPath{2, 60, 202}, 2),
+      // Paths to the US-registered origin must not count.
+      mk(1, AsPath{1, 70, 300}, 3),
+  };
+  AhcRanking ahc{registry};
+  Ranking r = ahc.compute(paths, CountryCode::of("AU"));
+  // H_201(50)=1, H_202(50)=0 -> AHC(50)=0.5; same for 60.
+  EXPECT_DOUBLE_EQ(r.score_of(50), 0.5);
+  EXPECT_DOUBLE_EQ(r.score_of(60), 0.5);
+  EXPECT_DOUBLE_EQ(r.score_of(70), 0.0);
+  // Origins themselves score 0.5 each (on all their own paths).
+  EXPECT_DOUBLE_EQ(r.score_of(201), 0.5);
+}
+
+TEST(Ahc, UsesRegistrationNotPrefixGeolocation) {
+  // The Amazon effect (§5.1.2): a hypergiant registered in the US
+  // originating AU-geolocated prefixes is INVISIBLE to AHC for AU but its
+  // transit providers toward its US-registered AS are counted fully.
+  AsRegistry registry{{16509, CountryCode::of("US")},
+                      {201, CountryCode::of("AU")}};
+  std::vector<SanitizedPath> paths{
+      mk(1, AsPath{1, 50, 16509}, 1, "AU"),  // AU prefix, US-registered AS
+      mk(1, AsPath{1, 60, 201}, 2, "AU"),
+  };
+  AhcRanking ahc{registry};
+  Ranking au = ahc.compute(paths, CountryCode::of("AU"));
+  // Only origin 201 counts for AU: AS 50 gets nothing.
+  EXPECT_DOUBLE_EQ(au.score_of(50), 0.0);
+  EXPECT_DOUBLE_EQ(au.score_of(60), 1.0);
+  // And for the US ranking, the AU-geolocated path DOES count.
+  Ranking us = ahc.compute(paths, CountryCode::of("US"));
+  EXPECT_DOUBLE_EQ(us.score_of(50), 1.0);
+}
+
+TEST(Ahc, EqualWeightPerOriginRegardlessOfSize) {
+  // Origin 201 originates 4 prefixes, 202 only one: AHC still averages
+  // with one vote per AS ("disregards AS size", §1.2.1).
+  AsRegistry registry{{201, CountryCode::of("AU")},
+                      {202, CountryCode::of("AU")}};
+  std::vector<SanitizedPath> paths{
+      mk(1, AsPath{1, 50, 201}, 1),
+      mk(1, AsPath{1, 50, 201}, 2),
+      mk(1, AsPath{1, 50, 201}, 3),
+      mk(1, AsPath{1, 50, 201}, 4),
+      mk(1, AsPath{1, 60, 202}, 5),
+  };
+  AhcRanking ahc{registry};
+  Ranking r = ahc.compute(paths, CountryCode::of("AU"));
+  EXPECT_DOUBLE_EQ(r.score_of(50), 0.5);
+  EXPECT_DOUBLE_EQ(r.score_of(60), 0.5);
+}
+
+TEST(Ahc, NoOriginsForCountry) {
+  AsRegistry registry{{201, CountryCode::of("AU")}};
+  std::vector<SanitizedPath> paths{mk(1, AsPath{1, 201}, 1)};
+  AhcRanking ahc{registry};
+  EXPECT_TRUE(ahc.compute(paths, CountryCode::of("JP")).empty());
+}
+
+}  // namespace
+}  // namespace georank::rank

@@ -1,0 +1,100 @@
+#include "rank/cti.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::rank {
+namespace {
+
+using bgp::AsPath;
+using bgp::Prefix;
+using sanitize::SanitizedPath;
+
+SanitizedPath mk(std::uint32_t vp_ip, AsPath path, std::uint32_t pfx_index,
+                 std::uint64_t weight = 256) {
+  SanitizedPath sp;
+  sp.vp = bgp::VpId{vp_ip, path[0]};
+  sp.prefix = Prefix{0x0A000000 + pfx_index * 256, 24};
+  sp.weight = weight;
+  sp.path = std::move(path);
+  return sp;
+}
+
+TEST(Cti, ReverseDistanceWeighting) {
+  // Path 1 -> 10 -> 20 -> 30 (origin), all p2c: weights are 0 for the
+  // origin, 1/1 for AS 20, 1/2 for AS 10, 1/3 for AS 1.
+  topo::AsGraph g;
+  g.add_p2c(1, 10);
+  g.add_p2c(10, 20);
+  g.add_p2c(20, 30);
+  CtiRanking cti{g};
+  std::vector<SanitizedPath> paths{mk(1, AsPath{1, 10, 20, 30}, 1)};
+  Ranking r = cti.compute(paths);
+  EXPECT_DOUBLE_EQ(r.score_of(30), 0.0);  // origin scores nothing
+  EXPECT_DOUBLE_EQ(r.score_of(20), 1.0);
+  EXPECT_DOUBLE_EQ(r.score_of(10), 0.5);
+  EXPECT_NEAR(r.score_of(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Cti, TransitOnlyPortionCounted) {
+  // The peer hop and everything VP-side of it is excluded.
+  topo::AsGraph g;
+  g.add_p2c(10, 1);  // 1 ascends to 10
+  g.add_p2p(10, 20);
+  g.add_p2c(20, 30);
+  CtiRanking cti{g};
+  std::vector<SanitizedPath> paths{mk(1, AsPath{1, 10, 20, 30}, 1)};
+  Ranking r = cti.compute(paths);
+  EXPECT_DOUBLE_EQ(r.score_of(10), 0.0);  // VP-side of the peer link
+  EXPECT_DOUBLE_EQ(r.score_of(1), 0.0);
+  EXPECT_DOUBLE_EQ(r.score_of(20), 1.0);  // head of the p2c suffix
+}
+
+TEST(Cti, NormalizesByVpMass) {
+  topo::AsGraph g;
+  g.add_p2c(20, 30);
+  g.add_p2c(20, 31);
+  g.add_p2c(1, 20);
+  CtiRanking cti{g};
+  std::vector<SanitizedPath> paths{
+      mk(1, AsPath{1, 20, 30}, 1, 300),
+      mk(1, AsPath{1, 20, 31}, 2, 100),
+  };
+  Ranking r = cti.compute(paths);
+  // AS 20 adjacent to both origins: (300*1 + 100*1) / 400 = 1.
+  EXPECT_DOUBLE_EQ(r.score_of(20), 1.0);
+  // AS 1 at distance 2: (300*0.5 + 100*0.5)/400 = 0.5.
+  EXPECT_DOUBLE_EQ(r.score_of(1), 0.5);
+}
+
+TEST(Cti, AdjacentAsOutscoresOriginOfLargePrefix) {
+  // The paper's AOLP point (§1.3): CTI favors the AS adjacent to an
+  // origin announcing large prefixes over the origin itself.
+  topo::AsGraph g;
+  g.add_p2c(20, 30);
+  CtiRanking cti{g};
+  std::vector<SanitizedPath> paths{mk(1, AsPath{20, 30}, 1, 1 << 16)};
+  Ranking r = cti.compute(paths);
+  EXPECT_GT(r.score_of(20), r.score_of(30));
+}
+
+TEST(Cti, TrimAcrossVps) {
+  topo::AsGraph g;
+  g.add_p2c(20, 30);
+  CtiRanking cti{g};
+  // 10 VPs; AS 20 adjacent to origin at every one: survives the trim.
+  std::vector<SanitizedPath> paths;
+  for (std::uint32_t vp = 1; vp <= 10; ++vp) {
+    paths.push_back(mk(vp, AsPath{20, 30}, 1));
+  }
+  Ranking r = cti.compute(paths);
+  EXPECT_DOUBLE_EQ(r.score_of(20), 1.0);
+}
+
+TEST(Cti, EmptyInput) {
+  topo::AsGraph g;
+  CtiRanking cti{g};
+  EXPECT_TRUE(cti.compute({}).empty());
+}
+
+}  // namespace
+}  // namespace georank::rank

@@ -1,0 +1,101 @@
+// Tests for the ranking extensions: per-origin (IHR "local graph")
+// hegemony and the address-weighted AHC variant.
+#include <gtest/gtest.h>
+
+#include "rank/ahc.hpp"
+#include "rank/hegemony.hpp"
+
+namespace georank::rank {
+namespace {
+
+using bgp::AsPath;
+using bgp::Prefix;
+using geo::CountryCode;
+using sanitize::SanitizedPath;
+
+SanitizedPath mk(std::uint32_t vp_ip, AsPath path, std::uint32_t pfx_index,
+                 std::uint64_t weight = 256) {
+  SanitizedPath sp;
+  sp.vp = bgp::VpId{vp_ip, path[0]};
+  sp.prefix = Prefix{0x0A000000 + pfx_index * 256, 24};
+  sp.weight = weight;
+  sp.path = std::move(path);
+  return sp;
+}
+
+TEST(PerOriginHegemony, RestrictsToOneOrigin) {
+  std::vector<SanitizedPath> paths{
+      mk(1, AsPath{1, 50, 201}, 1),
+      mk(2, AsPath{2, 50, 201}, 1),
+      mk(1, AsPath{1, 60, 202}, 2),  // different origin: ignored
+  };
+  HegemonyResult r = per_origin_hegemony(paths, 201);
+  EXPECT_EQ(r.vp_count, 2u);
+  EXPECT_DOUBLE_EQ(r.score_of(50), 1.0);
+  EXPECT_DOUBLE_EQ(r.score_of(60), 0.0);  // only on paths to 202
+}
+
+TEST(PerOriginHegemony, UnknownOriginIsEmpty) {
+  std::vector<SanitizedPath> paths{mk(1, AsPath{1, 50, 201}, 1)};
+  HegemonyResult r = per_origin_hegemony(paths, 999);
+  EXPECT_EQ(r.vp_count, 0u);
+  EXPECT_TRUE(r.scores.empty());
+}
+
+TEST(PerOriginHegemony, MatchesAhcBuildingBlock) {
+  // AHC with one origin equals that origin's per-origin hegemony.
+  AsRegistry registry{{201, CountryCode::of("AU")}};
+  std::vector<SanitizedPath> paths{
+      mk(1, AsPath{1, 50, 201}, 1),
+      mk(2, AsPath{2, 51, 201}, 1),
+  };
+  AhcRanking ahc{registry};
+  Ranking country = ahc.compute(paths, CountryCode::of("AU"));
+  HegemonyResult origin = per_origin_hegemony(paths, 201);
+  for (const auto& [asn, score] : origin.scores) {
+    EXPECT_DOUBLE_EQ(country.score_of(asn), score) << asn;
+  }
+}
+
+TEST(AhcWeighted, EqualVsAddressWeighting) {
+  // Origin 201 holds 4x the address space of origin 202. AS 50 transits
+  // only 201, AS 60 only 202.
+  AsRegistry registry{{201, CountryCode::of("AU")},
+                      {202, CountryCode::of("AU")}};
+  std::vector<SanitizedPath> paths{
+      mk(1, AsPath{1, 50, 201}, 1, 1024),
+      mk(1, AsPath{1, 60, 202}, 2, 256),
+  };
+  AhcRanking equal{registry, {}, AhcWeighting::kEqualPerAs};
+  AhcRanking weighted{registry, {}, AhcWeighting::kByAddresses};
+
+  Ranking by_as = equal.compute(paths, CountryCode::of("AU"));
+  Ranking by_addr = weighted.compute(paths, CountryCode::of("AU"));
+
+  // Equal weighting: both transits get 0.5.
+  EXPECT_DOUBLE_EQ(by_as.score_of(50), 0.5);
+  EXPECT_DOUBLE_EQ(by_as.score_of(60), 0.5);
+  // Address weighting: 50 gets 1024/1280, 60 gets 256/1280 (the VP's own
+  // AS 1 is on every path and scores 1.0 under both weightings).
+  EXPECT_DOUBLE_EQ(by_addr.score_of(50), 0.8);
+  EXPECT_DOUBLE_EQ(by_addr.score_of(60), 0.2);
+  EXPECT_LT(*by_addr.rank_of(50), *by_addr.rank_of(60));
+}
+
+TEST(AhcWeighted, DuplicatePrefixCountedOnce) {
+  AsRegistry registry{{201, CountryCode::of("AU")},
+                      {202, CountryCode::of("AU")}};
+  std::vector<SanitizedPath> paths{
+      // Same prefix of 201 seen from two VPs: address weight counts once.
+      mk(1, AsPath{1, 50, 201}, 1, 256),
+      mk(2, AsPath{2, 50, 201}, 1, 256),
+      mk(1, AsPath{1, 60, 202}, 2, 256),
+  };
+  AhcRanking weighted{registry, {}, AhcWeighting::kByAddresses};
+  Ranking r = weighted.compute(paths, CountryCode::of("AU"));
+  EXPECT_DOUBLE_EQ(r.score_of(50), 0.5);
+  EXPECT_DOUBLE_EQ(r.score_of(60), 0.5);
+}
+
+}  // namespace
+}  // namespace georank::rank

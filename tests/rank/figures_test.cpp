@@ -1,0 +1,181 @@
+// The paper's worked examples, encoded exactly:
+//   Figure 1 pins the customer-cone path-segment semantics;
+//   Figure 2 pins the hegemony per-VP scoring and trim rule.
+#include <gtest/gtest.h>
+
+#include "rank/customer_cone.hpp"
+#include "rank/hegemony.hpp"
+#include "topo/route_propagation.hpp"
+
+namespace georank::rank {
+namespace {
+
+using bgp::AsPath;
+using bgp::Prefix;
+using sanitize::SanitizedPath;
+
+// Figure 1 ASes: A=101 B=102 C=103 D=104 E=105 F=106 G=107 H=108.
+constexpr bgp::Asn A = 101, B = 102, C = 103, D = 104, E = 105, F = 106,
+                   G = 107, H = 108;
+
+topo::AsGraph figure1_graph() {
+  topo::AsGraph g;
+  g.add_p2p(A, B);
+  g.add_p2p(A, C);
+  g.add_p2p(B, C);
+  g.add_p2c(C, D);
+  g.add_p2c(D, E);
+  g.add_p2c(D, F);
+  g.add_p2c(A, G);
+  g.add_p2c(B, H);
+  return g;
+}
+
+SanitizedPath mk(std::uint32_t vp_ip, AsPath path, std::uint32_t pfx_index) {
+  SanitizedPath sp;
+  sp.vp = bgp::VpId{vp_ip, path[0]};
+  sp.prefix = Prefix{0x0A000000 + pfx_index * 256, 24};
+  sp.weight = 256;
+  sp.path = std::move(path);
+  return sp;
+}
+
+std::vector<SanitizedPath> figure1_paths() {
+  // v_g lives in G, v_h lives in H; one prefix per origin AS, indexed by
+  // the origin's ASN so both VPs share prefixes.
+  std::vector<SanitizedPath> paths;
+  auto add = [&](std::uint32_t vp, AsPath p) {
+    std::uint32_t idx = p[p.size() - 1];
+    paths.push_back(mk(vp, std::move(p), idx));
+  };
+  // From v_g (VP ip 1).
+  add(1, AsPath{G, A, C, D, E});
+  add(1, AsPath{G, A, C, D, F});
+  add(1, AsPath{G, A, C, D});
+  add(1, AsPath{G, A, C});
+  add(1, AsPath{G, A, B, H});
+  add(1, AsPath{G, A, B});
+  add(1, AsPath{G, A});
+  // From v_h (VP ip 2).
+  add(2, AsPath{H, B, C, D, E});
+  add(2, AsPath{H, B, C, D, F});
+  add(2, AsPath{H, B, C, D});
+  add(2, AsPath{H, B, C});
+  add(2, AsPath{H, B, A, G});
+  add(2, AsPath{H, B, A});
+  add(2, AsPath{H, B});
+  return paths;
+}
+
+TEST(Figure1, PropagatorReproducesTheFigureSPaths) {
+  topo::AsGraph g = figure1_graph();
+  topo::RoutePropagator prop{g};
+  // v_g's path to E must be G A C D E (the figure's red+gray path).
+  topo::RoutingTable tE = prop.compute(E);
+  EXPECT_EQ(tE.path_from(g.id_of(G)), (AsPath{G, A, C, D, E}));
+  EXPECT_EQ(tE.path_from(g.id_of(H)), (AsPath{H, B, C, D, E}));
+  topo::RoutingTable tH = prop.compute(H);
+  EXPECT_EQ(tH.path_from(g.id_of(G)), (AsPath{G, A, B, H}));
+  topo::RoutingTable tG = prop.compute(G);
+  EXPECT_EQ(tG.path_from(g.id_of(H)), (AsPath{H, B, A, G}));
+}
+
+TEST(Figure1, SharedSegments) {
+  topo::AsGraph g = figure1_graph();
+  CustomerCone cone{g};
+  ConeResult r = cone.compute(figure1_paths());
+
+  // "Both VPs share visibility of C<D<E and C<D<F (red)."
+  EXPECT_TRUE(r.as_cone.at(C).contains(D));
+  EXPECT_TRUE(r.as_cone.at(C).contains(E));
+  EXPECT_TRUE(r.as_cone.at(C).contains(F));
+  EXPECT_TRUE(r.as_cone.at(D).contains(E));
+  EXPECT_TRUE(r.as_cone.at(D).contains(F));
+}
+
+TEST(Figure1, PerVpSegments) {
+  topo::AsGraph g = figure1_graph();
+  CustomerCone cone{g};
+  ConeResult r = cone.compute(figure1_paths());
+
+  // "B<H from v_g (blue) and A<G from v_h (green)."
+  EXPECT_TRUE(r.as_cone.at(B).contains(H));
+  EXPECT_TRUE(r.as_cone.at(A).contains(G));
+}
+
+TEST(Figure1, DroppedSegmentsStayOut) {
+  topo::AsGraph g = figure1_graph();
+  CustomerCone cone{g};
+  ConeResult r = cone.compute(figure1_paths());
+
+  // The gray (dropped) portions must not leak into cones: A and B peer
+  // with C, so C's cone members never enter A's or B's cone.
+  EXPECT_FALSE(r.as_cone.at(A).contains(C));
+  EXPECT_FALSE(r.as_cone.at(A).contains(D));
+  EXPECT_FALSE(r.as_cone.at(A).contains(E));
+  EXPECT_FALSE(r.as_cone.at(B).contains(D));
+  // G is a stub: its cone is just itself.
+  EXPECT_EQ(r.cone_size(G), 1u);
+  EXPECT_EQ(r.cone_size(H), 1u);
+  // Exact cone contents.
+  EXPECT_EQ(r.cone_size(C), 4u);  // C D E F
+  EXPECT_EQ(r.cone_size(D), 3u);  // D E F
+  EXPECT_EQ(r.cone_size(A), 2u);  // A G
+  EXPECT_EQ(r.cone_size(B), 2u);  // B H
+}
+
+TEST(Figure2, PerVpScoresAndTrim) {
+  // AS 100 ("AS A") is on 3/3 paths at VP1, 2/3 at VP2, 1/3 at VP3 with
+  // equal-size prefixes: per-VP scores 1, 0.67, 0.33. The trim removes
+  // the top and bottom, leaving 0.67 (Figure 2's worked example).
+  std::vector<SanitizedPath> paths;
+  auto add = [&](std::uint32_t vp, AsPath p, std::uint32_t pfx_index) {
+    paths.push_back(mk(vp, std::move(p), pfx_index));
+  };
+  add(1, AsPath{1, 100, 201}, 1);
+  add(1, AsPath{1, 100, 202}, 2);
+  add(1, AsPath{1, 100, 203}, 3);
+  add(2, AsPath{2, 100, 201}, 1);
+  add(2, AsPath{2, 100, 202}, 2);
+  add(2, AsPath{2, 99, 203}, 3);
+  add(3, AsPath{3, 100, 201}, 1);
+  add(3, AsPath{3, 98, 202}, 2);
+  add(3, AsPath{3, 98, 203}, 3);
+
+  Hegemony hegemony;
+  HegemonyResult r = hegemony.compute(paths);
+  ASSERT_EQ(r.vp_count, 3u);
+  EXPECT_NEAR(r.score_of(100), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Figure2, ConeAndHegemonyDisagreeByDesign) {
+  // An AS reached mostly over PEERING scores high on hegemony but low on
+  // customer cone (the Hurricane pattern, §3.3/§5.4).
+  topo::AsGraph g;
+  g.add_p2c(10, 1);  // VP AS 1 buys from 10
+  g.add_p2c(11, 2);
+  g.add_p2c(12, 3);
+  g.add_p2p(10, 50);
+  g.add_p2p(11, 50);
+  g.add_p2p(12, 50);
+  g.add_p2c(50, 60);  // 50's only customer
+  std::vector<SanitizedPath> paths{
+      mk(1, AsPath{1, 10, 50, 60}, 1),
+      mk(2, AsPath{2, 11, 50, 60}, 1),
+      mk(3, AsPath{3, 12, 50, 60}, 1),
+  };
+  CustomerCone cone{g};
+  ConeResult cr = cone.compute(paths);
+  Hegemony hegemony;
+  HegemonyResult hr = hegemony.compute(paths);
+
+  // Hegemony: 50 is on every path -> 1.0 after trim.
+  EXPECT_DOUBLE_EQ(hr.score_of(50), 1.0);
+  // Cone: the peer link 10-50 caps 50's cone to {50, 60}; 10,11,12 gain
+  // nothing.
+  EXPECT_EQ(cr.cone_size(50), 2u);
+  EXPECT_EQ(cr.cone_size(10), 1u);
+}
+
+}  // namespace
+}  // namespace georank::rank

@@ -1,0 +1,51 @@
+#include "rank/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::rank {
+namespace {
+
+TEST(Ranking, SortsDescending) {
+  Ranking r = Ranking::from_scores({{1, 0.2}, {2, 0.9}, {3, 0.5}});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.entries()[0].asn, 2u);
+  EXPECT_EQ(r.entries()[1].asn, 3u);
+  EXPECT_EQ(r.entries()[2].asn, 1u);
+}
+
+TEST(Ranking, TiesBreakByAscendingAsn) {
+  Ranking r = Ranking::from_scores({{30, 0.5}, {10, 0.5}, {20, 0.5}});
+  EXPECT_EQ(r.entries()[0].asn, 10u);
+  EXPECT_EQ(r.entries()[1].asn, 20u);
+  EXPECT_EQ(r.entries()[2].asn, 30u);
+}
+
+TEST(Ranking, RankOfIsOneBased) {
+  Ranking r = Ranking::from_scores({{1, 0.2}, {2, 0.9}});
+  EXPECT_EQ(r.rank_of(2), 1u);
+  EXPECT_EQ(r.rank_of(1), 2u);
+  EXPECT_FALSE(r.rank_of(99).has_value());
+}
+
+TEST(Ranking, ScoreOf) {
+  Ranking r = Ranking::from_scores({{1, 0.25}});
+  EXPECT_DOUBLE_EQ(r.score_of(1), 0.25);
+  EXPECT_DOUBLE_EQ(r.score_of(2), 0.0);
+}
+
+TEST(Ranking, TopClamps) {
+  Ranking r = Ranking::from_scores({{1, 3}, {2, 2}, {3, 1}});
+  EXPECT_EQ(r.top(2).size(), 2u);
+  EXPECT_EQ(r.top(10).size(), 3u);
+  EXPECT_EQ(r.top(2)[0].asn, 1u);
+}
+
+TEST(Ranking, EmptyBehaviour) {
+  Ranking r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.top(5).empty());
+  EXPECT_FALSE(r.rank_of(1).has_value());
+}
+
+}  // namespace
+}  // namespace georank::rank

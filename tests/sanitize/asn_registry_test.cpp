@@ -1,0 +1,63 @@
+#include "sanitize/asn_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::sanitize {
+namespace {
+
+TEST(AsnRegistry, AllocatedRanges) {
+  AsnRegistry r;
+  r.allocate_range(100, 200);
+  r.allocate(500);
+  r.finalize();
+  EXPECT_TRUE(r.allocated(100));
+  EXPECT_TRUE(r.allocated(150));
+  EXPECT_TRUE(r.allocated(200));
+  EXPECT_TRUE(r.allocated(500));
+  EXPECT_FALSE(r.allocated(99));
+  EXPECT_FALSE(r.allocated(201));
+  EXPECT_FALSE(r.allocated(0));
+}
+
+TEST(AsnRegistry, MergesOverlappingRanges) {
+  AsnRegistry r;
+  r.allocate_range(100, 200);
+  r.allocate_range(150, 300);
+  r.allocate_range(301, 400);  // adjacent: merges too
+  r.finalize();
+  EXPECT_TRUE(r.allocated(250));
+  EXPECT_TRUE(r.allocated(400));
+  EXPECT_FALSE(r.allocated(401));
+}
+
+TEST(AsnRegistry, RejectsInvertedRange) {
+  AsnRegistry r;
+  EXPECT_THROW(r.allocate_range(10, 5), std::invalid_argument);
+}
+
+TEST(AsnRegistry, ZeroClampedOut) {
+  AsnRegistry r;
+  r.allocate_range(0, 10);
+  r.finalize();
+  EXPECT_FALSE(r.allocated(0));
+  EXPECT_TRUE(r.allocated(1));
+}
+
+TEST(AsnRegistry, AllAllocatedPath) {
+  AsnRegistry r;
+  r.allocate_range(1, 1000);
+  r.finalize();
+  EXPECT_TRUE(r.all_allocated(bgp::AsPath{1, 2, 3}));
+  EXPECT_FALSE(r.all_allocated(bgp::AsPath{1, 2000, 3}));
+  EXPECT_TRUE(r.all_allocated(bgp::AsPath{}));
+}
+
+TEST(AsnRegistry, Permissive) {
+  AsnRegistry r = AsnRegistry::permissive();
+  EXPECT_TRUE(r.allocated(1));
+  EXPECT_TRUE(r.allocated(4200000000u));
+  EXPECT_FALSE(r.allocated(0));
+}
+
+}  // namespace
+}  // namespace georank::sanitize

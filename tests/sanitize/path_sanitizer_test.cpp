@@ -1,0 +1,245 @@
+#include "sanitize/path_sanitizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::sanitize {
+namespace {
+
+using bgp::AsPath;
+using bgp::Prefix;
+using bgp::RibCollection;
+using bgp::RouteEntry;
+using bgp::VpId;
+
+Prefix pfx(const char* text) { return *Prefix::parse(text); }
+
+constexpr VpId kVpUs{0x0A000001, 500};
+constexpr VpId kVpAu{0x14000001, 600};
+constexpr VpId kVpMultihop{0x0A000002, 510};
+
+struct Fixture {
+  geo::GeoDatabase geo_db;
+  geo::VpGeolocator vps;
+  AsnRegistry registry;
+  RibCollection ribs;
+
+  Fixture() {
+    geo_db.add_range(pfx("10.0.0.0/8").first(), pfx("10.0.0.0/8").last(),
+                     geo::CountryCode::of("US"));
+    geo_db.add_range(pfx("20.0.0.0/8").first(), pfx("20.0.0.0/8").last(),
+                     geo::CountryCode::of("AU"));
+    geo_db.finalize();
+
+    vps.add_collector({"us", geo::CountryCode::of("US"), false});
+    vps.add_collector({"au", geo::CountryCode::of("AU"), false});
+    vps.add_collector({"mh", geo::CountryCode::of("US"), true});
+    vps.register_vp(kVpUs, "us");
+    vps.register_vp(kVpAu, "au");
+    vps.register_vp(kVpMultihop, "mh");
+
+    registry.allocate_range(1, 1000);
+    registry.finalize();
+
+    ribs.days.resize(5);
+    for (int d = 0; d < 5; ++d) ribs.days[d].day = d;
+  }
+
+  void add(const VpId& vp, const char* prefix, AsPath path, int days = 5) {
+    for (int d = 0; d < days; ++d) {
+      ribs.days[d].entries.push_back(RouteEntry{vp, pfx(prefix), path});
+    }
+  }
+
+  SanitizeResult run(SanitizerOptions options = {}) {
+    if (options.clique.empty()) options.clique = {1, 2};
+    PathSanitizer sanitizer{geo_db, vps, registry, options};
+    return sanitizer.run(ribs);
+  }
+};
+
+TEST(IsPoisoned, DetectsCliqueSandwich) {
+  std::vector<bgp::Asn> clique{1, 2, 3};
+  EXPECT_TRUE(is_poisoned(AsPath{1, 99, 2}, clique));
+  EXPECT_TRUE(is_poisoned(AsPath{9, 1, 99, 98, 3, 8}, clique));
+  EXPECT_FALSE(is_poisoned(AsPath{1, 2, 99}, clique));   // adjacent clique
+  EXPECT_FALSE(is_poisoned(AsPath{99, 1, 98}, clique));  // single clique hop
+  EXPECT_FALSE(is_poisoned(AsPath{1, 99, 98}, clique));
+  EXPECT_FALSE(is_poisoned(AsPath{1, 99, 2}, {}));       // no clique known
+}
+
+TEST(PathSanitizer, AcceptsCleanPath) {
+  Fixture f;
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 100});
+  SanitizeResult r = f.run();
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_EQ(r.stats.accepted, 5u);  // one entry per day
+  EXPECT_EQ(r.stats.duplicates_merged, 4u);
+  const SanitizedPath& sp = r.paths[0];
+  EXPECT_EQ(sp.vp, kVpUs);
+  EXPECT_EQ(sp.vp_country, geo::CountryCode::of("US"));
+  EXPECT_EQ(sp.prefix_country, geo::CountryCode::of("US"));
+  EXPECT_EQ(sp.weight, 65536u);
+}
+
+TEST(PathSanitizer, RejectsUnstablePrefix) {
+  Fixture f;
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 100}, /*days=*/3);
+  SanitizeResult r = f.run();
+  EXPECT_TRUE(r.paths.empty());
+  EXPECT_EQ(r.stats.unstable, 3u);
+  EXPECT_EQ(r.stats.accepted, 0u);
+}
+
+TEST(PathSanitizer, StabilityIsPerPrefixNotPerVp) {
+  Fixture f;
+  // The prefix is visible every day, but from different VPs.
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 100}, /*days=*/3);
+  for (int d = 3; d < 5; ++d) {
+    f.ribs.days[d].entries.push_back(
+        RouteEntry{kVpAu, pfx("10.1.0.0/16"), AsPath{600, 2, 1, 100}});
+  }
+  SanitizeResult r = f.run();
+  EXPECT_EQ(r.stats.unstable, 0u);
+  EXPECT_EQ(r.stats.accepted, 5u);
+  EXPECT_EQ(r.paths.size(), 2u);  // two distinct (vp, path) combos
+}
+
+TEST(PathSanitizer, RejectsUnallocatedAsn) {
+  Fixture f;
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 5000, 100});
+  SanitizeResult r = f.run();
+  EXPECT_TRUE(r.paths.empty());
+  EXPECT_EQ(r.stats.unallocated, 5u);
+}
+
+TEST(PathSanitizer, RejectsLoopedPath) {
+  Fixture f;
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 500, 100});
+  SanitizeResult r = f.run();
+  EXPECT_TRUE(r.paths.empty());
+  EXPECT_EQ(r.stats.loop, 5u);
+}
+
+TEST(PathSanitizer, RejectsPoisonedPath) {
+  Fixture f;
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 99, 2, 100});
+  SanitizeResult r = f.run();
+  EXPECT_TRUE(r.paths.empty());
+  EXPECT_EQ(r.stats.poisoned, 5u);
+}
+
+TEST(PathSanitizer, RejectsMultihopVp) {
+  Fixture f;
+  f.add(kVpMultihop, "10.1.0.0/16", AsPath{510, 1, 100});
+  SanitizeResult r = f.run();
+  EXPECT_TRUE(r.paths.empty());
+  EXPECT_EQ(r.stats.vp_no_location, 5u);
+}
+
+TEST(PathSanitizer, RejectsCoveredPrefix) {
+  Fixture f;
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 100});
+  f.add(kVpUs, "10.1.0.0/17", AsPath{500, 1, 100});
+  f.add(kVpUs, "10.1.128.0/17", AsPath{500, 1, 100});
+  SanitizeResult r = f.run();
+  EXPECT_EQ(r.stats.covered_prefix, 5u);
+  EXPECT_EQ(r.paths.size(), 2u);
+}
+
+TEST(PathSanitizer, RejectsUngeolocatablePrefix) {
+  Fixture f;
+  f.add(kVpUs, "30.1.0.0/16", AsPath{500, 1, 100});  // outside the geo DB
+  SanitizeResult r = f.run();
+  EXPECT_TRUE(r.paths.empty());
+  EXPECT_EQ(r.stats.prefix_no_location, 5u);
+}
+
+TEST(PathSanitizer, StripsRouteServersAndPrepending) {
+  Fixture f;
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 777, 1, 1, 100});
+  SanitizerOptions options;
+  options.route_server_asns = {777};
+  SanitizeResult r = f.run(std::move(options));
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_EQ(r.paths[0].path, (AsPath{500, 1, 100}));
+}
+
+TEST(PathSanitizer, AccountingSumsToTotal) {
+  Fixture f;
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 100});            // accepted
+  f.add(kVpUs, "10.2.0.0/16", AsPath{500, 1, 101}, 2);         // unstable
+  f.add(kVpUs, "10.3.0.0/16", AsPath{500, 5000, 102});         // unallocated
+  f.add(kVpAu, "20.1.0.0/16", AsPath{600, 2, 600, 103});       // loop
+  f.add(kVpMultihop, "10.4.0.0/16", AsPath{510, 1, 104});      // vp no loc
+  f.add(kVpUs, "30.0.0.0/16", AsPath{500, 1, 105});            // pfx no loc
+  SanitizeResult r = f.run();
+  EXPECT_EQ(r.stats.total,
+            r.stats.accepted + r.stats.rejected());
+  EXPECT_EQ(r.stats.total, 5u * 5u + 2u);
+}
+
+TEST(PathSanitizer, InfersCliqueWhenNotGiven) {
+  Fixture f;
+  // Clique {1,2} visible through cross traffic.
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 2, 100});
+  f.add(kVpAu, "10.1.0.0/16", AsPath{600, 2, 1, 100});
+  f.add(kVpUs, "20.1.0.0/16", AsPath{500, 1, 2, 600});
+  f.add(kVpAu, "20.2.0.0/16", AsPath{600, 2, 1, 500});
+  SanitizerOptions options;  // no explicit clique
+  PathSanitizer sanitizer{f.geo_db, f.vps, f.registry, options};
+  SanitizeResult r = sanitizer.run(f.ribs);
+  EXPECT_FALSE(r.clique.empty());
+}
+
+TEST(PathSanitizer, StabilityDaysOverride) {
+  Fixture f;
+  // Present on 3 of 5 days: unstable under the default rule...
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 100}, /*days=*/3);
+  SanitizeResult strict = f.run();
+  EXPECT_EQ(strict.stats.unstable, 3u);
+  // ...but acceptable when only 3 days of presence are required.
+  SanitizerOptions options;
+  options.stability_days = 3;
+  SanitizeResult relaxed = f.run(std::move(options));
+  EXPECT_EQ(relaxed.stats.unstable, 0u);
+  EXPECT_EQ(relaxed.stats.accepted, 3u);
+}
+
+TEST(PathSanitizer, CapturesRejectedSamples) {
+  Fixture f;
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 500, 100});      // loop x5 days
+  f.add(kVpMultihop, "10.2.0.0/16", AsPath{510, 1, 104});     // vp no loc x5
+  SanitizerOptions options;
+  options.samples_per_category = 2;
+  SanitizeResult r = f.run(std::move(options));
+  std::size_t loops = 0, vp_no_loc = 0;
+  for (const RejectedSample& s : r.samples) {
+    if (s.reason == FilterReason::kLoop) ++loops;
+    if (s.reason == FilterReason::kVpNoLocation) ++vp_no_loc;
+  }
+  // Capped at 2 per category despite 5 rejected entries each.
+  EXPECT_EQ(loops, 2u);
+  EXPECT_EQ(vp_no_loc, 2u);
+  // The sample carries the offending entry.
+  EXPECT_EQ(r.samples[0].entry.path, (AsPath{500, 1, 500, 100}));
+}
+
+TEST(PathSanitizer, NoSamplesByDefault) {
+  Fixture f;
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 500, 100});
+  SanitizeResult r = f.run();
+  EXPECT_TRUE(r.samples.empty());
+}
+
+TEST(PathSanitizer, DeduplicatesAcrossDays) {
+  Fixture f;
+  f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 100});
+  f.add(kVpAu, "10.1.0.0/16", AsPath{600, 2, 100});
+  SanitizeResult r = f.run();
+  EXPECT_EQ(r.paths.size(), 2u);
+  EXPECT_EQ(r.stats.accepted, 10u);
+  EXPECT_EQ(r.stats.duplicates_merged, 8u);
+}
+
+}  // namespace
+}  // namespace georank::sanitize

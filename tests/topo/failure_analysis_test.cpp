@@ -1,0 +1,118 @@
+#include "topo/failure_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::topo {
+namespace {
+
+using bgp::Prefix;
+
+Prefix pfx(const char* text) { return *Prefix::parse(text); }
+
+// Topology: observer 100 (tier) -- customers 1, 2; 1 and 2 both provide
+// stub 10 (multihomed); 1 alone provides stub 11 (single-homed).
+AsGraph diamond() {
+  AsGraph g;
+  g.add_p2c(100, 1);
+  g.add_p2c(100, 2);
+  g.add_p2c(1, 10);
+  g.add_p2c(2, 10);
+  g.add_p2c(1, 11);
+  return g;
+}
+
+std::vector<PrefixOrigin> targets() {
+  return {{pfx("10.0.0.0/24"), 10, 0}, {pfx("10.0.1.0/24"), 11, 0}};
+}
+
+TEST(FailureAnalysis, SingleHomedSpaceGoesDark) {
+  AsGraph g = diamond();
+  FailureAnalyzer analyzer{g, targets(), {100}};
+  FailureImpact impact = analyzer.assess(1);
+  EXPECT_EQ(impact.total, 512u);
+  // Stub 11 is only reachable via AS 1: 256 addresses go dark.
+  EXPECT_EQ(impact.unreachable, 256u);
+  // Stub 10 survives via AS 2 (possibly rerouted).
+  EXPECT_LE(impact.rerouted, 256u);
+  EXPECT_NEAR(impact.unreachable_share(), 0.5, 1e-9);
+}
+
+TEST(FailureAnalysis, MultihomedSpaceSurvives) {
+  AsGraph g = diamond();
+  FailureAnalyzer analyzer{g, targets(), {100}};
+  FailureImpact impact = analyzer.assess(2);
+  // AS 2 only carries (part of) stub 10's multihomed traffic.
+  EXPECT_EQ(impact.unreachable, 0u);
+}
+
+TEST(FailureAnalysis, FailingTheObserversOnlyProviderKillsEverything) {
+  AsGraph g = diamond();
+  // Observe from stub 11: everything it reaches goes through AS 1.
+  FailureAnalyzer analyzer{g, {{pfx("10.0.0.0/24"), 10, 0}}, {11}};
+  FailureImpact impact = analyzer.assess(1);
+  EXPECT_EQ(impact.unreachable, 256u);
+}
+
+TEST(FailureAnalysis, FailingAnUninvolvedAsChangesNothing) {
+  AsGraph g = diamond();
+  g.add_as(999);
+  FailureAnalyzer analyzer{g, targets(), {100}};
+  FailureImpact impact = analyzer.assess(999);
+  EXPECT_EQ(impact.unreachable, 0u);
+  EXPECT_EQ(impact.rerouted, 0u);
+  EXPECT_EQ(impact.total, 512u);
+}
+
+TEST(FailureAnalysis, FailedOriginIsFullyUnreachable) {
+  AsGraph g = diamond();
+  FailureAnalyzer analyzer{g, targets(), {100}};
+  FailureImpact impact = analyzer.assess(10);
+  EXPECT_EQ(impact.unreachable, 256u);  // stub 10's own space
+}
+
+TEST(FailureAnalysis, WeightsDefaultToPrefixSize) {
+  AsGraph g = diamond();
+  FailureAnalyzer analyzer{g, {{pfx("10.0.0.0/23"), 11, 0}}, {100}};
+  FailureImpact impact = analyzer.assess(1);
+  EXPECT_EQ(impact.total, 512u);
+  EXPECT_EQ(impact.unreachable, 512u);
+}
+
+TEST(FailureAnalysis, ExplicitWeightsRespected) {
+  AsGraph g = diamond();
+  FailureAnalyzer analyzer{g, {{pfx("10.0.0.0/24"), 11, 1000}}, {100}};
+  FailureImpact impact = analyzer.assess(1);
+  EXPECT_EQ(impact.unreachable, 1000u);
+}
+
+TEST(FailureAnalysis, RankCandidatesOrdersByImpact) {
+  AsGraph g = diamond();
+  FailureAnalyzer analyzer{g, targets(), {100}};
+  auto ranked = analyzer.rank_candidates(std::vector<bgp::Asn>{2, 1, 999});
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].failed, 1u);  // kills single-homed space
+  EXPECT_GT(ranked[0].unreachable, ranked[1].unreachable);
+  EXPECT_EQ(ranked[2].unreachable, 0u);
+}
+
+TEST(FailureAnalysis, PermanentlyDarkTargetsExcluded) {
+  AsGraph g = diamond();
+  g.add_as(500);  // isolated origin: never reachable
+  std::vector<PrefixOrigin> t = targets();
+  t.push_back({pfx("10.0.2.0/24"), 500, 0});
+  FailureAnalyzer analyzer{g, t, {100}};
+  FailureImpact impact = analyzer.assess(1);
+  EXPECT_EQ(impact.total, 512u);  // the dark /24 is not assessed
+}
+
+TEST(RoutePropagation, FailedNodeLearnsAndPropagatesNothing) {
+  AsGraph g = diamond();
+  RoutePropagator prop{g};
+  RoutingTable t = prop.compute(11, 0, g.id_of(1));
+  EXPECT_FALSE(t.reachable(g.id_of(1)));
+  EXPECT_FALSE(t.reachable(g.id_of(100)));  // only path ran through 1
+  EXPECT_TRUE(t.reachable(g.id_of(11)));    // the origin itself
+}
+
+}  // namespace
+}  // namespace georank::topo

@@ -1,0 +1,252 @@
+#include "topo/route_propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace georank::topo {
+namespace {
+
+using bgp::AsPath;
+
+// The Figure 1 topology from the paper:
+//   A, B, C are mutual peers. C<D, D<E, D<F, A<G, B<H ("X<Y": X provides Y).
+AsGraph figure1_graph() {
+  AsGraph g;
+  g.add_p2p(101, 102);  // A-B
+  g.add_p2p(101, 103);  // A-C
+  g.add_p2p(102, 103);  // B-C
+  g.add_p2c(103, 104);  // C<D
+  g.add_p2c(104, 105);  // D<E
+  g.add_p2c(104, 106);  // D<F
+  g.add_p2c(101, 107);  // A<G
+  g.add_p2c(102, 108);  // B<H
+  return g;
+}
+
+TEST(RoutePropagation, OriginHasTrivialRoute) {
+  AsGraph g = figure1_graph();
+  RoutePropagator prop{g};
+  RoutingTable t = prop.compute(105);
+  EXPECT_EQ(t.at(g.id_of(105)).kind, RouteKind::kOrigin);
+  EXPECT_EQ(t.path_from(g.id_of(105)), (AsPath{105}));
+}
+
+TEST(RoutePropagation, CustomerRoutesClimbProviders) {
+  AsGraph g = figure1_graph();
+  RoutePropagator prop{g};
+  RoutingTable t = prop.compute(105);  // origin E
+  // D and C learn customer routes.
+  EXPECT_EQ(t.at(g.id_of(104)).kind, RouteKind::kCustomer);
+  EXPECT_EQ(t.at(g.id_of(103)).kind, RouteKind::kCustomer);
+  EXPECT_EQ(t.path_from(g.id_of(103)), (AsPath{103, 104, 105}));
+}
+
+TEST(RoutePropagation, PeerRoutesSingleHop) {
+  AsGraph g = figure1_graph();
+  RoutePropagator prop{g};
+  RoutingTable t = prop.compute(105);
+  // A and B learn E via their peer C.
+  EXPECT_EQ(t.at(g.id_of(101)).kind, RouteKind::kPeer);
+  EXPECT_EQ(t.at(g.id_of(102)).kind, RouteKind::kPeer);
+  EXPECT_EQ(t.path_from(g.id_of(101)), (AsPath{101, 103, 104, 105}));
+}
+
+TEST(RoutePropagation, ProviderRoutesDescendToStubs) {
+  AsGraph g = figure1_graph();
+  RoutePropagator prop{g};
+  RoutingTable t = prop.compute(105);
+  // G (customer of A) learns via provider A.
+  EXPECT_EQ(t.at(g.id_of(107)).kind, RouteKind::kProvider);
+  EXPECT_EQ(t.path_from(g.id_of(107)), (AsPath{107, 101, 103, 104, 105}));
+  EXPECT_EQ(t.path_from(g.id_of(108)), (AsPath{108, 102, 103, 104, 105}));
+}
+
+TEST(RoutePropagation, PrefersCustomerOverPeerRoute) {
+  // X has a customer route AND a peer route to the origin; must pick the
+  // customer route even when longer.
+  AsGraph g;
+  g.add_p2c(1, 2);   // X=1 provides 2
+  g.add_p2c(2, 3);   // 2 provides 3
+  g.add_p2c(3, 99);  // 3 provides origin: customer chain length 3
+  g.add_p2p(1, 4);   // X peers 4
+  g.add_p2c(4, 99);  // 4 provides origin: peer route length 2
+  RoutePropagator prop{g};
+  RoutingTable t = prop.compute(99);
+  EXPECT_EQ(t.at(g.id_of(1)).kind, RouteKind::kCustomer);
+  EXPECT_EQ(t.path_from(g.id_of(1)), (AsPath{1, 2, 3, 99}));
+}
+
+TEST(RoutePropagation, PrefersPeerOverProviderRoute) {
+  AsGraph g;
+  g.add_p2p(1, 2);   // 1 peers 2
+  g.add_p2c(2, 99);  // peer route via 2
+  g.add_p2c(3, 1);   // 3 provides 1
+  g.add_p2c(3, 99);  // provider route via 3 (same length)
+  RoutePropagator prop{g};
+  RoutingTable t = prop.compute(99);
+  EXPECT_EQ(t.at(g.id_of(1)).kind, RouteKind::kPeer);
+  EXPECT_EQ(t.path_from(g.id_of(1)), (AsPath{1, 2, 99}));
+}
+
+TEST(RoutePropagation, ShorterPathWinsWithinClass) {
+  AsGraph g;
+  // Two provider chains to the origin: length 2 vs length 3.
+  g.add_p2c(10, 1);
+  g.add_p2c(11, 1);
+  g.add_p2c(10, 99);           // 1 -> 10 -> 99
+  g.add_p2c(12, 11);           // irrelevant longer path pieces
+  g.add_p2c(12, 99);           // 1 -> 11 -> 12? no: 11 learns via provider 12
+  RoutePropagator prop{g};
+  RoutingTable t = prop.compute(99);
+  EXPECT_EQ(t.at(g.id_of(1)).length, 2);
+  EXPECT_EQ(t.path_from(g.id_of(1)), (AsPath{1, 10, 99}));
+}
+
+TEST(RoutePropagation, PeerRouteNotReExportedToPeers) {
+  // origin-9 <peer> A <peer> B : B must NOT reach the origin through two
+  // consecutive peer links.
+  AsGraph g;
+  g.add_p2p(9, 1);
+  g.add_p2p(1, 2);
+  RoutePropagator prop{g};
+  RoutingTable t = prop.compute(9);
+  EXPECT_EQ(t.at(g.id_of(1)).kind, RouteKind::kPeer);
+  EXPECT_EQ(t.at(g.id_of(2)).kind, RouteKind::kNone);
+}
+
+TEST(RoutePropagation, ProviderRouteNotExportedUpward) {
+  // A provider must not re-export a provider-learned route to ITS provider.
+  AsGraph g;
+  g.add_p2c(2, 1);   // 2 provides 1
+  g.add_p2c(3, 2);   // 3 provides 2
+  g.add_p2c(2, 99);  // 2 provides origin
+  RoutePropagator prop{g};
+  RoutingTable t = prop.compute(99);
+  // 1 learns from its provider 2. 3 learns from its CUSTOMER 2. Both ok.
+  EXPECT_EQ(t.at(g.id_of(1)).kind, RouteKind::kProvider);
+  EXPECT_EQ(t.at(g.id_of(3)).kind, RouteKind::kCustomer);
+}
+
+TEST(RoutePropagation, UnreachableWithoutValleyFreePath) {
+  // 1 <- 2 (2 is customer of 1); origin is a SIBLING customer of 2's
+  // customer: 2 -> 3, and origin 99 is provider of 3. Path 3..99 would
+  // need customer->provider at the end: not exportable to 3's provider.
+  AsGraph g;
+  g.add_p2c(2, 3);
+  g.add_p2c(99, 3);  // 99 provides 3
+  g.add_p2c(1, 2);
+  RoutePropagator prop{g};
+  RoutingTable t = prop.compute(99);
+  // 3 reaches 99 via provider; 2 must NOT hear about it from customer 3
+  // (3 cannot export a provider route upward), so 2 and 1 are unreachable.
+  EXPECT_EQ(t.at(g.id_of(3)).kind, RouteKind::kProvider);
+  EXPECT_EQ(t.at(g.id_of(2)).kind, RouteKind::kNone);
+  EXPECT_EQ(t.at(g.id_of(1)).kind, RouteKind::kNone);
+}
+
+TEST(RoutePropagation, DeterministicTiebreakWithoutSalt) {
+  AsGraph g;
+  g.add_p2c(10, 1);
+  g.add_p2c(20, 1);
+  g.add_p2c(10, 99);
+  g.add_p2c(20, 99);
+  RoutePropagator prop{g};
+  RoutingTable t = prop.compute(99, 0);
+  // Lowest-ASN neighbor wins equal-cost ties with salt 0.
+  EXPECT_EQ(t.path_from(g.id_of(1)), (AsPath{1, 10, 99}));
+}
+
+TEST(RoutePropagation, SaltVariesEqualCostChoice) {
+  AsGraph g;
+  g.add_p2c(10, 1);
+  g.add_p2c(20, 1);
+  g.add_p2c(10, 99);
+  g.add_p2c(20, 99);
+  RoutePropagator prop{g};
+  bool saw10 = false, saw20 = false;
+  for (std::uint64_t salt = 1; salt <= 32; ++salt) {
+    RoutingTable t = prop.compute(99, salt);
+    bgp::AsPath p = t.path_from(g.id_of(1));
+    if (p[1] == 10) saw10 = true;
+    if (p[1] == 20) saw20 = true;
+  }
+  EXPECT_TRUE(saw10);
+  EXPECT_TRUE(saw20);
+}
+
+TEST(IsValleyFree, AcceptsAndRejects) {
+  AsGraph g = figure1_graph();
+  // Up, peer, down: valid.
+  EXPECT_TRUE(is_valley_free(g, AsPath{107, 101, 103, 104, 105}));
+  // Pure descent (from C down to E): valid.
+  EXPECT_TRUE(is_valley_free(g, AsPath{103, 104, 105}));
+  // Two peer links: invalid.
+  EXPECT_FALSE(is_valley_free(g, AsPath{101, 102, 103, 104}));
+  // Down then up (valley): invalid. G..A is up; craft A->G->? none; use
+  // D: path C D (down) then D's provider C again would be a loop; instead
+  // E -> D (up) fine, D -> C (up) fine, C -> A (peer), A -> B (peer) bad.
+  EXPECT_FALSE(is_valley_free(g, AsPath{105, 104, 103, 101, 102}));
+  // Unknown link: invalid.
+  EXPECT_FALSE(is_valley_free(g, AsPath{105, 107}));
+  // Trivial paths are valley-free.
+  EXPECT_TRUE(is_valley_free(g, AsPath{105}));
+}
+
+// Property: every propagated path is valley-free and loop-free on random
+// graphs.
+class PropagationPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropagationPropertyTest, AllPathsValleyFreeAndLoopFree) {
+  util::Pcg32 rng{GetParam()};
+  AsGraph g;
+  constexpr int kTier1 = 3, kMid = 8, kStub = 20;
+  // Clique.
+  for (int i = 0; i < kTier1; ++i) {
+    for (int j = i + 1; j < kTier1; ++j) g.add_p2p(100 + i, 100 + j);
+  }
+  // Mid tier: customers of 1-2 tier1s, some lateral peering.
+  for (int m = 0; m < kMid; ++m) {
+    bgp::Asn asn = 200 + m;
+    g.add_p2c(100 + rng.below(kTier1), asn);
+    if (rng.chance(0.5)) {
+      bgp::Asn other = 100 + rng.below(kTier1);
+      if (!g.relationship(other, asn)) g.add_p2c(other, asn);
+    }
+    for (int p = 0; p < m; ++p) {
+      if (rng.chance(0.2) && !g.relationship(200 + p, asn)) {
+        g.add_p2p(200 + p, asn);
+      }
+    }
+  }
+  // Stubs: customers of 1-2 mid tiers.
+  for (int s = 0; s < kStub; ++s) {
+    bgp::Asn asn = 300 + s;
+    g.add_p2c(200 + rng.below(kMid), asn);
+    if (rng.chance(0.4)) {
+      bgp::Asn other = 200 + rng.below(kMid);
+      if (!g.relationship(other, asn)) g.add_p2c(other, asn);
+    }
+  }
+
+  RoutePropagator prop{g};
+  for (bgp::Asn origin : {bgp::Asn{300}, bgp::Asn{305}, bgp::Asn{200},
+                          bgp::Asn{100}}) {
+    RoutingTable t = prop.compute(origin, GetParam());
+    for (NodeId id = 0; id < g.size(); ++id) {
+      if (!t.reachable(id)) continue;
+      bgp::AsPath path = t.path_from(id);
+      EXPECT_FALSE(path.has_nonadjacent_duplicate()) << path.to_string();
+      EXPECT_TRUE(is_valley_free(g, path)) << path.to_string();
+      EXPECT_EQ(path.origin(), origin);
+      EXPECT_EQ(path.vp_as(), g.asn_of(id));
+      EXPECT_EQ(path.size(), static_cast<std::size_t>(t.at(id).length) + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace georank::topo

@@ -1,0 +1,176 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace georank::util {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, DifferentStreamsDiverge) {
+  Pcg32 a{1, 0}, b{1, 1};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, BelowRespectsBound) {
+  Pcg32 rng{7};
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32, BelowOneIsAlwaysZero) {
+  Pcg32 rng{7};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Pcg32, BelowCoversAllValues) {
+  Pcg32 rng{11};
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Pcg32, RangeInclusive) {
+  Pcg32 rng{9};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, RangeHandlesWideSpans) {
+  Pcg32 rng{21};
+  // Span wider than 32 bits exercises the two-draw branch.
+  for (int i = 0; i < 200; ++i) {
+    auto v = rng.range(-5000000000LL, 5000000000LL);
+    EXPECT_GE(v, -5000000000LL);
+    EXPECT_LE(v, 5000000000LL);
+  }
+  // Degenerate single-value span.
+  EXPECT_EQ(rng.range(7, 7), 7);
+}
+
+TEST(Pcg32, UniformInHalfOpenUnitInterval) {
+  Pcg32 rng{5};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32, ChanceExtremes) {
+  Pcg32 rng{5};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Pcg32, ChanceApproximatesProbability) {
+  Pcg32 rng{17};
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Pcg32, LogUniformStaysInBounds) {
+  Pcg32 rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.log_uniform(256, 65536);
+    EXPECT_GE(v, 256u);
+    EXPECT_LE(v, 65536u);
+  }
+}
+
+TEST(Pcg32, LogUniformDegenerateRange) {
+  Pcg32 rng{3};
+  EXPECT_EQ(rng.log_uniform(100, 100), 100u);
+  EXPECT_EQ(rng.log_uniform(100, 50), 100u);
+  EXPECT_GE(rng.log_uniform(0, 10), 1u);  // lo clamped to 1
+}
+
+TEST(Pcg32, ForkProducesIndependentStream) {
+  Pcg32 a{42};
+  Pcg32 forked = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == forked.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(SampleIndices, DistinctAndInRange) {
+  Pcg32 rng{8};
+  auto idx = sample_indices(20, 7, rng);
+  ASSERT_EQ(idx.size(), 7u);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 7u);
+  for (std::size_t i : idx) EXPECT_LT(i, 20u);
+}
+
+TEST(SampleIndices, KLargerThanNClamps) {
+  Pcg32 rng{8};
+  auto idx = sample_indices(5, 50, rng);
+  EXPECT_EQ(idx.size(), 5u);
+}
+
+TEST(SampleIndices, FullSampleIsPermutation) {
+  Pcg32 rng{8};
+  auto idx = sample_indices(10, 10, rng);
+  std::sort(idx.begin(), idx.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(idx[i], i);
+}
+
+TEST(Shuffle, IsPermutation) {
+  Pcg32 rng{6};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  shuffle(std::span<int>(v), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t s = 0;
+  auto a = splitmix64(s);
+  auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace georank::util

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace georank::util {
+namespace {
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stdev, Basics) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stdev(v), 2.138, 0.001);
+  std::vector<double> single{3};
+  EXPECT_DOUBLE_EQ(stdev(single), 0.0);
+}
+
+TEST(Median, OddAndEven) {
+  std::vector<double> odd{3, 1, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  std::vector<double> even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.125), 15.0);
+}
+
+TEST(TrimmedMean, NoTrimEqualsMean) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.0), 3.0);
+}
+
+TEST(TrimmedMean, RemovesExtremes) {
+  // 10 values; 10% trim removes 1 from each end.
+  std::vector<double> v{100, 1, 2, 3, 4, 5, 6, 7, 8, -100};
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.10), 4.5);
+}
+
+TEST(TrimmedMean, SmallSampleFallsBackToMean) {
+  std::vector<double> v{1, 100};
+  // floor(0.4 * 2) = 0 -> plain mean.
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.4), 50.5);
+}
+
+TEST(TrimmedMean, OverTrimFallsBackToMean) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.5), 2.0);
+}
+
+TEST(Gini, PerfectEqualityIsZero) {
+  std::vector<double> v{5, 5, 5, 5};
+  EXPECT_NEAR(gini(v), 0.0, 1e-9);
+}
+
+TEST(Gini, ConcentrationApproachesOne) {
+  std::vector<double> v{0, 0, 0, 0, 0, 0, 0, 0, 0, 100};
+  EXPECT_GT(gini(v), 0.85);
+}
+
+TEST(Gini, EmptyAndZeroTotals) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  std::vector<double> zeros{0, 0};
+  EXPECT_DOUBLE_EQ(gini(zeros), 0.0);
+}
+
+TEST(DescendingRanks, SimpleOrdering) {
+  std::vector<double> v{10, 30, 20};
+  auto r = descending_ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(DescendingRanks, TiesAveraged) {
+  std::vector<double> v{5, 5, 1};
+  auto r = descending_ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.5);
+  EXPECT_DOUBLE_EQ(r[1], 1.5);
+  EXPECT_DOUBLE_EQ(r[2], 3.0);
+}
+
+TEST(Spearman, PerfectCorrelation) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{10, 20, 30, 40, 50};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-9);
+}
+
+TEST(Spearman, PerfectAnticorrelation) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{50, 40, 30, 20, 10};
+  EXPECT_NEAR(spearman(a, b), -1.0, 1e-9);
+}
+
+TEST(Spearman, DegenerateInputs) {
+  std::vector<double> a{1};
+  std::vector<double> b{2};
+  EXPECT_DOUBLE_EQ(spearman(a, b), 0.0);
+  std::vector<double> c{1, 1, 1};
+  std::vector<double> d{1, 2, 3};
+  EXPECT_DOUBLE_EQ(spearman(c, d), 0.0);  // zero variance in ranks
+}
+
+}  // namespace
+}  // namespace georank::util

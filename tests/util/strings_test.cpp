@@ -1,0 +1,78 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  auto parts = split("a||b|", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleField) {
+  auto parts = split("abc", '|');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWs, DropsRuns) {
+  auto parts = split_ws("  1299   3356\t174  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "1299");
+  EXPECT_EQ(parts[2], "174");
+}
+
+TEST(SplitWs, EmptyInput) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   \t ").empty());
+}
+
+TEST(Trim, Basics) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("ab"), "ab");
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(ParseInt, StrictWholeString) {
+  EXPECT_EQ(parse_int<int>("42"), 42);
+  EXPECT_EQ(parse_int<int>("-7"), -7);
+  EXPECT_FALSE(parse_int<int>("42x").has_value());
+  EXPECT_FALSE(parse_int<int>("").has_value());
+  EXPECT_FALSE(parse_int<int>(" 42").has_value());
+  EXPECT_FALSE(parse_int<unsigned>("-1").has_value());
+}
+
+TEST(ParseInt, Overflow) {
+  EXPECT_FALSE(parse_int<std::uint8_t>("300").has_value());
+  EXPECT_EQ(parse_int<std::uint32_t>("4294967295"), 4294967295u);
+  EXPECT_FALSE(parse_int<std::uint32_t>("4294967296").has_value());
+}
+
+TEST(HumanCount, Scales) {
+  EXPECT_EQ(human_count(950), "950");
+  EXPECT_EQ(human_count(10543), "10.5 k");
+  EXPECT_EQ(human_count(1234567), "1.2 m");
+  EXPECT_EQ(human_count(2.5e9), "2.5 b");
+}
+
+TEST(Percent, Formats) {
+  EXPECT_EQ(percent(0.4387), "44%");
+  EXPECT_EQ(percent(0.4387, 1), "43.9%");
+  EXPECT_EQ(percent(0.0), "0%");
+  EXPECT_EQ(percent(1.0), "100%");
+}
+
+}  // namespace
+}  // namespace georank::util

@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::util {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t{{"asn", "name"}};
+  t.add_row({"1221", "Telstra"});
+  t.add_row({"4826", "Vocus"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("asn"), std::string::npos);
+  EXPECT_NE(out.find("Telstra"), std::string::npos);
+  EXPECT_NE(out.find("4826"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, PadsToWidestCell) {
+  Table t{{"h"}};
+  t.add_row({"wide-cell-content"});
+  std::string out = t.render();
+  // Every line should have the same length.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, RightAlignment) {
+  Table t{{"num"}};
+  t.set_align(0, Align::kRight);
+  t.add_row({"7"});
+  t.add_row({"12345"});
+  std::string out = t.render();
+  // "7" should be preceded by spaces up to width 5.
+  EXPECT_NE(out.find("|     7 |"), std::string::npos);
+}
+
+TEST(Table, MissingAndExtraCells) {
+  Table t{{"a", "b"}};
+  t.add_row({"only-a"});
+  t.add_row({"x", "y", "dropped"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("only-a"), std::string::npos);
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+}
+
+TEST(Table, RuleSeparatesGroups) {
+  Table t{{"a"}};
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  std::string out = t.render();
+  // Header rule + top + bottom + group rule = 4 '+--' lines.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos; ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+}  // namespace
+}  // namespace georank::util

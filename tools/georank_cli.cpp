@@ -1,0 +1,530 @@
+// georank — command-line front end to the library.
+//
+// Subcommands:
+//
+//   generate   synthesize a world and write its data-set files:
+//                ribs.txt (bgpdump -m style), as-rel.txt (CAIDA format),
+//                geo.csv, collectors.csv, vps.csv, as-info.csv
+//   sanitize   run the Table-1 filtering over a data-set directory
+//   rank       compute CCI/AHI/CCN/AHN (+AHC/CTI) for one country
+//   stability  VP-downsampling NDCG analysis for one country's view
+//
+// The generate output is exactly what the other subcommands consume, so
+//   georank generate --out data/ && georank rank --dir data/ --country AU
+// is a complete offline reproduction loop. Real RouteViews/RIS exports
+// in the same formats slot straight in.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "bgp/update_stream.hpp"
+#include "core/pipeline.hpp"
+#include "core/rank_delta.hpp"
+#include "core/report.hpp"
+#include "core/stability.hpp"
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+#include "infer/relationships.hpp"
+#include "io/as_info_csv.hpp"
+#include "io/as_rel.hpp"
+#include "io/geo_csv.hpp"
+#include "io/rankings_csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace fs = std::filesystem;
+using namespace georank;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options.contains(key);
+  }
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) return std::nullopt;
+    std::string key(arg.substr(2));
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";  // boolean flag
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  georank generate  --out DIR [--epoch 2021|2023] [--seed N]"
+               " [--days N] [--mini]\n"
+               "  georank sanitize  --dir DIR [--samples N]\n"
+               "  georank rank      --dir DIR --country CC [--out FILE]"
+               " [--infer]\n"
+               "  georank stability --dir DIR --country CC"
+               " [--view national|international|outbound] [--threshold X]\n"
+               "  georank compare   --before FILE --after FILE [--top N]"
+               " [--metric CCI|AHI|CCN|AHN]\n"
+               "  georank infer     --dir DIR --out FILE [--validate]\n");
+  return 2;
+}
+
+template <typename Writer>
+bool write_file(const fs::path& path, Writer&& writer) {
+  std::ofstream os{path};
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  writer(os);
+  return true;
+}
+
+// ------------------------------------------------------------- generate
+
+int cmd_generate(const Args& args) {
+  if (!args.has("out")) return usage();
+  fs::path dir{args.get("out")};
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+
+  gen::Epoch epoch = args.get("epoch", "2021") == "2023"
+                         ? gen::Epoch::kMarch2023
+                         : gen::Epoch::kApril2021;
+  auto seed = static_cast<std::uint64_t>(
+      std::stoull(args.get("seed", "20210401")));
+  int days = std::stoi(args.get("days", "5"));
+
+  gen::WorldSpec spec = args.has("mini") ? gen::mini_world_spec(seed)
+                                         : gen::default_world_spec(epoch, seed);
+  std::printf("generating world (seed %llu, %zu countries)...\n",
+              static_cast<unsigned long long>(seed), spec.countries.size());
+  gen::World world = gen::InternetGenerator{spec}.generate();
+  bgp::RibCollection ribs = gen::RibGenerator{world, spec.noise}.generate(days);
+  std::printf("  %zu ASes, %zu originations, %zu VPs, %zu RIB entries\n",
+              world.graph.size(), world.originations.size(),
+              world.vps.all_vps().size(), ribs.total_entries());
+
+  io::AsInfoMap info;
+  for (const auto& [asn, rec] : world.as_info) {
+    if (rec.registered.valid()) {
+      info[asn] = io::AsInfoRecord{rec.registered, rec.name};
+    }
+  }
+
+  bool ok =
+      write_file(dir / "ribs.txt",
+                 [&](std::ostream& os) {
+                   bgp::MrtTextWriter writer{os};
+                   writer.write_collection(ribs);
+                 }) &&
+      write_file(dir / "as-rel.txt",
+                 [&](std::ostream& os) { io::write_as_rel(os, world.graph); }) &&
+      write_file(dir / "geo.csv",
+                 [&](std::ostream& os) { io::write_geo_csv(os, world.geo_db); }) &&
+      write_file(dir / "collectors.csv",
+                 [&](std::ostream& os) { io::write_collectors_csv(os, world.vps); }) &&
+      write_file(dir / "vps.csv",
+                 [&](std::ostream& os) { io::write_vps_csv(os, world.vps); }) &&
+      write_file(dir / "as-info.csv",
+                 [&](std::ostream& os) { io::write_as_info_csv(os, info); }) &&
+      write_file(dir / "route-servers.txt",
+                 [&](std::ostream& os) {
+                   for (bgp::Asn rs : world.route_servers) os << rs << '\n';
+                 }) &&
+      write_file(dir / "updates.txt", [&](std::ostream& os) {
+        // The same data as an incremental update archive (IHR-style
+        // consumption); `rank --dir` falls back to it when ribs.txt is
+        // absent.
+        bgp::UpdateTextWriter writer{os};
+        writer.write_all(bgp::collection_to_updates(ribs));
+      });
+  if (!ok) return 1;
+  std::printf("wrote data set to %s\n", dir.string().c_str());
+  return 0;
+}
+
+// ----------------------------------------------------------- data loading
+
+struct DataSet {
+  geo::GeoDatabase geo_db;
+  geo::VpGeolocator vps;
+  sanitize::AsnRegistry asn_registry;
+  topo::AsGraph relationships;
+  io::AsInfoMap as_info;
+  rank::AsRegistry registry;
+  std::vector<bgp::Asn> route_servers;
+  bgp::RibCollection ribs;
+};
+
+std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationships) {
+  auto open = [&](const char* name) -> std::optional<std::ifstream> {
+    std::ifstream is{dir / name};
+    if (!is) {
+      std::fprintf(stderr, "missing %s in %s\n", name, dir.string().c_str());
+      return std::nullopt;
+    }
+    return is;
+  };
+
+  DataSet data;
+  auto geo_is = open("geo.csv");
+  auto collectors_is = open("collectors.csv");
+  auto vps_is = open("vps.csv");
+  auto info_is = open("as-info.csv");
+  if (!geo_is || !collectors_is || !vps_is || !info_is) {
+    return std::nullopt;
+  }
+
+  data.geo_db = io::read_geo_csv(*geo_is);
+  data.vps = io::read_vp_geolocator(*collectors_is, *vps_is);
+  data.as_info = io::read_as_info_csv(*info_is);
+  data.registry = io::to_registry(data.as_info);
+
+  // RIB snapshots directly, or an update archive replayed into them.
+  if (std::ifstream ribs_is{dir / "ribs.txt"}; ribs_is) {
+    bgp::MrtTextReader reader;
+    data.ribs = reader.read_collection(ribs_is);
+    std::printf("loaded %zu RIB entries (%zu malformed lines skipped)\n",
+                reader.stats().parsed, reader.stats().malformed);
+  } else if (std::ifstream updates_is{dir / "updates.txt"}; updates_is) {
+    bgp::UpdateTextReader reader;
+    std::vector<bgp::UpdateMessage> updates = reader.read_all(updates_is);
+    data.ribs = bgp::replay_to_collection(updates);
+    std::printf("replayed %zu updates into %zu daily snapshots "
+                "(%zu malformed lines skipped)\n",
+                reader.stats().parsed, data.ribs.days.size(),
+                reader.stats().malformed);
+  } else {
+    std::fprintf(stderr, "missing ribs.txt / updates.txt in %s\n",
+                 dir.string().c_str());
+    return std::nullopt;
+  }
+
+  if (std::ifstream rs_is{dir / "route-servers.txt"}; rs_is) {
+    std::string line;
+    while (std::getline(rs_is, line)) {
+      if (auto asn = util::parse_int<bgp::Asn>(util::trim(line))) {
+        data.route_servers.push_back(*asn);
+      }
+    }
+  }
+
+  if (infer_relationships) {
+    std::printf("inferring AS relationships from the paths...\n");
+    infer::RelationshipInference inference;
+    for (const auto& snap : data.ribs.days) {
+      for (const auto& e : snap.entries) inference.add_path(e.path);
+      break;  // one snapshot suffices
+    }
+    infer::InferenceResult result = inference.infer();
+    std::printf("  %zu links labeled, clique of %zu\n", result.link_count,
+                result.clique.size());
+    data.relationships = std::move(result.graph);
+  } else if (auto rel_is = open("as-rel.txt")) {
+    io::AsRelParseStats stats;
+    data.relationships = io::read_as_rel(*rel_is, &stats);
+    std::printf("loaded %zu relationship links\n", stats.links);
+  } else {
+    return std::nullopt;
+  }
+
+  // Registry: everything mentioned anywhere is considered allocated; the
+  // generator's bogus range is not. A real deployment would load IANA's
+  // delegation files here instead.
+  data.asn_registry.allocate_range(1, 1000000);
+  data.asn_registry.finalize();
+  return data;
+}
+
+core::Pipeline make_pipeline(const DataSet& data) {
+  core::PipelineConfig config;
+  config.sanitizer.route_server_asns = data.route_servers;
+  core::Pipeline pipeline{data.geo_db, data.vps, data.asn_registry,
+                          data.relationships, config};
+  pipeline.load(data.ribs);
+  return pipeline;
+}
+
+// ------------------------------------------------------------- sanitize
+
+int cmd_sanitize(const Args& args) {
+  if (!args.has("dir")) return usage();
+  auto data = load_dataset(args.get("dir"), args.has("infer"));
+  if (!data) return 1;
+
+  // --samples N captures audit examples per rejection category.
+  auto samples = static_cast<std::size_t>(std::stoul(args.get("samples", "0")));
+  core::PipelineConfig config;
+  config.sanitizer.route_server_asns = data->route_servers;
+  config.sanitizer.samples_per_category = samples;
+  core::Pipeline pipeline{data->geo_db, data->vps, data->asn_registry,
+                          data->relationships, config};
+  pipeline.load(data->ribs);
+  const auto& s = pipeline.sanitized().stats;
+  auto pct = [&](std::size_t v) {
+    return util::percent(static_cast<double>(v) / static_cast<double>(s.total), 2);
+  };
+  util::Table table{{"category", "paths", "%"}};
+  table.set_align(1, util::Align::kRight);
+  table.set_align(2, util::Align::kRight);
+  table.add_row({"unstable", std::to_string(s.unstable), pct(s.unstable)});
+  table.add_row({"unallocated", std::to_string(s.unallocated), pct(s.unallocated)});
+  table.add_row({"loop", std::to_string(s.loop), pct(s.loop)});
+  table.add_row({"poisoned", std::to_string(s.poisoned), pct(s.poisoned)});
+  table.add_row({"VP no location", std::to_string(s.vp_no_location),
+                 pct(s.vp_no_location)});
+  table.add_row({"covered prefix", std::to_string(s.covered_prefix),
+                 pct(s.covered_prefix)});
+  table.add_row({"prefix no location", std::to_string(s.prefix_no_location),
+                 pct(s.prefix_no_location)});
+  table.add_rule();
+  table.add_row({"accepted", std::to_string(s.accepted), pct(s.accepted)});
+  table.add_row({"total", std::to_string(s.total), "100.00%"});
+  table.print(std::cout);
+  std::printf("distinct sanitized paths: %zu\n", pipeline.sanitized().paths.size());
+
+  if (!pipeline.sanitized().samples.empty()) {
+    std::printf("\nrejected-entry samples:\n");
+    for (const sanitize::RejectedSample& sample : pipeline.sanitized().samples) {
+      std::printf("  [%s] day %d vp %s AS%u  %s  path: %s\n",
+                  std::string(sanitize::to_string(sample.reason)).c_str(),
+                  sample.day, bgp::format_ipv4(sample.entry.vp.ip).c_str(),
+                  sample.entry.vp.asn, sample.entry.prefix.to_string().c_str(),
+                  sample.entry.path.to_string().c_str());
+    }
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------- rank
+
+int cmd_rank(const Args& args) {
+  if (!args.has("dir") || !args.has("country")) return usage();
+  auto country = geo::CountryCode::parse(args.get("country"));
+  if (!country) {
+    std::fprintf(stderr, "bad country code '%s'\n", args.get("country").c_str());
+    return 1;
+  }
+  auto data = load_dataset(args.get("dir"), args.has("infer"));
+  if (!data) return 1;
+  core::Pipeline pipeline = make_pipeline(*data);
+
+  auto name_of = [&](bgp::Asn asn) -> std::string {
+    auto it = data->as_info.find(asn);
+    return it != data->as_info.end() ? it->second.name : std::string{};
+  };
+
+  core::CountryReport report =
+      core::build_country_report(pipeline, data->registry, *country);
+  if (report.empty()) {
+    std::fprintf(stderr, "no paths toward %s in this data set\n",
+                 country->to_string().c_str());
+    return 1;
+  }
+  std::printf("\n%s", core::render_country_report(report, name_of).c_str());
+
+  if (args.has("out")) {
+    if (!write_file(args.get("out"), [&](std::ostream& os) {
+          io::write_country_metrics_csv(os, report.metrics, [&](bgp::Asn asn) {
+            std::string n = name_of(asn);
+            return n.empty() ? "AS" + std::to_string(asn) : n;
+          });
+        })) {
+      return 1;
+    }
+    std::printf("wrote %s\n", args.get("out").c_str());
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------ stability
+
+int cmd_stability(const Args& args) {
+  if (!args.has("dir") || !args.has("country")) return usage();
+  auto country = geo::CountryCode::parse(args.get("country"));
+  if (!country) return usage();
+  double threshold = std::stod(args.get("threshold", "0.9"));
+
+  auto data = load_dataset(args.get("dir"), args.has("infer"));
+  if (!data) return 1;
+  core::Pipeline pipeline = make_pipeline(*data);
+  const auto& paths = pipeline.sanitized().paths;
+
+  std::string view_name = args.get("view", "national");
+  core::CountryView view;
+  if (view_name == "national") {
+    view = core::ViewBuilder::national(paths, *country);
+  } else if (view_name == "international") {
+    view = core::ViewBuilder::international(paths, *country);
+  } else if (view_name == "outbound") {
+    view = core::ViewBuilder::outbound(paths, *country);
+  } else {
+    return usage();
+  }
+
+  std::printf("%s view of %s: %zu VPs, %zu paths\n", view_name.c_str(),
+              country->to_string().c_str(), view.vp_count(), view.paths.size());
+  core::StabilityAnalyzer analyzer{pipeline.rankings()};
+  for (auto [label, kind] :
+       {std::pair{"hegemony", core::MetricKind::kHegemony},
+        std::pair{"customer cone", core::MetricKind::kCustomerCone}}) {
+    auto curve = analyzer.analyze(view, kind);
+    std::size_t need = core::StabilityAnalyzer::min_vps_for(curve, threshold);
+    std::printf("%-14s NDCG>=%.2f needs %s VPs\n", label, threshold,
+                need ? std::to_string(need).c_str() : "more");
+  }
+  return 0;
+}
+
+// -------------------------------------------------------------- compare
+
+int cmd_compare(const Args& args) {
+  if (!args.has("before") || !args.has("after")) return usage();
+  auto top_k = static_cast<std::size_t>(std::stoul(args.get("top", "10")));
+  std::string metric = args.get("metric", "CCI");
+
+  // Accepts either a plain ranking CSV (rank,asn,score) or the long-form
+  // country-metrics CSV (country,metric,rank,asn,score) filtered by
+  // --metric.
+  auto load = [&](const std::string& path) -> std::optional<rank::Ranking> {
+    std::ifstream is{path};
+    if (!is) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return std::nullopt;
+    }
+    rank::Ranking plain = io::read_ranking_csv(is);
+    if (!plain.empty()) return plain;
+    std::ifstream again{path};
+    rank::Ranking long_form = io::read_metric_from_country_csv(again, metric);
+    if (long_form.empty()) {
+      std::fprintf(stderr, "%s holds no parsable ranking (metric %s)\n",
+                   path.c_str(), metric.c_str());
+      return std::nullopt;
+    }
+    return long_form;
+  };
+  auto before = load(args.get("before"));
+  auto after = load(args.get("after"));
+  if (!before || !after) return 1;
+
+  core::RankDelta delta = core::compare_rankings(*before, *after, top_k);
+  util::Table table{{"AS", "before", "after", "shift", "score change"}};
+  table.set_align(1, util::Align::kRight);
+  table.set_align(2, util::Align::kRight);
+  table.set_align(3, util::Align::kRight);
+  table.set_align(4, util::Align::kRight);
+  for (const core::RankShift& s : delta.shifts) {
+    std::string shift;
+    if (s.entered()) shift = "new";
+    else if (s.left()) shift = "out";
+    else if (s.rank_change() > 0) shift = "+" + std::to_string(s.rank_change());
+    else shift = std::to_string(s.rank_change());
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%+.4f", s.score_change());
+    auto rank_cell = [](const std::optional<std::size_t>& r) {
+      return r ? std::to_string(*r) : std::string("-");
+    };
+    table.add_row({std::to_string(s.asn), rank_cell(s.before_rank),
+                   rank_cell(s.after_rank), shift, buf});
+  }
+  table.print(std::cout);
+  std::printf("entries: %zu, exits: %zu, max movement: %ld, "
+              "ordering agreement (Spearman): %.3f\n",
+              delta.entries().size(), delta.exits().size(), delta.max_movement(),
+              delta.agreement());
+  return 0;
+}
+
+// ---------------------------------------------------------------- infer
+
+int cmd_infer(const Args& args) {
+  if (!args.has("dir") || !args.has("out")) return usage();
+  fs::path dir{args.get("dir")};
+
+  // Only the RIBs are needed; reuse the loader's RIB/update logic by
+  // loading the full data set (cheap relative to inference itself).
+  auto data = load_dataset(dir, /*infer_relationships=*/false);
+  bool have_truth = data.has_value();
+  bgp::RibCollection ribs;
+  if (data) {
+    ribs = std::move(data->ribs);
+  } else {
+    std::ifstream ribs_is{dir / "ribs.txt"};
+    if (!ribs_is) return 1;
+    bgp::MrtTextReader reader;
+    ribs = reader.read_collection(ribs_is);
+  }
+  if (ribs.days.empty()) {
+    std::fprintf(stderr, "no RIB data in %s\n", dir.string().c_str());
+    return 1;
+  }
+
+  std::printf("inferring relationships from %zu paths...\n",
+              ribs.days[0].entries.size());
+  infer::RelationshipInference inference;
+  for (const auto& e : ribs.days[0].entries) inference.add_path(e.path);
+  infer::InferenceResult result = inference.infer();
+  std::printf("labeled %zu links; clique of %zu:", result.link_count,
+              result.clique.size());
+  for (bgp::Asn asn : result.clique) std::printf(" %u", asn);
+  std::printf("\n");
+
+  if (args.has("validate") && have_truth) {
+    infer::ValidationScore score =
+        infer::validate_against(data->relationships, result.graph);
+    std::printf("validation vs %s/as-rel.txt: accuracy %.1f%% "
+                "(p2c %zu/%zu, p2p %zu/%zu over %zu shared links)\n",
+                dir.string().c_str(), score.accuracy() * 100.0,
+                score.correct_p2c, score.total_p2c, score.correct_p2p,
+                score.total_p2p, score.shared_links);
+  }
+
+  if (!write_file(args.get("out"), [&](std::ostream& os) {
+        io::write_as_rel(os, result.graph);
+      })) {
+    return 1;
+  }
+  std::printf("wrote %s\n", args.get("out").c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = parse_args(argc, argv);
+  if (!args) return usage();
+  try {
+    if (args->command == "generate") return cmd_generate(*args);
+    if (args->command == "sanitize") return cmd_sanitize(*args);
+    if (args->command == "rank") return cmd_rank(*args);
+    if (args->command == "stability") return cmd_stability(*args);
+    if (args->command == "compare") return cmd_compare(*args);
+    if (args->command == "infer") return cmd_infer(*args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
