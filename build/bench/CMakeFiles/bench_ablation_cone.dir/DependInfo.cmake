@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_cone.cpp" "bench/CMakeFiles/bench_ablation_cone.dir/ablation_cone.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_cone.dir/ablation_cone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/georank_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/georank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/georank_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/georank_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/sanitize/CMakeFiles/georank_sanitize.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/georank_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/georank_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/georank_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/georank_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/georank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

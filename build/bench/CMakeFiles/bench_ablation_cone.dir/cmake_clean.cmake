@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cone.dir/ablation_cone.cpp.o"
+  "CMakeFiles/bench_ablation_cone.dir/ablation_cone.cpp.o.d"
+  "bench_ablation_cone"
+  "bench_ablation_cone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

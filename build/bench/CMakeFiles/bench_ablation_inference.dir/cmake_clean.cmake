@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inference.dir/ablation_inference.cpp.o"
+  "CMakeFiles/bench_ablation_inference.dir/ablation_inference.cpp.o.d"
+  "bench_ablation_inference"
+  "bench_ablation_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trim.dir/ablation_trim.cpp.o"
+  "CMakeFiles/bench_ablation_trim.dir/ablation_trim.cpp.o.d"
+  "bench_ablation_trim"
+  "bench_ablation_trim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

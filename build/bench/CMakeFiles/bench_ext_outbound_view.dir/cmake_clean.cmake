@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_outbound_view.dir/ext_outbound_view.cpp.o"
+  "CMakeFiles/bench_ext_outbound_view.dir/ext_outbound_view.cpp.o.d"
+  "bench_ext_outbound_view"
+  "bench_ext_outbound_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_outbound_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_resilience.dir/ext_resilience.cpp.o"
+  "CMakeFiles/bench_ext_resilience.dir/ext_resilience.cpp.o.d"
+  "bench_ext_resilience"
+  "bench_ext_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

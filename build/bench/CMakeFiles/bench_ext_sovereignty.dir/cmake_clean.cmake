@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sovereignty.dir/ext_sovereignty.cpp.o"
+  "CMakeFiles/bench_ext_sovereignty.dir/ext_sovereignty.cpp.o.d"
+  "bench_ext_sovereignty"
+  "bench_ext_sovereignty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sovereignty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

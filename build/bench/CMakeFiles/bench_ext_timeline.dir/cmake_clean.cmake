@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_timeline.dir/ext_timeline.cpp.o"
+  "CMakeFiles/bench_ext_timeline.dir/ext_timeline.cpp.o.d"
+  "bench_ext_timeline"
+  "bench_ext_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_vp_bias.dir/ext_vp_bias.cpp.o"
+  "CMakeFiles/bench_ext_vp_bias.dir/ext_vp_bias.cpp.o.d"
+  "bench_ext_vp_bias"
+  "bench_ext_vp_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_vp_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

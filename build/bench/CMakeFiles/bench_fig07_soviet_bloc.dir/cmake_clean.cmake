@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_soviet_bloc.dir/fig07_soviet_bloc.cpp.o"
+  "CMakeFiles/bench_fig07_soviet_bloc.dir/fig07_soviet_bloc.cpp.o.d"
+  "bench_fig07_soviet_bloc"
+  "bench_fig07_soviet_bloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_soviet_bloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

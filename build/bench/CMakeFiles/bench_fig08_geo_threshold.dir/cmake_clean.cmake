@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_geo_threshold.dir/fig08_geo_threshold.cpp.o"
+  "CMakeFiles/bench_fig08_geo_threshold.dir/fig08_geo_threshold.cpp.o.d"
+  "bench_fig08_geo_threshold"
+  "bench_fig08_geo_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_geo_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_filtered_prefix_lengths.dir/fig09_filtered_prefix_lengths.cpp.o"
+  "CMakeFiles/bench_fig09_filtered_prefix_lengths.dir/fig09_filtered_prefix_lengths.cpp.o.d"
+  "bench_fig09_filtered_prefix_lengths"
+  "bench_fig09_filtered_prefix_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_filtered_prefix_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

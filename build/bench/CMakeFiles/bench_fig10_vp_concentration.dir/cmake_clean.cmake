@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vp_concentration.dir/fig10_vp_concentration.cpp.o"
+  "CMakeFiles/bench_fig10_vp_concentration.dir/fig10_vp_concentration.cpp.o.d"
+  "bench_fig10_vp_concentration"
+  "bench_fig10_vp_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vp_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table01_filtering.dir/table01_filtering.cpp.o"
+  "CMakeFiles/bench_table01_filtering.dir/table01_filtering.cpp.o.d"
+  "bench_table01_filtering"
+  "bench_table01_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table01_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

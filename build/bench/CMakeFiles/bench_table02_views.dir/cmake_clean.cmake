@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table02_views.dir/table02_views.cpp.o"
+  "CMakeFiles/bench_table02_views.dir/table02_views.cpp.o.d"
+  "bench_table02_views"
+  "bench_table02_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_top_vp_countries.dir/table03_top_vp_countries.cpp.o"
+  "CMakeFiles/bench_table03_top_vp_countries.dir/table03_top_vp_countries.cpp.o.d"
+  "bench_table03_top_vp_countries"
+  "bench_table03_top_vp_countries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_top_vp_countries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

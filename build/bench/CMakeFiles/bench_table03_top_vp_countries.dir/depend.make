@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table03_top_vp_countries.
+# This may be replaced when dependencies are built.

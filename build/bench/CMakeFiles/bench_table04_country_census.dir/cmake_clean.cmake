@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_country_census.dir/table04_country_census.cpp.o"
+  "CMakeFiles/bench_table04_country_census.dir/table04_country_census.cpp.o.d"
+  "bench_table04_country_census"
+  "bench_table04_country_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_country_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_australia.dir/table05_australia.cpp.o"
+  "CMakeFiles/bench_table05_australia.dir/table05_australia.cpp.o.d"
+  "bench_table05_australia"
+  "bench_table05_australia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_australia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table06_japan.dir/table06_japan.cpp.o"
+  "CMakeFiles/bench_table06_japan.dir/table06_japan.cpp.o.d"
+  "bench_table06_japan"
+  "bench_table06_japan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_japan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_russia.dir/table07_russia.cpp.o"
+  "CMakeFiles/bench_table07_russia.dir/table07_russia.cpp.o.d"
+  "bench_table07_russia"
+  "bench_table07_russia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_russia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_united_states.dir/table08_united_states.cpp.o"
+  "CMakeFiles/bench_table08_united_states.dir/table08_united_states.cpp.o.d"
+  "bench_table08_united_states"
+  "bench_table08_united_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_united_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table08_united_states.
+# This may be replaced when dependencies are built.

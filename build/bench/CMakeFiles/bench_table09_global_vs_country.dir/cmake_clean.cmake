@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table09_global_vs_country.dir/table09_global_vs_country.cpp.o"
+  "CMakeFiles/bench_table09_global_vs_country.dir/table09_global_vs_country.cpp.o.d"
+  "bench_table09_global_vs_country"
+  "bench_table09_global_vs_country.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_global_vs_country.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table09_global_vs_country.
+# This may be replaced when dependencies are built.

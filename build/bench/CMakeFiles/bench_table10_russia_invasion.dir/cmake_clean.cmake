@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_russia_invasion.dir/table10_russia_invasion.cpp.o"
+  "CMakeFiles/bench_table10_russia_invasion.dir/table10_russia_invasion.cpp.o.d"
+  "bench_table10_russia_invasion"
+  "bench_table10_russia_invasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_russia_invasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_taiwan.dir/table11_taiwan.cpp.o"
+  "CMakeFiles/bench_table11_taiwan.dir/table11_taiwan.cpp.o.d"
+  "bench_table11_taiwan"
+  "bench_table11_taiwan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_taiwan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

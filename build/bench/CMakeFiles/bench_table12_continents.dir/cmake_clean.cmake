@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_continents.dir/table12_continents.cpp.o"
+  "CMakeFiles/bench_table12_continents.dir/table12_continents.cpp.o.d"
+  "bench_table12_continents"
+  "bench_table12_continents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_continents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

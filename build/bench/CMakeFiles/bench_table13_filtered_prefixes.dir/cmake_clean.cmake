@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_filtered_prefixes.dir/table13_filtered_prefixes.cpp.o"
+  "CMakeFiles/bench_table13_filtered_prefixes.dir/table13_filtered_prefixes.cpp.o.d"
+  "bench_table13_filtered_prefixes"
+  "bench_table13_filtered_prefixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_filtered_prefixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_filtered_addresses.dir/table14_filtered_addresses.cpp.o"
+  "CMakeFiles/bench_table14_filtered_addresses.dir/table14_filtered_addresses.cpp.o.d"
+  "bench_table14_filtered_addresses"
+  "bench_table14_filtered_addresses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_filtered_addresses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/georank_bench_common.dir/common/bench_world.cpp.o"
+  "CMakeFiles/georank_bench_common.dir/common/bench_world.cpp.o.d"
+  "CMakeFiles/georank_bench_common.dir/common/case_study.cpp.o"
+  "CMakeFiles/georank_bench_common.dir/common/case_study.cpp.o.d"
+  "libgeorank_bench_common.a"
+  "libgeorank_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/georank_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

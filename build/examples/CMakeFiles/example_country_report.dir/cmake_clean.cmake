@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_country_report.dir/country_report.cpp.o"
+  "CMakeFiles/example_country_report.dir/country_report.cpp.o.d"
+  "example_country_report"
+  "example_country_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_country_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_depeering_study.dir/depeering_study.cpp.o"
+  "CMakeFiles/example_depeering_study.dir/depeering_study.cpp.o.d"
+  "example_depeering_study"
+  "example_depeering_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_depeering_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_resilience_report.dir/resilience_report.cpp.o"
+  "CMakeFiles/example_resilience_report.dir/resilience_report.cpp.o.d"
+  "example_resilience_report"
+  "example_resilience_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_resilience_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stability_probe.dir/stability_probe.cpp.o"
+  "CMakeFiles/example_stability_probe.dir/stability_probe.cpp.o.d"
+  "example_stability_probe"
+  "example_stability_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stability_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

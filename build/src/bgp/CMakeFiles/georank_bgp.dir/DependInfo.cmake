@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_path.cpp" "src/bgp/CMakeFiles/georank_bgp.dir/as_path.cpp.o" "gcc" "src/bgp/CMakeFiles/georank_bgp.dir/as_path.cpp.o.d"
+  "/root/repo/src/bgp/mrt_text.cpp" "src/bgp/CMakeFiles/georank_bgp.dir/mrt_text.cpp.o" "gcc" "src/bgp/CMakeFiles/georank_bgp.dir/mrt_text.cpp.o.d"
+  "/root/repo/src/bgp/prefix.cpp" "src/bgp/CMakeFiles/georank_bgp.dir/prefix.cpp.o" "gcc" "src/bgp/CMakeFiles/georank_bgp.dir/prefix.cpp.o.d"
+  "/root/repo/src/bgp/prefix_trie.cpp" "src/bgp/CMakeFiles/georank_bgp.dir/prefix_trie.cpp.o" "gcc" "src/bgp/CMakeFiles/georank_bgp.dir/prefix_trie.cpp.o.d"
+  "/root/repo/src/bgp/update_stream.cpp" "src/bgp/CMakeFiles/georank_bgp.dir/update_stream.cpp.o" "gcc" "src/bgp/CMakeFiles/georank_bgp.dir/update_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/georank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

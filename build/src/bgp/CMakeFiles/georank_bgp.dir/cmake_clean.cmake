@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/georank_bgp.dir/as_path.cpp.o"
+  "CMakeFiles/georank_bgp.dir/as_path.cpp.o.d"
+  "CMakeFiles/georank_bgp.dir/mrt_text.cpp.o"
+  "CMakeFiles/georank_bgp.dir/mrt_text.cpp.o.d"
+  "CMakeFiles/georank_bgp.dir/prefix.cpp.o"
+  "CMakeFiles/georank_bgp.dir/prefix.cpp.o.d"
+  "CMakeFiles/georank_bgp.dir/prefix_trie.cpp.o"
+  "CMakeFiles/georank_bgp.dir/prefix_trie.cpp.o.d"
+  "CMakeFiles/georank_bgp.dir/update_stream.cpp.o"
+  "CMakeFiles/georank_bgp.dir/update_stream.cpp.o.d"
+  "libgeorank_bgp.a"
+  "libgeorank_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/georank_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

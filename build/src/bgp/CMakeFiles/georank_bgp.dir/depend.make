@@ -1,0 +1,2 @@
+# Empty dependencies file for georank_bgp.
+# This may be replaced when dependencies are built.

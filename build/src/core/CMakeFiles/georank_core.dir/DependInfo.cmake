@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/country_rankings.cpp" "src/core/CMakeFiles/georank_core.dir/country_rankings.cpp.o" "gcc" "src/core/CMakeFiles/georank_core.dir/country_rankings.cpp.o.d"
+  "/root/repo/src/core/diversity.cpp" "src/core/CMakeFiles/georank_core.dir/diversity.cpp.o" "gcc" "src/core/CMakeFiles/georank_core.dir/diversity.cpp.o.d"
+  "/root/repo/src/core/ndcg.cpp" "src/core/CMakeFiles/georank_core.dir/ndcg.cpp.o" "gcc" "src/core/CMakeFiles/georank_core.dir/ndcg.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/georank_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/georank_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/rank_delta.cpp" "src/core/CMakeFiles/georank_core.dir/rank_delta.cpp.o" "gcc" "src/core/CMakeFiles/georank_core.dir/rank_delta.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/georank_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/georank_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/stability.cpp" "src/core/CMakeFiles/georank_core.dir/stability.cpp.o" "gcc" "src/core/CMakeFiles/georank_core.dir/stability.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/core/CMakeFiles/georank_core.dir/timeline.cpp.o" "gcc" "src/core/CMakeFiles/georank_core.dir/timeline.cpp.o.d"
+  "/root/repo/src/core/views.cpp" "src/core/CMakeFiles/georank_core.dir/views.cpp.o" "gcc" "src/core/CMakeFiles/georank_core.dir/views.cpp.o.d"
+  "/root/repo/src/core/vp_bias.cpp" "src/core/CMakeFiles/georank_core.dir/vp_bias.cpp.o" "gcc" "src/core/CMakeFiles/georank_core.dir/vp_bias.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rank/CMakeFiles/georank_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/sanitize/CMakeFiles/georank_sanitize.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/georank_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/georank_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/georank_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/georank_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/georank_infer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

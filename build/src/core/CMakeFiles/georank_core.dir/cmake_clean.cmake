@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/georank_core.dir/country_rankings.cpp.o"
+  "CMakeFiles/georank_core.dir/country_rankings.cpp.o.d"
+  "CMakeFiles/georank_core.dir/diversity.cpp.o"
+  "CMakeFiles/georank_core.dir/diversity.cpp.o.d"
+  "CMakeFiles/georank_core.dir/ndcg.cpp.o"
+  "CMakeFiles/georank_core.dir/ndcg.cpp.o.d"
+  "CMakeFiles/georank_core.dir/pipeline.cpp.o"
+  "CMakeFiles/georank_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/georank_core.dir/rank_delta.cpp.o"
+  "CMakeFiles/georank_core.dir/rank_delta.cpp.o.d"
+  "CMakeFiles/georank_core.dir/report.cpp.o"
+  "CMakeFiles/georank_core.dir/report.cpp.o.d"
+  "CMakeFiles/georank_core.dir/stability.cpp.o"
+  "CMakeFiles/georank_core.dir/stability.cpp.o.d"
+  "CMakeFiles/georank_core.dir/timeline.cpp.o"
+  "CMakeFiles/georank_core.dir/timeline.cpp.o.d"
+  "CMakeFiles/georank_core.dir/views.cpp.o"
+  "CMakeFiles/georank_core.dir/views.cpp.o.d"
+  "CMakeFiles/georank_core.dir/vp_bias.cpp.o"
+  "CMakeFiles/georank_core.dir/vp_bias.cpp.o.d"
+  "libgeorank_core.a"
+  "libgeorank_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/georank_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

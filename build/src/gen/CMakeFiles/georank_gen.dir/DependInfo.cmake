@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/internet_generator.cpp" "src/gen/CMakeFiles/georank_gen.dir/internet_generator.cpp.o" "gcc" "src/gen/CMakeFiles/georank_gen.dir/internet_generator.cpp.o.d"
+  "/root/repo/src/gen/rib_generator.cpp" "src/gen/CMakeFiles/georank_gen.dir/rib_generator.cpp.o" "gcc" "src/gen/CMakeFiles/georank_gen.dir/rib_generator.cpp.o.d"
+  "/root/repo/src/gen/scenarios.cpp" "src/gen/CMakeFiles/georank_gen.dir/scenarios.cpp.o" "gcc" "src/gen/CMakeFiles/georank_gen.dir/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/georank_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/georank_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sanitize/CMakeFiles/georank_sanitize.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/georank_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/georank_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/georank_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/georank_infer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

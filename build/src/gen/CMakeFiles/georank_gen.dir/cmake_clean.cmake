@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/georank_gen.dir/internet_generator.cpp.o"
+  "CMakeFiles/georank_gen.dir/internet_generator.cpp.o.d"
+  "CMakeFiles/georank_gen.dir/rib_generator.cpp.o"
+  "CMakeFiles/georank_gen.dir/rib_generator.cpp.o.d"
+  "CMakeFiles/georank_gen.dir/scenarios.cpp.o"
+  "CMakeFiles/georank_gen.dir/scenarios.cpp.o.d"
+  "libgeorank_gen.a"
+  "libgeorank_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/georank_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geo_db.cpp" "src/geo/CMakeFiles/georank_geo.dir/geo_db.cpp.o" "gcc" "src/geo/CMakeFiles/georank_geo.dir/geo_db.cpp.o.d"
+  "/root/repo/src/geo/prefix_geolocator.cpp" "src/geo/CMakeFiles/georank_geo.dir/prefix_geolocator.cpp.o" "gcc" "src/geo/CMakeFiles/georank_geo.dir/prefix_geolocator.cpp.o.d"
+  "/root/repo/src/geo/vp_geolocator.cpp" "src/geo/CMakeFiles/georank_geo.dir/vp_geolocator.cpp.o" "gcc" "src/geo/CMakeFiles/georank_geo.dir/vp_geolocator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/georank_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/georank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/georank_geo.dir/geo_db.cpp.o"
+  "CMakeFiles/georank_geo.dir/geo_db.cpp.o.d"
+  "CMakeFiles/georank_geo.dir/prefix_geolocator.cpp.o"
+  "CMakeFiles/georank_geo.dir/prefix_geolocator.cpp.o.d"
+  "CMakeFiles/georank_geo.dir/vp_geolocator.cpp.o"
+  "CMakeFiles/georank_geo.dir/vp_geolocator.cpp.o.d"
+  "libgeorank_geo.a"
+  "libgeorank_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/georank_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgeorank_geo.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infer/clique.cpp" "src/infer/CMakeFiles/georank_infer.dir/clique.cpp.o" "gcc" "src/infer/CMakeFiles/georank_infer.dir/clique.cpp.o.d"
+  "/root/repo/src/infer/relationships.cpp" "src/infer/CMakeFiles/georank_infer.dir/relationships.cpp.o" "gcc" "src/infer/CMakeFiles/georank_infer.dir/relationships.cpp.o.d"
+  "/root/repo/src/infer/transit_degree.cpp" "src/infer/CMakeFiles/georank_infer.dir/transit_degree.cpp.o" "gcc" "src/infer/CMakeFiles/georank_infer.dir/transit_degree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/georank_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/georank_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/georank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/georank_infer.dir/clique.cpp.o"
+  "CMakeFiles/georank_infer.dir/clique.cpp.o.d"
+  "CMakeFiles/georank_infer.dir/relationships.cpp.o"
+  "CMakeFiles/georank_infer.dir/relationships.cpp.o.d"
+  "CMakeFiles/georank_infer.dir/transit_degree.cpp.o"
+  "CMakeFiles/georank_infer.dir/transit_degree.cpp.o.d"
+  "libgeorank_infer.a"
+  "libgeorank_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/georank_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

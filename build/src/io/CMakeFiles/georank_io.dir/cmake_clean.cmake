@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/georank_io.dir/as_info_csv.cpp.o"
+  "CMakeFiles/georank_io.dir/as_info_csv.cpp.o.d"
+  "CMakeFiles/georank_io.dir/as_rel.cpp.o"
+  "CMakeFiles/georank_io.dir/as_rel.cpp.o.d"
+  "CMakeFiles/georank_io.dir/geo_csv.cpp.o"
+  "CMakeFiles/georank_io.dir/geo_csv.cpp.o.d"
+  "CMakeFiles/georank_io.dir/rankings_csv.cpp.o"
+  "CMakeFiles/georank_io.dir/rankings_csv.cpp.o.d"
+  "libgeorank_io.a"
+  "libgeorank_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/georank_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

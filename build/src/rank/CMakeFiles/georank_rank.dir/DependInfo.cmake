@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rank/ahc.cpp" "src/rank/CMakeFiles/georank_rank.dir/ahc.cpp.o" "gcc" "src/rank/CMakeFiles/georank_rank.dir/ahc.cpp.o.d"
+  "/root/repo/src/rank/cti.cpp" "src/rank/CMakeFiles/georank_rank.dir/cti.cpp.o" "gcc" "src/rank/CMakeFiles/georank_rank.dir/cti.cpp.o.d"
+  "/root/repo/src/rank/customer_cone.cpp" "src/rank/CMakeFiles/georank_rank.dir/customer_cone.cpp.o" "gcc" "src/rank/CMakeFiles/georank_rank.dir/customer_cone.cpp.o.d"
+  "/root/repo/src/rank/hegemony.cpp" "src/rank/CMakeFiles/georank_rank.dir/hegemony.cpp.o" "gcc" "src/rank/CMakeFiles/georank_rank.dir/hegemony.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sanitize/CMakeFiles/georank_sanitize.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/georank_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/georank_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/georank_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/georank_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/georank_infer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/georank_rank.dir/ahc.cpp.o"
+  "CMakeFiles/georank_rank.dir/ahc.cpp.o.d"
+  "CMakeFiles/georank_rank.dir/cti.cpp.o"
+  "CMakeFiles/georank_rank.dir/cti.cpp.o.d"
+  "CMakeFiles/georank_rank.dir/customer_cone.cpp.o"
+  "CMakeFiles/georank_rank.dir/customer_cone.cpp.o.d"
+  "CMakeFiles/georank_rank.dir/hegemony.cpp.o"
+  "CMakeFiles/georank_rank.dir/hegemony.cpp.o.d"
+  "libgeorank_rank.a"
+  "libgeorank_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/georank_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

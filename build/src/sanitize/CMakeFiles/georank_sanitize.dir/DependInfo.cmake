@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sanitize/asn_registry.cpp" "src/sanitize/CMakeFiles/georank_sanitize.dir/asn_registry.cpp.o" "gcc" "src/sanitize/CMakeFiles/georank_sanitize.dir/asn_registry.cpp.o.d"
+  "/root/repo/src/sanitize/path_sanitizer.cpp" "src/sanitize/CMakeFiles/georank_sanitize.dir/path_sanitizer.cpp.o" "gcc" "src/sanitize/CMakeFiles/georank_sanitize.dir/path_sanitizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/georank_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/georank_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/georank_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/georank_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/georank_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/georank_sanitize.dir/asn_registry.cpp.o"
+  "CMakeFiles/georank_sanitize.dir/asn_registry.cpp.o.d"
+  "CMakeFiles/georank_sanitize.dir/path_sanitizer.cpp.o"
+  "CMakeFiles/georank_sanitize.dir/path_sanitizer.cpp.o.d"
+  "libgeorank_sanitize.a"
+  "libgeorank_sanitize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/georank_sanitize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

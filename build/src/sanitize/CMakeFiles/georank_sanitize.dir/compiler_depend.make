@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for georank_sanitize.
+# This may be replaced when dependencies are built.

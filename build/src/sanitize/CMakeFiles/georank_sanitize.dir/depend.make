@@ -1,0 +1,2 @@
+# Empty dependencies file for georank_sanitize.
+# This may be replaced when dependencies are built.

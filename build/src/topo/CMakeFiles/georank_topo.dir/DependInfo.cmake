@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/as_graph.cpp" "src/topo/CMakeFiles/georank_topo.dir/as_graph.cpp.o" "gcc" "src/topo/CMakeFiles/georank_topo.dir/as_graph.cpp.o.d"
+  "/root/repo/src/topo/failure_analysis.cpp" "src/topo/CMakeFiles/georank_topo.dir/failure_analysis.cpp.o" "gcc" "src/topo/CMakeFiles/georank_topo.dir/failure_analysis.cpp.o.d"
+  "/root/repo/src/topo/route_propagation.cpp" "src/topo/CMakeFiles/georank_topo.dir/route_propagation.cpp.o" "gcc" "src/topo/CMakeFiles/georank_topo.dir/route_propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/georank_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/georank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/georank_topo.dir/as_graph.cpp.o"
+  "CMakeFiles/georank_topo.dir/as_graph.cpp.o.d"
+  "CMakeFiles/georank_topo.dir/failure_analysis.cpp.o"
+  "CMakeFiles/georank_topo.dir/failure_analysis.cpp.o.d"
+  "CMakeFiles/georank_topo.dir/route_propagation.cpp.o"
+  "CMakeFiles/georank_topo.dir/route_propagation.cpp.o.d"
+  "libgeorank_topo.a"
+  "libgeorank_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/georank_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/georank_util.dir/rng.cpp.o"
+  "CMakeFiles/georank_util.dir/rng.cpp.o.d"
+  "CMakeFiles/georank_util.dir/stats.cpp.o"
+  "CMakeFiles/georank_util.dir/stats.cpp.o.d"
+  "CMakeFiles/georank_util.dir/strings.cpp.o"
+  "CMakeFiles/georank_util.dir/strings.cpp.o.d"
+  "CMakeFiles/georank_util.dir/table.cpp.o"
+  "CMakeFiles/georank_util.dir/table.cpp.o.d"
+  "libgeorank_util.a"
+  "libgeorank_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/georank_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_tests.dir/bgp/aggregate_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/aggregate_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/as_path_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/as_path_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/mrt_text_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/mrt_text_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/prefix_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/prefix_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/prefix_trie_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/prefix_trie_test.cpp.o.d"
+  "CMakeFiles/bgp_tests.dir/bgp/update_stream_test.cpp.o"
+  "CMakeFiles/bgp_tests.dir/bgp/update_stream_test.cpp.o.d"
+  "bgp_tests"
+  "bgp_tests.pdb"
+  "bgp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

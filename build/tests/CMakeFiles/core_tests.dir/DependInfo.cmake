@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/country_rankings_test.cpp" "tests/CMakeFiles/core_tests.dir/core/country_rankings_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/country_rankings_test.cpp.o.d"
+  "/root/repo/tests/core/diversity_test.cpp" "tests/CMakeFiles/core_tests.dir/core/diversity_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/diversity_test.cpp.o.d"
+  "/root/repo/tests/core/ndcg_test.cpp" "tests/CMakeFiles/core_tests.dir/core/ndcg_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ndcg_test.cpp.o.d"
+  "/root/repo/tests/core/outbound_test.cpp" "tests/CMakeFiles/core_tests.dir/core/outbound_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/outbound_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/rank_delta_test.cpp" "tests/CMakeFiles/core_tests.dir/core/rank_delta_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rank_delta_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/stability_test.cpp" "tests/CMakeFiles/core_tests.dir/core/stability_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/stability_test.cpp.o.d"
+  "/root/repo/tests/core/timeline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/timeline_test.cpp.o.d"
+  "/root/repo/tests/core/views_test.cpp" "tests/CMakeFiles/core_tests.dir/core/views_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/views_test.cpp.o.d"
+  "/root/repo/tests/core/vp_bias_test.cpp" "tests/CMakeFiles/core_tests.dir/core/vp_bias_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/vp_bias_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/georank_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/georank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/georank_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/georank_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/sanitize/CMakeFiles/georank_sanitize.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/georank_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/georank_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/georank_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/georank_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/georank_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

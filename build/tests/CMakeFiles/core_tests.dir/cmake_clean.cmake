@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/country_rankings_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/country_rankings_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/diversity_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/diversity_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ndcg_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ndcg_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/outbound_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/outbound_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/rank_delta_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/rank_delta_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/stability_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/stability_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/timeline_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/timeline_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/views_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/views_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/vp_bias_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/vp_bias_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

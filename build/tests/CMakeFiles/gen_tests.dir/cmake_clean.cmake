@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_tests.dir/gen/generator_test.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/generator_test.cpp.o.d"
+  "CMakeFiles/gen_tests.dir/gen/rib_generator_test.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/rib_generator_test.cpp.o.d"
+  "CMakeFiles/gen_tests.dir/gen/scenarios_test.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/scenarios_test.cpp.o.d"
+  "CMakeFiles/gen_tests.dir/gen/world_properties_test.cpp.o"
+  "CMakeFiles/gen_tests.dir/gen/world_properties_test.cpp.o.d"
+  "gen_tests"
+  "gen_tests.pdb"
+  "gen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

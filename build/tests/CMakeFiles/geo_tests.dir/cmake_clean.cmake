@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_tests.dir/geo/country_test.cpp.o"
+  "CMakeFiles/geo_tests.dir/geo/country_test.cpp.o.d"
+  "CMakeFiles/geo_tests.dir/geo/geo_db_test.cpp.o"
+  "CMakeFiles/geo_tests.dir/geo/geo_db_test.cpp.o.d"
+  "CMakeFiles/geo_tests.dir/geo/prefix_geolocator_test.cpp.o"
+  "CMakeFiles/geo_tests.dir/geo/prefix_geolocator_test.cpp.o.d"
+  "CMakeFiles/geo_tests.dir/geo/vp_geolocator_test.cpp.o"
+  "CMakeFiles/geo_tests.dir/geo/vp_geolocator_test.cpp.o.d"
+  "geo_tests"
+  "geo_tests.pdb"
+  "geo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

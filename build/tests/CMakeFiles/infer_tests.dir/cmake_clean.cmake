@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_tests.dir/infer/clique_test.cpp.o"
+  "CMakeFiles/infer_tests.dir/infer/clique_test.cpp.o.d"
+  "CMakeFiles/infer_tests.dir/infer/relationships_test.cpp.o"
+  "CMakeFiles/infer_tests.dir/infer/relationships_test.cpp.o.d"
+  "CMakeFiles/infer_tests.dir/infer/transit_degree_test.cpp.o"
+  "CMakeFiles/infer_tests.dir/infer/transit_degree_test.cpp.o.d"
+  "infer_tests"
+  "infer_tests.pdb"
+  "infer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

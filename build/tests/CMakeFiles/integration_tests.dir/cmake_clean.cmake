@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/default_world_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/default_world_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_tests.dir/io/as_info_csv_test.cpp.o"
+  "CMakeFiles/io_tests.dir/io/as_info_csv_test.cpp.o.d"
+  "CMakeFiles/io_tests.dir/io/as_rel_test.cpp.o"
+  "CMakeFiles/io_tests.dir/io/as_rel_test.cpp.o.d"
+  "CMakeFiles/io_tests.dir/io/fuzz_test.cpp.o"
+  "CMakeFiles/io_tests.dir/io/fuzz_test.cpp.o.d"
+  "CMakeFiles/io_tests.dir/io/geo_csv_test.cpp.o"
+  "CMakeFiles/io_tests.dir/io/geo_csv_test.cpp.o.d"
+  "CMakeFiles/io_tests.dir/io/rankings_csv_test.cpp.o"
+  "CMakeFiles/io_tests.dir/io/rankings_csv_test.cpp.o.d"
+  "io_tests"
+  "io_tests.pdb"
+  "io_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

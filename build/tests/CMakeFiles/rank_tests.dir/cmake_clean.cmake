@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_tests.dir/rank/ahc_test.cpp.o"
+  "CMakeFiles/rank_tests.dir/rank/ahc_test.cpp.o.d"
+  "CMakeFiles/rank_tests.dir/rank/cti_test.cpp.o"
+  "CMakeFiles/rank_tests.dir/rank/cti_test.cpp.o.d"
+  "CMakeFiles/rank_tests.dir/rank/customer_cone_test.cpp.o"
+  "CMakeFiles/rank_tests.dir/rank/customer_cone_test.cpp.o.d"
+  "CMakeFiles/rank_tests.dir/rank/extensions_test.cpp.o"
+  "CMakeFiles/rank_tests.dir/rank/extensions_test.cpp.o.d"
+  "CMakeFiles/rank_tests.dir/rank/figures_test.cpp.o"
+  "CMakeFiles/rank_tests.dir/rank/figures_test.cpp.o.d"
+  "CMakeFiles/rank_tests.dir/rank/hegemony_test.cpp.o"
+  "CMakeFiles/rank_tests.dir/rank/hegemony_test.cpp.o.d"
+  "CMakeFiles/rank_tests.dir/rank/ranking_test.cpp.o"
+  "CMakeFiles/rank_tests.dir/rank/ranking_test.cpp.o.d"
+  "rank_tests"
+  "rank_tests.pdb"
+  "rank_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

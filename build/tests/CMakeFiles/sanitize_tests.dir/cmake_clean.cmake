@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sanitize_tests.dir/sanitize/asn_registry_test.cpp.o"
+  "CMakeFiles/sanitize_tests.dir/sanitize/asn_registry_test.cpp.o.d"
+  "CMakeFiles/sanitize_tests.dir/sanitize/path_sanitizer_test.cpp.o"
+  "CMakeFiles/sanitize_tests.dir/sanitize/path_sanitizer_test.cpp.o.d"
+  "sanitize_tests"
+  "sanitize_tests.pdb"
+  "sanitize_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sanitize_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_tests.dir/topo/as_graph_test.cpp.o"
+  "CMakeFiles/topo_tests.dir/topo/as_graph_test.cpp.o.d"
+  "CMakeFiles/topo_tests.dir/topo/failure_analysis_test.cpp.o"
+  "CMakeFiles/topo_tests.dir/topo/failure_analysis_test.cpp.o.d"
+  "CMakeFiles/topo_tests.dir/topo/partial_transit_test.cpp.o"
+  "CMakeFiles/topo_tests.dir/topo/partial_transit_test.cpp.o.d"
+  "CMakeFiles/topo_tests.dir/topo/propagation_test.cpp.o"
+  "CMakeFiles/topo_tests.dir/topo/propagation_test.cpp.o.d"
+  "topo_tests"
+  "topo_tests.pdb"
+  "topo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

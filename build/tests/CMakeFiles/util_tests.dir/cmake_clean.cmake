@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/stats_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/strings_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/strings_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/table_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/table_test.cpp.o.d"
+  "util_tests"
+  "util_tests.pdb"
+  "util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

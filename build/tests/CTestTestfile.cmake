@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/bgp_tests[1]_include.cmake")
+include("/root/repo/build/tests/topo_tests[1]_include.cmake")
+include("/root/repo/build/tests/geo_tests[1]_include.cmake")
+include("/root/repo/build/tests/infer_tests[1]_include.cmake")
+include("/root/repo/build/tests/sanitize_tests[1]_include.cmake")
+include("/root/repo/build/tests/rank_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/io_tests[1]_include.cmake")
+include("/root/repo/build/tests/gen_tests[1]_include.cmake")
+add_test(integration_tests "/root/repo/build/tests/integration_tests")
+set_tests_properties(integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;91;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/georank.dir/georank_cli.cpp.o"
+  "CMakeFiles/georank.dir/georank_cli.cpp.o.d"
+  "georank"
+  "georank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/georank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
