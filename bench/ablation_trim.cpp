@@ -24,14 +24,14 @@ int main() {
         core::ViewBuilder::international(paths, geo::CountryCode::of(cc));
 
     rank::Hegemony reference{rank::HegemonyOptions{0.10, false}};
-    rank::Ranking ref_ranking = reference.compute(view.paths).ranking();
+    rank::Ranking ref_ranking = reference.compute(view.paths()).ranking();
 
     std::printf("-- %s international hegemony --\n", cc);
     util::Table table{{"trim", "top-1", "top-2", "top-3", "NDCG vs 10%"}};
     table.set_align(4, util::Align::kRight);
     for (double trim : {0.0, 0.05, 0.10, 0.20, 0.30}) {
       rank::Hegemony hegemony{rank::HegemonyOptions{trim, false}};
-      rank::Ranking ranking = hegemony.compute(view.paths).ranking();
+      rank::Ranking ranking = hegemony.compute(view.paths()).ranking();
       auto top = ranking.top(3);
       auto name = [&](std::size_t i) {
         return i < top.size() ? bench::as_label(ctx->world, top[i].asn) : "";

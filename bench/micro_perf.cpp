@@ -1,10 +1,27 @@
 // google-benchmark microbenchmarks for the hot paths of the pipeline:
-// route propagation, prefix-trie operations, sanitization, and the two
-// core metrics. These guard the throughput that makes full-world
-// reproduction (5M RIB entries) practical.
+// route propagation, prefix-trie operations, sanitization, the two core
+// metrics, and the PathStore view machinery. These guard the throughput
+// that makes full-world reproduction (5M RIB entries) practical.
+//
+// The binary instruments global operator new/delete with an allocation
+// counter, reported as the "allocs" counter on the view/census
+// benchmarks: the copy-based path allocates per copied AsPath, the
+// indexed path must not allocate per path at all.
+//
+// `bench_micro_perf --smoke` runs a fast self-check instead of the timed
+// benchmarks (registered in ctest): it asserts the indexed views agree
+// with the copy-based ones AND that indexed construction does zero
+// per-path allocations.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
 #include "core/country_rankings.hpp"
+#include "core/path_store.hpp"
 #include "core/views.hpp"
 #include "gen/internet_generator.hpp"
 #include "gen/rib_generator.hpp"
@@ -15,9 +32,35 @@
 #include "topo/route_propagation.hpp"
 #include "util/rng.hpp"
 
+// ---- global allocation counter ------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+// noinline keeps GCC from pairing the inlined malloc/free with the
+// new/delete expressions and warning about the (intentional) mismatch.
+[[gnu::noinline]] void* counted_malloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+[[gnu::noinline]] void counted_free(void* p) { std::free(p); }
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+
 namespace {
 
 using namespace georank;
+
+std::uint64_t allocs() { return g_alloc_count.load(std::memory_order_relaxed); }
 
 const gen::World& mini_world() {
   static gen::World world = gen::InternetGenerator{gen::mini_world_spec(5)}.generate();
@@ -42,6 +85,39 @@ const sanitize::SanitizeResult& mini_sanitized() {
     return sanitizer.run(mini_ribs());
   }();
   return result;
+}
+
+const core::PathStore& mini_store() {
+  static core::PathStore store{
+      std::span<const sanitize::SanitizedPath>{mini_sanitized().paths}};
+  return store;
+}
+
+/// The SEED's view construction: filter the full path set and deep-copy
+/// every matching SanitizedPath (each copy reallocating its AsPath hop
+/// vector). Kept here verbatim as the "before" baseline.
+std::vector<sanitize::SanitizedPath> legacy_copy_view(
+    std::span<const sanitize::SanitizedPath> all, geo::CountryCode cc,
+    core::ViewKind kind) {
+  std::vector<sanitize::SanitizedPath> out;
+  for (const sanitize::SanitizedPath& sp : all) {
+    bool match = false;
+    switch (kind) {
+      case core::ViewKind::kNational:
+        match = sp.prefix_country == cc && sp.vp_country == cc;
+        break;
+      case core::ViewKind::kInternational:
+        match = sp.prefix_country == cc && sp.vp_country.valid() &&
+                sp.vp_country != cc;
+        break;
+      case core::ViewKind::kOutbound:
+        match = sp.vp_country == cc && sp.prefix_country.valid() &&
+                sp.prefix_country != cc;
+        break;
+    }
+    if (match) out.push_back(sp);
+  }
+  return out;
 }
 
 void BM_RoutePropagation(benchmark::State& state) {
@@ -116,6 +192,64 @@ void BM_Hegemony(benchmark::State& state) {
 }
 BENCHMARK(BM_Hegemony);
 
+void BM_PathStoreBuild(benchmark::State& state) {
+  const auto& sanitized = mini_sanitized();
+  for (auto _ : state) {
+    core::PathStore store{
+        std::span<const sanitize::SanitizedPath>{sanitized.paths}};
+    benchmark::DoNotOptimize(store);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sanitized.paths.size()));
+}
+BENCHMARK(BM_PathStoreBuild);
+
+/// Before: national+international+outbound views for every country, the
+/// seed's deep-copy way.
+void BM_ViewConstructionCopy(benchmark::State& state) {
+  const auto& sanitized = mini_sanitized();
+  const auto countries = core::ViewBuilder::countries(sanitized.paths);
+  const std::uint64_t before = allocs();
+  for (auto _ : state) {
+    for (geo::CountryCode cc : countries) {
+      for (core::ViewKind kind :
+           {core::ViewKind::kNational, core::ViewKind::kInternational,
+            core::ViewKind::kOutbound}) {
+        auto view = legacy_copy_view(sanitized.paths, cc, kind);
+        benchmark::DoNotOptimize(view);
+      }
+    }
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(countries.size() * sanitized.paths.size()));
+  state.counters["allocs"] = benchmark::Counter(
+      static_cast<double>(allocs() - before), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ViewConstructionCopy);
+
+/// After: the same views as O(view size) index gathers over the store.
+void BM_ViewConstructionIndexed(benchmark::State& state) {
+  const core::PathStore& store = mini_store();
+  const std::uint64_t before = allocs();
+  for (auto _ : state) {
+    for (geo::CountryCode cc : store.countries()) {
+      for (core::ViewKind kind :
+           {core::ViewKind::kNational, core::ViewKind::kInternational,
+            core::ViewKind::kOutbound}) {
+        core::CountryView view = store.view(cc, kind);
+        benchmark::DoNotOptimize(view);
+      }
+    }
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(store.countries().size() * store.size()));
+  state.counters["allocs"] = benchmark::Counter(
+      static_cast<double>(allocs() - before), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ViewConstructionIndexed);
+
 void BM_CountryMetrics(benchmark::State& state) {
   const auto& sanitized = mini_sanitized();
   core::CountryRankings rankings{mini_world().graph};
@@ -127,6 +261,144 @@ void BM_CountryMetrics(benchmark::State& state) {
 }
 BENCHMARK(BM_CountryMetrics);
 
+void BM_CountryMetricsIndexed(benchmark::State& state) {
+  const core::PathStore& store = mini_store();
+  core::CountryRankings rankings{mini_world().graph};
+  geo::CountryCode au = geo::CountryCode::of("AU");
+  for (auto _ : state) {
+    auto metrics = rankings.compute(store, au);
+    benchmark::DoNotOptimize(metrics);
+  }
+}
+BENCHMARK(BM_CountryMetricsIndexed);
+
+/// The all-countries census (bench/table04's workload): before = one
+/// span-based compute per country (views re-filter + copy the full set),
+/// after = indexed computes over the shared store.
+void BM_CensusCopy(benchmark::State& state) {
+  const auto& sanitized = mini_sanitized();
+  core::CountryRankings rankings{mini_world().graph};
+  const auto countries = core::ViewBuilder::countries(sanitized.paths);
+  const std::uint64_t before = allocs();
+  for (auto _ : state) {
+    for (geo::CountryCode cc : countries) {
+      auto metrics = rankings.compute(sanitized.paths, cc);
+      benchmark::DoNotOptimize(metrics);
+    }
+  }
+  state.counters["allocs"] = benchmark::Counter(
+      static_cast<double>(allocs() - before), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CensusCopy);
+
+void BM_CensusIndexed(benchmark::State& state) {
+  const core::PathStore& store = mini_store();
+  core::CountryRankings rankings{mini_world().graph};
+  const std::uint64_t before = allocs();
+  for (auto _ : state) {
+    for (geo::CountryCode cc : store.countries()) {
+      auto metrics = rankings.compute(store, cc);
+      benchmark::DoNotOptimize(metrics);
+    }
+  }
+  state.counters["allocs"] = benchmark::Counter(
+      static_cast<double>(allocs() - before), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CensusIndexed);
+
+// ---- smoke mode ----------------------------------------------------------
+
+/// Fast self-check for ctest: indexed views must agree with the legacy
+/// copies AND must not allocate per contained path. Returns 0 on pass.
+int run_smoke() {
+  const auto& sanitized = mini_sanitized();
+  const core::PathStore& store = mini_store();
+  int failures = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("%s %s\n", ok ? "[ ok ]" : "[FAIL]", what);
+    if (!ok) ++failures;
+  };
+
+  std::printf("       %zu paths, %zu unique AS paths, %zu hop arena entries, "
+              "%zu countries\n",
+              store.size(), store.unique_path_count(), store.arena_hop_count(),
+              store.countries().size());
+  check(store.size() == sanitized.paths.size(), "store covers every path");
+  check(store.unique_path_count() < store.size(),
+        "interning collapses duplicate AS paths");
+
+  // Selection equivalence on every country and view kind.
+  bool selections_match = true;
+  std::size_t total_view_paths = 0;
+  for (geo::CountryCode cc : store.countries()) {
+    for (core::ViewKind kind :
+         {core::ViewKind::kNational, core::ViewKind::kInternational,
+          core::ViewKind::kOutbound}) {
+      auto legacy = legacy_copy_view(sanitized.paths, cc, kind);
+      core::CountryView view = store.view(cc, kind);
+      total_view_paths += view.size();
+      if (view.size() != legacy.size()) {
+        selections_match = false;
+        continue;
+      }
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        const sanitize::PathRecord rec = view[i];
+        if (rec.vp != legacy[i].vp || rec.prefix != legacy[i].prefix ||
+            !(rec.path == bgp::AsPathView{legacy[i].path})) {
+          selections_match = false;
+        }
+      }
+    }
+  }
+  check(selections_match, "indexed views match legacy copy-based views");
+
+  // Allocation discipline: constructing all views again must allocate
+  // only index vectors (a couple of allocations per view), never per
+  // contained path. The legacy copies allocate at least one AsPath hop
+  // vector per path.
+  const std::uint64_t a0 = allocs();
+  for (geo::CountryCode cc : store.countries()) {
+    for (core::ViewKind kind :
+         {core::ViewKind::kNational, core::ViewKind::kInternational,
+          core::ViewKind::kOutbound}) {
+      core::CountryView view = store.view(cc, kind);
+      benchmark::DoNotOptimize(view);
+    }
+  }
+  const std::uint64_t indexed_allocs = allocs() - a0;
+  const std::uint64_t b0 = allocs();
+  for (geo::CountryCode cc : store.countries()) {
+    for (core::ViewKind kind :
+         {core::ViewKind::kNational, core::ViewKind::kInternational,
+          core::ViewKind::kOutbound}) {
+      auto view = legacy_copy_view(sanitized.paths, cc, kind);
+      benchmark::DoNotOptimize(view);
+    }
+  }
+  const std::uint64_t copy_allocs = allocs() - b0;
+  std::printf("       view construction allocs: indexed=%llu copy=%llu "
+              "(%zu paths across views)\n",
+              static_cast<unsigned long long>(indexed_allocs),
+              static_cast<unsigned long long>(copy_allocs),
+              total_view_paths);
+  check(indexed_allocs < total_view_paths,
+        "indexed view construction never allocates per path");
+  check(copy_allocs > indexed_allocs,
+        "indexed construction allocates less than copy construction");
+
+  std::printf(failures == 0 ? "smoke: PASS\n" : "smoke: FAIL (%d)\n", failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -41,9 +41,9 @@ int main() {
       probe(false, false),  // out-VP, out-prefix
   };
 
-  auto uses = [&](const std::vector<sanitize::SanitizedPath>& selected,
+  auto uses = [&](const core::CountryView& selected,
                   const sanitize::SanitizedPath& p) {
-    for (const auto& sp : selected) {
+    for (const sanitize::PathRecord sp : selected) {
       if (sp.vp == p.vp && sp.prefix == p.prefix) return true;
     }
     return false;
@@ -75,10 +75,10 @@ int main() {
   };
 
   row("AHN,CCN (national)",
-      [&](const auto& p) { return uses(national.paths, p); },
+      [&](const auto& p) { return uses(national, p); },
       "in-country VPs -> in-country prefixes");
   row("AHI,CCI (international)",
-      [&](const auto& p) { return uses(international.paths, p); },
+      [&](const auto& p) { return uses(international, p); },
       "out-of-country VPs -> in-country prefixes");
   row("AHC (IHR country-level)", ahc_uses,
       "all VPs -> origins REGISTERED in country");

@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   for (const auto& [view_label, view] : views) {
     std::size_t n = view.vp_count();
     std::printf("\n=== %s view of %s: %zu VPs, %zu paths ===\n", view_label,
-                country.to_string().c_str(), n, view.paths.size());
+                country.to_string().c_str(), n, view.size());
     if (n < 2) {
       std::printf("not enough VPs for a sampling analysis -- the paper's\n"
                   "situation for most countries' national views (§4.2.1).\n");

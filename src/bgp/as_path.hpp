@@ -5,6 +5,7 @@
 // that announced the prefix.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <initializer_list>
 #include <optional>
@@ -57,6 +58,56 @@ class AsPath {
 
  private:
   std::vector<Asn> hops_;
+};
+
+/// Non-owning, read-only view of an AS path — the same hop accessors as
+/// AsPath over externally owned storage (an interned arena, an AsPath's
+/// own hops). Implicitly constructible from AsPath so code written
+/// against AsPath's read API works on either. The referenced hops must
+/// outlive the view.
+class AsPathView {
+ public:
+  constexpr AsPathView() noexcept = default;
+  constexpr AsPathView(const Asn* hops, std::size_t size) noexcept
+      : hops_(hops, size) {}
+  constexpr AsPathView(std::span<const Asn> hops) noexcept : hops_(hops) {}
+  AsPathView(const AsPath& path) noexcept : hops_(path.hops()) {}  // NOLINT
+
+  [[nodiscard]] constexpr std::span<const Asn> hops() const noexcept {
+    return hops_;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return hops_.empty(); }
+  [[nodiscard]] constexpr std::size_t size() const noexcept {
+    return hops_.size();
+  }
+  [[nodiscard]] constexpr Asn operator[](std::size_t i) const noexcept {
+    return hops_[i];
+  }
+
+  /// AS adjacent to the vantage point (first hop).
+  [[nodiscard]] constexpr Asn vp_as() const noexcept { return hops_.front(); }
+  /// AS that originated the prefix (last hop).
+  [[nodiscard]] constexpr Asn origin() const noexcept { return hops_.back(); }
+
+  [[nodiscard]] bool contains(Asn asn) const noexcept {
+    for (Asn hop : hops_) {
+      if (hop == asn) return true;
+    }
+    return false;
+  }
+
+  /// Deep copy back into an owning AsPath.
+  [[nodiscard]] AsPath materialize() const {
+    return AsPath{std::vector<Asn>(hops_.begin(), hops_.end())};
+  }
+
+  friend bool operator==(AsPathView a, AsPathView b) noexcept {
+    return a.hops_.size() == b.hops_.size() &&
+           std::equal(a.hops_.begin(), a.hops_.end(), b.hops_.begin());
+  }
+
+ private:
+  std::span<const Asn> hops_;
 };
 
 }  // namespace georank::bgp

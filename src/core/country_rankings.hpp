@@ -54,6 +54,14 @@ class CountryRankings {
       std::span<const sanitize::SanitizedPath> all_paths,
       geo::CountryCode country) const;
 
+  /// Zero-copy equivalents over a prebuilt PathStore: the views are index
+  /// gathers, no path is copied. Produces bit-identical results to the
+  /// span overloads (same path iteration order).
+  [[nodiscard]] CountryMetrics compute(const PathStore& store,
+                                       geo::CountryCode country) const;
+  [[nodiscard]] OutboundMetrics compute_outbound(const PathStore& store,
+                                                 geo::CountryCode country) const;
+
   /// One metric on one prebuilt view (the stability analyses drive this).
   [[nodiscard]] rank::Ranking cone_ranking(const CountryView& view) const;
   [[nodiscard]] rank::Ranking hegemony_ranking(const CountryView& view) const;

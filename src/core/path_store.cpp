@@ -1,0 +1,140 @@
+#include "core/path_store.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+namespace georank::core {
+
+namespace {
+
+/// FNV-1a over the hop sequence — cheap, deterministic, and only used to
+/// pre-select interning candidates (full content compare decides).
+std::uint64_t hash_hops(std::span<const bgp::Asn> hops) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (bgp::Asn hop : hops) {
+    h ^= hop;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+PathStore::PathStore(std::span<const sanitize::SanitizedPath> paths) {
+  const std::size_t n = paths.size();
+  vp_.reserve(n);
+  vp_country_.reserve(n);
+  prefix_.reserve(n);
+  prefix_country_.reserve(n);
+  weight_.reserve(n);
+  handle_.reserve(n);
+
+  // hash(hops) -> handles of distinct interned paths with that hash.
+  std::unordered_map<std::uint64_t, std::vector<sanitize::PathHandle>> interned;
+  interned.reserve(n);
+
+  for (const sanitize::SanitizedPath& sp : paths) {
+    vp_.push_back(sp.vp);
+    vp_country_.push_back(sp.vp_country);
+    prefix_.push_back(sp.prefix);
+    prefix_country_.push_back(sp.prefix_country);
+    weight_.push_back(sp.weight);
+
+    const std::span<const bgp::Asn> hops = sp.path.hops();
+    std::vector<sanitize::PathHandle>& bucket = interned[hash_hops(hops)];
+    const sanitize::PathHandle* found = nullptr;
+    for (const sanitize::PathHandle& cand : bucket) {
+      if (cand.length == hops.size() &&
+          std::equal(hops.begin(), hops.end(),
+                     arena_.begin() + cand.offset)) {
+        found = &cand;
+        break;
+      }
+    }
+    if (found != nullptr) {
+      handle_.push_back(*found);
+    } else {
+      const sanitize::PathHandle handle{
+          static_cast<std::uint32_t>(arena_.size()),
+          static_cast<std::uint32_t>(hops.size())};
+      arena_.insert(arena_.end(), hops.begin(), hops.end());
+      bucket.push_back(handle);
+      handle_.push_back(handle);
+      ++unique_paths_;
+    }
+  }
+
+  // Bucket path indices by country, in path order — every bucket is an
+  // ascending index list, so iterating a view visits paths in exactly the
+  // order a linear filter over the original vector would.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (prefix_country_[i].valid()) by_prefix_country_[prefix_country_[i]].push_back(i);
+    if (vp_country_[i].valid()) by_vp_country_[vp_country_[i]].push_back(i);
+  }
+
+  prefix_countries_.reserve(by_prefix_country_.size());
+  for (const auto& [cc, _] : by_prefix_country_) prefix_countries_.push_back(cc);
+  std::sort(prefix_countries_.begin(), prefix_countries_.end());
+
+  vp_countries_.reserve(by_vp_country_.size());
+  for (const auto& [cc, _] : by_vp_country_) vp_countries_.push_back(cc);
+  std::sort(vp_countries_.begin(), vp_countries_.end());
+}
+
+std::span<const std::uint32_t> PathStore::by_prefix_country(
+    geo::CountryCode country) const noexcept {
+  auto it = by_prefix_country_.find(country);
+  if (it == by_prefix_country_.end()) return {};
+  return it->second;
+}
+
+std::span<const std::uint32_t> PathStore::by_vp_country(
+    geo::CountryCode country) const noexcept {
+  auto it = by_vp_country_.find(country);
+  if (it == by_vp_country_.end()) return {};
+  return it->second;
+}
+
+CountryView PathStore::national_view(geo::CountryCode country) const {
+  std::vector<std::uint32_t> indices;
+  for (std::uint32_t i : by_prefix_country(country)) {
+    if (vp_country_[i] == country) indices.push_back(i);
+  }
+  return CountryView{*this, std::move(indices), country, ViewKind::kNational};
+}
+
+CountryView PathStore::international_view(geo::CountryCode country) const {
+  std::vector<std::uint32_t> indices;
+  for (std::uint32_t i : by_prefix_country(country)) {
+    if (vp_country_[i].valid() && vp_country_[i] != country) {
+      indices.push_back(i);
+    }
+  }
+  return CountryView{*this, std::move(indices), country,
+                     ViewKind::kInternational};
+}
+
+CountryView PathStore::outbound_view(geo::CountryCode country) const {
+  std::vector<std::uint32_t> indices;
+  for (std::uint32_t i : by_vp_country(country)) {
+    if (prefix_country_[i].valid() && prefix_country_[i] != country) {
+      indices.push_back(i);
+    }
+  }
+  return CountryView{*this, std::move(indices), country, ViewKind::kOutbound};
+}
+
+CountryView PathStore::view(geo::CountryCode country, ViewKind kind) const {
+  switch (kind) {
+    case ViewKind::kInternational:
+      return international_view(country);
+    case ViewKind::kOutbound:
+      return outbound_view(country);
+    case ViewKind::kNational:
+      break;
+  }
+  return national_view(country);
+}
+
+}  // namespace georank::core

@@ -1,0 +1,131 @@
+// PathStore: immutable, build-once columnar storage of the sanitized path
+// set, designed for the workload the paper actually runs — one global set
+// sliced into hundreds of overlapping per-country views (§3.2, Table 2).
+//
+// Three ideas:
+//
+//   1. AS paths are INTERNED into one contiguous hop arena and addressed
+//      by (offset, length) handles. The propagation process makes paths
+//      massively redundant (every VP behind the same upstream sees the
+//      same tail), so interning collapses most of the path bytes and
+//      replaces per-view AsPath deep copies with 8-byte handles.
+//   2. The scalar fields live in parallel columns (structure-of-arrays),
+//      so view filters scan cache-dense CountryCode arrays instead of
+//      striding over 80-byte structs with heap pointers.
+//   3. Path indices are PRE-BUCKETED by prefix country and by VP country.
+//      A national/international/outbound view is then an O(view size)
+//      gather over one bucket — not an O(all paths) rescan per query.
+//
+// Lifetime: the store borrows nothing (it owns columns + arena) and views
+// borrow the store. Build it once per sanitized set; it must outlive
+// every CountryView/PathsView derived from it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/views.hpp"
+#include "geo/country.hpp"
+#include "sanitize/path_view.hpp"
+
+namespace georank::core {
+
+class PathStore {
+ public:
+  PathStore() = default;
+  /// Builds columns, interned arena and country buckets from the
+  /// sanitizer's output. `paths` is only read during construction.
+  explicit PathStore(std::span<const sanitize::SanitizedPath> paths);
+
+  [[nodiscard]] std::size_t size() const noexcept { return vp_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return vp_.empty(); }
+
+  [[nodiscard]] sanitize::PathRecord operator[](std::size_t i) const noexcept {
+    return all()[i];
+  }
+  [[nodiscard]] bgp::VpId vp(std::size_t i) const noexcept { return vp_[i]; }
+  [[nodiscard]] geo::CountryCode vp_country(std::size_t i) const noexcept {
+    return vp_country_[i];
+  }
+  [[nodiscard]] bgp::Prefix prefix(std::size_t i) const noexcept {
+    return prefix_[i];
+  }
+  [[nodiscard]] geo::CountryCode prefix_country(std::size_t i) const noexcept {
+    return prefix_country_[i];
+  }
+  [[nodiscard]] std::uint64_t weight(std::size_t i) const noexcept {
+    return weight_[i];
+  }
+  [[nodiscard]] bgp::AsPathView hops(std::size_t i) const noexcept {
+    return {arena_.data() + handle_[i].offset, handle_[i].length};
+  }
+
+  /// Columnar view of the whole store / an index-selected subset. The
+  /// subset's `indices` must outlive the returned view.
+  [[nodiscard]] sanitize::PathsView all() const noexcept {
+    return {columns(), size()};
+  }
+  [[nodiscard]] sanitize::PathsView over(
+      std::span<const std::uint32_t> indices) const noexcept {
+    return {columns(), indices};
+  }
+  [[nodiscard]] sanitize::PathColumns columns() const noexcept {
+    return {vp_.data(),      vp_country_.data(), prefix_.data(),
+            prefix_country_.data(), weight_.data(),     handle_.data(),
+            arena_.data()};
+  }
+
+  /// Path indices (ascending) whose prefix / VP geolocates to `country`.
+  /// Empty span for unknown countries; invalid codes are never bucketed.
+  [[nodiscard]] std::span<const std::uint32_t> by_prefix_country(
+      geo::CountryCode country) const noexcept;
+  [[nodiscard]] std::span<const std::uint32_t> by_vp_country(
+      geo::CountryCode country) const noexcept;
+
+  /// All countries with >= 1 geolocated prefix (sorted ascending) — the
+  /// census domain of Pipeline::all_countries().
+  [[nodiscard]] const std::vector<geo::CountryCode>& countries() const noexcept {
+    return prefix_countries_;
+  }
+  /// All countries hosting >= 1 VP (sorted ascending).
+  [[nodiscard]] const std::vector<geo::CountryCode>& vp_countries() const noexcept {
+    return vp_countries_;
+  }
+
+  // Zero-copy view construction: O(bucket) index gathers, no path copies.
+  [[nodiscard]] CountryView national_view(geo::CountryCode country) const;
+  [[nodiscard]] CountryView international_view(geo::CountryCode country) const;
+  [[nodiscard]] CountryView outbound_view(geo::CountryCode country) const;
+  [[nodiscard]] CountryView view(geo::CountryCode country, ViewKind kind) const;
+
+  // Interning accounting (micro_perf reports these).
+  [[nodiscard]] std::size_t unique_path_count() const noexcept {
+    return unique_paths_;
+  }
+  [[nodiscard]] std::size_t arena_hop_count() const noexcept {
+    return arena_.size();
+  }
+
+ private:
+  using Bucket =
+      std::unordered_map<geo::CountryCode, std::vector<std::uint32_t>,
+                         geo::CountryCodeHash>;
+
+  std::vector<bgp::VpId> vp_;
+  std::vector<geo::CountryCode> vp_country_;
+  std::vector<bgp::Prefix> prefix_;
+  std::vector<geo::CountryCode> prefix_country_;
+  std::vector<std::uint64_t> weight_;
+  std::vector<sanitize::PathHandle> handle_;
+  std::vector<bgp::Asn> arena_;
+
+  Bucket by_prefix_country_;
+  Bucket by_vp_country_;
+  std::vector<geo::CountryCode> prefix_countries_;
+  std::vector<geo::CountryCode> vp_countries_;
+  std::size_t unique_paths_ = 0;
+};
+
+}  // namespace georank::core

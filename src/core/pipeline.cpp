@@ -1,6 +1,9 @@
 #include "core/pipeline.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "util/parallel_for.hpp"
 
 namespace georank::core {
 
@@ -17,6 +20,8 @@ Pipeline::Pipeline(const geo::GeoDatabase& geo_db, const geo::VpGeolocator& vps,
 void Pipeline::load(const bgp::RibCollection& ribs) {
   sanitize::PathSanitizer sanitizer{*geo_db_, *vps_, *registry_, config_.sanitizer};
   sanitized_ = sanitizer.run(ribs);
+  store_.emplace(std::span<const sanitize::SanitizedPath>{sanitized_->paths});
+  clear_caches();
 }
 
 void Pipeline::load_text(std::string_view mrt_text) {
@@ -24,44 +29,98 @@ void Pipeline::load_text(std::string_view mrt_text) {
   load(ribs);
 }
 
+void Pipeline::require_loaded(const char* where) const {
+  if (!sanitized_) {
+    throw std::logic_error{std::string{where} + ": no RIBs loaded"};
+  }
+}
+
 const sanitize::SanitizeResult& Pipeline::sanitized() const {
-  if (!sanitized_) throw std::logic_error{"Pipeline: no data loaded"};
+  require_loaded("Pipeline::sanitized()");
   return *sanitized_;
 }
 
+const PathStore& Pipeline::store() const {
+  require_loaded("Pipeline::store()");
+  return *store_;
+}
+
+void Pipeline::clear_caches() const {
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  cache_->country.clear();
+  cache_->outbound.clear();
+}
+
+CountryMetrics Pipeline::country_uncached(geo::CountryCode country) const {
+  return rankings_.compute(*store_, country);
+}
+
 CountryMetrics Pipeline::country(geo::CountryCode country) const {
-  return rankings_.compute(sanitized().paths, country);
+  require_loaded("Pipeline::country()");
+  {
+    const std::lock_guard<std::mutex> lock(cache_->mutex);
+    auto it = cache_->country.find(country.raw());
+    if (it != cache_->country.end()) return it->second;
+  }
+  CountryMetrics metrics = country_uncached(country);
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  return cache_->country.try_emplace(country.raw(), std::move(metrics))
+      .first->second;
 }
 
 OutboundMetrics Pipeline::outbound(geo::CountryCode country) const {
-  return rankings_.compute_outbound(sanitized().paths, country);
+  require_loaded("Pipeline::outbound()");
+  {
+    const std::lock_guard<std::mutex> lock(cache_->mutex);
+    auto it = cache_->outbound.find(country.raw());
+    if (it != cache_->outbound.end()) return it->second;
+  }
+  OutboundMetrics metrics = rankings_.compute_outbound(*store_, country);
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  return cache_->outbound.try_emplace(country.raw(), std::move(metrics))
+      .first->second;
+}
+
+std::vector<CountryMetrics> Pipeline::all_countries() const {
+  require_loaded("Pipeline::all_countries()");
+  const std::vector<geo::CountryCode>& countries = store_->countries();
+
+  // Disjoint-slot writes keyed by the (sorted) country list: the output
+  // is a pure function of the inputs, independent of scheduling, so the
+  // census is identical for any GEORANK_THREADS value.
+  std::vector<CountryMetrics> out(countries.size());
+  util::parallel_for(countries.size(), [&](std::size_t i) {
+    out[i] = country(countries[i]);
+  });
+  return out;
 }
 
 rank::Ranking Pipeline::global_cone_by_as_count() const {
   rank::CustomerCone cone{*relationships_};
-  return cone.compute(sanitized().paths).by_as_count();
+  return cone.compute(store().all()).by_as_count();
 }
 
 rank::Ranking Pipeline::global_cone_by_addresses() const {
   rank::CustomerCone cone{*relationships_};
-  return cone.compute(sanitized().paths).by_addresses();
+  return cone.compute(store().all()).by_addresses();
 }
 
 rank::Ranking Pipeline::global_hegemony() const {
   rank::Hegemony hegemony{config_.hegemony};
-  return hegemony.compute(sanitized().paths).ranking();
+  return hegemony.compute(store().all()).ranking();
 }
 
 rank::Ranking Pipeline::ahc(const rank::AsRegistry& registry,
                             geo::CountryCode country) const {
   rank::AhcRanking ahc{registry, config_.hegemony};
-  return ahc.compute(sanitized().paths, country);
+  return ahc.compute(store().all(), country);
 }
 
 rank::Ranking Pipeline::cti(geo::CountryCode country) const {
-  CountryView view = ViewBuilder::international(sanitized().paths, country);
+  require_loaded("Pipeline::cti()");
+  CountryView view = store_->international_view(country);
   rank::CtiRanking cti{*relationships_};
-  return cti.compute(view.paths);
+  return cti.compute(view.paths());
 }
 
 }  // namespace georank::core

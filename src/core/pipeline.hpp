@@ -1,15 +1,25 @@
 // End-to-end pipeline (Figure 6): RIB text -> parse -> sanitize ->
-// geolocate -> views -> rankings. This is the library's front door: it
-// owns the wiring so applications configure data sources once and query
-// country metrics from the same sanitized path set.
+// geolocate -> PathStore -> views -> rankings. This is the library's
+// front door: it owns the wiring so applications configure data sources
+// once and query country metrics from the same sanitized path set.
+//
+// load() builds a core::PathStore over the sanitized paths; every query
+// is then an index gather over the store instead of a rescan of the full
+// path set. Per-country results are memoized (keyed by (country, kind)),
+// and all_countries() fans the census out over a thread pool — both are
+// safe to call concurrently from multiple threads.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "bgp/mrt_text.hpp"
 #include "core/country_rankings.hpp"
+#include "core/path_store.hpp"
 #include "rank/ahc.hpp"
 #include "rank/cti.hpp"
 #include "sanitize/path_sanitizer.hpp"
@@ -28,23 +38,40 @@ class Pipeline {
            const sanitize::AsnRegistry& registry,
            const topo::AsGraph& relationships, PipelineConfig config = {});
 
-  /// Ingest RIBs; either form runs the sanitizer immediately.
+  /// Ingest RIBs; either form runs the sanitizer immediately, builds the
+  /// PathStore and invalidates all memoized per-country results.
   void load(const bgp::RibCollection& ribs);
   /// bgpdump-style text (see bgp/mrt_text.hpp); parse stats retained.
   void load_text(std::string_view mrt_text);
 
   [[nodiscard]] bool loaded() const noexcept { return sanitized_.has_value(); }
   [[nodiscard]] const sanitize::SanitizeResult& sanitized() const;
+  /// The interned columnar store all queries run against.
+  [[nodiscard]] const PathStore& store() const;
   [[nodiscard]] const bgp::MrtParseStats& parse_stats() const noexcept {
     return parse_stats_;
   }
 
-  /// The four country metrics (CCI/CCN/AHI/AHN).
+  /// The four country metrics (CCI/CCN/AHI/AHN). Memoized: repeat queries
+  /// for the same country return the cached result.
+  /// Throws std::logic_error("Pipeline::country(): no RIBs loaded") when
+  /// called before load()/load_text().
   [[nodiscard]] CountryMetrics country(geo::CountryCode country) const;
 
   /// The outbound extension (CCO/AHO): who the country crosses to reach
-  /// the rest of the world.
+  /// the rest of the world. Memoized like country().
   [[nodiscard]] OutboundMetrics outbound(geo::CountryCode country) const;
+
+  /// The full census: CountryMetrics for EVERY country with at least one
+  /// geolocated prefix, sorted by country code. Computed in parallel
+  /// (util::parallel_for; GEORANK_THREADS caps the workers) with each
+  /// country written to its own slot, so the result is deterministic and
+  /// identical across thread counts. Results land in the same memo cache
+  /// country() uses.
+  [[nodiscard]] std::vector<CountryMetrics> all_countries() const;
+
+  /// Drops all memoized per-country results (load() does this too).
+  void clear_caches() const;
 
   /// Global baselines for comparison tables.
   [[nodiscard]] rank::Ranking global_cone_by_as_count() const;    // CCG
@@ -62,6 +89,10 @@ class Pipeline {
   }
 
  private:
+  /// Throws std::logic_error("<where>: no RIBs loaded") before load().
+  void require_loaded(const char* where) const;
+  [[nodiscard]] CountryMetrics country_uncached(geo::CountryCode country) const;
+
   const geo::GeoDatabase* geo_db_;
   const geo::VpGeolocator* vps_;
   const sanitize::AsnRegistry* registry_;
@@ -69,7 +100,19 @@ class Pipeline {
   PipelineConfig config_;
   CountryRankings rankings_;
   std::optional<sanitize::SanitizeResult> sanitized_;
+  std::optional<PathStore> store_;
   bgp::MrtParseStats parse_stats_;
+
+  // Memoized per-country results, keyed by CountryCode::raw(). The mutex
+  // only guards map access; metric computation happens outside it, so
+  // concurrent all_countries() workers never serialize on each other.
+  // Boxed so Pipeline stays movable despite the mutex.
+  struct MemoCache {
+    std::mutex mutex;
+    std::unordered_map<std::uint16_t, CountryMetrics> country;
+    std::unordered_map<std::uint16_t, OutboundMetrics> outbound;
+  };
+  std::unique_ptr<MemoCache> cache_ = std::make_unique<MemoCache>();
 };
 
 }  // namespace georank::core

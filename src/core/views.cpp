@@ -2,80 +2,197 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "bgp/prefix_trie.hpp"
+#include "core/path_store.hpp"
 
 namespace georank::core {
+
+CountryView::CountryView(const PathStore& store,
+                         std::vector<std::uint32_t> indices,
+                         geo::CountryCode country, ViewKind kind)
+    : country(country), kind(kind), store_(&store), indices_(std::move(indices)) {
+  rebind();
+}
+
+CountryView::CountryView(std::shared_ptr<const PathStore> owned,
+                         std::vector<std::uint32_t> indices,
+                         geo::CountryCode country, ViewKind kind)
+    : country(country),
+      kind(kind),
+      store_(owned.get()),
+      owned_(std::move(owned)),
+      indices_(std::move(indices)) {
+  rebind();
+}
+
+void CountryView::rebind() noexcept {
+  if (store_ != nullptr) {
+    paths_ = store_->over(indices_);
+  } else {
+    paths_ = sanitize::PathsView{};
+  }
+}
+
+CountryView::CountryView(const CountryView& other)
+    : country(other.country),
+      kind(other.kind),
+      store_(other.store_),
+      owned_(other.owned_),
+      indices_(other.indices_) {
+  rebind();
+}
+
+CountryView::CountryView(CountryView&& other) noexcept
+    : country(other.country),
+      kind(other.kind),
+      store_(other.store_),
+      owned_(std::move(other.owned_)),
+      indices_(std::move(other.indices_)) {
+  rebind();
+}
+
+CountryView& CountryView::operator=(const CountryView& other) {
+  if (this != &other) {
+    country = other.country;
+    kind = other.kind;
+    store_ = other.store_;
+    owned_ = other.owned_;
+    indices_ = other.indices_;
+    rebind();
+  }
+  return *this;
+}
+
+CountryView& CountryView::operator=(CountryView&& other) noexcept {
+  if (this != &other) {
+    country = other.country;
+    kind = other.kind;
+    store_ = other.store_;
+    owned_ = std::move(other.owned_);
+    indices_ = std::move(other.indices_);
+    rebind();
+  }
+  return *this;
+}
+
+CountryView CountryView::from_paths(std::vector<sanitize::SanitizedPath> paths,
+                                    geo::CountryCode country, ViewKind kind) {
+  auto store = std::make_shared<const PathStore>(
+      std::span<const sanitize::SanitizedPath>{paths});
+  std::vector<std::uint32_t> indices(store->size());
+  for (std::uint32_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  return CountryView{std::move(store), std::move(indices), country, kind};
+}
+
+sanitize::PathRecord CountryView::operator[](std::size_t i) const {
+  return paths_[i];
+}
+
+sanitize::PathsView CountryView::paths() const noexcept { return paths_; }
 
 std::vector<bgp::VpId> CountryView::vps() const {
   std::unordered_set<bgp::VpId, bgp::VpIdHash> seen;
   std::vector<bgp::VpId> out;
-  for (const sanitize::SanitizedPath& sp : paths) {
-    if (seen.insert(sp.vp).second) out.push_back(sp.vp);
+  for (std::uint32_t i : indices_) {
+    if (seen.insert(store_->vp(i)).second) out.push_back(store_->vp(i));
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
+std::size_t CountryView::vp_count() const {
+  std::unordered_set<bgp::VpId, bgp::VpIdHash> seen;
+  for (std::uint32_t i : indices_) seen.insert(store_->vp(i));
+  return seen.size();
+}
+
 std::uint64_t CountryView::address_weight() const {
   std::unordered_set<bgp::Prefix, bgp::PrefixHash> seen;
   std::uint64_t total = 0;
-  for (const sanitize::SanitizedPath& sp : paths) {
-    if (seen.insert(sp.prefix).second) total += sp.weight;
+  for (std::uint32_t i : indices_) {
+    if (seen.insert(store_->prefix(i)).second) total += store_->weight(i);
   }
   return total;
 }
 
 CountryView CountryView::restricted_to(std::span<const bgp::VpId> keep) const {
-  std::unordered_set<bgp::VpId, bgp::VpIdHash> keep_set(keep.begin(), keep.end());
+  std::unordered_set<bgp::VpId, bgp::VpIdHash> keep_set(keep.begin(),
+                                                        keep.end());
+  std::vector<std::uint32_t> indices;
+  for (std::uint32_t i : indices_) {
+    if (keep_set.contains(store_->vp(i))) indices.push_back(i);
+  }
   CountryView out;
   out.country = country;
   out.kind = kind;
-  for (const sanitize::SanitizedPath& sp : paths) {
-    if (keep_set.contains(sp.vp)) out.paths.push_back(sp);
-  }
+  out.store_ = store_;
+  out.owned_ = owned_;
+  out.indices_ = std::move(indices);
+  out.rebind();
   return out;
 }
 
-CountryView ViewBuilder::national(std::span<const sanitize::SanitizedPath> all,
-                                  geo::CountryCode country) {
-  CountryView view;
-  view.country = country;
-  view.kind = ViewKind::kNational;
-  for (const sanitize::SanitizedPath& sp : all) {
-    if (sp.prefix_country == country && sp.vp_country == country) {
-      view.paths.push_back(sp);
-    }
+CountryView CountryView::without_vp(bgp::VpId vp) const {
+  std::vector<std::uint32_t> indices;
+  indices.reserve(indices_.size());
+  for (std::uint32_t i : indices_) {
+    if (!(store_->vp(i) == vp)) indices.push_back(i);
   }
-  return view;
+  CountryView out;
+  out.country = country;
+  out.kind = kind;
+  out.store_ = store_;
+  out.owned_ = owned_;
+  out.indices_ = std::move(indices);
+  out.rebind();
+  return out;
 }
 
-CountryView ViewBuilder::international(std::span<const sanitize::SanitizedPath> all,
-                                       geo::CountryCode country) {
-  CountryView view;
-  view.country = country;
-  view.kind = ViewKind::kInternational;
+namespace {
+
+CountryView filtered_view(std::span<const sanitize::SanitizedPath> all,
+                          geo::CountryCode country, ViewKind kind,
+                          bool (*match)(const sanitize::SanitizedPath&,
+                                        geo::CountryCode)) {
+  std::vector<sanitize::SanitizedPath> subset;
   for (const sanitize::SanitizedPath& sp : all) {
-    if (sp.prefix_country == country && sp.vp_country.valid() &&
-        sp.vp_country != country) {
-      view.paths.push_back(sp);
-    }
+    if (match(sp, country)) subset.push_back(sp);
   }
-  return view;
+  return CountryView::from_paths(std::move(subset), country, kind);
+}
+
+}  // namespace
+
+CountryView ViewBuilder::national(std::span<const sanitize::SanitizedPath> all,
+                                  geo::CountryCode country) {
+  return filtered_view(all, country, ViewKind::kNational,
+                       [](const sanitize::SanitizedPath& sp,
+                          geo::CountryCode cc) {
+                         return sp.prefix_country == cc && sp.vp_country == cc;
+                       });
+}
+
+CountryView ViewBuilder::international(
+    std::span<const sanitize::SanitizedPath> all, geo::CountryCode country) {
+  return filtered_view(all, country, ViewKind::kInternational,
+                       [](const sanitize::SanitizedPath& sp,
+                          geo::CountryCode cc) {
+                         return sp.prefix_country == cc &&
+                                sp.vp_country.valid() && sp.vp_country != cc;
+                       });
 }
 
 CountryView ViewBuilder::outbound(std::span<const sanitize::SanitizedPath> all,
                                   geo::CountryCode country) {
-  CountryView view;
-  view.country = country;
-  view.kind = ViewKind::kOutbound;
-  for (const sanitize::SanitizedPath& sp : all) {
-    if (sp.vp_country == country && sp.prefix_country.valid() &&
-        sp.prefix_country != country) {
-      view.paths.push_back(sp);
-    }
-  }
-  return view;
+  return filtered_view(all, country, ViewKind::kOutbound,
+                       [](const sanitize::SanitizedPath& sp,
+                          geo::CountryCode cc) {
+                         return sp.vp_country == cc &&
+                                sp.prefix_country.valid() &&
+                                sp.prefix_country != cc;
+                       });
 }
 
 std::vector<geo::CountryCode> ViewBuilder::countries(

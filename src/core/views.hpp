@@ -5,39 +5,109 @@
 //   international view: paths from OUT-of-country VPs to IN-country
 //                       prefixes — how the rest of the world reaches it.
 //
-// Views are materialized as path subsets of the sanitized set; every
-// country metric is "the corresponding global metric computed on a view".
+// Every country metric is "the corresponding global metric computed on a
+// view". Views used to materialize their path subset (deep-copying every
+// AsPath); they are now INDEX LISTS over an immutable core::PathStore —
+// an O(view size) gather instead of an O(all paths) copy. A view borrows
+// its store (the store must outlive it) unless it was built standalone
+// via from_paths(), in which case it owns a private store internally.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "bgp/route.hpp"
 #include "geo/country.hpp"
-#include "sanitize/path_sanitizer.hpp"
+#include "sanitize/path_view.hpp"
 
 namespace georank::core {
 
+class PathStore;
+
 enum class ViewKind { kNational, kInternational, kOutbound };
 
-struct CountryView {
+class CountryView {
+ public:
   geo::CountryCode country;
   ViewKind kind = ViewKind::kNational;
-  std::vector<sanitize::SanitizedPath> paths;
 
-  /// Distinct VPs contributing to the view.
+  CountryView() = default;
+
+  /// Borrowing view: `store` must outlive this view (and every view
+  /// derived from it via restricted_to/without_vp).
+  CountryView(const PathStore& store, std::vector<std::uint32_t> indices,
+              geo::CountryCode country, ViewKind kind);
+
+  /// Standalone view owning a private store built from `paths` — the
+  /// compatibility path for hand-built fixtures and span-based
+  /// ViewBuilder calls. Copies exactly once, at construction.
+  [[nodiscard]] static CountryView from_paths(
+      std::vector<sanitize::SanitizedPath> paths, geo::CountryCode country,
+      ViewKind kind);
+
+  [[nodiscard]] std::size_t size() const noexcept { return indices_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return indices_.empty(); }
+
+  /// Zero-copy record access / iteration (records are cheap proxies).
+  [[nodiscard]] sanitize::PathRecord operator[](std::size_t i) const;
+  [[nodiscard]] sanitize::PathsView paths() const noexcept;
+  [[nodiscard]] sanitize::PathsView::iterator begin() const noexcept {
+    return paths_.begin();
+  }
+  [[nodiscard]] sanitize::PathsView::iterator end() const noexcept {
+    return paths_.end();
+  }
+
+  /// Distinct VPs contributing to the view (sorted ascending).
   [[nodiscard]] std::vector<bgp::VpId> vps() const;
-  [[nodiscard]] std::size_t vp_count() const { return vps().size(); }
+  /// Distinct-VP count WITHOUT materializing the sorted vector.
+  [[nodiscard]] std::size_t vp_count() const;
 
   /// Total effective address weight of the view's distinct prefixes.
   [[nodiscard]] std::uint64_t address_weight() const;
 
-  /// Subset of this view restricted to the given VPs (downsampling).
+  /// Subset restricted to the given VPs (downsampling). Shares this
+  /// view's store; only the index list is rebuilt.
   [[nodiscard]] CountryView restricted_to(std::span<const bgp::VpId> keep) const;
+  /// Leave-one-VP-out subset (vp_bias's influence analysis).
+  [[nodiscard]] CountryView without_vp(bgp::VpId vp) const;
+
+  [[nodiscard]] const PathStore* store() const noexcept { return store_; }
+  [[nodiscard]] std::span<const std::uint32_t> indices() const noexcept {
+    return indices_;
+  }
+
+ private:
+  CountryView(std::shared_ptr<const PathStore> owned,
+              std::vector<std::uint32_t> indices, geo::CountryCode country,
+              ViewKind kind);
+  void rebind() noexcept;
+
+  const PathStore* store_ = nullptr;
+  /// Set only for standalone views; keeps the private store alive across
+  /// copies and derived subsets.
+  std::shared_ptr<const PathStore> owned_;
+  std::vector<std::uint32_t> indices_;
+  /// Cached PathsView over (store_, indices_); rebound on copy/move.
+  sanitize::PathsView paths_;
+
+ public:
+  // indices_ lives inside the view, so copies/moves must re-point paths_.
+  CountryView(const CountryView& other);
+  CountryView(CountryView&& other) noexcept;
+  CountryView& operator=(const CountryView& other);
+  CountryView& operator=(CountryView&& other) noexcept;
+  ~CountryView() = default;
 };
 
 class ViewBuilder {
  public:
+  // Span-based builders: filter `all` and copy the matching paths into a
+  // standalone view (one pass, one copy). Kept for call sites that have
+  // no PathStore; the zero-copy equivalents live on PathStore itself
+  // (national_view/international_view/outbound_view).
   [[nodiscard]] static CountryView national(
       std::span<const sanitize::SanitizedPath> all, geo::CountryCode country);
 

@@ -22,7 +22,7 @@ ProximityBias VpBiasAnalyzer::proximity_bias(const CountryView& view,
     std::size_t count = 0;
   };
   std::unordered_map<bgp::Asn, Acc> distance;
-  for (const sanitize::SanitizedPath& sp : view.paths) {
+  for (const sanitize::PathRecord sp : view.paths()) {
     auto hops = sp.path.hops();
     for (std::size_t i = 0; i < hops.size(); ++i) {
       Acc& acc = distance[hops[i]];
@@ -62,20 +62,11 @@ std::vector<VpInfluence> VpBiasAnalyzer::vp_influence(const CountryView& view,
   std::vector<VpInfluence> out;
   out.reserve(vps.size());
   for (const bgp::VpId& vp : vps) {
-    CountryView leave_out;
-    leave_out.country = view.country;
-    leave_out.kind = view.kind;
-    std::size_t own_paths = 0;
-    for (const sanitize::SanitizedPath& sp : view.paths) {
-      if (sp.vp == vp) {
-        ++own_paths;
-      } else {
-        leave_out.paths.push_back(sp);
-      }
-    }
+    // Index-filtered subset over the shared store — no path copies.
+    CountryView leave_out = view.without_vp(vp);
     VpInfluence influence;
     influence.vp = vp;
-    influence.paths = own_paths;
+    influence.paths = view.size() - leave_out.size();
     influence.leave_out_ndcg = ndcg(rank_view(leave_out), full, top_k);
     out.push_back(influence);
   }

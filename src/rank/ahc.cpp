@@ -4,16 +4,18 @@
 
 namespace georank::rank {
 
-Ranking AhcRanking::compute(std::span<const sanitize::SanitizedPath> all_paths,
+Ranking AhcRanking::compute(sanitize::PathsView all_paths,
                             geo::CountryCode country) const {
-  // Origin ASes registered in the target country.
-  std::unordered_map<Asn, std::vector<sanitize::SanitizedPath>> by_origin;
-  for (const sanitize::SanitizedPath& sp : all_paths) {
+  // Origin ASes registered in the target country. Group by BASE index so
+  // the per-origin subsets are selections over `all_paths`, not copies.
+  std::unordered_map<Asn, std::vector<std::uint32_t>> by_origin;
+  for (std::size_t k = 0; k < all_paths.size(); ++k) {
+    const sanitize::PathRecord sp = all_paths[k];
     if (sp.path.empty()) continue;
     Asn origin = sp.path.origin();
     auto it = registry_->find(origin);
     if (it == registry_->end() || it->second != country) continue;
-    by_origin[origin].push_back(sp);
+    by_origin[origin].push_back(static_cast<std::uint32_t>(all_paths.base_index(k)));
   }
   if (by_origin.empty()) return {};
 
@@ -21,12 +23,13 @@ Ranking AhcRanking::compute(std::span<const sanitize::SanitizedPath> all_paths,
   Hegemony hegemony{options_};
   std::unordered_map<Asn, double> sums;
   double weight_total = 0.0;
-  for (const auto& [origin, paths] : by_origin) {
+  for (const auto& [origin, indices] : by_origin) {
+    const sanitize::PathsView paths = all_paths.rebase(indices);
     double weight = 1.0;
     if (weighting_ == AhcWeighting::kByAddresses) {
       std::unordered_map<bgp::Prefix, bool, bgp::PrefixHash> seen;
       std::uint64_t addresses = 0;
-      for (const sanitize::SanitizedPath& sp : paths) {
+      for (const sanitize::PathRecord sp : paths) {
         if (seen.emplace(sp.prefix, true).second) addresses += sp.weight;
       }
       weight = static_cast<double>(addresses);

@@ -14,7 +14,7 @@
 #include "geo/country.hpp"
 #include "rank/hegemony.hpp"
 #include "rank/ranking.hpp"
-#include "sanitize/path_sanitizer.hpp"
+#include "sanitize/path_view.hpp"
 
 namespace georank::rank {
 
@@ -35,7 +35,7 @@ class AhcRanking {
 
   /// Country-level ranking from GLOBAL paths (IHR uses every VP and every
   /// path toward the origin ASes registered in `country`).
-  [[nodiscard]] Ranking compute(std::span<const sanitize::SanitizedPath> all_paths,
+  [[nodiscard]] Ranking compute(sanitize::PathsView all_paths,
                                 geo::CountryCode country) const;
 
  private:

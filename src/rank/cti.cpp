@@ -10,7 +10,7 @@
 
 namespace georank::rank {
 
-Ranking CtiRanking::compute(std::span<const sanitize::SanitizedPath> paths) const {
+Ranking CtiRanking::compute(sanitize::PathsView paths) const {
   CustomerCone cone_helper{*relationships_};
 
   struct VpAccumulator {
@@ -19,7 +19,7 @@ Ranking CtiRanking::compute(std::span<const sanitize::SanitizedPath> paths) cons
   };
   std::unordered_map<bgp::VpId, VpAccumulator, bgp::VpIdHash> vps;
 
-  for (const sanitize::SanitizedPath& sp : paths) {
+  for (const sanitize::PathRecord sp : paths) {
     if (sp.path.empty()) continue;
     VpAccumulator& acc = vps[sp.vp];
     auto w = static_cast<double>(sp.weight);

@@ -13,7 +13,7 @@
 #include <span>
 
 #include "rank/ranking.hpp"
-#include "sanitize/path_sanitizer.hpp"
+#include "sanitize/path_view.hpp"
 #include "topo/as_graph.hpp"
 
 namespace georank::rank {
@@ -28,8 +28,9 @@ class CtiRanking {
       : relationships_(&relationships), options_(options) {}
 
   /// `paths` should be a country's INTERNATIONAL view (out-of-country VPs
-  /// to in-country prefixes); the caller selects them.
-  [[nodiscard]] Ranking compute(std::span<const sanitize::SanitizedPath> paths) const;
+  /// to in-country prefixes); the caller selects them. Accepts any
+  /// storage form via the PathsView adapter — zero-copy.
+  [[nodiscard]] Ranking compute(sanitize::PathsView paths) const;
 
  private:
   const topo::AsGraph* relationships_;

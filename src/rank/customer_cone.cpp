@@ -2,7 +2,7 @@
 
 namespace georank::rank {
 
-std::size_t CustomerCone::cone_suffix_start(const bgp::AsPath& path) const {
+std::size_t CustomerCone::cone_suffix_start(bgp::AsPathView path) const {
   // Walk the links VP->origin; the suffix begins after the LAST link that
   // is not provider->customer (unknown links count as not-p2c).
   std::size_t start = 0;
@@ -13,15 +13,14 @@ std::size_t CustomerCone::cone_suffix_start(const bgp::AsPath& path) const {
   return start;
 }
 
-ConeResult CustomerCone::compute(
-    std::span<const sanitize::SanitizedPath> paths) const {
+ConeResult CustomerCone::compute(sanitize::PathsView paths) const {
   ConeResult result;
 
-  for (const sanitize::SanitizedPath& sp : paths) {
+  for (const sanitize::PathRecord sp : paths) {
     auto [it, inserted] = result.prefix_weight.try_emplace(sp.prefix, sp.weight);
     if (inserted) result.total_weight += sp.weight;
 
-    const bgp::AsPath& path = sp.path;
+    const bgp::AsPathView path = sp.path;
     if (path.empty()) continue;
     result.originated[path[path.size() - 1]].insert(sp.prefix);
 

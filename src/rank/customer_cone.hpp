@@ -19,7 +19,7 @@
 
 #include "bgp/prefix.hpp"
 #include "rank/ranking.hpp"
-#include "sanitize/path_sanitizer.hpp"
+#include "sanitize/path_view.hpp"
 #include "topo/as_graph.hpp"
 
 namespace georank::rank {
@@ -59,12 +59,13 @@ class CustomerCone {
   explicit CustomerCone(const topo::AsGraph& relationships)
       : relationships_(&relationships) {}
 
-  [[nodiscard]] ConeResult compute(
-      std::span<const sanitize::SanitizedPath> paths) const;
+  /// Accepts any sanitized-path storage form (vector/span of rows, or an
+  /// indexed columnar view) via the PathsView adapter — zero-copy.
+  [[nodiscard]] ConeResult compute(sanitize::PathsView paths) const;
 
   /// Index into `path` of the first hop of the maximal all-p2c suffix
   /// (path.size()-1 when only the origin qualifies). Exposed for tests.
-  [[nodiscard]] std::size_t cone_suffix_start(const bgp::AsPath& path) const;
+  [[nodiscard]] std::size_t cone_suffix_start(bgp::AsPathView path) const;
 
  private:
   const topo::AsGraph* relationships_;

@@ -24,8 +24,7 @@ double Hegemony::trimmed_average(std::vector<double> scores,
   return sum / static_cast<double>(vp_count - 2 * cut);
 }
 
-HegemonyResult Hegemony::compute(
-    std::span<const sanitize::SanitizedPath> paths) const {
+HegemonyResult Hegemony::compute(sanitize::PathsView paths) const {
   // Group path mass per VP.
   struct VpAccumulator {
     double total = 0.0;
@@ -33,7 +32,7 @@ HegemonyResult Hegemony::compute(
   };
   std::unordered_map<bgp::VpId, VpAccumulator, bgp::VpIdHash> vps;
 
-  for (const sanitize::SanitizedPath& sp : paths) {
+  for (const sanitize::PathRecord sp : paths) {
     VpAccumulator& acc = vps[sp.vp];
     double w = options_.weight_by_addresses ? static_cast<double>(sp.weight) : 1.0;
     acc.total += w;
@@ -64,14 +63,18 @@ HegemonyResult Hegemony::compute(
   return result;
 }
 
-HegemonyResult per_origin_hegemony(std::span<const sanitize::SanitizedPath> paths,
-                                   Asn origin, HegemonyOptions options) {
-  std::vector<sanitize::SanitizedPath> subset;
-  for (const sanitize::SanitizedPath& sp : paths) {
-    if (!sp.path.empty() && sp.path.origin() == origin) subset.push_back(sp);
+HegemonyResult per_origin_hegemony(sanitize::PathsView paths, Asn origin,
+                                   HegemonyOptions options) {
+  // Select by index instead of copying paths into a scratch vector.
+  std::vector<std::uint32_t> subset;
+  for (std::size_t k = 0; k < paths.size(); ++k) {
+    const sanitize::PathRecord sp = paths[k];
+    if (!sp.path.empty() && sp.path.origin() == origin) {
+      subset.push_back(static_cast<std::uint32_t>(paths.base_index(k)));
+    }
   }
   Hegemony hegemony{options};
-  return hegemony.compute(subset);
+  return hegemony.compute(paths.rebase(subset));
 }
 
 Ranking HegemonyResult::ranking() const {

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "rank/ranking.hpp"
-#include "sanitize/path_sanitizer.hpp"
+#include "sanitize/path_view.hpp"
 
 namespace georank::rank {
 
@@ -54,16 +54,17 @@ struct HegemonyResult {
 /// only the paths whose ORIGIN is the given AS — which transit networks
 /// does this one AS depend on? This is the building block IHR aggregates
 /// into its country ranking (AHC, §1.2.1) and publishes per AS.
-[[nodiscard]] HegemonyResult per_origin_hegemony(
-    std::span<const sanitize::SanitizedPath> paths, Asn origin,
-    HegemonyOptions options = {});
+[[nodiscard]] HegemonyResult per_origin_hegemony(sanitize::PathsView paths,
+                                                 Asn origin,
+                                                 HegemonyOptions options = {});
 
 class Hegemony {
  public:
   explicit Hegemony(HegemonyOptions options = {}) : options_(options) {}
 
-  [[nodiscard]] HegemonyResult compute(
-      std::span<const sanitize::SanitizedPath> paths) const;
+  /// Accepts any sanitized-path storage form (vector/span of rows, or an
+  /// indexed columnar view) via the PathsView adapter — zero-copy.
+  [[nodiscard]] HegemonyResult compute(sanitize::PathsView paths) const;
 
   /// The trim-then-average step on a raw per-VP score vector, padded with
   /// zeros up to `vp_count`. Exposed for tests (Figure 2 worked example).

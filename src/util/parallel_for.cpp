@@ -1,0 +1,48 @@
+#include "util/parallel_for.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace georank::util {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("GEORANK_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  if (n == 0) return;
+  if (threads == 0) threads = default_thread_count();
+  if (threads > n) threads = n;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        body(i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace georank::util

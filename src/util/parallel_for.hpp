@@ -1,0 +1,31 @@
+// A deliberately small parallel-for: N worker threads pulling indices off
+// a shared atomic counter. No task graph, no futures — the only parallel
+// shape the pipeline needs is "run f(i) for i in [0, n) and join".
+//
+// Determinism contract: parallel_for guarantees nothing about execution
+// ORDER, only that every index runs exactly once and all writes made by
+// the body happen-before the return. Callers that need deterministic
+// OUTPUT must write to disjoint, index-addressed slots (out[i] = f(i)),
+// which makes the result independent of the schedule and hence of the
+// thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace georank::util {
+
+/// Worker count used by parallel_for when `threads == 0`: the
+/// GEORANK_THREADS environment variable if set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (min 1).
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Runs body(i) for every i in [0, n), distributing indices over
+/// `threads` workers (0 = default_thread_count()). Runs inline on the
+/// calling thread when n <= 1 or only one worker is requested. The body
+/// must be safe to invoke concurrently from multiple threads; exceptions
+/// thrown by it terminate (workers run noexcept loops).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace georank::util

@@ -38,10 +38,10 @@ std::vector<SanitizedPath> sample() {
 TEST(OutboundView, SelectsInVpForeignPrefix) {
   auto paths = sample();
   CountryView v = ViewBuilder::outbound(paths, AU);
-  ASSERT_EQ(v.paths.size(), 1u);
+  ASSERT_EQ(v.size(), 1u);
   EXPECT_EQ(v.kind, ViewKind::kOutbound);
-  EXPECT_EQ(v.paths[0].prefix_country, US);
-  EXPECT_EQ(v.paths[0].vp_country, AU);
+  EXPECT_EQ(v[0].prefix_country, US);
+  EXPECT_EQ(v[0].vp_country, AU);
 }
 
 TEST(OutboundView, DisjointFromNationalAndInternational) {
@@ -51,15 +51,15 @@ TEST(OutboundView, DisjointFromNationalAndInternational) {
   CountryView out = ViewBuilder::outbound(paths, AU);
   // The three views partition an AU VP's and AU prefix's paths with no
   // overlap: check pairwise disjointness on (vp, prefix).
-  auto key = [](const SanitizedPath& sp) {
+  auto key = [](const sanitize::PathRecord& sp) {
     return std::tuple{sp.vp.ip, sp.prefix.address()};
   };
-  for (const auto& a : nat.paths) {
-    for (const auto& b : out.paths) EXPECT_NE(key(a), key(b));
-    for (const auto& b : intl.paths) EXPECT_NE(key(a), key(b));
+  for (const auto& a : nat) {
+    for (const auto& b : out) EXPECT_NE(key(a), key(b));
+    for (const auto& b : intl) EXPECT_NE(key(a), key(b));
   }
-  for (const auto& a : intl.paths) {
-    for (const auto& b : out.paths) EXPECT_NE(key(a), key(b));
+  for (const auto& a : intl) {
+    for (const auto& b : out) EXPECT_NE(key(a), key(b));
   }
 }
 

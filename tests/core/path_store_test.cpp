@@ -1,0 +1,200 @@
+#include "core/path_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/views.hpp"
+
+namespace georank::core {
+namespace {
+
+using bgp::AsPath;
+using bgp::Prefix;
+using geo::CountryCode;
+using sanitize::SanitizedPath;
+
+CountryCode AU = CountryCode::of("AU");
+CountryCode US = CountryCode::of("US");
+CountryCode JP = CountryCode::of("JP");
+
+SanitizedPath mk(std::uint32_t vp_ip, CountryCode vp_cc, AsPath path,
+                 std::uint32_t pfx_index, CountryCode pfx_cc,
+                 std::uint64_t weight = 256) {
+  SanitizedPath sp;
+  sp.vp = bgp::VpId{vp_ip, path.empty() ? 0 : path[0]};
+  sp.vp_country = vp_cc;
+  sp.prefix = Prefix{0x0A000000 + pfx_index * 256, 24};
+  sp.prefix_country = pfx_cc;
+  sp.weight = weight;
+  sp.path = std::move(path);
+  return sp;
+}
+
+/// Mix of shared and unique paths across three countries, including an
+/// un-geolocated VP (invalid country, must never be bucketed).
+std::vector<SanitizedPath> sample_paths() {
+  return {
+      mk(1, AU, AsPath{100, 50, 200}, 1, AU),
+      mk(2, US, AsPath{101, 50, 200}, 1, AU),
+      mk(2, US, AsPath{101, 50, 200}, 2, US),   // same hops as previous
+      mk(3, JP, AsPath{102, 60, 201}, 1, AU),
+      mk(1, AU, AsPath{100, 50, 200}, 3, US),   // same hops again
+      mk(4, CountryCode{}, AsPath{103, 60, 202}, 2, US),
+      mk(3, JP, AsPath{102, 60}, 4, JP),
+  };
+}
+
+TEST(PathStore, RoundTripsEveryField) {
+  auto paths = sample_paths();
+  PathStore store{paths};
+  ASSERT_EQ(store.size(), paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_EQ(store.vp(i), paths[i].vp);
+    EXPECT_EQ(store.vp_country(i), paths[i].vp_country);
+    EXPECT_EQ(store.prefix(i), paths[i].prefix);
+    EXPECT_EQ(store.prefix_country(i), paths[i].prefix_country);
+    EXPECT_EQ(store.weight(i), paths[i].weight);
+    EXPECT_EQ(store.hops(i).materialize(), paths[i].path);
+
+    sanitize::PathRecord rec = store[i];
+    EXPECT_EQ(rec.materialize().path, paths[i].path);
+    EXPECT_EQ(rec.vp, paths[i].vp);
+  }
+}
+
+TEST(PathStore, InterningCollapsesDuplicateHopSequences) {
+  auto paths = sample_paths();
+  PathStore store{paths};
+  // 7 paths, but {100,50,200} appears 3x and {101,50,200} 2x... wait,
+  // distinct sequences: {100,50,200}, {101,50,200}, {102,60,201},
+  // {103,60,202}, {102,60} -> 5 unique.
+  EXPECT_EQ(store.unique_path_count(), 5u);
+  EXPECT_EQ(store.arena_hop_count(), 3u + 3u + 3u + 3u + 2u);
+  EXPECT_LT(store.unique_path_count(), store.size());
+  // Duplicate sequences share one handle -> identical spans.
+  EXPECT_EQ(store.hops(0).hops().data(), store.hops(4).hops().data());
+}
+
+TEST(PathStore, BucketsMatchNaiveFilter) {
+  auto paths = sample_paths();
+  PathStore store{paths};
+  for (CountryCode cc : {AU, US, JP}) {
+    std::vector<std::uint32_t> expect_prefix, expect_vp;
+    for (std::uint32_t i = 0; i < paths.size(); ++i) {
+      if (paths[i].prefix_country == cc) expect_prefix.push_back(i);
+      if (paths[i].vp_country == cc) expect_vp.push_back(i);
+    }
+    auto got_prefix = store.by_prefix_country(cc);
+    auto got_vp = store.by_vp_country(cc);
+    EXPECT_TRUE(std::equal(expect_prefix.begin(), expect_prefix.end(),
+                           got_prefix.begin(), got_prefix.end()))
+        << cc.to_string();
+    EXPECT_TRUE(std::equal(expect_vp.begin(), expect_vp.end(), got_vp.begin(),
+                           got_vp.end()))
+        << cc.to_string();
+  }
+  // Unknown country -> empty; invalid codes never bucketed.
+  EXPECT_TRUE(store.by_prefix_country(CountryCode::of("DE")).empty());
+  EXPECT_TRUE(store.by_vp_country(CountryCode{}).empty());
+}
+
+TEST(PathStore, CountriesSortedAndComplete) {
+  auto paths = sample_paths();
+  PathStore store{paths};
+  EXPECT_EQ(store.countries(), ViewBuilder::countries(paths));
+  ASSERT_EQ(store.vp_countries().size(), 3u);
+  EXPECT_TRUE(std::is_sorted(store.vp_countries().begin(),
+                             store.vp_countries().end()));
+}
+
+/// Store-built views must select exactly the same (vp, prefix, weight,
+/// hops) multiset, in the same order, as the span-based ViewBuilder.
+void expect_same_selection(const CountryView& a, const CountryView& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sanitize::PathRecord ra = a[i], rb = b[i];
+    EXPECT_EQ(ra.vp, rb.vp);
+    EXPECT_EQ(ra.prefix, rb.prefix);
+    EXPECT_EQ(ra.weight, rb.weight);
+    EXPECT_EQ(ra.path, rb.path);
+  }
+}
+
+TEST(PathStore, ViewsMatchViewBuilder) {
+  auto paths = sample_paths();
+  PathStore store{paths};
+  for (CountryCode cc : {AU, US, JP}) {
+    expect_same_selection(store.national_view(cc),
+                          ViewBuilder::national(paths, cc));
+    expect_same_selection(store.international_view(cc),
+                          ViewBuilder::international(paths, cc));
+    expect_same_selection(store.outbound_view(cc),
+                          ViewBuilder::outbound(paths, cc));
+    EXPECT_EQ(store.view(cc, ViewKind::kOutbound).size(),
+              store.outbound_view(cc).size());
+  }
+}
+
+TEST(PathStore, RestrictedToMatchesSpanBasedViews) {
+  auto paths = sample_paths();
+  PathStore store{paths};
+  std::vector<bgp::VpId> keep{bgp::VpId{2, 101}, bgp::VpId{3, 102}};
+
+  CountryView via_store = store.international_view(AU).restricted_to(keep);
+  CountryView via_spans =
+      ViewBuilder::international(paths, AU).restricted_to(keep);
+  expect_same_selection(via_store, via_spans);
+  EXPECT_EQ(via_store.vp_count(), via_spans.vp_count());
+  EXPECT_EQ(via_store.address_weight(), via_spans.address_weight());
+}
+
+TEST(PathStore, WithoutVpDropsExactlyThatVp) {
+  auto paths = sample_paths();
+  PathStore store{paths};
+  CountryView view = store.international_view(AU);
+  CountryView rest = view.without_vp(bgp::VpId{2, 101});
+  EXPECT_EQ(rest.size(), view.size() - 1);
+  for (const sanitize::PathRecord sp : rest) {
+    EXPECT_NE(sp.vp, (bgp::VpId{2, 101}));
+  }
+}
+
+TEST(PathStore, VpCountMatchesVpsSize) {
+  auto paths = sample_paths();
+  PathStore store{paths};
+  for (CountryCode cc : {AU, US, JP}) {
+    for (ViewKind kind :
+         {ViewKind::kNational, ViewKind::kInternational, ViewKind::kOutbound}) {
+      CountryView v = store.view(cc, kind);
+      EXPECT_EQ(v.vp_count(), v.vps().size());
+    }
+  }
+}
+
+TEST(PathStore, StandaloneViewOwnsItsStore) {
+  // from_paths views (and their derived subsets) must survive the source
+  // vector's death: the view owns a private store.
+  CountryView sub;
+  {
+    auto paths = sample_paths();
+    CountryView v = CountryView::from_paths(
+        std::vector<SanitizedPath>(paths.begin(), paths.end()), AU,
+        ViewKind::kNational);
+    sub = v.restricted_to(v.vps());
+  }
+  EXPECT_EQ(sub.size(), sample_paths().size());
+  EXPECT_GT(sub.address_weight(), 0u);
+}
+
+TEST(PathStore, EmptyStore) {
+  PathStore store{std::span<const SanitizedPath>{}};
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.unique_path_count(), 0u);
+  EXPECT_TRUE(store.countries().empty());
+  EXPECT_TRUE(store.national_view(AU).empty());
+  EXPECT_EQ(store.all().size(), 0u);
+}
+
+}  // namespace
+}  // namespace georank::core

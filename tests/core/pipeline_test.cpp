@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdlib>
+
 #include "gen/internet_generator.hpp"
 #include "gen/rib_generator.hpp"
 #include "gen/scenarios.hpp"
@@ -35,7 +38,16 @@ TEST(Pipeline, ThrowsBeforeLoad) {
                     f.world.graph, f.config()};
   EXPECT_FALSE(pipeline.loaded());
   EXPECT_THROW((void)pipeline.sanitized(), std::logic_error);
-  EXPECT_THROW((void)pipeline.country(CountryCode::of("AU")), std::logic_error);
+  EXPECT_THROW((void)pipeline.store(), std::logic_error);
+  EXPECT_THROW((void)pipeline.outbound(CountryCode::of("AU")), std::logic_error);
+  EXPECT_THROW((void)pipeline.all_countries(), std::logic_error);
+  EXPECT_THROW((void)pipeline.cti(CountryCode::of("AU")), std::logic_error);
+  try {
+    (void)pipeline.country(CountryCode::of("AU"));
+    FAIL() << "country() before load() must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "Pipeline::country(): no RIBs loaded");
+  }
 }
 
 TEST(Pipeline, LoadStructRuns) {
@@ -89,6 +101,74 @@ TEST(Pipeline, GlobalBaselinesComputed) {
   EXPECT_FALSE(pipeline.global_hegemony().empty());
   EXPECT_FALSE(pipeline.ahc(f.world.as_registry, CountryCode::of("AU")).empty());
   EXPECT_FALSE(pipeline.cti(CountryCode::of("AU")).empty());
+}
+
+void expect_bitwise_equal(const rank::Ranking& a, const rank::Ranking& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].asn, b.entries()[i].asn);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.entries()[i].score),
+              std::bit_cast<std::uint64_t>(b.entries()[i].score));
+  }
+}
+
+void expect_bitwise_equal(const CountryMetrics& a, const CountryMetrics& b) {
+  EXPECT_EQ(a.country, b.country);
+  EXPECT_EQ(a.national_vps, b.national_vps);
+  EXPECT_EQ(a.international_vps, b.international_vps);
+  EXPECT_EQ(a.national_addresses, b.national_addresses);
+  EXPECT_EQ(a.international_addresses, b.international_addresses);
+  expect_bitwise_equal(a.cci, b.cci);
+  expect_bitwise_equal(a.ccn, b.ccn);
+  expect_bitwise_equal(a.ahi, b.ahi);
+  expect_bitwise_equal(a.ahn, b.ahn);
+}
+
+TEST(Pipeline, AllCountriesCoversCensusAndMatchesSingleQueries) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.load(f.ribs);
+
+  std::vector<CountryMetrics> census = pipeline.all_countries();
+  ASSERT_EQ(census.size(), pipeline.store().countries().size());
+  for (std::size_t i = 0; i < census.size(); ++i) {
+    EXPECT_EQ(census[i].country, pipeline.store().countries()[i]);  // sorted
+    expect_bitwise_equal(census[i], pipeline.country(census[i].country));
+  }
+}
+
+TEST(Pipeline, AllCountriesDeterministicAcrossThreadCounts) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.load(f.ribs);
+
+  ASSERT_EQ(setenv("GEORANK_THREADS", "1", 1), 0);
+  std::vector<CountryMetrics> serial = pipeline.all_countries();
+  pipeline.clear_caches();
+  ASSERT_EQ(setenv("GEORANK_THREADS", "7", 1), 0);
+  std::vector<CountryMetrics> parallel = pipeline.all_countries();
+  unsetenv("GEORANK_THREADS");
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_bitwise_equal(serial[i], parallel[i]);
+  }
+}
+
+TEST(Pipeline, MemoizedQueriesSurviveReload) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.load(f.ribs);
+  CountryMetrics first = pipeline.country(CountryCode::of("AU"));
+  expect_bitwise_equal(first, pipeline.country(CountryCode::of("AU")));
+
+  // Reload invalidates the memo cache but reproduces identical inputs,
+  // so the recomputed result must match too.
+  pipeline.load(f.ribs);
+  expect_bitwise_equal(first, pipeline.country(CountryCode::of("AU")));
 }
 
 TEST(Pipeline, GlobalConeTopIsTier1) {

@@ -28,15 +28,13 @@ SanitizedPath mk(std::uint32_t vp_ip, AsPath path, std::uint32_t pfx_index) {
 /// Every VP (all hosted in AS 100) sees the identical path set: any
 /// sample reproduces the full ranking exactly.
 CountryView homogeneous_view(std::size_t vp_count) {
-  CountryView view;
-  view.country = AU;
-  view.kind = ViewKind::kNational;
+  std::vector<SanitizedPath> paths;
   for (std::uint32_t vp = 1; vp <= vp_count; ++vp) {
-    view.paths.push_back(mk(vp, AsPath{100, 50, 200}, 1));
-    view.paths.push_back(mk(vp, AsPath{100, 50, 201}, 2));
-    view.paths.push_back(mk(vp, AsPath{100, 60, 202}, 3));
+    paths.push_back(mk(vp, AsPath{100, 50, 200}, 1));
+    paths.push_back(mk(vp, AsPath{100, 50, 201}, 2));
+    paths.push_back(mk(vp, AsPath{100, 60, 202}, 3));
   }
-  return view;
+  return CountryView::from_paths(std::move(paths), AU, ViewKind::kNational);
 }
 
 topo::AsGraph homogeneous_graph(std::size_t /*vp_count*/) {
@@ -100,9 +98,7 @@ TEST(Stability, HeterogeneousViewImprovesWithMoreVps) {
   // Each VP sees a single path through one of six transit ASes (two VPs
   // per transit AS): small samples miss most ASes, the full set sees all.
   topo::AsGraph g;
-  CountryView view;
-  view.country = AU;
-  view.kind = ViewKind::kNational;
+  std::vector<SanitizedPath> paths;
   constexpr std::uint32_t kVps = 12;
   for (std::uint32_t vp = 1; vp <= kVps; ++vp) {
     std::uint32_t mid = 50 + (vp % 6);
@@ -110,9 +106,10 @@ TEST(Stability, HeterogeneousViewImprovesWithMoreVps) {
       g.add_p2c(mid, 300 + (vp % 6));
     }
     g.add_p2c(mid, 100 + vp);
-    view.paths.push_back(
-        mk(vp, AsPath{100 + vp, mid, 300 + (vp % 6)}, vp % 6));
+    paths.push_back(mk(vp, AsPath{100 + vp, mid, 300 + (vp % 6)}, vp % 6));
   }
+  CountryView view =
+      CountryView::from_paths(std::move(paths), AU, ViewKind::kNational);
   CountryRankings rankings{g};
   StabilityAnalyzer analyzer{rankings};
   StabilityOptions options;

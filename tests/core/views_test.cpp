@@ -40,8 +40,8 @@ std::vector<SanitizedPath> sample_paths() {
 TEST(Views, NationalSelectsInCountryBothEnds) {
   auto paths = sample_paths();
   CountryView v = ViewBuilder::national(paths, AU);
-  ASSERT_EQ(v.paths.size(), 1u);
-  EXPECT_EQ(v.paths[0].vp.ip, 1u);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].vp.ip, 1u);
   EXPECT_EQ(v.kind, ViewKind::kNational);
   EXPECT_EQ(v.country, AU);
 }
@@ -49,8 +49,8 @@ TEST(Views, NationalSelectsInCountryBothEnds) {
 TEST(Views, InternationalSelectsForeignVps) {
   auto paths = sample_paths();
   CountryView v = ViewBuilder::international(paths, AU);
-  ASSERT_EQ(v.paths.size(), 2u);
-  for (const auto& sp : v.paths) {
+  ASSERT_EQ(v.size(), 2u);
+  for (const sanitize::PathRecord sp : v) {
     EXPECT_EQ(sp.prefix_country, AU);
     EXPECT_NE(sp.vp_country, AU);
   }
@@ -64,7 +64,7 @@ TEST(Views, NationalAndInternationalPartitionCountryPaths) {
   for (const auto& sp : paths) {
     if (sp.prefix_country == AU && sp.vp_country.valid()) ++toward_au;
   }
-  EXPECT_EQ(nat.paths.size() + intl.paths.size(), toward_au);
+  EXPECT_EQ(nat.size() + intl.size(), toward_au);
 }
 
 TEST(Views, VpsDeduplicated) {
@@ -90,7 +90,7 @@ TEST(Views, RestrictedToSubsetsVps) {
   CountryView v = ViewBuilder::national(paths, AU);
   std::vector<bgp::VpId> keep{bgp::VpId{1, 1}, bgp::VpId{6, 6}};
   CountryView sub = v.restricted_to(keep);
-  EXPECT_EQ(sub.paths.size(), 2u);
+  EXPECT_EQ(sub.size(), 2u);
   EXPECT_EQ(sub.vp_count(), 2u);
   EXPECT_EQ(sub.country, AU);
   EXPECT_EQ(sub.kind, v.kind);
@@ -106,7 +106,7 @@ TEST(Views, CountriesListsPrefixCountries) {
 
 TEST(Views, EmptyInput) {
   CountryView v = ViewBuilder::national({}, AU);
-  EXPECT_TRUE(v.paths.empty());
+  EXPECT_TRUE(v.empty());
   EXPECT_EQ(v.vp_count(), 0u);
   EXPECT_EQ(v.address_weight(), 0u);
 }

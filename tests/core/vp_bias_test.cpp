@@ -36,12 +36,9 @@ topo::AsGraph chain_graph() {
 /// One VP; every AS's hegemony equals its path presence, and distance
 /// grows along the chain 100 -> 50 -> 60 -> 70 -> origins.
 CountryView chain_view() {
-  CountryView view;
-  view.country = AU;
-  view.kind = ViewKind::kNational;
-  view.paths.push_back(mk(1, AsPath{100, 50, 60, 70, 200}, 1));
-  view.paths.push_back(mk(1, AsPath{100, 50, 60, 70, 201}, 2));
-  return view;
+  return CountryView::from_paths({mk(1, AsPath{100, 50, 60, 70, 200}, 1),
+                                  mk(1, AsPath{100, 50, 60, 70, 201}, 2)},
+                                 AU, ViewKind::kNational);
 }
 
 TEST(VpBias, ChainViewShowsNoProximityGradient) {
@@ -67,12 +64,10 @@ TEST(VpBias, SingleVpFanOutShowsNegativeCorrelation) {
   g.add_p2c(50, 201);
   g.add_p2c(50, 202);
   CountryRankings rankings{g};
-  CountryView view;
-  view.country = AU;
-  view.kind = ViewKind::kNational;
-  view.paths.push_back(mk(1, AsPath{100, 50, 200}, 1));
-  view.paths.push_back(mk(1, AsPath{100, 50, 201}, 2));
-  view.paths.push_back(mk(1, AsPath{100, 50, 202}, 3));
+  CountryView view = CountryView::from_paths(
+      {mk(1, AsPath{100, 50, 200}, 1), mk(1, AsPath{100, 50, 201}, 2),
+       mk(1, AsPath{100, 50, 202}, 3)},
+      AU, ViewKind::kNational);
   VpBiasAnalyzer analyzer{rankings};
   ProximityBias bias = analyzer.proximity_bias(view, MetricKind::kHegemony, 10);
   EXPECT_EQ(bias.ases_considered, 5u);
@@ -87,14 +82,12 @@ TEST(VpBias, LeaveOneOutFindsInfluentialVp) {
   g.add_p2c(51, 101);
   g.add_p2c(51, 201);
   CountryRankings rankings{g};
-  CountryView view;
-  view.country = AU;
-  view.kind = ViewKind::kNational;
   // VP 1 contributes a unique subtree (50/200); VPs 2 and 3 both see the
   // 51/201 side, making each of them individually redundant.
-  view.paths.push_back(mk(1, AsPath{100, 50, 200}, 1));
-  view.paths.push_back(mk(2, AsPath{101, 51, 201}, 2));
-  view.paths.push_back(mk(3, AsPath{101, 51, 201}, 2));
+  CountryView view = CountryView::from_paths(
+      {mk(1, AsPath{100, 50, 200}, 1), mk(2, AsPath{101, 51, 201}, 2),
+       mk(3, AsPath{101, 51, 201}, 2)},
+      AU, ViewKind::kNational);
 
   VpBiasAnalyzer analyzer{rankings};
   // Customer cone has no trim, so a VP with unique visibility shows up
@@ -115,8 +108,7 @@ TEST(VpBias, EmptyViewIsHarmless) {
   g.add_as(1);
   CountryRankings rankings{g};
   VpBiasAnalyzer analyzer{rankings};
-  CountryView view;
-  view.country = AU;
+  CountryView view = CountryView::from_paths({}, AU, ViewKind::kNational);
   ProximityBias bias = analyzer.proximity_bias(view, MetricKind::kHegemony);
   EXPECT_EQ(bias.ases_considered, 0u);
   EXPECT_TRUE(analyzer.vp_influence(view, MetricKind::kHegemony).empty());

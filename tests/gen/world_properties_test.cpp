@@ -113,7 +113,7 @@ TEST_P(WorldPropertyTest, RibAndSanitizerInvariants) {
     for (const auto& sp : result.paths) {
       if (sp.prefix_country == c.code) ++toward;
     }
-    EXPECT_EQ(nat.paths.size() + intl.paths.size(), toward) << c.code.to_string();
+    EXPECT_EQ(nat.size() + intl.size(), toward) << c.code.to_string();
   }
 }
 

@@ -4,6 +4,8 @@
 // claim in EXPERIMENTS.md.
 #include <gtest/gtest.h>
 
+#include <bit>
+
 #include "core/pipeline.hpp"
 #include "gen/internet_generator.hpp"
 #include "gen/rib_generator.hpp"
@@ -154,6 +156,45 @@ TEST_F(DefaultWorldTest, GlobalConeRankingTopIsTier1) {
   bgp::Asn top = ccg.entries()[0].asn;
   EXPECT_TRUE(std::binary_search(world_->clique.begin(), world_->clique.end(),
                                  top));
+}
+
+void expect_bitwise_equal(const rank::Ranking& a, const rank::Ranking& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.entries()[i].asn, b.entries()[i].asn) << "position " << i;
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a.entries()[i].score),
+              std::bit_cast<std::uint64_t>(b.entries()[i].score))
+        << "AS " << a.entries()[i].asn;
+  }
+}
+
+// The zero-copy PathStore path (Pipeline::country/outbound) must be
+// bit-for-bit identical to the seed's copy-based span computation for
+// EVERY country on the full evaluation world — same iteration order,
+// same floating-point accumulation, same ranking bytes.
+TEST_F(DefaultWorldTest, IndexedPipelineMatchesCopyBasedComputationBitForBit) {
+  const auto& paths = pipeline_->sanitized().paths;
+  const core::CountryRankings& rankings = pipeline_->rankings();
+  for (geo::CountryCode cc : pipeline_->store().countries()) {
+    core::CountryMetrics indexed = pipeline_->country(cc);
+    core::CountryMetrics copied = rankings.compute(paths, cc);
+    ASSERT_EQ(indexed.country, copied.country);
+    ASSERT_EQ(indexed.national_vps, copied.national_vps) << cc.to_string();
+    ASSERT_EQ(indexed.international_vps, copied.international_vps);
+    ASSERT_EQ(indexed.national_addresses, copied.national_addresses);
+    ASSERT_EQ(indexed.international_addresses, copied.international_addresses);
+    expect_bitwise_equal(indexed.cci, copied.cci);
+    expect_bitwise_equal(indexed.ccn, copied.ccn);
+    expect_bitwise_equal(indexed.ahi, copied.ahi);
+    expect_bitwise_equal(indexed.ahn, copied.ahn);
+
+    core::OutboundMetrics out_indexed = pipeline_->outbound(cc);
+    core::OutboundMetrics out_copied = rankings.compute_outbound(paths, cc);
+    ASSERT_EQ(out_indexed.vps, out_copied.vps);
+    ASSERT_EQ(out_indexed.foreign_addresses, out_copied.foreign_addresses);
+    expect_bitwise_equal(out_indexed.cco, out_copied.cco);
+    expect_bitwise_equal(out_indexed.aho, out_copied.aho);
+  }
 }
 
 }  // namespace

@@ -385,7 +385,7 @@ int cmd_stability(const Args& args) {
   }
 
   std::printf("%s view of %s: %zu VPs, %zu paths\n", view_name.c_str(),
-              country->to_string().c_str(), view.vp_count(), view.paths.size());
+              country->to_string().c_str(), view.vp_count(), view.size());
   core::StabilityAnalyzer analyzer{pipeline.rankings()};
   for (auto [label, kind] :
        {std::pair{"hegemony", core::MetricKind::kHegemony},
