@@ -15,11 +15,17 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <new>
+#include <sstream>
 
+#include "bgp/fault_inject.hpp"
+#include "bgp/mrt_stream.hpp"
 #include "core/country_rankings.hpp"
 #include "core/path_store.hpp"
 #include "core/views.hpp"
@@ -31,6 +37,7 @@
 #include "sanitize/path_sanitizer.hpp"
 #include "topo/route_propagation.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 // ---- global allocation counter ------------------------------------------
 
@@ -119,6 +126,152 @@ std::vector<sanitize::SanitizedPath> legacy_copy_view(
   }
   return out;
 }
+
+// ---- ingest baselines ----------------------------------------------------
+
+/// The SEED's MRT parser, replicated verbatim as the "before" ingest
+/// baseline: one std::vector of fields allocated per line (util::split),
+/// a second per AS path (util::split_ws), a copied RouteEntry per
+/// accepted line — and the unchecked (ts - base) / 86400 day index the
+/// parsing bugfix sweep replaced.
+std::optional<bgp::AsPath> seed_parse_path(std::string_view text) {
+  bgp::AsPath path;
+  for (std::string_view token : util::split_ws(text)) {
+    auto asn = util::parse_int<bgp::Asn>(token);
+    if (!asn) return std::nullopt;
+    path.push_back(*asn);
+  }
+  return path;
+}
+
+// The seed's parse_ipv4 / Prefix::parse, frozen here so that hot-path
+// rewrites of the live versions cannot leak into the "before" baseline.
+std::optional<std::uint32_t> seed_parse_ipv4(std::string_view text) {
+  std::uint32_t ip = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    auto [ptr, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255 || ptr == p) return std::nullopt;
+    ip = (ip << 8) | value;
+    p = ptr;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return ip;
+}
+
+std::optional<bgp::Prefix> seed_parse_prefix(std::string_view text) {
+  std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto ip = seed_parse_ipv4(text.substr(0, slash));
+  if (!ip) return std::nullopt;
+  unsigned len = 0;
+  std::string_view len_text = text.substr(slash + 1);
+  const char* first = len_text.data();
+  const char* last = len_text.data() + len_text.size();
+  auto [ptr, ec] = std::from_chars(first, last, len);
+  if (ec != std::errc{} || ptr != last || len > 32) return std::nullopt;
+  return bgp::Prefix{*ip, static_cast<std::uint8_t>(len)};
+}
+
+bgp::RibCollection seed_read_collection(std::string_view text,
+                                        std::uint64_t base_time = 1617235200) {
+  std::map<int, bgp::RibSnapshot> by_day;
+  bgp::RouteEntry entry;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t newline = text.find('\n', pos);
+    std::size_t end = newline == std::string_view::npos ? text.size() : newline;
+    std::string_view trimmed = util::trim(text.substr(pos, end - pos));
+    pos = newline == std::string_view::npos ? text.size() : newline + 1;
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto fields = util::split(trimmed, '|');
+    if (fields.size() != 8 || fields[0] != "TABLE_DUMP2" || fields[2] != "B") {
+      continue;
+    }
+    auto ts = util::parse_int<std::uint64_t>(fields[1]);
+    auto ip = seed_parse_ipv4(fields[3]);
+    auto asn = util::parse_int<bgp::Asn>(fields[4]);
+    auto prefix = seed_parse_prefix(fields[5]);
+    auto path = seed_parse_path(fields[6]);
+    if (!ts || !ip || !asn || !prefix || !path || path->empty() ||
+        *asn == bgp::kInvalidAsn) {
+      continue;
+    }
+    entry.vp = bgp::VpId{*ip, *asn};
+    entry.prefix = *prefix;
+    entry.path = std::move(*path);
+    int day = static_cast<int>((*ts - base_time) / 86400);
+    bgp::RibSnapshot& snap = by_day[day];
+    snap.day = day;
+    snap.entries.push_back(entry);
+  }
+  bgp::RibCollection out;
+  out.days.reserve(by_day.size());
+  for (auto& [d, snap] : by_day) out.days.push_back(std::move(snap));
+  return out;
+}
+
+const std::string& mini_mrt_text() {
+  static std::string text = bgp::to_mrt_text(mini_ribs());
+  return text;
+}
+
+void BM_IngestSeedReader(benchmark::State& state) {
+  const std::string& text = mini_mrt_text();
+  for (auto _ : state) {
+    auto ribs = seed_read_collection(text);
+    benchmark::DoNotOptimize(ribs);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_IngestSeedReader);
+
+void BM_IngestReader(benchmark::State& state) {
+  const std::string& text = mini_mrt_text();
+  for (auto _ : state) {
+    std::istringstream is{text};
+    bgp::MrtTextReader reader;
+    auto ribs = reader.read_collection(is);
+    benchmark::DoNotOptimize(ribs);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_IngestReader);
+
+void BM_IngestStreamSingle(benchmark::State& state) {
+  const std::string& text = mini_mrt_text();
+  bgp::MrtStreamOptions options;
+  options.threads = 1;
+  for (auto _ : state) {
+    bgp::MrtStreamLoader loader{options};
+    auto ribs = loader.load_text(text);
+    benchmark::DoNotOptimize(ribs);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_IngestStreamSingle);
+
+void BM_IngestStreamParallel(benchmark::State& state) {
+  const std::string& text = mini_mrt_text();
+  bgp::MrtStreamOptions options;  // threads = default_thread_count()
+  for (auto _ : state) {
+    bgp::MrtStreamLoader loader{options};
+    auto ribs = loader.load_text(text);
+    benchmark::DoNotOptimize(ribs);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_IngestStreamParallel);
 
 void BM_RoutePropagation(benchmark::State& state) {
   const gen::World& w = mini_world();
@@ -386,15 +539,144 @@ int run_smoke() {
   check(copy_allocs > indexed_allocs,
         "indexed construction allocates less than copy construction");
 
+  // ---- ingest: the chunked parallel loader must agree bit-for-bit with
+  // the sequential reader, and tolerant-mode diagnostics must match a
+  // known fault-injection log exactly. ----
+  {
+    const std::string& text = mini_mrt_text();
+    std::istringstream is{text};
+    bgp::MrtTextReader reader;
+    bgp::RibCollection expected = reader.read_collection(is);
+    bgp::MrtStreamOptions options;
+    options.chunk_bytes = 4096;
+    bgp::MrtStreamLoader loader{options};
+    bgp::RibCollection streamed = loader.load_text(text);
+    bool identical = streamed.days.size() == expected.days.size();
+    for (std::size_t d = 0; identical && d < expected.days.size(); ++d) {
+      identical = streamed.days[d].day == expected.days[d].day &&
+                  streamed.days[d].entries == expected.days[d].entries;
+    }
+    check(identical, "streamed load is bit-identical to sequential reader");
+    check(seed_read_collection(text).total_entries() == expected.total_entries(),
+          "seed-replica baseline parses the same clean corpus");
+
+    bgp::FaultSpec spec;
+    spec.seed = 7;
+    spec.fraction = 0.05;
+    bgp::FaultCorpus corpus =
+        bgp::inject_faults(bgp::make_clean_mrt_text(2000), spec);
+    bgp::MrtStreamLoader tolerant;
+    bgp::RibCollection survived = tolerant.load_text(corpus.text);
+    const bgp::MrtParseStats& s = tolerant.stats();
+    check(s.malformed == corpus.malformed_lines() &&
+              s.parsed == corpus.lines - corpus.malformed_lines() &&
+              survived.total_entries() == s.parsed,
+          "tolerant mode drops exactly the injected faults");
+    bool reasons_match = true;
+    for (std::size_t r = 1; r < bgp::kParseReasonCount; ++r) {
+      auto reason = static_cast<bgp::ParseReason>(r);
+      if (reason == bgp::ParseReason::kBadRecordType) continue;  // not injected
+      if (s.reason_count(reason) != corpus.expected_reason_count(reason)) {
+        reasons_match = false;
+      }
+    }
+    check(reasons_match, "per-reason counters match the injection log");
+  }
+
   std::printf(failures == 0 ? "smoke: PASS\n" : "smoke: FAIL (%d)\n", failures);
   return failures == 0 ? 0 : 1;
+}
+
+// ---- ingest throughput report -------------------------------------------
+
+/// `--ingest [--mini]`: times the seed-replica reader, the rewritten
+/// sequential reader, and the chunked loader (1 thread and default
+/// threads) over a generated world's RIB text, verifying all four produce
+/// identical collections. Numbers feed BENCH_ingest.json.
+int run_ingest_report(bool mini) {
+  std::printf("generating %s world...\n", mini ? "mini" : "default");
+  gen::WorldSpec spec = mini ? gen::mini_world_spec(5)
+                             : gen::default_world_spec(gen::Epoch::kApril2021,
+                                                       20210401);
+  gen::World world = gen::InternetGenerator{spec}.generate();
+  gen::NoiseSpec noise;
+  bgp::RibCollection ribs = gen::RibGenerator{world, noise, 7}.generate(5);
+  std::string text = bgp::to_mrt_text(ribs);
+  std::printf("  %zu entries, %.1f MB of MRT text\n", ribs.total_entries(),
+              static_cast<double>(text.size()) / 1e6);
+
+  auto best_of = [&](auto&& fn) {
+    double best = 1e100;
+    for (int round = 0; round < 3; ++round) {
+      auto t0 = std::chrono::steady_clock::now();
+      fn();
+      double s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+      if (s < best) best = s;
+    }
+    return best;
+  };
+
+  bgp::RibCollection expected;
+  double seed_s = best_of([&] { expected = seed_read_collection(text); });
+  bgp::RibCollection reader_out;
+  double reader_s = best_of([&] {
+    std::istringstream is{text};
+    bgp::MrtTextReader reader;
+    reader_out = reader.read_collection(is);
+  });
+  bgp::MrtStreamOptions single;
+  single.threads = 1;
+  bgp::RibCollection single_out;
+  double single_s = best_of([&] {
+    bgp::MrtStreamLoader loader{single};
+    single_out = loader.load_text(text);
+  });
+  bgp::RibCollection parallel_out;
+  double parallel_s = best_of([&] {
+    bgp::MrtStreamLoader loader;  // default threads
+    parallel_out = loader.load_text(text);
+  });
+
+  auto identical = [&](const bgp::RibCollection& a) {
+    if (a.days.size() != expected.days.size()) return false;
+    for (std::size_t d = 0; d < a.days.size(); ++d) {
+      if (a.days[d].day != expected.days[d].day ||
+          a.days[d].entries != expected.days[d].entries) {
+        return false;
+      }
+    }
+    return true;
+  };
+  bool all_identical =
+      identical(reader_out) && identical(single_out) && identical(parallel_out);
+
+  double mb = static_cast<double>(text.size()) / 1e6;
+  std::printf("\n  %-28s %8.3fs  %7.1f MB/s\n", "seed-replica reader", seed_s,
+              mb / seed_s);
+  std::printf("  %-28s %8.3fs  %7.1f MB/s  (%.2fx vs seed)\n",
+              "rewritten reader", reader_s, mb / reader_s, seed_s / reader_s);
+  std::printf("  %-28s %8.3fs  %7.1f MB/s  (%.2fx vs seed)\n",
+              "stream loader, 1 thread", single_s, mb / single_s,
+              seed_s / single_s);
+  std::printf("  %-28s %8.3fs  %7.1f MB/s  (%.2fx vs seed)\n",
+              "stream loader, default", parallel_s, mb / parallel_s,
+              seed_s / parallel_s);
+  std::printf("  collections identical: %s\n", all_identical ? "yes" : "NO");
+  return all_identical ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool mini = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mini") == 0) mini = true;
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+    if (std::strcmp(argv[i], "--ingest") == 0) return run_ingest_report(mini);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

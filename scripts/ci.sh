@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 CI for georank: plain build + full ctest, an AddressSanitizer
+# pass over the same suite, and an explicit run of the ingest-robustness
+# tests (fault-injection corpus, strict/tolerant modes, parallel-vs-
+# sequential bit-identity).
+#
+# Usage: scripts/ci.sh [--skip-asan]
+#
+# The AddressSanitizer stage builds into its own tree (build-asan) so it
+# never dirties the primary build directory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-asan) SKIP_ASAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> tier-1: configure + build"
+cmake -B build -S . > /dev/null
+cmake --build build -j "$(nproc)"
+
+echo "==> tier-1: full test suite"
+ctest --test-dir build --output-on-failure
+
+echo "==> ingest robustness (fault corpus, strict mode, bit-identity)"
+ctest --test-dir build --output-on-failure -R "MrtStream|MrtText|UpdateText|AsPath"
+
+if [[ "$SKIP_ASAN" -eq 0 ]]; then
+  echo "==> AddressSanitizer build + test"
+  cmake -B build-asan -S . -DGEORANK_SANITIZE=address > /dev/null
+  cmake --build build-asan -j "$(nproc)"
+  ctest --test-dir build-asan --output-on-failure
+else
+  echo "==> AddressSanitizer stage skipped (--skip-asan)"
+fi
+
+echo "CI PASS"

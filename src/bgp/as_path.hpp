@@ -50,14 +50,36 @@ class AsPath {
 
   void push_back(Asn asn) { hops_.push_back(asn); }
 
-  /// "701 3356 1299" (space-separated, VP side first).
+  /// True if the path was parsed from text containing bgpdump AS_SET
+  /// syntax ("{64512,64513}"). The members are flattened into hops_ in
+  /// written order so the path stays usable, and this mark lets
+  /// sanitize::PathSanitizer make the drop decision (AS_SETs carry no
+  /// hop ordering, so the paper's path metrics exclude them). Preserved
+  /// by without_adjacent_duplicates()/without_ases(); participates in
+  /// equality, so a flattened AS_SET path never compares equal to the
+  /// same hops written plainly.
+  [[nodiscard]] bool has_as_set() const noexcept { return has_as_set_; }
+  void mark_as_set() noexcept { has_as_set_ = true; }
+
+  /// "701 3356 1299" (space-separated, VP side first). AS_SETs are
+  /// serialized flattened — to_string() is lossy for them by design.
   [[nodiscard]] std::string to_string() const;
+  /// Accepts plain paths and bgpdump AS_SET tokens ("701 {64512,64513}"),
+  /// flattening the latter and marking the result (see has_as_set()).
   [[nodiscard]] static std::optional<AsPath> parse(std::string_view text);
 
   friend bool operator==(const AsPath&, const AsPath&) = default;
 
  private:
+  /// A copy of this path with different hops but the same as-set mark.
+  [[nodiscard]] AsPath derived(std::vector<Asn> hops) const {
+    AsPath out{std::move(hops)};
+    out.has_as_set_ = has_as_set_;
+    return out;
+  }
+
   std::vector<Asn> hops_;
+  bool has_as_set_ = false;
 };
 
 /// Non-owning, read-only view of an AS path — the same hop accessors as

@@ -1,0 +1,231 @@
+#include "bgp/fault_inject.hpp"
+
+#include "util/rng.hpp"
+
+namespace georank::bgp {
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kTruncateFields: return "truncate-fields";
+    case FaultKind::kFlipDelimiter: return "flip-delimiter";
+    case FaultKind::kBadTimestamp: return "bad-timestamp";
+    case FaultKind::kEarlyTimestamp: return "early-timestamp";
+    case FaultKind::kOversizeOctet: return "oversize-octet";
+    case FaultKind::kOversizeAsn: return "oversize-asn";
+    case FaultKind::kBadPrefix: return "bad-prefix";
+    case FaultKind::kBadPath: return "bad-path";
+    case FaultKind::kEmptyPath: return "empty-path";
+    case FaultKind::kAsSet: return "as-set";
+  }
+  return "?";
+}
+
+ParseReason expected_reason(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kTruncateFields: return ParseReason::kBadFieldCount;
+    case FaultKind::kFlipDelimiter: return ParseReason::kBadFieldCount;
+    case FaultKind::kBadTimestamp: return ParseReason::kBadTimestamp;
+    case FaultKind::kEarlyTimestamp: return ParseReason::kDayOutOfRange;
+    case FaultKind::kOversizeOctet: return ParseReason::kBadIp;
+    case FaultKind::kOversizeAsn: return ParseReason::kBadAsn;
+    case FaultKind::kBadPrefix: return ParseReason::kBadPrefix;
+    case FaultKind::kBadPath: return ParseReason::kBadPath;
+    case FaultKind::kEmptyPath: return ParseReason::kEmptyPath;
+    case FaultKind::kAsSet: return ParseReason::kAsSet;
+  }
+  return ParseReason::kOk;
+}
+
+bool fault_is_malformed(FaultKind kind) noexcept {
+  return kind != FaultKind::kAsSet;
+}
+
+std::size_t FaultCorpus::count_of(FaultKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const InjectedFault& f : faults) n += f.kind == kind ? 1 : 0;
+  return n;
+}
+
+std::size_t FaultCorpus::expected_reason_count(ParseReason reason) const noexcept {
+  std::size_t n = 0;
+  for (const InjectedFault& f : faults) {
+    n += expected_reason(f.kind) == reason ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t FaultCorpus::malformed_lines() const noexcept {
+  std::size_t n = 0;
+  for (const InjectedFault& f : faults) n += fault_is_malformed(f.kind) ? 1 : 0;
+  return n;
+}
+
+const InjectedFault* FaultCorpus::first_malformed() const noexcept {
+  for (const InjectedFault& f : faults) {
+    if (fault_is_malformed(f.kind)) return &f;
+  }
+  return nullptr;
+}
+
+std::string make_clean_mrt_text(std::size_t lines, std::uint64_t base_time,
+                                int days, std::uint64_t seed) {
+  if (days < 1) days = 1;
+  util::Pcg32 rng{seed};
+  std::string out;
+  out.reserve(lines * 72);
+  for (std::size_t i = 0; i < lines; ++i) {
+    int day = static_cast<int>(i % static_cast<std::size_t>(days));
+    std::uint64_t ts = base_time +
+                       static_cast<std::uint64_t>(day) * 86400 +
+                       rng.below(86400);
+    std::uint32_t peer = rng.below(40);
+    std::uint32_t origin = 64500 + rng.below(400);
+    std::uint32_t net = 1 + rng.below(223);
+    std::uint32_t sub = rng.below(256);
+    out += "TABLE_DUMP2|";
+    out += std::to_string(ts);
+    out += "|B|10.0.";
+    out += std::to_string(peer);
+    out += ".1|";
+    out += std::to_string(64000 + peer);
+    out += '|';
+    out += std::to_string(net);
+    out += '.';
+    out += std::to_string(sub);
+    out += ".0.0/16|";
+    out += std::to_string(64000 + peer);
+    out += " 174 ";
+    out += std::to_string(origin);
+    out += "|IGP\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Applies one fault to a '|'-joined field vector, falling back to
+/// kTruncateFields when the line lacks the targeted field. Returns the
+/// kind actually applied.
+FaultKind corrupt(std::vector<std::string>& fields, FaultKind kind,
+                  std::uint64_t base_time) {
+  auto needs_field = [&](std::size_t index) { return fields.size() > index; };
+  switch (kind) {
+    case FaultKind::kFlipDelimiter:
+      if (fields.size() >= 2) {
+        fields[0] += ' ' + fields[1];
+        fields.erase(fields.begin() + 1);
+        return kind;
+      }
+      break;
+    case FaultKind::kBadTimestamp:
+      if (needs_field(1)) {
+        fields[1] = "not-a-time";
+        return kind;
+      }
+      break;
+    case FaultKind::kEarlyTimestamp:
+      if (needs_field(1) && base_time > 0) {
+        fields[1] = std::to_string(base_time - 1);
+        return kind;
+      }
+      break;
+    case FaultKind::kOversizeOctet:
+      if (needs_field(3)) {
+        fields[3] = "10.999.0.1";
+        return kind;
+      }
+      break;
+    case FaultKind::kOversizeAsn:
+      if (needs_field(4)) {
+        fields[4] = "4294967296";  // 2^32: overflows a 32-bit ASN
+        return kind;
+      }
+      break;
+    case FaultKind::kBadPrefix:
+      if (needs_field(5)) {
+        fields[5] = "10.0.0.0/40";
+        return kind;
+      }
+      break;
+    case FaultKind::kBadPath:
+      if (needs_field(6)) {
+        fields[6] = "64512 sixfour 64513";
+        return kind;
+      }
+      break;
+    case FaultKind::kEmptyPath:
+      if (needs_field(6)) {
+        fields[6].clear();
+        return kind;
+      }
+      break;
+    case FaultKind::kAsSet:
+      if (needs_field(6)) {
+        fields[6] += " {64999,65000}";
+        return kind;
+      }
+      break;
+    case FaultKind::kTruncateFields:
+      break;
+  }
+  // Fallback (and the kTruncateFields case itself).
+  if (fields.size() > 4) fields.resize(4);
+  return FaultKind::kTruncateFields;
+}
+
+}  // namespace
+
+FaultCorpus inject_faults(std::string_view clean_text, const FaultSpec& spec) {
+  std::vector<FaultKind> kinds = spec.kinds;
+  if (kinds.empty()) {
+    for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+      kinds.push_back(static_cast<FaultKind>(i));
+    }
+  }
+
+  util::Pcg32 rng{spec.seed};
+  FaultCorpus out;
+  out.text.reserve(clean_text.size() + clean_text.size() / 16);
+
+  std::size_t pos = 0;
+  std::vector<std::string> fields;
+  while (pos < clean_text.size()) {
+    std::size_t newline = clean_text.find('\n', pos);
+    std::size_t end = newline == std::string_view::npos ? clean_text.size() : newline;
+    std::string_view line = clean_text.substr(pos, end - pos);
+    pos = newline == std::string_view::npos ? clean_text.size() : newline + 1;
+    ++out.lines;
+
+    if (!rng.chance(spec.fraction)) {
+      out.text += line;
+      out.text += '\n';
+      continue;
+    }
+
+    fields.clear();
+    std::size_t start = 0;
+    while (true) {
+      std::size_t bar = line.find('|', start);
+      if (bar == std::string_view::npos) {
+        fields.emplace_back(line.substr(start));
+        break;
+      }
+      fields.emplace_back(line.substr(start, bar - start));
+      start = bar + 1;
+    }
+
+    FaultKind requested =
+        kinds[rng.below(static_cast<std::uint32_t>(kinds.size()))];
+    FaultKind applied = corrupt(fields, requested, spec.base_time);
+    out.faults.push_back(InjectedFault{out.lines, applied});
+
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out.text += '|';
+      out.text += fields[i];
+    }
+    out.text += '\n';
+  }
+  return out;
+}
+
+}  // namespace georank::bgp

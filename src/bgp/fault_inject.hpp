@@ -1,0 +1,91 @@
+// Deterministic fault injection for the ingest layer's robustness tests
+// and benchmarks.
+//
+// Real collector feeds fail in a handful of recurring ways: truncated
+// lines, mangled delimiters, clock skew, fat-fingered octets, AS_SET
+// paths. Each FaultKind reproduces one of them with a KNOWN expected
+// classification (expected_reason), so a test can inject a corpus and
+// assert that the reader's per-reason counters match the injection log
+// exactly — not just that "some lines were dropped".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/line_parse.hpp"
+
+namespace georank::bgp {
+
+enum class FaultKind : std::uint8_t {
+  kTruncateFields,  // keep only the first 4 fields        -> bad_field_count
+  kFlipDelimiter,   // first '|' becomes a space           -> bad_field_count
+  kBadTimestamp,    // non-numeric unix time               -> bad_timestamp
+  kEarlyTimestamp,  // timestamp = base_time - 1           -> day_out_of_range
+  kOversizeOctet,   // peer IP octet > 255                 -> bad_ip
+  kOversizeAsn,     // peer ASN > 2^32 - 1                 -> bad_asn
+  kBadPrefix,       // prefix length > 32                  -> bad_prefix
+  kBadPath,         // non-numeric AS-path token           -> bad_path
+  kEmptyPath,       // empty AS-path field                 -> empty_path
+  kAsSet,           // append an AS_SET; line still PARSES -> as_set
+};
+inline constexpr std::size_t kFaultKindCount = 10;
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// How a tolerant reader classifies a line carrying this fault.
+[[nodiscard]] ParseReason expected_reason(FaultKind kind) noexcept;
+
+/// True for every kind except kAsSet (whose line parses successfully).
+[[nodiscard]] bool fault_is_malformed(FaultKind kind) noexcept;
+
+struct FaultSpec {
+  std::uint64_t seed = 42;
+  /// Probability that any given line is corrupted.
+  double fraction = 0.05;
+  /// Must match the reader's base_time for kEarlyTimestamp to land in
+  /// day_out_of_range.
+  std::uint64_t base_time = 1617235200;
+  /// Kinds to draw from, uniformly; empty means every FaultKind.
+  std::vector<FaultKind> kinds;
+};
+
+struct InjectedFault {
+  std::size_t line_number = 0;  // 1-based within the corpus
+  FaultKind kind = FaultKind::kTruncateFields;
+};
+
+/// A corrupted corpus plus its injection log — the ground truth a
+/// robustness test checks reader diagnostics against.
+struct FaultCorpus {
+  std::string text;
+  std::size_t lines = 0;
+  std::vector<InjectedFault> faults;  // in input (line) order
+
+  [[nodiscard]] std::size_t count_of(FaultKind kind) const noexcept;
+  /// Number of injected faults a tolerant reader should file under
+  /// `reason` (several kinds can map to the same reason).
+  [[nodiscard]] std::size_t expected_reason_count(ParseReason reason) const noexcept;
+  /// Faults that make their line malformed (everything but kAsSet).
+  [[nodiscard]] std::size_t malformed_lines() const noexcept;
+  /// First malformed fault in input order — what strict mode must report.
+  /// nullptr when every injected fault was informational.
+  [[nodiscard]] const InjectedFault* first_malformed() const noexcept;
+};
+
+/// `lines` valid TABLE_DUMP2 lines spread over `days` days, with varied
+/// peers/prefixes/paths. Deterministic in `seed`.
+[[nodiscard]] std::string make_clean_mrt_text(std::size_t lines,
+                                              std::uint64_t base_time = 1617235200,
+                                              int days = 3,
+                                              std::uint64_t seed = 1);
+
+/// Corrupts ~fraction of `clean_text`'s lines, one fault per chosen line,
+/// and returns the new corpus with its injection log. Lines too short for
+/// a field-targeting fault fall back to kTruncateFields (the log records
+/// the kind actually applied).
+[[nodiscard]] FaultCorpus inject_faults(std::string_view clean_text,
+                                        const FaultSpec& spec);
+
+}  // namespace georank::bgp

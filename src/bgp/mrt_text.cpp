@@ -1,5 +1,6 @@
 #include "bgp/mrt_text.hpp"
 
+#include <array>
 #include <istream>
 #include <map>
 #include <ostream>
@@ -35,24 +36,36 @@ bool MrtTextReader::parse_line(std::string_view line, RouteEntry& out, int& day_
     ++stats_.skipped_comments;
     return false;
   }
-  auto fields = util::split(trimmed, '|');
-  if (fields.size() != 8 || fields[0] != "TABLE_DUMP2" || fields[2] != "B") {
-    ++stats_.malformed;
+  std::array<std::string_view, detail::kMaxLineFields> fields;
+  std::size_t field_count = detail::split_fields(trimmed, fields);
+
+  ParseReason reason = ParseReason::kOk;
+  detail::ParsedRoute route;
+  int day = 0;
+  if (field_count != 8) {
+    reason = ParseReason::kBadFieldCount;
+  } else if (fields[0] != "TABLE_DUMP2" || fields[2] != "B") {
+    reason = ParseReason::kBadRecordType;
+  } else {
+    reason = detail::parse_route_fields({fields.data(), field_count},
+                                        /*want_path=*/true, route);
+  }
+  if (reason == ParseReason::kOk) {
+    reason = detail::day_from_timestamp(route.timestamp, options_.base_time,
+                                        options_.max_day, day);
+  }
+  if (reason != ParseReason::kOk) {
+    if (options_.mode == ParseMode::kStrict) {
+      throw MrtParseError{stats_.lines, reason, trimmed};
+    }
+    stats_.record_malformed(reason, stats_.lines, trimmed);
     return false;
   }
-  auto ts = util::parse_int<std::uint64_t>(fields[1]);
-  auto ip = parse_ipv4(fields[3]);
-  auto asn = util::parse_int<Asn>(fields[4]);
-  auto prefix = Prefix::parse(fields[5]);
-  auto path = AsPath::parse(fields[6]);
-  if (!ts || !ip || !asn || !prefix || !path || path->empty() || *asn == kInvalidAsn) {
-    ++stats_.malformed;
-    return false;
-  }
-  out.vp = VpId{*ip, *asn};
-  out.prefix = *prefix;
-  out.path = std::move(*path);
-  day_out = static_cast<int>((*ts - base_time_) / kSecondsPerDay);
+  out.vp = route.vp;
+  out.prefix = route.prefix;
+  out.path = std::move(route.path);
+  day_out = day;
+  if (route.has_as_set) ++stats_.as_set;
   ++stats_.parsed;
   return true;
 }
@@ -66,7 +79,7 @@ RibCollection MrtTextReader::read_collection(std::istream& is) {
     if (!parse_line(line, entry, day)) continue;
     RibSnapshot& snap = by_day[day];
     snap.day = day;
-    snap.entries.push_back(entry);
+    snap.entries.push_back(std::move(entry));
   }
   RibCollection out;
   out.days.reserve(by_day.size());

@@ -1,6 +1,7 @@
 #include "bgp/update_stream.hpp"
 
 #include <algorithm>
+#include <array>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -31,42 +32,48 @@ bool UpdateTextReader::parse_line(std::string_view line, UpdateMessage& out) {
     ++stats_.skipped_comments;
     return false;
   }
-  auto fields = util::split(trimmed, '|');
-  if (fields.size() < 6 || fields[0] != "BGP4MP") {
-    ++stats_.malformed;
-    return false;
-  }
-  auto ts = util::parse_int<std::uint64_t>(fields[1]);
-  auto ip = parse_ipv4(fields[3]);
-  auto asn = util::parse_int<Asn>(fields[4]);
-  auto prefix = Prefix::parse(fields[5]);
-  if (!ts || !ip || !asn || !prefix || *asn == kInvalidAsn) {
-    ++stats_.malformed;
-    return false;
-  }
-  if (fields[2] == "A") {
-    if (fields.size() != 8) {
-      ++stats_.malformed;
-      return false;
+  std::array<std::string_view, detail::kMaxLineFields> fields;
+  std::size_t field_count = detail::split_fields(trimmed, fields);
+
+  ParseReason reason = ParseReason::kOk;
+  detail::ParsedRoute route;
+  auto kind = UpdateMessage::Kind::kAnnounce;
+  if (field_count < 6) {
+    reason = ParseReason::kBadFieldCount;
+  } else if (fields[0] != "BGP4MP") {
+    reason = ParseReason::kBadRecordType;
+  } else if (fields[2] == "A") {
+    // Announces carry a path: ...|<prefix>|<as-path>|IGP, 8 fields.
+    if (field_count != 8) {
+      reason = ParseReason::kBadFieldCount;
+    } else {
+      reason = detail::parse_route_fields({fields.data(), field_count},
+                                          /*want_path=*/true, route);
     }
-    auto path = AsPath::parse(fields[6]);
-    if (!path || path->empty()) {
-      ++stats_.malformed;
-      return false;
-    }
-    out = UpdateMessage{UpdateMessage::Kind::kAnnounce, *ts, VpId{*ip, *asn},
-                        *prefix, std::move(*path)};
   } else if (fields[2] == "W") {
-    if (fields.size() != 6) {
-      ++stats_.malformed;
-      return false;
+    // Withdraws are exactly 6 fields; one carrying a path is rejected
+    // here rather than silently accepted or lumped into a generic bucket.
+    if (field_count != 6) {
+      reason = ParseReason::kBadFieldCount;
+    } else {
+      kind = UpdateMessage::Kind::kWithdraw;
+      reason = detail::parse_route_fields({fields.data(), field_count},
+                                          /*want_path=*/false, route);
     }
-    out = UpdateMessage{UpdateMessage::Kind::kWithdraw, *ts, VpId{*ip, *asn},
-                        *prefix, AsPath{}};
   } else {
-    ++stats_.malformed;
+    reason = ParseReason::kBadRecordType;
+  }
+
+  if (reason != ParseReason::kOk) {
+    if (mode_ == ParseMode::kStrict) {
+      throw MrtParseError{stats_.lines, reason, trimmed};
+    }
+    stats_.record_malformed(reason, stats_.lines, trimmed);
     return false;
   }
+  out = UpdateMessage{kind, route.timestamp, route.vp, route.prefix,
+                      std::move(route.path)};
+  if (route.has_as_set) ++stats_.as_set;
   ++stats_.parsed;
   return true;
 }

@@ -48,13 +48,20 @@ class UpdateTextWriter {
 
 class UpdateTextReader {
  public:
-  /// False for comments/blank/malformed lines (counted in stats()).
+  UpdateTextReader() = default;
+  explicit UpdateTextReader(ParseMode mode) : mode_(mode) {}
+
+  /// False for comments/blank/malformed lines (counted per reason in
+  /// stats()). Withdraws must be exactly 6 fields — a withdraw carrying
+  /// a path is rejected as bad_field_count — and announces exactly 8.
+  /// In strict mode malformed lines throw MrtParseError instead.
   [[nodiscard]] bool parse_line(std::string_view line, UpdateMessage& out);
   [[nodiscard]] std::vector<UpdateMessage> read_all(std::istream& is);
   [[nodiscard]] const MrtParseStats& stats() const noexcept { return stats_; }
 
  private:
   MrtParseStats stats_;
+  ParseMode mode_ = ParseMode::kTolerant;
 };
 
 [[nodiscard]] std::string to_update_text(const std::vector<UpdateMessage>& updates);

@@ -25,7 +25,16 @@ void Pipeline::load(const bgp::RibCollection& ribs) {
 }
 
 void Pipeline::load_text(std::string_view mrt_text) {
-  bgp::RibCollection ribs = bgp::from_mrt_text(mrt_text, &parse_stats_);
+  bgp::MrtStreamLoader loader{config_.ingest};
+  bgp::RibCollection ribs = loader.load_text(mrt_text);
+  parse_stats_ = loader.stats();
+  load(ribs);
+}
+
+void Pipeline::load_stream(std::istream& is) {
+  bgp::MrtStreamLoader loader{config_.ingest};
+  bgp::RibCollection ribs = loader.load(is);
+  parse_stats_ = loader.stats();
   load(ribs);
 }
 

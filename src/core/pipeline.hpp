@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bgp/mrt_stream.hpp"
 #include "bgp/mrt_text.hpp"
 #include "core/country_rankings.hpp"
 #include "core/path_store.hpp"
@@ -29,6 +30,9 @@ namespace georank::core {
 struct PipelineConfig {
   sanitize::SanitizerOptions sanitizer;
   rank::HegemonyOptions hegemony;
+  /// Ingest knobs for load_text()/load_stream(): strict vs tolerant,
+  /// base_time/day horizon, chunking and worker count.
+  bgp::MrtStreamOptions ingest;
 };
 
 class Pipeline {
@@ -41,8 +45,14 @@ class Pipeline {
   /// Ingest RIBs; either form runs the sanitizer immediately, builds the
   /// PathStore and invalidates all memoized per-country results.
   void load(const bgp::RibCollection& ribs);
-  /// bgpdump-style text (see bgp/mrt_text.hpp); parse stats retained.
+  /// bgpdump-style text (see bgp/mrt_text.hpp), ingested through the
+  /// chunked parallel bgp::MrtStreamLoader per config.ingest; the
+  /// structured diagnostics (per-reason counters, samples, throughput)
+  /// are retained in parse_stats(). In strict mode malformed input
+  /// throws bgp::MrtParseError before any sanitization runs.
   void load_text(std::string_view mrt_text);
+  /// Same, streaming from an istream in bounded memory.
+  void load_stream(std::istream& is);
 
   [[nodiscard]] bool loaded() const noexcept { return sanitized_.has_value(); }
   [[nodiscard]] const sanitize::SanitizeResult& sanitized() const;

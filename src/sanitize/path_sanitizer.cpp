@@ -20,6 +20,7 @@ std::string_view to_string(FilterReason reason) noexcept {
     case FilterReason::kVpNoLocation: return "VP no location";
     case FilterReason::kCoveredPrefix: return "covered prefix";
     case FilterReason::kPrefixNoLocation: return "prefix no location";
+    case FilterReason::kAsSet: return "as-set";
   }
   return "?";
 }
@@ -69,6 +70,7 @@ SanitizeResult PathSanitizer::run(const bgp::RibCollection& ribs) const {
     for (const bgp::RibSnapshot& snap : ribs.days) {
       for (const bgp::RouteEntry& e : snap.entries) {
         if (!stable(e.prefix)) continue;
+        if (e.path.has_as_set()) continue;  // ambiguous hops; excluded below too
         bgp::AsPath collapsed = e.path.without_adjacent_duplicates();
         if (collapsed.has_nonadjacent_duplicate()) continue;
         degrees.add_path(collapsed);
@@ -108,7 +110,7 @@ SanitizeResult PathSanitizer::run(const bgp::RibCollection& ribs) const {
   };
   std::unordered_set<DedupKey, DedupHash> dedup;
 
-  std::array<std::size_t, 8> sample_counts{};
+  std::array<std::size_t, 9> sample_counts{};
   auto sample = [&](FilterReason reason, const bgp::RouteEntry& e, int day) {
     auto idx = static_cast<std::size_t>(reason);
     if (sample_counts[idx] >= options_.samples_per_category) return;
@@ -122,6 +124,14 @@ SanitizeResult PathSanitizer::run(const bgp::RibCollection& ribs) const {
       if (!stable(e.prefix)) {
         ++stats.unstable;
         sample(FilterReason::kUnstable, e, snap.day);
+        continue;
+      }
+      if (e.path.has_as_set()) {
+        // The parser flattens AS_SETs to keep the line; the true origin
+        // is ambiguous, so the entry is rejected here (first match wins,
+        // before the flattened members can read as loops or unallocated).
+        ++stats.as_set;
+        sample(FilterReason::kAsSet, e, snap.day);
         continue;
       }
       if (!registry_->all_allocated(e.path)) {

@@ -7,6 +7,8 @@
 //
 // Filter precedence per RIB entry (first match wins), mirroring the paper:
 //   unstable     prefix not present in all five snapshots
+//   as-set       path carried AS_SET syntax (flattened at parse; the
+//                origin is ambiguous, so the entry is dropped here)
 //   unallocated  a hop is not an IANA-allocated ASN
 //   loop         non-adjacent duplicate AS ("A C A")
 //   poisoned     a non-clique AS sandwiched between two clique ASes
@@ -41,6 +43,7 @@ enum class FilterReason : std::uint8_t {
   kVpNoLocation,
   kCoveredPrefix,
   kPrefixNoLocation,
+  kAsSet,
 };
 
 [[nodiscard]] std::string_view to_string(FilterReason reason) noexcept;
@@ -55,11 +58,12 @@ struct SanitizeStats {
   std::size_t vp_no_location = 0;
   std::size_t covered_prefix = 0;
   std::size_t prefix_no_location = 0;
+  std::size_t as_set = 0;  // path carried (flattened) AS_SET syntax
   std::size_t duplicates_merged = 0;  // accepted entries collapsed by dedup
 
   [[nodiscard]] std::size_t rejected() const noexcept {
-    return unstable + unallocated + loop + poisoned + vp_no_location +
-           covered_prefix + prefix_no_location;
+    return unstable + as_set + unallocated + loop + poisoned +
+           vp_no_location + covered_prefix + prefix_no_location;
   }
 };
 

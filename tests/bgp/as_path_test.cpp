@@ -63,6 +63,51 @@ TEST(AsPath, ParseRejectsJunk) {
   EXPECT_FALSE(AsPath::parse("701 -3 1299").has_value());
 }
 
+TEST(AsPath, ParseFlattensAsSet) {
+  // bgpdump renders AS_SETs as {a,b}; the members are flattened in order
+  // and the path is marked so the sanitizer can reject it downstream.
+  auto p = AsPath::parse("701 {64512,64513} 1299");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->has_as_set());
+  EXPECT_EQ(p->to_string(), "701 64512 64513 1299");
+  // Equality sees the mark: same hops without it are a different path.
+  EXPECT_FALSE(*p == (AsPath{701, 64512, 64513, 1299}));
+}
+
+TEST(AsPath, ParseSingletonAsSet) {
+  auto p = AsPath::parse("{64512}");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->has_as_set());
+  EXPECT_EQ(p->size(), 1u);
+  EXPECT_EQ((*p)[0], 64512u);
+}
+
+TEST(AsPath, ParseRejectsMalformedAsSet) {
+  EXPECT_FALSE(AsPath::parse("701 {").has_value());
+  EXPECT_FALSE(AsPath::parse("701 {}").has_value());
+  EXPECT_FALSE(AsPath::parse("701 {64512").has_value());
+  EXPECT_FALSE(AsPath::parse("701 {64512,").has_value());
+  EXPECT_FALSE(AsPath::parse("701 {64512,}").has_value());
+  EXPECT_FALSE(AsPath::parse("701 {64512 64513}").has_value());
+}
+
+TEST(AsPath, AsSetMarkSurvivesCleaning) {
+  auto p = AsPath::parse("701 701 {64512,64513} 1299");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->without_adjacent_duplicates().has_as_set());
+  EXPECT_TRUE(p->without_ases(std::vector<Asn>{701}).has_as_set());
+}
+
+TEST(AsPath, FlattenedRoundTripLosesTheMark) {
+  // to_string is lossy by design: the flattened text reparses as a plain
+  // path. The mark only travels in-memory (and via MrtParseStats).
+  auto p = AsPath::parse("{64512,64513}");
+  ASSERT_TRUE(p.has_value());
+  auto reparsed = AsPath::parse(p->to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_FALSE(reparsed->has_as_set());
+}
+
 TEST(AsPath, ParseEmptyIsEmptyPath) {
   auto p = AsPath::parse("");
   ASSERT_TRUE(p.has_value());

@@ -1,0 +1,264 @@
+#include "bgp/mrt_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bgp/fault_inject.hpp"
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+
+namespace georank::bgp {
+namespace {
+
+RibCollection generated_collection(std::uint64_t seed = 7, int days = 3) {
+  gen::World world = gen::InternetGenerator{gen::mini_world_spec(seed)}.generate();
+  gen::NoiseSpec noise;
+  return gen::RibGenerator{world, noise}.generate(days);
+}
+
+void expect_identical(const RibCollection& a, const RibCollection& b) {
+  ASSERT_EQ(a.days.size(), b.days.size());
+  for (std::size_t d = 0; d < a.days.size(); ++d) {
+    EXPECT_EQ(a.days[d].day, b.days[d].day);
+    EXPECT_EQ(a.days[d].entries, b.days[d].entries) << "day index " << d;
+  }
+}
+
+void expect_invariant(const MrtParseStats& s) {
+  EXPECT_EQ(s.parsed + s.malformed + s.skipped_comments, s.lines);
+  EXPECT_EQ(s.malformed, s.bad_field_count + s.bad_record_type +
+                             s.bad_timestamp + s.bad_ip + s.bad_asn +
+                             s.bad_prefix + s.bad_path + s.empty_path +
+                             s.day_out_of_range);
+}
+
+// ---- Tentpole acceptance: parallel chunked load == sequential reader. ----
+
+TEST(MrtStream, BitIdenticalToSequentialReaderAcrossChunkSizes) {
+  std::string text = to_mrt_text(generated_collection());
+  std::istringstream is{text};
+  MrtTextReader reader;
+  RibCollection expected = reader.read_collection(is);
+
+  for (std::size_t chunk_bytes : {std::size_t{64}, std::size_t{1024},
+                                  std::size_t{1} << 20}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      MrtStreamOptions options;
+      options.chunk_bytes = chunk_bytes;
+      options.threads = threads;
+      MrtStreamLoader loader{options};
+      RibCollection got = loader.load_text(text);
+      expect_identical(got, expected);
+      EXPECT_EQ(loader.stats().parsed, reader.stats().parsed);
+      EXPECT_EQ(loader.stats().lines, reader.stats().lines);
+      EXPECT_EQ(loader.stats().bytes, text.size());
+      expect_invariant(loader.stats());
+    }
+  }
+}
+
+TEST(MrtStream, IstreamAndTextLoadsAgree) {
+  std::string text = to_mrt_text(generated_collection(11, 2));
+  MrtStreamOptions options;
+  options.chunk_bytes = 256;
+  MrtStreamLoader text_loader{options};
+  RibCollection from_text = text_loader.load_text(text);
+
+  std::istringstream is{text};
+  MrtStreamLoader stream_loader{options};
+  RibCollection from_stream = stream_loader.load(is);
+
+  expect_identical(from_stream, from_text);
+  EXPECT_EQ(stream_loader.stats().lines, text_loader.stats().lines);
+  EXPECT_EQ(stream_loader.stats().bytes, text_loader.stats().bytes);
+}
+
+TEST(MrtStream, InputWithoutTrailingNewlineParses) {
+  std::string text =
+      "TABLE_DUMP2|1617235200|B|1.2.3.4|701|10.0.0.0/16|701 1299|IGP\n"
+      "TABLE_DUMP2|1617235201|B|1.2.3.4|701|10.1.0.0/16|701 174|IGP";
+  MrtStreamOptions options;
+  options.chunk_bytes = 16;
+  MrtStreamLoader loader{options};
+  RibCollection got = loader.load_text(text);
+  EXPECT_EQ(got.total_entries(), 2u);
+  EXPECT_EQ(loader.stats().lines, 2u);
+}
+
+// ---- Fault corpus: tolerant mode drops EXACTLY the corrupted lines. ----
+
+TEST(MrtStream, TolerantModeCountsEveryInjectedFaultByReason) {
+  std::string clean = make_clean_mrt_text(3000);
+  FaultSpec spec;
+  spec.seed = 99;
+  spec.fraction = 0.08;
+  FaultCorpus corpus = inject_faults(clean, spec);
+  ASSERT_GT(corpus.faults.size(), 0u);
+
+  MrtStreamOptions options;
+  options.chunk_bytes = 512;  // many chunks, exercising the merge
+  MrtStreamLoader loader{options};
+  RibCollection got = loader.load_text(corpus.text);
+  const MrtParseStats& s = loader.stats();
+
+  expect_invariant(s);
+  EXPECT_EQ(s.lines, corpus.lines);
+  // Only corrupted lines were dropped: the malformed total and every
+  // per-reason counter match the injection log exactly, so every clean
+  // line survived into `parsed`.
+  EXPECT_EQ(s.malformed, corpus.malformed_lines());
+  EXPECT_EQ(s.parsed, corpus.lines - corpus.malformed_lines());
+  EXPECT_EQ(got.total_entries(), s.parsed);
+  for (ParseReason reason :
+       {ParseReason::kBadFieldCount, ParseReason::kBadTimestamp,
+        ParseReason::kBadIp, ParseReason::kBadAsn, ParseReason::kBadPrefix,
+        ParseReason::kBadPath, ParseReason::kEmptyPath,
+        ParseReason::kDayOutOfRange, ParseReason::kAsSet}) {
+    EXPECT_EQ(s.reason_count(reason), corpus.expected_reason_count(reason))
+        << "reason: " << to_string(reason);
+  }
+  EXPECT_FALSE(s.samples.empty());
+  EXPECT_EQ(s.samples[0].line_number, corpus.first_malformed()->line_number);
+}
+
+TEST(MrtStream, AsSetLinesParseAndAreCountedInformationally) {
+  std::string clean = make_clean_mrt_text(400);
+  FaultSpec spec;
+  spec.seed = 5;
+  spec.fraction = 0.2;
+  spec.kinds = {FaultKind::kAsSet};
+  FaultCorpus corpus = inject_faults(clean, spec);
+  ASSERT_GT(corpus.faults.size(), 0u);
+  ASSERT_EQ(corpus.malformed_lines(), 0u);
+
+  MrtStreamLoader loader;
+  RibCollection got = loader.load_text(corpus.text);
+  EXPECT_EQ(loader.stats().malformed, 0u);
+  EXPECT_EQ(loader.stats().parsed, corpus.lines);
+  EXPECT_EQ(loader.stats().as_set, corpus.faults.size());
+  EXPECT_EQ(got.total_entries(), corpus.lines);
+}
+
+// ---- Strict mode: fail fast, deterministically, with line + reason. ----
+
+TEST(MrtStream, StrictModeThrowsAtFirstFaultInInputOrder) {
+  std::string clean = make_clean_mrt_text(2000);
+  FaultSpec spec;
+  spec.seed = 1234;
+  spec.fraction = 0.02;
+  FaultCorpus corpus = inject_faults(clean, spec);
+  const InjectedFault* first = corpus.first_malformed();
+  ASSERT_NE(first, nullptr);
+
+  for (std::size_t chunk_bytes : {std::size_t{128}, std::size_t{1} << 20}) {
+    MrtStreamOptions options;
+    options.mode = ParseMode::kStrict;
+    options.chunk_bytes = chunk_bytes;
+    options.threads = 4;
+    MrtStreamLoader loader{options};
+    try {
+      (void)loader.load_text(corpus.text);
+      FAIL() << "strict load accepted a corrupted corpus";
+    } catch (const MrtParseError& e) {
+      EXPECT_EQ(e.line_number(), first->line_number);
+      EXPECT_EQ(e.reason(), expected_reason(first->kind));
+      EXPECT_NE(std::string(e.what()).find(
+                    std::to_string(first->line_number)),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(MrtStream, StrictModeAcceptsCleanInput) {
+  std::string clean = make_clean_mrt_text(500);
+  MrtStreamOptions options;
+  options.mode = ParseMode::kStrict;
+  options.chunk_bytes = 256;
+  MrtStreamLoader loader{options};
+  RibCollection got;
+  EXPECT_NO_THROW(got = loader.load_text(clean));
+  EXPECT_EQ(got.total_entries(), loader.stats().parsed);
+  EXPECT_EQ(loader.stats().malformed, 0u);
+}
+
+// ---- Satellite regression: early timestamps must not wrap the day. ----
+
+TEST(MrtStream, EarlyTimestampIsRejectedNotWrapped) {
+  // (ts - base) in uint64 for ts < base used to wrap to a huge value and
+  // either crash day grouping or file the entry under a bogus day.
+  constexpr std::uint64_t kBase = 1617235200;
+  std::string text =
+      "TABLE_DUMP2|" + std::to_string(kBase - 1) +
+      "|B|1.2.3.4|701|10.0.0.0/16|701 1299|IGP\n"
+      "TABLE_DUMP2|" + std::to_string(kBase) +
+      "|B|1.2.3.4|701|10.0.0.0/16|701 1299|IGP\n";
+  MrtStreamLoader loader;
+  RibCollection got = loader.load_text(text);
+  ASSERT_EQ(got.days.size(), 1u);
+  EXPECT_EQ(got.days[0].day, 0);
+  EXPECT_EQ(loader.stats().day_out_of_range, 1u);
+  EXPECT_EQ(loader.stats().parsed, 1u);
+}
+
+TEST(MrtStream, DayHorizonBoundaries) {
+  constexpr std::uint64_t kBase = 1617235200;
+  MrtStreamOptions options;
+  options.max_day = 5;
+  auto line_at = [&](std::uint64_t ts) {
+    return "TABLE_DUMP2|" + std::to_string(ts) +
+           "|B|1.2.3.4|701|10.0.0.0/16|701 1299|IGP\n";
+  };
+  std::string text = line_at(kBase + 5 * 86400 - 1)  // last in-range second
+                     + line_at(kBase + 5 * 86400);   // first out-of-range
+  MrtStreamLoader loader{options};
+  RibCollection got = loader.load_text(text);
+  ASSERT_EQ(got.days.size(), 1u);
+  EXPECT_EQ(got.days[0].day, 4);
+  EXPECT_EQ(loader.stats().day_out_of_range, 1u);
+}
+
+// ---- Satellite: writer -> loader round trip, non-default base_time. ----
+
+TEST(MrtStream, WriterLoaderRoundTripWithCustomBaseTime) {
+  constexpr std::uint64_t kBase = 946684800;  // far from the default
+  RibCollection original = generated_collection(21, 4);
+
+  std::ostringstream os;
+  MrtTextWriter writer{os, kBase};
+  writer.write_collection(original);
+
+  MrtStreamOptions options;
+  options.base_time = kBase;
+  options.chunk_bytes = 777;  // deliberately line-unaligned
+  MrtStreamLoader loader{options};
+  RibCollection got = loader.load_text(os.str());
+
+  expect_identical(got, original);
+  EXPECT_EQ(loader.stats().malformed, 0u);
+  EXPECT_EQ(loader.stats().parsed, original.total_entries());
+  // With the default base_time every line would fall before day 0 — the
+  // wraparound regression this PR fixes used to turn these into garbage
+  // days instead of clean rejections.
+  MrtStreamLoader wrong_base;
+  RibCollection rejected = wrong_base.load_text(os.str());
+  EXPECT_EQ(rejected.total_entries(), 0u);
+  EXPECT_EQ(wrong_base.stats().day_out_of_range, original.total_entries());
+}
+
+// ---- Fault corpus invariant under the full loader pipeline. ----
+
+TEST(MrtStream, ThroughputAccountingIsFilled) {
+  std::string clean = make_clean_mrt_text(1000);
+  MrtStreamLoader loader;
+  (void)loader.load_text(clean);
+  EXPECT_EQ(loader.stats().bytes, clean.size());
+  EXPECT_GT(loader.stats().elapsed_seconds, 0.0);
+  EXPECT_GT(loader.stats().lines_per_second(), 0.0);
+  EXPECT_GT(loader.stats().mbytes_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace georank::bgp

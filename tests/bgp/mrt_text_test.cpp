@@ -82,6 +82,61 @@ TEST(MrtText, CountsMalformedLines) {
   RibCollection out = from_mrt_text(text, &stats);
   EXPECT_EQ(out.total_entries(), 0u);
   EXPECT_EQ(stats.malformed, 9u);
+  // Each drop is attributed to a concrete reason.
+  EXPECT_EQ(stats.bad_timestamp, 1u);
+  EXPECT_EQ(stats.bad_ip, 1u);
+  EXPECT_EQ(stats.bad_asn, 2u);  // zzz + AS0
+  EXPECT_EQ(stats.bad_prefix, 1u);
+  EXPECT_EQ(stats.bad_path, 1u);
+  EXPECT_EQ(stats.empty_path, 1u);
+  EXPECT_EQ(stats.bad_record_type, 1u);
+  EXPECT_EQ(stats.bad_field_count, 1u);
+  // ... and the first offenders are retained for auditing.
+  ASSERT_EQ(stats.samples.size(), MrtParseStats::kMaxSamples);
+  EXPECT_EQ(stats.samples[0].line_number, 1u);
+  EXPECT_EQ(stats.samples[0].reason, ParseReason::kBadTimestamp);
+}
+
+TEST(MrtText, StrictModeThrowsWithLineAndReason) {
+  MrtReaderOptions options;
+  options.mode = ParseMode::kStrict;
+  MrtTextReader reader{options};
+  RouteEntry entry;
+  int day = 0;
+  EXPECT_TRUE(reader.parse_line(
+      "TABLE_DUMP2|1617235200|B|1.2.3.4|701|10.0.0.0/16|701|IGP", entry, day));
+  try {
+    (void)reader.parse_line(
+        "TABLE_DUMP2|x|B|1.2.3.4|701|10.0.0.0/16|701|IGP", entry, day);
+    FAIL() << "strict parse accepted a bad timestamp";
+  } catch (const MrtParseError& e) {
+    EXPECT_EQ(e.line_number(), 2u);
+    EXPECT_EQ(e.reason(), ParseReason::kBadTimestamp);
+  }
+}
+
+TEST(MrtText, RejectsTimestampBeforeBaseAsDayOutOfRange) {
+  // Regression: (ts - base_time) is computed in uint64; an earlier
+  // timestamp used to wrap to a huge bogus day instead of being dropped.
+  MrtParseStats stats;
+  RibCollection out = from_mrt_text(
+      "TABLE_DUMP2|1617235199|B|1.2.3.4|701|10.0.0.0/16|701|IGP\n", &stats);
+  EXPECT_EQ(out.total_entries(), 0u);
+  EXPECT_EQ(stats.day_out_of_range, 1u);
+}
+
+TEST(MrtText, FlattensAsSetAndCountsIt) {
+  MrtParseStats stats;
+  RibCollection out = from_mrt_text(
+      "TABLE_DUMP2|1617235200|B|1.2.3.4|701|10.0.0.0/16|701 {64512,64513}|IGP\n",
+      &stats);
+  ASSERT_EQ(out.total_entries(), 1u);
+  EXPECT_EQ(stats.as_set, 1u);
+  EXPECT_EQ(stats.parsed, 1u);  // informational: the line still parses
+  EXPECT_EQ(stats.malformed, 0u);
+  const RouteEntry& e = out.days[0].entries[0];
+  EXPECT_TRUE(e.path.has_as_set());
+  EXPECT_EQ(e.path.to_string(), "701 64512 64513");
 }
 
 TEST(MrtText, GroupsByDay) {

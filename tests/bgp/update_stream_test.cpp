@@ -55,6 +55,36 @@ TEST(UpdateText, MalformedLinesCounted) {
   EXPECT_EQ(parsed.size(), 1u);
   EXPECT_EQ(stats.malformed, 5u);
   EXPECT_EQ(stats.skipped_comments, 1u);
+  // Per-reason attribution: a withdraw carrying a path and an announce
+  // missing one are both field-count errors, not generic "malformed".
+  EXPECT_EQ(stats.bad_timestamp, 1u);
+  EXPECT_EQ(stats.bad_record_type, 2u);  // kind Z + TABLE_DUMP2
+  EXPECT_EQ(stats.bad_field_count, 2u);
+  // The surviving line was the 6-field withdraw.
+  EXPECT_EQ(parsed[0].kind, UpdateMessage::Kind::kWithdraw);
+}
+
+TEST(UpdateText, StrictModeThrowsAtFirstMalformedLine) {
+  UpdateTextReader reader{ParseMode::kStrict};
+  UpdateMessage u;
+  EXPECT_TRUE(reader.parse_line("BGP4MP|1|W|1.2.3.4|701|10.0.0.0/16", u));
+  try {
+    (void)reader.parse_line("BGP4MP|1|W|1.2.3.4|701|10.0.0.0/16|701|IGP", u);
+    FAIL() << "strict parse accepted a withdraw carrying a path";
+  } catch (const MrtParseError& e) {
+    EXPECT_EQ(e.line_number(), 2u);
+    EXPECT_EQ(e.reason(), ParseReason::kBadFieldCount);
+  }
+}
+
+TEST(UpdateText, AnnounceWithAsSetParsesAndIsCounted) {
+  MrtParseStats stats;
+  auto parsed = from_update_text(
+      "BGP4MP|1|A|1.2.3.4|701|10.0.0.0/16|701 {64512,64513}|IGP\n", &stats);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_TRUE(parsed[0].path.has_as_set());
+  EXPECT_EQ(stats.as_set, 1u);
+  EXPECT_EQ(stats.malformed, 0u);
 }
 
 TEST(RibState, AnnounceWithdrawLifecycle) {

@@ -75,6 +75,28 @@ TEST(Pipeline, TextRoundTripMatchesStructLoad) {
   EXPECT_EQ(direct.sanitized().paths.size(), via_text.sanitized().paths.size());
   EXPECT_EQ(direct.sanitized().stats.accepted,
             via_text.sanitized().stats.accepted);
+  // The streaming loader fills throughput accounting.
+  EXPECT_GT(via_text.parse_stats().bytes, 0u);
+  EXPECT_GT(via_text.parse_stats().elapsed_seconds, 0.0);
+}
+
+TEST(Pipeline, StrictIngestThrowsOnMalformedText) {
+  PipelineFixture f;
+  PipelineConfig cfg = f.config();
+  cfg.ingest.mode = bgp::ParseMode::kStrict;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, cfg};
+  std::string text = bgp::to_mrt_text(f.ribs) + "garbage line\n";
+  EXPECT_THROW(pipeline.load_text(text), bgp::MrtParseError);
+  EXPECT_FALSE(pipeline.loaded());  // nothing was sanitized
+
+  // The same text loads fine under the tolerant default, with the drop
+  // attributed per reason.
+  Pipeline tolerant{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  tolerant.load_text(text);
+  EXPECT_EQ(tolerant.parse_stats().malformed, 1u);
+  EXPECT_EQ(tolerant.parse_stats().bad_field_count, 1u);
 }
 
 TEST(Pipeline, CountryMetricsComputed) {

@@ -112,6 +112,35 @@ TEST(PathSanitizer, RejectsUnallocatedAsn) {
   EXPECT_EQ(r.stats.unallocated, 5u);
 }
 
+TEST(PathSanitizer, RejectsAsSetPath) {
+  Fixture f;
+  // An otherwise clean path whose line carried AS_SET syntax: the parser
+  // flattened it and marked the path; the drop decision happens here.
+  AsPath flattened{500, 1, 100};
+  flattened.mark_as_set();
+  f.add(kVpUs, "10.1.0.0/16", flattened);
+  SanitizeResult r = f.run();
+  EXPECT_TRUE(r.paths.empty());
+  EXPECT_EQ(r.stats.as_set, 5u);
+  EXPECT_EQ(r.stats.total, r.stats.accepted + r.stats.rejected());
+}
+
+TEST(PathSanitizer, AsSetPrecedesLoopAndUnallocated) {
+  Fixture f;
+  // Flattened AS_SET members can masquerade as loops or unallocated
+  // hops; the as-set category must claim such entries first.
+  AsPath loopy{500, 1, 500, 100};
+  loopy.mark_as_set();
+  f.add(kVpUs, "10.1.0.0/16", loopy);
+  AsPath unallocated{500, 5000, 100};
+  unallocated.mark_as_set();
+  f.add(kVpUs, "10.2.0.0/16", unallocated);
+  SanitizeResult r = f.run();
+  EXPECT_EQ(r.stats.as_set, 10u);
+  EXPECT_EQ(r.stats.loop, 0u);
+  EXPECT_EQ(r.stats.unallocated, 0u);
+}
+
 TEST(PathSanitizer, RejectsLoopedPath) {
   Fixture f;
   f.add(kVpUs, "10.1.0.0/16", AsPath{500, 1, 500, 100});

@@ -22,6 +22,7 @@
 #include <optional>
 #include <string>
 
+#include "bgp/mrt_stream.hpp"
 #include "bgp/update_stream.hpp"
 #include "core/pipeline.hpp"
 #include "core/rank_delta.hpp"
@@ -79,9 +80,10 @@ int usage() {
                "usage:\n"
                "  georank generate  --out DIR [--epoch 2021|2023] [--seed N]"
                " [--days N] [--mini]\n"
-               "  georank sanitize  --dir DIR [--samples N]\n"
+               "  georank sanitize  --dir DIR [--samples N] [--strict]"
+               " [--ingest-stats]\n"
                "  georank rank      --dir DIR --country CC [--out FILE]"
-               " [--infer]\n"
+               " [--infer] [--strict]\n"
                "  georank stability --dir DIR --country CC"
                " [--view national|international|outbound] [--threshold X]\n"
                "  georank compare   --before FILE --after FILE [--top N]"
@@ -176,9 +178,11 @@ struct DataSet {
   rank::AsRegistry registry;
   std::vector<bgp::Asn> route_servers;
   bgp::RibCollection ribs;
+  bgp::MrtParseStats ingest_stats;
 };
 
-std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationships) {
+std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationships,
+                                    bool strict = false) {
   auto open = [&](const char* name) -> std::optional<std::ifstream> {
     std::ifstream is{dir / name};
     if (!is) {
@@ -202,16 +206,25 @@ std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationship
   data.as_info = io::read_as_info_csv(*info_is);
   data.registry = io::to_registry(data.as_info);
 
-  // RIB snapshots directly, or an update archive replayed into them.
+  // RIB snapshots directly (streamed in bounded memory through the
+  // chunked parallel loader), or an update archive replayed into them.
+  // --strict turns the first malformed line into a hard error.
   if (std::ifstream ribs_is{dir / "ribs.txt"}; ribs_is) {
-    bgp::MrtTextReader reader;
-    data.ribs = reader.read_collection(ribs_is);
-    std::printf("loaded %zu RIB entries (%zu malformed lines skipped)\n",
-                reader.stats().parsed, reader.stats().malformed);
+    bgp::MrtStreamOptions options;
+    options.mode = strict ? bgp::ParseMode::kStrict : bgp::ParseMode::kTolerant;
+    bgp::MrtStreamLoader loader{options};
+    data.ribs = loader.load(ribs_is);
+    data.ingest_stats = loader.stats();
+    std::printf("loaded %zu RIB entries (%zu malformed lines skipped, "
+                "%.1f MB/s)\n",
+                data.ingest_stats.parsed, data.ingest_stats.malformed,
+                data.ingest_stats.mbytes_per_second());
   } else if (std::ifstream updates_is{dir / "updates.txt"}; updates_is) {
-    bgp::UpdateTextReader reader;
+    bgp::UpdateTextReader reader{strict ? bgp::ParseMode::kStrict
+                                        : bgp::ParseMode::kTolerant};
     std::vector<bgp::UpdateMessage> updates = reader.read_all(updates_is);
     data.ribs = bgp::replay_to_collection(updates);
+    data.ingest_stats = reader.stats();
     std::printf("replayed %zu updates into %zu daily snapshots "
                 "(%zu malformed lines skipped)\n",
                 reader.stats().parsed, data.ribs.days.size(),
@@ -269,9 +282,37 @@ core::Pipeline make_pipeline(const DataSet& data) {
 
 // ------------------------------------------------------------- sanitize
 
+void print_ingest_stats(const bgp::MrtParseStats& s) {
+  std::printf("\ningest diagnostics:\n");
+  std::printf("  lines %zu  parsed %zu  malformed %zu  comments %zu\n",
+              s.lines, s.parsed, s.malformed, s.skipped_comments);
+  util::Table table{{"reason", "lines"}};
+  table.set_align(1, util::Align::kRight);
+  using bgp::ParseReason;
+  for (ParseReason reason :
+       {ParseReason::kBadFieldCount, ParseReason::kBadRecordType,
+        ParseReason::kBadTimestamp, ParseReason::kBadIp, ParseReason::kBadAsn,
+        ParseReason::kBadPrefix, ParseReason::kBadPath, ParseReason::kEmptyPath,
+        ParseReason::kDayOutOfRange, ParseReason::kAsSet}) {
+    std::size_t count = s.reason_count(reason);
+    if (count == 0) continue;
+    table.add_row({std::string(bgp::to_string(reason)), std::to_string(count)});
+  }
+  table.print(std::cout);
+  if (s.elapsed_seconds > 0.0) {
+    std::printf("  throughput: %.1f MB/s, %.0f lines/s\n",
+                s.mbytes_per_second(), s.lines_per_second());
+  }
+  for (const auto& sample : s.samples) {
+    std::printf("  line %zu (%s): %s\n", sample.line_number,
+                std::string(bgp::to_string(sample.reason)).c_str(),
+                sample.text.c_str());
+  }
+}
+
 int cmd_sanitize(const Args& args) {
   if (!args.has("dir")) return usage();
-  auto data = load_dataset(args.get("dir"), args.has("infer"));
+  auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"));
   if (!data) return 1;
 
   // --samples N captures audit examples per rejection category.
@@ -290,6 +331,7 @@ int cmd_sanitize(const Args& args) {
   table.set_align(1, util::Align::kRight);
   table.set_align(2, util::Align::kRight);
   table.add_row({"unstable", std::to_string(s.unstable), pct(s.unstable)});
+  table.add_row({"as-set", std::to_string(s.as_set), pct(s.as_set)});
   table.add_row({"unallocated", std::to_string(s.unallocated), pct(s.unallocated)});
   table.add_row({"loop", std::to_string(s.loop), pct(s.loop)});
   table.add_row({"poisoned", std::to_string(s.poisoned), pct(s.poisoned)});
@@ -304,6 +346,8 @@ int cmd_sanitize(const Args& args) {
   table.add_row({"total", std::to_string(s.total), "100.00%"});
   table.print(std::cout);
   std::printf("distinct sanitized paths: %zu\n", pipeline.sanitized().paths.size());
+
+  if (args.has("ingest-stats")) print_ingest_stats(data->ingest_stats);
 
   if (!pipeline.sanitized().samples.empty()) {
     std::printf("\nrejected-entry samples:\n");
@@ -327,7 +371,7 @@ int cmd_rank(const Args& args) {
     std::fprintf(stderr, "bad country code '%s'\n", args.get("country").c_str());
     return 1;
   }
-  auto data = load_dataset(args.get("dir"), args.has("infer"));
+  auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"));
   if (!data) return 1;
   core::Pipeline pipeline = make_pipeline(*data);
 
