@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
 # Tier-1 CI for georank: plain build + full ctest, an AddressSanitizer
-# pass over the same suite, and an explicit run of the ingest-robustness
+# pass over the same suite, an UndefinedBehaviorSanitizer pass over the
+# robustness-heavy filters, and an explicit run of the ingest-robustness
 # tests (fault-injection corpus, strict/tolerant modes, parallel-vs-
 # sequential bit-identity).
 #
-# Usage: scripts/ci.sh [--skip-asan]
+# Usage: scripts/ci.sh [--skip-asan] [--skip-ubsan]
 #
-# The AddressSanitizer stage builds into its own tree (build-asan) so it
-# never dirties the primary build directory.
+# The sanitizer stages build into their own trees (build-asan,
+# build-ubsan) so they never dirty the primary build directory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SKIP_ASAN=0
+SKIP_UBSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
+    --skip-ubsan) SKIP_UBSAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -30,6 +33,10 @@ ctest --test-dir build --output-on-failure
 echo "==> ingest robustness (fault corpus, strict mode, bit-identity)"
 ctest --test-dir build --output-on-failure -R "MrtStream|MrtText|UpdateText|AsPath"
 
+echo "==> degraded-data robustness (health tiers, fault plans, fuzz)"
+ctest --test-dir build --output-on-failure \
+  -R "Confidence|DegradationPolicy|DataHealth|FaultPlan|Robustness|StructuredFaults"
+
 if [[ "$SKIP_ASAN" -eq 0 ]]; then
   echo "==> AddressSanitizer build + test"
   cmake -B build-asan -S . -DGEORANK_SANITIZE=address > /dev/null
@@ -37,6 +44,18 @@ if [[ "$SKIP_ASAN" -eq 0 ]]; then
   ctest --test-dir build-asan --output-on-failure
 else
   echo "==> AddressSanitizer stage skipped (--skip-asan)"
+fi
+
+if [[ "$SKIP_UBSAN" -eq 0 ]]; then
+  echo "==> UndefinedBehaviorSanitizer build + robustness filters"
+  cmake -B build-ubsan -S . -DGEORANK_SANITIZE=undefined > /dev/null
+  cmake --build build-ubsan -j "$(nproc)"
+  # The robustness surfaces do the spiciest arithmetic (seed mixing,
+  # NDCG float edge cases, fuzzed parsers); run them all under UBSan.
+  ctest --test-dir build-ubsan --output-on-failure \
+    -R "Confidence|DegradationPolicy|DataHealth|FaultPlan|Robustness|StructuredFaults|FuzzTest|Ndcg|Stability"
+else
+  echo "==> UndefinedBehaviorSanitizer stage skipped (--skip-ubsan)"
 fi
 
 echo "CI PASS"

@@ -14,6 +14,7 @@
 #include "rank/customer_cone.hpp"
 #include "rank/hegemony.hpp"
 #include "rank/ranking.hpp"
+#include "robust/confidence.hpp"
 #include "topo/as_graph.hpp"
 
 namespace georank::core {
@@ -25,6 +26,14 @@ struct CountryMetrics {
   std::size_t international_vps = 0;
   std::uint64_t national_addresses = 0;
   std::uint64_t international_addresses = 0;
+  /// Evidence tier per the pipeline's robust::DegradationPolicy. Only
+  /// Pipeline queries annotate it; CountryRankings::compute leaves the
+  /// defaults (it sees one view at a time, not the evidence record).
+  /// Countries with insufficient evidence keep their (possibly empty)
+  /// rankings — results are flagged, never fabricated.
+  robust::ConfidenceTier confidence = robust::ConfidenceTier::kHigh;
+  /// Address-weighted geolocation consensus share in [0,1].
+  double geo_consensus = 1.0;
 };
 
 /// Extension beyond the paper (§7 sketches it as future work): the

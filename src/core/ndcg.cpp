@@ -1,5 +1,6 @@
 #include "core/ndcg.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace georank::core {
@@ -10,6 +11,7 @@ double dcg(const rank::Ranking& sample, const rank::Ranking& full, std::size_t k
   double sum = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     double rel = full.score_of(entries[i].asn);
+    if (!std::isfinite(rel)) continue;  // corrupt scores carry no gain
     sum += rel / std::log2(static_cast<double>(i) + 2.0);
   }
   return sum;
@@ -17,8 +19,14 @@ double dcg(const rank::Ranking& sample, const rank::Ranking& full, std::size_t k
 
 double ndcg(const rank::Ranking& sample, const rank::Ranking& full, std::size_t k) {
   double fdcg = dcg(full, full, k);
-  if (fdcg <= 0.0) return 1.0;
-  return dcg(sample, full, k) / fdcg;
+  // Covers the degenerate ideals in one test: empty full ranking, k == 0,
+  // all-zero scores, and a non-finite FDCG — nothing to misrank.
+  if (!(fdcg > 0.0) || !std::isfinite(fdcg)) return 1.0;
+  double score = dcg(sample, full, k) / fdcg;
+  if (!std::isfinite(score)) return 0.0;
+  // Floating-point dust aside, the ratio cannot exceed 1: the full
+  // ranking orders its own scores descending, which maximizes DCG.
+  return std::clamp(score, 0.0, 1.0);
 }
 
 }  // namespace georank::core

@@ -21,9 +21,11 @@ inline constexpr std::size_t kDefaultTopK = 10;
 [[nodiscard]] double dcg(const rank::Ranking& sample, const rank::Ranking& full,
                          std::size_t k = kDefaultTopK);
 
-/// NDCG of `sample` against `full`; 1.0 when `full` is empty (nothing to
-/// misrank). Result is clamped to [0, 1]... it cannot exceed 1 because the
-/// full ranking's own ordering maximizes DCG over its score assignment.
+/// NDCG of `sample` against `full`, clamped to [0, 1]. Degenerate cases
+/// resolve to the identity score 1.0: an empty `full` ranking, k == 0, or
+/// an all-zero/non-finite ideal DCG all mean there is nothing to misrank.
+/// A single-element ranking scores 1.0 against itself; all-tied rankings
+/// score 1.0 under any permutation (equal relevance at every position).
 [[nodiscard]] double ndcg(const rank::Ranking& sample, const rank::Ranking& full,
                           std::size_t k = kDefaultTopK);
 

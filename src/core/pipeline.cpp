@@ -1,7 +1,9 @@
 #include "core/pipeline.hpp"
 
+#include <shared_mutex>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 
 #include "util/parallel_for.hpp"
 
@@ -19,8 +21,28 @@ Pipeline::Pipeline(const geo::GeoDatabase& geo_db, const geo::VpGeolocator& vps,
 
 void Pipeline::load(const bgp::RibCollection& ribs) {
   sanitize::PathSanitizer sanitizer{*geo_db_, *vps_, *registry_, config_.sanitizer};
-  sanitized_ = sanitizer.run(ribs);
+  // Sanitize outside the reload lock (it is by far the expensive part),
+  // then swap the world in exclusively so racing queries see either the
+  // old state or the new one, never a mix.
+  sanitize::SanitizeResult result = sanitizer.run(ribs);
+  const std::unique_lock<std::shared_mutex> reload(cache_->reload);
+  sanitized_ = std::move(result);
   store_.emplace(std::span<const sanitize::SanitizedPath>{sanitized_->paths});
+
+  // Geolocation evidence for the confidence annotation: accepted weight
+  // once per distinct sanitized prefix, plus the no-consensus weight each
+  // plurality country lost.
+  geo_evidence_.clear();
+  std::unordered_set<bgp::Prefix, bgp::PrefixHash> seen;
+  for (const sanitize::SanitizedPath& p : sanitized_->paths) {
+    if (seen.insert(p.prefix).second) {
+      geo_evidence_[p.prefix_country].accepted += p.weight;
+    }
+  }
+  for (const auto& [country, tally] :
+       sanitized_->prefix_geo.no_consensus_by_plurality()) {
+    geo_evidence_[country].rejected += tally.addresses;
+  }
   clear_caches();
 }
 
@@ -60,11 +82,27 @@ void Pipeline::clear_caches() const {
   cache_->outbound.clear();
 }
 
+Pipeline::GeoEvidence Pipeline::geo_evidence(geo::CountryCode country) const {
+  const std::shared_lock<std::shared_mutex> reload(cache_->reload);
+  require_loaded("Pipeline::geo_evidence()");
+  auto it = geo_evidence_.find(country);
+  return it == geo_evidence_.end() ? GeoEvidence{} : it->second;
+}
+
 CountryMetrics Pipeline::country_uncached(geo::CountryCode country) const {
-  return rankings_.compute(*store_, country);
+  CountryMetrics metrics = rankings_.compute(*store_, country);
+  auto it = geo_evidence_.find(country);
+  GeoEvidence evidence = it == geo_evidence_.end() ? GeoEvidence{} : it->second;
+  metrics.geo_consensus = robust::DegradationPolicy::geo_consensus_share(
+      evidence.accepted, evidence.rejected);
+  metrics.confidence = config_.degradation.country_tier(
+      metrics.national_vps, metrics.international_vps, evidence.accepted,
+      evidence.rejected);
+  return metrics;
 }
 
 CountryMetrics Pipeline::country(geo::CountryCode country) const {
+  const std::shared_lock<std::shared_mutex> reload(cache_->reload);
   require_loaded("Pipeline::country()");
   {
     const std::lock_guard<std::mutex> lock(cache_->mutex);
@@ -78,6 +116,7 @@ CountryMetrics Pipeline::country(geo::CountryCode country) const {
 }
 
 OutboundMetrics Pipeline::outbound(geo::CountryCode country) const {
+  const std::shared_lock<std::shared_mutex> reload(cache_->reload);
   require_loaded("Pipeline::outbound()");
   {
     const std::lock_guard<std::mutex> lock(cache_->mutex);
@@ -91,8 +130,17 @@ OutboundMetrics Pipeline::outbound(geo::CountryCode country) const {
 }
 
 std::vector<CountryMetrics> Pipeline::all_countries() const {
-  require_loaded("Pipeline::all_countries()");
-  const std::vector<geo::CountryCode>& countries = store_->countries();
+  // Copy the census under the reload lock, then release it before
+  // fanning out: workers each take the shared lock inside country(), and
+  // holding it here across the parallel region could deadlock against a
+  // writer-preferring load(). Each country is therefore atomic against a
+  // reload, the census as a whole is not.
+  std::vector<geo::CountryCode> countries;
+  {
+    const std::shared_lock<std::shared_mutex> reload(cache_->reload);
+    require_loaded("Pipeline::all_countries()");
+    countries = store_->countries();
+  }
 
   // Disjoint-slot writes keyed by the (sorted) country list: the output
   // is a pure function of the inputs, independent of scheduling, so the
@@ -105,27 +153,36 @@ std::vector<CountryMetrics> Pipeline::all_countries() const {
 }
 
 rank::Ranking Pipeline::global_cone_by_as_count() const {
+  const std::shared_lock<std::shared_mutex> reload(cache_->reload);
+  require_loaded("Pipeline::global_cone_by_as_count()");
   rank::CustomerCone cone{*relationships_};
-  return cone.compute(store().all()).by_as_count();
+  return cone.compute(store_->all()).by_as_count();
 }
 
 rank::Ranking Pipeline::global_cone_by_addresses() const {
+  const std::shared_lock<std::shared_mutex> reload(cache_->reload);
+  require_loaded("Pipeline::global_cone_by_addresses()");
   rank::CustomerCone cone{*relationships_};
-  return cone.compute(store().all()).by_addresses();
+  return cone.compute(store_->all()).by_addresses();
 }
 
 rank::Ranking Pipeline::global_hegemony() const {
+  const std::shared_lock<std::shared_mutex> reload(cache_->reload);
+  require_loaded("Pipeline::global_hegemony()");
   rank::Hegemony hegemony{config_.hegemony};
-  return hegemony.compute(store().all()).ranking();
+  return hegemony.compute(store_->all()).ranking();
 }
 
 rank::Ranking Pipeline::ahc(const rank::AsRegistry& registry,
                             geo::CountryCode country) const {
+  const std::shared_lock<std::shared_mutex> reload(cache_->reload);
+  require_loaded("Pipeline::ahc()");
   rank::AhcRanking ahc{registry, config_.hegemony};
-  return ahc.compute(store().all(), country);
+  return ahc.compute(store_->all(), country);
 }
 
 rank::Ranking Pipeline::cti(geo::CountryCode country) const {
+  const std::shared_lock<std::shared_mutex> reload(cache_->reload);
   require_loaded("Pipeline::cti()");
   CountryView view = store_->international_view(country);
   rank::CtiRanking cti{*relationships_};

@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "core/path_store.hpp"
 #include "rank/ahc.hpp"
 #include "rank/cti.hpp"
+#include "robust/confidence.hpp"
 #include "sanitize/path_sanitizer.hpp"
 
 namespace georank::core {
@@ -33,6 +35,9 @@ struct PipelineConfig {
   /// Ingest knobs for load_text()/load_stream(): strict vs tolerant,
   /// base_time/day horizon, chunking and worker count.
   bgp::MrtStreamOptions ingest;
+  /// Thresholds mapping per-country evidence onto the ConfidenceTier
+  /// every CountryMetrics is annotated with (paper defaults).
+  robust::DegradationPolicy degradation;
 };
 
 class Pipeline {
@@ -44,6 +49,14 @@ class Pipeline {
 
   /// Ingest RIBs; either form runs the sanitizer immediately, builds the
   /// PathStore and invalidates all memoized per-country results.
+  ///
+  /// Reload safety: load() takes the pipeline's reload lock exclusively,
+  /// and every VALUE-returning query (country(), outbound(),
+  /// all_countries(), the global rankings) holds it shared for its whole
+  /// body — so a query racing a reload returns a result computed
+  /// entirely against one world, never a mix. Accessors that return
+  /// REFERENCES (sanitized(), store(), parse_stats()) cannot extend that
+  /// guarantee past their return; do not hold them across a reload.
   void load(const bgp::RibCollection& ribs);
   /// bgpdump-style text (see bgp/mrt_text.hpp), ingested through the
   /// chunked parallel bgp::MrtStreamLoader per config.ingest; the
@@ -98,6 +111,16 @@ class Pipeline {
     return *relationships_;
   }
 
+  /// Per-country geolocation evidence behind the confidence annotation:
+  /// accepted effective addresses (distinct sanitized prefixes) and
+  /// no-consensus address weight attributed to the country's plurality.
+  /// Rebuilt on every load; {0, 0} for countries with no evidence.
+  struct GeoEvidence {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+  };
+  [[nodiscard]] GeoEvidence geo_evidence(geo::CountryCode country) const;
+
  private:
   /// Throws std::logic_error("<where>: no RIBs loaded") before load().
   void require_loaded(const char* where) const;
@@ -112,12 +135,17 @@ class Pipeline {
   std::optional<sanitize::SanitizeResult> sanitized_;
   std::optional<PathStore> store_;
   bgp::MrtParseStats parse_stats_;
+  std::unordered_map<geo::CountryCode, GeoEvidence, geo::CountryCodeHash>
+      geo_evidence_;
 
   // Memoized per-country results, keyed by CountryCode::raw(). The mutex
   // only guards map access; metric computation happens outside it, so
   // concurrent all_countries() workers never serialize on each other.
-  // Boxed so Pipeline stays movable despite the mutex.
+  // `reload` orders queries against load(): load() holds it exclusive,
+  // value-returning queries hold it shared (always acquired BEFORE
+  // `mutex`). Boxed so Pipeline stays movable despite the locks.
   struct MemoCache {
+    std::shared_mutex reload;
     std::mutex mutex;
     std::unordered_map<std::uint16_t, CountryMetrics> country;
     std::unordered_map<std::uint16_t, OutboundMetrics> outbound;

@@ -43,6 +43,12 @@ std::string render_country_report(const CountryReport& report,
   if (report.outbound.vps) {
     os << ", outbound VPs " << report.outbound.vps;
   }
+  os << "\n";
+  os << "confidence: " << robust::to_string(report.metrics.confidence)
+     << " (geo consensus " << util::percent(report.metrics.geo_consensus) << ")";
+  if (report.metrics.confidence == robust::ConfidenceTier::kInsufficient) {
+    os << " — too little evidence; treat scores as unranked";
+  }
   os << "\n\n";
 
   // Rows: union of each ranking's head.

@@ -1,6 +1,7 @@
 #include "core/stability.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/ndcg.hpp"
 #include "util/stats.hpp"
@@ -66,11 +67,18 @@ std::vector<StabilityPoint> StabilityAnalyzer::analyze(
 
 std::size_t StabilityAnalyzer::min_vps_for(const std::vector<StabilityPoint>& curve,
                                            double threshold) {
+  if (curve.empty()) return 0;
+  std::vector<StabilityPoint> sorted = curve;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const StabilityPoint& a, const StabilityPoint& b) {
+              return a.vp_count < b.vp_count;
+            });
+  // Walk from the largest probe downward; the answer is the start of the
+  // longest suffix that never dips below the threshold.
   std::size_t best = 0;
-  for (const StabilityPoint& p : curve) {
-    if (p.mean_ndcg >= threshold && (best == 0 || p.vp_count < best)) {
-      best = p.vp_count;
-    }
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (!std::isfinite(it->mean_ndcg) || it->mean_ndcg < threshold) break;
+    best = it->vp_count;
   }
   return best;
 }

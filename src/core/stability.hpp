@@ -46,8 +46,12 @@ class StabilityAnalyzer {
       const CountryView& view, MetricKind metric,
       const StabilityOptions& options = {}) const;
 
-  /// Smallest probed VP count whose MEAN NDCG reaches `threshold`;
-  /// 0 when no probed size reaches it.
+  /// Smallest probed VP count from which the curve STAYS at or above
+  /// `threshold` (by mean NDCG) through every larger probed size — a
+  /// single lucky small sample does not count as stabilized. Returns 0
+  /// when the curve is empty or no suffix reaches the threshold; points
+  /// with non-finite means fail the threshold. Accepts the curve in any
+  /// order (sorted internally by vp_count).
   [[nodiscard]] static std::size_t min_vps_for(
       const std::vector<StabilityPoint>& curve, double threshold);
 

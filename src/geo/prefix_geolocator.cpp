@@ -150,4 +150,16 @@ PrefixGeoResult::addresses_by_country() const {
   return out;
 }
 
+std::unordered_map<CountryCode, PrefixGeoResult::RejectionTally, CountryCodeHash>
+PrefixGeoResult::no_consensus_by_plurality() const {
+  std::unordered_map<CountryCode, RejectionTally, CountryCodeHash> out;
+  for (const PrefixRejection& r : no_consensus) {
+    if (!r.plurality.valid()) continue;
+    RejectionTally& tally = out[r.plurality];
+    tally.prefixes += 1;
+    tally.addresses += r.effective_addresses;
+  }
+  return out;
+}
+
 }  // namespace georank::geo

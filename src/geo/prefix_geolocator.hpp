@@ -63,6 +63,17 @@ struct PrefixGeoResult {
   [[nodiscard]] std::unordered_map<CountryCode, std::uint64_t, CountryCodeHash>
   addresses_by_country() const;
 
+  /// Evidence a country "almost" had: prefix count and effective address
+  /// weight of no-consensus rejections, attributed to the plurality
+  /// country (the one the prefix would have geolocated to). Rejections
+  /// with no valid plurality (fully unmapped address space) are skipped.
+  struct RejectionTally {
+    std::size_t prefixes = 0;
+    std::uint64_t addresses = 0;
+  };
+  [[nodiscard]] std::unordered_map<CountryCode, RejectionTally, CountryCodeHash>
+  no_consensus_by_plurality() const;
+
   std::unordered_map<bgp::Prefix, std::size_t, bgp::PrefixHash> index;  // into accepted
 };
 

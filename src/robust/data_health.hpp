@@ -1,0 +1,106 @@
+// DataHealth: per-country evidence accounting behind every ranking.
+//
+// After a load, each country's observational basis is summarized — how
+// many national/international VPs saw it, how much address space
+// geolocated cleanly, how much failed consensus (geo::PrefixGeolocator
+// rejections attributed to their plurality country), and what the
+// ingest + sanitize layers dropped globally — and folded into a
+// ConfidenceTier by a DegradationPolicy. The pipeline annotates metrics
+// with the same tiers; this module produces the full audit record the
+// `georank health` command renders.
+//
+// compute_health() also accepts a bare SanitizedPath span (plus optional
+// evidence), so the fault-injection harness can score a PERTURBED world
+// with exactly the same rules as a clean one.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/line_parse.hpp"
+#include "geo/country.hpp"
+#include "geo/prefix_geolocator.hpp"
+#include "robust/confidence.hpp"
+#include "sanitize/path_sanitizer.hpp"
+
+namespace georank::core {
+class Pipeline;
+}
+
+namespace georank::robust {
+
+/// One country's observational evidence and the tiers it earns.
+struct CountryHealth {
+  geo::CountryCode country;
+  /// Distinct VPs in the national / international view of this country.
+  std::size_t national_vps = 0;
+  std::size_t international_vps = 0;
+  /// Distinct accepted prefixes geolocated to this country, and their
+  /// effective (most-specific) address weight.
+  std::size_t accepted_prefixes = 0;
+  std::uint64_t geolocated_addresses = 0;
+  /// No-consensus rejections whose plurality country was this one — the
+  /// address space this country "almost" had.
+  std::size_t no_consensus_prefixes = 0;
+  std::uint64_t no_consensus_addresses = 0;
+
+  ConfidenceTier national_tier = ConfidenceTier::kInsufficient;
+  ConfidenceTier international_tier = ConfidenceTier::kInsufficient;
+  ConfidenceTier geo_tier = ConfidenceTier::kInsufficient;
+  ConfidenceTier overall = ConfidenceTier::kInsufficient;
+
+  /// Address-weighted consensus share in [0,1] (1.0 when unchallenged).
+  [[nodiscard]] double geo_consensus() const noexcept {
+    return DegradationPolicy::geo_consensus_share(geolocated_addresses,
+                                                  no_consensus_addresses);
+  }
+};
+
+/// Everything compute_health() can draw on. Only `paths` is mandatory;
+/// absent evidence is simply not counted (geo consensus then reads 1.0).
+struct HealthInputs {
+  std::span<const sanitize::SanitizedPath> paths;
+  /// Geolocation accept/reject record (per-country no-consensus rates).
+  const geo::PrefixGeoResult* prefix_geo = nullptr;
+  /// Sanitizer drop attribution (Table-1 categories).
+  const sanitize::SanitizeStats* sanitize = nullptr;
+  /// Ingest-layer drop attribution (malformed-line counters).
+  const bgp::MrtParseStats* ingest = nullptr;
+  /// Extra per-country address weight whose geolocation was lost AFTER
+  /// sanitization — the fault injector reports corrupted geo blocks
+  /// here so a perturbed world's consensus rates reflect the damage.
+  const std::unordered_map<geo::CountryCode, std::uint64_t,
+                           geo::CountryCodeHash>* extra_geo_rejections = nullptr;
+};
+
+struct HealthReport {
+  /// Sorted by country code ascending; every country with at least one
+  /// geolocated prefix OR at least one attributed no-consensus
+  /// rejection appears.
+  std::vector<CountryHealth> countries;
+  DegradationPolicy policy;
+
+  // Global drop attribution, in [0,1] of the respective layer's input.
+  double ingest_drop_rate = 0.0;    // malformed lines / lines
+  double sanitize_drop_rate = 0.0;  // rejected entries / total entries
+
+  [[nodiscard]] const CountryHealth* find(geo::CountryCode country) const;
+  /// Tier of a country; a country ABSENT from the report has, by
+  /// definition, no usable evidence -> kInsufficient.
+  [[nodiscard]] ConfidenceTier tier_of(geo::CountryCode country) const;
+  [[nodiscard]] std::size_t count(ConfidenceTier tier) const;
+};
+
+/// Builds the health report from raw evidence. Deterministic: the output
+/// depends only on the inputs and the policy.
+[[nodiscard]] HealthReport compute_health(const HealthInputs& inputs,
+                                          const DegradationPolicy& policy = {});
+
+/// Convenience overload over a loaded pipeline (throws std::logic_error
+/// like any other pipeline query when nothing is loaded). Uses the
+/// pipeline's sanitize result, geolocation record and ingest stats.
+[[nodiscard]] HealthReport compute_health(const core::Pipeline& pipeline,
+                                          const DegradationPolicy& policy = {});
+
+}  // namespace georank::robust

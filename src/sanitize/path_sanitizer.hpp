@@ -65,6 +65,28 @@ struct SanitizeStats {
     return unstable + as_set + unallocated + loop + poisoned +
            vp_no_location + covered_prefix + prefix_no_location;
   }
+
+  /// Share of RIB entries the sanitizer dropped, in [0,1] (0 when empty).
+  [[nodiscard]] double drop_rate() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(rejected()) / static_cast<double>(total);
+  }
+
+  /// Counter for one filter category (kAccepted -> accepted entries).
+  [[nodiscard]] std::size_t count(FilterReason reason) const noexcept {
+    switch (reason) {
+      case FilterReason::kAccepted: return accepted;
+      case FilterReason::kUnstable: return unstable;
+      case FilterReason::kUnallocated: return unallocated;
+      case FilterReason::kLoop: return loop;
+      case FilterReason::kPoisoned: return poisoned;
+      case FilterReason::kVpNoLocation: return vp_no_location;
+      case FilterReason::kCoveredPrefix: return covered_prefix;
+      case FilterReason::kPrefixNoLocation: return prefix_no_location;
+      case FilterReason::kAsSet: return as_set;
+    }
+    return 0;
+  }
 };
 
 /// An audit sample: one rejected RIB entry and why.

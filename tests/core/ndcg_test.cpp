@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace georank::core {
 namespace {
@@ -74,6 +75,64 @@ TEST(Ndcg, NeverExceedsOneOnPerturbedSamples) {
   double score = ndcg(reordered, full);
   EXPECT_LE(score, 1.0);
   EXPECT_GE(score, 0.0);
+}
+
+// ------------------------------------------------------------- edge cases
+
+TEST(Ndcg, BothEmptyScoresOne) {
+  // Nothing to misrank: the degenerate comparison is the identity.
+  EXPECT_DOUBLE_EQ(ndcg(Ranking{}, Ranking{}), 1.0);
+}
+
+TEST(Ndcg, SingleElementRankingScoresOneAgainstItself) {
+  Ranking one = Ranking::from_scores({{7, 0.42}});
+  EXPECT_DOUBLE_EQ(ndcg(one, one), 1.0);
+  EXPECT_DOUBLE_EQ(ndcg(one, one, 1), 1.0);
+}
+
+TEST(Ndcg, AllTiedRankingScoresOneUnderAnyPermutation) {
+  Ranking full = Ranking::from_scores({{1, 0.5}, {2, 0.5}, {3, 0.5}});
+  Ranking reversed = Ranking::from_scores({{3, 9.0}, {2, 5.0}, {1, 1.0}});
+  // Equal relevance at every position: order cannot matter.
+  EXPECT_DOUBLE_EQ(ndcg(reversed, full), 1.0);
+  EXPECT_DOUBLE_EQ(ndcg(full, full), 1.0);
+}
+
+TEST(Ndcg, AllZeroFullRankingScoresOne) {
+  // FDCG == 0 means there is no signal to reproduce; treat as identity
+  // rather than dividing by zero.
+  Ranking full = Ranking::from_scores({{1, 0.0}, {2, 0.0}});
+  Ranking sample = Ranking::from_scores({{2, 0.0}, {1, 0.0}});
+  EXPECT_DOUBLE_EQ(ndcg(sample, full), 1.0);
+}
+
+TEST(Ndcg, KZeroScoresOne) {
+  Ranking full = Ranking::from_scores({{1, 0.9}, {2, 0.5}});
+  Ranking sample = Ranking::from_scores({{2, 0.9}, {1, 0.5}});
+  EXPECT_DOUBLE_EQ(ndcg(sample, full, 0), 1.0);
+}
+
+TEST(Ndcg, NonFiniteRelevancesAreSkipped) {
+  Ranking full = Ranking::from_scores(
+      {{1, std::numeric_limits<double>::infinity()},
+       {2, 0.5},
+       {3, std::numeric_limits<double>::quiet_NaN()},
+       {4, 0.1}});
+  // The non-finite entries contribute nothing; finite ones still rank.
+  double score = ndcg(full, full);
+  EXPECT_TRUE(std::isfinite(score));
+  EXPECT_DOUBLE_EQ(score, 1.0);
+}
+
+TEST(Ndcg, ScoreIsAlwaysClampedToUnitInterval) {
+  Ranking full = Ranking::from_scores({{1, 0.9}, {2, 0.5}, {3, 0.1}});
+  for (const Ranking& sample :
+       {Ranking{}, Ranking::from_scores({{3, 1.0}}),
+        Ranking::from_scores({{2, 1.0}, {3, 0.9}, {1, 0.8}})}) {
+    double score = ndcg(sample, full);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
 }
 
 }  // namespace

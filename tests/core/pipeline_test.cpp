@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <bit>
 #include <cstdlib>
+#include <thread>
 
 #include "gen/internet_generator.hpp"
 #include "gen/rib_generator.hpp"
@@ -42,6 +44,8 @@ TEST(Pipeline, ThrowsBeforeLoad) {
   EXPECT_THROW((void)pipeline.outbound(CountryCode::of("AU")), std::logic_error);
   EXPECT_THROW((void)pipeline.all_countries(), std::logic_error);
   EXPECT_THROW((void)pipeline.cti(CountryCode::of("AU")), std::logic_error);
+  EXPECT_THROW((void)pipeline.geo_evidence(CountryCode::of("AU")),
+               std::logic_error);
   try {
     (void)pipeline.country(CountryCode::of("AU"));
     FAIL() << "country() before load() must throw";
@@ -140,6 +144,9 @@ void expect_bitwise_equal(const CountryMetrics& a, const CountryMetrics& b) {
   EXPECT_EQ(a.international_vps, b.international_vps);
   EXPECT_EQ(a.national_addresses, b.national_addresses);
   EXPECT_EQ(a.international_addresses, b.international_addresses);
+  EXPECT_EQ(a.confidence, b.confidence);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.geo_consensus),
+            std::bit_cast<std::uint64_t>(b.geo_consensus));
   expect_bitwise_equal(a.cci, b.cci);
   expect_bitwise_equal(a.ccn, b.ccn);
   expect_bitwise_equal(a.ahi, b.ahi);
@@ -191,6 +198,80 @@ TEST(Pipeline, MemoizedQueriesSurviveReload) {
   // so the recomputed result must match too.
   pipeline.load(f.ribs);
   expect_bitwise_equal(first, pipeline.country(CountryCode::of("AU")));
+}
+
+TEST(Pipeline, CountryMetricsCarryConfidenceAnnotation) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.load(f.ribs);
+  CountryMetrics au = pipeline.country(CountryCode::of("AU"));
+  // The mini world gives every country several VPs per view and clean
+  // geolocation, so the paper-default policy rates it high.
+  EXPECT_EQ(au.confidence, robust::ConfidenceTier::kHigh);
+  EXPECT_DOUBLE_EQ(au.geo_consensus, 1.0);
+  Pipeline::GeoEvidence evidence = pipeline.geo_evidence(CountryCode::of("AU"));
+  EXPECT_GT(evidence.accepted, 0u);
+
+  // A stricter policy downgrades the same evidence.
+  PipelineConfig strict = f.config();
+  strict.degradation.min_vps = 1000;
+  Pipeline demanding{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                     f.world.graph, strict};
+  demanding.load(f.ribs);
+  EXPECT_EQ(demanding.country(CountryCode::of("AU")).confidence,
+            robust::ConfidenceTier::kDegraded);
+}
+
+TEST(Pipeline, ZeroGeolocatedCountryReturnsFlaggedEmptyResult) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.load(f.ribs);
+  // FR exists as a country code but has no prefix in the mini world: the
+  // query must not throw and must not fabricate a ranking — it returns
+  // empty metrics flagged insufficient.
+  CountryCode fr = CountryCode::of("FR");
+  ASSERT_EQ(pipeline.geo_evidence(fr).accepted, 0u);
+  CountryMetrics metrics = pipeline.country(fr);
+  EXPECT_TRUE(metrics.cci.empty());
+  EXPECT_TRUE(metrics.ahn.empty());
+  EXPECT_EQ(metrics.national_vps, 0u);
+  EXPECT_EQ(metrics.confidence, robust::ConfidenceTier::kInsufficient);
+  EXPECT_DOUBLE_EQ(metrics.geo_consensus, 1.0);  // nothing rejected either
+}
+
+TEST(Pipeline, ConcurrentCountryQueriesRaceReloadSafely) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.load(f.ribs);
+  const CountryMetrics baseline = pipeline.country(CountryCode::of("AU"));
+
+  // Reloading the same RIBs reproduces an identical world, so every
+  // result a racing reader observes — pre- or post-reload — must be
+  // bitwise equal to the baseline. The shared reload lock guarantees no
+  // reader ever sees a half-swapped world.
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        CountryMetrics m = pipeline.country(CountryCode::of("AU"));
+        if (m.cci.size() != baseline.cci.size() ||
+            m.national_vps != baseline.national_vps ||
+            m.confidence != baseline.confidence) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 5; ++i) pipeline.load(f.ribs);
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  expect_bitwise_equal(baseline, pipeline.country(CountryCode::of("AU")));
 }
 
 TEST(Pipeline, GlobalConeTopIsTier1) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 namespace georank::core {
 namespace {
@@ -139,6 +140,49 @@ TEST(Stability, MinVpsForThreshold) {
   EXPECT_EQ(StabilityAnalyzer::min_vps_for(curve, 0.9), 6u);
   EXPECT_EQ(StabilityAnalyzer::min_vps_for(curve, 0.8), 4u);
   EXPECT_EQ(StabilityAnalyzer::min_vps_for(curve, 0.99), 0u);  // unreachable
+}
+
+TEST(Stability, MinVpsForEmptyCurveIsZero) {
+  EXPECT_EQ(StabilityAnalyzer::min_vps_for({}, 0.9), 0u);
+}
+
+TEST(Stability, MinVpsForRequiresStableSuffix) {
+  // A lucky small sample that passes the threshold but dips afterwards
+  // must not count as stabilized: the answer is the start of the longest
+  // suffix that STAYS above the threshold.
+  std::vector<StabilityPoint> curve{
+      {2, 0.95, 0, 0, 4},  // lucky early pass
+      {4, 0.70, 0, 0, 4},  // ...then a dip
+      {6, 0.92, 0, 0, 4},
+      {8, 0.97, 0, 0, 4}};
+  EXPECT_EQ(StabilityAnalyzer::min_vps_for(curve, 0.9), 6u);
+}
+
+TEST(Stability, MinVpsForAcceptsUnsortedCurve) {
+  std::vector<StabilityPoint> curve{
+      {8, 0.97, 0, 0, 4}, {2, 0.5, 0, 0, 4}, {6, 0.92, 0, 0, 4},
+      {4, 0.85, 0, 0, 4}};
+  EXPECT_EQ(StabilityAnalyzer::min_vps_for(curve, 0.9), 6u);
+}
+
+TEST(Stability, MinVpsForTreatsNonFiniteMeansAsFailing) {
+  std::vector<StabilityPoint> curve{
+      {2, 0.95, 0, 0, 4},
+      {4, std::numeric_limits<double>::quiet_NaN(), 0, 0, 4},
+      {6, 0.92, 0, 0, 4}};
+  // The NaN at k=4 breaks any suffix through it; only k=6 qualifies.
+  EXPECT_EQ(StabilityAnalyzer::min_vps_for(curve, 0.9), 6u);
+  // A NaN at the largest size means no suffix qualifies at all.
+  std::vector<StabilityPoint> tail_nan{
+      {2, 0.95, 0, 0, 4},
+      {4, std::numeric_limits<double>::infinity(), 0, 0, 4}};
+  EXPECT_EQ(StabilityAnalyzer::min_vps_for(tail_nan, 0.9), 0u);
+}
+
+TEST(Stability, MinVpsForSinglePointCurve) {
+  std::vector<StabilityPoint> curve{{5, 0.93, 0, 0, 4}};
+  EXPECT_EQ(StabilityAnalyzer::min_vps_for(curve, 0.9), 5u);
+  EXPECT_EQ(StabilityAnalyzer::min_vps_for(curve, 0.95), 0u);
 }
 
 TEST(Stability, StdevZeroForDeterministicSamples) {

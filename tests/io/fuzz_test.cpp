@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "bgp/mrt_text.hpp"
+#include "bgp/prefix.hpp"
 #include "bgp/update_stream.hpp"
 #include "io/as_info_csv.hpp"
 #include "io/as_rel.hpp"
@@ -159,6 +160,192 @@ TEST_P(FuzzTest, AsInfoCsvReaderNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------- structured faults
+//
+// bgp::fault_inject-style corpora for the geo and as-rel readers: unlike
+// the random mutations above, every injected fault has a KNOWN expected
+// classification, so the reader's counters are checked against the
+// injection log exactly — not just "some lines were dropped".
+
+enum class GeoFault {
+  kTruncateFields,  // drop the country field       -> malformed
+  kExtraField,      // append a fourth field        -> malformed
+  kBadIp,           // octet > 255 in first_ip      -> malformed
+  kBadCountry,      // three-letter country code    -> malformed
+  kInvertedRange,   // swap first/last (first>last) -> malformed
+};
+inline constexpr std::size_t kGeoFaultCount = 5;
+
+struct GeoCorpus {
+  std::string text;
+  std::size_t clean = 0;      // lines that must parse
+  std::size_t malformed = 0;  // injected faults, all classified malformed
+};
+
+/// Disjoint /16 blocks cycling through four countries; ~fraction of the
+/// lines carry one uniformly drawn fault each. Deterministic per seed.
+GeoCorpus make_geo_corpus(std::uint64_t seed, std::size_t lines,
+                          double fraction) {
+  static const char* const kCountries[] = {"US", "AU", "JP", "DE"};
+  util::Pcg32 rng{seed};
+  GeoCorpus corpus;
+  corpus.text = "# first_ip,last_ip,country\n";
+  for (std::size_t i = 0; i < lines; ++i) {
+    std::uint32_t base = static_cast<std::uint32_t>((i + 1) << 16);
+    std::string first = bgp::format_ipv4(base);
+    std::string last = bgp::format_ipv4(base + 0xFFFF);
+    std::string country = kCountries[i % 4];
+    if (rng.chance(fraction)) {
+      ++corpus.malformed;
+      switch (static_cast<GeoFault>(rng.below(kGeoFaultCount))) {
+        case GeoFault::kTruncateFields:
+          corpus.text += first + "," + last + "\n";
+          break;
+        case GeoFault::kExtraField:
+          corpus.text += first + "," + last + "," + country + ",extra\n";
+          break;
+        case GeoFault::kBadIp:
+          corpus.text += "999.0.0." + std::to_string(rng.below(256)) + "," +
+                         last + "," + country + "\n";
+          break;
+        case GeoFault::kBadCountry:
+          corpus.text += first + "," + last + ",AUS\n";
+          break;
+        case GeoFault::kInvertedRange:
+          corpus.text += last + "," + first + "," + country + "\n";
+          break;
+      }
+    } else {
+      ++corpus.clean;
+      corpus.text += first + "," + last + "," + country + "\n";
+    }
+  }
+  return corpus;
+}
+
+TEST_P(FuzzTest, GeoCsvClassifiesInjectedFaultsExactly) {
+  GeoCorpus corpus = make_geo_corpus(GetParam() + 600, 40, 0.3);
+  io::CsvParseStats stats;
+  geo::GeoDatabase db = io::from_geo_csv(corpus.text, &stats);
+  EXPECT_EQ(stats.lines, corpus.clean + corpus.malformed + 1);
+  EXPECT_EQ(stats.comments, 1u);
+  EXPECT_EQ(stats.parsed, corpus.clean);
+  EXPECT_EQ(stats.malformed, corpus.malformed);
+  // Malformed lines contribute no ranges (merging may shrink the count,
+  // so bound rather than match).
+  EXPECT_LE(db.ranges().size(), corpus.clean);
+}
+
+TEST(StructuredFaults, GeoCsvOverlappingBlocksAreAnExplicitError) {
+  // Overlap is not a per-line fault: both lines parse, but finalize()
+  // must reject the database as a whole rather than silently pick one.
+  std::string corpus =
+      "10.0.0.0,10.0.255.255,US\n"
+      "10.0.128.0,10.1.0.0,AU\n";
+  EXPECT_THROW((void)io::from_geo_csv(corpus), std::invalid_argument);
+  // Identical duplicate ranges overlap too.
+  std::string dup =
+      "10.0.0.0,10.0.255.255,US\n"
+      "10.0.0.0,10.0.255.255,US\n";
+  EXPECT_THROW((void)io::from_geo_csv(dup), std::invalid_argument);
+}
+
+enum class RelFault {
+  kTruncateFields,      // "a|b"                 -> malformed
+  kFiveFields,          // extra trailing fields -> malformed
+  kBadAsn,              // non-numeric ASN       -> malformed
+  kZeroAsn,             // ASN 0 is reserved     -> malformed
+  kSelfLoop,            // a == b                -> malformed
+  kBadRel,              // rel 2 (not -1/0)      -> malformed
+  kBadFraction,         // non-numeric fraction  -> malformed
+  kFractionOutOfRange,  // fraction > 1          -> malformed
+};
+inline constexpr std::size_t kRelFaultCount = 8;
+
+struct RelCorpus {
+  std::string text;
+  std::size_t clean = 0;
+  std::size_t malformed = 0;
+};
+
+/// Unique (provider, customer) pairs, alternating p2c and p2p, some with
+/// export fractions; ~fraction of the lines carry one fault each.
+RelCorpus make_as_rel_corpus(std::uint64_t seed, std::size_t lines,
+                             double fraction) {
+  util::Pcg32 rng{seed};
+  RelCorpus corpus;
+  corpus.text = "# as-rel\n";
+  for (std::size_t i = 0; i < lines; ++i) {
+    std::string a = std::to_string(10 + i);
+    std::string b = std::to_string(1000 + i);
+    std::string rel = (i % 2 == 0) ? "-1" : "0";
+    std::string clean_line = a + "|" + b + "|" + rel;
+    if (i % 2 == 0 && i % 3 == 0) clean_line += "|0.5000";
+    if (rng.chance(fraction)) {
+      ++corpus.malformed;
+      switch (static_cast<RelFault>(rng.below(kRelFaultCount))) {
+        case RelFault::kTruncateFields:
+          corpus.text += a + "|" + b + "\n";
+          break;
+        case RelFault::kFiveFields:
+          corpus.text += clean_line + (i % 2 == 0 ? "|x\n" : "|1|x\n");
+          break;
+        case RelFault::kBadAsn:
+          corpus.text += a + "x|" + b + "|" + rel + "\n";
+          break;
+        case RelFault::kZeroAsn:
+          corpus.text += "0|" + b + "|" + rel + "\n";
+          break;
+        case RelFault::kSelfLoop:
+          corpus.text += a + "|" + a + "|" + rel + "\n";
+          break;
+        case RelFault::kBadRel:
+          corpus.text += a + "|" + b + "|2\n";
+          break;
+        case RelFault::kBadFraction:
+          corpus.text += a + "|" + b + "|-1|abc\n";
+          break;
+        case RelFault::kFractionOutOfRange:
+          corpus.text += a + "|" + b + "|-1|1.5000\n";
+          break;
+      }
+    } else {
+      ++corpus.clean;
+      corpus.text += clean_line + "\n";
+    }
+  }
+  return corpus;
+}
+
+TEST_P(FuzzTest, AsRelClassifiesInjectedFaultsExactly) {
+  RelCorpus corpus = make_as_rel_corpus(GetParam() + 700, 60, 0.3);
+  io::AsRelParseStats stats;
+  topo::AsGraph g = io::from_as_rel(corpus.text, &stats);
+  EXPECT_EQ(stats.lines, corpus.clean + corpus.malformed + 1);
+  EXPECT_EQ(stats.comments, 1u);
+  EXPECT_EQ(stats.links, corpus.clean);
+  EXPECT_EQ(stats.malformed, corpus.malformed);
+  // Every clean pair is unique, so each becomes exactly one edge.
+  EXPECT_EQ(g.edge_count(), corpus.clean);
+}
+
+TEST(StructuredFaults, AsRelDuplicatePairsKeepFirstWithoutCounting) {
+  std::string corpus =
+      "10|20|-1|0.2500\n"
+      "10|20|0\n"    // duplicate pair: kept-first, not a link, not malformed
+      "20|10|-1\n";  // reversed duplicate of the same relationship
+  io::AsRelParseStats stats;
+  topo::AsGraph g = io::from_as_rel(corpus, &stats);
+  EXPECT_EQ(stats.lines, 3u);
+  EXPECT_EQ(stats.links, 1u);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  // The first line's p2c relationship won.
+  auto rel = g.relationship(10, 20);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(*rel, topo::Rel::kCustomer);
+}
 
 }  // namespace
 }  // namespace georank

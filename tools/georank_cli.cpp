@@ -8,11 +8,23 @@
 //   sanitize   run the Table-1 filtering over a data-set directory
 //   rank       compute CCI/AHI/CCN/AHN (+AHC/CTI) for one country
 //   stability  VP-downsampling NDCG analysis for one country's view
+//   health     per-country data-health audit (VPs, geo consensus, tiers)
+//   robustness fault-injection sweep: NDCG drift under dropped VPs,
+//                corrupted geo blocks and lost paths
 //
 // The generate output is exactly what the other subcommands consume, so
 //   georank generate --out data/ && georank rank --dir data/ --country AU
 // is a complete offline reproduction loop. Real RouteViews/RIS exports
 // in the same formats slot straight in.
+//
+// Exit codes (scriptable degraded-data handling):
+//   0  success
+//   1  operational error (missing file, bad argument value)
+//   2  usage error
+//   3  parse failure (strict-mode parse error, or no parsable RIB data)
+//   4  empty result (query ran but produced nothing)
+//   5  --fail-on-drop-rate threshold exceeded
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -36,6 +48,8 @@
 #include "io/as_rel.hpp"
 #include "io/geo_csv.hpp"
 #include "io/rankings_csv.hpp"
+#include "robust/data_health.hpp"
+#include "robust/fault_plan.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -43,6 +57,13 @@ namespace fs = std::filesystem;
 using namespace georank;
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitParseFailure = 3;
+constexpr int kExitEmptyResult = 4;
+constexpr int kExitDropRate = 5;
 
 struct Args {
   std::string command;
@@ -66,7 +87,11 @@ std::optional<Args> parse_args(int argc, char** argv) {
     std::string_view arg = argv[i];
     if (!arg.starts_with("--")) return std::nullopt;
     std::string key(arg.substr(2));
-    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+    // --key=value binds inline; otherwise the next non-flag token is the
+    // value and a trailing flag is boolean.
+    if (auto eq = key.find('='); eq != std::string::npos) {
+      args.options[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
       args.options[key] = argv[++i];
     } else {
       args.options[key] = "1";  // boolean flag
@@ -78,18 +103,58 @@ std::optional<Args> parse_args(int argc, char** argv) {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  georank generate  --out DIR [--epoch 2021|2023] [--seed N]"
+               "  georank generate   --out DIR [--epoch 2021|2023] [--seed N]"
                " [--days N] [--mini]\n"
-               "  georank sanitize  --dir DIR [--samples N] [--strict]"
+               "  georank sanitize   --dir DIR [--samples N] [--strict]"
                " [--ingest-stats]\n"
-               "  georank rank      --dir DIR --country CC [--out FILE]"
+               "  georank rank       --dir DIR --country CC [--out FILE]"
                " [--infer] [--strict]\n"
-               "  georank stability --dir DIR --country CC"
+               "  georank stability  --dir DIR --country CC"
                " [--view national|international|outbound] [--threshold X]\n"
-               "  georank compare   --before FILE --after FILE [--top N]"
+               "  georank compare    --before FILE --after FILE [--top N]"
                " [--metric CCI|AHI|CCN|AHN]\n"
-               "  georank infer     --dir DIR --out FILE [--validate]\n");
-  return 2;
+               "  georank infer      --dir DIR --out FILE [--validate]\n"
+               "  georank health     --dir DIR [--csv] [--out FILE]"
+               " [--min-vps N] [--min-geo-consensus X]\n"
+               "  georank robustness --dir DIR [--country CC[,CC...]]"
+               " [--trials N] [--seed N] [--top N]\n"
+               "                     [--vp-steps a,b,..] [--geo-steps x,y,..]"
+               " [--path-steps x,y,..] [--vp-target CC] [--csv] [--out FILE]\n"
+               "common: --key=value and --key value both work;"
+               " --fail-on-drop-rate=PCT exits %d when the sanitize or\n"
+               "ingest layer drops more than PCT%% of its input"
+               " (sanitize/rank/health/robustness).\n",
+               kExitDropRate);
+  return kExitUsage;
+}
+
+/// --fail-on-drop-rate=PCT: non-zero exit when the ingest or sanitize
+/// layer dropped more than PCT percent of its input. Returns kExitOk, or
+/// kExitDropRate / kExitError (unparsable threshold).
+int check_drop_rate(const Args& args, const bgp::MrtParseStats& ingest,
+                    const sanitize::SanitizeStats& sanitize_stats) {
+  if (!args.has("fail-on-drop-rate")) return kExitOk;
+  double pct = 0.0;
+  try {
+    pct = std::stod(args.get("fail-on-drop-rate"));
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "bad --fail-on-drop-rate '%s'\n",
+                 args.get("fail-on-drop-rate").c_str());
+    return kExitError;
+  }
+  double limit = pct / 100.0;
+  double ingest_rate =
+      ingest.lines == 0 ? 0.0
+                        : static_cast<double>(ingest.malformed) /
+                              static_cast<double>(ingest.lines);
+  double sanitize_rate = sanitize_stats.drop_rate();
+  if (ingest_rate > limit || sanitize_rate > limit) {
+    std::fprintf(stderr,
+                 "drop rate above %.2f%%: ingest %.2f%%, sanitize %.2f%%\n",
+                 pct, ingest_rate * 100.0, sanitize_rate * 100.0);
+    return kExitDropRate;
+  }
+  return kExitOk;
 }
 
 template <typename Writer>
@@ -181,8 +246,14 @@ struct DataSet {
   bgp::MrtParseStats ingest_stats;
 };
 
+/// Loads a data-set directory. On failure returns nullopt and, when
+/// `fail_code` is given, distinguishes kExitParseFailure (RIB/update
+/// input present but nothing parsed from it) from kExitError (missing
+/// files). Strict-mode parse errors throw bgp::MrtParseError instead,
+/// mapped to kExitParseFailure in main().
 std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationships,
-                                    bool strict = false) {
+                                    bool strict = false, int* fail_code = nullptr) {
+  if (fail_code) *fail_code = kExitError;
   auto open = [&](const char* name) -> std::optional<std::ifstream> {
     std::ifstream is{dir / name};
     if (!is) {
@@ -235,6 +306,14 @@ std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationship
     return std::nullopt;
   }
 
+  if (data.ribs.total_entries() == 0) {
+    std::fprintf(stderr, "no parsable RIB data in %s (%zu lines, %zu malformed)\n",
+                 dir.string().c_str(), data.ingest_stats.lines,
+                 data.ingest_stats.malformed);
+    if (fail_code) *fail_code = kExitParseFailure;
+    return std::nullopt;
+  }
+
   if (std::ifstream rs_is{dir / "route-servers.txt"}; rs_is) {
     std::string line;
     while (std::getline(rs_is, line)) {
@@ -271,9 +350,24 @@ std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationship
   return data;
 }
 
-core::Pipeline make_pipeline(const DataSet& data) {
+/// --min-vps / --min-geo-consensus override the paper-default
+/// DegradationPolicy for the confidence annotation.
+robust::DegradationPolicy degradation_from_args(const Args& args) {
+  robust::DegradationPolicy policy;
+  if (args.has("min-vps")) {
+    policy.min_vps = static_cast<std::size_t>(std::stoul(args.get("min-vps")));
+  }
+  if (args.has("min-geo-consensus")) {
+    policy.min_geo_consensus = std::stod(args.get("min-geo-consensus"));
+  }
+  return policy;
+}
+
+core::Pipeline make_pipeline(const DataSet& data,
+                             robust::DegradationPolicy degradation = {}) {
   core::PipelineConfig config;
   config.sanitizer.route_server_asns = data.route_servers;
+  config.degradation = degradation;
   core::Pipeline pipeline{data.geo_db, data.vps, data.asn_registry,
                           data.relationships, config};
   pipeline.load(data.ribs);
@@ -312,8 +406,10 @@ void print_ingest_stats(const bgp::MrtParseStats& s) {
 
 int cmd_sanitize(const Args& args) {
   if (!args.has("dir")) return usage();
-  auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"));
-  if (!data) return 1;
+  int fail_code = kExitError;
+  auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"),
+                           &fail_code);
+  if (!data) return fail_code;
 
   // --samples N captures audit examples per rejection category.
   auto samples = static_cast<std::size_t>(std::stoul(args.get("samples", "0")));
@@ -359,7 +455,7 @@ int cmd_sanitize(const Args& args) {
                   sample.entry.path.to_string().c_str());
     }
   }
-  return 0;
+  return check_drop_rate(args, data->ingest_stats, s);
 }
 
 // ----------------------------------------------------------------- rank
@@ -369,11 +465,13 @@ int cmd_rank(const Args& args) {
   auto country = geo::CountryCode::parse(args.get("country"));
   if (!country) {
     std::fprintf(stderr, "bad country code '%s'\n", args.get("country").c_str());
-    return 1;
+    return kExitError;
   }
-  auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"));
-  if (!data) return 1;
-  core::Pipeline pipeline = make_pipeline(*data);
+  int fail_code = kExitError;
+  auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"),
+                           &fail_code);
+  if (!data) return fail_code;
+  core::Pipeline pipeline = make_pipeline(*data, degradation_from_args(args));
 
   auto name_of = [&](bgp::Asn asn) -> std::string {
     auto it = data->as_info.find(asn);
@@ -385,7 +483,7 @@ int cmd_rank(const Args& args) {
   if (report.empty()) {
     std::fprintf(stderr, "no paths toward %s in this data set\n",
                  country->to_string().c_str());
-    return 1;
+    return kExitEmptyResult;
   }
   std::printf("\n%s", core::render_country_report(report, name_of).c_str());
 
@@ -400,7 +498,7 @@ int cmd_rank(const Args& args) {
     }
     std::printf("wrote %s\n", args.get("out").c_str());
   }
-  return 0;
+  return check_drop_rate(args, data->ingest_stats, pipeline.sanitized().stats);
 }
 
 // ------------------------------------------------------------ stability
@@ -411,8 +509,10 @@ int cmd_stability(const Args& args) {
   if (!country) return usage();
   double threshold = std::stod(args.get("threshold", "0.9"));
 
-  auto data = load_dataset(args.get("dir"), args.has("infer"));
-  if (!data) return 1;
+  int fail_code = kExitError;
+  auto data = load_dataset(args.get("dir"), args.has("infer"),
+                           /*strict=*/false, &fail_code);
+  if (!data) return fail_code;
   core::Pipeline pipeline = make_pipeline(*data);
   const auto& paths = pipeline.sanitized().paths;
 
@@ -554,6 +654,204 @@ int cmd_infer(const Args& args) {
   return 0;
 }
 
+// --------------------------------------------------------------- health
+
+int cmd_health(const Args& args) {
+  if (!args.has("dir")) return usage();
+  int fail_code = kExitError;
+  auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"),
+                           &fail_code);
+  if (!data) return fail_code;
+  robust::DegradationPolicy policy = degradation_from_args(args);
+  core::Pipeline pipeline = make_pipeline(*data, policy);
+
+  robust::HealthReport report = robust::compute_health(pipeline, policy);
+  if (report.countries.empty()) {
+    std::fprintf(stderr, "no geolocated evidence in this data set\n");
+    return kExitEmptyResult;
+  }
+
+  auto tier = [](robust::ConfidenceTier t) {
+    return std::string(robust::to_string(t));
+  };
+  auto write_csv = [&](std::ostream& os) {
+    os << "country,national_vps,international_vps,accepted_prefixes,"
+          "geolocated_addresses,no_consensus_prefixes,no_consensus_addresses,"
+          "geo_consensus,national_tier,international_tier,geo_tier,overall\n";
+    for (const robust::CountryHealth& h : report.countries) {
+      os << h.country.to_string() << ',' << h.national_vps << ','
+         << h.international_vps << ',' << h.accepted_prefixes << ','
+         << h.geolocated_addresses << ',' << h.no_consensus_prefixes << ','
+         << h.no_consensus_addresses << ',' << h.geo_consensus() << ','
+         << tier(h.national_tier) << ',' << tier(h.international_tier) << ','
+         << tier(h.geo_tier) << ',' << tier(h.overall) << '\n';
+    }
+  };
+
+  if (args.has("csv")) {
+    write_csv(std::cout);
+  } else {
+    util::Table table{{"country", "natVP", "intlVP", "prefixes", "addresses",
+                       "consensus", "nat", "intl", "geo", "overall"}};
+    for (std::size_t c = 1; c <= 5; ++c) table.set_align(c, util::Align::kRight);
+    for (const robust::CountryHealth& h : report.countries) {
+      table.add_row({h.country.to_string(), std::to_string(h.national_vps),
+                     std::to_string(h.international_vps),
+                     std::to_string(h.accepted_prefixes),
+                     std::to_string(h.geolocated_addresses),
+                     util::percent(h.geo_consensus()), tier(h.national_tier),
+                     tier(h.international_tier), tier(h.geo_tier),
+                     tier(h.overall)});
+    }
+    table.print(std::cout);
+    std::printf("\n%zu countries: %zu high, %zu degraded, %zu insufficient\n",
+                report.countries.size(),
+                report.count(robust::ConfidenceTier::kHigh),
+                report.count(robust::ConfidenceTier::kDegraded),
+                report.count(robust::ConfidenceTier::kInsufficient));
+    std::printf("drop rates: ingest %s, sanitize %s\n",
+                util::percent(report.ingest_drop_rate).c_str(),
+                util::percent(report.sanitize_drop_rate).c_str());
+  }
+
+  if (args.has("out")) {
+    if (!write_file(args.get("out"), write_csv)) return kExitError;
+    std::printf("wrote %s\n", args.get("out").c_str());
+  }
+  return check_drop_rate(args, data->ingest_stats, pipeline.sanitized().stats);
+}
+
+// ----------------------------------------------------------- robustness
+
+std::optional<std::vector<std::size_t>> parse_size_list(const std::string& s) {
+  std::vector<std::size_t> out;
+  for (std::string_view field : util::split(s, ',')) {
+    auto v = util::parse_int<std::size_t>(util::trim(field));
+    if (!v) return std::nullopt;
+    out.push_back(*v);
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> parse_double_list(const std::string& s) {
+  std::vector<double> out;
+  for (std::string_view field : util::split(s, ',')) {
+    try {
+      out.push_back(std::stod(std::string(util::trim(field))));
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+int cmd_robustness(const Args& args) {
+  if (!args.has("dir")) return usage();
+  int fail_code = kExitError;
+  auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"),
+                           &fail_code);
+  if (!data) return fail_code;
+  core::Pipeline pipeline = make_pipeline(*data, degradation_from_args(args));
+
+  robust::FaultPlan plan = robust::FaultPlan::defaults();
+  plan.seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "42")));
+  plan.trials = static_cast<std::size_t>(std::stoul(args.get("trials", "3")));
+  plan.top_k = static_cast<std::size_t>(std::stoul(args.get("top", "10")));
+  if (args.has("vp-steps")) {
+    auto steps = parse_size_list(args.get("vp-steps"));
+    if (!steps) return usage();
+    plan.vp_drop_steps = std::move(*steps);
+  }
+  if (args.has("geo-steps")) {
+    auto steps = parse_double_list(args.get("geo-steps"));
+    if (!steps) return usage();
+    plan.geo_corrupt_steps = std::move(*steps);
+  }
+  if (args.has("path-steps")) {
+    auto steps = parse_double_list(args.get("path-steps"));
+    if (!steps) return usage();
+    plan.path_drop_steps = std::move(*steps);
+  }
+  if (args.has("vp-target")) {
+    auto target = geo::CountryCode::parse(args.get("vp-target"));
+    if (!target) return usage();
+    plan.vp_target = *target;
+  }
+
+  std::vector<geo::CountryCode> countries;
+  if (args.has("country")) {
+    for (std::string_view field : util::split(args.get("country"), ',')) {
+      auto cc = geo::CountryCode::parse(std::string(util::trim(field)));
+      if (!cc) {
+        std::fprintf(stderr, "bad country code '%s'\n",
+                     std::string(field).c_str());
+        return kExitError;
+      }
+      countries.push_back(*cc);
+    }
+  }
+
+  robust::RobustnessHarness harness{pipeline};
+  robust::RobustnessReport report = harness.run(plan, countries);
+  if (report.curves.empty()) {
+    std::fprintf(stderr, "no countries to perturb in this data set\n");
+    return kExitEmptyResult;
+  }
+
+  auto fmt = [](double v) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+    return std::string(buf);
+  };
+  auto write_csv = [&](std::ostream& os) {
+    os << "country,dimension,severity,trials,cci,ccn,ahi,ahn,worst\n";
+    for (const robust::RobustnessCurve& curve : report.curves) {
+      for (const robust::RobustnessPoint& p : curve.points) {
+        os << curve.country.to_string() << ',' << robust::to_string(p.dimension)
+           << ',' << p.severity << ',' << p.trials << ',' << fmt(p.cci) << ','
+           << fmt(p.ccn) << ',' << fmt(p.ahi) << ',' << fmt(p.ahn) << ','
+           << fmt(p.worst) << '\n';
+      }
+    }
+  };
+
+  if (args.has("csv")) {
+    write_csv(std::cout);
+  } else {
+    util::Table table{{"country", "fault", "severity", "CCI", "CCN", "AHI",
+                       "AHN", "worst"}};
+    for (std::size_t c = 2; c <= 7; ++c) table.set_align(c, util::Align::kRight);
+    for (const robust::RobustnessCurve& curve : report.curves) {
+      for (const robust::RobustnessPoint& p : curve.points) {
+        std::string severity = p.dimension == robust::FaultDimension::kDropVps
+                                   ? std::to_string(static_cast<std::size_t>(p.severity))
+                                   : util::percent(p.severity);
+        table.add_row({curve.country.to_string(),
+                       std::string(robust::to_string(p.dimension)), severity,
+                       fmt(p.cci), fmt(p.ccn), fmt(p.ahi), fmt(p.ahn),
+                       fmt(p.worst)});
+      }
+    }
+    table.print(std::cout);
+    auto most_fragile = std::min_element(
+        report.curves.begin(), report.curves.end(),
+        [](const robust::RobustnessCurve& a, const robust::RobustnessCurve& b) {
+          return a.worst() < b.worst();
+        });
+    std::printf("\nmost fragile: %s (worst single-trial NDCG %.4f over %zu "
+                "trials/step, seed %llu)\n",
+                most_fragile->country.to_string().c_str(),
+                most_fragile->worst(), plan.trials,
+                static_cast<unsigned long long>(plan.seed));
+  }
+
+  if (args.has("out")) {
+    if (!write_file(args.get("out"), write_csv)) return kExitError;
+    std::printf("wrote %s\n", args.get("out").c_str());
+  }
+  return check_drop_rate(args, data->ingest_stats, pipeline.sanitized().stats);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -566,9 +864,14 @@ int main(int argc, char** argv) {
     if (args->command == "stability") return cmd_stability(*args);
     if (args->command == "compare") return cmd_compare(*args);
     if (args->command == "infer") return cmd_infer(*args);
+    if (args->command == "health") return cmd_health(*args);
+    if (args->command == "robustness") return cmd_robustness(*args);
+  } catch (const bgp::MrtParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return kExitParseFailure;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitError;
   }
   return usage();
 }
