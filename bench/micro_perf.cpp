@@ -70,11 +70,13 @@ using namespace georank;
 std::uint64_t allocs() { return g_alloc_count.load(std::memory_order_relaxed); }
 
 const gen::World& mini_world() {
+  // lint: static-ok(single-threaded bench; memoized fixture)
   static gen::World world = gen::InternetGenerator{gen::mini_world_spec(5)}.generate();
   return world;
 }
 
 const bgp::RibCollection& mini_ribs() {
+  // lint: static-ok(single-threaded bench; memoized fixture)
   static bgp::RibCollection ribs = [] {
     gen::NoiseSpec noise;
     return gen::RibGenerator{mini_world(), noise, 7}.generate(5);
@@ -83,6 +85,7 @@ const bgp::RibCollection& mini_ribs() {
 }
 
 const sanitize::SanitizeResult& mini_sanitized() {
+  // lint: static-ok(single-threaded bench; memoized fixture)
   static sanitize::SanitizeResult result = [] {
     const gen::World& w = mini_world();
     sanitize::SanitizerOptions options;
@@ -95,6 +98,7 @@ const sanitize::SanitizeResult& mini_sanitized() {
 }
 
 const core::PathStore& mini_store() {
+  // lint: static-ok(single-threaded bench; memoized fixture)
   static core::PathStore store{
       std::span<const sanitize::SanitizedPath>{mini_sanitized().paths}};
   return store;
@@ -218,6 +222,7 @@ bgp::RibCollection seed_read_collection(std::string_view text,
 }
 
 const std::string& mini_mrt_text() {
+  // lint: static-ok(single-threaded bench; memoized fixture)
   static std::string text = bgp::to_mrt_text(mini_ribs());
   return text;
 }

@@ -1,0 +1,42 @@
+# Include-hygiene enforcement (georank-lint rule GR030's build-side
+# companion): every public header under src/ must be self-contained —
+# compilable as the sole include of an otherwise empty TU. This
+# generates one .cpp per header at configure time and compiles them all
+# into an OBJECT library, so a header that silently leans on whatever
+# its current includers happen to include first breaks the build, not a
+# future refactor.
+#
+# GEORANK_HEADER_CHECKS=OFF skips the generation entirely; ci.sh turns
+# it off for the sanitizer trees (self-containment is independent of
+# instrumentation, so checking it once in the plain tier is enough).
+option(GEORANK_HEADER_CHECKS
+       "Compile a one-TU-per-header self-containment check for src/ headers" ON)
+
+function(georank_add_header_checks)
+  if(NOT GEORANK_HEADER_CHECKS)
+    return()
+  endif()
+  file(GLOB_RECURSE _georank_headers RELATIVE ${CMAKE_SOURCE_DIR}/src
+       ${CMAKE_SOURCE_DIR}/src/*.hpp)
+  list(SORT _georank_headers)
+  set(_tus)
+  foreach(header IN LISTS _georank_headers)
+    string(MAKE_C_IDENTIFIER ${header} id)
+    set(tu ${CMAKE_BINARY_DIR}/header_checks/check_${id}.cpp)
+    set(content "#include \"${header}\"\n")
+    # Only rewrite when the content changes, so reconfigures do not
+    # trigger a full recompile of the check library.
+    if(EXISTS ${tu})
+      file(READ ${tu} previous)
+    else()
+      set(previous "")
+    endif()
+    if(NOT previous STREQUAL content)
+      file(WRITE ${tu} ${content})
+    endif()
+    list(APPEND _tus ${tu})
+  endforeach()
+  add_library(georank_header_checks OBJECT ${_tus})
+  target_include_directories(georank_header_checks PRIVATE ${CMAKE_SOURCE_DIR}/src)
+  target_link_libraries(georank_header_checks PRIVATE Threads::Threads)
+endfunction()

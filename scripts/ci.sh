@@ -1,31 +1,53 @@
 #!/usr/bin/env bash
-# Tier-1 CI for georank: plain build + full ctest, an AddressSanitizer
-# pass over the same suite, an UndefinedBehaviorSanitizer pass over the
-# robustness-heavy filters, and an explicit run of the ingest-robustness
-# tests (fault-injection corpus, strict/tolerant modes, parallel-vs-
-# sequential bit-identity).
+# CI for georank, in tiers:
 #
-# Usage: scripts/ci.sh [--skip-asan] [--skip-ubsan]
+#   tier-1   plain build (warnings-as-errors, header self-containment
+#            checks) + full ctest + georank_lint against the baseline
+#   asan     AddressSanitizer build, full suite
+#   ubsan    UndefinedBehaviorSanitizer build, robustness-heavy filters
+#   tsan     ThreadSanitizer build, concurrency-heavy filters: the
+#            parallel_for and Pipeline load-vs-query stress tests, the
+#            chunked MrtStreamLoader, and the RobustnessHarness
+#   tidy     clang-tidy over src/ (opt-in: --clang-tidy; skips politely
+#            when the tool is not installed)
 #
-# The sanitizer stages build into their own trees (build-asan,
-# build-ubsan) so they never dirty the primary build directory.
+# Usage: scripts/ci.sh [--skip-asan] [--skip-ubsan] [--skip-tsan]
+#                      [--skip-lint] [--clang-tidy]
+#
+# Each sanitizer stage builds into its own tree (build-asan, build-ubsan,
+# build-tsan) so it never dirties the primary build directory. The
+# header self-containment OBJECT library is only compiled in the plain
+# tier — self-containment is independent of instrumentation.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SKIP_ASAN=0
 SKIP_UBSAN=0
+SKIP_TSAN=0
+SKIP_LINT=0
+RUN_TIDY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-ubsan) SKIP_UBSAN=1 ;;
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-lint) SKIP_LINT=1 ;;
+    --clang-tidy) RUN_TIDY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
-echo "==> tier-1: configure + build"
-cmake -B build -S . > /dev/null
+echo "==> tier-1: configure + build (WERROR + header checks)"
+cmake -B build -S . -DGEORANK_WERROR=ON -DGEORANK_HEADER_CHECKS=ON > /dev/null
 cmake --build build -j "$(nproc)"
+
+if [[ "$SKIP_LINT" -eq 0 ]]; then
+  echo "==> tier-1: georank_lint (project invariants vs scripts/lint_baseline.txt)"
+  ./build/tools/georank_lint --root . --baseline scripts/lint_baseline.txt
+else
+  echo "==> lint stage skipped (--skip-lint)"
+fi
 
 echo "==> tier-1: full test suite"
 ctest --test-dir build --output-on-failure
@@ -37,9 +59,21 @@ echo "==> degraded-data robustness (health tiers, fault plans, fuzz)"
 ctest --test-dir build --output-on-failure \
   -R "Confidence|DegradationPolicy|DataHealth|FaultPlan|Robustness|StructuredFaults"
 
+if [[ "$RUN_TIDY" -eq 1 ]]; then
+  if command -v clang-tidy > /dev/null 2>&1; then
+    echo "==> clang-tidy (profile: .clang-tidy) over src/"
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+    find src -name '*.cpp' -print0 \
+      | xargs -0 -n 8 clang-tidy -p build --quiet
+  else
+    echo "==> clang-tidy not installed; stage skipped"
+  fi
+fi
+
 if [[ "$SKIP_ASAN" -eq 0 ]]; then
   echo "==> AddressSanitizer build + test"
-  cmake -B build-asan -S . -DGEORANK_SANITIZE=address > /dev/null
+  cmake -B build-asan -S . -DGEORANK_SANITIZE=address \
+    -DGEORANK_HEADER_CHECKS=OFF > /dev/null
   cmake --build build-asan -j "$(nproc)"
   ctest --test-dir build-asan --output-on-failure
 else
@@ -48,7 +82,8 @@ fi
 
 if [[ "$SKIP_UBSAN" -eq 0 ]]; then
   echo "==> UndefinedBehaviorSanitizer build + robustness filters"
-  cmake -B build-ubsan -S . -DGEORANK_SANITIZE=undefined > /dev/null
+  cmake -B build-ubsan -S . -DGEORANK_SANITIZE=undefined \
+    -DGEORANK_HEADER_CHECKS=OFF > /dev/null
   cmake --build build-ubsan -j "$(nproc)"
   # The robustness surfaces do the spiciest arithmetic (seed mixing,
   # NDCG float edge cases, fuzzed parsers); run them all under UBSan.
@@ -56,6 +91,21 @@ if [[ "$SKIP_UBSAN" -eq 0 ]]; then
     -R "Confidence|DegradationPolicy|DataHealth|FaultPlan|Robustness|StructuredFaults|FuzzTest|Ndcg|Stability"
 else
   echo "==> UndefinedBehaviorSanitizer stage skipped (--skip-ubsan)"
+fi
+
+if [[ "$SKIP_TSAN" -eq 0 ]]; then
+  echo "==> ThreadSanitizer build + concurrency filters"
+  cmake -B build-tsan -S . -DGEORANK_SANITIZE=thread \
+    -DGEORANK_HEADER_CHECKS=OFF > /dev/null
+  cmake --build build-tsan -j "$(nproc)"
+  # Everything that spawns or synchronizes threads: parallel_for and its
+  # stress suite, Pipeline (all_countries fan-out, memo cache,
+  # load-vs-query reload stress), the chunked MrtStreamLoader, and the
+  # RobustnessHarness trial fan-out.
+  ctest --test-dir build-tsan --output-on-failure \
+    -R "ParallelFor|PipelineStress|Pipeline\.|MrtStream|Robustness"
+else
+  echo "==> ThreadSanitizer stage skipped (--skip-tsan)"
 fi
 
 echo "CI PASS"

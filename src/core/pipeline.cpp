@@ -20,12 +20,19 @@ Pipeline::Pipeline(const geo::GeoDatabase& geo_db, const geo::VpGeolocator& vps,
       rankings_(relationships, config_.hegemony) {}
 
 void Pipeline::load(const bgp::RibCollection& ribs) {
+  // No parse phase on this path: the stats describe the CURRENT world,
+  // so swap in an empty set rather than leaving a stale one visible.
+  load_impl(ribs, bgp::MrtParseStats{});
+}
+
+void Pipeline::load_impl(const bgp::RibCollection& ribs, bgp::MrtParseStats stats) {
   sanitize::PathSanitizer sanitizer{*geo_db_, *vps_, *registry_, config_.sanitizer};
   // Sanitize outside the reload lock (it is by far the expensive part),
   // then swap the world in exclusively so racing queries see either the
   // old state or the new one, never a mix.
   sanitize::SanitizeResult result = sanitizer.run(ribs);
   const std::unique_lock<std::shared_mutex> reload(cache_->reload);
+  parse_stats_ = std::move(stats);
   sanitized_ = std::move(result);
   store_.emplace(std::span<const sanitize::SanitizedPath>{sanitized_->paths});
 
@@ -49,15 +56,20 @@ void Pipeline::load(const bgp::RibCollection& ribs) {
 void Pipeline::load_text(std::string_view mrt_text) {
   bgp::MrtStreamLoader loader{config_.ingest};
   bgp::RibCollection ribs = loader.load_text(mrt_text);
-  parse_stats_ = loader.stats();
-  load(ribs);
+  load_impl(ribs, loader.stats());
 }
 
 void Pipeline::load_stream(std::istream& is) {
   bgp::MrtStreamLoader loader{config_.ingest};
   bgp::RibCollection ribs = loader.load(is);
-  parse_stats_ = loader.stats();
-  load(ribs);
+  load_impl(ribs, loader.stats());
+}
+
+bool Pipeline::loaded() const {
+  // Unsynchronized, this is a racy read of an optional being emplaced by
+  // load() — ThreadSanitizer flagged it against the reload stress test.
+  const std::shared_lock<std::shared_mutex> reload(cache_->reload);
+  return sanitized_.has_value();
 }
 
 void Pipeline::require_loaded(const char* where) const {

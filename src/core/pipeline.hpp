@@ -26,6 +26,7 @@
 #include "rank/cti.hpp"
 #include "robust/confidence.hpp"
 #include "sanitize/path_sanitizer.hpp"
+#include "util/thread_safety.hpp"
 
 namespace georank::core {
 
@@ -67,10 +68,14 @@ class Pipeline {
   /// Same, streaming from an istream in bounded memory.
   void load_stream(std::istream& is);
 
-  [[nodiscard]] bool loaded() const noexcept { return sanitized_.has_value(); }
+  /// Whether a world is loaded. Takes the reload lock shared so a racing
+  /// load() is observed either entirely before or entirely after.
+  [[nodiscard]] bool loaded() const;
   [[nodiscard]] const sanitize::SanitizeResult& sanitized() const;
   /// The interned columnar store all queries run against.
   [[nodiscard]] const PathStore& store() const;
+  /// Diagnostics from the most recent load_text()/load_stream();
+  /// reset to empty by a plain load() (which has no parse phase).
   [[nodiscard]] const bgp::MrtParseStats& parse_stats() const noexcept {
     return parse_stats_;
   }
@@ -122,6 +127,9 @@ class Pipeline {
   [[nodiscard]] GeoEvidence geo_evidence(geo::CountryCode country) const;
 
  private:
+  /// Sanitizes outside the reload lock, then swaps the new world — paths,
+  /// store, geo evidence AND parse stats — in under one exclusive hold.
+  void load_impl(const bgp::RibCollection& ribs, bgp::MrtParseStats stats);
   /// Throws std::logic_error("<where>: no RIBs loaded") before load().
   void require_loaded(const char* where) const;
   [[nodiscard]] CountryMetrics country_uncached(geo::CountryCode country) const;
@@ -147,8 +155,10 @@ class Pipeline {
   struct MemoCache {
     std::shared_mutex reload;
     std::mutex mutex;
-    std::unordered_map<std::uint16_t, CountryMetrics> country;
-    std::unordered_map<std::uint16_t, OutboundMetrics> outbound;
+    std::unordered_map<std::uint16_t, CountryMetrics> country
+        GEORANK_GUARDED_BY(mutex);
+    std::unordered_map<std::uint16_t, OutboundMetrics> outbound
+        GEORANK_GUARDED_BY(mutex);
   };
   std::unique_ptr<MemoCache> cache_ = std::make_unique<MemoCache>();
 };

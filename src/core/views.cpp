@@ -11,16 +11,19 @@ namespace georank::core {
 
 CountryView::CountryView(const PathStore& store,
                          std::vector<std::uint32_t> indices,
-                         geo::CountryCode country, ViewKind kind)
-    : country(country), kind(kind), store_(&store), indices_(std::move(indices)) {
+                         geo::CountryCode view_country, ViewKind view_kind)
+    : country(view_country),
+      kind(view_kind),
+      store_(&store),
+      indices_(std::move(indices)) {
   rebind();
 }
 
 CountryView::CountryView(std::shared_ptr<const PathStore> owned,
                          std::vector<std::uint32_t> indices,
-                         geo::CountryCode country, ViewKind kind)
-    : country(country),
-      kind(kind),
+                         geo::CountryCode view_country, ViewKind view_kind)
+    : country(view_country),
+      kind(view_kind),
       store_(owned.get()),
       owned_(std::move(owned)),
       indices_(std::move(indices)) {

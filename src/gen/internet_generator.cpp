@@ -338,7 +338,8 @@ class Builder {
     }
     if (is_stub) {
       for (Asn reg : ases.regionals) {
-        pool.add(reg, 0.4 / std::max<std::size_t>(1, ases.regionals.size()));
+        pool.add(reg, 0.4 / static_cast<double>(
+                                std::max<std::size_t>(1, ases.regionals.size())));
       }
     }
     // Regionals lean on foreign carriers more readily than stubs do.

@@ -5,6 +5,38 @@
 
 namespace georank::geo {
 
+VpGeolocator::VpGeolocator(const VpGeolocator& other)
+    : collectors_(other.collectors_),
+      by_name_(other.by_name_),
+      vp_to_collector_(other.vp_to_collector_) {
+  const VpGeoStats snapshot = other.stats();
+  stats_.geolocated.store(snapshot.geolocated, std::memory_order_relaxed);
+  stats_.multihop_excluded.store(snapshot.multihop_excluded,
+                                 std::memory_order_relaxed);
+  stats_.unknown.store(snapshot.unknown, std::memory_order_relaxed);
+}
+
+VpGeolocator& VpGeolocator::operator=(const VpGeolocator& other) {
+  if (this == &other) return *this;
+  collectors_ = other.collectors_;
+  by_name_ = other.by_name_;
+  vp_to_collector_ = other.vp_to_collector_;
+  const VpGeoStats snapshot = other.stats();
+  stats_.geolocated.store(snapshot.geolocated, std::memory_order_relaxed);
+  stats_.multihop_excluded.store(snapshot.multihop_excluded,
+                                 std::memory_order_relaxed);
+  stats_.unknown.store(snapshot.unknown, std::memory_order_relaxed);
+  return *this;
+}
+
+VpGeoStats VpGeolocator::stats() const noexcept {
+  VpGeoStats out;
+  out.geolocated = stats_.geolocated.load(std::memory_order_relaxed);
+  out.multihop_excluded = stats_.multihop_excluded.load(std::memory_order_relaxed);
+  out.unknown = stats_.unknown.load(std::memory_order_relaxed);
+  return out;
+}
+
 std::size_t VpGeolocator::add_collector(Collector collector) {
   if (collector.name.empty()) throw std::invalid_argument{"collector needs a name"};
   auto [it, inserted] = by_name_.try_emplace(collector.name, collectors_.size());
@@ -24,15 +56,15 @@ void VpGeolocator::register_vp(const bgp::VpId& vp, std::string_view collector_n
 std::optional<CountryCode> VpGeolocator::locate(const bgp::VpId& vp) const {
   auto it = vp_to_collector_.find(vp);
   if (it == vp_to_collector_.end()) {
-    ++stats_.unknown;
+    stats_.unknown.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   const Collector& c = collectors_[it->second];
   if (c.multihop) {
-    ++stats_.multihop_excluded;
+    stats_.multihop_excluded.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++stats_.geolocated;
+  stats_.geolocated.fetch_add(1, std::memory_order_relaxed);
   return c.country;
 }
 

@@ -8,6 +8,7 @@
 // paper's paths).
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -32,6 +33,14 @@ struct VpGeoStats {
 
 class VpGeolocator {
  public:
+  VpGeolocator() = default;
+  // The stats counters are atomics (locate() is const but counts), which
+  // delete the defaulted special members; copying snapshots the counts.
+  // Moves fall back to these copies — the maps dominate the cost either
+  // way, and a moved-from geolocator keeping its registrations is fine.
+  VpGeolocator(const VpGeolocator& other);
+  VpGeolocator& operator=(const VpGeolocator& other);
+
   /// Registers a collector; returns its index. Names must be unique.
   std::size_t add_collector(Collector collector);
 
@@ -39,7 +48,8 @@ class VpGeolocator {
   void register_vp(const bgp::VpId& vp, std::string_view collector_name);
 
   /// Country of a VP: nullopt when the VP is unknown or its collector is
-  /// multi-hop. Updates the running stats.
+  /// multi-hop. Updates the running stats (relaxed atomic increments, so
+  /// concurrent sanitize workers may call this without a lock).
   [[nodiscard]] std::optional<CountryCode> locate(const bgp::VpId& vp) const;
 
   /// Same, without stats bookkeeping (for pure queries in reports).
@@ -52,7 +62,9 @@ class VpGeolocator {
   /// full peer list; the sanitizer later rejects multihop paths).
   [[nodiscard]] std::vector<bgp::VpId> all_vps() const;
 
-  [[nodiscard]] const VpGeoStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the running counters (each field read individually;
+  /// counts taken mid-flight may not sum to the number of locate calls).
+  [[nodiscard]] VpGeoStats stats() const noexcept;
   [[nodiscard]] std::size_t collector_count() const noexcept { return collectors_.size(); }
   [[nodiscard]] std::size_t vp_count() const noexcept { return vp_to_collector_.size(); }
 
@@ -64,10 +76,16 @@ class VpGeolocator {
   [[nodiscard]] std::vector<std::pair<bgp::VpId, std::string>> registrations() const;
 
  private:
+  struct AtomicStats {
+    std::atomic<std::size_t> geolocated{0};
+    std::atomic<std::size_t> multihop_excluded{0};
+    std::atomic<std::size_t> unknown{0};
+  };
+
   std::vector<Collector> collectors_;
   std::unordered_map<std::string, std::size_t> by_name_;
   std::unordered_map<bgp::VpId, std::size_t, bgp::VpIdHash> vp_to_collector_;
-  mutable VpGeoStats stats_;
+  mutable AtomicStats stats_;  // lint: guarded(relaxed atomics; stats() snapshots)
 };
 
 }  // namespace georank::geo

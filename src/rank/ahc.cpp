@@ -1,5 +1,6 @@
 #include "rank/ahc.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace georank::rank {
@@ -19,11 +20,21 @@ Ranking AhcRanking::compute(sanitize::PathsView all_paths,
   }
   if (by_origin.empty()) return {};
 
-  // Per-origin hegemony, combined under the configured weighting.
+  // Per-origin hegemony, combined under the configured weighting. The
+  // combination is a float accumulation, so iterate origins in sorted
+  // order — hash order would make the low bits of `sums` depend on the
+  // standard library.
+  std::vector<Asn> origins;
+  origins.reserve(by_origin.size());
+  // lint: ordered(key collection only; sorted before any arithmetic)
+  for (const auto& [origin, indices] : by_origin) origins.push_back(origin);
+  std::sort(origins.begin(), origins.end());
+
   Hegemony hegemony{options_};
   std::unordered_map<Asn, double> sums;
   double weight_total = 0.0;
-  for (const auto& [origin, indices] : by_origin) {
+  for (const Asn origin : origins) {
+    const std::vector<std::uint32_t>& indices = by_origin.at(origin);
     const sanitize::PathsView paths = all_paths.rebase(indices);
     double weight = 1.0;
     if (weighting_ == AhcWeighting::kByAddresses) {
@@ -42,6 +53,7 @@ Ranking AhcRanking::compute(sanitize::PathsView all_paths,
   if (weight_total <= 0.0) return {};
   std::vector<ScoredAs> scored;
   scored.reserve(sums.size());
+  // lint: ordered(values are order-independent; from_scores totally orders)
   for (const auto& [asn, sum] : sums) {
     scored.push_back(ScoredAs{asn, sum / weight_total});
   }

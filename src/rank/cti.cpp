@@ -37,8 +37,10 @@ Ranking CtiRanking::compute(sanitize::PathsView paths) const {
   if (vp_count == 0) return {};
 
   std::unordered_map<Asn, std::vector<double>> per_as_scores;
+  // lint: ordered(per-AS score vectors are sorted inside trimmed_average)
   for (const auto& [vp, acc] : vps) {
     if (acc.total <= 0.0) continue;
+    // lint: ordered(one entry per (vp, asn); vector order washed out by the sort)
     for (const auto& [asn, mass] : acc.per_as) {
       per_as_scores[asn].push_back(mass / acc.total);
     }
@@ -48,6 +50,7 @@ Ranking CtiRanking::compute(sanitize::PathsView paths) const {
   Hegemony trimmer{HegemonyOptions{options_.trim, false}};
   std::vector<ScoredAs> scored;
   scored.reserve(per_as_scores.size());
+  // lint: ordered(per-AS values independent; from_scores totally orders)
   for (auto& [asn, scores] : per_as_scores) {
     scored.push_back(ScoredAs{asn, trimmer.trimmed_average(std::move(scores), vp_count)});
   }

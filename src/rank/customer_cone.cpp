@@ -75,6 +75,7 @@ Ranking ConeResult::by_addresses() const {
   std::vector<ScoredAs> scores;
   scores.reserve(as_cone.size());
   double denom = total_weight ? static_cast<double>(total_weight) : 1.0;
+  // lint: ordered(cone_addresses sums integers; from_scores totally orders)
   for (const auto& [asn, _] : as_cone) {
     scores.push_back(ScoredAs{asn, static_cast<double>(cone_addresses(asn)) / denom});
   }
@@ -84,6 +85,7 @@ Ranking ConeResult::by_addresses() const {
 Ranking ConeResult::by_as_count() const {
   std::vector<ScoredAs> scores;
   scores.reserve(as_cone.size());
+  // lint: ordered(per-AS cone sizes independent; from_scores totally orders)
   for (const auto& [asn, cone] : as_cone) {
     scores.push_back(ScoredAs{asn, static_cast<double>(cone.size())});
   }

@@ -51,12 +51,15 @@ HegemonyResult Hegemony::compute(sanitize::PathsView paths) const {
 
   // Collect per-AS score vectors across VPs.
   std::unordered_map<Asn, std::vector<double>> per_as_scores;
+  // lint: ordered(per-AS score vectors are sorted inside trimmed_average)
   for (const auto& [vp, acc] : vps) {
     if (acc.total <= 0.0) continue;
+    // lint: ordered(one entry per (vp, asn); vector order washed out by the sort)
     for (const auto& [asn, mass] : acc.per_as) {
       per_as_scores[asn].push_back(mass / acc.total);
     }
   }
+  // lint: ordered(writes a map keyed by asn; no order-bearing output)
   for (auto& [asn, scores] : per_as_scores) {
     result.scores[asn] = trimmed_average(std::move(scores), result.vp_count);
   }
@@ -80,6 +83,7 @@ HegemonyResult per_origin_hegemony(sanitize::PathsView paths, Asn origin,
 Ranking HegemonyResult::ranking() const {
   std::vector<ScoredAs> scored;
   scored.reserve(scores.size());
+  // lint: ordered(from_scores totally orders by (score desc, asn asc))
   for (const auto& [asn, score] : scores) scored.push_back(ScoredAs{asn, score});
   return Ranking::from_scores(std::move(scored));
 }

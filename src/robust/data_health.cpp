@@ -68,6 +68,7 @@ HealthReport compute_health(const HealthInputs& inputs,
     }
   }
   if (inputs.extra_geo_rejections) {
+    // lint: ordered(integer += is exactly commutative)
     for (const auto& [country, addresses] : *inputs.extra_geo_rejections) {
       acc[country].no_consensus_addresses += addresses;
     }
@@ -76,6 +77,7 @@ HealthReport compute_health(const HealthInputs& inputs,
   HealthReport report;
   report.policy = policy;
   report.countries.reserve(acc.size());
+  // lint: ordered(report.countries is sorted by country just below)
   for (const auto& [country, a] : acc) {
     if (!country.valid()) continue;
     CountryHealth h;

@@ -1,0 +1,42 @@
+// Thread-safety annotations (Clang -Wthread-safety dialect).
+//
+// Under Clang these expand to the real capability attributes, so a
+// clang build (or clang-tidy run) type-checks lock discipline; under
+// GCC they vanish. Either way they are machine-readable documentation:
+// georank_lint rule GR020 checks every GEORANK_GUARDED_BY names a lock
+// that exists in the enclosing class, and GR021 requires every
+// `mutable` member to either carry one of these annotations or a
+// `// lint: guarded(<how>)` justification.
+#pragma once
+
+#if defined(__clang__)
+#define GEORANK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GEORANK_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability (mutexes, shared_mutexes).
+#define GEORANK_CAPABILITY(x) GEORANK_THREAD_ANNOTATION(capability(x))
+
+/// Member may only be read or written while holding `x`.
+#define GEORANK_GUARDED_BY(x) GEORANK_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee (not the pointer) is guarded by `x`.
+#define GEORANK_PT_GUARDED_BY(x) GEORANK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the caller to hold `x`.
+#define GEORANK_REQUIRES(...) \
+  GEORANK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires/releases `x` itself.
+#define GEORANK_ACQUIRE(...) \
+  GEORANK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GEORANK_RELEASE(...) \
+  GEORANK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with `x` held (deadlock documentation).
+#define GEORANK_EXCLUDES(...) GEORANK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code whose safety is established out-of-band.
+#define GEORANK_NO_THREAD_SAFETY_ANALYSIS \
+  GEORANK_THREAD_ANNOTATION(no_thread_safety_analysis)

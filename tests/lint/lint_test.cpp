@@ -1,0 +1,348 @@
+// Positive and negative fixtures for every georank-lint rule, plus the
+// suppression-tag and baseline mechanics. Fixtures are inline strings:
+// each rule gets at least one snippet that MUST fire and one that MUST
+// stay silent, so a scanner regression shows up as a specific rule's
+// test going red, not as CI noise.
+#include "georank_lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace lint = georank::lint;
+
+namespace {
+
+std::vector<std::string> rule_ids(const std::vector<lint::Finding>& findings) {
+  std::vector<std::string> ids;
+  ids.reserve(findings.size());
+  for (const lint::Finding& f : findings) ids.push_back(f.rule);
+  return ids;
+}
+
+bool has_rule(const std::vector<lint::Finding>& findings, std::string_view rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const lint::Finding& f) { return f.rule == rule; });
+}
+
+}  // namespace
+
+TEST(LintRules, TableIsSortedAndComplete) {
+  auto all = lint::rules();
+  ASSERT_GE(all.size(), 10u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].id, all[i].id) << "rule table must stay sorted";
+  }
+  for (const lint::RuleInfo& r : all) {
+    EXPECT_FALSE(r.summary.empty()) << r.id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GR001 determinism-rand
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, Gr001FlagsRandAndSrand) {
+  auto f = lint::scan_file("src/core/x.cpp",
+                           "#include <cstdlib>\n"
+                           "int roll() { return std::rand() % 6; }\n"
+                           "void seed() { srand(42); }\n");
+  EXPECT_EQ(rule_ids(f), (std::vector<std::string>{"GR001", "GR001"}));
+  EXPECT_EQ(f[0].line, 2u);
+  EXPECT_EQ(f[1].line, 3u);
+}
+
+TEST(LintRules, Gr001IgnoresWordsContainingRand) {
+  auto f = lint::scan_file("src/core/x.cpp",
+                           "int operand(int brand) { return brand; }\n"
+                           "// rand() in a comment is fine\n"
+                           "const char* s = \"rand() in a string is fine\";\n");
+  EXPECT_FALSE(has_rule(f, "GR001"));
+}
+
+// ---------------------------------------------------------------------------
+// GR002 determinism-wallclock
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, Gr002FlagsWallClockReadsInLibraryCode) {
+  auto f = lint::scan_file(
+      "src/bgp/x.cpp",
+      "auto t = std::chrono::system_clock::now();\n"
+      "long u = time(nullptr);\n");
+  EXPECT_EQ(rule_ids(f), (std::vector<std::string>{"GR002", "GR002"}));
+}
+
+TEST(LintRules, Gr002AllowsCliAndSteadyClock) {
+  // tools/ is CLI code: stamping a report with the current date is fine.
+  auto cli = lint::scan_file("tools/georank_cli.cpp",
+                             "auto t = std::chrono::system_clock::now();\n");
+  EXPECT_FALSE(has_rule(cli, "GR002"));
+  // steady_clock is monotonic, not wall-clock: throughput timing is fine.
+  auto steady = lint::scan_file("src/bgp/x.cpp",
+                                "auto t0 = std::chrono::steady_clock::now();\n");
+  EXPECT_FALSE(has_rule(steady, "GR002"));
+}
+
+TEST(LintRules, Gr002SuppressedByWallclockTag) {
+  auto f = lint::scan_file(
+      "src/bgp/x.cpp",
+      "auto t = std::chrono::system_clock::now();  // lint: wallclock(report stamp)\n");
+  EXPECT_FALSE(has_rule(f, "GR002"));
+}
+
+// ---------------------------------------------------------------------------
+// GR003 / GR004 determinism-randdev / std-rng
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, Gr003FlagsRandomDevice) {
+  auto f = lint::scan_file("src/gen/x.cpp", "std::random_device rd;\n");
+  EXPECT_TRUE(has_rule(f, "GR003"));
+}
+
+TEST(LintRules, Gr004FlagsStdEnginesOutsideRngHome) {
+  auto f = lint::scan_file("src/gen/x.cpp",
+                           "std::mt19937 gen{42};\n"
+                           "std::uniform_int_distribution<int> d{0, 6};\n"
+                           "std::shuffle(v.begin(), v.end(), gen);\n");
+  EXPECT_EQ(rule_ids(f), (std::vector<std::string>{"GR004", "GR004", "GR004"}));
+}
+
+TEST(LintRules, Gr004AllowsRngHome) {
+  auto hpp = lint::scan_file("src/util/rng.hpp",
+                             "#pragma once\n"
+                             "std::mt19937 reference_stream{42};\n");
+  EXPECT_FALSE(has_rule(hpp, "GR004"));
+}
+
+// ---------------------------------------------------------------------------
+// GR010 ordering-unordered-iter
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, Gr010FlagsUnorderedIterationInRankedScopes) {
+  const char* body =
+      "#include <unordered_map>\n"
+      "void f() {\n"
+      "  std::unordered_map<int, double> scores;\n"
+      "  for (const auto& [k, v] : scores) {\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint::scan_file("src/rank/x.cpp", body), "GR010"));
+  EXPECT_TRUE(has_rule(lint::scan_file("src/core/x.cpp", body), "GR010"));
+  EXPECT_TRUE(has_rule(lint::scan_file("src/robust/x.cpp", body), "GR010"));
+  // Outside the ranked scopes the rule stays quiet.
+  EXPECT_FALSE(has_rule(lint::scan_file("src/bgp/x.cpp", body), "GR010"));
+}
+
+TEST(LintRules, Gr010TracksDeclarationsInPairedHeader) {
+  const char* header =
+      "#pragma once\n"
+      "#include <unordered_map>\n"
+      "struct R { std::unordered_map<int, int> cone; };\n";
+  const char* source = "void f(R& r) {\n  for (auto& [k, v] : r.cone) {}\n}\n";
+  auto f = lint::scan_file("src/rank/x.cpp", source, header);
+  EXPECT_TRUE(has_rule(f, "GR010"));
+}
+
+TEST(LintRules, Gr010MatchesWrappedForHeaders) {
+  auto f = lint::scan_file("src/core/x.cpp",
+                           "#include <unordered_map>\n"
+                           "std::unordered_map<int, int> tallies;\n"
+                           "void f() {\n"
+                           "  for (const auto& [country, tally] :\n"
+                           "       tallies) {\n"
+                           "  }\n"
+                           "}\n");
+  EXPECT_TRUE(has_rule(f, "GR010"));
+}
+
+TEST(LintRules, Gr010IgnoresVectorsAndSuppressedLines) {
+  auto vec = lint::scan_file("src/rank/x.cpp",
+                             "std::vector<int> scores;\n"
+                             "void f() { for (int s : scores) {} }\n");
+  EXPECT_FALSE(has_rule(vec, "GR010"));
+
+  auto tagged = lint::scan_file(
+      "src/rank/x.cpp",
+      "std::unordered_map<int, double> scores;\n"
+      "void f() {\n"
+      "  // lint: ordered(feeds from_scores, which totally orders)\n"
+      "  for (const auto& [k, v] : scores) {}\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(tagged, "GR010"));
+}
+
+// ---------------------------------------------------------------------------
+// GR020 / GR021 concurrency annotations
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, Gr020FlagsGuardAnnotationNamingUnknownLock) {
+  auto f = lint::scan_file(
+      "src/core/x.hpp",
+      "#pragma once\n"
+      "#include \"util/thread_safety.hpp\"\n"
+      "struct S {\n"
+      "  int cached GEORANK_GUARDED_BY(mutex);\n"
+      "};\n");
+  EXPECT_TRUE(has_rule(f, "GR020"));
+}
+
+TEST(LintRules, Gr020AcceptsAnnotationNamingDeclaredLock) {
+  auto f = lint::scan_file(
+      "src/core/x.hpp",
+      "#pragma once\n"
+      "#include <mutex>\n"
+      "#include \"util/thread_safety.hpp\"\n"
+      "struct S {\n"
+      "  std::mutex mutex;\n"
+      "  int cached GEORANK_GUARDED_BY(mutex);\n"
+      "};\n");
+  EXPECT_FALSE(has_rule(f, "GR020"));
+}
+
+TEST(LintRules, Gr020RequiresTheAnnotationsHeader) {
+  auto f = lint::scan_file("src/core/x.hpp",
+                           "#pragma once\n"
+                           "struct S {\n"
+                           "  int m;\n"
+                           "  int cached GEORANK_GUARDED_BY(m);\n"
+                           "};\n");
+  EXPECT_TRUE(has_rule(f, "GR020"));
+}
+
+TEST(LintRules, Gr021FlagsUnannotatedMutable) {
+  auto f = lint::scan_file("src/geo/x.hpp",
+                           "#pragma once\n"
+                           "struct S { mutable int hits = 0; };\n");
+  EXPECT_TRUE(has_rule(f, "GR021"));
+}
+
+TEST(LintRules, Gr021AcceptsGuardedOrJustifiedMutable) {
+  auto annotated = lint::scan_file(
+      "src/geo/x.hpp",
+      "#pragma once\n"
+      "#include <mutex>\n"
+      "#include \"util/thread_safety.hpp\"\n"
+      "struct S {\n"
+      "  std::mutex m;\n"
+      "  mutable int hits GEORANK_GUARDED_BY(m);\n"
+      "};\n");
+  EXPECT_FALSE(has_rule(annotated, "GR021"));
+
+  auto justified = lint::scan_file(
+      "src/geo/x.hpp",
+      "#pragma once\n"
+      "struct S {\n"
+      "  mutable std::atomic<int> hits{0};  // lint: guarded(relaxed atomic)\n"
+      "};\n");
+  EXPECT_FALSE(has_rule(justified, "GR021"));
+}
+
+TEST(LintRules, Gr021IgnoresMutableLambdas) {
+  auto f = lint::scan_file("src/core/x.cpp",
+                           "auto inc = [n = 0]() mutable { return ++n; };\n");
+  EXPECT_FALSE(has_rule(f, "GR021"));
+}
+
+// ---------------------------------------------------------------------------
+// GR022 / GR023 statics and const_cast
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, Gr022FlagsMutableFunctionLocalStatic) {
+  auto f = lint::scan_file("src/core/x.cpp",
+                           "int next_id() {\n"
+                           "  static int counter = 0;\n"
+                           "  return ++counter;\n"
+                           "}\n");
+  EXPECT_TRUE(has_rule(f, "GR022"));
+}
+
+TEST(LintRules, Gr022AllowsConstStaticsAndTaggedMemoization) {
+  auto konst = lint::scan_file("src/core/x.cpp",
+                               "int f() {\n"
+                               "  static const int kTableSize = 64;\n"
+                               "  static constexpr double kPi = 3.14;\n"
+                               "  return kTableSize;\n"
+                               "}\n");
+  EXPECT_FALSE(has_rule(konst, "GR022"));
+
+  auto tagged = lint::scan_file(
+      "bench/x.cpp",
+      "const World& world() {\n"
+      "  // lint: static-ok(single-threaded bench memoization)\n"
+      "  static World w = make_world();\n"
+      "  return w;\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(tagged, "GR022"));
+}
+
+TEST(LintRules, Gr023FlagsConstCast) {
+  auto f = lint::scan_file("src/core/x.cpp",
+                           "void f(const int* p) { *const_cast<int*>(p) = 1; }\n");
+  EXPECT_TRUE(has_rule(f, "GR023"));
+}
+
+// ---------------------------------------------------------------------------
+// GR030 include hygiene
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, Gr030RequiresPragmaOnceInHeaders) {
+  auto missing = lint::scan_file("src/core/x.hpp", "struct S {};\n");
+  EXPECT_TRUE(has_rule(missing, "GR030"));
+
+  auto present = lint::scan_file("src/core/x.hpp",
+                                 "// A file comment first is fine.\n"
+                                 "#pragma once\n"
+                                 "struct S {};\n");
+  EXPECT_FALSE(has_rule(present, "GR030"));
+
+  auto source = lint::scan_file("src/core/x.cpp", "struct S {};\n");
+  EXPECT_FALSE(has_rule(source, "GR030"));
+}
+
+// ---------------------------------------------------------------------------
+// Suppression placement and baseline mechanics
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppression, TagOnPrecedingCommentLineApplies) {
+  auto f = lint::scan_file(
+      "src/rank/x.cpp",
+      "std::unordered_map<int, double> scores;\n"
+      "void f() {\n"
+      "  // lint: ordered(justification on its own line)\n"
+      "  for (const auto& [k, v] : scores) {}\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(f, "GR010"));
+}
+
+TEST(LintSuppression, TagMustMatchTheRule) {
+  // A 'guarded' tag does not silence the ordering rule.
+  auto f = lint::scan_file("src/rank/x.cpp",
+                           "std::unordered_map<int, double> scores;\n"
+                           "void f() {\n"
+                           "  for (const auto& [k, v] : scores) {}  // lint: guarded(wrong tag)\n"
+                           "}\n");
+  EXPECT_TRUE(has_rule(f, "GR010"));
+}
+
+TEST(LintBaseline, ExactAndWholeFileEntriesMatch) {
+  lint::Finding f{"GR010", "src/rank/x.cpp", 4, "", ""};
+
+  auto exact = lint::Baseline::parse("GR010 src/rank/x.cpp:4\n");
+  EXPECT_TRUE(exact.contains(f));
+
+  auto whole_file = lint::Baseline::parse(
+      "# burn-down list\nGR010 src/rank/x.cpp\n");
+  EXPECT_TRUE(whole_file.contains(f));
+
+  auto other = lint::Baseline::parse("GR010 src/rank/x.cpp:5\nGR021 src/rank/x.cpp:4\n");
+  EXPECT_FALSE(other.contains(f));
+
+  EXPECT_FALSE(lint::Baseline{}.contains(f));
+}
+
+TEST(LintBaseline, CommentsAndBlanksIgnored) {
+  auto b = lint::Baseline::parse("# comment\n\n   \nGR001 src/a.cpp:1\n");
+  EXPECT_EQ(b.size(), 1u);
+}

@@ -1,0 +1,533 @@
+#include "georank_lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace georank::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+constexpr std::array<RuleInfo, 10> kRules{{
+    {"GR001", "determinism-rand", "",
+     "std::rand()/srand(): unseeded, stdlib-dependent randomness; use util::Pcg32"},
+    {"GR002", "determinism-wallclock", "wallclock",
+     "wall-clock read in library code; results must not depend on when they run"},
+    {"GR003", "determinism-randdev", "",
+     "std::random_device is nondeterministic by design; derive seeds explicitly"},
+    {"GR004", "determinism-std-rng", "rng",
+     "<random> engines/distributions and std::shuffle are implementation-defined; "
+     "use util/rng.hpp"},
+    {"GR010", "ordering-unordered-iter", "ordered",
+     "iteration order of unordered containers is stdlib-dependent; sort first or "
+     "justify why order cannot reach reported output"},
+    {"GR020", "concurrency-annotation", "",
+     "GEORANK_GUARDED_BY must name a lock declared in this file (or its paired "
+     "header) and requires util/thread_safety.hpp"},
+    {"GR021", "concurrency-mutable", "guarded",
+     "mutable member without a guard annotation; const methods that write it race"},
+    {"GR022", "concurrency-static", "static-ok",
+     "mutable function-local static: hidden global state, racy initialization-"
+     "after-C++11 aside, order-dependent results"},
+    {"GR023", "concurrency-const-cast", "const-cast-ok",
+     "const_cast subverts the const-means-thread-compatible contract"},
+    {"GR030", "include-pragma-once", "",
+     "public header must open with #pragma once"},
+}};
+
+// ---------------------------------------------------------------------------
+// Line model: code with comments/literals stripped + suppression tags
+// ---------------------------------------------------------------------------
+
+struct Line {
+  std::string raw;
+  std::string code;     // literals blanked, comments removed
+  std::string comment;  // comment text (for suppression tags)
+};
+
+std::vector<Line> split_lines(std::string_view contents) {
+  std::vector<Line> lines;
+  std::size_t pos = 0;
+  while (pos <= contents.size()) {
+    std::size_t nl = contents.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      if (pos < contents.size()) {
+        lines.push_back({std::string(contents.substr(pos)), "", ""});
+      }
+      break;
+    }
+    lines.push_back({std::string(contents.substr(pos, nl - pos)), "", ""});
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+/// Blanks string/char literal contents, splits comments out of the code.
+/// Tracks /* */ state across lines. Not a full lexer (raw strings and
+/// line continuations are ignored) — good enough for rule matching.
+void strip_literals_and_comments(std::vector<Line>& lines) {
+  bool in_block = false;
+  for (Line& line : lines) {
+    std::string code;
+    std::string comment;
+    code.reserve(line.raw.size());
+    const std::string& s = line.raw;
+    for (std::size_t i = 0; i < s.size();) {
+      if (in_block) {
+        if (s[i] == '*' && i + 1 < s.size() && s[i + 1] == '/') {
+          in_block = false;
+          i += 2;
+        } else {
+          comment += s[i++];
+        }
+        continue;
+      }
+      char c = s[i];
+      if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+        comment.append(s, i + 2, std::string::npos);
+        break;
+      }
+      if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+        in_block = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        code += quote;
+        ++i;
+        while (i < s.size()) {
+          if (s[i] == '\\' && i + 1 < s.size()) {
+            i += 2;
+            continue;
+          }
+          if (s[i] == quote) break;
+          ++i;
+        }
+        if (i < s.size()) {
+          code += quote;
+          ++i;
+        }
+        continue;
+      }
+      code += c;
+      ++i;
+    }
+    line.code = std::move(code);
+    line.comment = std::move(comment);
+  }
+}
+
+/// `// lint: ordered(why)` / `// lint: guarded(...)` tags in a comment.
+std::vector<std::string> suppression_tags(const std::string& comment) {
+  static const std::regex kTag(R"(lint:\s*([a-z][a-z-]*))");
+  std::vector<std::string> tags;
+  auto begin = std::sregex_iterator(comment.begin(), comment.end(), kTag);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    tags.push_back((*it)[1].str());
+  }
+  return tags;
+}
+
+/// A tag suppresses a finding on its own line, or on the next code line
+/// when it sits on a comment-only line (long declarations).
+bool line_suppressed(const std::vector<Line>& lines, std::size_t idx,
+                     std::string_view tag) {
+  if (tag.empty()) return false;
+  auto has = [&](const Line& l) {
+    auto tags = suppression_tags(l.comment);
+    return std::find(tags.begin(), tags.end(), tag) != tags.end();
+  };
+  if (has(lines[idx])) return true;
+  std::string trimmed_prev;
+  if (idx > 0) {
+    const Line& prev = lines[idx - 1];
+    std::string t = prev.code;
+    t.erase(std::remove_if(t.begin(), t.end(),
+                           [](unsigned char c) { return std::isspace(c); }),
+            t.end());
+    if (t.empty() && has(prev)) return true;
+  }
+  return false;
+}
+
+std::string trim(std::string s) {
+  auto issp = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && issp(static_cast<unsigned char>(s.front()))) s.erase(s.begin());
+  while (!s.empty() && issp(static_cast<unsigned char>(s.back()))) s.pop_back();
+  if (s.size() > 90) s = s.substr(0, 87) + "...";
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool contains_word(const std::string& haystack, const std::string& word) {
+  std::size_t pos = 0;
+  auto is_word = [](unsigned char c) { return std::isalnum(c) || c == '_'; };
+  while ((pos = haystack.find(word, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !is_word(static_cast<unsigned char>(haystack[pos - 1]));
+    std::size_t end = pos + word.size();
+    bool right_ok =
+        end >= haystack.size() || !is_word(static_cast<unsigned char>(haystack[end]));
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rule scoping
+// ---------------------------------------------------------------------------
+
+bool is_cli_code(std::string_view rel) { return starts_with(rel, "tools/"); }
+
+bool in_ordering_scope(std::string_view rel) {
+  return starts_with(rel, "src/rank/") || starts_with(rel, "src/core/") ||
+         starts_with(rel, "src/robust/");
+}
+
+bool is_rng_home(std::string_view rel) {
+  return rel == "src/util/rng.hpp" || rel == "src/util/rng.cpp";
+}
+
+// ---------------------------------------------------------------------------
+// GR010 support: identifiers declared as unordered containers
+// ---------------------------------------------------------------------------
+
+void collect_unordered_names(const std::string& code_text,
+                             std::vector<std::string>& names) {
+  // Declarations can span lines (joined text comes in with '\n' intact):
+  // scan windows that start at an `unordered_map<`/`unordered_set<` and
+  // end at the first statement terminator.
+  static const std::regex kDeclName(R"(>[\s&*]*([A-Za-z_]\w*)\s*[;={(,)\[])");
+  static const std::regex kUsing(R"(using\s+([A-Za-z_]\w*)\s*=)");
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t a = code_text.find("unordered_map<", pos);
+    std::size_t b = code_text.find("unordered_set<", pos);
+    std::size_t start = std::min(a, b);
+    if (start == std::string::npos) break;
+    std::size_t stop = code_text.find_first_of(";{=", code_text.find('>', start));
+    if (stop == std::string::npos) stop = code_text.size();
+    // Back up to the start of the statement for `using X = ...`, but
+    // only extract declared names from the container token onward —
+    // otherwise an unrelated `> param)` earlier in the same statement
+    // (e.g. a span parameter of the enclosing function) gets tracked.
+    std::size_t stmt = code_text.rfind(';', start);
+    stmt = stmt == std::string::npos ? 0 : stmt + 1;
+    const std::string stmt_window = code_text.substr(stmt, stop + 1 - stmt);
+    std::smatch m;
+    if (std::regex_search(stmt_window, m, kUsing)) {
+      names.push_back(m[1].str());
+    }
+    const std::string decl_window = code_text.substr(start, stop + 1 - start);
+    auto it = std::sregex_iterator(decl_window.begin(), decl_window.end(), kDeclName);
+    for (; it != std::sregex_iterator(); ++it) {
+      names.push_back((*it)[1].str());
+    }
+    pos = start + 14;
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+}
+
+// ---------------------------------------------------------------------------
+// Scanner
+// ---------------------------------------------------------------------------
+
+class FileScanner {
+ public:
+  FileScanner(std::string_view rel_path, std::string_view contents,
+              std::string_view paired_header)
+      : rel_(rel_path), lines_(split_lines(contents)) {
+    strip_literals_and_comments(lines_);
+    std::string all_code;
+    for (const Line& l : lines_) {
+      all_code += l.code;
+      all_code += '\n';
+      // Include paths live inside string literals, which stripping
+      // removes — keep raw preprocessor lines visible to the checks.
+      std::string t = trim(l.code);
+      if (!t.empty() && t.front() == '#') {
+        all_code += trim(l.raw);
+        all_code += '\n';
+      }
+    }
+    if (!paired_header.empty()) {
+      std::vector<Line> header = split_lines(paired_header);
+      strip_literals_and_comments(header);
+      header_code_.reserve(paired_header.size());
+      for (const Line& l : header) {
+        header_code_ += l.code;
+        header_code_ += '\n';
+        std::string ht = trim(l.code);
+        if (!ht.empty() && ht.front() == '#') {
+          header_code_ += trim(l.raw);
+          header_code_ += '\n';
+        }
+      }
+    }
+    code_text_ = std::move(all_code);
+    collect_unordered_names(code_text_, unordered_names_);
+    collect_unordered_names(header_code_, unordered_names_);
+    std::sort(unordered_names_.begin(), unordered_names_.end());
+    unordered_names_.erase(
+        std::unique(unordered_names_.begin(), unordered_names_.end()),
+        unordered_names_.end());
+  }
+
+  std::vector<Finding> run() {
+    if (ends_with(rel_, ".hpp")) check_pragma_once();
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      scan_line(i);
+    }
+    std::stable_sort(findings_.begin(), findings_.end(),
+                     [](const Finding& a, const Finding& b) { return a.line < b.line; });
+    return std::move(findings_);
+  }
+
+ private:
+  void add(std::size_t idx, std::string_view rule, std::string message) {
+    const RuleInfo* info = nullptr;
+    for (const RuleInfo& r : kRules) {
+      if (r.id == rule) info = &r;
+    }
+    if (info != nullptr && line_suppressed(lines_, idx, info->suppression)) return;
+    findings_.push_back(Finding{std::string(rule), std::string(rel_), idx + 1,
+                                std::move(message), trim(lines_[idx].raw)});
+  }
+
+  void check_pragma_once() {
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      std::string t = trim(lines_[i].code);
+      if (t.empty()) continue;
+      if (t == "#pragma once") return;
+      add(i, "GR030", "header does not open with #pragma once");
+      return;
+    }
+    if (!lines_.empty()) add(0, "GR030", "header does not open with #pragma once");
+  }
+
+  void scan_line(std::size_t i) {
+    const std::string& code = lines_[i].code;
+    if (code.empty()) return;
+
+    static const std::regex kRand(R"(\b(?:std\s*::\s*)?s?rand\s*\()");
+    static const std::regex kWallclock(
+        R"(std\s*::\s*chrono\s*::\s*system_clock|\bgettimeofday\s*\(|\blocaltime\s*\(|\bctime\s*\(|\b(?:std\s*::\s*)?time\s*\(\s*(?:nullptr|NULL|0|&))");
+    static const std::regex kRandomDevice(R"(std\s*::\s*random_device)");
+    static const std::regex kStdRng(
+        R"(std\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|ranlux\w+|knuth_b|(?:uniform_int|uniform_real|normal|bernoulli|poisson|exponential|geometric|binomial|discrete|piecewise\w*)_distribution|shuffle)\b)");
+    static const std::regex kRangeFor(R"(\bfor\s*\([^;]*[^:]:([^:][^)]*))");
+    static const std::regex kMutable(R"(\bmutable\b)");
+    static const std::regex kLambdaMutable(R"(\)\s*mutable\b)");
+    static const std::regex kStaticLocal(R"(^\s+static\s+(?!cons|inline|assert|thread_local))");
+    static const std::regex kConstCast(R"(\bconst_cast\s*<)");
+    static const std::regex kGuardedBy(R"(GEORANK(?:_PT)?_GUARDED_BY\s*\(\s*([^)]*)\))");
+
+    if (std::regex_search(code, kRand)) {
+      add(i, "GR001", "banned rand()/srand(): use util::Pcg32 with an explicit seed");
+    }
+    if (!is_cli_code(rel_) && std::regex_search(code, kWallclock)) {
+      add(i, "GR002",
+          "wall-clock read in non-CLI code: results must be a pure function of "
+          "their inputs");
+    }
+    if (std::regex_search(code, kRandomDevice)) {
+      add(i, "GR003", "std::random_device is nondeterministic; seeds must be explicit");
+    }
+    if (!is_rng_home(rel_) && std::regex_search(code, kStdRng)) {
+      add(i, "GR004",
+          "<random>/std::shuffle outputs are implementation-defined; use the "
+          "PCG32 helpers in util/rng.hpp");
+    }
+
+    if (in_ordering_scope(rel_)) {
+      // Range-for headers wrap; join a few continuation lines so
+      // `for (const auto& [k, v] :\n    some_map)` still matches.
+      std::string forline = code;
+      for (std::size_t j = i + 1;
+           j < lines_.size() && j < i + 4 &&
+           forline.find("for") != std::string::npos &&
+           forline.find(')') == std::string::npos;
+           ++j) {
+        forline += ' ';
+        forline += lines_[j].code;
+      }
+      std::smatch m;
+      if (std::regex_search(forline, m, kRangeFor)) {
+        const std::string iterand = m[1].str();
+        for (const std::string& name : unordered_names_) {
+          if (contains_word(iterand, name)) {
+            add(i, "GR010",
+                "iterates unordered container '" + name +
+                    "'; order is stdlib-dependent — sort, or justify with "
+                    "`// lint: ordered(<why>)`");
+            break;
+          }
+        }
+      }
+    }
+
+    // Preprocessor lines define the annotation macros themselves; the
+    // GR020 sanity checks only apply to uses.
+    const bool preprocessor =
+        code.find_first_not_of(" \t") != std::string::npos &&
+        code[code.find_first_not_of(" \t")] == '#';
+
+    std::smatch guard;
+    if (!preprocessor && std::regex_search(code, guard, kGuardedBy)) {
+      std::string arg = guard[1].str();
+      // The lock is the last identifier in the argument (cache_->mutex -> mutex).
+      static const std::regex kLastId(R"(([A-Za-z_]\w*)\s*$)");
+      std::smatch id;
+      if (std::regex_search(arg, id, kLastId)) {
+        const std::string lock = id[1].str();
+        std::string code_without_annotations;
+        for (const Line& l : lines_) {
+          if (l.code.find("GEORANK") == std::string::npos) {
+            code_without_annotations += l.code;
+            code_without_annotations += '\n';
+          }
+        }
+        if (!contains_word(code_without_annotations, lock) &&
+            !contains_word(header_code_, lock)) {
+          add(i, "GR020",
+              "GEORANK_GUARDED_BY names '" + lock +
+                  "', which is not declared in this file or its paired header");
+        }
+      } else {
+        add(i, "GR020", "GEORANK_GUARDED_BY with no lock argument");
+      }
+      if (code_text_.find("util/thread_safety.hpp") == std::string::npos &&
+          header_code_.find("util/thread_safety.hpp") == std::string::npos) {
+        add(i, "GR020",
+            "uses GEORANK_GUARDED_BY without including util/thread_safety.hpp");
+      }
+    }
+
+    if (std::regex_search(code, kMutable) && !std::regex_search(code, kLambdaMutable)) {
+      if (code.find("GEORANK_GUARDED_BY") == std::string::npos &&
+          code.find("GEORANK_PT_GUARDED_BY") == std::string::npos) {
+        add(i, "GR021",
+            "mutable member without GEORANK_GUARDED_BY or a "
+            "`// lint: guarded(<how>)` justification");
+      }
+    }
+
+    if (ends_with(rel_, ".cpp") && std::regex_search(code, kStaticLocal)) {
+      add(i, "GR022",
+          "mutable function-local static; thread it through explicitly or "
+          "justify with `// lint: static-ok(<why>)`");
+    }
+
+    if (std::regex_search(code, kConstCast)) {
+      add(i, "GR023",
+          "const_cast breaks the const-is-thread-compatible contract; justify "
+          "with `// lint: const-cast-ok(<why>)`");
+    }
+  }
+
+  std::string_view rel_;
+  std::vector<Line> lines_;
+  std::string code_text_;
+  std::string header_code_;
+  std::vector<std::string> unordered_names_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::span<const RuleInfo> rules() { return kRules; }
+
+std::vector<Finding> scan_file(std::string_view rel_path, std::string_view contents,
+                               std::string_view paired_header) {
+  FileScanner scanner{rel_path, contents, paired_header};
+  return scanner.run();
+}
+
+Baseline Baseline::parse(std::string_view text) {
+  Baseline b;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    b.entries_.insert(std::move(t));
+  }
+  return b;
+}
+
+Baseline Baseline::load(const std::filesystem::path& file) {
+  std::ifstream in{file};
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+bool Baseline::contains(const Finding& f) const {
+  if (entries_.empty()) return false;
+  const std::string exact =
+      f.rule + " " + f.path + ":" + std::to_string(f.line);
+  const std::string whole_file = f.rule + " " + f.path;
+  return entries_.count(exact) > 0 || entries_.count(whole_file) > 0;
+}
+
+RepoScanResult scan_repo(const std::filesystem::path& root, const Baseline& baseline) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const char* top : {"src", "tools", "bench"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in{p, std::ios::binary};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+
+  RepoScanResult result;
+  for (const fs::path& file : files) {
+    const std::string contents = slurp(file);
+    std::string rel = fs::relative(file, root).generic_string();
+    std::string paired;
+    if (ends_with(rel, ".cpp")) {
+      fs::path header = file;
+      header.replace_extension(".hpp");
+      if (fs::exists(header)) paired = slurp(header);
+    }
+    ++result.files_scanned;
+    for (Finding& f : scan_file(rel, contents, paired)) {
+      if (baseline.contains(f)) {
+        ++result.baselined;
+      } else {
+        result.findings.push_back(std::move(f));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace georank::lint

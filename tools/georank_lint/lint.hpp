@@ -1,0 +1,106 @@
+// georank-lint: project-invariant static analysis.
+//
+// The rankings this repository produces are only credible because every
+// run over the same RIBs is bit-identical. That property rests on
+// conventions — PCG32-only randomness, no wall-clock reads in library
+// code, no result-bearing iteration over unordered containers, lock
+// discipline around the pipeline's reload path — that a compiler will
+// never enforce. This scanner turns each convention into a rule with a
+// stable ID, a file:line diagnostic, an inline suppression tag, and a
+// baseline file so legacy findings can be burned down incrementally.
+//
+// Rules (see `rules()` for the authoritative table):
+//   GR001 determinism-rand        rand()/srand() banned everywhere
+//   GR002 determinism-wallclock   wall-clock reads banned outside tools/
+//   GR003 determinism-randdev     std::random_device banned everywhere
+//   GR004 determinism-std-rng     <random> engines/distributions and
+//                                 std::shuffle banned outside util/rng
+//   GR010 ordering-unordered-iter range-for over an unordered container
+//                                 in src/rank|core|robust needs
+//                                 `// lint: ordered(<why>)`
+//   GR020 concurrency-annotation  GEORANK_GUARDED_BY must name a lock
+//                                 declared in the same file (or its
+//                                 paired header) and requires including
+//                                 util/thread_safety.hpp
+//   GR021 concurrency-mutable     mutable member without a guard
+//                                 annotation or `// lint: guarded(...)`
+//   GR022 concurrency-static      mutable function-local static state
+//   GR023 concurrency-const-cast  const_cast needs justification
+//   GR030 include-pragma-once     public headers must start with
+//                                 #pragma once (self-containment is
+//                                 enforced separately by the generated
+//                                 one-TU-per-header compile checks)
+//
+// The scanner is a line-oriented heuristic, not a C++ front end: string
+// literals and comments are stripped before rules match, declarations
+// of unordered containers are tracked across the file and its paired
+// header, and anything it cannot see (iteration through an alias,
+// containers behind typedefs) it stays silent on. False negatives are
+// acceptable; false positives must be rare enough that a one-line
+// suppression with a reason is never a burden.
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace georank::lint {
+
+struct Finding {
+  std::string rule;     // e.g. "GR010"
+  std::string path;     // repo-relative, '/'-separated
+  std::size_t line = 0; // 1-based
+  std::string message;
+  std::string excerpt;  // trimmed source line for the report
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view name;
+  std::string_view suppression;  // inline tag: `// lint: <tag>[(reason)]`
+  std::string_view summary;
+};
+
+/// The authoritative rule table, sorted by ID.
+[[nodiscard]] std::span<const RuleInfo> rules();
+
+/// Scans one translation unit. `rel_path` decides rule scoping (tools/
+/// is CLI code, src/rank|core|robust get the ordering rule, ...);
+/// `paired_header` is the contents of the matching .hpp for a .cpp (so
+/// member containers declared in the header are tracked), empty when
+/// there is none. Findings come back in line order.
+[[nodiscard]] std::vector<Finding> scan_file(std::string_view rel_path,
+                                             std::string_view contents,
+                                             std::string_view paired_header = {});
+
+/// Baseline/suppression file: one finding per line, `#` comments.
+///   GR010 src/rank/hegemony.cpp:54   — suppress one site
+///   GR021 src/geo/vp_geolocator.hpp  — suppress a rule for a whole file
+class Baseline {
+ public:
+  Baseline() = default;
+  [[nodiscard]] static Baseline parse(std::string_view text);
+  [[nodiscard]] static Baseline load(const std::filesystem::path& file);
+
+  [[nodiscard]] bool contains(const Finding& f) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::unordered_set<std::string> entries_;  // "RULE path:line" and "RULE path"
+};
+
+struct RepoScanResult {
+  std::vector<Finding> findings;   // non-baselined, sorted by (path, line)
+  std::size_t files_scanned = 0;
+  std::size_t baselined = 0;       // findings matched by the baseline
+};
+
+/// Scans `<root>/src`, `<root>/tools` and `<root>/bench` (every .hpp
+/// and .cpp, sorted for deterministic output) against `baseline`.
+[[nodiscard]] RepoScanResult scan_repo(const std::filesystem::path& root,
+                                       const Baseline& baseline);
+
+}  // namespace georank::lint

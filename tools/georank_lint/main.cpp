@@ -1,0 +1,87 @@
+// georank-lint CLI: scan the repository for project-invariant violations.
+//
+//   georank_lint --root <repo> [--baseline FILE | --no-baseline] [--list-rules]
+//
+// Exit codes: 0 clean, 1 non-baselined findings, 2 usage/IO error.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "georank_lint/lint.hpp"
+
+namespace {
+
+int list_rules() {
+  std::printf("%-7s %-26s %-14s %s\n", "ID", "NAME", "SUPPRESSION", "SUMMARY");
+  for (const georank::lint::RuleInfo& r : georank::lint::rules()) {
+    std::string tag = r.suppression.empty()
+                          ? std::string("(baseline only)")
+                          : "lint: " + std::string(r.suppression);
+    std::printf("%-7s %-26s %-14s %s\n", std::string(r.id).c_str(),
+                std::string(r.name).c_str(), tag.c_str(),
+                std::string(r.summary).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  fs::path root = fs::current_path();
+  fs::path baseline_file;
+  bool use_baseline = true;
+  bool baseline_explicit = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      return list_rules();
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_file = argv[++i];
+      baseline_explicit = true;
+    } else if (arg == "--no-baseline") {
+      use_baseline = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: georank_lint [--root DIR] [--baseline FILE] [--no-baseline] "
+          "[--list-rules]\n"
+          "Scans <root>/{src,tools,bench} for project-invariant violations.\n"
+          "Default baseline: <root>/scripts/lint_baseline.txt\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "georank_lint: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "georank_lint: no src/ under --root %s\n",
+                 root.string().c_str());
+    return 2;
+  }
+  if (baseline_file.empty()) baseline_file = root / "scripts" / "lint_baseline.txt";
+  if (baseline_explicit && !fs::exists(baseline_file)) {
+    std::fprintf(stderr, "georank_lint: baseline file %s not found\n",
+                 baseline_file.string().c_str());
+    return 2;
+  }
+
+  georank::lint::Baseline baseline;
+  if (use_baseline) baseline = georank::lint::Baseline::load(baseline_file);
+
+  const georank::lint::RepoScanResult result =
+      georank::lint::scan_repo(root, baseline);
+
+  for (const georank::lint::Finding& f : result.findings) {
+    std::printf("%s:%zu: [%s] %s\n    %s\n", f.path.c_str(), f.line,
+                f.rule.c_str(), f.message.c_str(), f.excerpt.c_str());
+  }
+  std::printf(
+      "georank-lint: %zu finding%s (%zu baselined) across %zu files\n",
+      result.findings.size(), result.findings.size() == 1 ? "" : "s",
+      result.baselined, result.files_scanned);
+  return result.findings.empty() ? 0 : 1;
+}
