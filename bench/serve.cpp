@@ -1,0 +1,181 @@
+// Serving-layer benchmark: how fast can a query node come up from a
+// persisted snapshot versus recomputing the rankings from raw RIBs, and
+// how many requests per second does the loopback HTTP stack sustain at
+// fixed thread counts? Prints one human table per question; the
+// recorded numbers live in BENCH_serve.json.
+//
+// All timing uses steady_clock (monotonic); the world and RIBs are the
+// deterministic default-world fixtures, so reruns measure the same work.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_world.hpp"
+#include "io/snapshot_codec.hpp"
+#include "serve/http_client.hpp"
+#include "serve/http_server.hpp"
+#include "serve/ranking_service.hpp"
+#include "serve/snapshot.hpp"
+
+using namespace georank;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+template <typename Fn>
+double best_of(int rounds, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    Clock::time_point start = Clock::now();
+    fn();
+    double elapsed = seconds_since(start);
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+struct BootResult {
+  double recompute_seconds = 0.0;  // pipeline.load + Snapshot::build
+  double decode_seconds = 0.0;     // decode_snapshot + publish
+  std::size_t snapshot_bytes = 0;
+  std::size_t countries = 0;
+};
+
+BootResult bench_boot(const bench::Context& context,
+                      const bgp::RibCollection& ribs) {
+  BootResult result;
+
+  // Cold path: what a node without a snapshot file must do — ingest the
+  // RIB collection and run the full per-country ranking pipeline.
+  serve::Snapshot built;
+  result.recompute_seconds = best_of(3, [&] {
+    core::Pipeline pipeline{context.world.geo_db, context.world.vps,
+                            context.world.asn_registry, context.world.graph,
+                            context.pipeline->config()};
+    pipeline.load(ribs);
+    built = serve::Snapshot::build(pipeline,
+                                   serve::SnapshotMeta{1, 1, "bench"});
+  });
+  result.countries = built.countries.size();
+
+  // Warm path: decode the persisted bytes and publish into a service.
+  std::string bytes = io::encode_snapshot(built);
+  result.snapshot_bytes = bytes.size();
+  result.decode_seconds = best_of(3, [&] {
+    serve::RankingService service;
+    service.publish(std::make_shared<serve::Snapshot>(
+        io::decode_snapshot(bytes)));
+  });
+  return result;
+}
+
+struct LoadResult {
+  unsigned server_threads = 0;
+  int client_threads = 0;
+  std::size_t requests = 0;
+  double seconds = 0.0;
+  double requests_per_second = 0.0;
+};
+
+LoadResult bench_loopback(serve::RankingService& service,
+                          unsigned server_threads, int client_threads,
+                          int requests_per_client,
+                          const std::vector<std::string>& targets) {
+  serve::HttpServerOptions options;
+  options.threads = server_threads;
+  serve::HttpServer server{service, options};
+  server.start();
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(client_threads));
+  Clock::time_point start = Clock::now();
+  for (int c = 0; c < client_threads; ++c) {
+    clients.emplace_back([&, c] {
+      serve::HttpClient client;
+      if (!client.connect("127.0.0.1", server.port())) return;
+      for (int i = 0; i < requests_per_client; ++i) {
+        const std::string& target =
+            targets[static_cast<std::size_t>(c + i) % targets.size()];
+        auto response = client.get(target);
+        if (!response || response->status != 200) {
+          std::fprintf(stderr, "request failed: %s\n", target.c_str());
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double elapsed = seconds_since(start);
+  server.stop();
+
+  LoadResult result;
+  result.server_threads = server_threads;
+  result.client_threads = client_threads;
+  result.requests =
+      static_cast<std::size_t>(client_threads) *
+      static_cast<std::size_t>(requests_per_client);
+  result.seconds = elapsed;
+  result.requests_per_second =
+      elapsed > 0.0 ? static_cast<double>(result.requests) / elapsed : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "serve",
+      "snapshot-boot latency vs full recompute, loopback HTTP throughput");
+
+  bench::ContextOptions options;
+  options.keep_ribs = true;
+  std::unique_ptr<bench::Context> context = bench::make_context(options);
+
+  BootResult boot = bench_boot(*context, context->ribs);
+  std::printf("-- boot latency (best of 3) --\n");
+  std::printf("full recompute (load RIBs + rank %zu countries): %8.3f s\n",
+              boot.countries, boot.recompute_seconds);
+  std::printf("snapshot boot  (decode %zu bytes + publish):  %8.3f s\n",
+              boot.snapshot_bytes, boot.decode_seconds);
+  std::printf("speedup: %.0fx\n\n",
+              boot.recompute_seconds / boot.decode_seconds);
+
+  // The service under load: a published snapshot and a target mix that
+  // exercises rankings, health and single-AS lookup. Cache enabled with
+  // defaults, as it would be in production.
+  serve::RankingService service;
+  service.publish(std::make_shared<serve::Snapshot>(serve::Snapshot::build(
+      *context->pipeline, serve::SnapshotMeta{1, 1, "bench"})));
+  std::vector<std::string> targets;
+  for (const core::CountryMetrics& m :
+       service.current()->countries) {
+    targets.push_back("/v1/rankings?country=" + m.country.to_string() +
+                      "&metric=cci&k=10");
+    if (targets.size() >= 6) break;
+  }
+  targets.push_back("/v1/health");
+  targets.push_back("/v1/as/3356");
+
+  std::printf("-- loopback throughput (keep-alive, %zu-target mix) --\n",
+              targets.size());
+  std::printf("%15s %15s %10s %10s %12s\n", "server threads", "client threads",
+              "requests", "seconds", "req/s");
+  for (auto [server_threads, client_threads] :
+       std::vector<std::pair<unsigned, int>>{{1, 1}, {2, 2}, {4, 4}}) {
+    LoadResult load = bench_loopback(service, server_threads, client_threads,
+                                     4000, targets);
+    std::printf("%15u %15d %10zu %10.3f %12.0f\n", load.server_threads,
+                load.client_threads, load.requests, load.seconds,
+                load.requests_per_second);
+  }
+  return 0;
+}

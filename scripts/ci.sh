@@ -7,12 +7,17 @@
 #   ubsan    UndefinedBehaviorSanitizer build, robustness-heavy filters
 #   tsan     ThreadSanitizer build, concurrency-heavy filters: the
 #            parallel_for and Pipeline load-vs-query stress tests, the
-#            chunked MrtStreamLoader, and the RobustnessHarness
+#            chunked MrtStreamLoader, the RobustnessHarness, and the
+#            serve-layer HTTP loopback reload-under-load test
+#   serve    end-to-end query service check: build a snapshot with the
+#            CLI, boot `georank serve` on an ephemeral port, curl every
+#            endpoint and assert both the happy-path schema and the
+#            negative status codes (404 unknown country, 400 bad ASN)
 #   tidy     clang-tidy over src/ (opt-in: --clang-tidy; skips politely
 #            when the tool is not installed)
 #
 # Usage: scripts/ci.sh [--skip-asan] [--skip-ubsan] [--skip-tsan]
-#                      [--skip-lint] [--clang-tidy]
+#                      [--skip-serve] [--skip-lint] [--clang-tidy]
 #
 # Each sanitizer stage builds into its own tree (build-asan, build-ubsan,
 # build-tsan) so it never dirties the primary build directory. The
@@ -25,6 +30,7 @@ cd "$(dirname "$0")/.."
 SKIP_ASAN=0
 SKIP_UBSAN=0
 SKIP_TSAN=0
+SKIP_SERVE=0
 SKIP_LINT=0
 RUN_TIDY=0
 for arg in "$@"; do
@@ -32,6 +38,7 @@ for arg in "$@"; do
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-ubsan) SKIP_UBSAN=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-serve) SKIP_SERVE=1 ;;
     --skip-lint) SKIP_LINT=1 ;;
     --clang-tidy) RUN_TIDY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
@@ -58,6 +65,68 @@ ctest --test-dir build --output-on-failure -R "MrtStream|MrtText|UpdateText|AsPa
 echo "==> degraded-data robustness (health tiers, fault plans, fuzz)"
 ctest --test-dir build --output-on-failure \
   -R "Confidence|DegradationPolicy|DataHealth|FaultPlan|Robustness|StructuredFaults"
+
+if [[ "$SKIP_SERVE" -eq 0 ]]; then
+  echo "==> serve tier: snapshot build + live HTTP endpoints over loopback"
+  SERVE_TMP="$(mktemp -d)"
+  SERVE_PID=""
+  serve_cleanup() {
+    if [[ -n "$SERVE_PID" ]]; then
+      kill "$SERVE_PID" 2> /dev/null || true
+      wait "$SERVE_PID" 2> /dev/null || true
+    fi
+    rm -rf "$SERVE_TMP"
+  }
+  trap serve_cleanup EXIT
+
+  ./build/tools/georank generate --out "$SERVE_TMP/world" --mini --seed 21 > /dev/null
+  ./build/tools/georank snapshot --dir "$SERVE_TMP/world" \
+    --out "$SERVE_TMP/world.grsnap" --id 7 --label ci > /dev/null
+  ./build/tools/georank serve --snapshot "$SERVE_TMP/world.grsnap" --port 0 \
+    > "$SERVE_TMP/serve.log" 2>&1 &
+  SERVE_PID=$!
+
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$SERVE_TMP/serve.log")"
+    [[ -n "$PORT" ]] && break
+    kill -0 "$SERVE_PID" 2> /dev/null || { cat "$SERVE_TMP/serve.log"; echo "server died before listening"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$PORT" ]] || { cat "$SERVE_TMP/serve.log"; echo "server never reported a port"; exit 1; }
+  BASE="http://127.0.0.1:$PORT"
+
+  serve_grep() {  # serve_grep <target> <needle>: 200 + body contains needle
+    local body
+    body="$(curl -sf "$BASE$1")" || { echo "serve tier FAIL: GET $1 not 2xx"; exit 1; }
+    grep -q "$2" <<< "$body" || { echo "serve tier FAIL: $1 body lacks $2"; echo "$body"; exit 1; }
+  }
+  serve_status() {  # serve_status <target> <code>
+    local code
+    code="$(curl -s -o /dev/null -w '%{http_code}' "$BASE$1")"
+    [[ "$code" == "$2" ]] || { echo "serve tier FAIL: $1 -> $code (want $2)"; exit 1; }
+  }
+
+  serve_grep "/v1/health" '"countries"'
+  serve_grep "/v1/health" '"tiers"'
+  serve_grep "/v1/rankings?country=AU&metric=cci&k=5" '"cci"'
+  serve_grep "/v1/delta?country=AU" '"agreement"'
+  serve_grep "/metrics" 'georank_requests_total'
+  ASN="$(curl -sf "$BASE/v1/rankings?country=AU&k=1" \
+    | sed -n 's/.*"asn":\([0-9]*\).*/\1/p')"
+  [[ -n "$ASN" ]] || { echo "serve tier FAIL: no ASN in rankings body"; exit 1; }
+  serve_grep "/v1/as/$ASN" '"countries"'
+  serve_status "/v1/rankings?country=ZZ" 404   # well-formed but unknown
+  serve_status "/v1/rankings?country=zzz" 400  # not a country code at all
+  serve_status "/v1/as/notanumber" 400
+  serve_status "/v1/nope" 404
+  serve_cleanup
+  SERVE_PID=""
+  trap - EXIT
+  echo "serve tier OK (port $PORT, ASN $ASN)"
+else
+  echo "==> serve stage skipped (--skip-serve)"
+fi
 
 if [[ "$RUN_TIDY" -eq 1 ]]; then
   if command -v clang-tidy > /dev/null 2>&1; then
@@ -100,10 +169,11 @@ if [[ "$SKIP_TSAN" -eq 0 ]]; then
   cmake --build build-tsan -j "$(nproc)"
   # Everything that spawns or synchronizes threads: parallel_for and its
   # stress suite, Pipeline (all_countries fan-out, memo cache,
-  # load-vs-query reload stress), the chunked MrtStreamLoader, and the
-  # RobustnessHarness trial fan-out.
+  # load-vs-query reload stress), the chunked MrtStreamLoader, the
+  # RobustnessHarness trial fan-out, and the HTTP loopback suite
+  # (client threads hammering while snapshots hot-swap).
   ctest --test-dir build-tsan --output-on-failure \
-    -R "ParallelFor|PipelineStress|Pipeline\.|MrtStream|Robustness"
+    -R "ParallelFor|PipelineStress|Pipeline\.|MrtStream|Robustness|HttpLoopback"
 else
   echo "==> ThreadSanitizer stage skipped (--skip-tsan)"
 fi

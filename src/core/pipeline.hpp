@@ -111,6 +111,10 @@ class Pipeline {
   /// Country-level transit influence baseline.                   // CTI
   [[nodiscard]] rank::Ranking cti(geo::CountryCode country) const;
 
+  /// The configuration the pipeline was constructed with (immutable for
+  /// its lifetime; serve::Snapshot::build reads the degradation policy).
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+
   [[nodiscard]] const CountryRankings& rankings() const noexcept { return rankings_; }
   [[nodiscard]] const topo::AsGraph& relationships() const noexcept {
     return *relationships_;

@@ -1,0 +1,77 @@
+// Binary snapshot persistence for the serving layer (FORMATS.md
+// "snapshot.grsnap" section documents the layout normatively).
+//
+// Goals, in order: (1) integrity — every byte of the file is covered by
+// a checksum, so a torn write, truncated download or bit flip is
+// rejected with a typed error instead of decoding into garbage
+// rankings; (2) bit-exact round trips — doubles are persisted as their
+// IEEE-754 bit patterns, so encode+decode reproduces identical scores;
+// (3) forward compatibility — a section table keyed by tag lets future
+// versions append sections old readers skip.
+//
+// Layout (all integers little-endian):
+//
+//   [0..7]   magic "GRSNAP01"
+//   u32      version (currently 1; newer majors are rejected)
+//   u32      section_count
+//   u64      header_checksum   FNV-1a 64 over the section table bytes
+//   table    section_count x { u32 tag, u32 reserved=0,
+//                              u64 offset, u64 size, u64 checksum }
+//   payload  section bytes at the table-declared offsets
+//
+// Required sections: "META" (id, created_unix, label), "CTRY" (the
+// country census with all four rankings), "HLTH" (health report +
+// policy). Unknown tags are ignored.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "serve/snapshot.hpp"
+
+namespace georank::io {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::string_view kSnapshotMagic = "GRSNAP01";
+
+/// Rejection reasons, one per structural invariant the decoder checks.
+enum class SnapshotError : std::uint8_t {
+  kBadMagic,
+  kBadVersion,
+  kTruncated,
+  kHeaderChecksum,
+  kSectionChecksum,
+  kMissingSection,
+  kMalformedSection,
+};
+
+[[nodiscard]] std::string_view to_string(SnapshotError error) noexcept;
+
+class SnapshotDecodeError : public std::runtime_error {
+ public:
+  SnapshotDecodeError(SnapshotError error, const std::string& detail);
+  [[nodiscard]] SnapshotError error() const noexcept { return error_; }
+
+ private:
+  SnapshotError error_;
+};
+
+/// FNV-1a 64 over `bytes` — the checksum the format uses throughout.
+[[nodiscard]] std::uint64_t snapshot_checksum(std::string_view bytes) noexcept;
+
+[[nodiscard]] std::string encode_snapshot(const serve::Snapshot& snapshot);
+
+/// Throws SnapshotDecodeError on any structural or integrity violation;
+/// never returns a partially decoded snapshot.
+[[nodiscard]] serve::Snapshot decode_snapshot(std::string_view bytes);
+
+void write_snapshot(std::ostream& os, const serve::Snapshot& snapshot);
+
+/// Slurps the stream and decodes. Throws SnapshotDecodeError (including
+/// kTruncated for an unreadable/empty stream).
+[[nodiscard]] serve::Snapshot read_snapshot(std::istream& is);
+
+}  // namespace georank::io

@@ -1,0 +1,177 @@
+#include "serve/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <utility>
+
+namespace georank::serve {
+namespace {
+
+/// Case-insensitive prefix match for header names.
+bool istarts_with(std::string_view text, std::string_view prefix) {
+  if (text.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    char a = text[i];
+    char b = prefix[i];
+    if (a >= 'A' && a <= 'Z') a = static_cast<char>(a - 'A' + 'a');
+    if (b >= 'A' && b <= 'Z') b = static_cast<char>(b - 'A' + 'a');
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+HttpClient::~HttpClient() { close(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      leftover_(std::move(other.leftover_)) {}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    leftover_ = std::move(other.leftover_);
+  }
+  return *this;
+}
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  leftover_.clear();
+}
+
+bool HttpClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  host_ = host;
+  port_ = port;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<HttpClientResponse> HttpClient::get(std::string_view target) {
+  if (fd_ < 0) {
+    if (host_.empty() || !connect(host_, port_)) return std::nullopt;
+  }
+  std::string request = "GET " + std::string(target) +
+                        " HTTP/1.1\r\nHost: " + host_ + "\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd_, request.data() + sent, request.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string buf = std::move(leftover_);
+  leftover_.clear();
+  auto fill = [this, &buf]() -> bool {
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) return true;
+      return false;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  };
+
+  std::size_t header_end;
+  while ((header_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    if (!fill()) {
+      close();
+      return std::nullopt;
+    }
+  }
+
+  HttpClientResponse response;
+  std::string_view head = std::string_view(buf).substr(0, header_end);
+  std::string_view status_line = head.substr(0, head.find("\r\n"));
+  // HTTP/1.1 SP status SP reason
+  std::size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || status_line.size() < sp + 4) {
+    close();
+    return std::nullopt;
+  }
+  response.status = (status_line[sp + 1] - '0') * 100 +
+                    (status_line[sp + 2] - '0') * 10 +
+                    (status_line[sp + 3] - '0');
+
+  std::size_t content_length = 0;
+  bool have_length = false;
+  std::size_t line_start = head.find("\r\n");
+  while (line_start != std::string_view::npos && line_start + 2 < head.size()) {
+    line_start += 2;
+    std::size_t line_end = head.find("\r\n", line_start);
+    std::string_view line = head.substr(
+        line_start, line_end == std::string_view::npos ? std::string_view::npos
+                                                       : line_end - line_start);
+    if (istarts_with(line, "content-length:")) {
+      std::string_view value = trim(line.substr(15));
+      content_length = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') break;
+        content_length = content_length * 10 + static_cast<std::size_t>(c - '0');
+      }
+      have_length = true;
+    } else if (istarts_with(line, "connection:")) {
+      response.connection = std::string(trim(line.substr(11)));
+    }
+    line_start = line_end;
+  }
+  if (!have_length) {
+    close();
+    return std::nullopt;  // we only speak Content-Length framing
+  }
+
+  std::size_t body_start = header_end + 4;
+  while (buf.size() < body_start + content_length) {
+    if (!fill()) {
+      close();
+      return std::nullopt;
+    }
+  }
+  response.body = buf.substr(body_start, content_length);
+  leftover_ = buf.substr(body_start + content_length);
+  if (response.connection == "close") close();
+  return response;
+}
+
+}  // namespace georank::serve

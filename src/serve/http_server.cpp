@@ -1,0 +1,326 @@
+#include "serve/http_server.hpp"
+
+#include "serve/json.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace georank::serve {
+namespace {
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+/// ASCII case-insensitive substring search (header field matching).
+bool icontains(std::string_view haystack, std::string_view needle) {
+  auto lower = [](char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  };
+  if (needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    std::size_t j = 0;
+    while (j < needle.size() && lower(haystack[i + j]) == lower(needle[j])) ++j;
+    if (j == needle.size()) return true;
+  }
+  return false;
+}
+
+std::string render_headers(const Response& response, std::size_t body_size,
+                           bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(reason_phrase(response.status)) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  return out;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(RankingService& service, HttpServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.threads == 0) options_.threads = 1;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    throw std::logic_error("HttpServer::start(): already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::invalid_argument("HttpServer: bad bind address '" +
+                                options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::system_error(saved, std::generic_category(), "bind/listen");
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(options_.threads);
+  for (std::size_t i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { accept_loop(); });
+  }
+}
+
+void HttpServer::stop() {
+  running_.store(false, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    // Wakes every worker blocked in accept(); they observe !running_.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  {
+    std::lock_guard lock{conn_mutex_};
+    // Unblock workers parked in recv() on idle keep-alive connections;
+    // an in-flight response still finishes (the fd stays open, only
+    // further reads/writes are cut short).
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener gone (stop() racing) or unrecoverable
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lock{conn_mutex_};
+      active_fds_.insert(fd);
+    }
+    serve_connection(fd);
+    {
+      std::lock_guard lock{conn_mutex_};
+      active_fds_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = options_.read_timeout_ms / 1000;
+  timeout.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+  std::string buf;
+  while (true) {
+    std::size_t header_end = buf.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (buf.size() > options_.max_request_bytes) {
+        parse_errors_.fetch_add(1, std::memory_order_relaxed);
+        Response response{431, "application/json",
+                          R"({"error":"request header block too large"})"};
+        (void)send_all(fd, render_headers(response, response.body.size(),
+                                          /*keep_alive=*/false) +
+                               response.body);
+        return;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n == 0) return;  // client closed
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          timeouts_.fetch_add(1, std::memory_order_relaxed);
+          if (!buf.empty()) {
+            // Mid-request stall: tell the client before hanging up.
+            Response response{408, "application/json",
+                              R"({"error":"request read timed out"})"};
+            (void)send_all(fd, render_headers(response, response.body.size(),
+                                              /*keep_alive=*/false) +
+                                   response.body);
+          }
+        }
+        return;  // timeout on idle keep-alive, reset, or drain shutdown
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    std::string_view head = std::string_view(buf).substr(0, header_end);
+    std::string_view request_line = head.substr(0, head.find("\r\n"));
+    std::string_view headers = head.size() > request_line.size()
+                                   ? head.substr(request_line.size() + 2)
+                                   : std::string_view{};
+
+    // METHOD SP target SP HTTP/1.x
+    std::size_t sp1 = request_line.find(' ');
+    std::size_t sp2 = sp1 == std::string_view::npos
+                          ? std::string_view::npos
+                          : request_line.find(' ', sp1 + 1);
+    Response response;
+    bool head_only = false;
+    bool keep_alive = true;
+    if (sp2 == std::string_view::npos ||
+        !request_line.substr(sp2 + 1).starts_with("HTTP/1.")) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      response = Response{400, "application/json",
+                          R"({"error":"malformed request line"})"};
+      keep_alive = false;
+    } else {
+      std::string_view method = request_line.substr(0, sp1);
+      std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+      if (method != "GET" && method != "HEAD") {
+        response = Response{405, "application/json",
+                            R"({"error":"only GET and HEAD are served"})"};
+      } else {
+        head_only = method == "HEAD";
+        try {
+          response = service_.handle(target);
+          if (target == "/metrics" || target.starts_with("/metrics?")) {
+            response.body += http_metrics_text(stats());
+          }
+        } catch (const std::exception& e) {
+          response = Response{500, "application/json",
+                              "{\"error\":\"" + std::string(e.what()) + "\"}"};
+        }
+      }
+      if (icontains(headers, "connection: close")) keep_alive = false;
+      // We never read request bodies; a request that carries one would
+      // desync the keep-alive framing, so close after answering it.
+      if (icontains(headers, "content-length:")) keep_alive = false;
+    }
+    if (!running_.load(std::memory_order_acquire)) keep_alive = false;
+
+    std::string wire =
+        render_headers(response, response.body.size(), keep_alive);
+    if (!head_only) wire += response.body;
+    bool written = send_all(fd, wire);
+    record_latency(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started)
+                       .count());
+    if (!written || !keep_alive) return;
+    buf.erase(0, header_end + 4);
+  }
+}
+
+bool HttpServer::send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE here instead of a
+    // process-wide SIGPIPE.
+    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void HttpServer::record_latency(double seconds) {
+  std::size_t bucket = HttpServerStats::kBucketBounds.size();
+  for (std::size_t i = 0; i < HttpServerStats::kBucketBounds.size(); ++i) {
+    if (seconds <= HttpServerStats::kBucketBounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  latency_sum_ns_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                            std::memory_order_relaxed);
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats stats;
+  stats.connections = connections_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+  stats.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < stats.latency_buckets.size(); ++i) {
+    cumulative += latency_buckets_[i].load(std::memory_order_relaxed);
+    stats.latency_buckets[i] = cumulative;
+  }
+  stats.latency_sum_seconds =
+      static_cast<double>(latency_sum_ns_.load(std::memory_order_relaxed)) /
+      1e9;
+  return stats;
+}
+
+std::string http_metrics_text(const HttpServerStats& stats) {
+  std::string out;
+  auto line = [&out](std::string_view name, std::uint64_t value) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  line("georank_http_connections_total", stats.connections);
+  line("georank_http_requests_total", stats.requests);
+  line("georank_http_read_timeouts_total", stats.timeouts);
+  line("georank_http_parse_errors_total", stats.parse_errors);
+  for (std::size_t i = 0; i < HttpServerStats::kBucketBounds.size(); ++i) {
+    out += "georank_request_latency_seconds_bucket{le=\"" +
+           json_double(HttpServerStats::kBucketBounds[i]) + "\"} " +
+           std::to_string(stats.latency_buckets[i]) + "\n";
+  }
+  out += "georank_request_latency_seconds_bucket{le=\"+Inf\"} " +
+         std::to_string(stats.latency_buckets.back()) + "\n";
+  out += "georank_request_latency_seconds_sum " +
+         json_double(stats.latency_sum_seconds) + "\n";
+  out += "georank_request_latency_seconds_count " +
+         std::to_string(stats.latency_buckets.back()) + "\n";
+  return out;
+}
+
+}  // namespace georank::serve

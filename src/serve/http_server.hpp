@@ -1,0 +1,124 @@
+// serve::HttpServer — a zero-dependency HTTP/1.1 front end for the
+// RankingService, built directly on POSIX sockets.
+//
+// Design: a fixed pool of worker threads all block in accept() on one
+// listening socket (the kernel wakes exactly one per connection), so
+// concurrency is bounded by the pool size and pending connections are
+// bounded by the listen backlog — no unbounded queues anywhere. Each
+// connection is served keep-alive until the client closes, the read
+// timeout expires, or the server drains. Responses are written with
+// send(MSG_NOSIGNAL), so a client hanging up mid-write surfaces as an
+// error return instead of SIGPIPE killing the process.
+//
+// Shutdown is a graceful drain: stop() closes the listener, shuts down
+// every active connection's socket (which unblocks workers parked in
+// recv), lets in-flight requests finish their response write, and joins
+// the pool. All syscall use in the project is contained to src/serve
+// (georank-lint rule GR024).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "serve/ranking_service.hpp"
+#include "util/thread_safety.hpp"
+
+namespace georank::serve {
+
+struct HttpServerOptions {
+  /// IPv4 address to bind; the default serves loopback only.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral: the kernel picks, port() reports it.
+  std::uint16_t port = 0;
+  /// Fixed worker pool size; also the maximum concurrent connections.
+  std::size_t threads = 4;
+  /// listen() backlog: pending-connection bound.
+  int backlog = 64;
+  /// Per-recv timeout; an idle keep-alive connection is dropped after
+  /// this long.
+  int read_timeout_ms = 5000;
+  /// Requests whose header block exceeds this are rejected (431).
+  std::size_t max_request_bytes = 16 * 1024;
+};
+
+/// Transport-level counters; service-level counters (status classes,
+/// cache) live in RankingService.
+struct HttpServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t parse_errors = 0;
+  /// Request latency histogram (seconds, accept-to-last-byte of the
+  /// response), cumulative per bucket like a Prometheus histogram.
+  static constexpr std::array<double, 7> kBucketBounds = {
+      0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 1.0};
+  std::array<std::uint64_t, kBucketBounds.size() + 1> latency_buckets{};
+  double latency_sum_seconds = 0.0;
+};
+
+class HttpServer {
+ public:
+  HttpServer(RankingService& service, HttpServerOptions options = {});
+  /// Joins the pool (calls stop() if still running).
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and spawns the worker pool. Throws
+  /// std::system_error when the socket/bind/listen fails.
+  void start();
+
+  /// Graceful drain; idempotent, safe from a signal-handling thread.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// The actually bound port (resolves port 0); valid after start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] HttpServerStats stats() const;
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// True when the whole buffer was written (retries short writes).
+  [[nodiscard]] bool send_all(int fd, std::string_view bytes);
+  void record_latency(double seconds);
+
+  RankingService& service_;
+  HttpServerOptions options_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::thread> workers_;
+
+  std::mutex conn_mutex_;
+  /// Sockets currently being served; stop() shuts them down to unblock
+  /// workers parked in recv() on idle keep-alive connections.
+  std::unordered_set<int> active_fds_ GEORANK_GUARDED_BY(conn_mutex_);
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::array<std::atomic<std::uint64_t>,
+             HttpServerStats::kBucketBounds.size() + 1>
+      latency_buckets_{};
+  /// Nanoseconds so the sum can stay a lock-free integer atomic.
+  std::atomic<std::uint64_t> latency_sum_ns_{0};
+};
+
+/// The transport metrics as Prometheus-style text; the server appends
+/// this to the service's /metrics body.
+[[nodiscard]] std::string http_metrics_text(const HttpServerStats& stats);
+
+}  // namespace georank::serve

@@ -1,0 +1,56 @@
+// Minimal JSON writer for the query service's response bodies.
+//
+// Deliberately tiny and dependency-free: an append-only builder with a
+// container stack for comma placement, RFC 8259 string escaping, and
+// shortest-round-trip double formatting via std::to_chars — the same
+// double always renders to the same text, so cached and freshly
+// rendered responses are byte-identical (the loopback torn-response
+// test depends on that).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace georank::serve {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): ", \, control characters -> \uXXXX.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Shortest text that round-trips to exactly `v`; "null" for non-finite
+/// values (JSON has no Inf/NaN).
+[[nodiscard]] std::string json_double(double v);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by a value or container opener.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The finished document. The writer is left empty.
+  [[nodiscard]] std::string take();
+
+ private:
+  /// Emits the separating comma for a new element when needed.
+  void element();
+
+  std::string out_;
+  std::vector<bool> first_;       // per open container: no element yet?
+  bool after_key_ = false;
+};
+
+}  // namespace georank::serve

@@ -1,0 +1,574 @@
+#include "serve/ranking_service.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "serve/json.hpp"
+#include "util/strings.hpp"
+
+namespace georank::serve {
+namespace {
+
+// ------------------------------------------------------------ request URI
+
+/// Decoded query parameters, in request order.
+struct Query {
+  std::vector<std::pair<std::string, std::string>> params;
+
+  [[nodiscard]] const std::string* find(std::string_view key) const {
+    for (const auto& [k, v] : params) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+std::string percent_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() && hex(s[i + 1]) >= 0 &&
+               hex(s[i + 2]) >= 0) {
+      out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+Query parse_query(std::string_view query) {
+  Query q;
+  if (query.empty()) return q;
+  for (std::string_view field : util::split(query, '&')) {
+    if (field.empty()) continue;
+    std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      q.params.emplace_back(percent_decode(field), "");
+    } else {
+      q.params.emplace_back(percent_decode(field.substr(0, eq)),
+                            percent_decode(field.substr(eq + 1)));
+    }
+  }
+  return q;
+}
+
+Response error_response(int status, std::string_view message) {
+  JsonWriter w;
+  w.begin_object().key("error").value(message).end_object();
+  return Response{status, "application/json", w.take()};
+}
+
+constexpr Metric kAllMetrics[] = {Metric::kCci, Metric::kCcn, Metric::kAhi,
+                                  Metric::kAhn};
+
+void write_top_entries(JsonWriter& w, const rank::Ranking& ranking,
+                       std::size_t top_k) {
+  w.begin_array();
+  const std::size_t n = std::min(top_k, ranking.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const rank::ScoredAs& entry = ranking.entries()[i];
+    w.begin_object();
+    w.key("rank").value(static_cast<std::uint64_t>(i + 1));
+    w.key("asn").value(static_cast<std::uint64_t>(entry.asn));
+    w.key("score").value(entry.score);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void write_optional_rank(JsonWriter& w, const std::optional<std::size_t>& rank) {
+  if (rank) {
+    w.value(static_cast<std::uint64_t>(*rank));
+  } else {
+    w.null();
+  }
+}
+
+}  // namespace
+
+std::optional<Metric> parse_metric(std::string_view text) noexcept {
+  std::string lower;
+  for (char c : text) {
+    lower += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+  if (lower == "cci") return Metric::kCci;
+  if (lower == "ccn") return Metric::kCcn;
+  if (lower == "ahi") return Metric::kAhi;
+  if (lower == "ahn") return Metric::kAhn;
+  return std::nullopt;
+}
+
+std::string_view to_string(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kCci: return "cci";
+    case Metric::kCcn: return "ccn";
+    case Metric::kAhi: return "ahi";
+    case Metric::kAhn: return "ahn";
+  }
+  return "?";
+}
+
+const rank::Ranking& ranking_of(const core::CountryMetrics& metrics,
+                                Metric metric) {
+  return core::select_metric(metrics, metric);
+}
+
+RankingService::RankingService(RankingServiceOptions options)
+    : options_(options) {
+  if (options_.history_limit == 0) options_.history_limit = 1;
+}
+
+void RankingService::publish(std::shared_ptr<const Snapshot> snapshot) {
+  {
+    std::lock_guard lock{history_mutex_};
+    history_.push_back(snapshot);
+    while (history_.size() > options_.history_limit) history_.pop_front();
+  }
+  {
+    std::unique_lock lock{current_mutex_};
+    current_ = std::move(snapshot);
+  }
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  // Old-snapshot keys would never be queried again; drop them eagerly
+  // so dead snapshots are not pinned by cached bodies.
+  std::lock_guard lock{cache_mutex_};
+  cache_lru_.clear();
+  cache_index_.clear();
+}
+
+std::shared_ptr<const Snapshot> RankingService::current() const {
+  std::shared_lock lock{current_mutex_};
+  return current_;
+}
+
+RankingService::HistoryPair RankingService::latest_pair() {
+  std::lock_guard lock{history_mutex_};
+  HistoryPair pair;
+  if (history_.empty()) return pair;
+  pair.after = history_.back();
+  pair.before = history_.size() >= 2 ? history_[history_.size() - 2]
+                                     : history_.back();
+  return pair;
+}
+
+std::optional<RankingService::DeltaResult> RankingService::delta(
+    geo::CountryCode country, Metric metric, std::size_t top_k) {
+  HistoryPair pair = latest_pair();
+  if (!pair.after) return std::nullopt;
+  const core::CountryMetrics* before = pair.before->find(country);
+  const core::CountryMetrics* after = pair.after->find(country);
+  if (before == nullptr && after == nullptr) return std::nullopt;
+  static const rank::Ranking kEmpty;
+  DeltaResult result;
+  result.before_id = pair.before->meta.id;
+  result.after_id = pair.after->meta.id;
+  result.delta = core::compare_rankings(
+      before != nullptr ? ranking_of(*before, metric) : kEmpty,
+      after != nullptr ? ranking_of(*after, metric) : kEmpty, top_k);
+  return result;
+}
+
+std::optional<core::Timeline> RankingService::timeline(geo::CountryCode country) {
+  std::vector<std::shared_ptr<const Snapshot>> snapshots;
+  {
+    std::lock_guard lock{history_mutex_};
+    snapshots.assign(history_.begin(), history_.end());
+  }
+  std::vector<core::TimelinePoint> points;
+  for (const auto& snapshot : snapshots) {
+    const core::CountryMetrics* metrics = snapshot->find(country);
+    if (metrics == nullptr) continue;
+    core::TimelinePoint point;
+    point.label = snapshot->meta.label.empty()
+                      ? std::to_string(snapshot->meta.id)
+                      : snapshot->meta.label;
+    point.metrics = *metrics;
+    points.push_back(std::move(point));
+  }
+  if (points.empty()) return std::nullopt;
+  return core::Timeline{std::move(points)};
+}
+
+Response RankingService::handle(std::string_view target) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Response response = route(target);
+  if (response.status >= 500) {
+    status_5xx_.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.status >= 400) {
+    status_4xx_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    status_2xx_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+Response RankingService::route(std::string_view target) {
+  std::string_view path = target;
+  std::string_view query;
+  if (std::size_t qmark = target.find('?'); qmark != std::string_view::npos) {
+    path = target.substr(0, qmark);
+    query = target.substr(qmark + 1);
+  }
+  while (path.size() > 1 && path.back() == '/') path.remove_suffix(1);
+
+  if (path == "/metrics") {
+    return Response{200, "text/plain; version=0.0.4", metrics_text()};
+  }
+
+  std::shared_ptr<const Snapshot> snapshot = current();
+  if (path == "/" || path == "" || path == "/v1") {
+    return render_index(snapshot.get());
+  }
+
+  const bool known_route = path == "/v1/rankings" || path == "/v1/health" ||
+                           path == "/v1/delta" ||
+                           path.starts_with("/v1/as/");
+  if (!known_route) return error_response(404, "unknown path");
+  if (snapshot == nullptr) {
+    return error_response(503, "no snapshot published yet");
+  }
+
+  // Cache: every 200 render below is a pure function of (target,
+  // snapshot ids), so the key embeds the ids and a reload simply stops
+  // hitting. Delta depends on the previous snapshot too.
+  std::string key;
+  if (path == "/v1/delta") {
+    HistoryPair pair = latest_pair();
+    key = std::string(target) + "#" +
+          std::to_string(pair.before ? pair.before->meta.id : 0) + "/" +
+          std::to_string(pair.after ? pair.after->meta.id : 0);
+  } else {
+    key = std::string(target) + "#" + std::to_string(snapshot->meta.id);
+  }
+  if (auto cached = cache_get(key)) {
+    return Response{200, "application/json", std::move(*cached)};
+  }
+
+  Response response;
+  if (path == "/v1/rankings") {
+    response = render_rankings(*snapshot, query);
+  } else if (path == "/v1/health") {
+    response = render_health(*snapshot);
+  } else if (path == "/v1/delta") {
+    response = render_delta(query);
+  } else {
+    response = render_as_lookup(*snapshot, path.substr(std::strlen("/v1/as/")));
+  }
+  if (response.status == 200) cache_put(key, response.body);
+  return response;
+}
+
+Response RankingService::render_index(const Snapshot* snapshot) const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("service").value("georank");
+  w.key("snapshot_id");
+  if (snapshot != nullptr) {
+    w.value(snapshot->meta.id);
+  } else {
+    w.null();
+  }
+  w.key("endpoints").begin_array();
+  w.value("/v1/rankings?country=CC[&metric=cci|ccn|ahi|ahn][&k=N]");
+  w.value("/v1/as/{asn}");
+  w.value("/v1/health");
+  w.value("/v1/delta?country=CC[&metric=cci|ccn|ahi|ahn][&top=N]");
+  w.value("/metrics");
+  w.end_array();
+  w.end_object();
+  return Response{200, "application/json", w.take()};
+}
+
+Response RankingService::render_rankings(const Snapshot& snapshot,
+                                         std::string_view query_text) const {
+  Query query = parse_query(query_text);
+  const std::string* country_text = query.find("country");
+  if (country_text == nullptr) {
+    return error_response(400, "missing country parameter");
+  }
+  auto country = geo::CountryCode::parse(*country_text);
+  if (!country) {
+    return error_response(400, "bad country code '" + *country_text + "'");
+  }
+
+  std::optional<Metric> only_metric;
+  if (const std::string* metric_text = query.find("metric")) {
+    only_metric = parse_metric(*metric_text);
+    if (!only_metric) {
+      return error_response(400, "bad metric '" + *metric_text +
+                                     "' (want cci|ccn|ahi|ahn)");
+    }
+  }
+
+  std::size_t top_k = options_.default_top_k;
+  const std::string* k_text = query.find("k");
+  if (k_text == nullptr) k_text = query.find("top");
+  if (k_text != nullptr) {
+    auto k = util::parse_int<std::size_t>(*k_text);
+    if (!k || *k == 0) return error_response(400, "bad k '" + *k_text + "'");
+    top_k = std::min(*k, options_.max_top_k);
+  }
+
+  const core::CountryMetrics* metrics = snapshot.find(*country);
+  if (metrics == nullptr) {
+    return error_response(404,
+                          "no rankings for country " + country->to_string());
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("snapshot_id").value(snapshot.meta.id);
+  w.key("country").value(country->to_string());
+  w.key("confidence").value(robust::to_string(metrics->confidence));
+  w.key("geo_consensus").value(metrics->geo_consensus);
+  w.key("national_vps").value(static_cast<std::uint64_t>(metrics->national_vps));
+  w.key("international_vps")
+      .value(static_cast<std::uint64_t>(metrics->international_vps));
+  w.key("national_addresses").value(metrics->national_addresses);
+  w.key("international_addresses").value(metrics->international_addresses);
+  w.key("rankings").begin_object();
+  for (Metric metric : kAllMetrics) {
+    if (only_metric && metric != *only_metric) continue;
+    w.key(to_string(metric));
+    write_top_entries(w, ranking_of(*metrics, metric), top_k);
+  }
+  w.end_object();
+  w.end_object();
+  return Response{200, "application/json", w.take()};
+}
+
+Response RankingService::render_as_lookup(const Snapshot& snapshot,
+                                          std::string_view asn_text) const {
+  auto asn = util::parse_int<bgp::Asn>(asn_text);
+  if (!asn) {
+    return error_response(400, "bad asn '" + std::string(asn_text) + "'");
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.key("snapshot_id").value(snapshot.meta.id);
+  w.key("asn").value(static_cast<std::uint64_t>(*asn));
+  w.key("countries").begin_array();
+  for (const core::CountryMetrics& metrics : snapshot.countries) {
+    bool any = false;
+    for (Metric metric : kAllMetrics) {
+      if (ranking_of(metrics, metric).rank_of(*asn)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    w.begin_object();
+    w.key("country").value(metrics.country.to_string());
+    w.key("confidence").value(robust::to_string(metrics.confidence));
+    w.key("metrics").begin_array();
+    for (Metric metric : kAllMetrics) {
+      const rank::Ranking& ranking = ranking_of(metrics, metric);
+      auto rank = ranking.rank_of(*asn);
+      if (!rank) continue;
+      w.begin_object();
+      w.key("metric").value(to_string(metric));
+      w.key("rank").value(static_cast<std::uint64_t>(*rank));
+      w.key("score").value(ranking.score_of(*asn));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return Response{200, "application/json", w.take()};
+}
+
+Response RankingService::render_health(const Snapshot& snapshot) const {
+  const robust::HealthReport& health = snapshot.health;
+  JsonWriter w;
+  w.begin_object();
+  w.key("snapshot_id").value(snapshot.meta.id);
+  w.key("policy").begin_object();
+  w.key("min_vps").value(static_cast<std::uint64_t>(health.policy.min_vps));
+  w.key("min_geo_consensus").value(health.policy.min_geo_consensus);
+  w.end_object();
+  w.key("ingest_drop_rate").value(health.ingest_drop_rate);
+  w.key("sanitize_drop_rate").value(health.sanitize_drop_rate);
+  w.key("tiers").begin_object();
+  w.key("high").value(
+      static_cast<std::uint64_t>(health.count(robust::ConfidenceTier::kHigh)));
+  w.key("degraded").value(static_cast<std::uint64_t>(
+      health.count(robust::ConfidenceTier::kDegraded)));
+  w.key("insufficient").value(static_cast<std::uint64_t>(
+      health.count(robust::ConfidenceTier::kInsufficient)));
+  w.end_object();
+  w.key("countries").begin_array();
+  for (const robust::CountryHealth& h : health.countries) {
+    w.begin_object();
+    w.key("country").value(h.country.to_string());
+    w.key("national_vps").value(static_cast<std::uint64_t>(h.national_vps));
+    w.key("international_vps")
+        .value(static_cast<std::uint64_t>(h.international_vps));
+    w.key("accepted_prefixes")
+        .value(static_cast<std::uint64_t>(h.accepted_prefixes));
+    w.key("geolocated_addresses").value(h.geolocated_addresses);
+    w.key("no_consensus_prefixes")
+        .value(static_cast<std::uint64_t>(h.no_consensus_prefixes));
+    w.key("no_consensus_addresses").value(h.no_consensus_addresses);
+    w.key("geo_consensus").value(h.geo_consensus());
+    w.key("national").value(robust::to_string(h.national_tier));
+    w.key("international").value(robust::to_string(h.international_tier));
+    w.key("geo").value(robust::to_string(h.geo_tier));
+    w.key("overall").value(robust::to_string(h.overall));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return Response{200, "application/json", w.take()};
+}
+
+Response RankingService::render_delta(std::string_view query_text) {
+  Query query = parse_query(query_text);
+  const std::string* country_text = query.find("country");
+  if (country_text == nullptr) {
+    return error_response(400, "missing country parameter");
+  }
+  auto country = geo::CountryCode::parse(*country_text);
+  if (!country) {
+    return error_response(400, "bad country code '" + *country_text + "'");
+  }
+  Metric metric = Metric::kCci;
+  if (const std::string* metric_text = query.find("metric")) {
+    auto parsed = parse_metric(*metric_text);
+    if (!parsed) {
+      return error_response(400, "bad metric '" + *metric_text +
+                                     "' (want cci|ccn|ahi|ahn)");
+    }
+    metric = *parsed;
+  }
+  std::size_t top_k = options_.default_top_k;
+  const std::string* top_text = query.find("top");
+  if (top_text == nullptr) top_text = query.find("k");
+  if (top_text != nullptr) {
+    auto k = util::parse_int<std::size_t>(*top_text);
+    if (!k || *k == 0) {
+      return error_response(400, "bad top '" + *top_text + "'");
+    }
+    top_k = std::min(*k, options_.max_top_k);
+  }
+
+  std::optional<DeltaResult> result = delta(*country, metric, top_k);
+  if (!result) {
+    return error_response(404, "no rankings for country " +
+                                   country->to_string() +
+                                   " in any retained snapshot");
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("country").value(country->to_string());
+  w.key("metric").value(to_string(metric));
+  w.key("top").value(static_cast<std::uint64_t>(top_k));
+  w.key("before_snapshot_id").value(result->before_id);
+  w.key("after_snapshot_id").value(result->after_id);
+  w.key("shifts").begin_array();
+  for (const core::RankShift& shift : result->delta.shifts) {
+    w.begin_object();
+    w.key("asn").value(static_cast<std::uint64_t>(shift.asn));
+    w.key("before_rank");
+    write_optional_rank(w, shift.before_rank);
+    w.key("after_rank");
+    write_optional_rank(w, shift.after_rank);
+    w.key("before_score").value(shift.before_score);
+    w.key("after_score").value(shift.after_score);
+    w.key("rank_change").value(static_cast<std::int64_t>(shift.rank_change()));
+    w.key("score_change").value(shift.score_change());
+    w.key("entered").value(shift.entered());
+    w.key("left").value(shift.left());
+    w.end_object();
+  }
+  w.end_array();
+  auto write_asns = [&w](const std::vector<bgp::Asn>& asns) {
+    w.begin_array();
+    for (bgp::Asn asn : asns) w.value(static_cast<std::uint64_t>(asn));
+    w.end_array();
+  };
+  w.key("entries");
+  write_asns(result->delta.entries());
+  w.key("exits");
+  write_asns(result->delta.exits());
+  w.key("max_movement")
+      .value(static_cast<std::int64_t>(result->delta.max_movement()));
+  w.key("agreement").value(result->delta.agreement());
+  w.end_object();
+  return Response{200, "application/json", w.take()};
+}
+
+std::optional<std::string> RankingService::cache_get(const std::string& key) {
+  if (options_.cache_capacity == 0) return std::nullopt;
+  std::lock_guard lock{cache_mutex_};
+  auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void RankingService::cache_put(const std::string& key, const std::string& body) {
+  if (options_.cache_capacity == 0) return;
+  std::lock_guard lock{cache_mutex_};
+  if (cache_index_.contains(key)) return;  // raced render; first wins
+  cache_lru_.emplace_front(key, body);
+  cache_index_[key] = cache_lru_.begin();
+  while (cache_lru_.size() > options_.cache_capacity) {
+    cache_index_.erase(cache_lru_.back().first);
+    cache_lru_.pop_back();
+  }
+}
+
+ServiceCounters RankingService::counters() const {
+  ServiceCounters c;
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  c.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  c.status_2xx = status_2xx_.load(std::memory_order_relaxed);
+  c.status_4xx = status_4xx_.load(std::memory_order_relaxed);
+  c.status_5xx = status_5xx_.load(std::memory_order_relaxed);
+  c.reloads = reloads_.load(std::memory_order_relaxed);
+  if (auto snapshot = current()) c.active_snapshot_id = snapshot->meta.id;
+  return c;
+}
+
+std::string RankingService::metrics_text() const {
+  ServiceCounters c = counters();
+  std::string out;
+  auto line = [&out](std::string_view name, std::uint64_t value) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  line("georank_requests_total", c.requests);
+  out += "georank_responses_total{class=\"2xx\"} " +
+         std::to_string(c.status_2xx) + "\n";
+  out += "georank_responses_total{class=\"4xx\"} " +
+         std::to_string(c.status_4xx) + "\n";
+  out += "georank_responses_total{class=\"5xx\"} " +
+         std::to_string(c.status_5xx) + "\n";
+  line("georank_cache_hits_total", c.cache_hits);
+  line("georank_cache_misses_total", c.cache_misses);
+  line("georank_snapshot_reloads_total", c.reloads);
+  line("georank_snapshot_active_id", c.active_snapshot_id);
+  return out;
+}
+
+}  // namespace georank::serve

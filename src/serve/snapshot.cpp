@@ -1,0 +1,28 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+
+#include "core/pipeline.hpp"
+
+namespace georank::serve {
+
+const core::CountryMetrics* Snapshot::find(geo::CountryCode country) const {
+  auto it = std::lower_bound(
+      countries.begin(), countries.end(), country,
+      [](const core::CountryMetrics& m, geo::CountryCode c) {
+        return m.country < c;
+      });
+  if (it == countries.end() || it->country != country) return nullptr;
+  return &*it;
+}
+
+Snapshot Snapshot::build(const core::Pipeline& pipeline, SnapshotMeta meta) {
+  Snapshot snapshot;
+  snapshot.meta = std::move(meta);
+  snapshot.countries = pipeline.all_countries();
+  snapshot.health =
+      robust::compute_health(pipeline, pipeline.config().degradation);
+  return snapshot;
+}
+
+}  // namespace georank::serve

@@ -1,0 +1,59 @@
+// serve::Snapshot — the immutable unit the query service publishes.
+//
+// A snapshot is everything a read path needs, precomputed: the full
+// country census (CCI/CCN/AHI/AHN rankings with confidence annotation),
+// the health report behind those annotations, and caller-assigned
+// metadata. Building one runs the expensive half of the system once
+// (sanitize -> store -> parallel census); after that the snapshot is
+// frozen, so readers never take the pipeline's reload lock and a server
+// can boot from a persisted snapshot (io/snapshot_codec.hpp) without
+// touching RIB data at all.
+//
+// Determinism: the library never reads a clock (georank-lint GR002), so
+// snapshot identity — id, created_unix — is an INPUT. The CLI stamps
+// wall-clock time; tests use fixed values; two builds from the same
+// pipeline state and meta are identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/country_rankings.hpp"
+#include "robust/data_health.hpp"
+
+namespace georank::core {
+class Pipeline;
+}
+
+namespace georank::serve {
+
+struct SnapshotMeta {
+  /// Caller-assigned identity; the service's RCU swap and response
+  /// cache key on it, so reloads must change it.
+  std::uint64_t id = 0;
+  /// Caller-provided creation time (seconds since epoch); 0 = unknown.
+  std::uint64_t created_unix = 0;
+  /// Free-form provenance, e.g. the data-set directory or epoch tag.
+  std::string label;
+};
+
+struct Snapshot {
+  SnapshotMeta meta;
+  /// The full census, sorted by country code ascending (the order
+  /// core::Pipeline::all_countries() produces).
+  std::vector<core::CountryMetrics> countries;
+  /// Evidence audit behind the confidence annotations, same policy the
+  /// pipeline used.
+  robust::HealthReport health;
+
+  /// Binary search over `countries`; nullptr when absent.
+  [[nodiscard]] const core::CountryMetrics* find(geo::CountryCode country) const;
+
+  /// Runs the census and health audit over a loaded pipeline. Throws
+  /// std::logic_error (like any pipeline query) when nothing is loaded.
+  [[nodiscard]] static Snapshot build(const core::Pipeline& pipeline,
+                                      SnapshotMeta meta);
+};
+
+}  // namespace georank::serve

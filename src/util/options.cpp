@@ -1,0 +1,65 @@
+#include "util/options.hpp"
+
+#include <vector>
+
+namespace georank::util {
+
+std::optional<Options> Options::parse(int argc, const char* const* argv) {
+  if (argc < 2) return std::nullopt;
+  std::vector<std::string_view> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc - 1));
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return parse(tokens);
+}
+
+std::optional<Options> Options::parse(std::span<const std::string_view> tokens) {
+  if (tokens.empty()) return std::nullopt;
+  Options options;
+  options.command_ = std::string(tokens[0]);
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string_view arg = tokens[i];
+    if (!arg.starts_with("--")) return std::nullopt;
+    std::string key(arg.substr(2));
+    // --key=value binds inline; otherwise the next non-flag token is the
+    // value and a trailing flag is boolean.
+    if (auto eq = key.find('='); eq != std::string::npos) {
+      options.values_.insert_or_assign(key.substr(0, eq), key.substr(eq + 1));
+    } else if (i + 1 < tokens.size() && tokens[i + 1].substr(0, 2) != "--") {
+      options.values_.insert_or_assign(std::move(key), std::string(tokens[++i]));
+    } else {
+      options.values_.insert_or_assign(std::move(key), std::string("1"));
+    }
+  }
+  return options;
+}
+
+std::string Options::get(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool Options::has(const std::string& key) const { return values_.contains(key); }
+
+std::size_t Options::size_or(const std::string& key, std::size_t fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback
+                             : static_cast<std::size_t>(std::stoul(it->second));
+}
+
+std::uint64_t Options::u64_or(const std::string& key, std::uint64_t fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback
+                             : static_cast<std::uint64_t>(std::stoull(it->second));
+}
+
+int Options::int_or(const std::string& key, int fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoi(it->second);
+}
+
+double Options::double_or(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+}  // namespace georank::util

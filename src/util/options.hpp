@@ -1,0 +1,63 @@
+// Command-line option parsing shared by the georank tools.
+//
+// The grammar is the one `georank` has used since its first subcommand:
+//
+//   <argv0> <command> [--key=value | --key value | --flag]...
+//
+// `--key=value` binds inline; otherwise the next token is the value
+// unless it starts with `--`, in which case the key is a boolean flag
+// (stored as "1"). Anything that is not a `--` option is a parse error
+// — subcommands take no positional arguments.
+//
+// Extracted from tools/georank_cli.cpp so the serve/snapshot
+// subcommands (and any future tool) don't re-implement the parser.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace georank::util {
+
+class Options {
+ public:
+  /// Parses `argv[1]` as the command and the rest as options. Returns
+  /// nullopt when there is no command or a token is not a `--` option.
+  [[nodiscard]] static std::optional<Options> parse(int argc,
+                                                    const char* const* argv);
+
+  /// Same grammar over a pre-split token list: `tokens[0]` is the
+  /// command (argv[0] already removed).
+  [[nodiscard]] static std::optional<Options> parse(
+      std::span<const std::string_view> tokens);
+
+  [[nodiscard]] const std::string& command() const noexcept { return command_; }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  // Typed accessors with the CLI's historical semantics: std::stoX on
+  // the raw value, so junk throws std::invalid_argument (mapped to the
+  // operational-error exit code by the tools' top-level handler).
+  [[nodiscard]] std::size_t size_or(const std::string& key,
+                                    std::size_t fallback) const;
+  [[nodiscard]] std::uint64_t u64_or(const std::string& key,
+                                     std::uint64_t fallback) const;
+  [[nodiscard]] int int_or(const std::string& key, int fallback) const;
+  [[nodiscard]] double double_or(const std::string& key, double fallback) const;
+
+  [[nodiscard]] std::size_t option_count() const noexcept {
+    return values_.size();
+  }
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace georank::util

@@ -31,7 +31,7 @@ bool has_rule(const std::vector<lint::Finding>& findings, std::string_view rule)
 
 TEST(LintRules, TableIsSortedAndComplete) {
   auto all = lint::rules();
-  ASSERT_GE(all.size(), 10u);
+  ASSERT_GE(all.size(), 11u);
   for (std::size_t i = 1; i < all.size(); ++i) {
     EXPECT_LT(all[i - 1].id, all[i].id) << "rule table must stay sorted";
   }
@@ -281,6 +281,52 @@ TEST(LintRules, Gr023FlagsConstCast) {
   auto f = lint::scan_file("src/core/x.cpp",
                            "void f(const int* p) { *const_cast<int*>(p) = 1; }\n");
   EXPECT_TRUE(has_rule(f, "GR023"));
+}
+
+// ---------------------------------------------------------------------------
+// GR024 syscall containment
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, Gr024FlagsSocketCodeOutsideServe) {
+  auto f = lint::scan_file(
+      "src/core/x.cpp",
+      "#include <sys/socket.h>\n"
+      "int open_feed() { return ::socket(2, 1, 0); }\n"
+      "void push(int fd) { ::send(fd, \"x\", 1, 0); }\n");
+  EXPECT_EQ(rule_ids(f), (std::vector<std::string>{"GR024", "GR024", "GR024"}));
+  EXPECT_EQ(f[0].line, 1u);  // the include itself is the first finding
+}
+
+TEST(LintRules, Gr024AllowsServeToolsAndBench) {
+  const char* body =
+      "#include <netinet/in.h>\n"
+      "#include <arpa/inet.h>\n"
+      "int dial() { return ::connect(3, nullptr, 0); }\n";
+  // src/serve IS the transport layer: sockets live there by design.
+  EXPECT_FALSE(has_rule(lint::scan_file("src/serve/http_server.cpp", body),
+                        "GR024"));
+  // CLI binaries and benches may talk to the network directly.
+  EXPECT_FALSE(has_rule(lint::scan_file("tools/georank_cli.cpp", body),
+                        "GR024"));
+  EXPECT_FALSE(has_rule(lint::scan_file("bench/serve.cpp", body), "GR024"));
+}
+
+TEST(LintRules, Gr024IgnoresUnqualifiedNamesAndMembers) {
+  // Member functions and library wrappers named like syscalls are fine;
+  // only ::-qualified raw syscalls (and socket headers) count.
+  auto f = lint::scan_file(
+      "src/core/x.cpp",
+      "void f(Channel& c) { c.send(1); c.connect(); }\n"
+      "int bind(int a) { return a; }\n"
+      "auto b = std::bind(&g, 1);\n");
+  EXPECT_FALSE(has_rule(f, "GR024"));
+}
+
+TEST(LintRules, Gr024SuppressedBySyscallOkTag) {
+  auto f = lint::scan_file(
+      "src/io/x.cpp",
+      "int probe() { return ::socket(2, 1, 0); }  // lint: syscall-ok(feature probe)\n");
+  EXPECT_FALSE(has_rule(f, "GR024"));
 }
 
 // ---------------------------------------------------------------------------

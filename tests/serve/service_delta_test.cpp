@@ -1,0 +1,224 @@
+// Parity between the service's delta/timeline path and the batch
+// machinery it wraps: /v1/delta must report exactly what
+// core::compare_rankings computes over the same two snapshots (the
+// numbers the `georank compare` CLI prints), and timeline() must agree
+// with a core::Timeline built from the same points. Snapshots here come
+// from real pipelines over generated worlds, so the whole
+// build -> publish -> query path is exercised, not just the rendering.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "core/rank_delta.hpp"
+#include "core/timeline.hpp"
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+#include "serve/json.hpp"
+#include "serve/ranking_service.hpp"
+
+namespace georank::serve {
+namespace {
+
+using geo::CountryCode;
+
+/// Two pipelines over the same world, loaded with different RIB spans
+/// (3 vs 5 days of the same feed) — enough churn for a non-trivial
+/// delta while every country stays present.
+struct DeltaFixture {
+  gen::World world;
+  core::Pipeline pipeline_a;
+  core::Pipeline pipeline_b;
+  std::shared_ptr<const Snapshot> snap_a;
+  std::shared_ptr<const Snapshot> snap_b;
+
+  DeltaFixture()
+      : world(gen::InternetGenerator{gen::mini_world_spec(23)}.generate()),
+        pipeline_a(world.geo_db, world.vps, world.asn_registry, world.graph,
+                   make_config(world)),
+        pipeline_b(world.geo_db, world.vps, world.asn_registry, world.graph,
+                   make_config(world)) {
+    gen::NoiseSpec noise;
+    pipeline_a.load(gen::RibGenerator{world, noise, 5}.generate(3));
+    pipeline_b.load(gen::RibGenerator{world, noise, 5}.generate(5));
+    snap_a = std::make_shared<Snapshot>(
+        Snapshot::build(pipeline_a, SnapshotMeta{10, 100, "epoch-a"}));
+    snap_b = std::make_shared<Snapshot>(
+        Snapshot::build(pipeline_b, SnapshotMeta{11, 200, "epoch-b"}));
+  }
+
+  static core::PipelineConfig make_config(const gen::World& w) {
+    core::PipelineConfig config;
+    config.sanitizer.clique = w.clique;
+    config.sanitizer.route_server_asns = w.route_servers;
+    return config;
+  }
+};
+
+const DeltaFixture& fixture() {
+  static const DeltaFixture shared;
+  return shared;
+}
+
+CountryCode shared_country() {
+  // Any country present in both snapshots; mini worlds always rank AU.
+  CountryCode au = CountryCode::of("AU");
+  EXPECT_NE(fixture().snap_a->find(au), nullptr);
+  EXPECT_NE(fixture().snap_b->find(au), nullptr);
+  return au;
+}
+
+void expect_same_delta(const core::RankDelta& expected,
+                       const core::RankDelta& actual) {
+  ASSERT_EQ(expected.shifts.size(), actual.shifts.size());
+  for (std::size_t i = 0; i < expected.shifts.size(); ++i) {
+    const core::RankShift& e = expected.shifts[i];
+    const core::RankShift& a = actual.shifts[i];
+    EXPECT_EQ(e.asn, a.asn);
+    EXPECT_EQ(e.before_rank, a.before_rank);
+    EXPECT_EQ(e.after_rank, a.after_rank);
+    EXPECT_EQ(e.before_score, a.before_score);  // bit-exact, same inputs
+    EXPECT_EQ(e.after_score, a.after_score);
+  }
+  EXPECT_EQ(expected.entries(), actual.entries());
+  EXPECT_EQ(expected.exits(), actual.exits());
+  EXPECT_EQ(expected.max_movement(), actual.max_movement());
+  EXPECT_EQ(expected.agreement(), actual.agreement());
+}
+
+TEST(ServiceDelta, MatchesBatchCompareRankingsForEveryMetric) {
+  const DeltaFixture& f = fixture();
+  RankingService service;
+  service.publish(f.snap_a);
+  service.publish(f.snap_b);
+  CountryCode country = shared_country();
+
+  for (Metric metric :
+       {Metric::kCci, Metric::kCcn, Metric::kAhi, Metric::kAhn}) {
+    auto result = service.delta(country, metric, 10);
+    ASSERT_TRUE(result.has_value()) << to_string(metric);
+    EXPECT_EQ(result->before_id, 10u);
+    EXPECT_EQ(result->after_id, 11u);
+    // The reference computation is exactly what `georank compare` runs
+    // over two exported ranking files.
+    core::RankDelta expected = core::compare_rankings(
+        ranking_of(*f.snap_a->find(country), metric),
+        ranking_of(*f.snap_b->find(country), metric), 10);
+    expect_same_delta(expected, result->delta);
+  }
+}
+
+TEST(ServiceDelta, SinglePublishComparesSnapshotToItself) {
+  RankingService service;
+  service.publish(fixture().snap_a);
+  auto result = service.delta(shared_country(), Metric::kCci, 10);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->before_id, result->after_id);
+  EXPECT_TRUE(result->delta.entries().empty());
+  EXPECT_TRUE(result->delta.exits().empty());
+  EXPECT_EQ(result->delta.max_movement(), 0);
+  EXPECT_EQ(result->delta.agreement(), 1.0);
+}
+
+TEST(ServiceDelta, NoSnapshotOrUnknownCountryIsEmpty) {
+  RankingService empty;
+  EXPECT_FALSE(empty.delta(CountryCode::of("AU"), Metric::kCci, 10).has_value());
+  RankingService service;
+  service.publish(fixture().snap_a);
+  EXPECT_FALSE(service.delta(CountryCode::of("ZZ"), Metric::kCci, 10).has_value());
+  EXPECT_FALSE(service.timeline(CountryCode::of("ZZ")).has_value());
+}
+
+TEST(ServiceDelta, DeltaEndpointRendersTheSameNumbers) {
+  const DeltaFixture& f = fixture();
+  RankingService service;
+  service.publish(f.snap_a);
+  service.publish(f.snap_b);
+  CountryCode country = shared_country();
+
+  Response r = service.handle("/v1/delta?country=AU&metric=ahi&top=10");
+  ASSERT_EQ(r.status, 200);
+  core::RankDelta expected = core::compare_rankings(
+      ranking_of(*f.snap_a->find(country), Metric::kAhi),
+      ranking_of(*f.snap_b->find(country), Metric::kAhi), 10);
+  // The JSON is rendered with the shared shortest-round-trip formatter,
+  // so the expected values embed verbatim.
+  EXPECT_NE(r.body.find("\"before_snapshot_id\":10"), std::string::npos);
+  EXPECT_NE(r.body.find("\"after_snapshot_id\":11"), std::string::npos);
+  EXPECT_NE(r.body.find("\"agreement\":" + json_double(expected.agreement())),
+            std::string::npos);
+  EXPECT_NE(r.body.find("\"max_movement\":" +
+                        std::to_string(expected.max_movement())),
+            std::string::npos);
+  for (const core::RankShift& shift : expected.shifts) {
+    EXPECT_NE(r.body.find("\"asn\":" + std::to_string(shift.asn)),
+              std::string::npos);
+  }
+  EXPECT_EQ(service.handle("/v1/delta").status, 400);
+  EXPECT_EQ(service.handle("/v1/delta?country=AU&metric=bogus").status, 400);
+  EXPECT_EQ(service.handle("/v1/delta?country=ZZ").status, 404);
+}
+
+TEST(ServiceDelta, TimelineMatchesCoreTimeline) {
+  const DeltaFixture& f = fixture();
+  RankingService service;
+  service.publish(f.snap_a);
+  service.publish(f.snap_b);
+  CountryCode country = shared_country();
+
+  auto timeline = service.timeline(country);
+  ASSERT_TRUE(timeline.has_value());
+  ASSERT_EQ(timeline->points().size(), 2u);
+  EXPECT_EQ(timeline->points()[0].label, "epoch-a");
+  EXPECT_EQ(timeline->points()[1].label, "epoch-b");
+
+  core::Timeline expected{{{"epoch-a", *f.snap_a->find(country)},
+                           {"epoch-b", *f.snap_b->find(country)}}};
+  for (core::TimelineMetric metric :
+       {core::TimelineMetric::kCci, core::TimelineMetric::kAhn}) {
+    auto expected_traj = expected.trajectories(metric, 10);
+    auto actual_traj = timeline->trajectories(metric, 10);
+    ASSERT_EQ(expected_traj.size(), actual_traj.size());
+    for (std::size_t i = 0; i < expected_traj.size(); ++i) {
+      EXPECT_EQ(expected_traj[i].asn, actual_traj[i].asn);
+      EXPECT_EQ(expected_traj[i].ranks, actual_traj[i].ranks);
+      EXPECT_EQ(expected_traj[i].scores, actual_traj[i].scores);
+    }
+    // And the pairwise timeline delta is the service delta.
+    auto service_delta = service.delta(country, metric, 10);
+    ASSERT_TRUE(service_delta.has_value());
+    auto timeline_deltas = timeline->deltas(metric, 10);
+    ASSERT_EQ(timeline_deltas.size(), 1u);
+    EXPECT_EQ(timeline_deltas[0].agreement(), service_delta->delta.agreement());
+    EXPECT_EQ(timeline_deltas[0].max_movement(),
+              service_delta->delta.max_movement());
+  }
+}
+
+TEST(ServiceDelta, HistoryIsBoundedAndOrdered) {
+  RankingServiceOptions options;
+  options.history_limit = 2;
+  RankingService service{options};
+  const DeltaFixture& f = fixture();
+  auto relabel = [&](std::uint64_t id) {
+    auto copy = std::make_shared<Snapshot>(*f.snap_a);
+    copy->meta.id = id;
+    copy->meta.label = "gen-" + std::to_string(id);
+    return copy;
+  };
+  service.publish(relabel(1));
+  service.publish(relabel(2));
+  service.publish(relabel(3));
+  auto result = service.delta(shared_country(), Metric::kCci, 5);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->before_id, 2u);  // snapshot 1 aged out
+  EXPECT_EQ(result->after_id, 3u);
+  auto timeline = service.timeline(shared_country());
+  ASSERT_TRUE(timeline.has_value());
+  ASSERT_EQ(timeline->points().size(), 2u);
+  EXPECT_EQ(timeline->points()[0].label, "gen-2");
+}
+
+}  // namespace
+}  // namespace georank::serve

@@ -1,0 +1,103 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+namespace georank::util {
+namespace {
+
+std::optional<Options> parse(std::initializer_list<std::string_view> tokens) {
+  std::vector<std::string_view> v{tokens};
+  return Options::parse(v);
+}
+
+TEST(OptionsTest, ParsesCommandAndInlineValues) {
+  auto opts = parse({"rank", "--dir=data", "--country=AU"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->command(), "rank");
+  EXPECT_EQ(opts->get("dir"), "data");
+  EXPECT_EQ(opts->get("country"), "AU");
+  EXPECT_EQ(opts->option_count(), 2u);
+}
+
+TEST(OptionsTest, SpaceSeparatedValueBindsToPrecedingKey) {
+  auto opts = parse({"rank", "--dir", "data", "--top", "25"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->get("dir"), "data");
+  EXPECT_EQ(opts->get("top"), "25");
+}
+
+TEST(OptionsTest, TrailingFlagAndFlagBeforeOptionAreBoolean) {
+  auto opts = parse({"sanitize", "--strict", "--dir", "data", "--mini"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_TRUE(opts->has("strict"));
+  EXPECT_EQ(opts->get("strict"), "1");
+  EXPECT_EQ(opts->get("mini"), "1");
+  EXPECT_EQ(opts->get("dir"), "data");
+}
+
+TEST(OptionsTest, PositionalTokenIsAParseError) {
+  EXPECT_FALSE(parse({"rank", "data"}).has_value());
+  EXPECT_FALSE(parse({"rank", "--dir", "data", "stray"}).has_value());
+}
+
+TEST(OptionsTest, EmptyInputIsAParseError) {
+  EXPECT_FALSE(parse({}).has_value());
+  std::array<const char*, 1> argv{"georank"};
+  EXPECT_FALSE(Options::parse(1, argv.data()).has_value());
+}
+
+TEST(OptionsTest, ArgcArgvEntryPointSkipsArgv0) {
+  std::array<const char*, 4> argv{"georank", "serve", "--port", "8080"};
+  auto opts = Options::parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->command(), "serve");
+  EXPECT_EQ(opts->get("port"), "8080");
+}
+
+TEST(OptionsTest, GetFallsBackWhenMissing) {
+  auto opts = parse({"health", "--dir=data"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->get("csv", "no"), "no");
+  EXPECT_FALSE(opts->has("csv"));
+}
+
+TEST(OptionsTest, TypedAccessors) {
+  auto opts = parse({"robustness", "--seed=42", "--trials", "3",
+                     "--threshold=0.75", "--days=-2"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->u64_or("seed", 0), 42u);
+  EXPECT_EQ(opts->size_or("trials", 0), 3u);
+  EXPECT_DOUBLE_EQ(opts->double_or("threshold", 0.0), 0.75);
+  EXPECT_EQ(opts->int_or("days", 0), -2);
+  EXPECT_EQ(opts->u64_or("absent", 9), 9u);
+  EXPECT_EQ(opts->size_or("absent", 9), 9u);
+  EXPECT_DOUBLE_EQ(opts->double_or("absent", 0.5), 0.5);
+  EXPECT_EQ(opts->int_or("absent", -1), -1);
+}
+
+TEST(OptionsTest, TypedAccessorThrowsOnJunkLikeStoi) {
+  auto opts = parse({"rank", "--top=lots"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_THROW((void)opts->size_or("top", 1), std::invalid_argument);
+  EXPECT_THROW((void)opts->double_or("top", 1.0), std::invalid_argument);
+}
+
+TEST(OptionsTest, LastValueWinsOnRepeatedKey) {
+  auto opts = parse({"rank", "--dir=a", "--dir=b"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->get("dir"), "b");
+  EXPECT_EQ(opts->option_count(), 1u);
+}
+
+TEST(OptionsTest, InlineValueMayContainEqualsAndDashes) {
+  auto opts = parse({"serve", "--label=run=3--final"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->get("label"), "run=3--final");
+}
+
+}  // namespace
+}  // namespace georank::util

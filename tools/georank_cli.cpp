@@ -11,6 +11,9 @@
 //   health     per-country data-health audit (VPs, geo consensus, tiers)
 //   robustness fault-injection sweep: NDCG drift under dropped VPs,
 //                corrupted geo blocks and lost paths
+//   snapshot   precompute all-country rankings + health into a binary
+//                snapshot file (FORMATS.md "Ranking snapshot")
+//   serve      boot the HTTP query service over one or more snapshots
 //
 // The generate output is exactly what the other subcommands consume, so
 //   georank generate --out data/ && georank rank --dir data/ --country AU
@@ -24,13 +27,17 @@
 //   3  parse failure (strict-mode parse error, or no parsable RIB data)
 //   4  empty result (query ran but produced nothing)
 //   5  --fail-on-drop-rate threshold exceeded
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -48,8 +55,13 @@
 #include "io/as_rel.hpp"
 #include "io/geo_csv.hpp"
 #include "io/rankings_csv.hpp"
+#include "io/snapshot_codec.hpp"
 #include "robust/data_health.hpp"
 #include "robust/fault_plan.hpp"
+#include "serve/http_server.hpp"
+#include "serve/ranking_service.hpp"
+#include "serve/snapshot.hpp"
+#include "util/options.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -65,40 +77,9 @@ constexpr int kExitParseFailure = 3;
 constexpr int kExitEmptyResult = 4;
 constexpr int kExitDropRate = 5;
 
-struct Args {
-  std::string command;
-  std::map<std::string, std::string> options;
-
-  [[nodiscard]] std::string get(const std::string& key,
-                                const std::string& fallback = "") const {
-    auto it = options.find(key);
-    return it == options.end() ? fallback : it->second;
-  }
-  [[nodiscard]] bool has(const std::string& key) const {
-    return options.contains(key);
-  }
-};
-
-std::optional<Args> parse_args(int argc, char** argv) {
-  if (argc < 2) return std::nullopt;
-  Args args;
-  args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string_view arg = argv[i];
-    if (!arg.starts_with("--")) return std::nullopt;
-    std::string key(arg.substr(2));
-    // --key=value binds inline; otherwise the next non-flag token is the
-    // value and a trailing flag is boolean.
-    if (auto eq = key.find('='); eq != std::string::npos) {
-      args.options[key.substr(0, eq)] = key.substr(eq + 1);
-    } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
-      args.options[key] = argv[++i];
-    } else {
-      args.options[key] = "1";  // boolean flag
-    }
-  }
-  return args;
-}
+// The --key=value parser lives in util/options.hpp so the serve and
+// snapshot machinery (and future binaries) share one grammar.
+using Args = util::Options;
 
 int usage() {
   std::fprintf(stderr,
@@ -120,6 +101,11 @@ int usage() {
                " [--trials N] [--seed N] [--top N]\n"
                "                     [--vp-steps a,b,..] [--geo-steps x,y,..]"
                " [--path-steps x,y,..] [--vp-target CC] [--csv] [--out FILE]\n"
+               "  georank snapshot   --dir DIR --out FILE [--id N]"
+               " [--label STR] [--infer] [--strict]\n"
+               "  georank serve      --snapshot FILE[,FILE...] | --dir DIR"
+               " [--port N] [--bind ADDR]\n"
+               "                     [--threads N] [--cache N] [--history N]\n"
                "common: --key=value and --key value both work;"
                " --fail-on-drop-rate=PCT exits %d when the sanitize or\n"
                "ingest layer drops more than PCT%% of its input"
@@ -179,9 +165,8 @@ int cmd_generate(const Args& args) {
   gen::Epoch epoch = args.get("epoch", "2021") == "2023"
                          ? gen::Epoch::kMarch2023
                          : gen::Epoch::kApril2021;
-  auto seed = static_cast<std::uint64_t>(
-      std::stoull(args.get("seed", "20210401")));
-  int days = std::stoi(args.get("days", "5"));
+  std::uint64_t seed = args.u64_or("seed", 20210401);
+  int days = args.int_or("days", 5);
 
   gen::WorldSpec spec = args.has("mini") ? gen::mini_world_spec(seed)
                                          : gen::default_world_spec(epoch, seed);
@@ -354,12 +339,9 @@ std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationship
 /// DegradationPolicy for the confidence annotation.
 robust::DegradationPolicy degradation_from_args(const Args& args) {
   robust::DegradationPolicy policy;
-  if (args.has("min-vps")) {
-    policy.min_vps = static_cast<std::size_t>(std::stoul(args.get("min-vps")));
-  }
-  if (args.has("min-geo-consensus")) {
-    policy.min_geo_consensus = std::stod(args.get("min-geo-consensus"));
-  }
+  policy.min_vps = args.size_or("min-vps", policy.min_vps);
+  policy.min_geo_consensus =
+      args.double_or("min-geo-consensus", policy.min_geo_consensus);
   return policy;
 }
 
@@ -412,7 +394,7 @@ int cmd_sanitize(const Args& args) {
   if (!data) return fail_code;
 
   // --samples N captures audit examples per rejection category.
-  auto samples = static_cast<std::size_t>(std::stoul(args.get("samples", "0")));
+  auto samples = args.size_or("samples", 0);
   core::PipelineConfig config;
   config.sanitizer.route_server_asns = data->route_servers;
   config.sanitizer.samples_per_category = samples;
@@ -507,7 +489,7 @@ int cmd_stability(const Args& args) {
   if (!args.has("dir") || !args.has("country")) return usage();
   auto country = geo::CountryCode::parse(args.get("country"));
   if (!country) return usage();
-  double threshold = std::stod(args.get("threshold", "0.9"));
+  double threshold = args.double_or("threshold", 0.9);
 
   int fail_code = kExitError;
   auto data = load_dataset(args.get("dir"), args.has("infer"),
@@ -546,7 +528,7 @@ int cmd_stability(const Args& args) {
 
 int cmd_compare(const Args& args) {
   if (!args.has("before") || !args.has("after")) return usage();
-  auto top_k = static_cast<std::size_t>(std::stoul(args.get("top", "10")));
+  auto top_k = args.size_or("top", 10);
   std::string metric = args.get("metric", "CCI");
 
   // Accepts either a plain ranking CSV (rank,asn,score) or the long-form
@@ -754,9 +736,9 @@ int cmd_robustness(const Args& args) {
   core::Pipeline pipeline = make_pipeline(*data, degradation_from_args(args));
 
   robust::FaultPlan plan = robust::FaultPlan::defaults();
-  plan.seed = static_cast<std::uint64_t>(std::stoull(args.get("seed", "42")));
-  plan.trials = static_cast<std::size_t>(std::stoul(args.get("trials", "3")));
-  plan.top_k = static_cast<std::size_t>(std::stoul(args.get("top", "10")));
+  plan.seed = args.u64_or("seed", 42);
+  plan.trials = args.size_or("trials", 3);
+  plan.top_k = args.size_or("top", 10);
   if (args.has("vp-steps")) {
     auto steps = parse_size_list(args.get("vp-steps"));
     if (!steps) return usage();
@@ -780,7 +762,8 @@ int cmd_robustness(const Args& args) {
 
   std::vector<geo::CountryCode> countries;
   if (args.has("country")) {
-    for (std::string_view field : util::split(args.get("country"), ',')) {
+    const std::string country_list = args.get("country");
+    for (std::string_view field : util::split(country_list, ',')) {
       auto cc = geo::CountryCode::parse(std::string(util::trim(field)));
       if (!cc) {
         std::fprintf(stderr, "bad country code '%s'\n",
@@ -852,20 +835,148 @@ int cmd_robustness(const Args& args) {
   return check_drop_rate(args, data->ingest_stats, pipeline.sanitized().stats);
 }
 
+// ------------------------------------------------------------- snapshot
+
+/// Builds a serve::Snapshot from a data-set directory: the full batch
+/// pipeline (all-country rankings + health report), frozen with a
+/// caller-visible identity. The id defaults to the wall clock so
+/// successive snapshots of a living feed order naturally (tools/ is
+/// outside the GR002 determinism scope; pass --id for reproducibility).
+std::optional<serve::Snapshot> build_snapshot(const Args& args, int* fail_code) {
+  auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"),
+                           fail_code);
+  if (!data) return std::nullopt;
+  core::Pipeline pipeline = make_pipeline(*data, degradation_from_args(args));
+
+  auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  serve::SnapshotMeta meta;
+  meta.id = args.u64_or("id", now);
+  meta.created_unix = now;
+  meta.label = args.get("label");
+  serve::Snapshot snapshot = serve::Snapshot::build(pipeline, std::move(meta));
+  if (snapshot.countries.empty()) {
+    std::fprintf(stderr, "no geolocated evidence in this data set\n");
+    if (fail_code) *fail_code = kExitEmptyResult;
+    return std::nullopt;
+  }
+  return snapshot;
+}
+
+int cmd_snapshot(const Args& args) {
+  if (!args.has("dir") || !args.has("out")) return usage();
+  int fail_code = kExitError;
+  auto snapshot = build_snapshot(args, &fail_code);
+  if (!snapshot) return fail_code;
+  std::ofstream os{args.get("out"), std::ios::binary};
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", args.get("out").c_str());
+    return kExitError;
+  }
+  io::write_snapshot(os, *snapshot);
+  if (!os.flush()) {
+    std::fprintf(stderr, "short write to %s\n", args.get("out").c_str());
+    return kExitError;
+  }
+  std::printf("wrote snapshot id %llu (%zu countries) to %s\n",
+              static_cast<unsigned long long>(snapshot->meta.id),
+              snapshot->countries.size(), args.get("out").c_str());
+  return kExitOk;
+}
+
+// ---------------------------------------------------------------- serve
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+void handle_serve_signal(int) { g_serve_stop = 1; }
+
+int cmd_serve(const Args& args) {
+  if (!args.has("snapshot") && !args.has("dir")) return usage();
+
+  serve::RankingServiceOptions service_options;
+  service_options.cache_capacity = args.size_or("cache", 256);
+  service_options.history_limit = args.size_or("history", 8);
+  serve::RankingService service{service_options};
+
+  if (args.has("snapshot")) {
+    const std::string snapshot_list = args.get("snapshot");
+    for (std::string_view field : util::split(snapshot_list, ',')) {
+      const std::string path{util::trim(field)};
+      try {
+        std::ifstream is{path, std::ios::binary};
+        if (!is) {
+          std::fprintf(stderr, "cannot open %s\n", path.c_str());
+          return kExitError;
+        }
+        auto snapshot =
+            std::make_shared<serve::Snapshot>(io::read_snapshot(is));
+        std::printf("loaded snapshot id %llu (%zu countries) from %s\n",
+                    static_cast<unsigned long long>(snapshot->meta.id),
+                    snapshot->countries.size(), path.c_str());
+        service.publish(std::move(snapshot));
+      } catch (const io::SnapshotDecodeError& e) {
+        std::fprintf(stderr, "rejected snapshot %s: %s\n", path.c_str(),
+                     e.what());
+        return kExitParseFailure;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(), e.what());
+        return kExitError;
+      }
+    }
+  } else {
+    int fail_code = kExitError;
+    auto snapshot = build_snapshot(args, &fail_code);
+    if (!snapshot) return fail_code;
+    service.publish(std::make_shared<serve::Snapshot>(std::move(*snapshot)));
+  }
+
+  serve::HttpServerOptions http_options;
+  http_options.bind_address = args.get("bind", "127.0.0.1");
+  http_options.port = static_cast<std::uint16_t>(args.size_or("port", 8080));
+  http_options.threads = args.size_or("threads", 4);
+  serve::HttpServer server{service, http_options};
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot start server: %s\n", e.what());
+    return kExitError;
+  }
+  std::printf("listening on %s:%u\n", http_options.bind_address.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);  // scripts parse the port from this line
+
+  struct sigaction action{};
+  action.sa_handler = handle_serve_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  while (g_serve_stop == 0) pause();
+
+  std::printf("draining...\n");
+  server.stop();
+  const serve::HttpServerStats stats = server.stats();
+  std::printf("served %llu requests over %llu connections\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.connections));
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto args = parse_args(argc, argv);
+  auto args = util::Options::parse(argc, argv);
   if (!args) return usage();
   try {
-    if (args->command == "generate") return cmd_generate(*args);
-    if (args->command == "sanitize") return cmd_sanitize(*args);
-    if (args->command == "rank") return cmd_rank(*args);
-    if (args->command == "stability") return cmd_stability(*args);
-    if (args->command == "compare") return cmd_compare(*args);
-    if (args->command == "infer") return cmd_infer(*args);
-    if (args->command == "health") return cmd_health(*args);
-    if (args->command == "robustness") return cmd_robustness(*args);
+    if (args->command() == "generate") return cmd_generate(*args);
+    if (args->command() == "sanitize") return cmd_sanitize(*args);
+    if (args->command() == "rank") return cmd_rank(*args);
+    if (args->command() == "stability") return cmd_stability(*args);
+    if (args->command() == "compare") return cmd_compare(*args);
+    if (args->command() == "infer") return cmd_infer(*args);
+    if (args->command() == "health") return cmd_health(*args);
+    if (args->command() == "robustness") return cmd_robustness(*args);
+    if (args->command() == "snapshot") return cmd_snapshot(*args);
+    if (args->command() == "serve") return cmd_serve(*args);
   } catch (const bgp::MrtParseError& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
     return kExitParseFailure;

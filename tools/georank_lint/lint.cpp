@@ -14,7 +14,7 @@ namespace {
 // Rule table
 // ---------------------------------------------------------------------------
 
-constexpr std::array<RuleInfo, 10> kRules{{
+constexpr std::array<RuleInfo, 11> kRules{{
     {"GR001", "determinism-rand", "",
      "std::rand()/srand(): unseeded, stdlib-dependent randomness; use util::Pcg32"},
     {"GR002", "determinism-wallclock", "wallclock",
@@ -37,6 +37,9 @@ constexpr std::array<RuleInfo, 10> kRules{{
      "after-C++11 aside, order-dependent results"},
     {"GR023", "concurrency-const-cast", "const-cast-ok",
      "const_cast subverts the const-means-thread-compatible contract"},
+    {"GR024", "syscall-containment", "syscall-ok",
+     "raw socket/network syscalls belong in src/serve (the transport layer); "
+     "move the code there or justify with `// lint: syscall-ok(<why>)`"},
     {"GR030", "include-pragma-once", "",
      "public header must open with #pragma once"},
 }};
@@ -201,6 +204,13 @@ bool in_ordering_scope(std::string_view rel) {
 
 bool is_rng_home(std::string_view rel) {
   return rel == "src/util/rng.hpp" || rel == "src/util/rng.cpp";
+}
+
+/// GR024 applies to library code outside the designated transport layer.
+/// tools/ and bench/ are exempt like the CLI is for GR002: a binary may
+/// talk to the network, the ranking libraries may not.
+bool in_syscall_scope(std::string_view rel) {
+  return starts_with(rel, "src/") && !starts_with(rel, "src/serve/");
 }
 
 // ---------------------------------------------------------------------------
@@ -438,6 +448,24 @@ class FileScanner {
       add(i, "GR023",
           "const_cast breaks the const-is-thread-compatible contract; justify "
           "with `// lint: const-cast-ok(<why>)`");
+    }
+
+    if (in_syscall_scope(rel_)) {
+      // Both the headers and the call sites; `::`-qualified calls only,
+      // so std::bind / a member named send() do not trip the rule.
+      static const std::regex kSocketHeader(
+          R"(#\s*include\s*<(?:sys/socket\.h|netinet/\w+\.h|arpa/inet\.h|netdb\.h|sys/epoll\.h|poll\.h)>)");
+      static const std::regex kSocketCall(
+          R"((?:^|[^\w:])::\s*(?:socket|bind|listen|accept4?|connect|recv(?:from|msg)?|send(?:to|msg)?|setsockopt|getsockopt|getsockname|getaddrinfo|shutdown|epoll_\w+|poll)\s*\()");
+      if (std::regex_search(code, kSocketHeader)) {
+        add(i, "GR024",
+            "network/socket header outside src/serve; the transport layer owns "
+            "all socket I/O");
+      } else if (std::regex_search(code, kSocketCall)) {
+        add(i, "GR024",
+            "raw socket syscall outside src/serve; route through the serve "
+            "transport or justify with `// lint: syscall-ok(<why>)`");
+      }
     }
   }
 

@@ -26,6 +26,10 @@
 //                                 annotation or `// lint: guarded(...)`
 //   GR022 concurrency-static      mutable function-local static state
 //   GR023 concurrency-const-cast  const_cast needs justification
+//   GR024 syscall-containment     raw socket/network syscalls and their
+//                                 headers are contained to src/serve/
+//                                 (the transport layer); elsewhere in
+//                                 src/ they need `// lint: syscall-ok`
 //   GR030 include-pragma-once     public headers must start with
 //                                 #pragma once (self-containment is
 //                                 enforced separately by the generated
