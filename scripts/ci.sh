@@ -13,11 +13,16 @@
 #            CLI, boot `georank serve` on an ephemeral port, curl every
 #            endpoint and assert both the happy-path schema and the
 #            negative status codes (404 unknown country, 400 bad ASN)
+#   scale    internet-preset smoke: generate a 10x world with the CLI
+#            (`--preset internet`), build a snapshot from it under
+#            /usr/bin/time -v, and assert the peak RSS stays under the
+#            sharded pipeline's memory ceiling
 #   tidy     clang-tidy over src/ (opt-in: --clang-tidy; skips politely
 #            when the tool is not installed)
 #
 # Usage: scripts/ci.sh [--skip-asan] [--skip-ubsan] [--skip-tsan]
-#                      [--skip-serve] [--skip-lint] [--clang-tidy]
+#                      [--skip-serve] [--skip-scale] [--skip-lint]
+#                      [--clang-tidy]
 #
 # Each sanitizer stage builds into its own tree (build-asan, build-ubsan,
 # build-tsan) so it never dirties the primary build directory. The
@@ -31,6 +36,7 @@ SKIP_ASAN=0
 SKIP_UBSAN=0
 SKIP_TSAN=0
 SKIP_SERVE=0
+SKIP_SCALE=0
 SKIP_LINT=0
 RUN_TIDY=0
 for arg in "$@"; do
@@ -39,6 +45,7 @@ for arg in "$@"; do
     --skip-ubsan) SKIP_UBSAN=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-serve) SKIP_SERVE=1 ;;
+    --skip-scale) SKIP_SCALE=1 ;;
     --skip-lint) SKIP_LINT=1 ;;
     --clang-tidy) RUN_TIDY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
@@ -126,6 +133,53 @@ if [[ "$SKIP_SERVE" -eq 0 ]]; then
   echo "serve tier OK (port $PORT, ASN $ASN)"
 else
   echo "==> serve stage skipped (--skip-serve)"
+fi
+
+if [[ "$SKIP_SCALE" -eq 0 ]]; then
+  echo "==> scale tier: 10x internet-preset world + snapshot build under RSS ceiling"
+  SCALE_TMP="$(mktemp -d)"
+  trap 'rm -rf "$SCALE_TMP"' EXIT
+
+  ./build/tools/georank generate --out "$SCALE_TMP/world" \
+    --preset internet --scale 10 > /dev/null
+
+  # Ceiling for the snapshot build over the ~850k-path 10x world. The
+  # sharded pipeline peaks well under 2 GB here; a regression that
+  # gathers global rows per country would blow straight through this.
+  SCALE_RSS_CEILING_KB=$((4 * 1024 * 1024))
+  PEAK_KB=""
+  if [[ -x /usr/bin/time ]]; then
+    /usr/bin/time -v -o "$SCALE_TMP/time.log" \
+      ./build/tools/georank snapshot --dir "$SCALE_TMP/world" \
+      --out "$SCALE_TMP/world.grsnap" --id 10 --label scale-smoke > /dev/null
+    PEAK_KB="$(sed -n 's/.*Maximum resident set size (kbytes): //p' "$SCALE_TMP/time.log")"
+  else
+    # No GNU time in this environment: sample the child's VmHWM (it is
+    # monotonic, so the last sample before exit is the peak).
+    ./build/tools/georank snapshot --dir "$SCALE_TMP/world" \
+      --out "$SCALE_TMP/world.grsnap" --id 10 --label scale-smoke > /dev/null &
+    SCALE_PID=$!
+    PEAK_KB=0
+    while kill -0 "$SCALE_PID" 2> /dev/null; do
+      KB="$(sed -n 's/^VmHWM:[[:space:]]*\([0-9]*\).*/\1/p' \
+        "/proc/$SCALE_PID/status" 2> /dev/null || true)"
+      [[ -n "$KB" && "$KB" -gt "$PEAK_KB" ]] && PEAK_KB="$KB"
+      sleep 0.2
+    done
+    wait "$SCALE_PID" || { echo "scale tier FAIL: snapshot build failed"; exit 1; }
+  fi
+  [[ -s "$SCALE_TMP/world.grsnap" ]] \
+    || { echo "scale tier FAIL: no snapshot produced"; exit 1; }
+  [[ -n "$PEAK_KB" ]] || { echo "scale tier FAIL: could not read peak RSS"; exit 1; }
+  if [[ "$PEAK_KB" -gt "$SCALE_RSS_CEILING_KB" ]]; then
+    echo "scale tier FAIL: peak RSS ${PEAK_KB} kB exceeds ceiling ${SCALE_RSS_CEILING_KB} kB"
+    exit 1
+  fi
+  rm -rf "$SCALE_TMP"
+  trap - EXIT
+  echo "scale tier OK (peak RSS ${PEAK_KB} kB, ceiling ${SCALE_RSS_CEILING_KB} kB)"
+else
+  echo "==> scale stage skipped (--skip-scale)"
 fi
 
 if [[ "$RUN_TIDY" -eq 1 ]]; then

@@ -19,6 +19,8 @@
 
 namespace georank::core {
 
+class ShardedPathStore;
+
 struct CountryMetrics {
   geo::CountryCode country;
   rank::Ranking cci, ccn, ahi, ahn;
@@ -69,6 +71,15 @@ class CountryRankings {
   [[nodiscard]] CountryMetrics compute(const PathStore& store,
                                        geo::CountryCode country) const;
   [[nodiscard]] OutboundMetrics compute_outbound(const PathStore& store,
+                                                 geo::CountryCode country) const;
+
+  /// Shard-backed equivalents: the kernels run over ONE country's shard
+  /// (borrowed columns, borrowed precomputed index lists — nothing is
+  /// gathered or copied at all). Bit-identical to the span/PathStore
+  /// overloads: shard rows keep global path order.
+  [[nodiscard]] CountryMetrics compute(const ShardedPathStore& store,
+                                       geo::CountryCode country) const;
+  [[nodiscard]] OutboundMetrics compute_outbound(const ShardedPathStore& store,
                                                  geo::CountryCode country) const;
 
   /// One metric on one prebuilt view (the stability analyses drive this).

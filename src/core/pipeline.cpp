@@ -50,7 +50,54 @@ void Pipeline::load_impl(const bgp::RibCollection& ribs, bgp::MrtParseStats stat
        sanitized_->prefix_geo.no_consensus_by_plurality()) {
     geo_evidence_[country].rejected += tally.addresses;
   }
-  clear_caches();
+  evict_changed_countries();
+}
+
+void Pipeline::evict_changed_countries() {
+  // Per-country digests of the NEW world. The country-query digest folds
+  // geo evidence in because CountryMetrics.confidence/geo_consensus are
+  // computed from it; outbound metrics only see the shard.
+  std::unordered_map<std::uint16_t, std::uint64_t> outbound_digests;
+  std::unordered_map<std::uint16_t, std::uint64_t> country_digests;
+  outbound_digests.reserve(store_->shards().size());
+  country_digests.reserve(store_->shards().size());
+  for (const PathShard& shard : store_->shards()) {
+    const std::uint16_t key = shard.country().raw();
+    outbound_digests.emplace(key, shard.digest());
+    std::uint64_t d = shard.digest();
+    const auto it = geo_evidence_.find(shard.country());
+    const GeoEvidence evidence =
+        it == geo_evidence_.end() ? GeoEvidence{} : it->second;
+    d ^= evidence.accepted + 0x9e3779b97f4a7c15ull + (d << 6) + (d >> 2);
+    d ^= evidence.rejected + 0x9e3779b97f4a7c15ull + (d << 6) + (d >> 2);
+    country_digests.emplace(key, d);
+  }
+
+  // Evict exactly the entries whose digest changed or whose country no
+  // longer has a shard (which also covers cached results for countries
+  // that never had one — those were computed against no evidence and are
+  // cheap to redo). Everything else stays warm across the reload.
+  const auto changed = [](const std::unordered_map<std::uint16_t, std::uint64_t>&
+                              previous,
+                          const std::unordered_map<std::uint16_t, std::uint64_t>&
+                              current,
+                          std::uint16_t key) {
+    const auto now = current.find(key);
+    const auto then = previous.find(key);
+    return now == current.end() || then == previous.end() ||
+           now->second != then->second;
+  };
+  {
+    const std::lock_guard<std::mutex> lock(cache_->mutex);
+    std::erase_if(cache_->country, [&](const auto& entry) {
+      return changed(country_digests_, country_digests, entry.first);
+    });
+    std::erase_if(cache_->outbound, [&](const auto& entry) {
+      return changed(outbound_digests_, outbound_digests, entry.first);
+    });
+  }
+  country_digests_ = std::move(country_digests);
+  outbound_digests_ = std::move(outbound_digests);
 }
 
 void Pipeline::load_text(std::string_view mrt_text) {
@@ -83,7 +130,7 @@ const sanitize::SanitizeResult& Pipeline::sanitized() const {
   return *sanitized_;
 }
 
-const PathStore& Pipeline::store() const {
+const ShardedPathStore& Pipeline::store() const {
   require_loaded("Pipeline::store()");
   return *store_;
 }
@@ -92,6 +139,11 @@ void Pipeline::clear_caches() const {
   const std::lock_guard<std::mutex> lock(cache_->mutex);
   cache_->country.clear();
   cache_->outbound.clear();
+}
+
+Pipeline::CacheStats Pipeline::cache_stats() const {
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  return CacheStats{cache_->country.size(), cache_->outbound.size()};
 }
 
 Pipeline::GeoEvidence Pipeline::geo_evidence(geo::CountryCode country) const {
@@ -148,17 +200,21 @@ std::vector<CountryMetrics> Pipeline::all_countries() const {
   // writer-preferring load(). Each country is therefore atomic against a
   // reload, the census as a whole is not.
   std::vector<geo::CountryCode> countries;
+  std::vector<std::uint64_t> costs;
   {
     const std::shared_lock<std::shared_mutex> reload(cache_->reload);
     require_loaded("Pipeline::all_countries()");
     countries = store_->countries();
+    costs = store_->census_costs();
   }
 
   // Disjoint-slot writes keyed by the (sorted) country list: the output
   // is a pure function of the inputs, independent of scheduling, so the
-  // census is identical for any GEORANK_THREADS value.
+  // census is identical for any GEORANK_THREADS value. The costed
+  // fan-out hands out the biggest shards first so one giant country
+  // cannot end up as the last item on a single worker.
   std::vector<CountryMetrics> out(countries.size());
-  util::parallel_for(countries.size(), [&](std::size_t i) {
+  util::parallel_for_costed(costs, [&](std::size_t i) {
     out[i] = country(countries[i]);
   });
   return out;
@@ -167,22 +223,25 @@ std::vector<CountryMetrics> Pipeline::all_countries() const {
 rank::Ranking Pipeline::global_cone_by_as_count() const {
   const std::shared_lock<std::shared_mutex> reload(cache_->reload);
   require_loaded("Pipeline::global_cone_by_as_count()");
+  // Global queries run over the sanitized rows directly (original path
+  // order, no cross-shard merge), which is exactly the iteration order
+  // the monolithic store's all() produced.
   rank::CustomerCone cone{*relationships_};
-  return cone.compute(store_->all()).by_as_count();
+  return cone.compute(sanitize::PathsView{sanitized_->paths}).by_as_count();
 }
 
 rank::Ranking Pipeline::global_cone_by_addresses() const {
   const std::shared_lock<std::shared_mutex> reload(cache_->reload);
   require_loaded("Pipeline::global_cone_by_addresses()");
   rank::CustomerCone cone{*relationships_};
-  return cone.compute(store_->all()).by_addresses();
+  return cone.compute(sanitize::PathsView{sanitized_->paths}).by_addresses();
 }
 
 rank::Ranking Pipeline::global_hegemony() const {
   const std::shared_lock<std::shared_mutex> reload(cache_->reload);
   require_loaded("Pipeline::global_hegemony()");
   rank::Hegemony hegemony{config_.hegemony};
-  return hegemony.compute(store_->all()).ranking();
+  return hegemony.compute(sanitize::PathsView{sanitized_->paths}).ranking();
 }
 
 rank::Ranking Pipeline::ahc(const rank::AsRegistry& registry,
@@ -190,7 +249,7 @@ rank::Ranking Pipeline::ahc(const rank::AsRegistry& registry,
   const std::shared_lock<std::shared_mutex> reload(cache_->reload);
   require_loaded("Pipeline::ahc()");
   rank::AhcRanking ahc{registry, config_.hegemony};
-  return ahc.compute(store_->all(), country);
+  return ahc.compute(sanitize::PathsView{sanitized_->paths}, country);
 }
 
 rank::Ranking Pipeline::cti(geo::CountryCode country) const {

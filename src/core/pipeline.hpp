@@ -1,13 +1,19 @@
 // End-to-end pipeline (Figure 6): RIB text -> parse -> sanitize ->
-// geolocate -> PathStore -> views -> rankings. This is the library's
-// front door: it owns the wiring so applications configure data sources
-// once and query country metrics from the same sanitized path set.
+// geolocate -> ShardedPathStore -> shard views -> rankings. This is the
+// library's front door: it owns the wiring so applications configure
+// data sources once and query country metrics from the same sanitized
+// path set.
 //
-// load() builds a core::PathStore over the sanitized paths; every query
-// is then an index gather over the store instead of a rescan of the full
-// path set. Per-country results are memoized (keyed by (country, kind)),
-// and all_countries() fans the census out over a thread pool — both are
-// safe to call concurrently from multiple threads.
+// load() builds a core::ShardedPathStore over the sanitized paths; every
+// per-country query then runs over that country's shard (borrowed
+// columns, precomputed index lists) instead of gathering from a global
+// store. Per-country results are memoized with SHARD-GRANULAR eviction:
+// a reload compares each country's shard content digest (plus its geo
+// evidence) against the previous world and only drops the entries that
+// actually changed, so reloading near-identical RIBs keeps the census
+// warm. all_countries() fans out over shards largest-first
+// (util::parallel_for_costed) so one giant country cannot serialize the
+// tail. All queries are safe to call concurrently from multiple threads.
 #pragma once
 
 #include <memory>
@@ -21,7 +27,7 @@
 #include "bgp/mrt_stream.hpp"
 #include "bgp/mrt_text.hpp"
 #include "core/country_rankings.hpp"
-#include "core/path_store.hpp"
+#include "core/sharded_path_store.hpp"
 #include "rank/ahc.hpp"
 #include "rank/cti.hpp"
 #include "robust/confidence.hpp"
@@ -49,7 +55,9 @@ class Pipeline {
            const topo::AsGraph& relationships, PipelineConfig config = {});
 
   /// Ingest RIBs; either form runs the sanitizer immediately, builds the
-  /// PathStore and invalidates all memoized per-country results.
+  /// ShardedPathStore and evicts memoized results for every country
+  /// whose shard content (or geo evidence) changed — unchanged countries
+  /// stay cached.
   ///
   /// Reload safety: load() takes the pipeline's reload lock exclusively,
   /// and every VALUE-returning query (country(), outbound(),
@@ -72,8 +80,8 @@ class Pipeline {
   /// load() is observed either entirely before or entirely after.
   [[nodiscard]] bool loaded() const;
   [[nodiscard]] const sanitize::SanitizeResult& sanitized() const;
-  /// The interned columnar store all queries run against.
-  [[nodiscard]] const PathStore& store() const;
+  /// The sharded columnar store all per-country queries run against.
+  [[nodiscard]] const ShardedPathStore& store() const;
   /// Diagnostics from the most recent load_text()/load_stream();
   /// reset to empty by a plain load() (which has no parse phase).
   [[nodiscard]] const bgp::MrtParseStats& parse_stats() const noexcept {
@@ -92,14 +100,24 @@ class Pipeline {
 
   /// The full census: CountryMetrics for EVERY country with at least one
   /// geolocated prefix, sorted by country code. Computed in parallel
-  /// (util::parallel_for; GEORANK_THREADS caps the workers) with each
-  /// country written to its own slot, so the result is deterministic and
-  /// identical across thread counts. Results land in the same memo cache
-  /// country() uses.
+  /// over shards, largest shard first (util::parallel_for_costed with
+  /// each shard's cost hint; GEORANK_THREADS caps the workers), with
+  /// each country written to its own slot — the result is deterministic
+  /// and identical across thread counts. Results land in the same memo
+  /// cache country() uses.
   [[nodiscard]] std::vector<CountryMetrics> all_countries() const;
 
-  /// Drops all memoized per-country results (load() does this too).
+  /// Drops all memoized per-country results unconditionally (reloads
+  /// instead evict shard-granularly; see load()).
   void clear_caches() const;
+
+  /// Memo-cache occupancy, for tests and ops introspection: how many
+  /// per-country results a reload kept warm.
+  struct CacheStats {
+    std::size_t countries = 0;
+    std::size_t outbounds = 0;
+  };
+  [[nodiscard]] CacheStats cache_stats() const;
 
   /// Global baselines for comparison tables.
   [[nodiscard]] rank::Ranking global_cone_by_as_count() const;    // CCG
@@ -132,8 +150,13 @@ class Pipeline {
 
  private:
   /// Sanitizes outside the reload lock, then swaps the new world — paths,
-  /// store, geo evidence AND parse stats — in under one exclusive hold.
+  /// store, geo evidence AND parse stats — in under one exclusive hold,
+  /// finishing with shard-granular memo eviction.
   void load_impl(const bgp::RibCollection& ribs, bgp::MrtParseStats stats);
+  /// Compares the new world's per-country digests against the previous
+  /// ones and erases only the memo entries whose digest changed (or
+  /// whose country vanished). Called under the exclusive reload lock.
+  void evict_changed_countries();
   /// Throws std::logic_error("<where>: no RIBs loaded") before load().
   void require_loaded(const char* where) const;
   [[nodiscard]] CountryMetrics country_uncached(geo::CountryCode country) const;
@@ -145,10 +168,16 @@ class Pipeline {
   PipelineConfig config_;
   CountryRankings rankings_;
   std::optional<sanitize::SanitizeResult> sanitized_;
-  std::optional<PathStore> store_;
+  std::optional<ShardedPathStore> store_;
   bgp::MrtParseStats parse_stats_;
   std::unordered_map<geo::CountryCode, GeoEvidence, geo::CountryCodeHash>
       geo_evidence_;
+  // Per-country content digests of the CURRENT world, written only under
+  // the exclusive reload lock (like the rest of the world state above).
+  // `country_digests_` folds geo evidence in (CountryMetrics.confidence
+  // depends on it); `outbound_digests_` is the raw shard digest.
+  std::unordered_map<std::uint16_t, std::uint64_t> country_digests_;
+  std::unordered_map<std::uint16_t, std::uint64_t> outbound_digests_;
 
   // Memoized per-country results, keyed by CountryCode::raw(). The mutex
   // only guards map access; metric computation happens outside it, so

@@ -1,0 +1,224 @@
+#include "core/sharded_path_store.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+
+#include "util/parallel_for.hpp"
+
+namespace georank::core {
+
+namespace {
+
+/// FNV-1a over the hop sequence — the same pre-hash PathStore uses, so
+/// the interned dictionary comes out bit-identical to the monolithic
+/// build (full content compare still decides).
+std::uint64_t hash_hops(std::span<const bgp::Asn> hops) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (bgp::Asn hop : hops) {
+    h ^= hop;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  h ^= v;
+  h *= 1099511628211ull;
+}
+
+}  // namespace
+
+ShardedPathStore::ShardedPathStore(
+    std::span<const sanitize::SanitizedPath> paths, std::size_t threads) {
+  const std::size_t n = paths.size();
+  size_ = n;
+
+  // ---- Phase 1: shared hop dictionary (sequential, deterministic).
+  // Identical algorithm to PathStore: hash(hops) pre-selects candidates,
+  // content compare against the arena decides, first occurrence appends.
+  std::vector<sanitize::PathHandle> handles;
+  handles.reserve(n);
+  std::unordered_map<std::uint64_t, std::vector<sanitize::PathHandle>> interned;
+  interned.reserve(n);
+  for (const sanitize::SanitizedPath& sp : paths) {
+    const std::span<const bgp::Asn> hops = sp.path.hops();
+    std::vector<sanitize::PathHandle>& bucket = interned[hash_hops(hops)];
+    const sanitize::PathHandle* found = nullptr;
+    for (const sanitize::PathHandle& cand : bucket) {
+      if (cand.length == hops.size() &&
+          std::equal(hops.begin(), hops.end(), arena_.begin() + cand.offset)) {
+        found = &cand;
+        break;
+      }
+    }
+    if (found != nullptr) {
+      handles.push_back(*found);
+    } else {
+      const sanitize::PathHandle handle{
+          static_cast<std::uint32_t>(arena_.size()),
+          static_cast<std::uint32_t>(hops.size())};
+      arena_.insert(arena_.end(), hops.begin(), hops.end());
+      bucket.push_back(handle);
+      handles.push_back(handle);
+      ++unique_paths_;
+    }
+  }
+
+  // ---- Phase 2a: mark each row's target shard(s), sequentially. A row
+  // lands in its prefix country's shard and, when different, its VP
+  // country's shard; invalid codes never create a shard. Row lists stay
+  // ascending because i is.
+  std::unordered_map<geo::CountryCode, std::vector<std::uint32_t>,
+                     geo::CountryCodeHash>
+      rows_of;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const geo::CountryCode pc = paths[i].prefix_country;
+    const geo::CountryCode vc = paths[i].vp_country;
+    if (pc.valid()) rows_of[pc].push_back(i);
+    if (vc.valid() && vc != pc) rows_of[vc].push_back(i);
+  }
+
+  shard_countries_.reserve(rows_of.size());
+  // lint: ordered(key collection only; sorted immediately below)
+  for (const auto& [cc, _] : rows_of) shard_countries_.push_back(cc);
+  std::sort(shard_countries_.begin(), shard_countries_.end());
+
+  // ---- Phase 2b: gather columns, selection lists, digest and cost per
+  // shard, shard-parallel. Shards are disjoint, so workers share nothing
+  // but read-only inputs.
+  shards_.resize(shard_countries_.size());
+  const bgp::Asn* arena = arena_.data();
+  util::parallel_for(
+      shard_countries_.size(),
+      [&](std::size_t s) {
+        PathShard& sh = shards_[s];
+        const geo::CountryCode cc = shard_countries_[s];
+        const std::vector<std::uint32_t>& rows = rows_of.at(cc);
+        const std::size_t m = rows.size();
+        sh.country_ = cc;
+        sh.arena_ = arena;
+        sh.vp_.reserve(m);
+        sh.vp_country_.reserve(m);
+        sh.prefix_.reserve(m);
+        sh.prefix_country_.reserve(m);
+        sh.weight_.reserve(m);
+        sh.handle_.reserve(m);
+
+        std::uint64_t digest = 14695981039346656037ull;
+        std::uint64_t hop_cost = 0;
+        for (std::uint32_t local = 0; local < m; ++local) {
+          const std::uint32_t g = rows[local];
+          const sanitize::SanitizedPath& sp = paths[g];
+          sh.vp_.push_back(sp.vp);
+          sh.vp_country_.push_back(sp.vp_country);
+          sh.prefix_.push_back(sp.prefix);
+          sh.prefix_country_.push_back(sp.prefix_country);
+          sh.weight_.push_back(sp.weight);
+          sh.handle_.push_back(handles[g]);
+
+          const bool prefix_local = sp.prefix_country == cc;
+          const bool vp_local = sp.vp_country == cc;
+          if (prefix_local) {
+            sh.prefix_rows_.push_back(local);
+            if (vp_local) {
+              sh.national_rows_.push_back(local);
+            } else if (sp.vp_country.valid()) {
+              sh.international_rows_.push_back(local);
+            }
+          }
+          if (vp_local) {
+            sh.vp_rows_.push_back(local);
+            if (sp.prefix_country.valid() && !prefix_local) {
+              sh.outbound_rows_.push_back(local);
+            }
+          }
+
+          // Digest hashes hop CONTENT, never arena offsets — offsets
+          // shift between loads even when this country's paths did not.
+          fnv_mix(digest, sp.vp.ip);
+          fnv_mix(digest, sp.vp.asn);
+          fnv_mix(digest, sp.vp_country.raw());
+          fnv_mix(digest, sp.prefix.address());
+          fnv_mix(digest, sp.prefix.length());
+          fnv_mix(digest, sp.prefix_country.raw());
+          fnv_mix(digest, sp.weight);
+          const std::span<const bgp::Asn> hops = sp.path.hops();
+          fnv_mix(digest, hops.size());
+          for (bgp::Asn hop : hops) fnv_mix(digest, hop);
+          hop_cost += hops.size();
+        }
+        sh.digest_ = digest;
+        sh.cost_ = static_cast<std::uint64_t>(m) + hop_cost;
+      },
+      threads);
+
+  // Census domains, derived from the (sorted) shards so they come out
+  // ascending without another sort.
+  for (const PathShard& sh : shards_) {
+    if (!sh.prefix_rows_.empty()) prefix_countries_.push_back(sh.country_);
+    if (!sh.vp_rows_.empty()) vp_countries_.push_back(sh.country_);
+  }
+}
+
+const PathShard* ShardedPathStore::shard(geo::CountryCode country) const noexcept {
+  const auto it = std::lower_bound(shard_countries_.begin(),
+                                   shard_countries_.end(), country);
+  if (it == shard_countries_.end() || *it != country) return nullptr;
+  return &shards_[static_cast<std::size_t>(it - shard_countries_.begin())];
+}
+
+CountryView ShardedPathStore::national_view(geo::CountryCode country) const {
+  const PathShard* sh = shard(country);
+  if (sh == nullptr) {
+    return CountryView{sanitize::PathColumns{}, std::span<const std::uint32_t>{},
+                       country, ViewKind::kNational};
+  }
+  return sh->national_view();
+}
+
+CountryView ShardedPathStore::international_view(geo::CountryCode country) const {
+  const PathShard* sh = shard(country);
+  if (sh == nullptr) {
+    return CountryView{sanitize::PathColumns{}, std::span<const std::uint32_t>{},
+                       country, ViewKind::kInternational};
+  }
+  return sh->international_view();
+}
+
+CountryView ShardedPathStore::outbound_view(geo::CountryCode country) const {
+  const PathShard* sh = shard(country);
+  if (sh == nullptr) {
+    return CountryView{sanitize::PathColumns{}, std::span<const std::uint32_t>{},
+                       country, ViewKind::kOutbound};
+  }
+  return sh->outbound_view();
+}
+
+CountryView ShardedPathStore::view(geo::CountryCode country,
+                                   ViewKind kind) const {
+  switch (kind) {
+    case ViewKind::kInternational: return international_view(country);
+    case ViewKind::kOutbound: return outbound_view(country);
+    case ViewKind::kNational: break;
+  }
+  return national_view(country);
+}
+
+std::vector<std::uint64_t> ShardedPathStore::census_costs() const {
+  std::vector<std::uint64_t> costs;
+  costs.reserve(prefix_countries_.size());
+  for (geo::CountryCode cc : prefix_countries_) {
+    const PathShard* sh = shard(cc);
+    costs.push_back(sh == nullptr ? 0 : sh->cost());
+  }
+  return costs;
+}
+
+std::uint64_t ShardedPathStore::shard_digest(geo::CountryCode country) const noexcept {
+  const PathShard* sh = shard(country);
+  return sh == nullptr ? 0 : sh->digest();
+}
+
+}  // namespace georank::core

@@ -1,0 +1,115 @@
+// ShardedPathStore: the internet-scale successor to the monolithic
+// PathStore. The sanitized path set is split into per-country shards —
+// one independently-owned column set per country (see path_shard.hpp) —
+// plus ONE shared interned-hop dictionary, so no single contiguous
+// column allocation ever holds the whole world and every layer above
+// (views, rank kernels, census, snapshot, health) works country-local.
+//
+// Build is two-phase:
+//
+//   1. Hop interning is a single deterministic pass over the input in
+//      row order — the exact algorithm PathStore uses (FNV-1a bucket,
+//      full content compare), so the dictionary, unique-path count and
+//      arena are bit-identical to the monolithic build.
+//   2. Shard assignment marks each row's target shard(s) sequentially
+//      (a row lands in its prefix country's shard and, if different,
+//      its VP country's shard; invalid codes never create shards), then
+//      the per-shard column gather, selection lists, digest and cost
+//      hint are built SHARD-PARALLEL via util::parallel_for — shards
+//      are independent, so workers never touch the same memory.
+//
+// Determinism: shard rows keep ascending global row order and the
+// selection lists are ascending, so any metric computed over a shard
+// view accumulates in exactly the order the monolithic store produced —
+// results are bit-identical to PathStore's and independent of the build
+// thread count.
+//
+// Lifetime: the store owns arena + shards; shards and every view
+// derived from them borrow it. Not copyable (shards point into the
+// shared arena); movable (vector buffers are stable across moves).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/path_shard.hpp"
+#include "core/views.hpp"
+#include "geo/country.hpp"
+#include "sanitize/path_view.hpp"
+
+namespace georank::core {
+
+class ShardedPathStore {
+ public:
+  ShardedPathStore() = default;
+  /// Builds the shared dictionary and all shards from the sanitizer's
+  /// output. `paths` is only read during construction. `threads` caps
+  /// the shard-parallel gather (0 = util::default_thread_count()).
+  explicit ShardedPathStore(std::span<const sanitize::SanitizedPath> paths,
+                            std::size_t threads = 0);
+
+  ShardedPathStore(const ShardedPathStore&) = delete;
+  ShardedPathStore& operator=(const ShardedPathStore&) = delete;
+  ShardedPathStore(ShardedPathStore&&) noexcept = default;
+  ShardedPathStore& operator=(ShardedPathStore&&) noexcept = default;
+  ~ShardedPathStore() = default;
+
+  /// Total sanitized rows across the world (rows double-homed into two
+  /// shards count once).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// The shard for `country`, or nullptr when no path touches it (or
+  /// the code is invalid). Shards are sorted by country code.
+  [[nodiscard]] const PathShard* shard(geo::CountryCode country) const noexcept;
+  [[nodiscard]] std::span<const PathShard> shards() const noexcept {
+    return shards_;
+  }
+
+  /// All countries with >= 1 geolocated prefix (sorted ascending) — the
+  /// census domain of Pipeline::all_countries().
+  [[nodiscard]] const std::vector<geo::CountryCode>& countries() const noexcept {
+    return prefix_countries_;
+  }
+  /// All countries hosting >= 1 VP (sorted ascending).
+  [[nodiscard]] const std::vector<geo::CountryCode>& vp_countries() const noexcept {
+    return vp_countries_;
+  }
+
+  // Zero-copy shard-backed views (empty views for unknown countries,
+  // matching PathStore's contract).
+  [[nodiscard]] CountryView national_view(geo::CountryCode country) const;
+  [[nodiscard]] CountryView international_view(geo::CountryCode country) const;
+  [[nodiscard]] CountryView outbound_view(geo::CountryCode country) const;
+  [[nodiscard]] CountryView view(geo::CountryCode country, ViewKind kind) const;
+
+  /// Per-census-country cost hints, parallel to countries() — feeds
+  /// parallel_for_costed so the biggest country is ranked first.
+  [[nodiscard]] std::vector<std::uint64_t> census_costs() const;
+
+  /// Content digest of one country's shard (see PathShard::digest);
+  /// 0 when the country has no shard.
+  [[nodiscard]] std::uint64_t shard_digest(geo::CountryCode country) const noexcept;
+
+  // Interning accounting (shared dictionary; bench/scale reports these).
+  [[nodiscard]] std::size_t unique_path_count() const noexcept {
+    return unique_paths_;
+  }
+  [[nodiscard]] std::size_t arena_hop_count() const noexcept {
+    return arena_.size();
+  }
+
+ private:
+  /// Shared interned-hop dictionary all shards' handles index into.
+  std::vector<bgp::Asn> arena_;
+  /// Sorted by country code; parallel to shard_countries_.
+  std::vector<PathShard> shards_;
+  std::vector<geo::CountryCode> shard_countries_;
+  std::vector<geo::CountryCode> prefix_countries_;
+  std::vector<geo::CountryCode> vp_countries_;
+  std::size_t size_ = 0;
+  std::size_t unique_paths_ = 0;
+};
+
+}  // namespace georank::core

@@ -9,50 +9,69 @@
 
 namespace georank::core {
 
-CountryView::CountryView(const PathStore& store,
+CountryView::CountryView(const sanitize::PathColumns& cols,
                          std::vector<std::uint32_t> indices,
                          geo::CountryCode view_country, ViewKind view_kind)
     : country(view_country),
       kind(view_kind),
-      store_(&store),
-      indices_(std::move(indices)) {
+      cols_(cols),
+      indices_storage_(std::move(indices)),
+      indices_(indices_storage_) {
   rebind();
 }
+
+CountryView::CountryView(const sanitize::PathColumns& cols,
+                         std::span<const std::uint32_t> indices,
+                         geo::CountryCode view_country, ViewKind view_kind)
+    : country(view_country), kind(view_kind), cols_(cols), indices_(indices) {
+  rebind();
+}
+
+CountryView::CountryView(const PathStore& store,
+                         std::vector<std::uint32_t> indices,
+                         geo::CountryCode view_country, ViewKind view_kind)
+    : CountryView(store.columns(), std::move(indices), view_country,
+                  view_kind) {}
 
 CountryView::CountryView(std::shared_ptr<const PathStore> owned,
                          std::vector<std::uint32_t> indices,
                          geo::CountryCode view_country, ViewKind view_kind)
     : country(view_country),
       kind(view_kind),
-      store_(owned.get()),
+      cols_(owned->columns()),
       owned_(std::move(owned)),
-      indices_(std::move(indices)) {
+      indices_storage_(std::move(indices)),
+      indices_(indices_storage_) {
   rebind();
 }
 
 void CountryView::rebind() noexcept {
-  if (store_ != nullptr) {
-    paths_ = store_->over(indices_);
-  } else {
-    paths_ = sanitize::PathsView{};
-  }
+  paths_ = sanitize::PathsView{cols_, indices_};
 }
 
 CountryView::CountryView(const CountryView& other)
     : country(other.country),
       kind(other.kind),
-      store_(other.store_),
+      cols_(other.cols_),
       owned_(other.owned_),
-      indices_(other.indices_) {
+      indices_storage_(other.indices_storage_) {
+  // A copy of a borrowed-index view stays borrowed (the lender outlives
+  // both); a copy of an owned-index view must point at its OWN storage.
+  indices_ = other.indices_storage_.empty() ? other.indices_
+                                            : std::span<const std::uint32_t>(
+                                                  indices_storage_);
   rebind();
 }
 
 CountryView::CountryView(CountryView&& other) noexcept
     : country(other.country),
       kind(other.kind),
-      store_(other.store_),
+      cols_(other.cols_),
       owned_(std::move(other.owned_)),
-      indices_(std::move(other.indices_)) {
+      indices_storage_(std::move(other.indices_storage_)) {
+  indices_ = indices_storage_.empty() ? other.indices_
+                                      : std::span<const std::uint32_t>(
+                                            indices_storage_);
   rebind();
 }
 
@@ -60,9 +79,12 @@ CountryView& CountryView::operator=(const CountryView& other) {
   if (this != &other) {
     country = other.country;
     kind = other.kind;
-    store_ = other.store_;
+    cols_ = other.cols_;
     owned_ = other.owned_;
-    indices_ = other.indices_;
+    indices_storage_ = other.indices_storage_;
+    indices_ = other.indices_storage_.empty()
+                   ? other.indices_
+                   : std::span<const std::uint32_t>(indices_storage_);
     rebind();
   }
   return *this;
@@ -72,9 +94,12 @@ CountryView& CountryView::operator=(CountryView&& other) noexcept {
   if (this != &other) {
     country = other.country;
     kind = other.kind;
-    store_ = other.store_;
+    cols_ = other.cols_;
     owned_ = std::move(other.owned_);
-    indices_ = std::move(other.indices_);
+    indices_storage_ = std::move(other.indices_storage_);
+    indices_ = indices_storage_.empty()
+                   ? other.indices_
+                   : std::span<const std::uint32_t>(indices_storage_);
     rebind();
   }
   return *this;
@@ -99,7 +124,7 @@ std::vector<bgp::VpId> CountryView::vps() const {
   std::unordered_set<bgp::VpId, bgp::VpIdHash> seen;
   std::vector<bgp::VpId> out;
   for (std::uint32_t i : indices_) {
-    if (seen.insert(store_->vp(i)).second) out.push_back(store_->vp(i));
+    if (seen.insert(cols_.vp[i]).second) out.push_back(cols_.vp[i]);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -107,7 +132,7 @@ std::vector<bgp::VpId> CountryView::vps() const {
 
 std::size_t CountryView::vp_count() const {
   std::unordered_set<bgp::VpId, bgp::VpIdHash> seen;
-  for (std::uint32_t i : indices_) seen.insert(store_->vp(i));
+  for (std::uint32_t i : indices_) seen.insert(cols_.vp[i]);
   return seen.size();
 }
 
@@ -115,7 +140,7 @@ std::uint64_t CountryView::address_weight() const {
   std::unordered_set<bgp::Prefix, bgp::PrefixHash> seen;
   std::uint64_t total = 0;
   for (std::uint32_t i : indices_) {
-    if (seen.insert(store_->prefix(i)).second) total += store_->weight(i);
+    if (seen.insert(cols_.prefix[i]).second) total += cols_.weight[i];
   }
   return total;
 }
@@ -125,14 +150,15 @@ CountryView CountryView::restricted_to(std::span<const bgp::VpId> keep) const {
                                                         keep.end());
   std::vector<std::uint32_t> indices;
   for (std::uint32_t i : indices_) {
-    if (keep_set.contains(store_->vp(i))) indices.push_back(i);
+    if (keep_set.contains(cols_.vp[i])) indices.push_back(i);
   }
   CountryView out;
   out.country = country;
   out.kind = kind;
-  out.store_ = store_;
+  out.cols_ = cols_;
   out.owned_ = owned_;
-  out.indices_ = std::move(indices);
+  out.indices_storage_ = std::move(indices);
+  out.indices_ = out.indices_storage_;
   out.rebind();
   return out;
 }
@@ -141,14 +167,15 @@ CountryView CountryView::without_vp(bgp::VpId vp) const {
   std::vector<std::uint32_t> indices;
   indices.reserve(indices_.size());
   for (std::uint32_t i : indices_) {
-    if (!(store_->vp(i) == vp)) indices.push_back(i);
+    if (!(cols_.vp[i] == vp)) indices.push_back(i);
   }
   CountryView out;
   out.country = country;
   out.kind = kind;
-  out.store_ = store_;
+  out.cols_ = cols_;
   out.owned_ = owned_;
-  out.indices_ = std::move(indices);
+  out.indices_storage_ = std::move(indices);
+  out.indices_ = out.indices_storage_;
   out.rebind();
   return out;
 }

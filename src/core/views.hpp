@@ -7,10 +7,17 @@
 //
 // Every country metric is "the corresponding global metric computed on a
 // view". Views used to materialize their path subset (deep-copying every
-// AsPath); they are now INDEX LISTS over an immutable core::PathStore —
-// an O(view size) gather instead of an O(all paths) copy. A view borrows
-// its store (the store must outlive it) unless it was built standalone
-// via from_paths(), in which case it owns a private store internally.
+// AsPath); they are now INDEX LISTS over columnar storage — an O(view
+// size) gather instead of an O(all paths) copy. Since the sharding
+// refactor a view no longer knows (or cares) which store it came from:
+// it binds a sanitize::PathColumns (seven raw pointers) that may address
+// a whole PathStore or one shard of a ShardedPathStore. Shard-backed
+// views can additionally BORROW the shard's precomputed index list, so
+// constructing one allocates nothing at all.
+//
+// Lifetime: a view borrows its columns (and, when borrowed, its index
+// list) — the owning store/shard must outlive it — unless it was built
+// standalone via from_paths(), in which case it owns a private store.
 #pragma once
 
 #include <cstdint>
@@ -35,8 +42,24 @@ class CountryView {
 
   CountryView() = default;
 
-  /// Borrowing view: `store` must outlive this view (and every view
-  /// derived from it via restricted_to/without_vp).
+  /// Borrowing view over any columnar storage (a whole PathStore or one
+  /// shard): `cols`' backing store must outlive this view (and every
+  /// view derived from it via restricted_to/without_vp). `indices` are
+  /// ascending row indices into `cols`.
+  CountryView(const sanitize::PathColumns& cols,
+              std::vector<std::uint32_t> indices, geo::CountryCode country,
+              ViewKind kind);
+
+  /// Zero-copy borrowing view: the index list itself is borrowed too (a
+  /// shard's precomputed selection). Both the columns' backing store and
+  /// the index list must outlive this view; derived subsets and copies
+  /// fall back to owned index storage automatically.
+  CountryView(const sanitize::PathColumns& cols,
+              std::span<const std::uint32_t> indices, geo::CountryCode country,
+              ViewKind kind);
+
+  /// Borrowing view over a whole store (compatibility shorthand for
+  /// {store.columns(), ...}).
   CountryView(const PathStore& store, std::vector<std::uint32_t> indices,
               geo::CountryCode country, ViewKind kind);
 
@@ -69,12 +92,11 @@ class CountryView {
   [[nodiscard]] std::uint64_t address_weight() const;
 
   /// Subset restricted to the given VPs (downsampling). Shares this
-  /// view's store; only the index list is rebuilt.
+  /// view's columns; only the index list is rebuilt.
   [[nodiscard]] CountryView restricted_to(std::span<const bgp::VpId> keep) const;
   /// Leave-one-VP-out subset (vp_bias's influence analysis).
   [[nodiscard]] CountryView without_vp(bgp::VpId vp) const;
 
-  [[nodiscard]] const PathStore* store() const noexcept { return store_; }
   [[nodiscard]] std::span<const std::uint32_t> indices() const noexcept {
     return indices_;
   }
@@ -85,16 +107,23 @@ class CountryView {
               ViewKind kind);
   void rebind() noexcept;
 
-  const PathStore* store_ = nullptr;
+  /// Columns of whichever store/shard backs this view (all null for a
+  /// default-constructed empty view).
+  sanitize::PathColumns cols_{};
   /// Set only for standalone views; keeps the private store alive across
   /// copies and derived subsets.
   std::shared_ptr<const PathStore> owned_;
-  std::vector<std::uint32_t> indices_;
-  /// Cached PathsView over (store_, indices_); rebound on copy/move.
+  /// Owned index storage — empty when the index list is borrowed.
+  std::vector<std::uint32_t> indices_storage_;
+  /// The active selection: points at indices_storage_ when owned, at the
+  /// lender's list when borrowed.
+  std::span<const std::uint32_t> indices_;
+  /// Cached PathsView over (cols_, indices_); rebound on copy/move.
   sanitize::PathsView paths_;
 
  public:
-  // indices_ lives inside the view, so copies/moves must re-point paths_.
+  // indices_storage_ lives inside the view, so copies/moves must re-point
+  // both indices_ and paths_.
   CountryView(const CountryView& other);
   CountryView(CountryView&& other) noexcept;
   CountryView& operator=(const CountryView& other);
@@ -106,8 +135,9 @@ class ViewBuilder {
  public:
   // Span-based builders: filter `all` and copy the matching paths into a
   // standalone view (one pass, one copy). Kept for call sites that have
-  // no PathStore; the zero-copy equivalents live on PathStore itself
-  // (national_view/international_view/outbound_view).
+  // no PathStore; the zero-copy equivalents live on PathStore /
+  // ShardedPathStore themselves (national_view/international_view/
+  // outbound_view).
   [[nodiscard]] static CountryView national(
       std::span<const sanitize::SanitizedPath> all, geo::CountryCode country);
 

@@ -1,0 +1,417 @@
+#include "gen/internet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topo/route_propagation.hpp"
+#include "util/rng.hpp"
+
+namespace georank::gen {
+
+namespace {
+
+constexpr bgp::Asn kFirstAsn = 1000;
+constexpr std::uint32_t kAddressBase = 0x10000000u;  // 16.0.0.0
+constexpr std::uint32_t kVpAddressBase = 0x0A000000u;  // below every geo region
+constexpr bgp::Asn kBogusFirst = 4200000000u;
+constexpr bgp::Asn kBogusLast = 4200999999u;
+
+// SplitMix64 finalizer: the stateless hash behind feed sampling and
+// per-VP tiebreak salts (Pcg32 is for the sequential construction).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Synthetic ISO-like codes "AA", "AB", ... in Zipf-rank order.
+geo::CountryCode code_of(std::size_t k) {
+  const char text[2] = {static_cast<char>('A' + k / 26),
+                        static_cast<char>('A' + k % 26)};
+  return geo::CountryCode::of(std::string_view{text, 2});
+}
+
+/// Splits `total` across Zipf weights 1/(k+1)^0.85 by largest remainder,
+/// then raises every share to `floor_each` (taken from the largest
+/// shares, which can absorb it).
+std::vector<std::size_t> zipf_split(std::size_t total, std::size_t buckets,
+                                    std::size_t floor_each) {
+  std::vector<double> weight(buckets);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < buckets; ++k) {
+    weight[k] = 1.0 / std::pow(static_cast<double>(k + 1), 0.85);
+    sum += weight[k];
+  }
+  std::vector<std::size_t> share(buckets);
+  std::vector<std::pair<double, std::size_t>> remainder(buckets);
+  std::size_t given = 0;
+  for (std::size_t k = 0; k < buckets; ++k) {
+    const double exact = static_cast<double>(total) * weight[k] / sum;
+    share[k] = static_cast<std::size_t>(exact);
+    given += share[k];
+    remainder[k] = {exact - static_cast<double>(share[k]), k};
+  }
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (std::size_t i = 0; given < total; i = (i + 1) % buckets) {
+    ++share[remainder[i].second];
+    ++given;
+  }
+  for (std::size_t k = buckets; k-- > 0;) {
+    while (share[k] < floor_each) {
+      // Take from the largest bucket that can spare one.
+      std::size_t donor = 0;
+      for (std::size_t j = 0; j < buckets; ++j) {
+        if (share[j] > share[donor]) donor = j;
+      }
+      if (share[donor] <= floor_each) break;  // nothing left to move
+      --share[donor];
+      ++share[k];
+    }
+  }
+  return share;
+}
+
+}  // namespace
+
+std::size_t InternetSpec::as_count() const {
+  return std::max<std::size_t>(60, static_cast<std::size_t>(std::llround(750.0 * scale)));
+}
+
+std::size_t InternetSpec::prefix_target() const {
+  return std::max<std::size_t>(
+      as_count(), static_cast<std::size_t>(std::llround(10000.0 * scale)));
+}
+
+std::size_t InternetSpec::country_count() const {
+  const double c = 30.0 * std::pow(std::max(scale, 0.01), 0.35);
+  return std::clamp<std::size_t>(static_cast<std::size_t>(std::llround(c)), 8, 230);
+}
+
+std::size_t InternetSpec::clique_size() const {
+  const double k = 10.0 + 1.5 * std::log2(std::max(scale, 1.0));
+  const std::size_t cap = std::max<std::size_t>(as_count() / 6, 4);
+  return std::min(std::clamp<std::size_t>(
+                      static_cast<std::size_t>(std::llround(k)), 4, 20),
+                  cap);
+}
+
+std::size_t InternetSpec::vp_count() const {
+  const double v = 60.0 * std::pow(std::max(scale, 0.01), 0.4);
+  return std::clamp<std::size_t>(static_cast<std::size_t>(std::llround(v)), 12, 1200);
+}
+
+double InternetSpec::feeds_per_prefix() const { return 8.0; }
+
+InternetSpec internet_spec(double scale, std::uint64_t seed) {
+  InternetSpec spec;
+  spec.scale = scale;
+  spec.seed = seed;
+  return spec;
+}
+
+InternetScaleGenerator::InternetScaleGenerator(InternetSpec spec)
+    : spec_(spec) {}
+
+World InternetScaleGenerator::generate() const {
+  World world;
+  util::Pcg32 root(spec_.seed);
+  util::Pcg32 topo_rng = root.fork();
+  util::Pcg32 prefix_rng = root.fork();
+
+  const std::size_t n_as = spec_.as_count();
+  const std::size_t n_countries = spec_.country_count();
+  const std::size_t n_clique = spec_.clique_size();
+
+  // ---- Countries: Zipf-sized AS populations, largest first. ----------
+  std::vector<geo::CountryCode> countries(n_countries);
+  for (std::size_t k = 0; k < n_countries; ++k) countries[k] = code_of(k);
+  const std::vector<std::size_t> ases_per_country =
+      zipf_split(n_as, n_countries, 2);
+
+  static constexpr const char* kContinents[6] = {"Africa",  "Asia",
+                                                 "Europe",  "N. America",
+                                                 "Oceania", "S. America"};
+  for (std::size_t k = 0; k < n_countries; ++k) {
+    world.continents[countries[k]] = kContinents[k % 6];
+  }
+
+  // ---- AS slots: per country, tier-1s then transits then stubs. ------
+  // The tier-1 clique lives in the largest few countries (round-robin),
+  // matching the concentration of real tier-1 headquarters.
+  struct Slot {
+    bgp::Asn asn = 0;
+    std::size_t country = 0;
+    AsRole role = AsRole::kStub;
+  };
+  const std::size_t clique_homes = std::min<std::size_t>(n_countries, 6);
+  std::vector<std::size_t> tier1_in(n_countries, 0);
+  for (std::size_t i = 0; i < n_clique; ++i) ++tier1_in[i % clique_homes];
+
+  std::vector<Slot> slots;
+  slots.reserve(n_as);
+  std::vector<std::vector<bgp::Asn>> transit_of(n_countries);
+  bgp::Asn next_asn = kFirstAsn;
+  for (std::size_t k = 0; k < n_countries; ++k) {
+    const std::size_t n_k = ases_per_country[k];
+    const std::size_t t1 = std::min(tier1_in[k], n_k > 0 ? n_k - 1 : 0);
+    // ~12% of a country's ASes provide transit (tier-1s count toward it).
+    std::size_t transit = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(0.12 * static_cast<double>(n_k))));
+    transit = std::clamp(transit, t1 + (t1 == 0 ? 1 : 0), n_k);
+    for (std::size_t i = 0; i < n_k; ++i) {
+      Slot s;
+      s.asn = next_asn++;
+      s.country = k;
+      s.role = i < t1            ? AsRole::kTier1
+               : i < transit     ? AsRole::kTier2
+                                 : AsRole::kStub;
+      if (s.role != AsRole::kStub) transit_of[k].push_back(s.asn);
+      slots.push_back(s);
+    }
+  }
+
+  // ---- Topology: clique mesh + preferential attachment. --------------
+  for (const Slot& s : slots) world.graph.add_as(s.asn);
+  std::vector<bgp::Asn> clique;
+  for (const Slot& s : slots) {
+    if (s.role == AsRole::kTier1) clique.push_back(s.asn);
+  }
+  std::sort(clique.begin(), clique.end());
+  for (std::size_t i = 0; i < clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < clique.size(); ++j) {
+      world.graph.add_p2p(clique[i], clique[j]);
+    }
+  }
+  world.clique = clique;
+
+  // Degree-repeated candidate pools: an AS appears once when it becomes
+  // a transit and once more per customer it gains, so provider choice is
+  // proportional to (1 + customer degree) — preferential attachment, the
+  // mechanism behind the measured power-law transit degrees.
+  std::vector<bgp::Asn> global_pool;
+  std::vector<std::vector<bgp::Asn>> country_pool(n_countries);
+  for (const Slot& s : slots) {
+    if (s.role != AsRole::kTier1) continue;
+    for (int r = 0; r < 3; ++r) global_pool.push_back(s.asn);  // head start
+    country_pool[s.country].push_back(s.asn);
+  }
+
+  auto pick_provider = [&](util::Pcg32& rng, const std::vector<bgp::Asn>& pool,
+                           bgp::Asn self) -> bgp::Asn {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const bgp::Asn cand =
+          pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+      if (cand == self) continue;
+      if (world.graph.relationship(self, cand)) continue;
+      return cand;
+    }
+    return 0;
+  };
+
+  std::vector<bgp::Asn> earlier_transits = clique;  // attachment targets so far
+  for (const Slot& s : slots) {
+    if (s.role == AsRole::kTier1) continue;
+    if (s.role == AsRole::kTier2) {
+      const std::size_t want = 1 + (topo_rng.chance(0.45) ? 1 : 0);
+      for (std::size_t p = 0; p < want; ++p) {
+        const bgp::Asn provider = pick_provider(topo_rng, global_pool, s.asn);
+        if (provider == 0) continue;
+        world.graph.add_p2c(provider, s.asn);
+        global_pool.push_back(provider);
+      }
+      // Occasional settlement-free peering with an established transit
+      // in another country.
+      if (topo_rng.chance(0.15) && !earlier_transits.empty()) {
+        const bgp::Asn peer = earlier_transits[topo_rng.below(
+            static_cast<std::uint32_t>(earlier_transits.size()))];
+        if (peer != s.asn && !world.graph.relationship(s.asn, peer)) {
+          world.graph.add_p2p(s.asn, peer);
+        }
+      }
+      global_pool.push_back(s.asn);
+      country_pool[s.country].push_back(s.asn);
+      earlier_transits.push_back(s.asn);
+      continue;
+    }
+    // Stub: 1-3 providers, 70% of picks from the home country's transit
+    // pool; ~5% of links are partial transit (Giotsas et al. 2014).
+    const std::size_t want = 1 + topo_rng.below(3);
+    for (std::size_t p = 0; p < want; ++p) {
+      const std::vector<bgp::Asn>& pool =
+          (topo_rng.chance(0.7) && !country_pool[s.country].empty())
+              ? country_pool[s.country]
+              : global_pool;
+      const bgp::Asn provider = pick_provider(topo_rng, pool, s.asn);
+      if (provider == 0) continue;
+      const double export_fraction =
+          topo_rng.chance(0.05) ? 0.5 : 1.0;
+      world.graph.add_p2c(provider, s.asn, export_fraction);
+      global_pool.push_back(provider);
+    }
+  }
+
+  // ---- AS metadata. --------------------------------------------------
+  for (const Slot& s : slots) {
+    const geo::CountryCode cc = countries[s.country];
+    AsInfo info;
+    const char* tag = s.role == AsRole::kTier1   ? "t1"
+                      : s.role == AsRole::kTier2 ? "tr"
+                                                 : "st";
+    info.name = cc.to_string() + "-" + tag + "-" + std::to_string(s.asn);
+    info.registered = cc;
+    info.home = cc;
+    info.role = s.role;
+    world.as_info[s.asn] = std::move(info);
+    world.as_registry[s.asn] = cc;
+  }
+  world.asn_registry.allocate_range(1, 1000000);
+  world.asn_registry.finalize();
+  world.bogus_asn_first = kBogusFirst;
+  world.bogus_asn_last = kBogusLast;
+
+  // ---- Address plan: per-country /24 budgets (Zipf again), carved as
+  // one contiguous, cleanly geolocated region per country. -------------
+  std::vector<std::size_t> prefix_budget =
+      zipf_split(spec_.prefix_target(), n_countries, 1);
+  for (std::size_t k = 0; k < n_countries; ++k) {
+    // Every AS originates at least one prefix.
+    if (prefix_budget[k] < ases_per_country[k]) {
+      prefix_budget[k] = ases_per_country[k];
+    }
+  }
+
+  std::uint32_t region_base = kAddressBase;
+  std::size_t slot_cursor = 0;
+  world.originations.reserve(spec_.prefix_target());
+  for (std::size_t k = 0; k < n_countries; ++k) {
+    const std::size_t n_k = ases_per_country[k];
+    // One prefix each, then the remainder weighted by role (transit ASes
+    // originate far more address space than stubs).
+    std::vector<std::size_t> count(n_k, 1);
+    std::vector<std::uint32_t> cumulative(n_k);
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < n_k; ++i) {
+      const AsRole role = slots[slot_cursor + i].role;
+      acc += role == AsRole::kTier1 ? 12 : role == AsRole::kTier2 ? 6 : 1;
+      cumulative[i] = acc;
+    }
+    for (std::size_t extra = prefix_budget[k] - n_k; extra > 0; --extra) {
+      const std::uint32_t u = prefix_rng.below(acc);
+      const std::size_t i = static_cast<std::size_t>(
+          std::upper_bound(cumulative.begin(), cumulative.end(), u) -
+          cumulative.begin());
+      ++count[i];
+    }
+    std::uint32_t address = region_base;
+    for (std::size_t i = 0; i < n_k; ++i) {
+      for (std::size_t c = 0; c < count[i]; ++c) {
+        world.originations.push_back(
+            {bgp::Prefix{address, 24}, slots[slot_cursor + i].asn});
+        address += 256;
+      }
+    }
+    world.geo_db.add_range(region_base, address - 1, countries[k]);
+    region_base = address;
+    slot_cursor += n_k;
+  }
+  world.geo_db.finalize();
+
+  // ---- Vantage points: hosted at transit ASes, concentrated in the
+  // largest countries, one single-hop collector per VP country plus a
+  // global multi-hop collector (whose VPs the sanitizer must drop). ----
+  const std::size_t n_vp = spec_.vp_count();
+  world.vps.add_collector({"multihop", countries[0], true});
+  std::vector<bool> has_collector(n_countries, false);
+  std::vector<std::size_t> host_cursor(n_countries, 0);
+  const std::size_t vp_homes = std::min(n_countries, std::max<std::size_t>(n_vp / 3, 1));
+  for (std::size_t i = 0; i < n_vp; ++i) {
+    const std::size_t k = i % vp_homes;
+    const std::vector<bgp::Asn>& hosts = transit_of[k];
+    const bgp::Asn host = hosts[host_cursor[k]++ % hosts.size()];
+    const bool multihop = i % 20 == 19;
+    std::string collector = "multihop";
+    if (!multihop) {
+      collector = "col-" + countries[k].to_string();
+      if (!has_collector[k]) {
+        world.vps.add_collector({collector, countries[k], false});
+        has_collector[k] = true;
+      }
+    }
+    world.vps.register_vp(
+        {kVpAddressBase + static_cast<std::uint32_t>(i), host}, collector);
+  }
+
+  return world;
+}
+
+bgp::RibCollection InternetScaleGenerator::synthesize_ribs(
+    const World& world) const {
+  const auto registrations = world.vps.registrations();  // sorted by VpId
+  const std::size_t n_vp = registrations.size();
+  const std::size_t n_orig = world.originations.size();
+  topo::RoutePropagator propagator(world.graph);
+
+  // Feed thinning (file comment): a (vp, prefix) pair survives when its
+  // hash clears the coverage threshold, plus every prefix keeps one
+  // hash-designated anchor VP so no routed prefix vanishes entirely.
+  const double keep =
+      n_vp == 0 ? 0.0 : std::min(1.0, spec_.feeds_per_prefix() /
+                                          static_cast<double>(n_vp));
+  const std::uint64_t threshold =
+      static_cast<std::uint64_t>(keep * 4294967296.0);
+
+  std::vector<topo::NodeId> origin_node(n_orig);
+  std::vector<std::size_t> anchor_vp(n_orig);
+  for (std::size_t p = 0; p < n_orig; ++p) {
+    origin_node[p] = world.graph.id_of(world.originations[p].origin);
+    anchor_vp[p] =
+        n_vp == 0
+            ? 0
+            : mix64(spec_.seed ^ world.originations[p].prefix.address()) % n_vp;
+  }
+
+  bgp::RibSnapshot first;
+  first.day = 1;
+  std::vector<bgp::Asn> hops;
+  for (std::size_t v = 0; v < n_vp; ++v) {
+    const bgp::VpId vp = registrations[v].first;
+    // One valley-free sweep rooted at the VP's AS serves its whole table.
+    const topo::RoutingTable table =
+        propagator.compute(vp.asn, mix64(spec_.seed ^ vp.asn));
+    for (std::size_t p = 0; p < n_orig; ++p) {
+      const std::uint32_t address = world.originations[p].prefix.address();
+      if (anchor_vp[p] != v &&
+          (mix64((static_cast<std::uint64_t>(vp.ip) << 32) ^ address ^
+                 spec_.seed) &
+           0xffffffffull) >= threshold) {
+        continue;
+      }
+      const bgp::AsPath toward_vp = table.path_from(origin_node[p]);
+      if (toward_vp.empty()) continue;  // origin can't reach this VP
+      hops.assign(toward_vp.hops().begin(), toward_vp.hops().end());
+      std::reverse(hops.begin(), hops.end());  // VP-side first
+      first.entries.push_back(
+          {vp, world.originations[p].prefix, bgp::AsPath{hops}});
+    }
+  }
+
+  bgp::RibCollection ribs;
+  const int days = std::max(spec_.rib_days, 1);
+  ribs.days.reserve(static_cast<std::size_t>(days));
+  for (int d = 1; d <= days; ++d) {
+    bgp::RibSnapshot snapshot = first;
+    snapshot.day = d;
+    ribs.days.push_back(std::move(snapshot));
+  }
+  return ribs;
+}
+
+}  // namespace georank::gen

@@ -1,0 +1,74 @@
+// Internet-scale world preset (`georank generate --preset internet`).
+//
+// The WorldSpec machinery (world_spec.hpp) scripts a few dozen countries
+// with hand-tuned market structure — ideal for validating the paper's
+// scenarios, hopeless at the ROADMAP's internet-scale target. This
+// preset instead grows a topology with the aggregate shape "The
+// Internet AS-Level Topology" (PAPERS.md) measures: a tier-1 clique,
+// preferential-attachment provider selection (so transit degrees come
+// out power-law), Zipf-distributed country sizes, and stub-heavy edges.
+//
+// `scale` is the one knob: scale 1 ≈ 750 ASes / 10k prefixes, scale 100
+// ≈ 75k ASes / 1M prefixes. Everything else (countries, clique, VPs,
+// feed coverage) is derived sublinearly, mirroring how the real
+// Internet grows.
+//
+// RIB synthesis is the part that must change at this size: the default
+// generator roots one valley-free propagation per ORIGINATION, which is
+// O(prefixes x (V+E)) — infeasible at a million prefixes. Here we root
+// one route tree per VP instead (compute(vp_asn)): the best valley-free
+// path from origin o to the VP, reversed, is a valley-free VP-to-origin
+// path, so each VP's whole table costs one O(V+E) sweep. Per-(VP,
+// prefix) feeds are then thinned by a deterministic hash so the average
+// prefix keeps ~feeds_per_prefix() VPs — the partial-feed structure
+// "Measuring Internet Routing from the Most Valuable Points" (PAPERS.md)
+// documents — keeping RIB volume linear in prefixes, not VPs x prefixes.
+//
+// Determinism: everything derives from (scale, seed) through Pcg32 and
+// the VP list is taken in sorted order, so generate() + synthesize_ribs()
+// are bit-identical across runs and platforms.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/route.hpp"
+#include "gen/world.hpp"
+
+namespace georank::gen {
+
+struct InternetSpec {
+  /// World-size multiplier: ASes/prefixes scale linearly, countries,
+  /// clique, VPs and feeds sublinearly.
+  double scale = 1.0;
+  std::uint64_t seed = 0xA5;
+  /// Snapshot days to emit (identical tables per day; the flap/noise
+  /// machinery belongs to the scripted presets).
+  int rib_days = 1;
+
+  [[nodiscard]] std::size_t as_count() const;
+  [[nodiscard]] std::size_t prefix_target() const;
+  [[nodiscard]] std::size_t country_count() const;
+  [[nodiscard]] std::size_t clique_size() const;
+  [[nodiscard]] std::size_t vp_count() const;
+  /// Average number of VP feeds retained per prefix.
+  [[nodiscard]] double feeds_per_prefix() const;
+};
+
+[[nodiscard]] InternetSpec internet_spec(double scale, std::uint64_t seed = 0xA5);
+
+class InternetScaleGenerator {
+ public:
+  explicit InternetScaleGenerator(InternetSpec spec);
+
+  /// Topology, address plan, geolocation DB, VPs — everything but RIBs.
+  [[nodiscard]] World generate() const;
+
+  /// Per-VP-rooted valley-free RIB synthesis over a generated world (see
+  /// file comment). Deterministic for a given (world, spec).
+  [[nodiscard]] bgp::RibCollection synthesize_ribs(const World& world) const;
+
+ private:
+  InternetSpec spec_;
+};
+
+}  // namespace georank::gen

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "core/pipeline.hpp"
+#include "core/sharded_path_store.hpp"
+#include "util/parallel_for.hpp"
 
 namespace georank::robust {
 
@@ -113,15 +115,112 @@ HealthReport compute_health(const HealthInputs& inputs,
   return report;
 }
 
+HealthReport compute_health(const core::ShardedPathStore& store,
+                            const HealthInputs& aux,
+                            const DegradationPolicy& policy) {
+  // Attributed rejections, pre-indexed so the parallel workers only do
+  // read-side lookups.
+  struct Rejection {
+    std::size_t prefixes = 0;
+    std::uint64_t addresses = 0;
+  };
+  std::unordered_map<geo::CountryCode, Rejection, geo::CountryCodeHash> rejected;
+  if (aux.prefix_geo) {
+    for (const auto& [country, tally] : aux.prefix_geo->no_consensus_by_plurality()) {
+      Rejection& r = rejected[country];
+      r.prefixes += tally.prefixes;
+      r.addresses += tally.addresses;
+    }
+  }
+  if (aux.extra_geo_rejections) {
+    // lint: ordered(integer += is exactly commutative)
+    for (const auto& [country, addresses] : *aux.extra_geo_rejections) {
+      rejected[country].addresses += addresses;
+    }
+  }
+
+  const std::vector<geo::CountryCode>& census = store.countries();
+  HealthReport report;
+  report.policy = policy;
+  report.countries.resize(census.size());
+  // One worker per country shard, biggest shard first; each writes its
+  // own slot, so the report is independent of the thread count.
+  util::parallel_for_costed(store.census_costs(), [&](std::size_t i) {
+    const geo::CountryCode cc = census[i];
+    const core::PathShard* shard = store.shard(cc);
+    CountryHealth h;
+    h.country = cc;
+    std::set<bgp::VpId> national_vps;
+    std::set<bgp::VpId> international_vps;
+    std::set<bgp::Prefix> prefixes;
+    for (std::uint32_t row : shard->prefix_rows()) {
+      if (shard->vp_country(row) == cc) {
+        national_vps.insert(shard->vp(row));
+      } else {
+        international_vps.insert(shard->vp(row));
+      }
+      if (prefixes.insert(shard->prefix(row)).second) {
+        h.geolocated_addresses += shard->weight(row);
+      }
+    }
+    h.national_vps = national_vps.size();
+    h.international_vps = international_vps.size();
+    h.accepted_prefixes = prefixes.size();
+    if (const auto it = rejected.find(cc); it != rejected.end()) {
+      h.no_consensus_prefixes = it->second.prefixes;
+      h.no_consensus_addresses = it->second.addresses;
+    }
+    h.national_tier = policy.view_tier(h.national_vps);
+    h.international_tier = policy.view_tier(h.international_vps);
+    h.geo_tier = policy.geo_tier(h.geolocated_addresses, h.no_consensus_addresses);
+    h.overall = policy.country_tier(h.national_vps, h.international_vps,
+                                    h.geolocated_addresses,
+                                    h.no_consensus_addresses);
+    report.countries[i] = h;
+  });
+
+  // Countries with an attributed rejection but no geolocated prefix
+  // still appear in the report (the span overload creates their
+  // accumulator the same way).
+  // lint: ordered(report.countries is sorted by country just below)
+  for (const auto& [country, r] : rejected) {
+    if (!country.valid()) continue;
+    if (std::binary_search(census.begin(), census.end(), country)) continue;
+    CountryHealth h;
+    h.country = country;
+    h.no_consensus_prefixes = r.prefixes;
+    h.no_consensus_addresses = r.addresses;
+    h.national_tier = policy.view_tier(0);
+    h.international_tier = policy.view_tier(0);
+    h.geo_tier = policy.geo_tier(0, h.no_consensus_addresses);
+    h.overall = policy.country_tier(0, 0, 0, h.no_consensus_addresses);
+    report.countries.push_back(h);
+  }
+  std::sort(report.countries.begin(), report.countries.end(),
+            [](const CountryHealth& x, const CountryHealth& y) {
+              return x.country < y.country;
+            });
+
+  if (aux.ingest && aux.ingest->lines > 0) {
+    report.ingest_drop_rate = static_cast<double>(aux.ingest->malformed) /
+                              static_cast<double>(aux.ingest->lines);
+  }
+  if (aux.sanitize && aux.sanitize->total > 0) {
+    report.sanitize_drop_rate =
+        static_cast<double>(aux.sanitize->rejected()) /
+        static_cast<double>(aux.sanitize->total);
+  }
+  return report;
+}
+
 HealthReport compute_health(const core::Pipeline& pipeline,
                             const DegradationPolicy& policy) {
   const sanitize::SanitizeResult& sanitized = pipeline.sanitized();
   HealthInputs inputs;
-  inputs.paths = sanitized.paths;
   inputs.prefix_geo = &sanitized.prefix_geo;
   inputs.sanitize = &sanitized.stats;
   inputs.ingest = &pipeline.parse_stats();
-  return compute_health(inputs, policy);
+  return compute_health(pipeline.store(), inputs, policy);
 }
 
 }  // namespace georank::robust

@@ -26,6 +26,7 @@
 
 namespace georank::core {
 class Pipeline;
+class ShardedPathStore;
 }
 
 namespace georank::robust {
@@ -97,9 +98,20 @@ struct HealthReport {
 [[nodiscard]] HealthReport compute_health(const HealthInputs& inputs,
                                           const DegradationPolicy& policy = {});
 
+/// Shard-parallel equivalent over a prebuilt ShardedPathStore: one
+/// worker per country shard (largest first), so health accounting for
+/// an internet-scale world doesn't run as one serial global pass.
+/// `aux.paths` is ignored — path evidence comes from the shards — but
+/// the other HealthInputs fields are honored. Output is identical to
+/// the span overload run over the store's source paths.
+[[nodiscard]] HealthReport compute_health(const core::ShardedPathStore& store,
+                                          const HealthInputs& aux,
+                                          const DegradationPolicy& policy = {});
+
 /// Convenience overload over a loaded pipeline (throws std::logic_error
 /// like any other pipeline query when nothing is loaded). Uses the
-/// pipeline's sanitize result, geolocation record and ingest stats.
+/// pipeline's sanitize result, geolocation record and ingest stats,
+/// routed through the shard-parallel path above.
 [[nodiscard]] HealthReport compute_health(const core::Pipeline& pipeline,
                                           const DegradationPolicy& policy = {});
 

@@ -17,6 +17,10 @@ const core::CountryMetrics* Snapshot::find(geo::CountryCode country) const {
 }
 
 Snapshot Snapshot::build(const core::Pipeline& pipeline, SnapshotMeta meta) {
+  // Both phases consume the pipeline's per-country shards in parallel:
+  // the census fans out over shards largest-first (all_countries), and
+  // the health report runs one worker per shard (compute_health's
+  // ShardedPathStore path). Nothing here touches global rows.
   Snapshot snapshot;
   snapshot.meta = std::move(meta);
   snapshot.countries = pipeline.all_countries();

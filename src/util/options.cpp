@@ -1,8 +1,16 @@
 #include "util/options.hpp"
 
+#include <cctype>
+#include <limits>
 #include <vector>
 
 namespace georank::util {
+
+OptionParseError::OptionParseError(std::string key, std::string value,
+                                   const std::string& need)
+    : std::invalid_argument("bad --" + key + " '" + value + "': " + need),
+      key_(std::move(key)),
+      value_(std::move(value)) {}
 
 std::optional<Options> Options::parse(int argc, const char* const* argv) {
   if (argc < 2) return std::nullopt;
@@ -60,6 +68,30 @@ int Options::int_or(const std::string& key, int fallback) const {
 double Options::double_or(const std::string& key, double fallback) const {
   auto it = values_.find(key);
   return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+std::size_t Options::thread_count_or(const std::string& key,
+                                     std::size_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& raw = it->second;
+  std::uint64_t parsed = 0;
+  bool ok = !raw.empty();
+  for (char c : raw) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      ok = false;
+      break;
+    }
+    parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+    if (parsed > std::numeric_limits<std::uint32_t>::max()) {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok || parsed == 0) {
+    throw OptionParseError(key, raw, "expected a positive thread count");
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 }  // namespace georank::util

@@ -18,10 +18,28 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 namespace georank::util {
+
+/// Typed parse failure for an option value that does not satisfy its
+/// accessor's grammar (e.g. `--threads 0`). Derives from
+/// std::invalid_argument so the tools' existing operational-error
+/// handler catches it, but carries the key and raw value so the
+/// message can say which option was wrong instead of "stoi".
+class OptionParseError : public std::invalid_argument {
+ public:
+  OptionParseError(std::string key, std::string value, const std::string& need);
+
+  [[nodiscard]] const std::string& key() const noexcept { return key_; }
+  [[nodiscard]] const std::string& value() const noexcept { return value_; }
+
+ private:
+  std::string key_;
+  std::string value_;
+};
 
 class Options {
  public:
@@ -50,6 +68,13 @@ class Options {
                                      std::uint64_t fallback) const;
   [[nodiscard]] int int_or(const std::string& key, int fallback) const;
   [[nodiscard]] double double_or(const std::string& key, double fallback) const;
+
+  /// Strict accessor for thread/worker-count options. The whole value
+  /// must be a decimal integer >= 1: "0", "-4", "8x" and "" all throw
+  /// OptionParseError (size_or's std::stoul semantics silently accept
+  /// every one of those). Returns `fallback` when the key is absent.
+  [[nodiscard]] std::size_t thread_count_or(const std::string& key,
+                                            std::size_t fallback) const;
 
   [[nodiscard]] std::size_t option_count() const noexcept {
     return values_.size();

@@ -1,7 +1,9 @@
 #include "util/parallel_for.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +45,21 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
     });
   }
   for (std::thread& w : workers) w.join();
+}
+
+void parallel_for_costed(std::span<const std::uint64_t> costs,
+                         const std::function<void(std::size_t)>& body,
+                         std::size_t threads) {
+  const std::size_t n = costs.size();
+  if (n == 0) return;
+  // Largest-first issue order: a stable sort keeps equal-cost items in
+  // ascending index order, so the schedule is deterministic.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return costs[a] > costs[b];
+  });
+  parallel_for(n, [&](std::size_t slot) { body(order[slot]); }, threads);
 }
 
 }  // namespace georank::util

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <span>
 
 namespace georank::util {
 
@@ -27,5 +29,17 @@ namespace georank::util {
 /// thrown by it terminate (workers run noexcept loops).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
+
+/// parallel_for with largest-first scheduling: runs body(i) for every
+/// i in [0, costs.size()), but workers pull indices in descending
+/// `costs[i]` order (ties broken by ascending index) instead of
+/// ascending index order. With work-pulling this keeps one expensive
+/// item (a giant country shard) from being picked up last and
+/// serializing the join. Same determinism contract as parallel_for:
+/// order of execution is unspecified, so bodies must write disjoint,
+/// index-addressed slots.
+void parallel_for_costed(std::span<const std::uint64_t> costs,
+                         const std::function<void(std::size_t)>& body,
+                         std::size_t threads = 0);
 
 }  // namespace georank::util

@@ -10,6 +10,10 @@
 #include "gen/internet_generator.hpp"
 #include "gen/rib_generator.hpp"
 #include "gen/scenarios.hpp"
+#include "geo/geo_db.hpp"
+#include "geo/vp_geolocator.hpp"
+#include "sanitize/asn_registry.hpp"
+#include "topo/as_graph.hpp"
 
 namespace georank::core {
 namespace {
@@ -175,15 +179,16 @@ TEST(Pipeline, AllCountriesDeterministicAcrossThreadCounts) {
 
   ASSERT_EQ(setenv("GEORANK_THREADS", "1", 1), 0);
   std::vector<CountryMetrics> serial = pipeline.all_countries();
-  pipeline.clear_caches();
-  ASSERT_EQ(setenv("GEORANK_THREADS", "7", 1), 0);
-  std::vector<CountryMetrics> parallel = pipeline.all_countries();
-  unsetenv("GEORANK_THREADS");
-
-  ASSERT_EQ(serial.size(), parallel.size());
-  for (std::size_t i = 0; i < serial.size(); ++i) {
-    expect_bitwise_equal(serial[i], parallel[i]);
+  for (const char* threads : {"4", "16"}) {
+    pipeline.clear_caches();
+    ASSERT_EQ(setenv("GEORANK_THREADS", threads, 1), 0);
+    std::vector<CountryMetrics> parallel = pipeline.all_countries();
+    ASSERT_EQ(serial.size(), parallel.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      expect_bitwise_equal(serial[i], parallel[i]);
+    }
   }
+  unsetenv("GEORANK_THREADS");
 }
 
 TEST(Pipeline, MemoizedQueriesSurviveReload) {
@@ -198,6 +203,83 @@ TEST(Pipeline, MemoizedQueriesSurviveReload) {
   // so the recomputed result must match too.
   pipeline.load(f.ribs);
   expect_bitwise_equal(first, pipeline.country(CountryCode::of("AU")));
+}
+
+// Hand-built two-country world whose AU and US paths are fully disjoint
+// (distinct VPs, prefixes and ASNs), so a reload that changes one
+// country's RIB entries must evict exactly that country's memo entries
+// and keep the other's warm.
+struct TwoCountryFixture {
+  geo::GeoDatabase geo_db;
+  geo::VpGeolocator vps;
+  sanitize::AsnRegistry registry = sanitize::AsnRegistry::permissive();
+  topo::AsGraph graph;
+  CountryCode au = CountryCode::of("AU");
+  CountryCode us = CountryCode::of("US");
+
+  TwoCountryFixture() {
+    geo_db.add_range(0x0A000000, 0x0A0000FF, au);
+    geo_db.add_range(0x0B000000, 0x0B0000FF, us);
+    geo_db.finalize();
+    vps.add_collector({"au-col", au, false});
+    vps.add_collector({"us-col", us, false});
+    vps.register_vp(bgp::VpId{1, 100}, "au-col");
+    vps.register_vp(bgp::VpId{2, 101}, "us-col");
+    graph.add_p2c(100, 200);
+    graph.add_p2c(101, 201);
+    graph.add_p2c(101, 202);  // only announced by the "grown" US RIB
+  }
+
+  bgp::RibCollection ribs(bool extra_us_prefix) const {
+    bgp::RibSnapshot day;
+    day.day = 1;
+    day.entries.push_back(
+        {bgp::VpId{1, 100}, bgp::Prefix{0x0A000000, 24}, bgp::AsPath{100, 200}});
+    day.entries.push_back(
+        {bgp::VpId{2, 101}, bgp::Prefix{0x0B000000, 24}, bgp::AsPath{101, 201}});
+    if (extra_us_prefix) {
+      day.entries.push_back({bgp::VpId{2, 101}, bgp::Prefix{0x0B000080, 25},
+                             bgp::AsPath{101, 202}});
+    }
+    return bgp::RibCollection{{std::move(day)}};
+  }
+};
+
+TEST(Pipeline, ReloadEvictsOnlyChangedCountries) {
+  TwoCountryFixture f;
+  Pipeline pipeline{f.geo_db, f.vps, f.registry, f.graph, {}};
+  pipeline.load(f.ribs(false));
+  std::vector<CountryMetrics> census = pipeline.all_countries();
+  ASSERT_EQ(census.size(), 2u);
+  ASSERT_EQ(census[0].country, f.au);  // sorted by code
+  (void)pipeline.outbound(f.au);
+  (void)pipeline.outbound(f.us);
+  EXPECT_EQ(pipeline.cache_stats().countries, 2u);
+  EXPECT_EQ(pipeline.cache_stats().outbounds, 2u);
+
+  // Reloading identical RIBs: every shard digest matches, nothing evicted.
+  pipeline.load(f.ribs(false));
+  EXPECT_EQ(pipeline.cache_stats().countries, 2u);
+  EXPECT_EQ(pipeline.cache_stats().outbounds, 2u);
+
+  // Growing the US RIB changes the US shard (and its geo evidence) but
+  // leaves AU's bit-identical: only the US entries are dropped.
+  pipeline.load(f.ribs(true));
+  EXPECT_EQ(pipeline.cache_stats().countries, 1u);
+  EXPECT_EQ(pipeline.cache_stats().outbounds, 1u);
+  expect_bitwise_equal(census[0], pipeline.country(f.au));
+
+  // The recomputed US result sees the extra origin AS behind the /25 in
+  // its national ranking (the fixture has no international paths), and
+  // the cache is full again after the query.
+  CountryMetrics us_after = pipeline.country(f.us);
+  EXPECT_GT(us_after.ccn.size(), census[1].ccn.size());
+  EXPECT_EQ(pipeline.cache_stats().countries, 2u);
+
+  // clear_caches() still empties everything unconditionally.
+  pipeline.clear_caches();
+  EXPECT_EQ(pipeline.cache_stats().countries, 0u);
+  EXPECT_EQ(pipeline.cache_stats().outbounds, 0u);
 }
 
 TEST(Pipeline, CountryMetricsCarryConfidenceAnnotation) {

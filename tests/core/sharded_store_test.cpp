@@ -1,0 +1,264 @@
+#include "core/sharded_path_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "core/country_rankings.hpp"
+#include "core/path_store.hpp"
+#include "core/views.hpp"
+#include "topo/as_graph.hpp"
+
+namespace georank::core {
+namespace {
+
+using bgp::AsPath;
+using bgp::Prefix;
+using geo::CountryCode;
+using sanitize::SanitizedPath;
+
+CountryCode AU = CountryCode::of("AU");
+CountryCode US = CountryCode::of("US");
+CountryCode JP = CountryCode::of("JP");
+
+SanitizedPath mk(std::uint32_t vp_ip, CountryCode vp_cc, AsPath path,
+                 std::uint32_t pfx_index, CountryCode pfx_cc,
+                 std::uint64_t weight = 256) {
+  SanitizedPath sp;
+  sp.vp = bgp::VpId{vp_ip, path.empty() ? 0 : path[0]};
+  sp.vp_country = vp_cc;
+  sp.prefix = Prefix{0x0A000000 + pfx_index * 256, 24};
+  sp.prefix_country = pfx_cc;
+  sp.weight = weight;
+  sp.path = std::move(path);
+  return sp;
+}
+
+/// The PathStore fixture: shared and unique paths across three
+/// countries, plus an un-geolocated VP (invalid country — its row must
+/// land only in its PREFIX country's shard).
+std::vector<SanitizedPath> sample_paths() {
+  return {
+      mk(1, AU, AsPath{100, 50, 200}, 1, AU),
+      mk(2, US, AsPath{101, 50, 200}, 1, AU),
+      mk(2, US, AsPath{101, 50, 200}, 2, US),
+      mk(3, JP, AsPath{102, 60, 201}, 1, AU),
+      mk(1, AU, AsPath{100, 50, 200}, 3, US),
+      mk(4, CountryCode{}, AsPath{103, 60, 202}, 2, US),
+      mk(3, JP, AsPath{102, 60}, 4, JP),
+  };
+}
+
+/// Ground-truth-ish relationships over the fixture's ASNs, enough for
+/// the cone/hegemony kernels to label every link.
+topo::AsGraph sample_graph() {
+  topo::AsGraph g;
+  g.add_p2c(50, 200);
+  g.add_p2c(100, 50);
+  g.add_p2c(101, 50);
+  g.add_p2c(60, 201);
+  g.add_p2c(60, 202);
+  g.add_p2c(102, 60);
+  g.add_p2c(103, 60);
+  g.add_p2p(50, 60);
+  return g;
+}
+
+void expect_same_selection(const CountryView& a, const CountryView& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sanitize::PathRecord ra = a[i], rb = b[i];
+    EXPECT_EQ(ra.vp, rb.vp);
+    EXPECT_EQ(ra.vp_country, rb.vp_country);
+    EXPECT_EQ(ra.prefix, rb.prefix);
+    EXPECT_EQ(ra.prefix_country, rb.prefix_country);
+    EXPECT_EQ(ra.weight, rb.weight);
+    EXPECT_EQ(ra.path, rb.path);
+  }
+}
+
+TEST(ShardedPathStore, InterningMatchesMonolithicStore) {
+  auto paths = sample_paths();
+  PathStore mono{paths};
+  ShardedPathStore sharded{paths};
+  EXPECT_EQ(sharded.size(), mono.size());
+  EXPECT_EQ(sharded.unique_path_count(), mono.unique_path_count());
+  EXPECT_EQ(sharded.arena_hop_count(), mono.arena_hop_count());
+}
+
+TEST(ShardedPathStore, CensusDomainsMatchMonolithicStore) {
+  auto paths = sample_paths();
+  PathStore mono{paths};
+  ShardedPathStore sharded{paths};
+  EXPECT_EQ(sharded.countries(), mono.countries());
+  EXPECT_EQ(sharded.vp_countries(), mono.vp_countries());
+  EXPECT_TRUE(std::is_sorted(sharded.countries().begin(),
+                             sharded.countries().end()));
+}
+
+TEST(ShardedPathStore, ViewsMatchMonolithicStore) {
+  auto paths = sample_paths();
+  PathStore mono{paths};
+  ShardedPathStore sharded{paths};
+  for (CountryCode cc : {AU, US, JP}) {
+    expect_same_selection(sharded.national_view(cc), mono.national_view(cc));
+    expect_same_selection(sharded.international_view(cc),
+                          mono.international_view(cc));
+    expect_same_selection(sharded.outbound_view(cc), mono.outbound_view(cc));
+    for (ViewKind kind :
+         {ViewKind::kNational, ViewKind::kInternational, ViewKind::kOutbound}) {
+      expect_same_selection(sharded.view(cc, kind), mono.view(cc, kind));
+    }
+  }
+}
+
+TEST(ShardedPathStore, MetricsBitIdenticalToMonolithicStore) {
+  auto paths = sample_paths();
+  PathStore mono{paths};
+  ShardedPathStore sharded{paths};
+  topo::AsGraph graph = sample_graph();
+  CountryRankings rankings{graph};
+  auto expect_bitwise = [](const rank::Ranking& a, const rank::Ranking& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.entries()[i].asn, b.entries()[i].asn);
+      // Float accumulation order must match exactly, not approximately.
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.entries()[i].score),
+                std::bit_cast<std::uint64_t>(b.entries()[i].score));
+    }
+  };
+  for (CountryCode cc : {AU, US, JP}) {
+    CountryMetrics m1 = rankings.compute(mono, cc);
+    CountryMetrics m2 = rankings.compute(sharded, cc);
+    expect_bitwise(m1.cci, m2.cci);
+    expect_bitwise(m1.ccn, m2.ccn);
+    expect_bitwise(m1.ahi, m2.ahi);
+    expect_bitwise(m1.ahn, m2.ahn);
+    EXPECT_EQ(m1.national_vps, m2.national_vps);
+    EXPECT_EQ(m1.international_vps, m2.international_vps);
+    EXPECT_EQ(m1.national_addresses, m2.national_addresses);
+    EXPECT_EQ(m1.international_addresses, m2.international_addresses);
+
+    OutboundMetrics o1 = rankings.compute_outbound(mono, cc);
+    OutboundMetrics o2 = rankings.compute_outbound(sharded, cc);
+    expect_bitwise(o1.cco, o2.cco);
+    expect_bitwise(o1.aho, o2.aho);
+    EXPECT_EQ(o1.vps, o2.vps);
+    EXPECT_EQ(o1.foreign_addresses, o2.foreign_addresses);
+  }
+}
+
+TEST(ShardedPathStore, BuildIsIdenticalAcrossThreadCounts) {
+  auto paths = sample_paths();
+  ShardedPathStore one{paths, 1};
+  ShardedPathStore four{paths, 4};
+  ShardedPathStore sixteen{paths, 16};
+  ASSERT_EQ(one.shards().size(), four.shards().size());
+  ASSERT_EQ(one.shards().size(), sixteen.shards().size());
+  for (CountryCode cc : {AU, US, JP}) {
+    EXPECT_NE(one.shard_digest(cc), 0u);
+    EXPECT_EQ(one.shard_digest(cc), four.shard_digest(cc));
+    EXPECT_EQ(one.shard_digest(cc), sixteen.shard_digest(cc));
+  }
+}
+
+TEST(ShardedPathStore, RowLandsInPrefixAndVpShardsOnce) {
+  auto paths = sample_paths();
+  ShardedPathStore store{paths};
+  // Row 1 (VP in US, prefix in AU) must appear in both shards.
+  const PathShard* au = store.shard(AU);
+  const PathShard* us = store.shard(US);
+  ASSERT_NE(au, nullptr);
+  ASSERT_NE(us, nullptr);
+  auto shard_has = [](const PathShard& s, const SanitizedPath& p) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s.vp(i) == p.vp && s.prefix(i) == p.prefix &&
+          s.hops(i).materialize() == p.path) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(shard_has(*au, paths[1]));
+  EXPECT_TRUE(shard_has(*us, paths[1]));
+  // The un-geolocated VP's row (row 5) lives only in its prefix shard.
+  EXPECT_TRUE(shard_has(*us, paths[5]));
+  EXPECT_FALSE(shard_has(*au, paths[5]));
+}
+
+TEST(ShardedPathStore, InvalidAndUnknownCountriesNeverShard) {
+  auto paths = sample_paths();
+  ShardedPathStore store{paths};
+  EXPECT_EQ(store.shard(CountryCode{}), nullptr);
+  EXPECT_EQ(store.shard(CountryCode::of("DE")), nullptr);
+  EXPECT_EQ(store.shard_digest(CountryCode::of("DE")), 0u);
+  EXPECT_TRUE(store.national_view(CountryCode::of("DE")).empty());
+  EXPECT_TRUE(store.international_view(CountryCode{}).empty());
+  EXPECT_TRUE(store.outbound_view(CountryCode::of("ZZ")).empty());
+  for (const PathShard& shard : store.shards()) {
+    EXPECT_TRUE(shard.country().valid());
+  }
+}
+
+TEST(ShardedPathStore, SingleCountryWorld) {
+  std::vector<SanitizedPath> paths{
+      mk(1, AU, AsPath{100, 50, 200}, 1, AU),
+      mk(5, AU, AsPath{100, 50}, 2, AU),
+  };
+  ShardedPathStore store{paths};
+  ASSERT_EQ(store.shards().size(), 1u);
+  EXPECT_EQ(store.countries(), std::vector<CountryCode>{AU});
+  EXPECT_EQ(store.vp_countries(), std::vector<CountryCode>{AU});
+  const PathShard* shard = store.shard(AU);
+  ASSERT_NE(shard, nullptr);
+  EXPECT_EQ(shard->size(), 2u);
+  EXPECT_EQ(shard->national_rows().size(), 2u);
+  EXPECT_TRUE(shard->international_rows().empty());
+  EXPECT_TRUE(shard->outbound_rows().empty());
+  EXPECT_TRUE(store.international_view(AU).empty());
+}
+
+TEST(ShardedPathStore, EmptyStore) {
+  ShardedPathStore store{std::span<const SanitizedPath>{}};
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.unique_path_count(), 0u);
+  EXPECT_TRUE(store.shards().empty());
+  EXPECT_TRUE(store.countries().empty());
+  EXPECT_TRUE(store.census_costs().empty());
+  EXPECT_TRUE(store.national_view(AU).empty());
+}
+
+TEST(ShardedPathStore, CensusCostsTrackShardSize) {
+  auto paths = sample_paths();
+  ShardedPathStore store{paths};
+  const auto costs = store.census_costs();
+  ASSERT_EQ(costs.size(), store.countries().size());
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    const PathShard* shard = store.shard(store.countries()[i]);
+    ASSERT_NE(shard, nullptr);
+    EXPECT_EQ(costs[i], shard->cost());
+    EXPECT_GE(shard->cost(), shard->size());
+  }
+}
+
+TEST(ShardedPathStore, DigestReflectsContentNotIdentity) {
+  auto paths = sample_paths();
+  ShardedPathStore a{paths};
+  ShardedPathStore b{paths};
+  for (CountryCode cc : {AU, US, JP}) {
+    EXPECT_EQ(a.shard_digest(cc), b.shard_digest(cc));
+  }
+  // Changing one row's weight must change exactly the shards that row
+  // touches (AU prefix shard; the VP is in AU too).
+  auto changed = sample_paths();
+  changed[0].weight += 1;
+  ShardedPathStore c{changed};
+  EXPECT_NE(a.shard_digest(AU), c.shard_digest(AU));
+  EXPECT_EQ(a.shard_digest(US), c.shard_digest(US));
+  EXPECT_EQ(a.shard_digest(JP), c.shard_digest(JP));
+}
+
+}  // namespace
+}  // namespace georank::core

@@ -1,0 +1,157 @@
+// Properties of the internet-scale preset (gen/internet.hpp): spec
+// arithmetic, bit-exact determinism, structural invariants of the grown
+// topology, valley-freeness of the synthesized RIBs, and an end-to-end
+// load through the sharded pipeline. Run at small scale — the invariants
+// under test are scale-free; BENCH_scale.json covers the big end.
+#include "gen/internet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "core/pipeline.hpp"
+#include "topo/route_propagation.hpp"
+
+namespace georank::gen {
+namespace {
+
+using geo::CountryCode;
+
+TEST(InternetSpec, DerivedCountsScaleSublinearly) {
+  InternetSpec one = internet_spec(1.0);
+  EXPECT_EQ(one.as_count(), 750u);
+  EXPECT_EQ(one.prefix_target(), 10000u);
+  InternetSpec hundred = internet_spec(100.0);
+  EXPECT_EQ(hundred.as_count(), 75000u);
+  EXPECT_EQ(hundred.prefix_target(), 1000000u);
+  // ASes grow 100x; the derived knobs must grow much slower.
+  EXPECT_LT(hundred.country_count(), one.country_count() * 10);
+  EXPECT_LT(hundred.vp_count(), one.vp_count() * 10);
+  EXPECT_LE(hundred.clique_size(), 20u);
+  EXPECT_GE(one.clique_size(), 4u);
+  EXPECT_GT(hundred.country_count(), one.country_count());
+  EXPECT_GT(hundred.vp_count(), one.vp_count());
+}
+
+TEST(InternetScaleGenerator, DeterministicAcrossInstances) {
+  InternetSpec spec = internet_spec(0.5, 77);
+  World a = InternetScaleGenerator{spec}.generate();
+  World b = InternetScaleGenerator{spec}.generate();
+  EXPECT_EQ(a.clique, b.clique);
+  EXPECT_EQ(a.originations.size(), b.originations.size());
+  for (std::size_t i = 0; i < a.originations.size(); ++i) {
+    EXPECT_EQ(a.originations[i].prefix, b.originations[i].prefix);
+    EXPECT_EQ(a.originations[i].origin, b.originations[i].origin);
+  }
+  EXPECT_EQ(a.graph.size(), b.graph.size());
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  EXPECT_EQ(a.vps.vp_count(), b.vps.vp_count());
+
+  bgp::RibCollection ra = InternetScaleGenerator{spec}.synthesize_ribs(a);
+  bgp::RibCollection rb = InternetScaleGenerator{spec}.synthesize_ribs(b);
+  ASSERT_EQ(ra.days.size(), rb.days.size());
+  for (std::size_t d = 0; d < ra.days.size(); ++d) {
+    EXPECT_EQ(ra.days[d].entries, rb.days[d].entries);
+  }
+}
+
+TEST(InternetScaleGenerator, WorldHitsSpecTargets) {
+  InternetSpec spec = internet_spec(1.0, 11);
+  World world = InternetScaleGenerator{spec}.generate();
+  EXPECT_EQ(world.as_info.size(), spec.as_count());
+  EXPECT_EQ(world.clique.size(), spec.clique_size());
+  EXPECT_EQ(world.vps.vp_count(), spec.vp_count());
+  // Every AS gets at least one prefix, then extras up to the target.
+  EXPECT_GE(world.originations.size(), spec.as_count());
+  EXPECT_NEAR(static_cast<double>(world.originations.size()),
+              static_cast<double>(spec.prefix_target()),
+              0.01 * static_cast<double>(spec.prefix_target()));
+
+  // The clique is a full p2p mesh of tier-1s.
+  for (bgp::Asn a : world.clique) {
+    ASSERT_NE(world.info(a), nullptr);
+    EXPECT_EQ(world.info(a)->role, AsRole::kTier1);
+    for (bgp::Asn b : world.clique) {
+      if (a >= b) continue;
+      auto rel = world.graph.relationship(a, b);
+      ASSERT_TRUE(rel.has_value()) << a << " " << b;
+    }
+  }
+
+  // Countries span the spec'd count and every origination geolocates to
+  // its origin's home country.
+  std::set<CountryCode> countries;
+  for (const auto& [asn, info] : world.as_info) countries.insert(info.home);
+  EXPECT_EQ(countries.size(), spec.country_count());
+  for (std::size_t i = 0; i < world.originations.size(); i += 97) {
+    const Origination& o = world.originations[i];
+    CountryCode cc = world.geo_db.country_of(o.prefix.address());
+    EXPECT_EQ(cc, world.info(o.origin)->home);
+  }
+
+  // Connectivity: every non-tier-1 AS has at least one provider, so no
+  // AS is unreachable from the clique.
+  std::size_t orphans = 0;
+  for (const auto& [asn, info] : world.as_info) {
+    if (info.role == AsRole::kTier1) continue;
+    if (world.graph.providers_of(asn).empty()) ++orphans;
+  }
+  EXPECT_EQ(orphans, 0u);
+}
+
+TEST(InternetScaleGenerator, RibsAreValleyFreeVpFirstAndThinned) {
+  InternetSpec spec = internet_spec(0.5, 5);
+  World world = InternetScaleGenerator{spec}.generate();
+  bgp::RibCollection ribs = InternetScaleGenerator{spec}.synthesize_ribs(world);
+  ASSERT_EQ(ribs.days.size(), 1u);
+  const auto& entries = ribs.days[0].entries;
+  ASSERT_FALSE(entries.empty());
+
+  std::unordered_set<std::uint32_t> covered_prefixes;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    covered_prefixes.insert(entries[i].prefix.address());
+    if (i % 53 != 0) continue;  // sample the expensive checks
+    const bgp::RouteEntry& e = entries[i];
+    ASSERT_FALSE(e.path.empty());
+    EXPECT_EQ(e.path[0], e.vp.asn);  // VP-first after reversal
+    EXPECT_TRUE(topo::is_valley_free(world.graph, e.path))
+        << "entry " << i;
+  }
+  // Every prefix keeps at least its anchor feed despite thinning, and
+  // the average feed count stays near the spec (well under full mesh).
+  EXPECT_EQ(covered_prefixes.size(), world.originations.size());
+  const double avg_feeds = static_cast<double>(entries.size()) /
+                           static_cast<double>(world.originations.size());
+  EXPECT_GE(avg_feeds, 1.0);
+  EXPECT_LE(avg_feeds, spec.feeds_per_prefix() * 3.0);
+}
+
+TEST(InternetScaleGenerator, PipelineLoadsWorldEndToEnd) {
+  InternetSpec spec = internet_spec(0.25, 3);
+  World world = InternetScaleGenerator{spec}.generate();
+  bgp::RibCollection ribs = InternetScaleGenerator{spec}.synthesize_ribs(world);
+
+  core::PipelineConfig config;
+  config.sanitizer.clique = world.clique;
+  config.sanitizer.route_server_asns = world.route_servers;
+  core::Pipeline pipeline{world.geo_db, world.vps, world.asn_registry,
+                          world.graph, config};
+  pipeline.load(ribs);
+  ASSERT_TRUE(pipeline.loaded());
+  EXPECT_GT(pipeline.sanitized().stats.accepted, 0u);
+  // Multihop collectors make some VPs unlocatable by design.
+  EXPECT_GT(pipeline.sanitized().stats.vp_no_location, 0u);
+
+  std::vector<core::CountryMetrics> census = pipeline.all_countries();
+  EXPECT_GT(census.size(), spec.country_count() / 2);
+  std::size_t with_rankings = 0;
+  for (const core::CountryMetrics& m : census) {
+    if (!m.cci.empty()) ++with_rankings;
+  }
+  EXPECT_GT(with_rankings, 0u);
+}
+
+}  // namespace
+}  // namespace georank::gen

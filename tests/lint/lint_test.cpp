@@ -31,7 +31,7 @@ bool has_rule(const std::vector<lint::Finding>& findings, std::string_view rule)
 
 TEST(LintRules, TableIsSortedAndComplete) {
   auto all = lint::rules();
-  ASSERT_GE(all.size(), 11u);
+  ASSERT_GE(all.size(), 12u);
   for (std::size_t i = 1; i < all.size(); ++i) {
     EXPECT_LT(all[i - 1].id, all[i].id) << "rule table must stay sorted";
   }
@@ -171,6 +171,67 @@ TEST(LintRules, Gr010IgnoresVectorsAndSuppressedLines) {
       "  for (const auto& [k, v] : scores) {}\n"
       "}\n");
   EXPECT_FALSE(has_rule(tagged, "GR010"));
+}
+
+// ---------------------------------------------------------------------------
+// GR011 ordering-shard-bypass
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, Gr011FlagsGlobalRowAccessOutsideCore) {
+  const char* body =
+      "#include \"core/path_store.hpp\"\n"
+      "void f(const georank::core::PathStore& store) {\n"
+      "  for (const auto& rec : store.all()) {\n"
+      "  }\n"
+      "  store.over(georank::core::ViewKind::kNational);\n"
+      "}\n";
+  auto f = lint::scan_file("src/robust/x.cpp", body);
+  EXPECT_EQ(rule_ids(f), (std::vector<std::string>{"GR011", "GR011"}));
+  EXPECT_EQ(f[0].line, 3u);
+  EXPECT_EQ(f[1].line, 5u);
+  // src/core owns the store: global-row iteration is its job.
+  EXPECT_FALSE(has_rule(lint::scan_file("src/core/x.cpp", body), "GR011"));
+  // tools/ and bench/ measure or dump the global path on purpose.
+  EXPECT_FALSE(has_rule(lint::scan_file("tools/x.cpp", body), "GR011"));
+  EXPECT_FALSE(has_rule(lint::scan_file("bench/x.cpp", body), "GR011"));
+}
+
+TEST(LintRules, Gr011OnlyFiresWhenPathStoreIsInPlay) {
+  // `.all()` on something unrelated (a prefix trie, say) stays quiet as
+  // long as the file never touches a PathStore.
+  auto trie = lint::scan_file("src/geo/x.cpp",
+                              "void f(Trie& trie) {\n"
+                              "  for (auto& e : trie.all()) {}\n"
+                              "}\n");
+  EXPECT_FALSE(has_rule(trie, "GR011"));
+  // A comment-only mention does not put the file in scope either.
+  auto comment = lint::scan_file("src/geo/x.cpp",
+                                 "// mirrors PathStore's layout\n"
+                                 "void f(Trie& trie) {\n"
+                                 "  for (auto& e : trie.all()) {}\n"
+                                 "}\n");
+  EXPECT_FALSE(has_rule(comment, "GR011"));
+}
+
+TEST(LintRules, Gr011TracksPathStoreInPairedHeader) {
+  const char* header =
+      "#pragma once\n"
+      "#include \"core/sharded_path_store.hpp\"\n"
+      "georank::core::ShardedPathStore& store();\n";
+  auto f = lint::scan_file("src/robust/x.cpp",
+                           "void f() { for (auto& r : store().all()) {} }\n",
+                           header);
+  EXPECT_TRUE(has_rule(f, "GR011"));
+}
+
+TEST(LintRules, Gr011SuppressedByShardOkTag) {
+  auto f = lint::scan_file(
+      "src/robust/x.cpp",
+      "void f(const georank::core::PathStore& store) {\n"
+      "  // lint: shard-ok(health scan is O(rows) once per reload)\n"
+      "  for (const auto& rec : store.all()) {}\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(f, "GR011"));
 }
 
 // ---------------------------------------------------------------------------

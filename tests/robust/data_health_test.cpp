@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/pipeline.hpp"
+#include "core/sharded_path_store.hpp"
 #include "gen/internet_generator.hpp"
 #include "gen/rib_generator.hpp"
 #include "gen/scenarios.hpp"
@@ -144,6 +145,54 @@ TEST(DataHealth, EmptyInputsYieldEmptyReport) {
   EXPECT_EQ(report.count(ConfidenceTier::kHigh), 0u);
   EXPECT_DOUBLE_EQ(report.ingest_drop_rate, 0.0);
   EXPECT_DOUBLE_EQ(report.sanitize_drop_rate, 0.0);
+}
+
+TEST(DataHealth, ShardedOverloadMatchesSpanOverloadFieldForField) {
+  // A mix of national, international and cross-country rows, plus a
+  // no-consensus rejection, scored both ways: straight over the span and
+  // shard-parallel over a ShardedPathStore built from the same rows.
+  std::vector<sanitize::SanitizedPath> paths{
+      make_path(1, "AU", bgp::Prefix{0x0a000000, 24}, "AU", 256),
+      make_path(2, "US", bgp::Prefix{0x0a000000, 24}, "AU", 256),
+      make_path(2, "US", bgp::Prefix{0x0b000000, 24}, "US", 512),
+      make_path(3, "DE", bgp::Prefix{0x0c000000, 23}, "DE", 128),
+      make_path(4, "AU", bgp::Prefix{0x0b000000, 24}, "US", 512),
+  };
+  geo::PrefixGeoResult geo_result;
+  geo_result.no_consensus.push_back(geo::PrefixRejection{
+      bgp::Prefix{0x0d000000, 24}, CountryCode::of("US"), 700, 0.4});
+  sanitize::SanitizeStats stats;
+  stats.total = 10;
+  stats.accepted = 5;
+  stats.loop = 5;
+  HealthInputs inputs;
+  inputs.paths = paths;
+  inputs.prefix_geo = &geo_result;
+  inputs.sanitize = &stats;
+
+  HealthReport flat = compute_health(inputs);
+  core::ShardedPathStore store{paths};
+  HealthReport sharded = compute_health(store, inputs);
+
+  EXPECT_DOUBLE_EQ(sharded.ingest_drop_rate, flat.ingest_drop_rate);
+  EXPECT_DOUBLE_EQ(sharded.sanitize_drop_rate, flat.sanitize_drop_rate);
+  ASSERT_EQ(sharded.countries.size(), flat.countries.size());
+  for (std::size_t i = 0; i < flat.countries.size(); ++i) {
+    const CountryHealth& a = flat.countries[i];
+    const CountryHealth& b = sharded.countries[i];
+    EXPECT_EQ(a.country, b.country);
+    EXPECT_EQ(a.national_vps, b.national_vps) << a.country.to_string();
+    EXPECT_EQ(a.international_vps, b.international_vps) << a.country.to_string();
+    EXPECT_EQ(a.accepted_prefixes, b.accepted_prefixes) << a.country.to_string();
+    EXPECT_EQ(a.geolocated_addresses, b.geolocated_addresses)
+        << a.country.to_string();
+    EXPECT_EQ(a.no_consensus_prefixes, b.no_consensus_prefixes);
+    EXPECT_EQ(a.no_consensus_addresses, b.no_consensus_addresses);
+    EXPECT_EQ(a.national_tier, b.national_tier);
+    EXPECT_EQ(a.international_tier, b.international_tier);
+    EXPECT_EQ(a.geo_tier, b.geo_tier);
+    EXPECT_EQ(a.overall, b.overall);
+  }
 }
 
 // ---------------------------------------------------------------- pipeline

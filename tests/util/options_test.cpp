@@ -86,6 +86,41 @@ TEST(OptionsTest, TypedAccessorThrowsOnJunkLikeStoi) {
   EXPECT_THROW((void)opts->double_or("top", 1.0), std::invalid_argument);
 }
 
+TEST(OptionsTest, ThreadCountOrParsesAndFallsBack) {
+  auto opts = parse({"rank", "--threads=4", "--ingest-threads", "16"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->thread_count_or("threads", 0), 4u);
+  EXPECT_EQ(opts->thread_count_or("ingest-threads", 0), 16u);
+  EXPECT_EQ(opts->thread_count_or("absent", 8), 8u);
+  EXPECT_EQ(opts->thread_count_or("absent", 0), 0u);
+}
+
+TEST(OptionsTest, ThreadCountOrRejectsNonPositiveAndJunk) {
+  auto opts = parse({"rank", "--zero=0", "--neg=-1", "--junk=4x",
+                     "--empty=", "--huge=99999999999"});
+  ASSERT_TRUE(opts.has_value());
+  for (const char* key : {"zero", "neg", "junk", "empty", "huge"}) {
+    EXPECT_THROW((void)opts->thread_count_or(key, 1), OptionParseError) << key;
+  }
+}
+
+TEST(OptionsTest, OptionParseErrorCarriesKeyAndValue) {
+  auto opts = parse({"rank", "--threads=none"});
+  ASSERT_TRUE(opts.has_value());
+  try {
+    (void)opts->thread_count_or("threads", 1);
+    FAIL() << "expected OptionParseError";
+  } catch (const OptionParseError& e) {
+    EXPECT_EQ(e.key(), "threads");
+    EXPECT_EQ(e.value(), "none");
+    EXPECT_NE(std::string_view{e.what()}.find("threads"),
+              std::string_view::npos);
+  }
+  // It is still a std::invalid_argument for callers that catch broadly.
+  EXPECT_THROW((void)opts->thread_count_or("threads", 1),
+               std::invalid_argument);
+}
+
 TEST(OptionsTest, LastValueWinsOnRepeatedKey) {
   auto opts = parse({"rank", "--dir=a", "--dir=b"});
   ASSERT_TRUE(opts.has_value());

@@ -81,6 +81,50 @@ TEST(ParallelForStress, SharedAtomicAccumulationIsExact) {
   }
 }
 
+TEST(ParallelForCosted, EveryIndexExactlyOnceAcrossThreadCounts) {
+  constexpr std::size_t kN = 4000;
+  std::vector<std::uint64_t> costs(kN);
+  for (std::size_t i = 0; i < kN; ++i) costs[i] = (i * 7919) % 1000;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    std::vector<std::uint8_t> hits(kN, 0);
+    parallel_for_costed(costs, [&](std::size_t i) { ++hits[i]; }, threads);
+    const std::size_t total =
+        std::accumulate(hits.begin(), hits.end(), std::size_t{0});
+    EXPECT_EQ(total, kN) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForCosted, DisjointSlotOutputIsThreadCountInvariant) {
+  // The determinism contract: bodies writing out[i] = f(i) produce the
+  // same vector no matter the schedule or worker count.
+  constexpr std::size_t kN = 2048;
+  std::vector<std::uint64_t> costs(kN);
+  for (std::size_t i = 0; i < kN; ++i) costs[i] = kN - i;
+  std::vector<std::uint64_t> reference(kN, 0);
+  parallel_for_costed(costs, [&](std::size_t i) { reference[i] = i * 31; }, 1);
+  for (std::size_t threads : {std::size_t{3}, std::size_t{7}}) {
+    std::vector<std::uint64_t> out(kN, 0);
+    parallel_for_costed(costs, [&](std::size_t i) { out[i] = i * 31; }, threads);
+    EXPECT_EQ(out, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForCosted, SingleThreadRunsLargestFirst) {
+  // With one worker the schedule is observable: strictly descending
+  // cost, ties broken by ascending index.
+  const std::vector<std::uint64_t> costs{5, 40, 5, 100, 40, 0};
+  std::vector<std::size_t> order;
+  parallel_for_costed(costs, [&](std::size_t i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 1, 4, 0, 2, 5}));
+}
+
+TEST(ParallelForCosted, EmptyCostSpanRunsNothing) {
+  bool ran = false;
+  parallel_for_costed({}, [&](std::size_t) { ran = true; }, 4);
+  EXPECT_FALSE(ran);
+}
+
 TEST(ParallelForStress, ZeroAndSingleElementRunInline) {
   bool ran = false;
   parallel_for(0, [&](std::size_t) { ran = true; }, 8);

@@ -47,6 +47,7 @@
 #include "core/rank_delta.hpp"
 #include "core/report.hpp"
 #include "core/stability.hpp"
+#include "gen/internet.hpp"
 #include "gen/internet_generator.hpp"
 #include "gen/rib_generator.hpp"
 #include "gen/scenarios.hpp"
@@ -86,6 +87,7 @@ int usage() {
                "usage:\n"
                "  georank generate   --out DIR [--epoch 2021|2023] [--seed N]"
                " [--days N] [--mini]\n"
+               "                     [--preset internet --scale X]\n"
                "  georank sanitize   --dir DIR [--samples N] [--strict]"
                " [--ingest-stats]\n"
                "  georank rank       --dir DIR --country CC [--out FILE]"
@@ -156,11 +158,82 @@ bool write_file(const fs::path& path, Writer&& writer) {
 
 // ------------------------------------------------------------- generate
 
+/// Writes the eight data-set files every other subcommand consumes.
+bool write_dataset(const fs::path& dir, const gen::World& world,
+                   const bgp::RibCollection& ribs) {
+  io::AsInfoMap info;
+  for (const auto& [asn, rec] : world.as_info) {
+    if (rec.registered.valid()) {
+      info[asn] = io::AsInfoRecord{rec.registered, rec.name};
+    }
+  }
+
+  return write_file(dir / "ribs.txt",
+                    [&](std::ostream& os) {
+                      bgp::MrtTextWriter writer{os};
+                      writer.write_collection(ribs);
+                    }) &&
+         write_file(dir / "as-rel.txt",
+                    [&](std::ostream& os) { io::write_as_rel(os, world.graph); }) &&
+         write_file(dir / "geo.csv",
+                    [&](std::ostream& os) { io::write_geo_csv(os, world.geo_db); }) &&
+         write_file(dir / "collectors.csv",
+                    [&](std::ostream& os) { io::write_collectors_csv(os, world.vps); }) &&
+         write_file(dir / "vps.csv",
+                    [&](std::ostream& os) { io::write_vps_csv(os, world.vps); }) &&
+         write_file(dir / "as-info.csv",
+                    [&](std::ostream& os) { io::write_as_info_csv(os, info); }) &&
+         write_file(dir / "route-servers.txt",
+                    [&](std::ostream& os) {
+                      for (bgp::Asn rs : world.route_servers) os << rs << '\n';
+                    }) &&
+         write_file(dir / "updates.txt", [&](std::ostream& os) {
+           // The same data as an incremental update archive (IHR-style
+           // consumption); `rank --dir` falls back to it when ribs.txt is
+           // absent.
+           bgp::UpdateTextWriter writer{os};
+           writer.write_all(bgp::collection_to_updates(ribs));
+         });
+}
+
 int cmd_generate(const Args& args) {
   if (!args.has("out")) return usage();
   fs::path dir{args.get("out")};
   std::error_code ec;
   fs::create_directories(dir, ec);
+
+  if (args.get("preset", "") == "internet") {
+    // Internet-scale preset: one `--scale` knob instead of a scripted
+    // WorldSpec; see gen/internet.hpp for the topology model.
+    double scale = 1.0;
+    if (args.has("scale")) {
+      try {
+        scale = std::stod(args.get("scale"));
+      } catch (const std::exception&) {
+        scale = 0.0;
+      }
+      if (scale <= 0.0) {
+        std::fprintf(stderr, "bad --scale '%s': expected a positive number\n",
+                     args.get("scale").c_str());
+        return kExitError;
+      }
+    }
+    gen::InternetSpec spec = gen::internet_spec(scale, args.u64_or("seed", 0xA5));
+    spec.rib_days = args.int_or("days", spec.rib_days);
+    gen::InternetScaleGenerator generator{spec};
+    std::printf("generating internet-scale world (scale %g, seed %llu, "
+                "%zu countries)...\n",
+                scale, static_cast<unsigned long long>(spec.seed),
+                spec.country_count());
+    gen::World world = generator.generate();
+    bgp::RibCollection ribs = generator.synthesize_ribs(world);
+    std::printf("  %zu ASes, %zu originations, %zu VPs, %zu RIB entries\n",
+                world.graph.size(), world.originations.size(),
+                world.vps.all_vps().size(), ribs.total_entries());
+    if (!write_dataset(dir, world, ribs)) return kExitError;
+    std::printf("wrote data set to %s\n", dir.string().c_str());
+    return kExitOk;
+  }
 
   gen::Epoch epoch = args.get("epoch", "2021") == "2023"
                          ? gen::Epoch::kMarch2023
@@ -178,43 +251,9 @@ int cmd_generate(const Args& args) {
               world.graph.size(), world.originations.size(),
               world.vps.all_vps().size(), ribs.total_entries());
 
-  io::AsInfoMap info;
-  for (const auto& [asn, rec] : world.as_info) {
-    if (rec.registered.valid()) {
-      info[asn] = io::AsInfoRecord{rec.registered, rec.name};
-    }
-  }
-
-  bool ok =
-      write_file(dir / "ribs.txt",
-                 [&](std::ostream& os) {
-                   bgp::MrtTextWriter writer{os};
-                   writer.write_collection(ribs);
-                 }) &&
-      write_file(dir / "as-rel.txt",
-                 [&](std::ostream& os) { io::write_as_rel(os, world.graph); }) &&
-      write_file(dir / "geo.csv",
-                 [&](std::ostream& os) { io::write_geo_csv(os, world.geo_db); }) &&
-      write_file(dir / "collectors.csv",
-                 [&](std::ostream& os) { io::write_collectors_csv(os, world.vps); }) &&
-      write_file(dir / "vps.csv",
-                 [&](std::ostream& os) { io::write_vps_csv(os, world.vps); }) &&
-      write_file(dir / "as-info.csv",
-                 [&](std::ostream& os) { io::write_as_info_csv(os, info); }) &&
-      write_file(dir / "route-servers.txt",
-                 [&](std::ostream& os) {
-                   for (bgp::Asn rs : world.route_servers) os << rs << '\n';
-                 }) &&
-      write_file(dir / "updates.txt", [&](std::ostream& os) {
-        // The same data as an incremental update archive (IHR-style
-        // consumption); `rank --dir` falls back to it when ribs.txt is
-        // absent.
-        bgp::UpdateTextWriter writer{os};
-        writer.write_all(bgp::collection_to_updates(ribs));
-      });
-  if (!ok) return 1;
+  if (!write_dataset(dir, world, ribs)) return kExitError;
   std::printf("wrote data set to %s\n", dir.string().c_str());
-  return 0;
+  return kExitOk;
 }
 
 // ----------------------------------------------------------- data loading
@@ -237,7 +276,8 @@ struct DataSet {
 /// files). Strict-mode parse errors throw bgp::MrtParseError instead,
 /// mapped to kExitParseFailure in main().
 std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationships,
-                                    bool strict = false, int* fail_code = nullptr) {
+                                    bool strict = false, int* fail_code = nullptr,
+                                    std::size_t ingest_threads = 0) {
   if (fail_code) *fail_code = kExitError;
   auto open = [&](const char* name) -> std::optional<std::ifstream> {
     std::ifstream is{dir / name};
@@ -268,6 +308,7 @@ std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationship
   if (std::ifstream ribs_is{dir / "ribs.txt"}; ribs_is) {
     bgp::MrtStreamOptions options;
     options.mode = strict ? bgp::ParseMode::kStrict : bgp::ParseMode::kTolerant;
+    options.threads = ingest_threads;  // 0 -> GEORANK_THREADS / hw default
     bgp::MrtStreamLoader loader{options};
     data.ribs = loader.load(ribs_is);
     data.ingest_stats = loader.stats();
@@ -390,7 +431,8 @@ int cmd_sanitize(const Args& args) {
   if (!args.has("dir")) return usage();
   int fail_code = kExitError;
   auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"),
-                           &fail_code);
+                           &fail_code,
+                           args.thread_count_or("ingest-threads", 0));
   if (!data) return fail_code;
 
   // --samples N captures audit examples per rejection category.
@@ -451,7 +493,8 @@ int cmd_rank(const Args& args) {
   }
   int fail_code = kExitError;
   auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"),
-                           &fail_code);
+                           &fail_code,
+                           args.thread_count_or("ingest-threads", 0));
   if (!data) return fail_code;
   core::Pipeline pipeline = make_pipeline(*data, degradation_from_args(args));
 
@@ -493,7 +536,8 @@ int cmd_stability(const Args& args) {
 
   int fail_code = kExitError;
   auto data = load_dataset(args.get("dir"), args.has("infer"),
-                           /*strict=*/false, &fail_code);
+                           /*strict=*/false, &fail_code,
+                           args.thread_count_or("ingest-threads", 0));
   if (!data) return fail_code;
   core::Pipeline pipeline = make_pipeline(*data);
   const auto& paths = pipeline.sanitized().paths;
@@ -642,7 +686,8 @@ int cmd_health(const Args& args) {
   if (!args.has("dir")) return usage();
   int fail_code = kExitError;
   auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"),
-                           &fail_code);
+                           &fail_code,
+                           args.thread_count_or("ingest-threads", 0));
   if (!data) return fail_code;
   robust::DegradationPolicy policy = degradation_from_args(args);
   core::Pipeline pipeline = make_pipeline(*data, policy);
@@ -731,7 +776,8 @@ int cmd_robustness(const Args& args) {
   if (!args.has("dir")) return usage();
   int fail_code = kExitError;
   auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"),
-                           &fail_code);
+                           &fail_code,
+                           args.thread_count_or("ingest-threads", 0));
   if (!data) return fail_code;
   core::Pipeline pipeline = make_pipeline(*data, degradation_from_args(args));
 
@@ -844,7 +890,8 @@ int cmd_robustness(const Args& args) {
 /// outside the GR002 determinism scope; pass --id for reproducibility).
 std::optional<serve::Snapshot> build_snapshot(const Args& args, int* fail_code) {
   auto data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"),
-                           fail_code);
+                           fail_code,
+                           args.thread_count_or("ingest-threads", 0));
   if (!data) return std::nullopt;
   core::Pipeline pipeline = make_pipeline(*data, degradation_from_args(args));
 
@@ -934,7 +981,7 @@ int cmd_serve(const Args& args) {
   serve::HttpServerOptions http_options;
   http_options.bind_address = args.get("bind", "127.0.0.1");
   http_options.port = static_cast<std::uint16_t>(args.size_or("port", 8080));
-  http_options.threads = args.size_or("threads", 4);
+  http_options.threads = args.thread_count_or("threads", 4);
   serve::HttpServer server{service, http_options};
   try {
     server.start();
@@ -980,6 +1027,9 @@ int main(int argc, char** argv) {
   } catch (const bgp::MrtParseError& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
     return kExitParseFailure;
+  } catch (const util::OptionParseError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return kExitError;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitError;

@@ -14,7 +14,7 @@ namespace {
 // Rule table
 // ---------------------------------------------------------------------------
 
-constexpr std::array<RuleInfo, 11> kRules{{
+constexpr std::array<RuleInfo, 12> kRules{{
     {"GR001", "determinism-rand", "",
      "std::rand()/srand(): unseeded, stdlib-dependent randomness; use util::Pcg32"},
     {"GR002", "determinism-wallclock", "wallclock",
@@ -27,6 +27,9 @@ constexpr std::array<RuleInfo, 11> kRules{{
     {"GR010", "ordering-unordered-iter", "ordered",
      "iteration order of unordered containers is stdlib-dependent; sort first or "
      "justify why order cannot reach reported output"},
+    {"GR011", "ordering-shard-bypass", "shard-ok",
+     "global-row PathStore iteration (.all()/.over()) outside src/core; query "
+     "per-country shards so work scales with the country, not the world"},
     {"GR020", "concurrency-annotation", "",
      "GEORANK_GUARDED_BY must name a lock declared in this file (or its paired "
      "header) and requires util/thread_safety.hpp"},
@@ -204,6 +207,14 @@ bool in_ordering_scope(std::string_view rel) {
 
 bool is_rng_home(std::string_view rel) {
   return rel == "src/util/rng.hpp" || rel == "src/util/rng.cpp";
+}
+
+/// GR011 applies to library code outside the store's home: src/core owns
+/// the global-row representation, every other library consumes shards.
+/// tools/ and bench/ are exempt (the benchmark measures the global path
+/// on purpose; the CLI never touches a store directly).
+bool in_shard_scope(std::string_view rel) {
+  return starts_with(rel, "src/") && !starts_with(rel, "src/core/");
 }
 
 /// GR024 applies to library code outside the designated transport layer.
@@ -392,6 +403,21 @@ class FileScanner {
       }
     }
 
+    if (in_shard_scope(rel_) && mentions_path_store()) {
+      // Only the row-form accessors bypass sharding; `.all_*()` methods
+      // of other classes don't match (the call must be exactly all()),
+      // and files that never name a PathStore type are not gated at all
+      // (a prefix trie's `.all()` is somebody else's API).
+      static const std::regex kGlobalRows(
+          R"((?:\.|->)\s*(?:all\s*\(\s*\)|over\s*\())");
+      if (std::regex_search(code, kGlobalRows)) {
+        add(i, "GR011",
+            "global-row PathStore access outside src/core; consume per-country "
+            "shards (views/metrics take a shard) or justify with "
+            "`// lint: shard-ok(<why>)`");
+      }
+    }
+
     // Preprocessor lines define the annotation macros themselves; the
     // GR020 sanity checks only apply to uses.
     const bool preprocessor =
@@ -467,6 +493,13 @@ class FileScanner {
             "transport or justify with `// lint: syscall-ok(<why>)`");
       }
     }
+  }
+
+  /// True when this TU (or its paired header) names a PathStore type in
+  /// CODE — comment mentions don't gate GR011.
+  [[nodiscard]] bool mentions_path_store() const {
+    return code_text_.find("PathStore") != std::string::npos ||
+           header_code_.find("PathStore") != std::string::npos;
   }
 
   std::string_view rel_;

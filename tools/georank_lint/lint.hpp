@@ -18,6 +18,10 @@
 //   GR010 ordering-unordered-iter range-for over an unordered container
 //                                 in src/rank|core|robust needs
 //                                 `// lint: ordered(<why>)`
+//   GR011 ordering-shard-bypass   `.all()`/`.over()` global-row PathStore
+//                                 access in src/ outside src/core needs
+//                                 `// lint: shard-ok(<why>)` — consumers
+//                                 are expected to take per-country shards
 //   GR020 concurrency-annotation  GEORANK_GUARDED_BY must name a lock
 //                                 declared in the same file (or its
 //                                 paired header) and requires including
