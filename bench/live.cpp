@@ -1,0 +1,282 @@
+// Live-pipeline benchmark behind BENCH_live.json: (1) republish latency
+// as a function of flush batch size when streaming the default world's
+// update archive through live::UpdatePipeline, and (2) the incremental
+// win — after a single-country burst, apply_updates + Snapshot::build
+// against a warm pipeline versus a from-scratch batch recompute of the
+// same collection, with the two snapshots verified byte-identical
+// through the GRSNAP01 codec before the speedup is reported.
+//
+// --smoke skips the timed runs: it replays a mini-world archive both
+// ways and asserts byte identity plus shard reuse, as a cheap ctest
+// guard for the equivalence the timed numbers depend on.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bench_world.hpp"
+#include "bgp/update_stream.hpp"
+#include "io/snapshot_codec.hpp"
+#include "live/update_pipeline.hpp"
+#include "serve/ranking_service.hpp"
+#include "serve/snapshot.hpp"
+
+using namespace georank;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+serve::SnapshotMeta bench_meta() { return serve::SnapshotMeta{1, 1, "bench"}; }
+
+core::Pipeline fresh_pipeline(const bench::Context& context) {
+  return core::Pipeline{context.world.geo_db, context.world.vps,
+                        context.world.asn_registry, context.world.graph,
+                        context.pipeline->config()};
+}
+
+// ---- (1) republish latency vs flush batch size -------------------------
+
+struct CadenceResult {
+  std::size_t flush_batch = 0;
+  std::uint64_t publishes = 0;
+  double mean_republish_seconds = 0.0;
+  double mean_apply_seconds = 0.0;   // sanitize + shard rebuild + evict
+  double mean_census_seconds = 0.0;  // Snapshot::build over warm memos
+  double total_seconds = 0.0;        // whole replay, push to drain
+};
+
+CadenceResult bench_cadence(const bench::Context& context,
+                            const std::vector<bgp::UpdateMessage>& archive,
+                            std::size_t flush_batch) {
+  core::Pipeline pipeline = fresh_pipeline(context);
+  serve::RankingService service;
+  live::UpdatePipelineOptions options;
+  options.flush_batch = flush_batch;
+  live::UpdatePipeline live{pipeline, service, options};
+
+  CadenceResult result;
+  result.flush_batch = flush_batch;
+  double apply_sum = 0.0, census_sum = 0.0, republish_sum = 0.0;
+  auto tally = [&](const live::FlushReport& report) {
+    if (!report.published) return;
+    apply_sum += report.apply_seconds;
+    census_sum += report.census_seconds;
+    republish_sum += report.total_seconds;
+  };
+
+  Clock::time_point start = Clock::now();
+  for (const bgp::UpdateMessage& u : archive) {
+    if (auto report = live.push(u)) tally(*report);
+  }
+  tally(live.drain());
+  result.total_seconds = seconds_since(start);
+
+  result.publishes = live.stats().publishes;
+  if (result.publishes > 0) {
+    double n = static_cast<double>(result.publishes);
+    result.mean_republish_seconds = republish_sum / n;
+    result.mean_apply_seconds = apply_sum / n;
+    result.mean_census_seconds = census_sum / n;
+  }
+  return result;
+}
+
+// ---- (2) single-country burst: incremental vs full recompute -----------
+
+/// Grafts ONE brand-new route onto the final day: for a prefix with
+/// accepted rows from two different VPs carrying different (cleaned)
+/// paths, re-announce VP A's prefix with VP B's path. Every filter that
+/// admitted the donors admits the graft — same stable, located,
+/// uncovered prefix; same located VP; a path that already passed the
+/// path checks — and the (vp, prefix, path) dedup key is verified fresh
+/// against the accepted rows, so EXACTLY one new sanitized row appears:
+/// a genuine single-country burst. A simple withdrawal would not do —
+/// final-day entries are near-universally cross-day duplicates the
+/// dedup pass already merged, so deleting one changes no row. The graft
+/// leaves the stable-prefix set intact, keeping the incremental
+/// sanitize fast path eligible. `warm` must be loaded with `base`.
+bgp::RibCollection burst_collection(const core::Pipeline& warm,
+                                    const bgp::RibCollection& base) {
+  bgp::RibCollection burst = base;
+  if (burst.days.empty()) return burst;
+
+  std::unordered_map<bgp::Prefix, std::vector<const sanitize::SanitizedPath*>,
+                     bgp::PrefixHash>
+      by_prefix;
+  for (const sanitize::SanitizedPath& p : warm.sanitized().paths) {
+    by_prefix[p.prefix].push_back(&p);
+  }
+  for (const auto& [prefix, rows] : by_prefix) {
+    for (const sanitize::SanitizedPath* a : rows) {
+      for (const sanitize::SanitizedPath* b : rows) {
+        if (a->vp == b->vp || a->path == b->path) continue;
+        bool taken = false;  // (a->vp, prefix, b->path) already a row?
+        for (const sanitize::SanitizedPath* c : rows) {
+          if (c->vp == a->vp && c->path == b->path) {
+            taken = true;
+            break;
+          }
+        }
+        if (taken) continue;
+        burst.days.back().entries.push_back(
+            bgp::RouteEntry{a->vp, prefix, b->path});
+        return burst;
+      }
+    }
+  }
+  if (!burst.days.back().entries.empty()) {
+    burst.days.back().entries.pop_back();  // fallback: change *something*
+  }
+  return burst;
+}
+
+struct BurstResult {
+  double incremental_seconds = 0.0;
+  double apply_seconds = 0.0;  // apply_updates share of incremental
+  double full_seconds = 0.0;
+  core::Pipeline::ApplyResult apply;
+  bool bit_identical = false;
+  std::size_t shards_total = 0;
+};
+
+BurstResult bench_burst(const bench::Context& context,
+                        const bgp::RibCollection& base) {
+  BurstResult result;
+
+  // Warm pipeline at the pre-burst state, census fully memoized (exactly
+  // what a running UpdatePipeline looks like between flushes).
+  core::Pipeline warm = fresh_pipeline(context);
+  warm.load(base);
+  (void)serve::Snapshot::build(warm, bench_meta());
+  bgp::RibCollection burst = burst_collection(warm, base);
+
+  serve::Snapshot incremental_snapshot;
+  Clock::time_point start = Clock::now();
+  result.apply = warm.apply_updates(burst);
+  result.apply_seconds = seconds_since(start);
+  incremental_snapshot = serve::Snapshot::build(warm, bench_meta());
+  result.incremental_seconds = seconds_since(start);
+  result.shards_total = warm.store().shards().size();
+
+  serve::Snapshot full_snapshot;
+  start = Clock::now();
+  core::Pipeline cold = fresh_pipeline(context);
+  cold.load(burst);
+  full_snapshot = serve::Snapshot::build(cold, bench_meta());
+  result.full_seconds = seconds_since(start);
+
+  result.bit_identical = io::encode_snapshot(incremental_snapshot) ==
+                         io::encode_snapshot(full_snapshot);
+  return result;
+}
+
+int run_smoke() {
+  // Mini world, replayed through the live pipeline and recomputed from
+  // scratch: the two GRSNAP01 encodings must be byte-identical, and the
+  // no-change re-apply must keep every shard.
+  gen::World world = gen::InternetGenerator{gen::mini_world_spec(29)}.generate();
+  gen::NoiseSpec noise;
+  bgp::RibCollection ribs = gen::RibGenerator{world, noise, 5}.generate(3);
+  std::vector<bgp::UpdateMessage> archive = bgp::collection_to_updates(ribs);
+
+  core::PipelineConfig config;
+  config.sanitizer.clique = world.clique;
+  config.sanitizer.route_server_asns = world.route_servers;
+
+  core::Pipeline batch{world.geo_db, world.vps, world.asn_registry,
+                       world.graph, config};
+  batch.load(bgp::replay_to_collection(archive, bgp::ReplayOptions{}));
+  std::string want = io::encode_snapshot(serve::Snapshot::build(batch, bench_meta()));
+
+  core::Pipeline streamed{world.geo_db, world.vps, world.asn_registry,
+                          world.graph, config};
+  serve::RankingService service;
+  live::UpdatePipelineOptions options;
+  options.flush_batch = 313;
+  live::UpdatePipeline live{streamed, service, options};
+  for (const bgp::UpdateMessage& u : archive) (void)live.push(u);
+  (void)live.drain();
+  std::string got = io::encode_snapshot(serve::Snapshot::build(streamed, bench_meta()));
+  if (got != want) {
+    std::fprintf(stderr, "smoke FAILED: live snapshot != batch recompute\n");
+    return 1;
+  }
+
+  core::Pipeline::ApplyResult again = streamed.apply_updates(
+      bgp::replay_to_collection(archive, bgp::ReplayOptions{}));
+  if (again.shards_rebuilt != 0 || again.memos_evicted != 0) {
+    std::fprintf(stderr,
+                 "smoke FAILED: no-change re-apply rebuilt %zu shards, "
+                 "evicted %zu memos\n",
+                 again.shards_rebuilt, again.memos_evicted);
+    return 1;
+  }
+  std::printf("smoke ok: %zu-update archive, live == batch (%zu bytes), "
+              "no-change re-apply kept %zu shards\n",
+              archive.size(), want.size(), again.shards_kept);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return run_smoke();
+  // --burst: skip the cadence sweep (useful when iterating on the
+  // incremental path; the burst section is the acceptance-bar number).
+  const bool burst_only = argc > 1 && std::strcmp(argv[1], "--burst") == 0;
+
+  bench::print_banner(
+      "live", "incremental republish latency vs batch size, and the "
+              "single-country-burst speedup over a full recompute");
+
+  bench::ContextOptions options;
+  options.keep_ribs = true;
+  std::unique_ptr<bench::Context> context = bench::make_context(options);
+  std::vector<bgp::UpdateMessage> archive =
+      bgp::collection_to_updates(context->ribs);
+  std::printf("update archive: %zu messages over %zu days\n\n", archive.size(),
+              context->ribs.days.size());
+
+  if (!burst_only) {
+    std::printf("-- republish latency vs flush batch size --\n");
+    std::printf("%10s %10s %14s %14s %14s %12s\n", "batch", "publishes",
+                "mean repub s", "mean apply s", "mean census s", "replay s");
+    for (std::size_t flush_batch : {2000u, 8000u, 32000u, 128000u}) {
+      CadenceResult r = bench_cadence(*context, archive, flush_batch);
+      std::printf("%10zu %10llu %14.4f %14.4f %14.4f %12.3f\n", r.flush_batch,
+                  static_cast<unsigned long long>(r.publishes),
+                  r.mean_republish_seconds, r.mean_apply_seconds,
+                  r.mean_census_seconds, r.total_seconds);
+    }
+  }
+
+  std::printf("\n-- single-country burst: incremental vs full recompute --\n");
+  bgp::RibCollection base =
+      bgp::replay_to_collection(archive, bgp::ReplayOptions{});
+  BurstResult burst = bench_burst(*context, base);
+  std::printf("shards: %zu kept / %zu rebuilt of %zu; memos: %zu warm / %zu "
+              "evicted\n",
+              burst.apply.shards_kept, burst.apply.shards_rebuilt,
+              burst.shards_total, burst.apply.memos_kept,
+              burst.apply.memos_evicted);
+  std::printf("sanitize: %s, %zu day(s) resanitized\n",
+              burst.apply.sanitize_fast_path ? "fast path" : "full run",
+              burst.apply.days_resanitized);
+  std::printf("incremental (apply_updates + build): %8.3f s (apply %.3f s)\n",
+              burst.incremental_seconds, burst.apply_seconds);
+  std::printf("full recompute (load + build):       %8.3f s\n",
+              burst.full_seconds);
+  std::printf("speedup: %.1fx, snapshots %s\n",
+              burst.full_seconds / burst.incremental_seconds,
+              burst.bit_identical ? "byte-identical" : "DIVERGED");
+  return burst.bit_identical ? 0 : 1;
+}

@@ -17,12 +17,16 @@
 #            (`--preset internet`), build a snapshot from it under
 #            /usr/bin/time -v, and assert the peak RSS stays under the
 #            sharded pipeline's memory ceiling
+#   live     incremental-pipeline equivalence: generate a world, replay
+#            its update archive through `georank live`, and assert the
+#            final GRSNAP01 file is byte-identical to a batch
+#            `georank snapshot` of the same archive
 #   tidy     clang-tidy over src/ (opt-in: --clang-tidy; skips politely
 #            when the tool is not installed)
 #
 # Usage: scripts/ci.sh [--skip-asan] [--skip-ubsan] [--skip-tsan]
-#                      [--skip-serve] [--skip-scale] [--skip-lint]
-#                      [--clang-tidy]
+#                      [--skip-serve] [--skip-scale] [--skip-live]
+#                      [--skip-lint] [--clang-tidy]
 #
 # Each sanitizer stage builds into its own tree (build-asan, build-ubsan,
 # build-tsan) so it never dirties the primary build directory. The
@@ -37,6 +41,7 @@ SKIP_UBSAN=0
 SKIP_TSAN=0
 SKIP_SERVE=0
 SKIP_SCALE=0
+SKIP_LIVE=0
 SKIP_LINT=0
 RUN_TIDY=0
 for arg in "$@"; do
@@ -46,6 +51,7 @@ for arg in "$@"; do
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-serve) SKIP_SERVE=1 ;;
     --skip-scale) SKIP_SCALE=1 ;;
+    --skip-live) SKIP_LIVE=1 ;;
     --skip-lint) SKIP_LINT=1 ;;
     --clang-tidy) RUN_TIDY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
@@ -180,6 +186,38 @@ if [[ "$SKIP_SCALE" -eq 0 ]]; then
   echo "scale tier OK (peak RSS ${PEAK_KB} kB, ceiling ${SCALE_RSS_CEILING_KB} kB)"
 else
   echo "==> scale stage skipped (--skip-scale)"
+fi
+
+if [[ "$SKIP_LIVE" -eq 0 ]]; then
+  echo "==> live tier: incremental update replay vs batch snapshot (byte compare)"
+  LIVE_TMP="$(mktemp -d)"
+  trap 'rm -rf "$LIVE_TMP"' EXIT
+
+  ./build/tools/georank generate --out "$LIVE_TMP/world" --mini --seed 33 \
+    --days 4 > /dev/null
+  # Drop ribs.txt so BOTH sides consume updates.txt: identical entry
+  # ordering into the sanitizer means float accumulation order matches,
+  # which is what makes byte-compare (not just semantic compare) fair.
+  rm "$LIVE_TMP/world/ribs.txt"
+
+  ./build/tools/georank snapshot --dir "$LIVE_TMP/world" \
+    --out "$LIVE_TMP/batch.grsnap" --id 11 --label live-ci --created 1617235200 \
+    > /dev/null
+  ./build/tools/georank live --dir "$LIVE_TMP/world" --batch 750 \
+    --out "$LIVE_TMP/live.grsnap" --id 11 --label live-ci --created 1617235200 \
+    > "$LIVE_TMP/live.log"
+  grep -q "replay done" "$LIVE_TMP/live.log" \
+    || { cat "$LIVE_TMP/live.log"; echo "live tier FAIL: replay did not finish"; exit 1; }
+  FLUSHES="$(grep -c 'flush -> snapshot' "$LIVE_TMP/live.log" || true)"
+  [[ "$FLUSHES" -gt 1 ]] \
+    || { cat "$LIVE_TMP/live.log"; echo "live tier FAIL: expected multiple incremental flushes, got $FLUSHES"; exit 1; }
+  cmp "$LIVE_TMP/batch.grsnap" "$LIVE_TMP/live.grsnap" \
+    || { echo "live tier FAIL: incremental snapshot differs from batch recompute"; exit 1; }
+  rm -rf "$LIVE_TMP"
+  trap - EXIT
+  echo "live tier OK ($FLUSHES incremental flushes, snapshots byte-identical)"
+else
+  echo "==> live stage skipped (--skip-live)"
 fi
 
 if [[ "$RUN_TIDY" -eq 1 ]]; then

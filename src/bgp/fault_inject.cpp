@@ -175,6 +175,105 @@ FaultKind corrupt(std::vector<std::string>& fields, FaultKind kind,
 
 }  // namespace
 
+std::string_view to_string(UpdateFaultKind kind) noexcept {
+  switch (kind) {
+    case UpdateFaultKind::kTruncatedWithdraw: return "truncated-withdraw";
+    case UpdateFaultKind::kPathlessAnnounce: return "pathless-announce";
+    case UpdateFaultKind::kNonMonotonicBurst: return "non-monotonic-burst";
+  }
+  return "?";
+}
+
+ParseReason expected_parse_reason(UpdateFaultKind kind) noexcept {
+  switch (kind) {
+    case UpdateFaultKind::kTruncatedWithdraw: return ParseReason::kBadFieldCount;
+    case UpdateFaultKind::kPathlessAnnounce: return ParseReason::kBadFieldCount;
+    case UpdateFaultKind::kNonMonotonicBurst: return ParseReason::kOk;
+  }
+  return ParseReason::kOk;
+}
+
+std::size_t UpdateFaultCorpus::count_of(UpdateFaultKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const InjectedUpdateFault& f : faults) n += f.kind == kind ? 1 : 0;
+  return n;
+}
+
+std::size_t UpdateFaultCorpus::expected_parse_reason_count(
+    ParseReason reason) const noexcept {
+  std::size_t n = 0;
+  for (const InjectedUpdateFault& f : faults) {
+    n += expected_parse_reason(f.kind) == reason ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t UpdateFaultCorpus::malformed_lines() const noexcept {
+  std::size_t n = 0;
+  for (const InjectedUpdateFault& f : faults) {
+    n += f.kind != UpdateFaultKind::kNonMonotonicBurst ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t UpdateFaultCorpus::expected_out_of_order() const noexcept {
+  return count_of(UpdateFaultKind::kNonMonotonicBurst);
+}
+
+std::string make_clean_update_text(std::size_t lines, std::uint64_t base_time,
+                                   int days, std::uint64_t seed) {
+  if (days < 1) days = 1;
+  util::Pcg32 rng{seed};
+  std::string out;
+  out.reserve(lines * 64);
+
+  struct Route {
+    std::uint32_t peer;
+    std::string prefix;
+  };
+  std::vector<Route> announced;
+
+  // Non-decreasing by construction: timestamps walk the span linearly.
+  const std::uint64_t start = base_time + 86400;
+  const std::uint64_t span = static_cast<std::uint64_t>(days) * 86400 - 1;
+  for (std::size_t i = 0; i < lines; ++i) {
+    std::uint64_t ts =
+        lines > 1 ? start + (static_cast<std::uint64_t>(i) * span) / (lines - 1)
+                  : start;
+    const bool withdraw = !announced.empty() && rng.chance(0.25);
+    std::uint32_t peer;
+    std::string prefix;
+    if (withdraw) {
+      std::size_t pick = rng.below(static_cast<std::uint32_t>(announced.size()));
+      peer = announced[pick].peer;
+      prefix = std::move(announced[pick].prefix);
+      announced.erase(announced.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      peer = rng.below(40);
+      prefix = std::to_string(1 + rng.below(223)) + '.' +
+               std::to_string(rng.below(256)) + ".0.0/16";
+    }
+    out += "BGP4MP|";
+    out += std::to_string(ts);
+    out += withdraw ? "|W|10.0." : "|A|10.0.";
+    out += std::to_string(peer);
+    out += ".1|";
+    out += std::to_string(64000 + peer);
+    out += '|';
+    out += prefix;
+    if (!withdraw) {
+      out += '|';
+      out += std::to_string(64000 + peer);
+      out += " 174 ";
+      out += std::to_string(64500 + rng.below(400));
+      out += "|IGP";
+      announced.push_back(Route{peer, std::move(prefix)});
+    }
+    out += '\n';
+  }
+  return out;
+}
+
 FaultCorpus inject_faults(std::string_view clean_text, const FaultSpec& spec) {
   std::vector<FaultKind> kinds = spec.kinds;
   if (kinds.empty()) {
@@ -218,6 +317,83 @@ FaultCorpus inject_faults(std::string_view clean_text, const FaultSpec& spec) {
         kinds[rng.below(static_cast<std::uint32_t>(kinds.size()))];
     FaultKind applied = corrupt(fields, requested, spec.base_time);
     out.faults.push_back(InjectedFault{out.lines, applied});
+
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out.text += '|';
+      out.text += fields[i];
+    }
+    out.text += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// Applies one update fault; arity faults adapt to the line's own A/W
+/// marker so the log always records a fault that actually landed.
+UpdateFaultKind corrupt_update(std::vector<std::string>& fields,
+                               UpdateFaultKind kind, std::uint64_t base_time) {
+  if (kind == UpdateFaultKind::kNonMonotonicBurst && fields.size() > 1) {
+    fields[1] = std::to_string(base_time);
+    return kind;
+  }
+  const bool is_withdraw = fields.size() > 2 && fields[2] == "W";
+  if (is_withdraw) {
+    if (fields.size() > 4) fields.resize(4);
+    return UpdateFaultKind::kTruncatedWithdraw;
+  }
+  if (fields.size() > 6) fields.resize(6);
+  return UpdateFaultKind::kPathlessAnnounce;
+}
+
+}  // namespace
+
+UpdateFaultCorpus inject_update_faults(std::string_view clean_text,
+                                       const UpdateFaultSpec& spec) {
+  std::vector<UpdateFaultKind> kinds = spec.kinds;
+  if (kinds.empty()) {
+    for (std::size_t i = 0; i < kUpdateFaultKindCount; ++i) {
+      kinds.push_back(static_cast<UpdateFaultKind>(i));
+    }
+  }
+
+  util::Pcg32 rng{spec.seed};
+  UpdateFaultCorpus out;
+  out.text.reserve(clean_text.size() + clean_text.size() / 16);
+
+  std::size_t pos = 0;
+  std::vector<std::string> fields;
+  while (pos < clean_text.size()) {
+    std::size_t newline = clean_text.find('\n', pos);
+    std::size_t end = newline == std::string_view::npos ? clean_text.size() : newline;
+    std::string_view line = clean_text.substr(pos, end - pos);
+    pos = newline == std::string_view::npos ? clean_text.size() : newline + 1;
+    ++out.lines;
+
+    // The first line stays clean: it establishes the replay watermark, so
+    // every rewound timestamp after it is unambiguously out-of-order.
+    if (out.lines == 1 || !rng.chance(spec.fraction)) {
+      out.text += line;
+      out.text += '\n';
+      continue;
+    }
+
+    fields.clear();
+    std::size_t start = 0;
+    while (true) {
+      std::size_t bar = line.find('|', start);
+      if (bar == std::string_view::npos) {
+        fields.emplace_back(line.substr(start));
+        break;
+      }
+      fields.emplace_back(line.substr(start, bar - start));
+      start = bar + 1;
+    }
+
+    UpdateFaultKind requested =
+        kinds[rng.below(static_cast<std::uint32_t>(kinds.size()))];
+    UpdateFaultKind applied = corrupt_update(fields, requested, spec.base_time);
+    out.faults.push_back(InjectedUpdateFault{out.lines, applied});
 
     for (std::size_t i = 0; i < fields.size(); ++i) {
       if (i > 0) out.text += '|';

@@ -88,4 +88,74 @@ struct FaultCorpus {
 [[nodiscard]] FaultCorpus inject_faults(std::string_view clean_text,
                                         const FaultSpec& spec);
 
+// ---------------------------------------------------------------------------
+// Update-stream corpus: the same ground-truth idea for BGP4MP archives.
+// Two of the kinds are parse-level arity faults; the third corrupts the
+// stream ORDERING contract, which only replay_to_collection can see — its
+// lines parse cleanly and are classified by ReplayStats instead.
+
+enum class UpdateFaultKind : std::uint8_t {
+  kTruncatedWithdraw,   // withdraw cut to 4 fields          -> bad_field_count
+  kPathlessAnnounce,    // announce at withdraw arity (6)    -> bad_field_count
+  kNonMonotonicBurst,   // timestamp rewound to base_time    -> replay out-of-order
+};
+inline constexpr std::size_t kUpdateFaultKindCount = 3;
+
+[[nodiscard]] std::string_view to_string(UpdateFaultKind kind) noexcept;
+
+/// How a tolerant UpdateTextReader classifies a line carrying this fault;
+/// kOk for kNonMonotonicBurst (the line parses — replay rejects it).
+[[nodiscard]] ParseReason expected_parse_reason(UpdateFaultKind kind) noexcept;
+
+struct UpdateFaultSpec {
+  std::uint64_t seed = 42;
+  /// Probability that any given line (except the first) is corrupted.
+  double fraction = 0.05;
+  /// Must match the replay base_time for kNonMonotonicBurst rewinds to be
+  /// older than every legitimate timestamp (clean text starts one day in).
+  std::uint64_t base_time = 1617235200;
+  /// Kinds to draw from, uniformly; empty means every UpdateFaultKind.
+  std::vector<UpdateFaultKind> kinds;
+};
+
+struct InjectedUpdateFault {
+  std::size_t line_number = 0;  // 1-based within the corpus
+  UpdateFaultKind kind = UpdateFaultKind::kTruncatedWithdraw;
+};
+
+/// Corrupted update archive plus its injection log. The first line is
+/// never corrupted, so replay always accepts a legitimate watermark
+/// before any rewound timestamp — making every kNonMonotonicBurst line
+/// count as exactly one out-of-order skip.
+struct UpdateFaultCorpus {
+  std::string text;
+  std::size_t lines = 0;
+  std::vector<InjectedUpdateFault> faults;  // in input (line) order
+
+  [[nodiscard]] std::size_t count_of(UpdateFaultKind kind) const noexcept;
+  /// Injected faults a tolerant reader files under `reason` at parse time.
+  [[nodiscard]] std::size_t expected_parse_reason_count(
+      ParseReason reason) const noexcept;
+  /// Faults that make their line unparsable (everything but the burst).
+  [[nodiscard]] std::size_t malformed_lines() const noexcept;
+  /// Updates a tolerant replay must skip as out-of-order.
+  [[nodiscard]] std::size_t expected_out_of_order() const noexcept;
+};
+
+/// `lines` valid BGP4MP update lines over `days` days with non-decreasing
+/// timestamps starting at base_time + 86400 (day 1), so a timestamp
+/// rewound to base_time is strictly older than every legitimate one.
+/// Withdrawals only ever retract previously announced routes, so a clean
+/// replay reports zero spurious withdrawals. Deterministic in `seed`.
+[[nodiscard]] std::string make_clean_update_text(
+    std::size_t lines, std::uint64_t base_time = 1617235200, int days = 3,
+    std::uint64_t seed = 1);
+
+/// Corrupts ~fraction of `clean_text`'s lines (never the first), one
+/// fault per chosen line. Arity faults adapt to the line's own kind — a
+/// withdraw chosen for kPathlessAnnounce gets kTruncatedWithdraw and vice
+/// versa — and the log records the kind actually applied.
+[[nodiscard]] UpdateFaultCorpus inject_update_faults(
+    std::string_view clean_text, const UpdateFaultSpec& spec);
+
 }  // namespace georank::bgp

@@ -186,23 +186,81 @@ std::vector<UpdateMessage> diff_snapshots(const RibSnapshot& from,
   return out;
 }
 
+UpdateReplayError::UpdateReplayError(Kind kind, std::size_t index,
+                                     std::uint64_t timestamp)
+    : std::runtime_error{"update replay: " + std::string(to_string(kind)) +
+                         " at index " + std::to_string(index) +
+                         " (timestamp " + std::to_string(timestamp) + ")"},
+      kind_(kind),
+      index_(index),
+      timestamp_(timestamp) {}
+
+std::string_view to_string(UpdateReplayError::Kind kind) noexcept {
+  switch (kind) {
+    case UpdateReplayError::Kind::kOutOfOrder: return "out-of-order timestamp";
+    case UpdateReplayError::Kind::kDayOutOfRange: return "day out of range";
+  }
+  return "?";
+}
+
 RibCollection replay_to_collection(const std::vector<UpdateMessage>& updates,
-                                   std::uint64_t base_time) {
+                                   const ReplayOptions& options,
+                                   ReplayStats* stats) {
   RibCollection out;
   RibState state;
+  ReplayStats tally;
   int current_day = -1;
-  for (const UpdateMessage& u : updates) {
-    int day = u.timestamp >= base_time
-                  ? static_cast<int>((u.timestamp - base_time) / 86400)
-                  : 0;
+  std::uint64_t watermark = 0;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const UpdateMessage& u = updates[i];
+    int day = 0;
+    if (detail::day_from_timestamp(u.timestamp, options.base_time,
+                                   options.max_day, day) != ParseReason::kOk) {
+      // Pre-base_time timestamps used to clamp to day 0, silently folding
+      // clock-skewed updates into the first snapshot; now they follow the
+      // same strict/tolerant contract as the text readers.
+      if (options.mode == ParseMode::kStrict) {
+        throw UpdateReplayError{UpdateReplayError::Kind::kDayOutOfRange, i,
+                                u.timestamp};
+      }
+      ++tally.skipped_day_out_of_range;
+      continue;
+    }
+    if (u.timestamp < watermark) {
+      if (options.mode == ParseMode::kStrict) {
+        throw UpdateReplayError{UpdateReplayError::Kind::kOutOfOrder, i,
+                                u.timestamp};
+      }
+      ++tally.skipped_out_of_order;
+      continue;
+    }
+    watermark = u.timestamp;
+    // Accepted timestamps are non-decreasing, so the day only moves
+    // forward; emit the finished day plus one snapshot per quiet day in
+    // between, so every day in the span is represented.
     if (current_day >= 0 && day != current_day) {
-      out.days.push_back(state.snapshot(current_day));
+      for (int d = current_day; d < day; ++d) {
+        out.days.push_back(state.snapshot(d));
+        ++tally.days_emitted;
+        if (d > current_day) ++tally.quiet_days;
+      }
     }
     current_day = day;
     state.apply(u);
+    ++tally.applied;
   }
-  if (current_day >= 0) out.days.push_back(state.snapshot(current_day));
+  if (current_day >= 0) {
+    out.days.push_back(state.snapshot(current_day));
+    ++tally.days_emitted;
+  }
+  tally.spurious_withdrawals = state.spurious_withdrawals();
+  if (stats) *stats = tally;
   return out;
+}
+
+RibCollection replay_to_collection(const std::vector<UpdateMessage>& updates,
+                                   std::uint64_t base_time) {
+  return replay_to_collection(updates, ReplayOptions{.base_time = base_time});
 }
 
 std::vector<UpdateMessage> collection_to_updates(const RibCollection& collection,

@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -108,13 +110,72 @@ class RibState {
 
 /// A whole collection as one update archive: day 0 dumped as announces,
 /// later days as diffs. Replaying through RibState reproduces every
-/// snapshot exactly (tested property).
+/// snapshot exactly (tested property), including quiet days, EXCEPT
+/// trailing quiet days: a final day identical to its predecessor diffs to
+/// zero updates, so the archive carries no evidence the day existed.
 [[nodiscard]] std::vector<UpdateMessage> collection_to_updates(
     const RibCollection& collection, std::uint64_t base_time = 1617235200);
 
-/// The inverse: replay an update archive into daily snapshots. Updates
-/// must be timestamp-ordered; the day index is (ts - base_time) / 86400
-/// and a snapshot is taken after the last update of each day seen.
+/// How replay_to_collection treats stream irregularities. Mirrors
+/// MrtReaderOptions: same base_time epoch, same ParseMode semantics
+/// (strict throws, tolerant counts and skips), same day horizon.
+struct ReplayOptions {
+  std::uint64_t base_time = 1617235200;
+  ParseMode mode = ParseMode::kTolerant;
+  /// Timestamps at or past base_time + max_day * 86400 (or before
+  /// base_time) are day-out-of-range.
+  int max_day = 366;
+};
+
+/// Diagnostics from one replay pass.
+struct ReplayStats {
+  std::size_t applied = 0;                   // updates applied to the table
+  std::size_t skipped_out_of_order = 0;      // tolerant-mode ordering drops
+  std::size_t skipped_day_out_of_range = 0;  // tolerant-mode horizon drops
+  std::size_t spurious_withdrawals = 0;      // withdrawals of unknown routes
+  std::size_t days_emitted = 0;              // snapshots in the result
+  std::size_t quiet_days = 0;                // emitted days with no updates
+
+  friend bool operator==(const ReplayStats&, const ReplayStats&) = default;
+};
+
+/// Thrown by strict-mode replay at the first update that violates the
+/// stream contract; carries the offending update's index and timestamp.
+class UpdateReplayError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    kOutOfOrder,     // timestamp went backwards
+    kDayOutOfRange,  // timestamp before base_time or past the horizon
+  };
+
+  UpdateReplayError(Kind kind, std::size_t index, std::uint64_t timestamp);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  /// 0-based index of the offending update within the input vector.
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] std::uint64_t timestamp() const noexcept { return timestamp_; }
+
+ private:
+  Kind kind_;
+  std::size_t index_;
+  std::uint64_t timestamp_;
+};
+
+[[nodiscard]] std::string_view to_string(UpdateReplayError::Kind kind) noexcept;
+
+/// The inverse of collection_to_updates: replay an update archive into
+/// daily snapshots. Updates must be timestamp-ordered (non-decreasing);
+/// the day index is (ts - base_time) / 86400, a snapshot is emitted for
+/// EVERY day from the first to the last day seen — quiet days repeat the
+/// previous table — and the contract violations (out-of-order timestamp,
+/// pre-base_time or past-horizon timestamp) follow options.mode: strict
+/// throws UpdateReplayError, tolerant counts the update in `stats` and
+/// skips it.
+[[nodiscard]] RibCollection replay_to_collection(
+    const std::vector<UpdateMessage>& updates, const ReplayOptions& options,
+    ReplayStats* stats = nullptr);
+
+/// Tolerant replay with default options (compatibility overload).
 [[nodiscard]] RibCollection replay_to_collection(
     const std::vector<UpdateMessage>& updates,
     std::uint64_t base_time = 1617235200);

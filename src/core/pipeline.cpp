@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include <optional>
+#include <set>
 #include <shared_mutex>
 #include <stdexcept>
 #include <string>
@@ -17,7 +19,8 @@ Pipeline::Pipeline(const geo::GeoDatabase& geo_db, const geo::VpGeolocator& vps,
       registry_(&registry),
       relationships_(&relationships),
       config_(std::move(config)),
-      rankings_(relationships, config_.hegemony) {}
+      rankings_(relationships, config_.hegemony),
+      sanitizer_(geo_db, vps, registry, config_.sanitizer) {}
 
 void Pipeline::load(const bgp::RibCollection& ribs) {
   // No parse phase on this path: the stats describe the CURRENT world,
@@ -26,34 +29,103 @@ void Pipeline::load(const bgp::RibCollection& ribs) {
 }
 
 void Pipeline::load_impl(const bgp::RibCollection& ribs, bgp::MrtParseStats stats) {
-  sanitize::PathSanitizer sanitizer{*geo_db_, *vps_, *registry_, config_.sanitizer};
+  const std::lock_guard<std::mutex> serial(cache_->load_serial);
   // Sanitize outside the reload lock (it is by far the expensive part),
   // then swap the world in exclusively so racing queries see either the
-  // old state or the new one, never a mix.
-  sanitize::SanitizeResult result = sanitizer.run(ribs);
+  // old state or the new one, never a mix. run_full also recaptures the
+  // sanitizer memo that apply_updates' fast path builds on.
+  sanitize::SanitizeResult result = sanitizer_.run_full(ribs);
   const std::unique_lock<std::shared_mutex> reload(cache_->reload);
   parse_stats_ = std::move(stats);
   sanitized_ = std::move(result);
   store_.emplace(std::span<const sanitize::SanitizedPath>{sanitized_->paths});
+  rebuild_geo_evidence(/*sanitize_fast_path=*/false);
+  evict_changed_countries();
+}
 
+Pipeline::ApplyResult Pipeline::apply_updates(const bgp::RibCollection& ribs) {
+  const std::lock_guard<std::mutex> serial(cache_->load_serial);
+  // can_fast_path digest-verifies that `ribs` differs from the loaded
+  // collection in the final day only (stable-prefix set intact); then
+  // run_fast re-filters just that day and reuses everything else, which
+  // is identical to a full run by construction — this is what anchors
+  // bit-identity with a batch load(). Any mismatch falls back to the
+  // full sanitizer. The full run happens outside the reload lock; the
+  // fast run inside it, because it consumes the published rows.
+  sanitize::IncrementalSanitizer::Outcome outcome;
+  const bool fast = sanitized_.has_value() && sanitizer_.can_fast_path(ribs);
+  std::optional<sanitize::SanitizeResult> full;
+  if (!fast) full = sanitizer_.run_full(ribs, &outcome);
+  const std::unique_lock<std::shared_mutex> reload(cache_->reload);
+  ApplyResult out;
+  if (fast) {
+    sanitized_ = sanitizer_.run_fast(ribs, std::move(*sanitized_), &outcome);
+  } else {
+    sanitized_ = std::move(*full);
+  }
+  out.sanitize_fast_path = outcome.fast_path;
+  out.days_resanitized = outcome.days_resanitized;
+  if (store_.has_value()) {
+    // rows_reused is the sanitizer's digest-verified proof that the
+    // leading rows are unchanged — the store skips re-interning and
+    // re-digesting them (0 on the full path = plain rebuild).
+    const ShardedPathStore::RebuildStats rebuilt = store_->rebuild(
+        std::span<const sanitize::SanitizedPath>{sanitized_->paths}, 0,
+        outcome.rows_reused);
+    out.shards_kept = rebuilt.shards_kept;
+    out.shards_rebuilt = rebuilt.shards_rebuilt;
+  } else {
+    store_.emplace(std::span<const sanitize::SanitizedPath>{sanitized_->paths});
+    out.shards_rebuilt = store_->shards().size();
+  }
+  rebuild_geo_evidence(out.sanitize_fast_path);
+  const EvictStats evicted = evict_changed_countries();
+  out.memos_evicted = evicted.evicted;
+  out.memos_kept = evicted.kept;
+  return out;
+}
+
+void Pipeline::rebuild_geo_evidence(bool sanitize_fast_path) {
   // Geolocation evidence for the confidence annotation: accepted weight
   // once per distinct sanitized prefix, plus the no-consensus weight each
-  // plurality country lost.
-  geo_evidence_.clear();
+  // plurality country lost. The accepted tally counts a prefix at its
+  // FIRST row only, so when the sanitizer proved the head rows unchanged
+  // the tallies and seen-set captured at the head/final-day boundary are
+  // exact and only the final day's rows need scanning.
+  const std::vector<sanitize::SanitizedPath>& paths = sanitized_->paths;
+  const std::size_t boundary = sanitizer_.memo_head_rows();
   std::unordered_set<bgp::Prefix, bgp::PrefixHash> seen;
-  for (const sanitize::SanitizedPath& p : sanitized_->paths) {
+  std::size_t begin = 0;
+  if (sanitize_fast_path) {
+    geo_evidence_ = head_geo_evidence_;
+    seen = head_seen_prefixes_;
+    begin = boundary;
+  } else {
+    geo_evidence_.clear();
+  }
+  for (std::size_t i = begin; i < paths.size(); ++i) {
+    if (!sanitize_fast_path && i == boundary) {
+      head_geo_evidence_ = geo_evidence_;
+      head_seen_prefixes_ = seen;
+    }
+    const sanitize::SanitizedPath& p = paths[i];
     if (seen.insert(p.prefix).second) {
       geo_evidence_[p.prefix_country].accepted += p.weight;
     }
   }
+  if (!sanitize_fast_path && boundary == paths.size()) {
+    head_geo_evidence_ = geo_evidence_;
+    head_seen_prefixes_ = seen;
+  }
   for (const auto& [country, tally] :
        sanitized_->prefix_geo.no_consensus_by_plurality()) {
-    geo_evidence_[country].rejected += tally.addresses;
+    GeoEvidence& evidence = geo_evidence_[country];
+    evidence.rejected += tally.addresses;
+    evidence.rejected_prefixes += tally.prefixes;
   }
-  evict_changed_countries();
 }
 
-void Pipeline::evict_changed_countries() {
+Pipeline::EvictStats Pipeline::evict_changed_countries() {
   // Per-country digests of the NEW world. The country-query digest folds
   // geo evidence in because CountryMetrics.confidence/geo_consensus are
   // computed from it; outbound metrics only see the shard.
@@ -70,6 +142,8 @@ void Pipeline::evict_changed_countries() {
         it == geo_evidence_.end() ? GeoEvidence{} : it->second;
     d ^= evidence.accepted + 0x9e3779b97f4a7c15ull + (d << 6) + (d >> 2);
     d ^= evidence.rejected + 0x9e3779b97f4a7c15ull + (d << 6) + (d >> 2);
+    d ^= evidence.rejected_prefixes + 0x9e3779b97f4a7c15ull + (d << 6) +
+         (d >> 2);
     country_digests.emplace(key, d);
   }
 
@@ -87,17 +161,29 @@ void Pipeline::evict_changed_countries() {
     return now == current.end() || then == previous.end() ||
            now->second != then->second;
   };
+  EvictStats stats;
   {
     const std::lock_guard<std::mutex> lock(cache_->mutex);
+    const std::size_t before = cache_->country.size() +
+                               cache_->outbound.size() + cache_->health.size();
     std::erase_if(cache_->country, [&](const auto& entry) {
       return changed(country_digests_, country_digests, entry.first);
     });
     std::erase_if(cache_->outbound, [&](const auto& entry) {
       return changed(outbound_digests_, outbound_digests, entry.first);
     });
+    // Health reads the shard rows plus the geo evidence, both of which
+    // the country digest folds in.
+    std::erase_if(cache_->health, [&](const auto& entry) {
+      return changed(country_digests_, country_digests, entry.first);
+    });
+    stats.kept = cache_->country.size() + cache_->outbound.size() +
+                 cache_->health.size();
+    stats.evicted = before - stats.kept;
   }
   country_digests_ = std::move(country_digests);
   outbound_digests_ = std::move(outbound_digests);
+  return stats;
 }
 
 void Pipeline::load_text(std::string_view mrt_text) {
@@ -139,11 +225,13 @@ void Pipeline::clear_caches() const {
   const std::lock_guard<std::mutex> lock(cache_->mutex);
   cache_->country.clear();
   cache_->outbound.clear();
+  cache_->health.clear();
 }
 
 Pipeline::CacheStats Pipeline::cache_stats() const {
   const std::lock_guard<std::mutex> lock(cache_->mutex);
-  return CacheStats{cache_->country.size(), cache_->outbound.size()};
+  return CacheStats{cache_->country.size(), cache_->outbound.size(),
+                    cache_->health.size()};
 }
 
 Pipeline::GeoEvidence Pipeline::geo_evidence(geo::CountryCode country) const {
@@ -191,6 +279,56 @@ OutboundMetrics Pipeline::outbound(geo::CountryCode country) const {
   const std::lock_guard<std::mutex> lock(cache_->mutex);
   return cache_->outbound.try_emplace(country.raw(), std::move(metrics))
       .first->second;
+}
+
+robust::CountryHealth Pipeline::country_health_uncached(
+    geo::CountryCode country) const {
+  const robust::DegradationPolicy& policy = config_.degradation;
+  robust::CountryHealth h;
+  h.country = country;
+  if (const PathShard* shard = store_->shard(country)) {
+    std::set<bgp::VpId> national_vps;
+    std::set<bgp::VpId> international_vps;
+    std::set<bgp::Prefix> prefixes;
+    for (std::uint32_t row : shard->prefix_rows()) {
+      if (shard->vp_country(row) == country) {
+        national_vps.insert(shard->vp(row));
+      } else {
+        international_vps.insert(shard->vp(row));
+      }
+      if (prefixes.insert(shard->prefix(row)).second) {
+        h.geolocated_addresses += shard->weight(row);
+      }
+    }
+    h.national_vps = national_vps.size();
+    h.international_vps = international_vps.size();
+    h.accepted_prefixes = prefixes.size();
+  }
+  if (const auto it = geo_evidence_.find(country); it != geo_evidence_.end()) {
+    h.no_consensus_prefixes =
+        static_cast<std::size_t>(it->second.rejected_prefixes);
+    h.no_consensus_addresses = it->second.rejected;
+  }
+  h.national_tier = policy.view_tier(h.national_vps);
+  h.international_tier = policy.view_tier(h.international_vps);
+  h.geo_tier = policy.geo_tier(h.geolocated_addresses, h.no_consensus_addresses);
+  h.overall = policy.country_tier(h.national_vps, h.international_vps,
+                                  h.geolocated_addresses,
+                                  h.no_consensus_addresses);
+  return h;
+}
+
+robust::CountryHealth Pipeline::country_health(geo::CountryCode country) const {
+  const std::shared_lock<std::shared_mutex> reload(cache_->reload);
+  require_loaded("Pipeline::country_health()");
+  {
+    const std::lock_guard<std::mutex> lock(cache_->mutex);
+    auto it = cache_->health.find(country.raw());
+    if (it != cache_->health.end()) return it->second;
+  }
+  robust::CountryHealth health = country_health_uncached(country);
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  return cache_->health.try_emplace(country.raw(), health).first->second;
 }
 
 std::vector<CountryMetrics> Pipeline::all_countries() const {

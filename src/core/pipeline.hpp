@@ -22,6 +22,7 @@
 #include <shared_mutex>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "bgp/mrt_stream.hpp"
@@ -31,6 +32,8 @@
 #include "rank/ahc.hpp"
 #include "rank/cti.hpp"
 #include "robust/confidence.hpp"
+#include "robust/data_health.hpp"
+#include "sanitize/incremental_sanitizer.hpp"
 #include "sanitize/path_sanitizer.hpp"
 #include "util/thread_safety.hpp"
 
@@ -76,6 +79,32 @@ class Pipeline {
   /// Same, streaming from an istream in bounded memory.
   void load_stream(std::istream& is);
 
+  /// What an incremental reload did — the observability record behind
+  /// the live pipeline's flush reports.
+  struct ApplyResult {
+    std::size_t shards_kept = 0;     // digest unchanged, columns reused
+    std::size_t shards_rebuilt = 0;  // re-gathered from scratch
+    std::size_t memos_evicted = 0;   // per-country results dropped
+    std::size_t memos_kept = 0;      // per-country results still warm
+    bool sanitize_fast_path = false;   // final-day-only incremental run
+    std::size_t days_resanitized = 0;  // days the sanitizer re-filtered
+  };
+
+  /// Incremental counterpart of load(). The sanitizer's filters are
+  /// globally coupled — covered-prefix pruning, stability counts, geo
+  /// consensus — so naive partial re-sanitization would change results;
+  /// instead the sanitize::IncrementalSanitizer PROVES via content
+  /// digests that only the final day changed (and that the stable-prefix
+  /// set is intact) before re-filtering just that day, and falls back to
+  /// a full run otherwise. Either way the store is REBUILT in place:
+  /// shards whose content digest is unchanged keep their columns, and
+  /// only countries whose digest actually changed lose their memoized
+  /// rankings and health entries. Queries afterwards are bit-identical
+  /// to a from-scratch load() of the same collection. parse_stats() is
+  /// left untouched (updates arrive pre-parsed). Takes the reload lock
+  /// exclusively for the swap, like load().
+  ApplyResult apply_updates(const bgp::RibCollection& ribs);
+
   /// Whether a world is loaded. Takes the reload lock shared so a racing
   /// load() is observed either entirely before or entirely after.
   [[nodiscard]] bool loaded() const;
@@ -98,6 +127,14 @@ class Pipeline {
   /// the rest of the world. Memoized like country().
   [[nodiscard]] OutboundMetrics outbound(geo::CountryCode country) const;
 
+  /// One country's health record under config().degradation, memoized
+  /// like country() and evicted shard-granularly on reload — this is
+  /// what keeps serve::Snapshot::build from re-scanning every shard's
+  /// rows on an incremental republish (robust::compute_health routes
+  /// through it when the policy matches the pipeline's).
+  [[nodiscard]] robust::CountryHealth country_health(
+      geo::CountryCode country) const;
+
   /// The full census: CountryMetrics for EVERY country with at least one
   /// geolocated prefix, sorted by country code. Computed in parallel
   /// over shards, largest shard first (util::parallel_for_costed with
@@ -116,6 +153,7 @@ class Pipeline {
   struct CacheStats {
     std::size_t countries = 0;
     std::size_t outbounds = 0;
+    std::size_t healths = 0;
   };
   [[nodiscard]] CacheStats cache_stats() const;
 
@@ -137,14 +175,21 @@ class Pipeline {
   [[nodiscard]] const topo::AsGraph& relationships() const noexcept {
     return *relationships_;
   }
+  /// The geolocation database the pipeline was built over (the live
+  /// layer maps touched prefixes onto country sets through it).
+  [[nodiscard]] const geo::GeoDatabase& geo_db() const noexcept {
+    return *geo_db_;
+  }
 
   /// Per-country geolocation evidence behind the confidence annotation:
-  /// accepted effective addresses (distinct sanitized prefixes) and
-  /// no-consensus address weight attributed to the country's plurality.
-  /// Rebuilt on every load; {0, 0} for countries with no evidence.
+  /// accepted effective addresses (distinct sanitized prefixes), plus
+  /// the no-consensus address weight AND prefix count attributed to the
+  /// country's plurality (the latter feeds country_health()). Rebuilt on
+  /// every load; all-zero for countries with no evidence.
   struct GeoEvidence {
     std::uint64_t accepted = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t rejected_prefixes = 0;
   };
   [[nodiscard]] GeoEvidence geo_evidence(geo::CountryCode country) const;
 
@@ -153,13 +198,29 @@ class Pipeline {
   /// store, geo evidence AND parse stats — in under one exclusive hold,
   /// finishing with shard-granular memo eviction.
   void load_impl(const bgp::RibCollection& ribs, bgp::MrtParseStats stats);
+  /// Recomputes geo_evidence_ from sanitized_. Called under the
+  /// exclusive reload lock. `sanitize_fast_path` = this apply reused the
+  /// sanitizer's memoized head rows, so the evidence accumulated up to
+  /// the head/final-day boundary (cached on the previous full scan) is
+  /// reused and only the suffix rows are re-scanned.
+  void rebuild_geo_evidence(bool sanitize_fast_path);
   /// Compares the new world's per-country digests against the previous
   /// ones and erases only the memo entries whose digest changed (or
   /// whose country vanished). Called under the exclusive reload lock.
-  void evict_changed_countries();
+  /// Returns {evicted, kept} counts across both memo maps.
+  struct EvictStats {
+    std::size_t evicted = 0;
+    std::size_t kept = 0;
+  };
+  EvictStats evict_changed_countries();
   /// Throws std::logic_error("<where>: no RIBs loaded") before load().
   void require_loaded(const char* where) const;
   [[nodiscard]] CountryMetrics country_uncached(geo::CountryCode country) const;
+  /// Exact port of compute_health's per-shard worker (plus the
+  /// rejected-only-country case, where the shard is absent); called with
+  /// the reload lock held shared.
+  [[nodiscard]] robust::CountryHealth country_health_uncached(
+      geo::CountryCode country) const;
 
   const geo::GeoDatabase* geo_db_;
   const geo::VpGeolocator* vps_;
@@ -167,11 +228,21 @@ class Pipeline {
   const topo::AsGraph* relationships_;
   PipelineConfig config_;
   CountryRankings rankings_;
+  // The sanitizer's cross-load memo (behind the incremental fast path).
+  // Touched only by load()/apply_updates(), serialized among themselves
+  // by MemoCache::load_serial — queries never read it.
+  sanitize::IncrementalSanitizer sanitizer_;
   std::optional<sanitize::SanitizeResult> sanitized_;
   std::optional<ShardedPathStore> store_;
   bgp::MrtParseStats parse_stats_;
   std::unordered_map<geo::CountryCode, GeoEvidence, geo::CountryCodeHash>
       geo_evidence_;
+  // Accepted-weight tallies and seen-prefix set as they stood at the
+  // sanitizer's head/final-day row boundary, captured on the last full
+  // evidence scan so a fast apply only re-scans the final day's rows.
+  std::unordered_map<geo::CountryCode, GeoEvidence, geo::CountryCodeHash>
+      head_geo_evidence_;
+  std::unordered_set<bgp::Prefix, bgp::PrefixHash> head_seen_prefixes_;
   // Per-country content digests of the CURRENT world, written only under
   // the exclusive reload lock (like the rest of the world state above).
   // `country_digests_` folds geo evidence in (CountryMetrics.confidence
@@ -187,10 +258,16 @@ class Pipeline {
   // `mutex`). Boxed so Pipeline stays movable despite the locks.
   struct MemoCache {
     std::shared_mutex reload;
+    /// Serializes whole load()/apply_updates() calls against each other
+    /// (they mutate the sanitizer memo OUTSIDE the reload lock, which
+    /// only the swap takes). Always acquired before `reload`.
+    std::mutex load_serial;
     std::mutex mutex;
     std::unordered_map<std::uint16_t, CountryMetrics> country
         GEORANK_GUARDED_BY(mutex);
     std::unordered_map<std::uint16_t, OutboundMetrics> outbound
+        GEORANK_GUARDED_BY(mutex);
+    std::unordered_map<std::uint16_t, robust::CountryHealth> health
         GEORANK_GUARDED_BY(mutex);
   };
   std::unique_ptr<MemoCache> cache_ = std::make_unique<MemoCache>();

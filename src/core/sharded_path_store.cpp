@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "util/parallel_for.hpp"
@@ -32,19 +33,34 @@ void fnv_mix(std::uint64_t& h, std::uint64_t v) noexcept {
 
 ShardedPathStore::ShardedPathStore(
     std::span<const sanitize::SanitizedPath> paths, std::size_t threads) {
+  rebuild(paths, threads);
+}
+
+ShardedPathStore::RebuildStats ShardedPathStore::rebuild(
+    std::span<const sanitize::SanitizedPath> paths, std::size_t threads,
+    std::size_t unchanged_prefix_rows) {
+  RebuildStats result;
   const std::size_t n = paths.size();
+  // The head shortcut needs the previous rebuild's caches to cover it;
+  // clamping also makes a stale hint on a fresh store degrade to 0.
+  const std::size_t head = std::min({unchanged_prefix_rows, handles_.size(), n});
+  const bool incremental = head > 0;
   size_ = n;
 
   // ---- Phase 1: shared hop dictionary (sequential, deterministic).
   // Identical algorithm to PathStore: hash(hops) pre-selects candidates,
   // content compare against the arena decides, first occurrence appends.
-  std::vector<sanitize::PathHandle> handles;
-  handles.reserve(n);
-  std::unordered_map<std::uint64_t, std::vector<sanitize::PathHandle>> interned;
-  interned.reserve(n);
-  for (const sanitize::SanitizedPath& sp : paths) {
-    const std::span<const bgp::Asn> hops = sp.path.hops();
-    std::vector<sanitize::PathHandle>& bucket = interned[hash_hops(hops)];
+  // The dictionary is a member and append-only, so handles issued by a
+  // previous build (still referenced by kept shards) remain valid —
+  // which is also why the cached handles of a proven-unchanged head can
+  // be reused verbatim: re-interning those rows would walk the same
+  // buckets and return the same handles.
+  handles_.resize(head);
+  handles_.reserve(n);
+  if (interned_.empty()) interned_.reserve(n);
+  for (std::size_t i = head; i < n; ++i) {
+    const std::span<const bgp::Asn> hops = paths[i].path.hops();
+    std::vector<sanitize::PathHandle>& bucket = interned_[hash_hops(hops)];
     const sanitize::PathHandle* found = nullptr;
     for (const sanitize::PathHandle& cand : bucket) {
       if (cand.length == hops.size() &&
@@ -54,14 +70,14 @@ ShardedPathStore::ShardedPathStore(
       }
     }
     if (found != nullptr) {
-      handles.push_back(*found);
+      handles_.push_back(*found);
     } else {
       const sanitize::PathHandle handle{
           static_cast<std::uint32_t>(arena_.size()),
           static_cast<std::uint32_t>(hops.size())};
       arena_.insert(arena_.end(), hops.begin(), hops.end());
       bucket.push_back(handle);
-      handles.push_back(handle);
+      handles_.push_back(handle);
       ++unique_paths_;
     }
   }
@@ -69,36 +85,122 @@ ShardedPathStore::ShardedPathStore(
   // ---- Phase 2a: mark each row's target shard(s), sequentially. A row
   // lands in its prefix country's shard and, when different, its VP
   // country's shard; invalid codes never create a shard. Row lists stay
-  // ascending because i is.
-  std::unordered_map<geo::CountryCode, std::vector<std::uint32_t>,
-                     geo::CountryCodeHash>
-      rows_of;
-  for (std::uint32_t i = 0; i < n; ++i) {
+  // ascending because i is. With an unchanged head, the cached lists are
+  // truncated back to head rows (one lower_bound each — they are
+  // ascending) and only the suffix is re-scanned; a country untouched by
+  // either step provably has an identical row list over identical rows,
+  // so phase 2b moves its shard over without re-digesting the content.
+  std::unordered_set<geo::CountryCode, geo::CountryCodeHash> touched;
+  if (!incremental) {
+    rows_of_.clear();
+  } else {
+    // lint: ordered(per-entry truncation, no cross-entry state)
+    for (auto it = rows_of_.begin(); it != rows_of_.end();) {
+      std::vector<std::uint32_t>& rows = it->second;
+      const auto cut = std::lower_bound(rows.begin(), rows.end(),
+                                        static_cast<std::uint32_t>(head));
+      if (cut != rows.end()) {
+        rows.erase(cut, rows.end());
+        touched.insert(it->first);
+      }
+      if (rows.empty()) {
+        it = rows_of_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::uint32_t i = static_cast<std::uint32_t>(head); i < n; ++i) {
     const geo::CountryCode pc = paths[i].prefix_country;
     const geo::CountryCode vc = paths[i].vp_country;
-    if (pc.valid()) rows_of[pc].push_back(i);
-    if (vc.valid() && vc != pc) rows_of[vc].push_back(i);
+    if (pc.valid()) {
+      rows_of_[pc].push_back(i);
+      if (incremental) touched.insert(pc);
+    }
+    if (vc.valid() && vc != pc) {
+      rows_of_[vc].push_back(i);
+      if (incremental) touched.insert(vc);
+    }
   }
 
-  shard_countries_.reserve(rows_of.size());
+  // Previous build's shards, indexed by their (sorted) country list. A
+  // new shard whose content digest matches its predecessor is MOVED over
+  // instead of re-gathered; anything left in old_shards is dropped.
+  std::vector<PathShard> old_shards = std::move(shards_);
+  std::vector<geo::CountryCode> old_countries = std::move(shard_countries_);
+  shards_ = {};
+  shard_countries_ = {};
+  prefix_countries_.clear();
+  vp_countries_.clear();
+
+  shard_countries_.reserve(rows_of_.size());
   // lint: ordered(key collection only; sorted immediately below)
-  for (const auto& [cc, _] : rows_of) shard_countries_.push_back(cc);
+  for (const auto& [cc, _] : rows_of_) shard_countries_.push_back(cc);
   std::sort(shard_countries_.begin(), shard_countries_.end());
 
-  // ---- Phase 2b: gather columns, selection lists, digest and cost per
-  // shard, shard-parallel. Shards are disjoint, so workers share nothing
-  // but read-only inputs.
+  // ---- Phase 2b: per shard, shard-parallel: digest the candidate rows
+  // (content only — cheap, no allocation), keep the old shard when the
+  // digest and row count are unchanged, else gather columns, selection
+  // lists and cost from scratch. Shards are disjoint, so workers share
+  // nothing but read-only inputs; each old shard is claimed by at most
+  // one slot (countries are unique).
   shards_.resize(shard_countries_.size());
-  const bgp::Asn* arena = arena_.data();
+  std::vector<std::uint8_t> kept(shard_countries_.size(), 0);
   util::parallel_for(
       shard_countries_.size(),
       [&](std::size_t s) {
-        PathShard& sh = shards_[s];
         const geo::CountryCode cc = shard_countries_[s];
-        const std::vector<std::uint32_t>& rows = rows_of.at(cc);
+        const std::vector<std::uint32_t>& rows = rows_of_.at(cc);
         const std::size_t m = rows.size();
+
+        const auto claim_old = [&]() -> PathShard* {
+          const auto old_it =
+              std::lower_bound(old_countries.begin(), old_countries.end(), cc);
+          if (old_it == old_countries.end() || *old_it != cc) return nullptr;
+          return &old_shards[static_cast<std::size_t>(old_it -
+                                                      old_countries.begin())];
+        };
+
+        // Untouched by the proven-unchanged head's suffix: identical row
+        // list over identical rows — move the old shard, digest intact.
+        if (incremental && !touched.contains(cc)) {
+          if (PathShard* old_shard = claim_old(); old_shard != nullptr) {
+            shards_[s] = std::move(*old_shard);
+            kept[s] = 1;
+            return;
+          }
+        }
+
+        // Digest pre-pass. Hashes hop CONTENT, never arena offsets —
+        // offsets shift between loads even when this country's paths
+        // did not.
+        std::uint64_t digest = 14695981039346656037ull;
+        std::uint64_t hop_cost = 0;
+        for (std::uint32_t g : rows) {
+          const sanitize::SanitizedPath& sp = paths[g];
+          fnv_mix(digest, sp.vp.ip);
+          fnv_mix(digest, sp.vp.asn);
+          fnv_mix(digest, sp.vp_country.raw());
+          fnv_mix(digest, sp.prefix.address());
+          fnv_mix(digest, sp.prefix.length());
+          fnv_mix(digest, sp.prefix_country.raw());
+          fnv_mix(digest, sp.weight);
+          const std::span<const bgp::Asn> hops = sp.path.hops();
+          fnv_mix(digest, hops.size());
+          for (bgp::Asn hop : hops) fnv_mix(digest, hop);
+          hop_cost += hops.size();
+        }
+
+        if (PathShard* old_shard = claim_old(); old_shard != nullptr &&
+                                                old_shard->size() == m &&
+                                                old_shard->digest() == digest) {
+          shards_[s] = std::move(*old_shard);
+          kept[s] = 1;
+          return;
+        }
+
+        PathShard& sh = shards_[s];
         sh.country_ = cc;
-        sh.arena_ = arena;
         sh.vp_.reserve(m);
         sh.vp_country_.reserve(m);
         sh.prefix_.reserve(m);
@@ -106,8 +208,6 @@ ShardedPathStore::ShardedPathStore(
         sh.weight_.reserve(m);
         sh.handle_.reserve(m);
 
-        std::uint64_t digest = 14695981039346656037ull;
-        std::uint64_t hop_cost = 0;
         for (std::uint32_t local = 0; local < m; ++local) {
           const std::uint32_t g = rows[local];
           const sanitize::SanitizedPath& sp = paths[g];
@@ -116,7 +216,7 @@ ShardedPathStore::ShardedPathStore(
           sh.prefix_.push_back(sp.prefix);
           sh.prefix_country_.push_back(sp.prefix_country);
           sh.weight_.push_back(sp.weight);
-          sh.handle_.push_back(handles[g]);
+          sh.handle_.push_back(handles_[g]);
 
           const bool prefix_local = sp.prefix_country == cc;
           const bool vp_local = sp.vp_country == cc;
@@ -134,25 +234,20 @@ ShardedPathStore::ShardedPathStore(
               sh.outbound_rows_.push_back(local);
             }
           }
-
-          // Digest hashes hop CONTENT, never arena offsets — offsets
-          // shift between loads even when this country's paths did not.
-          fnv_mix(digest, sp.vp.ip);
-          fnv_mix(digest, sp.vp.asn);
-          fnv_mix(digest, sp.vp_country.raw());
-          fnv_mix(digest, sp.prefix.address());
-          fnv_mix(digest, sp.prefix.length());
-          fnv_mix(digest, sp.prefix_country.raw());
-          fnv_mix(digest, sp.weight);
-          const std::span<const bgp::Asn> hops = sp.path.hops();
-          fnv_mix(digest, hops.size());
-          for (bgp::Asn hop : hops) fnv_mix(digest, hop);
-          hop_cost += hops.size();
         }
         sh.digest_ = digest;
         sh.cost_ = static_cast<std::uint64_t>(m) + hop_cost;
       },
       threads);
+
+  // Appending to the arena may have reallocated it; point every shard
+  // (kept and rebuilt alike) at the current buffer.
+  const bgp::Asn* arena = arena_.data();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].arena_ = arena;
+    result.shards_kept += kept[s];
+  }
+  result.shards_rebuilt = shards_.size() - result.shards_kept;
 
   // Census domains, derived from the (sorted) shards so they come out
   // ascending without another sort.
@@ -160,6 +255,7 @@ ShardedPathStore::ShardedPathStore(
     if (!sh.prefix_rows_.empty()) prefix_countries_.push_back(sh.country_);
     if (!sh.vp_rows_.empty()) vp_countries_.push_back(sh.country_);
   }
+  return result;
 }
 
 const PathShard* ShardedPathStore::shard(geo::CountryCode country) const noexcept {

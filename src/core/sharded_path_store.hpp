@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/path_shard.hpp"
@@ -54,6 +55,35 @@ class ShardedPathStore {
   ShardedPathStore(ShardedPathStore&&) noexcept = default;
   ShardedPathStore& operator=(ShardedPathStore&&) noexcept = default;
   ~ShardedPathStore() = default;
+
+  struct RebuildStats {
+    std::size_t shards_kept = 0;     // digest unchanged, columns reused
+    std::size_t shards_rebuilt = 0;  // gathered from scratch
+  };
+
+  /// Rebuilds the store in place from a new sanitized path set, KEEPING
+  /// any shard whose content digest (and row count) is unchanged — its
+  /// columns, selection lists and cost hint are moved over untouched.
+  /// The interned-hop dictionary is retained and append-only across
+  /// rebuilds, so kept shards' handles stay valid; unique_path_count()
+  /// and arena_hop_count() are therefore LIFETIME-cumulative after a
+  /// rebuild, not a function of the current path set alone. Queries on
+  /// the rebuilt store are bit-identical to a fresh build from `paths`.
+  ///
+  /// `unchanged_prefix_rows` is the caller's PROOF (not a hint to be
+  /// guessed at — pass the incremental sanitizer's Outcome::rows_reused,
+  /// which is digest-verified) that the first that many rows of `paths`
+  /// are byte-identical to the first rows of the previous rebuild's
+  /// input. When non-zero, their cached handles and shard row lists are
+  /// reused — re-interning them would walk the same buckets of the
+  /// append-only dictionary and return the same handles — and shards
+  /// whose row lists are untouched by the suffix are moved over without
+  /// even re-digesting their content, so a rebuild costs O(suffix), not
+  /// O(world). A wrong value silently corrupts the store; 0 (the
+  /// default) always performs the full scan.
+  RebuildStats rebuild(std::span<const sanitize::SanitizedPath> paths,
+                       std::size_t threads = 0,
+                       std::size_t unchanged_prefix_rows = 0);
 
   /// Total sanitized rows across the world (rows double-homed into two
   /// shards count once).
@@ -102,7 +132,18 @@ class ShardedPathStore {
 
  private:
   /// Shared interned-hop dictionary all shards' handles index into.
+  /// Append-only across rebuilds so previously issued handles stay valid.
   std::vector<bgp::Asn> arena_;
+  /// Interning index over arena_ (hash bucket -> candidate handles),
+  /// retained so rebuilds re-intern against the existing dictionary.
+  std::unordered_map<std::uint64_t, std::vector<sanitize::PathHandle>> interned_;
+  /// Per-row handles and per-country row lists of the LAST rebuild,
+  /// cached so a rebuild with a proven unchanged head (see rebuild())
+  /// can skip re-deriving them for head rows.
+  std::vector<sanitize::PathHandle> handles_;
+  std::unordered_map<geo::CountryCode, std::vector<std::uint32_t>,
+                     geo::CountryCodeHash>
+      rows_of_;
   /// Sorted by country code; parallel to shard_countries_.
   std::vector<PathShard> shards_;
   std::vector<geo::CountryCode> shard_countries_;

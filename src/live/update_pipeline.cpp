@@ -1,0 +1,225 @@
+#include "live/update_pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "bgp/line_parse.hpp"
+
+namespace georank::live {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+UpdatePipeline::UpdatePipeline(core::Pipeline& pipeline,
+                               serve::RankingService& service,
+                               UpdatePipelineOptions options)
+    : pipeline_(&pipeline), service_(&service), options_(std::move(options)) {
+  if (options_.flush_batch == 0) options_.flush_batch = 1;
+  if (options_.max_pending == 0) options_.max_pending = 1;
+}
+
+std::optional<FlushReport> UpdatePipeline::push(const bgp::UpdateMessage& update) {
+  ++stats_.pushed;
+  buffer_.emplace(update.timestamp, Pending{update, seq_++});
+  if (update.timestamp > max_seen_) max_seen_ = update.timestamp;
+
+  // Watermark drain: everything the reorder window can no longer save.
+  const std::uint64_t watermark =
+      max_seen_ > options_.reorder_window ? max_seen_ - options_.reorder_window
+                                          : 0;
+  drain_up_to(watermark);
+
+  // Bounded buffer: overflow drains the oldest pending updates early.
+  // They are the buffer's minimum timestamps, so applying them keeps
+  // the applied sequence monotone.
+  while (buffer_.size() > options_.max_pending) {
+    Pending pending = std::move(buffer_.begin()->second);
+    buffer_.erase(buffer_.begin());
+    apply_one(pending);
+  }
+
+  if (batch_applied_ >= options_.flush_batch) return flush();
+  return std::nullopt;
+}
+
+void UpdatePipeline::drain_up_to(std::uint64_t watermark) {
+  while (!buffer_.empty() && buffer_.begin()->first <= watermark) {
+    Pending pending = std::move(buffer_.begin()->second);
+    buffer_.erase(buffer_.begin());
+    apply_one(pending);
+  }
+}
+
+void UpdatePipeline::apply_one(const Pending& pending) {
+  const bgp::UpdateMessage& u = pending.update;
+  int day = 0;
+  if (bgp::detail::day_from_timestamp(u.timestamp, options_.base_time,
+                                      options_.max_day, day) !=
+      bgp::ParseReason::kOk) {
+    if (options_.mode == bgp::ParseMode::kStrict) {
+      throw bgp::UpdateReplayError{
+          bgp::UpdateReplayError::Kind::kDayOutOfRange,
+          static_cast<std::size_t>(pending.seq), u.timestamp};
+    }
+    ++stats_.day_out_of_range;
+    return;
+  }
+  if (u.timestamp < last_applied_ts_) {
+    // Late beyond the reorder window: the watermark already passed it.
+    if (options_.mode == bgp::ParseMode::kStrict) {
+      throw bgp::UpdateReplayError{bgp::UpdateReplayError::Kind::kOutOfOrder,
+                                   static_cast<std::size_t>(pending.seq),
+                                   u.timestamp};
+    }
+    ++stats_.out_of_order;
+    return;
+  }
+  last_applied_ts_ = u.timestamp;
+
+  // Day advance closes the finished day and any quiet days it skipped —
+  // the exact semantics of bgp::replay_to_collection, so the final
+  // window equals the batch replay of the same archive.
+  if (current_day_ >= 0 && day != current_day_) {
+    for (int d = current_day_; d < day; ++d) {
+      window_.days.push_back(rib_.snapshot(d));
+      ++stats_.days_closed;
+      if (d > current_day_) ++stats_.quiet_days;
+    }
+    if (options_.window_days > 0) {
+      while (window_.days.size() >= options_.window_days) {
+        window_.days.erase(window_.days.begin());
+      }
+    }
+  }
+  current_day_ = day;
+  rib_.apply(u);
+
+  ++stats_.applied;
+  ++batch_applied_;
+  if (u.kind == bgp::UpdateMessage::Kind::kAnnounce) {
+    ++stats_.announces;
+    ++batch_announces_;
+  } else {
+    ++stats_.withdraws;
+    ++batch_withdraws_;
+  }
+  batch_prefixes_.push_back(u.prefix);
+}
+
+std::vector<geo::CountryCode> UpdatePipeline::touched_countries() const {
+  const geo::GeoDatabase& db = pipeline_->geo_db();
+  std::vector<geo::CountryCode> countries;
+  std::vector<bgp::Prefix> prefixes = batch_prefixes_;
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
+  for (const bgp::Prefix& prefix : prefixes) {
+    for (const geo::CountrySlice& slice :
+         db.count_by_country(prefix.first(), prefix.last())) {
+      if (slice.country.valid()) countries.push_back(slice.country);
+    }
+  }
+  std::sort(countries.begin(), countries.end());
+  countries.erase(std::unique(countries.begin(), countries.end()),
+                  countries.end());
+  return countries;
+}
+
+FlushReport UpdatePipeline::flush() {
+  FlushReport report;
+  ++stats_.flushes;
+  report.batch = batch_applied_;
+  report.announces = batch_announces_;
+  report.withdraws = batch_withdraws_;
+  if (batch_applied_ == 0) {
+    // Nothing applied since the last flush: the world is unchanged, so
+    // republishing would only burn a snapshot id.
+    report_ingest(report);
+    return report;
+  }
+
+  const Clock::time_point start = Clock::now();
+  report.touched_countries = touched_countries();
+  report.touched_prefixes = [this] {
+    std::vector<bgp::Prefix> unique = batch_prefixes_;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    return unique.size();
+  }();
+
+  // The window's closed days sit in window_ already; only the live day
+  // needs materializing. Append it for the apply, then drop it — the
+  // next flush's live day will have moved on.
+  const Clock::time_point apply_start = Clock::now();
+  if (current_day_ >= 0) {
+    window_.days.push_back(rib_.snapshot(current_day_));
+  }
+  report.apply = pipeline_->apply_updates(window_);
+  if (current_day_ >= 0) {
+    window_.days.pop_back();
+  }
+  report.apply_seconds = seconds_since(apply_start);
+
+  // Only countries whose shard digest changed were evicted above, so
+  // this census re-ranks exactly those; everything else is a memo hit.
+  const Clock::time_point census_start = Clock::now();
+  serve::SnapshotMeta meta;
+  meta.id = options_.snapshot_id_base + stats_.publishes;
+  meta.created_unix = last_applied_ts_;
+  meta.label = options_.label;
+  auto snapshot = std::make_shared<const serve::Snapshot>(
+      serve::Snapshot::build(*pipeline_, std::move(meta)));
+  report.census_seconds = seconds_since(census_start);
+
+  const Clock::time_point publish_start = Clock::now();
+  report.snapshot_id = snapshot->meta.id;
+  service_->publish(std::move(snapshot));
+  report.publish_seconds = seconds_since(publish_start);
+  report.total_seconds = seconds_since(start);
+  report.published = true;
+  ++stats_.publishes;
+
+  republish_seconds_sum_ += report.total_seconds;
+  last_republish_seconds_ = report.total_seconds;
+  last_batch_ = report.batch;
+
+  batch_applied_ = 0;
+  batch_announces_ = 0;
+  batch_withdraws_ = 0;
+  batch_prefixes_.clear();
+
+  report_ingest(report);
+  return report;
+}
+
+FlushReport UpdatePipeline::drain() {
+  drain_up_to(~std::uint64_t{0});
+  return flush();
+}
+
+void UpdatePipeline::report_ingest(const FlushReport&) {
+  serve::IngestCounters counters;
+  counters.updates_applied = stats_.applied;
+  counters.announces = stats_.announces;
+  counters.withdraws = stats_.withdraws;
+  counters.spurious_withdrawals = rib_.spurious_withdrawals();
+  counters.out_of_order = stats_.out_of_order;
+  counters.day_out_of_range = stats_.day_out_of_range;
+  counters.parse_lines = parse_stats_.lines;
+  counters.parse_malformed = parse_stats_.malformed;
+  counters.republishes = stats_.publishes;
+  counters.republish_seconds_sum = republish_seconds_sum_;
+  counters.last_republish_seconds = last_republish_seconds_;
+  counters.last_batch = last_batch_;
+  service_->set_ingest(counters);
+}
+
+}  // namespace georank::live

@@ -216,11 +216,56 @@ HealthReport compute_health(const core::ShardedPathStore& store,
 HealthReport compute_health(const core::Pipeline& pipeline,
                             const DegradationPolicy& policy) {
   const sanitize::SanitizeResult& sanitized = pipeline.sanitized();
-  HealthInputs inputs;
-  inputs.prefix_geo = &sanitized.prefix_geo;
-  inputs.sanitize = &sanitized.stats;
-  inputs.ingest = &pipeline.parse_stats();
-  return compute_health(pipeline.store(), inputs, policy);
+  const DegradationPolicy& configured = pipeline.config().degradation;
+  if (policy.min_vps != configured.min_vps ||
+      policy.min_geo_consensus != configured.min_geo_consensus) {
+    // A caller-supplied policy can't reuse the pipeline's memo (entries
+    // were tiered under the configured thresholds); score from scratch.
+    HealthInputs inputs;
+    inputs.prefix_geo = &sanitized.prefix_geo;
+    inputs.sanitize = &sanitized.stats;
+    inputs.ingest = &pipeline.parse_stats();
+    return compute_health(pipeline.store(), inputs, policy);
+  }
+
+  // Policy matches the pipeline's: assemble the report from the
+  // per-country health memo, so a reload that left most shards intact
+  // re-scans only the changed countries' rows. Identical output to the
+  // shard-parallel overload (Pipeline::country_health_uncached is a port
+  // of its worker).
+  const core::ShardedPathStore& store = pipeline.store();
+  const std::vector<geo::CountryCode>& census = store.countries();
+  HealthReport report;
+  report.policy = policy;
+  report.countries.resize(census.size());
+  util::parallel_for_costed(store.census_costs(), [&](std::size_t i) {
+    report.countries[i] = pipeline.country_health(census[i]);
+  });
+
+  // Countries with an attributed rejection but no geolocated prefix.
+  // lint: ordered(report.countries is sorted by country just below)
+  for (const auto& [country, tally] :
+       sanitized.prefix_geo.no_consensus_by_plurality()) {
+    if (!country.valid()) continue;
+    if (std::binary_search(census.begin(), census.end(), country)) continue;
+    report.countries.push_back(pipeline.country_health(country));
+  }
+  std::sort(report.countries.begin(), report.countries.end(),
+            [](const CountryHealth& x, const CountryHealth& y) {
+              return x.country < y.country;
+            });
+
+  const bgp::MrtParseStats& ingest = pipeline.parse_stats();
+  if (ingest.lines > 0) {
+    report.ingest_drop_rate = static_cast<double>(ingest.malformed) /
+                              static_cast<double>(ingest.lines);
+  }
+  if (sanitized.stats.total > 0) {
+    report.sanitize_drop_rate =
+        static_cast<double>(sanitized.stats.rejected()) /
+        static_cast<double>(sanitized.stats.total);
+  }
+  return report;
 }
 
 }  // namespace georank::robust

@@ -110,8 +110,12 @@ struct HealthReport {
 
 /// Convenience overload over a loaded pipeline (throws std::logic_error
 /// like any other pipeline query when nothing is loaded). Uses the
-/// pipeline's sanitize result, geolocation record and ingest stats,
-/// routed through the shard-parallel path above.
+/// pipeline's sanitize result, geolocation record and ingest stats.
+/// When `policy` equals the pipeline's configured degradation policy the
+/// report is assembled from Pipeline::country_health's memo (so only
+/// countries whose shards changed since the last reload are re-scanned
+/// — the live pipeline republish leans on this); otherwise it routes
+/// through the shard-parallel path above. Both produce identical output.
 [[nodiscard]] HealthReport compute_health(const core::Pipeline& pipeline,
                                           const DegradationPolicy& policy = {});
 

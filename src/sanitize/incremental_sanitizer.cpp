@@ -1,0 +1,238 @@
+#include "sanitize/incremental_sanitizer.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "infer/clique.hpp"
+#include "infer/transit_degree.hpp"
+
+namespace georank::sanitize {
+
+IncrementalSanitizer::IncrementalSanitizer(const geo::GeoDatabase& geo_db,
+                                           const geo::VpGeolocator& vps,
+                                           const AsnRegistry& registry,
+                                           SanitizerOptions options)
+    : geo_db_(&geo_db),
+      vps_(&vps),
+      registry_(&registry),
+      options_(std::move(options)) {}
+
+void IncrementalSanitizer::invalidate() noexcept {
+  memo_valid_ = false;
+  pending_ready_ = false;
+  day_digests_.clear();
+  head_counts_.clear();
+  head_samples_.clear();
+  dedup_post_.clear();
+  head_rows_ = 0;
+  final_len_ = 0;
+}
+
+SanitizeResult IncrementalSanitizer::run_full(const bgp::RibCollection& ribs,
+                                              Outcome* outcome) {
+  invalidate();
+  SanitizeResult result;
+  const std::size_t n = ribs.days.size();
+  // The fast path needs an explicit clique: an inferred one reads the
+  // final day's stable paths, so there is no day boundary to memoize.
+  const bool capture = !options_.clique.empty() && n > 0;
+
+  // ---- Stability counts, with the head (days [0, N-1)) captured. ----
+  detail::DayCounts counts;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    detail::add_day_presence(counts, ribs.days[i]);
+  }
+  if (capture) head_counts_ = counts;
+  if (n > 0) detail::add_day_presence(counts, ribs.days.back());
+  need_ = detail::stability_need(options_, n);
+  auto stable = [&](const bgp::Prefix& p) { return counts.at(p).count >= need_; };
+
+  // ---- Clique: explicit or inferred from the stable, loop-free paths
+  // (mirrors PathSanitizer::run exactly). ----
+  std::vector<bgp::Asn> clique = options_.clique;
+  if (clique.empty()) {
+    infer::TransitDegree degrees;
+    infer::ObservedAdjacency adjacency;
+    for (const bgp::RibSnapshot& snap : ribs.days) {
+      for (const bgp::RouteEntry& e : snap.entries) {
+        if (!stable(e.prefix)) continue;
+        if (e.path.has_as_set()) continue;
+        bgp::AsPath collapsed = e.path.without_adjacent_duplicates();
+        if (collapsed.has_nonadjacent_duplicate()) continue;
+        degrees.add_path(collapsed);
+        adjacency.add_path(collapsed);
+      }
+    }
+    clique = infer::infer_clique(degrees, adjacency);
+  }
+  result.clique = clique;
+
+  // ---- Prefix geolocation over the stable announced set. ----
+  std::vector<bgp::Prefix> announced;
+  announced.reserve(counts.size());
+  for (const auto& [p, days] : counts) {
+    if (days.count >= need_) announced.push_back(p);
+  }
+  geo::PrefixGeolocator geolocator{*geo_db_, options_.geo_threshold};
+  result.prefix_geo = geolocator.run(announced);
+
+  std::unordered_set<bgp::Prefix, bgp::PrefixHash> covered_set(
+      result.prefix_geo.covered.begin(), result.prefix_geo.covered.end());
+
+  // ---- Per-entry filtering; snapshot the sequential state right before
+  // the final day — that boundary is where run_fast() resumes. ----
+  detail::FilterWorld world{&counts, need_, clique, &result.prefix_geo,
+                            &covered_set};
+  detail::FilterState state;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (capture && i + 1 == n) {
+      head_stats_ = result.stats;
+      head_sample_counts_ = state.sample_counts;
+      head_samples_ = result.samples;
+      head_rows_ = result.paths.size();
+    }
+    detail::filter_day(ribs.days[i].day, ribs.days[i].entries, world, *vps_,
+                       *registry_, options_, state, result);
+  }
+
+  if (capture) {
+    day_digests_.reserve(n);
+    for (const bgp::RibSnapshot& snap : ribs.days) {
+      day_digests_.push_back(detail::day_digest(snap));
+    }
+    stable_digest_ = detail::stable_set_digest(counts, need_);
+    // The sequential state is memoized POST-run; run_fast() derives the
+    // final-day boundary from it on demand (or, on the append path,
+    // continues from it directly).
+    dedup_post_ = std::move(state.dedup);
+    post_sample_counts_ = state.sample_counts;
+    final_day_number_ = ribs.days.back().day;
+    final_len_ = ribs.days.back().entries.size();
+    final_entries_fold_ =
+        detail::fold_entries(detail::kFoldSeed, ribs.days.back().entries);
+    memo_valid_ = true;
+  }
+
+  if (outcome) {
+    outcome->fast_path = false;
+    outcome->days_reused = 0;
+    outcome->days_resanitized = n;
+    outcome->rows_reused = 0;
+  }
+  return result;
+}
+
+bool IncrementalSanitizer::can_fast_path(const bgp::RibCollection& ribs) {
+  pending_ready_ = false;
+  pending_append_ = false;
+  if (!memo_valid_ || options_.clique.empty()) return false;
+  const std::size_t n = ribs.days.size();
+  if (n == 0 || n != day_digests_.size()) return false;
+  // The new final day must carry a later day number than the last head
+  // day, or the presence counting below would fold them together.
+  if (n >= 2 && ribs.days[n - 1].day <= ribs.days[n - 2].day) return false;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (detail::day_digest(ribs.days[i]) != day_digests_[i]) return false;
+  }
+  // Merge the new final day into the head counts and require the stable
+  // set to come out unchanged: that pins every head filtering decision
+  // AND the announced set the cached PrefixGeoResult was computed over.
+  pending_counts_ = head_counts_;
+  detail::add_day_presence(pending_counts_, ribs.days.back());
+  if (detail::stable_set_digest(pending_counts_, need_) != stable_digest_) {
+    return false;
+  }
+  // Append detection: same day number and the memoized entries a literal
+  // prefix of the new ones (fold_entries' prefix property proves it).
+  // Then every previously-filtered entry sees identical inputs — the
+  // stable set is digest-pinned, and appended entries cannot alter the
+  // day-presence of a prefix the old final day already counted — so only
+  // the appended tail needs filtering.
+  const bgp::RibSnapshot& fin = ribs.days.back();
+  if (fin.day == final_day_number_ && fin.entries.size() >= final_len_ &&
+      detail::fold_entries(
+          detail::kFoldSeed,
+          std::span<const bgp::RouteEntry>{fin.entries}.first(final_len_)) ==
+          final_entries_fold_) {
+    pending_append_ = true;
+  }
+  pending_final_digest_ = detail::day_digest(fin);
+  pending_ready_ = true;
+  return true;
+}
+
+SanitizeResult IncrementalSanitizer::run_fast(const bgp::RibCollection& ribs,
+                                              SanitizeResult&& previous,
+                                              Outcome* outcome) {
+  if (!pending_ready_) return run_full(ribs, outcome);
+  pending_ready_ = false;
+
+  const bgp::RibSnapshot& fin = ribs.days.back();
+  SanitizeResult result;
+  std::size_t rows_reused = 0;
+  std::unordered_set<bgp::Prefix, bgp::PrefixHash> covered_set;
+  detail::FilterState state;
+  state.dedup = std::move(dedup_post_);
+  std::span<const bgp::RouteEntry> to_filter{fin.entries};
+
+  if (pending_append_) {
+    // Append path: the previous result IS the result for the prefix the
+    // old final day covered; filter only the appended tail, continuing
+    // the sequential fold from the post-run state.
+    result = std::move(previous);
+    rows_reused = result.paths.size();
+    state.sample_counts = post_sample_counts_;
+    to_filter = to_filter.subspan(final_len_);
+  } else {
+    // Replace path: rewind the post-run dedup set to the final-day
+    // boundary by erasing exactly the keys the old final day inserted —
+    // one per emitted suffix row (a final-day entry whose key already
+    // existed was counted as a duplicate and emitted nothing). Must read
+    // previous.paths BEFORE the move below.
+    for (std::size_t i = head_rows_; i < previous.paths.size(); ++i) {
+      const SanitizedPath& row = previous.paths[i];
+      state.dedup.erase(
+          detail::DedupKey{row.vp, row.prefix, row.path.to_string()});
+    }
+    result.clique = options_.clique;
+    result.prefix_geo = std::move(previous.prefix_geo);
+    // Rows are emitted day-major, so the previous result's head rows are
+    // a prefix of `paths`; drop the old final day and keep the capacity.
+    result.paths = std::move(previous.paths);
+    result.paths.resize(head_rows_);
+    rows_reused = head_rows_;
+    result.stats = head_stats_;
+    result.samples = head_samples_;
+    state.sample_counts = head_sample_counts_;
+  }
+
+  covered_set.insert(result.prefix_geo.covered.begin(),
+                     result.prefix_geo.covered.end());
+  detail::FilterWorld world{&pending_counts_, need_, options_.clique,
+                            &result.prefix_geo, &covered_set};
+  detail::filter_day(fin.day, to_filter, world, *vps_, *registry_, options_,
+                     state, result);
+
+  // Re-arm the memo at the new final day. On the append path the new
+  // fold continues the old one over the tail (`to_filter` is exactly the
+  // appended entries) — the same resumption the detection relies on.
+  dedup_post_ = std::move(state.dedup);
+  post_sample_counts_ = state.sample_counts;
+  final_entries_fold_ =
+      pending_append_ ? detail::fold_entries(final_entries_fold_, to_filter)
+                      : detail::fold_entries(detail::kFoldSeed, fin.entries);
+  final_day_number_ = fin.day;
+  final_len_ = fin.entries.size();
+  day_digests_.back() = pending_final_digest_;
+
+  if (outcome) {
+    outcome->fast_path = true;
+    outcome->days_reused = ribs.days.size() - 1;
+    outcome->days_resanitized = 1;
+    outcome->rows_reused = rows_reused;
+  }
+  pending_append_ = false;
+  return result;
+}
+
+}  // namespace georank::sanitize

@@ -1,12 +1,11 @@
 #include "sanitize/path_sanitizer.hpp"
 
 #include <algorithm>
-#include <array>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "infer/clique.hpp"
 #include "infer/transit_degree.hpp"
+#include "sanitize/filter_detail.hpp"
 
 namespace georank::sanitize {
 
@@ -49,17 +48,14 @@ PathSanitizer::PathSanitizer(const geo::GeoDatabase& geo_db,
 
 SanitizeResult PathSanitizer::run(const bgp::RibCollection& ribs) const {
   SanitizeResult result;
-  SanitizeStats& stats = result.stats;
 
   // ---- Stability: a prefix must appear in all snapshots (§3.1). ----
-  std::size_t need = options_.stability_days ? options_.stability_days : ribs.days.size();
-  std::unordered_map<bgp::Prefix, std::unordered_set<int>, bgp::PrefixHash> seen_days;
+  detail::DayCounts counts;
   for (const bgp::RibSnapshot& snap : ribs.days) {
-    for (const bgp::RouteEntry& e : snap.entries) {
-      seen_days[e.prefix].insert(snap.day);
-    }
+    detail::add_day_presence(counts, snap);
   }
-  auto stable = [&](const bgp::Prefix& p) { return seen_days.at(p).size() >= need; };
+  const std::size_t need = detail::stability_need(options_, ribs.days.size());
+  auto stable = [&](const bgp::Prefix& p) { return counts.at(p).count >= need; };
 
   // ---- Clique (for the poisoning filter): explicit or inferred from the
   // stable, loop-free paths. ----
@@ -83,9 +79,9 @@ SanitizeResult PathSanitizer::run(const bgp::RibCollection& ribs) const {
 
   // ---- Prefix geolocation over the stable announced set. ----
   std::vector<bgp::Prefix> announced;
-  announced.reserve(seen_days.size());
-  for (const auto& [p, days] : seen_days) {
-    if (days.size() >= need) announced.push_back(p);
+  announced.reserve(counts.size());
+  for (const auto& [p, days] : counts) {
+    if (days.count >= need) announced.push_back(p);
   }
   geo::PrefixGeolocator geolocator{*geo_db_, options_.geo_threshold};
   result.prefix_geo = geolocator.run(announced);
@@ -94,94 +90,12 @@ SanitizeResult PathSanitizer::run(const bgp::RibCollection& ribs) const {
       result.prefix_geo.covered.begin(), result.prefix_geo.covered.end());
 
   // ---- Per-entry filtering, in the paper's precedence order. ----
-  struct DedupKey {
-    bgp::VpId vp;
-    bgp::Prefix prefix;
-    std::string path;
-    bool operator==(const DedupKey&) const = default;
-  };
-  struct DedupHash {
-    std::size_t operator()(const DedupKey& k) const noexcept {
-      std::size_t h = bgp::VpIdHash{}(k.vp);
-      h ^= bgp::PrefixHash{}(k.prefix) + 0x9e3779b9u + (h << 6) + (h >> 2);
-      h ^= std::hash<std::string>{}(k.path) + 0x9e3779b9u + (h << 6) + (h >> 2);
-      return h;
-    }
-  };
-  std::unordered_set<DedupKey, DedupHash> dedup;
-
-  std::array<std::size_t, 9> sample_counts{};
-  auto sample = [&](FilterReason reason, const bgp::RouteEntry& e, int day) {
-    auto idx = static_cast<std::size_t>(reason);
-    if (sample_counts[idx] >= options_.samples_per_category) return;
-    ++sample_counts[idx];
-    result.samples.push_back(RejectedSample{reason, e, day});
-  };
-
+  detail::FilterWorld world{&counts, need, clique, &result.prefix_geo,
+                            &covered_set};
+  detail::FilterState state;
   for (const bgp::RibSnapshot& snap : ribs.days) {
-    for (const bgp::RouteEntry& e : snap.entries) {
-      ++stats.total;
-      if (!stable(e.prefix)) {
-        ++stats.unstable;
-        sample(FilterReason::kUnstable, e, snap.day);
-        continue;
-      }
-      if (e.path.has_as_set()) {
-        // The parser flattens AS_SETs to keep the line; the true origin
-        // is ambiguous, so the entry is rejected here (first match wins,
-        // before the flattened members can read as loops or unallocated).
-        ++stats.as_set;
-        sample(FilterReason::kAsSet, e, snap.day);
-        continue;
-      }
-      if (!registry_->all_allocated(e.path)) {
-        ++stats.unallocated;
-        sample(FilterReason::kUnallocated, e, snap.day);
-        continue;
-      }
-      if (e.path.has_nonadjacent_duplicate()) {
-        ++stats.loop;
-        sample(FilterReason::kLoop, e, snap.day);
-        continue;
-      }
-      if (is_poisoned(e.path, clique)) {
-        ++stats.poisoned;
-        sample(FilterReason::kPoisoned, e, snap.day);
-        continue;
-      }
-      auto vp_country = vps_->locate(e.vp);
-      if (!vp_country) {
-        ++stats.vp_no_location;
-        sample(FilterReason::kVpNoLocation, e, snap.day);
-        continue;
-      }
-      if (covered_set.contains(e.prefix)) {
-        ++stats.covered_prefix;
-        sample(FilterReason::kCoveredPrefix, e, snap.day);
-        continue;
-      }
-      geo::CountryCode prefix_country = result.prefix_geo.country_of(e.prefix);
-      if (!prefix_country.valid()) {
-        ++stats.prefix_no_location;
-        sample(FilterReason::kPrefixNoLocation, e, snap.day);
-        continue;
-      }
-      ++stats.accepted;
-
-      // ---- Cleaning: strip route servers, collapse prepending. ----
-      bgp::AsPath cleaned =
-          e.path.without_ases(options_.route_server_asns).without_adjacent_duplicates();
-      if (cleaned.empty()) continue;
-
-      DedupKey key{e.vp, e.prefix, cleaned.to_string()};
-      if (!dedup.insert(std::move(key)).second) {
-        ++stats.duplicates_merged;
-        continue;
-      }
-      result.paths.push_back(SanitizedPath{
-          e.vp, *vp_country, e.prefix, prefix_country,
-          result.prefix_geo.weight_of(e.prefix), std::move(cleaned)});
-    }
+    detail::filter_day(snap.day, snap.entries, world, *vps_, *registry_,
+                       options_, state, result);
   }
   return result;
 }

@@ -548,10 +548,27 @@ ServiceCounters RankingService::counters() const {
   return c;
 }
 
+void RankingService::set_ingest(const IngestCounters& counters) {
+  const std::lock_guard<std::mutex> lock(ingest_mutex_);
+  ingest_ = counters;
+}
+
+IngestCounters RankingService::ingest() const {
+  const std::lock_guard<std::mutex> lock(ingest_mutex_);
+  return ingest_;
+}
+
 std::string RankingService::metrics_text() const {
   ServiceCounters c = counters();
+  IngestCounters in = ingest();
   std::string out;
   auto line = [&out](std::string_view name, std::uint64_t value) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  auto fline = [&out](std::string_view name, double value) {
     out += name;
     out += ' ';
     out += std::to_string(value);
@@ -568,6 +585,20 @@ std::string RankingService::metrics_text() const {
   line("georank_cache_misses_total", c.cache_misses);
   line("georank_snapshot_reloads_total", c.reloads);
   line("georank_snapshot_active_id", c.active_snapshot_id);
+  // Live-ingest evidence: always rendered (zeros before any feeder
+  // reports) so dashboards can rely on the series existing.
+  line("georank_ingest_updates_applied_total", in.updates_applied);
+  line("georank_ingest_announces_total", in.announces);
+  line("georank_ingest_withdraws_total", in.withdraws);
+  line("georank_ingest_spurious_withdrawals_total", in.spurious_withdrawals);
+  line("georank_ingest_out_of_order_total", in.out_of_order);
+  line("georank_ingest_day_out_of_range_total", in.day_out_of_range);
+  line("georank_ingest_parse_lines_total", in.parse_lines);
+  line("georank_ingest_parse_malformed_total", in.parse_malformed);
+  line("georank_live_republishes_total", in.republishes);
+  fline("georank_live_republish_seconds_sum", in.republish_seconds_sum);
+  fline("georank_live_republish_seconds_last", in.last_republish_seconds);
+  line("georank_live_last_batch_size", in.last_batch);
   return out;
 }
 

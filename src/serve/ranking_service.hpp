@@ -72,6 +72,31 @@ struct RankingServiceOptions {
   std::size_t max_top_k = 1000;
 };
 
+/// Live-ingest and republish accounting, set by the feeding layer
+/// (live::UpdatePipeline after each flush, or the CLI after a replay)
+/// and rendered into /metrics. All counters are cumulative over the
+/// feeder's lifetime; zero until a feeder reports.
+struct IngestCounters {
+  std::uint64_t updates_applied = 0;
+  std::uint64_t announces = 0;
+  std::uint64_t withdraws = 0;
+  /// Withdrawals of routes the live table never held (RibState evidence).
+  std::uint64_t spurious_withdrawals = 0;
+  /// Stream-contract violations skipped in tolerant mode.
+  std::uint64_t out_of_order = 0;
+  std::uint64_t day_out_of_range = 0;
+  /// Update-archive parse diagnostics (MrtParseStats rollup).
+  std::uint64_t parse_lines = 0;
+  std::uint64_t parse_malformed = 0;
+  /// Incremental republishes through publish(), and their latency.
+  std::uint64_t republishes = 0;
+  double republish_seconds_sum = 0.0;
+  double last_republish_seconds = 0.0;
+  std::uint64_t last_batch = 0;
+
+  friend bool operator==(const IngestCounters&, const IngestCounters&) = default;
+};
+
 /// Monotonic counters, snapshotted for /metrics.
 struct ServiceCounters {
   std::uint64_t requests = 0;
@@ -133,8 +158,14 @@ class RankingService {
   /// Counter snapshot (relaxed reads; pair with /metrics rendering).
   [[nodiscard]] ServiceCounters counters() const;
 
-  /// Prometheus-style text for the service-level counters. The HTTP
-  /// server appends its transport metrics (latency histogram) to this.
+  /// Replaces the ingest counter set (the feeder owns the accumulation;
+  /// the service only exposes the latest values).
+  void set_ingest(const IngestCounters& counters);
+  [[nodiscard]] IngestCounters ingest() const;
+
+  /// Prometheus-style text for the service-level counters, including
+  /// the georank_ingest_*/georank_live_* lines. The HTTP server appends
+  /// its transport metrics (latency histogram) to this.
   [[nodiscard]] std::string metrics_text() const;
 
   [[nodiscard]] const RankingServiceOptions& options() const noexcept {
@@ -177,6 +208,10 @@ class RankingService {
   std::unordered_map<std::string,
                      std::list<std::pair<std::string, std::string>>::iterator>
       cache_index_ GEORANK_GUARDED_BY(cache_mutex_);
+
+  // lint: guarded(the lock itself; mutable so ingest_counters() stays const)
+  mutable std::mutex ingest_mutex_;
+  IngestCounters ingest_ GEORANK_GUARDED_BY(ingest_mutex_);
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> cache_hits_{0};

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bgp/fault_inject.hpp"
 #include "gen/internet_generator.hpp"
 #include "gen/rib_generator.hpp"
 #include "gen/scenarios.hpp"
@@ -215,6 +216,223 @@ TEST(UpdateStream, CollectionReplayRoundTrip) {
     EXPECT_EQ(replayed.entries, sorted_expected.entries) << "day " << expected.day;
   }
   EXPECT_EQ(state.spurious_withdrawals(), 0u);
+}
+
+// ---- Quiet days: every day in the span gets a snapshot. ----
+
+constexpr std::uint64_t kBase = 1617235200;
+
+TEST(ReplayToCollection, QuietDayStillEmitsSnapshot) {
+  std::vector<UpdateMessage> archive = {
+      announce(kBase + 100, 1, "10.0.0.0/16", AsPath{701, 1299}),
+      // Day 1 is silent; the next update lands on day 2.
+      announce(kBase + 2 * 86400 + 5, 1, "10.1.0.0/16", AsPath{701, 174}),
+  };
+  ReplayStats stats;
+  RibCollection got = replay_to_collection(archive, ReplayOptions{}, &stats);
+  ASSERT_EQ(got.days.size(), 3u);
+  EXPECT_EQ(got.days[0].day, 0);
+  EXPECT_EQ(got.days[1].day, 1);
+  EXPECT_EQ(got.days[2].day, 2);
+  // The quiet day carries day 0's final state forward unchanged.
+  EXPECT_EQ(got.days[1].entries, got.days[0].entries);
+  EXPECT_EQ(got.days[2].entries.size(), 2u);
+  EXPECT_EQ(stats.applied, 2u);
+  EXPECT_EQ(stats.days_emitted, 3u);
+  EXPECT_EQ(stats.quiet_days, 1u);
+}
+
+// Property: splicing a no-change day into a generated collection round
+// trips through the update archive — the quiet day is re-emitted, not
+// dropped, and every other day is reproduced exactly.
+TEST(ReplayToCollection, QuietDayRoundTripProperty) {
+  gen::World world = gen::InternetGenerator{gen::mini_world_spec(7)}.generate();
+  gen::NoiseSpec noise;
+  RibCollection original = gen::RibGenerator{world, noise, 11}.generate(2);
+  ASSERT_EQ(original.days.size(), 2u);
+
+  RibCollection with_quiet;
+  with_quiet.days.push_back(original.days[0]);
+  RibSnapshot quiet = original.days[0];
+  quiet.day = 1;  // identical state: diffs to zero updates
+  with_quiet.days.push_back(quiet);
+  RibSnapshot last = original.days[1];
+  last.day = 2;
+  with_quiet.days.push_back(last);
+
+  ReplayStats stats;
+  RibCollection replayed = replay_to_collection(
+      collection_to_updates(with_quiet), ReplayOptions{}, &stats);
+  ASSERT_EQ(replayed.days.size(), 3u);
+  EXPECT_EQ(stats.quiet_days, 1u);
+  for (std::size_t d = 0; d < 3; ++d) {
+    RibSnapshot sorted = with_quiet.days[d];
+    std::sort(sorted.entries.begin(), sorted.entries.end(),
+              [](const RouteEntry& a, const RouteEntry& b) {
+                if (a.vp != b.vp) return a.vp < b.vp;
+                return a.prefix < b.prefix;
+              });
+    EXPECT_EQ(replayed.days[d].day, sorted.day);
+    EXPECT_EQ(replayed.days[d].entries, sorted.entries) << "day " << d;
+  }
+}
+
+// ---- Ordering contract: typed errors in strict mode, counted skips in
+// tolerant mode (pre-base_time clamping and silent reordering are gone).
+
+TEST(ReplayToCollection, PreBaseTimeTolerantSkipsAndCounts) {
+  std::vector<UpdateMessage> archive = {
+      announce(kBase - 1, 1, "10.0.0.0/16", AsPath{701, 1299}),
+      announce(kBase + 10, 1, "10.1.0.0/16", AsPath{701, 174}),
+  };
+  ReplayStats stats;
+  RibCollection got = replay_to_collection(archive, ReplayOptions{}, &stats);
+  ASSERT_EQ(got.days.size(), 1u);
+  // The clock-skewed update is NOT folded into day 0 any more.
+  EXPECT_EQ(got.days[0].entries.size(), 1u);
+  EXPECT_EQ(got.days[0].entries[0].prefix, pfx("10.1.0.0/16"));
+  EXPECT_EQ(stats.applied, 1u);
+  EXPECT_EQ(stats.skipped_day_out_of_range, 1u);
+  EXPECT_EQ(stats.skipped_out_of_order, 0u);
+}
+
+TEST(ReplayToCollection, PreBaseTimeStrictThrowsTypedError) {
+  std::vector<UpdateMessage> archive = {
+      announce(kBase + 10, 1, "10.0.0.0/16", AsPath{701, 1299}),
+      announce(kBase - 7, 1, "10.1.0.0/16", AsPath{701, 174}),
+  };
+  ReplayOptions options;
+  options.mode = ParseMode::kStrict;
+  try {
+    (void)replay_to_collection(archive, options);
+    FAIL() << "strict replay accepted a pre-base_time timestamp";
+  } catch (const UpdateReplayError& e) {
+    EXPECT_EQ(e.kind(), UpdateReplayError::Kind::kDayOutOfRange);
+    EXPECT_EQ(e.index(), 1u);
+    EXPECT_EQ(e.timestamp(), kBase - 7);
+    EXPECT_NE(std::string(e.what()).find("index 1"), std::string::npos);
+  }
+}
+
+TEST(ReplayToCollection, OutOfOrderTolerantSkipsAndCounts) {
+  std::vector<UpdateMessage> archive = {
+      announce(kBase + 100, 1, "10.0.0.0/16", AsPath{701, 1299}),
+      // Rewound within the same day: silently accepted before the fix.
+      withdraw(kBase + 50, 1, 701, "10.0.0.0/16"),
+      announce(kBase + 100, 1, "10.1.0.0/16", AsPath{701, 174}),  // equal ts ok
+  };
+  ReplayStats stats;
+  RibCollection got = replay_to_collection(archive, ReplayOptions{}, &stats);
+  ASSERT_EQ(got.days.size(), 1u);
+  // The skipped withdraw never reached the RIB: both routes survive.
+  EXPECT_EQ(got.days[0].entries.size(), 2u);
+  EXPECT_EQ(stats.applied, 2u);
+  EXPECT_EQ(stats.skipped_out_of_order, 1u);
+  EXPECT_EQ(stats.spurious_withdrawals, 0u);
+}
+
+TEST(ReplayToCollection, OutOfOrderStrictThrowsTypedError) {
+  std::vector<UpdateMessage> archive = {
+      announce(kBase + 100, 1, "10.0.0.0/16", AsPath{701, 1299}),
+      announce(kBase + 99, 1, "10.1.0.0/16", AsPath{701, 174}),
+  };
+  ReplayOptions options;
+  options.mode = ParseMode::kStrict;
+  try {
+    (void)replay_to_collection(archive, options);
+    FAIL() << "strict replay accepted an out-of-order timestamp";
+  } catch (const UpdateReplayError& e) {
+    EXPECT_EQ(e.kind(), UpdateReplayError::Kind::kOutOfOrder);
+    EXPECT_EQ(e.index(), 1u);
+    EXPECT_EQ(e.timestamp(), kBase + 99);
+  }
+}
+
+// ---- Update fault corpus: exact per-reason classification across the
+// parse layer (arity faults) AND the replay layer (ordering faults). ----
+
+TEST(UpdateFaultCorpus, CleanCorpusReplaysWithZeroAnomalies) {
+  std::string clean = make_clean_update_text(4000);
+  MrtParseStats parse_stats;
+  auto updates = from_update_text(clean, &parse_stats);
+  ASSERT_EQ(parse_stats.malformed, 0u);
+  ASSERT_EQ(updates.size(), 4000u);
+
+  ReplayStats stats;
+  RibCollection got = replay_to_collection(updates, ReplayOptions{}, &stats);
+  EXPECT_EQ(stats.applied, 4000u);
+  EXPECT_EQ(stats.skipped_out_of_order, 0u);
+  EXPECT_EQ(stats.skipped_day_out_of_range, 0u);
+  // Withdrawals only ever retract announced routes by construction.
+  EXPECT_EQ(stats.spurious_withdrawals, 0u);
+  // The clean text starts one day after base_time and spans three days.
+  ASSERT_FALSE(got.days.empty());
+  EXPECT_EQ(got.days.front().day, 1);
+  EXPECT_EQ(got.days.back().day, 3);
+}
+
+TEST(UpdateFaultCorpus, TolerantParseAndReplayClassifyExactly) {
+  std::string clean = make_clean_update_text(4000);
+  UpdateFaultSpec spec;
+  spec.seed = 7;
+  spec.fraction = 0.06;
+  UpdateFaultCorpus corpus = inject_update_faults(clean, spec);
+  ASSERT_GT(corpus.count_of(UpdateFaultKind::kTruncatedWithdraw), 0u);
+  ASSERT_GT(corpus.count_of(UpdateFaultKind::kPathlessAnnounce), 0u);
+  ASSERT_GT(corpus.count_of(UpdateFaultKind::kNonMonotonicBurst), 0u);
+
+  // Parse layer: arity faults are field-count errors, burst lines parse.
+  MrtParseStats parse_stats;
+  auto parsed = from_update_text(corpus.text, &parse_stats);
+  EXPECT_EQ(parse_stats.lines, corpus.lines);
+  EXPECT_EQ(parse_stats.malformed, corpus.malformed_lines());
+  EXPECT_EQ(parse_stats.bad_field_count,
+            corpus.expected_parse_reason_count(ParseReason::kBadFieldCount));
+  EXPECT_EQ(parsed.size(), corpus.lines - corpus.malformed_lines());
+
+  // Replay layer: every burst line — and nothing else — is skipped as
+  // out-of-order (the first line is never corrupted, so the watermark is
+  // always older than any rewound timestamp).
+  ReplayStats stats;
+  (void)replay_to_collection(parsed, ReplayOptions{}, &stats);
+  EXPECT_EQ(stats.skipped_out_of_order, corpus.expected_out_of_order());
+  EXPECT_EQ(stats.skipped_day_out_of_range, 0u);
+  EXPECT_EQ(stats.applied, parsed.size() - corpus.expected_out_of_order());
+}
+
+TEST(UpdateFaultCorpus, StrictReplayThrowsAtFirstBurstInStreamOrder) {
+  std::string clean = make_clean_update_text(2000);
+  UpdateFaultSpec spec;
+  spec.seed = 31;
+  spec.fraction = 0.04;
+  UpdateFaultCorpus corpus = inject_update_faults(clean, spec);
+
+  // The burst's index within the PARSED stream: its line number minus the
+  // malformed (dropped) fault lines before it.
+  std::size_t expected_index = 0;
+  bool found = false;
+  std::size_t malformed_before = 0;
+  for (const InjectedUpdateFault& f : corpus.faults) {
+    if (f.kind == UpdateFaultKind::kNonMonotonicBurst) {
+      expected_index = f.line_number - 1 - malformed_before;
+      found = true;
+      break;
+    }
+    ++malformed_before;
+  }
+  ASSERT_TRUE(found) << "corpus drew no non-monotonic burst";
+
+  auto parsed = from_update_text(corpus.text);
+  ReplayOptions options;
+  options.mode = ParseMode::kStrict;
+  try {
+    (void)replay_to_collection(parsed, options);
+    FAIL() << "strict replay accepted a rewound timestamp";
+  } catch (const UpdateReplayError& e) {
+    EXPECT_EQ(e.kind(), UpdateReplayError::Kind::kOutOfOrder);
+    EXPECT_EQ(e.index(), expected_index);
+    EXPECT_EQ(e.timestamp(), spec.base_time);
+  }
 }
 
 }  // namespace

@@ -369,5 +369,112 @@ TEST(Pipeline, GlobalConeTopIsTier1) {
       << "top AS " << top;
 }
 
+// ---- apply_updates: the incremental reload behind the live pipeline. ----
+
+void expect_bitwise_metrics(const CountryMetrics& a, const CountryMetrics& b) {
+  ASSERT_EQ(a.country, b.country);
+  ASSERT_EQ(a.cci.size(), b.cci.size());
+  for (std::size_t i = 0; i < a.cci.size(); ++i) {
+    EXPECT_EQ(a.cci.entries()[i].asn, b.cci.entries()[i].asn);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.cci.entries()[i].score),
+              std::bit_cast<std::uint64_t>(b.cci.entries()[i].score));
+  }
+  ASSERT_EQ(a.ahn.size(), b.ahn.size());
+  for (std::size_t i = 0; i < a.ahn.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.ahn.entries()[i].score),
+              std::bit_cast<std::uint64_t>(b.ahn.entries()[i].score));
+  }
+  EXPECT_EQ(a.national_vps, b.national_vps);
+  EXPECT_EQ(a.international_addresses, b.international_addresses);
+}
+
+TEST(Pipeline, ApplyUpdatesBitIdenticalToFreshLoad) {
+  PipelineFixture f;
+
+  // Incremental path: first apply is the initial load (everything is
+  // new), second apply grows the collection by two more days.
+  Pipeline incremental{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                       f.world.graph, f.config()};
+  bgp::RibCollection first_days;
+  first_days.days.assign(f.ribs.days.begin(), f.ribs.days.begin() + 3);
+  Pipeline::ApplyResult r1 = incremental.apply_updates(first_days);
+  ASSERT_TRUE(incremental.loaded());
+  EXPECT_EQ(r1.shards_kept, 0u);
+  EXPECT_EQ(r1.shards_rebuilt, incremental.store().shards().size());
+  Pipeline::ApplyResult r2 = incremental.apply_updates(f.ribs);
+  EXPECT_EQ(r2.shards_kept + r2.shards_rebuilt,
+            incremental.store().shards().size());
+
+  // Batch path: one fresh load of the final collection.
+  Pipeline fresh{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                 f.world.graph, f.config()};
+  fresh.load(f.ribs);
+
+  std::vector<CountryMetrics> got = incremental.all_countries();
+  std::vector<CountryMetrics> want = fresh.all_countries();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_bitwise_metrics(got[i], want[i]);
+  }
+}
+
+TEST(Pipeline, ApplyUpdatesFinalDayChangeTakesSanitizeFastPath) {
+  PipelineFixture f;
+  Pipeline incremental{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                       f.world.graph, f.config()};
+  Pipeline::ApplyResult r1 = incremental.apply_updates(f.ribs);
+  EXPECT_FALSE(r1.sanitize_fast_path);
+  EXPECT_EQ(r1.days_resanitized, f.ribs.days.size());
+
+  // Duplicate one final-day entry: the stable-prefix set is untouched,
+  // so only the final day needs re-filtering.
+  bgp::RibCollection changed = f.ribs;
+  changed.days.back().entries.push_back(changed.days.back().entries.front());
+  Pipeline::ApplyResult r2 = incremental.apply_updates(changed);
+  EXPECT_TRUE(r2.sanitize_fast_path);
+  EXPECT_EQ(r2.days_resanitized, 1u);
+
+  // And a head-day change must fall back to the full sanitizer.
+  bgp::RibCollection head_changed = changed;
+  head_changed.days.front().entries.pop_back();
+  Pipeline::ApplyResult r3 = incremental.apply_updates(head_changed);
+  EXPECT_FALSE(r3.sanitize_fast_path);
+  EXPECT_EQ(r3.days_resanitized, head_changed.days.size());
+
+  // The fast path's world must be bit-identical to a fresh batch load.
+  Pipeline fresh{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                 f.world.graph, f.config()};
+  fresh.load(changed);
+  Pipeline replay{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                  f.world.graph, f.config()};
+  replay.apply_updates(f.ribs);
+  replay.apply_updates(changed);
+  std::vector<CountryMetrics> got = replay.all_countries();
+  std::vector<CountryMetrics> want = fresh.all_countries();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_bitwise_metrics(got[i], want[i]);
+  }
+}
+
+TEST(Pipeline, ApplyUpdatesNoChangeKeepsShardsAndMemos) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.apply_updates(f.ribs);
+  // Warm the memo cache for every country.
+  const std::size_t census = pipeline.all_countries().size();
+  ASSERT_GT(census, 0u);
+
+  // Re-applying the identical collection must keep every shard and every
+  // memoized result: the live pipeline's quiet-flush fast path.
+  Pipeline::ApplyResult r = pipeline.apply_updates(f.ribs);
+  EXPECT_EQ(r.shards_rebuilt, 0u);
+  EXPECT_EQ(r.shards_kept, pipeline.store().shards().size());
+  EXPECT_EQ(r.memos_evicted, 0u);
+  EXPECT_GE(r.memos_kept, census);
+  EXPECT_GE(pipeline.cache_stats().countries, census);
+}
+
 }  // namespace
 }  // namespace georank::core

@@ -260,5 +260,114 @@ TEST(ShardedPathStore, DigestReflectsContentNotIdentity) {
   EXPECT_EQ(a.shard_digest(JP), c.shard_digest(JP));
 }
 
+// ---- Incremental rebuild: digest-verified shard reuse. ----
+
+/// Queries after rebuild() must be indistinguishable from a fresh build
+/// of the same rows — kept shards included.
+void expect_equivalent_stores(const ShardedPathStore& rebuilt,
+                              const ShardedPathStore& fresh) {
+  EXPECT_EQ(rebuilt.size(), fresh.size());
+  ASSERT_EQ(rebuilt.countries(), fresh.countries());
+  EXPECT_EQ(rebuilt.vp_countries(), fresh.vp_countries());
+  EXPECT_EQ(rebuilt.census_costs(), fresh.census_costs());
+  topo::AsGraph graph = sample_graph();
+  CountryRankings a{graph}, b{graph};
+  for (CountryCode cc : fresh.countries()) {
+    EXPECT_EQ(rebuilt.shard_digest(cc), fresh.shard_digest(cc));
+    expect_same_selection(rebuilt.national_view(cc), fresh.national_view(cc));
+    expect_same_selection(rebuilt.international_view(cc),
+                          fresh.international_view(cc));
+    expect_same_selection(rebuilt.outbound_view(cc), fresh.outbound_view(cc));
+    CountryMetrics m1 = a.compute(rebuilt, cc);
+    CountryMetrics m2 = b.compute(fresh, cc);
+    ASSERT_EQ(m1.cci.size(), m2.cci.size());
+    for (std::size_t i = 0; i < m1.cci.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(m1.cci.entries()[i].score),
+                std::bit_cast<std::uint64_t>(m2.cci.entries()[i].score));
+    }
+  }
+}
+
+TEST(ShardedPathStore, RebuildKeepsUntouchedShards) {
+  auto paths = sample_paths();
+  ShardedPathStore store{paths};
+
+  // Touch only AU: bump the weight of the AU-VP/AU-prefix row.
+  auto changed = sample_paths();
+  changed[0].weight += 1;
+  ShardedPathStore::RebuildStats stats = store.rebuild(changed);
+  EXPECT_EQ(stats.shards_rebuilt, 1u);
+  EXPECT_EQ(stats.shards_kept, 2u);
+
+  ShardedPathStore fresh{changed};
+  expect_equivalent_stores(store, fresh);
+}
+
+TEST(ShardedPathStore, RebuildNoChangeKeepsEveryShard) {
+  auto paths = sample_paths();
+  ShardedPathStore store{paths};
+  ShardedPathStore::RebuildStats stats = store.rebuild(paths);
+  EXPECT_EQ(stats.shards_rebuilt, 0u);
+  EXPECT_EQ(stats.shards_kept, 3u);
+  expect_equivalent_stores(store, ShardedPathStore{paths});
+}
+
+TEST(ShardedPathStore, RebuildHandlesCountryAppearingAndVanishing) {
+  auto paths = sample_paths();
+  ShardedPathStore store{paths};
+
+  // Drop both rows touching JP (one as prefix country, one as VP
+  // country) and add a DE row: JP's shard must vanish, DE's must
+  // appear, and the surviving countries stay correct.
+  auto changed = sample_paths();
+  changed.pop_back();                       // the JP-prefix row
+  changed.erase(changed.begin() + 3);       // the JP-VP row
+  changed.push_back(mk(6, CountryCode::of("DE"), AsPath{104, 60, 202}, 5,
+                       CountryCode::of("DE")));
+  store.rebuild(changed);
+  EXPECT_EQ(store.shard(JP), nullptr);
+  ASSERT_NE(store.shard(CountryCode::of("DE")), nullptr);
+  expect_equivalent_stores(store, ShardedPathStore{changed});
+}
+
+TEST(ShardedPathStore, RebuildIsIdenticalAcrossThreadCounts) {
+  auto paths = sample_paths();
+  auto changed = sample_paths();
+  changed[2].weight += 7;
+  ShardedPathStore one{paths, 1};
+  ShardedPathStore sixteen{paths, 16};
+  one.rebuild(changed, 1);
+  sixteen.rebuild(changed, 16);
+  for (CountryCode cc : {AU, US, JP}) {
+    EXPECT_EQ(one.shard_digest(cc), sixteen.shard_digest(cc));
+  }
+}
+
+TEST(ShardedPathStore, RepeatedRebuildsStayEquivalent) {
+  auto paths = sample_paths();
+  ShardedPathStore store{paths};
+  // Interning survives across rebuilds, so unique_path_count is
+  // lifetime-cumulative — queries must stay equivalent regardless.
+  for (std::uint64_t round = 1; round <= 4; ++round) {
+    auto changed = sample_paths();
+    changed[0].weight = 256 + round;
+    store.rebuild(changed);
+    expect_equivalent_stores(store, ShardedPathStore{changed});
+  }
+}
+
+TEST(ShardedPathStore, RebuildToAndFromEmpty) {
+  auto paths = sample_paths();
+  ShardedPathStore store{paths};
+  ShardedPathStore::RebuildStats stats =
+      store.rebuild(std::span<const SanitizedPath>{});
+  EXPECT_EQ(stats.shards_kept, 0u);
+  EXPECT_EQ(stats.shards_rebuilt, 0u);
+  EXPECT_TRUE(store.empty());
+  EXPECT_TRUE(store.shards().empty());
+  store.rebuild(paths);
+  expect_equivalent_stores(store, ShardedPathStore{paths});
+}
+
 }  // namespace
 }  // namespace georank::core

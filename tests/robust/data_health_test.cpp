@@ -221,5 +221,64 @@ TEST(DataHealth, PipelineOverloadMatchesAnnotatedMetrics) {
   }
 }
 
+TEST(DataHealth, PipelineMemoizedPathMatchesGenericAndStaysWarm) {
+  gen::World world = gen::InternetGenerator{gen::mini_world_spec(23)}.generate();
+  bgp::RibCollection ribs = gen::RibGenerator{world, gen::NoiseSpec{}, 5}.generate(5);
+  core::PipelineConfig config;
+  config.sanitizer.clique = world.clique;
+  config.sanitizer.route_server_asns = world.route_servers;
+  core::Pipeline pipeline{world.geo_db, world.vps, world.asn_registry,
+                          world.graph, config};
+  pipeline.apply_updates(ribs);
+
+  // Matching policy routes through the country_health memo; recomputing
+  // through the generic shard-parallel path must agree field for field.
+  HealthReport memoized = compute_health(pipeline, config.degradation);
+  EXPECT_GE(pipeline.cache_stats().healths, pipeline.store().shards().size());
+  HealthInputs inputs;
+  inputs.prefix_geo = &pipeline.sanitized().prefix_geo;
+  inputs.sanitize = &pipeline.sanitized().stats;
+  inputs.ingest = &pipeline.parse_stats();
+  HealthReport generic =
+      compute_health(pipeline.store(), inputs, config.degradation);
+  EXPECT_DOUBLE_EQ(memoized.ingest_drop_rate, generic.ingest_drop_rate);
+  EXPECT_DOUBLE_EQ(memoized.sanitize_drop_rate, generic.sanitize_drop_rate);
+  ASSERT_EQ(memoized.countries.size(), generic.countries.size());
+  for (std::size_t i = 0; i < generic.countries.size(); ++i) {
+    const CountryHealth& a = generic.countries[i];
+    const CountryHealth& b = memoized.countries[i];
+    EXPECT_EQ(a.country, b.country);
+    EXPECT_EQ(a.national_vps, b.national_vps) << a.country.to_string();
+    EXPECT_EQ(a.international_vps, b.international_vps) << a.country.to_string();
+    EXPECT_EQ(a.accepted_prefixes, b.accepted_prefixes) << a.country.to_string();
+    EXPECT_EQ(a.geolocated_addresses, b.geolocated_addresses)
+        << a.country.to_string();
+    EXPECT_EQ(a.no_consensus_prefixes, b.no_consensus_prefixes)
+        << a.country.to_string();
+    EXPECT_EQ(a.no_consensus_addresses, b.no_consensus_addresses)
+        << a.country.to_string();
+    EXPECT_EQ(a.national_tier, b.national_tier);
+    EXPECT_EQ(a.international_tier, b.international_tier);
+    EXPECT_EQ(a.geo_tier, b.geo_tier);
+    EXPECT_EQ(a.overall, b.overall);
+  }
+
+  // A non-matching policy must bypass the memo (its entries were tiered
+  // under the configured thresholds) yet still report the same raw
+  // evidence.
+  DegradationPolicy stricter = config.degradation;
+  stricter.min_vps = config.degradation.min_vps + 10;
+  HealthReport strict_report = compute_health(pipeline, stricter);
+  ASSERT_EQ(strict_report.countries.size(), memoized.countries.size());
+  for (std::size_t i = 0; i < strict_report.countries.size(); ++i) {
+    EXPECT_EQ(strict_report.countries[i].geolocated_addresses,
+              memoized.countries[i].geolocated_addresses);
+  }
+
+  // A no-change re-apply keeps shard-backed health memos warm.
+  pipeline.apply_updates(ribs);
+  EXPECT_GE(pipeline.cache_stats().healths, pipeline.store().shards().size());
+}
+
 }  // namespace
 }  // namespace georank::robust

@@ -40,6 +40,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bgp/mrt_stream.hpp"
 #include "bgp/update_stream.hpp"
@@ -57,6 +58,7 @@
 #include "io/geo_csv.hpp"
 #include "io/rankings_csv.hpp"
 #include "io/snapshot_codec.hpp"
+#include "live/update_pipeline.hpp"
 #include "robust/data_health.hpp"
 #include "robust/fault_plan.hpp"
 #include "serve/http_server.hpp"
@@ -108,6 +110,12 @@ int usage() {
                "  georank serve      --snapshot FILE[,FILE...] | --dir DIR"
                " [--port N] [--bind ADDR]\n"
                "                     [--threads N] [--cache N] [--history N]\n"
+               "  georank live       --dir DIR [--updates FILE] [--batch N]"
+               " [--window N] [--reorder SECS]\n"
+               "                     [--out FILE] [--id N] [--id-base N]"
+               " [--created N] [--label STR]\n"
+               "                     [--strict] [--ingest-stats] [--port N]"
+               " [--bind ADDR] [--threads N]\n"
                "common: --key=value and --key value both work;"
                " --fail-on-drop-rate=PCT exits %d when the sanitize or\n"
                "ingest layer drops more than PCT%% of its input"
@@ -268,16 +276,23 @@ struct DataSet {
   std::vector<bgp::Asn> route_servers;
   bgp::RibCollection ribs;
   bgp::MrtParseStats ingest_stats;
+  /// Set when the RIBs came from replaying updates.txt (spurious
+  /// withdrawals, ordering/day drops, quiet days).
+  std::optional<bgp::ReplayStats> replay_stats;
 };
 
 /// Loads a data-set directory. On failure returns nullopt and, when
 /// `fail_code` is given, distinguishes kExitParseFailure (RIB/update
 /// input present but nothing parsed from it) from kExitError (missing
-/// files). Strict-mode parse errors throw bgp::MrtParseError instead,
-/// mapped to kExitParseFailure in main().
+/// files). Strict-mode parse errors throw bgp::MrtParseError (or
+/// bgp::UpdateReplayError for stream-contract violations) instead,
+/// mapped to kExitParseFailure in main(). `skip_ribs` loads only the
+/// topology/geo side files (the live subcommand streams its own
+/// updates).
 std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationships,
                                     bool strict = false, int* fail_code = nullptr,
-                                    std::size_t ingest_threads = 0) {
+                                    std::size_t ingest_threads = 0,
+                                    bool skip_ribs = false) {
   if (fail_code) *fail_code = kExitError;
   auto open = [&](const char* name) -> std::optional<std::ifstream> {
     std::ifstream is{dir / name};
@@ -305,7 +320,9 @@ std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationship
   // RIB snapshots directly (streamed in bounded memory through the
   // chunked parallel loader), or an update archive replayed into them.
   // --strict turns the first malformed line into a hard error.
-  if (std::ifstream ribs_is{dir / "ribs.txt"}; ribs_is) {
+  if (skip_ribs) {
+    // Live streaming: the caller feeds updates itself.
+  } else if (std::ifstream ribs_is{dir / "ribs.txt"}; ribs_is) {
     bgp::MrtStreamOptions options;
     options.mode = strict ? bgp::ParseMode::kStrict : bgp::ParseMode::kTolerant;
     options.threads = ingest_threads;  // 0 -> GEORANK_THREADS / hw default
@@ -317,22 +334,30 @@ std::optional<DataSet> load_dataset(const fs::path& dir, bool infer_relationship
                 data.ingest_stats.parsed, data.ingest_stats.malformed,
                 data.ingest_stats.mbytes_per_second());
   } else if (std::ifstream updates_is{dir / "updates.txt"}; updates_is) {
-    bgp::UpdateTextReader reader{strict ? bgp::ParseMode::kStrict
-                                        : bgp::ParseMode::kTolerant};
+    const bgp::ParseMode mode =
+        strict ? bgp::ParseMode::kStrict : bgp::ParseMode::kTolerant;
+    bgp::UpdateTextReader reader{mode};
     std::vector<bgp::UpdateMessage> updates = reader.read_all(updates_is);
-    data.ribs = bgp::replay_to_collection(updates);
+    bgp::ReplayOptions replay_options;
+    replay_options.mode = mode;  // --strict also enforces stream ordering
+    bgp::ReplayStats replay_stats;
+    data.ribs = bgp::replay_to_collection(updates, replay_options, &replay_stats);
     data.ingest_stats = reader.stats();
+    data.replay_stats = replay_stats;
     std::printf("replayed %zu updates into %zu daily snapshots "
-                "(%zu malformed lines skipped)\n",
-                reader.stats().parsed, data.ribs.days.size(),
-                reader.stats().malformed);
+                "(%zu malformed lines, %zu out-of-order, %zu out-of-range "
+                "skipped; %zu spurious withdrawals)\n",
+                replay_stats.applied, data.ribs.days.size(),
+                reader.stats().malformed, replay_stats.skipped_out_of_order,
+                replay_stats.skipped_day_out_of_range,
+                replay_stats.spurious_withdrawals);
   } else {
     std::fprintf(stderr, "missing ribs.txt / updates.txt in %s\n",
                  dir.string().c_str());
     return std::nullopt;
   }
 
-  if (data.ribs.total_entries() == 0) {
+  if (!skip_ribs && data.ribs.total_entries() == 0) {
     std::fprintf(stderr, "no parsable RIB data in %s (%zu lines, %zu malformed)\n",
                  dir.string().c_str(), data.ingest_stats.lines,
                  data.ingest_stats.malformed);
@@ -399,7 +424,8 @@ core::Pipeline make_pipeline(const DataSet& data,
 
 // ------------------------------------------------------------- sanitize
 
-void print_ingest_stats(const bgp::MrtParseStats& s) {
+void print_ingest_stats(const bgp::MrtParseStats& s,
+                        const bgp::ReplayStats* replay = nullptr) {
   std::printf("\ningest diagnostics:\n");
   std::printf("  lines %zu  parsed %zu  malformed %zu  comments %zu\n",
               s.lines, s.parsed, s.malformed, s.skipped_comments);
@@ -424,6 +450,15 @@ void print_ingest_stats(const bgp::MrtParseStats& s) {
     std::printf("  line %zu (%s): %s\n", sample.line_number,
                 std::string(bgp::to_string(sample.reason)).c_str(),
                 sample.text.c_str());
+  }
+  if (replay != nullptr) {
+    std::printf("replay diagnostics:\n");
+    std::printf("  applied %zu  out-of-order %zu  day-out-of-range %zu\n",
+                replay->applied, replay->skipped_out_of_order,
+                replay->skipped_day_out_of_range);
+    std::printf("  spurious withdrawals %zu  days %zu (%zu quiet)\n",
+                replay->spurious_withdrawals, replay->days_emitted,
+                replay->quiet_days);
   }
 }
 
@@ -467,7 +502,10 @@ int cmd_sanitize(const Args& args) {
   table.print(std::cout);
   std::printf("distinct sanitized paths: %zu\n", pipeline.sanitized().paths.size());
 
-  if (args.has("ingest-stats")) print_ingest_stats(data->ingest_stats);
+  if (args.has("ingest-stats")) {
+    print_ingest_stats(data->ingest_stats,
+                       data->replay_stats ? &*data->replay_stats : nullptr);
+  }
 
   if (!pipeline.sanitized().samples.empty()) {
     std::printf("\nrejected-entry samples:\n");
@@ -901,7 +939,9 @@ std::optional<serve::Snapshot> build_snapshot(const Args& args, int* fail_code) 
           .count());
   serve::SnapshotMeta meta;
   meta.id = args.u64_or("id", now);
-  meta.created_unix = now;
+  // --created pins creation time for byte-reproducible snapshots (the
+  // live-vs-batch CI tier compares GRSNAP01 files with cmp).
+  meta.created_unix = args.u64_or("created", now);
   meta.label = args.get("label");
   serve::Snapshot snapshot = serve::Snapshot::build(pipeline, std::move(meta));
   if (snapshot.countries.empty()) {
@@ -933,10 +973,157 @@ int cmd_snapshot(const Args& args) {
   return kExitOk;
 }
 
-// ---------------------------------------------------------------- serve
+// ----------------------------------------------------------------- live
 
 volatile std::sig_atomic_t g_serve_stop = 0;
 void handle_serve_signal(int) { g_serve_stop = 1; }
+
+/// Replays an update archive through the incremental live pipeline:
+/// each flush re-sanitizes the rolling day window, reuses every shard
+/// whose digest is unchanged, re-ranks only the changed countries and
+/// republishes through the service's RCU swap. With --port the HTTP
+/// front end serves the evolving snapshots while the replay runs; with
+/// --out the final state is frozen to a GRSNAP01 file whose bytes match
+/// a batch `georank snapshot` of the same archive (given the same
+/// --id/--label/--created).
+int cmd_live(const Args& args) {
+  if (!args.has("dir")) return usage();
+  const fs::path dir = args.get("dir");
+  int fail_code = kExitError;
+  auto data = load_dataset(dir, args.has("infer"), args.has("strict"),
+                           &fail_code, 0, /*skip_ribs=*/true);
+  if (!data) return fail_code;
+
+  core::PipelineConfig config;
+  config.sanitizer.route_server_asns = data->route_servers;
+  config.degradation = degradation_from_args(args);
+  core::Pipeline pipeline{data->geo_db, data->vps, data->asn_registry,
+                          data->relationships, config};
+
+  serve::RankingServiceOptions service_options;
+  service_options.cache_capacity = args.size_or("cache", 256);
+  service_options.history_limit = args.size_or("history", 8);
+  serve::RankingService service{service_options};
+
+  live::UpdatePipelineOptions live_options;
+  live_options.flush_batch = args.size_or("batch", 4096);
+  live_options.max_pending = args.size_or("max-pending", 65536);
+  live_options.reorder_window = args.u64_or("reorder", 0);
+  live_options.window_days = args.size_or("window", 0);
+  live_options.mode = args.has("strict") ? bgp::ParseMode::kStrict
+                                         : bgp::ParseMode::kTolerant;
+  live_options.snapshot_id_base = args.u64_or("id-base", 1);
+  live_options.label = args.get("label");
+  live::UpdatePipeline live{pipeline, service, live_options};
+
+  const fs::path updates_path =
+      args.has("updates") ? fs::path{args.get("updates")} : dir / "updates.txt";
+  std::ifstream updates_is{updates_path};
+  if (!updates_is) {
+    std::fprintf(stderr, "missing %s\n", updates_path.string().c_str());
+    return kExitError;
+  }
+  bgp::UpdateTextReader reader{live_options.mode};
+  std::vector<bgp::UpdateMessage> updates = reader.read_all(updates_is);
+  live.set_parse_stats(reader.stats());
+  std::printf("replaying %zu updates from %s (batch %zu)\n", updates.size(),
+              updates_path.string().c_str(), live_options.flush_batch);
+
+  // Optional HTTP front end: queries hit the evolving snapshots while
+  // the replay runs.
+  std::optional<serve::HttpServer> server;
+  if (args.has("port")) {
+    serve::HttpServerOptions http_options;
+    http_options.bind_address = args.get("bind", "127.0.0.1");
+    http_options.port = static_cast<std::uint16_t>(args.size_or("port", 8080));
+    http_options.threads = args.thread_count_or("threads", 4);
+    server.emplace(service, http_options);
+    try {
+      server->start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot start server: %s\n", e.what());
+      return kExitError;
+    }
+    std::printf("listening on %s:%u\n", http_options.bind_address.c_str(),
+                static_cast<unsigned>(server->port()));
+    std::fflush(stdout);  // scripts parse the port from this line
+  }
+
+  auto print_report = [](const live::FlushReport& report) {
+    if (!report.published) return;
+    std::printf("  flush -> snapshot %llu: %zu updates (%zu ann, %zu wd), "
+                "%zu prefixes -> %zu countries, shards %zu kept / %zu "
+                "rebuilt, memos %zu warm, %.1f ms\n",
+                static_cast<unsigned long long>(report.snapshot_id),
+                report.batch, report.announces, report.withdraws,
+                report.touched_prefixes, report.touched_countries.size(),
+                report.apply.shards_kept, report.apply.shards_rebuilt,
+                report.apply.memos_kept, report.total_seconds * 1e3);
+  };
+
+  for (const bgp::UpdateMessage& u : updates) {
+    if (auto report = live.push(u)) print_report(*report);
+  }
+  const live::FlushReport final_report = live.drain();
+  print_report(final_report);
+
+  const live::LiveStats& stats = live.stats();
+  std::printf("replay done: %llu applied (%llu ann, %llu wd), %llu "
+              "out-of-order, %llu out-of-range, %zu spurious withdrawals, "
+              "%llu days (%llu quiet), %llu publishes\n",
+              static_cast<unsigned long long>(stats.applied),
+              static_cast<unsigned long long>(stats.announces),
+              static_cast<unsigned long long>(stats.withdraws),
+              static_cast<unsigned long long>(stats.out_of_order),
+              static_cast<unsigned long long>(stats.day_out_of_range),
+              live.rib().spurious_withdrawals(),
+              static_cast<unsigned long long>(stats.days_closed + 1),
+              static_cast<unsigned long long>(stats.quiet_days),
+              static_cast<unsigned long long>(stats.publishes));
+  if (args.has("ingest-stats")) print_ingest_stats(reader.stats());
+
+  if (stats.publishes == 0) {
+    std::fprintf(stderr, "no updates applied; nothing published\n");
+    return kExitEmptyResult;
+  }
+
+  if (args.has("out")) {
+    // Freeze the final state with pinned identity so the bytes are
+    // comparable against a batch `georank snapshot` of the same archive.
+    serve::SnapshotMeta meta;
+    meta.id = args.u64_or("id", service.current()->meta.id);
+    meta.created_unix = args.u64_or("created", service.current()->meta.created_unix);
+    meta.label = args.get("label");
+    serve::Snapshot final_snapshot =
+        serve::Snapshot::build(pipeline, std::move(meta));
+    std::ofstream os{args.get("out"), std::ios::binary};
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", args.get("out").c_str());
+      return kExitError;
+    }
+    io::write_snapshot(os, final_snapshot);
+    if (!os.flush()) {
+      std::fprintf(stderr, "short write to %s\n", args.get("out").c_str());
+      return kExitError;
+    }
+    std::printf("wrote snapshot id %llu (%zu countries) to %s\n",
+                static_cast<unsigned long long>(final_snapshot.meta.id),
+                final_snapshot.countries.size(), args.get("out").c_str());
+  }
+
+  if (server) {
+    // Stay up for queries until interrupted (mirrors cmd_serve).
+    struct sigaction live_action{};
+    live_action.sa_handler = handle_serve_signal;
+    sigaction(SIGINT, &live_action, nullptr);
+    sigaction(SIGTERM, &live_action, nullptr);
+    while (g_serve_stop == 0) pause();
+    server->stop();
+  }
+  return kExitOk;
+}
+
+// ---------------------------------------------------------------- serve
 
 int cmd_serve(const Args& args) {
   if (!args.has("snapshot") && !args.has("dir")) return usage();
@@ -1024,7 +1211,11 @@ int main(int argc, char** argv) {
     if (args->command() == "robustness") return cmd_robustness(*args);
     if (args->command() == "snapshot") return cmd_snapshot(*args);
     if (args->command() == "serve") return cmd_serve(*args);
+    if (args->command() == "live") return cmd_live(*args);
   } catch (const bgp::MrtParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return kExitParseFailure;
+  } catch (const bgp::UpdateReplayError& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
     return kExitParseFailure;
   } catch (const util::OptionParseError& e) {
