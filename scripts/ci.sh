@@ -21,12 +21,17 @@
 #            its update archive through `georank live`, and assert the
 #            final GRSNAP01 file is byte-identical to a batch
 #            `georank snapshot` of the same archive
+#   recovery crash-safety end to end: feed half an update archive into a
+#            journaled `georank live` through a fifo, `kill -9` it once
+#            the journal holds the burst, restart with `--recover` on
+#            the rest of the archive, and byte-compare the recovered
+#            GRSNAP01 against an uninterrupted reference run
 #   tidy     clang-tidy over src/ (opt-in: --clang-tidy; skips politely
 #            when the tool is not installed)
 #
 # Usage: scripts/ci.sh [--skip-asan] [--skip-ubsan] [--skip-tsan]
 #                      [--skip-serve] [--skip-scale] [--skip-live]
-#                      [--skip-lint] [--clang-tidy]
+#                      [--skip-recovery] [--skip-lint] [--clang-tidy]
 #
 # Each sanitizer stage builds into its own tree (build-asan, build-ubsan,
 # build-tsan) so it never dirties the primary build directory. The
@@ -42,6 +47,7 @@ SKIP_TSAN=0
 SKIP_SERVE=0
 SKIP_SCALE=0
 SKIP_LIVE=0
+SKIP_RECOVERY=0
 SKIP_LINT=0
 RUN_TIDY=0
 for arg in "$@"; do
@@ -52,6 +58,7 @@ for arg in "$@"; do
     --skip-serve) SKIP_SERVE=1 ;;
     --skip-scale) SKIP_SCALE=1 ;;
     --skip-live) SKIP_LIVE=1 ;;
+    --skip-recovery) SKIP_RECOVERY=1 ;;
     --skip-lint) SKIP_LINT=1 ;;
     --clang-tidy) RUN_TIDY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
@@ -218,6 +225,86 @@ if [[ "$SKIP_LIVE" -eq 0 ]]; then
   echo "live tier OK ($FLUSHES incremental flushes, snapshots byte-identical)"
 else
   echo "==> live stage skipped (--skip-live)"
+fi
+
+if [[ "$SKIP_RECOVERY" -eq 0 ]]; then
+  echo "==> recovery tier: kill -9 a journaled live run, --recover, byte compare"
+  REC_TMP="$(mktemp -d)"
+  REC_PID=""
+  rec_cleanup() {
+    exec 9>&- 2> /dev/null || true
+    if [[ -n "$REC_PID" ]]; then
+      kill -9 "$REC_PID" 2> /dev/null || true
+      wait "$REC_PID" 2> /dev/null || true
+    fi
+    rm -rf "$REC_TMP"
+  }
+  trap rec_cleanup EXIT
+
+  ./build/tools/georank generate --out "$REC_TMP/world" --mini --seed 33 \
+    --days 4 > /dev/null
+  TOTAL="$(wc -l < "$REC_TMP/world/updates.txt")"
+  HALF=$((TOTAL / 2))
+  [[ "$HALF" -gt 1200 ]] \
+    || { echo "recovery tier FAIL: archive too small ($TOTAL lines)"; exit 1; }
+
+  # Uninterrupted reference with pinned snapshot identity: same binary,
+  # same flags, nobody killed.
+  ./build/tools/georank live --dir "$REC_TMP/world" --batch 750 \
+    --out "$REC_TMP/reference.grsnap" --id 11 --label rec-ci \
+    --created 1617235200 > /dev/null
+
+  # Doomed run: a fifo feeds the first half, held open so the process
+  # blocks on input instead of draining; every accepted update lands in
+  # the journal (fsync each — a kill -9 test is about durability).
+  mkfifo "$REC_TMP/feed"
+  ./build/tools/georank live --dir "$REC_TMP/world" \
+    --updates "$REC_TMP/feed" --batch 750 \
+    --journal-dir "$REC_TMP/journal" --checkpoint-every 997 --fsync each \
+    > "$REC_TMP/doomed.log" 2>&1 &
+  REC_PID=$!
+  exec 9> "$REC_TMP/feed"
+  head -n "$HALF" "$REC_TMP/world/updates.txt" >&9
+
+  # Poll the read-only journal scan until the burst is durably absorbed,
+  # then kill without mercy. A kill landing between a journal append and
+  # the buffer absorb is exactly the kAfterJournalAppend fault point the
+  # recovery harness proves bit-identical.
+  RECORDS=0
+  for _ in $(seq 1 300); do
+    RECORDS="$(./build/tools/georank journal --dir "$REC_TMP/journal" 2> /dev/null \
+      | sed -n 's/^records \([0-9]*\) .*/\1/p' || true)"
+    [[ "${RECORDS:-0}" -ge "$HALF" ]] && break
+    kill -0 "$REC_PID" 2> /dev/null \
+      || { cat "$REC_TMP/doomed.log"; echo "recovery tier FAIL: live run died before the burst"; exit 1; }
+    sleep 0.1
+  done
+  [[ "${RECORDS:-0}" -ge "$HALF" ]] \
+    || { cat "$REC_TMP/doomed.log"; echo "recovery tier FAIL: journal never reached $HALF records (got ${RECORDS:-0})"; exit 1; }
+  kill -9 "$REC_PID"
+  wait "$REC_PID" 2> /dev/null || true
+  REC_PID=""
+  exec 9>&-
+
+  # Restart on the remaining half. recover() loads the checkpoint the
+  # doomed run published and replays the journal suffix; the stream
+  # resumes at the journal's next sequence number (= line HALF+1).
+  tail -n +"$((HALF + 1))" "$REC_TMP/world/updates.txt" > "$REC_TMP/rest.txt"
+  ./build/tools/georank live --dir "$REC_TMP/world" \
+    --updates "$REC_TMP/rest.txt" --batch 750 \
+    --journal-dir "$REC_TMP/journal" --recover --checkpoint-every 997 \
+    --out "$REC_TMP/recovered.grsnap" --id 11 --label rec-ci \
+    --created 1617235200 > "$REC_TMP/recover.log"
+  grep -q "recovered: checkpoint" "$REC_TMP/recover.log" \
+    || { cat "$REC_TMP/recover.log"; echo "recovery tier FAIL: no recovery line"; exit 1; }
+  cmp "$REC_TMP/reference.grsnap" "$REC_TMP/recovered.grsnap" \
+    || { echo "recovery tier FAIL: recovered snapshot differs from uninterrupted run"; exit 1; }
+  RECLINE="$(grep '^recovered:' "$REC_TMP/recover.log")"
+  rec_cleanup
+  trap - EXIT
+  echo "recovery tier OK ($RECLINE; snapshots byte-identical)"
+else
+  echo "==> recovery stage skipped (--skip-recovery)"
 fi
 
 if [[ "$RUN_TIDY" -eq 1 ]]; then

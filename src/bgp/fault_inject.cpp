@@ -1,5 +1,7 @@
 #include "bgp/fault_inject.hpp"
 
+#include <algorithm>
+
 #include "util/rng.hpp"
 
 namespace georank::bgp {
@@ -400,6 +402,37 @@ UpdateFaultCorpus inject_update_faults(std::string_view clean_text,
       out.text += fields[i];
     }
     out.text += '\n';
+  }
+  return out;
+}
+
+std::string_view to_string(ProcessFaultKind kind) noexcept {
+  switch (kind) {
+    case ProcessFaultKind::kAfterJournalAppend: return "after-journal-append";
+    case ProcessFaultKind::kAfterPush: return "after-push";
+    case ProcessFaultKind::kAfterCheckpoint: return "after-checkpoint";
+  }
+  return "?";
+}
+
+std::vector<ProcessFaultPoint> make_crash_schedule(
+    const ProcessFaultSpec& spec) {
+  std::vector<ProcessFaultKind> kinds = spec.kinds;
+  if (kinds.empty()) {
+    kinds = {ProcessFaultKind::kAfterJournalAppend,
+             ProcessFaultKind::kAfterPush, ProcessFaultKind::kAfterCheckpoint};
+  }
+  util::Pcg32 rng{spec.seed};
+  const std::size_t points = std::min(spec.points, spec.stream_length);
+  std::vector<std::size_t> indices =
+      util::sample_indices(spec.stream_length, points, rng);
+  std::sort(indices.begin(), indices.end());
+
+  std::vector<ProcessFaultPoint> out;
+  out.reserve(indices.size());
+  for (std::size_t index : indices) {
+    out.push_back(ProcessFaultPoint{
+        index, kinds[rng.below(static_cast<std::uint32_t>(kinds.size()))]});
   }
   return out;
 }

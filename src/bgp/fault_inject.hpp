@@ -158,4 +158,42 @@ struct UpdateFaultCorpus {
 [[nodiscard]] UpdateFaultCorpus inject_update_faults(
     std::string_view clean_text, const UpdateFaultSpec& spec);
 
+// ---------------------------------------------------------------------------
+// Process-level fault points: WHERE in the live pipeline's push cycle a
+// crash lands. The recovery harness (tests/live/recovery_test.cpp)
+// replays a stream up to each scheduled point, "kills" the process
+// there (abandoning all in-memory state), recovers from checkpoint +
+// journal, and byte-compares the final snapshot against an
+// uninterrupted run — the crash-safety proof of DESIGN.md §4g.
+
+enum class ProcessFaultKind : std::uint8_t {
+  kAfterJournalAppend,  // journaled, but the buffer never absorbed it
+  kAfterPush,           // fully absorbed (drains/flushes included)
+  kAfterCheckpoint,     // right after a checkpoint published
+};
+inline constexpr std::size_t kProcessFaultKindCount = 3;
+
+[[nodiscard]] std::string_view to_string(ProcessFaultKind kind) noexcept;
+
+struct ProcessFaultSpec {
+  std::uint64_t seed = 42;
+  /// Crash points to schedule across the stream.
+  std::size_t points = 8;
+  /// Length of the update stream the schedule indexes into.
+  std::size_t stream_length = 0;
+  /// Kinds to draw from, uniformly; empty means every ProcessFaultKind.
+  std::vector<ProcessFaultKind> kinds;
+};
+
+struct ProcessFaultPoint {
+  /// 0-based update index the crash lands on.
+  std::size_t update_index = 0;
+  ProcessFaultKind kind = ProcessFaultKind::kAfterPush;
+};
+
+/// Distinct, sorted crash points drawn uniformly over the stream.
+/// Deterministic in the seed; at most stream_length points.
+[[nodiscard]] std::vector<ProcessFaultPoint> make_crash_schedule(
+    const ProcessFaultSpec& spec);
+
 }  // namespace georank::bgp

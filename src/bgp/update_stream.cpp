@@ -117,6 +117,16 @@ void RibState::apply_all(const std::vector<UpdateMessage>& updates) {
   for (const UpdateMessage& u : updates) apply(u);
 }
 
+void RibState::restore(const std::vector<RouteEntry>& entries,
+                       std::size_t spurious) {
+  routes_.clear();
+  routes_.reserve(entries.size());
+  for (const RouteEntry& e : entries) {
+    routes_.emplace(Key{e.vp, e.prefix}, e.path);
+  }
+  spurious_withdrawals_ = spurious;
+}
+
 RibSnapshot RibState::snapshot(int day) const {
   RibSnapshot snap;
   snap.day = day;
@@ -199,6 +209,8 @@ std::string_view to_string(UpdateReplayError::Kind kind) noexcept {
   switch (kind) {
     case UpdateReplayError::Kind::kOutOfOrder: return "out-of-order timestamp";
     case UpdateReplayError::Kind::kDayOutOfRange: return "day out of range";
+    case UpdateReplayError::Kind::kBufferOverflow:
+      return "reorder buffer overflow";
   }
   return "?";
 }

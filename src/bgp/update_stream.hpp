@@ -86,6 +86,11 @@ class RibState {
   /// Current table as a snapshot (entries in deterministic order).
   [[nodiscard]] RibSnapshot snapshot(int day) const;
 
+  /// Replaces the table with `entries` (as produced by snapshot()) and
+  /// the spurious-withdrawal count, discarding any current state. Used
+  /// by live checkpoint recovery to restore an exact table image.
+  void restore(const std::vector<RouteEntry>& entries, std::size_t spurious);
+
  private:
   struct Key {
     VpId vp;
@@ -144,8 +149,9 @@ struct ReplayStats {
 class UpdateReplayError : public std::runtime_error {
  public:
   enum class Kind : std::uint8_t {
-    kOutOfOrder,     // timestamp went backwards
-    kDayOutOfRange,  // timestamp before base_time or past the horizon
+    kOutOfOrder,      // timestamp went backwards
+    kDayOutOfRange,   // timestamp before base_time or past the horizon
+    kBufferOverflow,  // live reorder buffer exceeded max_pending (shed policy)
   };
 
   UpdateReplayError(Kind kind, std::size_t index, std::uint64_t timestamp);

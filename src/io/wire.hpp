@@ -1,0 +1,116 @@
+// Little-endian wire helpers shared by the binary persistence codecs
+// (io::snapshot_codec keeps private copies for historical reasons; the
+// live-durability formats — GRJRNL01 journals and GRCKPT01 checkpoints
+// in src/live — build on these). Integers are written least-significant
+// byte first regardless of host order; doubles travel as their IEEE-754
+// bit patterns, so round trips are bit-exact. The reader is a
+// bounds-checked cursor that reports truncation through a bool status
+// instead of exceptions, because the journal reader treats a short read
+// as a torn tail to truncate, not an error to raise.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace georank::io::wire {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    put_u8(out, static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    put_u8(out, static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+inline void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+inline void put_bytes(std::string& out, std::string_view bytes) {
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(bytes);
+}
+
+/// Bounds-checked little-endian cursor. Every accessor returns false on
+/// truncation and leaves the output untouched; ok() stays false from
+/// the first failure on, so a decode loop can check once at the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t& out) {
+    if (!need(1)) return false;
+    out = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool u32(std::uint32_t& out) {
+    if (!need(4)) return false;
+    out = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      out |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes_[pos_++]))
+             << shift;
+    }
+    return true;
+  }
+
+  bool u64(std::uint64_t& out) {
+    if (!need(8)) return false;
+    out = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      out |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes_[pos_++]))
+             << shift;
+    }
+    return true;
+  }
+
+  bool f64(double& out) {
+    std::uint64_t raw = 0;
+    if (!u64(raw)) return false;
+    out = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  bool bytes(std::string& out) {
+    std::uint32_t n = 0;
+    if (!u32(n) || !need(n)) return false;
+    out.assign(bytes_.substr(pos_, n));
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace georank::io::wire

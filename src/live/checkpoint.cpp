@@ -1,0 +1,371 @@
+#include "live/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "io/snapshot_codec.hpp"
+#include "io/wire.hpp"
+
+namespace georank::live {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kCheckpointMagic = "GRCKPT01";
+constexpr std::uint32_t kCheckpointVersion = 1;
+/// magic + version + reserved + payload_size before, checksum after.
+constexpr std::size_t kCheckpointHeaderSize = 24;
+constexpr std::size_t kCheckpointTrailerSize = 8;
+
+void put_path(std::string& out, const bgp::AsPath& path) {
+  io::wire::put_u8(out, path.has_as_set() ? 1 : 0);
+  io::wire::put_u32(out, static_cast<std::uint32_t>(path.size()));
+  for (bgp::Asn hop : path.hops()) io::wire::put_u32(out, hop);
+}
+
+bool read_path(io::wire::Reader& in, bgp::AsPath& out) {
+  std::uint8_t as_set = 0;
+  std::uint32_t count = 0;
+  if (!in.u8(as_set) || !in.u32(count) || count > in.remaining() / 4) {
+    return false;
+  }
+  std::vector<bgp::Asn> hops;
+  hops.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t hop = 0;
+    if (!in.u32(hop)) return false;
+    hops.push_back(hop);
+  }
+  out = bgp::AsPath{std::move(hops)};
+  if (as_set != 0) out.mark_as_set();
+  return true;
+}
+
+void put_prefix(std::string& out, const bgp::Prefix& prefix) {
+  io::wire::put_u32(out, prefix.address());
+  io::wire::put_u8(out, prefix.length());
+}
+
+bool read_prefix(io::wire::Reader& in, bgp::Prefix& out) {
+  std::uint32_t address = 0;
+  std::uint8_t length = 0;
+  if (!in.u32(address) || !in.u8(length) || length > 32) return false;
+  out = bgp::Prefix{address, length};
+  return true;
+}
+
+void put_entry(std::string& out, const bgp::RouteEntry& entry) {
+  io::wire::put_u32(out, entry.vp.ip);
+  io::wire::put_u32(out, entry.vp.asn);
+  put_prefix(out, entry.prefix);
+  put_path(out, entry.path);
+}
+
+bool read_entry(io::wire::Reader& in, bgp::RouteEntry& out) {
+  std::uint32_t ip = 0, asn = 0;
+  if (!in.u32(ip) || !in.u32(asn) || !read_prefix(in, out.prefix) ||
+      !read_path(in, out.path)) {
+    return false;
+  }
+  out.vp = bgp::VpId{ip, asn};
+  return true;
+}
+
+void put_update(std::string& out, const bgp::UpdateMessage& u) {
+  io::wire::put_u64(out, u.timestamp);
+  io::wire::put_u8(out, u.kind == bgp::UpdateMessage::Kind::kWithdraw ? 1 : 0);
+  io::wire::put_u32(out, u.vp.ip);
+  io::wire::put_u32(out, u.vp.asn);
+  put_prefix(out, u.prefix);
+  put_path(out, u.path);
+}
+
+bool read_update(io::wire::Reader& in, bgp::UpdateMessage& out) {
+  std::uint8_t kind = 0;
+  std::uint32_t ip = 0, asn = 0;
+  if (!in.u64(out.timestamp) || !in.u8(kind) || kind > 1 || !in.u32(ip) ||
+      !in.u32(asn) || !read_prefix(in, out.prefix) ||
+      !read_path(in, out.path)) {
+    return false;
+  }
+  out.kind = kind == 1 ? bgp::UpdateMessage::Kind::kWithdraw
+                       : bgp::UpdateMessage::Kind::kAnnounce;
+  out.vp = bgp::VpId{ip, asn};
+  return true;
+}
+
+/// Day indexes are small signed ints; two's-complement via int64 keeps
+/// -1 (no day yet) round-tripping exactly.
+std::uint64_t day_bits(int day) {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(day));
+}
+
+bool read_day(io::wire::Reader& in, int& out) {
+  std::uint64_t bits = 0;
+  if (!in.u64(bits)) return false;
+  const std::int64_t wide = static_cast<std::int64_t>(bits);
+  if (wide < -1 || wide > 1'000'000) return false;
+  out = static_cast<int>(wide);
+  return true;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw JournalError(JournalErrorKind::kIo,
+                     what + ": " + std::strerror(errno));
+}
+
+[[noreturn]] void throw_malformed(const std::string& detail) {
+  throw JournalError(JournalErrorKind::kIo, "checkpoint " + detail);
+}
+
+}  // namespace
+
+std::string encode_checkpoint(const Checkpoint& ckpt) {
+  std::string payload;
+  io::wire::put_u64(payload, ckpt.seq);
+  io::wire::put_u64(payload, ckpt.max_seen);
+  io::wire::put_u64(payload, ckpt.last_applied_ts);
+  io::wire::put_u64(payload, day_bits(ckpt.current_day));
+  io::wire::put_u64(payload, ckpt.spurious_withdrawals);
+
+  io::wire::put_u64(payload, ckpt.rib_entries.size());
+  for (const bgp::RouteEntry& entry : ckpt.rib_entries) {
+    put_entry(payload, entry);
+  }
+
+  io::wire::put_u64(payload, ckpt.window.days.size());
+  for (const bgp::RibSnapshot& day : ckpt.window.days) {
+    io::wire::put_u64(payload, day_bits(day.day));
+    io::wire::put_u64(payload, day.entries.size());
+    for (const bgp::RouteEntry& entry : day.entries) put_entry(payload, entry);
+  }
+
+  io::wire::put_u64(payload, ckpt.pending.size());
+  for (const JournalRecord& record : ckpt.pending) {
+    io::wire::put_u64(payload, record.seq);
+    put_update(payload, record.update);
+  }
+
+  io::wire::put_u64(payload, ckpt.batch_applied);
+  io::wire::put_u64(payload, ckpt.batch_announces);
+  io::wire::put_u64(payload, ckpt.batch_withdraws);
+  io::wire::put_u64(payload, ckpt.batch_prefixes.size());
+  for (const bgp::Prefix& prefix : ckpt.batch_prefixes) {
+    put_prefix(payload, prefix);
+  }
+
+  io::wire::put_u64(payload, ckpt.stats.pushed);
+  io::wire::put_u64(payload, ckpt.stats.applied);
+  io::wire::put_u64(payload, ckpt.stats.announces);
+  io::wire::put_u64(payload, ckpt.stats.withdraws);
+  io::wire::put_u64(payload, ckpt.stats.out_of_order);
+  io::wire::put_u64(payload, ckpt.stats.day_out_of_range);
+  io::wire::put_u64(payload, ckpt.stats.days_closed);
+  io::wire::put_u64(payload, ckpt.stats.quiet_days);
+  io::wire::put_u64(payload, ckpt.stats.flushes);
+  io::wire::put_u64(payload, ckpt.stats.publishes);
+  io::wire::put_u64(payload, ckpt.stats.shed);
+  io::wire::put_u64(payload, ckpt.stats.checkpoints);
+  io::wire::put_f64(payload, ckpt.republish_seconds_sum);
+  io::wire::put_f64(payload, ckpt.last_republish_seconds);
+  io::wire::put_u64(payload, ckpt.last_batch);
+
+  std::string out{kCheckpointMagic};
+  io::wire::put_u32(out, kCheckpointVersion);
+  io::wire::put_u32(out, 0);  // reserved
+  io::wire::put_u64(out, payload.size());
+  out += payload;
+  io::wire::put_u64(out, io::snapshot_checksum(payload));
+  return out;
+}
+
+Checkpoint decode_checkpoint(std::string_view bytes) {
+  if (bytes.size() < kCheckpointHeaderSize + kCheckpointTrailerSize ||
+      bytes.substr(0, kCheckpointMagic.size()) != kCheckpointMagic) {
+    throw JournalError(JournalErrorKind::kBadMagic,
+                       "checkpoint missing GRCKPT01 magic");
+  }
+  io::wire::Reader header{bytes.substr(kCheckpointMagic.size(), 16)};
+  std::uint32_t version = 0, reserved = 0;
+  std::uint64_t payload_size = 0;
+  (void)header.u32(version);
+  (void)header.u32(reserved);
+  (void)header.u64(payload_size);
+  if (version == 0 || version > kCheckpointVersion) {
+    throw JournalError(JournalErrorKind::kBadVersion,
+                       "checkpoint version " + std::to_string(version));
+  }
+  if (payload_size !=
+      bytes.size() - kCheckpointHeaderSize - kCheckpointTrailerSize) {
+    throw_malformed("payload size does not match file size");
+  }
+  const std::string_view payload =
+      bytes.substr(kCheckpointHeaderSize, static_cast<std::size_t>(payload_size));
+  io::wire::Reader trailer{
+      bytes.substr(kCheckpointHeaderSize + payload.size(), 8)};
+  std::uint64_t checksum = 0;
+  (void)trailer.u64(checksum);
+  if (io::snapshot_checksum(payload) != checksum) {
+    throw_malformed("payload checksum mismatch");
+  }
+
+  Checkpoint ckpt;
+  io::wire::Reader in{payload};
+  std::uint64_t count = 0;
+  if (!in.u64(ckpt.seq) || !in.u64(ckpt.max_seen) ||
+      !in.u64(ckpt.last_applied_ts) || !read_day(in, ckpt.current_day) ||
+      !in.u64(ckpt.spurious_withdrawals) || !in.u64(count)) {
+    throw_malformed("truncated fixed fields");
+  }
+  if (count > in.remaining() / 14) throw_malformed("implausible RIB size");
+  ckpt.rib_entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    bgp::RouteEntry entry;
+    if (!read_entry(in, entry)) throw_malformed("corrupt RIB entry");
+    ckpt.rib_entries.push_back(std::move(entry));
+  }
+
+  if (!in.u64(count)) throw_malformed("truncated window header");
+  if (count > in.remaining() / 16) throw_malformed("implausible window size");
+  ckpt.window.days.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    bgp::RibSnapshot day;
+    std::uint64_t entries = 0;
+    if (!read_day(in, day.day) || !in.u64(entries)) {
+      throw_malformed("corrupt window day header");
+    }
+    if (entries > in.remaining() / 14) throw_malformed("implausible day size");
+    day.entries.reserve(static_cast<std::size_t>(entries));
+    for (std::uint64_t j = 0; j < entries; ++j) {
+      bgp::RouteEntry entry;
+      if (!read_entry(in, entry)) throw_malformed("corrupt window entry");
+      day.entries.push_back(std::move(entry));
+    }
+    ckpt.window.days.push_back(std::move(day));
+  }
+
+  if (!in.u64(count)) throw_malformed("truncated pending header");
+  if (count > in.remaining() / 27) throw_malformed("implausible pending size");
+  ckpt.pending.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    JournalRecord record;
+    if (!in.u64(record.seq) || !read_update(in, record.update)) {
+      throw_malformed("corrupt pending record");
+    }
+    ckpt.pending.push_back(std::move(record));
+  }
+
+  if (!in.u64(ckpt.batch_applied) || !in.u64(ckpt.batch_announces) ||
+      !in.u64(ckpt.batch_withdraws) || !in.u64(count)) {
+    throw_malformed("truncated batch counters");
+  }
+  if (count > in.remaining() / 5) throw_malformed("implausible batch size");
+  ckpt.batch_prefixes.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    bgp::Prefix prefix;
+    if (!read_prefix(in, prefix)) throw_malformed("corrupt batch prefix");
+    ckpt.batch_prefixes.push_back(prefix);
+  }
+
+  if (!in.u64(ckpt.stats.pushed) || !in.u64(ckpt.stats.applied) ||
+      !in.u64(ckpt.stats.announces) || !in.u64(ckpt.stats.withdraws) ||
+      !in.u64(ckpt.stats.out_of_order) || !in.u64(ckpt.stats.day_out_of_range) ||
+      !in.u64(ckpt.stats.days_closed) || !in.u64(ckpt.stats.quiet_days) ||
+      !in.u64(ckpt.stats.flushes) || !in.u64(ckpt.stats.publishes) ||
+      !in.u64(ckpt.stats.shed) || !in.u64(ckpt.stats.checkpoints) ||
+      !in.f64(ckpt.republish_seconds_sum) ||
+      !in.f64(ckpt.last_republish_seconds) || !in.u64(ckpt.last_batch)) {
+    throw_malformed("truncated stats");
+  }
+  if (!in.exhausted()) throw_malformed("trailing bytes after stats");
+  return ckpt;
+}
+
+void write_checkpoint_file(const std::string& path,
+                           const Checkpoint& checkpoint) {
+  const std::string encoded = encode_checkpoint(checkpoint);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open " + tmp);
+  std::size_t written = 0;
+  while (written < encoded.size()) {
+    const ssize_t n =
+        ::write(fd, encoded.data() + written, encoded.size() - written);
+    if (n < 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("write " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync " + tmp);
+  }
+  ::close(fd);
+  // rename is the atomic publish: readers see old-or-new, never torn.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_errno("rename " + tmp + " -> " + path);
+  }
+}
+
+std::optional<Checkpoint> load_checkpoint_file(const std::string& path) {
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) return std::nullopt;
+  std::ifstream is{path, std::ios::binary};
+  if (!is) {
+    throw JournalError(JournalErrorKind::kIo, "cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return decode_checkpoint(std::move(buf).str());
+}
+
+RecoveryResult recover(UpdatePipeline& pipeline, UpdateJournal& journal,
+                       const std::string& checkpoint_path) {
+  RecoveryResult result;
+  std::optional<Checkpoint> checkpoint;
+  if (!checkpoint_path.empty()) {
+    try {
+      checkpoint = load_checkpoint_file(checkpoint_path);
+    } catch (const JournalError&) {
+      // Corrupt checkpoint: discard it and replay the whole journal.
+      result.checkpoint_discarded = true;
+    }
+  }
+  if (checkpoint) {
+    pipeline.restore(*checkpoint);
+    result.checkpoint_loaded = true;
+    result.replay_from = checkpoint->seq;
+  }
+
+  const std::vector<JournalRecord> records = journal.read_all();
+  if (!checkpoint && !records.empty() && records.front().seq != 0) {
+    throw JournalError(
+        JournalErrorKind::kBadSequence,
+        "journal starts at seq " + std::to_string(records.front().seq) +
+            " with no usable checkpoint — early segments were dropped");
+  }
+  for (const JournalRecord& record : records) {
+    if (record.seq < result.replay_from) continue;
+    // The normal push path re-makes every drain/shed/flush decision the
+    // interrupted run made; journaling is still detached (see header).
+    (void)pipeline.push(record.update);
+    ++result.records_replayed;
+  }
+  result.next_seq = pipeline.next_seq();
+  return result;
+}
+
+}  // namespace georank::live

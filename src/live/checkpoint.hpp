@@ -1,0 +1,104 @@
+// live::Checkpoint — periodic full-state snapshots of the live pipeline,
+// the second half of the crash-safety story (DESIGN.md §4g).
+//
+// A checkpoint captures EVERYTHING the UpdatePipeline knows: the RIB,
+// the closed-day window, the pending reorder buffer (which is NOT a
+// clean sequence prefix — drain order is timestamp order, not push
+// order), the batch counters and the cumulative stats. Together with
+// the journal boundary `seq` it makes recovery a pure function:
+//
+//   recover() = restore(checkpoint) + replay journal records seq >= boundary
+//
+// through the NORMAL push path, so the recovered run re-makes every
+// drain/shed/flush decision exactly as the uninterrupted run did —
+// bit-identical final snapshots, proven by the kill-at-fault-point
+// harness in tests/live/recovery_test.cpp.
+//
+// Checkpoint files (`GRCKPT01`, FORMATS.md) are published atomically:
+// encode to <path>.tmp, fsync, rename over <path>. A reader therefore
+// sees either the old checkpoint or the new one, never a torn hybrid;
+// a corrupt checkpoint (crash before the rename discipline existed,
+// disk fault) is discarded and recovery falls back to a full journal
+// replay from sequence zero.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "live/journal.hpp"
+#include "live/update_pipeline.hpp"
+
+namespace georank::live {
+
+/// Complete pipeline state at a journal boundary. Field order mirrors
+/// UpdatePipeline's members; the codec below round-trips it bit-exactly.
+struct Checkpoint {
+  /// Journal replay boundary: the pipeline's next push sequence number
+  /// at capture time. Records with seq >= this must be replayed.
+  std::uint64_t seq = 0;
+
+  std::uint64_t max_seen = 0;
+  std::uint64_t last_applied_ts = 0;
+  int current_day = -1;
+
+  std::vector<bgp::RouteEntry> rib_entries;
+  std::uint64_t spurious_withdrawals = 0;
+
+  /// Closed days only (the live day is always re-derived from the RIB).
+  bgp::RibCollection window;
+
+  /// Reorder buffer contents in multimap iteration order, so restore
+  /// reproduces the exact insertion order for equal timestamps.
+  std::vector<JournalRecord> pending;
+
+  std::uint64_t batch_applied = 0;
+  std::uint64_t batch_announces = 0;
+  std::uint64_t batch_withdraws = 0;
+  std::vector<bgp::Prefix> batch_prefixes;
+
+  LiveStats stats;
+  double republish_seconds_sum = 0.0;
+  double last_republish_seconds = 0.0;
+  std::uint64_t last_batch = 0;
+};
+
+/// GRCKPT01 codec. decode throws JournalError (kBadMagic/kBadVersion on
+/// foreign input, kIo on checksum or structural damage).
+[[nodiscard]] std::string encode_checkpoint(const Checkpoint& checkpoint);
+[[nodiscard]] Checkpoint decode_checkpoint(std::string_view bytes);
+
+/// Atomic publish: write <path>.tmp, fsync, rename over <path>.
+void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint);
+
+/// Loads a checkpoint file. Empty optional when the file does not
+/// exist; throws JournalError when it exists but cannot be decoded.
+[[nodiscard]] std::optional<Checkpoint> load_checkpoint_file(
+    const std::string& path);
+
+/// What recover() did.
+struct RecoveryResult {
+  bool checkpoint_loaded = false;
+  /// A checkpoint file existed but was corrupt; it was discarded and
+  /// the journal was replayed from sequence zero instead.
+  bool checkpoint_discarded = false;
+  std::uint64_t replay_from = 0;
+  std::uint64_t records_replayed = 0;
+  /// The pipeline's (and journal's) next sequence number afterwards.
+  std::uint64_t next_seq = 0;
+};
+
+/// Restores `pipeline` from the checkpoint at `checkpoint_path` (may be
+/// empty or missing) and replays the journal suffix through the normal
+/// push path. Call on a FRESHLY CONSTRUCTED pipeline with the same
+/// options as the interrupted run, BEFORE set_journal/set_checkpoint —
+/// replayed records are already on disk and must not be re-journaled.
+/// Throws JournalError{kBadSequence} when there is no usable checkpoint
+/// and the journal does not start at sequence zero (segments were
+/// dropped past the last durable checkpoint).
+RecoveryResult recover(UpdatePipeline& pipeline, UpdateJournal& journal,
+                       const std::string& checkpoint_path);
+
+}  // namespace georank::live

@@ -1,0 +1,85 @@
+#include "live/health_monitor.hpp"
+
+#include <algorithm>
+
+namespace georank::live {
+
+HealthMonitor::HealthMonitor(HealthMonitorOptions options)
+    : options_(options), rng_(options.backoff_seed) {
+  if (options_.backoff_initial_seconds <= 0.0) {
+    options_.backoff_initial_seconds = 1.0;
+  }
+  if (options_.backoff_max_seconds < options_.backoff_initial_seconds) {
+    options_.backoff_max_seconds = options_.backoff_initial_seconds;
+  }
+  // The machine is born fresh; count the birth so the transition
+  // counters always sum to "entries", not "entries after the first".
+  counters_.entered[static_cast<std::size_t>(state_)] = 1;
+}
+
+void HealthMonitor::enter(robust::ServingState next) {
+  if (next == state_) return;
+  state_ = next;
+  ++counters_.entered[static_cast<std::size_t>(next)];
+}
+
+void HealthMonitor::note_progress(double now) {
+  last_progress_ = now;
+  saw_progress_ = true;
+  // Recovery progress (journal replay pushes) must not flip the state
+  // to fresh mid-replay; end_recovery / note_reopen_success do that.
+  if (state_ != robust::ServingState::kRecovering) {
+    enter(robust::ServingState::kFresh);
+  }
+}
+
+robust::ServingState HealthMonitor::tick(double now) {
+  if (state_ != robust::ServingState::kRecovering) {
+    enter(options_.staleness.classify(age(now)));
+  }
+  return state_;
+}
+
+double HealthMonitor::age(double now) const noexcept {
+  if (!saw_progress_) return 0.0;
+  return now > last_progress_ ? now - last_progress_ : 0.0;
+}
+
+void HealthMonitor::begin_recovery(double now) {
+  last_progress_ = now;
+  saw_progress_ = true;
+  enter(robust::ServingState::kRecovering);
+}
+
+void HealthMonitor::end_recovery(double now) {
+  if (state_ != robust::ServingState::kRecovering) return;
+  last_progress_ = now;
+  enter(robust::ServingState::kFresh);
+}
+
+double HealthMonitor::note_reopen_failure(double now) {
+  ++counters_.reopen_failures;
+  if (state_ != robust::ServingState::kRecovering) begin_recovery(now);
+  // 2^n ladder capped at the max, then jittered by [0.5, 1.5) so a
+  // fleet of followers does not reopen in lockstep. Deterministic for
+  // a fixed seed: the nth failure always draws the nth jitter.
+  double base = options_.backoff_initial_seconds;
+  for (std::uint64_t i = 0;
+       i < consecutive_failures_ && base < options_.backoff_max_seconds; ++i) {
+    base *= 2.0;
+  }
+  base = std::min(base, options_.backoff_max_seconds);
+  ++consecutive_failures_;
+  last_backoff_seconds_ = base * (0.5 + rng_.uniform());
+  return last_backoff_seconds_;
+}
+
+void HealthMonitor::note_reopen_success(double now) {
+  ++counters_.reopen_successes;
+  consecutive_failures_ = 0;
+  last_backoff_seconds_ = 0.0;
+  last_progress_ = now;
+  enter(robust::ServingState::kFresh);
+}
+
+}  // namespace georank::live

@@ -1,0 +1,101 @@
+// live::HealthMonitor — the staleness state machine and backoff clock
+// for the live pipeline (DESIGN.md §4g).
+//
+// The monitor owns two concerns the feeder loop would otherwise
+// interleave badly:
+//
+//   * freshness: watermark progress vs the robust::StalenessPolicy
+//     thresholds (fresh -> stale -> degraded by age; kRecovering only
+//     ever entered/left explicitly, by journal replay or source
+//     reopen attempts);
+//   * backoff: when the input source vanishes or truncates, reopen
+//     attempts space out by jittered exponential backoff. The jitter
+//     comes from util::Pcg32, so a seeded run's reopen cadence is
+//     reproducible down to the second — GR002's no-wall-clock rule
+//     applies here too: time only ever enters as caller-supplied
+//     seconds on one monotonic axis.
+//
+// The monitor never reads a clock, never sleeps and never touches the
+// service directly; the CLI feeder ticks it and forwards its snapshot
+// to serve::RankingService::set_live_health for /v1/health + /metrics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "robust/staleness.hpp"
+#include "util/rng.hpp"
+
+namespace georank::live {
+
+struct HealthMonitorOptions {
+  robust::StalenessPolicy staleness;
+  /// First reopen retry delay; doubles per consecutive failure up to
+  /// the cap, each scaled by a jitter factor in [0.5, 1.5).
+  double backoff_initial_seconds = 1.0;
+  double backoff_max_seconds = 60.0;
+  std::uint64_t backoff_seed = 42;
+};
+
+/// Cumulative transition / backoff accounting, surfaced on /metrics.
+struct HealthCounters {
+  /// Entries into each state, indexed by ServingState.
+  std::array<std::uint64_t, robust::kServingStateCount> entered{};
+  std::uint64_t reopen_failures = 0;
+  std::uint64_t reopen_successes = 0;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthMonitorOptions options = {});
+
+  /// The stream advanced (an update was pushed or a flush published).
+  /// Resets the staleness age; while recovering the state is pinned.
+  void note_progress(double now);
+
+  /// Re-classifies by age and returns the current state. Call from the
+  /// feeder's idle loop.
+  robust::ServingState tick(double now);
+
+  /// Enter/leave kRecovering explicitly (journal replay, source gone).
+  void begin_recovery(double now);
+  /// Leaves kRecovering; freshness restarts from `now` — recovery that
+  /// just replayed an old journal is not "fresh data", it is "progress
+  /// as of now", and the age thresholds take it from there.
+  void end_recovery(double now);
+
+  /// A reopen attempt failed: stays (or enters) kRecovering and
+  /// returns how long to wait before the next attempt — jittered
+  /// exponential backoff, deterministic for a fixed seed.
+  [[nodiscard]] double note_reopen_failure(double now);
+  /// A reopen succeeded: resets the backoff ladder and leaves
+  /// kRecovering with freshness restarting from `now`.
+  void note_reopen_success(double now);
+
+  [[nodiscard]] robust::ServingState state() const noexcept { return state_; }
+  /// Seconds since the last progress event (0 before any).
+  [[nodiscard]] double age(double now) const noexcept;
+  [[nodiscard]] double last_backoff_seconds() const noexcept {
+    return last_backoff_seconds_;
+  }
+  [[nodiscard]] const HealthCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const HealthMonitorOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  void enter(robust::ServingState next);
+
+  HealthMonitorOptions options_;
+  util::Pcg32 rng_;
+  robust::ServingState state_ = robust::ServingState::kFresh;
+  double last_progress_ = 0.0;
+  bool saw_progress_ = false;
+  std::uint64_t consecutive_failures_ = 0;
+  double last_backoff_seconds_ = 0.0;
+  HealthCounters counters_;
+};
+
+}  // namespace georank::live

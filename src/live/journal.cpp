@@ -1,0 +1,481 @@
+#include "live/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "io/snapshot_codec.hpp"
+#include "io/wire.hpp"
+
+namespace georank::live {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kJournalMagic = "GRJRNL01";
+constexpr std::uint32_t kJournalVersion = 1;
+constexpr std::size_t kSegmentHeaderSize = 16;  // magic + version + reserved
+/// Records are single updates; anything declaring more than this is a
+/// torn or garbage length field, not a real record.
+constexpr std::uint32_t kMaxRecordPayload = 1u << 22;
+
+std::string segment_file_name(std::uint64_t first_seq) {
+  std::string digits = std::to_string(first_seq);
+  std::string out = "seg-";
+  out.append(20 - digits.size(), '0');
+  out += digits;
+  out += ".grjrnl";
+  return out;
+}
+
+std::string segment_header() {
+  std::string out{kJournalMagic};
+  io::wire::put_u32(out, kJournalVersion);
+  io::wire::put_u32(out, 0);  // reserved
+  return out;
+}
+
+/// length-prefixed payload + trailing FNV-1a 64 checksum of the payload.
+std::string encode_record(std::uint64_t seq, const bgp::UpdateMessage& u) {
+  std::string payload;
+  io::wire::put_u64(payload, seq);
+  io::wire::put_u64(payload, u.timestamp);
+  io::wire::put_u8(payload,
+                   u.kind == bgp::UpdateMessage::Kind::kWithdraw ? 1 : 0);
+  io::wire::put_u8(payload, u.path.has_as_set() ? 1 : 0);
+  io::wire::put_u8(payload, u.prefix.length());
+  io::wire::put_u8(payload, 0);  // pad
+  io::wire::put_u32(payload, u.vp.ip);
+  io::wire::put_u32(payload, u.vp.asn);
+  io::wire::put_u32(payload, u.prefix.address());
+  io::wire::put_u32(payload, static_cast<std::uint32_t>(u.path.size()));
+  for (bgp::Asn hop : u.path.hops()) io::wire::put_u32(payload, hop);
+
+  std::string out;
+  io::wire::put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  io::wire::put_u64(out, io::snapshot_checksum(payload));
+  return out;
+}
+
+/// Decodes one checksum-verified payload. False = structurally invalid
+/// (treated exactly like a checksum mismatch by the caller).
+bool decode_payload(std::string_view payload, JournalRecord& out) {
+  io::wire::Reader in{payload};
+  std::uint8_t kind = 0, as_set = 0, prefix_len = 0, pad = 0;
+  std::uint32_t vp_ip = 0, vp_asn = 0, prefix_addr = 0, hop_count = 0;
+  if (!in.u64(out.seq) || !in.u64(out.update.timestamp) || !in.u8(kind) ||
+      !in.u8(as_set) || !in.u8(prefix_len) || !in.u8(pad) || !in.u32(vp_ip) ||
+      !in.u32(vp_asn) || !in.u32(prefix_addr) || !in.u32(hop_count)) {
+    return false;
+  }
+  if (kind > 1 || prefix_len > 32 || hop_count > in.remaining() / 4) {
+    return false;
+  }
+  out.update.kind = kind == 1 ? bgp::UpdateMessage::Kind::kWithdraw
+                              : bgp::UpdateMessage::Kind::kAnnounce;
+  out.update.vp = bgp::VpId{vp_ip, vp_asn};
+  out.update.prefix = bgp::Prefix{prefix_addr, prefix_len};
+  std::vector<bgp::Asn> hops;
+  hops.reserve(hop_count);
+  for (std::uint32_t i = 0; i < hop_count; ++i) {
+    std::uint32_t hop = 0;
+    if (!in.u32(hop)) return false;
+    hops.push_back(hop);
+  }
+  out.update.path = bgp::AsPath{std::move(hops)};
+  if (as_set != 0) out.update.path.mark_as_set();
+  return in.exhausted();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) {
+    throw JournalError(JournalErrorKind::kIo, "cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return std::move(buf).str();
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw JournalError(JournalErrorKind::kIo,
+                     what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string_view to_string(JournalErrorKind kind) noexcept {
+  switch (kind) {
+    case JournalErrorKind::kIo: return "i/o failure";
+    case JournalErrorKind::kBadMagic: return "bad magic";
+    case JournalErrorKind::kBadVersion: return "unsupported version";
+    case JournalErrorKind::kBadSequence: return "bad sequence";
+  }
+  return "?";
+}
+
+JournalError::JournalError(JournalErrorKind kind, const std::string& detail)
+    : std::runtime_error("journal: " + std::string(to_string(kind)) + " (" +
+                         detail + ")"),
+      kind_(kind) {}
+
+UpdateJournal::UpdateJournal(UpdateJournalOptions options)
+    : options_(std::move(options)) {
+  if (options_.segment_bytes < kSegmentHeaderSize + 1) {
+    options_.segment_bytes = kSegmentHeaderSize + 1;
+  }
+  open_scan();
+}
+
+UpdateJournal::~UpdateJournal() { close_fd(); }
+
+void UpdateJournal::open_scan() {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    throw JournalError(JournalErrorKind::kIo,
+                       "cannot create " + options_.dir + ": " + ec.message());
+  }
+
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(options_.dir)) {
+    if (entry.is_regular_file() &&
+        entry.path().extension() == ".grjrnl") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  // Segment names embed the zero-padded first sequence number, so
+  // lexicographic order is sequence order.
+  std::sort(paths.begin(), paths.end());
+
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const bool last = p + 1 == paths.size();
+    const std::string contents = read_file(paths[p]);
+
+    if (contents.size() < kSegmentHeaderSize) {
+      // A header cut short can only be the freshly rotated tail of a
+      // crash; anywhere else the journal is not ours.
+      if (!last) {
+        throw JournalError(JournalErrorKind::kBadMagic,
+                           paths[p] + " shorter than a segment header");
+      }
+      stats_.truncated_bytes += contents.size();
+      std::error_code remove_ec;
+      fs::remove(paths[p], remove_ec);
+      continue;
+    }
+    if (std::string_view(contents).substr(0, kJournalMagic.size()) !=
+        kJournalMagic) {
+      throw JournalError(JournalErrorKind::kBadMagic, paths[p]);
+    }
+    io::wire::Reader header{
+        std::string_view(contents).substr(kJournalMagic.size(), 8)};
+    std::uint32_t version = 0, reserved = 0;
+    (void)header.u32(version);
+    (void)header.u32(reserved);
+    if (version == 0 || version > kJournalVersion) {
+      throw JournalError(JournalErrorKind::kBadVersion,
+                         paths[p] + " version " + std::to_string(version));
+    }
+
+    SegmentInfo info;
+    info.path = paths[p];
+    info.first_seq = next_seq_;
+
+    std::size_t pos = kSegmentHeaderSize;
+    while (pos < contents.size()) {
+      // A record needs its length prefix, its payload and its checksum
+      // to be fully present and consistent; the first shortfall is the
+      // torn tail (or, mid-journal, corruption we refuse to skip).
+      bool valid = false;
+      JournalRecord record;
+      if (contents.size() - pos >= 4) {
+        io::wire::Reader len_reader{std::string_view(contents).substr(pos, 4)};
+        std::uint32_t payload_size = 0;
+        (void)len_reader.u32(payload_size);
+        if (payload_size <= kMaxRecordPayload &&
+            contents.size() - pos - 4 >= payload_size + 8) {
+          std::string_view payload =
+              std::string_view(contents).substr(pos + 4, payload_size);
+          io::wire::Reader csum_reader{
+              std::string_view(contents).substr(pos + 4 + payload_size, 8)};
+          std::uint64_t checksum = 0;
+          (void)csum_reader.u64(checksum);
+          if (io::snapshot_checksum(payload) == checksum &&
+              decode_payload(payload, record)) {
+            valid = true;
+            pos += 4 + payload_size + 8;
+          }
+        }
+      }
+      if (!valid) {
+        if (!last) {
+          throw JournalError(
+              JournalErrorKind::kIo,
+              "corrupt record mid-journal in " + paths[p] +
+                  " (only the final segment may carry a torn tail)");
+        }
+        // Torn tail: truncate the file back to the last whole record.
+        stats_.truncated_bytes += contents.size() - pos;
+        std::error_code resize_ec;
+        fs::resize_file(paths[p], pos, resize_ec);
+        if (resize_ec) {
+          throw JournalError(JournalErrorKind::kIo,
+                             "cannot truncate torn tail of " + paths[p] +
+                                 ": " + resize_ec.message());
+        }
+        break;
+      }
+      if (stats_.records == 0) {
+        // A checkpoint-GC'd journal legitimately begins past zero: the
+        // first record anchors the sequence, later ones must follow it
+        // contiguously.
+        next_seq_ = record.seq;
+      } else if (record.seq != next_seq_) {
+        throw JournalError(JournalErrorKind::kBadSequence,
+                           paths[p] + ": record seq " +
+                               std::to_string(record.seq) + ", expected " +
+                               std::to_string(next_seq_));
+      }
+      if (info.records == 0) info.first_seq = record.seq;
+      info.last_seq = record.seq;
+      ++info.records;
+      ++next_seq_;
+      ++stats_.records;
+    }
+    segments_.push_back(std::move(info));
+  }
+  stats_.segments = segments_.size();
+
+  // Position the append cursor: reuse the final segment while it has
+  // room, otherwise start a fresh one at the next rotation point.
+  if (!segments_.empty()) {
+    std::error_code size_ec;
+    std::uint64_t size = fs::file_size(segments_.back().path, size_ec);
+    if (!size_ec && size < options_.segment_bytes) {
+      open_segment_for_append(segments_.back().first_seq, /*fresh=*/false);
+      active_bytes_ = size;
+      return;
+    }
+  }
+  open_segment_for_append(next_seq_, /*fresh=*/true);
+}
+
+void UpdateJournal::open_segment_for_append(std::uint64_t first_seq,
+                                            bool fresh) {
+  close_fd();
+  const std::string path =
+      options_.dir + "/" + segment_file_name(first_seq);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) throw_errno("open " + path);
+  if (fresh) {
+    const std::string header = segment_header();
+    if (::write(fd_, header.data(), header.size()) !=
+        static_cast<ssize_t>(header.size())) {
+      throw_errno("write header " + path);
+    }
+    active_bytes_ = header.size();
+    SegmentInfo info;
+    info.path = path;
+    info.first_seq = first_seq;
+    segments_.push_back(std::move(info));
+    stats_.segments = segments_.size();
+  }
+}
+
+void UpdateJournal::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void UpdateJournal::append(std::uint64_t seq, const bgp::UpdateMessage& update) {
+  if (seq != next_seq_) {
+    throw JournalError(JournalErrorKind::kBadSequence,
+                       "append seq " + std::to_string(seq) + ", expected " +
+                           std::to_string(next_seq_));
+  }
+  if (active_bytes_ >= options_.segment_bytes) {
+    open_segment_for_append(seq, /*fresh=*/true);
+  }
+
+  const std::string record = encode_record(seq, update);
+  std::size_t written = 0;
+  while (written < record.size()) {
+    ssize_t n = ::write(fd_, record.data() + written, record.size() - written);
+    if (n < 0) throw_errno("append to " + segments_.back().path);
+    written += static_cast<std::size_t>(n);
+  }
+  active_bytes_ += record.size();
+
+  SegmentInfo& active = segments_.back();
+  if (active.records == 0) active.first_seq = seq;
+  active.last_seq = seq;
+  ++active.records;
+  ++next_seq_;
+  ++stats_.records;
+  ++stats_.appended;
+
+  if (options_.fsync == FsyncPolicy::kEachRecord) sync();
+}
+
+void UpdateJournal::sync() {
+  if (fd_ < 0) return;
+  if (::fsync(fd_) != 0) throw_errno("fsync " + segments_.back().path);
+  ++stats_.syncs;
+}
+
+std::vector<JournalRecord> UpdateJournal::read_all() const {
+  std::vector<JournalRecord> out;
+  out.reserve(static_cast<std::size_t>(stats_.records));
+  for (const SegmentInfo& segment : segments_) {
+    const std::string contents = read_file(segment.path);
+    std::size_t pos = kSegmentHeaderSize;
+    for (std::uint64_t i = 0; i < segment.records; ++i) {
+      io::wire::Reader len_reader{std::string_view(contents).substr(pos, 4)};
+      std::uint32_t payload_size = 0;
+      if (!len_reader.u32(payload_size) ||
+          contents.size() - pos - 4 < payload_size + 8) {
+        throw JournalError(JournalErrorKind::kIo,
+                           segment.path + " shrank since open");
+      }
+      JournalRecord record;
+      if (!decode_payload(
+              std::string_view(contents).substr(pos + 4, payload_size),
+              record)) {
+        throw JournalError(JournalErrorKind::kIo,
+                           segment.path + " changed since open");
+      }
+      out.push_back(std::move(record));
+      pos += 4 + payload_size + 8;
+    }
+  }
+  return out;
+}
+
+JournalScan scan_journal(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) {
+    throw JournalError(JournalErrorKind::kIo, "not a journal directory: " + dir);
+  }
+
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".grjrnl") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  JournalScan out;
+  bool saw_record = false;
+  std::uint64_t expected = 0;
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const bool last = p + 1 == paths.size();
+    const std::string contents = read_file(paths[p]);
+    ++out.segments;
+
+    if (contents.size() < kSegmentHeaderSize) {
+      if (!last) {
+        throw JournalError(JournalErrorKind::kBadMagic,
+                           paths[p] + " shorter than a segment header");
+      }
+      out.torn_bytes += contents.size();
+      continue;
+    }
+    if (std::string_view(contents).substr(0, kJournalMagic.size()) !=
+        kJournalMagic) {
+      throw JournalError(JournalErrorKind::kBadMagic, paths[p]);
+    }
+    io::wire::Reader header{
+        std::string_view(contents).substr(kJournalMagic.size(), 8)};
+    std::uint32_t version = 0, reserved = 0;
+    (void)header.u32(version);
+    (void)header.u32(reserved);
+    if (version == 0 || version > kJournalVersion) {
+      throw JournalError(JournalErrorKind::kBadVersion,
+                         paths[p] + " version " + std::to_string(version));
+    }
+
+    std::size_t pos = kSegmentHeaderSize;
+    while (pos < contents.size()) {
+      bool valid = false;
+      JournalRecord record;
+      if (contents.size() - pos >= 4) {
+        io::wire::Reader len_reader{std::string_view(contents).substr(pos, 4)};
+        std::uint32_t payload_size = 0;
+        (void)len_reader.u32(payload_size);
+        if (payload_size <= kMaxRecordPayload &&
+            contents.size() - pos - 4 >= payload_size + 8) {
+          std::string_view payload =
+              std::string_view(contents).substr(pos + 4, payload_size);
+          io::wire::Reader csum_reader{
+              std::string_view(contents).substr(pos + 4 + payload_size, 8)};
+          std::uint64_t checksum = 0;
+          (void)csum_reader.u64(checksum);
+          if (io::snapshot_checksum(payload) == checksum &&
+              decode_payload(payload, record)) {
+            valid = true;
+            pos += 4 + payload_size + 8;
+          }
+        }
+      }
+      if (!valid) {
+        if (!last) {
+          throw JournalError(
+              JournalErrorKind::kIo,
+              "corrupt record mid-journal in " + paths[p] +
+                  " (only the final segment may carry a torn tail)");
+        }
+        out.torn_bytes += contents.size() - pos;
+        break;
+      }
+      if (saw_record && record.seq != expected) {
+        throw JournalError(JournalErrorKind::kBadSequence,
+                           paths[p] + ": record seq " +
+                               std::to_string(record.seq) + ", expected " +
+                               std::to_string(expected));
+      }
+      saw_record = true;
+      expected = record.seq + 1;
+      ++out.records;
+    }
+  }
+  out.next_seq = expected;
+  return out;
+}
+
+std::size_t UpdateJournal::drop_segments_below(std::uint64_t seq) {
+  std::size_t dropped = 0;
+  // The final segment is the active one — never dropped, even if every
+  // record in it is below the boundary (the fd points at it).
+  for (std::size_t i = 0; i + 1 < segments_.size();) {
+    const SegmentInfo& segment = segments_[i];
+    if (segment.records > 0 && segment.last_seq < seq) {
+      std::error_code ec;
+      fs::remove(segment.path, ec);
+      if (ec) {
+        throw JournalError(JournalErrorKind::kIo,
+                           "cannot remove " + segment.path + ": " + ec.message());
+      }
+      stats_.records -= segment.records;
+      segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++dropped;
+    } else {
+      ++i;
+    }
+  }
+  stats_.segments = segments_.size();
+  return dropped;
+}
+
+}  // namespace georank::live

@@ -1,0 +1,164 @@
+// live::UpdateJournal — an append-only write-ahead log of accepted
+// updates, the durability half of the live pipeline's crash-safety
+// story (DESIGN.md §4g).
+//
+// Contract: a record is journaled BEFORE the reorder buffer absorbs it
+// (live::UpdatePipeline::push), so after a crash the journal holds
+// every update the process ever accepted — including the ones that were
+// still waiting in the reorder buffer. Recovery (live::recover) loads
+// the latest checkpoint and replays the journal suffix through the
+// normal push path, which is what makes the recovered state
+// bit-identical to an uninterrupted run.
+//
+// On-disk shape (`GRJRNL01`, FORMATS.md): a journal is a directory of
+// segment files, each a 16-byte header followed by length-prefixed,
+// FNV-1a-64-checksummed records. Segments rotate at a configurable
+// byte bound; the active segment's torn tail (a record cut short by a
+// crash mid-write) is detected and truncated away on open — a torn
+// tail is expected crash debris, not an error. Integrity failures that
+// are NOT a plain tail (bad magic, unsupported version, non-monotonic
+// sequence numbers) throw a typed JournalError, in the spirit of
+// io::SnapshotDecodeError.
+//
+// All durability syscalls (open/write/fsync/ftruncate) live here and in
+// checkpoint.cpp; georank-lint rule GR025 fences them into
+// src/io + src/live.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bgp/update_stream.hpp"
+
+namespace georank::live {
+
+/// Why a journal open/read was rejected. Torn tails never raise one of
+/// these — they are truncated and counted instead.
+enum class JournalErrorKind : std::uint8_t {
+  kIo = 0,          // open/write/fsync/stat failure (errno in the detail)
+  kBadMagic,        // a segment file does not start with GRJRNL01
+  kBadVersion,      // a segment's format version is newer than this reader
+  kBadSequence,     // record sequence numbers are not strictly increasing
+};
+
+[[nodiscard]] std::string_view to_string(JournalErrorKind kind) noexcept;
+
+class JournalError : public std::runtime_error {
+ public:
+  JournalError(JournalErrorKind kind, const std::string& detail);
+  [[nodiscard]] JournalErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  JournalErrorKind kind_;
+};
+
+/// When the journal calls fsync on its own. sync() always syncs,
+/// whatever the policy; the policy only adds automatic points.
+enum class FsyncPolicy : std::uint8_t {
+  kNever = 0,   // only explicit sync() calls reach the disk barrier
+  kEachRecord,  // fsync after every append (maximum durability, slow)
+};
+
+struct UpdateJournalOptions {
+  /// Directory holding the segment files; created if absent.
+  std::string dir;
+  /// Rotate to a fresh segment once the active one reaches this size.
+  std::uint64_t segment_bytes = 4u << 20;
+  FsyncPolicy fsync = FsyncPolicy::kNever;
+};
+
+/// One journaled update, as replayed by read_all().
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  bgp::UpdateMessage update;
+};
+
+/// Accounting filled by the open scan and maintained by append().
+struct JournalStats {
+  std::uint64_t segments = 0;
+  std::uint64_t records = 0;
+  /// Torn-tail bytes truncated away while opening (crash debris).
+  std::uint64_t truncated_bytes = 0;
+  std::uint64_t appended = 0;
+  std::uint64_t syncs = 0;
+};
+
+/// What scan_journal() saw. `next_seq` is last record seq + 1 (0 when
+/// the journal holds no records).
+struct JournalScan {
+  std::uint64_t segments = 0;
+  std::uint64_t records = 0;
+  std::uint64_t next_seq = 0;
+  /// Trailing bytes of the final segment that do not form a whole
+  /// checksummed record (a crash's torn tail, or a record another
+  /// process is writing right now).
+  std::uint64_t torn_bytes = 0;
+};
+
+/// Read-only journal accounting, WITHOUT the constructor's torn-tail
+/// repair and append-cursor open: safe to run against a journal another
+/// process has open for append. The CI recovery tier polls this through
+/// `georank journal --dir J` to decide when a feeding `georank live`
+/// has durably absorbed a burst before killing it.
+[[nodiscard]] JournalScan scan_journal(const std::string& dir);
+
+class UpdateJournal {
+ public:
+  /// Opens (creating the directory if needed), scans every segment,
+  /// repairs the torn tail of the last one, and positions the append
+  /// cursor after the last valid record.
+  explicit UpdateJournal(UpdateJournalOptions options);
+  ~UpdateJournal();
+
+  UpdateJournal(const UpdateJournal&) = delete;
+  UpdateJournal& operator=(const UpdateJournal&) = delete;
+
+  /// Appends one record. `seq` must be exactly next_seq() — the journal
+  /// is the pipeline's push order, nothing else. Rotates segments and
+  /// applies the fsync policy as configured.
+  void append(std::uint64_t seq, const bgp::UpdateMessage& update);
+
+  /// Durability barrier on the active segment (used by checkpointing
+  /// and graceful shutdown).
+  void sync();
+
+  /// Every record currently on disk, in sequence order.
+  [[nodiscard]] std::vector<JournalRecord> read_all() const;
+
+  /// Removes CLOSED segments whose every record is below `seq` (i.e.
+  /// already covered by a checkpoint). The active segment is never
+  /// dropped. Returns the number of segments removed.
+  std::size_t drop_segments_below(std::uint64_t seq);
+
+  /// The sequence number the next append must carry (0 on an empty
+  /// journal; last record's seq + 1 otherwise).
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+  [[nodiscard]] const JournalStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const UpdateJournalOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct SegmentInfo {
+    std::string path;
+    std::uint64_t first_seq = 0;  // seq the segment was opened at
+    std::uint64_t records = 0;
+    std::uint64_t last_seq = 0;   // valid only when records > 0
+  };
+
+  void open_scan();
+  void open_segment_for_append(std::uint64_t first_seq, bool fresh);
+  void close_fd();
+
+  UpdateJournalOptions options_;
+  std::vector<SegmentInfo> segments_;
+  int fd_ = -1;
+  std::uint64_t active_bytes_ = 0;
+  std::uint64_t next_seq_ = 0;
+  JournalStats stats_;
+};
+
+}  // namespace georank::live

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "bgp/line_parse.hpp"
+#include "live/checkpoint.hpp"
+#include "live/journal.hpp"
 
 namespace georank::live {
 
@@ -29,7 +31,26 @@ UpdatePipeline::UpdatePipeline(core::Pipeline& pipeline,
 
 std::optional<FlushReport> UpdatePipeline::push(const bgp::UpdateMessage& update) {
   ++stats_.pushed;
-  buffer_.emplace(update.timestamp, Pending{update, seq_++});
+  const std::uint64_t seq = seq_++;
+  // Write-ahead: the journal holds the record before anything can act
+  // on it, so a crash at any later point can replay this push.
+  if (journal_) journal_->append(seq, update);
+
+  if (options_.overflow == OverflowPolicy::kShedNewest &&
+      buffer_.size() >= options_.max_pending) {
+    // At capacity the arriving update pays. The decision is a pure
+    // function of buffer state, so a journal replay sheds it again.
+    if (options_.mode == bgp::ParseMode::kStrict) {
+      throw bgp::UpdateReplayError{
+          bgp::UpdateReplayError::Kind::kBufferOverflow,
+          static_cast<std::size_t>(seq), update.timestamp};
+    }
+    ++stats_.shed;
+    maybe_checkpoint();
+    return std::nullopt;
+  }
+
+  buffer_.emplace(update.timestamp, Pending{update, seq});
   if (update.timestamp > max_seen_) max_seen_ = update.timestamp;
 
   // Watermark drain: everything the reorder window can no longer save.
@@ -38,17 +59,22 @@ std::optional<FlushReport> UpdatePipeline::push(const bgp::UpdateMessage& update
                                           : 0;
   drain_up_to(watermark);
 
-  // Bounded buffer: overflow drains the oldest pending updates early.
-  // They are the buffer's minimum timestamps, so applying them keeps
-  // the applied sequence monotone.
-  while (buffer_.size() > options_.max_pending) {
-    Pending pending = std::move(buffer_.begin()->second);
-    buffer_.erase(buffer_.begin());
-    apply_one(pending);
+  // Bounded buffer: the default policy drains the oldest pending
+  // updates early. They are the buffer's minimum timestamps, so
+  // applying them keeps the applied sequence monotone.
+  if (options_.overflow == OverflowPolicy::kDrainOldest) {
+    while (buffer_.size() > options_.max_pending) {
+      Pending pending = std::move(buffer_.begin()->second);
+      buffer_.erase(buffer_.begin());
+      apply_one(pending);
+    }
   }
 
-  if (batch_applied_ >= options_.flush_batch) return flush();
-  return std::nullopt;
+  std::optional<FlushReport> report;
+  if (batch_applied_ >= options_.flush_batch) report = flush();
+  // Checkpoint after the flush so the captured state is post-publish.
+  maybe_checkpoint();
+  return report;
 }
 
 void UpdatePipeline::drain_up_to(std::uint64_t watermark) {
@@ -205,6 +231,90 @@ FlushReport UpdatePipeline::drain() {
   return flush();
 }
 
+void UpdatePipeline::set_journal(UpdateJournal* journal) {
+  if (journal && journal->next_seq() != seq_) {
+    throw JournalError(
+        JournalErrorKind::kBadSequence,
+        "journal next_seq " + std::to_string(journal->next_seq()) +
+            " != pipeline next_seq " + std::to_string(seq_) +
+            " (recover() first, or start from a fresh journal)");
+  }
+  journal_ = journal;
+}
+
+void UpdatePipeline::set_checkpoint(std::string path, std::uint64_t every) {
+  checkpoint_path_ = std::move(path);
+  checkpoint_every_ = every;
+}
+
+Checkpoint UpdatePipeline::make_checkpoint() const {
+  Checkpoint ckpt;
+  ckpt.seq = seq_;
+  ckpt.max_seen = max_seen_;
+  ckpt.last_applied_ts = last_applied_ts_;
+  ckpt.current_day = current_day_;
+  // snapshot() orders entries deterministically; the day index is
+  // irrelevant here (restore only reads the entries).
+  ckpt.rib_entries = rib_.snapshot(0).entries;
+  ckpt.spurious_withdrawals = rib_.spurious_withdrawals();
+  ckpt.window = window_;
+  ckpt.pending.reserve(buffer_.size());
+  for (const auto& [timestamp, pending] : buffer_) {
+    (void)timestamp;
+    ckpt.pending.push_back(JournalRecord{pending.seq, pending.update});
+  }
+  ckpt.batch_applied = batch_applied_;
+  ckpt.batch_announces = batch_announces_;
+  ckpt.batch_withdraws = batch_withdraws_;
+  ckpt.batch_prefixes = batch_prefixes_;
+  ckpt.stats = stats_;
+  ckpt.republish_seconds_sum = republish_seconds_sum_;
+  ckpt.last_republish_seconds = last_republish_seconds_;
+  ckpt.last_batch = last_batch_;
+  return ckpt;
+}
+
+void UpdatePipeline::write_checkpoint() {
+  if (checkpoint_path_.empty()) return;
+  // Journal first: the checkpoint's boundary must not outrun the
+  // durable journal, or a crash between the two loses the suffix.
+  if (journal_) journal_->sync();
+  ++stats_.checkpoints;
+  write_checkpoint_file(checkpoint_path_, make_checkpoint());
+  if (journal_) journal_->drop_segments_below(seq_);
+}
+
+void UpdatePipeline::maybe_checkpoint() {
+  if (checkpoint_every_ > 0 && stats_.pushed % checkpoint_every_ == 0) {
+    write_checkpoint();
+  }
+}
+
+void UpdatePipeline::restore(const Checkpoint& ckpt) {
+  seq_ = ckpt.seq;
+  max_seen_ = ckpt.max_seen;
+  last_applied_ts_ = ckpt.last_applied_ts;
+  current_day_ = ckpt.current_day;
+  rib_.restore(ckpt.rib_entries,
+               static_cast<std::size_t>(ckpt.spurious_withdrawals));
+  window_ = ckpt.window;
+  buffer_.clear();
+  // Checkpointed pending order IS multimap iteration order, so equal
+  // timestamps re-enter in their original insertion order.
+  for (const JournalRecord& record : ckpt.pending) {
+    buffer_.emplace(record.update.timestamp,
+                    Pending{record.update, record.seq});
+  }
+  batch_applied_ = static_cast<std::size_t>(ckpt.batch_applied);
+  batch_announces_ = static_cast<std::size_t>(ckpt.batch_announces);
+  batch_withdraws_ = static_cast<std::size_t>(ckpt.batch_withdraws);
+  batch_prefixes_ = ckpt.batch_prefixes;
+  stats_ = ckpt.stats;
+  republish_seconds_sum_ = ckpt.republish_seconds_sum;
+  last_republish_seconds_ = ckpt.last_republish_seconds;
+  last_batch_ = ckpt.last_batch;
+}
+
 void UpdatePipeline::report_ingest(const FlushReport&) {
   serve::IngestCounters counters;
   counters.updates_applied = stats_.applied;
@@ -219,6 +329,8 @@ void UpdatePipeline::report_ingest(const FlushReport&) {
   counters.republish_seconds_sum = republish_seconds_sum_;
   counters.last_republish_seconds = last_republish_seconds_;
   counters.last_batch = last_batch_;
+  counters.shed = stats_.shed;
+  counters.checkpoints = stats_.checkpoints;
   service_->set_ingest(counters);
 }
 

@@ -51,12 +51,30 @@
 
 namespace georank::live {
 
+struct Checkpoint;     // checkpoint.hpp
+class UpdateJournal;   // journal.hpp
+
+/// What happens when the reorder buffer exceeds max_pending. Both
+/// policies are deterministic functions of the push sequence, so a
+/// journal replay re-makes the same decisions (recovery bit-identity).
+enum class OverflowPolicy : std::uint8_t {
+  /// Drain the oldest pending updates early (they are the buffer's
+  /// minimum timestamps, so the applied sequence stays monotone). The
+  /// default: nothing is lost, the reorder window just shrinks.
+  kDrainOldest = 0,
+  /// Shed the arriving update instead: tolerant mode counts it
+  /// (stats().shed, `/metrics` georank_live_shed_total), strict mode
+  /// throws bgp::UpdateReplayError{kBufferOverflow}.
+  kShedNewest,
+};
+
 struct UpdatePipelineOptions {
   /// Auto-flush after this many updates applied to the live table.
   std::size_t flush_batch = 4096;
-  /// Bounded reorder buffer: when more than this many updates are
-  /// pending, the oldest are drained early (watermark notwithstanding).
+  /// Bounded reorder buffer: past this many pending updates the
+  /// overflow policy below decides who pays.
   std::size_t max_pending = 65536;
+  OverflowPolicy overflow = OverflowPolicy::kDrainOldest;
   /// Seconds an update may lag the newest timestamp seen and still be
   /// re-ordered instead of dropped. 0 = drain immediately (semantics
   /// identical to bgp::replay_to_collection).
@@ -112,6 +130,8 @@ struct LiveStats {
   std::uint64_t quiet_days = 0;
   std::uint64_t flushes = 0;
   std::uint64_t publishes = 0;
+  std::uint64_t shed = 0;         // kShedNewest drops (tolerant mode)
+  std::uint64_t checkpoints = 0;  // checkpoint files published
 };
 
 class UpdatePipeline {
@@ -142,6 +162,38 @@ class UpdatePipeline {
   /// counters (the feeder parses; this layer only reports).
   void set_parse_stats(const bgp::MrtParseStats& stats) { parse_stats_ = stats; }
 
+  // ---- Durability (DESIGN.md §4g) ----------------------------------
+
+  /// Attaches the write-ahead journal: every subsequent push appends
+  /// its record BEFORE the buffer absorbs it. The journal's next_seq()
+  /// must equal this pipeline's (throws JournalError{kBadSequence}
+  /// otherwise — attaching a stale journal would fork the history).
+  /// Pass nullptr to detach. The journal must outlive the pipeline.
+  void set_journal(UpdateJournal* journal);
+
+  /// Enables periodic checkpoints: every `every` pushes, full pipeline
+  /// state is published atomically to `path` and journal segments the
+  /// checkpoint covers are dropped. 0 disables automatic checkpoints
+  /// (write_checkpoint() still works for shutdown).
+  void set_checkpoint(std::string path, std::uint64_t every);
+
+  /// Captures complete pipeline state at the current journal boundary.
+  [[nodiscard]] Checkpoint make_checkpoint() const;
+
+  /// Syncs the journal, publishes a checkpoint to the configured path
+  /// (no-op without one) and GCs covered journal segments.
+  void write_checkpoint();
+
+  /// Replaces all pipeline state with a checkpoint's. The service is
+  /// not republished — recovery replays the journal suffix next, and
+  /// the first flush after that publishes with the correct continued
+  /// snapshot id. See live::recover().
+  void restore(const Checkpoint& checkpoint);
+
+  /// Sequence number the next push will consume (= journaled records
+  /// so far when a journal has been attached from the start).
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return seq_; }
+
   [[nodiscard]] const LiveStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const bgp::RibState& rib() const noexcept { return rib_; }
   [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
@@ -162,10 +214,18 @@ class UpdatePipeline {
   /// Sorted valid countries the batch's prefixes geolocate to.
   [[nodiscard]] std::vector<geo::CountryCode> touched_countries() const;
   void report_ingest(const FlushReport& report);
+  /// Publishes an automatic checkpoint when the push count crosses the
+  /// configured interval.
+  void maybe_checkpoint();
 
   core::Pipeline* pipeline_;
   serve::RankingService* service_;
   UpdatePipelineOptions options_;
+
+  // Durability hooks (both optional; see DESIGN.md §4g).
+  UpdateJournal* journal_ = nullptr;
+  std::string checkpoint_path_;
+  std::uint64_t checkpoint_every_ = 0;
 
   /// Reorder stage: multimap keeps equal timestamps in insertion order,
   /// so an already-ordered archive drains in exactly its input order.

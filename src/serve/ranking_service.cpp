@@ -247,6 +247,12 @@ Response RankingService::route(std::string_view target) {
     key = std::string(target) + "#" +
           std::to_string(pair.before ? pair.before->meta.id : 0) + "/" +
           std::to_string(pair.after ? pair.after->meta.id : 0);
+  } else if (path == "/v1/health") {
+    // Health embeds the live-staleness block, which moves independently
+    // of the snapshot: version the key so stale never serves as fresh.
+    key = std::string(target) + "#" + std::to_string(snapshot->meta.id) + "@" +
+          std::to_string(
+              live_health_version_.load(std::memory_order_acquire));
   } else {
     key = std::string(target) + "#" + std::to_string(snapshot->meta.id);
   }
@@ -391,9 +397,27 @@ Response RankingService::render_as_lookup(const Snapshot& snapshot,
 
 Response RankingService::render_health(const Snapshot& snapshot) const {
   const robust::HealthReport& health = snapshot.health;
+  const LiveHealth live = live_health();
   JsonWriter w;
   w.begin_object();
   w.key("snapshot_id").value(snapshot.meta.id);
+  if (live.valid) {
+    w.key("live").begin_object();
+    w.key("state").value(robust::to_string(live.state));
+    w.key("age_seconds").value(live.age_seconds);
+    w.key("stale_after_seconds").value(live.stale_after_seconds);
+    w.key("degraded_after_seconds").value(live.degraded_after_seconds);
+    w.key("transitions").begin_object();
+    for (std::size_t i = 0; i < robust::kServingStateCount; ++i) {
+      w.key(robust::to_string(static_cast<robust::ServingState>(i)))
+          .value(live.entered[i]);
+    }
+    w.end_object();
+    w.key("reopen_failures").value(live.reopen_failures);
+    w.key("reopen_successes").value(live.reopen_successes);
+    w.key("last_backoff_seconds").value(live.last_backoff_seconds);
+    w.end_object();
+  }
   w.key("policy").begin_object();
   w.key("min_vps").value(static_cast<std::uint64_t>(health.policy.min_vps));
   w.key("min_geo_consensus").value(health.policy.min_geo_consensus);
@@ -558,6 +582,20 @@ IngestCounters RankingService::ingest() const {
   return ingest_;
 }
 
+void RankingService::set_live_health(const LiveHealth& health) {
+  {
+    const std::lock_guard<std::mutex> lock(ingest_mutex_);
+    if (live_health_ == health) return;  // no change, keep the cache
+    live_health_ = health;
+  }
+  live_health_version_.fetch_add(1, std::memory_order_release);
+}
+
+LiveHealth RankingService::live_health() const {
+  const std::lock_guard<std::mutex> lock(ingest_mutex_);
+  return live_health_;
+}
+
 std::string RankingService::metrics_text() const {
   ServiceCounters c = counters();
   IngestCounters in = ingest();
@@ -599,6 +637,23 @@ std::string RankingService::metrics_text() const {
   fline("georank_live_republish_seconds_sum", in.republish_seconds_sum);
   fline("georank_live_republish_seconds_last", in.last_republish_seconds);
   line("georank_live_last_batch_size", in.last_batch);
+  line("georank_live_shed_total", in.shed);
+  line("georank_live_checkpoints_total", in.checkpoints);
+  // Staleness state machine (DESIGN.md §4g). The attached gauge keeps
+  // the zeros below honest: 0 means "no live feeder", not "fresh".
+  const LiveHealth live = live_health();
+  line("georank_live_feeder_attached", live.valid ? 1 : 0);
+  line("georank_live_health_state",
+       static_cast<std::uint64_t>(static_cast<std::uint8_t>(live.state)));
+  fline("georank_live_health_age_seconds", live.age_seconds);
+  for (std::size_t i = 0; i < robust::kServingStateCount; ++i) {
+    out += "georank_live_health_transitions_total{state=\"";
+    out += robust::to_string(static_cast<robust::ServingState>(i));
+    out += "\"} " + std::to_string(live.entered[i]) + "\n";
+  }
+  line("georank_live_backoff_attempts_total", live.reopen_failures);
+  line("georank_live_reopen_successes_total", live.reopen_successes);
+  fline("georank_live_backoff_seconds_last", live.last_backoff_seconds);
   return out;
 }
 

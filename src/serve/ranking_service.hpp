@@ -23,6 +23,7 @@
 // a reload naturally invalidates every key.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,7 @@
 
 #include "core/rank_delta.hpp"
 #include "core/timeline.hpp"
+#include "robust/staleness.hpp"
 #include "serve/snapshot.hpp"
 #include "util/thread_safety.hpp"
 
@@ -93,8 +95,32 @@ struct IngestCounters {
   double republish_seconds_sum = 0.0;
   double last_republish_seconds = 0.0;
   std::uint64_t last_batch = 0;
+  /// Reorder-overflow sheds (OverflowPolicy::kShedNewest, tolerant mode).
+  std::uint64_t shed = 0;
+  /// Checkpoint files published by the live pipeline.
+  std::uint64_t checkpoints = 0;
 
   friend bool operator==(const IngestCounters&, const IngestCounters&) = default;
+};
+
+/// Live-pipeline freshness, set by the feeder from live::HealthMonitor
+/// and rendered on /v1/health (a "live" block) and /metrics. The
+/// never-fabricate principle again: a service with no live feeder
+/// attached reports that (`valid` false — no "live" block, attached
+/// gauge 0) instead of pretending to be fresh.
+struct LiveHealth {
+  bool valid = false;
+  robust::ServingState state = robust::ServingState::kFresh;
+  double age_seconds = 0.0;
+  double stale_after_seconds = 0.0;
+  double degraded_after_seconds = 0.0;
+  /// Entries into each state, indexed by ServingState.
+  std::array<std::uint64_t, robust::kServingStateCount> entered{};
+  std::uint64_t reopen_failures = 0;
+  std::uint64_t reopen_successes = 0;
+  double last_backoff_seconds = 0.0;
+
+  friend bool operator==(const LiveHealth&, const LiveHealth&) = default;
 };
 
 /// Monotonic counters, snapshotted for /metrics.
@@ -163,6 +189,12 @@ class RankingService {
   void set_ingest(const IngestCounters& counters);
   [[nodiscard]] IngestCounters ingest() const;
 
+  /// Replaces the live-health snapshot (ticked by the feeder loop).
+  /// Bumps the health cache version so /v1/health re-renders even when
+  /// the active snapshot has not changed.
+  void set_live_health(const LiveHealth& health);
+  [[nodiscard]] LiveHealth live_health() const;
+
   /// Prometheus-style text for the service-level counters, including
   /// the georank_ingest_*/georank_live_* lines. The HTTP server appends
   /// its transport metrics (latency histogram) to this.
@@ -212,6 +244,10 @@ class RankingService {
   // lint: guarded(the lock itself; mutable so ingest_counters() stays const)
   mutable std::mutex ingest_mutex_;
   IngestCounters ingest_ GEORANK_GUARDED_BY(ingest_mutex_);
+  LiveHealth live_health_ GEORANK_GUARDED_BY(ingest_mutex_);
+  /// Folded into the /v1/health cache key: staleness changes must not
+  /// serve a cached "fresh" body for the same snapshot id.
+  std::atomic<std::uint64_t> live_health_version_{0};
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> cache_hits_{0};

@@ -1,0 +1,97 @@
+#include "serve/signal_pipe.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace georank::serve {
+namespace {
+
+// The handler's only reachable state: the pipe's write end and the
+// latched delivery flag. Plain globals (not function-local statics) so
+// initialization is constant and the handler touches nothing lazy.
+int g_write_fd = -1;
+volatile std::sig_atomic_t g_signalled = 0;
+bool g_installed = false;
+
+}  // namespace
+
+void SignalPipe::handle(int /*signum*/) {
+  g_signalled = 1;
+  if (g_write_fd >= 0) {
+    const char byte = 1;
+    // Async-signal-safe and non-blocking in practice: one byte into a
+    // pipe whose buffer is drained by wait() on every wakeup.
+    [[maybe_unused]] ssize_t n = ::write(g_write_fd, &byte, 1);
+  }
+}
+
+SignalPipe::SignalPipe() {
+  if (g_installed) {
+    throw std::runtime_error(
+        "SignalPipe: a second instance would steal the handlers");
+  }
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    throw std::runtime_error(std::string("SignalPipe: pipe: ") +
+                             std::strerror(errno));
+  }
+  read_fd_ = fds[0];
+  g_write_fd = fds[1];
+  g_signalled = 0;
+
+  struct sigaction action {};
+  action.sa_handler = &SignalPipe::handle;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking calls should wake
+  if (::sigaction(SIGINT, &action, &old_int_) != 0 ||
+      ::sigaction(SIGTERM, &action, &old_term_) != 0) {
+    const int saved = errno;
+    ::close(fds[0]);
+    ::close(fds[1]);
+    g_write_fd = -1;
+    throw std::runtime_error(std::string("SignalPipe: sigaction: ") +
+                             std::strerror(saved));
+  }
+  g_installed = true;
+}
+
+SignalPipe::~SignalPipe() {
+  ::sigaction(SIGINT, &old_int_, nullptr);
+  ::sigaction(SIGTERM, &old_term_, nullptr);
+  const int write_fd = g_write_fd;
+  g_write_fd = -1;
+  if (write_fd >= 0) ::close(write_fd);
+  if (read_fd_ >= 0) ::close(read_fd_);
+  g_installed = false;
+}
+
+bool SignalPipe::wait(int timeout_ms) {
+  if (g_signalled != 0) return true;
+  struct pollfd pfd {};
+  pfd.fd = read_fd_;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) {
+      char drain[16];
+      [[maybe_unused]] ssize_t n = ::read(read_fd_, drain, sizeof drain);
+      return true;
+    }
+    if (rc == 0) return g_signalled != 0;  // timeout
+    if (errno == EINTR) {
+      // The signal may have interrupted poll before the byte landed.
+      if (g_signalled != 0) return true;
+      continue;
+    }
+    throw std::runtime_error(std::string("SignalPipe: poll: ") +
+                             std::strerror(errno));
+  }
+}
+
+bool SignalPipe::signalled() const noexcept { return g_signalled != 0; }
+
+}  // namespace georank::serve

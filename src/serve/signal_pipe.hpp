@@ -1,0 +1,48 @@
+// serve::SignalPipe — self-pipe SIGINT/SIGTERM handling for the long
+// running binaries (`georank serve`, `georank live`).
+//
+// A signal handler can do almost nothing safely; the classic self-pipe
+// trick keeps it to the two things that ARE async-signal-safe — set a
+// flag, write one byte into a pipe — and moves every real consequence
+// (drain the HTTP server, final checkpoint + journal sync) onto the
+// ordinary thread parked in wait(). The pipe write is the wakeup: a
+// one-byte write into an empty-to-64KB pipe buffer never blocks, so
+// the handler never deadlocks, and poll() on the read end gives the
+// waiter a plain blocking call with an optional timeout.
+//
+// One instance per process: the handler needs a static write-end to
+// target, so a second live SignalPipe is a programming error (the
+// constructor throws). Destruction restores the previous handlers.
+#pragma once
+
+#include <csignal>
+
+namespace georank::serve {
+
+class SignalPipe {
+ public:
+  /// Creates the pipe and installs SIGINT/SIGTERM handlers.
+  SignalPipe();
+  /// Restores the previous handlers and closes the pipe.
+  ~SignalPipe();
+
+  SignalPipe(const SignalPipe&) = delete;
+  SignalPipe& operator=(const SignalPipe&) = delete;
+
+  /// Parks until a signal arrives; `timeout_ms` < 0 waits forever.
+  /// True when a signal was received (now or earlier), false on
+  /// timeout. Safe to call repeatedly — the delivered state latches.
+  bool wait(int timeout_ms = -1);
+
+  /// True once SIGINT or SIGTERM has been delivered.
+  [[nodiscard]] bool signalled() const noexcept;
+
+ private:
+  static void handle(int signum);
+
+  int read_fd_ = -1;
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
+
+}  // namespace georank::serve

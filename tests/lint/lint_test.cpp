@@ -31,7 +31,7 @@ bool has_rule(const std::vector<lint::Finding>& findings, std::string_view rule)
 
 TEST(LintRules, TableIsSortedAndComplete) {
   auto all = lint::rules();
-  ASSERT_GE(all.size(), 12u);
+  ASSERT_GE(all.size(), 13u);
   for (std::size_t i = 1; i < all.size(); ++i) {
     EXPECT_LT(all[i - 1].id, all[i].id) << "rule table must stay sorted";
   }
@@ -388,6 +388,57 @@ TEST(LintRules, Gr024SuppressedBySyscallOkTag) {
       "src/io/x.cpp",
       "int probe() { return ::socket(2, 1, 0); }  // lint: syscall-ok(feature probe)\n");
   EXPECT_FALSE(has_rule(f, "GR024"));
+}
+
+// ---------------------------------------------------------------------------
+// GR025 durability containment
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, Gr025FlagsDurabilitySyscallsOutsidePersistenceLayers) {
+  auto f = lint::scan_file(
+      "src/core/x.cpp",
+      "#include <fcntl.h>\n"
+      "int keep(const char* p) { return ::open(p, 0); }\n"
+      "void flush(int fd) { ::fsync(fd); }\n"
+      "void publish() { std::rename(\"a.tmp\", \"a\"); }\n");
+  EXPECT_EQ(rule_ids(f),
+            (std::vector<std::string>{"GR025", "GR025", "GR025", "GR025"}));
+  EXPECT_EQ(f[0].line, 1u);  // the fcntl.h include itself is a finding
+}
+
+TEST(LintRules, Gr025AllowsPersistenceLayersToolsAndBench) {
+  const char* body =
+      "#include <fcntl.h>\n"
+      "int keep(const char* p) { return ::open(p, 0); }\n"
+      "void flush(int fd) { ::fsync(fd); }\n";
+  // src/io + src/live ARE the persistence layers: the journal, the
+  // checkpoint writer and the snapshot codec own these calls by design.
+  EXPECT_FALSE(has_rule(lint::scan_file("src/io/snapshot_codec.cpp", body),
+                        "GR025"));
+  EXPECT_FALSE(has_rule(lint::scan_file("src/live/journal.cpp", body),
+                        "GR025"));
+  // CLI binaries and benches manage their own files directly.
+  EXPECT_FALSE(has_rule(lint::scan_file("tools/georank_cli.cpp", body),
+                        "GR025"));
+  EXPECT_FALSE(has_rule(lint::scan_file("bench/recovery.cpp", body), "GR025"));
+}
+
+TEST(LintRules, Gr025IgnoresMembersAndUnqualifiedNames) {
+  // Stream members named like the syscalls are fine; only ::-qualified
+  // raw calls (plus std::rename and the fcntl.h include) count.
+  auto f = lint::scan_file(
+      "src/core/x.cpp",
+      "void f(std::ifstream& is) { is.open(\"x\"); }\n"
+      "int open_count(int n) { return n + 1; }\n"
+      "void g() { fs::rename(\"a\", \"b\"); }\n");
+  EXPECT_FALSE(has_rule(f, "GR025"));
+}
+
+TEST(LintRules, Gr025SuppressedByDurableOkTag) {
+  auto f = lint::scan_file(
+      "src/robust/x.cpp",
+      "void flush(int fd) { ::fsync(fd); }  // lint: durable-ok(fault drill)\n");
+  EXPECT_FALSE(has_rule(f, "GR025"));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,137 @@
+// live::HealthMonitor — the staleness state machine and reopen backoff
+// clock. Time enters only as caller-supplied seconds (GR002), so every
+// behaviour here, jitter included, is exactly reproducible.
+#include "live/health_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace georank::live {
+namespace {
+
+using robust::ServingState;
+
+HealthMonitorOptions fast_options() {
+  HealthMonitorOptions options;
+  options.staleness.stale_after_seconds = 10.0;
+  options.staleness.degraded_after_seconds = 30.0;
+  return options;
+}
+
+TEST(HealthMonitor, AgesFreshThroughStaleToDegraded) {
+  HealthMonitor monitor{fast_options()};
+  monitor.note_progress(100.0);
+  EXPECT_EQ(monitor.tick(105.0), ServingState::kFresh);
+  EXPECT_EQ(monitor.tick(110.0), ServingState::kStale);  // boundary is >=
+  EXPECT_EQ(monitor.tick(129.0), ServingState::kStale);
+  EXPECT_EQ(monitor.tick(130.0), ServingState::kDegraded);
+  EXPECT_EQ(monitor.tick(10000.0), ServingState::kDegraded);
+  EXPECT_DOUBLE_EQ(monitor.age(130.0), 30.0);
+
+  const HealthCounters& counters = monitor.counters();
+  EXPECT_EQ(counters.entered[static_cast<std::size_t>(ServingState::kStale)],
+            1u);
+  EXPECT_EQ(counters.entered[static_cast<std::size_t>(ServingState::kDegraded)],
+            1u);
+}
+
+TEST(HealthMonitor, ProgressRestoresFreshness) {
+  HealthMonitor monitor{fast_options()};
+  monitor.note_progress(0.0);
+  EXPECT_EQ(monitor.tick(50.0), ServingState::kDegraded);
+  monitor.note_progress(60.0);
+  EXPECT_EQ(monitor.state(), ServingState::kFresh);
+  EXPECT_EQ(monitor.tick(65.0), ServingState::kFresh);
+  // The first decay jumped straight to degraded (the age was already
+  // past both thresholds), so this is the machine's FIRST entry into
+  // stale.
+  EXPECT_EQ(monitor.tick(75.0), ServingState::kStale);
+  EXPECT_EQ(monitor.counters()
+                .entered[static_cast<std::size_t>(ServingState::kStale)],
+            1u);
+}
+
+TEST(HealthMonitor, RecoveryPinsTheStateUntilEnded) {
+  HealthMonitor monitor{fast_options()};
+  monitor.note_progress(0.0);
+  monitor.begin_recovery(5.0);
+  EXPECT_EQ(monitor.state(), ServingState::kRecovering);
+  // Neither aging nor progress can pull the machine out of recovery —
+  // only the recovery path itself knows when it is done.
+  EXPECT_EQ(monitor.tick(1000.0), ServingState::kRecovering);
+  monitor.note_progress(1000.0);
+  EXPECT_EQ(monitor.state(), ServingState::kRecovering);
+
+  monitor.end_recovery(2000.0);
+  EXPECT_EQ(monitor.state(), ServingState::kFresh);
+  // Freshness restarted at end_recovery time, not at the old watermark.
+  EXPECT_EQ(monitor.tick(2005.0), ServingState::kFresh);
+  EXPECT_EQ(monitor.tick(2010.0), ServingState::kStale);
+}
+
+TEST(HealthMonitor, BackoffLadderIsExponentialJitteredAndCapped) {
+  HealthMonitorOptions options = fast_options();
+  options.backoff_initial_seconds = 1.0;
+  options.backoff_max_seconds = 60.0;
+  HealthMonitor monitor{options};
+
+  std::vector<double> delays;
+  for (int i = 0; i < 10; ++i) {
+    delays.push_back(monitor.note_reopen_failure(100.0 + i));
+  }
+  EXPECT_EQ(monitor.state(), ServingState::kRecovering);
+  EXPECT_EQ(monitor.counters().reopen_failures, 10u);
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    const double base =
+        std::min(options.backoff_max_seconds, std::ldexp(1.0, static_cast<int>(i)));
+    EXPECT_GE(delays[i], 0.5 * base) << "attempt " << i;
+    EXPECT_LT(delays[i], 1.5 * base) << "attempt " << i;
+  }
+  EXPECT_DOUBLE_EQ(monitor.last_backoff_seconds(), delays.back());
+
+  // Success resets both the ladder and the state.
+  monitor.note_reopen_success(200.0);
+  EXPECT_EQ(monitor.state(), ServingState::kFresh);
+  EXPECT_EQ(monitor.counters().reopen_successes, 1u);
+  const double restart = monitor.note_reopen_failure(300.0);
+  EXPECT_GE(restart, 0.5 * options.backoff_initial_seconds);
+  EXPECT_LT(restart, 1.5 * options.backoff_initial_seconds);
+}
+
+TEST(HealthMonitor, BackoffIsDeterministicPerSeed) {
+  HealthMonitorOptions options = fast_options();
+  options.backoff_seed = 1234;
+  HealthMonitor a{options};
+  HealthMonitor b{options};
+  bool jitter_seen = false;
+  for (int i = 0; i < 8; ++i) {
+    const double da = a.note_reopen_failure(10.0 * i);
+    const double db = b.note_reopen_failure(10.0 * i);
+    EXPECT_DOUBLE_EQ(da, db) << "attempt " << i;
+    jitter_seen = jitter_seen || da != std::min(60.0, std::ldexp(1.0, i));
+  }
+  EXPECT_TRUE(jitter_seen) << "jitter never moved a delay off its base";
+
+  options.backoff_seed = 99;
+  HealthMonitor c{options};
+  options.backoff_seed = 1234;
+  HealthMonitor a2{options};
+  bool diverged = false;
+  for (int i = 0; i < 8; ++i) {
+    diverged = diverged ||
+               c.note_reopen_failure(10.0 * i) != a2.note_reopen_failure(10.0 * i);
+  }
+  EXPECT_TRUE(diverged) << "different seeds produced identical ladders";
+}
+
+TEST(HealthMonitor, AgeIsZeroBeforeAnyProgress) {
+  HealthMonitor monitor{fast_options()};
+  EXPECT_DOUBLE_EQ(monitor.age(12345.0), 0.0);
+  EXPECT_EQ(monitor.tick(12345.0), ServingState::kFresh);
+}
+
+}  // namespace
+}  // namespace georank::live

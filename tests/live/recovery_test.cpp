@@ -1,0 +1,339 @@
+// Crash-recovery proof for DESIGN.md §4g: kill the live pipeline at
+// scheduled fault points (bgp::make_crash_schedule), recover from
+// checkpoint + journal, finish the stream, and byte-compare the final
+// GRSNAP01 against an uninterrupted run. recover() replays through the
+// normal push path, so every drain/shed/flush decision is re-made
+// identically — the comparison is exact, not approximate.
+#include "live/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bgp/fault_inject.hpp"
+#include "bgp/update_stream.hpp"
+#include "core/pipeline.hpp"
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+#include "io/snapshot_codec.hpp"
+#include "live/journal.hpp"
+#include "live/update_pipeline.hpp"
+#include "serve/ranking_service.hpp"
+#include "serve/snapshot.hpp"
+
+namespace georank::live {
+namespace {
+
+namespace fs = std::filesystem;
+using bgp::UpdateMessage;
+
+struct TempDir {
+  fs::path path;
+
+  TempDir() {
+    std::string tmpl =
+        (fs::temp_directory_path() / "georank-recover-XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+    path = buf.data();
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+struct RecoveryFixture {
+  gen::World world;
+  std::vector<UpdateMessage> archive;
+
+  explicit RecoveryFixture(std::uint64_t seed = 17, int days = 3)
+      : world(gen::InternetGenerator{gen::mini_world_spec(seed)}.generate()) {
+    gen::NoiseSpec noise;
+    archive =
+        bgp::collection_to_updates(gen::RibGenerator{world, noise, 5}.generate(days));
+  }
+
+  core::Pipeline make_pipeline() const {
+    core::PipelineConfig cfg;
+    cfg.sanitizer.clique = world.clique;
+    cfg.sanitizer.route_server_asns = world.route_servers;
+    return core::Pipeline{world.geo_db, world.vps, world.asn_registry,
+                          world.graph, cfg};
+  }
+};
+
+serve::SnapshotMeta fixed_meta() {
+  serve::SnapshotMeta meta;
+  meta.id = 42;
+  meta.created_unix = 1234567890;
+  meta.label = "recovery";
+  return meta;
+}
+
+/// Final GRSNAP01 bytes (and stats) of an uninterrupted run.
+struct ReferenceRun {
+  std::string bytes;
+  LiveStats stats;
+};
+
+ReferenceRun uninterrupted(const RecoveryFixture& f,
+                           const UpdatePipelineOptions& options) {
+  core::Pipeline pipeline = f.make_pipeline();
+  serve::RankingService service;
+  UpdatePipeline live{pipeline, service, options};
+  for (const UpdateMessage& u : f.archive) (void)live.push(u);
+  (void)live.drain();
+  return ReferenceRun{
+      io::encode_snapshot(serve::Snapshot::build(pipeline, fixed_meta())),
+      live.stats()};
+}
+
+UpdateJournalOptions journal_options(const TempDir& dir) {
+  UpdateJournalOptions options{(dir.path / "journal").string()};
+  options.segment_bytes = 64u << 10;  // force rotation (and checkpoint GC)
+  return options;
+}
+
+/// Runs the doomed process up to `point`, abandons it, recovers a fresh
+/// pipeline from the same journal dir, finishes the stream, and returns
+/// the final snapshot bytes plus the recovered pipeline's stats.
+ReferenceRun crash_and_recover(const RecoveryFixture& f,
+                               const UpdatePipelineOptions& options,
+                               const bgp::ProcessFaultPoint& point,
+                               std::uint64_t checkpoint_every) {
+  TempDir dir;
+  const std::string ckpt = (dir.path / "checkpoint.grckpt").string();
+  {
+    // The doomed run. Leaving this scope without drain() or a final
+    // checkpoint IS the kill: only what the journal and checkpoint
+    // already persisted survives.
+    core::Pipeline pipeline = f.make_pipeline();
+    serve::RankingService service;
+    UpdatePipeline live{pipeline, service, options};
+    UpdateJournal journal{journal_options(dir)};
+    live.set_journal(&journal);
+    live.set_checkpoint(ckpt, checkpoint_every);
+    for (std::size_t i = 0; i < point.update_index; ++i) {
+      (void)live.push(f.archive[i]);
+    }
+    switch (point.kind) {
+      case bgp::ProcessFaultKind::kAfterJournalAppend:
+        // The crash lands between the WAL append and the buffer absorb:
+        // journal the record directly, never push it.
+        journal.append(journal.next_seq(), f.archive[point.update_index]);
+        break;
+      case bgp::ProcessFaultKind::kAfterPush:
+        (void)live.push(f.archive[point.update_index]);
+        break;
+      case bgp::ProcessFaultKind::kAfterCheckpoint:
+        (void)live.push(f.archive[point.update_index]);
+        live.write_checkpoint();
+        break;
+    }
+  }
+
+  core::Pipeline pipeline = f.make_pipeline();
+  serve::RankingService service;
+  UpdatePipeline live{pipeline, service, options};
+  UpdateJournal journal{journal_options(dir)};
+  const RecoveryResult recovery = recover(live, journal, ckpt);
+  EXPECT_EQ(recovery.next_seq, journal.next_seq());
+  EXPECT_EQ(recovery.next_seq, live.next_seq());
+  // Every journaled record made it back in (from the checkpoint or the
+  // replay), so the stream resumes at exactly the next input index —
+  // seq IS the stream index, shed pushes included.
+  live.set_journal(&journal);
+  live.set_checkpoint(ckpt, checkpoint_every);
+  for (std::size_t i = recovery.next_seq; i < f.archive.size(); ++i) {
+    (void)live.push(f.archive[i]);
+  }
+  (void)live.drain();
+  return ReferenceRun{
+      io::encode_snapshot(serve::Snapshot::build(pipeline, fixed_meta())),
+      live.stats()};
+}
+
+TEST(Recovery, KillAtEveryScheduledPointIsBitIdentical) {
+  RecoveryFixture f;
+  ASSERT_GT(f.archive.size(), 1000u);
+  UpdatePipelineOptions options;
+  options.flush_batch = 257;      // flush boundaries land mid-burst
+  options.reorder_window = 3600;  // keep a nonempty pending buffer
+  const ReferenceRun want = uninterrupted(f, options);
+
+  bgp::ProcessFaultSpec spec;
+  spec.seed = 7;
+  spec.points = 6;
+  spec.stream_length = f.archive.size();
+  const std::vector<bgp::ProcessFaultPoint> schedule =
+      bgp::make_crash_schedule(spec);
+  ASSERT_EQ(schedule.size(), 6u);
+
+  for (const bgp::ProcessFaultPoint& point : schedule) {
+    const ReferenceRun got = crash_and_recover(f, options, point, 263);
+    EXPECT_TRUE(got.bytes == want.bytes)
+        << "diverged after crash at update " << point.update_index << " ("
+        << bgp::to_string(point.kind) << ")";
+    // The recovered run's cumulative accounting continues the doomed
+    // run's, so totals match the uninterrupted stream too.
+    EXPECT_EQ(got.stats.pushed, want.stats.pushed);
+    EXPECT_EQ(got.stats.applied, want.stats.applied);
+    EXPECT_EQ(got.stats.publishes, want.stats.publishes);
+    EXPECT_EQ(got.stats.days_closed, want.stats.days_closed);
+  }
+}
+
+TEST(Recovery, ShedPolicyRemakesTheSameDecisionsAfterRecovery) {
+  // kShedNewest drops are pure functions of buffer state, which the
+  // checkpoint restores exactly — so a crash mid-shed-storm recovers to
+  // the same final state AND the same shed count.
+  RecoveryFixture f;
+  UpdatePipelineOptions options;
+  options.flush_batch = 1 << 20;
+  options.reorder_window = ~std::uint64_t{0} / 2;  // never drain early
+  options.max_pending = 16;
+  options.overflow = OverflowPolicy::kShedNewest;
+  const ReferenceRun want = uninterrupted(f, options);
+  ASSERT_GT(want.stats.shed, 0u);
+
+  bgp::ProcessFaultPoint point;
+  point.update_index = f.archive.size() / 2;
+  point.kind = bgp::ProcessFaultKind::kAfterPush;
+  const ReferenceRun got = crash_and_recover(f, options, point, 101);
+  EXPECT_TRUE(got.bytes == want.bytes);
+  EXPECT_EQ(got.stats.shed, want.stats.shed);
+}
+
+TEST(Recovery, CorruptCheckpointFallsBackToFullReplay) {
+  RecoveryFixture f;
+  UpdatePipelineOptions options;
+  options.flush_batch = 257;
+  const std::size_t half = f.archive.size() / 2;
+
+  TempDir dir;
+  const std::string ckpt = (dir.path / "checkpoint.grckpt").string();
+  {
+    // Journal-only doomed run: no checkpoints means no segment GC, so
+    // the journal still holds the complete history the fallback needs.
+    core::Pipeline pipeline = f.make_pipeline();
+    serve::RankingService service;
+    UpdatePipeline live{pipeline, service, options};
+    UpdateJournal journal{journal_options(dir)};
+    live.set_journal(&journal);
+    for (std::size_t i = 0; i < half; ++i) (void)live.push(f.archive[i]);
+  }
+  {
+    std::ofstream os{ckpt, std::ios::binary};
+    os << "GRCKPT01 but the rest is garbage";
+  }
+
+  core::Pipeline pipeline = f.make_pipeline();
+  serve::RankingService service;
+  UpdatePipeline live{pipeline, service, options};
+  UpdateJournal journal{journal_options(dir)};
+  const RecoveryResult recovery = recover(live, journal, ckpt);
+  EXPECT_FALSE(recovery.checkpoint_loaded);
+  EXPECT_TRUE(recovery.checkpoint_discarded);
+  EXPECT_EQ(recovery.replay_from, 0u);
+  EXPECT_EQ(recovery.records_replayed, half);
+
+  live.set_journal(&journal);
+  for (std::size_t i = half; i < f.archive.size(); ++i) {
+    (void)live.push(f.archive[i]);
+  }
+  (void)live.drain();
+  const ReferenceRun want = uninterrupted(f, options);
+  EXPECT_TRUE(io::encode_snapshot(serve::Snapshot::build(
+                  pipeline, fixed_meta())) == want.bytes);
+}
+
+TEST(Recovery, MissingCheckpointReplaysFromZero) {
+  RecoveryFixture f;
+  TempDir dir;
+  const std::string ckpt = (dir.path / "checkpoint.grckpt").string();
+  {
+    core::Pipeline pipeline = f.make_pipeline();
+    serve::RankingService service;
+    UpdatePipeline live{pipeline, service, UpdatePipelineOptions{}};
+    UpdateJournal journal{journal_options(dir)};
+    live.set_journal(&journal);
+    for (std::size_t i = 0; i < 100; ++i) (void)live.push(f.archive[i]);
+  }
+  core::Pipeline pipeline = f.make_pipeline();
+  serve::RankingService service;
+  UpdatePipeline live{pipeline, service, UpdatePipelineOptions{}};
+  UpdateJournal journal{journal_options(dir)};
+  const RecoveryResult recovery = recover(live, journal, ckpt);
+  EXPECT_FALSE(recovery.checkpoint_loaded);
+  EXPECT_FALSE(recovery.checkpoint_discarded);
+  EXPECT_EQ(recovery.replay_from, 0u);
+  EXPECT_EQ(recovery.records_replayed, 100u);
+  EXPECT_EQ(recovery.next_seq, 100u);
+}
+
+TEST(Recovery, GcedJournalWithoutCheckpointIsRefusedTyped) {
+  // Checkpoint GC dropped the journal's early segments; without the
+  // checkpoint that covered them, replay cannot reconstruct history —
+  // recover() must refuse rather than silently resume from a gap.
+  RecoveryFixture f;
+  TempDir dir;
+  UpdateJournalOptions options{(dir.path / "journal").string()};
+  options.segment_bytes = 1u << 10;
+  {
+    UpdateJournal journal{options};
+    for (std::size_t i = 0; i < 200; ++i) {
+      journal.append(i, f.archive[i]);
+    }
+    ASSERT_GT(journal.drop_segments_below(150), 0u);
+  }
+  core::Pipeline pipeline = f.make_pipeline();
+  serve::RankingService service;
+  UpdatePipeline live{pipeline, service, UpdatePipelineOptions{}};
+  UpdateJournal journal{options};
+  try {
+    (void)recover(live, journal, (dir.path / "nope.grckpt").string());
+    FAIL() << "recover() accepted a GC'd journal with no checkpoint";
+  } catch (const JournalError& e) {
+    EXPECT_EQ(e.kind(), JournalErrorKind::kBadSequence);
+  }
+}
+
+TEST(Recovery, CheckpointPublishIsAtomicAndRoundTrips) {
+  RecoveryFixture f;
+  TempDir dir;
+  const std::string ckpt = (dir.path / "checkpoint.grckpt").string();
+  core::Pipeline pipeline = f.make_pipeline();
+  serve::RankingService service;
+  UpdatePipelineOptions options;
+  options.reorder_window = 3600;  // leave something in the buffer
+  UpdatePipeline live{pipeline, service, options};
+  UpdateJournal journal{journal_options(dir)};
+  live.set_journal(&journal);
+  live.set_checkpoint(ckpt, 0);  // manual checkpoints only
+  for (std::size_t i = 0; i < 500; ++i) (void)live.push(f.archive[i]);
+  live.write_checkpoint();
+
+  // Atomic publish: the tmp staging file never outlives the rename.
+  EXPECT_TRUE(fs::exists(ckpt));
+  EXPECT_FALSE(fs::exists(ckpt + ".tmp"));
+
+  // The codec is a bit-exact round trip, pending buffer included.
+  const Checkpoint captured = live.make_checkpoint();
+  EXPECT_FALSE(captured.pending.empty());
+  const std::string bytes = encode_checkpoint(captured);
+  EXPECT_TRUE(encode_checkpoint(decode_checkpoint(bytes)) == bytes);
+}
+
+}  // namespace
+}  // namespace georank::live

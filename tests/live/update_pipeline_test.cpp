@@ -299,6 +299,71 @@ TEST(UpdatePipeline, BoundedBufferDrainsOldestEarly) {
   (void)live.drain();
   EXPECT_EQ(live.stats().applied, 64u);
   EXPECT_EQ(live.stats().out_of_order, 0u);
+  // kDrainOldest is the default policy, and it sheds nothing.
+  EXPECT_EQ(UpdatePipelineOptions{}.overflow, OverflowPolicy::kDrainOldest);
+  EXPECT_EQ(live.stats().shed, 0u);
+}
+
+TEST(UpdatePipeline, ShedNewestCountsTolerantDrops) {
+  LiveFixture f;
+  core::Pipeline pipeline = f.make_pipeline();
+  serve::RankingService service;
+  UpdatePipelineOptions options;
+  options.flush_batch = 1 << 20;
+  options.reorder_window = ~std::uint64_t{0} / 2;  // never drain by watermark
+  options.max_pending = 16;
+  options.overflow = OverflowPolicy::kShedNewest;
+  UpdatePipeline live{pipeline, service, options};
+
+  for (std::size_t i = 0; i < 64; ++i) {
+    const std::optional<FlushReport> report =
+        live.push({UpdateMessage::Kind::kAnnounce, kBase + 10 + i,
+                   bgp::VpId{1, 701}, *bgp::Prefix::parse("10.0.0.0/16"),
+                   bgp::AsPath{701, 1299}});
+    EXPECT_FALSE(report.has_value());
+  }
+  // The first 16 filled the buffer; the remaining 48 were shed — and
+  // every push still consumed a sequence number (recovery depends on
+  // seq == stream index, shed pushes included).
+  EXPECT_EQ(live.buffered(), 16u);
+  EXPECT_EQ(live.stats().shed, 48u);
+  EXPECT_EQ(live.stats().pushed, 64u);
+  EXPECT_EQ(live.next_seq(), 64u);
+  (void)live.drain();
+  EXPECT_EQ(live.stats().applied, 16u);
+
+  // The shed counter reaches /metrics through the ingest report.
+  const std::string metrics = service.metrics_text();
+  EXPECT_NE(metrics.find("georank_live_shed_total 48"), std::string::npos);
+}
+
+TEST(UpdatePipeline, ShedNewestInStrictModeThrowsTyped) {
+  LiveFixture f;
+  core::Pipeline pipeline = f.make_pipeline();
+  serve::RankingService service;
+  UpdatePipelineOptions options;
+  options.flush_batch = 1 << 20;
+  options.reorder_window = ~std::uint64_t{0} / 2;
+  options.max_pending = 4;
+  options.overflow = OverflowPolicy::kShedNewest;
+  options.mode = bgp::ParseMode::kStrict;
+  UpdatePipeline live{pipeline, service, options};
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    (void)live.push({UpdateMessage::Kind::kAnnounce, kBase + 10 + i,
+                     bgp::VpId{1, 701}, *bgp::Prefix::parse("10.0.0.0/16"),
+                     bgp::AsPath{701, 1299}});
+  }
+  try {
+    (void)live.push({UpdateMessage::Kind::kAnnounce, kBase + 99,
+                     bgp::VpId{1, 701}, *bgp::Prefix::parse("10.1.0.0/16"),
+                     bgp::AsPath{701, 174}});
+    FAIL() << "strict overflow must throw, not silently shed";
+  } catch (const bgp::UpdateReplayError& e) {
+    EXPECT_EQ(e.kind(), bgp::UpdateReplayError::Kind::kBufferOverflow);
+    EXPECT_EQ(e.index(), 4u);
+    EXPECT_EQ(e.timestamp(), kBase + 99);
+  }
 }
 
 }  // namespace

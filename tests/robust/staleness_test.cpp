@@ -1,0 +1,58 @@
+// robust::StalenessPolicy — the age -> serving-state mapping underneath
+// live::HealthMonitor. Pure functions, no clock, fully constexpr-able.
+#include "robust/staleness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace georank::robust {
+namespace {
+
+TEST(StalenessPolicy, ClassifiesByAgeWithInclusiveBoundaries) {
+  StalenessPolicy policy;  // 300 / 900 defaults
+  EXPECT_EQ(policy.classify(0.0), ServingState::kFresh);
+  EXPECT_EQ(policy.classify(299.999), ServingState::kFresh);
+  EXPECT_EQ(policy.classify(300.0), ServingState::kStale);  // >= threshold
+  EXPECT_EQ(policy.classify(899.999), ServingState::kStale);
+  EXPECT_EQ(policy.classify(900.0), ServingState::kDegraded);
+  EXPECT_EQ(policy.classify(1e12), ServingState::kDegraded);
+}
+
+TEST(StalenessPolicy, NeverClassifiesIntoRecovering) {
+  // kRecovering is an operational state entered explicitly by the
+  // recovery path; no age can produce it.
+  StalenessPolicy policy;
+  for (double age = 0.0; age < 10000.0; age += 93.7) {
+    EXPECT_NE(policy.classify(age), ServingState::kRecovering);
+  }
+}
+
+TEST(ServingState, StalerIsMaxOverTheWorstFirstOrder) {
+  EXPECT_EQ(staler(ServingState::kFresh, ServingState::kStale),
+            ServingState::kStale);
+  EXPECT_EQ(staler(ServingState::kDegraded, ServingState::kStale),
+            ServingState::kDegraded);
+  EXPECT_EQ(staler(ServingState::kFresh, ServingState::kFresh),
+            ServingState::kFresh);
+  EXPECT_EQ(staler(ServingState::kDegraded, ServingState::kRecovering),
+            ServingState::kRecovering);
+}
+
+TEST(ServingState, NamesAreStableWireVocabulary) {
+  // These strings appear verbatim in /v1/health and /metrics labels.
+  EXPECT_EQ(to_string(ServingState::kFresh), "fresh");
+  EXPECT_EQ(to_string(ServingState::kStale), "stale");
+  EXPECT_EQ(to_string(ServingState::kDegraded), "degraded");
+  EXPECT_EQ(to_string(ServingState::kRecovering), "recovering");
+}
+
+TEST(StalenessPolicy, CustomThresholdsAreHonored) {
+  StalenessPolicy policy;
+  policy.stale_after_seconds = 1.0;
+  policy.degraded_after_seconds = 2.0;
+  EXPECT_EQ(policy.classify(0.5), ServingState::kFresh);
+  EXPECT_EQ(policy.classify(1.5), ServingState::kStale);
+  EXPECT_EQ(policy.classify(2.5), ServingState::kDegraded);
+}
+
+}  // namespace
+}  // namespace georank::robust

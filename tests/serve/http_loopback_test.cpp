@@ -213,5 +213,69 @@ TEST(HttpLoopback, StopUnblocksIdleKeepAliveConnections) {
   EXPECT_FALSE(idle.get("/v1/health").has_value());
 }
 
+TEST(HttpLoopback, LiveHealthTravelsTheSocketAndInvalidatesCache) {
+  // The acceptance path for the staleness machine: a feeder publishing
+  // HealthMonitor snapshots must change what real HTTP clients see on
+  // /v1/health and /metrics — including re-rendering the health body
+  // when only the live state (not the snapshot) changed.
+  RankingService service;
+  service.publish(snapshot_variant(1));
+  HttpServer server{service, {}};
+  server.start();
+  HttpClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+  // No feeder attached: no "live" block, attached gauge reads 0.
+  auto detached = client.get("/v1/health");
+  ASSERT_TRUE(detached.has_value());
+  EXPECT_EQ(detached->status, 200);
+  EXPECT_EQ(detached->body.find("\"live\""), std::string::npos);
+  auto metrics = client.get("/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_NE(metrics->body.find("georank_live_feeder_attached 0"),
+            std::string::npos);
+
+  LiveHealth health;
+  health.valid = true;
+  health.state = robust::ServingState::kStale;
+  health.age_seconds = 420.0;
+  health.stale_after_seconds = 300.0;
+  health.degraded_after_seconds = 900.0;
+  health.entered[static_cast<std::size_t>(robust::ServingState::kStale)] = 1;
+  service.set_live_health(health);
+
+  auto stale = client.get("/v1/health");
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_NE(stale->body.find("\"state\":\"stale\""), std::string::npos);
+  // Same snapshot id, yet the body changed: the live-health version is
+  // part of the cache key, so no stale "fresh" body was served.
+  EXPECT_NE(stale->body, detached->body);
+
+  health.state = robust::ServingState::kDegraded;
+  health.age_seconds = 1200.0;
+  health.entered[static_cast<std::size_t>(robust::ServingState::kDegraded)] = 1;
+  health.reopen_failures = 3;
+  health.last_backoff_seconds = 2.5;
+  service.set_live_health(health);
+
+  auto degraded = client.get("/v1/health");
+  ASSERT_TRUE(degraded.has_value());
+  EXPECT_NE(degraded->body.find("\"state\":\"degraded\""), std::string::npos);
+  EXPECT_NE(degraded->body.find("\"reopen_failures\":3"), std::string::npos);
+
+  metrics = client.get("/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_NE(metrics->body.find("georank_live_feeder_attached 1"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("georank_live_health_state 2"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find(
+                "georank_live_health_transitions_total{state=\"degraded\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("georank_live_backoff_attempts_total 3"),
+            std::string::npos);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace georank::serve

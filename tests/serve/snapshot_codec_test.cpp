@@ -151,6 +151,49 @@ TEST(SnapshotCodec, RejectsEmptyAndTruncatedInput) {
   }
 }
 
+TEST(SnapshotCodec, EveryTruncationPrefixIsRejected) {
+  // The torn-write guarantee behind checkpoint/journal recovery: NO
+  // proper prefix of a valid file decodes — a crash mid-write can
+  // produce any truncation length, and each one must surface as a
+  // typed error, never as a silently shorter snapshot. A tiny
+  // hand-built snapshot keeps the exhaustive every-length sweep cheap
+  // (the big fixture above covers spot truncations).
+  serve::Snapshot tiny;
+  tiny.meta.id = 7;
+  tiny.meta.created_unix = 1617235200;
+  tiny.meta.label = "tiny";
+  core::CountryMetrics m;
+  m.country = geo::CountryCode::of("AU");
+  m.cci = rank::Ranking::from_scores({{3356, 0.9}, {1299, 0.5}});
+  m.ccn = rank::Ranking::from_scores({{3356, 0.45}});
+  m.ahi = rank::Ranking::from_scores({{1299, 0.25}});
+  m.ahn = rank::Ranking::from_scores({{174, 0.125}});
+  m.national_vps = 4;
+  m.international_vps = 9;
+  m.national_addresses = 1000;
+  m.international_addresses = 2000;
+  m.confidence = robust::ConfidenceTier::kHigh;
+  m.geo_consensus = 0.875;
+  tiny.countries.push_back(m);
+  robust::CountryHealth h;
+  h.country = m.country;
+  h.national_vps = m.national_vps;
+  h.international_vps = m.international_vps;
+  h.overall = m.confidence;
+  tiny.health.countries.push_back(h);
+
+  const std::string bytes = encode_snapshot(tiny);
+  EXPECT_EQ(encode_snapshot(decode_snapshot(bytes)), bytes);
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    try {
+      (void)decode_snapshot(std::string_view(bytes).substr(0, keep));
+      FAIL() << "decode of " << keep << "-byte prefix (of " << bytes.size()
+             << ") must throw";
+    } catch (const SnapshotDecodeError&) {
+    }
+  }
+}
+
 TEST(SnapshotCodec, RejectsBadMagicAndForeignFiles) {
   std::string bytes = encode_snapshot(fixture());
   bytes[0] = 'X';

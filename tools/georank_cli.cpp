@@ -14,6 +14,10 @@
 //   snapshot   precompute all-country rankings + health into a binary
 //                snapshot file (FORMATS.md "Ranking snapshot")
 //   serve      boot the HTTP query service over one or more snapshots
+//   live       replay an update archive through the incremental
+//                pipeline (journaled + checkpointed with --journal-dir)
+//   journal    read-only GRJRNL01 journal inspection (CI's recovery
+//                tier polls it to time its kill -9)
 //
 // The generate output is exactly what the other subcommands consume, so
 //   georank generate --out data/ && georank rank --dir data/ --country AU
@@ -58,11 +62,15 @@
 #include "io/geo_csv.hpp"
 #include "io/rankings_csv.hpp"
 #include "io/snapshot_codec.hpp"
+#include "live/checkpoint.hpp"
+#include "live/health_monitor.hpp"
+#include "live/journal.hpp"
 #include "live/update_pipeline.hpp"
 #include "robust/data_health.hpp"
 #include "robust/fault_plan.hpp"
 #include "serve/http_server.hpp"
 #include "serve/ranking_service.hpp"
+#include "serve/signal_pipe.hpp"
 #include "serve/snapshot.hpp"
 #include "util/options.hpp"
 #include "util/strings.hpp"
@@ -116,6 +124,11 @@ int usage() {
                " [--created N] [--label STR]\n"
                "                     [--strict] [--ingest-stats] [--port N]"
                " [--bind ADDR] [--threads N]\n"
+               "                     [--journal-dir DIR] [--checkpoint-every N]"
+               " [--recover] [--fsync never|each]\n"
+               "                     [--overflow drain|shed] [--follow]"
+               " [--stale-after SECS] [--degraded-after SECS]\n"
+               "  georank journal    --dir DIR [--stat]\n"
                "common: --key=value and --key value both work;"
                " --fail-on-drop-rate=PCT exits %d when the sanitize or\n"
                "ingest layer drops more than PCT%% of its input"
@@ -975,8 +988,23 @@ int cmd_snapshot(const Args& args) {
 
 // ----------------------------------------------------------------- live
 
-volatile std::sig_atomic_t g_serve_stop = 0;
-void handle_serve_signal(int) { g_serve_stop = 1; }
+/// The health monitor's view, reshaped for the service's /v1/health
+/// "live" block and the georank_live_health_* metrics.
+serve::LiveHealth live_health_of(const live::HealthMonitor& monitor,
+                                 double now) {
+  serve::LiveHealth health;
+  health.valid = true;
+  health.state = monitor.state();
+  health.age_seconds = monitor.age(now);
+  health.stale_after_seconds = monitor.options().staleness.stale_after_seconds;
+  health.degraded_after_seconds =
+      monitor.options().staleness.degraded_after_seconds;
+  health.entered = monitor.counters().entered;
+  health.reopen_failures = monitor.counters().reopen_failures;
+  health.reopen_successes = monitor.counters().reopen_successes;
+  health.last_backoff_seconds = monitor.last_backoff_seconds();
+  return health;
+}
 
 /// Replays an update archive through the incremental live pipeline:
 /// each flush re-sanitizes the rolling day window, reuses every shard
@@ -1014,7 +1042,62 @@ int cmd_live(const Args& args) {
                                          : bgp::ParseMode::kTolerant;
   live_options.snapshot_id_base = args.u64_or("id-base", 1);
   live_options.label = args.get("label");
+  const std::string overflow = args.get("overflow", "drain");
+  if (overflow == "shed") {
+    live_options.overflow = live::OverflowPolicy::kShedNewest;
+  } else if (overflow != "drain") {
+    std::fprintf(stderr, "bad --overflow '%s' (drain|shed)\n", overflow.c_str());
+    return usage();
+  }
   live::UpdatePipeline live{pipeline, service, live_options};
+
+  // Durability wiring (--journal-dir): write-ahead journal, periodic
+  // checkpoints, and --recover to resume an interrupted run. recover()
+  // must run on the fresh pipeline BEFORE set_journal/set_checkpoint —
+  // replayed records are already on disk and must not be re-journaled.
+  std::optional<live::UpdateJournal> journal;
+  if (args.has("journal-dir")) {
+    const fs::path journal_dir = args.get("journal-dir");
+    live::UpdateJournalOptions journal_options;
+    journal_options.dir = journal_dir.string();
+    journal_options.segment_bytes = args.u64_or("segment-bytes", 4u << 20);
+    const std::string fsync = args.get("fsync", "never");
+    if (fsync == "each") {
+      journal_options.fsync = live::FsyncPolicy::kEachRecord;
+    } else if (fsync != "never") {
+      std::fprintf(stderr, "bad --fsync '%s' (never|each)\n", fsync.c_str());
+      return usage();
+    }
+    journal.emplace(journal_options);
+    const std::string checkpoint_path =
+        (journal_dir / "checkpoint.grckpt").string();
+    if (args.has("recover")) {
+      const live::RecoveryResult recovery =
+          live::recover(live, *journal, checkpoint_path);
+      std::printf(
+          "recovered: checkpoint %s, %llu records replayed from seq %llu, "
+          "next seq %llu\n",
+          recovery.checkpoint_discarded
+              ? "discarded (corrupt)"
+              : recovery.checkpoint_loaded ? "loaded" : "absent",
+          static_cast<unsigned long long>(recovery.records_replayed),
+          static_cast<unsigned long long>(recovery.replay_from),
+          static_cast<unsigned long long>(recovery.next_seq));
+    } else if (journal->next_seq() != 0) {
+      std::fprintf(stderr,
+                   "journal %s already holds records up to seq %llu; pass "
+                   "--recover to resume it (or point --journal-dir at a "
+                   "fresh directory)\n",
+                   journal_dir.string().c_str(),
+                   static_cast<unsigned long long>(journal->next_seq()));
+      return kExitError;
+    }
+    live.set_journal(&*journal);
+    live.set_checkpoint(checkpoint_path, args.u64_or("checkpoint-every", 0));
+  } else if (args.has("recover") || args.has("checkpoint-every")) {
+    std::fprintf(stderr, "--recover/--checkpoint-every need --journal-dir\n");
+    return usage();
+  }
 
   const fs::path updates_path =
       args.has("updates") ? fs::path{args.get("updates")} : dir / "updates.txt";
@@ -1024,9 +1107,7 @@ int cmd_live(const Args& args) {
     return kExitError;
   }
   bgp::UpdateTextReader reader{live_options.mode};
-  std::vector<bgp::UpdateMessage> updates = reader.read_all(updates_is);
-  live.set_parse_stats(reader.stats());
-  std::printf("replaying %zu updates from %s (batch %zu)\n", updates.size(),
+  std::printf("replaying updates from %s (batch %zu)\n",
               updates_path.string().c_str(), live_options.flush_batch);
 
   // Optional HTTP front end: queries hit the evolving snapshots while
@@ -1061,11 +1142,38 @@ int cmd_live(const Args& args) {
                 report.apply.memos_kept, report.total_seconds * 1e3);
   };
 
-  for (const bgp::UpdateMessage& u : updates) {
-    if (auto report = live.push(u)) print_report(*report);
+  // Self-pipe signal handling: SIGINT/SIGTERM break the replay loop so
+  // shutdown always takes the graceful path — drain, final checkpoint,
+  // journal sync — instead of dying mid-batch.
+  serve::SignalPipe signals;
+
+  // Stream line by line (not read_all) so a fifo feeder's updates are
+  // journaled as they arrive; the CI recovery tier kills this process
+  // mid-burst and expects the journal to hold everything it accepted.
+  std::string line;
+  bgp::UpdateMessage message;
+  while (std::getline(updates_is, line)) {
+    if (signals.signalled()) {
+      std::printf("interrupted; draining\n");
+      break;
+    }
+    if (!reader.parse_line(line, message)) continue;
+    if (auto report = live.push(message)) print_report(*report);
   }
+  live.set_parse_stats(reader.stats());
   const live::FlushReport final_report = live.drain();
   print_report(final_report);
+
+  if (journal) {
+    // Shutdown checkpoint: the next --recover restores this state and
+    // replays nothing. write_checkpoint() syncs the journal first.
+    live.write_checkpoint();
+    std::printf("checkpointed at seq %llu (%llu journaled records in %llu "
+                "segments)\n",
+                static_cast<unsigned long long>(live.next_seq()),
+                static_cast<unsigned long long>(journal->stats().records),
+                static_cast<unsigned long long>(journal->stats().segments));
+  }
 
   const live::LiveStats& stats = live.stats();
   std::printf("replay done: %llu applied (%llu ann, %llu wd), %llu "
@@ -1090,9 +1198,15 @@ int cmd_live(const Args& args) {
   if (args.has("out")) {
     // Freeze the final state with pinned identity so the bytes are
     // comparable against a batch `georank snapshot` of the same archive.
+    // current() can be null after a recovery that replayed nothing new
+    // (publishes restored from the checkpoint, no fresh flush).
+    const std::shared_ptr<const serve::Snapshot> current = service.current();
     serve::SnapshotMeta meta;
-    meta.id = args.u64_or("id", service.current()->meta.id);
-    meta.created_unix = args.u64_or("created", service.current()->meta.created_unix);
+    meta.id = args.u64_or(
+        "id", current ? current->meta.id
+                      : live_options.snapshot_id_base + stats.publishes);
+    meta.created_unix =
+        args.u64_or("created", current ? current->meta.created_unix : 0);
     meta.label = args.get("label");
     serve::Snapshot final_snapshot =
         serve::Snapshot::build(pipeline, std::move(meta));
@@ -1112,13 +1226,98 @@ int cmd_live(const Args& args) {
   }
 
   if (server) {
-    // Stay up for queries until interrupted (mirrors cmd_serve).
-    struct sigaction live_action{};
-    live_action.sa_handler = handle_serve_signal;
-    sigaction(SIGINT, &live_action, nullptr);
-    sigaction(SIGTERM, &live_action, nullptr);
-    while (g_serve_stop == 0) pause();
+    // Stay up for queries until interrupted (mirrors cmd_serve),
+    // ticking the staleness state machine so /v1/health tracks the
+    // watermark's age while we idle. With --follow, keep consuming
+    // lines appended to the updates file; when the file vanishes, back
+    // off with the monitor's jittered exponential ladder and treat a
+    // reopened file as a rotation (consume it from the beginning).
+    live::HealthMonitorOptions monitor_options;
+    const double stale_after = args.double_or(
+        "stale-after", monitor_options.staleness.stale_after_seconds);
+    monitor_options.staleness.stale_after_seconds = stale_after;
+    monitor_options.staleness.degraded_after_seconds =
+        args.double_or("degraded-after", stale_after * 3.0);
+    live::HealthMonitor monitor{monitor_options};
+    const auto start = std::chrono::steady_clock::now();
+    auto now = [start] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+          .count();
+    };
+    monitor.note_progress(now());  // the replay just advanced the stream
+    service.set_live_health(live_health_of(monitor, now()));
+
+    const bool follow = args.has("follow");
+    bool followed_past_drain = false;
+    while (!signals.wait(200)) {
+      if (follow) {
+        bool advanced = false;
+        updates_is.clear();
+        while (std::getline(updates_is, line)) {
+          if (!reader.parse_line(line, message)) continue;
+          if (auto report = live.push(message)) print_report(*report);
+          advanced = true;
+          followed_past_drain = true;
+        }
+        live.set_parse_stats(reader.stats());
+        if (advanced) {
+          monitor.note_progress(now());
+        } else if (!fs::exists(updates_path)) {
+          const double delay = monitor.note_reopen_failure(now());
+          service.set_live_health(live_health_of(monitor, now()));
+          if (signals.wait(static_cast<int>(delay * 1000.0))) break;
+          std::ifstream reopened{updates_path};
+          if (reopened) {
+            updates_is = std::move(reopened);
+            monitor.note_reopen_success(now());
+          }
+        }
+      }
+      monitor.tick(now());
+      service.set_live_health(live_health_of(monitor, now()));
+    }
+    if (followed_past_drain) {
+      // --follow pushed past the pre-serve drain; drain again so the
+      // shutdown checkpoint captures everything.
+      print_report(live.drain());
+      if (journal) live.write_checkpoint();
+    }
+    std::printf("draining...\n");
     server->stop();
+  }
+  return kExitOk;
+}
+
+// -------------------------------------------------------------- journal
+
+/// Read-only inspection of a GRJRNL01 journal directory and the
+/// checkpoint beside it. Never repairs or truncates, so it is safe to
+/// point at a journal a running `georank live` has open for append —
+/// CI's recovery tier polls this to decide when the feeder has durably
+/// absorbed a burst before delivering its kill -9.
+int cmd_journal(const Args& args) {
+  if (!args.has("dir")) return usage();
+  const fs::path dir = args.get("dir");
+  try {
+    const live::JournalScan scan = live::scan_journal(dir.string());
+    std::printf("records %llu segments %llu next-seq %llu torn-bytes %llu\n",
+                static_cast<unsigned long long>(scan.records),
+                static_cast<unsigned long long>(scan.segments),
+                static_cast<unsigned long long>(scan.next_seq),
+                static_cast<unsigned long long>(scan.torn_bytes));
+    const std::string checkpoint_path = (dir / "checkpoint.grckpt").string();
+    if (const auto checkpoint = live::load_checkpoint_file(checkpoint_path)) {
+      std::printf("checkpoint seq %llu routes %zu pending %zu publishes %llu\n",
+                  static_cast<unsigned long long>(checkpoint->seq),
+                  checkpoint->rib_entries.size(), checkpoint->pending.size(),
+                  static_cast<unsigned long long>(checkpoint->stats.publishes));
+    } else {
+      std::printf("checkpoint none\n");
+    }
+  } catch (const live::JournalError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return kExitParseFailure;
   }
   return kExitOk;
 }
@@ -1180,11 +1379,10 @@ int cmd_serve(const Args& args) {
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);  // scripts parse the port from this line
 
-  struct sigaction action{};
-  action.sa_handler = handle_serve_signal;
-  sigaction(SIGINT, &action, nullptr);
-  sigaction(SIGTERM, &action, nullptr);
-  while (g_serve_stop == 0) pause();
+  // Self-pipe signal handling: SIGINT/SIGTERM wake the park below and
+  // shutdown takes the graceful drain path.
+  serve::SignalPipe signals;
+  (void)signals.wait();
 
   std::printf("draining...\n");
   server.stop();
@@ -1212,11 +1410,15 @@ int main(int argc, char** argv) {
     if (args->command() == "snapshot") return cmd_snapshot(*args);
     if (args->command() == "serve") return cmd_serve(*args);
     if (args->command() == "live") return cmd_live(*args);
+    if (args->command() == "journal") return cmd_journal(*args);
   } catch (const bgp::MrtParseError& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
     return kExitParseFailure;
   } catch (const bgp::UpdateReplayError& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
+    return kExitParseFailure;
+  } catch (const live::JournalError& e) {
+    std::fprintf(stderr, "journal error: %s\n", e.what());
     return kExitParseFailure;
   } catch (const util::OptionParseError& e) {
     std::fprintf(stderr, "%s\n", e.what());

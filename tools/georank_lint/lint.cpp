@@ -14,7 +14,7 @@ namespace {
 // Rule table
 // ---------------------------------------------------------------------------
 
-constexpr std::array<RuleInfo, 12> kRules{{
+constexpr std::array<RuleInfo, 13> kRules{{
     {"GR001", "determinism-rand", "",
      "std::rand()/srand(): unseeded, stdlib-dependent randomness; use util::Pcg32"},
     {"GR002", "determinism-wallclock", "wallclock",
@@ -43,6 +43,10 @@ constexpr std::array<RuleInfo, 12> kRules{{
     {"GR024", "syscall-containment", "syscall-ok",
      "raw socket/network syscalls belong in src/serve (the transport layer); "
      "move the code there or justify with `// lint: syscall-ok(<why>)`"},
+    {"GR025", "durability-containment", "durable-ok",
+     "durability syscalls (fsync/rename/O_* file control) belong in src/io + "
+     "src/live (the persistence layers); move the code there or justify with "
+     "`// lint: durable-ok(<why>)`"},
     {"GR030", "include-pragma-once", "",
      "public header must open with #pragma once"},
 }};
@@ -222,6 +226,15 @@ bool in_shard_scope(std::string_view rel) {
 /// talk to the network, the ranking libraries may not.
 bool in_syscall_scope(std::string_view rel) {
   return starts_with(rel, "src/") && !starts_with(rel, "src/serve/");
+}
+
+/// GR025 applies to library code outside the persistence layers: src/io
+/// owns the snapshot files, src/live the journal + checkpoint files.
+/// tools/ and bench/ are exempt like they are for GR024 — a binary may
+/// manage its own files, the ranking libraries may not.
+bool in_durability_scope(std::string_view rel) {
+  return starts_with(rel, "src/") && !starts_with(rel, "src/io/") &&
+         !starts_with(rel, "src/live/");
 }
 
 // ---------------------------------------------------------------------------
@@ -491,6 +504,25 @@ class FileScanner {
         add(i, "GR024",
             "raw socket syscall outside src/serve; route through the serve "
             "transport or justify with `// lint: syscall-ok(<why>)`");
+      }
+    }
+
+    if (in_durability_scope(rel_)) {
+      // <fcntl.h> carries the O_* file-control flags; the call list is
+      // the write-durability surface (`::`-qualified or std::rename, so
+      // an ifstream's .open() member never trips the rule).
+      static const std::regex kDurabilityHeader(
+          R"(#\s*include\s*<fcntl\.h>)");
+      static const std::regex kDurabilityCall(
+          R"((?:(?:^|[^\w:])::|\bstd\s*::\s*)(?:fsync|fdatasync|ftruncate|rename|open(?:at)?|creat|mkstemp|unlink(?:at)?)\s*\()");
+      if (std::regex_search(code, kDurabilityHeader)) {
+        add(i, "GR025",
+            "file-control header outside src/io + src/live; the persistence "
+            "layers own durability syscalls");
+      } else if (std::regex_search(code, kDurabilityCall)) {
+        add(i, "GR025",
+            "durability syscall outside src/io + src/live; move the write "
+            "path there or justify with `// lint: durable-ok(<why>)`");
       }
     }
   }

@@ -34,6 +34,11 @@
 //                                 headers are contained to src/serve/
 //                                 (the transport layer); elsewhere in
 //                                 src/ they need `// lint: syscall-ok`
+//   GR025 durability-containment  fsync/rename/O_* file-control
+//                                 syscalls are contained to src/io +
+//                                 src/live (the persistence layers);
+//                                 elsewhere in src/ they need
+//                                 `// lint: durable-ok`
 //   GR030 include-pragma-once     public headers must start with
 //                                 #pragma once (self-containment is
 //                                 enforced separately by the generated
