@@ -31,7 +31,13 @@
 #
 # Usage: scripts/ci.sh [--skip-asan] [--skip-ubsan] [--skip-tsan]
 #                      [--skip-serve] [--skip-scale] [--skip-live]
-#                      [--skip-recovery] [--skip-lint] [--clang-tidy]
+#                      [--skip-recovery] [--skip-lint] [--skip-lint-graph]
+#                      [--clang-tidy]
+#
+# --skip-lint-graph keeps the per-file lint rules but turns off the
+# cross-TU graph rules (layering, lock-order) — the escape hatch for a
+# deliberately-cyclic migration branch. The full run also writes the
+# findings as a SARIF artifact to build/lint.sarif.
 #
 # Each sanitizer stage builds into its own tree (build-asan, build-ubsan,
 # build-tsan) so it never dirties the primary build directory. The
@@ -49,6 +55,7 @@ SKIP_SCALE=0
 SKIP_LIVE=0
 SKIP_RECOVERY=0
 SKIP_LINT=0
+SKIP_LINT_GRAPH=0
 RUN_TIDY=0
 for arg in "$@"; do
   case "$arg" in
@@ -60,6 +67,7 @@ for arg in "$@"; do
     --skip-live) SKIP_LIVE=1 ;;
     --skip-recovery) SKIP_RECOVERY=1 ;;
     --skip-lint) SKIP_LINT=1 ;;
+    --skip-lint-graph) SKIP_LINT_GRAPH=1 ;;
     --clang-tidy) RUN_TIDY=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -70,8 +78,14 @@ cmake -B build -S . -DGEORANK_WERROR=ON -DGEORANK_HEADER_CHECKS=ON > /dev/null
 cmake --build build -j "$(nproc)"
 
 if [[ "$SKIP_LINT" -eq 0 ]]; then
-  echo "==> tier-1: georank_lint (project invariants vs scripts/lint_baseline.txt)"
-  ./build/tools/georank_lint --root . --baseline scripts/lint_baseline.txt
+  LINT_ARGS=(--root . --baseline scripts/lint_baseline.txt --sarif build/lint.sarif)
+  if [[ "$SKIP_LINT_GRAPH" -eq 1 ]]; then
+    echo "==> tier-1: georank_lint, per-file rules only (--skip-lint-graph)"
+    LINT_ARGS+=(--no-graph)
+  else
+    echo "==> tier-1: georank_lint (full engine incl. layering + lock-order; SARIF -> build/lint.sarif)"
+  fi
+  ./build/tools/georank_lint "${LINT_ARGS[@]}"
 else
   echo "==> lint stage skipped (--skip-lint)"
 fi

@@ -10,11 +10,11 @@
 
 #include <span>
 
+#include "core/confidence.hpp"
 #include "core/views.hpp"
 #include "rank/customer_cone.hpp"
 #include "rank/hegemony.hpp"
 #include "rank/ranking.hpp"
-#include "robust/confidence.hpp"
 #include "topo/as_graph.hpp"
 
 namespace georank::core {

@@ -27,12 +27,12 @@
 
 #include "bgp/mrt_stream.hpp"
 #include "bgp/mrt_text.hpp"
+#include "core/confidence.hpp"
+#include "core/country_health.hpp"
 #include "core/country_rankings.hpp"
 #include "core/sharded_path_store.hpp"
 #include "rank/ahc.hpp"
 #include "rank/cti.hpp"
-#include "robust/confidence.hpp"
-#include "robust/data_health.hpp"
 #include "sanitize/incremental_sanitizer.hpp"
 #include "sanitize/path_sanitizer.hpp"
 #include "util/thread_safety.hpp"

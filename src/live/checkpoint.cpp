@@ -301,7 +301,7 @@ void write_checkpoint_file(const std::string& path,
         ::write(fd, encoded.data() + written, encoded.size() - written);
     if (n < 0) {
       const int saved = errno;
-      ::close(fd);
+      (void)::close(fd);  // already failing; the write error is the one to report
       errno = saved;
       throw_errno("write " + tmp);
     }
@@ -309,11 +309,13 @@ void write_checkpoint_file(const std::string& path,
   }
   if (::fsync(fd) != 0) {
     const int saved = errno;
-    ::close(fd);
+    (void)::close(fd);  // already failing; the fsync error is the one to report
     errno = saved;
     throw_errno("fsync " + tmp);
   }
-  ::close(fd);
+  // Data is durable after the successful fsync; a close error here
+  // cannot un-write it and the tmp file is discarded on any failure.
+  (void)::close(fd);
   // rename is the atomic publish: readers see old-or-new, never torn.
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw_errno("rename " + tmp + " -> " + path);

@@ -293,7 +293,10 @@ void UpdateJournal::open_segment_for_append(std::uint64_t first_seq,
 
 void UpdateJournal::close_fd() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    // Every durable append already fsync'd; a close error cannot lose
+    // acknowledged data, and this runs on destructor/rotation paths
+    // with no caller to report to.
+    (void)::close(fd_);
     fd_ = -1;
   }
 }

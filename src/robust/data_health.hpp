@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bgp/line_parse.hpp"
+#include "core/country_health.hpp"
 #include "geo/country.hpp"
 #include "geo/prefix_geolocator.hpp"
 #include "robust/confidence.hpp"
@@ -31,32 +32,8 @@ class ShardedPathStore;
 
 namespace georank::robust {
 
-/// One country's observational evidence and the tiers it earns.
-struct CountryHealth {
-  geo::CountryCode country;
-  /// Distinct VPs in the national / international view of this country.
-  std::size_t national_vps = 0;
-  std::size_t international_vps = 0;
-  /// Distinct accepted prefixes geolocated to this country, and their
-  /// effective (most-specific) address weight.
-  std::size_t accepted_prefixes = 0;
-  std::uint64_t geolocated_addresses = 0;
-  /// No-consensus rejections whose plurality country was this one — the
-  /// address space this country "almost" had.
-  std::size_t no_consensus_prefixes = 0;
-  std::uint64_t no_consensus_addresses = 0;
-
-  ConfidenceTier national_tier = ConfidenceTier::kInsufficient;
-  ConfidenceTier international_tier = ConfidenceTier::kInsufficient;
-  ConfidenceTier geo_tier = ConfidenceTier::kInsufficient;
-  ConfidenceTier overall = ConfidenceTier::kInsufficient;
-
-  /// Address-weighted consensus share in [0,1] (1.0 when unchallenged).
-  [[nodiscard]] double geo_consensus() const noexcept {
-    return DegradationPolicy::geo_consensus_share(geolocated_addresses,
-                                                  no_consensus_addresses);
-  }
-};
+// CountryHealth itself lives in core/country_health.hpp (the pipeline
+// memoizes one per shard); `robust::CountryHealth` still names it.
 
 /// Everything compute_health() can draw on. Only `paths` is mandatory;
 /// absent evidence is simply not counted (geo consensus then reads 1.0).

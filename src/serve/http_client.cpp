@@ -58,7 +58,8 @@ HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
 
 void HttpClient::close() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    // Best-effort teardown of a read-only socket; nothing buffered to lose.
+    (void)::close(fd_);
     fd_ = -1;
   }
   leftover_.clear();

@@ -73,13 +73,15 @@ void HttpServer::start() {
     throw std::system_error(errno, std::generic_category(), "socket");
   }
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  // Best-effort: without SO_REUSEADDR a quick restart may hit
+  // EADDRINUSE, which bind() below reports properly anyway.
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(options_.port);
   if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
+    (void)::close(listen_fd_);  // unbound socket; nothing to report past the throw
     listen_fd_ = -1;
     throw std::invalid_argument("HttpServer: bad bind address '" +
                                 options_.bind_address + "'");
@@ -88,7 +90,7 @@ void HttpServer::start() {
              sizeof addr) != 0 ||
       ::listen(listen_fd_, options_.backlog) != 0) {
     int saved = errno;
-    ::close(listen_fd_);
+    (void)::close(listen_fd_);  // already failing; bind/listen errno is the one to report
     listen_fd_ = -1;
     throw std::system_error(saved, std::generic_category(), "bind/listen");
   }
@@ -111,21 +113,23 @@ void HttpServer::stop() {
   running_.store(false, std::memory_order_release);
   if (listen_fd_ >= 0) {
     // Wakes every worker blocked in accept(); they observe !running_.
-    ::shutdown(listen_fd_, SHUT_RDWR);
+    // ENOTCONN here just means no worker was parked — not an error.
+    (void)::shutdown(listen_fd_, SHUT_RDWR);
   }
   {
     std::lock_guard lock{conn_mutex_};
     // Unblock workers parked in recv() on idle keep-alive connections;
     // an in-flight response still finishes (the fd stays open, only
-    // further reads/writes are cut short).
-    for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
+    // further reads/writes are cut short). A fd racing to close just
+    // makes shutdown() a no-op.
+    for (int fd : active_fds_) (void)::shutdown(fd, SHUT_RD);
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
   if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
+    (void)::close(listen_fd_);  // listener held no data; nothing to flush
     listen_fd_ = -1;
   }
 }
@@ -148,7 +152,9 @@ void HttpServer::accept_loop() {
       std::lock_guard lock{conn_mutex_};
       active_fds_.erase(fd);
     }
-    ::close(fd);
+    // The response was already flushed (or the peer is gone); a close
+    // error on a plain TCP socket reports nothing actionable.
+    (void)::close(fd);
   }
 }
 
@@ -156,7 +162,9 @@ void HttpServer::serve_connection(int fd) {
   timeval timeout{};
   timeout.tv_sec = options_.read_timeout_ms / 1000;
   timeout.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  // Best-effort: without the timeout a dead peer parks this worker
+  // until stop() shuts the fd down — degraded, not incorrect.
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
 
   std::string buf;
   while (true) {

@@ -51,6 +51,7 @@ using Metric = core::TimelineMetric;
 
 /// "cci" / "ccn" / "ahi" / "ahn" (case-insensitive); nullopt otherwise.
 [[nodiscard]] std::optional<Metric> parse_metric(std::string_view text) noexcept;
+/// Returned view points at a string literal (static storage): never dangles.
 [[nodiscard]] std::string_view to_string(Metric metric) noexcept;
 
 /// Selects a metric's ranking from a snapshot entry (delegates to

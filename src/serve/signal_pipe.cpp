@@ -50,8 +50,9 @@ SignalPipe::SignalPipe() {
   if (::sigaction(SIGINT, &action, &old_int_) != 0 ||
       ::sigaction(SIGTERM, &action, &old_term_) != 0) {
     const int saved = errno;
-    ::close(fds[0]);
-    ::close(fds[1]);
+    // Fresh unused pipe ends; the sigaction error is the one to report.
+    (void)::close(fds[0]);
+    (void)::close(fds[1]);
     g_write_fd = -1;
     throw std::runtime_error(std::string("SignalPipe: sigaction: ") +
                              std::strerror(saved));
@@ -64,8 +65,10 @@ SignalPipe::~SignalPipe() {
   ::sigaction(SIGTERM, &old_term_, nullptr);
   const int write_fd = g_write_fd;
   g_write_fd = -1;
-  if (write_fd >= 0) ::close(write_fd);
-  if (read_fd_ >= 0) ::close(read_fd_);
+  // Destructor teardown of a self-pipe: close errors have no reader to
+  // tell and the handlers were just restored above.
+  if (write_fd >= 0) (void)::close(write_fd);
+  if (read_fd_ >= 0) (void)::close(read_fd_);
   g_installed = false;
 }
 

@@ -49,7 +49,9 @@ class Options {
                                                     const char* const* argv);
 
   /// Same grammar over a pre-split token list: `tokens[0]` is the
-  /// command (argv[0] already removed).
+  /// command (argv[0] already removed). The views are read during the
+  /// call only — every key/value is copied into owning strings, so the
+  /// returned Options outlives whatever backed `tokens`.
   [[nodiscard]] static std::optional<Options> parse(
       std::span<const std::string_view> tokens);
 

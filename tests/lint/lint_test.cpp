@@ -8,8 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "georank_lint/layers.hpp"
+#include "georank_lint/lockorder.hpp"
+#include "georank_lint/model.hpp"
+#include "georank_lint/sarif.hpp"
 
 namespace lint = georank::lint;
 
@@ -31,12 +40,13 @@ bool has_rule(const std::vector<lint::Finding>& findings, std::string_view rule)
 
 TEST(LintRules, TableIsSortedAndComplete) {
   auto all = lint::rules();
-  ASSERT_GE(all.size(), 13u);
+  ASSERT_GE(all.size(), 19u);
   for (std::size_t i = 1; i < all.size(); ++i) {
     EXPECT_LT(all[i - 1].id, all[i].id) << "rule table must stay sorted";
   }
   for (const lint::RuleInfo& r : all) {
     EXPECT_FALSE(r.summary.empty()) << r.id;
+    EXPECT_FALSE(r.detail.empty()) << r.id << " needs --explain text";
   }
 }
 
@@ -354,7 +364,9 @@ TEST(LintRules, Gr024FlagsSocketCodeOutsideServe) {
       "#include <sys/socket.h>\n"
       "int open_feed() { return ::socket(2, 1, 0); }\n"
       "void push(int fd) { ::send(fd, \"x\", 1, 0); }\n");
-  EXPECT_EQ(rule_ids(f), (std::vector<std::string>{"GR024", "GR024", "GR024"}));
+  // Line 3 discards ::send's return, so GR061 fires alongside GR024.
+  EXPECT_EQ(rule_ids(f),
+            (std::vector<std::string>{"GR024", "GR024", "GR024", "GR061"}));
   EXPECT_EQ(f[0].line, 1u);  // the include itself is the first finding
 }
 
@@ -401,8 +413,10 @@ TEST(LintRules, Gr025FlagsDurabilitySyscallsOutsidePersistenceLayers) {
       "int keep(const char* p) { return ::open(p, 0); }\n"
       "void flush(int fd) { ::fsync(fd); }\n"
       "void publish() { std::rename(\"a.tmp\", \"a\"); }\n");
+  // Lines 3 and 4 also discard checked-syscall returns (GR061).
   EXPECT_EQ(rule_ids(f),
-            (std::vector<std::string>{"GR025", "GR025", "GR025", "GR025"}));
+            (std::vector<std::string>{"GR025", "GR025", "GR025", "GR061",
+                                      "GR025", "GR061"}));
   EXPECT_EQ(f[0].line, 1u);  // the fcntl.h include itself is a finding
 }
 
@@ -503,4 +517,483 @@ TEST(LintBaseline, ExactAndWholeFileEntriesMatch) {
 TEST(LintBaseline, CommentsAndBlanksIgnored) {
   auto b = lint::Baseline::parse("# comment\n\n   \nGR001 src/a.cpp:1\n");
   EXPECT_EQ(b.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// GR040 / GR041 layering (cross-TU model + layers.def)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using Sources = std::vector<std::pair<std::string, std::string>>;
+
+std::vector<std::string> messages(const std::vector<lint::Finding>& findings) {
+  std::vector<std::string> out;
+  for (const lint::Finding& f : findings) out.push_back(f.message);
+  return out;
+}
+
+bool any_message_contains(const std::vector<lint::Finding>& findings,
+                          std::string_view needle) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const lint::Finding& f) {
+                       return f.message.find(needle) != std::string::npos;
+                     });
+}
+
+}  // namespace
+
+TEST(LintLayering, ParsesDefFileGrammar) {
+  auto spec = lint::parse_layers(
+      "# comment\n"
+      "\n"
+      "util:\n"
+      "core:   util\n"
+      "serve:  core util  # trailing words are deps\n");
+  EXPECT_TRUE(spec.declares("util"));
+  EXPECT_TRUE(spec.declares("serve"));
+  EXPECT_FALSE(spec.declares("io"));
+  EXPECT_TRUE(spec.permits("core", "util"));
+  EXPECT_TRUE(spec.permits("core", "core"));  // self-edges always legal
+  EXPECT_FALSE(spec.permits("util", "core"));
+}
+
+TEST(LintLayering, Gr040FlagsIllegalEdgeAndNamesIt) {
+  auto model = lint::build_model(Sources{
+      {"src/core/a.hpp", "#pragma once\n#include \"serve/h.hpp\"\n"},
+      {"src/serve/h.hpp", "#pragma once\n"},
+  });
+  auto spec = lint::parse_layers("util:\ncore: util\nserve: core util\n");
+  auto f = lint::check_layering(model, spec);
+  ASSERT_TRUE(has_rule(f, "GR040"));
+  EXPECT_TRUE(any_message_contains(f, "core -> serve"))
+      << "violation must name the edge; got: " << messages(f).front();
+  // The finding anchors at the include that created the edge.
+  EXPECT_EQ(f.front().path, "src/core/a.hpp");
+  EXPECT_EQ(f.front().line, 2u);
+}
+
+TEST(LintLayering, Gr040FlagsUndeclaredModule) {
+  auto model = lint::build_model(Sources{
+      {"src/mystery/a.hpp", "#pragma once\n"},
+  });
+  auto spec = lint::parse_layers("util:\n");
+  auto f = lint::check_layering(model, spec);
+  EXPECT_TRUE(has_rule(f, "GR040"));
+  EXPECT_TRUE(any_message_contains(f, "mystery"));
+}
+
+TEST(LintLayering, Gr040SuppressedByLayerOkTag) {
+  auto model = lint::build_model(Sources{
+      {"src/core/a.hpp",
+       "#pragma once\n"
+       "// lint: layer-ok(migration shim, tracked in the roadmap)\n"
+       "#include \"serve/h.hpp\"\n"},
+      {"src/serve/h.hpp", "#pragma once\n"},
+  });
+  auto spec = lint::parse_layers("util:\ncore: util\nserve: core util\n");
+  EXPECT_FALSE(has_rule(lint::check_layering(model, spec), "GR040"));
+}
+
+TEST(LintLayering, Gr041FlagsModuleCycle) {
+  auto model = lint::build_model(Sources{
+      {"src/core/a.hpp", "#pragma once\n#include \"robust/b.hpp\"\n"},
+      {"src/robust/b.hpp", "#pragma once\n#include \"core/a.hpp\"\n"},
+  });
+  // Both edges individually legal: the cycle is the only problem.
+  auto spec = lint::parse_layers("core: robust\nrobust: core\n");
+  auto f = lint::check_layering(model, spec);
+  ASSERT_TRUE(has_rule(f, "GR041"));
+  EXPECT_TRUE(any_message_contains(f, "core -> robust -> core"));
+}
+
+TEST(LintLayering, Gr041IgnoresSuppressionTags) {
+  // A cycle has no build order: even an explicit layer-ok tag on the
+  // closing include must not silence GR041.
+  auto model = lint::build_model(Sources{
+      {"src/core/a.hpp", "#pragma once\n#include \"robust/b.hpp\"\n"},
+      {"src/robust/b.hpp",
+       "#pragma once\n"
+       "#include \"core/a.hpp\"  // lint: layer-ok(nice try)\n"},
+  });
+  auto spec = lint::parse_layers("core: robust\nrobust: core\n");
+  EXPECT_TRUE(has_rule(lint::check_layering(model, spec), "GR041"));
+}
+
+TEST(LintLayering, ModuleOfMapsOnlySrcPaths) {
+  EXPECT_EQ(lint::module_of("src/core/pipeline.hpp"), "core");
+  EXPECT_EQ(lint::module_of("src/util/rng.hpp"), "util");
+  EXPECT_EQ(lint::module_of("tools/georank_cli.cpp"), "");
+  EXPECT_EQ(lint::module_of("bench/serve.cpp"), "");
+}
+
+// ---------------------------------------------------------------------------
+// GR050 / GR051 lock-order (inter-procedural model)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Three mutexes acquired pairwise in a rotating order: a->b, b->c, c->a.
+// Any two of the three functions running on different threads can
+// deadlock; the acquisition-order graph has a 3-cycle.
+const char* kLockCycleHeader =
+    "#pragma once\n"
+    "#include <mutex>\n"
+    "inline std::mutex reload_a;\n"
+    "inline std::mutex publish_b;\n"
+    "inline std::mutex journal_c;\n";
+
+const char* kLockCycleBody =
+    "#include \"core/locks.hpp\"\n"
+    "void f1() {\n"
+    "  std::lock_guard<std::mutex> ga(reload_a);\n"
+    "  std::lock_guard<std::mutex> gb(publish_b);\n"
+    "}\n"
+    "void f2() {\n"
+    "  std::lock_guard<std::mutex> gb(publish_b);\n"
+    "  std::lock_guard<std::mutex> gc(journal_c);\n"
+    "}\n"
+    "void f3() {\n"
+    "  std::lock_guard<std::mutex> gc(journal_c);\n"
+    "  std::lock_guard<std::mutex> ga(reload_a);\n"
+    "}\n";
+
+}  // namespace
+
+TEST(LintLockOrder, ModelHarvestsAcquisitionEdges) {
+  auto model = lint::build_model(Sources{
+      {"src/core/locks.hpp", kLockCycleHeader},
+      {"src/core/locks.cpp", kLockCycleBody},
+  });
+  ASSERT_EQ(model.mutexes.size(), 3u);
+  auto edges = lint::build_lock_edges(model);
+  // a->b, b->c, c->a: exactly three distinct ordered pairs.
+  EXPECT_EQ(edges.size(), 3u);
+}
+
+TEST(LintLockOrder, Gr050FlagsThreeMutexCycle) {
+  auto model = lint::build_model(Sources{
+      {"src/core/locks.hpp", kLockCycleHeader},
+      {"src/core/locks.cpp", kLockCycleBody},
+  });
+  auto f = lint::check_lock_order(model);
+  ASSERT_TRUE(has_rule(f, "GR050"));
+  EXPECT_TRUE(any_message_contains(f, "reload_a"));
+  EXPECT_TRUE(any_message_contains(f, "publish_b"));
+  EXPECT_TRUE(any_message_contains(f, "journal_c"));
+}
+
+TEST(LintLockOrder, Gr050SuppressedByLockOrderTagOnOneAcquisition) {
+  // Tagging the cycle-closing acquisition removes its edges: the
+  // remaining a->b, b->c chain is acyclic.
+  std::string body(kLockCycleBody);
+  const std::string needle = "  std::lock_guard<std::mutex> ga(reload_a);\n}";
+  auto pos = body.rfind(needle);
+  ASSERT_NE(pos, std::string::npos);
+  body.replace(pos, needle.size(),
+               "  // lint: lock-order(drain path, publisher is stopped)\n"
+               "  std::lock_guard<std::mutex> ga(reload_a);\n}");
+  auto model = lint::build_model(Sources{
+      {"src/core/locks.hpp", kLockCycleHeader},
+      {"src/core/locks.cpp", body},
+  });
+  EXPECT_FALSE(has_rule(lint::check_lock_order(model), "GR050"));
+}
+
+TEST(LintLockOrder, Gr051FlagsBlockingSyscallUnderLock) {
+  auto model = lint::build_model(Sources{
+      {"src/live/j.cpp",
+       "#include <mutex>\n"
+       "std::mutex journal_mu;\n"
+       "void append(int fd) {\n"
+       "  std::lock_guard<std::mutex> g(journal_mu);\n"
+       "  ::fsync(fd);\n"
+       "}\n"},
+  });
+  auto f = lint::check_lock_order(model);
+  ASSERT_TRUE(has_rule(f, "GR051"));
+  EXPECT_TRUE(any_message_contains(f, "fsync"));
+  EXPECT_TRUE(any_message_contains(f, "journal_mu"));
+}
+
+TEST(LintLockOrder, Gr051SeesBlockingCallThroughCallees) {
+  // The lock is taken in sync(); the ::write happens in flush(), one
+  // call away. The inter-procedural entry-held closure must carry the
+  // lock across the edge.
+  auto model = lint::build_model(Sources{
+      {"src/live/j.cpp",
+       "#include <mutex>\n"
+       "std::mutex journal_mu;\n"
+       "void flush(int fd) {\n"
+       "  ::write(fd, nullptr, 0);\n"
+       "}\n"
+       "void sync_all(int fd) {\n"
+       "  std::lock_guard<std::mutex> g(journal_mu);\n"
+       "  flush(fd);\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(has_rule(lint::check_lock_order(model), "GR051"));
+}
+
+TEST(LintLockOrder, Gr051SuppressedByBlockingOkTag) {
+  auto model = lint::build_model(Sources{
+      {"src/live/j.cpp",
+       "#include <mutex>\n"
+       "std::mutex journal_mu;\n"
+       "void append(int fd) {\n"
+       "  std::lock_guard<std::mutex> g(journal_mu);\n"
+       "  // lint: blocking-ok(single-writer journal, sync IS the contract)\n"
+       "  ::fsync(fd);\n"
+       "}\n"},
+  });
+  EXPECT_FALSE(has_rule(lint::check_lock_order(model), "GR051"));
+}
+
+TEST(LintLockOrder, NoFalseCycleFromConsistentOrder) {
+  // Two functions taking a then b in the SAME order: one edge, no cycle.
+  auto model = lint::build_model(Sources{
+      {"src/core/locks.hpp", kLockCycleHeader},
+      {"src/core/locks.cpp",
+       "#include \"core/locks.hpp\"\n"
+       "void f1() {\n"
+       "  std::lock_guard<std::mutex> ga(reload_a);\n"
+       "  std::lock_guard<std::mutex> gb(publish_b);\n"
+       "}\n"
+       "void f2() {\n"
+       "  std::lock_guard<std::mutex> ga(reload_a);\n"
+       "  std::lock_guard<std::mutex> gb(publish_b);\n"
+       "}\n"},
+  });
+  EXPECT_FALSE(has_rule(lint::check_lock_order(model), "GR050"));
+}
+
+// ---------------------------------------------------------------------------
+// GR060 view-lifetime
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, Gr060FlagsViewBoundToTemporary) {
+  auto f = lint::scan_file(
+      "src/core/x.cpp",
+      "#include <string_view>\n"
+      "void f() {\n"
+      "  std::string_view v = std::string(\"temp\");\n"
+      "}\n");
+  ASSERT_TRUE(has_rule(f, "GR060"));
+}
+
+TEST(LintRules, Gr060FlagsViewOfToStringAndConcatenation) {
+  auto f = lint::scan_file(
+      "src/serve/x.cpp",
+      "void f(int n, const std::string& base) {\n"
+      "  std::string_view a = std::to_string(n);\n"
+      "  std::string_view b = base + \"/suffix\";\n"
+      "}\n");
+  EXPECT_EQ(rule_ids(f), (std::vector<std::string>{"GR060", "GR060"}));
+}
+
+TEST(LintRules, Gr060FlagsReturningLocalString) {
+  auto f = lint::scan_file(
+      "src/serve/x.cpp",
+      "std::string_view name() {\n"
+      "  std::string built = make();\n"
+      "  return built;\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(f, "GR060"));
+}
+
+TEST(LintRules, Gr060AllowsViewsOfStableStorage) {
+  auto f = lint::scan_file(
+      "src/serve/x.cpp",
+      "void f(const std::string& owned) {\n"
+      "  std::string_view v = owned;\n"
+      "  std::string_view lit = \"static storage\";\n"
+      "}\n"
+      "std::string_view pick() { return \"literal\"; }\n");
+  EXPECT_FALSE(has_rule(f, "GR060"));
+}
+
+TEST(LintRules, Gr060UsesModelProducers) {
+  // encode() returns std::string by value per the header: binding a
+  // view to its result dangles. Without the model the call is opaque.
+  auto model = lint::build_model(Sources{
+      {"src/io/codec.hpp",
+       "#pragma once\n#include <string>\nstd::string encode(int v);\n"},
+  });
+  auto f = lint::scan_file("src/io/x.cpp",
+                           "void f() {\n"
+                           "  std::string_view v = encode(7);\n"
+                           "}\n",
+                           {}, &model);
+  EXPECT_TRUE(has_rule(f, "GR060"));
+}
+
+TEST(LintRules, Gr060SuppressedByLifetimeOkTag) {
+  auto f = lint::scan_file(
+      "src/core/x.cpp",
+      "void f(Pool& pool) {\n"
+      "  // lint: lifetime-ok(interned: pool owns the bytes for the run)\n"
+      "  std::string_view v = pool.intern() + \"\";\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(f, "GR060"));
+}
+
+TEST(LintRules, Gr060StaysOutOfToolsAndBench) {
+  const char* body =
+      "void f() { std::string_view v = std::string(\"temp\"); }\n";
+  EXPECT_FALSE(has_rule(lint::scan_file("tools/x.cpp", body), "GR060"));
+  EXPECT_FALSE(has_rule(lint::scan_file("bench/x.cpp", body), "GR060"));
+}
+
+// ---------------------------------------------------------------------------
+// GR061 swallowed-error
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, Gr061FlagsDiscardedSyscallReturn) {
+  // src/io is allowed to make durability syscalls (no GR025), but it
+  // must still LOOK at what they return.
+  auto f = lint::scan_file("src/io/x.cpp",
+                           "void flush(int fd) {\n"
+                           "  ::fsync(fd);\n"
+                           "}\n");
+  EXPECT_EQ(rule_ids(f), (std::vector<std::string>{"GR061"}));
+  EXPECT_EQ(f[0].line, 2u);
+}
+
+TEST(LintRules, Gr061AllowsCheckedAndVoidCastCalls) {
+  auto f = lint::scan_file(
+      "src/io/x.cpp",
+      "void flush(int fd) {\n"
+      "  if (::fsync(fd) != 0) throw_errno(\"fsync\");\n"
+      "  int rc = ::close(fd);\n"
+      "  (void)::close(rc);  // teardown path, nothing to report\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(f, "GR061"));
+}
+
+TEST(LintRules, Gr061FlagsDiscardedNodiscardFromModel) {
+  auto model = lint::build_model(Sources{
+      {"src/core/api.hpp",
+       "#pragma once\n[[nodiscard]] bool try_publish(int epoch);\n"},
+  });
+  auto f = lint::scan_file("src/core/x.cpp",
+                           "void f() {\n"
+                           "  try_publish(3);\n"
+                           "}\n",
+                           {}, &model);
+  EXPECT_TRUE(has_rule(f, "GR061"));
+}
+
+TEST(LintRules, Gr061IgnoresMemberCallsCollidingWithNodiscardNames) {
+  // std::atomic::store / JsonWriter::key collide by NAME with
+  // [[nodiscard]] accessors in our headers; receiver calls are exempt.
+  auto model = lint::build_model(Sources{
+      {"src/core/api.hpp",
+       "#pragma once\n[[nodiscard]] const Store& store();\n"
+       "[[nodiscard]] const std::string& key();\n"},
+  });
+  auto f = lint::scan_file("src/core/x.cpp",
+                           "void f(Stats& stats, Writer& w) {\n"
+                           "  stats.count.store(1);\n"
+                           "  w.key(\"name\");\n"
+                           "}\n",
+                           {}, &model);
+  EXPECT_FALSE(has_rule(f, "GR061"));
+}
+
+TEST(LintRules, Gr061SuppressedByCheckOkTag) {
+  auto f = lint::scan_file(
+      "src/io/x.cpp",
+      "void flush(int fd) {\n"
+      "  ::fsync(fd);  // lint: check-ok(best effort, error handled by reopen)\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(f, "GR061"));
+}
+
+// ---------------------------------------------------------------------------
+// Repo-wide model against the real tree
+// ---------------------------------------------------------------------------
+
+#ifdef GEORANK_REPO_ROOT
+
+namespace {
+
+Sources slurp_real_src() {
+  namespace fs = std::filesystem;
+  Sources sources;
+  const fs::path src = fs::path(GEORANK_REPO_ROOT) / "src";
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    std::ifstream in{entry.path()};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string rel = fs::relative(entry.path(), fs::path(GEORANK_REPO_ROOT))
+                          .generic_string();
+    sources.emplace_back(std::move(rel), buf.str());
+  }
+  std::sort(sources.begin(), sources.end());
+  return sources;
+}
+
+}  // namespace
+
+TEST(LintRepoModel, HarvestsRealMutexesAndFunctions) {
+  auto model = lint::build_model(slurp_real_src());
+  // The pipeline, journal, health monitor and HTTP server each own at
+  // least one modeled mutex; losing them means the lock analysis went
+  // blind, not that the code got safer.
+  EXPECT_GE(model.mutexes.size(), 4u)
+      << "lock harvest regressed: GR050/GR051 are no longer looking at "
+         "the real pipeline";
+  EXPECT_GE(model.functions.size(), 100u);
+  EXPECT_FALSE(model.nodiscard_functions.empty());
+  EXPECT_FALSE(model.temporary_producers.empty());
+}
+
+TEST(LintRepoModel, RealLayeringIsCleanAndAcyclic) {
+  namespace fs = std::filesystem;
+  std::ifstream in{fs::path(GEORANK_REPO_ROOT) /
+                   "tools/georank_lint/layers.def"};
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto spec = lint::parse_layers(buf.str());
+  auto model = lint::build_model(slurp_real_src());
+  auto f = lint::check_layering(model, spec);
+  EXPECT_TRUE(f.empty()) << f.size() << " layering finding(s), first: "
+                         << (f.empty() ? "" : f.front().message);
+}
+
+#endif  // GEORANK_REPO_ROOT
+
+// ---------------------------------------------------------------------------
+// SARIF serialization
+// ---------------------------------------------------------------------------
+
+TEST(LintSarif, MinimalDocumentShape) {
+  std::vector<lint::Finding> findings{
+      {"GR040", "src/core/a.hpp", 2,
+       "illegal edge core -> serve (\"quoted\")", "#include \"serve/h.hpp\""},
+  };
+  const std::string doc = lint::to_sarif(lint::rules(), findings);
+  EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(doc.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"georank-lint\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ruleId\": \"GR040\""), std::string::npos);
+  EXPECT_NE(doc.find("\"startLine\": 2"), std::string::npos);
+  // Quotes inside the message must be escaped, not emitted raw.
+  EXPECT_NE(doc.find("\\\"quoted\\\""), std::string::npos);
+  // Every rule in the table is described in tool.driver.rules.
+  for (const lint::RuleInfo& r : lint::rules()) {
+    EXPECT_NE(doc.find('"' + std::string(r.id) + '"'), std::string::npos)
+        << r.id;
+  }
+}
+
+TEST(LintSarif, EmptyFindingsStillValidRun) {
+  const std::string doc = lint::to_sarif(lint::rules(), {});
+  EXPECT_NE(doc.find("\"results\": ["), std::string::npos);
+  EXPECT_EQ(doc.find("\"ruleId\""), std::string::npos) << "no results expected";
+  EXPECT_EQ(doc.back(), '\n');
 }

@@ -1,0 +1,173 @@
+#include "georank_lint/layers.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace georank::lint {
+namespace {
+
+std::string trim_ws(std::string s) {
+  auto sp = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && sp(static_cast<unsigned char>(s.front()))) {
+    s.erase(s.begin());
+  }
+  while (!s.empty() && sp(static_cast<unsigned char>(s.back()))) {
+    s.pop_back();
+  }
+  return s;
+}
+
+struct Edge {
+  std::string file;
+  std::size_t line = 0;
+  std::string include;
+};
+
+/// Rotates a cycle so its lexicographically smallest module comes
+/// first — the canonical form used to report each cycle exactly once.
+std::vector<std::string> canonical(std::vector<std::string> cycle) {
+  auto smallest = std::min_element(cycle.begin(), cycle.end());
+  std::rotate(cycle.begin(), smallest, cycle.end());
+  return cycle;
+}
+
+}  // namespace
+
+bool LayerSpec::declares(std::string_view module) const {
+  return allowed.count(std::string(module)) != 0;
+}
+
+bool LayerSpec::permits(std::string_view from, std::string_view to) const {
+  if (from == to) return true;
+  auto it = allowed.find(std::string(from));
+  return it != allowed.end() && it->second.count(std::string(to)) != 0;
+}
+
+LayerSpec parse_layers(std::string_view text) {
+  LayerSpec spec;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  while (std::getline(in, raw)) {
+    std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::size_t colon = raw.find(':');
+    if (colon == std::string::npos) continue;
+    std::string module = trim_ws(raw.substr(0, colon));
+    if (module.empty()) continue;
+    std::set<std::string>& deps = spec.allowed[module];
+    std::istringstream rest{raw.substr(colon + 1)};
+    std::string dep;
+    while (rest >> dep) deps.insert(dep);
+  }
+  return spec;
+}
+
+std::vector<Finding> check_layering(const RepoModel& model,
+                                    const LayerSpec& spec) {
+  // The module universe is what exists on disk: src/<module>/...
+  std::set<std::string> modules;
+  std::map<std::string, std::string> first_file;  // module -> a file in it
+  for (const FileModel& f : model.files) {
+    std::string_view m = module_of(f.rel);
+    if (m.empty()) continue;
+    auto [it, inserted] = first_file.emplace(std::string(m), f.rel);
+    if (!inserted && f.rel < it->second) it->second = f.rel;
+    modules.insert(std::string(m));
+  }
+
+  // Observed inter-module edges, with every include that created each.
+  std::map<std::pair<std::string, std::string>, std::vector<Edge>> edges;
+  for (const FileModel& f : model.files) {
+    std::string from(module_of(f.rel));
+    if (from.empty()) continue;
+    for (const IncludeEdge& inc : f.includes) {
+      std::size_t slash = inc.path.find('/');
+      if (slash == std::string::npos) continue;
+      std::string to = inc.path.substr(0, slash);
+      if (modules.count(to) == 0 || to == from) continue;
+      edges[{from, to}].push_back(Edge{f.rel, inc.line, inc.path});
+    }
+  }
+
+  std::vector<Finding> out;
+
+  // GR040a: a src/ module the architecture file doesn't know about.
+  for (const std::string& m : modules) {
+    if (spec.declares(m)) continue;
+    out.push_back(Finding{
+        "GR040", first_file.at(m), 1,
+        "module '" + m +
+            "' is not declared in tools/georank_lint/layers.def; add a "
+            "`" + m + ": <deps>` line stating what it may depend on",
+        ""});
+  }
+
+  // GR040b: an observed edge the architecture file doesn't permit.
+  for (const auto& [edge, sites] : edges) {
+    if (spec.permits(edge.first, edge.second)) continue;
+    for (const Edge& site : sites) {
+      if (model.suppressed(site.file, site.line, "layer-ok")) continue;
+      out.push_back(Finding{
+          "GR040", site.file, site.line,
+          "illegal layering edge " + edge.first + " -> " + edge.second +
+              " (via #include \"" + site.include +
+              "\"); not permitted by layers.def",
+          "#include \"" + site.include + "\""});
+    }
+  }
+
+  // GR041: cycles in the OBSERVED graph — always fatal, never
+  // suppressible. Colored DFS; each cycle reported once in canonical
+  // rotation, anchored at one include that closes it.
+  std::map<std::string, std::set<std::string>> graph;
+  for (const auto& [edge, sites] : edges) {
+    graph[edge.first].insert(edge.second);
+  }
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> path;
+  std::set<std::vector<std::string>> seen;
+
+  auto dfs = [&](auto&& self, const std::string& node) -> void {
+    color[node] = 1;
+    path.push_back(node);
+    auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const std::string& next : it->second) {
+        if (color[next] == 1) {
+          auto start = std::find(path.begin(), path.end(), next);
+          std::vector<std::string> cycle(start, path.end());
+          std::vector<std::string> canon = canonical(cycle);
+          if (!seen.insert(canon).second) continue;
+          std::string desc;
+          for (const std::string& m : canon) desc += m + " -> ";
+          desc += canon.front();
+          const Edge& site = edges.at({node, next}).front();
+          out.push_back(Finding{
+              "GR041", site.file, site.line,
+              "module dependency cycle: " + desc +
+                  "; cycles have no build order and are always fatal "
+                  "(no suppression, no baseline)",
+              "#include \"" + site.include + "\""});
+        } else if (color[next] == 0) {
+          self(self, next);
+        }
+      }
+    }
+    path.pop_back();
+    color[node] = 2;
+  };
+  for (const std::string& m : modules) {
+    if (color[m] == 0) dfs(dfs, m);
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.path, a.line, a.rule) <
+           std::tie(b.path, b.line, b.rule);
+  });
+  return out;
+}
+
+}  // namespace georank::lint

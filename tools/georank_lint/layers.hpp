@@ -1,0 +1,46 @@
+// GR040/GR041: architecture layering. The allowed module dependency
+// edges live in tools/georank_lint/layers.def (one line per module:
+// `module: dep dep ...`), so the architecture itself is versioned and
+// reviewed like code. Pass two walks every `#include` harvested into
+// the RepoModel, maps src/<module>/... paths to modules, and:
+//
+//   GR040  an observed edge absent from layers.def — the finding names
+//          the edge (`serve -> io`) and the include that created it.
+//          Suppress with `// lint: layer-ok(why)` on the include line;
+//          baseline entries also apply.
+//   GR041  a cycle among observed edges — always fatal: a cyclic module
+//          graph has no build order and no ownership story, so neither
+//          suppression tags nor the baseline silence it.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "georank_lint/lint.hpp"
+#include "georank_lint/model.hpp"
+
+namespace georank::lint {
+
+struct LayerSpec {
+  /// module -> modules it may include from (besides itself).
+  std::map<std::string, std::set<std::string>> allowed;
+
+  [[nodiscard]] bool declares(std::string_view module) const;
+  [[nodiscard]] bool permits(std::string_view from,
+                             std::string_view to) const;
+};
+
+/// Parses layers.def text. `#` starts a comment; blank lines ignored;
+/// each remaining line is `module: dep dep ...` (deps optional).
+/// Unparseable lines are skipped — a broken layers.def then fails the
+/// build via GR040 "module not declared" rather than silently passing.
+[[nodiscard]] LayerSpec parse_layers(std::string_view text);
+
+/// Evaluates GR040/GR041 over every src/ include edge in the model.
+[[nodiscard]] std::vector<Finding> check_layering(const RepoModel& model,
+                                                  const LayerSpec& spec);
+
+}  // namespace georank::lint

@@ -4,8 +4,16 @@
 #include <array>
 #include <cctype>
 #include <fstream>
+#include <map>
 #include <regex>
+#include <set>
 #include <sstream>
+#include <tuple>
+
+#include "georank_lint/layers.hpp"
+#include "georank_lint/lockorder.hpp"
+#include "georank_lint/model.hpp"
+#include "georank_lint/tokenizer.hpp"
 
 namespace georank::lint {
 namespace {
@@ -14,125 +22,142 @@ namespace {
 // Rule table
 // ---------------------------------------------------------------------------
 
-constexpr std::array<RuleInfo, 13> kRules{{
+constexpr std::array<RuleInfo, 19> kRules{{
     {"GR001", "determinism-rand", "",
-     "std::rand()/srand(): unseeded, stdlib-dependent randomness; use util::Pcg32"},
+     "std::rand()/srand(): unseeded, stdlib-dependent randomness; use util::Pcg32",
+     "rand() output differs across C libraries and its hidden global state "
+     "makes results depend on call order. Rankings must be bit-identical "
+     "across runs and platforms, so all randomness flows through "
+     "util::Pcg32 with an explicit seed. There is no legitimate use; the "
+     "rule has no suppression tag."},
     {"GR002", "determinism-wallclock", "wallclock",
-     "wall-clock read in library code; results must not depend on when they run"},
+     "wall-clock read in library code; results must not depend on when they run",
+     "A ranking computed from the same RIBs must not change because the "
+     "clock moved. Library code takes timestamps as inputs; only CLI code "
+     "(tools/) may read the clock. Suppress with `// lint: wallclock(<why>)` "
+     "for operational logging that provably cannot reach results."},
     {"GR003", "determinism-randdev", "",
-     "std::random_device is nondeterministic by design; derive seeds explicitly"},
+     "std::random_device is nondeterministic by design; derive seeds explicitly",
+     "std::random_device exists to produce different values each run — the "
+     "opposite of reproducibility. Seeds are configuration: plumb them "
+     "through explicitly. No suppression tag."},
     {"GR004", "determinism-std-rng", "rng",
      "<random> engines/distributions and std::shuffle are implementation-defined; "
-     "use util/rng.hpp"},
+     "use util/rng.hpp",
+     "The standard permits different outputs per stdlib for distributions "
+     "and std::shuffle, so the same seed gives different rankings on "
+     "libstdc++ vs libc++. util/rng.hpp pins the algorithms. Suppress with "
+     "`// lint: rng(<why>)` only where output cannot reach results."},
     {"GR010", "ordering-unordered-iter", "ordered",
      "iteration order of unordered containers is stdlib-dependent; sort first or "
-     "justify why order cannot reach reported output"},
+     "justify why order cannot reach reported output",
+     "Hash-map iteration order varies across stdlib implementations and "
+     "even across runs. In result-bearing code (src/rank, src/core, "
+     "src/robust) every such loop must sort first or carry "
+     "`// lint: ordered(<why order cannot matter>)`."},
     {"GR011", "ordering-shard-bypass", "shard-ok",
      "global-row PathStore iteration (.all()/.over()) outside src/core; query "
-     "per-country shards so work scales with the country, not the world"},
+     "per-country shards so work scales with the country, not the world",
+     "The PathStore is sharded per country precisely so consumers never "
+     "touch the global row set. A `.all()`/`.over()` call outside src/core "
+     "makes that consumer scale with the internet, not the country. "
+     "Suppress with `// lint: shard-ok(<why>)` for true cross-country "
+     "passes."},
     {"GR020", "concurrency-annotation", "",
-     "GEORANK_GUARDED_BY must name a lock declared in this file (or its paired "
-     "header) and requires util/thread_safety.hpp"},
+     "GEORANK_GUARDED_BY must name a lock declared in the same file (or its paired "
+     "header) and requires including util/thread_safety.hpp",
+     "An annotation naming a lock that does not exist documents a lie and "
+     "silently disables any tooling keyed on it. The macro also degrades "
+     "to nothing without util/thread_safety.hpp included. Baseline-only; "
+     "fix the annotation instead of suppressing."},
     {"GR021", "concurrency-mutable", "guarded",
-     "mutable member without a guard annotation; const methods that write it race"},
+     "mutable member without a guard annotation; const methods that write it race",
+     "`mutable` lets const methods write state, and const methods are "
+     "assumed thread-compatible — so unguarded mutable members are data "
+     "races waiting for a second thread. Annotate with "
+     "GEORANK_GUARDED_BY(lock) or justify with `// lint: guarded(<how>)`."},
     {"GR022", "concurrency-static", "static-ok",
      "mutable function-local static: hidden global state, racy initialization-"
-     "after-C++11 aside, order-dependent results"},
+     "after-C++11 aside, order-dependent results",
+     "Function-local statics are invisible global state: they make output "
+     "depend on call history and are shared across threads without a "
+     "lock. Thread state through explicitly, or justify a genuinely "
+     "immutable-after-init table with `// lint: static-ok(<why>)`."},
     {"GR023", "concurrency-const-cast", "const-cast-ok",
-     "const_cast subverts the const-means-thread-compatible contract"},
+     "const_cast subverts the const-means-thread-compatible contract",
+     "The concurrency story rests on const methods being safe to call "
+     "concurrently. const_cast writes through that promise. Justify every "
+     "use with `// lint: const-cast-ok(<why>)`."},
     {"GR024", "syscall-containment", "syscall-ok",
      "raw socket/network syscalls belong in src/serve (the transport layer); "
-     "move the code there or justify with `// lint: syscall-ok(<why>)`"},
+     "move the code there or justify with `// lint: syscall-ok(<why>)`",
+     "One module owns the sockets so fault handling, timeouts and "
+     "shutdown live in one place. Socket headers or ::socket-family "
+     "calls anywhere else in src/ mean a second, unaudited transport."},
     {"GR025", "durability-containment", "durable-ok",
      "durability syscalls (fsync/rename/O_* file control) belong in src/io + "
      "src/live (the persistence layers); move the code there or justify with "
-     "`// lint: durable-ok(<why>)`"},
+     "`// lint: durable-ok(<why>)`",
+     "Crash-safety invariants (write-fsync-rename ordering) are only "
+     "auditable if every durability syscall sits in the persistence "
+     "layers. An ::fsync elsewhere is either redundant or a second, "
+     "unaudited crash-consistency protocol."},
     {"GR030", "include-pragma-once", "",
-     "public header must open with #pragma once"},
+     "public header must open with #pragma once",
+     "Every header's first non-blank line must be #pragma once; include "
+     "guards by macro are tedious to keep unique and the generated "
+     "one-TU-per-header compile checks assume pragma semantics. "
+     "Baseline-only."},
+    {"GR040", "layering-illegal-edge", "layer-ok",
+     "src/ module #include edge not permitted by tools/georank_lint/layers.def",
+     "The module DAG (util at the bottom, serve/live at the top) is "
+     "declared in tools/georank_lint/layers.def and versioned with the "
+     "code. An #include creating an edge the file does not permit is an "
+     "architecture change: either revert it or change layers.def in the "
+     "same review. Suppress a deliberate exception with "
+     "`// lint: layer-ok(<why>)` on the include line."},
+    {"GR041", "layering-cycle", "",
+     "cycle in the observed src/ module dependency graph; always fatal",
+     "A cyclic module graph has no build order, no ownership story and "
+     "no way to test layers in isolation. Unlike every other rule this "
+     "one ignores both suppression tags and the baseline: break the "
+     "cycle by moving the shared vocabulary down a layer."},
+    {"GR050", "lock-order-cycle", "lock-order",
+     "inter-procedural lock acquisition order graph contains a cycle",
+     "Holding A while acquiring B adds edge A->B; the analysis follows "
+     "call chains, so edges through helper functions count. A cycle "
+     "means two threads can deadlock by locking in opposite orders. Fix "
+     "by picking one global order; suppress a specific acquisition's "
+     "edges with `// lint: lock-order(<why>)` when the analysis "
+     "over-approximates (e.g. locks never held concurrently)."},
+    {"GR051", "blocking-under-lock", "blocking-ok",
+     "blocking syscall reached while a modeled lock is held",
+     "fsync/write/accept/connect and friends can stall for disk or peer "
+     "latency; reached under a lock (directly or via callers) they turn "
+     "that lock into an I/O-rate limiter for every other thread. Move "
+     "the I/O outside the critical section, or justify with "
+     "`// lint: blocking-ok(<why>)` (e.g. lock is private to a "
+     "single-threaded path)."},
+    {"GR060", "view-lifetime", "lifetime-ok",
+     "string_view/span/PathsView bound to a temporary-producing expression",
+     "A view does not own storage: binding one to a std::string/vector "
+     "temporary (to_string, .str(), concatenation, a by-value producer "
+     "from our headers) leaves it dangling at the semicolon. Returning "
+     "a view over a function-local string is the same bug. Take a copy, "
+     "or annotate `// lint: lifetime-ok(<who owns the storage>)`."},
+    {"GR061", "swallowed-error", "check-ok",
+     "discarded return value of a fenced durability/socket syscall or a "
+     "[[nodiscard]] function from our headers",
+     "fsync/rename/setsockopt/shutdown report failure only through their "
+     "return value; a bare `::fsync(fd);` statement turns an I/O error "
+     "into silent corruption. The same goes for our own [[nodiscard]] "
+     "APIs. Check the result, cast to (void) with a comment, or justify "
+     "with `// lint: check-ok(<why>)`."},
 }};
 
 // ---------------------------------------------------------------------------
-// Line model: code with comments/literals stripped + suppression tags
+// Suppression tags + small string helpers
 // ---------------------------------------------------------------------------
-
-struct Line {
-  std::string raw;
-  std::string code;     // literals blanked, comments removed
-  std::string comment;  // comment text (for suppression tags)
-};
-
-std::vector<Line> split_lines(std::string_view contents) {
-  std::vector<Line> lines;
-  std::size_t pos = 0;
-  while (pos <= contents.size()) {
-    std::size_t nl = contents.find('\n', pos);
-    if (nl == std::string_view::npos) {
-      if (pos < contents.size()) {
-        lines.push_back({std::string(contents.substr(pos)), "", ""});
-      }
-      break;
-    }
-    lines.push_back({std::string(contents.substr(pos, nl - pos)), "", ""});
-    pos = nl + 1;
-  }
-  return lines;
-}
-
-/// Blanks string/char literal contents, splits comments out of the code.
-/// Tracks /* */ state across lines. Not a full lexer (raw strings and
-/// line continuations are ignored) — good enough for rule matching.
-void strip_literals_and_comments(std::vector<Line>& lines) {
-  bool in_block = false;
-  for (Line& line : lines) {
-    std::string code;
-    std::string comment;
-    code.reserve(line.raw.size());
-    const std::string& s = line.raw;
-    for (std::size_t i = 0; i < s.size();) {
-      if (in_block) {
-        if (s[i] == '*' && i + 1 < s.size() && s[i + 1] == '/') {
-          in_block = false;
-          i += 2;
-        } else {
-          comment += s[i++];
-        }
-        continue;
-      }
-      char c = s[i];
-      if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
-        comment.append(s, i + 2, std::string::npos);
-        break;
-      }
-      if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
-        in_block = true;
-        i += 2;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        char quote = c;
-        code += quote;
-        ++i;
-        while (i < s.size()) {
-          if (s[i] == '\\' && i + 1 < s.size()) {
-            i += 2;
-            continue;
-          }
-          if (s[i] == quote) break;
-          ++i;
-        }
-        if (i < s.size()) {
-          code += quote;
-          ++i;
-        }
-        continue;
-      }
-      code += c;
-      ++i;
-    }
-    line.code = std::move(code);
-    line.comment = std::move(comment);
-  }
-}
 
 /// `// lint: ordered(why)` / `// lint: guarded(...)` tags in a comment.
 std::vector<std::string> suppression_tags(const std::string& comment) {
@@ -155,7 +180,6 @@ bool line_suppressed(const std::vector<Line>& lines, std::size_t idx,
     return std::find(tags.begin(), tags.end(), tag) != tags.end();
   };
   if (has(lines[idx])) return true;
-  std::string trimmed_prev;
   if (idx > 0) {
     const Line& prev = lines[idx - 1];
     std::string t = prev.code;
@@ -237,6 +261,12 @@ bool in_durability_scope(std::string_view rel) {
          !starts_with(rel, "src/live/");
 }
 
+/// GR060/GR061 are library-code rules: CLIs and benches may hold views
+/// over argv and print errors instead of returning them.
+bool in_library_scope(std::string_view rel) {
+  return starts_with(rel, "src/");
+}
+
 // ---------------------------------------------------------------------------
 // GR010 support: identifiers declared as unordered containers
 // ---------------------------------------------------------------------------
@@ -279,39 +309,410 @@ void collect_unordered_names(const std::string& code_text,
 }
 
 // ---------------------------------------------------------------------------
+// GR060: views over temporaries (token-level)
+// ---------------------------------------------------------------------------
+
+bool is_view_type(std::string_view word) {
+  return word == "string_view" || word == "span" || word == "PathsView";
+}
+
+/// Token-level scanner for the PR-5 bug class. Tracks a light scope
+/// stack (does the enclosing function return a view? which locals are
+/// std::strings?) and flags (a) view declarations initialized from a
+/// temporary-producing expression, (b) `return` of such an expression
+/// or of a local std::string from a view-returning function.
+class ViewLifetimeScanner {
+ public:
+  ViewLifetimeScanner(const std::vector<Token>& toks, const RepoModel* model)
+      : toks_(toks), model_(model) {}
+
+  /// (line, message) pairs, in token order.
+  std::vector<std::pair<std::size_t, std::string>> run() {
+    while (i_ < toks_.size()) {
+      const Token& t = toks_[i_];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(") ++paren_depth_;
+        if (t.text == ")" && paren_depth_ > 0) --paren_depth_;
+        if (t.text == "{" && paren_depth_ == 0) open_brace();
+        if (t.text == "{" && paren_depth_ > 0) {
+          frames_.push_back(frames_.empty() ? Frame{} : frames_.back());
+        }
+        if (t.text == "}") {
+          if (!frames_.empty()) frames_.pop_back();
+          head_ = i_ + 1;
+        }
+        if (t.text == ";" && paren_depth_ == 0) head_ = i_ + 1;
+        ++i_;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent && paren_depth_ == 0) {
+        if (is_view_type(t.text) && try_view_decl()) continue;
+        if (t.text == "string" && try_string_local()) continue;
+        if (t.text == "return" && !frames_.empty() &&
+            frames_.back().returns_view) {
+          check_return();
+          ++i_;
+          continue;
+        }
+      }
+      ++i_;
+      continue;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  struct Frame {
+    bool returns_view = false;
+    std::set<std::string> string_locals;
+  };
+
+  void open_brace() {
+    // Plain blocks inherit the enclosing function's return kind; a
+    // function definition head (`... name( ... ) ... {`) resets it to
+    // whether a view type appeared at paren depth 0 BEFORE the name —
+    // view types inside the parameter list must not count.
+    Frame frame;
+    if (!frames_.empty()) frame.returns_view = frames_.back().returns_view;
+    bool view_in_return_type = false;
+    int paren = 0;
+    for (std::size_t j = head_; j < i_; ++j) {
+      const Token& h = toks_[j];
+      if (h.kind == TokKind::kPunct) {
+        if (h.text == "(") ++paren;
+        if (h.text == ")") --paren;
+        if (h.text == "=" && paren == 0) break;  // lambda/init: block
+        continue;
+      }
+      if (h.kind != TokKind::kIdent) continue;
+      if (j == head_) {
+        if (h.text == "if" || h.text == "for" || h.text == "while" ||
+            h.text == "switch" || h.text == "do" || h.text == "else" ||
+            h.text == "try" || h.text == "catch") {
+          break;  // control statement: plain block
+        }
+        if (h.text == "namespace" || h.text == "class" ||
+            h.text == "struct" || h.text == "enum" || h.text == "union") {
+          frame.returns_view = false;
+          break;
+        }
+      }
+      if (paren == 0 && is_view_type(h.text)) view_in_return_type = true;
+      if (paren == 0 && j + 1 < i_ && toks_[j + 1].text == "(" &&
+          !is_view_type(h.text) && h.text != "return") {
+        // Function definition named at j: the return type is decided.
+        frame.returns_view = view_in_return_type;
+        frame.string_locals.clear();
+        break;
+      }
+    }
+    frames_.push_back(std::move(frame));
+    head_ = i_ + 1;
+  }
+
+  bool is_producer(const std::string& name) const {
+    if (name == "to_string") return true;
+    return model_ != nullptr && model_->temporary_producers.count(name) != 0;
+  }
+
+  /// Does this initializer/return expression yield a temporary a view
+  /// must not outlive?
+  bool dangles(std::size_t b, std::size_t e, std::string* what) const {
+    bool has_plus = false;
+    bool has_literal = false;
+    for (std::size_t k = b; k < e; ++k) {
+      const Token& t = toks_[k];
+      if (t.kind == TokKind::kPunct && t.text == "+") has_plus = true;
+      if (t.kind == TokKind::kString) has_literal = true;
+      if (t.kind != TokKind::kIdent) continue;
+      const bool called = k + 1 < e && (toks_[k + 1].text == "(" ||
+                                        toks_[k + 1].text == "{");
+      if (!called) continue;
+      if (t.text == "string" && k >= 2 && toks_[k - 1].text == "::" &&
+          toks_[k - 2].text == "std") {
+        *what = "a std::string temporary";
+        return true;
+      }
+      if (t.text == "str" && k >= 1 && toks_[k - 1].text == ".") {
+        *what = "the temporary returned by .str()";
+        return true;
+      }
+      if (is_producer(t.text)) {
+        *what = "the temporary returned by " + t.text + "()";
+        return true;
+      }
+    }
+    if (has_plus && has_literal) {
+      *what = "a concatenation temporary";
+      return true;
+    }
+    return false;
+  }
+
+  /// toks_[i_] is a view type name at paren depth 0: if it declares a
+  /// variable with an initializer, check the initializer.
+  bool try_view_decl() {
+    std::size_t j = i_ + 1;
+    // A view type inside template args (vector<string_view>) has `<`
+    // or `,` before it — not a declaration.
+    if (i_ >= 1 &&
+        (toks_[i_ - 1].text == "<" || toks_[i_ - 1].text == ",")) {
+      return false;
+    }
+    if (j < toks_.size() && toks_[j].text == "<") {
+      int depth = 0;
+      while (j < toks_.size()) {
+        if (toks_[j].text == "<") ++depth;
+        if (toks_[j].text == ">" && --depth == 0) break;
+        ++j;
+      }
+      ++j;
+    }
+    if (j >= toks_.size() || toks_[j].kind != TokKind::kIdent) return false;
+    const Token& var = toks_[j];
+    ++j;
+    // Only `=` and braced initializers: `view name(...)` is ambiguous
+    // with a function declaration/definition returning a view, and the
+    // paren-init spelling for views is rare enough to let go.
+    if (j >= toks_.size() ||
+        (toks_[j].text != "=" && toks_[j].text != "{")) {
+      return false;
+    }
+    // Initializer tokens run to the `;` (balanced through parens).
+    std::size_t init_b = toks_[j].text == "=" ? j + 1 : j;
+    std::size_t k = init_b;
+    int paren = 0;
+    int brace = 0;
+    while (k < toks_.size()) {
+      const std::string& s = toks_[k].text;
+      if (s == "(") ++paren;
+      if (s == ")") --paren;
+      if (s == "{") ++brace;
+      if (s == "}") --brace;
+      if (s == ";" && paren == 0 && brace <= 0) break;
+      ++k;
+    }
+    std::string what;
+    if (dangles(init_b, k, &what)) {
+      out_.emplace_back(var.line,
+                        "view '" + var.text + "' is bound to " + what +
+                            ", which dies at the semicolon; copy into an "
+                            "owning type or annotate "
+                            "`// lint: lifetime-ok(<who owns the storage>)`");
+    }
+    i_ = k;
+    return true;
+  }
+
+  /// `std::string name ...` inside a function: remember the local so a
+  /// later `return name;` from a view-returning function is caught.
+  bool try_string_local() {
+    if (frames_.empty() || i_ < 2 || toks_[i_ - 1].text != "::" ||
+        toks_[i_ - 2].text != "std") {
+      return false;
+    }
+    std::size_t j = i_ + 1;
+    if (j >= toks_.size() || toks_[j].kind != TokKind::kIdent) return false;
+    frames_.back().string_locals.insert(toks_[j].text);
+    return false;  // do not consume: GR010 etc. still see the tokens
+  }
+
+  void check_return() {
+    std::size_t b = i_ + 1;
+    std::size_t k = b;
+    int paren = 0;
+    while (k < toks_.size()) {
+      const std::string& s = toks_[k].text;
+      if (s == "(") ++paren;
+      if (s == ")") --paren;
+      if (s == ";" && paren == 0) break;
+      ++k;
+    }
+    std::string what;
+    if (dangles(b, k, &what)) {
+      out_.emplace_back(toks_[i_].line,
+                        "returns a view over " + what +
+                            "; the storage is gone before the caller "
+                            "looks — return an owning type or annotate "
+                            "`// lint: lifetime-ok(<who owns the storage>)`");
+      return;
+    }
+    // `return local_string;` from a view-returning function.
+    if (k == b + 1 && toks_[b].kind == TokKind::kIdent) {
+      for (const Frame& f : frames_) {
+        if (f.string_locals.count(toks_[b].text) != 0) {
+          out_.emplace_back(
+              toks_[i_].line,
+              "returns a view over function-local std::string '" +
+                  toks_[b].text +
+                  "'; the storage dies with the frame — return an owning "
+                  "type or annotate `// lint: lifetime-ok(...)`");
+          return;
+        }
+      }
+    }
+  }
+
+  const std::vector<Token>& toks_;
+  const RepoModel* model_;
+  std::size_t i_ = 0;
+  std::size_t head_ = 0;
+  int paren_depth_ = 0;
+  std::vector<Frame> frames_;
+  std::vector<std::pair<std::size_t, std::string>> out_;
+};
+
+// ---------------------------------------------------------------------------
+// GR061: discarded error-bearing returns (token-level)
+// ---------------------------------------------------------------------------
+
+/// Syscalls whose only failure channel is the return value. A bare
+/// `::name(...);` statement discards it.
+bool is_checked_syscall(std::string_view word) {
+  return word == "fsync" || word == "fdatasync" || word == "ftruncate" ||
+         word == "write" || word == "rename" || word == "setsockopt" ||
+         word == "shutdown" || word == "listen" || word == "bind" ||
+         word == "connect" || word == "send" || word == "recv" ||
+         word == "unlink" || word == "open" || word == "socket" ||
+         word == "accept" || word == "close";
+}
+
+/// Statement-level scanner: a statement of the exact shape
+/// `[::]chain(args);` whose final callee is a checked syscall (when
+/// ::-qualified or std::-qualified) or a [[nodiscard]] function from
+/// our headers (any chain) discards the result.
+class SwallowedErrorScanner {
+ public:
+  SwallowedErrorScanner(const std::vector<Token>& toks,
+                        const RepoModel* model)
+      : toks_(toks), model_(model) {}
+
+  std::vector<std::pair<std::size_t, std::string>> run() {
+    bool at_start = true;
+    std::size_t i = 0;
+    while (i < toks_.size()) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kPunct &&
+          (t.text == ";" || t.text == "{" || t.text == "}")) {
+        at_start = true;
+        ++i;
+        continue;
+      }
+      if (!at_start) {
+        ++i;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "if" || t.text == "for" || t.text == "while" ||
+           t.text == "switch") &&
+          i + 1 < toks_.size() && toks_[i + 1].text == "(") {
+        // Skip the control clause; its body is a fresh statement.
+        std::size_t j = i + 1;
+        int depth = 0;
+        while (j < toks_.size()) {
+          if (toks_[j].text == "(") ++depth;
+          if (toks_[j].text == ")" && --depth == 0) break;
+          ++j;
+        }
+        i = j + 1;
+        continue;  // at_start stays true for the body statement
+      }
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "else" || t.text == "do")) {
+        ++i;
+        continue;  // at_start stays true
+      }
+      check_statement(i);
+      at_start = false;
+      ++i;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void check_statement(std::size_t b) {
+    std::size_t j = b;
+    bool global_qualified = false;
+    if (toks_[j].kind == TokKind::kPunct && toks_[j].text == "::") {
+      global_qualified = true;
+      ++j;
+    } else if (toks_[j].kind != TokKind::kIdent) {
+      return;
+    }
+    // chain: ident ((:: | . | ->) ident)*
+    std::string callee;
+    std::string first;
+    bool via_receiver = false;
+    while (j < toks_.size() && toks_[j].kind == TokKind::kIdent) {
+      callee = toks_[j].text;
+      if (first.empty()) first = callee;
+      ++j;
+      if (j < toks_.size() &&
+          (toks_[j].text == "::" || toks_[j].text == "." ||
+           toks_[j].text == "->")) {
+        if (toks_[j].text != "::") via_receiver = true;
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (callee.empty() || j >= toks_.size() || toks_[j].text != "(") return;
+    // Balanced argument list, then the statement must end immediately.
+    int depth = 0;
+    while (j < toks_.size()) {
+      if (toks_[j].text == "(") ++depth;
+      if (toks_[j].text == ")" && --depth == 0) break;
+      ++j;
+    }
+    if (j + 1 >= toks_.size() || toks_[j + 1].text != ";") return;
+
+    const std::size_t line = toks_[b].line;
+    const bool std_qualified = first == "std";
+    if (is_checked_syscall(callee) && (global_qualified || std_qualified)) {
+      out_.emplace_back(
+          line, "return value of ::" + callee +
+                    " discarded; the error vanishes — check it, "
+                    "`(void)`-cast with a comment, or justify with "
+                    "`// lint: check-ok(<why>)`");
+      return;
+    }
+    // The [[nodiscard]] set binds by bare name, so receiver calls
+    // (`w.key(...)`, `t.join()`) would collide with same-named std/
+    // project methods — only free-function calls are checked.
+    if (model_ != nullptr && !global_qualified && !std_qualified &&
+        !via_receiver && model_->nodiscard_functions.count(callee) != 0) {
+      out_.emplace_back(
+          line, "return value of [[nodiscard]] " + callee +
+                    "() discarded; check it or justify with "
+                    "`// lint: check-ok(<why>)`");
+    }
+  }
+
+  const std::vector<Token>& toks_;
+  const RepoModel* model_;
+  std::vector<std::pair<std::size_t, std::string>> out_;
+};
+
+// ---------------------------------------------------------------------------
 // Scanner
 // ---------------------------------------------------------------------------
 
 class FileScanner {
  public:
   FileScanner(std::string_view rel_path, std::string_view contents,
-              std::string_view paired_header)
-      : rel_(rel_path), lines_(split_lines(contents)) {
-    strip_literals_and_comments(lines_);
+              std::string_view paired_header, const RepoModel* model)
+      : rel_(rel_path), tz_(tokenize(contents)), model_(model) {
     std::string all_code;
-    for (const Line& l : lines_) {
-      all_code += l.code;
+    for (const Line& l : tz_.lines) {
+      all_code += l.code;  // include paths survive tokenization
       all_code += '\n';
-      // Include paths live inside string literals, which stripping
-      // removes — keep raw preprocessor lines visible to the checks.
-      std::string t = trim(l.code);
-      if (!t.empty() && t.front() == '#') {
-        all_code += trim(l.raw);
-        all_code += '\n';
-      }
     }
     if (!paired_header.empty()) {
-      std::vector<Line> header = split_lines(paired_header);
-      strip_literals_and_comments(header);
+      Tokenized header = tokenize(paired_header);
       header_code_.reserve(paired_header.size());
-      for (const Line& l : header) {
+      for (const Line& l : header.lines) {
         header_code_ += l.code;
         header_code_ += '\n';
-        std::string ht = trim(l.code);
-        if (!ht.empty() && ht.front() == '#') {
-          header_code_ += trim(l.raw);
-          header_code_ += '\n';
-        }
       }
     }
     code_text_ = std::move(all_code);
@@ -325,8 +726,18 @@ class FileScanner {
 
   std::vector<Finding> run() {
     if (ends_with(rel_, ".hpp")) check_pragma_once();
-    for (std::size_t i = 0; i < lines_.size(); ++i) {
+    for (std::size_t i = 0; i < tz_.lines.size(); ++i) {
       scan_line(i);
+    }
+    if (in_library_scope(rel_)) {
+      for (auto& [line, msg] :
+           ViewLifetimeScanner(tz_.tokens, model_).run()) {
+        add(line - 1, "GR060", std::move(msg));
+      }
+      for (auto& [line, msg] :
+           SwallowedErrorScanner(tz_.tokens, model_).run()) {
+        add(line - 1, "GR061", std::move(msg));
+      }
     }
     std::stable_sort(findings_.begin(), findings_.end(),
                      [](const Finding& a, const Finding& b) { return a.line < b.line; });
@@ -339,24 +750,29 @@ class FileScanner {
     for (const RuleInfo& r : kRules) {
       if (r.id == rule) info = &r;
     }
-    if (info != nullptr && line_suppressed(lines_, idx, info->suppression)) return;
+    if (idx >= tz_.lines.size()) idx = tz_.lines.empty() ? 0 : tz_.lines.size() - 1;
+    if (info != nullptr && !tz_.lines.empty() &&
+        line_suppressed(tz_.lines, idx, info->suppression)) {
+      return;
+    }
     findings_.push_back(Finding{std::string(rule), std::string(rel_), idx + 1,
-                                std::move(message), trim(lines_[idx].raw)});
+                                std::move(message),
+                                tz_.lines.empty() ? "" : trim(tz_.lines[idx].raw)});
   }
 
   void check_pragma_once() {
-    for (std::size_t i = 0; i < lines_.size(); ++i) {
-      std::string t = trim(lines_[i].code);
+    for (std::size_t i = 0; i < tz_.lines.size(); ++i) {
+      std::string t = trim(tz_.lines[i].code);
       if (t.empty()) continue;
       if (t == "#pragma once") return;
       add(i, "GR030", "header does not open with #pragma once");
       return;
     }
-    if (!lines_.empty()) add(0, "GR030", "header does not open with #pragma once");
+    if (!tz_.lines.empty()) add(0, "GR030", "header does not open with #pragma once");
   }
 
   void scan_line(std::size_t i) {
-    const std::string& code = lines_[i].code;
+    const std::string& code = tz_.lines[i].code;
     if (code.empty()) return;
 
     static const std::regex kRand(R"(\b(?:std\s*::\s*)?s?rand\s*\()");
@@ -394,12 +810,12 @@ class FileScanner {
       // `for (const auto& [k, v] :\n    some_map)` still matches.
       std::string forline = code;
       for (std::size_t j = i + 1;
-           j < lines_.size() && j < i + 4 &&
+           j < tz_.lines.size() && j < i + 4 &&
            forline.find("for") != std::string::npos &&
            forline.find(')') == std::string::npos;
            ++j) {
         forline += ' ';
-        forline += lines_[j].code;
+        forline += tz_.lines[j].code;
       }
       std::smatch m;
       if (std::regex_search(forline, m, kRangeFor)) {
@@ -446,7 +862,7 @@ class FileScanner {
       if (std::regex_search(arg, id, kLastId)) {
         const std::string lock = id[1].str();
         std::string code_without_annotations;
-        for (const Line& l : lines_) {
+        for (const Line& l : tz_.lines) {
           if (l.code.find("GEORANK") == std::string::npos) {
             code_without_annotations += l.code;
             code_without_annotations += '\n';
@@ -535,7 +951,8 @@ class FileScanner {
   }
 
   std::string_view rel_;
-  std::vector<Line> lines_;
+  Tokenized tz_;
+  const RepoModel* model_;
   std::string code_text_;
   std::string header_code_;
   std::vector<std::string> unordered_names_;
@@ -547,8 +964,9 @@ class FileScanner {
 std::span<const RuleInfo> rules() { return kRules; }
 
 std::vector<Finding> scan_file(std::string_view rel_path, std::string_view contents,
-                               std::string_view paired_header) {
-  FileScanner scanner{rel_path, contents, paired_header};
+                               std::string_view paired_header,
+                               const RepoModel* model) {
+  FileScanner scanner{rel_path, contents, paired_header, model};
   return scanner.run();
 }
 
@@ -580,7 +998,8 @@ bool Baseline::contains(const Finding& f) const {
   return entries_.count(exact) > 0 || entries_.count(whole_file) > 0;
 }
 
-RepoScanResult scan_repo(const std::filesystem::path& root, const Baseline& baseline) {
+RepoScanResult scan_repo(const std::filesystem::path& root, const Baseline& baseline,
+                         const ScanOptions& options) {
   namespace fs = std::filesystem;
   std::vector<fs::path> files;
   for (const char* top : {"src", "tools", "bench"}) {
@@ -601,25 +1020,62 @@ RepoScanResult scan_repo(const std::filesystem::path& root, const Baseline& base
     return buf.str();
   };
 
-  RepoScanResult result;
+  // Pass one: read everything once, build the cross-TU model from it.
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(files.size());
   for (const fs::path& file : files) {
-    const std::string contents = slurp(file);
-    std::string rel = fs::relative(file, root).generic_string();
-    std::string paired;
+    sources.emplace_back(fs::relative(file, root).generic_string(),
+                         slurp(file));
+  }
+  const RepoModel model = build_model(sources);
+
+  std::map<std::string_view, std::string_view> by_rel;
+  for (const auto& [rel, contents] : sources) by_rel[rel] = contents;
+  const std::set<std::string> only(options.only.begin(), options.only.end());
+
+  auto admit = [&](RepoScanResult& result, Finding&& f) {
+    // A cyclic module graph is fatal by design: no baseline either.
+    if (f.rule != "GR041" && baseline.contains(f)) {
+      ++result.baselined;
+    } else {
+      result.findings.push_back(std::move(f));
+    }
+  };
+
+  // Pass two: per-file rules (restricted to `only` when set) ...
+  RepoScanResult result;
+  for (const auto& [rel, contents] : sources) {
+    if (!only.empty() && only.count(rel) == 0) continue;
+    std::string_view paired;
     if (ends_with(rel, ".cpp")) {
-      fs::path header = file;
-      header.replace_extension(".hpp");
-      if (fs::exists(header)) paired = slurp(header);
+      std::string header_rel = rel.substr(0, rel.size() - 4) + ".hpp";
+      auto it = by_rel.find(header_rel);
+      if (it != by_rel.end()) paired = it->second;
     }
     ++result.files_scanned;
-    for (Finding& f : scan_file(rel, contents, paired)) {
-      if (baseline.contains(f)) {
-        ++result.baselined;
-      } else {
-        result.findings.push_back(std::move(f));
-      }
+    for (Finding& f : scan_file(rel, contents, paired, &model)) {
+      admit(result, std::move(f));
     }
   }
+
+  // ... then the graph rules over the whole model.
+  if (options.graph_rules) {
+    LayerSpec spec;
+    const fs::path def = root / "tools" / "georank_lint" / "layers.def";
+    if (fs::exists(def)) spec = parse_layers(slurp(def));
+    for (Finding& f : check_layering(model, spec)) {
+      admit(result, std::move(f));
+    }
+    for (Finding& f : check_lock_order(model)) {
+      admit(result, std::move(f));
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule) <
+                     std::tie(b.path, b.line, b.rule);
+            });
   return result;
 }
 

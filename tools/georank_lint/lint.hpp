@@ -43,12 +43,28 @@
 //                                 #pragma once (self-containment is
 //                                 enforced separately by the generated
 //                                 one-TU-per-header compile checks)
+//   GR040 layering-illegal-edge   src/ module #include edge not in
+//                                 tools/georank_lint/layers.def
+//   GR041 layering-cycle          cycle in the observed module graph;
+//                                 always fatal, no suppression
+//   GR050 lock-order-cycle        inter-procedural lock acquisition
+//                                 order graph contains a cycle
+//   GR051 blocking-under-lock     blocking syscall reached (directly or
+//                                 via callers) with a modeled lock held
+//   GR060 view-lifetime           string_view/span/PathsView bound to a
+//                                 temporary-producing expression
+//   GR061 swallowed-error         discarded return of a fenced
+//                                 durability/socket syscall or of a
+//                                 [[nodiscard]] function from our
+//                                 headers
 //
-// The scanner is a line-oriented heuristic, not a C++ front end: string
-// literals and comments are stripped before rules match, declarations
-// of unordered containers are tracked across the file and its paired
-// header, and anything it cannot see (iteration through an alias,
-// containers behind typedefs) it stays silent on. False negatives are
+// The engine is two-pass: pass one tokenizes every file exactly once
+// (tokenizer.hpp) and builds a cross-TU model (model.hpp) of includes,
+// mutexes, function bodies and declarations; pass two evaluates the
+// per-file rules over the token/line views and the graph rules
+// (layers.hpp, lockorder.hpp) over the model. It is a heuristic, not a
+// C++ front end: anything it cannot see (iteration through an alias,
+// locks behind wrappers) it stays silent on. False negatives are
 // acceptable; false positives must be rare enough that a one-line
 // suppression with a reason is never a burden.
 #pragma once
@@ -61,6 +77,8 @@
 #include <vector>
 
 namespace georank::lint {
+
+struct RepoModel;  // model.hpp
 
 struct Finding {
   std::string rule;     // e.g. "GR010"
@@ -75,19 +93,24 @@ struct RuleInfo {
   std::string_view name;
   std::string_view suppression;  // inline tag: `// lint: <tag>[(reason)]`
   std::string_view summary;
+  std::string_view detail;       // long-form rationale, for --explain
 };
 
 /// The authoritative rule table, sorted by ID.
 [[nodiscard]] std::span<const RuleInfo> rules();
 
-/// Scans one translation unit. `rel_path` decides rule scoping (tools/
-/// is CLI code, src/rank|core|robust get the ordering rule, ...);
-/// `paired_header` is the contents of the matching .hpp for a .cpp (so
-/// member containers declared in the header are tracked), empty when
-/// there is none. Findings come back in line order.
+/// Scans one translation unit with the per-file rules. `rel_path`
+/// decides rule scoping (tools/ is CLI code, src/rank|core|robust get
+/// the ordering rule, ...); `paired_header` is the contents of the
+/// matching .hpp for a .cpp (so member containers declared in the
+/// header are tracked), empty when there is none. `model`, when given,
+/// feeds GR060/GR061 the repo-wide temporary-producer and [[nodiscard]]
+/// sets; without it those rules fall back to built-ins only. Findings
+/// come back in line order.
 [[nodiscard]] std::vector<Finding> scan_file(std::string_view rel_path,
                                              std::string_view contents,
-                                             std::string_view paired_header = {});
+                                             std::string_view paired_header = {},
+                                             const RepoModel* model = nullptr);
 
 /// Baseline/suppression file: one finding per line, `#` comments.
 ///   GR010 src/rank/hegemony.cpp:54   — suppress one site
@@ -111,9 +134,25 @@ struct RepoScanResult {
   std::size_t baselined = 0;       // findings matched by the baseline
 };
 
+struct ScanOptions {
+  /// Run the cross-TU graph rules (GR040/041/050/051). Off in
+  /// `--changed` mode — a partial file set cannot judge whole-repo
+  /// properties — and under `--no-graph`.
+  bool graph_rules = true;
+  /// When non-empty, per-file findings are reported only for these
+  /// repo-relative paths (the `--changed <ref>` diff set). The model is
+  /// still built from everything so cross-TU lookups stay accurate.
+  std::vector<std::string> only;
+};
+
 /// Scans `<root>/src`, `<root>/tools` and `<root>/bench` (every .hpp
-/// and .cpp, sorted for deterministic output) against `baseline`.
+/// and .cpp, sorted for deterministic output) against `baseline`:
+/// pass one tokenizes everything and builds the RepoModel, pass two
+/// runs the per-file rules and (per `options`) the graph rules, with
+/// the layer DAG read from `<root>/tools/georank_lint/layers.def`.
+/// GR041 (module cycle) findings ignore the baseline by design.
 [[nodiscard]] RepoScanResult scan_repo(const std::filesystem::path& root,
-                                       const Baseline& baseline);
+                                       const Baseline& baseline,
+                                       const ScanOptions& options = {});
 
 }  // namespace georank::lint

@@ -1,0 +1,156 @@
+#include "georank_lint/lockorder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace georank::lint {
+namespace {
+
+std::string last_component(const std::string& qualified) {
+  std::size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
+}
+
+/// For every function, the set of locks that may already be held when
+/// it is entered, via any caller chain: fixed point of
+///   entry(G) ⊇ held-at-call-site ∪ entry(F)   for each call F -> G.
+std::vector<std::set<std::size_t>> entry_held(const RepoModel& model) {
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  for (std::size_t i = 0; i < model.functions.size(); ++i) {
+    by_name[last_component(model.functions[i].name)].push_back(i);
+  }
+  std::vector<std::set<std::size_t>> entry(model.functions.size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t f = 0; f < model.functions.size(); ++f) {
+      for (const CallSite& call : model.functions[f].calls) {
+        auto it = by_name.find(call.callee);
+        if (it == by_name.end()) continue;
+        std::set<std::size_t> incoming(entry[f]);
+        incoming.insert(call.held.begin(), call.held.end());
+        for (std::size_t g : it->second) {
+          if (g == f) continue;
+          for (std::size_t lock : incoming) {
+            if (entry[g].insert(lock).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+  return entry;
+}
+
+std::string lock_name(const RepoModel& model, std::size_t id) {
+  return model.mutexes[id].name;
+}
+
+}  // namespace
+
+std::vector<LockEdge> build_lock_edges(const RepoModel& model) {
+  const std::vector<std::set<std::size_t>> entry = entry_held(model);
+  std::map<std::pair<std::size_t, std::size_t>, LockEdge> edges;
+  for (std::size_t f = 0; f < model.functions.size(); ++f) {
+    const FunctionModel& fn = model.functions[f];
+    for (const AcquireSite& a : fn.acquires) {
+      // A suppressed acquisition contributes no ordering edges.
+      if (model.suppressed(fn.file, a.line, "lock-order")) continue;
+      std::set<std::size_t> held(a.held.begin(), a.held.end());
+      held.insert(entry[f].begin(), entry[f].end());
+      for (std::size_t before : held) {
+        if (before == a.lock) continue;
+        edges.emplace(std::make_pair(before, a.lock),
+                      LockEdge{before, a.lock, fn.file, a.line});
+      }
+    }
+  }
+  std::vector<LockEdge> out;
+  out.reserve(edges.size());
+  for (auto& [key, e] : edges) out.push_back(std::move(e));
+  return out;
+}
+
+std::vector<Finding> check_lock_order(const RepoModel& model) {
+  std::vector<Finding> out;
+
+  // GR050: cycles in the acquisition-order graph.
+  const std::vector<LockEdge> edges = build_lock_edges(model);
+  std::map<std::size_t, std::vector<const LockEdge*>> graph;
+  for (const LockEdge& e : edges) graph[e.before].push_back(&e);
+  std::map<std::size_t, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::size_t> path;
+  std::set<std::vector<std::size_t>> seen;
+
+  auto canonical = [](std::vector<std::size_t> cycle) {
+    auto smallest = std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), smallest, cycle.end());
+    return cycle;
+  };
+  auto dfs = [&](auto&& self, std::size_t node) -> void {
+    color[node] = 1;
+    path.push_back(node);
+    auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const LockEdge* e : it->second) {
+        if (color[e->after] == 1) {
+          auto start = std::find(path.begin(), path.end(), e->after);
+          std::vector<std::size_t> cycle(start, path.end());
+          if (!seen.insert(canonical(cycle)).second) continue;
+          std::string desc;
+          for (std::size_t id : cycle) desc += lock_name(model, id) + " -> ";
+          desc += lock_name(model, cycle.front());
+          out.push_back(Finding{
+              "GR050", e->file, e->line,
+              "lock-order cycle: " + desc +
+                  "; two threads taking these locks in opposite orders "
+                  "deadlock — pick one global order or justify the "
+                  "acquisition with `// lint: lock-order(<why>)`",
+              ""});
+        } else if (color[e->after] == 0) {
+          self(self, e->after);
+        }
+      }
+    }
+    path.pop_back();
+    color[node] = 2;
+  };
+  for (const LockEdge& e : edges) {
+    if (color[e.before] == 0) dfs(dfs, e.before);
+  }
+
+  // GR051: blocking syscall reached while a lock is held (directly or
+  // via the caller chain).
+  const std::vector<std::set<std::size_t>> entry = entry_held(model);
+  for (std::size_t f = 0; f < model.functions.size(); ++f) {
+    const FunctionModel& fn = model.functions[f];
+    for (const BlockingSite& b : fn.blocking) {
+      std::set<std::size_t> held(b.held.begin(), b.held.end());
+      held.insert(entry[f].begin(), entry[f].end());
+      if (held.empty()) continue;
+      if (model.suppressed(fn.file, b.line, "blocking-ok")) continue;
+      std::string locks;
+      for (std::size_t id : held) {
+        if (!locks.empty()) locks += ", ";
+        locks += lock_name(model, id);
+      }
+      out.push_back(Finding{
+          "GR051", fn.file, b.line,
+          "blocking syscall ::" + b.name + " while holding lock(s) " +
+              locks + " (in " + fn.name +
+              "); the critical section is now bounded by I/O latency — "
+              "move the syscall outside the lock or justify with "
+              "`// lint: blocking-ok(<why>)`",
+          ""});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.path, a.line, a.rule) <
+           std::tie(b.path, b.line, b.rule);
+  });
+  return out;
+}
+
+}  // namespace georank::lint

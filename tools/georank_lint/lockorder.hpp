@@ -1,0 +1,54 @@
+// GR050/GR051: inter-procedural lock-order analysis over the RepoModel.
+//
+// Pass one (model.cpp) records, per function, every RAII acquisition
+// with the locks already held lexically at that point, every outgoing
+// call, and every blocking `::syscall`. This pass makes it
+// inter-procedural: a fixed-point over the call graph computes, for
+// each function, the set of locks that may be held by ANY caller chain
+// when it runs ("entry-held"). Then:
+//
+//   GR050  lock-order cycle: acquiring B while holding A adds edge
+//          A -> B to the acquisition-order graph; a cycle means two
+//          threads can deadlock by taking the locks in opposite
+//          orders. Suppress a specific acquisition's edges with
+//          `// lint: lock-order(why)` on the acquisition line.
+//   GR051  blocking syscall (fsync/write/accept/connect/...) reached
+//          while a modeled lock is held — the lock's critical section
+//          is then bounded by disk or peer latency. Suppress with
+//          `// lint: blocking-ok(why)` on the syscall line.
+//
+// Call edges bind by name (last component), so the analysis
+// over-approximates through same-named methods; everything else is
+// under-approximated (locks it cannot resolve are dropped). Both rules
+// therefore stay heuristics with an escape hatch, not proofs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "georank_lint/lint.hpp"
+#include "georank_lint/model.hpp"
+
+namespace georank::lint {
+
+/// One edge of the lock-acquisition-order graph: `before` was held
+/// while `after` was acquired at file:line (possibly via callers).
+struct LockEdge {
+  std::size_t before = 0;
+  std::size_t after = 0;
+  std::string file;
+  std::size_t line = 0;
+};
+
+/// Builds the full inter-procedural edge list (deduplicated by lock
+/// pair, keeping the first site). Exposed for tests and the DESIGN
+/// graph dump; check_lock_order consumes it.
+[[nodiscard]] std::vector<LockEdge> build_lock_edges(
+    const RepoModel& model);
+
+/// Evaluates GR050 (cycles) and GR051 (blocking under a lock).
+[[nodiscard]] std::vector<Finding> check_lock_order(
+    const RepoModel& model);
+
+}  // namespace georank::lint

@@ -1,13 +1,23 @@
 // georank-lint CLI: scan the repository for project-invariant violations.
 //
-//   georank_lint --root <repo> [--baseline FILE | --no-baseline] [--list-rules]
+//   georank_lint --root <repo> [--baseline FILE | --no-baseline]
+//                [--sarif FILE] [--changed BASE-REF] [--no-graph]
+//                [--list-rules] [--explain RULE]
+//
+// `--changed BASE-REF` lints only files touched since BASE-REF (per
+// `git diff --name-only`) — the pre-commit fast path. Cross-TU graph
+// rules are skipped in that mode (a partial file set cannot judge
+// whole-repo properties) and under `--no-graph`.
 //
 // Exit codes: 0 clean, 1 non-baselined findings, 2 usage/IO error.
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "georank_lint/lint.hpp"
+#include "georank_lint/sarif.hpp"
 
 namespace {
 
@@ -24,19 +34,77 @@ int list_rules() {
   return 0;
 }
 
+int explain_rule(const std::string& id) {
+  for (const georank::lint::RuleInfo& r : georank::lint::rules()) {
+    if (r.id != id && r.name != id) continue;
+    std::printf("%s (%s)\n", std::string(r.id).c_str(),
+                std::string(r.name).c_str());
+    std::printf("  %s\n\n", std::string(r.summary).c_str());
+    std::printf("%s\n", std::string(r.detail).c_str());
+    if (!r.suppression.empty()) {
+      std::printf("\nSuppression: `// lint: %s(<reason>)` on the flagged "
+                  "line (or the comment line above it).\n",
+                  std::string(r.suppression).c_str());
+    } else {
+      std::printf("\nSuppression: none inline; baseline entries only%s.\n",
+                  r.id == "GR041" ? " — and GR041 ignores even those" : "");
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "georank_lint: unknown rule '%s' (try --list-rules)\n",
+               id.c_str());
+  return 2;
+}
+
+/// `git -C <root> diff --name-only <ref>` — the changed-file set for
+/// `--changed` mode. Returns false when git cannot be run.
+bool changed_files(const std::filesystem::path& root, const std::string& ref,
+                   std::vector<std::string>& out) {
+  const std::string cmd = "git -C '" + root.string() +
+                          "' diff --name-only '" + ref + "' 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buf[4096];
+  std::string all;
+  while (fgets(buf, sizeof buf, pipe) != nullptr) all += buf;
+  const int status = pclose(pipe);
+  if (status != 0) return false;
+  std::size_t pos = 0;
+  while (pos < all.size()) {
+    std::size_t nl = all.find('\n', pos);
+    if (nl == std::string::npos) nl = all.size();
+    std::string rel = all.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (rel.empty()) continue;
+    const bool scanned_tree = rel.rfind("src/", 0) == 0 ||
+                              rel.rfind("tools/", 0) == 0 ||
+                              rel.rfind("bench/", 0) == 0;
+    const bool cpp = rel.size() > 4 &&
+                     (rel.compare(rel.size() - 4, 4, ".hpp") == 0 ||
+                      rel.compare(rel.size() - 4, 4, ".cpp") == 0);
+    if (scanned_tree && cpp) out.push_back(std::move(rel));
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   namespace fs = std::filesystem;
   fs::path root = fs::current_path();
   fs::path baseline_file;
+  fs::path sarif_file;
+  std::string changed_ref;
   bool use_baseline = true;
   bool baseline_explicit = false;
+  bool graph = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
       return list_rules();
+    } else if (arg == "--explain" && i + 1 < argc) {
+      return explain_rule(argv[++i]);
     } else if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -44,12 +112,21 @@ int main(int argc, char** argv) {
       baseline_explicit = true;
     } else if (arg == "--no-baseline") {
       use_baseline = false;
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_file = argv[++i];
+    } else if (arg == "--changed" && i + 1 < argc) {
+      changed_ref = argv[++i];
+    } else if (arg == "--no-graph") {
+      graph = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: georank_lint [--root DIR] [--baseline FILE] [--no-baseline] "
-          "[--list-rules]\n"
+          "usage: georank_lint [--root DIR] [--baseline FILE] [--no-baseline]\n"
+          "                    [--sarif FILE] [--changed BASE-REF] [--no-graph]\n"
+          "                    [--list-rules] [--explain RULE]\n"
           "Scans <root>/{src,tools,bench} for project-invariant violations.\n"
-          "Default baseline: <root>/scripts/lint_baseline.txt\n");
+          "Default baseline: <root>/scripts/lint_baseline.txt\n"
+          "--changed lints only files touched since BASE-REF (graph rules off).\n"
+          "--explain prints the full rationale for one rule.\n");
       return 0;
     } else {
       std::fprintf(stderr, "georank_lint: unknown argument '%s'\n", arg.c_str());
@@ -72,8 +149,34 @@ int main(int argc, char** argv) {
   georank::lint::Baseline baseline;
   if (use_baseline) baseline = georank::lint::Baseline::load(baseline_file);
 
+  georank::lint::ScanOptions options;
+  options.graph_rules = graph;
+  if (!changed_ref.empty()) {
+    options.graph_rules = false;
+    if (!changed_files(root, changed_ref, options.only)) {
+      std::fprintf(stderr, "georank_lint: git diff against '%s' failed\n",
+                   changed_ref.c_str());
+      return 2;
+    }
+    if (options.only.empty()) {
+      std::printf("georank-lint: no lintable files changed since %s\n",
+                  changed_ref.c_str());
+      return 0;
+    }
+  }
+
   const georank::lint::RepoScanResult result =
-      georank::lint::scan_repo(root, baseline);
+      georank::lint::scan_repo(root, baseline, options);
+
+  if (!sarif_file.empty()) {
+    std::ofstream out{sarif_file};
+    if (!out) {
+      std::fprintf(stderr, "georank_lint: cannot write %s\n",
+                   sarif_file.string().c_str());
+      return 2;
+    }
+    out << georank::lint::to_sarif(georank::lint::rules(), result.findings);
+  }
 
   for (const georank::lint::Finding& f : result.findings) {
     std::printf("%s:%zu: [%s] %s\n    %s\n", f.path.c_str(), f.line,

@@ -1,0 +1,556 @@
+#include "georank_lint/model.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <regex>
+#include <unordered_map>
+
+#include "georank_lint/tokenizer.hpp"
+
+namespace georank::lint {
+namespace {
+
+const std::regex kInclude(R"(^\s*#\s*include\s*(["<])([^">]+)[">])");
+const std::regex kTag(R"(lint:\s*([a-z][a-z-]*))");
+
+bool is_blank_code(const std::string& code) {
+  return std::all_of(code.begin(), code.end(), [](char c) {
+    return c == ' ' || c == '\t' || c == '\r';
+  });
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Path minus extension: "src/core/pipeline.hpp" -> "src/core/pipeline",
+/// so a .cpp resolves lock names declared in its own header first.
+std::string_view stem_of(std::string_view rel) {
+  std::size_t dot = rel.rfind('.');
+  return dot == std::string_view::npos ? rel : rel.substr(0, dot);
+}
+
+bool is_mutex_type(std::string_view word) {
+  return word == "mutex" || word == "shared_mutex" ||
+         word == "recursive_mutex" || word == "timed_mutex" ||
+         word == "recursive_timed_mutex" || word == "shared_timed_mutex";
+}
+
+bool is_guard_class(std::string_view word) {
+  return word == "lock_guard" || word == "unique_lock" ||
+         word == "shared_lock" || word == "scoped_lock";
+}
+
+bool is_lock_tag_arg(std::string_view word) {
+  return word == "defer_lock" || word == "try_to_lock" ||
+         word == "adopt_lock";
+}
+
+/// System calls that can block the calling thread; reaching one while a
+/// modeled lock is held is GR051. `shutdown`/`setsockopt` are
+/// deliberately absent: they are non-blocking control operations and
+/// the server legitimately issues them under `conn_mutex_`.
+bool is_blocking_syscall(std::string_view word) {
+  return word == "fsync" || word == "fdatasync" || word == "write" ||
+         word == "writev" || word == "read" || word == "readv" ||
+         word == "accept" || word == "accept4" || word == "connect" ||
+         word == "send" || word == "sendto" || word == "sendmsg" ||
+         word == "recv" || word == "recvfrom" || word == "recvmsg" ||
+         word == "poll" || word == "select" || word == "nanosleep";
+}
+
+bool is_keywordish(std::string_view word) {
+  return word == "if" || word == "for" || word == "while" ||
+         word == "switch" || word == "return" || word == "sizeof" ||
+         word == "catch" || word == "new" || word == "delete" ||
+         word == "throw" || word == "static_cast" ||
+         word == "dynamic_cast" || word == "reinterpret_cast" ||
+         word == "const_cast" || word == "alignof" ||
+         word == "decltype" || word == "noexcept" || word == "assert" ||
+         word == "defined" || word == "static_assert";
+}
+
+/// Walks one src/ file's token stream maintaining a brace-context stack
+/// (namespace / class / function / block) and, inside functions, the
+/// set of modeled locks held at each point. All the heavy lifting for
+/// the lock-order and call-graph harvest lives here.
+class BodyWalker {
+ public:
+  BodyWalker(RepoModel& model, const FileModel& file,
+             const std::vector<Token>& toks)
+      : model_(model), file_(file), toks_(toks) {}
+
+  void run() {
+    while (i_ < toks_.size()) {
+      const Token& t = toks_[i_];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(") {
+          ++paren_depth_;
+        } else if (t.text == ")") {
+          if (paren_depth_ > 0) --paren_depth_;
+        } else if (t.text == "{") {
+          open_brace();
+          ++i_;
+          continue;
+        } else if (t.text == "}") {
+          if (!stack_.empty()) stack_.pop_back();
+          head_ = i_ + 1;
+          ++i_;
+          continue;
+        } else if (t.text == ";" && paren_depth_ == 0) {
+          head_ = i_ + 1;
+        } else if (t.text == "::") {
+          maybe_blocking_syscall();
+        }
+        ++i_;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent) {
+        if (is_guard_class(t.text) && try_acquisition()) continue;
+        if (t.text == "GEORANK_GUARDED_BY" && try_guarded_by()) continue;
+        maybe_call(t);
+      }
+      ++i_;
+    }
+  }
+
+ private:
+  struct Ctx {
+    enum Kind { kNamespace, kClass, kFunction, kBlock };
+    Kind kind = kBlock;
+    long func = -1;               // index into model_.functions
+    std::string class_name;       // for kClass, to qualify methods
+    std::vector<std::size_t> acquired;  // locks this scope holds
+  };
+
+  const Token* tok(std::size_t j) const {
+    return j < toks_.size() ? &toks_[j] : nullptr;
+  }
+
+  FunctionModel* current_function() {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->func >= 0) {
+        return &model_.functions[static_cast<std::size_t>(it->func)];
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<std::size_t> held() const {
+    std::vector<std::size_t> out;
+    for (const Ctx& c : stack_) {
+      for (std::size_t id : c.acquired) {
+        if (std::find(out.begin(), out.end(), id) == out.end()) {
+          out.push_back(id);
+        }
+      }
+    }
+    return out;
+  }
+
+  std::string enclosing_class() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Ctx::kClass) return it->class_name;
+    }
+    return {};
+  }
+
+  /// Classifies the `{` at toks_[i_] from the statement head (tokens
+  /// since the last `;`/`{`/`}` at paren depth zero) and pushes a
+  /// context. Anything unrecognized is a plain block — wrong guesses
+  /// here only widen or narrow lock scopes, never crash the walk.
+  void open_brace() {
+    Ctx ctx;
+    if (paren_depth_ > 0) {
+      // Brace inside an argument list: lambda body or braced-init.
+      stack_.push_back(ctx);
+      return;
+    }
+    std::size_t b = head_;
+    std::size_t e = i_;
+    // template<...> prefix: classification looks past it.
+    if (b < e && toks_[b].text == "template" && b + 1 < e &&
+        toks_[b + 1].text == "<") {
+      int depth = 0;
+      std::size_t j = b + 1;
+      for (; j < e; ++j) {
+        if (toks_[j].text == "<") ++depth;
+        if (toks_[j].text == ">" && --depth == 0) break;
+      }
+      b = j < e ? j + 1 : e;
+    }
+    if (b >= e) {
+      stack_.push_back(ctx);
+      head_ = i_ + 1;
+      return;
+    }
+    const std::string& first = toks_[b].text;
+    if (first == "namespace") {
+      ctx.kind = Ctx::kNamespace;
+    } else if (first == "class" || first == "struct" || first == "union" ||
+               first == "enum") {
+      ctx.kind = Ctx::kClass;
+      for (std::size_t j = b + 1; j < e; ++j) {
+        if (toks_[j].kind == TokKind::kIdent && toks_[j].text != "final" &&
+            toks_[j].text != "alignas" && toks_[j].text != "class") {
+          ctx.class_name = toks_[j].text;
+          break;
+        }
+      }
+    } else if (first == "if" || first == "for" || first == "while" ||
+               first == "switch" || first == "do" || first == "else" ||
+               first == "try" || first == "catch" || first == "extern") {
+      ctx.kind = Ctx::kBlock;
+    } else if (std::optional<std::string> name = function_name(b, e)) {
+      ctx.kind = Ctx::kFunction;
+      FunctionModel fn;
+      fn.name = std::move(*name);
+      fn.file = file_.rel;
+      fn.line = toks_[b].line;
+      std::string cls = enclosing_class();
+      if (!cls.empty() && fn.name.find("::") == std::string::npos) {
+        fn.name = cls + "::" + fn.name;
+      }
+      ctx.func = static_cast<long>(model_.functions.size());
+      model_.functions.push_back(std::move(fn));
+    }
+    stack_.push_back(std::move(ctx));
+    head_ = i_ + 1;
+  }
+
+  /// A statement head names a function definition when it contains an
+  /// identifier directly followed by `(` (the first such, so ctor
+  /// initializer lists don't win) and no top-level `=` precedes it (so
+  /// `auto f = [..](..) {` stays a block).
+  std::optional<std::string> function_name(std::size_t b, std::size_t e) {
+    int paren = 0;
+    int bracket = 0;
+    for (std::size_t j = b; j < e; ++j) {
+      const std::string& s = toks_[j].text;
+      if (toks_[j].kind == TokKind::kPunct) {
+        if (s == "(") ++paren;
+        if (s == ")") --paren;
+        if (s == "[") ++bracket;
+        if (s == "]") --bracket;
+        if (s == "=" && paren == 0 && bracket == 0) return std::nullopt;
+        continue;
+      }
+      if (toks_[j].kind != TokKind::kIdent || is_keywordish(s)) continue;
+      if (j + 1 < e && toks_[j + 1].text == "(" && paren == 0 &&
+          bracket == 0) {
+        // Collect a Qualified::chain ending at j.
+        std::size_t k = j;
+        while (k >= b + 2 && toks_[k - 1].text == "::" &&
+               toks_[k - 2].kind == TokKind::kIdent) {
+          k -= 2;
+        }
+        std::string name;
+        for (std::size_t m = k; m <= j; ++m) name += toks_[m].text;
+        return name;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// toks_[i_] is lock_guard/unique_lock/shared_lock/scoped_lock. Parse
+  /// `Guard<...> var(args...)` (or brace-init), resolve each lock arg,
+  /// record the acquisition, and jump past the argument list so the
+  /// braces of a brace-init don't look like a scope. Returns false —
+  /// leaving i_ untouched — when the shape doesn't match.
+  bool try_acquisition() {
+    std::size_t j = i_ + 1;
+    if (tok(j) && toks_[j].text == "<") {  // skip template arguments
+      int depth = 0;
+      while (j < toks_.size()) {
+        if (toks_[j].text == "<") ++depth;
+        if (toks_[j].text == ">" && --depth == 0) break;
+        ++j;
+      }
+      ++j;
+    }
+    if (!tok(j) || toks_[j].kind != TokKind::kIdent) return false;
+    ++j;  // the guard variable name
+    if (!tok(j) || (toks_[j].text != "(" && toks_[j].text != "{")) {
+      return false;
+    }
+    int pdepth = toks_[j].text == "(" ? 1 : 0;
+    int bdepth = toks_[j].text == "{" ? 1 : 0;
+    std::size_t arg_start = ++j;
+    std::vector<std::string> args;
+    auto flush = [&](std::size_t end) {
+      // Last identifier of the argument expression names the lock:
+      // `mu_`, `this->mu_`, `state.mu` all resolve to the member name.
+      for (std::size_t k = end; k > arg_start; --k) {
+        if (toks_[k - 1].kind == TokKind::kIdent) {
+          args.push_back(toks_[k - 1].text);
+          return;
+        }
+      }
+    };
+    while (j < toks_.size()) {
+      const std::string& s = toks_[j].text;
+      if (s == "(") ++pdepth;
+      if (s == ")") --pdepth;
+      if (s == "{") ++bdepth;
+      if (s == "}") --bdepth;
+      if (pdepth + bdepth == 0) break;  // the matching close
+      if (s == "," && pdepth + bdepth == 1) {
+        flush(j);
+        arg_start = j + 1;
+      }
+      ++j;
+    }
+    if (j > arg_start) flush(j);
+    const std::size_t line = toks_[i_].line;
+    std::vector<std::size_t> held_now = held();
+    for (const std::string& a : args) {
+      if (is_lock_tag_arg(a)) continue;
+      std::optional<std::size_t> id = resolve_lock(a);
+      if (!id) continue;
+      FunctionModel* fn = current_function();
+      if (fn) fn->acquires.push_back({*id, line, held_now});
+      if (!stack_.empty()) stack_.back().acquired.push_back(*id);
+      held_now.push_back(*id);  // scoped_lock(a, b): b is held-after-a
+    }
+    i_ = j + 1;
+    return true;
+  }
+
+  /// `member GEORANK_GUARDED_BY(mu)` — attach `member` to the mutex.
+  bool try_guarded_by() {
+    if (!tok(i_ + 1) || toks_[i_ + 1].text != "(") return false;
+    std::size_t j = i_ + 2;
+    std::string lock_name;
+    int depth = 1;
+    while (j < toks_.size() && depth > 0) {
+      if (toks_[j].text == "(") ++depth;
+      if (toks_[j].text == ")" && --depth == 0) break;
+      if (toks_[j].kind == TokKind::kIdent) lock_name = toks_[j].text;
+      ++j;
+    }
+    std::string member;
+    if (i_ >= 1 && toks_[i_ - 1].kind == TokKind::kIdent) {
+      member = toks_[i_ - 1].text;
+    }
+    if (!lock_name.empty() && !member.empty()) {
+      if (std::optional<std::size_t> id = resolve_lock(lock_name)) {
+        auto& g = model_.mutexes[*id].guarded;
+        if (std::find(g.begin(), g.end(), member) == g.end()) {
+          g.push_back(member);
+        }
+      }
+    }
+    i_ = j + 1;
+    return true;
+  }
+
+  /// toks_[i_] is `::` — a global-qualified blocking syscall follows
+  /// when the previous token cannot be a namespace/class name.
+  void maybe_blocking_syscall() {
+    if (i_ >= 1) {
+      const Token& prev = toks_[i_ - 1];
+      if (prev.kind == TokKind::kIdent || prev.text == ")" ||
+          prev.text == ">" || prev.text == "]") {
+        return;
+      }
+    }
+    const Token* name = tok(i_ + 1);
+    const Token* paren = tok(i_ + 2);
+    if (!name || !paren || name->kind != TokKind::kIdent ||
+        paren->text != "(" || !is_blocking_syscall(name->text)) {
+      return;
+    }
+    FunctionModel* fn = current_function();
+    if (fn) fn->blocking.push_back({name->text, name->line, held()});
+  }
+
+  void maybe_call(const Token& t) {
+    const Token* next = tok(i_ + 1);
+    if (!next || next->text != "(") return;
+    if (is_keywordish(t.text) || is_guard_class(t.text)) return;
+    if (t.text.rfind("GEORANK_", 0) == 0) return;
+    if (i_ >= 1) {
+      const std::string& prev = toks_[i_ - 1].text;
+      // A globally-qualified `::name(` is a raw syscall, not one of
+      // our functions — keep it out of the call graph.
+      if (prev == "::" && (i_ < 2 || toks_[i_ - 2].kind != TokKind::kIdent)) {
+        return;
+      }
+      // Calls through an explicit receiver (`buf.append(...)`) bind by
+      // bare name to ANY same-named function — std::string::append
+      // would feed UpdateJournal::append's entry-held set. Only bare
+      // and `this->` calls are reliable enough to propagate locks
+      // through; receiver calls stay out of the call graph.
+      if ((prev == "." || prev == "->") &&
+          (i_ < 2 || toks_[i_ - 2].text != "this")) {
+        return;
+      }
+    }
+    FunctionModel* fn = current_function();
+    if (fn) fn->calls.push_back({t.text, t.line, held()});
+  }
+
+  std::optional<std::size_t> resolve_lock(std::string_view name) const {
+    std::size_t match = model_.mutexes.size();
+    std::size_t count = 0;
+    for (std::size_t id = 0; id < model_.mutexes.size(); ++id) {
+      const MutexDecl& m = model_.mutexes[id];
+      if (m.name != name) continue;
+      if (m.file == file_.rel ||
+          stem_of(m.file) == stem_of(file_.rel)) {
+        return id;  // same file or paired header: unambiguous
+      }
+      match = id;
+      ++count;
+    }
+    if (count == 1) return match;  // globally unique name
+    return std::nullopt;           // ambiguous: drop, never guess
+  }
+
+  RepoModel& model_;
+  const FileModel& file_;
+  const std::vector<Token>& toks_;
+  std::size_t i_ = 0;
+  std::size_t head_ = 0;
+  int paren_depth_ = 0;
+  std::vector<Ctx> stack_;
+};
+
+void harvest_includes_and_tags(FileModel& fm, const Tokenized& tz) {
+  for (std::size_t n = 0; n < tz.lines.size(); ++n) {
+    const Line& line = tz.lines[n];
+    std::smatch m;
+    if (std::regex_search(line.code, m, kInclude)) {
+      fm.includes.push_back(
+          IncludeEdge{m[2].str(), n + 1, m[1].str() == "\""});
+    }
+    auto begin = std::sregex_iterator(line.comment.begin(),
+                                      line.comment.end(), kTag);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      fm.tags[n + 1].insert((*it)[1].str());
+      if (is_blank_code(line.code) && n + 1 < tz.lines.size()) {
+        // Tag on a comment-only line also covers the next line.
+        fm.tags[n + 2].insert((*it)[1].str());
+      }
+    }
+  }
+}
+
+void harvest_mutexes(RepoModel& model, const FileModel& fm,
+                     const std::vector<Token>& toks) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !is_mutex_type(toks[i].text)) {
+      continue;
+    }
+    // `std::mutex name ;` — a `>` or `,` after the type means it is a
+    // template argument (lock_guard<std::mutex>), not a declaration.
+    if (toks[i + 1].kind != TokKind::kIdent) continue;
+    const std::string& term = toks[i + 2].text;
+    if (term != ";" && term != "{") continue;
+    model.mutexes.push_back(
+        MutexDecl{toks[i + 1].text, fm.rel, toks[i + 1].line, {}});
+  }
+}
+
+/// `[[nodiscard]] ... name(` in a header: record `name`. Also record
+/// functions returning std::string/std::vector by value — calling one
+/// yields a temporary, which is what GR060 looks for behind a view.
+void harvest_declarations(RepoModel& model,
+                          const std::vector<Token>& toks) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& s = toks[i].text;
+    if (s == "nodiscard") {
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        const std::string& t = toks[j].text;
+        if (t == ";" || t == "{" || t == "nodiscard") break;
+        if (toks[j].kind == TokKind::kIdent && j + 1 < toks.size() &&
+            toks[j + 1].text == "(" && !is_keywordish(t)) {
+          model.nodiscard_functions.insert(t);
+          break;
+        }
+      }
+      continue;
+    }
+    if ((s == "string" || s == "vector") && i >= 2 &&
+        toks[i - 1].text == "::" && toks[i - 2].text == "std") {
+      std::size_t j = i + 1;
+      if (s == "vector") {
+        if (j >= toks.size() || toks[j].text != "<") continue;
+        int depth = 0;
+        while (j < toks.size()) {
+          if (toks[j].text == "<") ++depth;
+          if (toks[j].text == ">" && --depth == 0) break;
+          ++j;
+        }
+        ++j;
+      }
+      // By-value return only: a `&` or `*` after the type means the
+      // caller does NOT own a temporary.
+      if (j + 1 < toks.size() && toks[j].kind == TokKind::kIdent &&
+          toks[j + 1].text == "(") {
+        model.temporary_producers.insert(toks[j].text);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const FileModel* RepoModel::find_file(std::string_view rel) const {
+  for (const FileModel& f : files) {
+    if (f.rel == rel) return &f;
+  }
+  return nullptr;
+}
+
+bool RepoModel::suppressed(std::string_view rel, std::size_t line,
+                           std::string_view tag) const {
+  const FileModel* f = find_file(rel);
+  if (!f) return false;
+  auto it = f->tags.find(line);
+  return it != f->tags.end() &&
+         it->second.count(std::string(tag)) != 0;
+}
+
+std::string_view module_of(std::string_view rel) {
+  if (rel.rfind("src/", 0) != 0) return {};
+  std::string_view rest = rel.substr(4);
+  std::size_t slash = rest.find('/');
+  return slash == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(0, slash);
+}
+
+RepoModel build_model(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  RepoModel model;
+  std::vector<Tokenized> streams;
+  streams.reserve(sources.size());
+  model.files.reserve(sources.size());
+  for (const auto& [rel, contents] : sources) {
+    Tokenized tz = tokenize(contents);
+    FileModel fm;
+    fm.rel = rel;
+    harvest_includes_and_tags(fm, tz);
+    model.files.push_back(std::move(fm));
+    streams.push_back(std::move(tz));
+  }
+  // Mutexes and declarations first, repo-wide, so a body in a.cpp can
+  // resolve a lock declared in b.hpp regardless of file order.
+  for (std::size_t n = 0; n < sources.size(); ++n) {
+    const std::string& rel = sources[n].first;
+    if (rel.rfind("src/", 0) != 0) continue;
+    harvest_mutexes(model, model.files[n], streams[n].tokens);
+    if (ends_with(rel, ".hpp") || ends_with(rel, ".h")) {
+      harvest_declarations(model, streams[n].tokens);
+    }
+  }
+  for (std::size_t n = 0; n < sources.size(); ++n) {
+    if (sources[n].first.rfind("src/", 0) != 0) continue;
+    BodyWalker(model, model.files[n], streams[n].tokens).run();
+  }
+  return model;
+}
+
+}  // namespace georank::lint

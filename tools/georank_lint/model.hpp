@@ -1,0 +1,120 @@
+// Pass one of the two-pass engine: a repo-wide model of the facts the
+// cross-file rules reason about. Nothing here emits findings — rules
+// (pass two: layers.hpp, lockorder.hpp, and the cross-TU parts of
+// scan_file) evaluate against the finished model, so every rule sees
+// the same harvest and the sources are tokenized exactly once.
+//
+// Harvested per file:
+//   - #include edges (layering GR040/GR041, with line numbers so a
+//     violation names its offending edge)
+//   - mutex declarations (std::mutex / shared_mutex / recursive_mutex /
+//     timed_mutex variants) and GEORANK_GUARDED_BY references
+//   - function definitions with their bodies walked: RAII lock
+//     acquisitions (lock_guard/unique_lock/shared_lock/scoped_lock),
+//     the set of locks held at each acquisition, blocking ::syscalls
+//     reached under a lock, and outgoing calls (for the
+//     inter-procedural closure in lockorder.cpp)
+//   - [[nodiscard]]-marked declarations in our headers (GR061) and
+//     functions returning std::string/std::vector by value (GR060's
+//     temporary-producer set)
+//   - suppression tags per line, so graph rules honor `// lint: ...`
+//     exactly like the line rules do
+//
+// Resolution is NAME-based and deliberately conservative: a lock
+// acquisition binds to a mutex declared in the same file or its paired
+// header first, then to a globally unique name; ambiguous names are
+// dropped from the model (a false negative) rather than guessed at (a
+// false cycle).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace georank::lint {
+
+struct IncludeEdge {
+  std::string path;  // as written: "core/pipeline.hpp" or "sys/socket.h"
+  std::size_t line = 0;
+  bool quoted = false;  // "..." (project) vs <...> (system)
+};
+
+struct MutexDecl {
+  std::string name;  // variable name, e.g. "load_serial"
+  std::string file;  // repo-relative declaring file
+  std::size_t line = 0;
+  /// Members annotated GEORANK_GUARDED_BY(this mutex), as harvested.
+  std::vector<std::string> guarded;
+};
+
+/// One RAII lock acquisition inside a function body.
+struct AcquireSite {
+  std::size_t lock = 0;  // index into RepoModel::mutexes
+  std::size_t line = 0;
+  std::vector<std::size_t> held;  // locks already held at this point
+};
+
+/// A call made inside a function body (callee by last-component name).
+struct CallSite {
+  std::string callee;
+  std::size_t line = 0;
+  std::vector<std::size_t> held;
+};
+
+/// A blocking ::syscall reached inside a function body.
+struct BlockingSite {
+  std::string name;
+  std::size_t line = 0;
+  std::vector<std::size_t> held;
+};
+
+struct FunctionModel {
+  std::string name;       // qualified where visible: "Pipeline::load"
+  std::string file;
+  std::size_t line = 0;
+  std::vector<AcquireSite> acquires;
+  std::vector<CallSite> calls;
+  std::vector<BlockingSite> blocking;
+};
+
+struct FileModel {
+  std::string rel;  // repo-relative, '/'-separated
+  std::vector<IncludeEdge> includes;
+  /// Suppression tags by 1-based line: the tag applies to its own line
+  /// and, when the tag sits on a comment-only line, to the next code
+  /// line (same placement contract as the per-file rules).
+  std::map<std::size_t, std::set<std::string>> tags;
+};
+
+struct RepoModel {
+  std::vector<FileModel> files;
+  std::vector<MutexDecl> mutexes;      // lock ids index this
+  std::vector<FunctionModel> functions;
+  /// Names of [[nodiscard]]-marked functions declared in src/ headers.
+  std::set<std::string> nodiscard_functions;
+  /// Names of functions declared to return std::string or std::vector
+  /// BY VALUE — calling one produces a temporary (GR060's producers).
+  std::set<std::string> temporary_producers;
+
+  [[nodiscard]] const FileModel* find_file(std::string_view rel) const;
+  /// True when `line` of `rel` (or a comment-only line just above it)
+  /// carries the given suppression tag.
+  [[nodiscard]] bool suppressed(std::string_view rel, std::size_t line,
+                                std::string_view tag) const;
+};
+
+/// Builds the model from in-memory sources (tests) or from a directory
+/// walk (scan_repo): `sources` maps repo-relative path -> contents.
+/// Lock/function/producer harvesting is restricted to src/; includes
+/// are harvested for src/ files (the layering domain).
+[[nodiscard]] RepoModel build_model(
+    const std::vector<std::pair<std::string, std::string>>& sources);
+
+/// The module (= first directory component under src/) of a path, or
+/// empty when the path is not under src/.
+[[nodiscard]] std::string_view module_of(std::string_view rel);
+
+}  // namespace georank::lint

@@ -1,0 +1,80 @@
+#include "georank_lint/sarif.hpp"
+
+#include <cstdio>
+
+namespace georank::lint {
+namespace {
+
+/// JSON string escaping per RFC 8259 (control chars as \u00XX).
+std::string esc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(std::span<const RuleInfo> rules,
+                     const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"georank-lint\",\n"
+      "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const RuleInfo& r = rules[i];
+    out += "            {\"id\": \"" + esc(r.id) + "\", \"name\": \"" +
+           esc(r.name) + "\", \"shortDescription\": {\"text\": \"" +
+           esc(r.summary) + "\"}}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "        {\"ruleId\": \"" + esc(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           esc(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           esc(f.path) + "\"}, \"region\": {\"startLine\": " +
+           std::to_string(f.line == 0 ? 1 : f.line) + "}}}]}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace georank::lint

@@ -1,0 +1,20 @@
+// SARIF 2.1.0 serialization of lint findings, for the CI artifact and
+// any SARIF-consuming viewer. Shape kept to the minimal valid core:
+// one run, tool.driver with the full rule table, one result per
+// finding with ruleId / level / message / physicalLocation.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "georank_lint/lint.hpp"
+
+namespace georank::lint {
+
+/// Renders findings as a SARIF 2.1.0 document (UTF-8, trailing
+/// newline). Deterministic: output depends only on the arguments.
+[[nodiscard]] std::string to_sarif(std::span<const RuleInfo> rules,
+                                   const std::vector<Finding>& findings);
+
+}  // namespace georank::lint

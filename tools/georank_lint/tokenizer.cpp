@@ -1,0 +1,261 @@
+#include "georank_lint/tokenizer.hpp"
+
+#include <cctype>
+
+namespace georank::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// The lexer proper: walks the buffer once, emitting tokens and
+/// appending to the per-line code/comment strings as it goes.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {
+    // Pre-split raw lines so every Line exists even when empty.
+    std::size_t pos = 0;
+    while (pos <= src.size()) {
+      std::size_t nl = src.find('\n', pos);
+      if (nl == std::string_view::npos) {
+        if (pos < src.size()) out_.lines.push_back({std::string(src.substr(pos)), "", ""});
+        break;
+      }
+      out_.lines.push_back({std::string(src.substr(pos, nl - pos)), "", ""});
+      pos = nl + 1;
+    }
+  }
+
+  Tokenized run() {
+    while (i_ < src_.size()) {
+      char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        line_began_ = false;
+        ++i_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        code() += c;
+        ++i_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        std::size_t nl = src_.find('\n', i_);
+        std::size_t end = nl == std::string_view::npos ? src_.size() : nl;
+        comment().append(src_, i_ + 2, end - i_ - 2);
+        i_ = end;
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start()) {
+        preprocessor_line_ = line_;
+        code() += c;
+        ++i_;
+        continue;
+      }
+      if (c == '"') {
+        lex_string(/*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        lex_ident_or_raw_string();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        lex_number();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  std::string& code() { return out_.lines[line_ - 1].code; }
+  std::string& comment() { return out_.lines[line_ - 1].comment; }
+
+  /// True when only whitespace precedes the cursor on this line.
+  bool at_line_start() {
+    for (char c : out_.lines[line_ - 1].code) {
+      if (c != ' ' && c != '\t' && c != '\r') return false;
+    }
+    return true;
+  }
+
+  void emit(TokKind kind, std::string text) {
+    out_.tokens.push_back(Token{kind, std::move(text), line_});
+    line_began_ = true;
+  }
+
+  void lex_block_comment() {
+    i_ += 2;
+    while (i_ < src_.size()) {
+      if (src_[i_] == '*' && peek(1) == '/') {
+        i_ += 2;
+        return;
+      }
+      if (src_[i_] == '\n') {
+        ++line_;
+      } else {
+        comment() += src_[i_];
+      }
+      ++i_;
+    }
+  }
+
+  /// Ordinary string/char lexing: contents captured into the token, the
+  /// per-line code keeps bare quotes — except on a `#include` line,
+  /// where the path stays visible to the include-based rules.
+  void lex_string(bool keep_in_code_override) {
+    const bool keep = keep_in_code_override || preprocessor_line_ == line_;
+    std::string contents;
+    code() += '"';
+    ++i_;
+    while (i_ < src_.size() && src_[i_] != '"') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) {
+        contents += src_[i_];
+        contents += src_[i_ + 1];
+        i_ += 2;
+        continue;
+      }
+      if (src_[i_] == '\n') break;  // unterminated; recover at newline
+      contents += src_[i_];
+      ++i_;
+    }
+    if (i_ < src_.size() && src_[i_] == '"') ++i_;
+    if (keep) code() += contents;
+    code() += '"';
+    emit(TokKind::kString, std::move(contents));
+  }
+
+  void lex_char() {
+    std::string contents;
+    code() += '\'';
+    ++i_;
+    while (i_ < src_.size() && src_[i_] != '\'') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) {
+        contents += src_[i_];
+        contents += src_[i_ + 1];
+        i_ += 2;
+        continue;
+      }
+      if (src_[i_] == '\n') break;
+      contents += src_[i_];
+      ++i_;
+    }
+    if (i_ < src_.size() && src_[i_] == '\'') ++i_;
+    code() += '\'';
+    emit(TokKind::kChar, std::move(contents));
+  }
+
+  /// R"delim( ... )delim" — contents fully blanked, even across lines.
+  void lex_raw_string() {
+    ++i_;  // consume the opening quote
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(' && delim.size() < 16) {
+      delim += src_[i_++];
+    }
+    if (i_ < src_.size()) ++i_;  // consume '('
+    const std::string close = ")" + delim + "\"";
+    std::string contents;
+    code() += "\"\"";
+    while (i_ < src_.size()) {
+      if (src_.compare(i_, close.size(), close) == 0) {
+        i_ += close.size();
+        break;
+      }
+      if (src_[i_] == '\n') {
+        ++line_;
+      } else {
+        contents += src_[i_];
+      }
+      ++i_;
+    }
+    emit(TokKind::kString, std::move(contents));
+  }
+
+  void lex_ident_or_raw_string() {
+    std::size_t start = i_;
+    while (i_ < src_.size() && is_ident_char(src_[i_])) ++i_;
+    std::string word(src_.substr(start, i_ - start));
+    // Raw-string prefix? R"..., u8R"..., LR"..., etc.
+    if (i_ < src_.size() && src_[i_] == '"' &&
+        (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+         word == "LR")) {
+      lex_raw_string();
+      return;
+    }
+    // Encoding prefix of an ordinary literal (u8"x") — drop the prefix
+    // into code and lex the string normally.
+    if (i_ < src_.size() && src_[i_] == '"' &&
+        (word == "u8" || word == "u" || word == "U" || word == "L")) {
+      code() += word;
+      lex_string(false);
+      return;
+    }
+    code() += word;
+    emit(TokKind::kIdent, std::move(word));
+  }
+
+  void lex_number() {
+    std::size_t start = i_;
+    while (i_ < src_.size() &&
+           (is_ident_char(src_[i_]) || src_[i_] == '.' ||
+            ((src_[i_] == '+' || src_[i_] == '-') && i_ > start &&
+             (src_[i_ - 1] == 'e' || src_[i_ - 1] == 'E' ||
+              src_[i_ - 1] == 'p' || src_[i_ - 1] == 'P')))) {
+      ++i_;
+    }
+    std::string text(src_.substr(start, i_ - start));
+    code() += text;
+    emit(TokKind::kNumber, std::move(text));
+  }
+
+  void lex_punct() {
+    char c = src_[i_];
+    // Two-character operators the rules care about as units.
+    if ((c == ':' && peek(1) == ':') || (c == '-' && peek(1) == '>')) {
+      std::string text{c, src_[i_ + 1]};
+      code() += text;
+      i_ += 2;
+      emit(TokKind::kPunct, std::move(text));
+      return;
+    }
+    code() += c;
+    ++i_;
+    emit(TokKind::kPunct, std::string(1, c));
+  }
+
+  std::string_view src_;
+  Tokenized out_;
+  std::size_t i_ = 0;
+  std::uint32_t line_ = 1;
+  bool line_began_ = false;
+  std::uint32_t preprocessor_line_ = 0;  // line currently in a # directive
+};
+
+}  // namespace
+
+Tokenized tokenize(std::string_view contents) {
+  if (contents.empty()) return {};
+  return Lexer{contents}.run();
+}
+
+}  // namespace georank::lint

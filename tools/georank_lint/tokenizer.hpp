@@ -1,0 +1,58 @@
+// Shared lexer for georank-lint: one pass over a translation unit that
+// strips comments and literal contents EXACTLY ONCE, yielding both a
+// token stream (identifiers/numbers/literals/punctuation with 1-based
+// line positions, for the cross-TU model builders) and a per-line view
+// (blanked `code`, extracted `comment`, for the line-oriented rules and
+// suppression tags). Before this existed every rule carried its own
+// ad-hoc literal-stripping; raw strings and multi-line literals were
+// each rule's private bug to have.
+//
+// Handled: `//` and `/* */` comments (multi-line), "..."/'...' with
+// escapes, raw strings R"delim(...)delim" across lines, and the
+// preprocessor: on `#include` lines the header path is kept inside the
+// blanked `code` so include-based rules (layering, containment, the
+// thread_safety.hpp requirement) read it without re-parsing raw text.
+// Not handled (stays a heuristic, not a front end): trigraphs, line
+// continuations inside identifiers, digraphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace georank::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (pp-numbers, good enough)
+  kString,  // string literal; text holds the INNER contents
+  kChar,    // character literal; text holds the inner contents
+  kPunct,   // punctuation; `::` and `->` arrive as single tokens
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::uint32_t line = 0;  // 1-based
+};
+
+/// One source line, split the way the rules consume it.
+struct Line {
+  std::string raw;      // verbatim source
+  std::string code;     // literals blanked, comments removed; include
+                        // paths kept on preprocessor lines
+  std::string comment;  // comment text (suppression tags live here)
+};
+
+struct Tokenized {
+  std::vector<Token> tokens;
+  std::vector<Line> lines;
+};
+
+/// Lexes one translation unit. Never fails: malformed input (unclosed
+/// literal, unterminated comment) degrades to treating the remainder as
+/// that construct, which is what a compiler's error-recovery would see.
+[[nodiscard]] Tokenized tokenize(std::string_view contents);
+
+}  // namespace georank::lint
