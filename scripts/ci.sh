@@ -13,6 +13,12 @@
 #            CLI, boot `georank serve` on an ephemeral port, curl every
 #            endpoint and assert both the happy-path schema and the
 #            negative status codes (404 unknown country, 400 bad ASN)
+#   whatif   counterfactual end to end: run two canned scenarios (a
+#            de-peering and a hijack) through `georank whatif --out`,
+#            boot `georank serve --dir` (which attaches the what-if
+#            engine), POST the same scenario texts to /v1/whatif and
+#            byte-compare each response against the CLI's JSON; also
+#            asserts the 400/405 contract on malformed input
 #   scale    internet-preset smoke: generate a 10x world with the CLI
 #            (`--preset internet`), build a snapshot from it under
 #            /usr/bin/time -v, and assert the peak RSS stays under the
@@ -30,9 +36,9 @@
 #            when the tool is not installed)
 #
 # Usage: scripts/ci.sh [--skip-asan] [--skip-ubsan] [--skip-tsan]
-#                      [--skip-serve] [--skip-scale] [--skip-live]
-#                      [--skip-recovery] [--skip-lint] [--skip-lint-graph]
-#                      [--clang-tidy]
+#                      [--skip-serve] [--skip-whatif] [--skip-scale]
+#                      [--skip-live] [--skip-recovery] [--skip-lint]
+#                      [--skip-lint-graph] [--clang-tidy]
 #
 # --skip-lint-graph keeps the per-file lint rules but turns off the
 # cross-TU graph rules (layering, lock-order) — the escape hatch for a
@@ -51,6 +57,7 @@ SKIP_ASAN=0
 SKIP_UBSAN=0
 SKIP_TSAN=0
 SKIP_SERVE=0
+SKIP_WHATIF=0
 SKIP_SCALE=0
 SKIP_LIVE=0
 SKIP_RECOVERY=0
@@ -63,6 +70,7 @@ for arg in "$@"; do
     --skip-ubsan) SKIP_UBSAN=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-serve) SKIP_SERVE=1 ;;
+    --skip-whatif) SKIP_WHATIF=1 ;;
     --skip-scale) SKIP_SCALE=1 ;;
     --skip-live) SKIP_LIVE=1 ;;
     --skip-recovery) SKIP_RECOVERY=1 ;;
@@ -160,6 +168,76 @@ if [[ "$SKIP_SERVE" -eq 0 ]]; then
   echo "serve tier OK (port $PORT, ASN $ASN)"
 else
   echo "==> serve stage skipped (--skip-serve)"
+fi
+
+if [[ "$SKIP_WHATIF" -eq 0 ]]; then
+  echo "==> whatif tier: counterfactual CLI vs POST /v1/whatif (byte compare)"
+  WHATIF_TMP="$(mktemp -d)"
+  WHATIF_PID=""
+  whatif_cleanup() {
+    if [[ -n "$WHATIF_PID" ]]; then
+      kill "$WHATIF_PID" 2> /dev/null || true
+      wait "$WHATIF_PID" 2> /dev/null || true
+    fi
+    rm -rf "$WHATIF_TMP"
+  }
+  trap whatif_cleanup EXIT
+
+  ./build/tools/georank generate --out "$WHATIF_TMP/world" --mini --seed 21 > /dev/null
+  # Two canned scenarios over the mini world: a country-level de-peering
+  # and a prefix hijack by the DE incumbent.
+  printf 'name ci-depeer\nseed 3\ndepeer AU US\n' > "$WHATIF_TMP/depeer.txt"
+  printf 'name ci-hijack\nseed 3\nhijack 16.0.0.0/16 by 3320\n' > "$WHATIF_TMP/hijack.txt"
+
+  # CLI side. --id pins the snapshot identity so the JSON is
+  # byte-comparable with what the server (booted with the same --id)
+  # computes for the same scenario text.
+  for SC in depeer hijack; do
+    ./build/tools/georank whatif --dir "$WHATIF_TMP/world" \
+      --scenario "$WHATIF_TMP/$SC.txt" --id 7 --top 5 \
+      --out "$WHATIF_TMP/$SC.json" > "$WHATIF_TMP/$SC.report"
+    grep -q '"snapshot_id":7' "$WHATIF_TMP/$SC.json" \
+      || { echo "whatif tier FAIL: $SC.json lacks snapshot id"; exit 1; }
+    grep -q '"shards_kept"' "$WHATIF_TMP/$SC.json" \
+      || { echo "whatif tier FAIL: $SC.json lacks memo stats"; exit 1; }
+  done
+
+  # Server side: serving from the data directory attaches the engine.
+  ./build/tools/georank serve --dir "$WHATIF_TMP/world" --port 0 --id 7 \
+    > "$WHATIF_TMP/serve.log" 2>&1 &
+  WHATIF_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$WHATIF_TMP/serve.log")"
+    [[ -n "$PORT" ]] && break
+    kill -0 "$WHATIF_PID" 2> /dev/null || { cat "$WHATIF_TMP/serve.log"; echo "server died before listening"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$PORT" ]] || { cat "$WHATIF_TMP/serve.log"; echo "server never reported a port"; exit 1; }
+  BASE="http://127.0.0.1:$PORT"
+
+  for SC in depeer hijack; do
+    curl -sf --data-binary @"$WHATIF_TMP/$SC.txt" "$BASE/v1/whatif?top=5" \
+      -o "$WHATIF_TMP/$SC.http" \
+      || { echo "whatif tier FAIL: POST /v1/whatif ($SC) not 2xx"; exit 1; }
+    cmp "$WHATIF_TMP/$SC.json" "$WHATIF_TMP/$SC.http" \
+      || { echo "whatif tier FAIL: $SC endpoint response differs from CLI JSON"; exit 1; }
+  done
+
+  # Contract: malformed scenarios are 400, GET on the POST route is 405.
+  CODE="$(printf 'depeer AU AU\n' \
+    | curl -s -o /dev/null -w '%{http_code}' --data-binary @- "$BASE/v1/whatif")"
+  [[ "$CODE" == "400" ]] \
+    || { echo "whatif tier FAIL: malformed scenario -> $CODE (want 400)"; exit 1; }
+  CODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/whatif")"
+  [[ "$CODE" == "405" ]] \
+    || { echo "whatif tier FAIL: GET /v1/whatif -> $CODE (want 405)"; exit 1; }
+  whatif_cleanup
+  WHATIF_PID=""
+  trap - EXIT
+  echo "whatif tier OK (port $PORT, 2 scenarios byte-identical CLI vs endpoint)"
+else
+  echo "==> whatif stage skipped (--skip-whatif)"
 fi
 
 if [[ "$SKIP_SCALE" -eq 0 ]]; then

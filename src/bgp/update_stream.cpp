@@ -114,7 +114,9 @@ void RibState::apply(const UpdateMessage& update) {
 }
 
 void RibState::apply_all(const std::vector<UpdateMessage>& updates) {
-  for (const UpdateMessage& u : updates) apply(u);
+  // this-> keeps the bare name from resolving to the unrelated
+  // [[nodiscard]] free function scenario::apply in the lint model.
+  for (const UpdateMessage& u : updates) this->apply(u);
 }
 
 void RibState::restore(const std::vector<RouteEntry>& entries,

@@ -82,6 +82,105 @@ Pipeline::ApplyResult Pipeline::apply_updates(const bgp::RibCollection& ribs) {
   const EvictStats evicted = evict_changed_countries();
   out.memos_evicted = evicted.evicted;
   out.memos_kept = evicted.kept;
+  out.country_memos_evicted = evicted.country_evicted;
+  out.country_memos_kept = evicted.country_kept;
+  return out;
+}
+
+Pipeline::Checkpoint Pipeline::checkpoint() const {
+  // load_serial excludes a concurrent load/apply/restore wholesale (they
+  // hold it for their full duration, including the sanitizer-memo writes
+  // that happen outside the reload lock); the shared reload hold then
+  // orders this against nothing, but keeps the lock discipline uniform
+  // with every other world read.
+  const std::lock_guard<std::mutex> serial(cache_->load_serial);
+  const std::shared_lock<std::shared_mutex> reload(cache_->reload);
+  require_loaded("Pipeline::checkpoint()");
+  Checkpoint chk;
+  chk.sanitizer_ = sanitizer_;
+  chk.sanitized_ = *sanitized_;
+  chk.store_ = store_->clone();
+  chk.parse_stats_ = parse_stats_;
+  chk.geo_evidence_ = geo_evidence_;
+  chk.head_geo_evidence_ = head_geo_evidence_;
+  chk.head_seen_prefixes_ = head_seen_prefixes_;
+  chk.country_digests_ = country_digests_;
+  chk.outbound_digests_ = outbound_digests_;
+  {
+    const std::lock_guard<std::mutex> lock(cache_->mutex);
+    chk.cache_country_ = cache_->country;
+    chk.cache_outbound_ = cache_->outbound;
+    chk.cache_health_ = cache_->health;
+  }
+  return chk;
+}
+
+Pipeline::ApplyResult Pipeline::restore(const Checkpoint& checkpoint) {
+  if (!checkpoint.sanitizer_.has_value()) {
+    throw std::logic_error{"Pipeline::restore(): empty checkpoint"};
+  }
+  const std::lock_guard<std::mutex> serial(cache_->load_serial);
+  // The sanitizer memo is only ever read under load_serial, so it can be
+  // restored outside the reload lock like apply_updates' full run.
+  sanitizer_ = *checkpoint.sanitizer_;
+  const std::unique_lock<std::shared_mutex> reload(cache_->reload);
+  parse_stats_ = checkpoint.parse_stats_;
+  sanitized_ = checkpoint.sanitized_;
+  store_ = checkpoint.store_.clone();
+
+  ApplyResult out;
+  // Diff the checkpoint against the outgoing world for the counters:
+  // a shard whose digest already matched was untouched by the swap.
+  const auto unchanged =
+      [](const std::unordered_map<std::uint16_t, std::uint64_t>& outgoing,
+         const std::unordered_map<std::uint16_t, std::uint64_t>& restored,
+         std::uint16_t key) {
+        const auto now = restored.find(key);
+        const auto then = outgoing.find(key);
+        return now != restored.end() && then != outgoing.end() &&
+               now->second == then->second;
+      };
+  for (const PathShard& shard : store_->shards()) {
+    if (unchanged(outbound_digests_, checkpoint.outbound_digests_,
+                  shard.country().raw())) {
+      ++out.shards_kept;
+    } else {
+      ++out.shards_rebuilt;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(cache_->mutex);
+    const auto evicted_from = [&](const auto& map, const auto& digests) {
+      std::size_t evicted = 0;
+      for (const auto& entry : map) {
+        if (!unchanged(digests, checkpoint.country_digests_, entry.first)) {
+          ++evicted;
+        }
+      }
+      return evicted;
+    };
+    out.country_memos_evicted =
+        evicted_from(cache_->country, country_digests_);
+    out.memos_evicted = out.country_memos_evicted +
+                        evicted_from(cache_->health, country_digests_);
+    for (const auto& entry : cache_->outbound) {
+      if (!unchanged(outbound_digests_, checkpoint.outbound_digests_,
+                     entry.first)) {
+        ++out.memos_evicted;
+      }
+    }
+    cache_->country = checkpoint.cache_country_;
+    cache_->outbound = checkpoint.cache_outbound_;
+    cache_->health = checkpoint.cache_health_;
+    out.country_memos_kept = cache_->country.size();
+    out.memos_kept = cache_->country.size() + cache_->outbound.size() +
+                     cache_->health.size();
+  }
+  geo_evidence_ = checkpoint.geo_evidence_;
+  head_geo_evidence_ = checkpoint.head_geo_evidence_;
+  head_seen_prefixes_ = checkpoint.head_seen_prefixes_;
+  country_digests_ = checkpoint.country_digests_;
+  outbound_digests_ = checkpoint.outbound_digests_;
   return out;
 }
 
@@ -166,9 +265,12 @@ Pipeline::EvictStats Pipeline::evict_changed_countries() {
     const std::lock_guard<std::mutex> lock(cache_->mutex);
     const std::size_t before = cache_->country.size() +
                                cache_->outbound.size() + cache_->health.size();
+    const std::size_t country_before = cache_->country.size();
     std::erase_if(cache_->country, [&](const auto& entry) {
       return changed(country_digests_, country_digests, entry.first);
     });
+    stats.country_kept = cache_->country.size();
+    stats.country_evicted = country_before - stats.country_kept;
     std::erase_if(cache_->outbound, [&](const auto& entry) {
       return changed(outbound_digests_, outbound_digests, entry.first);
     });

@@ -86,6 +86,12 @@ class Pipeline {
     std::size_t shards_rebuilt = 0;  // re-gathered from scratch
     std::size_t memos_evicted = 0;   // per-country results dropped
     std::size_t memos_kept = 0;      // per-country results still warm
+    /// memos_* restricted to the country-rankings memo (the census
+    /// cache): deterministic for a given reload, where the aggregate
+    /// counts above also reflect which outbound/health queries happened
+    /// to have warmed the cache beforehand.
+    std::size_t country_memos_evicted = 0;
+    std::size_t country_memos_kept = 0;
     bool sanitize_fast_path = false;   // final-day-only incremental run
     std::size_t days_resanitized = 0;  // days the sanitizer re-filtered
   };
@@ -104,6 +110,71 @@ class Pipeline {
   /// left untouched (updates arrive pre-parsed). Takes the reload lock
   /// exclusively for the swap, like load().
   ApplyResult apply_updates(const bgp::RibCollection& ribs);
+
+  /// Per-country geolocation evidence behind the confidence annotation:
+  /// accepted effective addresses (distinct sanitized prefixes), plus
+  /// the no-consensus address weight AND prefix count attributed to the
+  /// country's plurality (the latter feeds country_health()). Rebuilt on
+  /// every load; all-zero for countries with no evidence.
+  struct GeoEvidence {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t rejected_prefixes = 0;
+  };
+  [[nodiscard]] GeoEvidence geo_evidence(geo::CountryCode country) const;
+
+  /// A captured world: the sanitized path set, a deep copy of the
+  /// sharded store, the geo evidence, the per-country digests, the memo
+  /// cache contents and the incremental sanitizer's memo, all as they
+  /// stood when checkpoint() ran. restore() swaps it back WITHOUT
+  /// re-running the sanitizer, re-gathering the store or recomputing a
+  /// single ranking — every piece is copied back — so a caller that
+  /// flips between two worlds (the what-if engine re-arming its baseline
+  /// after each counterfactual, DESIGN.md §4i) pays O(world) memcpy
+  /// instead of a reload. Opaque and move-only (it owns a store clone);
+  /// only hand it back to the pipeline that made it — the interning
+  /// arena and digests are private to that instance's history.
+  class Checkpoint {
+   private:
+    friend class Pipeline;
+    std::optional<sanitize::IncrementalSanitizer> sanitizer_;
+    sanitize::SanitizeResult sanitized_;
+    ShardedPathStore store_;
+    bgp::MrtParseStats parse_stats_;
+    std::unordered_map<geo::CountryCode, GeoEvidence, geo::CountryCodeHash>
+        geo_evidence_;
+    std::unordered_map<geo::CountryCode, GeoEvidence, geo::CountryCodeHash>
+        head_geo_evidence_;
+    std::unordered_set<bgp::Prefix, bgp::PrefixHash> head_seen_prefixes_;
+    std::unordered_map<std::uint16_t, std::uint64_t> country_digests_;
+    std::unordered_map<std::uint16_t, std::uint64_t> outbound_digests_;
+    std::unordered_map<std::uint16_t, CountryMetrics> cache_country_;
+    std::unordered_map<std::uint16_t, OutboundMetrics> cache_outbound_;
+    std::unordered_map<std::uint16_t, robust::CountryHealth> cache_health_;
+  };
+
+  /// Captures the currently loaded world, including which per-country
+  /// results are memoized right now. Serialized against
+  /// load()/apply_updates()/restore() like any reload. Throws
+  /// std::logic_error("Pipeline::checkpoint(): no RIBs loaded") before
+  /// load().
+  [[nodiscard]] Checkpoint checkpoint() const;
+
+  /// Swaps a checkpointed world back in by copy. Queries afterwards are
+  /// bit-identical to a load() of the checkpointed collection, the memo
+  /// cache holds exactly the entries it held at capture time (every
+  /// memo that was warm then is warm again — no recompute needed), and
+  /// the sanitizer's cross-load memo is restored too, so a
+  /// final-day-only apply_updates() after restore() still fast-paths.
+  /// The returned counters diff the checkpoint against the OUTGOING
+  /// world: shards_kept counts shards whose content was already
+  /// identical (the swap was a no-op for them), shards_rebuilt the ones
+  /// the copy replaced; memos_evicted counts outgoing cache entries
+  /// whose country changed between the two worlds (their counterfactual
+  /// values were dropped), memos_kept the checkpointed entries now warm.
+  /// sanitize_fast_path/days_resanitized are always false/0 (nothing
+  /// was sanitized). Throws std::logic_error on an empty checkpoint.
+  ApplyResult restore(const Checkpoint& checkpoint);
 
   /// Whether a world is loaded. Takes the reload lock shared so a racing
   /// load() is observed either entirely before or entirely after.
@@ -181,18 +252,6 @@ class Pipeline {
     return *geo_db_;
   }
 
-  /// Per-country geolocation evidence behind the confidence annotation:
-  /// accepted effective addresses (distinct sanitized prefixes), plus
-  /// the no-consensus address weight AND prefix count attributed to the
-  /// country's plurality (the latter feeds country_health()). Rebuilt on
-  /// every load; all-zero for countries with no evidence.
-  struct GeoEvidence {
-    std::uint64_t accepted = 0;
-    std::uint64_t rejected = 0;
-    std::uint64_t rejected_prefixes = 0;
-  };
-  [[nodiscard]] GeoEvidence geo_evidence(geo::CountryCode country) const;
-
  private:
   /// Sanitizes outside the reload lock, then swaps the new world — paths,
   /// store, geo evidence AND parse stats — in under one exclusive hold,
@@ -211,6 +270,11 @@ class Pipeline {
   struct EvictStats {
     std::size_t evicted = 0;
     std::size_t kept = 0;
+    /// Same counts restricted to the country-rankings map — the memo
+    /// the census reuses, reported separately because outbound/health
+    /// warmth depends on which queries ran, not on the reload itself.
+    std::size_t country_evicted = 0;
+    std::size_t country_kept = 0;
   };
   EvictStats evict_changed_countries();
   /// Throws std::logic_error("<where>: no RIBs loaded") before load().

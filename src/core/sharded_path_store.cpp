@@ -258,6 +258,25 @@ ShardedPathStore::RebuildStats ShardedPathStore::rebuild(
   return result;
 }
 
+ShardedPathStore ShardedPathStore::clone() const {
+  ShardedPathStore copy;
+  copy.arena_ = arena_;
+  copy.interned_ = interned_;
+  copy.handles_ = handles_;
+  copy.rows_of_ = rows_of_;
+  copy.shards_ = shards_;
+  copy.shard_countries_ = shard_countries_;
+  copy.prefix_countries_ = prefix_countries_;
+  copy.vp_countries_ = vp_countries_;
+  copy.size_ = size_;
+  copy.unique_paths_ = unique_paths_;
+  // The copied shards still borrow the ORIGINAL arena; re-point them at
+  // the copy's own buffer so the clone is self-contained.
+  const bgp::Asn* arena = copy.arena_.data();
+  for (PathShard& sh : copy.shards_) sh.arena_ = arena;
+  return copy;
+}
+
 const PathShard* ShardedPathStore::shard(geo::CountryCode country) const noexcept {
   const auto it = std::lower_bound(shard_countries_.begin(),
                                    shard_countries_.end(), country);

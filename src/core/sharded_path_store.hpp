@@ -56,6 +56,16 @@ class ShardedPathStore {
   ShardedPathStore& operator=(ShardedPathStore&&) noexcept = default;
   ~ShardedPathStore() = default;
 
+  /// Explicit deep copy: every column, selection list, the dictionary
+  /// and the cached row derivations are copied, and the copy's shards
+  /// are re-pointed at ITS arena (the reason the copy constructor is
+  /// deleted rather than defaulted — a memberwise copy would leave the
+  /// shards borrowing the original's hop storage). O(world) in straight
+  /// memcpy-sized chunks, so it is much cheaper than a rebuild(), which
+  /// re-interns and re-gathers row by row: Pipeline::checkpoint()/
+  /// restore() flip between two worlds with it.
+  [[nodiscard]] ShardedPathStore clone() const;
+
   struct RebuildStats {
     std::size_t shards_kept = 0;     // digest unchanged, columns reused
     std::size_t shards_rebuilt = 0;  // gathered from scratch

@@ -1,0 +1,300 @@
+#include "scenario/apply.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "topo/route_propagation.hpp"
+#include "util/parallel_for.hpp"
+#include "util/rng.hpp"
+
+namespace georank::scenario {
+
+namespace {
+
+using topo::AsGraph;
+using topo::NodeId;
+
+[[nodiscard]] std::optional<geo::CountryCode> country_of(
+    const rank::AsRegistry& registry, Asn asn) {
+  auto it = registry.find(asn);
+  if (it == registry.end()) return std::nullopt;
+  return it->second;
+}
+
+/// Order-free 64-bit mix of up to three stable identifiers — the PCG32
+/// stream / salt discipline: randomness is keyed by WHAT is decided,
+/// never by WHEN the loop reaches it.
+[[nodiscard]] std::uint64_t mix(std::uint64_t a, std::uint64_t b,
+                                std::uint64_t c = 0) {
+  std::uint64_t state = a;
+  state ^= 0x9e3779b97f4a7c15ull + b;
+  std::uint64_t out = util::splitmix64(state);
+  state ^= 0x9e3779b97f4a7c15ull + c;
+  out ^= util::splitmix64(state);
+  return out;
+}
+
+[[nodiscard]] std::uint64_t edge_key(Asn a, Asn b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// Collected graph edits + the severed-pair set the RIB pass matches
+/// paths against.
+struct EditState {
+  AsGraph graph;
+  std::unordered_set<std::uint64_t> severed;
+  std::unordered_map<bgp::Prefix, Asn, bgp::PrefixHash> hijacks;
+  ApplyStats stats;
+
+  /// Removes the relationship (if any) and records the pair so routes
+  /// crossing it are re-propagated.
+  void sever(Asn a, Asn b) {
+    if (!severed.insert(edge_key(a, b)).second) return;
+    if (graph.remove_edge(a, b)) ++stats.edges_removed;
+  }
+};
+
+void apply_depeer_countries(EditState& state, const rank::AsRegistry& registry,
+                            const Event& event) {
+  std::vector<std::pair<Asn, Asn>> cut;
+  for (Asn asn : state.graph.ases()) {
+    if (country_of(registry, asn) != event.country_a) continue;
+    for (const topo::Neighbor& n : state.graph.neighbors(state.graph.id_of(asn))) {
+      const Asn other = state.graph.asn_of(n.id);
+      if (country_of(registry, other) == event.country_b) {
+        cut.emplace_back(asn, other);
+      }
+    }
+  }
+  for (auto [a, b] : cut) state.sever(a, b);
+}
+
+void apply_depeer_clique(EditState& state, const Event& event) {
+  if (!state.graph.contains(event.asn)) {
+    throw ApplyError("depeer-clique: ASN " + std::to_string(event.asn) +
+                     " not in the AS graph");
+  }
+  // The tier-1 test is structural: provider-free peers of the target.
+  // Each such settlement-free link becomes transit bought from the
+  // former peer.
+  std::vector<Asn> clique_peers;
+  for (Asn peer : state.graph.peers_of(event.asn)) {
+    if (state.graph.providers_of(peer).empty()) clique_peers.push_back(peer);
+  }
+  for (Asn peer : clique_peers) {
+    state.sever(event.asn, peer);
+    state.graph.add_p2c(peer, event.asn);
+    ++state.stats.edges_added;
+  }
+}
+
+void apply_hijack(EditState& state, const Event& event) {
+  if (!state.graph.contains(event.asn)) {
+    throw ApplyError("hijack: ASN " + std::to_string(event.asn) +
+                     " not in the AS graph");
+  }
+  state.hijacks[event.prefix] = event.asn;  // later events win
+  ++state.stats.prefixes_hijacked;
+}
+
+void apply_cablecut(EditState& state, const rank::AsRegistry& registry,
+                    std::uint64_t seed, std::size_t event_index,
+                    const Event& event) {
+  std::vector<std::pair<Asn, Asn>> cut;
+  for (Asn asn : state.graph.ases()) {
+    if (country_of(registry, asn) != event.country_a) continue;
+    for (const topo::Neighbor& n : state.graph.neighbors(state.graph.id_of(asn))) {
+      const Asn other = state.graph.asn_of(n.id);
+      if (country_of(registry, other) == event.country_a) continue;  // domestic
+      // One independent PCG32 stream per (event, edge): the draw does
+      // not depend on iteration order or on which endpoint we saw
+      // first, so the selection is bit-stable.
+      const Asn lo = std::min(asn, other), hi = std::max(asn, other);
+      util::Pcg32 rng{seed, mix(event_index, lo, hi)};
+      if (rng.chance(event.fraction)) cut.emplace_back(asn, other);
+    }
+  }
+  for (auto [a, b] : cut) state.sever(a, b);
+}
+
+void apply_consolidate(EditState& state, const rank::AsRegistry& registry,
+                       const Event& event) {
+  if (!state.graph.contains(event.asn)) {
+    throw ApplyError("consolidate: ASN " + std::to_string(event.asn) +
+                     " not in the AS graph");
+  }
+  std::vector<std::pair<Asn, Asn>> cut;
+  std::vector<Asn> orphaned;  // insertion order, deduped below
+  for (Asn asn : state.graph.ases()) {
+    if (asn == event.asn) continue;
+    if (country_of(registry, asn) != event.country_a) continue;
+    bool lost = false;
+    for (const topo::Neighbor& n : state.graph.neighbors(state.graph.id_of(asn))) {
+      const Asn other = state.graph.asn_of(n.id);
+      if (other == event.asn) continue;  // links to the gateway survive
+      if (country_of(registry, other) == event.country_a) continue;
+      cut.emplace_back(asn, other);
+      lost = true;
+    }
+    if (lost) orphaned.push_back(asn);
+  }
+  for (auto [a, b] : cut) state.sever(a, b);
+  for (Asn asn : orphaned) {
+    if (!state.graph.relationship(event.asn, asn)) {
+      state.graph.add_p2c(event.asn, asn);
+      ++state.stats.edges_added;
+    }
+  }
+}
+
+[[nodiscard]] bool crosses_severed(
+    const bgp::AsPath& path, const std::unordered_set<std::uint64_t>& severed) {
+  const std::span<const Asn> hops = path.hops();
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    if (severed.contains(edge_key(hops[i], hops[i + 1]))) return true;
+  }
+  return false;
+}
+
+/// One re-propagation unit: every affected VP AS of one (prefix,
+/// target-origin) pair shares a single RoutingTable.
+struct Reroute {
+  bgp::Prefix prefix{0, 0};
+  Asn origin = 0;
+  std::vector<Asn> vp_ases;  // sorted + deduped before compute
+};
+
+}  // namespace
+
+ApplyResult apply(const Scenario& scenario, const topo::AsGraph& graph,
+                  const rank::AsRegistry& registry,
+                  const bgp::RibCollection& baseline,
+                  const ApplyOptions& options) {
+  EditState state{graph, {}, {}, {}};
+
+  for (std::size_t i = 0; i < scenario.events.size(); ++i) {
+    const Event& event = scenario.events[i];
+    switch (event.kind) {
+      case EventKind::kDepeerCountries:
+        apply_depeer_countries(state, registry, event);
+        break;
+      case EventKind::kDepeerClique:
+        apply_depeer_clique(state, event);
+        break;
+      case EventKind::kHijack:
+        apply_hijack(state, event);
+        break;
+      case EventKind::kCableCut:
+        apply_cablecut(state, registry, scenario.seed, i, event);
+        break;
+      case EventKind::kConsolidate:
+        apply_consolidate(state, registry, event);
+        break;
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Group affected entries by (prefix, target origin); first-encounter
+  // order while scanning days in sequence keeps the group list stable.
+  auto target_origin = [&state](const bgp::RouteEntry& entry)
+      -> std::optional<Asn> {
+    auto hijacked = state.hijacks.find(entry.prefix);
+    if (hijacked != state.hijacks.end()) return hijacked->second;
+    if (entry.path.size() > 0 && crosses_severed(entry.path, state.severed)) {
+      return entry.path.origin();
+    }
+    return std::nullopt;
+  };
+
+  std::vector<Reroute> groups;
+  std::map<std::pair<std::uint64_t, Asn>, std::size_t> group_index;
+  auto group_key = [](bgp::Prefix prefix, Asn origin) {
+    return std::make_pair(
+        (static_cast<std::uint64_t>(prefix.address()) << 8) | prefix.length(),
+        origin);
+  };
+  for (const bgp::RibSnapshot& day : baseline.days) {
+    for (const bgp::RouteEntry& entry : day.entries) {
+      auto origin = target_origin(entry);
+      if (!origin) continue;
+      auto key = group_key(entry.prefix, *origin);
+      auto [it, fresh] = group_index.try_emplace(key, groups.size());
+      if (fresh) groups.push_back(Reroute{entry.prefix, *origin, {}});
+      groups[it->second].vp_ases.push_back(entry.vp.asn);
+    }
+  }
+  for (Reroute& group : groups) {
+    std::sort(group.vp_ases.begin(), group.vp_ases.end());
+    group.vp_ases.erase(
+        std::unique(group.vp_ases.begin(), group.vp_ases.end()),
+        group.vp_ases.end());
+  }
+  state.stats.prefixes_rerouted = groups.size();
+
+  // ------------------------------------------------------------------
+  // Re-propagate each group over the edited graph. Slot-per-group
+  // output keeps the fan-out bit-identical across GEORANK_THREADS.
+  const topo::RoutePropagator propagator{state.graph};
+  std::vector<std::vector<bgp::AsPath>> new_paths(groups.size());
+  util::parallel_for(
+      groups.size(),
+      [&](std::size_t g) {
+        const Reroute& group = groups[g];
+        std::vector<bgp::AsPath>& out = new_paths[g];
+        out.resize(group.vp_ases.size());
+        if (!state.graph.contains(group.origin)) return;  // all withdrawn
+        const std::uint64_t salt =
+            mix(scenario.seed, (static_cast<std::uint64_t>(
+                                    group.prefix.address()) << 8) |
+                                   group.prefix.length());
+        const topo::RoutingTable table =
+            propagator.compute(group.origin, salt);
+        for (std::size_t v = 0; v < group.vp_ases.size(); ++v) {
+          if (!state.graph.contains(group.vp_ases[v])) continue;
+          out[v] = table.path_from(state.graph.id_of(group.vp_ases[v]));
+        }
+      },
+      options.threads);
+
+  // ------------------------------------------------------------------
+  // Rebuild the collection in original order: keep, substitute, or drop.
+  ApplyResult result{std::move(state.graph), {}, state.stats};
+  result.ribs.days.reserve(baseline.days.size());
+  for (const bgp::RibSnapshot& day : baseline.days) {
+    bgp::RibSnapshot out_day;
+    out_day.day = day.day;
+    out_day.entries.reserve(day.entries.size());
+    for (const bgp::RouteEntry& entry : day.entries) {
+      auto origin = target_origin(entry);
+      if (!origin) {
+        out_day.entries.push_back(entry);
+        ++result.stats.entries_kept;
+        continue;
+      }
+      const std::size_t g = group_index.at(group_key(entry.prefix, *origin));
+      const Reroute& group = groups[g];
+      const auto vp_it = std::lower_bound(group.vp_ases.begin(),
+                                          group.vp_ases.end(), entry.vp.asn);
+      const std::size_t v =
+          static_cast<std::size_t>(vp_it - group.vp_ases.begin());
+      const bgp::AsPath& path = new_paths[g][v];
+      if (path.size() == 0) {
+        ++result.stats.entries_withdrawn;  // origin unreachable: withdrawn
+        continue;
+      }
+      bgp::RouteEntry rerouted = entry;
+      rerouted.path = path;
+      out_day.entries.push_back(std::move(rerouted));
+      ++result.stats.entries_rerouted;
+    }
+    result.ribs.days.push_back(std::move(out_day));
+  }
+  return result;
+}
+
+}  // namespace georank::scenario

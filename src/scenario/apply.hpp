@@ -1,0 +1,81 @@
+// scenario::apply — deterministic counterfactual edit of topology + RIBs.
+//
+// apply() is a pure function of (scenario, baseline graph, registry,
+// baseline RIBs): it copies the AS graph, applies the scenario's events
+// in order, and then SURGICALLY rewrites the RIB collection — a route
+// entry is re-propagated (over the edited graph, via the same
+// Gao-Rexford topo::RoutePropagator that generated the world) only when
+// its path crossed a severed link or its prefix was hijacked; every
+// other entry is kept byte-identical. That conservatism is deliberate:
+// real BGP would also shift intact routes onto newly-cheaper paths, but
+// keeping untouched entries bit-identical is exactly what lets the
+// Pipeline's shard-digest memos prove which countries a scenario did
+// NOT touch (DESIGN.md §4i).
+//
+// Determinism: all stochastic choices (cablecut edge selection, the
+// per-prefix propagation tiebreak salt) come from PCG32 streams keyed
+// by (scenario seed, stable identifiers) — never from iteration order —
+// and re-propagation fans out over distinct prefixes with each result
+// written to its own slot, so the output is bit-identical across
+// GEORANK_THREADS and across repeated runs.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "bgp/route.hpp"
+#include "rank/ahc.hpp"
+#include "scenario/scenario.hpp"
+#include "topo/as_graph.hpp"
+
+namespace georank::scenario {
+
+/// A scenario that references an ASN absent from the graph (clique
+/// target, hijacker, designated transit) cannot be applied.
+class ApplyError : public std::runtime_error {
+ public:
+  explicit ApplyError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ApplyOptions {
+  /// Worker threads for re-propagation (0 = GEORANK_THREADS/hardware).
+  std::size_t threads = 0;
+};
+
+struct ApplyStats {
+  std::size_t edges_removed = 0;
+  /// p2c conversions (depeer-clique) + reconnects (consolidate).
+  std::size_t edges_added = 0;
+  std::size_t prefixes_hijacked = 0;
+  /// Distinct (prefix, origin) groups re-propagated.
+  std::size_t prefixes_rerouted = 0;
+  /// Entry counts across all RIB days.
+  std::size_t entries_kept = 0;
+  std::size_t entries_rerouted = 0;
+  std::size_t entries_withdrawn = 0;
+
+  friend bool operator==(const ApplyStats&, const ApplyStats&) = default;
+};
+
+struct ApplyResult {
+  /// The counterfactual topology (baseline copy + event edits).
+  topo::AsGraph graph;
+  /// The counterfactual RIBs; entries untouched by the scenario are
+  /// byte-identical to the baseline.
+  bgp::RibCollection ribs;
+  ApplyStats stats;
+};
+
+/// Applies `scenario` to the baseline world. `registry` maps ASN ->
+/// registration country (the country-membership test for depeer /
+/// cablecut / consolidate). Throws ApplyError when an event names an
+/// ASN the graph does not contain; events selecting an empty AS set
+/// (e.g. de-peering two countries with no links) are no-ops.
+[[nodiscard]] ApplyResult apply(const Scenario& scenario,
+                                const topo::AsGraph& graph,
+                                const rank::AsRegistry& registry,
+                                const bgp::RibCollection& baseline,
+                                const ApplyOptions& options = {});
+
+}  // namespace georank::scenario

@@ -1,0 +1,271 @@
+#include "scenario/scenario.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace georank::scenario {
+
+namespace {
+
+[[nodiscard]] bool valid_name(std::string_view text) {
+  if (text.empty()) return false;
+  for (char c : text) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] std::optional<double> parse_fraction(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::string owned{text};
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) return std::nullopt;
+  if (!(value > 0.0) || value > 1.0) return std::nullopt;
+  return value;
+}
+
+/// Shortest decimal form that round-trips through strtod — keeps
+/// to_text() canonical so content_hash() is stable across platforms.
+[[nodiscard]] std::string format_fraction(double value) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+[[nodiscard]] ScenarioParseError err(std::size_t line,
+                                     ScenarioParseReason reason,
+                                     std::string_view detail) {
+  return ScenarioParseError{line, reason, std::string{detail}};
+}
+
+}  // namespace
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kDepeerCountries: return "depeer";
+    case EventKind::kDepeerClique: return "depeer-clique";
+    case EventKind::kHijack: return "hijack";
+    case EventKind::kCableCut: return "cablecut";
+    case EventKind::kConsolidate: return "consolidate";
+  }
+  return "?";
+}
+
+std::string_view to_string(ScenarioParseReason reason) noexcept {
+  switch (reason) {
+    case ScenarioParseReason::kUnknownDirective: return "unknown directive";
+    case ScenarioParseReason::kBadFieldCount: return "wrong field count";
+    case ScenarioParseReason::kBadName: return "bad scenario name";
+    case ScenarioParseReason::kBadSeed: return "bad seed";
+    case ScenarioParseReason::kBadCountry: return "bad country code";
+    case ScenarioParseReason::kSameCountry: return "countries must differ";
+    case ScenarioParseReason::kBadAsn: return "bad ASN";
+    case ScenarioParseReason::kBadPrefix: return "bad prefix";
+    case ScenarioParseReason::kBadFraction: return "bad fraction";
+    case ScenarioParseReason::kMissingKeyword: return "missing keyword";
+    case ScenarioParseReason::kDuplicateDirective: return "duplicate directive";
+    case ScenarioParseReason::kEmpty: return "no events";
+  }
+  return "?";
+}
+
+ScenarioParseError::ScenarioParseError(std::size_t line,
+                                       ScenarioParseReason reason,
+                                       std::string detail)
+    : std::runtime_error("scenario line " + std::to_string(line) + ": " +
+                         std::string{to_string(reason)} +
+                         (detail.empty() ? "" : " (" + detail + ")")),
+      line_(line),
+      reason_(reason) {}
+
+Scenario parse(std::string_view text) {
+  Scenario scenario;
+  bool saw_name = false;
+  bool saw_seed = false;
+  std::size_t line_no = 0;
+  for (std::string_view raw : util::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw;
+    if (auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const auto fields = util::split_ws(line);
+    if (fields.empty()) continue;
+    const std::string_view directive = fields[0];
+
+    if (directive == "name") {
+      if (saw_name) {
+        throw err(line_no, ScenarioParseReason::kDuplicateDirective, "name");
+      }
+      if (fields.size() != 2) {
+        throw err(line_no, ScenarioParseReason::kBadFieldCount,
+                  "want: name LABEL");
+      }
+      if (!valid_name(fields[1])) {
+        throw err(line_no, ScenarioParseReason::kBadName, fields[1]);
+      }
+      scenario.name = std::string{fields[1]};
+      saw_name = true;
+      continue;
+    }
+    if (directive == "seed") {
+      if (saw_seed) {
+        throw err(line_no, ScenarioParseReason::kDuplicateDirective, "seed");
+      }
+      if (fields.size() != 2) {
+        throw err(line_no, ScenarioParseReason::kBadFieldCount,
+                  "want: seed N");
+      }
+      auto seed = util::parse_int<std::uint64_t>(fields[1]);
+      if (!seed) throw err(line_no, ScenarioParseReason::kBadSeed, fields[1]);
+      scenario.seed = *seed;
+      saw_seed = true;
+      continue;
+    }
+
+    Event event;
+    if (directive == "depeer") {
+      event.kind = EventKind::kDepeerCountries;
+      if (fields.size() != 3) {
+        throw err(line_no, ScenarioParseReason::kBadFieldCount,
+                  "want: depeer CC1 CC2");
+      }
+      auto a = geo::CountryCode::parse(fields[1]);
+      if (!a) throw err(line_no, ScenarioParseReason::kBadCountry, fields[1]);
+      auto b = geo::CountryCode::parse(fields[2]);
+      if (!b) throw err(line_no, ScenarioParseReason::kBadCountry, fields[2]);
+      if (*a == *b) {
+        throw err(line_no, ScenarioParseReason::kSameCountry, fields[1]);
+      }
+      event.country_a = *a;
+      event.country_b = *b;
+    } else if (directive == "depeer-clique") {
+      event.kind = EventKind::kDepeerClique;
+      if (fields.size() != 2) {
+        throw err(line_no, ScenarioParseReason::kBadFieldCount,
+                  "want: depeer-clique ASN");
+      }
+      auto asn = util::parse_int<Asn>(fields[1]);
+      if (!asn || *asn == 0) {
+        throw err(line_no, ScenarioParseReason::kBadAsn, fields[1]);
+      }
+      event.asn = *asn;
+    } else if (directive == "hijack") {
+      event.kind = EventKind::kHijack;
+      if (fields.size() != 4) {
+        throw err(line_no, ScenarioParseReason::kBadFieldCount,
+                  "want: hijack PREFIX by ASN");
+      }
+      auto prefix = bgp::Prefix::parse(fields[1]);
+      if (!prefix) {
+        throw err(line_no, ScenarioParseReason::kBadPrefix, fields[1]);
+      }
+      if (fields[2] != "by") {
+        throw err(line_no, ScenarioParseReason::kMissingKeyword, "want 'by'");
+      }
+      auto asn = util::parse_int<Asn>(fields[3]);
+      if (!asn || *asn == 0) {
+        throw err(line_no, ScenarioParseReason::kBadAsn, fields[3]);
+      }
+      event.prefix = *prefix;
+      event.asn = *asn;
+    } else if (directive == "cablecut") {
+      event.kind = EventKind::kCableCut;
+      if (fields.size() != 3) {
+        throw err(line_no, ScenarioParseReason::kBadFieldCount,
+                  "want: cablecut CC FRACTION");
+      }
+      auto country = geo::CountryCode::parse(fields[1]);
+      if (!country) {
+        throw err(line_no, ScenarioParseReason::kBadCountry, fields[1]);
+      }
+      auto fraction = parse_fraction(fields[2]);
+      if (!fraction) {
+        throw err(line_no, ScenarioParseReason::kBadFraction, fields[2]);
+      }
+      event.country_a = *country;
+      event.fraction = *fraction;
+    } else if (directive == "consolidate") {
+      event.kind = EventKind::kConsolidate;
+      if (fields.size() != 4) {
+        throw err(line_no, ScenarioParseReason::kBadFieldCount,
+                  "want: consolidate CC onto ASN");
+      }
+      auto country = geo::CountryCode::parse(fields[1]);
+      if (!country) {
+        throw err(line_no, ScenarioParseReason::kBadCountry, fields[1]);
+      }
+      if (fields[2] != "onto") {
+        throw err(line_no, ScenarioParseReason::kMissingKeyword, "want 'onto'");
+      }
+      auto asn = util::parse_int<Asn>(fields[3]);
+      if (!asn || *asn == 0) {
+        throw err(line_no, ScenarioParseReason::kBadAsn, fields[3]);
+      }
+      event.country_a = *country;
+      event.asn = *asn;
+    } else {
+      throw err(line_no, ScenarioParseReason::kUnknownDirective, directive);
+    }
+    scenario.events.push_back(event);
+  }
+
+  if (scenario.events.empty()) {
+    throw err(0, ScenarioParseReason::kEmpty, "");
+  }
+  return scenario;
+}
+
+std::string to_text(const Scenario& scenario) {
+  std::string out;
+  if (!scenario.name.empty()) {
+    out += "name " + scenario.name + "\n";
+  }
+  out += "seed " + std::to_string(scenario.seed) + "\n";
+  for (const Event& event : scenario.events) {
+    switch (event.kind) {
+      case EventKind::kDepeerCountries:
+        out += "depeer " + event.country_a.to_string() + " " +
+               event.country_b.to_string() + "\n";
+        break;
+      case EventKind::kDepeerClique:
+        out += "depeer-clique " + std::to_string(event.asn) + "\n";
+        break;
+      case EventKind::kHijack:
+        out += "hijack " + event.prefix.to_string() + " by " +
+               std::to_string(event.asn) + "\n";
+        break;
+      case EventKind::kCableCut:
+        out += "cablecut " + event.country_a.to_string() + " " +
+               format_fraction(event.fraction) + "\n";
+        break;
+      case EventKind::kConsolidate:
+        out += "consolidate " + event.country_a.to_string() + " onto " +
+               std::to_string(event.asn) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::uint64_t content_hash(const Scenario& scenario) {
+  const std::string text = to_text(scenario);
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace georank::scenario

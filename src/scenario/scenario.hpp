@@ -1,0 +1,137 @@
+// scenario — nation-state routing events as declarative counterfactuals.
+//
+// The paper's rankings answer "who matters today"; this module asks
+// "who would matter if X happened". A Scenario is a small ordered list
+// of events drawn from the classes the nation-state routing literature
+// enumerates (de-peering, forced transit consolidation, hijacks,
+// partitions), written in a line-oriented text DSL (FORMATS.md,
+// "scenario.txt" section):
+//
+//   # sanctions counterfactual
+//   name ru-ua-depeer
+//   seed 42
+//   depeer RU UA
+//   hijack 10.1.0.0/16 by 64500
+//
+// Parsing is strict: every malformed field is rejected with a typed
+// ScenarioParseError carrying the 1-based line number and a
+// ScenarioParseReason, mirroring the snapshot-codec flip tests
+// (GRSNAP01) — tests mutate every field and assert the reason.
+//
+// to_text() emits the canonical form; parse(to_text(s)) == s, and
+// content_hash() (FNV-1a over the canonical text) is the cache key the
+// serve layer pairs with a snapshot id.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "bgp/prefix.hpp"
+#include "geo/country.hpp"
+
+namespace georank::scenario {
+
+using bgp::Asn;
+
+/// The five event families (ISSUE/DESIGN.md §4i).
+enum class EventKind : std::uint8_t {
+  /// "depeer CC1 CC2" — every relationship between an AS registered in
+  /// CC1 and one registered in CC2 is severed.
+  kDepeerCountries,
+  /// "depeer-clique ASN" — the incumbent is ejected from the tier-1
+  /// clique: each settlement-free link to a provider-free peer becomes
+  /// a p2c edge with the former peer as provider (it now buys transit
+  /// where it used to peer).
+  kDepeerClique,
+  /// "hijack PREFIX by ASN" — full-prefix origin hijack: every route
+  /// for PREFIX re-originates at the hijacker.
+  kHijack,
+  /// "cablecut CC FRACTION" — a deterministic FRACTION of CC's
+  /// cross-border links is severed (per-edge PCG32 stream keyed by the
+  /// endpoints, so the selection is order- and thread-independent).
+  kCableCut,
+  /// "consolidate CC onto ASN" — state-mandated transit consolidation:
+  /// every cross-border link of CC's ASes except those touching the
+  /// designated AS is severed, and affected ASes buy transit from it.
+  kConsolidate,
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
+
+struct Event {
+  EventKind kind = EventKind::kDepeerCountries;
+  /// depeer lhs / cablecut country / consolidate country.
+  geo::CountryCode country_a;
+  /// depeer rhs (unused otherwise).
+  geo::CountryCode country_b;
+  /// depeer-clique target / hijacker / designated transit AS.
+  Asn asn = 0;
+  /// hijack victim prefix.
+  bgp::Prefix prefix{0, 0};
+  /// cablecut severed share, in (0, 1].
+  double fraction = 0.0;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+struct Scenario {
+  std::string name;       // optional label ([A-Za-z0-9._-]+)
+  std::uint64_t seed = 1; // drives every stochastic choice (cablecut)
+  std::vector<Event> events;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+/// Why a scenario text was rejected — one reason per malformed field so
+/// property tests can assert the exact diagnosis.
+enum class ScenarioParseReason : std::uint8_t {
+  kUnknownDirective,   // first token is not a known directive
+  kBadFieldCount,      // wrong number of tokens for the directive
+  kBadName,            // name not [A-Za-z0-9._-]+
+  kBadSeed,            // seed not a u64
+  kBadCountry,         // not a 2-letter ISO code
+  kSameCountry,        // depeer CC CC
+  kBadAsn,             // not a u32 ASN > 0
+  kBadPrefix,          // not a.b.c.d/len
+  kBadFraction,        // not a real in (0, 1]
+  kMissingKeyword,     // "by"/"onto" connective absent
+  kDuplicateDirective, // name/seed given twice
+  kEmpty,              // no events at all
+};
+
+[[nodiscard]] std::string_view to_string(ScenarioParseReason reason) noexcept;
+
+class ScenarioParseError : public std::runtime_error {
+ public:
+  ScenarioParseError(std::size_t line, ScenarioParseReason reason,
+                     std::string detail);
+
+  /// 1-based line number of the offending line (0 for whole-input
+  /// errors such as kEmpty). Named like MrtParseError::line_number()
+  /// — also so the bare name doesn't collide with unrelated `line`
+  /// helpers in the lint model's name-based [[nodiscard]] harvest.
+  [[nodiscard]] std::size_t line_number() const noexcept { return line_; }
+  [[nodiscard]] ScenarioParseReason reason() const noexcept { return reason_; }
+
+ private:
+  std::size_t line_;
+  ScenarioParseReason reason_;
+};
+
+/// Parses the DSL (throws ScenarioParseError). '#' starts a comment;
+/// blank lines are skipped; directives are case-sensitive.
+[[nodiscard]] Scenario parse(std::string_view text);
+
+/// Canonical text: name line (when non-empty), seed line, then events
+/// in order. parse(to_text(s)) == s for every valid Scenario.
+[[nodiscard]] std::string to_text(const Scenario& scenario);
+
+/// FNV-1a 64 over to_text(scenario) — the content half of the serve
+/// layer's (scenario hash, snapshot id) cache key.
+[[nodiscard]] std::uint64_t content_hash(const Scenario& scenario);
+
+}  // namespace georank::scenario

@@ -87,8 +87,27 @@ std::optional<HttpClientResponse> HttpClient::get(std::string_view target) {
   if (fd_ < 0) {
     if (host_.empty() || !connect(host_, port_)) return std::nullopt;
   }
-  std::string request = "GET " + std::string(target) +
-                        " HTTP/1.1\r\nHost: " + host_ + "\r\n\r\n";
+  return round_trip("GET " + std::string(target) + " HTTP/1.1\r\nHost: " +
+                    host_ + "\r\n\r\n");
+}
+
+std::optional<HttpClientResponse> HttpClient::post(
+    std::string_view target, std::string_view body,
+    std::string_view content_type) {
+  if (fd_ < 0) {
+    if (host_.empty() || !connect(host_, port_)) return std::nullopt;
+  }
+  std::string request = "POST " + std::string(target) +
+                        " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\nContent-Type: " + std::string(content_type) +
+                        "\r\nContent-Length: " + std::to_string(body.size()) +
+                        "\r\n\r\n";
+  request += body;
+  return round_trip(request);
+}
+
+std::optional<HttpClientResponse> HttpClient::round_trip(
+    const std::string& request) {
   std::size_t sent = 0;
   while (sent < request.size()) {
     ssize_t n = ::send(fd_, request.data() + sent, request.size() - sent,

@@ -37,11 +37,21 @@ class HttpClient {
   /// or framing failure.
   [[nodiscard]] std::optional<HttpClientResponse> get(std::string_view target);
 
+  /// Sends one POST with a Content-Length framed body (what /v1/whatif
+  /// speaks); same reconnect and framing rules as get().
+  [[nodiscard]] std::optional<HttpClientResponse> post(
+      std::string_view target, std::string_view body,
+      std::string_view content_type = "text/plain");
+
   void close();
 
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 
  private:
+  /// Writes one fully rendered request and reads one response.
+  [[nodiscard]] std::optional<HttpClientResponse> round_trip(
+      const std::string& request);
+
   int fd_ = -1;
   std::string host_;
   std::uint16_t port_ = 0;

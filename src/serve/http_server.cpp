@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <system_error>
 
@@ -23,6 +24,8 @@ std::string_view reason_phrase(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Content Too Large";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
@@ -42,6 +45,43 @@ bool icontains(std::string_view haystack, std::string_view needle) {
     if (j == needle.size()) return true;
   }
   return false;
+}
+
+/// Content-Length value from a header block; nullopt when absent or
+/// malformed.
+std::optional<std::uint64_t> parse_content_length(std::string_view headers) {
+  auto lower = [](char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  };
+  constexpr std::string_view kField = "content-length:";
+  while (!headers.empty()) {
+    std::size_t eol = headers.find("\r\n");
+    std::string_view line = headers.substr(0, eol);
+    if (line.size() > kField.size()) {
+      std::size_t j = 0;
+      while (j < kField.size() && lower(line[j]) == kField[j]) ++j;
+      if (j == kField.size()) {
+        std::string_view value = line.substr(kField.size());
+        while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+          value.remove_prefix(1);
+        }
+        while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+          value.remove_suffix(1);
+        }
+        std::uint64_t parsed = 0;
+        if (value.empty()) return std::nullopt;
+        for (char c : value) {
+          if (c < '0' || c > '9') return std::nullopt;
+          parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+          if (parsed > (1ull << 32)) return std::nullopt;
+        }
+        return parsed;
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    headers.remove_prefix(eol + 2);
+  }
+  return std::nullopt;
 }
 
 std::string render_headers(const Response& response, std::size_t body_size,
@@ -216,6 +256,7 @@ void HttpServer::serve_connection(int fd) {
     Response response;
     bool head_only = false;
     bool keep_alive = true;
+    std::size_t body_len = 0;
     if (sp2 == std::string_view::npos ||
         !request_line.substr(sp2 + 1).starts_with("HTTP/1.")) {
       parse_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -225,13 +266,57 @@ void HttpServer::serve_connection(int fd) {
     } else {
       std::string_view method = request_line.substr(0, sp1);
       std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-      if (method != "GET" && method != "HEAD") {
+      bool dispatch = true;
+      if (method != "GET" && method != "HEAD" && method != "POST") {
         response = Response{405, "application/json",
-                            R"({"error":"only GET and HEAD are served"})"};
-      } else {
+                            R"({"error":"only GET, HEAD and POST are served"})"};
+        dispatch = false;
+      } else if (method == "POST") {
+        // POST bodies are Content-Length framed and read in full, so
+        // keep-alive framing stays intact.
+        const auto content_length = parse_content_length(headers);
+        if (!content_length) {
+          parse_errors_.fetch_add(1, std::memory_order_relaxed);
+          response = Response{411, "application/json",
+                              R"({"error":"POST requires Content-Length"})"};
+          keep_alive = false;  // an unread body would desync framing
+          dispatch = false;
+        } else if (*content_length > options_.max_body_bytes) {
+          parse_errors_.fetch_add(1, std::memory_order_relaxed);
+          response = Response{413, "application/json",
+                              R"({"error":"request body too large"})"};
+          keep_alive = false;
+          dispatch = false;
+        } else {
+          body_len = static_cast<std::size_t>(*content_length);
+          while (buf.size() < header_end + 4 + body_len) {
+            char chunk[4096];
+            ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+            if (n == 0) return;  // client closed mid-body
+            if (n < 0) {
+              if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                timeouts_.fetch_add(1, std::memory_order_relaxed);
+                Response timeout_response{
+                    408, "application/json",
+                    R"({"error":"request read timed out"})"};
+                (void)send_all(
+                    fd, render_headers(timeout_response,
+                                       timeout_response.body.size(),
+                                       /*keep_alive=*/false) +
+                            timeout_response.body);
+              }
+              return;
+            }
+            buf.append(chunk, static_cast<std::size_t>(n));
+          }
+        }
+      }
+      if (dispatch) {
         head_only = method == "HEAD";
+        std::string_view body =
+            std::string_view(buf).substr(header_end + 4, body_len);
         try {
-          response = service_.handle(target);
+          response = service_.handle(method, target, body);
           if (target == "/metrics" || target.starts_with("/metrics?")) {
             response.body += http_metrics_text(stats());
           }
@@ -241,9 +326,11 @@ void HttpServer::serve_connection(int fd) {
         }
       }
       if (icontains(headers, "connection: close")) keep_alive = false;
-      // We never read request bodies; a request that carries one would
-      // desync the keep-alive framing, so close after answering it.
-      if (icontains(headers, "content-length:")) keep_alive = false;
+      // GET/HEAD bodies are never read; a request that carries one
+      // would desync the keep-alive framing, so close after answering.
+      if (method != "POST" && icontains(headers, "content-length:")) {
+        keep_alive = false;
+      }
     }
     if (!running_.load(std::memory_order_acquire)) keep_alive = false;
 
@@ -255,7 +342,7 @@ void HttpServer::serve_connection(int fd) {
                        std::chrono::steady_clock::now() - started)
                        .count());
     if (!written || !keep_alive) return;
-    buf.erase(0, header_end + 4);
+    buf.erase(0, header_end + 4 + body_len);
   }
 }
 

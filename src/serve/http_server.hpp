@@ -6,7 +6,10 @@
 // concurrency is bounded by the pool size and pending connections are
 // bounded by the listen backlog — no unbounded queues anywhere. Each
 // connection is served keep-alive until the client closes, the read
-// timeout expires, or the server drains. Responses are written with
+// timeout expires, or the server drains. GET/HEAD requests are bodyless;
+// POST bodies (Content-Length framed, bounded by max_body_bytes) are
+// read in full so keep-alive framing stays intact. Responses are
+// written with
 // send(MSG_NOSIGNAL), so a client hanging up mid-write surfaces as an
 // error return instead of SIGPIPE killing the process.
 //
@@ -44,6 +47,8 @@ struct HttpServerOptions {
   int read_timeout_ms = 5000;
   /// Requests whose header block exceeds this are rejected (431).
   std::size_t max_request_bytes = 16 * 1024;
+  /// POST bodies (scenario texts) larger than this are rejected (413).
+  std::size_t max_body_bytes = 64 * 1024;
 };
 
 /// Transport-level counters; service-level counters (status classes,

@@ -1,6 +1,7 @@
 #include "serve/ranking_service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "serve/json.hpp"
@@ -92,6 +93,41 @@ void write_optional_rank(JsonWriter& w, const std::optional<std::size_t>& rank) 
   } else {
     w.null();
   }
+}
+
+/// Same shape as /v1/delta's delta block, so the two endpoints read
+/// alike.
+void write_rank_delta(JsonWriter& w, const core::RankDelta& delta) {
+  w.begin_object();
+  w.key("shifts").begin_array();
+  for (const core::RankShift& shift : delta.shifts) {
+    w.begin_object();
+    w.key("asn").value(static_cast<std::uint64_t>(shift.asn));
+    w.key("before_rank");
+    write_optional_rank(w, shift.before_rank);
+    w.key("after_rank");
+    write_optional_rank(w, shift.after_rank);
+    w.key("before_score").value(shift.before_score);
+    w.key("after_score").value(shift.after_score);
+    w.key("rank_change").value(static_cast<std::int64_t>(shift.rank_change()));
+    w.key("score_change").value(shift.score_change());
+    w.key("entered").value(shift.entered());
+    w.key("left").value(shift.left());
+    w.end_object();
+  }
+  w.end_array();
+  auto write_asns = [&w](const std::vector<bgp::Asn>& asns) {
+    w.begin_array();
+    for (bgp::Asn asn : asns) w.value(static_cast<std::uint64_t>(asn));
+    w.end_array();
+  };
+  w.key("entries");
+  write_asns(delta.entries());
+  w.key("exits");
+  write_asns(delta.exits());
+  w.key("max_movement").value(static_cast<std::int64_t>(delta.max_movement()));
+  w.key("agreement").value(delta.agreement());
+  w.end_object();
 }
 
 }  // namespace
@@ -200,8 +236,30 @@ std::optional<core::Timeline> RankingService::timeline(geo::CountryCode country)
 }
 
 Response RankingService::handle(std::string_view target) {
+  return handle("GET", target, {});
+}
+
+Response RankingService::handle(std::string_view method,
+                                std::string_view target,
+                                std::string_view body) {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  Response response = route(target);
+  std::string_view path = target.substr(0, target.find('?'));
+  while (path.size() > 1 && path.back() == '/') path.remove_suffix(1);
+  std::string_view query;
+  if (std::size_t qmark = target.find('?'); qmark != std::string_view::npos) {
+    query = target.substr(qmark + 1);
+  }
+
+  Response response;
+  if (path == "/v1/whatif") {
+    response = method == "POST"
+                   ? render_whatif(query, body)
+                   : error_response(405, "/v1/whatif requires POST");
+  } else if (method == "POST") {
+    response = error_response(405, "POST is only served on /v1/whatif");
+  } else {
+    response = route(target);
+  }
   if (response.status >= 500) {
     status_5xx_.fetch_add(1, std::memory_order_relaxed);
   } else if (response.status >= 400) {
@@ -289,6 +347,7 @@ Response RankingService::render_index(const Snapshot* snapshot) const {
   w.value("/v1/as/{asn}");
   w.value("/v1/health");
   w.value("/v1/delta?country=CC[&metric=cci|ccn|ahi|ahn][&top=N]");
+  w.value("/v1/whatif[?top=N] (POST a scenario DSL text)");
   w.value("/metrics");
   w.end_array();
   w.end_object();
@@ -532,6 +591,120 @@ Response RankingService::render_delta(std::string_view query_text) {
   w.key("agreement").value(result->delta.agreement());
   w.end_object();
   return Response{200, "application/json", w.take()};
+}
+
+Response RankingService::render_whatif(std::string_view query_text,
+                                       std::string_view body) {
+  scenario::WhatIfEngine* engine = whatif_.load(std::memory_order_acquire);
+  if (engine == nullptr) {
+    return error_response(
+        503, "no what-if engine attached (serving without RIB data)");
+  }
+  std::shared_ptr<const Snapshot> snapshot = current();
+  if (snapshot == nullptr) {
+    return error_response(503, "no snapshot published yet");
+  }
+
+  Query query = parse_query(query_text);
+  std::size_t top_k = options_.default_top_k;
+  const std::string* top_text = query.find("top");
+  if (top_text == nullptr) top_text = query.find("k");
+  if (top_text != nullptr) {
+    auto k = util::parse_int<std::size_t>(*top_text);
+    if (!k || *k == 0) {
+      return error_response(400, "bad top '" + *top_text + "'");
+    }
+    top_k = std::min(*k, options_.max_top_k);
+  }
+
+  scenario::Scenario parsed;
+  try {
+    parsed = scenario::parse(body);
+  } catch (const scenario::ScenarioParseError& e) {
+    return error_response(400, e.what());
+  }
+
+  // The rendered body is a pure function of (scenario content, snapshot
+  // id, top_k): the canonical-text hash keys the LRU alongside the id,
+  // and publish() clears the cache, so a republish can never serve a
+  // stale counterfactual.
+  const std::string key =
+      "POST /v1/whatif?top=" + std::to_string(top_k) + "#" +
+      std::to_string(scenario::content_hash(parsed)) + "@" +
+      std::to_string(snapshot->meta.id);
+  if (auto cached = cache_get(key)) {
+    return Response{200, "application/json", std::move(*cached)};
+  }
+
+  scenario::Report report;
+  try {
+    report = engine->run(parsed, top_k);
+  } catch (const scenario::ApplyError& e) {
+    return error_response(400, e.what());
+  }
+  Response response{200, "application/json",
+                    render_whatif_json(report, snapshot->meta.id)};
+  cache_put(key, response.body);
+  return response;
+}
+
+std::string render_whatif_json(const scenario::Report& report,
+                               std::uint64_t snapshot_id) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("snapshot_id").value(snapshot_id);
+  w.key("scenario").begin_object();
+  w.key("name").value(report.scenario.name);
+  w.key("seed").value(report.scenario.seed);
+  char hash_hex[32];
+  std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                static_cast<unsigned long long>(report.scenario_hash));
+  w.key("hash").value(hash_hex);
+  w.key("events").value(static_cast<std::uint64_t>(report.scenario.events.size()));
+  w.end_object();
+  w.key("top").value(static_cast<std::uint64_t>(report.top_k));
+  w.key("apply").begin_object();
+  w.key("edges_removed").value(static_cast<std::uint64_t>(report.apply.edges_removed));
+  w.key("edges_added").value(static_cast<std::uint64_t>(report.apply.edges_added));
+  w.key("prefixes_hijacked")
+      .value(static_cast<std::uint64_t>(report.apply.prefixes_hijacked));
+  w.key("prefixes_rerouted")
+      .value(static_cast<std::uint64_t>(report.apply.prefixes_rerouted));
+  w.key("entries_kept").value(static_cast<std::uint64_t>(report.apply.entries_kept));
+  w.key("entries_rerouted")
+      .value(static_cast<std::uint64_t>(report.apply.entries_rerouted));
+  w.key("entries_withdrawn")
+      .value(static_cast<std::uint64_t>(report.apply.entries_withdrawn));
+  w.end_object();
+  w.key("memo").begin_object();
+  w.key("shards_kept").value(static_cast<std::uint64_t>(report.memo.shards_kept));
+  w.key("shards_rebuilt")
+      .value(static_cast<std::uint64_t>(report.memo.shards_rebuilt));
+  w.key("memos_kept").value(static_cast<std::uint64_t>(report.memo.memos_kept));
+  w.key("memos_evicted")
+      .value(static_cast<std::uint64_t>(report.memo.memos_evicted));
+  w.end_object();
+  w.key("countries_total")
+      .value(static_cast<std::uint64_t>(report.countries_total));
+  w.key("countries_changed")
+      .value(static_cast<std::uint64_t>(report.shifts.size()));
+  w.key("shifts").begin_array();
+  for (const scenario::CountryShift& shift : report.shifts) {
+    w.begin_object();
+    w.key("country").value(shift.country.to_string());
+    w.key("in_baseline").value(shift.in_baseline);
+    w.key("in_counterfactual").value(shift.in_counterfactual);
+    w.key("confidence_before").value(robust::to_string(shift.confidence_before));
+    w.key("confidence_after").value(robust::to_string(shift.confidence_after));
+    for (Metric metric : kAllMetrics) {
+      w.key(to_string(metric));
+      write_rank_delta(w, shift.delta(metric));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
 }
 
 std::optional<std::string> RankingService::cache_get(const std::string& key) {

@@ -41,6 +41,7 @@
 #include "core/rank_delta.hpp"
 #include "core/timeline.hpp"
 #include "robust/staleness.hpp"
+#include "scenario/engine.hpp"
 #include "serve/snapshot.hpp"
 #include "util/thread_safety.hpp"
 
@@ -179,8 +180,26 @@ class RankingService {
   /// Routes a request target (path + optional query string) to a
   /// response. Known routes: /, /v1/rankings, /v1/as/{asn}, /v1/health,
   /// /v1/delta, /metrics. 400 = malformed parameter, 404 = unknown
-  /// route/country, 503 = no snapshot published yet.
+  /// route/country, 503 = no snapshot published yet. Equivalent to
+  /// handle("GET", target, {}).
   [[nodiscard]] Response handle(std::string_view target);
+
+  /// Method-aware front door. POST is served only on /v1/whatif: `body`
+  /// is a scenario DSL text, computed through the attached WhatIfEngine
+  /// and LRU-cached by (scenario content hash, snapshot id) — publish()
+  /// clears the cache, so republished snapshots never serve stale
+  /// counterfactuals. 405 = method/route mismatch, 503 = no engine
+  /// attached or no snapshot yet.
+  [[nodiscard]] Response handle(std::string_view method,
+                                std::string_view target,
+                                std::string_view body);
+
+  /// Attaches the counterfactual engine /v1/whatif queries run through
+  /// (nullptr detaches; the endpoint then answers 503). The engine must
+  /// outlive the service.
+  void set_whatif(scenario::WhatIfEngine* engine) {
+    whatif_.store(engine, std::memory_order_release);
+  }
 
   /// Counter snapshot (relaxed reads; pair with /metrics rendering).
   [[nodiscard]] ServiceCounters counters() const;
@@ -212,6 +231,8 @@ class RankingService {
   [[nodiscard]] HistoryPair latest_pair();
 
   [[nodiscard]] Response route(std::string_view target);
+  [[nodiscard]] Response render_whatif(std::string_view query,
+                                       std::string_view body);
   [[nodiscard]] Response render_index(const Snapshot* snapshot) const;
   [[nodiscard]] Response render_rankings(const Snapshot& snapshot,
                                          std::string_view query) const;
@@ -250,6 +271,10 @@ class RankingService {
   /// serve a cached "fresh" body for the same snapshot id.
   std::atomic<std::uint64_t> live_health_version_{0};
 
+  /// The counterfactual backend; detached (nullptr) unless the host
+  /// wired one up (serve --dir; snapshot-file serving has no RIBs).
+  std::atomic<scenario::WhatIfEngine*> whatif_{nullptr};
+
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> cache_misses_{0};
@@ -258,5 +283,11 @@ class RankingService {
   std::atomic<std::uint64_t> status_5xx_{0};
   std::atomic<std::uint64_t> reloads_{0};
 };
+
+/// The /v1/whatif 200 body: a pure function of (report, snapshot id),
+/// shared with `georank whatif --out` so the CLI and the endpoint emit
+/// byte-identical JSON (scripts/ci.sh whatif tier compares them).
+[[nodiscard]] std::string render_whatif_json(const scenario::Report& report,
+                                             std::uint64_t snapshot_id);
 
 }  // namespace georank::serve

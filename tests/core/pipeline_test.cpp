@@ -476,5 +476,63 @@ TEST(Pipeline, ApplyUpdatesNoChangeKeepsShardsAndMemos) {
   EXPECT_GE(pipeline.cache_stats().countries, census);
 }
 
+// ---- checkpoint/restore: the what-if engine's cheap re-arm. ----
+
+TEST(Pipeline, CheckpointRestoreIsBitIdenticalWithoutResanitizing) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.load(f.ribs);
+  std::vector<CountryMetrics> want = pipeline.all_countries();
+  Pipeline::Checkpoint chk = pipeline.checkpoint();
+
+  // Swap a genuinely different world in, then restore the checkpoint.
+  bgp::RibCollection shrunk;
+  shrunk.days.assign(f.ribs.days.begin(), f.ribs.days.end() - 1);
+  (void)pipeline.apply_updates(shrunk);
+  Pipeline::ApplyResult r = pipeline.restore(chk);
+  EXPECT_EQ(r.shards_kept + r.shards_rebuilt, pipeline.store().shards().size());
+  EXPECT_FALSE(r.sanitize_fast_path);
+  EXPECT_EQ(r.days_resanitized, 0u);
+
+  std::vector<CountryMetrics> got = pipeline.all_countries();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_bitwise_metrics(got[i], want[i]);
+  }
+
+  // The checkpoint carries the sanitizer's cross-load memo too: a
+  // final-day-only change right after restore() must still fast-path.
+  bgp::RibCollection changed = f.ribs;
+  changed.days.back().entries.push_back(changed.days.back().entries.front());
+  Pipeline::ApplyResult fast = pipeline.apply_updates(changed);
+  EXPECT_TRUE(fast.sanitize_fast_path);
+  EXPECT_EQ(fast.days_resanitized, 1u);
+}
+
+TEST(Pipeline, RestoreOfUnchangedWorldKeepsEveryShardAndMemo) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  pipeline.load(f.ribs);
+  const std::size_t census = pipeline.all_countries().size();
+  ASSERT_GT(census, 0u);
+
+  Pipeline::ApplyResult r = pipeline.restore(pipeline.checkpoint());
+  EXPECT_EQ(r.shards_rebuilt, 0u);
+  EXPECT_EQ(r.shards_kept, pipeline.store().shards().size());
+  EXPECT_EQ(r.country_memos_evicted, 0u);
+  EXPECT_EQ(r.country_memos_kept, census);
+}
+
+TEST(Pipeline, CheckpointBeforeLoadAndEmptyRestoreThrow) {
+  PipelineFixture f;
+  Pipeline pipeline{f.world.geo_db, f.world.vps, f.world.asn_registry,
+                    f.world.graph, f.config()};
+  EXPECT_THROW((void)pipeline.checkpoint(), std::logic_error);
+  pipeline.load(f.ribs);
+  EXPECT_THROW((void)pipeline.restore(Pipeline::Checkpoint{}), std::logic_error);
+}
+
 }  // namespace
 }  // namespace georank::core

@@ -595,6 +595,33 @@ TEST(LintLayering, Gr040SuppressedByLayerOkTag) {
   EXPECT_FALSE(has_rule(lint::check_layering(model, spec), "GR040"));
 }
 
+TEST(LintLayering, Gr040KeepsScenarioBelowServe) {
+  // The what-if engine sits ABOVE core and BELOW serve: serve may pull
+  // in scenario (the endpoint drives the engine), but a scenario header
+  // reaching back into serve (say, for JsonWriter) inverts the layering
+  // — JSON rendering belongs to serve::render_whatif_json, not here.
+  auto model = lint::build_model(Sources{
+      {"src/serve/w.hpp", "#pragma once\n#include \"scenario/e.hpp\"\n"},
+      {"src/scenario/e.hpp", "#pragma once\n#include \"serve/j.hpp\"\n"},
+      {"src/serve/j.hpp", "#pragma once\n"},
+  });
+  auto spec = lint::parse_layers(
+      "util:\ncore: util\nscenario: core util\nserve: core scenario util\n");
+  auto f = lint::check_layering(model, spec);
+  ASSERT_TRUE(has_rule(f, "GR040"));
+  EXPECT_TRUE(any_message_contains(f, "scenario -> serve"))
+      << messages(f).front();
+  // The GR040 finding anchors at the offending include, in scenario.
+  bool anchored = false;
+  for (const lint::Finding& finding : f) {
+    if (finding.rule == "GR040" && finding.path == "src/scenario/e.hpp") {
+      anchored = true;
+      EXPECT_EQ(finding.line, 2u);
+    }
+  }
+  EXPECT_TRUE(anchored);
+}
+
 TEST(LintLayering, Gr041FlagsModuleCycle) {
   auto model = lint::build_model(Sources{
       {"src/core/a.hpp", "#pragma once\n#include \"robust/b.hpp\"\n"},

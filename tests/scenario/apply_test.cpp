@@ -1,0 +1,223 @@
+#include "scenario/apply.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+#include "scenario/scenario.hpp"
+
+namespace georank::scenario {
+namespace {
+
+using geo::CountryCode;
+
+std::optional<CountryCode> country(const rank::AsRegistry& registry, Asn asn) {
+  auto it = registry.find(asn);
+  if (it == registry.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ribs_equal(const bgp::RibCollection& a, const bgp::RibCollection& b) {
+  if (a.days.size() != b.days.size()) return false;
+  for (std::size_t d = 0; d < a.days.size(); ++d) {
+    if (a.days[d].day != b.days[d].day) return false;
+    if (a.days[d].entries != b.days[d].entries) return false;
+  }
+  return true;
+}
+
+struct ApplyFixture {
+  gen::World world;
+  bgp::RibCollection ribs;
+
+  ApplyFixture()
+      : world(gen::InternetGenerator{gen::mini_world_spec(21)}.generate()) {
+    gen::NoiseSpec noise;
+    ribs = gen::RibGenerator{world, noise, 5}.generate(5);
+  }
+};
+
+TEST(ScenarioApply, ConservesEveryEntryExactlyOnce) {
+  ApplyFixture f;
+  Scenario s = parse("seed 3\ndepeer AU US\n");
+  ApplyResult result = apply(s, f.world.graph, f.world.as_registry, f.ribs);
+  EXPECT_EQ(result.stats.entries_kept + result.stats.entries_rerouted +
+                result.stats.entries_withdrawn,
+            f.ribs.total_entries());
+  EXPECT_EQ(result.ribs.days.size(), f.ribs.days.size());
+}
+
+TEST(ScenarioApply, DepeerSeversEveryCrossCountryLink) {
+  ApplyFixture f;
+  Scenario s = parse("seed 3\ndepeer AU US\n");
+  ApplyResult result = apply(s, f.world.graph, f.world.as_registry, f.ribs);
+  EXPECT_GT(result.stats.edges_removed, 0u);
+  const CountryCode au = CountryCode::of("AU");
+  const CountryCode us = CountryCode::of("US");
+  for (Asn asn : result.graph.ases()) {
+    if (country(f.world.as_registry, asn) != au) continue;
+    for (const topo::Neighbor& n :
+         result.graph.neighbors(result.graph.id_of(asn))) {
+      EXPECT_NE(country(f.world.as_registry, result.graph.asn_of(n.id)), us)
+          << "AS" << asn << " still adjacent to a US AS";
+    }
+  }
+}
+
+TEST(ScenarioApply, HijackOnlyTouchesTheVictimPrefix) {
+  ApplyFixture f;
+  const bgp::Prefix victim = f.ribs.days[0].entries[0].prefix;
+  const Asn hijacker = 3320;  // DE incumbent, present in the mini world
+  Scenario s =
+      parse("seed 3\nhijack " + victim.to_string() + " by 3320\n");
+  ApplyResult result = apply(s, f.world.graph, f.world.as_registry, f.ribs);
+  EXPECT_EQ(result.stats.edges_removed, 0u);
+  EXPECT_EQ(result.stats.prefixes_hijacked, 1u);
+  EXPECT_GT(result.stats.entries_rerouted, 0u);
+
+  for (std::size_t d = 0; d < f.ribs.days.size(); ++d) {
+    // Entries for other prefixes survive byte-identical and in order —
+    // the property the Pipeline's shard digests depend on.
+    std::vector<bgp::RouteEntry> before, after;
+    for (const bgp::RouteEntry& e : f.ribs.days[d].entries) {
+      if (!(e.prefix == victim)) before.push_back(e);
+    }
+    for (const bgp::RouteEntry& e : result.ribs.days[d].entries) {
+      if (e.prefix == victim) {
+        EXPECT_EQ(e.path.origin(), hijacker);
+      } else {
+        after.push_back(e);
+      }
+    }
+    EXPECT_EQ(before, after) << "day " << d;
+  }
+}
+
+TEST(ScenarioApply, DepeerCliqueConvertsPeeringsToBoughtTransit) {
+  ApplyFixture f;
+  const Asn target = f.world.clique.front();
+  std::vector<Asn> former_peers;
+  for (Asn peer : f.world.graph.peers_of(target)) {
+    if (f.world.graph.providers_of(peer).empty()) former_peers.push_back(peer);
+  }
+  ASSERT_FALSE(former_peers.empty()) << "clique member has no tier-1 peers";
+
+  Scenario s = parse("seed 3\ndepeer-clique " + std::to_string(target) + "\n");
+  ApplyResult result = apply(s, f.world.graph, f.world.as_registry, f.ribs);
+  EXPECT_EQ(result.stats.edges_removed, former_peers.size());
+  EXPECT_EQ(result.stats.edges_added, former_peers.size());
+
+  std::vector<Asn> providers = result.graph.providers_of(target);
+  std::sort(providers.begin(), providers.end());
+  for (Asn peer : former_peers) {
+    EXPECT_TRUE(std::binary_search(providers.begin(), providers.end(), peer))
+        << "AS" << peer << " should now provide transit to AS" << target;
+  }
+}
+
+TEST(ScenarioApply, CableCutFullFractionSeversTheWholeBorder) {
+  ApplyFixture f;
+  Scenario s = parse("seed 9\ncablecut AU 1\n");
+  ApplyResult result = apply(s, f.world.graph, f.world.as_registry, f.ribs);
+  EXPECT_GT(result.stats.edges_removed, 0u);
+  const CountryCode au = CountryCode::of("AU");
+  for (Asn asn : result.graph.ases()) {
+    if (country(f.world.as_registry, asn) != au) continue;
+    for (const topo::Neighbor& n :
+         result.graph.neighbors(result.graph.id_of(asn))) {
+      EXPECT_EQ(country(f.world.as_registry, result.graph.asn_of(n.id)), au)
+          << "AS" << asn << " kept a cross-border link at fraction 1";
+    }
+  }
+}
+
+TEST(ScenarioApply, CableCutIsSeedDeterministicAndSeedSensitive) {
+  ApplyFixture f;
+  Scenario s = parse("seed 5\ncablecut AU 0.5\n");
+  ApplyResult a = apply(s, f.world.graph, f.world.as_registry, f.ribs);
+  ApplyResult b = apply(s, f.world.graph, f.world.as_registry, f.ribs);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_TRUE(ribs_equal(a.ribs, b.ribs));
+
+  Scenario other = parse("seed 6\ncablecut AU 0.5\n");
+  ApplyResult c = apply(other, f.world.graph, f.world.as_registry, f.ribs);
+  EXPECT_FALSE(a.stats == c.stats && ribs_equal(a.ribs, c.ribs))
+      << "different seeds picked the identical edge subset";
+}
+
+TEST(ScenarioApply, ConsolidateLeavesOnlyTheGatewayFacingAbroad) {
+  ApplyFixture f;
+  const Asn gateway = 1221;  // Telstra, the mini world's AU incumbent
+  Scenario s = parse("seed 3\nconsolidate AU onto 1221\n");
+  ApplyResult result = apply(s, f.world.graph, f.world.as_registry, f.ribs);
+  EXPECT_GT(result.stats.edges_removed, 0u);
+  const CountryCode au = CountryCode::of("AU");
+  for (Asn asn : result.graph.ases()) {
+    if (asn == gateway || country(f.world.as_registry, asn) != au) continue;
+    bool had_foreign = false;
+    for (const topo::Neighbor& n :
+         f.world.graph.neighbors(f.world.graph.id_of(asn))) {
+      const Asn other = f.world.graph.asn_of(n.id);
+      if (other != gateway && country(f.world.as_registry, other) != au) {
+        had_foreign = true;
+      }
+    }
+    for (const topo::Neighbor& n :
+         result.graph.neighbors(result.graph.id_of(asn))) {
+      const Asn other = result.graph.asn_of(n.id);
+      EXPECT_TRUE(other == gateway ||
+                  country(f.world.as_registry, other) == au)
+          << "AS" << asn << " kept a foreign link past consolidation";
+    }
+    if (had_foreign) {
+      EXPECT_TRUE(result.graph.relationship(gateway, asn).has_value())
+          << "orphaned AS" << asn << " was not reconnected to the gateway";
+    }
+  }
+}
+
+TEST(ScenarioApply, ThrowsWhenAnEventNamesAnUnknownAsn) {
+  ApplyFixture f;
+  for (const char* text :
+       {"depeer-clique 4000000000\n", "hijack 16.0.0.0/16 by 4000000000\n",
+        "consolidate AU onto 4000000000\n"}) {
+    Scenario s = parse(std::string("seed 1\n") + text);
+    EXPECT_THROW((void)apply(s, f.world.graph, f.world.as_registry, f.ribs),
+                 ApplyError)
+        << text;
+  }
+}
+
+TEST(ScenarioApply, BitIdenticalAcrossThreadCounts) {
+  ApplyFixture f;
+  const bgp::Prefix victim = f.ribs.days[0].entries[0].prefix;
+  Scenario s = parse("seed 3\ndepeer AU US\nhijack " + victim.to_string() +
+                     " by 3320\ncablecut DE 0.4\n");
+
+  std::vector<ApplyResult> results;
+  for (std::size_t threads : {1u, 4u, 16u}) {
+    ApplyOptions options;
+    options.threads = threads;
+    results.push_back(
+        apply(s, f.world.graph, f.world.as_registry, f.ribs, options));
+  }
+  // And via the environment knob, the way production configures it.
+  ::setenv("GEORANK_THREADS", "16", 1);
+  results.push_back(apply(s, f.world.graph, f.world.as_registry, f.ribs));
+  ::unsetenv("GEORANK_THREADS");
+
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].stats, results[0].stats) << "variant " << i;
+    EXPECT_TRUE(ribs_equal(results[i].ribs, results[0].ribs))
+        << "variant " << i << " produced different RIBs";
+  }
+}
+
+}  // namespace
+}  // namespace georank::scenario

@@ -1,0 +1,212 @@
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace georank::scenario {
+namespace {
+
+using geo::CountryCode;
+
+Scenario full_scenario() {
+  Scenario s;
+  s.name = "full.example-1";
+  s.seed = 42;
+  Event depeer;
+  depeer.kind = EventKind::kDepeerCountries;
+  depeer.country_a = CountryCode::of("RU");
+  depeer.country_b = CountryCode::of("UA");
+  Event clique;
+  clique.kind = EventKind::kDepeerClique;
+  clique.asn = 3356;
+  Event hijack;
+  hijack.kind = EventKind::kHijack;
+  hijack.prefix = *bgp::Prefix::parse("10.1.0.0/16");
+  hijack.asn = 64500;
+  Event cut;
+  cut.kind = EventKind::kCableCut;
+  cut.country_a = CountryCode::of("AU");
+  cut.fraction = 0.5;
+  Event consolidate;
+  consolidate.kind = EventKind::kConsolidate;
+  consolidate.country_a = CountryCode::of("IR");
+  consolidate.asn = 12880;
+  s.events = {depeer, clique, hijack, cut, consolidate};
+  return s;
+}
+
+TEST(ScenarioDsl, ParsesEveryEventFamily) {
+  Scenario s = parse(
+      "# sanctions counterfactual\n"
+      "name full.example-1\n"
+      "seed 42\n"
+      "depeer RU UA\n"
+      "depeer-clique 3356\n"
+      "hijack 10.1.0.0/16 by 64500\n"
+      "cablecut AU 0.5\n"
+      "consolidate IR onto 12880\n");
+  EXPECT_EQ(s, full_scenario());
+}
+
+TEST(ScenarioDsl, RoundTripsThroughCanonicalText) {
+  Scenario s = full_scenario();
+  EXPECT_EQ(parse(to_text(s)), s);
+
+  // Without a name, and with the default seed, still canonical.
+  Scenario bare;
+  Event e;
+  e.kind = EventKind::kDepeerClique;
+  e.asn = 174;
+  bare.events = {e};
+  EXPECT_EQ(parse(to_text(bare)), bare);
+}
+
+TEST(ScenarioDsl, CanonicalTextNormalizesNoise) {
+  // Comments, blank lines and repeated whitespace all collapse to the
+  // same canonical text (and therefore the same content hash).
+  Scenario noisy = parse(
+      "\n"
+      "  # leading comment\n"
+      "seed 7\n"
+      "\tdepeer   AU    US   # trailing comment\n"
+      "\n");
+  Scenario clean = parse("seed 7\ndepeer AU US\n");
+  EXPECT_EQ(to_text(noisy), to_text(clean));
+  EXPECT_EQ(content_hash(noisy), content_hash(clean));
+}
+
+TEST(ScenarioDsl, ContentHashSeparatesScenarios) {
+  Scenario a = parse("seed 7\ndepeer AU US\n");
+  Scenario b = parse("seed 8\ndepeer AU US\n");
+  Scenario c = parse("seed 7\ndepeer AU JP\n");
+  EXPECT_NE(content_hash(a), content_hash(b));
+  EXPECT_NE(content_hash(a), content_hash(c));
+  EXPECT_EQ(content_hash(a), content_hash(parse(to_text(a))));
+}
+
+TEST(ScenarioDsl, FractionRoundTripsExactly) {
+  for (const char* text : {"0.1", "0.25", "0.333333333333333", "1"}) {
+    Scenario s = parse(std::string("cablecut AU ") + text + "\n");
+    EXPECT_EQ(parse(to_text(s)), s) << text;
+  }
+}
+
+// Every-field-mutation table, mirroring the GRSNAP01 flip tests: each
+// malformed input names the exact reason and line it must be rejected
+// with.
+struct MalformedCase {
+  const char* label;
+  const char* text;
+  ScenarioParseReason reason;
+  std::size_t line;
+};
+
+TEST(ScenarioDsl, EveryMalformedFieldIsDiagnosed) {
+  const std::vector<MalformedCase> cases = {
+      {"empty input", "", ScenarioParseReason::kEmpty, 0},
+      {"comments only", "# nothing\n\n", ScenarioParseReason::kEmpty, 0},
+      {"name+seed but no events", "name x\nseed 3\n",
+       ScenarioParseReason::kEmpty, 0},
+      {"unknown directive", "seed 1\nfrobnicate AU\n",
+       ScenarioParseReason::kUnknownDirective, 2},
+      {"case-sensitive directive", "Depeer AU US\n",
+       ScenarioParseReason::kUnknownDirective, 1},
+
+      {"name missing value", "name\n", ScenarioParseReason::kBadFieldCount, 1},
+      {"name extra token", "name a b\n", ScenarioParseReason::kBadFieldCount,
+       1},
+      {"name bad charset", "name wi*th\n", ScenarioParseReason::kBadName, 1},
+      {"name twice", "name a\nname b\ndepeer AU US\n",
+       ScenarioParseReason::kDuplicateDirective, 2},
+
+      {"seed missing value", "seed\n", ScenarioParseReason::kBadFieldCount, 1},
+      {"seed not a number", "seed abc\n", ScenarioParseReason::kBadSeed, 1},
+      {"seed negative", "seed -1\n", ScenarioParseReason::kBadSeed, 1},
+      {"seed overflow", "seed 99999999999999999999999\n",
+       ScenarioParseReason::kBadSeed, 1},
+      {"seed twice", "seed 1\nseed 2\ndepeer AU US\n",
+       ScenarioParseReason::kDuplicateDirective, 2},
+
+      {"depeer one country", "depeer AU\n",
+       ScenarioParseReason::kBadFieldCount, 1},
+      {"depeer three countries", "depeer AU US JP\n",
+       ScenarioParseReason::kBadFieldCount, 1},
+      {"depeer bad lhs", "depeer A1 US\n", ScenarioParseReason::kBadCountry,
+       1},
+      {"depeer bad rhs", "depeer AU usa\n", ScenarioParseReason::kBadCountry,
+       1},
+      {"depeer same country", "depeer AU AU\n",
+       ScenarioParseReason::kSameCountry, 1},
+
+      {"depeer-clique no asn", "depeer-clique\n",
+       ScenarioParseReason::kBadFieldCount, 1},
+      {"depeer-clique bad asn", "depeer-clique lumen\n",
+       ScenarioParseReason::kBadAsn, 1},
+      {"depeer-clique asn zero", "depeer-clique 0\n",
+       ScenarioParseReason::kBadAsn, 1},
+      {"depeer-clique asn overflow", "depeer-clique 4294967296\n",
+       ScenarioParseReason::kBadAsn, 1},
+
+      {"hijack too few", "hijack 10.0.0.0/8\n",
+       ScenarioParseReason::kBadFieldCount, 1},
+      {"hijack bad prefix", "hijack 10.0.0/8 by 64500\n",
+       ScenarioParseReason::kBadPrefix, 1},
+      {"hijack bad length", "hijack 10.0.0.0/33 by 64500\n",
+       ScenarioParseReason::kBadPrefix, 1},
+      {"hijack missing by", "hijack 10.0.0.0/8 at 64500\n",
+       ScenarioParseReason::kMissingKeyword, 1},
+      {"hijack bad asn", "hijack 10.0.0.0/8 by x\n",
+       ScenarioParseReason::kBadAsn, 1},
+
+      {"cablecut too few", "cablecut AU\n",
+       ScenarioParseReason::kBadFieldCount, 1},
+      {"cablecut bad country", "cablecut AUS 0.5\n",
+       ScenarioParseReason::kBadCountry, 1},
+      {"cablecut bad fraction", "cablecut AU half\n",
+       ScenarioParseReason::kBadFraction, 1},
+      {"cablecut fraction zero", "cablecut AU 0\n",
+       ScenarioParseReason::kBadFraction, 1},
+      {"cablecut fraction above one", "cablecut AU 1.5\n",
+       ScenarioParseReason::kBadFraction, 1},
+      {"cablecut fraction trailing junk", "cablecut AU 0.5x\n",
+       ScenarioParseReason::kBadFraction, 1},
+
+      {"consolidate too few", "consolidate IR 12880\n",
+       ScenarioParseReason::kBadFieldCount, 1},
+      {"consolidate bad country", "consolidate I 12880 onto\n",
+       ScenarioParseReason::kBadCountry, 1},
+      {"consolidate missing onto", "consolidate IR via 12880\n",
+       ScenarioParseReason::kMissingKeyword, 1},
+      {"consolidate bad asn", "consolidate IR onto twelve\n",
+       ScenarioParseReason::kBadAsn, 1},
+  };
+
+  for (const MalformedCase& c : cases) {
+    try {
+      (void)parse(c.text);
+      FAIL() << c.label << ": accepted malformed input";
+    } catch (const ScenarioParseError& e) {
+      EXPECT_EQ(e.reason(), c.reason) << c.label << ": " << e.what();
+      EXPECT_EQ(e.line_number(), c.line) << c.label << ": " << e.what();
+      EXPECT_STRNE(e.what(), "") << c.label;
+    }
+  }
+}
+
+TEST(ScenarioDsl, ErrorMessagesNameLineAndReason) {
+  try {
+    (void)parse("seed 1\ndepeer AU AU\n");
+    FAIL() << "accepted depeer AU AU";
+  } catch (const ScenarioParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::string(to_string(e.reason()))),
+              std::string::npos)
+        << what;
+  }
+}
+
+}  // namespace
+}  // namespace georank::scenario

@@ -1,0 +1,175 @@
+// /v1/whatif: the counterfactual endpoint end to end — POST over a real
+// socket, byte-identity with the CLI render, LRU keying on (scenario
+// hash, snapshot id), and the republish-eviction regression: a snapshot
+// published between two identical queries MUST invalidate the cached
+// counterfactual (a stale entry would keep reporting the old snapshot).
+#include "serve/ranking_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "gen/internet_generator.hpp"
+#include "gen/rib_generator.hpp"
+#include "gen/scenarios.hpp"
+#include "scenario/engine.hpp"
+#include "serve/http_client.hpp"
+#include "serve/http_server.hpp"
+
+namespace georank::serve {
+namespace {
+
+constexpr const char* kScenarioText = "name t\nseed 3\ndepeer AU US\n";
+
+struct WhatIfServeFixture {
+  gen::World world;
+  bgp::RibCollection ribs;
+  core::Pipeline pipeline;
+  std::optional<scenario::WhatIfEngine> engine;
+  RankingService service;
+
+  WhatIfServeFixture()
+      : world(gen::InternetGenerator{gen::mini_world_spec(21)}.generate()),
+        ribs(gen::RibGenerator{world, gen::NoiseSpec{}, 5}.generate(5)),
+        pipeline(world.geo_db, world.vps, world.asn_registry, world.graph,
+                 config()) {
+    pipeline.load(ribs);
+    engine.emplace(pipeline, world.graph, world.as_registry, ribs);
+    service.set_whatif(&*engine);
+    publish(1);
+  }
+
+  core::PipelineConfig config() const {
+    core::PipelineConfig cfg;
+    cfg.sanitizer.clique = world.clique;
+    cfg.sanitizer.route_server_asns = world.route_servers;
+    return cfg;
+  }
+
+  void publish(std::uint64_t id) {
+    SnapshotMeta meta;
+    meta.id = id;
+    meta.created_unix = id;
+    meta.label = "whatif-test";
+    service.publish(
+        std::make_shared<const Snapshot>(Snapshot::build(pipeline, meta)));
+  }
+};
+
+TEST(WhatIfEndpoint, PostOverRealSocketMatchesCliRender) {
+  WhatIfServeFixture f;
+  HttpServer server{f.service, {}};
+  server.start();
+  ASSERT_NE(server.port(), 0);
+
+  HttpClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  auto response = client.post("/v1/whatif?top=5", kScenarioText);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+
+  // The body must be byte-identical to what `georank whatif --out`
+  // writes for the same snapshot id — the CI tier cmp(1)s the two.
+  scenario::Report report =
+      f.engine->run(scenario::parse(kScenarioText), 5);
+  EXPECT_EQ(response->body, render_whatif_json(report, 1));
+  EXPECT_NE(response->body.find("\"snapshot_id\":1"), std::string::npos);
+  server.stop();
+}
+
+TEST(WhatIfEndpoint, RepeatQueryIsServedFromTheCache) {
+  WhatIfServeFixture f;
+  const std::uint64_t misses_before = f.service.counters().cache_misses;
+  Response first = f.service.handle("POST", "/v1/whatif?top=5", kScenarioText);
+  ASSERT_EQ(first.status, 200);
+  EXPECT_EQ(f.service.counters().cache_misses, misses_before + 1);
+
+  const std::uint64_t hits_before = f.service.counters().cache_hits;
+  Response second = f.service.handle("POST", "/v1/whatif?top=5",
+                                     kScenarioText);
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(second.body, first.body);
+  EXPECT_EQ(f.service.counters().cache_hits, hits_before + 1);
+
+  // A different top-k or a different scenario is a different key.
+  Response other_k = f.service.handle("POST", "/v1/whatif?top=3",
+                                      kScenarioText);
+  ASSERT_EQ(other_k.status, 200);
+  EXPECT_NE(other_k.body, first.body);
+  Response other_scenario =
+      f.service.handle("POST", "/v1/whatif?top=5", "seed 4\ndepeer AU US\n");
+  ASSERT_EQ(other_scenario.status, 200);
+  EXPECT_NE(other_scenario.body, first.body);
+}
+
+TEST(WhatIfEndpoint, RepublishEvictsCachedCounterfactuals) {
+  WhatIfServeFixture f;
+  HttpServer server{f.service, {}};
+  server.start();
+  ASSERT_NE(server.port(), 0);
+
+  HttpClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  auto before = client.post("/v1/whatif?top=5", kScenarioText);
+  ASSERT_TRUE(before.has_value());
+  ASSERT_EQ(before->status, 200);
+  EXPECT_NE(before->body.find("\"snapshot_id\":1"), std::string::npos);
+
+  // Republish mid-session: the SAME keep-alive connection asks the SAME
+  // question and must see the new world, not the cached old answer.
+  f.publish(2);
+  auto after = client.post("/v1/whatif?top=5", kScenarioText);
+  ASSERT_TRUE(after.has_value());
+  ASSERT_EQ(after->status, 200);
+  EXPECT_NE(after->body.find("\"snapshot_id\":2"), std::string::npos)
+      << "republish served a stale cached counterfactual";
+  server.stop();
+}
+
+TEST(WhatIfEndpoint, MethodAndRouteContract) {
+  WhatIfServeFixture f;
+  HttpServer server{f.service, {}};
+  server.start();
+  HttpClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+  // GET on the POST-only route, POST on a GET route: both 405.
+  auto get = client.get("/v1/whatif");
+  ASSERT_TRUE(get.has_value());
+  EXPECT_EQ(get->status, 405);
+  auto wrong_route = client.post("/v1/rankings?country=AU", kScenarioText);
+  ASSERT_TRUE(wrong_route.has_value());
+  EXPECT_EQ(wrong_route->status, 405);
+
+  // A malformed scenario travels back as a 400 with the parse diagnosis.
+  auto bad = client.post("/v1/whatif", "seed 1\ndepeer AU AU\n");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->status, 400);
+  EXPECT_NE(bad->body.find("countries must differ"), std::string::npos);
+
+  // A scenario naming an AS outside the graph is a 400, not a crash.
+  auto unknown = client.post("/v1/whatif", "seed 1\ndepeer-clique 4000000000\n");
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(unknown->status, 400);
+  server.stop();
+}
+
+TEST(WhatIfEndpoint, ServesFiveOhThreeWithoutAnEngine) {
+  // `georank serve --snapshot FILE` has rankings but no RIBs to edit:
+  // the endpoint must refuse, not crash.
+  RankingService service;
+  Response no_engine = service.handle("POST", "/v1/whatif", kScenarioText);
+  EXPECT_EQ(no_engine.status, 503);
+
+  // Engine attached but nothing published yet: still 503.
+  WhatIfServeFixture f;
+  RankingService fresh;
+  fresh.set_whatif(&*f.engine);
+  Response no_snapshot = fresh.handle("POST", "/v1/whatif", kScenarioText);
+  EXPECT_EQ(no_snapshot.status, 503);
+}
+
+}  // namespace
+}  // namespace georank::serve

@@ -43,6 +43,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,9 @@
 #include "live/update_pipeline.hpp"
 #include "robust/data_health.hpp"
 #include "robust/fault_plan.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/report.hpp"
+#include "scenario/scenario.hpp"
 #include "serve/http_server.hpp"
 #include "serve/ranking_service.hpp"
 #include "serve/signal_pipe.hpp"
@@ -129,6 +133,10 @@ int usage() {
                "                     [--overflow drain|shed] [--follow]"
                " [--stale-after SECS] [--degraded-after SECS]\n"
                "  georank journal    --dir DIR [--stat]\n"
+               "  georank whatif     --dir DIR --scenario FILE [--out FILE]"
+               " [--csv FILE] [--top N]\n"
+               "                     [--id N] [--created N] [--label STR]"
+               " [--strict]\n"
                "common: --key=value and --key value both work;"
                " --fail-on-drop-rate=PCT exits %d when the sanitize or\n"
                "ingest layer drops more than PCT%% of its input"
@@ -1324,6 +1332,91 @@ int cmd_journal(const Args& args) {
 
 // ---------------------------------------------------------------- serve
 
+// ------------------------------------------------------------- whatif
+
+int cmd_whatif(const Args& args) {
+  if (!args.has("dir") || !args.has("scenario")) return usage();
+
+  std::ifstream scenario_is{args.get("scenario")};
+  if (!scenario_is) {
+    std::fprintf(stderr, "cannot open %s\n", args.get("scenario").c_str());
+    return kExitError;
+  }
+  std::ostringstream scenario_text;
+  scenario_text << scenario_is.rdbuf();
+
+  scenario::Scenario parsed;
+  try {
+    parsed = scenario::parse(scenario_text.str());
+  } catch (const scenario::ScenarioParseError& e) {
+    std::fprintf(stderr, "scenario error: %s\n", e.what());
+    return kExitParseFailure;
+  }
+
+  int fail_code = kExitError;
+  auto data = load_dataset(args.get("dir"), args.has("infer"),
+                           args.has("strict"), &fail_code,
+                           args.thread_count_or("ingest-threads", 0));
+  if (!data) return fail_code;
+  core::Pipeline pipeline = make_pipeline(*data, degradation_from_args(args));
+
+  auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  // --id pins the snapshot identity the JSON reports, so a `serve --id
+  // N` endpoint and a `whatif --id N` file are byte-comparable.
+  const std::uint64_t snapshot_id = args.u64_or("id", now);
+
+  scenario::WhatIfEngine engine{pipeline, data->relationships, data->registry,
+                                data->ribs};
+  if (engine.baseline().empty()) {
+    std::fprintf(stderr, "no geolocated evidence in this data set\n");
+    return kExitEmptyResult;
+  }
+
+  scenario::Report report;
+  try {
+    report = engine.run(parsed, args.size_or("top", 10));
+  } catch (const scenario::ApplyError& e) {
+    std::fprintf(stderr, "scenario error: %s\n", e.what());
+    return kExitParseFailure;
+  }
+
+  std::fputs(scenario::render_text(report).c_str(), stdout);
+
+  if (args.has("out")) {
+    std::ofstream os{args.get("out"), std::ios::binary};
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", args.get("out").c_str());
+      return kExitError;
+    }
+    // Exactly the /v1/whatif 200 body (no trailing newline): the CI
+    // whatif tier byte-compares this file against a curl of the
+    // endpoint.
+    os << serve::render_whatif_json(report, snapshot_id);
+    if (!os.flush()) {
+      std::fprintf(stderr, "short write to %s\n", args.get("out").c_str());
+      return kExitError;
+    }
+    std::printf("wrote %s\n", args.get("out").c_str());
+  }
+  if (args.has("csv")) {
+    std::ofstream os{args.get("csv"), std::ios::binary};
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", args.get("csv").c_str());
+      return kExitError;
+    }
+    os << scenario::render_csv(report);
+    if (!os.flush()) {
+      std::fprintf(stderr, "short write to %s\n", args.get("csv").c_str());
+      return kExitError;
+    }
+    std::printf("wrote %s\n", args.get("csv").c_str());
+  }
+  return kExitOk;
+}
+
 int cmd_serve(const Args& args) {
   if (!args.has("snapshot") && !args.has("dir")) return usage();
 
@@ -1331,6 +1424,13 @@ int cmd_serve(const Args& args) {
   service_options.cache_capacity = args.size_or("cache", 256);
   service_options.history_limit = args.size_or("history", 8);
   serve::RankingService service{service_options};
+
+  // Serving from a data directory keeps the dataset + pipeline alive so
+  // /v1/whatif has a world to counterfact over; snapshot-file serving
+  // has no RIB data and leaves the endpoint answering 503.
+  std::optional<DataSet> data;
+  std::optional<core::Pipeline> pipeline;
+  std::optional<scenario::WhatIfEngine> engine;
 
   if (args.has("snapshot")) {
     const std::string snapshot_list = args.get("snapshot");
@@ -1359,9 +1459,33 @@ int cmd_serve(const Args& args) {
     }
   } else {
     int fail_code = kExitError;
-    auto snapshot = build_snapshot(args, &fail_code);
-    if (!snapshot) return fail_code;
-    service.publish(std::make_shared<serve::Snapshot>(std::move(*snapshot)));
+    data = load_dataset(args.get("dir"), args.has("infer"), args.has("strict"),
+                        &fail_code,
+                        args.thread_count_or("ingest-threads", 0));
+    if (!data) return fail_code;
+    pipeline.emplace(make_pipeline(*data, degradation_from_args(args)));
+
+    auto now = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    serve::SnapshotMeta meta;
+    meta.id = args.u64_or("id", now);
+    meta.created_unix = args.u64_or("created", now);
+    meta.label = args.get("label");
+    serve::Snapshot snapshot =
+        serve::Snapshot::build(*pipeline, std::move(meta));
+    if (snapshot.countries.empty()) {
+      std::fprintf(stderr, "no geolocated evidence in this data set\n");
+      return kExitEmptyResult;
+    }
+    service.publish(std::make_shared<serve::Snapshot>(std::move(snapshot)));
+
+    engine.emplace(*pipeline, data->relationships, data->registry,
+                   data->ribs);
+    service.set_whatif(&*engine);
+    std::printf("what-if engine attached (%zu baseline countries)\n",
+                engine->baseline().size());
   }
 
   serve::HttpServerOptions http_options;
@@ -1409,6 +1533,7 @@ int main(int argc, char** argv) {
     if (args->command() == "robustness") return cmd_robustness(*args);
     if (args->command() == "snapshot") return cmd_snapshot(*args);
     if (args->command() == "serve") return cmd_serve(*args);
+    if (args->command() == "whatif") return cmd_whatif(*args);
     if (args->command() == "live") return cmd_live(*args);
     if (args->command() == "journal") return cmd_journal(*args);
   } catch (const bgp::MrtParseError& e) {
